@@ -1,0 +1,206 @@
+//! Confidence-fusion analysis (EXP-A2).
+//!
+//! Every event instance carries an observer confidence `ρ` (Def. 4.4);
+//! higher-level observers must fuse the confidences of their inputs. This
+//! module provides the candidate fusion rules and scoring utilities to
+//! compare them against ground truth.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use stem_core::Confidence;
+
+/// A confidence fusion rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FusionRule {
+    /// Weakest link: `min ρ_i`.
+    Min,
+    /// Independent conjunction: `Π ρ_i`.
+    Product,
+    /// Arithmetic mean.
+    Mean,
+    /// Independent corroboration: `1 − Π (1 − ρ_i)`.
+    NoisyOr,
+}
+
+/// All fusion rules, for sweeps.
+pub const ALL_FUSION_RULES: [FusionRule; 4] = [
+    FusionRule::Min,
+    FusionRule::Product,
+    FusionRule::Mean,
+    FusionRule::NoisyOr,
+];
+
+impl FusionRule {
+    /// Fuses a non-empty set of confidences. Returns `None` when empty.
+    #[must_use]
+    pub fn fuse(self, inputs: &[Confidence]) -> Option<Confidence> {
+        let (first, rest) = inputs.split_first()?;
+        Some(match self {
+            FusionRule::Min => rest.iter().fold(*first, |a, b| a.min(*b)),
+            FusionRule::Product => rest.iter().fold(*first, |a, b| a.product(*b)),
+            FusionRule::Mean => Confidence::mean(inputs)?,
+            FusionRule::NoisyOr => rest.iter().fold(*first, |a, b| a.noisy_or(*b)),
+        })
+    }
+}
+
+impl fmt::Display for FusionRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FusionRule::Min => "min",
+            FusionRule::Product => "product",
+            FusionRule::Mean => "mean",
+            FusionRule::NoisyOr => "noisy-or",
+        })
+    }
+}
+
+/// The Brier score of probabilistic predictions against boolean outcomes:
+/// mean of `(p − outcome)²`. Lower is better; 0 is perfect.
+///
+/// Returns `None` for empty or mismatched inputs.
+///
+/// # Example
+///
+/// ```
+/// use stem_analysis::brier_score;
+///
+/// let perfect = brier_score(&[1.0, 0.0], &[true, false]).unwrap();
+/// assert_eq!(perfect, 0.0);
+/// let uncertain = brier_score(&[0.5, 0.5], &[true, false]).unwrap();
+/// assert_eq!(uncertain, 0.25);
+/// ```
+#[must_use]
+pub fn brier_score(predictions: &[f64], outcomes: &[bool]) -> Option<f64> {
+    if predictions.is_empty() || predictions.len() != outcomes.len() {
+        return None;
+    }
+    let s: f64 = predictions
+        .iter()
+        .zip(outcomes)
+        .map(|(p, &o)| {
+            let target = if o { 1.0 } else { 0.0 };
+            (p - target).powi(2)
+        })
+        .sum();
+    Some(s / predictions.len() as f64)
+}
+
+/// Classification quality of thresholded confidences:
+/// `(true_positives, false_positives, false_negatives, true_negatives)`.
+#[must_use]
+pub fn confusion_at(
+    predictions: &[f64],
+    outcomes: &[bool],
+    threshold: f64,
+) -> (usize, usize, usize, usize) {
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fng = 0;
+    let mut tn = 0;
+    for (p, &o) in predictions.iter().zip(outcomes) {
+        match (*p >= threshold, o) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fng += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    (tp, fp, fng, tn)
+}
+
+/// Precision and recall at a threshold. Undefined components come back as
+/// `None` (no positive predictions / no positive outcomes).
+#[must_use]
+pub fn precision_recall(
+    predictions: &[f64],
+    outcomes: &[bool],
+    threshold: f64,
+) -> (Option<f64>, Option<f64>) {
+    let (tp, fp, fng, _) = confusion_at(predictions, outcomes, threshold);
+    let precision = if tp + fp > 0 {
+        Some(tp as f64 / (tp + fp) as f64)
+    } else {
+        None
+    };
+    let recall = if tp + fng > 0 {
+        Some(tp as f64 / (tp + fng) as f64)
+    } else {
+        None
+    };
+    (precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn c(v: f64) -> Confidence {
+        Confidence::new(v).unwrap()
+    }
+
+    #[test]
+    fn fusion_rules_match_definitions() {
+        let inputs = [c(0.8), c(0.5)];
+        assert_eq!(FusionRule::Min.fuse(&inputs).unwrap().value(), 0.5);
+        assert!((FusionRule::Product.fuse(&inputs).unwrap().value() - 0.4).abs() < 1e-12);
+        assert!((FusionRule::Mean.fuse(&inputs).unwrap().value() - 0.65).abs() < 1e-12);
+        assert!((FusionRule::NoisyOr.fuse(&inputs).unwrap().value() - 0.9).abs() < 1e-12);
+        assert!(FusionRule::Min.fuse(&[]).is_none());
+    }
+
+    #[test]
+    fn brier_rewards_calibration() {
+        let outcomes = [true, true, false, false];
+        let sharp = brier_score(&[0.9, 0.8, 0.1, 0.2], &outcomes).unwrap();
+        let vague = brier_score(&[0.6, 0.6, 0.4, 0.4], &outcomes).unwrap();
+        let wrong = brier_score(&[0.1, 0.2, 0.9, 0.8], &outcomes).unwrap();
+        assert!(sharp < vague && vague < wrong);
+    }
+
+    #[test]
+    fn brier_mismatched_inputs_are_none() {
+        assert!(brier_score(&[], &[]).is_none());
+        assert!(brier_score(&[0.5], &[true, false]).is_none());
+    }
+
+    #[test]
+    fn confusion_and_precision_recall() {
+        let preds = [0.9, 0.8, 0.4, 0.3];
+        let outs = [true, false, true, false];
+        let (tp, fp, fng, tn) = confusion_at(&preds, &outs, 0.5);
+        assert_eq!((tp, fp, fng, tn), (1, 1, 1, 1));
+        let (p, r) = precision_recall(&preds, &outs, 0.5);
+        assert_eq!(p, Some(0.5));
+        assert_eq!(r, Some(0.5));
+        // Threshold above everything: no positive predictions.
+        let (p, r) = precision_recall(&preds, &outs, 0.99);
+        assert_eq!(p, None);
+        assert_eq!(r, Some(0.0));
+    }
+
+    proptest! {
+        /// Fused confidences honour the lattice ordering
+        /// product ≤ min ≤ mean ≤ noisy-or for any input set.
+        #[test]
+        fn fusion_ordering(raw in proptest::collection::vec(0.0f64..=1.0, 1..8)) {
+            let inputs: Vec<Confidence> = raw.iter().map(|&v| c(v)).collect();
+            let product = FusionRule::Product.fuse(&inputs).unwrap().value();
+            let min = FusionRule::Min.fuse(&inputs).unwrap().value();
+            let mean = FusionRule::Mean.fuse(&inputs).unwrap().value();
+            let noisy = FusionRule::NoisyOr.fuse(&inputs).unwrap().value();
+            prop_assert!(product <= min + 1e-12);
+            prop_assert!(min <= mean + 1e-12);
+            prop_assert!(mean <= noisy + 1e-12);
+        }
+
+        /// Brier score is bounded by [0, 1].
+        #[test]
+        fn brier_bounded(preds in proptest::collection::vec(0.0f64..=1.0, 1..20), flip in proptest::bool::ANY) {
+            let outcomes: Vec<bool> = preds.iter().enumerate().map(|(i, _)| (i % 2 == 0) ^ flip).collect();
+            let b = brier_score(&preds, &outcomes).unwrap();
+            prop_assert!((0.0..=1.0).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The analytic Event Detection Latency (EDL) model — the paper's named
+//! future work: "a formal temporal analysis of Event Detection Latency
+//! (EDL) based on the proposed framework and building an end-to-end
+//! latency model for CPSs" (Sec. 6).
+//!
+//! EDL decomposes along the Fig. 1 pipeline:
+//!
+//! ```text
+//! physical occurrence
+//!   └─ sampling wait (uniform over the sampling period)
+//!      └─ mote processing (constant)
+//!         └─ per-hop MAC transfer × hop count (mixture over attempts)
+//!            └─ sink processing … CCU processing (constants)
+//! ```
+//!
+//! Each stage is a [`Pmf`]; the end-to-end model is their convolution.
+//! EXP-E1 validates the model against the simulated pipeline.
+
+use crate::Pmf;
+use stem_temporal::Duration;
+use stem_wsn::{MacConfig, Radio};
+
+/// Builds the pmf of the *sampling* stage: a physical change waits
+/// uniformly in `[0, period)` for the next periodic sample.
+///
+/// # Panics
+///
+/// Panics if `period` is zero.
+#[must_use]
+pub fn sampling_stage(period: Duration) -> Pmf {
+    assert!(!period.is_zero(), "sampling period must be positive");
+    Pmf::uniform(0, period.ticks() - 1)
+}
+
+/// Builds the pmf of a constant processing stage.
+#[must_use]
+pub fn processing_stage(delay: Duration) -> Pmf {
+    Pmf::constant(delay.ticks())
+}
+
+/// Builds the (defective) pmf of one MAC hop with per-attempt success
+/// probability `p_success`.
+///
+/// Attempt `k` (1-based) succeeds with `p·(1-p)^(k-1)`; its delay is the
+/// sum of `k` backoff draws (uniform over the exponentially growing
+/// window), `k` attempt overheads, and `k` airtimes. The returned pmf's
+/// total mass is the hop delivery probability
+/// `1 - (1-p)^max_attempts`.
+///
+/// # Panics
+///
+/// Panics if `p_success` is outside `[0, 1]`.
+#[must_use]
+pub fn mac_hop_stage(mac: &MacConfig, airtime: Duration, p_success: f64) -> Pmf {
+    assert!(
+        (0.0..=1.0).contains(&p_success),
+        "p_success must be a probability"
+    );
+    let per_attempt_fixed = mac.attempt_overhead.ticks() + airtime.ticks();
+    // Delay pmf of the first k attempts: convolution of k backoff
+    // windows (window doubles per attempt, capped) plus fixed costs.
+    let mut window = mac.min_backoff.ticks().max(1);
+    let mut prefix: Option<Pmf> = None;
+    let mut result: Option<Pmf> = None;
+    let mut p_reach = 1.0; // probability the k-th attempt happens
+    for _k in 1..=mac.max_attempts {
+        let attempt = Pmf::uniform(0, window).convolve(&Pmf::constant(per_attempt_fixed));
+        let upto = match &prefix {
+            None => attempt.clone(),
+            Some(p) => p.convolve(&attempt),
+        };
+        let p_this = p_reach * p_success;
+        let contribution = upto.with_mass(p_this);
+        result = Some(match result {
+            None => contribution,
+            Some(r) => r.add(&contribution),
+        });
+        prefix = Some(upto);
+        p_reach *= 1.0 - p_success;
+        window = (window * 2).min(mac.max_backoff.ticks());
+    }
+    result.expect("max_attempts >= 1")
+}
+
+/// A multi-stage EDL model: stages compose by convolution.
+///
+/// # Example
+///
+/// ```
+/// use stem_analysis::{processing_stage, sampling_stage, EdlModel};
+/// use stem_temporal::Duration;
+///
+/// let model = EdlModel::new()
+///     .stage("sampling", sampling_stage(Duration::new(100)))
+///     .stage("mote-cpu", processing_stage(Duration::new(2)));
+/// let pmf = model.end_to_end();
+/// // Mean ≈ 49.5 (uniform over 0..=99) + 2.
+/// assert!((pmf.mean().unwrap() - 51.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EdlModel {
+    stages: Vec<(String, Pmf)>,
+}
+
+impl EdlModel {
+    /// An empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        EdlModel { stages: Vec::new() }
+    }
+
+    /// Appends a named stage.
+    #[must_use]
+    pub fn stage(mut self, name: impl Into<String>, pmf: Pmf) -> Self {
+        self.stages.push((name.into(), pmf));
+        self
+    }
+
+    /// Appends `hops` copies of a per-hop stage.
+    #[must_use]
+    pub fn hops(mut self, name: impl Into<String>, per_hop: &Pmf, hops: u32) -> Self {
+        let name = name.into();
+        for i in 0..hops {
+            self.stages.push((format!("{name}[{i}]"), per_hop.clone()));
+        }
+        self
+    }
+
+    /// The stages in order.
+    #[must_use]
+    pub fn stages(&self) -> &[(String, Pmf)] {
+        &self.stages
+    }
+
+    /// The end-to-end delay pmf (point mass at zero for an empty model).
+    #[must_use]
+    pub fn end_to_end(&self) -> Pmf {
+        self.stages
+            .iter()
+            .fold(Pmf::constant(0), |acc, (_, s)| acc.convolve(s))
+    }
+
+    /// Per-stage share of the end-to-end mean (for latency-breakdown
+    /// tables): `(name, stage mean, share of total)`.
+    #[must_use]
+    pub fn mean_breakdown(&self) -> Vec<(String, f64, f64)> {
+        let total: f64 = self
+            .stages
+            .iter()
+            .filter_map(|(_, s)| s.mean())
+            .sum();
+        self.stages
+            .iter()
+            .map(|(n, s)| {
+                let m = s.mean().unwrap_or(0.0);
+                (n.clone(), m, if total > 0.0 { m / total } else { 0.0 })
+            })
+            .collect()
+    }
+}
+
+/// Convenience: the full paper-pipeline EDL model for a node `hops` hops
+/// from the sink.
+///
+/// Stages: sampling wait, mote processing, `hops` MAC transfers, sink
+/// processing, sink→CCU backhaul, CCU processing.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn pipeline_edl(
+    sampling_period: Duration,
+    mote_processing: Duration,
+    mac: &MacConfig,
+    radio: &Radio,
+    payload_bytes: u32,
+    p_link_success: f64,
+    hops: u32,
+    sink_processing: Duration,
+    backhaul: Duration,
+    ccu_processing: Duration,
+) -> EdlModel {
+    let airtime = radio.transmission_delay(payload_bytes);
+    let hop = mac_hop_stage(mac, airtime, p_link_success);
+    EdlModel::new()
+        .stage("sampling", sampling_stage(sampling_period))
+        .stage("mote-processing", processing_stage(mote_processing))
+        .hops("mac-hop", &hop, hops)
+        .stage("sink-processing", processing_stage(sink_processing))
+        .stage("backhaul", processing_stage(backhaul))
+        .stage("ccu-processing", processing_stage(ccu_processing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_des::stream;
+    use stem_wsn::transmit_frame;
+
+    #[test]
+    fn sampling_stage_mean_is_half_period() {
+        let s = sampling_stage(Duration::new(100));
+        assert!((s.mean().unwrap() - 49.5).abs() < 1e-9);
+        assert_eq!(s.support(), (0, 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period must be positive")]
+    fn sampling_rejects_zero_period() {
+        let _ = sampling_stage(Duration::ZERO);
+    }
+
+    #[test]
+    fn mac_hop_mass_is_delivery_probability() {
+        let mac = MacConfig::default();
+        for p in [0.3, 0.5, 0.9, 1.0] {
+            let hop = mac_hop_stage(&mac, Duration::new(2), p);
+            let expected = 1.0 - (1.0 - p).powi(mac.max_attempts as i32);
+            assert!(
+                (hop.total_mass() - expected).abs() < 1e-9,
+                "p={p}: mass {} vs expected {expected}",
+                hop.total_mass()
+            );
+        }
+    }
+
+    #[test]
+    fn mac_hop_perfect_link_is_single_attempt() {
+        let mac = MacConfig::default();
+        let hop = mac_hop_stage(&mac, Duration::new(2), 1.0);
+        // One attempt: backoff 0..=1 + overhead 1 + airtime 2 ∈ [3, 4].
+        assert_eq!(hop.support(), (3, 4));
+        assert!((hop.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mac_hop_model_matches_simulated_mac() {
+        // The strongest validation available: the analytic hop pmf must
+        // agree with the Monte-Carlo distribution of `transmit_frame`.
+        let mac = MacConfig::default();
+        let airtime = Duration::new(2);
+        let p = 0.6;
+        let hop = mac_hop_stage(&mac, airtime, p);
+
+        let mut rng = stream(5, 9);
+        let n = 30_000;
+        let mut delivered = 0u32;
+        let mut sum_delay = 0.0;
+        for _ in 0..n {
+            let out = transmit_frame(&mac, airtime, p, &mut rng);
+            if out.delivered {
+                delivered += 1;
+                sum_delay += out.delay.as_f64();
+            }
+        }
+        let emp_mass = f64::from(delivered) / f64::from(n);
+        let emp_mean = sum_delay / f64::from(delivered);
+        assert!(
+            (hop.total_mass() - emp_mass).abs() < 0.01,
+            "delivery: model {} vs sim {emp_mass}",
+            hop.total_mass()
+        );
+        assert!(
+            (hop.mean().unwrap() - emp_mean).abs() < 0.25,
+            "mean delay: model {} vs sim {emp_mean}",
+            hop.mean().unwrap()
+        );
+    }
+
+    #[test]
+    fn model_composes_stages() {
+        let model = EdlModel::new()
+            .stage("a", Pmf::constant(10))
+            .stage("b", Pmf::uniform(0, 4));
+        let e2e = model.end_to_end();
+        assert_eq!(e2e.support(), (10, 14));
+        assert!((e2e.mean().unwrap() - 12.0).abs() < 1e-12);
+        let breakdown = model.mean_breakdown();
+        assert_eq!(breakdown.len(), 2);
+        assert!((breakdown[0].2 - 10.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hops_multiply_latency_linearly_in_the_mean() {
+        let mac = MacConfig::default();
+        let hop = mac_hop_stage(&mac, Duration::new(2), 0.9);
+        let one = EdlModel::new().hops("h", &hop, 1).end_to_end();
+        let four = EdlModel::new().hops("h", &hop, 4).end_to_end();
+        assert!(
+            (four.mean().unwrap() - 4.0 * one.mean().unwrap()).abs() < 1e-6,
+            "means add across identical hops"
+        );
+        // Mass decays geometrically with hop count.
+        assert!((four.total_mass() - one.total_mass().powi(4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_builder_has_all_stages() {
+        let radio = Radio::new(stem_wsn::RadioConfig::default(), 1);
+        let model = pipeline_edl(
+            Duration::new(100),
+            Duration::new(2),
+            &MacConfig::default(),
+            &radio,
+            32,
+            0.9,
+            3,
+            Duration::new(5),
+            Duration::new(10),
+            Duration::new(3),
+        );
+        // sampling, mote-processing, 3 hops, sink-processing, backhaul,
+        // ccu-processing = 8 stages.
+        assert_eq!(model.stages().len(), 8);
+        let e2e = model.end_to_end();
+        assert!(e2e.total_mass() > 0.7, "three good hops mostly deliver");
+        assert!(e2e.mean().unwrap() > 50.0, "sampling dominates the mean");
+    }
+
+    #[test]
+    fn empty_model_is_zero_delay() {
+        let e2e = EdlModel::new().end_to_end();
+        assert_eq!(e2e.mean(), Some(0.0));
+        assert_eq!(e2e.support(), (0, 0));
+    }
+}

@@ -1,0 +1,59 @@
+//! # stem-analysis — formal analysis layer
+//!
+//! The quantitative side of the STEM reproduction, implementing the
+//! paper's declared future work (Sec. 6: "a formal temporal analysis of
+//! Event Detection Latency (EDL) … and an end-to-end latency model") plus
+//! the estimation machinery the architecture presupposes:
+//!
+//! * [`localize`] — sink-side trilateration from mote range measurements
+//!   (the Sec. 1 "user A nearby window B" example),
+//! * [`Pmf`] — discrete delay-distribution algebra (convolution, mixtures,
+//!   defective mass for loss),
+//! * [`EdlModel`] / [`pipeline_edl`] — the analytic EDL model validated
+//!   against simulation in EXP-E1/E2,
+//! * [`Summary`], [`fit_line`], [`rmse`], [`mape`] — statistics for the
+//!   experiment tables,
+//! * [`FusionRule`], [`brier_score`] — confidence-fusion comparison
+//!   (EXP-A2).
+//!
+//! # Example
+//!
+//! ```
+//! use stem_analysis::{pipeline_edl};
+//! use stem_temporal::Duration;
+//! use stem_wsn::{MacConfig, Radio, RadioConfig};
+//!
+//! let radio = Radio::new(RadioConfig::default(), 42);
+//! let model = pipeline_edl(
+//!     Duration::new(100), // sampling period
+//!     Duration::new(2),   // mote processing
+//!     &MacConfig::default(),
+//!     &radio,
+//!     32,                 // payload bytes
+//!     0.9,                // per-link success
+//!     3,                  // hops
+//!     Duration::new(5),   // sink processing
+//!     Duration::new(10),  // backhaul
+//!     Duration::new(3),   // CCU processing
+//! );
+//! let e2e = model.end_to_end();
+//! assert!(e2e.total_mass() > 0.9, "three 0.9-links almost always deliver");
+//! assert!(e2e.quantile(0.99).unwrap() > e2e.quantile(0.5).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod confidence;
+mod edl;
+mod localization;
+mod pmf;
+mod stats;
+
+pub use confidence::{
+    brier_score, confusion_at, precision_recall, FusionRule, ALL_FUSION_RULES,
+};
+pub use edl::{mac_hop_stage, pipeline_edl, processing_stage, sampling_stage, EdlModel};
+pub use localization::{localize, LocalizationMethod, LocalizationResult, RangeMeasurement};
+pub use pmf::Pmf;
+pub use stats::{fit_line, mape, rmse, LineFit, Summary};

@@ -1,0 +1,303 @@
+//! Range-based localization: the sink-side estimation of the paper's
+//! Sec. 1 example.
+//!
+//! "The abstraction of the same event by a sink node can be the location
+//! of user A because the sink node may have received several range
+//! measurements from different sensor motes and the user location can be
+//! calculated." This module performs that calculation: linearized
+//! least-squares trilateration with a weighted-centroid fallback.
+
+use stem_spatial::Point;
+
+/// One range measurement: an anchor (the mote position) and the measured
+/// distance to the target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeMeasurement {
+    /// The measuring mote's position.
+    pub anchor: Point,
+    /// The measured range (metres, non-negative).
+    pub range: f64,
+}
+
+impl RangeMeasurement {
+    /// Creates a measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is negative or not finite.
+    #[must_use]
+    pub fn new(anchor: Point, range: f64) -> Self {
+        assert!(
+            range.is_finite() && range >= 0.0,
+            "range must be non-negative and finite, got {range}"
+        );
+        RangeMeasurement { anchor, range }
+    }
+}
+
+/// The result of a localization attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalizationResult {
+    /// The estimated target position.
+    pub position: Point,
+    /// Root-mean-square range residual at the estimate (metres) — a
+    /// confidence proxy: small residual ⇒ consistent measurements.
+    pub rms_residual: f64,
+    /// Which estimator produced the result.
+    pub method: LocalizationMethod,
+}
+
+/// The estimator that produced a [`LocalizationResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalizationMethod {
+    /// Linearized least-squares trilateration (≥ 3 non-collinear anchors).
+    Trilateration,
+    /// Range-weighted centroid (fallback for < 3 anchors or degenerate
+    /// geometry).
+    WeightedCentroid,
+}
+
+/// Localizes a target from range measurements.
+///
+/// With three or more measurements whose anchors are not collinear, the
+/// classic linearization is solved by least squares: subtracting the
+/// first circle equation from the others yields a linear system in the
+/// target coordinates. Degenerate geometries (or fewer measurements)
+/// fall back to a `1/(range+1)`-weighted centroid of the anchors.
+///
+/// Returns `None` for an empty input.
+///
+/// # Example
+///
+/// ```
+/// use stem_analysis::{localize, RangeMeasurement};
+/// use stem_spatial::Point;
+///
+/// let target = Point::new(3.0, 4.0);
+/// let anchors = [
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 0.0),
+///     Point::new(0.0, 10.0),
+/// ];
+/// let measurements: Vec<RangeMeasurement> = anchors
+///     .iter()
+///     .map(|&a| RangeMeasurement::new(a, a.distance(target)))
+///     .collect();
+/// let result = localize(&measurements).unwrap();
+/// assert!(result.position.distance(target) < 1e-6);
+/// ```
+#[must_use]
+pub fn localize(measurements: &[RangeMeasurement]) -> Option<LocalizationResult> {
+    if measurements.is_empty() {
+        return None;
+    }
+    if measurements.len() >= 3 {
+        if let Some(p) = trilaterate(measurements) {
+            return Some(LocalizationResult {
+                position: p,
+                rms_residual: rms_residual(measurements, p),
+                method: LocalizationMethod::Trilateration,
+            });
+        }
+    }
+    let p = weighted_centroid(measurements);
+    Some(LocalizationResult {
+        position: p,
+        rms_residual: rms_residual(measurements, p),
+        method: LocalizationMethod::WeightedCentroid,
+    })
+}
+
+/// Linearized least-squares trilateration. Returns `None` when the normal
+/// equations are (near-)singular, i.e. the anchors are collinear.
+fn trilaterate(measurements: &[RangeMeasurement]) -> Option<Point> {
+    let m0 = measurements[0];
+    // Rows: 2(xi - x0)·x + 2(yi - y0)·y = r0² - ri² + xi² - x0² + yi² - y0².
+    // Accumulate the 2x2 normal equations AᵀA p = Aᵀb directly.
+    let (mut a11, mut a12, mut a22) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut b1, mut b2) = (0.0f64, 0.0f64);
+    for mi in &measurements[1..] {
+        let ax = 2.0 * (mi.anchor.x - m0.anchor.x);
+        let ay = 2.0 * (mi.anchor.y - m0.anchor.y);
+        let b = m0.range * m0.range - mi.range * mi.range + mi.anchor.x * mi.anchor.x
+            - m0.anchor.x * m0.anchor.x
+            + mi.anchor.y * mi.anchor.y
+            - m0.anchor.y * m0.anchor.y;
+        a11 += ax * ax;
+        a12 += ax * ay;
+        a22 += ay * ay;
+        b1 += ax * b;
+        b2 += ay * b;
+    }
+    let det = a11 * a22 - a12 * a12;
+    // Scale-aware singularity test.
+    let scale = (a11 + a22).max(f64::MIN_POSITIVE);
+    if det.abs() < 1e-9 * scale * scale {
+        return None;
+    }
+    let x = (b1 * a22 - b2 * a12) / det;
+    let y = (a11 * b2 - a12 * b1) / det;
+    let p = Point::new(x, y);
+    p.is_finite().then_some(p)
+}
+
+/// Range-weighted centroid: anchors that report shorter ranges pull the
+/// estimate harder.
+fn weighted_centroid(measurements: &[RangeMeasurement]) -> Point {
+    let mut wx = 0.0;
+    let mut wy = 0.0;
+    let mut wsum = 0.0;
+    for m in measurements {
+        let w = 1.0 / (m.range + 1.0);
+        wx += m.anchor.x * w;
+        wy += m.anchor.y * w;
+        wsum += w;
+    }
+    Point::new(wx / wsum, wy / wsum)
+}
+
+/// RMS of `|distance(anchor, p) - range|` over the measurements.
+fn rms_residual(measurements: &[RangeMeasurement], p: Point) -> f64 {
+    let sum: f64 = measurements
+        .iter()
+        .map(|m| {
+            let e = m.anchor.distance(p) - m.range;
+            e * e
+        })
+        .sum();
+    (sum / measurements.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn noise_free(target: Point, anchors: &[Point]) -> Vec<RangeMeasurement> {
+        anchors
+            .iter()
+            .map(|&a| RangeMeasurement::new(a, a.distance(target)))
+            .collect()
+    }
+
+    #[test]
+    fn exact_recovery_with_three_anchors() {
+        let target = Point::new(7.0, -2.0);
+        let anchors = [
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(0.0, 15.0),
+        ];
+        let r = localize(&noise_free(target, &anchors)).unwrap();
+        assert_eq!(r.method, LocalizationMethod::Trilateration);
+        assert!(r.position.distance(target) < 1e-9);
+        assert!(r.rms_residual < 1e-9);
+    }
+
+    #[test]
+    fn overdetermined_recovery_with_many_anchors() {
+        let target = Point::new(33.0, 41.0);
+        let anchors: Vec<Point> = (0..8)
+            .map(|i| {
+                let theta = f64::from(i) * std::f64::consts::PI / 4.0;
+                Point::new(50.0 + 30.0 * theta.cos(), 50.0 + 30.0 * theta.sin())
+            })
+            .collect();
+        let r = localize(&noise_free(target, &anchors)).unwrap();
+        assert!(r.position.distance(target) < 1e-6);
+    }
+
+    #[test]
+    fn collinear_anchors_fall_back_to_centroid() {
+        let target = Point::new(5.0, 5.0);
+        let anchors = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(20.0, 0.0),
+        ];
+        let r = localize(&noise_free(target, &anchors)).unwrap();
+        assert_eq!(r.method, LocalizationMethod::WeightedCentroid);
+    }
+
+    #[test]
+    fn two_anchors_use_weighted_centroid() {
+        let ms = vec![
+            RangeMeasurement::new(Point::new(0.0, 0.0), 1.0),
+            RangeMeasurement::new(Point::new(10.0, 0.0), 9.0),
+        ];
+        let r = localize(&ms).unwrap();
+        assert_eq!(r.method, LocalizationMethod::WeightedCentroid);
+        // The estimate leans toward the anchor with the shorter range.
+        assert!(r.position.x < 5.0);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(localize(&[]).is_none());
+    }
+
+    #[test]
+    fn noisy_ranges_still_land_near_target() {
+        let target = Point::new(12.0, 8.0);
+        let anchors = [
+            Point::new(0.0, 0.0),
+            Point::new(25.0, 0.0),
+            Point::new(0.0, 25.0),
+            Point::new(25.0, 25.0),
+        ];
+        // ±0.5 m deterministic "noise".
+        let noise = [0.5, -0.5, 0.3, -0.3];
+        let ms: Vec<RangeMeasurement> = anchors
+            .iter()
+            .zip(noise)
+            .map(|(&a, n)| RangeMeasurement::new(a, (a.distance(target) + n).max(0.0)))
+            .collect();
+        let r = localize(&ms).unwrap();
+        assert!(
+            r.position.distance(target) < 1.5,
+            "estimate {} too far from {target}",
+            r.position
+        );
+        assert!(r.rms_residual > 0.0, "noise shows up in the residual");
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-negative")]
+    fn rejects_negative_range() {
+        let _ = RangeMeasurement::new(Point::new(0.0, 0.0), -1.0);
+    }
+
+    proptest! {
+        /// Noise-free trilateration recovers the target wherever the
+        /// anchors are in general position.
+        #[test]
+        fn exact_recovery_property(tx in -40.0f64..40.0, ty in -40.0f64..40.0) {
+            let target = Point::new(tx, ty);
+            let anchors = [
+                Point::new(-50.0, -50.0),
+                Point::new(50.0, -45.0),
+                Point::new(0.0, 55.0),
+            ];
+            let r = localize(&noise_free(target, &anchors)).unwrap();
+            prop_assert_eq!(r.method, LocalizationMethod::Trilateration);
+            prop_assert!(r.position.distance(target) < 1e-6);
+        }
+
+        /// The weighted centroid always lies in the anchors' bounding box.
+        #[test]
+        fn centroid_in_hull(ranges in proptest::collection::vec(0.0f64..20.0, 2..6)) {
+            let anchors: Vec<Point> = (0..ranges.len())
+                .map(|i| Point::new(i as f64 * 10.0, (i % 2) as f64 * 10.0))
+                .collect();
+            let ms: Vec<RangeMeasurement> = anchors
+                .iter()
+                .zip(&ranges)
+                .map(|(&a, &r)| RangeMeasurement::new(a, r))
+                .collect();
+            let p = weighted_centroid(&ms);
+            let (min_x, max_x) = (0.0, (ranges.len() - 1) as f64 * 10.0);
+            prop_assert!(p.x >= min_x - 1e-9 && p.x <= max_x + 1e-9);
+            prop_assert!(p.y >= -1e-9 && p.y <= 10.0 + 1e-9);
+        }
+    }
+}

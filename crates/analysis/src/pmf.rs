@@ -1,0 +1,397 @@
+//! Discrete probability mass functions over tick delays — the algebra
+//! behind the analytic Event Detection Latency model (the paper's
+//! future work, Sec. 6).
+//!
+//! A pipeline stage's delay is a pmf over ticks; independent stages
+//! compose by [`Pmf::convolve`]. Loss is represented by *defective* pmfs
+//! whose total mass is the delivery probability — convolution then
+//! multiplies delivery probabilities, exactly as a lossy pipeline does.
+
+use serde::{Deserialize, Serialize};
+
+/// Mass below which trailing pmf entries are truncated during
+/// normalization-insensitive operations.
+const TRIM_EPS: f64 = 1e-12;
+
+/// A (possibly defective) discrete pmf over delays `offset..offset+len`
+/// ticks.
+///
+/// # Example
+///
+/// ```
+/// use stem_analysis::Pmf;
+///
+/// // Two pipeline stages: a fixed 3-tick stage and a fair coin between
+/// // 1 and 2 ticks.
+/// let total = Pmf::constant(3).convolve(&Pmf::from_weights(1, &[0.5, 0.5]));
+/// assert_eq!(total.mean().unwrap(), 4.5);
+/// assert_eq!(total.quantile(0.99), Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pmf {
+    offset: u64,
+    mass: Vec<f64>,
+}
+
+impl Pmf {
+    /// A unit point mass at `delay` ticks.
+    #[must_use]
+    pub fn constant(delay: u64) -> Self {
+        Pmf {
+            offset: delay,
+            mass: vec![1.0],
+        }
+    }
+
+    /// A uniform pmf over `lo..=hi` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo`.
+    #[must_use]
+    pub fn uniform(lo: u64, hi: u64) -> Self {
+        assert!(hi >= lo, "uniform needs lo <= hi");
+        let n = (hi - lo + 1) as usize;
+        Pmf {
+            offset: lo,
+            mass: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// A pmf from raw non-negative weights starting at `offset`; weights
+    /// are used as-is (pass weights summing to < 1 for a defective pmf,
+    /// or use [`Pmf::normalized`] to scale to mass 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or non-finite, or all are zero.
+    #[must_use]
+    pub fn from_weights(offset: u64, weights: &[f64]) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be non-negative and finite"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "at least one weight must be positive"
+        );
+        Pmf {
+            offset,
+            mass: weights.to_vec(),
+        }
+    }
+
+    /// An empirical pmf from integer delay samples (total mass 1).
+    ///
+    /// Returns `None` for empty input.
+    #[must_use]
+    pub fn from_samples(samples: &[u64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let lo = *samples.iter().min().expect("non-empty");
+        let hi = *samples.iter().max().expect("non-empty");
+        let mut mass = vec![0.0; (hi - lo + 1) as usize];
+        for &s in samples {
+            mass[(s - lo) as usize] += 1.0;
+        }
+        let n = samples.len() as f64;
+        for m in &mut mass {
+            *m /= n;
+        }
+        Some(Pmf { offset: lo, mass })
+    }
+
+    /// Total probability mass (1 for proper pmfs; the delivery
+    /// probability for defective ones).
+    #[must_use]
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Scales the pmf so its total mass is `target` (e.g. a delivery
+    /// probability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is negative or non-finite.
+    #[must_use]
+    pub fn with_mass(&self, target: f64) -> Pmf {
+        assert!(target.is_finite() && target >= 0.0, "mass must be non-negative");
+        let current = self.total_mass();
+        let factor = if current > 0.0 { target / current } else { 0.0 };
+        Pmf {
+            offset: self.offset,
+            mass: self.mass.iter().map(|m| m * factor).collect(),
+        }
+    }
+
+    /// The pmf rescaled to total mass 1.
+    #[must_use]
+    pub fn normalized(&self) -> Pmf {
+        self.with_mass(1.0)
+    }
+
+    /// Mean delay, conditional on delivery. `None` if mass is zero.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let total = self.total_mass();
+        if total <= 0.0 {
+            return None;
+        }
+        let s: f64 = self
+            .mass
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (self.offset + i as u64) as f64 * m)
+            .sum();
+        Some(s / total)
+    }
+
+    /// Variance of the delay, conditional on delivery.
+    #[must_use]
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let total = self.total_mass();
+        let s: f64 = self
+            .mass
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let d = (self.offset + i as u64) as f64 - mean;
+                d * d * m
+            })
+            .sum();
+        Some(s / total)
+    }
+
+    /// The `q`-quantile of the delay, conditional on delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total = self.total_mass();
+        if total <= 0.0 {
+            return None;
+        }
+        let target = q * total;
+        let mut acc = 0.0;
+        for (i, m) in self.mass.iter().enumerate() {
+            acc += m;
+            if acc >= target - TRIM_EPS {
+                return Some(self.offset + i as u64);
+            }
+        }
+        Some(self.offset + (self.mass.len() - 1) as u64)
+    }
+
+    /// P(delay ≤ t), *not* conditional on delivery (includes the defect).
+    #[must_use]
+    pub fn cdf(&self, t: u64) -> f64 {
+        if t < self.offset {
+            return 0.0;
+        }
+        let upto = ((t - self.offset) as usize).min(self.mass.len() - 1);
+        self.mass[..=upto].iter().sum()
+    }
+
+    /// Convolution: the pmf of the sum of two independent stage delays.
+    /// Total mass multiplies (lossy stages compose).
+    #[must_use]
+    pub fn convolve(&self, other: &Pmf) -> Pmf {
+        let mut mass = vec![0.0; self.mass.len() + other.mass.len() - 1];
+        for (i, a) in self.mass.iter().enumerate() {
+            if *a < TRIM_EPS {
+                continue;
+            }
+            for (j, b) in other.mass.iter().enumerate() {
+                mass[i + j] += a * b;
+            }
+        }
+        Pmf {
+            offset: self.offset + other.offset,
+            mass,
+        }
+    }
+
+    /// Pointwise sum of two (sub-)pmfs: used to accumulate the branches
+    /// of a mutually exclusive case split (e.g. "delivered on attempt k")
+    /// whose masses already encode the branch probabilities.
+    #[must_use]
+    pub fn add(&self, other: &Pmf) -> Pmf {
+        let lo = self.offset.min(other.offset);
+        let hi = (self.offset + self.mass.len() as u64).max(other.offset + other.mass.len() as u64);
+        let mut mass = vec![0.0; (hi - lo) as usize];
+        for (i, m) in self.mass.iter().enumerate() {
+            mass[(self.offset - lo) as usize + i] += m;
+        }
+        for (i, m) in other.mass.iter().enumerate() {
+            mass[(other.offset - lo) as usize + i] += m;
+        }
+        Pmf { offset: lo, mass }
+    }
+
+    /// Mixture: `p`·self + `(1-p)`·other (e.g. "retry path taken with
+    /// probability 1-p").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn mix(&self, other: &Pmf, p: f64) -> Pmf {
+        assert!((0.0..=1.0).contains(&p), "mixture weight must be in [0, 1]");
+        let lo = self.offset.min(other.offset);
+        let hi = (self.offset + self.mass.len() as u64).max(other.offset + other.mass.len() as u64);
+        let mut mass = vec![0.0; (hi - lo) as usize];
+        for (i, m) in self.mass.iter().enumerate() {
+            mass[(self.offset - lo) as usize + i] += p * m;
+        }
+        for (i, m) in other.mass.iter().enumerate() {
+            mass[(other.offset - lo) as usize + i] += (1.0 - p) * m;
+        }
+        Pmf { offset: lo, mass }
+    }
+
+    /// The support as `(first_tick, last_tick)` with non-negligible mass.
+    #[must_use]
+    pub fn support(&self) -> (u64, u64) {
+        let first = self
+            .mass
+            .iter()
+            .position(|m| *m > TRIM_EPS)
+            .unwrap_or(0);
+        let last = self
+            .mass
+            .iter()
+            .rposition(|m| *m > TRIM_EPS)
+            .unwrap_or(0);
+        (self.offset + first as u64, self.offset + last as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_and_uniform_basics() {
+        let c = Pmf::constant(5);
+        assert_eq!(c.mean(), Some(5.0));
+        assert_eq!(c.variance(), Some(0.0));
+        assert_eq!(c.quantile(0.5), Some(5));
+        let u = Pmf::uniform(2, 4);
+        assert_eq!(u.mean(), Some(3.0));
+        assert_eq!(u.quantile(0.0), Some(2));
+        assert_eq!(u.quantile(1.0), Some(4));
+        assert!((u.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_of_constants_adds() {
+        let s = Pmf::constant(3).convolve(&Pmf::constant(4));
+        assert_eq!(s.mean(), Some(7.0));
+        assert_eq!(s.support(), (7, 7));
+    }
+
+    #[test]
+    fn convolution_means_and_variances_add() {
+        let a = Pmf::uniform(0, 10);
+        let b = Pmf::uniform(5, 9);
+        let c = a.convolve(&b);
+        assert!((c.mean().unwrap() - (a.mean().unwrap() + b.mean().unwrap())).abs() < 1e-9);
+        assert!(
+            (c.variance().unwrap() - (a.variance().unwrap() + b.variance().unwrap())).abs() < 1e-9
+        );
+        assert!((c.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defective_mass_multiplies_through_convolution() {
+        // Two stages delivering 90% and 80%.
+        let a = Pmf::uniform(1, 3).with_mass(0.9);
+        let b = Pmf::constant(2).with_mass(0.8);
+        let c = a.convolve(&b);
+        assert!((c.total_mass() - 0.72).abs() < 1e-12);
+        // Conditional mean is unaffected by the defect.
+        assert!((c.mean().unwrap() - (2.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixture_weights_components() {
+        let fast = Pmf::constant(1);
+        let slow = Pmf::constant(9);
+        let m = fast.mix(&slow, 0.75);
+        assert!((m.mean().unwrap() - 3.0).abs() < 1e-12);
+        assert_eq!(m.quantile(0.5), Some(1));
+        assert_eq!(m.quantile(0.9), Some(9));
+    }
+
+    #[test]
+    fn empirical_pmf_matches_samples() {
+        let samples = [3u64, 3, 4, 5, 5, 5];
+        let p = Pmf::from_samples(&samples).unwrap();
+        assert_eq!(p.support(), (3, 5));
+        assert!((p.mean().unwrap() - 25.0 / 6.0).abs() < 1e-12);
+        assert_eq!(p.quantile(0.5), Some(4));
+        assert!(Pmf::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn cdf_behaviour() {
+        let u = Pmf::uniform(10, 13);
+        assert_eq!(u.cdf(9), 0.0);
+        assert!((u.cdf(10) - 0.25).abs() < 1e-12);
+        assert!((u.cdf(13) - 1.0).abs() < 1e-12);
+        assert!((u.cdf(99) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform needs lo <= hi")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = Pmf::uniform(5, 4);
+    }
+
+    proptest! {
+        /// Convolution against Monte-Carlo: the analytic mean of the sum
+        /// matches the empirical mean of sampled sums.
+        #[test]
+        fn convolution_matches_monte_carlo(
+            lo1 in 0u64..5, w1 in 1u64..6,
+            lo2 in 0u64..5, w2 in 1u64..6,
+            seed in 0u64..20,
+        ) {
+            use rand::Rng;
+            let a = Pmf::uniform(lo1, lo1 + w1);
+            let b = Pmf::uniform(lo2, lo2 + w2);
+            let conv = a.convolve(&b);
+            let mut rng = stem_des::stream(seed, 1);
+            let n = 4000;
+            let emp: f64 = (0..n)
+                .map(|_| {
+                    let x = rng.gen_range(lo1..=lo1 + w1) as f64;
+                    let y = rng.gen_range(lo2..=lo2 + w2) as f64;
+                    x + y
+                })
+                .sum::<f64>() / n as f64;
+            let analytic = conv.mean().unwrap();
+            // Standard error of the empirical mean is below 0.1 here.
+            prop_assert!((emp - analytic).abs() < 0.25, "emp {emp} vs analytic {analytic}");
+        }
+
+        /// Quantiles are monotone in q.
+        #[test]
+        fn quantiles_monotone(weights in proptest::collection::vec(0.01f64..1.0, 1..20), offset in 0u64..10) {
+            let p = Pmf::from_weights(offset, &weights);
+            let mut prev = 0;
+            for i in 0..=10 {
+                let q = p.quantile(i as f64 / 10.0).unwrap();
+                prop_assert!(q >= prev);
+                prev = q;
+            }
+        }
+    }
+}

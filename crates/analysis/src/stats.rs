@@ -1,0 +1,240 @@
+//! Summary statistics, confidence intervals, and linear regression for
+//! the experiment tables.
+
+/// A five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns `None` for empty input; non-finite
+    /// values are ignored.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        let mut v: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: v[0],
+            median: v[n / 2],
+            max: v[n - 1],
+        })
+    }
+
+    /// A normal-approximation 95% confidence interval for the mean:
+    /// `mean ± 1.96·σ/√n`.
+    #[must_use]
+    pub fn mean_ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_dev / (self.n as f64).sqrt();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+/// An ordinary-least-squares line fit `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+/// Fits a line through `(x, y)` pairs by least squares.
+///
+/// Returns `None` for fewer than two points or zero x-variance.
+///
+/// # Example
+///
+/// ```
+/// use stem_analysis::fit_line;
+///
+/// // Detection latency vs hop count should be near-linear (EXP-E1).
+/// let pts = [(1.0, 10.0), (2.0, 18.0), (3.0, 26.0), (4.0, 34.0)];
+/// let fit = fit_line(&pts).unwrap();
+/// assert!((fit.slope - 8.0).abs() < 1e-9);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    let sxy: f64 = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    let syy: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    if sxx <= f64::EPSILON {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy <= f64::EPSILON {
+        1.0 // perfectly flat data is perfectly fit by a flat line
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LineFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Root-mean-square error between paired predictions and observations.
+///
+/// Returns `None` when the slices are empty or of different lengths.
+#[must_use]
+pub fn rmse(predicted: &[f64], observed: &[f64]) -> Option<f64> {
+    if predicted.is_empty() || predicted.len() != observed.len() {
+        return None;
+    }
+    let s: f64 = predicted
+        .iter()
+        .zip(observed)
+        .map(|(p, o)| (p - o).powi(2))
+        .sum();
+    Some((s / predicted.len() as f64).sqrt())
+}
+
+/// Mean absolute percentage error (in percent). Observations equal to
+/// zero are skipped; returns `None` if nothing remains.
+#[must_use]
+pub fn mape(predicted: &[f64], observed: &[f64]) -> Option<f64> {
+    if predicted.len() != observed.len() {
+        return None;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, o) in predicted.iter().zip(observed) {
+        if o.abs() > f64::EPSILON {
+            total += ((p - o) / o).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(100.0 * total / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_filters_non_finite() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 2.0);
+        assert!(Summary::of(&[f64::NAN]).is_none());
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_has_zero_std() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        let (lo, hi) = s.mean_ci95();
+        assert_eq!((lo, hi), (7.0, 7.0));
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let few: Vec<f64> = (0..10).map(|i| f64::from(i % 5)).collect();
+        let many: Vec<f64> = (0..1000).map(|i| f64::from(i % 5)).collect();
+        let (lo1, hi1) = Summary::of(&few).unwrap().mean_ci95();
+        let (lo2, hi2) = Summary::of(&many).unwrap().mean_ci95();
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn fit_line_degenerate_inputs() {
+        assert!(fit_line(&[(1.0, 2.0)]).is_none());
+        assert!(fit_line(&[(1.0, 2.0), (1.0, 3.0)]).is_none(), "zero x-variance");
+        let flat = fit_line(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(flat.slope, 0.0);
+        assert_eq!(flat.r_squared, 1.0);
+    }
+
+    #[test]
+    fn fit_line_with_noise_has_lower_r2() {
+        let noisy = [(0.0, 0.0), (1.0, 2.5), (2.0, 3.5), (3.0, 6.5), (4.0, 7.5)];
+        let fit = fit_line(&noisy).unwrap();
+        assert!(fit.r_squared < 1.0 && fit.r_squared > 0.9);
+        assert!((fit.slope - 1.9).abs() < 0.2);
+    }
+
+    #[test]
+    fn error_metrics() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), Some(0.0));
+        assert_eq!(rmse(&[0.0, 0.0], &[3.0, 4.0]), Some((12.5f64).sqrt()));
+        assert_eq!(rmse(&[1.0], &[1.0, 2.0]), None);
+        let m = mape(&[110.0, 90.0], &[100.0, 100.0]).unwrap();
+        assert!((m - 10.0).abs() < 1e-12);
+        assert_eq!(mape(&[1.0], &[0.0]), None, "all-zero observations");
+    }
+
+    proptest! {
+        /// The fitted line minimizes squared error at least as well as the
+        /// horizontal mean line.
+        #[test]
+        fn fit_beats_mean_line(raw in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 3..30)) {
+            // Ensure x-variance.
+            let pts: Vec<(f64, f64)> = raw.iter().enumerate()
+                .map(|(i, &(dx, y))| (i as f64 + dx / 100.0, y))
+                .collect();
+            let fit = fit_line(&pts).unwrap();
+            let mean_y = pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64;
+            let sse_fit: f64 = pts.iter()
+                .map(|&(x, y)| (y - (fit.slope * x + fit.intercept)).powi(2))
+                .sum();
+            let sse_mean: f64 = pts.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+            prop_assert!(sse_fit <= sse_mean + 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&fit.r_squared));
+        }
+    }
+}

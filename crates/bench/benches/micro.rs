@@ -1,0 +1,195 @@
+//! Criterion micro-benchmarks: the hot paths of the event model and its
+//! substrates.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use stem_cep::{ConsumptionMode, Pattern, PatternDetector};
+use stem_core::{dsl, Attributes, Bindings, Confidence, EntityData, EventId, EventInstance, Layer, MoteId, ObserverId};
+use stem_des::{stream, Simulation};
+use stem_spatial::{
+    relate_fields, Circle, Field, GridIndex, Point, Polygon, QuadTree, Rect, SpatialExtent,
+};
+use stem_temporal::{relate_intervals, Duration, TemporalExtent, TimeInterval, TimePoint};
+
+fn bench_condition_eval(c: &mut Criterion) {
+    let s1 = dsl::parse("(time(x) before time(y)) and (dist(loc(x), loc(y)) < 5)").unwrap();
+    let attr = dsl::parse("avg(x.temp, y.temp) > 30").unwrap();
+    let entity = |t: u64, x: f64| {
+        EntityData::new(
+            TemporalExtent::punctual(TimePoint::new(t)),
+            SpatialExtent::point(Point::new(x, 0.0)),
+            Attributes::new().with("temp", 31.0),
+            Confidence::CERTAIN,
+        )
+    };
+    let bindings = Bindings::new()
+        .with("x", entity(100, 0.0))
+        .with("y", entity(140, 3.0));
+    let mut g = c.benchmark_group("condition_eval");
+    g.bench_function("s1_spatio_temporal", |b| {
+        b.iter(|| black_box(&s1).eval(black_box(&bindings)).unwrap())
+    });
+    g.bench_function("attribute_average", |b| {
+        b.iter(|| black_box(&attr).eval(black_box(&bindings)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_dsl_parse(c: &mut Criterion) {
+    let src = "(time(x) before time(y)) and (dist(loc(x), loc(y)) < 5) \
+               and (avg(x.temp, y.temp) > 30 or conf(x) >= 0.9)";
+    c.bench_function("dsl_parse_composite", |b| {
+        b.iter(|| dsl::parse(black_box(src)).unwrap())
+    });
+}
+
+fn bench_allen_relations(c: &mut Criterion) {
+    let mut rng = stream(1, 1);
+    let intervals: Vec<(TimeInterval, TimeInterval)> = (0..1024)
+        .map(|_| {
+            let a = rng.gen_range(0u64..1000);
+            let b = rng.gen_range(0u64..1000);
+            (
+                TimeInterval::new(TimePoint::new(a), TimePoint::new(a + rng.gen_range(1..50)))
+                    .unwrap(),
+                TimeInterval::new(TimePoint::new(b), TimePoint::new(b + rng.gen_range(1..50)))
+                    .unwrap(),
+            )
+        })
+        .collect();
+    c.bench_function("allen_classify_1024", |b| {
+        b.iter(|| {
+            for (x, y) in &intervals {
+                black_box(relate_intervals(*x, *y));
+            }
+        })
+    });
+}
+
+fn bench_spatial_predicates(c: &mut Criterion) {
+    let poly = Polygon::new(
+        (0..32)
+            .map(|i| {
+                let a = f64::from(i) * std::f64::consts::TAU / 32.0;
+                Point::new(50.0 + 30.0 * a.cos(), 50.0 + 30.0 * a.sin())
+            })
+            .collect(),
+    )
+    .unwrap();
+    let field_a = Field::polygon(poly.clone());
+    let field_b = Field::circle(Circle::new(Point::new(60.0, 50.0), 25.0));
+    let mut g = c.benchmark_group("spatial");
+    g.bench_function("point_in_32gon", |b| {
+        b.iter(|| black_box(&poly).contains(black_box(Point::new(55.0, 48.0))))
+    });
+    g.bench_function("topo_relate_poly_circle", |b| {
+        b.iter(|| relate_fields(black_box(&field_a), black_box(&field_b)))
+    });
+    g.finish();
+}
+
+fn bench_spatial_indexes(c: &mut Criterion) {
+    let mut rng = stream(2, 2);
+    let points: Vec<Point> = (0..2000)
+        .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+        .collect();
+    let mut grid = GridIndex::new(30.0);
+    let bounds = Rect::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+    let mut qt = QuadTree::new(bounds);
+    for (i, &p) in points.iter().enumerate() {
+        grid.insert(i, p);
+        qt.insert(i, p);
+    }
+    let query = Point::new(500.0, 500.0);
+    let mut g = c.benchmark_group("index_query_radius_30_of_2000");
+    g.bench_function("grid", |b| b.iter(|| grid.query_radius(black_box(query), 30.0)));
+    g.bench_function("quadtree", |b| b.iter(|| qt.query_radius(black_box(query), 30.0)));
+    g.bench_function("brute_force", |b| {
+        b.iter(|| {
+            points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance(query) <= 30.0)
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
+fn mk_instance(event: &str, t: u64) -> EventInstance {
+    EventInstance::builder(
+        ObserverId::Mote(MoteId::new(1)),
+        EventId::new(event),
+        Layer::Sensor,
+    )
+    .generated(TimePoint::new(t), Point::new(0.0, 0.0))
+    .estimated(
+        TemporalExtent::punctual(TimePoint::new(t)),
+        SpatialExtent::point(Point::new(0.0, 0.0)),
+    )
+    .build()
+}
+
+fn bench_cep_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cep_sequence_1000_events");
+    for mode in [ConsumptionMode::Recent, ConsumptionMode::Chronicle] {
+        g.bench_with_input(BenchmarkId::new("mode", mode), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut det = PatternDetector::new(
+                    Pattern::atom("a", "A").then(Pattern::atom("b", "B")),
+                    mode,
+                    Some(Duration::new(100)),
+                );
+                let mut n = 0;
+                for i in 0..1000u64 {
+                    let ev = if i % 2 == 0 { "A" } else { "B" };
+                    n += det.process(&mk_instance(ev, i)).len();
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_des_kernel(c: &mut Criterion) {
+    c.bench_function("des_schedule_execute_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0u64);
+            for i in 0..10_000u64 {
+                sim.scheduler_mut().schedule_at(
+                    TimePoint::new(i % 977),
+                    stem_des::Priority::NORMAL,
+                    |n: &mut u64, _| *n += 1,
+                );
+            }
+            sim.run_until(TimePoint::MAX);
+            sim.into_state()
+        })
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    use stem_bench::hotspot_scenario;
+    use stem_cps::CpsSystem;
+    c.bench_function("cps_hotspot_30s_sim", |b| {
+        b.iter(|| {
+            let (config, app) = hotspot_scenario(7);
+            CpsSystem::run(config, app).sim_events
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_condition_eval,
+    bench_dsl_parse,
+    bench_allen_relations,
+    bench_spatial_predicates,
+    bench_spatial_indexes,
+    bench_cep_throughput,
+    bench_des_kernel,
+    bench_full_pipeline,
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! EXP-A2 — ablation: confidence-fusion rule vs decision quality.
+//!
+//! Synthetic detection episodes: K observers report an event with
+//! confidences drawn from different distributions depending on whether
+//! the event truly occurred. Each fusion rule turns the K confidences
+//! into one ρ; we score Brier, precision, and recall at ρ ≥ 0.5.
+
+use rand::Rng;
+use stem_analysis::{brier_score, precision_recall, FusionRule, ALL_FUSION_RULES};
+use stem_bench::{banner, Table};
+use stem_core::Confidence;
+use stem_des::{sample_normal, stream};
+
+fn main() {
+    let seed = 2017;
+    banner("EXP-A2", "confidence fusion rule ablation", seed);
+
+    let trials = 6000;
+    let observers = 3;
+    println!(
+        "\nworkload: {trials} episodes × {observers} observers; true events\n\
+         yield ρ ~ N(0.75, 0.15²), false ones ρ ~ N(0.35, 0.15²), clamped.\n"
+    );
+
+    let mut rng = stream(seed, 0);
+    let mut episodes: Vec<(Vec<Confidence>, bool)> = Vec::with_capacity(trials);
+    for i in 0..trials {
+        let truth = i % 2 == 0;
+        let mean = if truth { 0.75 } else { 0.35 };
+        let confs: Vec<Confidence> = (0..observers)
+            .map(|_| Confidence::saturating(sample_normal(&mut rng, mean, 0.15)))
+            .collect();
+        episodes.push((confs, truth));
+    }
+    // A harder variant: one of the observers is broken (reports noise).
+    let mut broken = episodes.clone();
+    for (confs, _) in &mut broken {
+        confs[0] = Confidence::saturating(rng.gen::<f64>());
+    }
+
+    for (name, data) in [("all observers reliable", &episodes), ("one observer broken", &broken)] {
+        println!("-- {name} --\n");
+        let mut table = Table::new(vec!["rule", "brier ↓", "precision", "recall", "accuracy"]);
+        for rule in ALL_FUSION_RULES {
+            let preds: Vec<f64> = data
+                .iter()
+                .map(|(confs, _)| rule.fuse(confs).expect("non-empty").value())
+                .collect();
+            let outcomes: Vec<bool> = data.iter().map(|(_, t)| *t).collect();
+            let brier = brier_score(&preds, &outcomes).expect("non-empty");
+            let (precision, recall) = precision_recall(&preds, &outcomes, 0.5);
+            let correct = preds
+                .iter()
+                .zip(&outcomes)
+                .filter(|(p, &o)| (**p >= 0.5) == o)
+                .count();
+            table.row(vec![
+                rule.to_string(),
+                format!("{brier:.4}"),
+                precision.map_or("-".into(), |p| format!("{p:.3}")),
+                recall.map_or("-".into(), |r| format!("{r:.3}")),
+                format!("{:.3}", correct as f64 / preds.len() as f64),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    println!(
+        "(mean fusion is the calibrated choice under symmetric noise;\n\
+         noisy-or inflates toward 1 — high recall, low precision — while\n\
+         product deflates toward 0 — the opposite. A broken observer\n\
+         hurts min/product most, matching the lattice ordering\n\
+         product ≤ min ≤ mean ≤ noisy-or proved in stem-analysis tests.)"
+    );
+
+    // Pin the headline qualitative claim: under symmetric noise the mean
+    // rule's Brier score beats both extremes.
+    let outcomes: Vec<bool> = episodes.iter().map(|(_, t)| *t).collect();
+    let score = |rule: FusionRule| {
+        let preds: Vec<f64> = episodes
+            .iter()
+            .map(|(c, _)| rule.fuse(c).expect("non-empty").value())
+            .collect();
+        brier_score(&preds, &outcomes).expect("non-empty")
+    };
+    assert!(score(FusionRule::Mean) < score(FusionRule::NoisyOr));
+    assert!(score(FusionRule::Mean) < score(FusionRule::Product));
+}

@@ -1,0 +1,80 @@
+//! EXP-A3 — ablation: consumption modes on identical streams.
+//!
+//! The same A/B stream fed to sequence detectors under
+//! recent/chronicle/continuous consumption (Snoop's parameter contexts):
+//! the modes differ exactly in *which* pairs are matched and how many.
+
+use stem_bench::{banner, Table};
+use stem_cep::{ConsumptionMode, Pattern, PatternDetector};
+use stem_core::{EventId, EventInstance, Layer, MoteId, ObserverId};
+use stem_spatial::{Point, SpatialExtent};
+use stem_temporal::{TemporalExtent, TimePoint};
+
+fn mk(event: &str, t: u64) -> EventInstance {
+    EventInstance::builder(
+        ObserverId::Mote(MoteId::new(1)),
+        EventId::new(event),
+        Layer::Sensor,
+    )
+    .generated(TimePoint::new(t), Point::new(0.0, 0.0))
+    .estimated(
+        TemporalExtent::punctual(TimePoint::new(t)),
+        SpatialExtent::point(Point::new(0.0, 0.0)),
+    )
+    .build()
+}
+
+fn main() {
+    let seed = 2018;
+    banner("EXP-A3", "consumption mode ablation (Snoop contexts)", seed);
+
+    // The canonical disambiguation stream: A1 A2 B1 B2.
+    let stream1 = vec![("A", 10u64), ("A", 20), ("B", 30), ("B", 40)];
+    // A bursty stream: 3 As then 3 Bs.
+    let stream2 = vec![
+        ("A", 10u64),
+        ("A", 20),
+        ("A", 30),
+        ("B", 100),
+        ("B", 110),
+        ("B", 120),
+    ];
+
+    for (name, stream) in [("A1 A2 B1 B2", &stream1), ("A1 A2 A3 B1 B2 B3", &stream2)] {
+        println!("\n-- stream: {name} --\n");
+        let mut table = Table::new(vec!["mode", "matches", "pairs (A-time ; B-time)"]);
+        for mode in [
+            ConsumptionMode::Recent,
+            ConsumptionMode::Chronicle,
+            ConsumptionMode::Continuous,
+        ] {
+            let mut det = PatternDetector::new(
+                Pattern::atom("a", "A").then(Pattern::atom("b", "B")),
+                mode,
+                None,
+            );
+            let mut pairs = Vec::new();
+            for &(ev, t) in stream {
+                for m in det.process(&mk(ev, t)) {
+                    let a = m.bindings[0].1.generation_time().ticks();
+                    let b = m.bindings[1].1.generation_time().ticks();
+                    pairs.push(format!("({a};{b})"));
+                }
+            }
+            table.row(vec![
+                mode.to_string(),
+                pairs.len().to_string(),
+                pairs.join(" "),
+            ]);
+        }
+        table.print();
+    }
+
+    println!(
+        "\n(recent: each B pairs the most recent A, which persists;\n\
+         chronicle: oldest A is consumed by its B — one-shot pairing in\n\
+         arrival order; continuous: every compatible pair — quadratic.\n\
+         These reproduce Snoop's parameter-context semantics [21], the\n\
+         composition baseline the paper builds its operators on.)"
+    );
+}

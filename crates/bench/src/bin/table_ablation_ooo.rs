@@ -1,0 +1,111 @@
+//! EXP-A1 — ablation: reorder-buffer slack vs sequence-detection
+//! accuracy and added latency.
+//!
+//! A ground-truth stream of A;B sequences is delivered with random
+//! network disorder; the reorder buffer's watermark slack trades detected
+//! sequences (late events are dropped) against buffering delay.
+
+use rand::Rng;
+use stem_bench::{banner, Table};
+use stem_cep::{ConsumptionMode, Pattern, PatternDetector, ReorderBuffer};
+use stem_core::{EventId, EventInstance, Layer, MoteId, ObserverId};
+use stem_des::stream;
+use stem_spatial::{Point, SpatialExtent};
+use stem_temporal::{Duration, TemporalExtent, TimePoint};
+
+fn mk(event: &str, t: u64) -> EventInstance {
+    EventInstance::builder(
+        ObserverId::Mote(MoteId::new(1)),
+        EventId::new(event),
+        Layer::Sensor,
+    )
+    .generated(TimePoint::new(t), Point::new(0.0, 0.0))
+    .estimated(
+        TemporalExtent::punctual(TimePoint::new(t)),
+        SpatialExtent::point(Point::new(0.0, 0.0)),
+    )
+    .build()
+}
+
+fn main() {
+    let seed = 2016;
+    banner("EXP-A1", "out-of-order slack ablation", seed);
+
+    // Ground truth: 500 A;B pairs, B trailing A by 50 ms, pairs 200 ms
+    // apart. Every pair is a true sequence.
+    let pairs = 500u64;
+    let mut truth_events = Vec::new();
+    for i in 0..pairs {
+        let base = i * 200;
+        truth_events.push(("A", base));
+        truth_events.push(("B", base + 50));
+    }
+
+    // Network disorder: each event's arrival is delayed by an independent
+    // uniform jitter; arrival order = order by (gen + jitter).
+    let max_jitter = 120u64;
+    let mut rng = stream(seed, 1);
+    let mut arrivals: Vec<(u64, &str, u64)> = truth_events
+        .iter()
+        .map(|&(ev, t)| (t + rng.gen_range(0..max_jitter), ev, t))
+        .collect();
+    arrivals.sort_unstable();
+
+    println!(
+        "\nworkload: {pairs} true A;B pairs, arrival jitter uniform 0..{max_jitter} ms\n"
+    );
+    let mut table = Table::new(vec![
+        "slack (ms)",
+        "late dropped",
+        "sequences detected",
+        "recall",
+        "mean added latency (ms)",
+    ]);
+
+    for &slack in &[0u64, 25, 50, 100, 150, 250] {
+        let mut buf = ReorderBuffer::new(Duration::new(slack));
+        let mut det = PatternDetector::new(
+            Pattern::atom("a", "A").then(Pattern::atom("b", "B")),
+            ConsumptionMode::Chronicle,
+            Some(Duration::new(10_000)),
+        );
+        let mut detected = 0u64;
+        let mut added_latency = 0.0;
+        let mut released_count = 0u64;
+        for &(arrival, ev, gen) in &arrivals {
+            for inst in buf.push(mk(ev, gen)) {
+                // Added latency: how long the instance sat in the buffer
+                // beyond its arrival (watermark wait).
+                let release_time = arrival; // released during this push
+                added_latency += release_time.saturating_sub(
+                    inst.generation_time().ticks(),
+                ) as f64;
+                released_count += 1;
+                detected += det.process(&inst).len() as u64;
+            }
+        }
+        for inst in buf.flush() {
+            detected += det.process(&inst).len() as u64;
+            released_count += 1;
+        }
+        let recall = detected as f64 / pairs as f64;
+        let mean_latency = if released_count > 0 {
+            added_latency / released_count as f64
+        } else {
+            0.0
+        };
+        table.row(vec![
+            slack.to_string(),
+            buf.late_dropped().to_string(),
+            detected.to_string(),
+            format!("{recall:.3}"),
+            format!("{mean_latency:.1}"),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n(recall climbs with slack until the watermark absorbs the full\n\
+         jitter; past that, more slack only adds latency — the classic\n\
+         completeness/latency trade-off of watermark-based ordering.)"
+    );
+}

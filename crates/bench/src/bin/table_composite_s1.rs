@@ -1,0 +1,103 @@
+//! EXP-S1 — the paper's composite condition S1 (Sec. 4.1) under noise.
+//!
+//! `(t_x before t_y) AND (dist(l_x, l_y) < 5)` evaluated over noisy
+//! observation pairs: sweeps sensor location noise and clock drift, and
+//! reports precision/recall of the detected S1 instances against ground
+//! truth.
+
+use rand::Rng;
+use stem_bench::{banner, Table};
+use stem_core::{dsl, Attributes, Bindings, Confidence, EntityData};
+use stem_des::{sample_normal, stream};
+use stem_spatial::{Point, SpatialExtent};
+use stem_temporal::{Clock, DriftingClock, TemporalExtent, TimePoint};
+
+fn main() {
+    let seed = 2012;
+    banner("EXP-S1", "composite condition S1 vs noise (Sec. 4.1)", seed);
+    let s1 = dsl::parse("(time(x) before time(y)) and (dist(loc(x), loc(y)) < 5)")
+        .expect("S1 parses");
+    println!("condition: {s1}\n");
+
+    let trials = 4000;
+    let mut table = Table::new(vec![
+        "loc noise σ (m)",
+        "clock offset ±(ms)",
+        "precision",
+        "recall",
+        "accuracy",
+    ]);
+
+    for &(loc_sigma, clock_err) in &[
+        (0.0, 0i64),
+        (0.5, 0),
+        (1.0, 0),
+        (2.0, 0),
+        (0.5, 10),
+        (0.5, 50),
+        (0.5, 200),
+        (2.0, 200),
+    ] {
+        let mut rng = stream(seed, (loc_sigma * 1000.0) as u64 + clock_err as u64);
+        let mut tp = 0u32;
+        let mut fp = 0u32;
+        let mut fng = 0u32;
+        let mut tn = 0u32;
+        for _ in 0..trials {
+            // Ground truth: random pair of observations.
+            let tx = TimePoint::new(rng.gen_range(0..10_000));
+            let ty = TimePoint::new(rng.gen_range(0..10_000));
+            let px = Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0));
+            let py = Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0));
+            let truth = tx < ty && px.distance(py) < 5.0;
+
+            // Observed versions: jittered positions + drifted clocks.
+            let ox = Point::new(
+                sample_normal(&mut rng, px.x, loc_sigma),
+                sample_normal(&mut rng, px.y, loc_sigma),
+            );
+            let oy = Point::new(
+                sample_normal(&mut rng, py.x, loc_sigma),
+                sample_normal(&mut rng, py.y, loc_sigma),
+            );
+            let drift_x = DriftingClock::new(rng.gen_range(-clock_err..=clock_err), 0.0);
+            let drift_y = DriftingClock::new(rng.gen_range(-clock_err..=clock_err), 0.0);
+            let entity = |t: TimePoint, p: Point| {
+                EntityData::new(
+                    TemporalExtent::punctual(t),
+                    SpatialExtent::point(p),
+                    Attributes::new(),
+                    Confidence::CERTAIN,
+                )
+            };
+            let bindings = Bindings::new()
+                .with("x", entity(drift_x.now(tx), ox))
+                .with("y", entity(drift_y.now(ty), oy));
+            let detected = s1.eval(&bindings).expect("bindings complete");
+            match (detected, truth) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fng += 1,
+                (false, false) => tn += 1,
+            }
+        }
+        let precision = f64::from(tp) / f64::from(tp + fp).max(1.0);
+        let recall = f64::from(tp) / f64::from(tp + fng).max(1.0);
+        let accuracy = f64::from(tp + tn) / f64::from(trials);
+        table.row(vec![
+            format!("{loc_sigma:.1}"),
+            clock_err.to_string(),
+            format!("{precision:.3}"),
+            format!("{recall:.3}"),
+            format!("{accuracy:.3}"),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n({} random observation pairs per row; ground truth from exact\n\
+         positions/times, detection from noisy ones. Noise degrades both\n\
+         precision and recall smoothly — the condition algebra is exact,\n\
+         errors come from the observations.)",
+        trials
+    );
+}

@@ -1,0 +1,115 @@
+//! EXP-E1 — Event Detection Latency: analytic model vs simulation
+//! (the paper's future work, Sec. 6).
+//!
+//! For hop counts 1..=6, builds the analytic per-stage EDL pmf (sampling
+//! wait + mote processing + MAC hops + sink processing) and compares its
+//! delivery probability, mean, and tail quantiles against Monte-Carlo
+//! simulation of the identical MAC/radio parameters.
+
+use stem_analysis::{mac_hop_stage, processing_stage, sampling_stage, EdlModel, Summary};
+use stem_bench::{banner, Table};
+use stem_des::stream;
+use stem_temporal::Duration;
+use stem_wsn::{transmit_frame, MacConfig, Radio, RadioConfig};
+
+fn main() {
+    let seed = 2014;
+    banner("EXP-E1", "event detection latency: model vs simulation", seed);
+    let radio = Radio::new(RadioConfig::default(), seed);
+    let mac = MacConfig::default();
+    let payload = 32u32;
+    let airtime = radio.transmission_delay(payload);
+    let p_link = 0.85;
+    let sampling = Duration::new(200);
+    let mote_proc = Duration::new(2);
+    let sink_proc = Duration::new(5);
+    let runs = 20_000u32;
+
+    println!(
+        "\nparameters: p_link={p_link}, payload={payload} B (airtime {} ms), sampling {} ms\n",
+        airtime.ticks(),
+        sampling.ticks()
+    );
+
+    let mut table = Table::new(vec![
+        "hops",
+        "delivery (model)",
+        "delivery (sim)",
+        "mean ms (model)",
+        "mean ms (sim)",
+        "p95 (model)",
+        "p95 (sim)",
+        "p99 (model)",
+        "p99 (sim)",
+    ]);
+
+    let hop = mac_hop_stage(&mac, airtime, p_link);
+    let mut model_means = Vec::new();
+    let mut sim_means = Vec::new();
+    for hops in 1u32..=6 {
+        // Analytic model.
+        let model = EdlModel::new()
+            .stage("sampling", sampling_stage(sampling))
+            .stage("mote", processing_stage(mote_proc))
+            .hops("hop", &hop, hops)
+            .stage("sink", processing_stage(sink_proc));
+        let e2e = model.end_to_end();
+
+        // Monte-Carlo simulation of the identical pipeline.
+        let mut rng = stream(seed, u64::from(hops));
+        use rand::Rng;
+        let mut delays = Vec::new();
+        let mut delivered = 0u32;
+        for _ in 0..runs {
+            let mut total = f64::from(rng.gen_range(0..sampling.ticks() as u32))
+                + mote_proc.as_f64();
+            let mut ok = true;
+            for _ in 0..hops {
+                let out = transmit_frame(&mac, airtime, p_link, &mut rng);
+                total += out.delay.as_f64();
+                if !out.delivered {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                delivered += 1;
+                delays.push(total + sink_proc.as_f64());
+            }
+        }
+        let sim_delivery = f64::from(delivered) / f64::from(runs);
+        let sim = Summary::of(&delays).expect("deliveries exist");
+        let mut sorted = delays.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+
+        model_means.push((f64::from(hops), e2e.mean().expect("mass > 0")));
+        sim_means.push((f64::from(hops), sim.mean));
+        table.row(vec![
+            hops.to_string(),
+            format!("{:.4}", e2e.total_mass()),
+            format!("{sim_delivery:.4}"),
+            format!("{:.1}", e2e.mean().expect("mass > 0")),
+            format!("{:.1}", sim.mean),
+            e2e.quantile(0.95).expect("mass > 0").to_string(),
+            format!("{:.0}", q(0.95)),
+            e2e.quantile(0.99).expect("mass > 0").to_string(),
+            format!("{:.0}", q(0.99)),
+        ]);
+    }
+    table.print();
+
+    // Linearity of the mean in hop count (the "formal temporal analysis"
+    // the paper aims for reduces to per-stage composition).
+    let model_fit = stem_analysis::fit_line(&model_means).expect("fit");
+    let sim_fit = stem_analysis::fit_line(&sim_means).expect("fit");
+    println!(
+        "\nmean-vs-hops slope: model {:.2} ms/hop (r²={:.4}), sim {:.2} ms/hop (r²={:.4})",
+        model_fit.slope, model_fit.r_squared, sim_fit.slope, sim_fit.r_squared
+    );
+    let model_pred: Vec<f64> = model_means.iter().map(|p| p.1).collect();
+    let sim_obs: Vec<f64> = sim_means.iter().map(|p| p.1).collect();
+    let mape = stem_analysis::mape(&model_pred, &sim_obs).expect("computable");
+    println!("model-vs-simulation mean error: {mape:.2}% (MAPE across hop counts)");
+    assert!(mape < 3.0, "the analytic model must track simulation closely");
+}

@@ -1,0 +1,124 @@
+//! EXP-E2 — end-to-end latency (physical occurrence → actuator
+//! execution), decomposed per Fig. 1 stage: analytic model vs the full
+//! pipeline simulation.
+
+use stem_analysis::{mac_hop_stage, processing_stage, sampling_stage, EdlModel};
+use stem_bench::{banner, hotspot_scenario, hotspot_onset, Table};
+use stem_cps::{metrics, CpsSystem};
+use stem_wsn::{MacConfig, Radio};
+
+fn main() {
+    let seed = 2015;
+    banner(
+        "EXP-E2",
+        "end-to-end latency: occurrence → action (Fig. 1 loop)",
+        seed,
+    );
+    let (config, app) = hotspot_scenario(seed);
+    let sampling = config.sampling_period;
+    let mote_proc = config.mote_processing;
+    let sink_proc = config.sink_processing;
+    let backhaul_mean = config.backhaul_mean;
+    let backhaul_jitter = config.backhaul_jitter;
+    let ccu_proc = config.ccu_processing;
+    let dispatch = config.dispatch_delay;
+    let actuation = config.actuation_delay;
+    let report = CpsSystem::run(config.clone(), app);
+
+    // ---- measured -----------------------------------------------------
+    // First fan-on execution relative to the anomaly onset.
+    let onset = hotspot_onset();
+    let first_action = report
+        .executed
+        .iter()
+        .map(|a| a.executed_at)
+        .min()
+        .expect("an action executed");
+    let measured_first = first_action.ticks() as i64 - onset.ticks() as i64;
+
+    // Mean action latency relative to each trigger's estimated occurrence.
+    let e2e: Vec<f64> = report
+        .executed
+        .iter()
+        .filter_map(|a| a.end_to_end_latency())
+        .map(|d| d.as_f64())
+        .collect();
+    let measured = stem_analysis::Summary::of(&e2e).expect("actions exist");
+
+    // ---- analytic -----------------------------------------------------
+    // The Fig. 1 chain for the *first* detection: sampling wait + mote
+    // processing + 1 WSN hop (hot motes sit next to the sink's tree) +
+    // sink processing + backhaul + CCU processing + dispatch + actuation.
+    let radio = Radio::new(config.wsn.radio, seed);
+    let mac = MacConfig::default();
+    let airtime = radio.transmission_delay(config.payload_bytes);
+    let hops_hist = report.metrics.histogram(metrics::WSN_HOPS);
+    let mean_hops = hops_hist
+        .and_then(|h| h.mean())
+        .unwrap_or(1.0)
+        .round()
+        .max(1.0) as u32;
+    let hop = mac_hop_stage(&mac, airtime, 0.95);
+    let model = EdlModel::new()
+        .stage("sampling wait", sampling_stage(sampling))
+        .stage("mote processing", processing_stage(mote_proc))
+        .hops("WSN hop", &hop, mean_hops)
+        .stage("sink processing", processing_stage(sink_proc))
+        .stage(
+            "backhaul",
+            stem_analysis::Pmf::uniform(
+                backhaul_mean.ticks(),
+                backhaul_mean.ticks() + backhaul_jitter.ticks(),
+            ),
+        )
+        .stage("ccu processing", processing_stage(ccu_proc))
+        .stage("dispatch", processing_stage(dispatch))
+        .stage("actuation", processing_stage(actuation));
+
+    println!("\n-- analytic stage breakdown --\n");
+    let mut t = Table::new(vec!["stage", "mean (ms)", "share"]);
+    for (name, mean, share) in model.mean_breakdown() {
+        t.row(vec![
+            name,
+            format!("{mean:.1}"),
+            format!("{:.1}%", share * 100.0),
+        ]);
+    }
+    t.print();
+    let pmf = model.end_to_end();
+
+    println!("\n-- model vs measured --\n");
+    let mut cmp = Table::new(vec!["metric", "analytic (ms)", "measured (ms)"]);
+    cmp.row(vec![
+        "mean occurrence→action".into(),
+        format!("{:.1}", pmf.mean().expect("mass")),
+        format!("{:.1}", measured.mean),
+    ]);
+    cmp.row(vec![
+        "p95".into(),
+        pmf.quantile(0.95).expect("mass").to_string(),
+        {
+            let mut v = e2e.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            format!("{:.0}", v[((v.len() - 1) as f64 * 0.95) as usize])
+        },
+    ]);
+    cmp.row(vec![
+        "first action after onset".into(),
+        "-".into(),
+        measured_first.to_string(),
+    ]);
+    cmp.print();
+
+    println!(
+        "\n(mean hop count in this run: {mean_hops}; {} actions measured)",
+        e2e.len()
+    );
+    println!(
+        "note: the measured mean runs below the analytic first-detection\n\
+         model because repeated detections of a persisting anomaly skip\n\
+         the sampling wait — the model bounds the *first* reaction, which\n\
+         measured {measured_first} ms against its mean {:.0} ms.",
+        pmf.mean().expect("mass")
+    );
+}

@@ -1,0 +1,194 @@
+//! Shared infrastructure for the experiment harness binaries: table
+//! rendering and the reference scenarios used across experiments.
+//!
+//! Each binary under `src/bin/` regenerates one figure or table of
+//! EXPERIMENTS.md; run them with
+//! `cargo run -p stem-bench --release --bin <name>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use stem_cep::Pattern;
+use stem_core::{dsl, AttrAggregate, AttrProjection, EventDefinition, Layer};
+use stem_cps::{
+    ActorSelector, CpsApplication, DetectorSpec, EcaRule, ScenarioConfig, TopologySpec,
+};
+use stem_physical::{HotSpot, WorldField};
+use stem_spatial::Point;
+use stem_temporal::{Duration, TimePoint};
+
+/// Renders a fixed-width table with a header row and separator.
+///
+/// # Example
+///
+/// ```
+/// use stem_bench::Table;
+///
+/// let mut t = Table::new(vec!["hops", "mean", "p95"]);
+/// t.row(vec!["1".into(), "10.2".into(), "14.0".into()]);
+/// let s = t.render();
+/// assert!(s.contains("hops"));
+/// assert!(s.contains("10.2"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table {
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            parts.join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints an experiment banner with its id and seed (every experiment
+/// echoes its seed for reproducibility).
+pub fn banner(id: &str, title: &str, seed: u64) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("seed: {seed}");
+    println!("==============================================================");
+}
+
+/// The reference hotspot scenario used by EXP-F1/F2 and the latency
+/// experiments: ambient 20 °C, a 60 °C anomaly appearing at t = 5 s near
+/// (30, 30) on a 5×5 grid, motes thresholding at 45 °C, the sink pairing
+/// nearby hot readings, the CCU raising heat alarms that switch a fan.
+#[must_use]
+pub fn hotspot_scenario(seed: u64) -> (ScenarioConfig, CpsApplication) {
+    let config = ScenarioConfig {
+        seed,
+        topology: TopologySpec::Grid {
+            nx: 5,
+            ny: 5,
+            spacing: 15.0,
+            jitter: 0.0,
+        },
+        sink_near: Point::new(0.0, 0.0),
+        actors: vec![Point::new(30.0, 30.0), Point::new(60.0, 60.0)],
+        world: WorldField::HotSpot(HotSpot {
+            center: Point::new(30.0, 30.0),
+            peak: 60.0,
+            sigma: 12.0,
+            ambient: 20.0,
+            onset: TimePoint::new(5_000),
+        }),
+        sampling_period: Duration::new(500),
+        duration: Duration::new(30_000),
+        ..ScenarioConfig::default()
+    };
+    let app = CpsApplication::new()
+        .with_sensor_definition(
+            EventDefinition::new(
+                "hot-reading",
+                Layer::Sensor,
+                dsl::parse("x.temp > 45").expect("valid"),
+            )
+            .with_projection(AttrProjection::new("temp", AttrAggregate::Average, "temp")),
+        )
+        .with_sink_detector(DetectorSpec::new(
+            EventDefinition::new(
+                "hot-area",
+                Layer::CyberPhysical,
+                dsl::parse("dist(loc(a), loc(b)) < 40").expect("valid"),
+            )
+            .with_projection(AttrProjection::new("temp", AttrAggregate::Average, "temp")),
+            Pattern::atom("a", "hot-reading").then(Pattern::atom("b", "hot-reading")),
+            Duration::new(2_000),
+        ))
+        .with_ccu_detector(DetectorSpec::new(
+            EventDefinition::new(
+                "heat-alarm",
+                Layer::Cyber,
+                dsl::parse("x.temp > 40").expect("valid"),
+            ),
+            Pattern::atom("x", "hot-area"),
+            Duration::new(5_000),
+        ))
+        .with_rule(EcaRule::new(
+            "heat-alarm",
+            "fan-on",
+            ActorSelector::NearestToEvent,
+        ));
+    (config, app)
+}
+
+/// Ground-truth onset of the hotspot scenario's anomaly.
+#[must_use]
+pub fn hotspot_onset() -> TimePoint {
+    TimePoint::new(5_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with('-'));
+        // Rows are padded to the same width.
+        assert_eq!(lines[2].len(), lines[0].len());
+    }
+
+    #[test]
+    fn reference_scenario_is_valid() {
+        let (config, app) = hotspot_scenario(1);
+        assert!(config.validate().is_empty());
+        assert_eq!(app.sensor_definitions.len(), 1);
+        assert_eq!(app.rules.len(), 1);
+    }
+}

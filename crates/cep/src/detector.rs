@@ -1,0 +1,248 @@
+//! The composite detector: pattern matching + condition evaluation +
+//! instance generation, fused into the observer workflow of Fig. 1
+//! ("Sensor / Cyber-Physical Event Conditions Evaluation" → "Generate New
+//! Cyber-Event Instance?").
+
+use crate::{ConsumptionMode, Pattern, PatternDetector, PatternMatch};
+use stem_core::{
+    Bindings, ConditionObserver, EvalError, EventDefinition, EventInstance,
+};
+use stem_temporal::Duration;
+
+/// A full event detector for one [`EventDefinition`]:
+///
+/// 1. a [`PatternDetector`] collects constituent instances into candidate
+///    matches (with SnoopIB interval semantics),
+/// 2. the definition's composite condition (Eq. 4.5) is evaluated over the
+///    match's bindings,
+/// 3. on success, a [`ConditionObserver`] generates the next
+///    [`EventInstance`] with the definition's estimation policies.
+///
+/// # Example
+///
+/// ```
+/// use stem_cep::{CompositeDetector, ConsumptionMode, Pattern};
+/// use stem_core::{
+///     dsl, Attributes, ConditionObserver, EventDefinition, EventId, EventInstance,
+///     Layer, MoteId, ObserverId,
+/// };
+/// use stem_spatial::{Point, SpatialExtent};
+/// use stem_temporal::{TemporalExtent, TimePoint};
+///
+/// // The paper's S1: x before y, within 5 m.
+/// let def = EventDefinition::new(
+///     "s1",
+///     Layer::Sensor,
+///     dsl::parse("(time(x) before time(y)) and (dist(loc(x), loc(y)) < 5)").unwrap(),
+/// );
+/// let pattern = Pattern::atom("x", "obs-x").and(Pattern::atom("y", "obs-y"));
+/// let observer = ConditionObserver::new(
+///     ObserverId::Mote(MoteId::new(1)), Point::new(0.0, 0.0), 1.0,
+/// );
+/// let mut det = CompositeDetector::new(def, pattern, ConsumptionMode::Chronicle, None, observer);
+///
+/// let mk = |event: &str, t: u64, x: f64| EventInstance::builder(
+///     ObserverId::Mote(MoteId::new(2)), EventId::new(event), Layer::Sensor,
+/// )
+/// .generated(TimePoint::new(t), Point::new(x, 0.0))
+/// .estimated(
+///     TemporalExtent::punctual(TimePoint::new(t)),
+///     SpatialExtent::point(Point::new(x, 0.0)),
+/// )
+/// .build();
+///
+/// assert!(det.process(&mk("obs-x", 10, 0.0)).unwrap().is_empty());
+/// let out = det.process(&mk("obs-y", 20, 3.0)).unwrap();
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out[0].event().as_str(), "s1");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompositeDetector {
+    definition: EventDefinition,
+    pattern: PatternDetector,
+    observer: ConditionObserver,
+    matches_seen: u64,
+    matches_accepted: u64,
+}
+
+impl CompositeDetector {
+    /// Creates a detector that evaluates `definition` over matches of
+    /// `pattern`.
+    #[must_use]
+    pub fn new(
+        definition: EventDefinition,
+        pattern: Pattern,
+        mode: ConsumptionMode,
+        horizon: Option<Duration>,
+        observer: ConditionObserver,
+    ) -> Self {
+        CompositeDetector {
+            definition,
+            pattern: PatternDetector::new(pattern, mode, horizon),
+            observer,
+            matches_seen: 0,
+            matches_accepted: 0,
+        }
+    }
+
+    /// The event definition being detected.
+    #[must_use]
+    pub fn definition(&self) -> &EventDefinition {
+        &self.definition
+    }
+
+    /// Candidate matches seen / accepted so far (selectivity diagnostic).
+    #[must_use]
+    pub fn selectivity(&self) -> (u64, u64) {
+        (self.matches_seen, self.matches_accepted)
+    }
+
+    /// Processes one arriving instance. For every pattern match completed
+    /// by it whose condition holds, generates an output instance stamped
+    /// at the match's detection time (the completing constituent's
+    /// generation time) — appropriate when the detector is co-located
+    /// with the producers. Observers that run elsewhere (a sink or CCU
+    /// receiving instances over a network) should use
+    /// [`CompositeDetector::process_at`] with their own local clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] if the condition references entities or
+    /// attributes the pattern does not bind — a configuration error worth
+    /// surfacing rather than swallowing.
+    pub fn process(
+        &mut self,
+        instance: &EventInstance,
+    ) -> Result<Vec<EventInstance>, EvalError> {
+        self.process_at(instance, instance.generation_time())
+    }
+
+    /// Like [`CompositeDetector::process`], but stamps generated
+    /// instances' `t^g` with the observer's local time `now` — the
+    /// arrival-plus-processing time at a sink or CCU.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompositeDetector::process`].
+    pub fn process_at(
+        &mut self,
+        instance: &EventInstance,
+        now: stem_temporal::TimePoint,
+    ) -> Result<Vec<EventInstance>, EvalError> {
+        let candidates = self.pattern.process(instance);
+        let mut out = Vec::new();
+        for m in candidates {
+            self.matches_seen += 1;
+            let bindings = bindings_of(&m);
+            if self.definition.condition.eval(&bindings)? {
+                self.matches_accepted += 1;
+                let generated_at = now.max(m.detected_at);
+                let inst = self
+                    .observer
+                    .generate(&self.definition, &bindings, generated_at);
+                out.push(inst);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Converts a pattern match into condition bindings.
+#[must_use]
+fn bindings_of(m: &PatternMatch) -> Bindings {
+    let mut b = Bindings::new();
+    for (name, inst) in &m.bindings {
+        b.bind(name.clone(), inst.entity_data());
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_core::{dsl, EventId, Layer, MoteId, ObserverId};
+    use stem_spatial::{Point, SpatialExtent};
+    use stem_temporal::{TemporalExtent, TimePoint};
+
+    fn mk(event: &str, t: u64, x: f64, temp: f64) -> EventInstance {
+        EventInstance::builder(
+            ObserverId::Mote(MoteId::new(2)),
+            EventId::new(event),
+            Layer::Sensor,
+        )
+        .generated(TimePoint::new(t), Point::new(x, 0.0))
+        .estimated(
+            TemporalExtent::punctual(TimePoint::new(t)),
+            SpatialExtent::point(Point::new(x, 0.0)),
+        )
+        .attributes(stem_core::Attributes::new().with("temp", temp))
+        .build()
+    }
+
+    fn detector(condition: &str) -> CompositeDetector {
+        let def = EventDefinition::new("out", Layer::CyberPhysical, dsl::parse(condition).unwrap());
+        let pattern = Pattern::atom("x", "A").then(Pattern::atom("y", "B"));
+        let observer = ConditionObserver::new(
+            ObserverId::Sink(MoteId::new(9)),
+            Point::new(50.0, 50.0),
+            1.0,
+        );
+        CompositeDetector::new(def, pattern, ConsumptionMode::Chronicle, None, observer)
+    }
+
+    #[test]
+    fn condition_filters_pattern_matches() {
+        // Pattern matches but the distance condition rejects far pairs.
+        let mut det = detector("dist(loc(x), loc(y)) < 5");
+        det.process(&mk("A", 1, 0.0, 20.0)).unwrap();
+        let far = det.process(&mk("B", 2, 100.0, 20.0)).unwrap();
+        assert!(far.is_empty());
+        assert_eq!(det.selectivity(), (1, 0));
+
+        det.process(&mk("A", 3, 0.0, 20.0)).unwrap();
+        let near = det.process(&mk("B", 4, 3.0, 20.0)).unwrap();
+        assert_eq!(near.len(), 1);
+        assert_eq!(det.selectivity(), (2, 1));
+    }
+
+    #[test]
+    fn generated_instance_has_estimates_from_match() {
+        let mut det = detector("avg(x.temp, y.temp) > 25");
+        det.process(&mk("A", 10, 0.0, 30.0)).unwrap();
+        let out = det.process(&mk("B", 20, 4.0, 30.0)).unwrap();
+        assert_eq!(out.len(), 1);
+        let inst = &out[0];
+        // Default hull estimator: [10, 20].
+        assert_eq!(inst.estimated_time().start(), TimePoint::new(10));
+        assert_eq!(inst.estimated_time().end(), TimePoint::new(20));
+        // Default centroid estimator: (2, 0).
+        assert!(inst
+            .estimated_location()
+            .representative()
+            .approx_eq(Point::new(2.0, 0.0)));
+        // Generated by the sink observer at detection time.
+        assert_eq!(inst.generation_time(), TimePoint::new(20));
+        assert_eq!(inst.observer(), ObserverId::Sink(MoteId::new(9)));
+        assert_eq!(inst.layer(), Layer::CyberPhysical);
+    }
+
+    #[test]
+    fn sequence_numbers_advance_across_detections() {
+        let mut det = detector("avg(x.temp) > 0");
+        det.process(&mk("A", 1, 0.0, 20.0)).unwrap();
+        let first = det.process(&mk("B", 2, 0.0, 20.0)).unwrap();
+        det.process(&mk("A", 3, 0.0, 20.0)).unwrap();
+        let second = det.process(&mk("B", 4, 0.0, 20.0)).unwrap();
+        assert_eq!(first[0].seq().raw(), 0);
+        assert_eq!(second[0].seq().raw(), 1);
+    }
+
+    #[test]
+    fn unbound_entity_in_condition_is_an_error() {
+        // Condition references "z" which the pattern never binds.
+        let mut det = detector("z.temp > 0");
+        det.process(&mk("A", 1, 0.0, 20.0)).unwrap();
+        let err = det.process(&mk("B", 2, 0.0, 20.0)).unwrap_err();
+        assert_eq!(err, EvalError::UnboundEntity("z".into()));
+    }
+}

@@ -1,0 +1,39 @@
+//! # stem-cep — complex event processing with interval semantics
+//!
+//! The online detection engine for the STEM event model. The paper
+//! requires composite events built from "AND, OR, NOT" plus temporal
+//! sequencing (Secs. 2, 4.1), support for *both* punctual and interval
+//! events, and deployment in a distributed setting where arrival order is
+//! imperfect. This crate provides:
+//!
+//! * [`Pattern`] / [`PatternDetector`] — Snoop-style composite operators
+//!   (sequence, conjunction, disjunction, negation) with SnoopIB interval
+//!   semantics and selectable [`ConsumptionMode`]s
+//!   (recent/chronicle/continuous),
+//! * [`CompositeDetector`] — pattern matching fused with the paper's
+//!   composite condition evaluation (Eq. 4.5) and instance generation
+//!   (Def. 4.3/4.4),
+//! * [`SustainedDetector`] — interval events à la "user A is nearby
+//!   window B for the last 30 minutes", with hysteresis and minimum
+//!   duration,
+//! * [`ReorderBuffer`] — watermark-based out-of-order handling,
+//! * [`TimeWindow`] / [`CountWindow`] — stream windows.
+//!
+//! This crate depends only on `stem-core` (+ the time/space crates): it is
+//! usable as a standalone CEP library over any [`stem_core::EventInstance`]
+//! stream, independent of the simulators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod pattern;
+mod reorder;
+mod sustained;
+mod window;
+
+pub use detector::CompositeDetector;
+pub use pattern::{ConsumptionMode, Pattern, PatternDetector, PatternMatch};
+pub use reorder::ReorderBuffer;
+pub use sustained::{SustainedConfig, SustainedDetector, SustainedEvent};
+pub use window::{CountWindow, TimeWindow};

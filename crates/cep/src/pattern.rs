@@ -1,0 +1,768 @@
+//! Composite event patterns with interval semantics.
+//!
+//! The paper requires "support [for] both punctual and interval events"
+//! and cites Snoop [21] / SnoopIB [6] as the composition baseline
+//! (Sec. 2). This module implements the Snoop operator family — sequence,
+//! conjunction, disjunction, negation — over [`EventInstance`] streams
+//! with SnoopIB-style *interval* semantics: the occurrence extent of a
+//! composite match is the convex hull of its constituents' extents, and
+//! the detection time is the arrival that completed the match.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use stem_core::{EventId, EventInstance};
+use stem_temporal::{Duration, TemporalExtent, TimePoint};
+
+/// Event consumption mode (Snoop's "parameter contexts"): how stored
+/// partial matches are reused or consumed when a composite completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConsumptionMode {
+    /// Only the most recent constituent on each side is retained; it is
+    /// reused (not consumed) by later completions.
+    Recent,
+    /// Constituents pair oldest-first and are consumed by the pairing.
+    Chronicle,
+    /// Every stored constituent pairs with every counterpart — no
+    /// consumption (bound memory with a horizon).
+    Continuous,
+}
+
+impl fmt::Display for ConsumptionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConsumptionMode::Recent => "recent",
+            ConsumptionMode::Chronicle => "chronicle",
+            ConsumptionMode::Continuous => "continuous",
+        })
+    }
+}
+
+/// A composite event pattern.
+///
+/// Atoms carry the *entity name* the matched instance is bound to, so a
+/// completed match can feed a [`stem_core::ConditionExpr`] directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// A primitive instance of the given event type, bound to `name`.
+    Atom {
+        /// Binding name for condition evaluation.
+        name: String,
+        /// The event type to match.
+        event: EventId,
+    },
+    /// `A ; B` — left completes strictly before right begins (Snoop
+    /// sequence, interval semantics: `left.extent.end < right.extent.start`).
+    Sequence(Box<Pattern>, Box<Pattern>),
+    /// `A ∧ B` — both occur, any order (Snoop conjunction).
+    Conjunction(Box<Pattern>, Box<Pattern>),
+    /// `A ∨ B` — either occurs (Snoop disjunction).
+    Disjunction(Box<Pattern>, Box<Pattern>),
+    /// `NOT n (A)` — the inner pattern matches only if no instance of
+    /// `absent` occurred whose extent intersects the match extent.
+    Negation {
+        /// The positive pattern.
+        inner: Box<Pattern>,
+        /// The event type whose presence blocks a match.
+        absent: EventId,
+    },
+}
+
+impl Pattern {
+    /// Atom constructor.
+    #[must_use]
+    pub fn atom(name: impl Into<String>, event: impl Into<EventId>) -> Pattern {
+        Pattern::Atom {
+            name: name.into(),
+            event: event.into(),
+        }
+    }
+
+    /// Sequence constructor (`self ; then`).
+    #[must_use]
+    pub fn then(self, then: Pattern) -> Pattern {
+        Pattern::Sequence(Box::new(self), Box::new(then))
+    }
+
+    /// Conjunction constructor.
+    #[must_use]
+    pub fn and(self, other: Pattern) -> Pattern {
+        Pattern::Conjunction(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction constructor.
+    #[must_use]
+    pub fn or(self, other: Pattern) -> Pattern {
+        Pattern::Disjunction(Box::new(self), Box::new(other))
+    }
+
+    /// Negation constructor: `self` matches only without `absent`.
+    #[must_use]
+    pub fn unless(self, absent: impl Into<EventId>) -> Pattern {
+        Pattern::Negation {
+            inner: Box::new(self),
+            absent: absent.into(),
+        }
+    }
+
+    /// The event types the pattern consumes (including negated ones).
+    #[must_use]
+    pub fn event_types(&self) -> Vec<EventId> {
+        let mut out = Vec::new();
+        self.collect_events(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_events(&self, out: &mut Vec<EventId>) {
+        match self {
+            Pattern::Atom { event, .. } => out.push(event.clone()),
+            Pattern::Sequence(l, r)
+            | Pattern::Conjunction(l, r)
+            | Pattern::Disjunction(l, r) => {
+                l.collect_events(out);
+                r.collect_events(out);
+            }
+            Pattern::Negation { inner, absent } => {
+                inner.collect_events(out);
+                out.push(absent.clone());
+            }
+        }
+    }
+
+    /// The binding names of the pattern's atoms, in left-to-right order.
+    #[must_use]
+    pub fn binding_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names(&self, out: &mut Vec<String>) {
+        match self {
+            Pattern::Atom { name, .. } => out.push(name.clone()),
+            Pattern::Sequence(l, r)
+            | Pattern::Conjunction(l, r)
+            | Pattern::Disjunction(l, r) => {
+                l.collect_names(out);
+                r.collect_names(out);
+            }
+            Pattern::Negation { inner, .. } => inner.collect_names(out),
+        }
+    }
+}
+
+/// A completed composite match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternMatch {
+    /// `(binding name, matched instance)` pairs in atom order.
+    pub bindings: Vec<(String, EventInstance)>,
+    /// SnoopIB occurrence extent: hull of constituent extents.
+    pub extent: TemporalExtent,
+    /// When the completing constituent was generated (detection time).
+    pub detected_at: TimePoint,
+}
+
+impl PatternMatch {
+    fn single(name: &str, inst: &EventInstance) -> PatternMatch {
+        PatternMatch {
+            bindings: vec![(name.to_owned(), inst.clone())],
+            extent: *inst.estimated_time(),
+            detected_at: inst.generation_time(),
+        }
+    }
+
+    fn merge(left: &PatternMatch, right: &PatternMatch) -> PatternMatch {
+        let mut bindings = left.bindings.clone();
+        bindings.extend(right.bindings.iter().cloned());
+        PatternMatch {
+            bindings,
+            extent: left.extent.hull(&right.extent),
+            detected_at: left.detected_at.max(right.detected_at),
+        }
+    }
+}
+
+/// Stateful detector for one [`Pattern`].
+///
+/// Feed instances in arrival order with [`PatternDetector::process`];
+/// completed matches come back immediately (detection time = the arrival
+/// that completed them). Use a horizon to bound stored partial state.
+///
+/// # Example
+///
+/// ```
+/// use stem_cep::{ConsumptionMode, Pattern, PatternDetector};
+/// use stem_core::{EventId, EventInstance, Layer, MoteId, ObserverId};
+/// use stem_spatial::Point;
+/// use stem_temporal::{TemporalExtent, TimePoint};
+///
+/// let mk = |event: &str, t: u64| {
+///     EventInstance::builder(
+///         ObserverId::Mote(MoteId::new(1)), EventId::new(event), Layer::Sensor,
+///     )
+///     .generated(TimePoint::new(t), Point::new(0.0, 0.0))
+///     .estimated(
+///         TemporalExtent::punctual(TimePoint::new(t)),
+///         stem_spatial::SpatialExtent::point(Point::new(0.0, 0.0)),
+///     )
+///     .build()
+/// };
+/// let pattern = Pattern::atom("a", "door").then(Pattern::atom("b", "motion"));
+/// let mut det = PatternDetector::new(pattern, ConsumptionMode::Chronicle, None);
+/// assert!(det.process(&mk("door", 10)).is_empty());
+/// let matches = det.process(&mk("motion", 20));
+/// assert_eq!(matches.len(), 1);
+/// assert_eq!(matches[0].extent.start(), TimePoint::new(10));
+/// assert_eq!(matches[0].extent.end(), TimePoint::new(20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternDetector {
+    node: Node,
+    mode: ConsumptionMode,
+    horizon: Option<Duration>,
+    latest: TimePoint,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Atom {
+        name: String,
+        event: EventId,
+    },
+    Binary {
+        kind: BinaryKind,
+        left: Box<Node>,
+        right: Box<Node>,
+        left_store: Vec<PatternMatch>,
+        right_store: Vec<PatternMatch>,
+    },
+    Negation {
+        inner: Box<Node>,
+        absent: EventId,
+        absent_extents: Vec<TemporalExtent>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BinaryKind {
+    Sequence,
+    Conjunction,
+    Disjunction,
+}
+
+fn build(pattern: &Pattern) -> Node {
+    match pattern {
+        Pattern::Atom { name, event } => Node::Atom {
+            name: name.clone(),
+            event: event.clone(),
+        },
+        Pattern::Sequence(l, r) => Node::Binary {
+            kind: BinaryKind::Sequence,
+            left: Box::new(build(l)),
+            right: Box::new(build(r)),
+            left_store: Vec::new(),
+            right_store: Vec::new(),
+        },
+        Pattern::Conjunction(l, r) => Node::Binary {
+            kind: BinaryKind::Conjunction,
+            left: Box::new(build(l)),
+            right: Box::new(build(r)),
+            left_store: Vec::new(),
+            right_store: Vec::new(),
+        },
+        Pattern::Disjunction(l, r) => Node::Binary {
+            kind: BinaryKind::Disjunction,
+            left: Box::new(build(l)),
+            right: Box::new(build(r)),
+            left_store: Vec::new(),
+            right_store: Vec::new(),
+        },
+        Pattern::Negation { inner, absent } => Node::Negation {
+            inner: Box::new(build(inner)),
+            absent: absent.clone(),
+            absent_extents: Vec::new(),
+        },
+    }
+}
+
+impl PatternDetector {
+    /// Creates a detector for `pattern` under a consumption mode, with an
+    /// optional horizon: stored partials whose extent ended more than
+    /// `horizon` before the latest seen generation time are discarded.
+    #[must_use]
+    pub fn new(pattern: Pattern, mode: ConsumptionMode, horizon: Option<Duration>) -> Self {
+        PatternDetector {
+            node: build(&pattern),
+            mode,
+            horizon,
+            latest: TimePoint::EPOCH,
+        }
+    }
+
+    /// The consumption mode.
+    #[must_use]
+    pub fn mode(&self) -> ConsumptionMode {
+        self.mode
+    }
+
+    /// Processes one arriving instance; returns matches completed by it.
+    ///
+    /// When a horizon is set, partials that expired relative to the
+    /// arriving instance's generation time are pruned *before* pairing,
+    /// so stale constituents can never participate in a match.
+    pub fn process(&mut self, instance: &EventInstance) -> Vec<PatternMatch> {
+        self.latest = self.latest.max(instance.generation_time());
+        let mut node = std::mem::replace(
+            &mut self.node,
+            Node::Atom {
+                name: String::new(),
+                event: EventId::new(""),
+            },
+        );
+        if let Some(h) = self.horizon {
+            let cutoff = self.latest.checked_sub(h).unwrap_or(TimePoint::EPOCH);
+            prune_node(&mut node, cutoff);
+        }
+        let out = process_node(&mut node, instance, self.mode);
+        self.node = node;
+        out
+    }
+
+    /// Number of stored partial matches across all operator nodes
+    /// (memory diagnostic; bounded by the horizon).
+    #[must_use]
+    pub fn stored_partials(&self) -> usize {
+        count_stored(&self.node)
+    }
+}
+
+fn count_stored(node: &Node) -> usize {
+    match node {
+        Node::Atom { .. } => 0,
+        Node::Binary {
+            left,
+            right,
+            left_store,
+            right_store,
+            ..
+        } => left_store.len() + right_store.len() + count_stored(left) + count_stored(right),
+        Node::Negation {
+            inner,
+            absent_extents,
+            ..
+        } => absent_extents.len() + count_stored(inner),
+    }
+}
+
+fn prune_node(node: &mut Node, cutoff: TimePoint) {
+    match node {
+        Node::Atom { .. } => {}
+        Node::Binary {
+            left,
+            right,
+            left_store,
+            right_store,
+            ..
+        } => {
+            left_store.retain(|m| m.extent.end() >= cutoff);
+            right_store.retain(|m| m.extent.end() >= cutoff);
+            prune_node(left, cutoff);
+            prune_node(right, cutoff);
+        }
+        Node::Negation {
+            inner,
+            absent_extents,
+            ..
+        } => {
+            absent_extents.retain(|e| e.end() >= cutoff);
+            prune_node(inner, cutoff);
+        }
+    }
+}
+
+fn process_node(node: &mut Node, instance: &EventInstance, mode: ConsumptionMode) -> Vec<PatternMatch> {
+    match node {
+        Node::Atom { name, event } => {
+            if instance.event() == event {
+                vec![PatternMatch::single(name, instance)]
+            } else {
+                Vec::new()
+            }
+        }
+        Node::Binary {
+            kind,
+            left,
+            right,
+            left_store,
+            right_store,
+        } => {
+            let new_left = process_node(left, instance, mode);
+            let new_right = process_node(right, instance, mode);
+            let mut out = Vec::new();
+            match kind {
+                BinaryKind::Disjunction => {
+                    out.extend(new_left);
+                    out.extend(new_right);
+                }
+                BinaryKind::Sequence => {
+                    // Completed rights pair with stored lefts that ended
+                    // strictly before the right begins.
+                    for r in &new_right {
+                        pair_sequence(left_store, r, mode, &mut out);
+                    }
+                    store(left_store, new_left, mode);
+                }
+                BinaryKind::Conjunction => {
+                    for l in &new_left {
+                        pair_all(right_store, l, mode, true, &mut out);
+                    }
+                    for r in &new_right {
+                        pair_all(left_store, r, mode, false, &mut out);
+                    }
+                    store(left_store, new_left, mode);
+                    store(right_store, new_right, mode);
+                }
+            }
+            out
+        }
+        Node::Negation {
+            inner,
+            absent,
+            absent_extents,
+        } => {
+            if instance.event() == absent {
+                absent_extents.push(*instance.estimated_time());
+            }
+            process_node(inner, instance, mode)
+                .into_iter()
+                .filter(|m| {
+                    !absent_extents
+                        .iter()
+                        .any(|blocker| blocker.intersects(&m.extent))
+                })
+                .collect()
+        }
+    }
+}
+
+/// Pairs a completed right-side sequence match against the left store.
+fn pair_sequence(
+    left_store: &mut Vec<PatternMatch>,
+    right: &PatternMatch,
+    mode: ConsumptionMode,
+    out: &mut Vec<PatternMatch>,
+) {
+    let qualifies =
+        |l: &PatternMatch| l.extent.end() < right.extent.start();
+    match mode {
+        ConsumptionMode::Recent => {
+            // Most recent qualifying left; reused, not consumed.
+            if let Some(l) = left_store
+                .iter()
+                .filter(|l| qualifies(l))
+                .max_by_key(|l| (l.extent.end(), l.detected_at))
+            {
+                out.push(PatternMatch::merge(l, right));
+            }
+        }
+        ConsumptionMode::Chronicle => {
+            // Oldest qualifying left; consumed.
+            if let Some(idx) = left_store
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| qualifies(l))
+                .min_by_key(|(_, l)| (l.extent.start(), l.detected_at))
+                .map(|(i, _)| i)
+            {
+                let l = left_store.remove(idx);
+                out.push(PatternMatch::merge(&l, right));
+            }
+        }
+        ConsumptionMode::Continuous => {
+            for l in left_store.iter().filter(|l| qualifies(l)) {
+                out.push(PatternMatch::merge(l, right));
+            }
+        }
+    }
+}
+
+/// Pairs a completed match against the opposite store (conjunction).
+fn pair_all(
+    other_store: &mut Vec<PatternMatch>,
+    m: &PatternMatch,
+    mode: ConsumptionMode,
+    m_is_left: bool,
+    out: &mut Vec<PatternMatch>,
+) {
+    let emit = |other: &PatternMatch| {
+        if m_is_left {
+            PatternMatch::merge(m, other)
+        } else {
+            PatternMatch::merge(other, m)
+        }
+    };
+    match mode {
+        ConsumptionMode::Recent => {
+            if let Some(other) = other_store
+                .iter()
+                .max_by_key(|o| (o.extent.end(), o.detected_at))
+            {
+                out.push(emit(other));
+            }
+        }
+        ConsumptionMode::Chronicle => {
+            if !other_store.is_empty() {
+                let idx = other_store
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, o)| (o.extent.start(), o.detected_at))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                let other = other_store.remove(idx);
+                out.push(emit(&other));
+            }
+        }
+        ConsumptionMode::Continuous => {
+            for other in other_store.iter() {
+                out.push(emit(other));
+            }
+        }
+    }
+}
+
+/// Adds freshly completed sub-matches to a store, honoring the mode.
+fn store(target: &mut Vec<PatternMatch>, new: Vec<PatternMatch>, mode: ConsumptionMode) {
+    match mode {
+        ConsumptionMode::Recent => {
+            if let Some(last) = new.into_iter().last() {
+                target.clear();
+                target.push(last);
+            }
+        }
+        ConsumptionMode::Chronicle | ConsumptionMode::Continuous => {
+            target.extend(new);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use stem_core::{Layer, MoteId, ObserverId};
+    use stem_spatial::{Point, SpatialExtent};
+    use stem_temporal::TimeInterval;
+
+    fn mk(event: &str, start: u64, end: u64) -> EventInstance {
+        EventInstance::builder(
+            ObserverId::Mote(MoteId::new(1)),
+            EventId::new(event),
+            Layer::Sensor,
+        )
+        .generated(TimePoint::new(end), Point::new(0.0, 0.0))
+        .estimated(
+            if start == end {
+                TemporalExtent::punctual(TimePoint::new(start))
+            } else {
+                TemporalExtent::interval(
+                    TimeInterval::new(TimePoint::new(start), TimePoint::new(end)).unwrap(),
+                )
+            },
+            SpatialExtent::point(Point::new(0.0, 0.0)),
+        )
+        .build()
+    }
+
+    fn seq_ab() -> Pattern {
+        Pattern::atom("a", "A").then(Pattern::atom("b", "B"))
+    }
+
+    #[test]
+    fn sequence_requires_strict_before() {
+        let mut det = PatternDetector::new(seq_ab(), ConsumptionMode::Chronicle, None);
+        assert!(det.process(&mk("A", 10, 10)).is_empty());
+        // Overlapping B does not match (10 not < 10).
+        assert!(det.process(&mk("B", 10, 10)).is_empty());
+        // Later B matches.
+        let out = det.process(&mk("B", 11, 11));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].bindings[0].0, "a");
+        assert_eq!(out[0].bindings[1].0, "b");
+    }
+
+    #[test]
+    fn interval_semantics_hull_extent() {
+        let mut det = PatternDetector::new(seq_ab(), ConsumptionMode::Chronicle, None);
+        det.process(&mk("A", 5, 8));
+        let out = det.process(&mk("B", 12, 20));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].extent.start(), TimePoint::new(5));
+        assert_eq!(out[0].extent.end(), TimePoint::new(20));
+        assert_eq!(out[0].detected_at, TimePoint::new(20));
+    }
+
+    #[test]
+    fn consumption_modes_differ_on_multiple_lefts() {
+        let feed = |mode| {
+            let mut det = PatternDetector::new(seq_ab(), mode, None);
+            det.process(&mk("A", 1, 1));
+            det.process(&mk("A", 2, 2));
+            det.process(&mk("B", 10, 10))
+        };
+        // Recent: pairs with the latest A only.
+        let recent = feed(ConsumptionMode::Recent);
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].extent.start(), TimePoint::new(2));
+        // Chronicle: pairs with the oldest A.
+        let chron = feed(ConsumptionMode::Chronicle);
+        assert_eq!(chron.len(), 1);
+        assert_eq!(chron[0].extent.start(), TimePoint::new(1));
+        // Continuous: pairs with both.
+        let cont = feed(ConsumptionMode::Continuous);
+        assert_eq!(cont.len(), 2);
+    }
+
+    #[test]
+    fn chronicle_consumes_continuous_does_not() {
+        let feed = |mode| {
+            let mut det = PatternDetector::new(seq_ab(), mode, None);
+            det.process(&mk("A", 1, 1));
+            let first = det.process(&mk("B", 5, 5)).len();
+            let second = det.process(&mk("B", 6, 6)).len();
+            (first, second)
+        };
+        assert_eq!(feed(ConsumptionMode::Chronicle), (1, 0), "A consumed by first B");
+        assert_eq!(feed(ConsumptionMode::Continuous), (1, 1), "A reused");
+        assert_eq!(feed(ConsumptionMode::Recent), (1, 1), "most recent A persists");
+    }
+
+    #[test]
+    fn conjunction_matches_any_order() {
+        let p = Pattern::atom("a", "A").and(Pattern::atom("b", "B"));
+        let mut det = PatternDetector::new(p.clone(), ConsumptionMode::Chronicle, None);
+        assert!(det.process(&mk("B", 5, 5)).is_empty());
+        let out = det.process(&mk("A", 10, 10));
+        assert_eq!(out.len(), 1, "B-then-A still matches conjunction");
+        // Bindings stay in atom order (a first).
+        assert_eq!(out[0].bindings[0].0, "a");
+    }
+
+    #[test]
+    fn disjunction_matches_either() {
+        let p = Pattern::atom("a", "A").or(Pattern::atom("b", "B"));
+        let mut det = PatternDetector::new(p, ConsumptionMode::Chronicle, None);
+        assert_eq!(det.process(&mk("B", 5, 5)).len(), 1);
+        assert_eq!(det.process(&mk("A", 6, 6)).len(), 1);
+        assert!(det.process(&mk("C", 7, 7)).is_empty());
+    }
+
+    #[test]
+    fn negation_blocks_intersecting_matches() {
+        // A;B unless N occurred during the span.
+        let p = seq_ab().unless("N");
+        let mut det = PatternDetector::new(p.clone(), ConsumptionMode::Chronicle, None);
+        det.process(&mk("A", 10, 10));
+        det.process(&mk("N", 15, 15)); // inside the would-be hull [10, 20]
+        assert!(det.process(&mk("B", 20, 20)).is_empty(), "N blocks");
+
+        let mut det2 = PatternDetector::new(p, ConsumptionMode::Chronicle, None);
+        det2.process(&mk("A", 10, 10));
+        det2.process(&mk("N", 5, 5)); // before the hull
+        assert_eq!(det2.process(&mk("B", 20, 20)).len(), 1, "outside N is harmless");
+    }
+
+    #[test]
+    fn nested_pattern_three_stage_sequence() {
+        // (A;B);C
+        let p = seq_ab().then(Pattern::atom("c", "C"));
+        let mut det = PatternDetector::new(p, ConsumptionMode::Chronicle, None);
+        det.process(&mk("A", 1, 1));
+        det.process(&mk("B", 5, 5));
+        let out = det.process(&mk("C", 9, 9));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].bindings.len(), 3);
+        assert_eq!(out[0].extent.start(), TimePoint::new(1));
+        assert_eq!(out[0].extent.end(), TimePoint::new(9));
+    }
+
+    #[test]
+    fn horizon_prunes_stale_partials() {
+        let mut det = PatternDetector::new(
+            seq_ab(),
+            ConsumptionMode::Continuous,
+            Some(Duration::new(10)),
+        );
+        det.process(&mk("A", 1, 1));
+        det.process(&mk("A", 2, 2));
+        assert_eq!(det.stored_partials(), 2);
+        // An event at t=50 pushes the cutoff to 40, dropping both As
+        // before the B can pair with them.
+        let out = det.process(&mk("B", 50, 50));
+        assert!(out.is_empty(), "stale lefts must be pruned before pairing");
+        assert_eq!(det.stored_partials(), 0);
+    }
+
+    #[test]
+    fn pattern_introspection() {
+        let p = seq_ab().unless("N");
+        assert_eq!(
+            p.event_types(),
+            vec![EventId::new("A"), EventId::new("B"), EventId::new("N")]
+        );
+        assert_eq!(p.binding_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    proptest! {
+        /// Continuous-mode sequence detection equals the quadratic oracle:
+        /// every (A, B) pair with A.end < B.start, exactly once.
+        #[test]
+        fn continuous_sequence_matches_oracle(
+            events in proptest::collection::vec((0u8..2, 0u64..50), 1..40)
+        ) {
+            let mut det = PatternDetector::new(seq_ab(), ConsumptionMode::Continuous, None);
+            let mut a_times: Vec<u64> = Vec::new();
+            let mut found = 0usize;
+            let mut expected = 0usize;
+            // Feed in arrival order = time order (in-order stream).
+            let mut sorted = events.clone();
+            sorted.sort_by_key(|&(_, t)| t);
+            for (kind, t) in sorted {
+                if kind == 0 {
+                    det.process(&mk("A", t, t));
+                    a_times.push(t);
+                } else {
+                    expected += a_times.iter().filter(|&&at| at < t).count();
+                    found += det.process(&mk("B", t, t)).len();
+                }
+            }
+            prop_assert_eq!(found, expected);
+        }
+
+        /// Matches' extents always cover all constituent extents.
+        #[test]
+        fn match_extent_covers_constituents(
+            times in proptest::collection::vec(0u64..100, 2..30)
+        ) {
+            let mut det = PatternDetector::new(
+                Pattern::atom("a", "A").and(Pattern::atom("b", "B")),
+                ConsumptionMode::Continuous,
+                None,
+            );
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            for (i, t) in sorted.into_iter().enumerate() {
+                let ev = if i % 2 == 0 { "A" } else { "B" };
+                for m in det.process(&mk(ev, t, t)) {
+                    for (_, inst) in &m.bindings {
+                        prop_assert!(
+                            m.extent.as_interval().contains_interval(
+                                inst.estimated_time().as_interval()
+                            )
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Sustained-condition (interval event) detection.
+//!
+//! The paper's running example — "user A is nearby window B for the last
+//! 30 minutes" — is an *interval event*: it "starts once the user is
+//! detected entering into the area and ends once the user is detected
+//! leaving this area" (Sec. 4.2). This detector turns a sampled predicate
+//! (or thresholded value with hysteresis) into begin/end notifications and
+//! completed intervals with a minimum-duration filter.
+
+use serde::{Deserialize, Serialize};
+use stem_temporal::{Duration, TimeInterval, TimePoint};
+
+/// A notification from the sustained detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SustainedEvent {
+    /// The condition has now held for the minimum duration (emitted once
+    /// per episode, at the instant the threshold is crossed).
+    Began {
+        /// When the condition started holding.
+        since: TimePoint,
+        /// The sample time at which the minimum duration was reached.
+        confirmed_at: TimePoint,
+    },
+    /// The condition stopped holding after a qualifying episode; the
+    /// full closed interval is reported.
+    Ended {
+        /// The completed occurrence interval.
+        interval: TimeInterval,
+    },
+}
+
+/// Configuration for [`SustainedDetector`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SustainedConfig {
+    /// The episode must hold at least this long to count (the "for the
+    /// last 30 minutes" part). Zero reports every episode.
+    pub min_duration: Duration,
+    /// Value must rise to `enter_threshold` to start an episode…
+    pub enter_threshold: f64,
+    /// …and fall below `exit_threshold` to end it (hysteresis;
+    /// `exit_threshold <= enter_threshold`).
+    pub exit_threshold: f64,
+}
+
+impl SustainedConfig {
+    /// A boolean-predicate configuration (no hysteresis band).
+    #[must_use]
+    pub fn boolean(min_duration: Duration) -> Self {
+        SustainedConfig {
+            min_duration,
+            enter_threshold: 0.5,
+            exit_threshold: 0.5,
+        }
+    }
+}
+
+/// Detects sustained episodes of a sampled condition.
+///
+/// Feed time-ordered samples via [`SustainedDetector::update_value`] (or
+/// [`SustainedDetector::update`] for booleans). The detector emits
+/// [`SustainedEvent::Began`] when an episode reaches the minimum duration
+/// and [`SustainedEvent::Ended`] when it stops; short episodes emit
+/// nothing.
+///
+/// # Example
+///
+/// ```
+/// use stem_cep::{SustainedConfig, SustainedDetector, SustainedEvent};
+/// use stem_temporal::{Duration, TimePoint};
+///
+/// let mut det = SustainedDetector::new(SustainedConfig::boolean(Duration::new(10)));
+/// assert_eq!(det.update(TimePoint::new(0), false), None);
+/// assert_eq!(det.update(TimePoint::new(5), true), None);
+/// // Held since t=5; at t=15 the 10-tick minimum is reached.
+/// assert!(matches!(
+///     det.update(TimePoint::new(15), true),
+///     Some(SustainedEvent::Began { .. })
+/// ));
+/// // Ends at t=30.
+/// assert!(matches!(
+///     det.update(TimePoint::new(30), false),
+///     Some(SustainedEvent::Ended { .. })
+/// ));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SustainedDetector {
+    config: SustainedConfig,
+    holding_since: Option<TimePoint>,
+    began_emitted: bool,
+    last_sample: Option<TimePoint>,
+    last_true: Option<TimePoint>,
+}
+
+impl SustainedDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exit_threshold > enter_threshold`.
+    #[must_use]
+    pub fn new(config: SustainedConfig) -> Self {
+        assert!(
+            config.exit_threshold <= config.enter_threshold,
+            "hysteresis requires exit_threshold <= enter_threshold"
+        );
+        SustainedDetector {
+            config,
+            holding_since: None,
+            began_emitted: false,
+            last_sample: None,
+            last_true: None,
+        }
+    }
+
+    /// Returns the start of the currently-holding episode, if any.
+    #[must_use]
+    pub fn holding_since(&self) -> Option<TimePoint> {
+        self.holding_since
+    }
+
+    /// Feeds a boolean sample at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if samples go backward in time.
+    pub fn update(&mut self, t: TimePoint, active: bool) -> Option<SustainedEvent> {
+        let v = if active {
+            self.config.enter_threshold
+        } else {
+            self.config.exit_threshold - 1.0
+        };
+        self.update_value(t, v)
+    }
+
+    /// Feeds a numeric sample at time `t`; the episode starts when the
+    /// value reaches `enter_threshold` and ends when it drops below
+    /// `exit_threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if samples go backward in time.
+    pub fn update_value(&mut self, t: TimePoint, value: f64) -> Option<SustainedEvent> {
+        if let Some(last) = self.last_sample {
+            assert!(t >= last, "samples must be time-ordered");
+        }
+        self.last_sample = Some(t);
+
+        match self.holding_since {
+            None => {
+                if value >= self.config.enter_threshold {
+                    self.holding_since = Some(t);
+                    self.last_true = Some(t);
+                    self.began_emitted = false;
+                    // Zero minimum: confirmed immediately.
+                    if self.config.min_duration.is_zero() {
+                        self.began_emitted = true;
+                        return Some(SustainedEvent::Began {
+                            since: t,
+                            confirmed_at: t,
+                        });
+                    }
+                }
+                None
+            }
+            Some(since) => {
+                if value < self.config.exit_threshold {
+                    // Episode ends at the last time it was observed true.
+                    let end = self.last_true.unwrap_or(t);
+                    let qualified = self.began_emitted
+                        || end.duration_since(since).is_some_and(|d| d >= self.config.min_duration);
+                    self.holding_since = None;
+                    self.last_true = None;
+                    let was_emitted = self.began_emitted;
+                    self.began_emitted = false;
+                    if qualified || was_emitted {
+                        return Some(SustainedEvent::Ended {
+                            interval: TimeInterval::spanning(since, end),
+                        });
+                    }
+                    None
+                } else {
+                    self.last_true = Some(t);
+                    if !self.began_emitted
+                        && t.duration_since(since).is_some_and(|d| d >= self.config.min_duration)
+                    {
+                        self.began_emitted = true;
+                        return Some(SustainedEvent::Began {
+                            since,
+                            confirmed_at: t,
+                        });
+                    }
+                    None
+                }
+            }
+        }
+    }
+
+    /// Flushes an in-progress qualifying episode at the stream horizon
+    /// `t`, returning its interval (used at simulation end).
+    pub fn finish(&mut self, t: TimePoint) -> Option<SustainedEvent> {
+        let since = self.holding_since.take()?;
+        let end = self.last_true.unwrap_or(t).min(t);
+        let qualified = self.began_emitted
+            || end.duration_since(since).is_some_and(|d| d >= self.config.min_duration);
+        self.began_emitted = false;
+        self.last_true = None;
+        if qualified {
+            Some(SustainedEvent::Ended {
+                interval: TimeInterval::spanning(since, end),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn boolean(min: u64) -> SustainedDetector {
+        SustainedDetector::new(SustainedConfig::boolean(Duration::new(min)))
+    }
+
+    #[test]
+    fn short_episode_is_silent() {
+        let mut det = boolean(10);
+        assert_eq!(det.update(TimePoint::new(0), true), None);
+        assert_eq!(det.update(TimePoint::new(5), true), None);
+        assert_eq!(det.update(TimePoint::new(8), false), None, "8 < 10 ticks");
+        assert_eq!(det.holding_since(), None);
+    }
+
+    #[test]
+    fn qualifying_episode_emits_began_then_ended() {
+        let mut det = boolean(10);
+        det.update(TimePoint::new(0), true);
+        let began = det.update(TimePoint::new(10), true).unwrap();
+        assert_eq!(
+            began,
+            SustainedEvent::Began {
+                since: TimePoint::new(0),
+                confirmed_at: TimePoint::new(10)
+            }
+        );
+        // No duplicate Began.
+        assert_eq!(det.update(TimePoint::new(20), true), None);
+        let ended = det.update(TimePoint::new(25), false).unwrap();
+        assert_eq!(
+            ended,
+            SustainedEvent::Ended {
+                interval: TimeInterval::spanning(TimePoint::new(0), TimePoint::new(20))
+            },
+            "interval ends at the last true sample"
+        );
+    }
+
+    #[test]
+    fn zero_minimum_reports_every_episode() {
+        let mut det = boolean(0);
+        let began = det.update(TimePoint::new(3), true).unwrap();
+        assert!(matches!(began, SustainedEvent::Began { since, .. } if since == TimePoint::new(3)));
+        let ended = det.update(TimePoint::new(4), false).unwrap();
+        assert!(matches!(ended, SustainedEvent::Ended { .. }));
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let mut det = SustainedDetector::new(SustainedConfig {
+            min_duration: Duration::new(0),
+            enter_threshold: 30.0,
+            exit_threshold: 25.0,
+        });
+        assert!(det.update_value(TimePoint::new(0), 20.0).is_none());
+        assert!(matches!(
+            det.update_value(TimePoint::new(1), 31.0),
+            Some(SustainedEvent::Began { .. })
+        ));
+        // Dipping to 27 (between thresholds) does NOT end the episode.
+        assert!(det.update_value(TimePoint::new(2), 27.0).is_none());
+        assert!(det.holding_since().is_some());
+        // Dropping below 25 ends it.
+        assert!(matches!(
+            det.update_value(TimePoint::new(3), 24.0),
+            Some(SustainedEvent::Ended { .. })
+        ));
+    }
+
+    #[test]
+    fn finish_flushes_open_episode() {
+        let mut det = boolean(5);
+        det.update(TimePoint::new(0), true);
+        det.update(TimePoint::new(7), true);
+        let flushed = det.finish(TimePoint::new(7)).unwrap();
+        assert_eq!(
+            flushed,
+            SustainedEvent::Ended {
+                interval: TimeInterval::spanning(TimePoint::new(0), TimePoint::new(7))
+            }
+        );
+        assert_eq!(det.finish(TimePoint::new(8)), None, "nothing left to flush");
+    }
+
+    #[test]
+    fn finish_of_short_episode_is_none() {
+        let mut det = boolean(50);
+        det.update(TimePoint::new(0), true);
+        det.update(TimePoint::new(3), true);
+        assert_eq!(det.finish(TimePoint::new(3)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_backward_samples() {
+        let mut det = boolean(1);
+        det.update(TimePoint::new(10), true);
+        det.update(TimePoint::new(5), true);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis requires")]
+    fn rejects_inverted_thresholds() {
+        let _ = SustainedDetector::new(SustainedConfig {
+            min_duration: Duration::ZERO,
+            enter_threshold: 10.0,
+            exit_threshold: 20.0,
+        });
+    }
+
+    proptest! {
+        /// Every Ended interval is at least min_duration long, and Began /
+        /// Ended alternate.
+        #[test]
+        fn episodes_respect_minimum(
+            samples in proptest::collection::vec(proptest::bool::ANY, 1..120),
+            min in 0u64..20,
+        ) {
+            let mut det = boolean(min);
+            let mut expecting_end = false;
+            let mut process = |ev: Option<SustainedEvent>| -> Result<(), TestCaseError> {
+                match ev {
+                    Some(SustainedEvent::Began { .. }) => {
+                        prop_assert!(!expecting_end, "double Began");
+                        expecting_end = true;
+                    }
+                    Some(SustainedEvent::Ended { interval }) => {
+                        prop_assert!(expecting_end, "Ended without Began");
+                        prop_assert!(interval.length().ticks() >= min);
+                        expecting_end = false;
+                    }
+                    None => {}
+                }
+                Ok(())
+            };
+            for (i, &b) in samples.iter().enumerate() {
+                process(det.update(TimePoint::new(i as u64 * 2), b))?;
+            }
+            process(det.finish(TimePoint::new(samples.len() as u64 * 2)))?;
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Time- and count-based windows over instance streams.
+
+use std::collections::VecDeque;
+use stem_core::EventInstance;
+use stem_temporal::{Duration, TimePoint};
+
+/// A sliding time window: retains instances whose generation time lies
+/// within `duration` of the latest generation time seen.
+///
+/// # Example
+///
+/// ```
+/// use stem_cep::TimeWindow;
+/// use stem_core::{EventId, EventInstance, Layer, MoteId, ObserverId};
+/// use stem_spatial::Point;
+/// use stem_temporal::{Duration, TimePoint};
+///
+/// let mk = |t: u64| EventInstance::builder(
+///     ObserverId::Mote(MoteId::new(1)), EventId::new("e"), Layer::Sensor,
+/// ).generated(TimePoint::new(t), Point::new(0.0, 0.0)).build();
+///
+/// let mut w = TimeWindow::new(Duration::new(10));
+/// w.push(mk(100));
+/// w.push(mk(105));
+/// w.push(mk(120)); // evicts t=100 and t=105
+/// assert_eq!(w.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimeWindow {
+    duration: Duration,
+    items: VecDeque<EventInstance>,
+}
+
+impl TimeWindow {
+    /// Creates a window of the given span.
+    #[must_use]
+    pub fn new(duration: Duration) -> Self {
+        TimeWindow {
+            duration,
+            items: VecDeque::new(),
+        }
+    }
+
+    /// The window span.
+    #[must_use]
+    pub fn duration(&self) -> Duration {
+        self.duration
+    }
+
+    /// Inserts an instance (assumed in generation-time order) and evicts
+    /// anything that fell out of the window.
+    pub fn push(&mut self, instance: EventInstance) {
+        let now = instance.generation_time();
+        self.items.push_back(instance);
+        self.evict_before(now.checked_sub(self.duration).unwrap_or(TimePoint::EPOCH));
+    }
+
+    /// Evicts instances generated strictly before `cutoff`.
+    pub fn evict_before(&mut self, cutoff: TimePoint) {
+        while let Some(front) = self.items.front() {
+            if front.generation_time() < cutoff {
+                self.items.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Current contents in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &EventInstance> {
+        self.items.iter()
+    }
+
+    /// Number of retained instances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A count window: retains the most recent `capacity` instances.
+#[derive(Debug, Clone)]
+pub struct CountWindow {
+    capacity: usize,
+    items: VecDeque<EventInstance>,
+}
+
+impl CountWindow {
+    /// Creates a window holding at most `capacity` instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        CountWindow {
+            capacity,
+            items: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Inserts an instance, evicting the oldest when full.
+    pub fn push(&mut self, instance: EventInstance) {
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+        }
+        self.items.push_back(instance);
+    }
+
+    /// Current contents, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &EventInstance> {
+        self.items.iter()
+    }
+
+    /// Number of retained instances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_core::{EventId, Layer, MoteId, ObserverId};
+    use stem_spatial::Point;
+
+    fn mk(t: u64) -> EventInstance {
+        EventInstance::builder(
+            ObserverId::Mote(MoteId::new(1)),
+            EventId::new("e"),
+            Layer::Sensor,
+        )
+        .generated(TimePoint::new(t), Point::new(0.0, 0.0))
+        .build()
+    }
+
+    #[test]
+    fn time_window_keeps_inclusive_boundary() {
+        let mut w = TimeWindow::new(Duration::new(10));
+        w.push(mk(100));
+        w.push(mk(110)); // cutoff 100: t=100 stays (not strictly before)
+        assert_eq!(w.len(), 2);
+        w.push(mk(111)); // cutoff 101: t=100 evicted
+        assert_eq!(w.len(), 2);
+        let times: Vec<u64> = w.iter().map(|i| i.generation_time().ticks()).collect();
+        assert_eq!(times, vec![110, 111]);
+    }
+
+    #[test]
+    fn time_window_manual_eviction() {
+        let mut w = TimeWindow::new(Duration::new(100));
+        for t in [1, 2, 3] {
+            w.push(mk(t));
+        }
+        w.evict_before(TimePoint::new(3));
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn count_window_evicts_oldest() {
+        let mut w = CountWindow::new(3);
+        for t in 0..5 {
+            w.push(mk(t));
+        }
+        assert_eq!(w.len(), 3);
+        let times: Vec<u64> = w.iter().map(|i| i.generation_time().ticks()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(w.capacity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn count_window_rejects_zero() {
+        let _ = CountWindow::new(0);
+    }
+}

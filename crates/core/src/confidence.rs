@@ -1,0 +1,191 @@
+//! Observer confidence `ρ` (Def. 4.4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The confidence level `ρ` of an observer regarding a generated event
+/// instance (Eq. 4.7): a probability-like value in `[0, 1]`.
+///
+/// Arithmetic is clamped so that fused confidences always remain valid.
+///
+/// # Example
+///
+/// ```
+/// use stem_core::Confidence;
+///
+/// let a = Confidence::new(0.9)?;
+/// let b = Confidence::new(0.8)?;
+/// assert_eq!(a.min(b), b);
+/// assert!((a.product(b).value() - 0.72).abs() < 1e-12);
+/// # Ok::<(), stem_core::InvalidConfidence>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Confidence(f64);
+
+/// Error returned for confidence values outside `[0, 1]` or non-finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidConfidence(pub f64);
+
+impl fmt::Display for InvalidConfidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "confidence must lie in [0, 1], got {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidConfidence {}
+
+impl Confidence {
+    /// Full confidence (`ρ = 1`).
+    pub const CERTAIN: Confidence = Confidence(1.0);
+    /// No confidence (`ρ = 0`).
+    pub const NONE: Confidence = Confidence(0.0);
+
+    /// Creates a confidence value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfidence`] if `value` is not in `[0, 1]` or not
+    /// finite.
+    pub fn new(value: f64) -> Result<Self, InvalidConfidence> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Confidence(value))
+        } else {
+            Err(InvalidConfidence(value))
+        }
+    }
+
+    /// Creates a confidence value, clamping into `[0, 1]` (NaN becomes 0).
+    #[must_use]
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Confidence(0.0)
+        } else {
+            Confidence(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The smaller of two confidences (weakest-link fusion).
+    #[must_use]
+    pub fn min(self, other: Confidence) -> Confidence {
+        Confidence(self.0.min(other.0))
+    }
+
+    /// The larger of two confidences.
+    #[must_use]
+    pub fn max(self, other: Confidence) -> Confidence {
+        Confidence(self.0.max(other.0))
+    }
+
+    /// Independent-AND fusion: `ρ_a · ρ_b`.
+    #[must_use]
+    pub fn product(self, other: Confidence) -> Confidence {
+        Confidence(self.0 * other.0)
+    }
+
+    /// Independent-OR (noisy-OR) fusion: `1 - (1-ρ_a)(1-ρ_b)`.
+    #[must_use]
+    pub fn noisy_or(self, other: Confidence) -> Confidence {
+        Confidence(1.0 - (1.0 - self.0) * (1.0 - other.0))
+    }
+
+    /// Scales the confidence by a factor in `[0, 1]` (observer's own
+    /// processing reliability), saturating.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Confidence {
+        Confidence::saturating(self.0 * factor)
+    }
+
+    /// The mean of a non-empty set of confidences; `None` when empty.
+    #[must_use]
+    pub fn mean(values: &[Confidence]) -> Option<Confidence> {
+        if values.is_empty() {
+            return None;
+        }
+        let sum: f64 = values.iter().map(|c| c.0).sum();
+        Some(Confidence::saturating(sum / values.len() as f64))
+    }
+}
+
+impl Default for Confidence {
+    /// Defaults to full confidence, matching an ideal observer.
+    fn default() -> Self {
+        Confidence::CERTAIN
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ρ={:.3}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        assert!(Confidence::new(0.0).is_ok());
+        assert!(Confidence::new(1.0).is_ok());
+        assert!(Confidence::new(-0.1).is_err());
+        assert!(Confidence::new(1.1).is_err());
+        assert!(Confidence::new(f64::NAN).is_err());
+        assert!(Confidence::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Confidence::saturating(2.0), Confidence::CERTAIN);
+        assert_eq!(Confidence::saturating(-1.0), Confidence::NONE);
+        assert_eq!(Confidence::saturating(f64::NAN), Confidence::NONE);
+    }
+
+    #[test]
+    fn fusion_examples() {
+        let a = Confidence::new(0.6).unwrap();
+        let b = Confidence::new(0.5).unwrap();
+        assert_eq!(a.min(b).value(), 0.5);
+        assert_eq!(a.max(b).value(), 0.6);
+        assert!((a.product(b).value() - 0.3).abs() < 1e-12);
+        assert!((a.noisy_or(b).value() - 0.8).abs() < 1e-12);
+        assert_eq!(Confidence::mean(&[a, b]).unwrap().value(), 0.55);
+        assert_eq!(Confidence::mean(&[]), None);
+    }
+
+    #[test]
+    fn error_message_names_the_range() {
+        let err = Confidence::new(3.0).unwrap_err();
+        assert!(err.to_string().contains("[0, 1]"));
+    }
+
+    proptest! {
+        /// All fusion operators stay within [0, 1].
+        #[test]
+        fn fusion_stays_valid(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+            let ca = Confidence::new(a).unwrap();
+            let cb = Confidence::new(b).unwrap();
+            for v in [ca.min(cb), ca.max(cb), ca.product(cb), ca.noisy_or(cb)] {
+                prop_assert!((0.0..=1.0).contains(&v.value()));
+            }
+        }
+
+        /// product <= min <= mean <= max <= noisy_or.
+        #[test]
+        fn fusion_ordering(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+            let ca = Confidence::new(a).unwrap();
+            let cb = Confidence::new(b).unwrap();
+            let mean = Confidence::mean(&[ca, cb]).unwrap();
+            prop_assert!(ca.product(cb) <= ca.min(cb));
+            prop_assert!(ca.min(cb).value() <= mean.value() + 1e-12);
+            prop_assert!(mean.value() <= ca.max(cb).value() + 1e-12);
+            prop_assert!(ca.max(cb) <= ca.noisy_or(cb));
+        }
+    }
+}

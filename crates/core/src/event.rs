@@ -1,0 +1,214 @@
+//! The generic event (Def. 4.1) and its classification (Sec. 4.2).
+
+use crate::{Attributes, EventId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use stem_spatial::SpatialExtent;
+use stem_temporal::TemporalExtent;
+
+/// Temporal class of an event (Sec. 4.2): punctual or interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemporalClass {
+    /// "The occurrence time of an event is a time point."
+    Punctual,
+    /// "The occurrence time of an event is a time interval marked by
+    /// starting and ending time points."
+    Interval,
+}
+
+impl fmt::Display for TemporalClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TemporalClass::Punctual => "punctual",
+            TemporalClass::Interval => "interval",
+        })
+    }
+}
+
+/// Spatial class of an event (Sec. 4.2): point or field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpatialClass {
+    /// "The occurrence location of an event is a location point (x, y)."
+    Point,
+    /// "The occurrence location of an event is a polytope."
+    Field,
+}
+
+impl fmt::Display for SpatialClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SpatialClass::Point => "point",
+            SpatialClass::Field => "field",
+        })
+    }
+}
+
+/// The combined 2×2 classification of Sec. 4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventClass {
+    /// Punctual vs. interval.
+    pub temporal: TemporalClass,
+    /// Point vs. field.
+    pub spatial: SpatialClass,
+}
+
+impl fmt::Display for EventClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.temporal, self.spatial)
+    }
+}
+
+/// A generic spatio-temporal event (Def. 4.1, Eq. 4.1):
+/// `E_id {t^o, l^o, V}` — "the occurrence of interest, which describes the
+/// state of one or more objects either in the cyber-world or the physical
+/// world according to attributes, time, and location."
+///
+/// # Example
+///
+/// ```
+/// use stem_core::{Attributes, Event, EventId, SpatialClass, TemporalClass};
+/// use stem_spatial::{Point, SpatialExtent};
+/// use stem_temporal::{TemporalExtent, TimePoint};
+///
+/// let ev = Event::new(
+///     EventId::new("light-on"),
+///     TemporalExtent::punctual(TimePoint::new(100)),
+///     SpatialExtent::point(Point::new(3.0, 4.0)),
+///     Attributes::new().with("lumen", 800.0),
+/// );
+/// assert_eq!(ev.class().temporal, TemporalClass::Punctual);
+/// assert_eq!(ev.class().spatial, SpatialClass::Point);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    id: EventId,
+    /// Occurrence time `t^o`.
+    time: TemporalExtent,
+    /// Occurrence location `l^o`.
+    location: SpatialExtent,
+    /// Occurrence attributes `V`.
+    attributes: Attributes,
+}
+
+impl Event {
+    /// Creates an event descriptor.
+    #[must_use]
+    pub fn new(
+        id: EventId,
+        time: TemporalExtent,
+        location: SpatialExtent,
+        attributes: Attributes,
+    ) -> Self {
+        Event {
+            id,
+            time,
+            location,
+            attributes,
+        }
+    }
+
+    /// The event type identifier `E_id`.
+    #[must_use]
+    pub fn id(&self) -> &EventId {
+        &self.id
+    }
+
+    /// The occurrence time `t^o`.
+    #[must_use]
+    pub fn time(&self) -> &TemporalExtent {
+        &self.time
+    }
+
+    /// The occurrence location `l^o`.
+    #[must_use]
+    pub fn location(&self) -> &SpatialExtent {
+        &self.location
+    }
+
+    /// The occurrence attributes `V`.
+    #[must_use]
+    pub fn attributes(&self) -> &Attributes {
+        &self.attributes
+    }
+
+    /// The 2×2 classification of Sec. 4.2, derived from the extents.
+    #[must_use]
+    pub fn class(&self) -> EventClass {
+        EventClass {
+            temporal: if self.time.is_punctual() {
+                TemporalClass::Punctual
+            } else {
+                TemporalClass::Interval
+            },
+            spatial: if self.location.is_point() {
+                SpatialClass::Point
+            } else {
+                SpatialClass::Field
+            },
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{{t°={}, l°={}, V={}}}",
+            self.id, self.time, self.location, self.attributes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_spatial::{Circle, Field, Point};
+    use stem_temporal::{TimeInterval, TimePoint};
+
+    fn mk(time: TemporalExtent, loc: SpatialExtent) -> Event {
+        Event::new(EventId::new("e"), time, loc, Attributes::new())
+    }
+
+    #[test]
+    fn classification_covers_all_four_cells() {
+        let p = TemporalExtent::punctual(TimePoint::new(1));
+        let iv = TemporalExtent::interval(
+            TimeInterval::new(TimePoint::new(1), TimePoint::new(5)).unwrap(),
+        );
+        let pt = SpatialExtent::point(Point::new(0.0, 0.0));
+        let fd = SpatialExtent::field(Field::circle(Circle::new(Point::new(0.0, 0.0), 1.0)));
+
+        let cases = [
+            (p, pt.clone(), TemporalClass::Punctual, SpatialClass::Point),
+            (p, fd.clone(), TemporalClass::Punctual, SpatialClass::Field),
+            (iv, pt, TemporalClass::Interval, SpatialClass::Point),
+            (iv, fd, TemporalClass::Interval, SpatialClass::Field),
+        ];
+        for (t, l, tc, sc) in cases {
+            let c = mk(t, l).class();
+            assert_eq!(c.temporal, tc);
+            assert_eq!(c.spatial, sc);
+        }
+    }
+
+    #[test]
+    fn class_display_is_compact() {
+        let c = EventClass {
+            temporal: TemporalClass::Interval,
+            spatial: SpatialClass::Field,
+        };
+        assert_eq!(c.to_string(), "interval/field");
+    }
+
+    #[test]
+    fn event_display_includes_all_parts() {
+        let e = Event::new(
+            EventId::new("fire"),
+            TemporalExtent::punctual(TimePoint::new(9)),
+            SpatialExtent::point(Point::new(1.0, 2.0)),
+            Attributes::new().with("temp", 80.0),
+        );
+        let s = e.to_string();
+        assert!(s.contains("fire") && s.contains("t9") && s.contains("temp=80"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Typed identifiers for CPS components, events, and instances.
+//!
+//! The paper's notation indexes everything by typed ids: sensors `SR_id`,
+//! motes `MT_id`, control units `CCU_id`, events `E_id`, and instance
+//! sequence numbers `i` (Eqs. 4.6, 5.2–5.5). Newtypes keep them from being
+//! mixed up.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! numeric_id {
+    ($(#[$doc:meta])* $name:ident($ty:ty), $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name($ty);
+
+        impl $name {
+            /// Creates the identifier from its raw index.
+            #[must_use]
+            pub const fn new(raw: $ty) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index.
+            #[must_use]
+            pub const fn raw(self) -> $ty {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$ty> for $name {
+            fn from(raw: $ty) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+numeric_id!(
+    /// A sensor or actor mote (`MT_id` in the paper).
+    MoteId(u32),
+    "MT"
+);
+numeric_id!(
+    /// A CPS control unit (`CCU_id` in the paper).
+    CcuId(u32),
+    "CCU"
+);
+numeric_id!(
+    /// A sensor device on a mote (`SR_id` in the paper).
+    SensorId(u16),
+    "SR"
+);
+numeric_id!(
+    /// An actuator device on an actor mote (`AR_id` in the paper).
+    ActuatorId(u16),
+    "AR"
+);
+
+/// The identity of an observer (Def. 4.3): "a device or a human that is
+/// able to collect data, evaluate these data based on event conditions,
+/// and output the according event instance".
+///
+/// The observer kind encodes its level in the Fig. 2 hierarchy: sensor
+/// motes are first-level observers, sink nodes second-level, CCUs the
+/// highest level. Humans may observe at any level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ObserverId {
+    /// A sensor mote evaluating sensor event conditions.
+    Mote(MoteId),
+    /// A sink node evaluating cyber-physical event conditions.
+    Sink(MoteId),
+    /// A CPS control unit evaluating cyber event conditions.
+    Ccu(CcuId),
+    /// A human observer (identified by badge number).
+    Human(u32),
+}
+
+impl fmt::Display for ObserverId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObserverId::Mote(id) => write!(f, "mote:{id}"),
+            ObserverId::Sink(id) => write!(f, "sink:{id}"),
+            ObserverId::Ccu(id) => write!(f, "ccu:{id}"),
+            ObserverId::Human(id) => write!(f, "human:{id}"),
+        }
+    }
+}
+
+/// An event type identifier (`E_id` in Eq. 4.1).
+///
+/// Event ids are human-readable names ("fire-alarm", "user-nearby-window")
+/// shared system-wide; they identify event *types*, while
+/// [`crate::EventInstance`]s identify individual detections.
+///
+/// # Example
+///
+/// ```
+/// use stem_core::EventId;
+///
+/// let id = EventId::new("fire-alarm");
+/// assert_eq!(id.as_str(), "fire-alarm");
+/// assert_eq!(id.to_string(), "fire-alarm");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId(String);
+
+impl EventId {
+    /// Creates an event id from a name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        EventId(name.into())
+    }
+
+    /// The id as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for EventId {
+    fn from(s: &str) -> Self {
+        EventId(s.to_owned())
+    }
+}
+
+impl From<String> for EventId {
+    fn from(s: String) -> Self {
+        EventId(s)
+    }
+}
+
+/// An event instance sequence number (`i` in Eq. 4.6), scoped to an
+/// (observer, event) pair.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SeqNo(u64);
+
+impl SeqNo {
+    /// The first sequence number.
+    pub const FIRST: SeqNo = SeqNo(0);
+
+    /// Creates a sequence number.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        SeqNo(raw)
+    }
+
+    /// The raw counter value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next sequence number.
+    #[must_use]
+    pub const fn next(self) -> SeqNo {
+        SeqNo(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_ids_display_with_paper_prefixes() {
+        assert_eq!(MoteId::new(3).to_string(), "MT3");
+        assert_eq!(CcuId::new(1).to_string(), "CCU1");
+        assert_eq!(SensorId::new(2).to_string(), "SR2");
+        assert_eq!(ActuatorId::new(4).to_string(), "AR4");
+    }
+
+    #[test]
+    fn observer_id_distinguishes_mote_and_sink_roles() {
+        // The same physical mote id means different observers as mote vs sink.
+        let as_mote = ObserverId::Mote(MoteId::new(7));
+        let as_sink = ObserverId::Sink(MoteId::new(7));
+        assert_ne!(as_mote, as_sink);
+        assert_eq!(as_mote.to_string(), "mote:MT7");
+        assert_eq!(as_sink.to_string(), "sink:MT7");
+    }
+
+    #[test]
+    fn event_id_round_trips() {
+        let id: EventId = "fire".into();
+        assert_eq!(id, EventId::new(String::from("fire")));
+        assert_eq!(id.as_str(), "fire");
+    }
+
+    #[test]
+    fn seq_no_increments() {
+        let s = SeqNo::FIRST;
+        assert_eq!(s.next().raw(), 1);
+        assert_eq!(s.next().next(), SeqNo::new(2));
+        assert_eq!(s.to_string(), "#0");
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(MoteId::new(1) < MoteId::new(2));
+        assert!(SeqNo::new(5) > SeqNo::new(4));
+    }
+}

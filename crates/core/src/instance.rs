@@ -1,0 +1,398 @@
+//! Event instances (Def. 4.4) and the entity abstraction.
+
+use crate::{Attributes, Confidence, EventId, Layer, ObserverId, SeqNo};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use stem_spatial::{Point, SpatialExtent};
+use stem_temporal::{TemporalExtent, TimePoint};
+
+/// A uniform view of "an entity in CPS", which "can be a physical
+/// observation or an event instance" (Sec. 4.1): the inputs over which
+/// event conditions are evaluated.
+///
+/// * `time` / `location` — the (estimated) occurrence time and location
+///   used by temporal and spatial conditions,
+/// * `attributes` — the value set used by attribute conditions,
+/// * `confidence` — the producing observer's `ρ` (1.0 for raw
+///   observations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityData {
+    /// Occurrence time (estimated, from the entity producer's view).
+    pub time: TemporalExtent,
+    /// Occurrence location (estimated).
+    pub location: SpatialExtent,
+    /// Attribute values.
+    pub attributes: Attributes,
+    /// Producer confidence.
+    pub confidence: Confidence,
+}
+
+impl EntityData {
+    /// Creates an entity view.
+    #[must_use]
+    pub fn new(
+        time: TemporalExtent,
+        location: SpatialExtent,
+        attributes: Attributes,
+        confidence: Confidence,
+    ) -> Self {
+        EntityData {
+            time,
+            location,
+            attributes,
+            confidence,
+        }
+    }
+}
+
+/// An event instance (Def. 4.4, Eqs. 4.6–4.7): "the result of an
+/// evaluation of a certain observer according to event conditions",
+/// identified by `E(OB_id, E_id, i)` and carrying the 6-tuple
+/// `{t^g, l^g, t^eo, l^eo, V, ρ}`.
+///
+/// The crucial distinction (and the reason the paper separates instances
+/// from events): `t^g`/`l^g` are when/where the *observer generated* the
+/// instance, while `t^eo`/`l^eo` are the observer's *estimates* of the
+/// physical occurrence. Experiments score the estimates against simulated
+/// ground truth.
+///
+/// # Example
+///
+/// ```
+/// use stem_core::{Confidence, EventId, EventInstance, Layer, MoteId, ObserverId};
+/// use stem_spatial::{Point, SpatialExtent};
+/// use stem_temporal::{TemporalExtent, TimePoint};
+///
+/// let inst = EventInstance::builder(
+///     ObserverId::Mote(MoteId::new(1)),
+///     EventId::new("hot"),
+///     Layer::Sensor,
+/// )
+/// .generated(TimePoint::new(105), Point::new(3.0, 4.0))
+/// .estimated(
+///     TemporalExtent::punctual(TimePoint::new(100)),
+///     SpatialExtent::point(Point::new(3.1, 4.2)),
+/// )
+/// .confidence(Confidence::new(0.9)?)
+/// .build();
+/// assert_eq!(inst.seq(), stem_core::SeqNo::FIRST);
+/// assert_eq!(inst.generation_time(), TimePoint::new(105));
+/// # Ok::<(), stem_core::InvalidConfidence>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventInstance {
+    observer: ObserverId,
+    event: EventId,
+    seq: SeqNo,
+    layer: Layer,
+    /// Generation time `t^g`.
+    gen_time: TimePoint,
+    /// Generation location `l^g` (the observer's own position).
+    gen_location: Point,
+    /// Estimated occurrence time `t^eo`.
+    est_time: TemporalExtent,
+    /// Estimated occurrence location `l^eo`.
+    est_location: SpatialExtent,
+    /// Attributes `V`.
+    attributes: Attributes,
+    /// Observer confidence `ρ`.
+    confidence: Confidence,
+}
+
+impl EventInstance {
+    /// Starts building an instance for `(observer, event)` at the given
+    /// model layer.
+    #[must_use]
+    pub fn builder(observer: ObserverId, event: EventId, layer: Layer) -> EventInstanceBuilder {
+        EventInstanceBuilder {
+            observer,
+            event,
+            layer,
+            seq: SeqNo::FIRST,
+            gen_time: TimePoint::EPOCH,
+            gen_location: Point::new(0.0, 0.0),
+            est_time: None,
+            est_location: None,
+            attributes: Attributes::new(),
+            confidence: Confidence::CERTAIN,
+        }
+    }
+
+    /// The observer that generated this instance (`OB_id`).
+    #[must_use]
+    pub fn observer(&self) -> ObserverId {
+        self.observer
+    }
+
+    /// The event type this instance detects (`E_id`).
+    #[must_use]
+    pub fn event(&self) -> &EventId {
+        &self.event
+    }
+
+    /// The per-(observer, event) sequence number `i`.
+    #[must_use]
+    pub fn seq(&self) -> SeqNo {
+        self.seq
+    }
+
+    /// The layer of the event-model hierarchy this instance belongs to.
+    #[must_use]
+    pub fn layer(&self) -> Layer {
+        self.layer
+    }
+
+    /// Generation time `t^g`: when the observer emitted the instance.
+    #[must_use]
+    pub fn generation_time(&self) -> TimePoint {
+        self.gen_time
+    }
+
+    /// Generation location `l^g`: where the observer was.
+    #[must_use]
+    pub fn generation_location(&self) -> Point {
+        self.gen_location
+    }
+
+    /// Estimated occurrence time `t^eo`.
+    #[must_use]
+    pub fn estimated_time(&self) -> &TemporalExtent {
+        &self.est_time
+    }
+
+    /// Estimated occurrence location `l^eo`.
+    #[must_use]
+    pub fn estimated_location(&self) -> &SpatialExtent {
+        &self.est_location
+    }
+
+    /// The attribute set `V`.
+    #[must_use]
+    pub fn attributes(&self) -> &Attributes {
+        &self.attributes
+    }
+
+    /// The observer's confidence `ρ`.
+    #[must_use]
+    pub fn confidence(&self) -> Confidence {
+        self.confidence
+    }
+
+    /// Detection latency relative to the (estimated) occurrence: the gap
+    /// between the end of the estimated occurrence extent and generation.
+    ///
+    /// Returns `None` when the instance claims to have been generated
+    /// before its own estimated occurrence (possible under clock error).
+    #[must_use]
+    pub fn detection_latency(&self) -> Option<stem_temporal::Duration> {
+        self.gen_time.duration_since(self.est_time.end())
+    }
+
+    /// The entity view of this instance, as used by condition evaluation.
+    #[must_use]
+    pub fn entity_data(&self) -> EntityData {
+        EntityData {
+            time: self.est_time,
+            location: self.est_location.clone(),
+            attributes: self.attributes.clone(),
+            confidence: self.confidence,
+        }
+    }
+
+    /// Returns a copy with the given sequence number (used by observers
+    /// that maintain per-event counters).
+    #[must_use]
+    pub fn with_seq(mut self, seq: SeqNo) -> Self {
+        self.seq = seq;
+        self
+    }
+}
+
+impl fmt::Display for EventInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}, {}, {}){{t^g={}, l^g={}, t^eo={}, l^eo={}, V={}, {}}}",
+            self.layer.instance_symbol(),
+            self.observer,
+            self.event,
+            self.seq,
+            self.gen_time,
+            self.gen_location,
+            self.est_time,
+            self.est_location,
+            self.attributes,
+            self.confidence
+        )
+    }
+}
+
+/// Builder for [`EventInstance`] (the 6-tuple has too many fields for a
+/// readable constructor).
+#[derive(Debug, Clone)]
+pub struct EventInstanceBuilder {
+    observer: ObserverId,
+    event: EventId,
+    layer: Layer,
+    seq: SeqNo,
+    gen_time: TimePoint,
+    gen_location: Point,
+    est_time: Option<TemporalExtent>,
+    est_location: Option<SpatialExtent>,
+    attributes: Attributes,
+    confidence: Confidence,
+}
+
+impl EventInstanceBuilder {
+    /// Sets the sequence number `i` (defaults to [`SeqNo::FIRST`]).
+    #[must_use]
+    pub fn seq(mut self, seq: SeqNo) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the generation stamp `t^g, l^g`.
+    #[must_use]
+    pub fn generated(mut self, time: TimePoint, location: Point) -> Self {
+        self.gen_time = time;
+        self.gen_location = location;
+        self
+    }
+
+    /// Sets the estimated occurrence `t^eo, l^eo`.
+    #[must_use]
+    pub fn estimated(mut self, time: TemporalExtent, location: SpatialExtent) -> Self {
+        self.est_time = Some(time);
+        self.est_location = Some(location);
+        self
+    }
+
+    /// Sets the attribute set `V`.
+    #[must_use]
+    pub fn attributes(mut self, attributes: Attributes) -> Self {
+        self.attributes = attributes;
+        self
+    }
+
+    /// Sets the confidence `ρ` (defaults to certain).
+    #[must_use]
+    pub fn confidence(mut self, confidence: Confidence) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// Builds the instance.
+    ///
+    /// If no estimate was provided, the estimated occurrence defaults to
+    /// the generation stamp (an observer with no better information
+    /// estimates "here and now").
+    #[must_use]
+    pub fn build(self) -> EventInstance {
+        EventInstance {
+            observer: self.observer,
+            event: self.event,
+            layer: self.layer,
+            seq: self.seq,
+            gen_time: self.gen_time,
+            gen_location: self.gen_location,
+            est_time: self
+                .est_time
+                .unwrap_or(TemporalExtent::Punctual(self.gen_time)),
+            est_location: self
+                .est_location
+                .unwrap_or(SpatialExtent::Point(self.gen_location)),
+            attributes: self.attributes,
+            confidence: self.confidence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MoteId;
+    use stem_temporal::{Duration, TimeInterval};
+
+    fn base() -> EventInstanceBuilder {
+        EventInstance::builder(
+            ObserverId::Mote(MoteId::new(1)),
+            EventId::new("e"),
+            Layer::Sensor,
+        )
+    }
+
+    #[test]
+    fn builder_defaults_estimate_to_generation_stamp() {
+        let inst = base()
+            .generated(TimePoint::new(50), Point::new(1.0, 2.0))
+            .build();
+        assert_eq!(
+            inst.estimated_time(),
+            &TemporalExtent::punctual(TimePoint::new(50))
+        );
+        assert_eq!(
+            inst.estimated_location(),
+            &SpatialExtent::point(Point::new(1.0, 2.0))
+        );
+        assert_eq!(inst.confidence(), Confidence::CERTAIN);
+    }
+
+    #[test]
+    fn detection_latency_is_generation_minus_occurrence_end() {
+        let inst = base()
+            .generated(TimePoint::new(120), Point::new(0.0, 0.0))
+            .estimated(
+                TemporalExtent::interval(
+                    TimeInterval::new(TimePoint::new(90), TimePoint::new(100)).unwrap(),
+                ),
+                SpatialExtent::point(Point::new(0.0, 0.0)),
+            )
+            .build();
+        assert_eq!(inst.detection_latency(), Some(Duration::new(20)));
+    }
+
+    #[test]
+    fn detection_latency_none_when_clock_error_inverts_order() {
+        let inst = base()
+            .generated(TimePoint::new(80), Point::new(0.0, 0.0))
+            .estimated(
+                TemporalExtent::punctual(TimePoint::new(100)),
+                SpatialExtent::point(Point::new(0.0, 0.0)),
+            )
+            .build();
+        assert_eq!(inst.detection_latency(), None);
+    }
+
+    #[test]
+    fn entity_data_mirrors_estimates() {
+        let inst = base()
+            .generated(TimePoint::new(10), Point::new(5.0, 5.0))
+            .estimated(
+                TemporalExtent::punctual(TimePoint::new(7)),
+                SpatialExtent::point(Point::new(4.0, 4.0)),
+            )
+            .attributes(Attributes::new().with("v", 3.0))
+            .confidence(Confidence::new(0.5).unwrap())
+            .build();
+        let ed = inst.entity_data();
+        assert_eq!(ed.time, TemporalExtent::punctual(TimePoint::new(7)));
+        assert_eq!(ed.location, SpatialExtent::point(Point::new(4.0, 4.0)));
+        assert_eq!(ed.attributes.get_f64("v"), Some(3.0));
+        assert_eq!(ed.confidence.value(), 0.5);
+    }
+
+    #[test]
+    fn with_seq_updates_sequence() {
+        let inst = base().build().with_seq(SeqNo::new(9));
+        assert_eq!(inst.seq(), SeqNo::new(9));
+    }
+
+    #[test]
+    fn display_shows_identity_and_tuple() {
+        let inst = base()
+            .generated(TimePoint::new(5), Point::new(0.0, 0.0))
+            .build();
+        let s = inst.to_string();
+        assert!(s.contains("mote:MT1") && s.contains("#0") && s.contains("t^g=t5"), "{s}");
+    }
+}

@@ -1,0 +1,533 @@
+//! Observers (Def. 4.3): event definitions, estimation policies, and the
+//! condition-evaluating observer.
+//!
+//! "An observer is a device or a human that is able to collect data,
+//! evaluate these data based on event conditions, and output the according
+//! event instance if the event conditions are met."
+
+use crate::{
+    AttrAggregate, Attributes, Bindings, ConditionExpr, Confidence, EvalError, EventId,
+    EventInstance, Layer, ObserverId, SeqNo,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use stem_spatial::{Point, SpatialAgg, SpatialExtent};
+use stem_temporal::{TemporalExtent, TimeAgg, TimePoint};
+
+/// How an observer estimates the occurrence *time* `t^eo` of a detected
+/// event from its input entities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeEstimator {
+    /// The convex hull of input extents (interval result): right for
+    /// interval events assembled from multiple inputs.
+    HullOfInputs,
+    /// The earliest input start (punctual): "the event began when first
+    /// seen".
+    EarliestInput,
+    /// The latest input end (punctual): "the event concluded when last
+    /// seen".
+    LatestInput,
+    /// The mean input midpoint (punctual): a smoothing estimator.
+    MeanOfInputs,
+    /// The observer's own generation time (no better information).
+    GenerationTime,
+}
+
+impl TimeEstimator {
+    /// Applies the estimator to the bound entities.
+    #[must_use]
+    pub fn estimate(self, bindings: &Bindings, now: TimePoint) -> TemporalExtent {
+        let times: Vec<TemporalExtent> = bindings.iter().map(|(_, e)| e.time).collect();
+        let agg = match self {
+            TimeEstimator::HullOfInputs => TimeAgg::Hull.apply(&times),
+            TimeEstimator::EarliestInput => TimeAgg::Earliest.apply(&times),
+            TimeEstimator::LatestInput => TimeAgg::Latest.apply(&times),
+            TimeEstimator::MeanOfInputs => TimeAgg::Mean.apply(&times),
+            TimeEstimator::GenerationTime => None,
+        };
+        agg.unwrap_or(TemporalExtent::Punctual(now))
+    }
+}
+
+/// How an observer estimates the occurrence *location* `l^eo` of a
+/// detected event from its input entities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocationEstimator {
+    /// The centroid of input locations (point result).
+    CentroidOfInputs,
+    /// The convex hull of input locations (field result): right for field
+    /// events covered by multiple inputs.
+    HullOfInputs,
+    /// The bounding box of input locations (field result).
+    BoundingBoxOfInputs,
+    /// The observer's own position (no better information).
+    GenerationLocation,
+}
+
+impl LocationEstimator {
+    /// Applies the estimator to the bound entities.
+    #[must_use]
+    pub fn estimate(self, bindings: &Bindings, here: Point) -> SpatialExtent {
+        let locs: Vec<SpatialExtent> = bindings.iter().map(|(_, e)| e.location.clone()).collect();
+        let agg = match self {
+            LocationEstimator::CentroidOfInputs => SpatialAgg::Centroid.apply(&locs),
+            LocationEstimator::HullOfInputs => SpatialAgg::Hull.apply(&locs),
+            LocationEstimator::BoundingBoxOfInputs => SpatialAgg::BoundingBox.apply(&locs),
+            LocationEstimator::GenerationLocation => None,
+        };
+        agg.unwrap_or(SpatialExtent::Point(here))
+    }
+}
+
+/// How an observer derives its confidence `ρ` from input confidences.
+///
+/// Every policy result is scaled by the observer's own
+/// [`reliability`](ConditionObserver::reliability) factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConfidencePolicy {
+    /// The weakest input (conservative).
+    MinOfInputs,
+    /// The product of inputs (independent conjunction).
+    ProductOfInputs,
+    /// The mean of inputs.
+    MeanOfInputs,
+    /// Noisy-OR of inputs (independent corroboration).
+    NoisyOr,
+    /// A fixed confidence.
+    Fixed(f64),
+}
+
+impl ConfidencePolicy {
+    /// Applies the policy to the bound entities.
+    #[must_use]
+    pub fn combine(self, bindings: &Bindings) -> Confidence {
+        let confs: Vec<Confidence> = bindings.iter().map(|(_, e)| e.confidence).collect();
+        match self {
+            ConfidencePolicy::Fixed(v) => Confidence::saturating(v),
+            _ if confs.is_empty() => Confidence::CERTAIN,
+            ConfidencePolicy::MinOfInputs => confs
+                .iter()
+                .copied()
+                .reduce(Confidence::min)
+                .expect("non-empty"),
+            ConfidencePolicy::ProductOfInputs => confs
+                .iter()
+                .copied()
+                .reduce(Confidence::product)
+                .expect("non-empty"),
+            ConfidencePolicy::MeanOfInputs => Confidence::mean(&confs).expect("non-empty"),
+            ConfidencePolicy::NoisyOr => confs
+                .iter()
+                .copied()
+                .reduce(Confidence::noisy_or)
+                .expect("non-empty"),
+        }
+    }
+}
+
+/// Projects an aggregated input attribute into the output instance's `V`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrProjection {
+    /// Attribute key in the generated instance.
+    pub output_key: String,
+    /// Aggregate applied across all bound entities carrying `input_key`.
+    pub aggregate: AttrAggregate,
+    /// Attribute key looked up on each input entity.
+    pub input_key: String,
+}
+
+impl AttrProjection {
+    /// Creates a projection `output_key = aggregate(inputs.input_key)`.
+    #[must_use]
+    pub fn new(
+        output_key: impl Into<String>,
+        aggregate: AttrAggregate,
+        input_key: impl Into<String>,
+    ) -> Self {
+        AttrProjection {
+            output_key: output_key.into(),
+            aggregate,
+            input_key: input_key.into(),
+        }
+    }
+}
+
+/// The declarative definition of an event: its identity, layer, composite
+/// condition, and the policies used to populate generated instances.
+///
+/// This is the unit that observers are configured with — the paper's
+/// "sensor event conditions" / "cyber-physical event conditions" /
+/// "cyber event conditions" (Fig. 1) are all `EventDefinition`s at
+/// different layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventDefinition {
+    /// The event type this definition detects.
+    pub id: EventId,
+    /// The hierarchy layer instances are generated at.
+    pub layer: Layer,
+    /// The composite condition (Eq. 4.5).
+    pub condition: ConditionExpr,
+    /// Occurrence-time estimation policy.
+    pub time_estimator: TimeEstimator,
+    /// Occurrence-location estimation policy.
+    pub location_estimator: LocationEstimator,
+    /// Confidence derivation policy.
+    pub confidence_policy: ConfidencePolicy,
+    /// Attribute projections into the generated instance.
+    pub projections: Vec<AttrProjection>,
+}
+
+impl EventDefinition {
+    /// Creates a definition with default policies (hull time, centroid
+    /// location, min-of-inputs confidence, no projections).
+    #[must_use]
+    pub fn new(id: impl Into<EventId>, layer: Layer, condition: ConditionExpr) -> Self {
+        EventDefinition {
+            id: id.into(),
+            layer,
+            condition,
+            time_estimator: TimeEstimator::HullOfInputs,
+            location_estimator: LocationEstimator::CentroidOfInputs,
+            confidence_policy: ConfidencePolicy::MinOfInputs,
+            projections: Vec::new(),
+        }
+    }
+
+    /// Sets the time estimator.
+    #[must_use]
+    pub fn with_time_estimator(mut self, e: TimeEstimator) -> Self {
+        self.time_estimator = e;
+        self
+    }
+
+    /// Sets the location estimator.
+    #[must_use]
+    pub fn with_location_estimator(mut self, e: LocationEstimator) -> Self {
+        self.location_estimator = e;
+        self
+    }
+
+    /// Sets the confidence policy.
+    #[must_use]
+    pub fn with_confidence_policy(mut self, p: ConfidencePolicy) -> Self {
+        self.confidence_policy = p;
+        self
+    }
+
+    /// Adds an attribute projection.
+    #[must_use]
+    pub fn with_projection(mut self, p: AttrProjection) -> Self {
+        self.projections.push(p);
+        self
+    }
+}
+
+/// A stateful observer that evaluates [`EventDefinition`]s over bindings
+/// and generates [`EventInstance`]s (Def. 4.3 made executable).
+///
+/// Sequence numbers are maintained per event id, as required by Eq. 4.6.
+///
+/// # Example
+///
+/// ```
+/// use stem_core::{
+///     dsl, Attributes, Bindings, ConditionObserver, Confidence, EntityData,
+///     EventDefinition, Layer, MoteId, ObserverId,
+/// };
+/// use stem_spatial::{Point, SpatialExtent};
+/// use stem_temporal::{TemporalExtent, TimePoint};
+///
+/// let def = EventDefinition::new(
+///     "hot",
+///     Layer::Sensor,
+///     dsl::parse("x.temp > 30").unwrap(),
+/// );
+/// let mut observer = ConditionObserver::new(
+///     ObserverId::Mote(MoteId::new(1)),
+///     Point::new(0.0, 0.0),
+///     1.0,
+/// );
+/// let bindings = Bindings::new().with("x", EntityData::new(
+///     TemporalExtent::punctual(TimePoint::new(10)),
+///     SpatialExtent::point(Point::new(0.0, 0.0)),
+///     Attributes::new().with("temp", 35.0),
+///     Confidence::CERTAIN,
+/// ));
+/// let inst = observer
+///     .evaluate(&def, &bindings, TimePoint::new(12))
+///     .unwrap()
+///     .expect("condition holds");
+/// assert_eq!(inst.event().as_str(), "hot");
+/// assert_eq!(inst.seq().raw(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConditionObserver {
+    id: ObserverId,
+    location: Point,
+    reliability: f64,
+    seq: BTreeMap<EventId, SeqNo>,
+}
+
+impl ConditionObserver {
+    /// Creates an observer at `location` with a processing-reliability
+    /// factor in `[0, 1]` that scales every generated confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reliability` is not within `[0, 1]`.
+    #[must_use]
+    pub fn new(id: ObserverId, location: Point, reliability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&reliability),
+            "reliability must be in [0, 1], got {reliability}"
+        );
+        ConditionObserver {
+            id,
+            location,
+            reliability,
+            seq: BTreeMap::new(),
+        }
+    }
+
+    /// The observer's identity.
+    #[must_use]
+    pub fn id(&self) -> ObserverId {
+        self.id
+    }
+
+    /// The observer's position (used as `l^g`).
+    #[must_use]
+    pub fn location(&self) -> Point {
+        self.location
+    }
+
+    /// Updates the observer's position (mobile observers).
+    pub fn set_location(&mut self, location: Point) {
+        self.location = location;
+    }
+
+    /// The reliability factor applied to generated confidences.
+    #[must_use]
+    pub fn reliability(&self) -> f64 {
+        self.reliability
+    }
+
+    /// Evaluates one definition against bindings at local time `now`.
+    ///
+    /// On a true condition, generates the next instance for the event (and
+    /// advances the per-event sequence counter). On a false condition,
+    /// returns `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] when the condition references unbound
+    /// entities or missing attributes.
+    pub fn evaluate(
+        &mut self,
+        def: &EventDefinition,
+        bindings: &Bindings,
+        now: TimePoint,
+    ) -> Result<Option<EventInstance>, EvalError> {
+        if !def.condition.eval(bindings)? {
+            return Ok(None);
+        }
+        Ok(Some(self.generate(def, bindings, now)))
+    }
+
+    /// Unconditionally generates an instance for `def` from `bindings`
+    /// (used when the detection decision was made elsewhere, e.g. by a
+    /// CEP operator network).
+    #[must_use]
+    pub fn generate(
+        &mut self,
+        def: &EventDefinition,
+        bindings: &Bindings,
+        now: TimePoint,
+    ) -> EventInstance {
+        let seq = {
+            let counter = self.seq.entry(def.id.clone()).or_insert(SeqNo::FIRST);
+            let current = *counter;
+            *counter = counter.next();
+            current
+        };
+        let est_time = def.time_estimator.estimate(bindings, now);
+        let est_location = def.location_estimator.estimate(bindings, self.location);
+        let confidence = def
+            .confidence_policy
+            .combine(bindings)
+            .scaled(self.reliability);
+
+        let mut attributes = Attributes::new();
+        for proj in &def.projections {
+            let values: Vec<f64> = bindings
+                .iter()
+                .filter_map(|(_, e)| e.attributes.get_f64(&proj.input_key))
+                .collect();
+            if let Some(v) = proj.aggregate.apply(&values) {
+                attributes.set(proj.output_key.clone(), v);
+            }
+        }
+
+        EventInstance::builder(self.id, def.id.clone(), def.layer)
+            .seq(seq)
+            .generated(now, self.location)
+            .estimated(est_time, est_location)
+            .attributes(attributes)
+            .confidence(confidence)
+            .build()
+    }
+
+    /// The next sequence number that would be assigned for `event`.
+    #[must_use]
+    pub fn next_seq(&self, event: &EventId) -> SeqNo {
+        self.seq.get(event).copied().unwrap_or(SeqNo::FIRST)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dsl, EntityData, MoteId};
+    use stem_temporal::TimeInterval;
+
+    fn entity(t: u64, x: f64, y: f64, temp: f64, conf: f64) -> EntityData {
+        EntityData::new(
+            TemporalExtent::punctual(TimePoint::new(t)),
+            SpatialExtent::point(Point::new(x, y)),
+            Attributes::new().with("temp", temp),
+            Confidence::new(conf).unwrap(),
+        )
+    }
+
+    fn observer() -> ConditionObserver {
+        ConditionObserver::new(ObserverId::Mote(MoteId::new(1)), Point::new(5.0, 5.0), 0.95)
+    }
+
+    fn hot_def() -> EventDefinition {
+        EventDefinition::new("hot", Layer::Sensor, dsl::parse("avg(a.temp, b.temp) > 30").unwrap())
+            .with_projection(AttrProjection::new("temp", AttrAggregate::Average, "temp"))
+    }
+
+    #[test]
+    fn evaluate_returns_none_when_condition_false() {
+        let mut obs = observer();
+        let b = Bindings::new()
+            .with("a", entity(1, 0.0, 0.0, 10.0, 1.0))
+            .with("b", entity(2, 1.0, 0.0, 20.0, 1.0));
+        let out = obs.evaluate(&hot_def(), &b, TimePoint::new(5)).unwrap();
+        assert!(out.is_none());
+        assert_eq!(obs.next_seq(&EventId::new("hot")), SeqNo::FIRST, "no seq consumed");
+    }
+
+    #[test]
+    fn evaluate_generates_instance_with_estimates() {
+        let mut obs = observer();
+        let b = Bindings::new()
+            .with("a", entity(10, 0.0, 0.0, 40.0, 0.9))
+            .with("b", entity(20, 2.0, 0.0, 30.0, 0.8));
+        let inst = obs
+            .evaluate(&hot_def(), &b, TimePoint::new(25))
+            .unwrap()
+            .expect("condition holds");
+        // Hull time estimator: [10, 20].
+        assert_eq!(
+            inst.estimated_time(),
+            &TemporalExtent::interval(
+                TimeInterval::new(TimePoint::new(10), TimePoint::new(20)).unwrap()
+            )
+        );
+        // Centroid location estimator: (1, 0).
+        assert!(inst
+            .estimated_location()
+            .representative()
+            .approx_eq(Point::new(1.0, 0.0)));
+        // Min-of-inputs confidence × 0.95 reliability.
+        assert!((inst.confidence().value() - 0.8 * 0.95).abs() < 1e-12);
+        // Projection: mean temp.
+        assert_eq!(inst.attributes().get_f64("temp"), Some(35.0));
+        // Generation stamp.
+        assert_eq!(inst.generation_time(), TimePoint::new(25));
+        assert_eq!(inst.generation_location(), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn sequence_numbers_advance_per_event() {
+        let mut obs = observer();
+        let b = Bindings::new().with("a", entity(1, 0.0, 0.0, 40.0, 1.0)).with(
+            "b",
+            entity(2, 0.0, 0.0, 40.0, 1.0),
+        );
+        let def = hot_def();
+        let i0 = obs.evaluate(&def, &b, TimePoint::new(3)).unwrap().unwrap();
+        let i1 = obs.evaluate(&def, &b, TimePoint::new(4)).unwrap().unwrap();
+        assert_eq!(i0.seq().raw(), 0);
+        assert_eq!(i1.seq().raw(), 1);
+        // A different event id has its own counter.
+        let other = EventDefinition::new("cold", Layer::Sensor, dsl::parse("a.temp > 0").unwrap());
+        let j0 = obs.evaluate(&other, &b, TimePoint::new(5)).unwrap().unwrap();
+        assert_eq!(j0.seq().raw(), 0);
+    }
+
+    #[test]
+    fn estimator_variants() {
+        let b = Bindings::new()
+            .with("a", entity(10, 0.0, 0.0, 0.0, 1.0))
+            .with("b", entity(30, 4.0, 0.0, 0.0, 1.0));
+        assert_eq!(
+            TimeEstimator::EarliestInput.estimate(&b, TimePoint::new(99)),
+            TemporalExtent::punctual(TimePoint::new(10))
+        );
+        assert_eq!(
+            TimeEstimator::LatestInput.estimate(&b, TimePoint::new(99)),
+            TemporalExtent::punctual(TimePoint::new(30))
+        );
+        assert_eq!(
+            TimeEstimator::MeanOfInputs.estimate(&b, TimePoint::new(99)),
+            TemporalExtent::punctual(TimePoint::new(20))
+        );
+        assert_eq!(
+            TimeEstimator::GenerationTime.estimate(&b, TimePoint::new(99)),
+            TemporalExtent::punctual(TimePoint::new(99))
+        );
+        let bb = LocationEstimator::BoundingBoxOfInputs.estimate(&b, Point::new(0.0, 0.0));
+        assert!(bb.covers(Point::new(2.0, 0.0)));
+        let here = LocationEstimator::GenerationLocation.estimate(&b, Point::new(7.0, 7.0));
+        assert_eq!(here, SpatialExtent::point(Point::new(7.0, 7.0)));
+    }
+
+    #[test]
+    fn estimators_on_empty_bindings_fall_back_to_observer() {
+        let b = Bindings::new();
+        assert_eq!(
+            TimeEstimator::HullOfInputs.estimate(&b, TimePoint::new(42)),
+            TemporalExtent::punctual(TimePoint::new(42))
+        );
+        assert_eq!(
+            LocationEstimator::CentroidOfInputs.estimate(&b, Point::new(1.0, 2.0)),
+            SpatialExtent::point(Point::new(1.0, 2.0))
+        );
+    }
+
+    #[test]
+    fn confidence_policies() {
+        let b = Bindings::new()
+            .with("a", entity(1, 0.0, 0.0, 0.0, 0.5))
+            .with("b", entity(2, 0.0, 0.0, 0.0, 0.8));
+        assert_eq!(ConfidencePolicy::MinOfInputs.combine(&b).value(), 0.5);
+        assert!((ConfidencePolicy::ProductOfInputs.combine(&b).value() - 0.4).abs() < 1e-12);
+        assert!((ConfidencePolicy::MeanOfInputs.combine(&b).value() - 0.65).abs() < 1e-12);
+        assert!((ConfidencePolicy::NoisyOr.combine(&b).value() - 0.9).abs() < 1e-12);
+        assert_eq!(ConfidencePolicy::Fixed(0.3).combine(&b).value(), 0.3);
+        // Empty bindings: non-fixed policies default to certain.
+        assert_eq!(
+            ConfidencePolicy::MinOfInputs.combine(&Bindings::new()),
+            Confidence::CERTAIN
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reliability must be in [0, 1]")]
+    fn rejects_invalid_reliability() {
+        let _ = ConditionObserver::new(ObserverId::Human(1), Point::new(0.0, 0.0), 1.5);
+    }
+}

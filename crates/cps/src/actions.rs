@@ -1,0 +1,200 @@
+//! Event–Action rules and actuator commands.
+//!
+//! "Any CPS task can be represented as an 'Event-Action' relation"
+//! (Sec. 1): detection of a cyber event triggers predefined operations.
+//! At the CCU, [`EcaRule`]s associate cyber events with actuator commands;
+//! the dispatch node fans commands out to actor motes (Sec. 3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use stem_core::{EventId, EventInstance, MoteId};
+use stem_spatial::Point;
+use stem_temporal::TimePoint;
+
+/// Selects which actor motes a command is dispatched to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ActorSelector {
+    /// Every actor mote.
+    All,
+    /// The single actor nearest the triggering event's estimated
+    /// location.
+    NearestToEvent,
+    /// All actors within `radius` metres of the triggering event's
+    /// estimated location.
+    WithinRadius(f64),
+}
+
+impl ActorSelector {
+    /// Resolves the selector against the actor deployment for an event
+    /// whose estimated location is `event_location`.
+    #[must_use]
+    pub fn select(
+        &self,
+        actors: &[(MoteId, Point)],
+        event_location: Point,
+    ) -> Vec<MoteId> {
+        match self {
+            ActorSelector::All => actors.iter().map(|(id, _)| *id).collect(),
+            ActorSelector::NearestToEvent => actors
+                .iter()
+                .min_by(|a, b| {
+                    a.1.distance_squared(event_location)
+                        .partial_cmp(&b.1.distance_squared(event_location))
+                        .expect("finite positions")
+                })
+                .map(|(id, _)| vec![*id])
+                .unwrap_or_default(),
+            ActorSelector::WithinRadius(r) => actors
+                .iter()
+                .filter(|(_, p)| p.distance(event_location) <= *r)
+                .map(|(id, _)| *id)
+                .collect(),
+        }
+    }
+}
+
+/// An Event-Condition-Action rule held by a CCU: when an instance of
+/// `trigger` is generated, dispatch `command` to the selected actors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EcaRule {
+    /// The cyber event that fires the rule.
+    pub trigger: EventId,
+    /// The command verb sent to actuators (e.g. `"sprinkler-on"`).
+    pub command: String,
+    /// Which actors receive it.
+    pub selector: ActorSelector,
+}
+
+impl EcaRule {
+    /// Creates a rule.
+    #[must_use]
+    pub fn new(
+        trigger: impl Into<EventId>,
+        command: impl Into<String>,
+        selector: ActorSelector,
+    ) -> Self {
+        EcaRule {
+            trigger: trigger.into(),
+            command: command.into(),
+            selector,
+        }
+    }
+}
+
+/// A command in flight to an actor mote.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActuatorCommand {
+    /// The commanded actor mote.
+    pub actor: MoteId,
+    /// The command verb.
+    pub command: String,
+    /// The cyber event instance that triggered it.
+    pub trigger: EventInstance,
+    /// When the CCU issued the command.
+    pub issued_at: TimePoint,
+}
+
+/// A command that has been executed by an actor mote — the end of the
+/// Fig. 1 loop, closing cyber back into physical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutedAction {
+    /// The command as dispatched.
+    pub command: ActuatorCommand,
+    /// When the actor executed it.
+    pub executed_at: TimePoint,
+}
+
+impl ExecutedAction {
+    /// Latency from command issue to execution.
+    #[must_use]
+    pub fn dispatch_latency(&self) -> stem_temporal::Duration {
+        self.executed_at.abs_diff(self.command.issued_at)
+    }
+
+    /// Latency from the trigger event's *estimated occurrence end* to
+    /// execution — the actuation half of the paper's end-to-end latency
+    /// model.
+    #[must_use]
+    pub fn end_to_end_latency(&self) -> Option<stem_temporal::Duration> {
+        self.executed_at
+            .duration_since(self.command.trigger.estimated_time().end())
+    }
+}
+
+impl fmt::Display for ExecutedAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{} executed {} (issued {})",
+            self.command.command,
+            self.command.actor,
+            self.executed_at,
+            self.command.issued_at
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_core::{Layer, ObserverId};
+    use stem_temporal::{Duration, TemporalExtent};
+
+    fn actors() -> Vec<(MoteId, Point)> {
+        vec![
+            (MoteId::new(100), Point::new(0.0, 0.0)),
+            (MoteId::new(101), Point::new(10.0, 0.0)),
+            (MoteId::new(102), Point::new(20.0, 0.0)),
+        ]
+    }
+
+    #[test]
+    fn selector_all() {
+        let ids = ActorSelector::All.select(&actors(), Point::new(0.0, 0.0));
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn selector_nearest() {
+        let ids = ActorSelector::NearestToEvent.select(&actors(), Point::new(12.0, 0.0));
+        assert_eq!(ids, vec![MoteId::new(101)]);
+        assert!(ActorSelector::NearestToEvent
+            .select(&[], Point::new(0.0, 0.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn selector_within_radius() {
+        let ids = ActorSelector::WithinRadius(10.0).select(&actors(), Point::new(5.0, 0.0));
+        assert_eq!(ids, vec![MoteId::new(100), MoteId::new(101)]);
+        let none = ActorSelector::WithinRadius(1.0).select(&actors(), Point::new(50.0, 0.0));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn executed_action_latencies() {
+        let trigger = EventInstance::builder(
+            ObserverId::Ccu(stem_core::CcuId::new(0)),
+            EventId::new("fire"),
+            Layer::Cyber,
+        )
+        .generated(TimePoint::new(100), Point::new(0.0, 0.0))
+        .estimated(
+            TemporalExtent::punctual(TimePoint::new(80)),
+            stem_spatial::SpatialExtent::point(Point::new(0.0, 0.0)),
+        )
+        .build();
+        let exec = ExecutedAction {
+            command: ActuatorCommand {
+                actor: MoteId::new(100),
+                command: "sprinkler-on".into(),
+                trigger,
+                issued_at: TimePoint::new(105),
+            },
+            executed_at: TimePoint::new(130),
+        };
+        assert_eq!(exec.dispatch_latency(), Duration::new(25));
+        assert_eq!(exec.end_to_end_latency(), Some(Duration::new(50)));
+        assert!(exec.to_string().contains("sprinkler-on"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Application wiring: which events each observer layer detects and which
+//! actions follow — the configurable part of Fig. 1.
+
+use crate::actions::EcaRule;
+use serde::{Deserialize, Serialize};
+use stem_cep::{ConsumptionMode, Pattern, SustainedConfig};
+use stem_core::{EventDefinition, EventId};
+use stem_physical::MotionModel;
+use stem_temporal::Duration;
+use stem_wsn::SensorNoise;
+
+/// A composite detector deployed at the sink or CCU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorSpec {
+    /// The event definition (id, layer, condition, estimation policies).
+    pub definition: EventDefinition,
+    /// The constituent pattern feeding the condition.
+    pub pattern: Pattern,
+    /// Consumption mode for partial matches.
+    pub mode: ConsumptionMode,
+    /// Optional partial-state horizon.
+    pub horizon: Option<Duration>,
+}
+
+impl DetectorSpec {
+    /// Creates a spec with chronicle consumption and a horizon.
+    #[must_use]
+    pub fn new(definition: EventDefinition, pattern: Pattern, horizon: Duration) -> Self {
+        DetectorSpec {
+            definition,
+            pattern,
+            mode: ConsumptionMode::Chronicle,
+            horizon: Some(horizon),
+        }
+    }
+
+    /// Overrides the consumption mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ConsumptionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// How a sustained (interval-event) detector derives its sample value
+/// from an incoming instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SustainedSource {
+    /// A numeric attribute of the instance.
+    Attribute(String),
+    /// The distance from the instance's estimated location to a fixed
+    /// point (for proximity episodes like "user nearby window B").
+    DistanceTo {
+        /// X of the reference point.
+        x: f64,
+        /// Y of the reference point.
+        y: f64,
+    },
+}
+
+/// Whether the episode is active while the value is above or below the
+/// thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThresholdMode {
+    /// Active while `value >= enter`, ends when `value < exit`
+    /// (`exit <= enter`).
+    Above,
+    /// Active while `value <= enter`, ends when `value > exit`
+    /// (`exit >= enter`) — natural for distances.
+    Below,
+}
+
+/// A sustained-condition (interval event) detector deployed at the CCU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SustainedSpec {
+    /// The input event type whose instances drive the detector.
+    pub input: EventId,
+    /// The cyber event emitted for qualifying episodes.
+    pub output: EventId,
+    /// Where the sample value comes from.
+    pub source: SustainedSource,
+    /// Above/below semantics.
+    pub threshold_mode: ThresholdMode,
+    /// Episode thresholds and minimum duration (interpreted per
+    /// `threshold_mode`).
+    pub config: SustainedConfig,
+    /// If no input arrives for this long, the detector is fed an
+    /// "inactive" sample so open episodes can close (e.g. the target left
+    /// every sensor's range).
+    pub silence_timeout: Duration,
+}
+
+/// Target tracking (the Sec. 1 localization example): motes range a
+/// moving target; the sink trilaterates and publishes position events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackingSpec {
+    /// The target's ground-truth motion.
+    pub target: MotionModel,
+    /// Range-sensor detection radius (metres).
+    pub max_range: f64,
+    /// Range-sensor noise.
+    pub noise: SensorNoise,
+    /// Ranging period (ticks).
+    pub period: Duration,
+    /// Event id of the mote-level range readings.
+    pub reading_event: EventId,
+    /// Event id of the sink-level position fixes (cyber-physical layer).
+    pub position_event: EventId,
+    /// Minimum anchors required for a fix.
+    pub min_anchors: usize,
+}
+
+/// The full application deployed on the CPS: per-layer event definitions
+/// plus event–action rules.
+#[derive(Debug, Clone, Default)]
+pub struct CpsApplication {
+    /// Sensor-layer definitions evaluated by each mote on each
+    /// observation (entity binding `x` = the observation).
+    pub sensor_definitions: Vec<EventDefinition>,
+    /// Composite detectors at the sink (cyber-physical layer).
+    pub sink_detectors: Vec<DetectorSpec>,
+    /// Composite detectors at the CCU (cyber layer).
+    pub ccu_detectors: Vec<DetectorSpec>,
+    /// Sustained (interval) detectors at the CCU.
+    pub sustained: Vec<SustainedSpec>,
+    /// Target tracking, if the scenario has a mobile target.
+    pub tracking: Option<TrackingSpec>,
+    /// Event–action rules held by the CCU.
+    pub rules: Vec<EcaRule>,
+}
+
+impl CpsApplication {
+    /// An empty application (useful as a builder base).
+    #[must_use]
+    pub fn new() -> Self {
+        CpsApplication::default()
+    }
+
+    /// Adds a sensor-layer definition.
+    #[must_use]
+    pub fn with_sensor_definition(mut self, def: EventDefinition) -> Self {
+        self.sensor_definitions.push(def);
+        self
+    }
+
+    /// Adds a sink detector.
+    #[must_use]
+    pub fn with_sink_detector(mut self, spec: DetectorSpec) -> Self {
+        self.sink_detectors.push(spec);
+        self
+    }
+
+    /// Adds a CCU detector.
+    #[must_use]
+    pub fn with_ccu_detector(mut self, spec: DetectorSpec) -> Self {
+        self.ccu_detectors.push(spec);
+        self
+    }
+
+    /// Adds a sustained detector.
+    #[must_use]
+    pub fn with_sustained(mut self, spec: SustainedSpec) -> Self {
+        self.sustained.push(spec);
+        self
+    }
+
+    /// Enables target tracking.
+    #[must_use]
+    pub fn with_tracking(mut self, spec: TrackingSpec) -> Self {
+        self.tracking = Some(spec);
+        self
+    }
+
+    /// Adds an event–action rule.
+    #[must_use]
+    pub fn with_rule(mut self, rule: EcaRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::ActorSelector;
+    use stem_core::{dsl, Layer};
+
+    #[test]
+    fn builder_accumulates_components() {
+        let app = CpsApplication::new()
+            .with_sensor_definition(EventDefinition::new(
+                "hot",
+                Layer::Sensor,
+                dsl::parse("x.temp > 45").unwrap(),
+            ))
+            .with_rule(EcaRule::new("fire", "sprinkler-on", ActorSelector::All));
+        assert_eq!(app.sensor_definitions.len(), 1);
+        assert_eq!(app.rules.len(), 1);
+        assert!(app.tracking.is_none());
+    }
+
+    #[test]
+    fn detector_spec_defaults_to_chronicle() {
+        let spec = DetectorSpec::new(
+            EventDefinition::new("e", Layer::CyberPhysical, dsl::parse("x.v > 0").unwrap()),
+            Pattern::atom("x", "hot"),
+            Duration::new(100),
+        );
+        assert_eq!(spec.mode, ConsumptionMode::Chronicle);
+        assert_eq!(spec.horizon, Some(Duration::new(100)));
+        let cont = spec.with_mode(ConsumptionMode::Continuous);
+        assert_eq!(cont.mode, ConsumptionMode::Continuous);
+    }
+}

@@ -1,0 +1,175 @@
+//! The database server (Sec. 3): "a distributed data logging service for
+//! the event instances. The event instances that circulate inside the CPS
+//! network are automatically transferred to the database server after a
+//! certain time for later retrieval."
+
+use stem_core::{EventId, EventInstance, Layer};
+use stem_temporal::{Duration, TimePoint};
+
+/// An event-instance log with retention-based eviction and the query
+/// forms the experiments need (by type, layer, and generation-time
+/// range).
+///
+/// # Example
+///
+/// ```
+/// use stem_cps::DatabaseServer;
+/// use stem_core::{EventId, EventInstance, Layer, MoteId, ObserverId};
+/// use stem_spatial::Point;
+/// use stem_temporal::{Duration, TimePoint};
+///
+/// let mut db = DatabaseServer::new(Duration::new(1000));
+/// let inst = EventInstance::builder(
+///     ObserverId::Mote(MoteId::new(1)), EventId::new("hot"), Layer::Sensor,
+/// ).generated(TimePoint::new(10), Point::new(0.0, 0.0)).build();
+/// db.store(inst);
+/// assert_eq!(db.len(), 1);
+/// assert_eq!(db.query_by_event(&EventId::new("hot")).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseServer {
+    retention: Duration,
+    records: Vec<EventInstance>,
+    stored_total: u64,
+    evicted_total: u64,
+}
+
+impl DatabaseServer {
+    /// Creates a database retaining instances for `retention` ticks of
+    /// generation time.
+    #[must_use]
+    pub fn new(retention: Duration) -> Self {
+        DatabaseServer {
+            retention,
+            records: Vec::new(),
+            stored_total: 0,
+            evicted_total: 0,
+        }
+    }
+
+    /// The configured retention span.
+    #[must_use]
+    pub fn retention(&self) -> Duration {
+        self.retention
+    }
+
+    /// Stores an instance and evicts anything outside the retention span
+    /// relative to the newest generation time seen.
+    pub fn store(&mut self, instance: EventInstance) {
+        let now = instance.generation_time();
+        self.records.push(instance);
+        self.stored_total += 1;
+        let cutoff = now.checked_sub(self.retention).unwrap_or(TimePoint::EPOCH);
+        let before = self.records.len();
+        self.records.retain(|r| r.generation_time() >= cutoff);
+        self.evicted_total += (before - self.records.len()) as u64;
+    }
+
+    /// Number of currently retained instances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total instances ever stored.
+    #[must_use]
+    pub fn stored_total(&self) -> u64 {
+        self.stored_total
+    }
+
+    /// Total instances evicted by retention.
+    #[must_use]
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_total
+    }
+
+    /// All retained instances in insertion order.
+    #[must_use]
+    pub fn records(&self) -> &[EventInstance] {
+        &self.records
+    }
+
+    /// Retained instances of one event type.
+    pub fn query_by_event<'a>(
+        &'a self,
+        event: &'a EventId,
+    ) -> impl Iterator<Item = &'a EventInstance> + 'a {
+        self.records.iter().filter(move |r| r.event() == event)
+    }
+
+    /// Retained instances at one layer.
+    pub fn query_by_layer(&self, layer: Layer) -> impl Iterator<Item = &EventInstance> + '_ {
+        self.records.iter().filter(move |r| r.layer() == layer)
+    }
+
+    /// Retained instances generated in `[from, to]`.
+    pub fn query_by_time(
+        &self,
+        from: TimePoint,
+        to: TimePoint,
+    ) -> impl Iterator<Item = &EventInstance> + '_ {
+        self.records
+            .iter()
+            .filter(move |r| r.generation_time() >= from && r.generation_time() <= to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_core::{MoteId, ObserverId};
+    use stem_spatial::Point;
+
+    fn inst(event: &str, t: u64, layer: Layer) -> EventInstance {
+        EventInstance::builder(
+            ObserverId::Mote(MoteId::new(1)),
+            EventId::new(event),
+            layer,
+        )
+        .generated(TimePoint::new(t), Point::new(0.0, 0.0))
+        .build()
+    }
+
+    #[test]
+    fn retention_evicts_old_records() {
+        let mut db = DatabaseServer::new(Duration::new(100));
+        db.store(inst("a", 10, Layer::Sensor));
+        db.store(inst("b", 50, Layer::Sensor));
+        db.store(inst("c", 160, Layer::Sensor)); // cutoff 60: evicts a and b
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.stored_total(), 3);
+        assert_eq!(db.evicted_total(), 2);
+    }
+
+    #[test]
+    fn boundary_of_retention_is_kept() {
+        let mut db = DatabaseServer::new(Duration::new(100));
+        db.store(inst("a", 100, Layer::Sensor));
+        db.store(inst("b", 200, Layer::Sensor)); // cutoff exactly 100
+        assert_eq!(db.len(), 2, "instance exactly at the cutoff is retained");
+    }
+
+    #[test]
+    fn queries_filter_correctly() {
+        let mut db = DatabaseServer::new(Duration::new(10_000));
+        db.store(inst("hot", 10, Layer::Sensor));
+        db.store(inst("hot", 20, Layer::CyberPhysical));
+        db.store(inst("cold", 30, Layer::Sensor));
+        assert_eq!(db.query_by_event(&EventId::new("hot")).count(), 2);
+        assert_eq!(db.query_by_layer(Layer::Sensor).count(), 2);
+        assert_eq!(
+            db.query_by_time(TimePoint::new(15), TimePoint::new(30)).count(),
+            2
+        );
+        assert_eq!(
+            db.query_by_time(TimePoint::new(31), TimePoint::new(99)).count(),
+            0
+        );
+    }
+}

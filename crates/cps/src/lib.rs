@@ -1,0 +1,40 @@
+//! # stem-cps — the hierarchical CPS architecture
+//!
+//! The executable form of the paper's Fig. 1: sensor motes sample the
+//! physical world and evaluate sensor event conditions; the WSN carries
+//! their instances to the sink, which evaluates cyber-physical event
+//! conditions (including sink-side localization from range readings); the
+//! CPS network carries those to the CCU, which evaluates cyber event
+//! conditions — composite and sustained — and fires Event-Action rules;
+//! the dispatch path delivers actuator commands to actor motes, closing
+//! the loop into the physical world. A database server logs every
+//! instance with retention.
+//!
+//! Everything runs on the deterministic `stem-des` kernel: a
+//! [`ScenarioConfig`] + [`CpsApplication`] pair fully determines a run.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use stem_cps::{CpsApplication, CpsSystem, ScenarioConfig};
+//!
+//! let report = CpsSystem::run(ScenarioConfig::default(), CpsApplication::new());
+//! println!("observations: {}", report.metrics.counter(stem_cps::metrics::OBSERVATIONS));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actions;
+mod app;
+mod database;
+mod scenario;
+mod system;
+
+pub use actions::{ActorSelector, ActuatorCommand, EcaRule, ExecutedAction};
+pub use app::{
+    CpsApplication, DetectorSpec, SustainedSource, SustainedSpec, ThresholdMode, TrackingSpec,
+};
+pub use database::DatabaseServer;
+pub use scenario::{ScenarioConfig, TopologySpec};
+pub use system::{metrics, CpsReport, CpsState, CpsSystem};

@@ -1,0 +1,222 @@
+//! Scenario configuration: deployment, timing, and world parameters.
+
+use serde::{Deserialize, Serialize};
+use stem_physical::WorldField;
+use stem_spatial::{Point, Rect};
+use stem_temporal::Duration;
+use stem_wsn::{SensorNoise, WsnConfig};
+
+/// How sensor motes are deployed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// `n` motes uniformly at random in `area`.
+    Uniform {
+        /// Number of motes.
+        n: u32,
+        /// Deployment area.
+        area: Rect,
+    },
+    /// An `nx × ny` grid with `spacing` metres and per-mote `jitter`.
+    Grid {
+        /// Columns.
+        nx: u32,
+        /// Rows.
+        ny: u32,
+        /// Grid spacing in metres.
+        spacing: f64,
+        /// Uniform placement jitter per axis in metres.
+        jitter: f64,
+    },
+}
+
+/// The complete scenario configuration for a [`crate::CpsSystem`] run.
+///
+/// Defaults model a moderate indoor deployment with 1 ms ticks: 1 s
+/// sampling, a 5×5 grid at 15 m spacing, and sub-second backhaul.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Master seed; every stochastic component derives its stream from it.
+    pub seed: u64,
+    /// Mote deployment.
+    pub topology: TopologySpec,
+    /// The mote nearest this point becomes the WSN sink.
+    pub sink_near: Point,
+    /// Actor-mote positions (the actor network of Fig. 1).
+    pub actors: Vec<Point>,
+    /// The scalar phenomenon the field sensors measure.
+    pub world: WorldField,
+    /// Attribute name the field sensors write (e.g. `"temp"`).
+    pub sensed_attribute: String,
+    /// Field-sensor sampling period.
+    pub sampling_period: Duration,
+    /// Field-sensor imperfections.
+    pub sensor_noise: SensorNoise,
+    /// Radio/MAC/energy/routing configuration.
+    pub wsn: WsnConfig,
+    /// Payload size of one event-instance frame, bytes.
+    pub payload_bytes: u32,
+    /// Mote-side processing delay per generated instance.
+    pub mote_processing: Duration,
+    /// Sink-side processing delay per received instance.
+    pub sink_processing: Duration,
+    /// Mean sink→CCU backhaul latency.
+    pub backhaul_mean: Duration,
+    /// Uniform jitter added to the backhaul (0..=jitter).
+    pub backhaul_jitter: Duration,
+    /// CCU processing delay per received instance.
+    pub ccu_processing: Duration,
+    /// CCU→actor dispatch latency.
+    pub dispatch_delay: Duration,
+    /// Actor-side actuation delay.
+    pub actuation_delay: Duration,
+    /// Database retention span.
+    pub db_retention: Duration,
+    /// Simulated duration of the run.
+    pub duration: Duration,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 1,
+            topology: TopologySpec::Grid {
+                nx: 5,
+                ny: 5,
+                spacing: 15.0,
+                jitter: 0.0,
+            },
+            sink_near: Point::new(0.0, 0.0),
+            actors: vec![Point::new(30.0, 30.0)],
+            world: WorldField::Uniform(stem_physical::UniformField { value: 20.0 }),
+            sensed_attribute: "temp".to_owned(),
+            sampling_period: Duration::new(1000),
+            sensor_noise: SensorNoise::default(),
+            wsn: WsnConfig::default(),
+            payload_bytes: 32,
+            mote_processing: Duration::new(2),
+            sink_processing: Duration::new(5),
+            backhaul_mean: Duration::new(20),
+            backhaul_jitter: Duration::new(10),
+            ccu_processing: Duration::new(3),
+            dispatch_delay: Duration::new(25),
+            actuation_delay: Duration::new(50),
+            db_retention: Duration::new(3_600_000),
+            duration: Duration::new(60_000),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Validates internal consistency, returning a list of problems
+    /// (empty = valid).
+    #[must_use]
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.sampling_period.is_zero() {
+            problems.push("sampling_period must be positive".to_owned());
+        }
+        if self.duration.is_zero() {
+            problems.push("duration must be positive".to_owned());
+        }
+        match &self.topology {
+            TopologySpec::Uniform { n, area } => {
+                if *n == 0 {
+                    problems.push("topology needs at least one mote".to_owned());
+                }
+                if area.area() <= 0.0 {
+                    problems.push("deployment area must have positive area".to_owned());
+                }
+            }
+            TopologySpec::Grid { nx, ny, spacing, jitter } => {
+                if *nx == 0 || *ny == 0 {
+                    problems.push("grid dimensions must be positive".to_owned());
+                }
+                if *spacing <= 0.0 {
+                    problems.push("grid spacing must be positive".to_owned());
+                }
+                if *jitter < 0.0 {
+                    problems.push("grid jitter must be non-negative".to_owned());
+                }
+            }
+        }
+        if self.payload_bytes == 0 {
+            problems.push("payload_bytes must be positive".to_owned());
+        }
+        problems
+    }
+
+    /// Builds the WSN topology described by [`ScenarioConfig::topology`].
+    #[must_use]
+    pub fn build_topology(&self) -> stem_wsn::Topology {
+        match &self.topology {
+            TopologySpec::Uniform { n, area } => stem_wsn::Topology::uniform(self.seed, *n, *area),
+            TopologySpec::Grid {
+                nx,
+                ny,
+                spacing,
+                jitter,
+            } => stem_wsn::Topology::grid(self.seed, *nx, *ny, *spacing, *jitter),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ScenarioConfig::default().validate().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut cfg = ScenarioConfig {
+            sampling_period: Duration::ZERO,
+            payload_bytes: 0,
+            ..ScenarioConfig::default()
+        };
+        cfg.topology = TopologySpec::Grid {
+            nx: 0,
+            ny: 3,
+            spacing: -1.0,
+            jitter: 0.0,
+        };
+        let problems = cfg.validate();
+        assert!(problems.iter().any(|p| p.contains("sampling_period")));
+        assert!(problems.iter().any(|p| p.contains("payload_bytes")));
+        assert!(problems.iter().any(|p| p.contains("grid dimensions")));
+        assert!(problems.iter().any(|p| p.contains("spacing")));
+    }
+
+    #[test]
+    fn topology_spec_builds() {
+        let cfg = ScenarioConfig::default();
+        let topo = cfg.build_topology();
+        assert_eq!(topo.len(), 25);
+        let uni = ScenarioConfig {
+            topology: TopologySpec::Uniform {
+                n: 10,
+                area: Rect::new(Point::new(0.0, 0.0), Point::new(50.0, 50.0)),
+            },
+            ..ScenarioConfig::default()
+        };
+        assert_eq!(uni.build_topology().len(), 10);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = ScenarioConfig {
+            seed: 77,
+            topology: TopologySpec::Uniform {
+                n: 12,
+                area: Rect::new(Point::new(0.0, 0.0), Point::new(40.0, 40.0)),
+            },
+            ..ScenarioConfig::default()
+        };
+        let json = serde_json::to_string_pretty(&cfg).expect("serializable");
+        assert!(json.contains("sampling_period"));
+        let back: ScenarioConfig = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, cfg, "scenario configs are declarative and portable");
+    }
+}

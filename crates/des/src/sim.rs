@@ -1,0 +1,443 @@
+//! The deterministic discrete-event simulation kernel.
+//!
+//! A classic event-list simulator: a priority queue of `(time, priority,
+//! sequence)`-ordered entries, each holding a closure over the simulation
+//! state. Ties break by explicit priority, then by insertion sequence, so
+//! execution order is total and reproducible — the foundation for every
+//! experiment in this repository (same seed ⇒ identical output).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use stem_temporal::{Duration, TimePoint};
+
+/// An event handler: runs against the simulation state and may schedule
+/// follow-up events through the [`Scheduler`].
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Scheduler<S>)>;
+
+/// Handle for a scheduled event, usable with [`Scheduler::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+/// Scheduling priority for events that fire at the same tick: lower values
+/// run first.
+///
+/// Used to impose deterministic intra-tick phase ordering (e.g. "radio
+/// deliveries before sensor samples before application timers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// The default priority for ordinary events.
+    pub const NORMAL: Priority = Priority(128);
+    /// Runs before normal events in the same tick.
+    pub const EARLY: Priority = Priority(32);
+    /// Runs after normal events in the same tick.
+    pub const LATE: Priority = Priority(224);
+}
+
+struct Entry<S> {
+    time: TimePoint,
+    priority: Priority,
+    seq: u64,
+    id: u64,
+    action: EventFn<S>,
+}
+
+impl<S> PartialEq for Entry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+
+impl<S> Eq for Entry<S> {}
+
+impl<S> PartialOrd for Entry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S> Ord for Entry<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse so the earliest entry pops first.
+        other.cmp_key().cmp(&self.cmp_key())
+    }
+}
+
+impl<S> Entry<S> {
+    fn cmp_key(&self) -> (TimePoint, Priority, u64) {
+        (self.time, self.priority, self.seq)
+    }
+}
+
+/// The event queue and clock, passed to every handler so it can schedule
+/// follow-ups.
+pub struct Scheduler<S> {
+    now: TimePoint,
+    queue: BinaryHeap<Entry<S>>,
+    seq: u64,
+    next_id: u64,
+    /// Ids scheduled but not yet executed or cancelled.
+    pending_ids: HashSet<u64>,
+    /// Ids cancelled but still sitting in the heap (lazy deletion).
+    cancelled: HashSet<u64>,
+}
+
+impl<S> Scheduler<S> {
+    fn new() -> Self {
+        Scheduler {
+            now: TimePoint::EPOCH,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            next_id: 0,
+            pending_ids: HashSet::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// The current simulation time.
+    #[must_use]
+    pub fn now(&self) -> TimePoint {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled, not-yet-executed) events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending_ids.len()
+    }
+
+    /// Schedules `action` to run `delay` ticks from now at normal priority.
+    pub fn schedule<F>(&mut self, delay: Duration, action: F) -> EventHandle
+    where
+        F: FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    {
+        let at = self.now.checked_add(delay).unwrap_or(TimePoint::MAX);
+        self.schedule_at(at, Priority::NORMAL, action)
+    }
+
+    /// Schedules `action` at an absolute time with a priority.
+    ///
+    /// Scheduling in the past is clamped to "now" (it will still run after
+    /// everything already queued for the current tick with lower-or-equal
+    /// priority, preserving determinism).
+    pub fn schedule_at<F>(&mut self, at: TimePoint, priority: Priority, action: F) -> EventHandle
+    where
+        F: FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    {
+        let time = at.max(self.now);
+        let id = self.next_id;
+        self.next_id += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        self.pending_ids.insert(id);
+        self.queue.push(Entry {
+            time,
+            priority,
+            seq,
+            id,
+            action: Box::new(action),
+        });
+        EventHandle(id)
+    }
+
+    /// Cancels a scheduled event. Returns `true` only if the event was
+    /// still pending (not yet executed and not already cancelled).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if self.pending_ids.remove(&handle.0) {
+            self.cancelled.insert(handle.0);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A discrete-event simulation over state `S`.
+///
+/// # Example
+///
+/// ```
+/// use stem_des::{Simulation, Priority};
+/// use stem_temporal::{Duration, TimePoint};
+///
+/// let mut sim = Simulation::new(0u32);
+/// sim.scheduler_mut().schedule(Duration::new(10), |count, sched| {
+///     *count += 1;
+///     // Chain a follow-up event.
+///     sched.schedule(Duration::new(5), |count, _| *count += 10);
+/// });
+/// sim.run_until(TimePoint::new(100));
+/// assert_eq!(*sim.state(), 11);
+/// assert_eq!(sim.now(), TimePoint::new(15));
+/// ```
+pub struct Simulation<S> {
+    state: S,
+    sched: Scheduler<S>,
+    executed: u64,
+}
+
+impl<S> Simulation<S> {
+    /// Creates a simulation with the given initial state at the epoch.
+    #[must_use]
+    pub fn new(state: S) -> Self {
+        Simulation {
+            state,
+            sched: Scheduler::new(),
+            executed: 0,
+        }
+    }
+
+    /// The current simulation time (the time of the last executed event).
+    #[must_use]
+    pub fn now(&self) -> TimePoint {
+        self.sched.now
+    }
+
+    /// Shared access to the simulation state.
+    #[must_use]
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the simulation state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the simulation, returning the final state.
+    #[must_use]
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Access to the scheduler for seeding initial events.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<S> {
+        &mut self.sched
+    }
+
+    /// Total number of events executed so far.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Executes the next event, if any. Returns `false` when the queue is
+    /// exhausted.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(entry) = self.sched.queue.pop() else {
+                return false;
+            };
+            if self.sched.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.sched.pending_ids.remove(&entry.id);
+            debug_assert!(entry.time >= self.sched.now, "time must be monotone");
+            self.sched.now = entry.time;
+            (entry.action)(&mut self.state, &mut self.sched);
+            self.executed += 1;
+            return true;
+        }
+    }
+
+    /// Runs until the queue empties or the next event would fire after
+    /// `deadline`. The clock never advances past the last executed event.
+    pub fn run_until(&mut self, deadline: TimePoint) {
+        loop {
+            // Skip cancelled heads without executing.
+            while let Some(head) = self.sched.queue.peek() {
+                if self.sched.cancelled.contains(&head.id) {
+                    let e = self.sched.queue.pop().expect("peeked");
+                    self.sched.cancelled.remove(&e.id);
+                } else {
+                    break;
+                }
+            }
+            match self.sched.queue.peek() {
+                Some(head) if head.time <= deadline => {
+                    self.step();
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Runs to queue exhaustion, with a safety cap on executed events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cap is reached — an indication of a runaway
+    /// self-scheduling loop in a model.
+    pub fn run_to_completion(&mut self, max_events: u64) {
+        let start = self.executed;
+        while self.step() {
+            assert!(
+                self.executed - start <= max_events,
+                "simulation exceeded {max_events} events — runaway event loop?"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for &t in &[30u64, 10, 20] {
+            sim.scheduler_mut()
+                .schedule_at(TimePoint::new(t), Priority::NORMAL, move |log: &mut Vec<u64>, _| {
+                    log.push(t);
+                });
+        }
+        sim.run_until(TimePoint::MAX);
+        assert_eq!(sim.state(), &vec![10, 20, 30]);
+        assert_eq!(sim.executed(), 3);
+    }
+
+    #[test]
+    fn same_tick_orders_by_priority_then_insertion() {
+        let mut sim = Simulation::new(Vec::<&'static str>::new());
+        let s = sim.scheduler_mut();
+        s.schedule_at(TimePoint::new(5), Priority::LATE, |log: &mut Vec<_>, _| log.push("late"));
+        s.schedule_at(TimePoint::new(5), Priority::NORMAL, |log: &mut Vec<_>, _| log.push("n1"));
+        s.schedule_at(TimePoint::new(5), Priority::EARLY, |log: &mut Vec<_>, _| log.push("early"));
+        s.schedule_at(TimePoint::new(5), Priority::NORMAL, |log: &mut Vec<_>, _| log.push("n2"));
+        sim.run_until(TimePoint::MAX);
+        assert_eq!(sim.state(), &vec!["early", "n1", "n2", "late"]);
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut sim = Simulation::new(0u64);
+        sim.scheduler_mut().schedule(Duration::new(1), |_, sched| {
+            sched.schedule(Duration::new(1), |_, sched| {
+                sched.schedule(Duration::new(1), |n, _| *n = 42);
+            });
+        });
+        sim.run_until(TimePoint::new(10));
+        assert_eq!(*sim.state(), 42);
+        assert_eq!(sim.now(), TimePoint::new(3));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::new(0u32);
+        for t in [5u64, 10, 15] {
+            sim.scheduler_mut()
+                .schedule_at(TimePoint::new(t), Priority::NORMAL, |n: &mut u32, _| *n += 1);
+        }
+        sim.run_until(TimePoint::new(10));
+        assert_eq!(*sim.state(), 2);
+        assert_eq!(sim.now(), TimePoint::new(10));
+        sim.run_until(TimePoint::new(20));
+        assert_eq!(*sim.state(), 3);
+    }
+
+    #[test]
+    fn cancellation_prevents_execution() {
+        let mut sim = Simulation::new(0u32);
+        let keep = sim
+            .scheduler_mut()
+            .schedule(Duration::new(5), |n: &mut u32, _| *n += 1);
+        let drop_ = sim
+            .scheduler_mut()
+            .schedule(Duration::new(6), |n: &mut u32, _| *n += 10);
+        assert_eq!(sim.scheduler_mut().pending(), 2);
+        assert!(sim.scheduler_mut().cancel(drop_));
+        assert!(!sim.scheduler_mut().cancel(drop_), "double cancel is a no-op");
+        assert_eq!(sim.scheduler_mut().pending(), 1);
+        let _ = keep;
+        sim.run_until(TimePoint::MAX);
+        assert_eq!(*sim.state(), 1);
+    }
+
+    #[test]
+    fn cancel_of_unknown_handle_is_false() {
+        let mut sim = Simulation::<u32>::new(0);
+        assert!(!sim.scheduler_mut().cancel(EventHandle(999)));
+    }
+
+    #[test]
+    fn cancel_after_execution_is_false() {
+        let mut sim = Simulation::new(0u32);
+        let h = sim
+            .scheduler_mut()
+            .schedule(Duration::new(1), |n: &mut u32, _| *n += 1);
+        sim.run_until(TimePoint::MAX);
+        assert_eq!(*sim.state(), 1, "event ran");
+        assert!(
+            !sim.scheduler_mut().cancel(h),
+            "an executed event cannot be cancelled"
+        );
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        sim.scheduler_mut()
+            .schedule_at(TimePoint::new(10), Priority::NORMAL, |log: &mut Vec<u64>, sched| {
+                log.push(sched.now().ticks());
+                // "Yesterday" clamps to now=10.
+                sched.schedule_at(TimePoint::new(3), Priority::NORMAL, |log: &mut Vec<u64>, sched| {
+                    log.push(sched.now().ticks());
+                });
+            });
+        sim.run_until(TimePoint::MAX);
+        assert_eq!(sim.state(), &vec![10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "runaway event loop")]
+    fn run_to_completion_caps_runaway_loops() {
+        let mut sim = Simulation::new(());
+        fn respawn(_: &mut (), sched: &mut Scheduler<()>) {
+            sched.schedule(Duration::new(1), respawn);
+        }
+        sim.scheduler_mut().schedule(Duration::new(1), respawn);
+        sim.run_to_completion(1000);
+    }
+
+    proptest! {
+        /// The clock is monotone over any schedule of events.
+        #[test]
+        fn clock_is_monotone(times in proptest::collection::vec(0u64..1000, 1..50)) {
+            let mut sim = Simulation::new(Vec::<u64>::new());
+            for &t in &times {
+                sim.scheduler_mut().schedule_at(
+                    TimePoint::new(t),
+                    Priority::NORMAL,
+                    move |log: &mut Vec<u64>, sched| log.push(sched.now().ticks()),
+                );
+            }
+            sim.run_until(TimePoint::MAX);
+            let log = sim.state();
+            prop_assert_eq!(log.len(), times.len());
+            for w in log.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+
+        /// Two identical schedules execute identically (determinism).
+        #[test]
+        fn deterministic_execution(times in proptest::collection::vec((0u64..100, 0u8..4), 1..40)) {
+            let run = || {
+                let mut sim = Simulation::new(Vec::<(u64, u8)>::new());
+                for &(t, p) in &times {
+                    sim.scheduler_mut().schedule_at(
+                        TimePoint::new(t),
+                        Priority(p),
+                        move |log: &mut Vec<(u64, u8)>, _| log.push((t, p)),
+                    );
+                }
+                sim.run_until(TimePoint::MAX);
+                sim.into_state()
+            };
+            prop_assert_eq!(run(), run());
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Metric recorders: counters, sample histograms with quantiles, and time
+//! series. The experiment harness prints its tables from these.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use stem_temporal::TimePoint;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A sample-recording histogram with exact quantiles.
+///
+/// Stores every sample (experiments here record at most a few hundred
+/// thousand), sorting lazily on first quantile query after new data.
+///
+/// # Example
+///
+/// ```
+/// use stem_des::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.mean(), Some(3.0));
+/// assert_eq!(h.quantile(0.5), Some(3.0));
+/// assert_eq!(h.max(), Some(5.0));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records a sample. Non-finite samples are rejected (and counted
+    /// nowhere) — they would poison every downstream statistic.
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Population standard deviation, or `None` when empty.
+    #[must_use]
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Minimum sample, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum sample, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// The `q`-quantile (nearest-rank on the sorted samples), `q ∈ [0, 1]`.
+    ///
+    /// Requires `&mut self` to sort lazily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        Some(self.samples[idx])
+    }
+
+    /// A compact one-line summary: `n, mean, p50, p95, p99, max`.
+    #[must_use]
+    pub fn summary(&mut self) -> String {
+        if self.is_empty() {
+            return "n=0".to_owned();
+        }
+        format!(
+            "n={} mean={:.2} p50={:.2} p95={:.2} p99={:.2} max={:.2}",
+            self.count(),
+            self.mean().expect("non-empty"),
+            self.quantile(0.50).expect("non-empty"),
+            self.quantile(0.95).expect("non-empty"),
+            self.quantile(0.99).expect("non-empty"),
+            self.max().expect("non-empty"),
+        )
+    }
+
+    /// The raw samples (unsorted order not guaranteed).
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A time-stamped series of values (e.g. per-tick queue depth).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(TimePoint, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last recorded point (series are
+    /// append-only in time).
+    pub fn record(&mut self, at: TimePoint, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at >= last, "time series must be recorded in time order");
+        }
+        self.points.push((at, value));
+    }
+
+    /// The recorded points in time order.
+    #[must_use]
+    pub fn points(&self) -> &[(TimePoint, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if no points were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The value at or before `at` (step interpolation), if any.
+    #[must_use]
+    pub fn value_at(&self, at: TimePoint) -> Option<f64> {
+        match self.points.binary_search_by_key(&at, |&(t, _)| t) {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+}
+
+/// A named collection of histograms and counters — one per metric — used
+/// by the scenario runner to gather per-layer statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricSet {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricSet {
+    /// Creates an empty metric set.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Increments the named counter (creating it at zero).
+    pub fn inc(&mut self, name: &str) {
+        self.counters.entry(name.to_owned()).or_default().inc();
+    }
+
+    /// Adds to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &str, n: u64) {
+        self.counters.entry(name.to_owned()).or_default().add(n);
+    }
+
+    /// Records a sample into the named histogram (creating it).
+    pub fn record(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// Reads a counter (zero if absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, Counter::get)
+    }
+
+    /// Reads a histogram, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Exclusive access to a histogram (for quantile queries), creating it
+    /// if absent.
+    pub fn histogram_mut(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Iterates histogram names in order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
+    /// Merges another metric set into this one (counters add, histograms
+    /// concatenate).
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (k, v) in &other.counters {
+            self.counters.entry(k.clone()).or_default().add(v.get());
+        }
+        for (k, h) in &other.histograms {
+            let target = self.histograms.entry(k.clone()).or_default();
+            for &s in h.samples() {
+                target.record(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_behaviour() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), Some(2.5));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(4.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        let sd = h.std_dev().unwrap();
+        assert!((sd - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_non_finite() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(2.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn histogram_empty_queries() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.summary(), "n=0");
+    }
+
+    #[test]
+    fn histogram_interleaves_record_and_quantile() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        assert_eq!(h.quantile(0.5), Some(5.0));
+        h.record(1.0);
+        assert_eq!(h.quantile(0.0), Some(1.0), "re-sorts after new data");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn histogram_rejects_bad_quantile() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn time_series_step_lookup() {
+        let mut ts = TimeSeries::new();
+        ts.record(TimePoint::new(10), 1.0);
+        ts.record(TimePoint::new(20), 2.0);
+        assert_eq!(ts.value_at(TimePoint::new(5)), None);
+        assert_eq!(ts.value_at(TimePoint::new(10)), Some(1.0));
+        assert_eq!(ts.value_at(TimePoint::new(15)), Some(1.0));
+        assert_eq!(ts.value_at(TimePoint::new(20)), Some(2.0));
+        assert_eq!(ts.value_at(TimePoint::new(99)), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn time_series_rejects_regression() {
+        let mut ts = TimeSeries::new();
+        ts.record(TimePoint::new(10), 1.0);
+        ts.record(TimePoint::new(5), 2.0);
+    }
+
+    #[test]
+    fn metric_set_merge() {
+        let mut a = MetricSet::new();
+        a.inc("events");
+        a.record("latency", 5.0);
+        let mut b = MetricSet::new();
+        b.add("events", 2);
+        b.record("latency", 7.0);
+        b.record("loss", 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("events"), 3);
+        assert_eq!(a.histogram("latency").unwrap().count(), 2);
+        assert_eq!(a.histogram("loss").unwrap().count(), 1);
+        assert_eq!(a.counter("missing"), 0);
+    }
+
+    proptest! {
+        /// Quantiles are monotone in q and bounded by min/max.
+        #[test]
+        fn quantiles_monotone(samples in proptest::collection::vec(-100.0f64..100.0, 1..60)) {
+            let mut h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let min = h.min().unwrap();
+            let max = h.max().unwrap();
+            let mut prev = min;
+            for i in 0..=10 {
+                let q = h.quantile(i as f64 / 10.0).unwrap();
+                prop_assert!(q >= prev - 1e-12);
+                prop_assert!(q >= min && q <= max);
+                prev = q;
+            }
+        }
+
+        /// Mean lies within [min, max].
+        #[test]
+        fn mean_bounded(samples in proptest::collection::vec(-100.0f64..100.0, 1..60)) {
+            let mut h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let mean = h.mean().unwrap();
+            prop_assert!(mean >= h.min().unwrap() - 1e-9);
+            prop_assert!(mean <= h.max().unwrap() + 1e-9);
+        }
+    }
+}

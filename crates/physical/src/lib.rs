@@ -1,0 +1,43 @@
+//! # stem-physical — physical-world models
+//!
+//! The paper's Fig. 1 begins with "the changing physical world"; this
+//! crate simulates it. Scalar phenomenon fields ([`ScalarField`]) give
+//! sensors something to sample, trajectories ([`Trajectory`]) move users
+//! and intruders around, and the ground-truth extractors turn both into
+//! the paper's *physical events* (Eq. 5.1) so that every experiment can
+//! score detections against exact truth — the substitution for real
+//! deployments documented in DESIGN.md.
+//!
+//! # Example
+//!
+//! ```
+//! use stem_physical::{ScalarField, SpreadingFire};
+//! use stem_spatial::Point;
+//! use stem_temporal::TimePoint;
+//!
+//! let fire = SpreadingFire {
+//!     ignition: Point::new(0.0, 0.0),
+//!     ignition_time: TimePoint::new(100),
+//!     spread_speed: 0.5,
+//!     burn_value: 400.0,
+//!     ambient: 20.0,
+//!     edge_width: 1.0,
+//! };
+//! assert_eq!(fire.value_at(Point::new(0.0, 0.0), TimePoint::new(0)), 20.0);
+//! assert!(fire.value_at(Point::new(1.0, 0.0), TimePoint::new(200)) > 350.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mobility;
+mod scalar;
+mod truth;
+
+pub use mobility::{
+    InvalidPath, MotionModel, RandomWalk, StaticPosition, Trajectory, WaypointPath,
+};
+pub use scalar::{
+    GradientField, HotSpot, MaxField, ScalarField, SpreadingFire, UniformField, WorldField,
+};
+pub use truth::{crossing_event, first_crossing, presence_event, presence_intervals};

@@ -1,0 +1,389 @@
+//! Moving physical objects (users, vehicles, intruders).
+//!
+//! The paper's running example tracks "user A nearby window B"; these
+//! trajectory models provide the ground-truth motion that range sensors
+//! observe.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use stem_des::stream;
+use stem_spatial::{Point, Rect};
+use stem_temporal::{Duration, TimePoint};
+
+/// A deterministic position-over-time model.
+pub trait Trajectory {
+    /// The object's position at time `t`.
+    fn position_at(&self, t: TimePoint) -> Point;
+}
+
+/// An object that never moves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticPosition(pub Point);
+
+impl Trajectory for StaticPosition {
+    fn position_at(&self, _t: TimePoint) -> Point {
+        self.0
+    }
+}
+
+/// Piecewise-linear motion through time-stamped waypoints.
+///
+/// Before the first waypoint the object sits at it; after the last it
+/// stays there (or wraps around if `repeat` is set, using the span between
+/// first and last waypoint as the period).
+///
+/// # Example
+///
+/// ```
+/// use stem_physical::{Trajectory, WaypointPath};
+/// use stem_spatial::Point;
+/// use stem_temporal::TimePoint;
+///
+/// let path = WaypointPath::new(vec![
+///     (TimePoint::new(0), Point::new(0.0, 0.0)),
+///     (TimePoint::new(10), Point::new(10.0, 0.0)),
+/// ], false)?;
+/// assert!(path.position_at(TimePoint::new(5)).approx_eq(Point::new(5.0, 0.0)));
+/// assert!(path.position_at(TimePoint::new(99)).approx_eq(Point::new(10.0, 0.0)));
+/// # Ok::<(), stem_physical::InvalidPath>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaypointPath {
+    waypoints: Vec<(TimePoint, Point)>,
+    repeat: bool,
+}
+
+/// Error returned for waypoint lists that are empty or out of time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidPath {
+    /// No waypoints were given.
+    Empty,
+    /// Waypoint `index` does not strictly follow its predecessor in time.
+    OutOfOrder {
+        /// The offending waypoint position.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for InvalidPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidPath::Empty => write!(f, "waypoint path needs at least one waypoint"),
+            InvalidPath::OutOfOrder { index } => {
+                write!(f, "waypoint {index} is not strictly after its predecessor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidPath {}
+
+impl WaypointPath {
+    /// Creates a path from time-stamped waypoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPath`] if the list is empty or timestamps are not
+    /// strictly increasing.
+    pub fn new(waypoints: Vec<(TimePoint, Point)>, repeat: bool) -> Result<Self, InvalidPath> {
+        if waypoints.is_empty() {
+            return Err(InvalidPath::Empty);
+        }
+        for (i, w) in waypoints.windows(2).enumerate() {
+            if w[1].0 <= w[0].0 {
+                return Err(InvalidPath::OutOfOrder { index: i + 1 });
+            }
+        }
+        Ok(WaypointPath { waypoints, repeat })
+    }
+
+    /// The waypoints in time order.
+    #[must_use]
+    pub fn waypoints(&self) -> &[(TimePoint, Point)] {
+        &self.waypoints
+    }
+}
+
+impl Trajectory for WaypointPath {
+    fn position_at(&self, t: TimePoint) -> Point {
+        let first = self.waypoints[0];
+        let last = *self.waypoints.last().expect("non-empty");
+        let mut query = t;
+        if self.repeat && self.waypoints.len() > 1 && t > last.0 {
+            let period = last.0.ticks() - first.0.ticks();
+            let offset = (t.ticks() - first.0.ticks()) % period;
+            query = TimePoint::new(first.0.ticks() + offset);
+        }
+        if query <= first.0 {
+            return first.1;
+        }
+        if query >= last.0 {
+            return last.1;
+        }
+        // Find the bracketing segment.
+        let idx = self
+            .waypoints
+            .partition_point(|&(wt, _)| wt <= query);
+        let (t0, p0) = self.waypoints[idx - 1];
+        let (t1, p1) = self.waypoints[idx];
+        let frac = (query.ticks() - t0.ticks()) as f64 / (t1.ticks() - t0.ticks()) as f64;
+        p0.lerp(p1, frac)
+    }
+}
+
+/// A seeded random walk inside a bounding rectangle.
+///
+/// Positions are pre-generated at a fixed step interval up to a horizon
+/// and linearly interpolated between steps, so the walk is a pure function
+/// of `(seed, parameters)` — repeatable across runs and queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomWalk {
+    step_interval: Duration,
+    positions: Vec<Point>,
+}
+
+impl RandomWalk {
+    /// Generates a walk of `steps` steps of at most `max_step` metres each,
+    /// starting at `start`, reflecting off the walls of `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero, `step_interval` is zero, or `start` lies
+    /// outside `bounds`.
+    #[must_use]
+    pub fn generate(
+        seed: u64,
+        key: u64,
+        start: Point,
+        bounds: Rect,
+        max_step: f64,
+        step_interval: Duration,
+        steps: usize,
+    ) -> Self {
+        assert!(steps > 0, "walk needs at least one step");
+        assert!(!step_interval.is_zero(), "step interval must be positive");
+        assert!(bounds.contains(start), "start must lie within bounds");
+        let mut rng = stream(seed, key);
+        let mut positions = Vec::with_capacity(steps + 1);
+        positions.push(start);
+        let mut current = start;
+        for _ in 0..steps {
+            let dx = rng.gen_range(-max_step..=max_step);
+            let dy = rng.gen_range(-max_step..=max_step);
+            let mut next = Point::new(current.x + dx, current.y + dy);
+            // Reflect off the walls.
+            if next.x < bounds.min().x {
+                next.x = 2.0 * bounds.min().x - next.x;
+            }
+            if next.x > bounds.max().x {
+                next.x = 2.0 * bounds.max().x - next.x;
+            }
+            if next.y < bounds.min().y {
+                next.y = 2.0 * bounds.min().y - next.y;
+            }
+            if next.y > bounds.max().y {
+                next.y = 2.0 * bounds.max().y - next.y;
+            }
+            // Clamp in the pathological case of a reflection overshooting.
+            next.x = next.x.clamp(bounds.min().x, bounds.max().x);
+            next.y = next.y.clamp(bounds.min().y, bounds.max().y);
+            positions.push(next);
+            current = next;
+        }
+        RandomWalk {
+            step_interval,
+            positions,
+        }
+    }
+
+    /// The pre-generated step positions.
+    #[must_use]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+}
+
+impl Trajectory for RandomWalk {
+    fn position_at(&self, t: TimePoint) -> Point {
+        let step_ticks = self.step_interval.ticks();
+        let idx = (t.ticks() / step_ticks) as usize;
+        if idx + 1 >= self.positions.len() {
+            return *self.positions.last().expect("non-empty");
+        }
+        let frac = (t.ticks() % step_ticks) as f64 / step_ticks as f64;
+        self.positions[idx].lerp(self.positions[idx + 1], frac)
+    }
+}
+
+/// A serde-friendly sum type over the built-in trajectories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MotionModel {
+    /// Stationary object.
+    Static(StaticPosition),
+    /// Waypoint-interpolated motion.
+    Waypoints(WaypointPath),
+    /// Seeded random walk.
+    Walk(RandomWalk),
+}
+
+impl Trajectory for MotionModel {
+    fn position_at(&self, t: TimePoint) -> Point {
+        match self {
+            MotionModel::Static(m) => m.position_at(t),
+            MotionModel::Waypoints(m) => m.position_at(t),
+            MotionModel::Walk(m) => m.position_at(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bounds() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    #[test]
+    fn waypoint_validation() {
+        assert_eq!(WaypointPath::new(vec![], false).unwrap_err(), InvalidPath::Empty);
+        let err = WaypointPath::new(
+            vec![
+                (TimePoint::new(10), Point::new(0.0, 0.0)),
+                (TimePoint::new(10), Point::new(1.0, 0.0)),
+            ],
+            false,
+        )
+        .unwrap_err();
+        assert_eq!(err, InvalidPath::OutOfOrder { index: 1 });
+    }
+
+    #[test]
+    fn waypoint_interpolation_and_clamping() {
+        let path = WaypointPath::new(
+            vec![
+                (TimePoint::new(10), Point::new(0.0, 0.0)),
+                (TimePoint::new(20), Point::new(10.0, 0.0)),
+                (TimePoint::new(30), Point::new(10.0, 10.0)),
+            ],
+            false,
+        )
+        .unwrap();
+        assert!(path.position_at(TimePoint::new(0)).approx_eq(Point::new(0.0, 0.0)));
+        assert!(path.position_at(TimePoint::new(15)).approx_eq(Point::new(5.0, 0.0)));
+        assert!(path.position_at(TimePoint::new(25)).approx_eq(Point::new(10.0, 5.0)));
+        assert!(path.position_at(TimePoint::new(95)).approx_eq(Point::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn repeating_path_wraps_around() {
+        let path = WaypointPath::new(
+            vec![
+                (TimePoint::new(0), Point::new(0.0, 0.0)),
+                (TimePoint::new(10), Point::new(10.0, 0.0)),
+            ],
+            true,
+        )
+        .unwrap();
+        // t=15 wraps to t=5.
+        assert!(path.position_at(TimePoint::new(15)).approx_eq(Point::new(5.0, 0.0)));
+        // t=25 wraps to t=5 as well (period 10).
+        assert!(path.position_at(TimePoint::new(25)).approx_eq(Point::new(5.0, 0.0)));
+    }
+
+    #[test]
+    fn random_walk_reproducible_and_bounded() {
+        let mk = || {
+            RandomWalk::generate(
+                7,
+                1,
+                Point::new(50.0, 50.0),
+                bounds(),
+                5.0,
+                Duration::new(10),
+                100,
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b, "same seed, same walk");
+        for p in a.positions() {
+            assert!(bounds().contains(*p), "walk escaped bounds at {p}");
+        }
+        let other = RandomWalk::generate(
+            8,
+            1,
+            Point::new(50.0, 50.0),
+            bounds(),
+            5.0,
+            Duration::new(10),
+            100,
+        );
+        assert_ne!(a, other, "different seed, different walk");
+    }
+
+    #[test]
+    fn random_walk_interpolates_between_steps() {
+        let walk = RandomWalk::generate(
+            3,
+            0,
+            Point::new(50.0, 50.0),
+            bounds(),
+            4.0,
+            Duration::new(10),
+            10,
+        );
+        let p0 = walk.positions()[0];
+        let p1 = walk.positions()[1];
+        let mid = walk.position_at(TimePoint::new(5));
+        assert!(mid.approx_eq(p0.midpoint(p1)));
+        // Beyond the horizon: stays at the last position.
+        let last = *walk.positions().last().unwrap();
+        assert!(walk.position_at(TimePoint::new(10_000)).approx_eq(last));
+    }
+
+    #[test]
+    #[should_panic(expected = "start must lie within bounds")]
+    fn random_walk_rejects_outside_start() {
+        let _ = RandomWalk::generate(
+            1,
+            0,
+            Point::new(-5.0, 0.0),
+            bounds(),
+            1.0,
+            Duration::new(1),
+            1,
+        );
+    }
+
+    proptest! {
+        /// Motion between consecutive queries is bounded by walk speed
+        /// (continuity: no teleporting).
+        #[test]
+        fn walk_is_continuous(seed in 0u64..100, t in 0u64..900) {
+            let walk = RandomWalk::generate(
+                seed, 0, Point::new(50.0, 50.0), bounds(), 5.0, Duration::new(10), 100,
+            );
+            let a = walk.position_at(TimePoint::new(t));
+            let b = walk.position_at(TimePoint::new(t + 1));
+            // Max step is 5√2 m per 10 ticks plus reflection ≤ doubles it.
+            prop_assert!(a.distance(b) <= 2.0);
+        }
+
+        /// Waypoint positions at waypoint times hit the waypoints exactly.
+        #[test]
+        fn waypoints_are_hit(offsets in proptest::collection::vec(1u64..50, 1..8)) {
+            let mut t = 0u64;
+            let mut pts = vec![(TimePoint::new(0), Point::new(0.0, 0.0))];
+            for (i, dt) in offsets.iter().enumerate() {
+                t += dt;
+                pts.push((TimePoint::new(t), Point::new(i as f64, (i * 2) as f64)));
+            }
+            let path = WaypointPath::new(pts.clone(), false).unwrap();
+            for (wt, wp) in pts {
+                prop_assert!(path.position_at(wt).approx_eq(wp));
+            }
+        }
+    }
+}

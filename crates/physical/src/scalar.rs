@@ -1,0 +1,319 @@
+//! Scalar phenomenon fields: what sensors sample.
+//!
+//! "A sensor is a device that measures a physical phenomenon, e.g., room
+//! temperature" (Sec. 3). These models give every point of the plane a
+//! value at every tick, so simulated sensors can sample them and
+//! experiments can score event estimates against exact ground truth.
+
+use serde::{Deserialize, Serialize};
+use stem_spatial::{Circle, Field, Point};
+use stem_temporal::TimePoint;
+
+/// A deterministic scalar field over space and time.
+pub trait ScalarField {
+    /// The field value at location `p` and time `t`.
+    fn value_at(&self, p: Point, t: TimePoint) -> f64;
+}
+
+/// A spatially and temporally constant field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformField {
+    /// The constant value.
+    pub value: f64,
+}
+
+impl ScalarField for UniformField {
+    fn value_at(&self, _p: Point, _t: TimePoint) -> f64 {
+        self.value
+    }
+}
+
+/// A static linear gradient: `base + gx·x + gy·y`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GradientField {
+    /// Value at the origin.
+    pub base: f64,
+    /// Increase per metre along x.
+    pub gx: f64,
+    /// Increase per metre along y.
+    pub gy: f64,
+}
+
+impl ScalarField for GradientField {
+    fn value_at(&self, p: Point, _t: TimePoint) -> f64 {
+        self.base + self.gx * p.x + self.gy * p.y
+    }
+}
+
+/// A Gaussian hot spot that switches on at `onset` and (optionally) decays.
+///
+/// Value: `ambient + peak · exp(-d²/2σ²)` for `t ≥ onset`, `ambient`
+/// before. Models a localized anomaly (machine overheating, chemical
+/// leak) for punctual/point event scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotSpot {
+    /// Centre of the anomaly.
+    pub center: Point,
+    /// Peak excess over ambient at the centre.
+    pub peak: f64,
+    /// Gaussian radius σ in metres.
+    pub sigma: f64,
+    /// Background value.
+    pub ambient: f64,
+    /// When the anomaly appears.
+    pub onset: TimePoint,
+}
+
+impl ScalarField for HotSpot {
+    fn value_at(&self, p: Point, t: TimePoint) -> f64 {
+        if t < self.onset {
+            return self.ambient;
+        }
+        let d2 = self.center.distance_squared(p);
+        self.ambient + self.peak * (-d2 / (2.0 * self.sigma * self.sigma)).exp()
+    }
+}
+
+/// A radially spreading fire front: the canonical *field event* source
+/// (Sec. 4.2 names "a forest fire" as the field-event example).
+///
+/// The burning disc grows from the ignition point at `spread_speed`
+/// metres/tick; temperature falls off smoothly across an `edge_width` ring
+/// from `burn_value` inside to `ambient` outside.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpreadingFire {
+    /// Ignition location.
+    pub ignition: Point,
+    /// Ignition time.
+    pub ignition_time: TimePoint,
+    /// Front speed in metres per tick.
+    pub spread_speed: f64,
+    /// Temperature well inside the burning region.
+    pub burn_value: f64,
+    /// Background temperature.
+    pub ambient: f64,
+    /// Width of the smooth front edge, metres.
+    pub edge_width: f64,
+}
+
+impl SpreadingFire {
+    /// The front radius at time `t` (zero before ignition).
+    #[must_use]
+    pub fn front_radius(&self, t: TimePoint) -> f64 {
+        match t.duration_since(self.ignition_time) {
+            Some(elapsed) => self.spread_speed * elapsed.as_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// The ground-truth burning region at time `t`, or `None` before
+    /// ignition. This is the exact field extent the layered observers try
+    /// to estimate (EXP-T1, EXP-F2).
+    #[must_use]
+    pub fn burning_region(&self, t: TimePoint) -> Option<Field> {
+        if t < self.ignition_time {
+            return None;
+        }
+        let r = self.front_radius(t);
+        if r <= 0.0 {
+            return None;
+        }
+        Some(Field::circle(Circle::new(self.ignition, r)))
+    }
+}
+
+impl ScalarField for SpreadingFire {
+    fn value_at(&self, p: Point, t: TimePoint) -> f64 {
+        if t < self.ignition_time {
+            return self.ambient;
+        }
+        let r = self.front_radius(t);
+        let d = self.ignition.distance(p);
+        if self.edge_width <= 0.0 {
+            return if d <= r { self.burn_value } else { self.ambient };
+        }
+        // Smooth step from burn_value (d << r) to ambient (d >> r).
+        let x = (d - r) / self.edge_width;
+        let s = 1.0 / (1.0 + x.exp()); // 1 inside, 0 outside
+        self.ambient + (self.burn_value - self.ambient) * s
+    }
+}
+
+/// Combines component fields by taking the pointwise maximum over a shared
+/// ambient baseline — hot spots and fires superpose naturally this way.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxField<F> {
+    /// The component fields.
+    pub components: Vec<F>,
+    /// The value when no component dominates (empty set baseline).
+    pub floor: f64,
+}
+
+impl<F: ScalarField> ScalarField for MaxField<F> {
+    fn value_at(&self, p: Point, t: TimePoint) -> f64 {
+        self.components
+            .iter()
+            .map(|f| f.value_at(p, t))
+            .fold(self.floor, f64::max)
+    }
+}
+
+/// A serde-friendly sum type over the built-in field models, so scenario
+/// configs can describe the physical world declaratively.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorldField {
+    /// Constant everywhere.
+    Uniform(UniformField),
+    /// Static linear gradient.
+    Gradient(GradientField),
+    /// Gaussian anomaly with onset.
+    HotSpot(HotSpot),
+    /// Radially spreading fire.
+    Fire(SpreadingFire),
+}
+
+impl ScalarField for WorldField {
+    fn value_at(&self, p: Point, t: TimePoint) -> f64 {
+        match self {
+            WorldField::Uniform(f) => f.value_at(p, t),
+            WorldField::Gradient(f) => f.value_at(p, t),
+            WorldField::HotSpot(f) => f.value_at(p, t),
+            WorldField::Fire(f) => f.value_at(p, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_and_gradient() {
+        let u = UniformField { value: 20.0 };
+        assert_eq!(u.value_at(Point::new(5.0, 5.0), TimePoint::new(9)), 20.0);
+        let g = GradientField { base: 10.0, gx: 1.0, gy: -2.0 };
+        assert_eq!(g.value_at(Point::new(2.0, 1.0), TimePoint::EPOCH), 10.0);
+    }
+
+    #[test]
+    fn hotspot_onset_and_decay_with_distance() {
+        let h = HotSpot {
+            center: Point::new(0.0, 0.0),
+            peak: 50.0,
+            sigma: 2.0,
+            ambient: 20.0,
+            onset: TimePoint::new(100),
+        };
+        assert_eq!(h.value_at(Point::new(0.0, 0.0), TimePoint::new(99)), 20.0);
+        assert_eq!(h.value_at(Point::new(0.0, 0.0), TimePoint::new(100)), 70.0);
+        let near = h.value_at(Point::new(1.0, 0.0), TimePoint::new(100));
+        let far = h.value_at(Point::new(5.0, 0.0), TimePoint::new(100));
+        assert!(near > far && far > 20.0);
+    }
+
+    #[test]
+    fn fire_front_grows_linearly() {
+        let f = SpreadingFire {
+            ignition: Point::new(0.0, 0.0),
+            ignition_time: TimePoint::new(10),
+            spread_speed: 0.5,
+            burn_value: 400.0,
+            ambient: 20.0,
+            edge_width: 1.0,
+        };
+        assert_eq!(f.front_radius(TimePoint::new(5)), 0.0);
+        assert_eq!(f.front_radius(TimePoint::new(30)), 10.0);
+        assert!(f.burning_region(TimePoint::new(5)).is_none());
+        let region = f.burning_region(TimePoint::new(30)).unwrap();
+        assert!(region.contains(Point::new(3.0, 0.0)));
+        assert!(!region.contains(Point::new(30.0, 0.0)));
+    }
+
+    #[test]
+    fn fire_temperature_profile() {
+        let f = SpreadingFire {
+            ignition: Point::new(0.0, 0.0),
+            ignition_time: TimePoint::EPOCH,
+            spread_speed: 1.0,
+            burn_value: 400.0,
+            ambient: 20.0,
+            edge_width: 2.0,
+        };
+        let t = TimePoint::new(20); // radius 20
+        let inside = f.value_at(Point::new(1.0, 0.0), t);
+        let at_front = f.value_at(Point::new(20.0, 0.0), t);
+        let outside = f.value_at(Point::new(50.0, 0.0), t);
+        assert!(inside > 395.0, "deep inside ≈ burn value, got {inside}");
+        assert!((at_front - 210.0).abs() < 1.0, "front is the midpoint, got {at_front}");
+        assert!(outside < 21.0, "far outside ≈ ambient, got {outside}");
+    }
+
+    #[test]
+    fn sharp_edge_fire_is_a_step() {
+        let f = SpreadingFire {
+            ignition: Point::new(0.0, 0.0),
+            ignition_time: TimePoint::EPOCH,
+            spread_speed: 1.0,
+            burn_value: 400.0,
+            ambient: 20.0,
+            edge_width: 0.0,
+        };
+        let t = TimePoint::new(10);
+        assert_eq!(f.value_at(Point::new(9.9, 0.0), t), 400.0);
+        assert_eq!(f.value_at(Point::new(10.1, 0.0), t), 20.0);
+    }
+
+    #[test]
+    fn max_field_takes_hottest_component() {
+        let field = MaxField {
+            components: vec![
+                WorldField::Uniform(UniformField { value: 20.0 }),
+                WorldField::HotSpot(HotSpot {
+                    center: Point::new(10.0, 0.0),
+                    peak: 30.0,
+                    sigma: 1.0,
+                    ambient: 20.0,
+                    onset: TimePoint::EPOCH,
+                }),
+            ],
+            floor: 0.0,
+        };
+        assert!(field.value_at(Point::new(10.0, 0.0), TimePoint::new(1)) > 49.0);
+        assert_eq!(field.value_at(Point::new(-50.0, 0.0), TimePoint::new(1)), 20.0);
+    }
+
+    proptest! {
+        /// Fire temperature decreases monotonically with distance from
+        /// ignition at any fixed time.
+        #[test]
+        fn fire_monotone_in_distance(d1 in 0.0f64..50.0, d2 in 0.0f64..50.0, t in 0u64..100) {
+            let f = SpreadingFire {
+                ignition: Point::new(0.0, 0.0),
+                ignition_time: TimePoint::EPOCH,
+                spread_speed: 0.5,
+                burn_value: 400.0,
+                ambient: 20.0,
+                edge_width: 1.5,
+            };
+            let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            let v_near = f.value_at(Point::new(near, 0.0), TimePoint::new(t));
+            let v_far = f.value_at(Point::new(far, 0.0), TimePoint::new(t));
+            prop_assert!(v_near >= v_far - 1e-9);
+        }
+
+        /// Hotspot value is always within [ambient, ambient + peak].
+        #[test]
+        fn hotspot_bounded(x in -20.0f64..20.0, y in -20.0f64..20.0, t in 0u64..200) {
+            let h = HotSpot {
+                center: Point::new(0.0, 0.0),
+                peak: 30.0,
+                sigma: 2.0,
+                ambient: 20.0,
+                onset: TimePoint::new(50),
+            };
+            let v = h.value_at(Point::new(x, y), TimePoint::new(t));
+            prop_assert!(v >= 20.0 - 1e-9 && v <= 50.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Ground-truth extraction: turning world models into the paper's
+//! *physical events* (Eq. 5.1) so experiments can score what the cyber
+//! side detected against what actually happened.
+
+use crate::{ScalarField, Trajectory};
+use stem_core::{physical_event, Attributes, PhysicalEvent};
+use stem_spatial::{Field, Point, SpatialExtent};
+use stem_temporal::{Duration, TemporalExtent, TimeInterval, TimePoint};
+
+/// Computes the intervals during which a moving object is inside a region
+/// — the ground truth for interval events like "user A is nearby window B"
+/// (Sec. 4.2).
+///
+/// The trajectory is sampled every `step` ticks over `[from, to]`; an
+/// interval spans from the first inside sample to the *last* inside
+/// sample of the episode. A presence still ongoing at `to` yields an
+/// interval ending at its last inside sample (= `to` when inside there).
+///
+/// # Panics
+///
+/// Panics if `step` is zero or `from > to`.
+///
+/// # Example
+///
+/// ```
+/// use stem_physical::{presence_intervals, WaypointPath};
+/// use stem_spatial::{Circle, Field, Point};
+/// use stem_temporal::{Duration, TimePoint};
+///
+/// // Walk through a disc of radius 5.5 centred at x=50.
+/// let path = WaypointPath::new(vec![
+///     (TimePoint::new(0), Point::new(0.0, 0.0)),
+///     (TimePoint::new(100), Point::new(100.0, 0.0)),
+/// ], false).unwrap();
+/// let region = Field::circle(Circle::new(Point::new(50.0, 0.0), 5.5));
+/// let intervals = presence_intervals(
+///     &path, &region, TimePoint::new(0), TimePoint::new(100), Duration::new(1),
+/// );
+/// assert_eq!(intervals.len(), 1);
+/// assert_eq!(intervals[0].start(), TimePoint::new(45));
+/// assert_eq!(intervals[0].end(), TimePoint::new(55));
+/// ```
+#[must_use]
+pub fn presence_intervals<T: Trajectory + ?Sized>(
+    trajectory: &T,
+    region: &Field,
+    from: TimePoint,
+    to: TimePoint,
+    step: Duration,
+) -> Vec<TimeInterval> {
+    assert!(!step.is_zero(), "sampling step must be positive");
+    assert!(from <= to, "from must not exceed to");
+    let mut intervals = Vec::new();
+    let mut inside_since: Option<TimePoint> = None;
+    let mut last_inside = from;
+    let mut t = from;
+    loop {
+        let inside = region.contains(trajectory.position_at(t));
+        match (inside, inside_since) {
+            (true, None) => {
+                inside_since = Some(t);
+                last_inside = t;
+            }
+            (true, Some(_)) => last_inside = t,
+            (false, Some(start)) => {
+                intervals.push(TimeInterval::spanning(start, last_inside));
+                inside_since = None;
+            }
+            (false, None) => {}
+        }
+        if t >= to {
+            break;
+        }
+        t = t.checked_add(step).unwrap_or(TimePoint::MAX).min(to);
+    }
+    if let Some(start) = inside_since {
+        intervals.push(TimeInterval::spanning(start, last_inside));
+    }
+    intervals
+}
+
+/// Finds the first time in `[from, to]` at which the scalar field at
+/// location `p` reaches `threshold`, scanning every `step` ticks.
+///
+/// This is the ground-truth occurrence time of threshold-crossing punctual
+/// events ("temperature at the machine exceeded 60°").
+///
+/// # Panics
+///
+/// Panics if `step` is zero or `from > to`.
+#[must_use]
+pub fn first_crossing<F: ScalarField + ?Sized>(
+    field: &F,
+    p: Point,
+    threshold: f64,
+    from: TimePoint,
+    to: TimePoint,
+    step: Duration,
+) -> Option<TimePoint> {
+    assert!(!step.is_zero(), "sampling step must be positive");
+    assert!(from <= to, "from must not exceed to");
+    let mut t = from;
+    loop {
+        if field.value_at(p, t) >= threshold {
+            return Some(t);
+        }
+        if t >= to {
+            return None;
+        }
+        t = t.checked_add(step).unwrap_or(TimePoint::MAX).min(to);
+    }
+}
+
+/// Builds the ground-truth physical event for a presence interval: an
+/// interval/point event "object was inside `region` during `interval`".
+#[must_use]
+pub fn presence_event(
+    id: &str,
+    interval: TimeInterval,
+    region: &Field,
+) -> PhysicalEvent {
+    physical_event(
+        id,
+        TemporalExtent::interval(interval),
+        SpatialExtent::field(region.clone()),
+        Attributes::new().with("duration", interval.length().as_f64()),
+    )
+}
+
+/// Builds the ground-truth physical event for a threshold crossing: a
+/// punctual/point event at the crossing time and sensor location.
+#[must_use]
+pub fn crossing_event(id: &str, at: TimePoint, location: Point, value: f64) -> PhysicalEvent {
+    physical_event(
+        id,
+        TemporalExtent::punctual(at),
+        SpatialExtent::point(location),
+        Attributes::new().with("value", value),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HotSpot, SpreadingFire, StaticPosition, WaypointPath};
+    use stem_core::TemporalClass;
+    use stem_spatial::Circle;
+
+    #[test]
+    fn presence_detects_multiple_visits() {
+        // Out-and-back through the region twice.
+        let path = WaypointPath::new(
+            vec![
+                (TimePoint::new(0), Point::new(0.0, 0.0)),
+                (TimePoint::new(20), Point::new(20.0, 0.0)),
+                (TimePoint::new(40), Point::new(0.0, 0.0)),
+                (TimePoint::new(60), Point::new(20.0, 0.0)),
+            ],
+            false,
+        )
+        .unwrap();
+        let region = Field::circle(Circle::new(Point::new(20.0, 0.0), 3.0));
+        let intervals = presence_intervals(
+            &path,
+            &region,
+            TimePoint::new(0),
+            TimePoint::new(60),
+            Duration::new(1),
+        );
+        assert_eq!(intervals.len(), 2, "two visits: {intervals:?}");
+        assert!(intervals[0].contains(TimePoint::new(20)));
+        assert!(intervals[1].end() == TimePoint::new(60), "still inside at horizon");
+    }
+
+    #[test]
+    fn presence_of_stationary_object() {
+        let inside = StaticPosition(Point::new(1.0, 1.0));
+        let region = Field::circle(Circle::new(Point::new(0.0, 0.0), 5.0));
+        let ivs = presence_intervals(
+            &inside,
+            &region,
+            TimePoint::new(10),
+            TimePoint::new(50),
+            Duration::new(5),
+        );
+        assert_eq!(ivs, vec![TimeInterval::spanning(TimePoint::new(10), TimePoint::new(50))]);
+        let outside = StaticPosition(Point::new(100.0, 0.0));
+        assert!(presence_intervals(
+            &outside,
+            &region,
+            TimePoint::new(10),
+            TimePoint::new(50),
+            Duration::new(5),
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn first_crossing_finds_hotspot_onset() {
+        let h = HotSpot {
+            center: Point::new(0.0, 0.0),
+            peak: 50.0,
+            sigma: 2.0,
+            ambient: 20.0,
+            onset: TimePoint::new(100),
+        };
+        let t = first_crossing(
+            &h,
+            Point::new(0.0, 0.0),
+            60.0,
+            TimePoint::new(0),
+            TimePoint::new(200),
+            Duration::new(1),
+        );
+        assert_eq!(t, Some(TimePoint::new(100)));
+        // Far away the threshold is never reached.
+        let none = first_crossing(
+            &h,
+            Point::new(50.0, 0.0),
+            60.0,
+            TimePoint::new(0),
+            TimePoint::new(200),
+            Duration::new(1),
+        );
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn first_crossing_tracks_fire_arrival_ordering() {
+        let f = SpreadingFire {
+            ignition: Point::new(0.0, 0.0),
+            ignition_time: TimePoint::new(10),
+            spread_speed: 1.0,
+            burn_value: 400.0,
+            ambient: 20.0,
+            edge_width: 0.5,
+        };
+        let near = first_crossing(
+            &f,
+            Point::new(5.0, 0.0),
+            200.0,
+            TimePoint::new(0),
+            TimePoint::new(100),
+            Duration::new(1),
+        )
+        .unwrap();
+        let far = first_crossing(
+            &f,
+            Point::new(20.0, 0.0),
+            200.0,
+            TimePoint::new(0),
+            TimePoint::new(100),
+            Duration::new(1),
+        )
+        .unwrap();
+        assert!(near < far, "fire reaches nearer point first ({near} vs {far})");
+    }
+
+    #[test]
+    fn ground_truth_event_constructors() {
+        let iv = TimeInterval::spanning(TimePoint::new(5), TimePoint::new(25));
+        let region = Field::circle(Circle::new(Point::new(0.0, 0.0), 2.0));
+        let pe = presence_event("nearby", iv, &region);
+        assert_eq!(pe.class().temporal, TemporalClass::Interval);
+        assert_eq!(pe.attributes().get_f64("duration"), Some(20.0));
+
+        let ce = crossing_event("hot", TimePoint::new(7), Point::new(1.0, 2.0), 61.5);
+        assert_eq!(ce.class().temporal, TemporalClass::Punctual);
+        assert_eq!(ce.attributes().get_f64("value"), Some(61.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling step must be positive")]
+    fn presence_rejects_zero_step() {
+        let path = StaticPosition(Point::new(0.0, 0.0));
+        let region = Field::circle(Circle::new(Point::new(0.0, 0.0), 1.0));
+        let _ = presence_intervals(
+            &path,
+            &region,
+            TimePoint::new(0),
+            TimePoint::new(10),
+            Duration::ZERO,
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Spatial aggregation functions `g_s` (Eq. 4.4).
+//!
+//! "A spatial event condition can be represented as
+//! `g_s[l1, l2, l3, ...] OP_S C_s` where `g_s` is an aggregation function,
+//! which takes the location of n entities."
+
+use crate::{convex_hull, Field, Point, Polygon, Rect, SpatialExtent};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A spatial aggregation function `g_s` mapping the occurrence locations of
+/// *n* entities to a single [`SpatialExtent`].
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{Point, SpatialAgg, SpatialExtent};
+///
+/// let locs = [
+///     SpatialExtent::point(Point::new(0.0, 0.0)),
+///     SpatialExtent::point(Point::new(4.0, 0.0)),
+/// ];
+/// let c = SpatialAgg::Centroid.apply(&locs).unwrap();
+/// assert!(c.representative().approx_eq(Point::new(2.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpatialAgg {
+    /// The mean of the representative points (point result).
+    Centroid,
+    /// The tight axis-aligned bounding box of all extents (field result).
+    BoundingBox,
+    /// The convex hull of all extents' defining points (field result;
+    /// degenerate inputs fall back to the bounding box).
+    Hull,
+    /// The identity on a single input; on several inputs behaves like
+    /// [`SpatialAgg::BoundingBox`]. Used when a condition refers to one
+    /// entity's location directly.
+    Identity,
+}
+
+impl SpatialAgg {
+    /// Applies the aggregate to a slice of extents.
+    ///
+    /// Returns `None` on empty input (an aggregation over zero entities is
+    /// undefined; conditions always reference at least one entity).
+    #[must_use]
+    pub fn apply(self, locs: &[SpatialExtent]) -> Option<SpatialExtent> {
+        let (first, _) = locs.split_first()?;
+        Some(match self {
+            SpatialAgg::Centroid => {
+                let n = locs.len() as f64;
+                let (sx, sy) = locs.iter().fold((0.0, 0.0), |(sx, sy), e| {
+                    let p = e.representative();
+                    (sx + p.x, sy + p.y)
+                });
+                SpatialExtent::point(Point::new(sx / n, sy / n))
+            }
+            SpatialAgg::BoundingBox => {
+                if locs.len() == 1 && first.is_point() {
+                    return Some(first.clone());
+                }
+                let bb = locs
+                    .iter()
+                    .map(SpatialExtent::bounding_box)
+                    .reduce(|a, b| a.union(&b))
+                    .expect("non-empty input");
+                SpatialExtent::field(Field::rect(bb))
+            }
+            SpatialAgg::Hull => {
+                let mut pts: Vec<Point> = Vec::new();
+                for e in locs {
+                    match e {
+                        SpatialExtent::Point(p) => pts.push(*p),
+                        SpatialExtent::Field(f) => {
+                            pts.extend(f.to_polygon().vertices().iter().copied());
+                        }
+                    }
+                }
+                let hull = convex_hull(&pts);
+                match Polygon::new(hull) {
+                    Ok(poly) => SpatialExtent::field(Field::polygon(poly)),
+                    Err(_) => {
+                        // Collinear/degenerate: fall back to the bounding box.
+                        let bb = Rect::bounding(&pts).expect("non-empty input");
+                        if bb.area() == 0.0 && pts.len() == 1 {
+                            SpatialExtent::point(pts[0])
+                        } else {
+                            SpatialExtent::field(Field::rect(bb))
+                        }
+                    }
+                }
+            }
+            SpatialAgg::Identity => {
+                if locs.len() == 1 {
+                    first.clone()
+                } else {
+                    SpatialAgg::BoundingBox.apply(locs)?
+                }
+            }
+        })
+    }
+
+    /// Parses the aggregate from its canonical lowercase name
+    /// (`centroid, bbox, convex, loc`).
+    ///
+    /// The convex hull is named `convex` (not `hull`) so that the textual
+    /// condition DSL can distinguish it from the *temporal* hull aggregate.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "centroid" => SpatialAgg::Centroid,
+            "bbox" => SpatialAgg::BoundingBox,
+            "convex" => SpatialAgg::Hull,
+            "loc" => SpatialAgg::Identity,
+            _ => return None,
+        })
+    }
+
+    /// The canonical lowercase name (inverse of [`SpatialAgg::from_name`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpatialAgg::Centroid => "centroid",
+            SpatialAgg::BoundingBox => "bbox",
+            SpatialAgg::Hull => "convex",
+            SpatialAgg::Identity => "loc",
+        }
+    }
+}
+
+impl fmt::Display for SpatialAgg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circle;
+    use proptest::prelude::*;
+
+    fn pt(x: f64, y: f64) -> SpatialExtent {
+        SpatialExtent::point(Point::new(x, y))
+    }
+
+    #[test]
+    fn empty_input_is_undefined() {
+        for agg in [
+            SpatialAgg::Centroid,
+            SpatialAgg::BoundingBox,
+            SpatialAgg::Hull,
+            SpatialAgg::Identity,
+        ] {
+            assert_eq!(agg.apply(&[]), None, "{agg} on empty input");
+        }
+    }
+
+    #[test]
+    fn centroid_of_points() {
+        let c = SpatialAgg::Centroid
+            .apply(&[pt(0.0, 0.0), pt(2.0, 0.0), pt(1.0, 3.0)])
+            .unwrap();
+        assert!(c.representative().approx_eq(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn centroid_uses_field_centroids() {
+        let f = SpatialExtent::field(Field::circle(Circle::new(Point::new(4.0, 0.0), 1.0)));
+        let c = SpatialAgg::Centroid.apply(&[pt(0.0, 0.0), f]).unwrap();
+        assert!(c.representative().approx_eq(Point::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn bounding_box_covers_all() {
+        let f = SpatialExtent::field(Field::circle(Circle::new(Point::new(5.0, 5.0), 1.0)));
+        let bb = SpatialAgg::BoundingBox.apply(&[pt(0.0, 0.0), f.clone()]).unwrap();
+        assert!(bb.contains_extent(&pt(0.0, 0.0)));
+        assert!(bb.contains_extent(&f));
+    }
+
+    #[test]
+    fn bounding_box_of_single_point_is_point() {
+        let bb = SpatialAgg::BoundingBox.apply(&[pt(1.0, 2.0)]).unwrap();
+        assert!(bb.is_point());
+    }
+
+    #[test]
+    fn hull_of_triangle_points_is_polygon() {
+        let h = SpatialAgg::Hull
+            .apply(&[pt(0.0, 0.0), pt(4.0, 0.0), pt(2.0, 3.0)])
+            .unwrap();
+        match h {
+            SpatialExtent::Field(Field::Polygon(p)) => {
+                assert_eq!(p.len(), 3);
+                assert!((p.area() - 6.0).abs() < 1e-9);
+            }
+            other => panic!("expected polygon hull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hull_of_collinear_points_falls_back_to_bbox() {
+        let h = SpatialAgg::Hull
+            .apply(&[pt(0.0, 0.0), pt(1.0, 1.0), pt(2.0, 2.0)])
+            .unwrap();
+        assert!(matches!(h, SpatialExtent::Field(Field::Rect(_))));
+    }
+
+    #[test]
+    fn identity_single_and_multi() {
+        let f = SpatialExtent::field(Field::circle(Circle::new(Point::new(0.0, 0.0), 1.0)));
+        assert_eq!(SpatialAgg::Identity.apply(&[f.clone()]), Some(f.clone()));
+        let multi = SpatialAgg::Identity.apply(&[f, pt(9.0, 9.0)]).unwrap();
+        assert!(multi.contains_extent(&pt(9.0, 9.0)));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for agg in [
+            SpatialAgg::Centroid,
+            SpatialAgg::BoundingBox,
+            SpatialAgg::Hull,
+            SpatialAgg::Identity,
+        ] {
+            assert_eq!(SpatialAgg::from_name(agg.name()), Some(agg));
+        }
+    }
+
+    proptest! {
+        /// Every input point is covered by the hull and bbox aggregates.
+        #[test]
+        fn aggregates_cover_inputs(raw in proptest::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 1..12)) {
+            let pts: Vec<SpatialExtent> = raw.iter().map(|&(x, y)| pt(x, y)).collect();
+            let bb = SpatialAgg::BoundingBox.apply(&pts).unwrap();
+            let hull = SpatialAgg::Hull.apply(&pts).unwrap();
+            for p in &pts {
+                prop_assert!(bb.intersects(p), "bbox must cover {p:?}");
+                prop_assert!(hull.intersects(p), "hull must cover {p:?}");
+            }
+        }
+
+        /// The centroid lies within the bounding box.
+        #[test]
+        fn centroid_in_bbox(raw in proptest::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 2..12)) {
+            let pts: Vec<SpatialExtent> = raw.iter().map(|&(x, y)| pt(x, y)).collect();
+            let c = SpatialAgg::Centroid.apply(&pts).unwrap();
+            let bb = SpatialAgg::BoundingBox.apply(&pts).unwrap();
+            prop_assert!(bb.covers(c.representative()));
+        }
+    }
+}

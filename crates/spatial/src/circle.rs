@@ -1,0 +1,204 @@
+//! Circular fields.
+
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A circular field: centre plus radius.
+///
+/// Circles model sensing ranges, radio ranges, and "nearby" areas (the
+/// paper's running example defines "a nearby window B area" — naturally a
+/// disc around the window).
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{Circle, Point};
+///
+/// let c = Circle::new(Point::new(0.0, 0.0), 2.0);
+/// assert!(c.contains(Point::new(1.0, 1.0)));
+/// assert!(!c.contains(Point::new(2.0, 2.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    center: Point,
+    radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle with the given centre and radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    #[must_use]
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "circle radius must be finite and non-negative, got {radius}"
+        );
+        Circle { center, radius }
+    }
+
+    /// The centre point.
+    #[must_use]
+    pub const fn center(&self) -> Point {
+        self.center
+    }
+
+    /// The radius.
+    #[must_use]
+    pub const fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Area (`πr²`).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.distance_squared(p) <= self.radius * self.radius
+    }
+
+    /// Returns `true` if the circles share at least one point.
+    #[must_use]
+    pub fn intersects(&self, other: &Circle) -> bool {
+        let d = self.center.distance(other.center);
+        d <= self.radius + other.radius
+    }
+
+    /// Returns `true` if `other` lies entirely within `self` (non-strict).
+    #[must_use]
+    pub fn contains_circle(&self, other: &Circle) -> bool {
+        let d = self.center.distance(other.center);
+        d + other.radius <= self.radius + crate::EPSILON
+    }
+
+    /// Euclidean distance from `p` to the disc (zero if inside).
+    #[must_use]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        (self.center.distance(p) - self.radius).max(0.0)
+    }
+
+    /// The tight axis-aligned bounding box.
+    #[must_use]
+    pub fn bounding_box(&self) -> Rect {
+        Rect::centered(self.center, self.radius, self.radius)
+    }
+
+    /// Approximates the circle as a regular polygon with `n` vertices
+    /// (counter-clockwise). Used when mixed-shape boolean predicates need a
+    /// polygonal stand-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    #[must_use]
+    pub fn to_polygon(&self, n: usize) -> crate::Polygon {
+        assert!(n >= 3, "polygon approximation needs at least 3 vertices");
+        let verts: Vec<Point> = (0..n)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * (i as f64) / (n as f64);
+                Point::new(
+                    self.center.x + self.radius * theta.cos(),
+                    self.center.y + self.radius * theta.sin(),
+                )
+            })
+            .collect();
+        crate::Polygon::new(verts).expect("regular polygon is always valid")
+    }
+}
+
+impl fmt::Display for Circle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "circle[c={}, r={:.3}]", self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contains_boundary_point() {
+        let c = Circle::new(Point::new(0.0, 0.0), 5.0);
+        assert!(c.contains(Point::new(5.0, 0.0)));
+        assert!(c.contains(Point::new(0.0, -5.0)));
+        assert!(!c.contains(Point::new(5.0, 0.1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be finite and non-negative")]
+    fn rejects_negative_radius() {
+        let _ = Circle::new(Point::new(0.0, 0.0), -1.0);
+    }
+
+    #[test]
+    fn tangent_circles_intersect() {
+        let a = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let b = Circle::new(Point::new(2.0, 0.0), 1.0);
+        assert!(a.intersects(&b));
+        let c = Circle::new(Point::new(2.1, 0.0), 1.0);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn containment_of_concentric_circles() {
+        let big = Circle::new(Point::new(0.0, 0.0), 5.0);
+        let small = Circle::new(Point::new(1.0, 0.0), 2.0);
+        assert!(big.contains_circle(&small));
+        assert!(!small.contains_circle(&big));
+        // A circle contains itself.
+        assert!(big.contains_circle(&big));
+    }
+
+    #[test]
+    fn distance_to_point_outside_and_inside() {
+        let c = Circle::new(Point::new(0.0, 0.0), 2.0);
+        assert_eq!(c.distance_to_point(Point::new(0.0, 0.0)), 0.0);
+        assert_eq!(c.distance_to_point(Point::new(5.0, 0.0)), 3.0);
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let c = Circle::new(Point::new(1.0, 2.0), 3.0);
+        let bb = c.bounding_box();
+        assert_eq!(bb.min(), Point::new(-2.0, -1.0));
+        assert_eq!(bb.max(), Point::new(4.0, 5.0));
+    }
+
+    #[test]
+    fn polygon_approximation_area_converges() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let p64 = c.to_polygon(64);
+        let err = (p64.area() - c.area()).abs() / c.area();
+        assert!(err < 0.01, "relative area error {err} too large");
+    }
+
+    proptest! {
+        /// Points produced on the boundary are contained; scaled-out points
+        /// are not.
+        #[test]
+        fn boundary_classification(cx in -10.0f64..10.0, cy in -10.0f64..10.0, r in 0.1f64..5.0, theta in 0.0f64..6.28) {
+            let c = Circle::new(Point::new(cx, cy), r);
+            let on = Point::new(cx + r * theta.cos() * 0.999, cy + r * theta.sin() * 0.999);
+            let out = Point::new(cx + r * theta.cos() * 1.01, cy + r * theta.sin() * 1.01);
+            prop_assert!(c.contains(on));
+            prop_assert!(!c.contains(out));
+        }
+
+        /// Circle intersection is symmetric.
+        #[test]
+        fn intersects_symmetric(ax in -5.0f64..5.0, ay in -5.0f64..5.0, ar in 0.1f64..3.0,
+                                bx in -5.0f64..5.0, by in -5.0f64..5.0, br in 0.1f64..3.0) {
+            let a = Circle::new(Point::new(ax, ay), ar);
+            let b = Circle::new(Point::new(bx, by), br);
+            prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! Fields (polytopes) and spatial extents.
+
+use crate::{Circle, Point, Polygon, Rect, EPSILON};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A location field — the paper's "polytope" (Sec. 4): a 2-D region in
+/// which a field event occurs ("a physical phenomena which occurs in an
+/// area, e.g. a forest fire or a moving physical object", Sec. 4.2).
+///
+/// Three geometries are supported; mixed-shape predicates are defined for
+/// every combination.
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{Circle, Field, Point, Rect};
+///
+/// let room = Field::rect(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 8.0)));
+/// let fire = Field::circle(Circle::new(Point::new(2.0, 2.0), 1.0));
+/// assert!(room.contains_field(&fire));
+/// assert!(room.intersects(&fire));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Field {
+    /// An axis-aligned rectangle.
+    Rect(Rect),
+    /// A disc.
+    Circle(Circle),
+    /// A simple polygon.
+    Polygon(Polygon),
+}
+
+/// Number of vertices used when a circle must be approximated by a polygon
+/// for mixed-shape predicates.
+const CIRCLE_POLY_VERTICES: usize = 64;
+
+impl Field {
+    /// Wraps a rectangle.
+    #[must_use]
+    pub const fn rect(r: Rect) -> Field {
+        Field::Rect(r)
+    }
+
+    /// Wraps a circle.
+    #[must_use]
+    pub const fn circle(c: Circle) -> Field {
+        Field::Circle(c)
+    }
+
+    /// Wraps a polygon.
+    #[must_use]
+    pub const fn polygon(p: Polygon) -> Field {
+        Field::Polygon(p)
+    }
+
+    /// Area of the field.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        match self {
+            Field::Rect(r) => r.area(),
+            Field::Circle(c) => c.area(),
+            Field::Polygon(p) => p.area(),
+        }
+    }
+
+    /// A representative centre point (centroid).
+    #[must_use]
+    pub fn centroid(&self) -> Point {
+        match self {
+            Field::Rect(r) => r.center(),
+            Field::Circle(c) => c.center(),
+            Field::Polygon(p) => p.centroid(),
+        }
+    }
+
+    /// The tight axis-aligned bounding box.
+    #[must_use]
+    pub fn bounding_box(&self) -> Rect {
+        match self {
+            Field::Rect(r) => *r,
+            Field::Circle(c) => c.bounding_box(),
+            Field::Polygon(p) => p.bounding_box(),
+        }
+    }
+
+    /// Point containment (boundary counts as inside).
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        match self {
+            Field::Rect(r) => r.contains(p),
+            Field::Circle(c) => c.contains(p),
+            Field::Polygon(poly) => poly.contains(p),
+        }
+    }
+
+    /// Euclidean distance from `p` to the field (zero if inside).
+    #[must_use]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        match self {
+            Field::Rect(r) => r.distance_to_point(p),
+            Field::Circle(c) => c.distance_to_point(p),
+            Field::Polygon(poly) => poly.distance_to_point(p),
+        }
+    }
+
+    /// Distance from `p` to the field *boundary* (positive even inside).
+    #[must_use]
+    pub fn distance_to_boundary(&self, p: Point) -> f64 {
+        match self {
+            Field::Rect(r) => {
+                if r.contains(p) {
+                    (p.x - r.min().x)
+                        .min(r.max().x - p.x)
+                        .min(p.y - r.min().y)
+                        .min(r.max().y - p.y)
+                } else {
+                    r.distance_to_point(p)
+                }
+            }
+            Field::Circle(c) => (c.center().distance(p) - c.radius()).abs(),
+            Field::Polygon(poly) => poly
+                .edges()
+                .map(|(a, b)| {
+                    // Reuse the public API: distance to the degenerate
+                    // "polygon" of each edge via point projections.
+                    let ab = a.vector_to(b);
+                    let len2 = ab.dot(ab);
+                    if len2 < EPSILON * EPSILON {
+                        a.distance(p)
+                    } else {
+                        let t = (a.vector_to(p).dot(ab) / len2).clamp(0.0, 1.0);
+                        a.lerp(b, t).distance(p)
+                    }
+                })
+                .fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// A polygonal view of the field (circles become 64-gons).
+    #[must_use]
+    pub fn to_polygon(&self) -> Polygon {
+        match self {
+            Field::Rect(r) => Polygon::from_rect(r),
+            Field::Circle(c) => c.to_polygon(CIRCLE_POLY_VERTICES),
+            Field::Polygon(p) => p.clone(),
+        }
+    }
+
+    /// Returns `true` if the two fields share at least one point
+    /// (touching boundaries count).
+    ///
+    /// Rect–rect and circle–circle use exact tests; combinations involving
+    /// one circle use the exact disc-to-shape distance; polygon–polygon and
+    /// rect–polygon use edge/containment tests.
+    #[must_use]
+    pub fn intersects(&self, other: &Field) -> bool {
+        match (self, other) {
+            (Field::Rect(a), Field::Rect(b)) => a.intersects(b),
+            (Field::Circle(a), Field::Circle(b)) => a.intersects(b),
+            (Field::Rect(r), Field::Circle(c)) | (Field::Circle(c), Field::Rect(r)) => {
+                r.distance_to_point(c.center()) <= c.radius()
+            }
+            (Field::Polygon(p), Field::Circle(c)) | (Field::Circle(c), Field::Polygon(p)) => {
+                p.distance_to_point(c.center()) <= c.radius()
+            }
+            (Field::Polygon(a), Field::Polygon(b)) => a.intersects(b),
+            (Field::Rect(r), Field::Polygon(p)) | (Field::Polygon(p), Field::Rect(r)) => {
+                Polygon::from_rect(r).intersects(p)
+            }
+        }
+    }
+
+    /// Returns `true` if `other` lies entirely within `self` (non-strict).
+    #[must_use]
+    pub fn contains_field(&self, other: &Field) -> bool {
+        match (self, other) {
+            (Field::Rect(a), Field::Rect(b)) => a.contains_rect(b),
+            (Field::Circle(a), Field::Circle(b)) => a.contains_circle(b),
+            (Field::Rect(r), Field::Circle(c)) => {
+                r.contains_rect(&c.bounding_box())
+            }
+            (Field::Circle(c), Field::Rect(r)) => r.corners().iter().all(|&p| c.contains(p)),
+            (Field::Circle(c), Field::Polygon(p)) => {
+                // The polygon lies within its vertices' convex hull, and a
+                // disc is convex, so vertex containment suffices.
+                p.vertices().iter().all(|&v| c.contains(v))
+            }
+            (Field::Polygon(p), Field::Circle(c)) => {
+                p.contains(c.center()) && {
+                    let f = Field::Polygon(p.clone());
+                    f.distance_to_boundary(c.center()) + EPSILON >= c.radius()
+                }
+            }
+            (Field::Polygon(a), Field::Polygon(b)) => a.contains_polygon(b),
+            (Field::Rect(r), Field::Polygon(p)) => {
+                p.vertices().iter().all(|&v| r.contains(v))
+            }
+            (Field::Polygon(p), Field::Rect(r)) => {
+                p.contains_polygon(&Polygon::from_rect(r))
+            }
+        }
+    }
+
+    /// Approximate equality: identical variants with coincident geometry.
+    #[must_use]
+    pub fn approx_eq(&self, other: &Field) -> bool {
+        match (self, other) {
+            (Field::Rect(a), Field::Rect(b)) => {
+                a.min().approx_eq(b.min()) && a.max().approx_eq(b.max())
+            }
+            (Field::Circle(a), Field::Circle(b)) => {
+                a.center().approx_eq(b.center()) && (a.radius() - b.radius()).abs() < EPSILON
+            }
+            (Field::Polygon(a), Field::Polygon(b)) => {
+                a.len() == b.len()
+                    && a.vertices()
+                        .iter()
+                        .zip(b.vertices())
+                        .all(|(p, q)| p.approx_eq(*q))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Field::Rect(r) => write!(f, "{r}"),
+            Field::Circle(c) => write!(f, "{c}"),
+            Field::Polygon(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl From<Rect> for Field {
+    fn from(r: Rect) -> Field {
+        Field::Rect(r)
+    }
+}
+
+impl From<Circle> for Field {
+    fn from(c: Circle) -> Field {
+        Field::Circle(c)
+    }
+}
+
+impl From<Polygon> for Field {
+    fn from(p: Polygon) -> Field {
+        Field::Polygon(p)
+    }
+}
+
+/// The occurrence location of an event: a point or a field (Sec. 4.2).
+///
+/// "Based on whether this is a point or a field in location, the event can
+/// be classified into two categories as Point Event or Field Event."
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{Circle, Field, Point, SpatialExtent};
+///
+/// let pe = SpatialExtent::point(Point::new(1.0, 2.0));
+/// assert!(pe.is_point());
+/// let fe = SpatialExtent::field(Field::circle(Circle::new(Point::new(0.0, 0.0), 5.0)));
+/// assert!(fe.covers(Point::new(1.0, 2.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpatialExtent {
+    /// The event occurred at a single location point.
+    Point(Point),
+    /// The event occurred over a location field.
+    Field(Field),
+}
+
+impl SpatialExtent {
+    /// Creates a point extent.
+    #[must_use]
+    pub const fn point(p: Point) -> Self {
+        SpatialExtent::Point(p)
+    }
+
+    /// Creates a field extent.
+    #[must_use]
+    pub const fn field(f: Field) -> Self {
+        SpatialExtent::Field(f)
+    }
+
+    /// Returns `true` for point extents.
+    #[must_use]
+    pub const fn is_point(&self) -> bool {
+        matches!(self, SpatialExtent::Point(_))
+    }
+
+    /// Returns `true` for field extents.
+    #[must_use]
+    pub const fn is_field(&self) -> bool {
+        matches!(self, SpatialExtent::Field(_))
+    }
+
+    /// A representative single point (the point itself, or the field
+    /// centroid).
+    #[must_use]
+    pub fn representative(&self) -> Point {
+        match self {
+            SpatialExtent::Point(p) => *p,
+            SpatialExtent::Field(f) => f.centroid(),
+        }
+    }
+
+    /// The covered area (zero for points).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        match self {
+            SpatialExtent::Point(_) => 0.0,
+            SpatialExtent::Field(f) => f.area(),
+        }
+    }
+
+    /// Returns `true` if the extent covers location `p`.
+    #[must_use]
+    pub fn covers(&self, p: Point) -> bool {
+        match self {
+            SpatialExtent::Point(q) => q.approx_eq(p),
+            SpatialExtent::Field(f) => f.contains(p),
+        }
+    }
+
+    /// The tight axis-aligned bounding box (degenerate for points).
+    #[must_use]
+    pub fn bounding_box(&self) -> Rect {
+        match self {
+            SpatialExtent::Point(p) => Rect::new(*p, *p),
+            SpatialExtent::Field(f) => f.bounding_box(),
+        }
+    }
+
+    /// Minimum Euclidean distance between two extents (zero on contact).
+    #[must_use]
+    pub fn distance(&self, other: &SpatialExtent) -> f64 {
+        match (self, other) {
+            (SpatialExtent::Point(a), SpatialExtent::Point(b)) => a.distance(*b),
+            (SpatialExtent::Point(p), SpatialExtent::Field(f))
+            | (SpatialExtent::Field(f), SpatialExtent::Point(p)) => f.distance_to_point(*p),
+            (SpatialExtent::Field(a), SpatialExtent::Field(b)) => {
+                if a.intersects(b) {
+                    0.0
+                } else {
+                    // Approximate via polygonal boundaries.
+                    let pa = a.to_polygon();
+                    let pb = b.to_polygon();
+                    let mut best = f64::INFINITY;
+                    for &v in pa.vertices() {
+                        best = best.min(pb.distance_to_point(v));
+                    }
+                    for &v in pb.vertices() {
+                        best = best.min(pa.distance_to_point(v));
+                    }
+                    best
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the two extents share at least one location.
+    #[must_use]
+    pub fn intersects(&self, other: &SpatialExtent) -> bool {
+        match (self, other) {
+            (SpatialExtent::Point(a), SpatialExtent::Point(b)) => a.approx_eq(*b),
+            (SpatialExtent::Point(p), SpatialExtent::Field(f))
+            | (SpatialExtent::Field(f), SpatialExtent::Point(p)) => f.contains(*p),
+            (SpatialExtent::Field(a), SpatialExtent::Field(b)) => a.intersects(b),
+        }
+    }
+
+    /// Returns `true` if `other` lies entirely within `self`.
+    #[must_use]
+    pub fn contains_extent(&self, other: &SpatialExtent) -> bool {
+        match (self, other) {
+            (SpatialExtent::Point(a), SpatialExtent::Point(b)) => a.approx_eq(*b),
+            (SpatialExtent::Field(f), SpatialExtent::Point(p)) => f.contains(*p),
+            (SpatialExtent::Point(_), SpatialExtent::Field(_)) => false,
+            (SpatialExtent::Field(a), SpatialExtent::Field(b)) => a.contains_field(b),
+        }
+    }
+}
+
+impl fmt::Display for SpatialExtent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialExtent::Point(p) => write!(f, "{p}"),
+            SpatialExtent::Field(fl) => write!(f, "{fl}"),
+        }
+    }
+}
+
+impl From<Point> for SpatialExtent {
+    fn from(p: Point) -> Self {
+        SpatialExtent::Point(p)
+    }
+}
+
+impl From<Field> for SpatialExtent {
+    fn from(f: Field) -> Self {
+        SpatialExtent::Field(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square_poly() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn mixed_intersection_rect_circle() {
+        let r = Field::rect(Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0)));
+        let hit = Field::circle(Circle::new(Point::new(3.0, 1.0), 1.0));
+        let miss = Field::circle(Circle::new(Point::new(4.0, 1.0), 1.0));
+        assert!(r.intersects(&hit), "tangent circle touches");
+        assert!(!r.intersects(&miss));
+        assert!(hit.intersects(&r), "symmetric");
+    }
+
+    #[test]
+    fn mixed_intersection_polygon_circle() {
+        let p = Field::polygon(unit_square_poly());
+        let inside = Field::circle(Circle::new(Point::new(0.5, 0.5), 0.1));
+        let outside = Field::circle(Circle::new(Point::new(3.0, 3.0), 0.5));
+        assert!(p.intersects(&inside));
+        assert!(!p.intersects(&outside));
+    }
+
+    #[test]
+    fn containment_rect_circle() {
+        let r = Field::rect(Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0)));
+        let c = Field::circle(Circle::new(Point::new(2.0, 2.0), 1.0));
+        assert!(r.contains_field(&c));
+        assert!(!c.contains_field(&r));
+        let big_c = Field::circle(Circle::new(Point::new(2.0, 2.0), 3.0));
+        assert!(big_c.contains_field(&r), "circle of radius 3 contains the 4x4 rect (corner distance 2√2 ≈ 2.83)");
+    }
+
+    #[test]
+    fn containment_polygon_circle() {
+        let p = Field::polygon(unit_square_poly().scaled(4.0)); // 4x4 around centroid (0.5,0.5)
+        let c = Field::circle(Circle::new(Point::new(0.5, 0.5), 1.0));
+        assert!(p.contains_field(&c));
+        let c_big = Field::circle(Circle::new(Point::new(0.5, 0.5), 10.0));
+        assert!(!p.contains_field(&c_big));
+        assert!(c_big.contains_field(&p));
+    }
+
+    #[test]
+    fn boundary_distance_inside_rect() {
+        let f = Field::rect(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 4.0)));
+        assert_eq!(f.distance_to_boundary(Point::new(5.0, 2.0)), 2.0);
+        assert_eq!(f.distance_to_boundary(Point::new(1.0, 2.0)), 1.0);
+        assert_eq!(f.distance_to_boundary(Point::new(12.0, 2.0)), 2.0);
+    }
+
+    #[test]
+    fn boundary_distance_circle() {
+        let f = Field::circle(Circle::new(Point::new(0.0, 0.0), 5.0));
+        assert_eq!(f.distance_to_boundary(Point::new(0.0, 0.0)), 5.0);
+        assert_eq!(f.distance_to_boundary(Point::new(7.0, 0.0)), 2.0);
+    }
+
+    #[test]
+    fn extent_distance_cases() {
+        let a = SpatialExtent::point(Point::new(0.0, 0.0));
+        let b = SpatialExtent::point(Point::new(3.0, 4.0));
+        assert_eq!(a.distance(&b), 5.0);
+        let f = SpatialExtent::field(Field::circle(Circle::new(Point::new(10.0, 0.0), 2.0)));
+        assert_eq!(b.distance(&f), Point::new(3.0, 4.0).distance(Point::new(10.0, 0.0)) - 2.0);
+        assert_eq!(f.distance(&f), 0.0);
+    }
+
+    #[test]
+    fn extent_field_field_distance_positive_when_disjoint() {
+        let a = SpatialExtent::field(Field::rect(Rect::new(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+        )));
+        let b = SpatialExtent::field(Field::rect(Rect::new(
+            Point::new(3.0, 0.0),
+            Point::new(4.0, 1.0),
+        )));
+        let d = a.distance(&b);
+        assert!((d - 2.0).abs() < 1e-6, "expected ~2.0, got {d}");
+    }
+
+    #[test]
+    fn extent_containment_rules() {
+        let pt = SpatialExtent::point(Point::new(1.0, 1.0));
+        let field = SpatialExtent::field(Field::rect(Rect::new(
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 2.0),
+        )));
+        assert!(field.contains_extent(&pt));
+        assert!(!pt.contains_extent(&field), "a point never contains a field");
+        assert!(pt.contains_extent(&pt));
+    }
+
+    #[test]
+    fn approx_eq_discriminates_variants() {
+        let r = Field::rect(Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+        let c = Field::circle(Circle::new(Point::new(0.5, 0.5), 0.5));
+        assert!(r.approx_eq(&r.clone()));
+        assert!(!r.approx_eq(&c));
+    }
+
+    #[test]
+    fn representative_points() {
+        let f = SpatialExtent::field(Field::rect(Rect::new(
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 2.0),
+        )));
+        assert!(f.representative().approx_eq(Point::new(2.0, 1.0)));
+        assert_eq!(f.area(), 8.0);
+        assert_eq!(SpatialExtent::point(Point::new(1.0, 1.0)).area(), 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Uniform grid index for neighbour queries.
+//!
+//! The WSN simulator issues millions of "which motes are within radio
+//! range of `p`?" queries; a uniform grid gives O(1) expected lookups for
+//! uniformly deployed nodes. See [`crate::QuadTree`] for the adaptive
+//! alternative benchmarked against it.
+
+use crate::{Point, Rect};
+use std::collections::HashMap;
+
+/// A uniform grid spatial index over items with point locations.
+///
+/// Items are bucketed by cell; radius and rectangle queries scan only the
+/// overlapping cells. Items may lie outside the nominal bounds — their
+/// cells are created on demand (the grid is a hash map, not an array).
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{GridIndex, Point, Rect};
+///
+/// let mut idx = GridIndex::new(10.0);
+/// idx.insert(1u32, Point::new(0.0, 0.0));
+/// idx.insert(2u32, Point::new(5.0, 5.0));
+/// idx.insert(3u32, Point::new(50.0, 50.0));
+/// let mut near = idx.query_radius(Point::new(1.0, 1.0), 10.0);
+/// near.sort();
+/// assert_eq!(near, vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell_size: f64,
+    cells: HashMap<(i64, i64), Vec<(T, Point)>>,
+    len: usize,
+}
+
+impl<T: Clone> GridIndex<T> {
+    /// Creates an index with square cells of side `cell_size`.
+    ///
+    /// A good cell size is the typical query radius (e.g. the radio range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not finite and positive.
+    #[must_use]
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive and finite, got {cell_size}"
+        );
+        GridIndex {
+            cell_size,
+            cells: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// The configured cell size.
+    #[must_use]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of indexed items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no items are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn cell_of(&self, p: Point) -> (i64, i64) {
+        (
+            (p.x / self.cell_size).floor() as i64,
+            (p.y / self.cell_size).floor() as i64,
+        )
+    }
+
+    /// Inserts an item at a location. Duplicate items are allowed; removal
+    /// is by value+location via [`GridIndex::remove`].
+    pub fn insert(&mut self, item: T, location: Point) {
+        let cell = self.cell_of(location);
+        self.cells.entry(cell).or_default().push((item, location));
+        self.len += 1;
+    }
+
+    /// Returns all items within Euclidean distance `radius` of `center`
+    /// (inclusive).
+    #[must_use]
+    pub fn query_radius(&self, center: Point, radius: f64) -> Vec<T> {
+        let mut out = Vec::new();
+        let r2 = radius * radius;
+        let min = self.cell_of(Point::new(center.x - radius, center.y - radius));
+        let max = self.cell_of(Point::new(center.x + radius, center.y + radius));
+        for cx in min.0..=max.0 {
+            for cy in min.1..=max.1 {
+                if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                    for (item, loc) in bucket {
+                        if center.distance_squared(*loc) <= r2 {
+                            out.push(item.clone());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns all items whose location lies within `rect` (inclusive).
+    #[must_use]
+    pub fn query_rect(&self, rect: &Rect) -> Vec<T> {
+        let mut out = Vec::new();
+        let min = self.cell_of(rect.min());
+        let max = self.cell_of(rect.max());
+        for cx in min.0..=max.0 {
+            for cy in min.1..=max.1 {
+                if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                    for (item, loc) in bucket {
+                        if rect.contains(*loc) {
+                            out.push(item.clone());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the nearest item to `p` (ties broken by scan order), or
+    /// `None` if the index is empty.
+    ///
+    /// Searches expanding rings of cells and stops once the nearest
+    /// candidate provably beats anything in un-scanned rings.
+    #[must_use]
+    pub fn nearest(&self, p: Point) -> Option<(T, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let origin = self.cell_of(p);
+        let mut best: Option<(T, f64)> = None;
+        let mut ring: i64 = 0;
+        // Upper bound on rings: enough to cover all populated cells.
+        let max_ring = self
+            .cells
+            .keys()
+            .map(|&(cx, cy)| (cx - origin.0).abs().max((cy - origin.1).abs()))
+            .max()
+            .unwrap_or(0);
+        while ring <= max_ring {
+            // Scan the ring at Chebyshev distance `ring`.
+            for cx in (origin.0 - ring)..=(origin.0 + ring) {
+                for cy in (origin.1 - ring)..=(origin.1 + ring) {
+                    if (cx - origin.0).abs().max((cy - origin.1).abs()) != ring {
+                        continue;
+                    }
+                    if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                        for (item, loc) in bucket {
+                            let d = p.distance(*loc);
+                            if best.as_ref().map_or(true, |(_, bd)| d < *bd) {
+                                best = Some((item.clone(), d));
+                            }
+                        }
+                    }
+                }
+            }
+            // Anything in ring k+1 is at least k * cell_size away.
+            if let Some((_, bd)) = &best {
+                if *bd <= ring as f64 * self.cell_size {
+                    break;
+                }
+            }
+            ring += 1;
+        }
+        best
+    }
+
+    /// Removes one occurrence of `item` at `location`, returning `true` if
+    /// it was found.
+    pub fn remove(&mut self, item: &T, location: Point) -> bool
+    where
+        T: PartialEq,
+    {
+        let cell = self.cell_of(location);
+        if let Some(bucket) = self.cells.get_mut(&cell) {
+            if let Some(pos) = bucket
+                .iter()
+                .position(|(i, loc)| i == item && loc.approx_eq(location))
+            {
+                bucket.swap_remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Iterates over all `(item, location)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, Point)> {
+        self.cells
+            .values()
+            .flat_map(|bucket| bucket.iter().map(|(item, loc)| (item, *loc)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn rejects_zero_cell_size() {
+        let _ = GridIndex::<u32>::new(0.0);
+    }
+
+    #[test]
+    fn radius_query_includes_boundary() {
+        let mut idx = GridIndex::new(1.0);
+        idx.insert(1u32, Point::new(3.0, 0.0));
+        assert_eq!(idx.query_radius(Point::new(0.0, 0.0), 3.0), vec![1]);
+        assert!(idx.query_radius(Point::new(0.0, 0.0), 2.9).is_empty());
+    }
+
+    #[test]
+    fn rect_query_filters_exactly() {
+        let mut idx = GridIndex::new(2.0);
+        idx.insert('a', Point::new(1.0, 1.0));
+        idx.insert('b', Point::new(3.0, 3.0));
+        idx.insert('c', Point::new(-1.0, -1.0));
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(3.0, 3.0));
+        let mut found = idx.query_rect(&r);
+        found.sort();
+        assert_eq!(found, vec!['a', 'b']);
+    }
+
+    #[test]
+    fn nearest_finds_closest_across_rings() {
+        let mut idx = GridIndex::new(1.0);
+        idx.insert(1u32, Point::new(10.0, 0.0));
+        idx.insert(2u32, Point::new(0.0, 3.0));
+        idx.insert(3u32, Point::new(-8.0, -8.0));
+        let (item, d) = idx.nearest(Point::new(0.0, 0.0)).unwrap();
+        assert_eq!(item, 2);
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_on_empty_is_none() {
+        let idx = GridIndex::<u32>::new(1.0);
+        assert!(idx.nearest(Point::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn remove_by_value_and_location() {
+        let mut idx = GridIndex::new(1.0);
+        idx.insert(7u32, Point::new(0.5, 0.5));
+        idx.insert(7u32, Point::new(5.5, 5.5));
+        assert_eq!(idx.len(), 2);
+        assert!(idx.remove(&7, Point::new(0.5, 0.5)));
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.remove(&7, Point::new(0.5, 0.5)), "already removed");
+        assert_eq!(idx.query_radius(Point::new(5.5, 5.5), 0.1), vec![7]);
+    }
+
+    #[test]
+    fn items_outside_initial_region_are_indexed() {
+        let mut idx = GridIndex::new(1.0);
+        idx.insert(1u32, Point::new(-1000.0, 2000.0));
+        assert_eq!(idx.query_radius(Point::new(-1000.0, 2000.0), 0.5), vec![1]);
+    }
+
+    proptest! {
+        /// Grid query equals brute force on random point sets.
+        #[test]
+        fn radius_query_matches_brute_force(
+            raw in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..60),
+            qx in -50.0f64..50.0, qy in -50.0f64..50.0, r in 0.0f64..40.0,
+            cell in 0.5f64..20.0,
+        ) {
+            let mut idx = GridIndex::new(cell);
+            for (i, &(x, y)) in raw.iter().enumerate() {
+                idx.insert(i, Point::new(x, y));
+            }
+            let q = Point::new(qx, qy);
+            let mut got = idx.query_radius(q, r);
+            got.sort_unstable();
+            let mut expected: Vec<usize> = raw
+                .iter()
+                .enumerate()
+                .filter(|(_, &(x, y))| q.distance(Point::new(x, y)) <= r)
+                .map(|(i, _)| i)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Nearest matches brute force.
+        #[test]
+        fn nearest_matches_brute_force(
+            raw in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..40),
+            qx in -50.0f64..50.0, qy in -50.0f64..50.0,
+            cell in 0.5f64..20.0,
+        ) {
+            let mut idx = GridIndex::new(cell);
+            for (i, &(x, y)) in raw.iter().enumerate() {
+                idx.insert(i, Point::new(x, y));
+            }
+            let q = Point::new(qx, qy);
+            let (_, d) = idx.nearest(q).unwrap();
+            let best = raw
+                .iter()
+                .map(|&(x, y)| q.distance(Point::new(x, y)))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((d - best).abs() < 1e-9);
+        }
+    }
+}

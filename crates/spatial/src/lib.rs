@@ -1,0 +1,61 @@
+//! 2-D spatial model for the STEM cyber-physical event model.
+//!
+//! The paper (Sec. 4) adopts "a standard 2-dimensional Cartesian coordinate
+//! system, in which an ordered pair `(x, y)` indicates a specific location
+//! point and a function `y = f(x)` indicates a specific location field
+//! (polytope)", and classifies events spatially as **point events** or
+//! **field events** (Sec. 4.2). This crate provides:
+//!
+//! * [`Point`], [`Vector`] — Cartesian primitives with distance metrics,
+//! * [`Rect`], [`Circle`], [`Polygon`] — the field geometries, unified
+//!   under [`Field`],
+//! * [`SpatialExtent`] — the point-or-field occurrence location of an
+//!   event,
+//! * the three relation families of Sec. 4.2: point–point, point–field,
+//!   field–field, via [`SpatialOperator`] (the paper's `OP_S`: "Inside,
+//!   Outside, Joint, …") and the Egenhofer-style [`TopoRelation`]
+//!   classification the paper cites (its ref. 17),
+//! * [`SpatialAgg`] — the aggregation functions `g_s` of Eq. 4.4,
+//! * neighbour-query indexes ([`GridIndex`], [`QuadTree`]) used by the WSN
+//!   simulator for radio-range queries.
+//!
+//! # Example
+//!
+//! ```
+//! use stem_spatial::{Circle, Field, Point, SpatialExtent, SpatialOperator};
+//!
+//! let window_area = SpatialExtent::field(Field::circle(Circle::new(Point::new(0.0, 0.0), 3.0)));
+//! let user = SpatialExtent::point(Point::new(1.0, 1.0));
+//! assert!(SpatialOperator::Inside.eval(&user, &window_area));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agg;
+mod circle;
+mod field;
+mod index;
+mod ops;
+mod point;
+mod polygon;
+mod quadtree;
+mod rect;
+mod topo;
+
+pub use agg::SpatialAgg;
+pub use circle::Circle;
+pub use field::{Field, SpatialExtent};
+pub use index::GridIndex;
+pub use ops::{SpatialOperator, ALL_SPATIAL_OPERATORS};
+pub use point::{convex_hull, Point, Vector, ORIGIN};
+pub use polygon::{InvalidPolygon, Polygon};
+pub use quadtree::QuadTree;
+pub use rect::Rect;
+pub use topo::{relate_fields, relate_point_field, PointFieldRelation, TopoRelation};
+
+/// Geometric tolerance used for float comparisons throughout the crate.
+///
+/// Coordinates in the experiments are metres; a nanometre tolerance is far
+/// below any modelled sensing precision.
+pub const EPSILON: f64 = 1e-9;

@@ -1,0 +1,212 @@
+//! The paper's spatial operators `OP_S` (Eq. 4.4), evaluated over extents.
+
+use crate::{relate_fields, SpatialExtent, TopoRelation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A spatial operator `OP_S` from Eq. 4.4: "spatial operators such as
+/// *Inside, Outside, Joint*", extended with the relations needed for the
+/// full point/field classification of Sec. 4.2.
+///
+/// Every operator is defined uniformly over [`SpatialExtent`]s, covering
+/// the three relation families (point–point, point–field, field–field).
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{Circle, Field, Point, SpatialExtent, SpatialOperator};
+///
+/// let user = SpatialExtent::point(Point::new(1.0, 0.0));
+/// let area = SpatialExtent::field(Field::circle(Circle::new(Point::new(0.0, 0.0), 3.0)));
+/// assert!(SpatialOperator::Inside.eval(&user, &area));
+/// assert!(SpatialOperator::Contains.eval(&area, &user));
+/// assert!(!SpatialOperator::Outside.eval(&user, &area));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpatialOperator {
+    /// `a` lies entirely within `b`. Point–point: coincidence.
+    Inside,
+    /// `a` and `b` share no location.
+    Outside,
+    /// `a` and `b` share at least one location (the paper's *Joint*).
+    Joint,
+    /// `a` and `b` occupy the same location(s).
+    Equal,
+    /// `b` lies entirely within `a` (converse of [`SpatialOperator::Inside`]).
+    Contains,
+    /// Boundaries touch but interiors are disjoint (field–field only;
+    /// false for combinations involving points, which have no interior
+    /// to keep disjoint while touching — a coincident point is `Joint`).
+    Meet,
+}
+
+/// All spatial operators, for exhaustive sweeps in tests and benchmarks.
+pub const ALL_SPATIAL_OPERATORS: [SpatialOperator; 6] = [
+    SpatialOperator::Inside,
+    SpatialOperator::Outside,
+    SpatialOperator::Joint,
+    SpatialOperator::Equal,
+    SpatialOperator::Contains,
+    SpatialOperator::Meet,
+];
+
+impl SpatialOperator {
+    /// Evaluates `a OP_S b`.
+    #[must_use]
+    pub fn eval(self, a: &SpatialExtent, b: &SpatialExtent) -> bool {
+        match self {
+            SpatialOperator::Inside => b.contains_extent(a),
+            SpatialOperator::Outside => !a.intersects(b),
+            SpatialOperator::Joint => a.intersects(b),
+            SpatialOperator::Equal => match (a, b) {
+                (SpatialExtent::Point(p), SpatialExtent::Point(q)) => p.approx_eq(*q),
+                (SpatialExtent::Field(f), SpatialExtent::Field(g)) => {
+                    f.approx_eq(g) || relate_fields(f, g) == TopoRelation::Equal
+                }
+                _ => false,
+            },
+            SpatialOperator::Contains => a.contains_extent(b),
+            SpatialOperator::Meet => match (a, b) {
+                (SpatialExtent::Field(f), SpatialExtent::Field(g)) => {
+                    relate_fields(f, g) == TopoRelation::Meet
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// Parses the operator from its canonical lowercase name
+    /// (`inside, outside, joint, equal, contains, meet`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "inside" => SpatialOperator::Inside,
+            "outside" => SpatialOperator::Outside,
+            "joint" => SpatialOperator::Joint,
+            "equal" => SpatialOperator::Equal,
+            "contains" => SpatialOperator::Contains,
+            "meet" => SpatialOperator::Meet,
+            _ => return None,
+        })
+    }
+
+    /// The canonical lowercase name (inverse of [`SpatialOperator::from_name`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpatialOperator::Inside => "inside",
+            SpatialOperator::Outside => "outside",
+            SpatialOperator::Joint => "joint",
+            SpatialOperator::Equal => "equal",
+            SpatialOperator::Contains => "contains",
+            SpatialOperator::Meet => "meet",
+        }
+    }
+}
+
+impl fmt::Display for SpatialOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circle, Field, Point, Rect};
+    use proptest::prelude::*;
+
+    fn pt(x: f64, y: f64) -> SpatialExtent {
+        SpatialExtent::point(Point::new(x, y))
+    }
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> SpatialExtent {
+        SpatialExtent::field(Field::rect(Rect::new(Point::new(x0, y0), Point::new(x1, y1))))
+    }
+
+    #[test]
+    fn inside_outside_joint_point_field() {
+        let p = pt(1.0, 1.0);
+        let f = rect(0.0, 0.0, 2.0, 2.0);
+        assert!(SpatialOperator::Inside.eval(&p, &f));
+        assert!(SpatialOperator::Joint.eval(&p, &f));
+        assert!(!SpatialOperator::Outside.eval(&p, &f));
+        let q = pt(5.0, 5.0);
+        assert!(SpatialOperator::Outside.eval(&q, &f));
+        assert!(!SpatialOperator::Inside.eval(&q, &f));
+    }
+
+    #[test]
+    fn point_point_semantics() {
+        let a = pt(1.0, 1.0);
+        let b = pt(1.0, 1.0);
+        let c = pt(2.0, 2.0);
+        assert!(SpatialOperator::Equal.eval(&a, &b));
+        assert!(SpatialOperator::Inside.eval(&a, &b), "coincident points are inside each other");
+        assert!(SpatialOperator::Outside.eval(&a, &c));
+        assert!(!SpatialOperator::Meet.eval(&a, &b), "points cannot meet");
+    }
+
+    #[test]
+    fn field_field_meet_and_equal() {
+        let a = rect(0.0, 0.0, 1.0, 1.0);
+        let b = rect(1.0, 0.0, 2.0, 1.0);
+        assert!(SpatialOperator::Meet.eval(&a, &b));
+        assert!(SpatialOperator::Joint.eval(&a, &b), "meeting fields are joint");
+        assert!(SpatialOperator::Equal.eval(&a, &a.clone()));
+        assert!(!SpatialOperator::Equal.eval(&a, &b));
+    }
+
+    #[test]
+    fn contains_is_converse_of_inside() {
+        let small = SpatialExtent::field(Field::circle(Circle::new(Point::new(1.0, 1.0), 0.5)));
+        let big = rect(0.0, 0.0, 4.0, 4.0);
+        assert!(SpatialOperator::Inside.eval(&small, &big));
+        assert!(SpatialOperator::Contains.eval(&big, &small));
+        assert!(!SpatialOperator::Contains.eval(&small, &big));
+    }
+
+    #[test]
+    fn a_point_never_contains_a_field() {
+        let p = pt(1.0, 1.0);
+        let f = rect(0.0, 0.0, 2.0, 2.0);
+        assert!(!SpatialOperator::Contains.eval(&p, &f));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for op in ALL_SPATIAL_OPERATORS {
+            assert_eq!(SpatialOperator::from_name(op.name()), Some(op));
+        }
+        assert_eq!(SpatialOperator::from_name("bogus"), None);
+    }
+
+    proptest! {
+        /// Outside and Joint are complementary.
+        #[test]
+        fn outside_joint_complementary(
+            px in -5.0f64..5.0, py in -5.0f64..5.0,
+            fx in -5.0f64..5.0, fy in -5.0f64..5.0, fw in 0.5f64..4.0, fh in 0.5f64..4.0,
+        ) {
+            let p = pt(px, py);
+            let f = rect(fx, fy, fx + fw, fy + fh);
+            prop_assert_ne!(
+                SpatialOperator::Outside.eval(&p, &f),
+                SpatialOperator::Joint.eval(&p, &f)
+            );
+        }
+
+        /// Inside implies Joint.
+        #[test]
+        fn inside_implies_joint(
+            ax in -5.0f64..5.0, ay in -5.0f64..5.0, aw in 0.5f64..3.0, ah in 0.5f64..3.0,
+            bx in -5.0f64..5.0, by in -5.0f64..5.0, bw in 0.5f64..3.0, bh in 0.5f64..3.0,
+        ) {
+            let a = rect(ax, ay, ax + aw, ay + ah);
+            let b = rect(bx, by, bx + bw, by + bh);
+            if SpatialOperator::Inside.eval(&a, &b) {
+                prop_assert!(SpatialOperator::Joint.eval(&a, &b));
+            }
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Cartesian points, vectors, and point-set helpers.
+
+use crate::EPSILON;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A location point `(x, y)` in the paper's 2-D Cartesian spatial model.
+///
+/// Coordinates are `f64`; in the experiments the unit is metres.
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// The origin `(0, 0)`.
+pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root for comparisons).
+    #[must_use]
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    #[must_use]
+    pub fn manhattan_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    #[must_use]
+    pub fn chebyshev_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Returns `true` if the points coincide within [`EPSILON`].
+    #[must_use]
+    pub fn approx_eq(self, other: Point) -> bool {
+        self.distance_squared(other) < EPSILON * EPSILON
+    }
+
+    /// The midpoint between `self` and `other`.
+    #[must_use]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation from `self` to `other` by factor `t ∈ [0, 1]`.
+    ///
+    /// Values of `t` outside `[0, 1]` extrapolate along the segment.
+    #[must_use]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// The vector from `self` to `other`.
+    #[must_use]
+    pub fn vector_to(self, other: Point) -> Vector {
+        Vector::new(other.x - self.x, other.y - self.y)
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+
+    fn add(self, v: Vector) -> Point {
+        Point::new(self.x + v.dx, self.y + v.dy)
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+
+    fn sub(self, v: Vector) -> Point {
+        Point::new(self.x - v.dx, self.y - v.dy)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+
+    fn sub(self, other: Point) -> Vector {
+        other.vector_to(self)
+    }
+}
+
+/// A displacement vector `(dx, dy)`.
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{Point, Vector};
+///
+/// let v = Vector::new(3.0, 4.0);
+/// assert_eq!(v.length(), 5.0);
+/// assert_eq!(Point::new(1.0, 1.0) + v, Point::new(4.0, 5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vector {
+    /// Horizontal component.
+    pub dx: f64,
+    /// Vertical component.
+    pub dy: f64,
+}
+
+impl Vector {
+    /// Creates a vector `(dx, dy)`.
+    #[must_use]
+    pub const fn new(dx: f64, dy: f64) -> Self {
+        Vector { dx, dy }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vector = Vector { dx: 0.0, dy: 0.0 };
+
+    /// Euclidean length.
+    #[must_use]
+    pub fn length(self) -> f64 {
+        (self.dx * self.dx + self.dy * self.dy).sqrt()
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(self, other: Vector) -> f64 {
+        self.dx * other.dx + self.dy * other.dy
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    ///
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[must_use]
+    pub fn cross(self, other: Vector) -> f64 {
+        self.dx * other.dy - self.dy * other.dx
+    }
+
+    /// A unit vector in the same direction, or `None` for the zero vector.
+    #[must_use]
+    pub fn normalized(self) -> Option<Vector> {
+        let len = self.length();
+        if len < EPSILON {
+            None
+        } else {
+            Some(Vector::new(self.dx / len, self.dy / len))
+        }
+    }
+
+    /// The vector rotated by `angle` radians counter-clockwise.
+    #[must_use]
+    pub fn rotated(self, angle: f64) -> Vector {
+        let (s, c) = angle.sin_cos();
+        Vector::new(self.dx * c - self.dy * s, self.dx * s + self.dy * c)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.dx, self.dy)
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+
+    fn add(self, other: Vector) -> Vector {
+        Vector::new(self.dx + other.dx, self.dy + other.dy)
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+
+    fn sub(self, other: Vector) -> Vector {
+        Vector::new(self.dx - other.dx, self.dy - other.dy)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+
+    fn mul(self, k: f64) -> Vector {
+        Vector::new(self.dx * k, self.dy * k)
+    }
+}
+
+impl Div<f64> for Vector {
+    type Output = Vector;
+
+    fn div(self, k: f64) -> Vector {
+        Vector::new(self.dx / k, self.dy / k)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+
+    fn neg(self) -> Vector {
+        Vector::new(-self.dx, -self.dy)
+    }
+}
+
+/// Computes the convex hull of a point set (Andrew's monotone chain).
+///
+/// Returns the hull vertices in counter-clockwise order without repeating
+/// the first vertex. Degenerate inputs return what remains: fewer than
+/// three distinct points yield the distinct points themselves; collinear
+/// inputs yield the two extreme points.
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{convex_hull, Point};
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 0.5), // interior
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull.len(), 4);
+/// ```
+#[must_use]
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.iter().copied().filter(|p| p.is_finite()).collect();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| a.approx_eq(*b));
+    if pts.len() < 3 {
+        return pts;
+    }
+
+    let cross = |o: Point, a: Point, b: Point| o.vector_to(a).cross(o.vector_to(b));
+
+    let mut lower: Vec<Point> = Vec::new();
+    for &p in &pts {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= EPSILON
+        {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::new();
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= EPSILON
+        {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.len() < 3 {
+        // All points collinear: return the two extremes.
+        return vec![pts[0], *pts.last().expect("non-empty")];
+    }
+    lower
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distances_agree_on_axis_aligned_pairs() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(0.0, 7.0);
+        assert_eq!(a.distance(b), 7.0);
+        assert_eq!(a.manhattan_distance(b), 7.0);
+        assert_eq!(a.chebyshev_distance(b), 7.0);
+    }
+
+    #[test]
+    fn metric_ordering_holds() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!(a.chebyshev_distance(b) <= a.distance(b));
+        assert!(a.distance(b) <= a.manhattan_distance(b));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -4.0);
+        assert!(a.lerp(b, 0.0).approx_eq(a));
+        assert!(a.lerp(b, 1.0).approx_eq(b));
+        assert!(a.lerp(b, 0.5).approx_eq(a.midpoint(b)));
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let v = Vector::new(1.0, 2.0);
+        let w = Vector::new(3.0, -1.0);
+        assert_eq!(v.dot(w), 1.0);
+        assert_eq!(v.cross(w), -7.0);
+        assert_eq!((v + w).dx, 4.0);
+        assert_eq!((v - w).dy, 3.0);
+        assert_eq!((v * 2.0).dx, 2.0);
+        assert_eq!((v / 2.0).dy, 1.0);
+        assert_eq!((-v).dx, -1.0);
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_none() {
+        assert_eq!(Vector::ZERO.normalized(), None);
+        let u = Vector::new(3.0, 4.0).normalized().unwrap();
+        assert!((u.length() - 1.0).abs() < EPSILON);
+    }
+
+    #[test]
+    fn rotation_by_quarter_turn() {
+        let v = Vector::new(1.0, 0.0).rotated(std::f64::consts::FRAC_PI_2);
+        assert!(v.dx.abs() < 1e-12 && (v.dy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_vector_arithmetic() {
+        let p = Point::new(1.0, 1.0);
+        let v = Vector::new(2.0, 3.0);
+        assert_eq!(p + v, Point::new(3.0, 4.0));
+        assert_eq!((p + v) - v, p);
+        assert_eq!(Point::new(3.0, 4.0) - p, v);
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_point() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.iter().any(|p| p.approx_eq(Point::new(2.0, 2.0))));
+    }
+
+    #[test]
+    fn hull_of_collinear_points_is_segment() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 2);
+        assert!(hull[0].approx_eq(Point::new(0.0, 0.0)));
+        assert!(hull[1].approx_eq(Point::new(3.0, 3.0)));
+    }
+
+    #[test]
+    fn hull_of_small_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 2.0)]).len(), 1);
+        let dup = convex_hull(&[Point::new(1.0, 2.0), Point::new(1.0, 2.0)]);
+        assert_eq!(dup.len(), 1);
+    }
+
+    proptest! {
+        /// Every input point lies inside or on the hull (checked via the
+        /// cross-product sign against each CCW edge).
+        #[test]
+        fn hull_contains_all_points(raw in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 3..40)) {
+            let pts: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let hull = convex_hull(&pts);
+            prop_assume!(hull.len() >= 3);
+            for p in &pts {
+                for i in 0..hull.len() {
+                    let a = hull[i];
+                    let b = hull[(i + 1) % hull.len()];
+                    let side = a.vector_to(b).cross(a.vector_to(*p));
+                    prop_assert!(side >= -1e-6, "point {p} outside hull edge {a}->{b}");
+                }
+            }
+        }
+
+        /// Distance is symmetric and satisfies the triangle inequality.
+        #[test]
+        fn metric_axioms(
+            ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+            bx in -100.0f64..100.0, by in -100.0f64..100.0,
+            cx in -100.0f64..100.0, cy in -100.0f64..100.0,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        }
+    }
+}

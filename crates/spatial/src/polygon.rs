@@ -1,0 +1,555 @@
+//! Simple polygons: the general "polytope" field geometry of the paper.
+
+use crate::{Point, Rect, EPSILON};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when constructing an invalid [`Polygon`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidPolygon {
+    /// Fewer than three vertices were supplied.
+    TooFewVertices(usize),
+    /// A vertex coordinate was NaN or infinite.
+    NonFiniteVertex(usize),
+    /// The polygon has (numerically) zero area.
+    ZeroArea,
+}
+
+impl fmt::Display for InvalidPolygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidPolygon::TooFewVertices(n) => {
+                write!(f, "polygon needs at least 3 vertices, got {n}")
+            }
+            InvalidPolygon::NonFiniteVertex(i) => {
+                write!(f, "polygon vertex {i} has a non-finite coordinate")
+            }
+            InvalidPolygon::ZeroArea => write!(f, "polygon has zero area"),
+        }
+    }
+}
+
+impl std::error::Error for InvalidPolygon {}
+
+/// A simple polygon (no self-intersection checks are performed; callers
+/// constructing exotic inputs get the usual even-odd semantics from the
+/// containment test).
+///
+/// Vertices are stored in counter-clockwise order; clockwise input is
+/// reversed on construction so that signed-area-based algorithms can rely
+/// on orientation.
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{Point, Polygon};
+///
+/// let p = Polygon::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+///     Point::new(4.0, 3.0),
+///     Point::new(0.0, 3.0),
+/// ])?;
+/// assert_eq!(p.area(), 12.0);
+/// assert!(p.contains(Point::new(2.0, 1.5)));
+/// # Ok::<(), stem_spatial::InvalidPolygon>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its vertices (either winding order accepted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPolygon`] if fewer than three vertices are given,
+    /// any coordinate is non-finite, or the signed area is numerically
+    /// zero (fully degenerate/collinear input).
+    pub fn new(vertices: Vec<Point>) -> Result<Self, InvalidPolygon> {
+        if vertices.len() < 3 {
+            return Err(InvalidPolygon::TooFewVertices(vertices.len()));
+        }
+        for (i, v) in vertices.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(InvalidPolygon::NonFiniteVertex(i));
+            }
+        }
+        let signed = signed_area(&vertices);
+        if signed.abs() < EPSILON {
+            return Err(InvalidPolygon::ZeroArea);
+        }
+        let mut vertices = vertices;
+        if signed < 0.0 {
+            vertices.reverse();
+        }
+        Ok(Polygon { vertices })
+    }
+
+    /// Convenience: an axis-aligned rectangle as a polygon.
+    #[must_use]
+    pub fn from_rect(r: &Rect) -> Polygon {
+        Polygon {
+            vertices: r.corners().to_vec(),
+        }
+    }
+
+    /// The vertices in counter-clockwise order.
+    #[must_use]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always `false`: a constructed polygon has at least three vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The edges as vertex pairs, in order.
+    pub fn edges(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| (self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Area via the shoelace formula (always positive).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        signed_area(&self.vertices).abs()
+    }
+
+    /// Perimeter length.
+    #[must_use]
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|(a, b)| a.distance(b)).sum()
+    }
+
+    /// The area centroid.
+    #[must_use]
+    pub fn centroid(&self) -> Point {
+        let a = signed_area(&self.vertices);
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for (p, q) in self.edges() {
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// The tight axis-aligned bounding box.
+    #[must_use]
+    pub fn bounding_box(&self) -> Rect {
+        Rect::bounding(&self.vertices).expect("polygon has vertices")
+    }
+
+    /// Point containment (boundary counts as inside).
+    ///
+    /// Uses the even-odd ray-casting rule with an explicit boundary check
+    /// so that points on edges or vertices classify as contained,
+    /// consistent with the closed-region semantics used for intervals.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        if self.on_boundary(p) {
+            return true;
+        }
+        let mut inside = false;
+        for (a, b) in self.edges() {
+            if (a.y > p.y) != (b.y > p.y) {
+                let x_cross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// Returns `true` if `p` lies on the polygon boundary (within
+    /// [`EPSILON`] of some edge).
+    #[must_use]
+    pub fn on_boundary(&self, p: Point) -> bool {
+        self.edges()
+            .any(|(a, b)| point_segment_distance(p, a, b) < EPSILON)
+    }
+
+    /// Euclidean distance from `p` to the polygon (zero if inside).
+    #[must_use]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        if self.contains(p) {
+            return 0.0;
+        }
+        self.edges()
+            .map(|(a, b)| point_segment_distance(p, a, b))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Returns `true` if any edge of `self` crosses any edge of `other`,
+    /// or one polygon contains the other. Touching boundaries count.
+    #[must_use]
+    pub fn intersects(&self, other: &Polygon) -> bool {
+        if !self.bounding_box().intersects(&other.bounding_box()) {
+            return false;
+        }
+        for (a, b) in self.edges() {
+            for (c, d) in other.edges() {
+                if segments_intersect(a, b, c, d) {
+                    return true;
+                }
+            }
+        }
+        // No edge crossings: one may contain the other entirely.
+        self.contains(other.vertices[0]) || other.contains(self.vertices[0])
+    }
+
+    /// Returns `true` if every vertex of `other` is contained in `self`
+    /// and no edges cross (i.e. `other ⊆ self` for simple polygons).
+    #[must_use]
+    pub fn contains_polygon(&self, other: &Polygon) -> bool {
+        if !other.vertices.iter().all(|&v| self.contains(v)) {
+            return false;
+        }
+        // Edges may still poke out through a concavity: check for proper
+        // crossings (shared boundary points are allowed).
+        for (a, b) in self.edges() {
+            for (c, d) in other.edges() {
+                if segments_cross_properly(a, b, c, d) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The polygon translated by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: f64, dy: f64) -> Polygon {
+        Polygon {
+            vertices: self
+                .vertices
+                .iter()
+                .map(|p| Point::new(p.x + dx, p.y + dy))
+                .collect(),
+        }
+    }
+
+    /// The polygon scaled about its centroid by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or non-positive.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Polygon {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive and finite"
+        );
+        let c = self.centroid();
+        Polygon {
+            vertices: self
+                .vertices
+                .iter()
+                .map(|p| Point::new(c.x + (p.x - c.x) * factor, c.y + (p.y - c.y) * factor))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "polygon[{} vertices, area={:.3}]", self.len(), self.area())
+    }
+}
+
+/// Signed area: positive for counter-clockwise winding.
+fn signed_area(vertices: &[Point]) -> f64 {
+    let n = vertices.len();
+    let mut sum = 0.0;
+    for i in 0..n {
+        let p = vertices[i];
+        let q = vertices[(i + 1) % n];
+        sum += p.x * q.y - q.x * p.y;
+    }
+    sum / 2.0
+}
+
+/// Distance from point `p` to segment `ab`.
+fn point_segment_distance(p: Point, a: Point, b: Point) -> f64 {
+    let ab = a.vector_to(b);
+    let ap = a.vector_to(p);
+    let len2 = ab.dot(ab);
+    if len2 < EPSILON * EPSILON {
+        return a.distance(p);
+    }
+    let t = (ap.dot(ab) / len2).clamp(0.0, 1.0);
+    a.lerp(b, t).distance(p)
+}
+
+/// Orientation of the triple (a, b, c): >0 CCW, <0 CW, 0 collinear.
+fn orient(a: Point, b: Point, c: Point) -> f64 {
+    a.vector_to(b).cross(a.vector_to(c))
+}
+
+/// Segment intersection including endpoints and collinear overlap.
+fn segments_intersect(a: Point, b: Point, c: Point, d: Point) -> bool {
+    let d1 = orient(c, d, a);
+    let d2 = orient(c, d, b);
+    let d3 = orient(a, b, c);
+    let d4 = orient(a, b, d);
+    if ((d1 > EPSILON && d2 < -EPSILON) || (d1 < -EPSILON && d2 > EPSILON))
+        && ((d3 > EPSILON && d4 < -EPSILON) || (d3 < -EPSILON && d4 > EPSILON))
+    {
+        return true;
+    }
+    (d1.abs() <= EPSILON && on_segment(c, d, a))
+        || (d2.abs() <= EPSILON && on_segment(c, d, b))
+        || (d3.abs() <= EPSILON && on_segment(a, b, c))
+        || (d4.abs() <= EPSILON && on_segment(a, b, d))
+}
+
+/// Proper crossing: interiors intersect (endpoint touching excluded).
+fn segments_cross_properly(a: Point, b: Point, c: Point, d: Point) -> bool {
+    let d1 = orient(c, d, a);
+    let d2 = orient(c, d, b);
+    let d3 = orient(a, b, c);
+    let d4 = orient(a, b, d);
+    ((d1 > EPSILON && d2 < -EPSILON) || (d1 < -EPSILON && d2 > EPSILON))
+        && ((d3 > EPSILON && d4 < -EPSILON) || (d3 < -EPSILON && d4 > EPSILON))
+}
+
+/// Whether collinear point `p` lies within the bounding box of `ab`.
+fn on_segment(a: Point, b: Point, p: Point) -> bool {
+    p.x >= a.x.min(b.x) - EPSILON
+        && p.x <= a.x.max(b.x) + EPSILON
+        && p.y >= a.y.min(b.y) - EPSILON
+        && p.y <= a.y.max(b.y) + EPSILON
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn square() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap()
+    }
+
+    fn l_shape() -> Polygon {
+        // Concave L: a 4x4 square with the top-right 2x2 bite removed.
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert_eq!(
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]).unwrap_err(),
+            InvalidPolygon::TooFewVertices(2)
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(f64::NAN, 0.0),
+                Point::new(1.0, 1.0)
+            ])
+            .unwrap_err(),
+            InvalidPolygon::NonFiniteVertex(1)
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(2.0, 2.0)
+            ])
+            .unwrap_err(),
+            InvalidPolygon::ZeroArea
+        );
+    }
+
+    #[test]
+    fn clockwise_input_is_normalized_to_ccw() {
+        let cw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 4.0),
+            Point::new(4.0, 4.0),
+            Point::new(4.0, 0.0),
+        ])
+        .unwrap();
+        assert!(signed_area(cw.vertices()) > 0.0);
+        assert_eq!(cw.area(), 16.0);
+    }
+
+    #[test]
+    fn area_perimeter_centroid_of_square() {
+        let s = square();
+        assert_eq!(s.area(), 16.0);
+        assert_eq!(s.perimeter(), 16.0);
+        assert!(s.centroid().approx_eq(Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn l_shape_area_and_centroid() {
+        let l = l_shape();
+        assert!((l.area() - 12.0).abs() < EPSILON);
+        // Centroid of the L: weighted mean of 4x2 bottom (c=(2,1), a=8)
+        // and 2x2 top-left (c=(1,3), a=4) => ((2*8+1*4)/12, (1*8+3*4)/12).
+        let c = l.centroid();
+        assert!((c.x - 20.0 / 12.0).abs() < 1e-9);
+        assert!((c.y - 20.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn containment_square() {
+        let s = square();
+        assert!(s.contains(Point::new(2.0, 2.0)));
+        assert!(s.contains(Point::new(0.0, 0.0)), "vertex is inside");
+        assert!(s.contains(Point::new(2.0, 0.0)), "edge is inside");
+        assert!(!s.contains(Point::new(4.1, 2.0)));
+        assert!(!s.contains(Point::new(-0.1, 2.0)));
+    }
+
+    #[test]
+    fn containment_concave() {
+        let l = l_shape();
+        assert!(l.contains(Point::new(1.0, 3.0)), "inside the L's upright");
+        assert!(!l.contains(Point::new(3.0, 3.0)), "inside the bite, outside the L");
+        assert!(l.contains(Point::new(3.0, 1.0)), "inside the L's base");
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let s = square();
+        assert_eq!(s.distance_to_point(Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(s.distance_to_point(Point::new(6.0, 2.0)), 2.0);
+        assert!((s.distance_to_point(Point::new(7.0, 8.0)) - 5.0).abs() < EPSILON);
+    }
+
+    #[test]
+    fn intersects_overlapping_and_disjoint() {
+        let s = square();
+        let t = square().translated(2.0, 2.0);
+        assert!(s.intersects(&t));
+        let far = square().translated(10.0, 0.0);
+        assert!(!s.intersects(&far));
+        // Touching edge counts (closed regions).
+        let touching = square().translated(4.0, 0.0);
+        assert!(s.intersects(&touching));
+    }
+
+    #[test]
+    fn containment_of_nested_polygons() {
+        let s = square();
+        let inner = square().scaled(0.5);
+        assert!(s.contains_polygon(&inner));
+        assert!(!inner.contains_polygon(&s));
+        assert!(s.intersects(&inner), "containment implies intersection");
+        // A polygon contains itself (shared boundary allowed).
+        assert!(s.contains_polygon(&s));
+    }
+
+    #[test]
+    fn concave_containment_rejects_poking_edges() {
+        let l = l_shape();
+        // A bar whose endpoints are in the L but whose middle crosses the bite.
+        let bar = Polygon::new(vec![
+            Point::new(0.5, 2.5),
+            Point::new(0.5, 1.2),
+            Point::new(3.5, 1.2),
+            Point::new(3.5, 1.8),
+            Point::new(1.2, 1.8),
+            Point::new(1.2, 2.5),
+        ])
+        .unwrap();
+        assert!(l.contains_polygon(&bar));
+    }
+
+    #[test]
+    fn from_rect_round_trips_area() {
+        let r = Rect::new(Point::new(1.0, 1.0), Point::new(3.0, 5.0));
+        let p = Polygon::from_rect(&r);
+        assert_eq!(p.area(), r.area());
+        assert!(p.contains(r.center()));
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        // Crossing.
+        assert!(segments_intersect(
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(2.0, 0.0)
+        ));
+        // Endpoint touching.
+        assert!(segments_intersect(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 0.0)
+        ));
+        // Collinear overlap.
+        assert!(segments_intersect(
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(3.0, 0.0)
+        ));
+        // Parallel disjoint.
+        assert!(!segments_intersect(
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(2.0, 1.0)
+        ));
+    }
+
+    proptest! {
+        /// The centroid of a convex polygon lies inside it.
+        #[test]
+        fn centroid_inside_rectangles(x in -10.0f64..10.0, y in -10.0f64..10.0, w in 0.5f64..10.0, h in 0.5f64..10.0) {
+            let p = Polygon::from_rect(&Rect::new(Point::new(x, y), Point::new(x + w, y + h)));
+            prop_assert!(p.contains(p.centroid()));
+        }
+
+        /// Translation preserves area and containment relationships.
+        #[test]
+        fn translation_invariance(dx in -20.0f64..20.0, dy in -20.0f64..20.0, px in 0.1f64..3.9, py in 0.1f64..3.9) {
+            let s = square();
+            let t = s.translated(dx, dy);
+            prop_assert!((s.area() - t.area()).abs() < 1e-9);
+            prop_assert_eq!(
+                s.contains(Point::new(px, py)),
+                t.contains(Point::new(px + dx, py + dy))
+            );
+        }
+
+        /// Scaling scales area quadratically.
+        #[test]
+        fn scaling_area(factor in 0.1f64..5.0) {
+            let s = square();
+            let t = s.scaled(factor);
+            prop_assert!((t.area() - s.area() * factor * factor).abs() < 1e-6);
+        }
+    }
+}

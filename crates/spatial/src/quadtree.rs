@@ -1,0 +1,314 @@
+//! Point-region quadtree: the adaptive spatial index.
+//!
+//! Complements [`crate::GridIndex`] for *clustered* deployments where a
+//! uniform grid degenerates (all nodes in a few cells). Benchmarked against
+//! the grid and brute force in `stem-bench`.
+
+use crate::{Point, Rect};
+
+/// Maximum items per leaf before splitting.
+const NODE_CAPACITY: usize = 8;
+/// Maximum tree depth (beyond it leaves simply grow).
+const MAX_DEPTH: usize = 16;
+
+/// A point-region quadtree over items with point locations.
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{Point, QuadTree, Rect};
+///
+/// let bounds = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+/// let mut qt = QuadTree::new(bounds);
+/// qt.insert(1u32, Point::new(10.0, 10.0));
+/// qt.insert(2u32, Point::new(90.0, 90.0));
+/// assert_eq!(qt.query_radius(Point::new(12.0, 10.0), 5.0), vec![1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuadTree<T> {
+    bounds: Rect,
+    root: Node<T>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf(Vec<(T, Point)>),
+    Branch(Box<[QuadNode<T>; 4]>),
+}
+
+#[derive(Debug, Clone)]
+struct QuadNode<T> {
+    bounds: Rect,
+    node: Node<T>,
+}
+
+impl<T: Clone> QuadTree<T> {
+    /// Creates an empty quadtree covering `bounds`.
+    ///
+    /// Items outside the bounds are *routed* by their location clamped into
+    /// the bounds (they land in the nearest boundary leaf); the stored
+    /// location is the true one, and queries clamp their search region the
+    /// same way, so results remain exact.
+    #[must_use]
+    pub fn new(bounds: Rect) -> Self {
+        QuadTree {
+            bounds,
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+        }
+    }
+
+    /// The covering bounds supplied at construction.
+    #[must_use]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Number of indexed items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no items are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an item at a location.
+    pub fn insert(&mut self, item: T, location: Point) {
+        let routing = clamp_into(self.bounds, location);
+        insert_rec(&mut self.root, self.bounds, item, location, routing, 0);
+        self.len += 1;
+    }
+
+    /// Returns all items within Euclidean distance `radius` of `center`
+    /// (inclusive).
+    #[must_use]
+    pub fn query_radius(&self, center: Point, radius: f64) -> Vec<T> {
+        let mut out = Vec::new();
+        let query_bb = Rect::centered(center, radius, radius);
+        let clamped = clamp_rect(self.bounds, &query_bb);
+        query_rec(&self.root, &clamped, &mut |item, loc| {
+            if center.distance_squared(loc) <= radius * radius {
+                out.push(item.clone());
+            }
+        });
+        out
+    }
+
+    /// Returns all items whose location lies within `rect` (inclusive).
+    #[must_use]
+    pub fn query_rect(&self, rect: &Rect) -> Vec<T> {
+        let mut out = Vec::new();
+        let clamped = clamp_rect(self.bounds, rect);
+        query_rec(&self.root, &clamped, &mut |item, loc| {
+            if rect.contains(loc) {
+                out.push(item.clone());
+            }
+        });
+        out
+    }
+}
+
+/// Clamps a point into `bounds` component-wise (monotone in each axis).
+fn clamp_into(bounds: Rect, p: Point) -> Point {
+    Point::new(
+        p.x.clamp(bounds.min().x, bounds.max().x),
+        p.y.clamp(bounds.min().y, bounds.max().y),
+    )
+}
+
+/// Clamps a query rectangle into `bounds`. Because clamping is monotone,
+/// an item whose true location is in the query lies — by routing point —
+/// inside the clamped query, so pruning against it is exact.
+fn clamp_rect(bounds: Rect, query: &Rect) -> Rect {
+    Rect::new(clamp_into(bounds, query.min()), clamp_into(bounds, query.max()))
+}
+
+fn quadrants(bounds: Rect) -> [Rect; 4] {
+    let c = bounds.center();
+    [
+        Rect::new(bounds.min(), c),
+        Rect::new(Point::new(c.x, bounds.min().y), Point::new(bounds.max().x, c.y)),
+        Rect::new(Point::new(bounds.min().x, c.y), Point::new(c.x, bounds.max().y)),
+        Rect::new(c, bounds.max()),
+    ]
+}
+
+fn quadrant_of(bounds: Rect, p: Point) -> usize {
+    let c = bounds.center();
+    match (p.x >= c.x, p.y >= c.y) {
+        (false, false) => 0,
+        (true, false) => 1,
+        (false, true) => 2,
+        (true, true) => 3,
+    }
+}
+
+fn insert_rec<T: Clone>(
+    node: &mut Node<T>,
+    bounds: Rect,
+    item: T,
+    location: Point,
+    routing: Point,
+    depth: usize,
+) {
+    match node {
+        Node::Leaf(items) => {
+            items.push((item, location));
+            if items.len() > NODE_CAPACITY && depth < MAX_DEPTH {
+                // Split: redistribute into four children.
+                let drained = std::mem::take(items);
+                let qs = quadrants(bounds);
+                let mut children = Box::new([
+                    QuadNode { bounds: qs[0], node: Node::Leaf(Vec::new()) },
+                    QuadNode { bounds: qs[1], node: Node::Leaf(Vec::new()) },
+                    QuadNode { bounds: qs[2], node: Node::Leaf(Vec::new()) },
+                    QuadNode { bounds: qs[3], node: Node::Leaf(Vec::new()) },
+                ]);
+                for (it, loc) in drained {
+                    let r = clamp_into(bounds, loc);
+                    let q = quadrant_of(bounds, r);
+                    let child_bounds = children[q].bounds;
+                    insert_rec(&mut children[q].node, child_bounds, it, loc, r, depth + 1);
+                }
+                *node = Node::Branch(children);
+            }
+        }
+        Node::Branch(children) => {
+            let q = quadrant_of(bounds, routing);
+            let child_bounds = children[q].bounds;
+            insert_rec(&mut children[q].node, child_bounds, item, location, routing, depth + 1);
+        }
+    }
+}
+
+fn query_rec<T, F: FnMut(&T, Point)>(node: &Node<T>, clamped_query: &Rect, visit: &mut F) {
+    match node {
+        Node::Leaf(items) => {
+            for (item, loc) in items {
+                visit(item, *loc);
+            }
+        }
+        Node::Branch(children) => {
+            for child in children.iter() {
+                if child.bounds.intersects(clamped_query) {
+                    query_rec(&child.node, clamped_query, visit);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bounds() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let qt = QuadTree::<u32>::new(bounds());
+        assert!(qt.is_empty());
+        assert!(qt.query_radius(Point::new(50.0, 50.0), 100.0).is_empty());
+    }
+
+    #[test]
+    fn split_preserves_all_items() {
+        let mut qt = QuadTree::new(bounds());
+        for i in 0..100u32 {
+            let x = (i % 10) as f64 * 10.0 + 0.5;
+            let y = (i / 10) as f64 * 10.0 + 0.5;
+            qt.insert(i, Point::new(x, y));
+        }
+        assert_eq!(qt.len(), 100);
+        let all = qt.query_rect(&bounds());
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn radius_query_boundary_inclusive() {
+        let mut qt = QuadTree::new(bounds());
+        qt.insert(1u32, Point::new(53.0, 50.0));
+        assert_eq!(qt.query_radius(Point::new(50.0, 50.0), 3.0), vec![1]);
+        assert!(qt.query_radius(Point::new(50.0, 50.0), 2.99).is_empty());
+    }
+
+    #[test]
+    fn handles_duplicate_locations_beyond_capacity() {
+        // More duplicates than NODE_CAPACITY at one location must not
+        // recurse forever (MAX_DEPTH caps splitting).
+        let mut qt = QuadTree::new(bounds());
+        for i in 0..50u32 {
+            qt.insert(i, Point::new(25.0, 25.0));
+        }
+        assert_eq!(qt.query_radius(Point::new(25.0, 25.0), 0.1).len(), 50);
+    }
+
+    #[test]
+    fn items_outside_bounds_are_still_found() {
+        let mut qt = QuadTree::new(bounds());
+        qt.insert(1u32, Point::new(-50.0, -50.0));
+        qt.insert(2u32, Point::new(150.0, 150.0));
+        // Fill enough to force splits.
+        for i in 10..40u32 {
+            qt.insert(i, Point::new((i % 10) as f64, (i / 10) as f64));
+        }
+        assert_eq!(qt.query_radius(Point::new(-50.0, -50.0), 1.0), vec![1]);
+        assert_eq!(qt.query_radius(Point::new(150.0, 150.0), 1.0), vec![2]);
+    }
+
+    proptest! {
+        /// Quadtree query equals brute force on random point sets.
+        #[test]
+        fn radius_query_matches_brute_force(
+            raw in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 0..80),
+            qx in 0.0f64..100.0, qy in 0.0f64..100.0, r in 0.0f64..60.0,
+        ) {
+            let mut qt = QuadTree::new(bounds());
+            for (i, &(x, y)) in raw.iter().enumerate() {
+                qt.insert(i, Point::new(x, y));
+            }
+            let q = Point::new(qx, qy);
+            let mut got = qt.query_radius(q, r);
+            got.sort_unstable();
+            let mut expected: Vec<usize> = raw
+                .iter()
+                .enumerate()
+                .filter(|(_, &(x, y))| q.distance(Point::new(x, y)) <= r)
+                .map(|(i, _)| i)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Rect query equals brute force.
+        #[test]
+        fn rect_query_matches_brute_force(
+            raw in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 0..80),
+            x0 in 0.0f64..100.0, y0 in 0.0f64..100.0, w in 0.0f64..50.0, h in 0.0f64..50.0,
+        ) {
+            let mut qt = QuadTree::new(bounds());
+            for (i, &(x, y)) in raw.iter().enumerate() {
+                qt.insert(i, Point::new(x, y));
+            }
+            let r = Rect::new(Point::new(x0, y0), Point::new(x0 + w, y0 + h));
+            let mut got = qt.query_rect(&r);
+            got.sort_unstable();
+            let mut expected: Vec<usize> = raw
+                .iter()
+                .enumerate()
+                .filter(|(_, &(x, y))| r.contains(Point::new(x, y)))
+                .map(|(i, _)| i)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

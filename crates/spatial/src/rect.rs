@@ -1,0 +1,297 @@
+//! Axis-aligned rectangles.
+
+use crate::{Point, EPSILON};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle, stored as min/max corners.
+///
+/// Rectangles are the simplest field geometry and double as bounding boxes
+/// for the other shapes and for the spatial indexes.
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{Point, Rect};
+///
+/// let r = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 2.0));
+/// assert_eq!(r.area(), 8.0);
+/// assert!(r.contains(Point::new(4.0, 2.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from any two opposite corners (order-agnostic).
+    #[must_use]
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle from a centre point and half-extents.
+    #[must_use]
+    pub fn centered(center: Point, half_width: f64, half_height: f64) -> Self {
+        Rect::new(
+            Point::new(center.x - half_width, center.y - half_height),
+            Point::new(center.x + half_width, center.y + half_height),
+        )
+    }
+
+    /// The min corner (lowest x and y).
+    #[must_use]
+    pub const fn min(&self) -> Point {
+        self.min
+    }
+
+    /// The max corner (highest x and y).
+    #[must_use]
+    pub const fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width along x.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// The centre point.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    #[must_use]
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        self.min.x <= p.x && p.x <= self.max.x && self.min.y <= p.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` if `p` lies strictly inside (off the boundary).
+    #[must_use]
+    pub fn contains_strict(&self, p: Point) -> bool {
+        self.min.x + EPSILON < p.x
+            && p.x < self.max.x - EPSILON
+            && self.min.y + EPSILON < p.y
+            && p.y < self.max.y - EPSILON
+    }
+
+    /// Returns `true` if `other` lies entirely within `self` (non-strict).
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// Returns `true` if the rectangles share at least one point
+    /// (touching boundaries count).
+    #[must_use]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The overlapping region, if any.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// The smallest rectangle containing both operands.
+    #[must_use]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// The rectangle grown by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative enough to invert the rectangle.
+    #[must_use]
+    pub fn inflated(&self, margin: f64) -> Rect {
+        let r = Rect {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        };
+        assert!(
+            r.min.x <= r.max.x && r.min.y <= r.max.y,
+            "negative margin inverted the rectangle"
+        );
+        r
+    }
+
+    /// Euclidean distance from `p` to the rectangle (zero if inside).
+    #[must_use]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The smallest rectangle containing all given points, or `None` if the
+    /// input is empty.
+    #[must_use]
+    pub fn bounding(points: &[Point]) -> Option<Rect> {
+        let (first, rest) = points.split_first()?;
+        let mut r = Rect::new(*first, *first);
+        for p in rest {
+            r.min = Point::new(r.min.x.min(p.x), r.min.y.min(p.y));
+            r.max = Point::new(r.max.x.max(p.x), r.max.y.max(p.y));
+        }
+        Some(r)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rect[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn corners_are_normalized() {
+        let r = Rect::new(Point::new(5.0, 1.0), Point::new(1.0, 5.0));
+        assert_eq!(r.min(), Point::new(1.0, 1.0));
+        assert_eq!(r.max(), Point::new(5.0, 5.0));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.center(), Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn containment_includes_boundary() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(2.0, 2.0)));
+        assert!(!r.contains_strict(Point::new(0.0, 0.0)));
+        assert!(r.contains_strict(Point::new(1.0, 1.0)));
+        assert!(!r.contains(Point::new(2.1, 1.0)));
+    }
+
+    #[test]
+    fn touching_rects_intersect_with_zero_area() {
+        let a = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let b = Rect::new(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        assert!(a.intersects(&b));
+        let x = a.intersection(&b).unwrap();
+        assert_eq!(x.area(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_rects_do_not_intersect() {
+        let a = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let b = Rect::new(Point::new(3.0, 3.0), Point::new(4.0, 4.0));
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let b = Rect::new(Point::new(3.0, -1.0), Point::new(4.0, 0.5));
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn distance_to_point_zero_inside() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert_eq!(r.distance_to_point(Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(r.distance_to_point(Point::new(5.0, 1.0)), 3.0);
+        assert!((r.distance_to_point(Point::new(5.0, 6.0)) - 5.0).abs() < EPSILON);
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        assert!(Rect::bounding(&[]).is_none());
+        let r = Rect::bounding(&[
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.0),
+            Point::new(3.0, 2.0),
+        ])
+        .unwrap();
+        assert_eq!(r.min(), Point::new(-2.0, 0.0));
+        assert_eq!(r.max(), Point::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).inflated(0.5);
+        assert_eq!(r.min(), Point::new(-0.5, -0.5));
+        assert_eq!(r.max(), Point::new(1.5, 1.5));
+    }
+
+    proptest! {
+        /// Intersection area never exceeds either operand's area.
+        #[test]
+        fn intersection_area_bounded(
+            ax in -10.0f64..10.0, ay in -10.0f64..10.0, aw in 0.1f64..10.0, ah in 0.1f64..10.0,
+            bx in -10.0f64..10.0, by in -10.0f64..10.0, bw in 0.1f64..10.0, bh in 0.1f64..10.0,
+        ) {
+            let a = Rect::new(Point::new(ax, ay), Point::new(ax + aw, ay + ah));
+            let b = Rect::new(Point::new(bx, by), Point::new(bx + bw, by + bh));
+            if let Some(x) = a.intersection(&b) {
+                prop_assert!(x.area() <= a.area() + 1e-9);
+                prop_assert!(x.area() <= b.area() + 1e-9);
+                prop_assert!(a.contains_rect(&x));
+            }
+        }
+
+        /// Union always contains both operands and intersection commutes.
+        #[test]
+        fn union_intersection_laws(
+            ax in -10.0f64..10.0, ay in -10.0f64..10.0, aw in 0.1f64..10.0, ah in 0.1f64..10.0,
+            bx in -10.0f64..10.0, by in -10.0f64..10.0, bw in 0.1f64..10.0, bh in 0.1f64..10.0,
+        ) {
+            let a = Rect::new(Point::new(ax, ay), Point::new(ax + aw, ay + ah));
+            let b = Rect::new(Point::new(bx, by), Point::new(bx + bw, by + bh));
+            prop_assert!(a.union(&b).contains_rect(&a));
+            prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Topological relation classification.
+//!
+//! The paper cites Egenhofer's topological relationships of objects in 2-D
+//! space ([17]) and extends spatial relations to "3 types: point event with
+//! point event (e.g. Equal to), point event with field event (e.g. Inside,
+//! Outside), and field event with field event (e.g. Joint)" (Sec. 4.2).
+//! This module implements the full region–region classification
+//! (Egenhofer's eight relations) plus the point–field family.
+
+use crate::{Field, Point, Polygon, EPSILON};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Relation between a point and a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PointFieldRelation {
+    /// The point lies strictly outside the field.
+    Outside,
+    /// The point lies on the field boundary.
+    OnBoundary,
+    /// The point lies strictly inside the field.
+    Inside,
+}
+
+impl fmt::Display for PointFieldRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PointFieldRelation::Outside => "outside",
+            PointFieldRelation::OnBoundary => "on-boundary",
+            PointFieldRelation::Inside => "inside",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies a point against a field.
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{relate_point_field, Circle, Field, Point, PointFieldRelation};
+///
+/// let f = Field::circle(Circle::new(Point::new(0.0, 0.0), 2.0));
+/// assert_eq!(relate_point_field(Point::new(0.0, 0.0), &f), PointFieldRelation::Inside);
+/// assert_eq!(relate_point_field(Point::new(2.0, 0.0), &f), PointFieldRelation::OnBoundary);
+/// assert_eq!(relate_point_field(Point::new(3.0, 0.0), &f), PointFieldRelation::Outside);
+/// ```
+#[must_use]
+pub fn relate_point_field(p: Point, f: &Field) -> PointFieldRelation {
+    // Boundary tolerance: geometric EPSILON scaled up for stability of the
+    // polygonal circle approximation.
+    let tol = 1e-7;
+    if f.distance_to_boundary(p) < tol {
+        PointFieldRelation::OnBoundary
+    } else if f.contains(p) {
+        PointFieldRelation::Inside
+    } else {
+        PointFieldRelation::Outside
+    }
+}
+
+/// Egenhofer's eight topological relations between two regions.
+///
+/// Classification is performed on polygonal views of the fields (circles
+/// become 64-gons), so boundary-coincidence answers for circles are
+/// approximate at the polygonalization tolerance; all containment and
+/// disjointness answers are robust.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopoRelation {
+    /// Interiors and boundaries are disjoint.
+    Disjoint,
+    /// Boundaries touch; interiors are disjoint.
+    Meet,
+    /// Interiors overlap but neither region contains the other.
+    Overlap,
+    /// The regions coincide.
+    Equal,
+    /// The first region contains the second, boundaries apart.
+    Contains,
+    /// The first region lies inside the second, boundaries apart.
+    Inside,
+    /// The first region contains the second with boundary contact.
+    Covers,
+    /// The first region lies inside the second with boundary contact.
+    CoveredBy,
+}
+
+impl TopoRelation {
+    /// The converse relation (`relate(b, a)` given `relate(a, b)`).
+    #[must_use]
+    pub fn converse(self) -> TopoRelation {
+        match self {
+            TopoRelation::Disjoint => TopoRelation::Disjoint,
+            TopoRelation::Meet => TopoRelation::Meet,
+            TopoRelation::Overlap => TopoRelation::Overlap,
+            TopoRelation::Equal => TopoRelation::Equal,
+            TopoRelation::Contains => TopoRelation::Inside,
+            TopoRelation::Inside => TopoRelation::Contains,
+            TopoRelation::Covers => TopoRelation::CoveredBy,
+            TopoRelation::CoveredBy => TopoRelation::Covers,
+        }
+    }
+}
+
+impl fmt::Display for TopoRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TopoRelation::Disjoint => "disjoint",
+            TopoRelation::Meet => "meet",
+            TopoRelation::Overlap => "overlap",
+            TopoRelation::Equal => "equal",
+            TopoRelation::Contains => "contains",
+            TopoRelation::Inside => "inside",
+            TopoRelation::Covers => "covers",
+            TopoRelation::CoveredBy => "covered-by",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies the topological relation between two fields.
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{relate_fields, Field, Point, Rect, TopoRelation};
+///
+/// let a = Field::rect(Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0)));
+/// let b = Field::rect(Rect::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0)));
+/// assert_eq!(relate_fields(&a, &b), TopoRelation::Contains);
+/// assert_eq!(relate_fields(&b, &a), TopoRelation::Inside);
+/// ```
+#[must_use]
+pub fn relate_fields(a: &Field, b: &Field) -> TopoRelation {
+    let pa = a.to_polygon();
+    let pb = b.to_polygon();
+
+    let a_in_b = pb.contains_polygon(&pa);
+    let b_in_a = pa.contains_polygon(&pb);
+    if a_in_b && b_in_a {
+        return TopoRelation::Equal;
+    }
+    let touch = boundaries_touch(&pa, &pb);
+    if a_in_b {
+        return if touch {
+            TopoRelation::CoveredBy
+        } else {
+            TopoRelation::Inside
+        };
+    }
+    if b_in_a {
+        return if touch {
+            TopoRelation::Covers
+        } else {
+            TopoRelation::Contains
+        };
+    }
+    if !pa.intersects(&pb) {
+        return TopoRelation::Disjoint;
+    }
+    if interiors_overlap(&pa, &pb) {
+        TopoRelation::Overlap
+    } else {
+        TopoRelation::Meet
+    }
+}
+
+/// Returns `true` if the polygon boundaries come within tolerance of each
+/// other.
+fn boundaries_touch(a: &Polygon, b: &Polygon) -> bool {
+    let tol = 1e-7;
+    a.vertices().iter().any(|&v| b_dist(b, v) < tol)
+        || b.vertices().iter().any(|&v| b_dist(a, v) < tol)
+        || edge_pairs_touch(a, b, tol)
+}
+
+fn b_dist(p: &Polygon, v: Point) -> f64 {
+    p.edges()
+        .map(|(s, e)| seg_dist(v, s, e))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn seg_dist(p: Point, a: Point, b: Point) -> f64 {
+    let ab = a.vector_to(b);
+    let len2 = ab.dot(ab);
+    if len2 < EPSILON * EPSILON {
+        return a.distance(p);
+    }
+    let t = (a.vector_to(p).dot(ab) / len2).clamp(0.0, 1.0);
+    a.lerp(b, t).distance(p)
+}
+
+fn edge_pairs_touch(a: &Polygon, b: &Polygon, tol: f64) -> bool {
+    for (s1, e1) in a.edges() {
+        for (s2, e2) in b.edges() {
+            if seg_dist(s1, s2, e2) < tol
+                || seg_dist(e1, s2, e2) < tol
+                || seg_dist(s2, s1, e1) < tol
+                || seg_dist(e2, s1, e1) < tol
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Returns `true` if the polygon interiors share a point: either an edge
+/// pair crosses properly, or a vertex of one lies strictly inside the
+/// other.
+fn interiors_overlap(a: &Polygon, b: &Polygon) -> bool {
+    let strictly_inside = |poly: &Polygon, v: Point| poly.contains(v) && !poly.on_boundary(v);
+    if a.vertices().iter().any(|&v| strictly_inside(b, v))
+        || b.vertices().iter().any(|&v| strictly_inside(a, v))
+    {
+        return true;
+    }
+    for (s1, e1) in a.edges() {
+        for (s2, e2) in b.edges() {
+            if cross_properly(s1, e1, s2, e2) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn cross_properly(a: Point, b: Point, c: Point, d: Point) -> bool {
+    let o = |p: Point, q: Point, r: Point| p.vector_to(q).cross(p.vector_to(r));
+    let d1 = o(c, d, a);
+    let d2 = o(c, d, b);
+    let d3 = o(a, b, c);
+    let d4 = o(a, b, d);
+    ((d1 > EPSILON && d2 < -EPSILON) || (d1 < -EPSILON && d2 > EPSILON))
+        && ((d3 > EPSILON && d4 < -EPSILON) || (d3 < -EPSILON && d4 > EPSILON))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circle, Rect};
+    use proptest::prelude::*;
+
+    fn rect_field(x0: f64, y0: f64, x1: f64, y1: f64) -> Field {
+        Field::rect(Rect::new(Point::new(x0, y0), Point::new(x1, y1)))
+    }
+
+    #[test]
+    fn disjoint_rects() {
+        assert_eq!(
+            relate_fields(&rect_field(0.0, 0.0, 1.0, 1.0), &rect_field(5.0, 5.0, 6.0, 6.0)),
+            TopoRelation::Disjoint
+        );
+    }
+
+    #[test]
+    fn meeting_rects_share_only_boundary() {
+        assert_eq!(
+            relate_fields(&rect_field(0.0, 0.0, 1.0, 1.0), &rect_field(1.0, 0.0, 2.0, 1.0)),
+            TopoRelation::Meet
+        );
+        // Corner touch is also Meet.
+        assert_eq!(
+            relate_fields(&rect_field(0.0, 0.0, 1.0, 1.0), &rect_field(1.0, 1.0, 2.0, 2.0)),
+            TopoRelation::Meet
+        );
+    }
+
+    #[test]
+    fn overlapping_rects() {
+        assert_eq!(
+            relate_fields(&rect_field(0.0, 0.0, 2.0, 2.0), &rect_field(1.0, 1.0, 3.0, 3.0)),
+            TopoRelation::Overlap
+        );
+    }
+
+    #[test]
+    fn equal_rects() {
+        assert_eq!(
+            relate_fields(&rect_field(0.0, 0.0, 2.0, 2.0), &rect_field(0.0, 0.0, 2.0, 2.0)),
+            TopoRelation::Equal
+        );
+    }
+
+    #[test]
+    fn contains_vs_covers() {
+        // Strict containment: no boundary contact.
+        assert_eq!(
+            relate_fields(&rect_field(0.0, 0.0, 4.0, 4.0), &rect_field(1.0, 1.0, 2.0, 2.0)),
+            TopoRelation::Contains
+        );
+        // Containment with shared boundary edge.
+        assert_eq!(
+            relate_fields(&rect_field(0.0, 0.0, 4.0, 4.0), &rect_field(0.0, 1.0, 2.0, 2.0)),
+            TopoRelation::Covers
+        );
+        assert_eq!(
+            relate_fields(&rect_field(0.0, 1.0, 2.0, 2.0), &rect_field(0.0, 0.0, 4.0, 4.0)),
+            TopoRelation::CoveredBy
+        );
+    }
+
+    #[test]
+    fn circle_inside_rect() {
+        let r = rect_field(0.0, 0.0, 10.0, 10.0);
+        let c = Field::circle(Circle::new(Point::new(5.0, 5.0), 2.0));
+        assert_eq!(relate_fields(&r, &c), TopoRelation::Contains);
+        assert_eq!(relate_fields(&c, &r), TopoRelation::Inside);
+    }
+
+    #[test]
+    fn circle_circle_relations() {
+        let a = Field::circle(Circle::new(Point::new(0.0, 0.0), 2.0));
+        let b = Field::circle(Circle::new(Point::new(10.0, 0.0), 2.0));
+        assert_eq!(relate_fields(&a, &b), TopoRelation::Disjoint);
+        let c = Field::circle(Circle::new(Point::new(1.0, 0.0), 2.0));
+        assert_eq!(relate_fields(&a, &c), TopoRelation::Overlap);
+    }
+
+    #[test]
+    fn point_field_classification_rect() {
+        let f = rect_field(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(relate_point_field(Point::new(1.0, 1.0), &f), PointFieldRelation::Inside);
+        assert_eq!(relate_point_field(Point::new(0.0, 1.0), &f), PointFieldRelation::OnBoundary);
+        assert_eq!(relate_point_field(Point::new(3.0, 1.0), &f), PointFieldRelation::Outside);
+    }
+
+    #[test]
+    fn converse_round_trips() {
+        for r in [
+            TopoRelation::Disjoint,
+            TopoRelation::Meet,
+            TopoRelation::Overlap,
+            TopoRelation::Equal,
+            TopoRelation::Contains,
+            TopoRelation::Inside,
+            TopoRelation::Covers,
+            TopoRelation::CoveredBy,
+        ] {
+            assert_eq!(r.converse().converse(), r);
+        }
+    }
+
+    proptest! {
+        /// relate_fields(a, b) is always the converse of relate_fields(b, a).
+        #[test]
+        fn relation_converse_consistency(
+            ax in 0.0f64..5.0, ay in 0.0f64..5.0, aw in 1.0f64..4.0, ah in 1.0f64..4.0,
+            bx in 0.0f64..5.0, by in 0.0f64..5.0, bw in 1.0f64..4.0, bh in 1.0f64..4.0,
+        ) {
+            let a = rect_field(ax, ay, ax + aw, ay + ah);
+            let b = rect_field(bx, by, bx + bw, by + bh);
+            prop_assert_eq!(relate_fields(&a, &b).converse(), relate_fields(&b, &a));
+        }
+
+        /// Disjoint classification agrees with the intersects predicate.
+        #[test]
+        fn disjoint_iff_not_intersecting(
+            ax in 0.0f64..5.0, ay in 0.0f64..5.0, aw in 1.0f64..4.0, ah in 1.0f64..4.0,
+            bx in 0.0f64..5.0, by in 0.0f64..5.0, bw in 1.0f64..4.0, bh in 1.0f64..4.0,
+        ) {
+            let a = rect_field(ax, ay, ax + aw, ay + ah);
+            let b = rect_field(bx, by, bx + bw, by + bh);
+            let rel = relate_fields(&a, &b);
+            if rel == TopoRelation::Disjoint {
+                prop_assert!(!a.intersects(&b));
+            } else {
+                prop_assert!(a.intersects(&b));
+            }
+        }
+    }
+}

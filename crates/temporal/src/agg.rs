@@ -1,0 +1,231 @@
+//! Temporal aggregation functions `g_t` (Eq. 4.3).
+//!
+//! "A temporal event condition can be represented as
+//! `g_t[t1, t2, ..., tn] OP_T C_t` where `g_t` is an aggregation function
+//! which takes the time (occurrence time, estimated occurrence time and so
+//! on) of n entities."
+
+use crate::{TemporalExtent, TimeInterval, TimePoint};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A temporal aggregation function `g_t` mapping the occurrence times of
+/// *n* entities to a single [`TemporalExtent`].
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{TemporalExtent, TimeAgg, TimePoint};
+///
+/// let times = [
+///     TemporalExtent::punctual(TimePoint::new(4)),
+///     TemporalExtent::punctual(TimePoint::new(10)),
+/// ];
+/// assert_eq!(
+///     TimeAgg::Earliest.apply(&times),
+///     Some(TemporalExtent::punctual(TimePoint::new(4)))
+/// );
+/// let hull = TimeAgg::Hull.apply(&times).unwrap();
+/// assert_eq!(hull.start(), TimePoint::new(4));
+/// assert_eq!(hull.end(), TimePoint::new(10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeAgg {
+    /// The earliest start among the inputs (punctual result).
+    Earliest,
+    /// The latest end among the inputs (punctual result).
+    Latest,
+    /// The mean of the input midpoints (punctual result, floor-rounded).
+    Mean,
+    /// The convex hull of the inputs (interval result, punctual if all
+    /// inputs coincide).
+    Hull,
+    /// The identity on a single input; on several inputs behaves like
+    /// [`TimeAgg::Hull`]. Used when a condition refers to one entity's time
+    /// directly.
+    Identity,
+}
+
+impl TimeAgg {
+    /// Applies the aggregate to a slice of extents.
+    ///
+    /// Returns `None` on empty input — the paper's conditions always range
+    /// over at least one entity, so an empty aggregation is undefined
+    /// rather than defaulted.
+    #[must_use]
+    pub fn apply(self, times: &[TemporalExtent]) -> Option<TemporalExtent> {
+        let (first, rest) = times.split_first()?;
+        Some(match self {
+            TimeAgg::Earliest => {
+                let min = times.iter().map(TemporalExtent::start).min()?;
+                TemporalExtent::punctual(min)
+            }
+            TimeAgg::Latest => {
+                let max = times.iter().map(TemporalExtent::end).max()?;
+                TemporalExtent::punctual(max)
+            }
+            TimeAgg::Mean => {
+                let sum: u128 = times.iter().map(|e| u128::from(e.midpoint().ticks())).sum();
+                TemporalExtent::punctual(TimePoint::new((sum / times.len() as u128) as u64))
+            }
+            TimeAgg::Hull | TimeAgg::Identity => {
+                let hull = rest.iter().fold(*first, |acc, e| acc.hull(e));
+                hull
+            }
+        })
+    }
+
+    /// Parses the aggregate from its canonical lowercase name
+    /// (`earliest, latest, mean, hull, time`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "earliest" => TimeAgg::Earliest,
+            "latest" => TimeAgg::Latest,
+            "mean" => TimeAgg::Mean,
+            "hull" => TimeAgg::Hull,
+            "time" => TimeAgg::Identity,
+            _ => return None,
+        })
+    }
+
+    /// The canonical lowercase name (inverse of [`TimeAgg::from_name`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TimeAgg::Earliest => "earliest",
+            TimeAgg::Latest => "latest",
+            TimeAgg::Mean => "mean",
+            TimeAgg::Hull => "hull",
+            TimeAgg::Identity => "time",
+        }
+    }
+}
+
+impl fmt::Display for TimeAgg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Convenience: the convex hull of a non-empty set of intervals.
+///
+/// Returns `None` on empty input.
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{interval_hull, TimeInterval, TimePoint};
+///
+/// let h = interval_hull(&[
+///     TimeInterval::spanning(TimePoint::new(4), TimePoint::new(6)),
+///     TimeInterval::spanning(TimePoint::new(1), TimePoint::new(2)),
+/// ]).unwrap();
+/// assert_eq!(h.start(), TimePoint::new(1));
+/// ```
+#[must_use]
+pub fn interval_hull(intervals: &[TimeInterval]) -> Option<TimeInterval> {
+    let (first, rest) = intervals.split_first()?;
+    Some(rest.iter().fold(*first, |acc, iv| acc.hull(*iv)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(t: u64) -> TemporalExtent {
+        TemporalExtent::punctual(TimePoint::new(t))
+    }
+
+    fn i(a: u64, b: u64) -> TemporalExtent {
+        TemporalExtent::interval(TimeInterval::new(TimePoint::new(a), TimePoint::new(b)).unwrap())
+    }
+
+    #[test]
+    fn empty_input_is_undefined() {
+        for agg in [
+            TimeAgg::Earliest,
+            TimeAgg::Latest,
+            TimeAgg::Mean,
+            TimeAgg::Hull,
+            TimeAgg::Identity,
+        ] {
+            assert_eq!(agg.apply(&[]), None, "{agg} on empty input");
+        }
+    }
+
+    #[test]
+    fn earliest_and_latest_use_extent_bounds() {
+        let times = [i(4, 9), p(2), i(7, 20)];
+        assert_eq!(TimeAgg::Earliest.apply(&times), Some(p(2)));
+        assert_eq!(TimeAgg::Latest.apply(&times), Some(p(20)));
+    }
+
+    #[test]
+    fn mean_averages_midpoints() {
+        let times = [p(0), p(10)];
+        assert_eq!(TimeAgg::Mean.apply(&times), Some(p(5)));
+        // Midpoint of [4,8] is 6, of [0,0] is 0 => mean 3.
+        let times = [i(4, 8), p(0)];
+        assert_eq!(TimeAgg::Mean.apply(&times), Some(p(3)));
+    }
+
+    #[test]
+    fn identity_on_single_input_is_that_input() {
+        assert_eq!(TimeAgg::Identity.apply(&[i(3, 7)]), Some(i(3, 7)));
+        assert_eq!(TimeAgg::Identity.apply(&[p(5)]), Some(p(5)));
+    }
+
+    #[test]
+    fn hull_of_punctuals_spans_them() {
+        let h = TimeAgg::Hull.apply(&[p(3), p(9), p(5)]).unwrap();
+        assert_eq!((h.start().ticks(), h.end().ticks()), (3, 9));
+    }
+
+    #[test]
+    fn interval_hull_helper() {
+        let ivs = [
+            TimeInterval::spanning(TimePoint::new(5), TimePoint::new(9)),
+            TimeInterval::spanning(TimePoint::new(0), TimePoint::new(2)),
+        ];
+        let h = interval_hull(&ivs).unwrap();
+        assert_eq!((h.start().ticks(), h.end().ticks()), (0, 9));
+        assert_eq!(interval_hull(&[]), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for agg in [
+            TimeAgg::Earliest,
+            TimeAgg::Latest,
+            TimeAgg::Mean,
+            TimeAgg::Hull,
+            TimeAgg::Identity,
+        ] {
+            assert_eq!(TimeAgg::from_name(agg.name()), Some(agg));
+        }
+    }
+
+    proptest! {
+        /// The hull contains every input extent.
+        #[test]
+        fn hull_contains_all_inputs(raw in proptest::collection::vec((0u64..100, 0u64..10), 1..8)) {
+            let extents: Vec<TemporalExtent> = raw.iter().map(|&(s, l)| i(s, s + l)).collect();
+            let hull = TimeAgg::Hull.apply(&extents).unwrap().as_interval();
+            for e in &extents {
+                prop_assert!(hull.contains_interval(e.as_interval()));
+            }
+        }
+
+        /// Earliest <= Mean <= Latest.
+        #[test]
+        fn aggregate_ordering(raw in proptest::collection::vec(0u64..1000, 1..10)) {
+            let extents: Vec<TemporalExtent> = raw.iter().map(|&t| p(t)).collect();
+            let e = TimeAgg::Earliest.apply(&extents).unwrap().start();
+            let m = TimeAgg::Mean.apply(&extents).unwrap().start();
+            let l = TimeAgg::Latest.apply(&extents).unwrap().start();
+            prop_assert!(e <= m && m <= l);
+        }
+    }
+}

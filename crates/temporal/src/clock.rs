@@ -1,0 +1,197 @@
+//! Observer clock models.
+//!
+//! Every event instance carries a *generation time* `t^g` stamped by the
+//! observer's local clock (Def. 4.4). Real CPS components have imperfect
+//! clocks; these models let experiments inject offset and drift
+//! deterministically so that temporal-condition robustness can be measured
+//! (EXP-S1 in EXPERIMENTS.md).
+
+use crate::TimePoint;
+use serde::{Deserialize, Serialize};
+
+/// A local clock that maps true (simulation) time to observed time.
+///
+/// Implementations must be deterministic: the same true time always maps
+/// to the same observed time, so experiment runs are reproducible.
+pub trait Clock {
+    /// The observer-local reading at true time `true_time`.
+    fn now(&self, true_time: TimePoint) -> TimePoint;
+}
+
+/// A perfect clock: observed time equals true time.
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{Clock, PerfectClock, TimePoint};
+///
+/// assert_eq!(PerfectClock.now(TimePoint::new(42)), TimePoint::new(42));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfectClock;
+
+impl Clock for PerfectClock {
+    fn now(&self, true_time: TimePoint) -> TimePoint {
+        true_time
+    }
+}
+
+/// A clock with a constant offset and linear drift.
+///
+/// Observed time is `true + offset + drift_ppm * true / 1e6`, saturated at
+/// the epoch. Drift is expressed in parts-per-million, matching how real
+/// oscillator error is specified (typical WSN motes: ±30–50 ppm).
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{Clock, DriftingClock, TimePoint};
+///
+/// // +5 tick offset, +1000 ppm drift (1 tick gained per 1000 ticks).
+/// let c = DriftingClock::new(5, 1000.0);
+/// assert_eq!(c.now(TimePoint::new(1000)), TimePoint::new(1006));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftingClock {
+    /// Constant offset in ticks (may be negative).
+    offset: i64,
+    /// Linear drift in parts-per-million of elapsed true time.
+    drift_ppm: f64,
+}
+
+impl DriftingClock {
+    /// Creates a clock with the given offset (ticks) and drift (ppm).
+    #[must_use]
+    pub fn new(offset: i64, drift_ppm: f64) -> Self {
+        DriftingClock { offset, drift_ppm }
+    }
+
+    /// The constant offset in ticks.
+    #[must_use]
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// The linear drift in ppm.
+    #[must_use]
+    pub fn drift_ppm(&self) -> f64 {
+        self.drift_ppm
+    }
+}
+
+impl Clock for DriftingClock {
+    fn now(&self, true_time: TimePoint) -> TimePoint {
+        let drift = (true_time.ticks() as f64 * self.drift_ppm / 1_000_000.0).round() as i64;
+        true_time.saturating_offset(self.offset.saturating_add(drift))
+    }
+}
+
+/// A clock that quantizes true time to a tick grid (models coarse local
+/// timers: a mote that timestamps with, say, 10-tick granularity).
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{Clock, SteppedClock, TimePoint};
+///
+/// let c = SteppedClock::new(10);
+/// assert_eq!(c.now(TimePoint::new(57)), TimePoint::new(50));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SteppedClock {
+    granularity: u64,
+}
+
+impl SteppedClock {
+    /// Creates a clock with the given granularity in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is zero.
+    #[must_use]
+    pub fn new(granularity: u64) -> Self {
+        assert!(granularity > 0, "granularity must be positive");
+        SteppedClock { granularity }
+    }
+
+    /// The quantization granularity in ticks.
+    #[must_use]
+    pub fn granularity(&self) -> u64 {
+        self.granularity
+    }
+}
+
+impl Clock for SteppedClock {
+    fn now(&self, true_time: TimePoint) -> TimePoint {
+        TimePoint::new(true_time.ticks() / self.granularity * self.granularity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        for t in [0, 1, 1_000_000] {
+            assert_eq!(PerfectClock.now(TimePoint::new(t)), TimePoint::new(t));
+        }
+    }
+
+    #[test]
+    fn drifting_clock_applies_offset_and_drift() {
+        let c = DriftingClock::new(-3, 0.0);
+        assert_eq!(c.now(TimePoint::new(10)), TimePoint::new(7));
+        let c = DriftingClock::new(0, 500.0); // +0.5 tick per 1000
+        assert_eq!(c.now(TimePoint::new(2000)), TimePoint::new(2001));
+    }
+
+    #[test]
+    fn drifting_clock_saturates_at_epoch() {
+        let c = DriftingClock::new(-100, 0.0);
+        assert_eq!(c.now(TimePoint::new(5)), TimePoint::EPOCH);
+    }
+
+    #[test]
+    fn stepped_clock_floors_to_grid() {
+        let c = SteppedClock::new(25);
+        assert_eq!(c.now(TimePoint::new(0)), TimePoint::new(0));
+        assert_eq!(c.now(TimePoint::new(24)), TimePoint::new(0));
+        assert_eq!(c.now(TimePoint::new(25)), TimePoint::new(25));
+        assert_eq!(c.now(TimePoint::new(99)), TimePoint::new(75));
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be positive")]
+    fn stepped_clock_rejects_zero_granularity() {
+        let _ = SteppedClock::new(0);
+    }
+
+    proptest! {
+        /// Clocks are deterministic: repeated reads agree.
+        #[test]
+        fn clocks_are_deterministic(t in 0u64..1_000_000, offset in -1000i64..1000, drift in -100.0f64..100.0) {
+            let c = DriftingClock::new(offset, drift);
+            prop_assert_eq!(c.now(TimePoint::new(t)), c.now(TimePoint::new(t)));
+        }
+
+        /// Drifting clocks with non-negative offset+drift are monotone.
+        #[test]
+        fn positive_drift_is_monotone(t1 in 0u64..100_000, dt in 0u64..1000, offset in 0i64..100, drift in 0.0f64..1000.0) {
+            let c = DriftingClock::new(offset, drift);
+            let a = c.now(TimePoint::new(t1));
+            let b = c.now(TimePoint::new(t1 + dt));
+            prop_assert!(a <= b);
+        }
+
+        /// Stepped clock error is bounded by the granularity.
+        #[test]
+        fn stepped_error_bounded(t in 0u64..1_000_000, g in 1u64..1000) {
+            let c = SteppedClock::new(g);
+            let obs = c.now(TimePoint::new(t));
+            prop_assert!(obs.ticks() <= t);
+            prop_assert!(t - obs.ticks() < g);
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Time intervals and temporal extents (punctual vs. interval occurrence).
+
+use crate::{Duration, TimePoint};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when constructing a [`TimeInterval`] whose end precedes
+/// its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidInterval {
+    /// The offending start point.
+    pub start: TimePoint,
+    /// The offending end point.
+    pub end: TimePoint,
+}
+
+impl fmt::Display for InvalidInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interval end {} precedes start {}",
+            self.end, self.start
+        )
+    }
+}
+
+impl std::error::Error for InvalidInterval {}
+
+/// A closed discrete time interval `[start, end]` with `start <= end`.
+///
+/// Interval events (Sec. 4.2) are "marked by starting and ending time
+/// points"; both endpoints are included. A degenerate interval with
+/// `start == end` is permitted by the constructor but most callers should
+/// prefer [`TemporalExtent::punctual`] for such occurrences.
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{TimeInterval, TimePoint};
+///
+/// let iv = TimeInterval::new(TimePoint::new(10), TimePoint::new(40))?;
+/// assert_eq!(iv.length().ticks(), 30);
+/// assert!(iv.contains(TimePoint::new(40)));
+/// # Ok::<(), stem_temporal::InvalidInterval>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeInterval {
+    start: TimePoint,
+    end: TimePoint,
+}
+
+impl TimeInterval {
+    /// Creates the interval `[start, end]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidInterval`] if `end < start`.
+    pub fn new(start: TimePoint, end: TimePoint) -> Result<Self, InvalidInterval> {
+        if end < start {
+            Err(InvalidInterval { start, end })
+        } else {
+            Ok(TimeInterval { start, end })
+        }
+    }
+
+    /// Creates the interval `[start, start + length]`.
+    #[must_use]
+    pub fn with_length(start: TimePoint, length: Duration) -> Self {
+        TimeInterval {
+            start,
+            end: start
+                .checked_add(length)
+                .unwrap_or(TimePoint::MAX),
+        }
+    }
+
+    /// Creates an interval from any two points, ordering them as needed.
+    #[must_use]
+    pub fn spanning(a: TimePoint, b: TimePoint) -> Self {
+        TimeInterval {
+            start: a.min(b),
+            end: a.max(b),
+        }
+    }
+
+    /// The (inclusive) starting time point.
+    #[must_use]
+    pub const fn start(self) -> TimePoint {
+        self.start
+    }
+
+    /// The (inclusive) ending time point.
+    #[must_use]
+    pub const fn end(self) -> TimePoint {
+        self.end
+    }
+
+    /// The interval length, `end - start`.
+    #[must_use]
+    pub fn length(self) -> Duration {
+        self.end.abs_diff(self.start)
+    }
+
+    /// Returns `true` if `start == end`.
+    #[must_use]
+    pub fn is_degenerate(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns `true` if `t` lies within `[start, end]`.
+    #[must_use]
+    pub fn contains(self, t: TimePoint) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Returns `true` if `other` lies entirely within `self` (non-strict).
+    #[must_use]
+    pub fn contains_interval(self, other: TimeInterval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Returns `true` if the two closed intervals share at least one point.
+    #[must_use]
+    pub fn intersects(self, other: TimeInterval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Returns the intersection of the two intervals, if non-empty.
+    #[must_use]
+    pub fn intersection(self, other: TimeInterval) -> Option<TimeInterval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        TimeInterval::new(start, end).ok()
+    }
+
+    /// Returns the smallest interval containing both operands (convex hull).
+    #[must_use]
+    pub fn hull(self, other: TimeInterval) -> TimeInterval {
+        TimeInterval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Shifts both endpoints by a signed tick offset, saturating at the
+    /// epoch / [`TimePoint::MAX`].
+    #[must_use]
+    pub fn saturating_offset(self, delta: i64) -> TimeInterval {
+        TimeInterval {
+            start: self.start.saturating_offset(delta),
+            end: self.end.saturating_offset(delta),
+        }
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+impl From<TimePoint> for TimeInterval {
+    /// Converts a point into the degenerate interval `[t, t]`.
+    fn from(t: TimePoint) -> Self {
+        TimeInterval { start: t, end: t }
+    }
+}
+
+/// The occurrence time of an event: punctual or interval (Sec. 4.2).
+///
+/// "According to the occurrence time, an event can be further classified as
+/// a Punctual Event or Interval Event." `TemporalExtent` is that
+/// classification made first-class: every event and event instance carries
+/// one, and the temporal operators of Eq. 4.3 are defined over extents so
+/// that all three relation families (point–point, point–interval,
+/// interval–interval) are supported uniformly.
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{TemporalExtent, TimeInterval, TimePoint};
+///
+/// let p = TemporalExtent::punctual(TimePoint::new(5));
+/// assert!(p.is_punctual());
+/// let i = TemporalExtent::interval(TimeInterval::new(TimePoint::new(5), TimePoint::new(9))?);
+/// assert_eq!(i.start(), TimePoint::new(5));
+/// assert_eq!(i.hull(&p).end(), TimePoint::new(9));
+/// # Ok::<(), stem_temporal::InvalidInterval>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemporalExtent {
+    /// The event occurred at a single time point.
+    Punctual(TimePoint),
+    /// The event occurred over a time interval.
+    Interval(TimeInterval),
+}
+
+impl TemporalExtent {
+    /// Creates a punctual extent at `t`.
+    #[must_use]
+    pub const fn punctual(t: TimePoint) -> Self {
+        TemporalExtent::Punctual(t)
+    }
+
+    /// Creates an interval extent.
+    #[must_use]
+    pub const fn interval(iv: TimeInterval) -> Self {
+        TemporalExtent::Interval(iv)
+    }
+
+    /// Returns `true` for punctual extents.
+    #[must_use]
+    pub const fn is_punctual(&self) -> bool {
+        matches!(self, TemporalExtent::Punctual(_))
+    }
+
+    /// Returns `true` for interval extents.
+    #[must_use]
+    pub const fn is_interval(&self) -> bool {
+        matches!(self, TemporalExtent::Interval(_))
+    }
+
+    /// The earliest time point of the extent.
+    #[must_use]
+    pub fn start(&self) -> TimePoint {
+        match self {
+            TemporalExtent::Punctual(t) => *t,
+            TemporalExtent::Interval(iv) => iv.start(),
+        }
+    }
+
+    /// The latest time point of the extent.
+    #[must_use]
+    pub fn end(&self) -> TimePoint {
+        match self {
+            TemporalExtent::Punctual(t) => *t,
+            TemporalExtent::Interval(iv) => iv.end(),
+        }
+    }
+
+    /// The extent's span as a closed interval (degenerate for punctual).
+    #[must_use]
+    pub fn as_interval(&self) -> TimeInterval {
+        match self {
+            TemporalExtent::Punctual(t) => TimeInterval::from(*t),
+            TemporalExtent::Interval(iv) => *iv,
+        }
+    }
+
+    /// The extent length (zero for punctual extents).
+    #[must_use]
+    pub fn length(&self) -> Duration {
+        self.as_interval().length()
+    }
+
+    /// Returns `true` if the extent covers time point `t`.
+    #[must_use]
+    pub fn contains(&self, t: TimePoint) -> bool {
+        self.as_interval().contains(t)
+    }
+
+    /// Returns `true` if the two extents share at least one time point.
+    #[must_use]
+    pub fn intersects(&self, other: &TemporalExtent) -> bool {
+        self.as_interval().intersects(other.as_interval())
+    }
+
+    /// The smallest extent covering both operands.
+    ///
+    /// Used by composite-event detection (SnoopIB-style interval
+    /// semantics): the occurrence extent of a composite event is the convex
+    /// hull of its constituents' extents.
+    #[must_use]
+    pub fn hull(&self, other: &TemporalExtent) -> TemporalExtent {
+        let hull = self.as_interval().hull(other.as_interval());
+        if hull.is_degenerate() {
+            TemporalExtent::Punctual(hull.start())
+        } else {
+            TemporalExtent::Interval(hull)
+        }
+    }
+
+    /// Shifts the extent by a signed tick offset, saturating at the bounds.
+    ///
+    /// Realizes the paper's offset conditions ("`t_x + 5 Before t_y`").
+    #[must_use]
+    pub fn saturating_offset(&self, delta: i64) -> TemporalExtent {
+        match self {
+            TemporalExtent::Punctual(t) => TemporalExtent::Punctual(t.saturating_offset(delta)),
+            TemporalExtent::Interval(iv) => TemporalExtent::Interval(iv.saturating_offset(delta)),
+        }
+    }
+
+    /// A representative single point: the midpoint of the extent.
+    #[must_use]
+    pub fn midpoint(&self) -> TimePoint {
+        let iv = self.as_interval();
+        TimePoint::new(iv.start().ticks() + iv.length().ticks() / 2)
+    }
+}
+
+impl fmt::Display for TemporalExtent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalExtent::Punctual(t) => write!(f, "{t}"),
+            TemporalExtent::Interval(iv) => write!(f, "{iv}"),
+        }
+    }
+}
+
+impl From<TimePoint> for TemporalExtent {
+    fn from(t: TimePoint) -> Self {
+        TemporalExtent::Punctual(t)
+    }
+}
+
+impl From<TimeInterval> for TemporalExtent {
+    fn from(iv: TimeInterval) -> Self {
+        TemporalExtent::Interval(iv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: u64, b: u64) -> TimeInterval {
+        TimeInterval::new(TimePoint::new(a), TimePoint::new(b)).unwrap()
+    }
+
+    #[test]
+    fn rejects_reversed_endpoints() {
+        let err = TimeInterval::new(TimePoint::new(5), TimePoint::new(4)).unwrap_err();
+        assert_eq!(err.start, TimePoint::new(5));
+        assert!(err.to_string().contains("precedes"));
+    }
+
+    #[test]
+    fn spanning_orders_endpoints() {
+        let s = TimeInterval::spanning(TimePoint::new(9), TimePoint::new(2));
+        assert_eq!((s.start().ticks(), s.end().ticks()), (2, 9));
+    }
+
+    #[test]
+    fn with_length_saturates_at_max() {
+        let iv = TimeInterval::with_length(TimePoint::MAX, Duration::new(5));
+        assert_eq!(iv.end(), TimePoint::MAX);
+    }
+
+    #[test]
+    fn closed_interval_contains_both_endpoints() {
+        let i = iv(3, 7);
+        assert!(i.contains(TimePoint::new(3)));
+        assert!(i.contains(TimePoint::new(7)));
+        assert!(!i.contains(TimePoint::new(8)));
+    }
+
+    #[test]
+    fn intersection_of_touching_intervals_is_degenerate() {
+        let a = iv(0, 5);
+        let b = iv(5, 9);
+        let x = a.intersection(b).unwrap();
+        assert!(x.is_degenerate());
+        assert_eq!(x.start(), TimePoint::new(5));
+    }
+
+    #[test]
+    fn disjoint_intervals_have_no_intersection() {
+        assert_eq!(iv(0, 2).intersection(iv(5, 9)), None);
+        assert!(!iv(0, 2).intersects(iv(5, 9)));
+    }
+
+    #[test]
+    fn hull_covers_both_operands() {
+        let h = iv(0, 2).hull(iv(5, 9));
+        assert_eq!((h.start().ticks(), h.end().ticks()), (0, 9));
+        assert!(h.contains_interval(iv(0, 2)));
+        assert!(h.contains_interval(iv(5, 9)));
+    }
+
+    #[test]
+    fn extent_hull_collapses_to_punctual_when_degenerate() {
+        let a = TemporalExtent::punctual(TimePoint::new(4));
+        let b = TemporalExtent::punctual(TimePoint::new(4));
+        assert!(a.hull(&b).is_punctual());
+        let c = TemporalExtent::punctual(TimePoint::new(6));
+        assert!(a.hull(&c).is_interval());
+    }
+
+    #[test]
+    fn extent_offset_shifts_endpoints() {
+        let e = TemporalExtent::interval(iv(10, 20));
+        let shifted = e.saturating_offset(-5);
+        assert_eq!(shifted.start(), TimePoint::new(5));
+        assert_eq!(shifted.end(), TimePoint::new(15));
+    }
+
+    #[test]
+    fn midpoint_of_interval() {
+        assert_eq!(
+            TemporalExtent::interval(iv(10, 20)).midpoint(),
+            TimePoint::new(15)
+        );
+        assert_eq!(
+            TemporalExtent::punctual(TimePoint::new(3)).midpoint(),
+            TimePoint::new(3)
+        );
+    }
+
+    #[test]
+    fn display_shows_interval_brackets() {
+        assert_eq!(iv(1, 2).to_string(), "[t1, t2]");
+        assert_eq!(TemporalExtent::punctual(TimePoint::new(1)).to_string(), "t1");
+    }
+}

@@ -1,0 +1,56 @@
+//! Discrete time model and temporal relation algebra for the STEM
+//! cyber-physical event model.
+//!
+//! The paper (Tan, Vuran & Goddard, ICDCS 2009, Sec. 4) adopts a *discrete*
+//! time model — "time is considered as a discrete collection of time
+//! points" — and classifies events temporally as **punctual** (occurring at
+//! a [`TimePoint`]) or **interval** (occurring over a [`TimeInterval`]).
+//! This crate provides:
+//!
+//! * [`TimePoint`] / [`Duration`] — discrete tick arithmetic,
+//! * [`TimeInterval`] — closed intervals `[start, end]`,
+//! * [`TemporalExtent`] — the punctual-or-interval occurrence time of an
+//!   event (Sec. 4.2),
+//! * the three relation families of Sec. 4.2: point–point
+//!   ([`PointRelation`]), point–interval ([`PointIntervalRelation`]), and
+//!   interval–interval ([`AllenRelation`], Allen's 13 relations) together
+//!   with converse and a correct-by-construction composition table,
+//! * [`TemporalOperator`] — the paper's `OP_T` ("Before, After, During,
+//!   Begin, End, Meet, Overlap, …") evaluated uniformly over extents,
+//! * [`TimeAgg`] — the aggregation functions `g_t` of Eq. 4.3,
+//! * clock models ([`Clock`], [`PerfectClock`], [`DriftingClock`]) used by
+//!   observers to stamp event instances.
+//!
+//! # Example
+//!
+//! ```
+//! use stem_temporal::{TimePoint, TimeInterval, TemporalExtent, TemporalOperator};
+//!
+//! let x = TemporalExtent::punctual(TimePoint::new(10));
+//! let y = TemporalExtent::interval(TimeInterval::new(TimePoint::new(20), TimePoint::new(30))?);
+//! assert!(TemporalOperator::Before.eval(&x, &y));
+//! assert!(!TemporalOperator::During.eval(&x, &y));
+//! # Ok::<(), stem_temporal::InvalidInterval>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agg;
+mod clock;
+mod interval;
+mod network;
+mod ops;
+mod relations;
+mod time;
+
+pub use agg::{interval_hull, TimeAgg};
+pub use clock::{Clock, DriftingClock, PerfectClock, SteppedClock};
+pub use interval::{InvalidInterval, TemporalExtent, TimeInterval};
+pub use network::TemporalNetwork;
+pub use ops::{TemporalOperator, ALL_TEMPORAL_OPERATORS};
+pub use relations::{
+    relate_intervals, relate_point_interval, relate_points, AllenRelation, PointIntervalRelation,
+    PointRelation, RelationSet, ALL_ALLEN_RELATIONS,
+};
+pub use time::{Duration, TimePoint};

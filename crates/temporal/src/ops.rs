@@ -1,0 +1,233 @@
+//! The paper's temporal operators `OP_T` (Eq. 4.3), evaluated over extents.
+
+use crate::{relate_intervals, AllenRelation, TemporalExtent};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A temporal operator `OP_T` from Eq. 4.3: "temporal operators such as
+/// *Before, After, During, Begin, End*", extended with the interval
+/// relations the paper requires for completeness (*Meet, Overlap*, Sec. 4.2)
+/// plus equality and intersection.
+///
+/// Every operator is defined uniformly over [`TemporalExtent`]s, so all
+/// three relation families of Sec. 4.2 (point–point, point–interval,
+/// interval–interval) evaluate through the same entry point. A punctual
+/// extent behaves as the degenerate interval `[t, t]`.
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{TemporalExtent, TemporalOperator, TimeInterval, TimePoint};
+///
+/// let x = TemporalExtent::punctual(TimePoint::new(12));
+/// let y = TemporalExtent::interval(
+///     TimeInterval::new(TimePoint::new(10), TimePoint::new(20))?,
+/// );
+/// assert!(TemporalOperator::During.eval(&x, &y));
+/// assert!(TemporalOperator::Within.eval(&x, &y));
+/// assert!(!TemporalOperator::Before.eval(&x, &y));
+/// # Ok::<(), stem_temporal::InvalidInterval>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemporalOperator {
+    /// `a` ends strictly before `b` starts.
+    Before,
+    /// `a` starts strictly after `b` ends.
+    After,
+    /// `a` lies strictly inside `b` (proper containment: `b` extends
+    /// beyond `a` on both sides).
+    During,
+    /// `a` lies inside `b`, boundaries allowed (non-strict containment).
+    Within,
+    /// `a` and `b` start at the same time point (the paper's *Begin*).
+    Begin,
+    /// `a` and `b` end at the same time point (the paper's *End*).
+    End,
+    /// `a` ends exactly when `b` starts, or vice versa (the paper's *Meet*).
+    Meet,
+    /// The extents properly overlap: they intersect, neither contains the
+    /// other, and neither merely meets the other (the paper's *Overlap*).
+    Overlap,
+    /// The extents occupy exactly the same span.
+    Equal,
+    /// The extents share at least one time point.
+    Intersects,
+}
+
+/// All temporal operators, for exhaustive sweeps in tests and benchmarks.
+pub const ALL_TEMPORAL_OPERATORS: [TemporalOperator; 10] = [
+    TemporalOperator::Before,
+    TemporalOperator::After,
+    TemporalOperator::During,
+    TemporalOperator::Within,
+    TemporalOperator::Begin,
+    TemporalOperator::End,
+    TemporalOperator::Meet,
+    TemporalOperator::Overlap,
+    TemporalOperator::Equal,
+    TemporalOperator::Intersects,
+];
+
+impl TemporalOperator {
+    /// Evaluates `a OP_T b`.
+    #[must_use]
+    pub fn eval(self, a: &TemporalExtent, b: &TemporalExtent) -> bool {
+        let (ia, ib) = (a.as_interval(), b.as_interval());
+        match self {
+            TemporalOperator::Before => ia.end() < ib.start(),
+            TemporalOperator::After => ia.start() > ib.end(),
+            TemporalOperator::During => ib.start() < ia.start() && ia.end() < ib.end(),
+            TemporalOperator::Within => ib.contains_interval(ia),
+            TemporalOperator::Begin => ia.start() == ib.start(),
+            TemporalOperator::End => ia.end() == ib.end(),
+            TemporalOperator::Meet => ia.end() == ib.start() || ib.end() == ia.start(),
+            TemporalOperator::Overlap => matches!(
+                relate_intervals(ia, ib),
+                AllenRelation::Overlaps | AllenRelation::OverlappedBy
+            ),
+            TemporalOperator::Equal => ia == ib,
+            TemporalOperator::Intersects => ia.intersects(ib),
+        }
+    }
+
+    /// Parses the operator from its canonical lowercase name.
+    ///
+    /// Returns `None` for unknown names. Recognized names:
+    /// `before, after, during, within, begin, end, meet, overlap, equal,
+    /// intersects`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "before" => TemporalOperator::Before,
+            "after" => TemporalOperator::After,
+            "during" => TemporalOperator::During,
+            "within" => TemporalOperator::Within,
+            "begin" => TemporalOperator::Begin,
+            "end" => TemporalOperator::End,
+            "meet" => TemporalOperator::Meet,
+            "overlap" => TemporalOperator::Overlap,
+            "equal" => TemporalOperator::Equal,
+            "intersects" => TemporalOperator::Intersects,
+            _ => return None,
+        })
+    }
+
+    /// The canonical lowercase name (inverse of [`TemporalOperator::from_name`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TemporalOperator::Before => "before",
+            TemporalOperator::After => "after",
+            TemporalOperator::During => "during",
+            TemporalOperator::Within => "within",
+            TemporalOperator::Begin => "begin",
+            TemporalOperator::End => "end",
+            TemporalOperator::Meet => "meet",
+            TemporalOperator::Overlap => "overlap",
+            TemporalOperator::Equal => "equal",
+            TemporalOperator::Intersects => "intersects",
+        }
+    }
+}
+
+impl fmt::Display for TemporalOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TimeInterval, TimePoint};
+    use proptest::prelude::*;
+
+    fn p(t: u64) -> TemporalExtent {
+        TemporalExtent::punctual(TimePoint::new(t))
+    }
+
+    fn i(a: u64, b: u64) -> TemporalExtent {
+        TemporalExtent::interval(TimeInterval::new(TimePoint::new(a), TimePoint::new(b)).unwrap())
+    }
+
+    #[test]
+    fn before_after_are_strict_and_converse() {
+        assert!(TemporalOperator::Before.eval(&p(1), &p(2)));
+        assert!(!TemporalOperator::Before.eval(&p(2), &p(2)));
+        assert!(TemporalOperator::After.eval(&p(3), &p(2)));
+        assert!(TemporalOperator::Before.eval(&i(0, 4), &i(5, 9)));
+        assert!(TemporalOperator::After.eval(&i(5, 9), &i(0, 4)));
+    }
+
+    #[test]
+    fn during_is_strict_within_is_not() {
+        assert!(TemporalOperator::During.eval(&p(5), &i(0, 9)));
+        assert!(!TemporalOperator::During.eval(&p(0), &i(0, 9)), "boundary is not strict during");
+        assert!(TemporalOperator::Within.eval(&p(0), &i(0, 9)));
+        assert!(TemporalOperator::Within.eval(&i(0, 9), &i(0, 9)));
+        assert!(!TemporalOperator::During.eval(&i(0, 9), &i(0, 9)));
+    }
+
+    #[test]
+    fn begin_end_compare_respective_endpoints() {
+        assert!(TemporalOperator::Begin.eval(&p(3), &i(3, 9)));
+        assert!(TemporalOperator::End.eval(&p(9), &i(3, 9)));
+        assert!(TemporalOperator::Begin.eval(&i(3, 5), &i(3, 9)));
+        assert!(!TemporalOperator::Begin.eval(&i(4, 9), &i(3, 9)));
+    }
+
+    #[test]
+    fn meet_is_symmetric() {
+        assert!(TemporalOperator::Meet.eval(&i(0, 5), &i(5, 9)));
+        assert!(TemporalOperator::Meet.eval(&i(5, 9), &i(0, 5)));
+        assert!(!TemporalOperator::Meet.eval(&i(0, 4), &i(5, 9)));
+    }
+
+    #[test]
+    fn overlap_requires_proper_overlap() {
+        assert!(TemporalOperator::Overlap.eval(&i(0, 6), &i(5, 9)));
+        assert!(TemporalOperator::Overlap.eval(&i(5, 9), &i(0, 6)));
+        assert!(!TemporalOperator::Overlap.eval(&i(0, 5), &i(5, 9)), "meeting is not overlapping");
+        assert!(!TemporalOperator::Overlap.eval(&i(2, 3), &i(0, 9)), "containment is not overlapping");
+    }
+
+    #[test]
+    fn equal_and_intersects() {
+        assert!(TemporalOperator::Equal.eval(&i(1, 4), &i(1, 4)));
+        assert!(TemporalOperator::Equal.eval(&p(4), &p(4)));
+        assert!(TemporalOperator::Intersects.eval(&i(0, 5), &i(5, 9)));
+        assert!(!TemporalOperator::Intersects.eval(&i(0, 4), &i(5, 9)));
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for op in ALL_TEMPORAL_OPERATORS {
+            assert_eq!(TemporalOperator::from_name(op.name()), Some(op));
+        }
+        assert_eq!(TemporalOperator::from_name("nope"), None);
+    }
+
+    proptest! {
+        /// Before and After are mutually exclusive and jointly exhaustive
+        /// with Intersects on any pair of extents.
+        #[test]
+        fn trichotomy(s1 in 0u64..40, l1 in 0u64..10, s2 in 0u64..40, l2 in 0u64..10) {
+            let a = i(s1, s1 + l1);
+            let b = i(s2, s2 + l2);
+            let before = TemporalOperator::Before.eval(&a, &b);
+            let after = TemporalOperator::After.eval(&a, &b);
+            let intersects = TemporalOperator::Intersects.eval(&a, &b);
+            prop_assert_eq!(before as u8 + after as u8 + intersects as u8, 1);
+        }
+
+        /// During implies Within.
+        #[test]
+        fn during_implies_within(s1 in 0u64..40, l1 in 0u64..10, s2 in 0u64..40, l2 in 0u64..10) {
+            let a = i(s1, s1 + l1);
+            let b = i(s2, s2 + l2);
+            if TemporalOperator::During.eval(&a, &b) {
+                prop_assert!(TemporalOperator::Within.eval(&a, &b));
+            }
+        }
+    }
+}

@@ -1,0 +1,673 @@
+//! The three temporal relation families of Sec. 4.2.
+//!
+//! "The temporal relationships between two events can be extended to 3
+//! types: punctual event with punctual event (e.g. Before, After), punctual
+//! event with interval event (e.g. During, Meet), and interval event with
+//! interval event (e.g. Overlap)."
+//!
+//! Interval–interval relations are Allen's 13 qualitative relations,
+//! complete with converse and a correct-by-construction composition table
+//! (built once by exhaustive enumeration of endpoint configurations and
+//! cached), enabling the "formal temporal analysis" the paper calls for.
+
+use crate::{TimeInterval, TimePoint};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Qualitative relation between two time points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PointRelation {
+    /// The first point precedes the second.
+    Before,
+    /// The two points coincide.
+    Simultaneous,
+    /// The first point follows the second.
+    After,
+}
+
+impl PointRelation {
+    /// The converse relation (`relate(b, a)` given `relate(a, b)`).
+    #[must_use]
+    pub fn converse(self) -> PointRelation {
+        match self {
+            PointRelation::Before => PointRelation::After,
+            PointRelation::Simultaneous => PointRelation::Simultaneous,
+            PointRelation::After => PointRelation::Before,
+        }
+    }
+}
+
+impl fmt::Display for PointRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PointRelation::Before => "before",
+            PointRelation::Simultaneous => "simultaneous",
+            PointRelation::After => "after",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies the relation between two time points.
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{relate_points, PointRelation, TimePoint};
+///
+/// assert_eq!(
+///     relate_points(TimePoint::new(1), TimePoint::new(2)),
+///     PointRelation::Before
+/// );
+/// ```
+#[must_use]
+pub fn relate_points(a: TimePoint, b: TimePoint) -> PointRelation {
+    match a.cmp(&b) {
+        std::cmp::Ordering::Less => PointRelation::Before,
+        std::cmp::Ordering::Equal => PointRelation::Simultaneous,
+        std::cmp::Ordering::Greater => PointRelation::After,
+    }
+}
+
+/// Qualitative relation between a time point and a (closed) time interval.
+///
+/// The paper names "During" and "Meet" as examples of the point–interval
+/// family; the full exhaustive set distinguishes meeting the interval at
+/// its start ([`PointIntervalRelation::Starts`]) from meeting it at its end
+/// ([`PointIntervalRelation::Finishes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PointIntervalRelation {
+    /// The point precedes the interval start.
+    Before,
+    /// The point coincides with the interval start.
+    Starts,
+    /// The point lies strictly inside the interval.
+    During,
+    /// The point coincides with the interval end.
+    Finishes,
+    /// The point follows the interval end.
+    After,
+}
+
+impl fmt::Display for PointIntervalRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PointIntervalRelation::Before => "before",
+            PointIntervalRelation::Starts => "starts",
+            PointIntervalRelation::During => "during",
+            PointIntervalRelation::Finishes => "finishes",
+            PointIntervalRelation::After => "after",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies the relation between a point and an interval.
+///
+/// For a degenerate interval `[t, t]`, a coincident point classifies as
+/// [`PointIntervalRelation::Starts`] (start-coincidence is checked first).
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{relate_point_interval, PointIntervalRelation, TimeInterval, TimePoint};
+///
+/// let iv = TimeInterval::new(TimePoint::new(10), TimePoint::new(20))?;
+/// assert_eq!(
+///     relate_point_interval(TimePoint::new(15), iv),
+///     PointIntervalRelation::During
+/// );
+/// # Ok::<(), stem_temporal::InvalidInterval>(())
+/// ```
+#[must_use]
+pub fn relate_point_interval(t: TimePoint, iv: TimeInterval) -> PointIntervalRelation {
+    if t < iv.start() {
+        PointIntervalRelation::Before
+    } else if t == iv.start() {
+        PointIntervalRelation::Starts
+    } else if t < iv.end() {
+        PointIntervalRelation::During
+    } else if t == iv.end() {
+        PointIntervalRelation::Finishes
+    } else {
+        PointIntervalRelation::After
+    }
+}
+
+/// Allen's 13 qualitative interval–interval relations.
+///
+/// Exactly one relation holds between any two *proper* (non-degenerate)
+/// intervals. Degenerate (single-point) intervals are classified with the
+/// same endpoint comparisons; see [`relate_intervals`] for the edge-case
+/// semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AllenRelation {
+    /// `a` ends strictly before `b` starts.
+    Before = 0,
+    /// `a` ends exactly where `b` starts.
+    Meets = 1,
+    /// `a` starts first and the intervals properly overlap.
+    Overlaps = 2,
+    /// `a` and `b` start together; `a` ends first.
+    Starts = 3,
+    /// `a` lies strictly inside `b`.
+    During = 4,
+    /// `a` and `b` end together; `a` starts later.
+    Finishes = 5,
+    /// The intervals coincide.
+    Equals = 6,
+    /// Converse of [`AllenRelation::Finishes`].
+    FinishedBy = 7,
+    /// Converse of [`AllenRelation::During`].
+    Contains = 8,
+    /// Converse of [`AllenRelation::Starts`].
+    StartedBy = 9,
+    /// Converse of [`AllenRelation::Overlaps`].
+    OverlappedBy = 10,
+    /// Converse of [`AllenRelation::Meets`].
+    MetBy = 11,
+    /// Converse of [`AllenRelation::Before`].
+    After = 12,
+}
+
+/// All 13 Allen relations, in discriminant order.
+pub const ALL_ALLEN_RELATIONS: [AllenRelation; 13] = [
+    AllenRelation::Before,
+    AllenRelation::Meets,
+    AllenRelation::Overlaps,
+    AllenRelation::Starts,
+    AllenRelation::During,
+    AllenRelation::Finishes,
+    AllenRelation::Equals,
+    AllenRelation::FinishedBy,
+    AllenRelation::Contains,
+    AllenRelation::StartedBy,
+    AllenRelation::OverlappedBy,
+    AllenRelation::MetBy,
+    AllenRelation::After,
+];
+
+impl AllenRelation {
+    /// The converse relation: if `a rel b` then `b rel.converse() a`.
+    #[must_use]
+    pub fn converse(self) -> AllenRelation {
+        use AllenRelation::*;
+        match self {
+            Before => After,
+            Meets => MetBy,
+            Overlaps => OverlappedBy,
+            Starts => StartedBy,
+            During => Contains,
+            Finishes => FinishedBy,
+            Equals => Equals,
+            FinishedBy => Finishes,
+            Contains => During,
+            StartedBy => Starts,
+            OverlappedBy => Overlaps,
+            MetBy => Meets,
+            After => Before,
+        }
+    }
+
+    /// Composes two relations: the set of relations possible between `a`
+    /// and `c` given `a self b` and `b other c`.
+    ///
+    /// The 13×13 composition table is built once by exhaustive enumeration
+    /// of integer endpoint configurations (endpoints in `0..=12` suffice to
+    /// realize every qualitative configuration of three proper intervals)
+    /// and cached for the lifetime of the process.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use stem_temporal::{AllenRelation, RelationSet};
+    ///
+    /// // before ∘ before = {before}
+    /// let set = AllenRelation::Before.compose(AllenRelation::Before);
+    /// assert_eq!(set, RelationSet::singleton(AllenRelation::Before));
+    /// ```
+    #[must_use]
+    pub fn compose(self, other: AllenRelation) -> RelationSet {
+        composition_table()[self as usize][other as usize]
+    }
+
+    /// Short mnemonic used in tables (`b, m, o, s, d, f, =, F, D, S, O, M, B`).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use AllenRelation::*;
+        match self {
+            Before => "b",
+            Meets => "m",
+            Overlaps => "o",
+            Starts => "s",
+            During => "d",
+            Finishes => "f",
+            Equals => "=",
+            FinishedBy => "F",
+            Contains => "D",
+            StartedBy => "S",
+            OverlappedBy => "O",
+            MetBy => "M",
+            After => "B",
+        }
+    }
+}
+
+impl fmt::Display for AllenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use AllenRelation::*;
+        let s = match self {
+            Before => "before",
+            Meets => "meets",
+            Overlaps => "overlaps",
+            Starts => "starts",
+            During => "during",
+            Finishes => "finishes",
+            Equals => "equals",
+            FinishedBy => "finished-by",
+            Contains => "contains",
+            StartedBy => "started-by",
+            OverlappedBy => "overlapped-by",
+            MetBy => "met-by",
+            After => "after",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies the Allen relation between two closed intervals.
+///
+/// The classification is purely endpoint-based, so it extends to degenerate
+/// intervals: e.g. `[5,5]` vs. `[5,9]` classifies as
+/// [`AllenRelation::Starts`].
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{relate_intervals, AllenRelation, TimeInterval, TimePoint};
+///
+/// let a = TimeInterval::new(TimePoint::new(0), TimePoint::new(5))?;
+/// let b = TimeInterval::new(TimePoint::new(3), TimePoint::new(9))?;
+/// assert_eq!(relate_intervals(a, b), AllenRelation::Overlaps);
+/// # Ok::<(), stem_temporal::InvalidInterval>(())
+/// ```
+#[must_use]
+pub fn relate_intervals(a: TimeInterval, b: TimeInterval) -> AllenRelation {
+    use std::cmp::Ordering::*;
+    let (sa, ea, sb, eb) = (a.start(), a.end(), b.start(), b.end());
+    match (sa.cmp(&sb), ea.cmp(&eb)) {
+        (Equal, Equal) => AllenRelation::Equals,
+        (Equal, Less) => AllenRelation::Starts,
+        (Equal, Greater) => AllenRelation::StartedBy,
+        (Less, Equal) => AllenRelation::FinishedBy,
+        (Greater, Equal) => AllenRelation::Finishes,
+        (Less, Less) => {
+            if ea < sb {
+                AllenRelation::Before
+            } else if ea == sb {
+                AllenRelation::Meets
+            } else {
+                AllenRelation::Overlaps
+            }
+        }
+        (Greater, Greater) => {
+            if sa > eb {
+                AllenRelation::After
+            } else if sa == eb {
+                AllenRelation::MetBy
+            } else {
+                AllenRelation::OverlappedBy
+            }
+        }
+        (Less, Greater) => AllenRelation::Contains,
+        (Greater, Less) => AllenRelation::During,
+    }
+}
+
+/// A set of [`AllenRelation`]s, stored as a 13-bit mask.
+///
+/// Used as the result type of relation composition and in qualitative
+/// constraint propagation.
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{AllenRelation, RelationSet};
+///
+/// let mut s = RelationSet::empty();
+/// s.insert(AllenRelation::Before);
+/// s.insert(AllenRelation::Meets);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(AllenRelation::Before));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct RelationSet(u16);
+
+impl RelationSet {
+    /// The empty set.
+    #[must_use]
+    pub const fn empty() -> Self {
+        RelationSet(0)
+    }
+
+    /// The set of all 13 relations.
+    #[must_use]
+    pub const fn full() -> Self {
+        RelationSet((1 << 13) - 1)
+    }
+
+    /// A set containing exactly one relation.
+    #[must_use]
+    pub const fn singleton(r: AllenRelation) -> Self {
+        RelationSet(1 << (r as u16))
+    }
+
+    /// Inserts a relation into the set.
+    pub fn insert(&mut self, r: AllenRelation) {
+        self.0 |= 1 << (r as u16);
+    }
+
+    /// Returns `true` if the set contains `r`.
+    #[must_use]
+    pub const fn contains(self, r: AllenRelation) -> bool {
+        self.0 & (1 << (r as u16)) != 0
+    }
+
+    /// Number of relations in the set.
+    #[must_use]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if the set is empty.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub const fn union(self, other: RelationSet) -> RelationSet {
+        RelationSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub const fn intersection(self, other: RelationSet) -> RelationSet {
+        RelationSet(self.0 & other.0)
+    }
+
+    /// Iterates over the member relations in discriminant order.
+    pub fn iter(self) -> impl Iterator<Item = AllenRelation> {
+        ALL_ALLEN_RELATIONS
+            .into_iter()
+            .filter(move |r| self.contains(*r))
+    }
+}
+
+impl fmt::Display for RelationSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", r.mnemonic())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<AllenRelation> for RelationSet {
+    fn from_iter<I: IntoIterator<Item = AllenRelation>>(iter: I) -> Self {
+        let mut s = RelationSet::empty();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl From<AllenRelation> for RelationSet {
+    fn from(r: AllenRelation) -> Self {
+        RelationSet::singleton(r)
+    }
+}
+
+/// Builds (once) the 13×13 Allen composition table by exhaustive
+/// enumeration of proper integer intervals with endpoints in `0..=N`.
+///
+/// With three proper intervals there are at most 6 distinct endpoints, so
+/// any qualitative configuration is realizable on a grid of 12 points;
+/// enumerating all triples over that grid therefore produces the complete
+/// table.
+fn composition_table() -> &'static [[RelationSet; 13]; 13] {
+    static TABLE: OnceLock<[[RelationSet; 13]; 13]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        const N: u64 = 12;
+        let mut table = [[RelationSet::empty(); 13]; 13];
+        let mut intervals = Vec::new();
+        for s in 0..N {
+            for e in (s + 1)..=N {
+                intervals.push(TimeInterval::spanning(TimePoint::new(s), TimePoint::new(e)));
+            }
+        }
+        for &a in &intervals {
+            for &b in &intervals {
+                let r_ab = relate_intervals(a, b);
+                for &c in &intervals {
+                    let r_bc = relate_intervals(b, c);
+                    let r_ac = relate_intervals(a, c);
+                    table[r_ab as usize][r_bc as usize].insert(r_ac);
+                }
+            }
+        }
+        table
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(a: u64, b: u64) -> TimeInterval {
+        TimeInterval::new(TimePoint::new(a), TimePoint::new(b)).unwrap()
+    }
+
+    #[test]
+    fn point_relations_cover_all_orderings() {
+        assert_eq!(
+            relate_points(TimePoint::new(1), TimePoint::new(2)),
+            PointRelation::Before
+        );
+        assert_eq!(
+            relate_points(TimePoint::new(2), TimePoint::new(2)),
+            PointRelation::Simultaneous
+        );
+        assert_eq!(
+            relate_points(TimePoint::new(3), TimePoint::new(2)),
+            PointRelation::After
+        );
+    }
+
+    #[test]
+    fn point_interval_relations_cover_all_positions() {
+        let i = iv(10, 20);
+        let cases = [
+            (5, PointIntervalRelation::Before),
+            (10, PointIntervalRelation::Starts),
+            (15, PointIntervalRelation::During),
+            (20, PointIntervalRelation::Finishes),
+            (25, PointIntervalRelation::After),
+        ];
+        for (t, expected) in cases {
+            assert_eq!(relate_point_interval(TimePoint::new(t), i), expected);
+        }
+    }
+
+    #[test]
+    fn allen_relation_examples_match_definitions() {
+        let cases = [
+            (iv(0, 2), iv(5, 9), AllenRelation::Before),
+            (iv(0, 5), iv(5, 9), AllenRelation::Meets),
+            (iv(0, 6), iv(5, 9), AllenRelation::Overlaps),
+            (iv(5, 7), iv(5, 9), AllenRelation::Starts),
+            (iv(6, 8), iv(5, 9), AllenRelation::During),
+            (iv(7, 9), iv(5, 9), AllenRelation::Finishes),
+            (iv(5, 9), iv(5, 9), AllenRelation::Equals),
+            (iv(5, 9), iv(7, 9), AllenRelation::FinishedBy),
+            (iv(5, 9), iv(6, 8), AllenRelation::Contains),
+            (iv(5, 9), iv(5, 7), AllenRelation::StartedBy),
+            (iv(5, 9), iv(0, 6), AllenRelation::OverlappedBy),
+            (iv(5, 9), iv(0, 5), AllenRelation::MetBy),
+            (iv(5, 9), iv(0, 2), AllenRelation::After),
+        ];
+        for (a, b, expected) in cases {
+            assert_eq!(relate_intervals(a, b), expected, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn degenerate_interval_relations_are_consistent() {
+        // [5,5] starts [5,9]; [9,9] finishes [5,9]; [7,7] during [5,9].
+        assert_eq!(relate_intervals(iv(5, 5), iv(5, 9)), AllenRelation::Starts);
+        assert_eq!(relate_intervals(iv(9, 9), iv(5, 9)), AllenRelation::Finishes);
+        assert_eq!(relate_intervals(iv(7, 7), iv(5, 9)), AllenRelation::During);
+        // Two equal degenerate intervals are Equals.
+        assert_eq!(relate_intervals(iv(4, 4), iv(4, 4)), AllenRelation::Equals);
+    }
+
+    #[test]
+    fn relation_set_operations() {
+        let a = RelationSet::singleton(AllenRelation::Before)
+            .union(RelationSet::singleton(AllenRelation::Meets));
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(AllenRelation::Meets));
+        assert!(!a.contains(AllenRelation::After));
+        let b = RelationSet::singleton(AllenRelation::Meets);
+        assert_eq!(a.intersection(b), b);
+        assert!(RelationSet::empty().is_empty());
+        assert_eq!(RelationSet::full().len(), 13);
+        assert_eq!(a.to_string(), "{b,m}");
+    }
+
+    #[test]
+    fn relation_set_from_iterator() {
+        let s: RelationSet = [AllenRelation::Before, AllenRelation::Before, AllenRelation::After]
+            .into_iter()
+            .collect();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn classic_composition_entries() {
+        // Well-known entries of Allen's composition table.
+        use AllenRelation::*;
+        assert_eq!(Before.compose(Before), RelationSet::singleton(Before));
+        assert_eq!(Meets.compose(Meets), RelationSet::singleton(Before));
+        assert_eq!(Equals.compose(During), RelationSet::singleton(During));
+        // during ∘ during = {during}
+        assert_eq!(During.compose(During), RelationSet::singleton(During));
+        // before ∘ after = full set (no information).
+        assert_eq!(Before.compose(After), RelationSet::full());
+        // overlaps ∘ overlaps = {before, meets, overlaps}
+        let expected: RelationSet = [Before, Meets, Overlaps].into_iter().collect();
+        assert_eq!(Overlaps.compose(Overlaps), expected);
+    }
+
+    #[test]
+    fn composition_with_equals_is_identity() {
+        for r in ALL_ALLEN_RELATIONS {
+            assert_eq!(
+                AllenRelation::Equals.compose(r),
+                RelationSet::singleton(r),
+                "= ∘ {r} should be {{{r}}}"
+            );
+            assert_eq!(
+                r.compose(AllenRelation::Equals),
+                RelationSet::singleton(r),
+                "{r} ∘ = should be {{{r}}}"
+            );
+        }
+    }
+
+    #[test]
+    fn converse_is_involutive() {
+        for r in ALL_ALLEN_RELATIONS {
+            assert_eq!(r.converse().converse(), r);
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for r in ALL_ALLEN_RELATIONS {
+            assert!(seen.insert(r.mnemonic()), "duplicate mnemonic {}", r.mnemonic());
+        }
+    }
+
+    proptest! {
+        /// Exactly one Allen relation holds between any two proper intervals,
+        /// and it is what `relate_intervals` reports.
+        #[test]
+        fn exactly_one_relation_holds(s1 in 0u64..50, l1 in 1u64..20, s2 in 0u64..50, l2 in 1u64..20) {
+            let a = iv(s1, s1 + l1);
+            let b = iv(s2, s2 + l2);
+            let r = relate_intervals(a, b);
+            // The relation must be consistent with its converse.
+            prop_assert_eq!(relate_intervals(b, a), r.converse());
+        }
+
+        /// Composition soundness: for any three proper intervals,
+        /// relate(a,c) ∈ compose(relate(a,b), relate(b,c)).
+        #[test]
+        fn composition_is_sound(
+            s1 in 0u64..40, l1 in 1u64..15,
+            s2 in 0u64..40, l2 in 1u64..15,
+            s3 in 0u64..40, l3 in 1u64..15,
+        ) {
+            let a = iv(s1, s1 + l1);
+            let b = iv(s2, s2 + l2);
+            let c = iv(s3, s3 + l3);
+            let r_ab = relate_intervals(a, b);
+            let r_bc = relate_intervals(b, c);
+            let r_ac = relate_intervals(a, c);
+            prop_assert!(
+                r_ab.compose(r_bc).contains(r_ac),
+                "{} ∘ {} must admit {}", r_ab, r_bc, r_ac
+            );
+        }
+
+        /// Before is transitive.
+        #[test]
+        fn before_is_transitive(s1 in 0u64..20, l1 in 1u64..5, g1 in 1u64..5, l2 in 1u64..5, g2 in 1u64..5, l3 in 1u64..5) {
+            let a = iv(s1, s1 + l1);
+            let b_start = s1 + l1 + g1;
+            let b = iv(b_start, b_start + l2);
+            let c_start = b_start + l2 + g2;
+            let c = iv(c_start, c_start + l3);
+            prop_assert_eq!(relate_intervals(a, b), AllenRelation::Before);
+            prop_assert_eq!(relate_intervals(b, c), AllenRelation::Before);
+            prop_assert_eq!(relate_intervals(a, c), AllenRelation::Before);
+        }
+
+        /// Point–interval classification agrees with interval containment.
+        #[test]
+        fn point_interval_agrees_with_contains(t in 0u64..60, s in 0u64..50, l in 1u64..10) {
+            let i = iv(s, s + l);
+            let rel = relate_point_interval(TimePoint::new(t), i);
+            let inside = matches!(
+                rel,
+                PointIntervalRelation::Starts
+                    | PointIntervalRelation::During
+                    | PointIntervalRelation::Finishes
+            );
+            prop_assert_eq!(inside, i.contains(TimePoint::new(t)));
+        }
+    }
+}

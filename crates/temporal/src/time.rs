@@ -1,0 +1,338 @@
+//! Discrete time points and durations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A discrete point in time, measured in ticks since the simulation epoch.
+///
+/// The paper's time model (Sec. 4) treats time as "a discrete collection of
+/// time points" with limited precision; `TimePoint` realizes one such point.
+/// The tick length is scenario-defined (experiments in this repository use
+/// 1 tick = 1 ms).
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::{Duration, TimePoint};
+///
+/// let t = TimePoint::new(5) + Duration::new(10);
+/// assert_eq!(t, TimePoint::new(15));
+/// assert_eq!(t.duration_since(TimePoint::new(5)), Some(Duration::new(10)));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimePoint(u64);
+
+impl TimePoint {
+    /// The simulation epoch (tick zero).
+    pub const EPOCH: TimePoint = TimePoint(0);
+    /// The largest representable time point.
+    pub const MAX: TimePoint = TimePoint(u64::MAX);
+
+    /// Creates a time point at `ticks` ticks since the epoch.
+    #[must_use]
+    pub const fn new(ticks: u64) -> Self {
+        TimePoint(ticks)
+    }
+
+    /// Returns the raw tick count since the epoch.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, or `None` if `earlier`
+    /// is in the future of `self`.
+    #[must_use]
+    pub fn duration_since(self, earlier: TimePoint) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration)
+    }
+
+    /// Returns the absolute distance between two time points.
+    #[must_use]
+    pub fn abs_diff(self, other: TimePoint) -> Duration {
+        Duration(self.0.abs_diff(other.0))
+    }
+
+    /// Adds a duration, returning `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, d: Duration) -> Option<TimePoint> {
+        self.0.checked_add(d.0).map(TimePoint)
+    }
+
+    /// Subtracts a duration, returning `None` if the result would precede
+    /// the epoch.
+    #[must_use]
+    pub fn checked_sub(self, d: Duration) -> Option<TimePoint> {
+        self.0.checked_sub(d.0).map(TimePoint)
+    }
+
+    /// Shifts the time point by a signed tick offset, saturating at the
+    /// epoch and at [`TimePoint::MAX`].
+    ///
+    /// This supports the paper's offset conditions such as
+    /// "`t_x + 5 Before t_y`" (Sec. 4.1) where the offset may be negative.
+    #[must_use]
+    pub fn saturating_offset(self, delta: i64) -> TimePoint {
+        if delta >= 0 {
+            TimePoint(self.0.saturating_add(delta as u64))
+        } else {
+            TimePoint(self.0.saturating_sub(delta.unsigned_abs()))
+        }
+    }
+
+    /// Returns the earlier of two time points.
+    #[must_use]
+    pub fn min(self, other: TimePoint) -> TimePoint {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the later of two time points.
+    #[must_use]
+    pub fn max(self, other: TimePoint) -> TimePoint {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for TimePoint {
+    fn from(ticks: u64) -> Self {
+        TimePoint(ticks)
+    }
+}
+
+impl Add<Duration> for TimePoint {
+    type Output = TimePoint;
+
+    /// # Panics
+    ///
+    /// Panics on overflow in debug builds; use [`TimePoint::checked_add`]
+    /// for fallible arithmetic.
+    fn add(self, rhs: Duration) -> TimePoint {
+        TimePoint(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for TimePoint {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for TimePoint {
+    type Output = TimePoint;
+
+    /// # Panics
+    ///
+    /// Panics if the result would precede the epoch (debug builds); use
+    /// [`TimePoint::checked_sub`] for fallible arithmetic.
+    fn sub(self, rhs: Duration) -> TimePoint {
+        TimePoint(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<Duration> for TimePoint {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+/// A non-negative span of discrete time, in ticks.
+///
+/// # Example
+///
+/// ```
+/// use stem_temporal::Duration;
+///
+/// let d = Duration::new(3) + Duration::new(4);
+/// assert_eq!(d.ticks(), 7);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable duration.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration of `ticks` ticks.
+    #[must_use]
+    pub const fn new(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this duration is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        self.0.checked_add(rhs.0).map(Duration)
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the duration by an integer factor, saturating on overflow.
+    #[must_use]
+    pub fn saturating_mul(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+
+    /// Converts to a floating-point tick count (for statistics).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.0)
+    }
+}
+
+impl From<u64> for Duration {
+    fn from(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs > self` (debug builds); use
+    /// [`Duration::saturating_sub`] for clamped arithmetic.
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl std::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |acc, d| acc.saturating_add(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_point_arithmetic_round_trips() {
+        let t = TimePoint::new(100);
+        let d = Duration::new(42);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d).duration_since(t), Some(d));
+    }
+
+    #[test]
+    fn duration_since_is_none_for_future_reference() {
+        assert_eq!(
+            TimePoint::new(5).duration_since(TimePoint::new(6)),
+            None,
+            "a point cannot be after a later reference"
+        );
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = TimePoint::new(3);
+        let b = TimePoint::new(10);
+        assert_eq!(a.abs_diff(b), b.abs_diff(a));
+        assert_eq!(a.abs_diff(b), Duration::new(7));
+    }
+
+    #[test]
+    fn saturating_offset_clamps_at_epoch_and_max() {
+        assert_eq!(TimePoint::new(3).saturating_offset(-10), TimePoint::EPOCH);
+        assert_eq!(TimePoint::MAX.saturating_offset(10), TimePoint::MAX);
+        assert_eq!(TimePoint::new(3).saturating_offset(4), TimePoint::new(7));
+        assert_eq!(TimePoint::new(9).saturating_offset(-4), TimePoint::new(5));
+    }
+
+    #[test]
+    fn checked_arithmetic_detects_overflow() {
+        assert_eq!(TimePoint::MAX.checked_add(Duration::new(1)), None);
+        assert_eq!(TimePoint::EPOCH.checked_sub(Duration::new(1)), None);
+        assert_eq!(Duration::MAX.checked_add(Duration::new(1)), None);
+    }
+
+    #[test]
+    fn min_max_order_correctly() {
+        let a = TimePoint::new(1);
+        let b = TimePoint::new(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn duration_sum_saturates() {
+        let total: Duration = vec![Duration::MAX, Duration::new(1)].into_iter().sum();
+        assert_eq!(total, Duration::MAX);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(TimePoint::new(7).to_string(), "t7");
+        assert_eq!(Duration::new(7).to_string(), "7 ticks");
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-mote energy accounting.
+//!
+//! Motes are battery-powered; energy depletion is one of the failure modes
+//! injected in the robustness experiments (a dead mote stops sampling and
+//! relaying, degrading detection latency and coverage).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use stem_core::MoteId;
+use stem_temporal::Duration;
+
+/// Energy costs in microjoules (CC2420-class orders of magnitude).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyConfig {
+    /// Cost to transmit one byte, µJ.
+    pub tx_per_byte_uj: f64,
+    /// Cost to receive one byte, µJ.
+    pub rx_per_byte_uj: f64,
+    /// Idle/listen cost per tick (ms), µJ.
+    pub idle_per_tick_uj: f64,
+    /// Cost of taking one sensor sample, µJ.
+    pub sample_uj: f64,
+    /// Initial battery charge, µJ.
+    pub battery_uj: f64,
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig {
+            tx_per_byte_uj: 1.8,
+            rx_per_byte_uj: 2.0,
+            idle_per_tick_uj: 0.06,
+            sample_uj: 30.0,
+            // ~2 AA batteries ≈ 20 kJ; scaled down so depletion is
+            // reachable within simulated hours when desired.
+            battery_uj: 2.0e9,
+        }
+    }
+}
+
+/// A mote battery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    remaining_uj: f64,
+    capacity_uj: f64,
+}
+
+impl Battery {
+    /// A full battery of the given capacity (µJ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_uj` is not positive and finite.
+    #[must_use]
+    pub fn new(capacity_uj: f64) -> Self {
+        assert!(
+            capacity_uj.is_finite() && capacity_uj > 0.0,
+            "battery capacity must be positive"
+        );
+        Battery {
+            remaining_uj: capacity_uj,
+            capacity_uj,
+        }
+    }
+
+    /// Remaining charge, µJ.
+    #[must_use]
+    pub fn remaining_uj(&self) -> f64 {
+        self.remaining_uj
+    }
+
+    /// Remaining fraction in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        (self.remaining_uj / self.capacity_uj).clamp(0.0, 1.0)
+    }
+
+    /// Returns `true` while charge remains.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.remaining_uj > 0.0
+    }
+
+    /// Draws `amount_uj`; clamps at empty. Returns `true` if the mote is
+    /// still alive afterwards.
+    pub fn consume(&mut self, amount_uj: f64) -> bool {
+        debug_assert!(amount_uj >= 0.0, "cannot consume negative energy");
+        self.remaining_uj = (self.remaining_uj - amount_uj).max(0.0);
+        self.is_alive()
+    }
+}
+
+/// Energy ledger across a deployment: per-mote batteries plus aggregate
+/// spend bookkeeping by category.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    config: EnergyConfig,
+    batteries: BTreeMap<MoteId, Battery>,
+    spent_tx_uj: f64,
+    spent_rx_uj: f64,
+    spent_idle_uj: f64,
+    spent_sample_uj: f64,
+}
+
+impl EnergyLedger {
+    /// Creates a ledger giving every listed mote a full battery.
+    #[must_use]
+    pub fn new(config: EnergyConfig, motes: impl IntoIterator<Item = MoteId>) -> Self {
+        let batteries = motes
+            .into_iter()
+            .map(|id| (id, Battery::new(config.battery_uj)))
+            .collect();
+        EnergyLedger {
+            config,
+            batteries,
+            spent_tx_uj: 0.0,
+            spent_rx_uj: 0.0,
+            spent_idle_uj: 0.0,
+            spent_sample_uj: 0.0,
+        }
+    }
+
+    /// The mote's battery state, if it is tracked.
+    #[must_use]
+    pub fn battery(&self, id: MoteId) -> Option<&Battery> {
+        self.batteries.get(&id)
+    }
+
+    /// Returns `true` if the mote is tracked and still has charge.
+    #[must_use]
+    pub fn is_alive(&self, id: MoteId) -> bool {
+        self.batteries.get(&id).is_some_and(Battery::is_alive)
+    }
+
+    /// Charges a transmission of `bytes` to `id`. Returns liveness after.
+    pub fn charge_tx(&mut self, id: MoteId, bytes: u32) -> bool {
+        let amount = self.config.tx_per_byte_uj * f64::from(bytes);
+        self.spent_tx_uj += amount;
+        self.batteries
+            .get_mut(&id)
+            .is_some_and(|b| b.consume(amount))
+    }
+
+    /// Charges a reception of `bytes` to `id`. Returns liveness after.
+    pub fn charge_rx(&mut self, id: MoteId, bytes: u32) -> bool {
+        let amount = self.config.rx_per_byte_uj * f64::from(bytes);
+        self.spent_rx_uj += amount;
+        self.batteries
+            .get_mut(&id)
+            .is_some_and(|b| b.consume(amount))
+    }
+
+    /// Charges idle listening for a duration to `id`.
+    pub fn charge_idle(&mut self, id: MoteId, duration: Duration) -> bool {
+        let amount = self.config.idle_per_tick_uj * duration.as_f64();
+        self.spent_idle_uj += amount;
+        self.batteries
+            .get_mut(&id)
+            .is_some_and(|b| b.consume(amount))
+    }
+
+    /// Charges one sensor sample to `id`.
+    pub fn charge_sample(&mut self, id: MoteId) -> bool {
+        self.spent_sample_uj += self.config.sample_uj;
+        self.batteries
+            .get_mut(&id)
+            .is_some_and(|b| b.consume(self.config.sample_uj))
+    }
+
+    /// Aggregate spend `(tx, rx, idle, sample)` in µJ.
+    #[must_use]
+    pub fn spend_breakdown(&self) -> (f64, f64, f64, f64) {
+        (
+            self.spent_tx_uj,
+            self.spent_rx_uj,
+            self.spent_idle_uj,
+            self.spent_sample_uj,
+        )
+    }
+
+    /// Number of motes still alive.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.batteries.values().filter(|b| b.is_alive()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> EnergyConfig {
+        EnergyConfig {
+            tx_per_byte_uj: 2.0,
+            rx_per_byte_uj: 1.0,
+            idle_per_tick_uj: 0.5,
+            sample_uj: 10.0,
+            battery_uj: 100.0,
+        }
+    }
+
+    #[test]
+    fn battery_drains_and_dies() {
+        let mut b = Battery::new(10.0);
+        assert!(b.is_alive());
+        assert!(b.consume(4.0));
+        assert!((b.fraction() - 0.6).abs() < 1e-12);
+        assert!(!b.consume(7.0), "overdraw kills the mote");
+        assert_eq!(b.remaining_uj(), 0.0);
+        assert!(!b.is_alive());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn battery_rejects_zero_capacity() {
+        let _ = Battery::new(0.0);
+    }
+
+    #[test]
+    fn ledger_charges_by_category() {
+        let id = MoteId::new(1);
+        let mut ledger = EnergyLedger::new(small_config(), [id]);
+        assert!(ledger.charge_tx(id, 10)); // 20 µJ
+        assert!(ledger.charge_rx(id, 10)); // 10 µJ
+        assert!(ledger.charge_idle(id, Duration::new(20))); // 10 µJ
+        assert!(ledger.charge_sample(id)); // 10 µJ
+        let b = ledger.battery(id).unwrap();
+        assert!((b.remaining_uj() - 50.0).abs() < 1e-9);
+        assert_eq!(ledger.spend_breakdown(), (20.0, 10.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn depleted_mote_reports_dead() {
+        let id = MoteId::new(2);
+        let mut ledger = EnergyLedger::new(small_config(), [id]);
+        // 100 µJ battery: each 10-byte tx costs 20 µJ; the 5th lands
+        // exactly on empty, and exact depletion counts as dead.
+        for _ in 0..4 {
+            assert!(ledger.charge_tx(id, 10));
+        }
+        assert!(!ledger.charge_tx(id, 10), "exactly-drained battery is dead");
+        assert!(!ledger.is_alive(id));
+        assert!(!ledger.charge_tx(id, 10));
+        assert_eq!(ledger.alive_count(), 0);
+    }
+
+    #[test]
+    fn untracked_mote_is_dead() {
+        let mut ledger = EnergyLedger::new(small_config(), [MoteId::new(1)]);
+        assert!(!ledger.is_alive(MoteId::new(99)));
+        assert!(!ledger.charge_tx(MoteId::new(99), 1));
+    }
+}

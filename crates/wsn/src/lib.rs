@@ -1,0 +1,51 @@
+//! # stem-wsn — wireless sensor & actor network simulator
+//!
+//! The paper's CPS architecture (Sec. 3) rests on sensor and actor motes
+//! interconnected into a WSN (paper refs. 19 and 20); this crate simulates that
+//! substrate deterministically:
+//!
+//! * [`Radio`] — log-distance path loss with frozen per-link shadowing and
+//!   an SNR-derived packet success probability,
+//! * [`transmit_frame`] — CSMA-style MAC with binary exponential backoff
+//!   and bounded retries ([`MacConfig`]),
+//! * [`Topology`] — uniform/grid/explicit deployments with grid-indexed
+//!   neighbor discovery,
+//! * [`RoutingTree`] — sink-rooted ETX or hop-count shortest-path tree,
+//! * [`EnergyLedger`] — per-mote batteries and spend accounting,
+//! * [`FieldSensor`] / [`RangeSensor`] — noisy sampling of the physical
+//!   world into the paper's *physical observations* (Eq. 5.2),
+//! * [`WsnSim`] — the assembled multi-hop transfer function used by the
+//!   CPS layer.
+//!
+//! Time unit: 1 tick = 1 ms.
+//!
+//! # Example
+//!
+//! ```
+//! use stem_core::MoteId;
+//! use stem_wsn::{Topology, WsnConfig, WsnSim};
+//!
+//! let topo = Topology::grid(7, 4, 4, 15.0, 0.0);
+//! let mut sim = WsnSim::new(topo, MoteId::new(0), WsnConfig::default(), 7);
+//! let out = sim.send_to_sink(MoteId::new(15), 24);
+//! assert!(out.delivered);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod mac;
+mod network;
+mod radio;
+mod routing;
+mod sensing;
+mod topology;
+
+pub use energy::{Battery, EnergyConfig, EnergyLedger};
+pub use mac::{transmit_frame, MacConfig, MacOutcome};
+pub use network::{TransferOutcome, WsnConfig, WsnSim};
+pub use radio::{LinkQuality, Radio, RadioConfig};
+pub use routing::{RouteMetric, RoutingTree};
+pub use sensing::{FieldSensor, RangeSensor, SensorNoise};
+pub use topology::Topology;

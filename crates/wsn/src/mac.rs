@@ -1,0 +1,186 @@
+//! CSMA-style MAC model: random backoff with binary exponential growth and
+//! bounded retransmissions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use stem_temporal::Duration;
+
+/// MAC parameters (defaults follow unslotted 802.15.4 CSMA-CA orders of
+/// magnitude, in 1 ms ticks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacConfig {
+    /// Initial backoff window, ticks.
+    pub min_backoff: Duration,
+    /// Backoff window cap, ticks.
+    pub max_backoff: Duration,
+    /// Maximum transmission attempts per frame (≥ 1).
+    pub max_attempts: u32,
+    /// Fixed processing/turnaround overhead added per attempt, ticks.
+    pub attempt_overhead: Duration,
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig {
+            min_backoff: Duration::new(1),
+            max_backoff: Duration::new(32),
+            max_attempts: 4,
+            attempt_overhead: Duration::new(1),
+        }
+    }
+}
+
+/// Outcome of transmitting one frame over one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacOutcome {
+    /// Whether some attempt succeeded.
+    pub delivered: bool,
+    /// Attempts used (1..=max_attempts).
+    pub attempts: u32,
+    /// Total time from first backoff to final outcome, ticks.
+    pub delay: Duration,
+}
+
+/// Simulates the MAC-layer transmission of one frame over a link with
+/// per-attempt success probability `p_success`, drawing backoffs and
+/// success rolls from `rng`.
+///
+/// Each attempt pays: a random backoff in the current window, the
+/// per-attempt overhead, and the frame's `airtime`. The window doubles
+/// after every failed attempt (binary exponential backoff), capped at
+/// `max_backoff`.
+///
+/// # Panics
+///
+/// Panics if the config has `max_attempts == 0`, a zero `max_backoff`, or
+/// `p_success` outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use stem_des::stream;
+/// use stem_temporal::Duration;
+/// use stem_wsn::{transmit_frame, MacConfig};
+///
+/// let mut rng = stream(1, 2);
+/// let out = transmit_frame(&MacConfig::default(), Duration::new(2), 1.0, &mut rng);
+/// assert!(out.delivered);
+/// assert_eq!(out.attempts, 1);
+/// ```
+pub fn transmit_frame<R: Rng + ?Sized>(
+    config: &MacConfig,
+    airtime: Duration,
+    p_success: f64,
+    rng: &mut R,
+) -> MacOutcome {
+    assert!(config.max_attempts >= 1, "max_attempts must be at least 1");
+    assert!(
+        !config.max_backoff.is_zero(),
+        "max_backoff must be positive"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p_success),
+        "p_success must be a probability, got {p_success}"
+    );
+    let mut delay = Duration::ZERO;
+    let mut window = config.min_backoff.max(Duration::new(1));
+    for attempt in 1..=config.max_attempts {
+        let backoff = Duration::new(rng.gen_range(0..=window.ticks()));
+        delay = delay
+            .saturating_add(backoff)
+            .saturating_add(config.attempt_overhead)
+            .saturating_add(airtime);
+        if rng.gen_bool(p_success) {
+            return MacOutcome {
+                delivered: true,
+                attempts: attempt,
+                delay,
+            };
+        }
+        window = Duration::new((window.ticks() * 2).min(config.max_backoff.ticks()));
+    }
+    MacOutcome {
+        delivered: false,
+        attempts: config.max_attempts,
+        delay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_des::stream;
+
+    #[test]
+    fn perfect_link_delivers_first_attempt() {
+        let mut rng = stream(3, 0);
+        let out = transmit_frame(&MacConfig::default(), Duration::new(2), 1.0, &mut rng);
+        assert!(out.delivered);
+        assert_eq!(out.attempts, 1);
+        // Delay = backoff(0..=1) + overhead(1) + airtime(2) ∈ [3, 4].
+        assert!(out.delay >= Duration::new(3) && out.delay <= Duration::new(4));
+    }
+
+    #[test]
+    fn dead_link_exhausts_attempts() {
+        let mut rng = stream(3, 1);
+        let cfg = MacConfig::default();
+        let out = transmit_frame(&cfg, Duration::new(2), 0.0, &mut rng);
+        assert!(!out.delivered);
+        assert_eq!(out.attempts, cfg.max_attempts);
+    }
+
+    #[test]
+    fn retries_accumulate_delay() {
+        let cfg = MacConfig {
+            min_backoff: Duration::new(4),
+            max_backoff: Duration::new(64),
+            max_attempts: 5,
+            attempt_overhead: Duration::new(1),
+        };
+        // Sample many transmissions on a mediocre link; failed-then-
+        // delivered frames must be slower on average than first-shot ones.
+        let mut rng = stream(42, 7);
+        let mut first_try = Vec::new();
+        let mut retried = Vec::new();
+        for _ in 0..2000 {
+            let out = transmit_frame(&cfg, Duration::new(2), 0.5, &mut rng);
+            if out.delivered {
+                if out.attempts == 1 {
+                    first_try.push(out.delay.as_f64());
+                } else {
+                    retried.push(out.delay.as_f64());
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(!first_try.is_empty() && !retried.is_empty());
+        assert!(mean(&retried) > mean(&first_try) + 2.0);
+    }
+
+    #[test]
+    fn delivery_rate_tracks_link_quality() {
+        let cfg = MacConfig::default();
+        let mut rng = stream(11, 0);
+        let rate = |p: f64, rng: &mut rand::rngs::SmallRng| {
+            let n = 3000;
+            let ok = (0..n)
+                .filter(|_| transmit_frame(&cfg, Duration::new(1), p, rng).delivered)
+                .count();
+            ok as f64 / n as f64
+        };
+        // With 4 attempts at p=0.5, delivery ≈ 1 - 0.5^4 = 0.9375.
+        let r = rate(0.5, &mut rng);
+        assert!((r - 0.9375).abs() < 0.03, "got {r}");
+        // With p=0.9: ≈ 0.9999.
+        let r = rate(0.9, &mut rng);
+        assert!(r > 0.995, "got {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p_success must be a probability")]
+    fn rejects_bad_probability() {
+        let mut rng = stream(1, 0);
+        let _ = transmit_frame(&MacConfig::default(), Duration::new(1), 1.5, &mut rng);
+    }
+}

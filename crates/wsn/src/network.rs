@@ -1,0 +1,391 @@
+//! The assembled sensor-network simulator: topology + radio + MAC +
+//! routing + energy, exposed as a deterministic "transfer function" —
+//! give it a frame and a source, get back whether/when/how it reached the
+//! sink. The CPS layer (`stem-cps`) schedules the resulting deliveries on
+//! the DES kernel.
+
+use crate::{
+    EnergyConfig, EnergyLedger, MacConfig, MacOutcome, Radio, RadioConfig, RouteMetric,
+    RoutingTree, Topology, transmit_frame,
+};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use stem_core::MoteId;
+use stem_des::{derive_seed, stream};
+use stem_temporal::Duration;
+
+/// Configuration for the assembled network simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WsnConfig {
+    /// Radio/channel parameters.
+    pub radio: RadioConfig,
+    /// MAC parameters.
+    pub mac: MacConfig,
+    /// Energy parameters.
+    pub energy: EnergyConfig,
+    /// Link admission range for routing (metres); defaults to the radio's
+    /// nominal range if `None`.
+    pub link_range: Option<f64>,
+    /// Routing metric.
+    pub metric: RouteMetric,
+}
+
+impl Default for WsnConfig {
+    fn default() -> Self {
+        WsnConfig {
+            radio: RadioConfig::default(),
+            mac: MacConfig::default(),
+            energy: EnergyConfig::default(),
+            link_range: None,
+            metric: RouteMetric::Etx,
+        }
+    }
+}
+
+/// The outcome of a multi-hop transfer toward the sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferOutcome {
+    /// Whether the frame reached the sink.
+    pub delivered: bool,
+    /// Total time from send start to delivery (or to the final failed
+    /// attempt).
+    pub delay: Duration,
+    /// Hops successfully traversed.
+    pub hops_traversed: u32,
+    /// Total MAC attempts summed over hops.
+    pub attempts: u32,
+}
+
+/// A deterministic WSN simulator for one collection tree.
+///
+/// # Example
+///
+/// ```
+/// use stem_core::MoteId;
+/// use stem_spatial::{Point, Rect};
+/// use stem_wsn::{Topology, WsnConfig, WsnSim};
+///
+/// let topo = Topology::grid(1, 4, 4, 15.0, 0.0);
+/// let mut sim = WsnSim::new(topo, MoteId::new(0), WsnConfig::default(), 42);
+/// let out = sim.send_to_sink(MoteId::new(15), 24);
+/// assert!(out.delivered);
+/// assert!(out.hops_traversed >= 2, "corner-to-corner needs relaying");
+/// ```
+#[derive(Debug, Clone)]
+pub struct WsnSim {
+    topology: Topology,
+    radio: Radio,
+    mac: MacConfig,
+    tree: RoutingTree,
+    energy: EnergyLedger,
+    link_range: f64,
+    metric: RouteMetric,
+    sink: MoteId,
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl WsnSim {
+    /// Builds the simulator: computes the routing tree and initializes
+    /// batteries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is not part of the topology.
+    #[must_use]
+    pub fn new(topology: Topology, sink: MoteId, config: WsnConfig, seed: u64) -> Self {
+        let radio = Radio::new(config.radio, seed);
+        let link_range = config.link_range.unwrap_or_else(|| radio.nominal_range());
+        let tree = RoutingTree::build(&topology, &radio, sink, link_range, config.metric);
+        let energy = EnergyLedger::new(config.energy, topology.ids());
+        WsnSim {
+            topology,
+            radio,
+            mac: config.mac,
+            tree,
+            energy,
+            link_range,
+            metric: config.metric,
+            sink,
+            rng: stream(derive_seed(seed, 0x9E70), 0),
+            seed,
+        }
+    }
+
+    /// The deployment.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The radio model.
+    #[must_use]
+    pub fn radio(&self) -> &Radio {
+        &self.radio
+    }
+
+    /// The current routing tree.
+    #[must_use]
+    pub fn tree(&self) -> &RoutingTree {
+        &self.tree
+    }
+
+    /// The energy ledger.
+    #[must_use]
+    pub fn energy(&self) -> &EnergyLedger {
+        &self.energy
+    }
+
+    /// The sink mote.
+    #[must_use]
+    pub fn sink(&self) -> MoteId {
+        self.sink
+    }
+
+    /// The link admission range in use.
+    #[must_use]
+    pub fn link_range(&self) -> f64 {
+        self.link_range
+    }
+
+    /// Charges a sensor sample to the mote; returns liveness.
+    pub fn charge_sample(&mut self, mote: MoteId) -> bool {
+        self.energy.charge_sample(mote)
+    }
+
+    /// Returns `true` if `mote` still has battery.
+    #[must_use]
+    pub fn is_alive(&self, mote: MoteId) -> bool {
+        self.energy.is_alive(mote)
+    }
+
+    /// Kills a mote outright (failure injection) and rebuilds routing
+    /// around it.
+    pub fn kill_mote(&mut self, mote: MoteId) {
+        if let Some(pos) = self.topology.position(mote) {
+            // Drain its battery via a huge idle charge, then reroute.
+            self.energy.charge_idle(mote, Duration::new(u64::MAX / 2));
+            let _ = pos;
+            self.rebuild_tree();
+        }
+    }
+
+    /// Rebuilds the routing tree over currently-alive motes.
+    pub fn rebuild_tree(&mut self) {
+        let alive = Topology::from_positions(
+            self.topology
+                .positions()
+                .filter(|(id, _)| self.energy.is_alive(*id) || *id == self.sink),
+        );
+        self.tree = RoutingTree::build(&alive, &self.radio, self.sink, self.link_range, self.metric);
+    }
+
+    /// Transmits one frame over a single hop, charging energy on both
+    /// ends.
+    pub fn transmit_hop(&mut self, from: MoteId, to: MoteId, payload_bytes: u32) -> MacOutcome {
+        let (Some(pf), Some(pt)) = (self.topology.position(from), self.topology.position(to))
+        else {
+            return MacOutcome {
+                delivered: false,
+                attempts: 0,
+                delay: Duration::ZERO,
+            };
+        };
+        if !self.energy.is_alive(from) {
+            return MacOutcome {
+                delivered: false,
+                attempts: 0,
+                delay: Duration::ZERO,
+            };
+        }
+        let quality = self.radio.link_quality(from, pf, to, pt);
+        let airtime = self.radio.transmission_delay(payload_bytes);
+        let out = transmit_frame(&self.mac, airtime, quality.success_probability, &mut self.rng);
+        // Energy: the sender pays for every attempt; the receiver pays
+        // only for the frame it actually receives.
+        let frame = payload_bytes + self.radio.config().frame_overhead_bytes;
+        self.energy.charge_tx(from, frame * out.attempts);
+        if out.delivered {
+            self.energy.charge_rx(to, frame);
+        }
+        out
+    }
+
+    /// Sends a frame from `source` up the tree to the sink, hop by hop.
+    ///
+    /// Stops early when a hop exhausts its retries (the frame is lost) or
+    /// when a relay is dead.
+    pub fn send_to_sink(&mut self, source: MoteId, payload_bytes: u32) -> TransferOutcome {
+        let mut delay = Duration::ZERO;
+        let mut attempts = 0;
+        let mut hops = 0;
+        let mut current = source;
+        if !self.tree.is_connected(source) {
+            return TransferOutcome {
+                delivered: false,
+                delay,
+                hops_traversed: 0,
+                attempts: 0,
+            };
+        }
+        while current != self.sink {
+            let Some(next) = self.tree.next_hop(current) else {
+                return TransferOutcome {
+                    delivered: false,
+                    delay,
+                    hops_traversed: hops,
+                    attempts,
+                };
+            };
+            let out = self.transmit_hop(current, next, payload_bytes);
+            delay = delay.saturating_add(out.delay);
+            attempts += out.attempts;
+            if !out.delivered {
+                return TransferOutcome {
+                    delivered: false,
+                    delay,
+                    hops_traversed: hops,
+                    attempts,
+                };
+            }
+            hops += 1;
+            current = next;
+        }
+        TransferOutcome {
+            delivered: true,
+            delay,
+            hops_traversed: hops,
+            attempts,
+        }
+    }
+
+    /// The scenario seed (echoed in experiment output).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_spatial::{Point, Rect};
+
+    fn grid_sim(seed: u64) -> WsnSim {
+        let topo = Topology::grid(seed, 5, 5, 15.0, 0.0);
+        WsnSim::new(topo, MoteId::new(0), WsnConfig::default(), seed)
+    }
+
+    #[test]
+    fn sink_to_sink_is_trivially_delivered() {
+        let mut sim = grid_sim(1);
+        let out = sim.send_to_sink(MoteId::new(0), 20);
+        assert!(out.delivered);
+        assert_eq!(out.hops_traversed, 0);
+        assert_eq!(out.delay, Duration::ZERO);
+    }
+
+    #[test]
+    fn delivery_accumulates_delay_per_hop() {
+        let mut sim = grid_sim(2);
+        let out = sim.send_to_sink(MoteId::new(24), 20);
+        assert!(out.delivered);
+        // Corner-to-corner is ~85 m; the nominal range is ~37 m, so at
+        // least 3 hops are needed.
+        assert!(out.hops_traversed >= 3);
+        assert!(out.attempts >= out.hops_traversed);
+        assert!(out.delay >= Duration::new(u64::from(out.hops_traversed) * 2));
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let run = |seed| {
+            let mut sim = grid_sim(seed);
+            (0..20)
+                .map(|i| {
+                    let src = MoteId::new(i % 25);
+                    let o = sim.send_to_sink(src, 24);
+                    (o.delivered, o.delay, o.attempts)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn energy_depletes_with_traffic() {
+        let mut sim = grid_sim(3);
+        let before = sim.energy().battery(MoteId::new(12)).unwrap().remaining_uj();
+        for _ in 0..50 {
+            let _ = sim.send_to_sink(MoteId::new(24), 32);
+        }
+        // Mote 12 sits mid-grid; it relays some traffic or at least idles.
+        let after = sim.energy().battery(MoteId::new(12)).unwrap().remaining_uj();
+        assert!(after <= before);
+        // The source definitely spent energy.
+        let src = sim.energy().battery(MoteId::new(24)).unwrap().remaining_uj();
+        assert!(src < sim.energy().battery(MoteId::new(7)).map_or(f64::MAX, |b| b.remaining_uj()) + 1.0);
+    }
+
+    #[test]
+    fn disconnected_source_fails_fast() {
+        let mut topo = Topology::grid(4, 3, 3, 15.0, 0.0);
+        topo.insert(MoteId::new(99), Point::new(5000.0, 5000.0));
+        let mut sim = WsnSim::new(topo, MoteId::new(0), WsnConfig::default(), 4);
+        let out = sim.send_to_sink(MoteId::new(99), 20);
+        assert!(!out.delivered);
+        assert_eq!(out.attempts, 0);
+    }
+
+    #[test]
+    fn killing_a_relay_reroutes_or_disconnects() {
+        // A 1×5 line: killing the middle mote must disconnect the far end.
+        let topo = Topology::from_positions(
+            (0..5).map(|i| (MoteId::new(i), Point::new(f64::from(i) * 20.0, 0.0))),
+        );
+        let cfg = WsnConfig {
+            link_range: Some(25.0),
+            ..WsnConfig::default()
+        };
+        let mut sim = WsnSim::new(topo, MoteId::new(0), cfg, 5);
+        assert!(sim.tree().is_connected(MoteId::new(4)));
+        sim.kill_mote(MoteId::new(2));
+        assert!(!sim.is_alive(MoteId::new(2)));
+        assert!(!sim.tree().is_connected(MoteId::new(4)), "line is cut");
+        let out = sim.send_to_sink(MoteId::new(4), 16);
+        assert!(!out.delivered);
+    }
+
+    #[test]
+    fn default_link_range_comes_from_radio() {
+        let topo = Topology::grid(6, 2, 2, 10.0, 0.0);
+        let sim = WsnSim::new(topo, MoteId::new(0), WsnConfig::default(), 6);
+        let expected = sim.radio().nominal_range();
+        assert!((sim.link_range() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_uniform_network_delivers_most_frames() {
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let topo = Topology::uniform(9, 60, area);
+        let sink = topo.nearest(Point::new(50.0, 50.0)).unwrap();
+        let mut sim = WsnSim::new(topo, sink, WsnConfig::default(), 9);
+        let ids: Vec<MoteId> = sim.topology().ids().collect();
+        let mut delivered = 0;
+        let mut total = 0;
+        for &id in &ids {
+            if !sim.tree().is_connected(id) {
+                continue;
+            }
+            for _ in 0..5 {
+                total += 1;
+                if sim.send_to_sink(id, 24).delivered {
+                    delivered += 1;
+                }
+            }
+        }
+        let ratio = f64::from(delivered) / f64::from(total);
+        assert!(ratio > 0.85, "delivery ratio {ratio} too low");
+    }
+}

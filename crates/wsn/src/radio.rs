@@ -1,0 +1,261 @@
+//! Radio channel model: log-distance path loss with deterministic
+//! per-link shadowing and an SNR-derived packet error rate.
+//!
+//! The parameters default to values typical of 802.15.4-class motes (the
+//! hardware the paper's architecture assumes, refs. [19][20]); 1 tick of
+//! simulation time is 1 ms throughout this repository.
+
+use serde::{Deserialize, Serialize};
+use stem_core::MoteId;
+use stem_des::{derive_seed, sample_standard_normal, stream};
+use stem_spatial::Point;
+use stem_temporal::Duration;
+
+/// Radio/channel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioConfig {
+    /// Transmit power in dBm.
+    pub tx_power_dbm: f64,
+    /// Path loss at the 1 m reference distance, dB.
+    pub reference_loss_db: f64,
+    /// Path loss exponent (2 free space, 2.7–4 indoor/obstructed).
+    pub path_loss_exponent: f64,
+    /// Log-normal shadowing standard deviation, dB (0 disables).
+    pub shadowing_sigma_db: f64,
+    /// Receiver noise floor in dBm.
+    pub noise_floor_dbm: f64,
+    /// SNR at which packet success probability is 50%, dB.
+    pub snr_threshold_db: f64,
+    /// Steepness of the success-vs-SNR curve, dB per e-fold.
+    pub snr_steepness_db: f64,
+    /// Radio data rate in kbit/s (802.15.4: 250).
+    pub data_rate_kbps: f64,
+    /// Fixed per-frame overhead in bytes (preamble, headers, CRC).
+    pub frame_overhead_bytes: u32,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            tx_power_dbm: 0.0,
+            reference_loss_db: 40.0,
+            path_loss_exponent: 3.0,
+            shadowing_sigma_db: 3.0,
+            noise_floor_dbm: -95.0,
+            snr_threshold_db: 8.0,
+            snr_steepness_db: 1.5,
+            data_rate_kbps: 250.0,
+            frame_overhead_bytes: 15,
+        }
+    }
+}
+
+/// The quality of one directed link under the channel model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkQuality {
+    /// Received signal strength, dBm.
+    pub rssi_dbm: f64,
+    /// Signal-to-noise ratio, dB.
+    pub snr_db: f64,
+    /// Packet *success* probability in `[0, 1]`.
+    pub success_probability: f64,
+}
+
+/// The radio model: maps geometry to link quality, deterministically.
+///
+/// Shadowing is frozen per (unordered) link from the scenario seed, which
+/// matches the physics — shadowing is caused by static obstacles, so it
+/// varies across links but not across packets. Per-packet fading is left
+/// to the success-probability roll.
+///
+/// # Example
+///
+/// ```
+/// use stem_core::MoteId;
+/// use stem_spatial::Point;
+/// use stem_wsn::{Radio, RadioConfig};
+///
+/// let radio = Radio::new(RadioConfig::default(), 42);
+/// let near = radio.link_quality(
+///     MoteId::new(0), Point::new(0.0, 0.0),
+///     MoteId::new(1), Point::new(5.0, 0.0),
+/// );
+/// let far = radio.link_quality(
+///     MoteId::new(0), Point::new(0.0, 0.0),
+///     MoteId::new(2), Point::new(80.0, 0.0),
+/// );
+/// assert!(near.success_probability > far.success_probability);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Radio {
+    config: RadioConfig,
+    seed: u64,
+}
+
+impl Radio {
+    /// Creates a radio model under scenario `seed`.
+    #[must_use]
+    pub fn new(config: RadioConfig, seed: u64) -> Self {
+        Radio { config, seed }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &RadioConfig {
+        &self.config
+    }
+
+    /// Deterministic shadowing term for the unordered link `{a, b}`, dB.
+    fn shadowing_db(&self, a: MoteId, b: MoteId) -> f64 {
+        if self.config.shadowing_sigma_db <= 0.0 {
+            return 0.0;
+        }
+        let (lo, hi) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        let key = (u64::from(lo.raw()) << 32) | u64::from(hi.raw());
+        let mut rng = stream(derive_seed(self.seed, 0x5AD0), key);
+        sample_standard_normal(&mut rng) * self.config.shadowing_sigma_db
+    }
+
+    /// Computes the link quality from `a` at `pa` to `b` at `pb`.
+    ///
+    /// Zero distance is clamped to the 1 m reference distance.
+    #[must_use]
+    pub fn link_quality(&self, a: MoteId, pa: Point, b: MoteId, pb: Point) -> LinkQuality {
+        let d = pa.distance(pb).max(1.0);
+        let path_loss = self.config.reference_loss_db
+            + 10.0 * self.config.path_loss_exponent * d.log10()
+            + self.shadowing_db(a, b);
+        let rssi = self.config.tx_power_dbm - path_loss;
+        let snr = rssi - self.config.noise_floor_dbm;
+        let x = (snr - self.config.snr_threshold_db) / self.config.snr_steepness_db;
+        let success = 1.0 / (1.0 + (-x).exp());
+        LinkQuality {
+            rssi_dbm: rssi,
+            snr_db: snr,
+            success_probability: success.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Time on air for a `payload` byte frame, in ticks (ms).
+    ///
+    /// Always at least one tick (the simulator's time resolution).
+    #[must_use]
+    pub fn transmission_delay(&self, payload_bytes: u32) -> Duration {
+        let bits = f64::from((payload_bytes + self.config.frame_overhead_bytes) * 8);
+        let ms = bits / self.config.data_rate_kbps; // kbit/s == bit/ms
+        Duration::new(ms.ceil().max(1.0) as u64)
+    }
+
+    /// The distance at which the *median* link (no shadowing) reaches the
+    /// 50% success SNR — a practical "radio range" for neighbor discovery.
+    #[must_use]
+    pub fn nominal_range(&self) -> f64 {
+        // Solve: tx - (ref + 10·n·log10(d)) - noise = threshold.
+        let budget_db = self.config.tx_power_dbm
+            - self.config.reference_loss_db
+            - self.config.noise_floor_dbm
+            - self.config.snr_threshold_db;
+        10f64.powf(budget_db / (10.0 * self.config.path_loss_exponent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn radio() -> Radio {
+        Radio::new(RadioConfig::default(), 7)
+    }
+
+    #[test]
+    fn success_decreases_with_distance() {
+        let r = Radio::new(
+            RadioConfig {
+                shadowing_sigma_db: 0.0,
+                ..RadioConfig::default()
+            },
+            7,
+        );
+        let a = MoteId::new(0);
+        let origin = Point::new(0.0, 0.0);
+        let mut prev = 1.1;
+        for d in [1.0, 10.0, 30.0, 60.0, 120.0] {
+            let q = r.link_quality(a, origin, MoteId::new(1), Point::new(d, 0.0));
+            assert!(q.success_probability < prev, "at {d} m");
+            prev = q.success_probability;
+        }
+    }
+
+    #[test]
+    fn shadowing_is_symmetric_and_deterministic() {
+        let r = radio();
+        let (a, b) = (MoteId::new(3), MoteId::new(9));
+        let pa = Point::new(0.0, 0.0);
+        let pb = Point::new(20.0, 0.0);
+        let q_ab = r.link_quality(a, pa, b, pb);
+        let q_ba = r.link_quality(b, pb, a, pa);
+        assert_eq!(q_ab, q_ba, "link is reciprocal");
+        let r2 = radio();
+        assert_eq!(r2.link_quality(a, pa, b, pb), q_ab, "same seed, same channel");
+        // Different links see different shadowing.
+        let q_ac = r.link_quality(a, pa, MoteId::new(10), pb);
+        assert_ne!(q_ab.rssi_dbm, q_ac.rssi_dbm);
+    }
+
+    #[test]
+    fn transmission_delay_scales_with_payload() {
+        let r = radio();
+        // (20 + 15) bytes = 280 bits @ 250 kbps → 1.12 ms → 2 ticks.
+        assert_eq!(r.transmission_delay(20), Duration::new(2));
+        // Minimum one tick.
+        assert_eq!(r.transmission_delay(0), Duration::new(1));
+        assert!(r.transmission_delay(200) > r.transmission_delay(20));
+    }
+
+    #[test]
+    fn nominal_range_matches_50pct_snr_without_shadowing() {
+        let cfg = RadioConfig {
+            shadowing_sigma_db: 0.0,
+            ..RadioConfig::default()
+        };
+        let r = Radio::new(cfg, 0);
+        let d = r.nominal_range();
+        let q = r.link_quality(
+            MoteId::new(0),
+            Point::new(0.0, 0.0),
+            MoteId::new(1),
+            Point::new(d, 0.0),
+        );
+        assert!((q.success_probability - 0.5).abs() < 0.01, "at nominal range p≈0.5, got {}", q.success_probability);
+    }
+
+    #[test]
+    fn zero_distance_clamps_to_reference() {
+        let r = radio();
+        let q = r.link_quality(
+            MoteId::new(0),
+            Point::new(5.0, 5.0),
+            MoteId::new(1),
+            Point::new(5.0, 5.0),
+        );
+        assert!(q.success_probability > 0.99);
+    }
+
+    proptest! {
+        /// Success probability is a valid probability everywhere.
+        #[test]
+        fn success_is_probability(
+            d in 0.0f64..500.0, a in 0u32..100, b in 0u32..100, seed in 0u64..50,
+        ) {
+            let r = Radio::new(RadioConfig::default(), seed);
+            let q = r.link_quality(
+                MoteId::new(a),
+                Point::new(0.0, 0.0),
+                MoteId::new(b),
+                Point::new(d, 0.0),
+            );
+            prop_assert!((0.0..=1.0).contains(&q.success_probability));
+        }
+    }
+}

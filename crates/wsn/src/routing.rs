@@ -1,0 +1,277 @@
+//! Sink-rooted routing: an ETX-weighted shortest-path tree.
+//!
+//! Sensor motes "serve as repeaters to relay and aggregate packets from
+//! other motes" (Sec. 3); the standard collection structure is a tree
+//! rooted at the sink, built here with Dijkstra over expected-
+//! transmission-count (ETX) link costs derived from the radio model.
+
+use crate::{Radio, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BinaryHeap};
+use stem_core::MoteId;
+
+/// Link cost metric for tree construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteMetric {
+    /// Minimize hop count (unit cost per link).
+    HopCount,
+    /// Minimize expected transmissions: `Σ 1/p_success` (ETX).
+    Etx,
+}
+
+/// A routing tree rooted at a sink mote.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingTree {
+    sink: MoteId,
+    parent: BTreeMap<MoteId, MoteId>,
+    cost: BTreeMap<MoteId, f64>,
+    hops: BTreeMap<MoteId, u32>,
+}
+
+impl RoutingTree {
+    /// Builds the tree for `topology` toward `sink`, linking motes within
+    /// `range` of each other, with costs from `radio` under `metric`.
+    ///
+    /// Motes with no path to the sink are simply absent from the tree
+    /// (queryable via [`RoutingTree::is_connected`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is not part of the topology.
+    #[must_use]
+    pub fn build(
+        topology: &Topology,
+        radio: &Radio,
+        sink: MoteId,
+        range: f64,
+        metric: RouteMetric,
+    ) -> Self {
+        assert!(
+            topology.position(sink).is_some(),
+            "sink {sink} is not in the topology"
+        );
+        let neighbors = topology.neighbors(range);
+
+        // Dijkstra from the sink outward (costs are symmetric).
+        let mut cost: BTreeMap<MoteId, f64> = BTreeMap::new();
+        let mut parent: BTreeMap<MoteId, MoteId> = BTreeMap::new();
+        let mut hops: BTreeMap<MoteId, u32> = BTreeMap::new();
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        cost.insert(sink, 0.0);
+        hops.insert(sink, 0);
+        heap.push(HeapEntry { cost: 0.0, node: sink });
+
+        while let Some(HeapEntry { cost: c, node }) = heap.pop() {
+            if c > cost[&node] {
+                continue; // stale entry
+            }
+            let pn = topology.position(node).expect("node in topology");
+            for &nbr in neighbors.get(&node).map_or(&[][..], |v| &v[..]) {
+                let pnbr = topology.position(nbr).expect("neighbor in topology");
+                let q = radio.link_quality(node, pn, nbr, pnbr);
+                let link_cost = match metric {
+                    RouteMetric::HopCount => 1.0,
+                    RouteMetric::Etx => {
+                        if q.success_probability < 1e-3 {
+                            continue; // unusable link
+                        }
+                        1.0 / q.success_probability
+                    }
+                };
+                let next = c + link_cost;
+                if cost.get(&nbr).map_or(true, |&old| next < old) {
+                    cost.insert(nbr, next);
+                    parent.insert(nbr, node);
+                    hops.insert(nbr, hops[&node] + 1);
+                    heap.push(HeapEntry { cost: next, node: nbr });
+                }
+            }
+        }
+        RoutingTree {
+            sink,
+            parent,
+            cost,
+            hops,
+        }
+    }
+
+    /// The sink this tree routes toward.
+    #[must_use]
+    pub fn sink(&self) -> MoteId {
+        self.sink
+    }
+
+    /// Returns `true` if `node` has a path to the sink.
+    #[must_use]
+    pub fn is_connected(&self, node: MoteId) -> bool {
+        self.cost.contains_key(&node)
+    }
+
+    /// The next hop from `node` toward the sink (`None` at the sink or for
+    /// disconnected motes).
+    #[must_use]
+    pub fn next_hop(&self, node: MoteId) -> Option<MoteId> {
+        self.parent.get(&node).copied()
+    }
+
+    /// Hop count from `node` to the sink (0 at the sink).
+    #[must_use]
+    pub fn hops(&self, node: MoteId) -> Option<u32> {
+        self.hops.get(&node).copied()
+    }
+
+    /// Path cost from `node` to the sink under the build metric.
+    #[must_use]
+    pub fn cost(&self, node: MoteId) -> Option<f64> {
+        self.cost.get(&node).copied()
+    }
+
+    /// The full path `node → … → sink` (inclusive on both ends), or
+    /// `None` for disconnected motes.
+    #[must_use]
+    pub fn route_from(&self, node: MoteId) -> Option<Vec<MoteId>> {
+        if !self.is_connected(node) {
+            return None;
+        }
+        let mut path = vec![node];
+        let mut current = node;
+        while let Some(next) = self.next_hop(current) {
+            path.push(next);
+            current = next;
+            if path.len() > self.cost.len() {
+                unreachable!("routing loop — tree invariant violated");
+            }
+        }
+        Some(path)
+    }
+
+    /// Number of connected motes (including the sink).
+    #[must_use]
+    pub fn connected_count(&self) -> usize {
+        self.cost.len()
+    }
+}
+
+/// Min-heap entry (BinaryHeap is a max-heap; invert the comparison).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: MoteId,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite costs")
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RadioConfig;
+    use stem_spatial::{Point, Rect};
+
+    fn line_topology(n: u32, spacing: f64) -> Topology {
+        Topology::from_positions(
+            (0..n).map(|i| (MoteId::new(i), Point::new(f64::from(i) * spacing, 0.0))),
+        )
+    }
+
+    fn radio() -> Radio {
+        Radio::new(
+            RadioConfig {
+                shadowing_sigma_db: 0.0,
+                ..RadioConfig::default()
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn line_routes_hop_by_hop() {
+        let topo = line_topology(5, 20.0);
+        let tree = RoutingTree::build(&topo, &radio(), MoteId::new(0), 25.0, RouteMetric::HopCount);
+        assert_eq!(tree.hops(MoteId::new(4)), Some(4));
+        assert_eq!(
+            tree.route_from(MoteId::new(4)).unwrap(),
+            (0..=4).rev().map(MoteId::new).collect::<Vec<_>>()
+        );
+        assert_eq!(tree.next_hop(MoteId::new(0)), None, "sink has no next hop");
+        assert_eq!(tree.hops(MoteId::new(0)), Some(0));
+    }
+
+    #[test]
+    fn disconnected_motes_are_absent() {
+        let mut topo = line_topology(3, 20.0);
+        topo.insert(MoteId::new(99), Point::new(1000.0, 1000.0));
+        let tree = RoutingTree::build(&topo, &radio(), MoteId::new(0), 25.0, RouteMetric::HopCount);
+        assert!(!tree.is_connected(MoteId::new(99)));
+        assert_eq!(tree.route_from(MoteId::new(99)), None);
+        assert_eq!(tree.connected_count(), 3);
+    }
+
+    #[test]
+    fn etx_prefers_reliable_multi_hop_over_lossy_long_hop() {
+        // Sink at 0; node 2 can reach it directly (40 m, lossy) or via
+        // node 1 (2 × 20 m, reliable).
+        let topo = Topology::from_positions([
+            (MoteId::new(0), Point::new(0.0, 0.0)),
+            (MoteId::new(1), Point::new(20.0, 0.0)),
+            (MoteId::new(2), Point::new(40.0, 0.0)),
+        ]);
+        let r = radio();
+        let tree = RoutingTree::build(&topo, &r, MoteId::new(0), 45.0, RouteMetric::Etx);
+        // Under hop count the direct link wins; under ETX the relay wins
+        // (p(40 m) is far below p(20 m)²).
+        assert_eq!(tree.next_hop(MoteId::new(2)), Some(MoteId::new(1)));
+        let hop_tree = RoutingTree::build(&topo, &r, MoteId::new(0), 45.0, RouteMetric::HopCount);
+        assert_eq!(hop_tree.next_hop(MoteId::new(2)), Some(MoteId::new(0)));
+    }
+
+    #[test]
+    fn grid_tree_reaches_everyone_with_adequate_range() {
+        let topo = Topology::grid(5, 6, 6, 15.0, 0.0);
+        let tree = RoutingTree::build(&topo, &radio(), MoteId::new(0), 22.0, RouteMetric::Etx);
+        assert_eq!(tree.connected_count(), 36);
+        // Hop counts grow with grid distance from the sink corner.
+        assert!(tree.hops(MoteId::new(35)).unwrap() >= 5);
+        // All routes terminate at the sink.
+        for id in topo.ids() {
+            let path = tree.route_from(id).unwrap();
+            assert_eq!(*path.last().unwrap(), MoteId::new(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the topology")]
+    fn build_rejects_unknown_sink() {
+        let topo = line_topology(3, 10.0);
+        let _ = RoutingTree::build(&topo, &radio(), MoteId::new(42), 15.0, RouteMetric::Etx);
+    }
+
+    #[test]
+    fn uniform_deployment_mostly_connected() {
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(120.0, 120.0));
+        let topo = Topology::uniform(21, 80, area);
+        let sink = topo.nearest(Point::new(60.0, 60.0)).unwrap();
+        let tree = RoutingTree::build(&topo, &radio(), sink, 30.0, RouteMetric::Etx);
+        // Dense deployment: expect the vast majority connected.
+        assert!(
+            tree.connected_count() > 70,
+            "only {} of 80 connected",
+            tree.connected_count()
+        );
+    }
+}

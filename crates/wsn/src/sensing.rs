@@ -1,0 +1,361 @@
+//! Sensing models: how sensors turn physical phenomena into
+//! *physical observations* (Eq. 5.2).
+//!
+//! "A sensor is a device that measures a physical phenomenon … and
+//! converts physical phenomena into information, which contains the
+//! attributes, sampling timestamp, and/or spacestamp" (Sec. 3). These
+//! models add the imperfections real sensors have — additive Gaussian
+//! noise, bias, quantization — plus a range sensor for the paper's
+//! localization example.
+
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use stem_core::{Attributes, MoteId, PhysicalObservation, SensorId, SeqNo};
+use stem_des::{derive_seed, sample_normal, stream};
+use stem_physical::{ScalarField, Trajectory};
+use stem_spatial::Point;
+use stem_temporal::TimePoint;
+
+/// Imperfection parameters for a sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorNoise {
+    /// Additive Gaussian noise σ (same unit as the measured quantity).
+    pub sigma: f64,
+    /// Constant additive bias.
+    pub bias: f64,
+    /// Quantization step (0 disables).
+    pub quantization: f64,
+}
+
+impl Default for SensorNoise {
+    fn default() -> Self {
+        SensorNoise {
+            sigma: 0.5,
+            bias: 0.0,
+            quantization: 0.0,
+        }
+    }
+}
+
+impl SensorNoise {
+    /// A perfect sensor (no noise, bias, or quantization).
+    #[must_use]
+    pub fn perfect() -> Self {
+        SensorNoise {
+            sigma: 0.0,
+            bias: 0.0,
+            quantization: 0.0,
+        }
+    }
+
+    /// Applies the imperfections to a true value.
+    pub fn corrupt(&self, truth: f64, rng: &mut SmallRng) -> f64 {
+        let mut v = truth + self.bias;
+        if self.sigma > 0.0 {
+            v = sample_normal(rng, v, self.sigma);
+        }
+        if self.quantization > 0.0 {
+            v = (v / self.quantization).round() * self.quantization;
+        }
+        v
+    }
+}
+
+/// A scalar-field sensor mounted on a mote: samples a [`ScalarField`] at
+/// the mote's position and emits [`PhysicalObservation`]s.
+///
+/// # Example
+///
+/// ```
+/// use stem_core::{MoteId, SensorId};
+/// use stem_physical::UniformField;
+/// use stem_spatial::Point;
+/// use stem_temporal::TimePoint;
+/// use stem_wsn::{FieldSensor, SensorNoise};
+///
+/// let mut sensor = FieldSensor::new(
+///     MoteId::new(1), SensorId::new(0), "temp", SensorNoise::perfect(), 42,
+/// );
+/// let world = UniformField { value: 21.0 };
+/// let obs = sensor.sample(&world, Point::new(3.0, 4.0), TimePoint::new(100));
+/// assert_eq!(obs.value("temp"), Some(21.0));
+/// assert_eq!(obs.seq().raw(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FieldSensor {
+    mote: MoteId,
+    sensor: SensorId,
+    attribute: String,
+    noise: SensorNoise,
+    rng: SmallRng,
+    seq: SeqNo,
+}
+
+impl FieldSensor {
+    /// Creates a sensor measuring into attribute key `attribute`.
+    #[must_use]
+    pub fn new(
+        mote: MoteId,
+        sensor: SensorId,
+        attribute: impl Into<String>,
+        noise: SensorNoise,
+        seed: u64,
+    ) -> Self {
+        let key = (u64::from(mote.raw()) << 16) | u64::from(sensor.raw());
+        FieldSensor {
+            mote,
+            sensor,
+            attribute: attribute.into(),
+            noise,
+            rng: stream(derive_seed(seed, 0x5E50), key),
+            seq: SeqNo::FIRST,
+        }
+    }
+
+    /// The attribute key this sensor writes.
+    #[must_use]
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// Samples `world` at `position`/`now`, producing the next
+    /// observation (sequence numbers advance per Eq. 5.2's index `i`).
+    pub fn sample<F: ScalarField + ?Sized>(
+        &mut self,
+        world: &F,
+        position: Point,
+        now: TimePoint,
+    ) -> PhysicalObservation {
+        let truth = world.value_at(position, now);
+        let measured = self.noise.corrupt(truth, &mut self.rng);
+        let seq = self.seq;
+        self.seq = self.seq.next();
+        PhysicalObservation::new(
+            self.mote,
+            self.sensor,
+            seq,
+            now,
+            position,
+            Attributes::new().with(self.attribute.clone(), measured),
+        )
+    }
+}
+
+/// A range sensor: measures the distance from the mote to a moving target
+/// (the paper's Sec. 1 example — "the range measurement of the user A
+/// according to window B" — and the input to sink-side trilateration).
+///
+/// Produces observations with attribute `"range"`. Targets beyond
+/// `max_range` yield no observation.
+#[derive(Debug, Clone)]
+pub struct RangeSensor {
+    mote: MoteId,
+    sensor: SensorId,
+    noise: SensorNoise,
+    max_range: f64,
+    rng: SmallRng,
+    seq: SeqNo,
+}
+
+impl RangeSensor {
+    /// Creates a range sensor with detection radius `max_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_range` is not positive.
+    #[must_use]
+    pub fn new(mote: MoteId, sensor: SensorId, noise: SensorNoise, max_range: f64, seed: u64) -> Self {
+        assert!(max_range > 0.0, "max_range must be positive");
+        let key = (u64::from(mote.raw()) << 16) | u64::from(sensor.raw()) | (1 << 63);
+        RangeSensor {
+            mote,
+            sensor,
+            noise,
+            max_range,
+            rng: stream(derive_seed(seed, 0x4A46), key),
+            seq: SeqNo::FIRST,
+        }
+    }
+
+    /// The detection radius.
+    #[must_use]
+    pub fn max_range(&self) -> f64 {
+        self.max_range
+    }
+
+    /// Measures the range to `target` from `position` at `now`.
+    ///
+    /// Returns `None` when the target is out of range (no detection). A
+    /// noisy measurement is clamped at zero (ranges cannot be negative).
+    pub fn measure<T: Trajectory + ?Sized>(
+        &mut self,
+        target: &T,
+        position: Point,
+        now: TimePoint,
+    ) -> Option<PhysicalObservation> {
+        let true_range = position.distance(target.position_at(now));
+        if true_range > self.max_range {
+            return None;
+        }
+        let measured = self.noise.corrupt(true_range, &mut self.rng).max(0.0);
+        let seq = self.seq;
+        self.seq = self.seq.next();
+        Some(PhysicalObservation::new(
+            self.mote,
+            self.sensor,
+            seq,
+            now,
+            position,
+            Attributes::new().with("range", measured),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_physical::{GradientField, StaticPosition};
+
+    #[test]
+    fn perfect_sensor_reports_truth() {
+        let mut s = FieldSensor::new(
+            MoteId::new(1),
+            SensorId::new(0),
+            "temp",
+            SensorNoise::perfect(),
+            7,
+        );
+        let world = GradientField {
+            base: 10.0,
+            gx: 1.0,
+            gy: 0.0,
+        };
+        let obs = s.sample(&world, Point::new(5.0, 0.0), TimePoint::new(3));
+        assert_eq!(obs.value("temp"), Some(15.0));
+        assert_eq!(obs.location(), Point::new(5.0, 0.0));
+        assert_eq!(obs.time(), TimePoint::new(3));
+    }
+
+    #[test]
+    fn sequence_numbers_advance() {
+        let mut s = FieldSensor::new(
+            MoteId::new(1),
+            SensorId::new(0),
+            "temp",
+            SensorNoise::perfect(),
+            7,
+        );
+        let world = GradientField { base: 0.0, gx: 0.0, gy: 0.0 };
+        let o0 = s.sample(&world, Point::new(0.0, 0.0), TimePoint::new(1));
+        let o1 = s.sample(&world, Point::new(0.0, 0.0), TimePoint::new(2));
+        assert_eq!(o0.seq().raw(), 0);
+        assert_eq!(o1.seq().raw(), 1);
+    }
+
+    #[test]
+    fn noise_statistics_match_config() {
+        let mut s = FieldSensor::new(
+            MoteId::new(2),
+            SensorId::new(0),
+            "temp",
+            SensorNoise {
+                sigma: 2.0,
+                bias: 5.0,
+                quantization: 0.0,
+            },
+            11,
+        );
+        let world = GradientField { base: 100.0, gx: 0.0, gy: 0.0 };
+        let n = 5000;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| {
+                s.sample(&world, Point::new(0.0, 0.0), TimePoint::new(i))
+                    .value("temp")
+                    .unwrap()
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 105.0).abs() < 0.2, "bias shifts the mean, got {mean}");
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var - 4.0).abs() < 0.4, "σ²=4, got {var}");
+    }
+
+    #[test]
+    fn quantization_snaps_to_grid() {
+        let mut s = FieldSensor::new(
+            MoteId::new(3),
+            SensorId::new(0),
+            "temp",
+            SensorNoise {
+                sigma: 0.0,
+                bias: 0.0,
+                quantization: 0.5,
+            },
+            1,
+        );
+        let world = GradientField { base: 10.3, gx: 0.0, gy: 0.0 };
+        let obs = s.sample(&world, Point::new(0.0, 0.0), TimePoint::new(0));
+        assert_eq!(obs.value("temp"), Some(10.5));
+    }
+
+    #[test]
+    fn sensors_with_same_seed_reproduce() {
+        let world = GradientField { base: 50.0, gx: 0.0, gy: 0.0 };
+        let run = || {
+            let mut s = FieldSensor::new(
+                MoteId::new(4),
+                SensorId::new(1),
+                "temp",
+                SensorNoise::default(),
+                99,
+            );
+            (0..10)
+                .map(|i| {
+                    s.sample(&world, Point::new(0.0, 0.0), TimePoint::new(i))
+                        .value("temp")
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn range_sensor_detects_only_in_range() {
+        let mut s = RangeSensor::new(
+            MoteId::new(1),
+            SensorId::new(2),
+            SensorNoise::perfect(),
+            10.0,
+            5,
+        );
+        let near = StaticPosition(Point::new(6.0, 8.0)); // distance 10
+        let obs = s
+            .measure(&near, Point::new(0.0, 0.0), TimePoint::new(1))
+            .expect("boundary is in range");
+        assert_eq!(obs.value("range"), Some(10.0));
+        let far = StaticPosition(Point::new(60.0, 80.0));
+        assert!(s.measure(&far, Point::new(0.0, 0.0), TimePoint::new(2)).is_none());
+    }
+
+    #[test]
+    fn noisy_range_is_never_negative() {
+        let mut s = RangeSensor::new(
+            MoteId::new(1),
+            SensorId::new(2),
+            SensorNoise {
+                sigma: 5.0,
+                bias: -3.0,
+                quantization: 0.0,
+            },
+            50.0,
+            5,
+        );
+        let target = StaticPosition(Point::new(0.1, 0.0));
+        for i in 0..200 {
+            if let Some(obs) = s.measure(&target, Point::new(0.0, 0.0), TimePoint::new(i)) {
+                assert!(obs.value("range").unwrap() >= 0.0);
+            }
+        }
+    }
+}

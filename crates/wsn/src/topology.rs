@@ -1,0 +1,249 @@
+//! Mote deployment: topology generation and neighbor discovery.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use stem_core::MoteId;
+use stem_des::stream;
+use stem_spatial::{GridIndex, Point, Rect};
+
+/// A deployment of motes on the plane.
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{Point, Rect};
+/// use stem_wsn::Topology;
+///
+/// let area = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+/// let topo = Topology::uniform(42, 50, area);
+/// assert_eq!(topo.len(), 50);
+/// assert!(topo.positions().all(|(_, p)| area.contains(p)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    positions: BTreeMap<MoteId, Point>,
+    area: Rect,
+}
+
+impl Topology {
+    /// Places `n` motes uniformly at random in `area` (ids `0..n`).
+    #[must_use]
+    pub fn uniform(seed: u64, n: u32, area: Rect) -> Self {
+        let mut rng = stream(seed, 0x70B0);
+        let positions = (0..n)
+            .map(|i| {
+                let x = rng.gen_range(area.min().x..=area.max().x);
+                let y = rng.gen_range(area.min().y..=area.max().y);
+                (MoteId::new(i), Point::new(x, y))
+            })
+            .collect();
+        Topology { positions, area }
+    }
+
+    /// Places motes on an `nx × ny` grid with spacing `spacing`, each
+    /// jittered uniformly by up to `jitter` metres per axis. The area is
+    /// the grid bounding box inflated by the jitter.
+    #[must_use]
+    pub fn grid(seed: u64, nx: u32, ny: u32, spacing: f64, jitter: f64) -> Self {
+        let mut rng = stream(seed, 0x70B1);
+        let mut positions = BTreeMap::new();
+        let mut id = 0;
+        for gy in 0..ny {
+            for gx in 0..nx {
+                let jx = if jitter > 0.0 { rng.gen_range(-jitter..=jitter) } else { 0.0 };
+                let jy = if jitter > 0.0 { rng.gen_range(-jitter..=jitter) } else { 0.0 };
+                positions.insert(
+                    MoteId::new(id),
+                    Point::new(f64::from(gx) * spacing + jx, f64::from(gy) * spacing + jy),
+                );
+                id += 1;
+            }
+        }
+        let area = Rect::new(
+            Point::new(-jitter, -jitter),
+            Point::new(
+                f64::from(nx.saturating_sub(1)) * spacing + jitter,
+                f64::from(ny.saturating_sub(1)) * spacing + jitter,
+            ),
+        );
+        Topology { positions, area }
+    }
+
+    /// Builds a topology from explicit placements.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty placement list.
+    #[must_use]
+    pub fn from_positions(positions: impl IntoIterator<Item = (MoteId, Point)>) -> Self {
+        let positions: BTreeMap<MoteId, Point> = positions.into_iter().collect();
+        assert!(!positions.is_empty(), "topology needs at least one mote");
+        let area = Rect::bounding(&positions.values().copied().collect::<Vec<_>>())
+            .expect("non-empty");
+        Topology { positions, area }
+    }
+
+    /// Adds (or moves) a mote.
+    pub fn insert(&mut self, id: MoteId, position: Point) {
+        self.positions.insert(id, position);
+        self.area = self.area.union(&Rect::new(position, position));
+    }
+
+    /// Number of motes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` if the deployment is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The deployment area.
+    #[must_use]
+    pub fn area(&self) -> Rect {
+        self.area
+    }
+
+    /// A mote's position.
+    #[must_use]
+    pub fn position(&self, id: MoteId) -> Option<Point> {
+        self.positions.get(&id).copied()
+    }
+
+    /// Iterates `(id, position)` in id order.
+    pub fn positions(&self) -> impl Iterator<Item = (MoteId, Point)> + '_ {
+        self.positions.iter().map(|(&id, &p)| (id, p))
+    }
+
+    /// All mote ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = MoteId> + '_ {
+        self.positions.keys().copied()
+    }
+
+    /// The mote closest to `p`, or `None` if empty.
+    #[must_use]
+    pub fn nearest(&self, p: Point) -> Option<MoteId> {
+        self.positions
+            .iter()
+            .min_by(|a, b| {
+                a.1.distance_squared(p)
+                    .partial_cmp(&b.1.distance_squared(p))
+                    .expect("finite positions")
+            })
+            .map(|(&id, _)| id)
+    }
+
+    /// Computes the neighbor lists under a maximum link `range`, using a
+    /// grid index (O(n) expected for uniform deployments).
+    ///
+    /// A mote is not its own neighbor. Results are in id order.
+    #[must_use]
+    pub fn neighbors(&self, range: f64) -> BTreeMap<MoteId, Vec<MoteId>> {
+        let mut index = GridIndex::new(range.max(1.0));
+        for (&id, &p) in &self.positions {
+            index.insert(id, p);
+        }
+        let mut out = BTreeMap::new();
+        for (&id, &p) in &self.positions {
+            let mut nbrs: Vec<MoteId> = index
+                .query_radius(p, range)
+                .into_iter()
+                .filter(|&other| other != id)
+                .collect();
+            nbrs.sort();
+            out.insert(id, nbrs);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn area() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    #[test]
+    fn uniform_is_reproducible() {
+        let a = Topology::uniform(9, 30, area());
+        let b = Topology::uniform(9, 30, area());
+        assert_eq!(a, b);
+        let c = Topology::uniform(10, 30, area());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn grid_without_jitter_is_regular() {
+        let t = Topology::grid(1, 3, 2, 10.0, 0.0);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.position(MoteId::new(0)), Some(Point::new(0.0, 0.0)));
+        assert_eq!(t.position(MoteId::new(1)), Some(Point::new(10.0, 0.0)));
+        assert_eq!(t.position(MoteId::new(3)), Some(Point::new(0.0, 10.0)));
+    }
+
+    #[test]
+    fn nearest_finds_closest_mote() {
+        let t = Topology::grid(1, 3, 3, 10.0, 0.0);
+        assert_eq!(t.nearest(Point::new(11.0, 1.0)), Some(MoteId::new(1)));
+        assert_eq!(t.nearest(Point::new(19.0, 19.0)), Some(MoteId::new(8)));
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_exclude_self() {
+        let t = Topology::uniform(4, 40, area());
+        let nbrs = t.neighbors(30.0);
+        for (id, list) in &nbrs {
+            assert!(!list.contains(id), "{id} is its own neighbor");
+            for other in list {
+                assert!(
+                    nbrs[other].contains(id),
+                    "asymmetric neighborhood {id} vs {other}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_positions_round_trips() {
+        let t = Topology::from_positions([
+            (MoteId::new(5), Point::new(1.0, 2.0)),
+            (MoteId::new(9), Point::new(4.0, 6.0)),
+        ]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.position(MoteId::new(5)), Some(Point::new(1.0, 2.0)));
+        assert!(t.area().contains(Point::new(4.0, 6.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mote")]
+    fn from_positions_rejects_empty() {
+        let _ = Topology::from_positions(std::iter::empty());
+    }
+
+    proptest! {
+        /// Neighbor computation matches the brute-force definition.
+        #[test]
+        fn neighbors_match_brute_force(seed in 0u64..30, n in 2u32..40, range in 5.0f64..60.0) {
+            let t = Topology::uniform(seed, n, area());
+            let nbrs = t.neighbors(range);
+            for (a, pa) in t.positions() {
+                for (b, pb) in t.positions() {
+                    if a == b { continue; }
+                    let expected = pa.distance(pb) <= range;
+                    prop_assert_eq!(
+                        nbrs[&a].contains(&b),
+                        expected,
+                        "motes {} and {} at distance {}", a, b, pa.distance(pb)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Event Detection Latency analysis: the paper's future work (Sec. 6),
+//! implemented.
+//!
+//! Builds the analytic per-stage EDL model for the Fig. 1 pipeline and
+//! compares it against Monte-Carlo simulation of the same MAC/radio
+//! parameters — printing the per-stage latency breakdown and the
+//! model-vs-simulated distribution summary.
+//!
+//! Run with: `cargo run --example edl_analysis`
+
+use stem::analysis::{pipeline_edl, Pmf, Summary};
+use stem::des::stream;
+use stem::temporal::Duration;
+use stem::wsn::{transmit_frame, MacConfig, Radio, RadioConfig};
+
+fn main() {
+    let radio = Radio::new(RadioConfig::default(), 42);
+    let mac = MacConfig::default();
+    let sampling = Duration::new(1_000);
+    let payload = 32u32;
+    let p_link = 0.9;
+    let hops = 3;
+
+    let model = pipeline_edl(
+        sampling,
+        Duration::new(2),
+        &mac,
+        &radio,
+        payload,
+        p_link,
+        hops,
+        Duration::new(5),
+        Duration::new(20),
+        Duration::new(3),
+    );
+
+    println!("=== analytic EDL model ({hops} hops, p_link={p_link}) ===");
+    println!("{:<20} {:>10} {:>8}", "stage", "mean (ms)", "share");
+    for (name, mean, share) in model.mean_breakdown() {
+        println!("{name:<20} {mean:>10.2} {share:>7.1}%", share = share * 100.0);
+    }
+    let e2e = model.end_to_end();
+    println!();
+    println!(
+        "end-to-end: delivery {:.3}, mean {:.1} ms, p50 {} ms, p95 {} ms, p99 {} ms",
+        e2e.total_mass(),
+        e2e.mean().unwrap(),
+        e2e.quantile(0.5).unwrap(),
+        e2e.quantile(0.95).unwrap(),
+        e2e.quantile(0.99).unwrap(),
+    );
+
+    // ---------------------------------------------------------------
+    // Monte-Carlo validation of the transport stages (the stochastic
+    // part of the model: per-hop MAC delays).
+    // ---------------------------------------------------------------
+    let airtime = radio.transmission_delay(payload);
+    let mut rng = stream(42, 7);
+    let runs = 20_000;
+    let mut delivered_delays = Vec::new();
+    let mut lost = 0u32;
+    for _ in 0..runs {
+        let mut total = 0.0;
+        let mut ok = true;
+        for _ in 0..hops {
+            let out = transmit_frame(&mac, airtime, p_link, &mut rng);
+            total += out.delay.as_f64();
+            if !out.delivered {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            delivered_delays.push(total);
+        } else {
+            lost += 1;
+        }
+    }
+    let sim_delivery = 1.0 - f64::from(lost) / f64::from(runs);
+    let sim = Summary::of(&delivered_delays).expect("some deliveries");
+
+    // The analytic transport-only pmf for comparison.
+    let hop = stem::analysis::mac_hop_stage(&mac, airtime, p_link);
+    let transport = (1..hops).fold(hop.clone(), |acc, _| acc.convolve(&hop));
+
+    println!();
+    println!("=== transport stages: model vs Monte-Carlo ({runs} frames) ===");
+    println!(
+        "{:<12} {:>12} {:>12}",
+        "metric", "analytic", "simulated"
+    );
+    println!(
+        "{:<12} {:>12.4} {:>12.4}",
+        "delivery",
+        transport.total_mass(),
+        sim_delivery
+    );
+    println!(
+        "{:<12} {:>12.2} {:>12.2}",
+        "mean (ms)",
+        transport.mean().unwrap(),
+        sim.mean
+    );
+    println!(
+        "{:<12} {:>12} {:>12.0}",
+        "p50 (ms)",
+        transport.quantile(0.5).unwrap(),
+        Pmf::from_samples(
+            &delivered_delays.iter().map(|d| *d as u64).collect::<Vec<_>>()
+        )
+        .unwrap()
+        .quantile(0.5)
+        .unwrap()
+    );
+
+    let mean_err =
+        (transport.mean().unwrap() - sim.mean).abs() / sim.mean * 100.0;
+    println!("mean error: {mean_err:.2}%");
+    assert!(
+        mean_err < 5.0,
+        "analytic transport mean should track simulation within 5%"
+    );
+    assert!(
+        (transport.total_mass() - sim_delivery).abs() < 0.02,
+        "analytic delivery probability should track simulation"
+    );
+}

@@ -1,0 +1,44 @@
+//! # STEM — Spatio-Temporal Event Model for Cyber-Physical Systems
+//!
+//! Facade crate for the STEM workspace, a Rust reproduction of
+//! Tan, Vuran & Goddard, *"Spatio-Temporal Event Model for Cyber-Physical
+//! Systems"*, ICDCS Workshops 2009.
+//!
+//! Each subsystem lives in its own crate and is re-exported here under a
+//! short module name:
+//!
+//! * [`temporal`] — discrete time model and interval relation algebra
+//! * [`spatial`] — 2-D spatial model, fields, and topological relations
+//! * [`core`] — the paper's event model (events, conditions, observers,
+//!   instances, layers)
+//! * [`des`] — deterministic discrete-event simulation kernel
+//! * [`physical`] — physical-world models (fields, mobility, ground truth)
+//! * [`wsn`] — wireless sensor & actor network simulator
+//! * [`cep`] — complex event processing engine with interval semantics
+//! * [`cps`] — the hierarchical CPS architecture and scenario runner
+//! * [`analysis`] — localization, EDL model, statistics, confidence fusion
+//!
+//! # Quick start
+//!
+//! ```
+//! use stem::core::dsl;
+//!
+//! // Parse the paper's composite sensor event condition S1:
+//! let cond = dsl::parse(
+//!     "(time(x) before time(y)) and (dist(loc(x), loc(y)) < 5)",
+//! ).expect("valid condition");
+//! assert_eq!(cond.entity_names(), vec!["x".to_string(), "y".to_string()]);
+//! ```
+//!
+//! See `examples/` for full scenarios (smart building, forest fire,
+//! intrusion tracking) and `crates/bench` for the experiment harness.
+
+pub use stem_analysis as analysis;
+pub use stem_cep as cep;
+pub use stem_core as core;
+pub use stem_cps as cps;
+pub use stem_des as des;
+pub use stem_physical as physical;
+pub use stem_spatial as spatial;
+pub use stem_temporal as temporal;
+pub use stem_wsn as wsn;

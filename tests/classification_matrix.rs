@@ -1,0 +1,210 @@
+//! The 2×2 event classification of Sec. 4.2 (EXP-T1's invariants):
+//! punctual/interval × point/field, each produced by a realistic scenario
+//! and carried faithfully through the model types.
+
+use stem::cep::{SustainedConfig, SustainedDetector, SustainedEvent};
+use stem::core::{
+    physical_event, Attributes, EventClass, SpatialClass, TemporalClass,
+};
+use stem::physical::{
+    first_crossing, presence_intervals, HotSpot, ScalarField, SpreadingFire, StaticPosition,
+    Trajectory, WaypointPath,
+};
+use stem::spatial::{Circle, Field, Point, SpatialExtent};
+use stem::temporal::{Duration, TemporalExtent, TimePoint};
+
+fn classify(time: TemporalExtent, loc: SpatialExtent) -> EventClass {
+    physical_event("e", time, loc, Attributes::new()).class()
+}
+
+#[test]
+fn punctual_point_threshold_crossing() {
+    // A hotspot switches on; the crossing at a fixed sensor location is a
+    // punctual/point physical event.
+    let world = HotSpot {
+        center: Point::new(0.0, 0.0),
+        peak: 50.0,
+        sigma: 3.0,
+        ambient: 20.0,
+        onset: TimePoint::new(500),
+    };
+    let sensor_at = Point::new(1.0, 0.0);
+    let t = first_crossing(
+        &world,
+        sensor_at,
+        55.0,
+        TimePoint::new(0),
+        TimePoint::new(2_000),
+        Duration::new(1),
+    )
+    .expect("crossing occurs");
+    assert_eq!(t, TimePoint::new(500));
+    let class = classify(
+        TemporalExtent::punctual(t),
+        SpatialExtent::point(sensor_at),
+    );
+    assert_eq!(class.temporal, TemporalClass::Punctual);
+    assert_eq!(class.spatial, SpatialClass::Point);
+}
+
+#[test]
+fn interval_point_presence_episode() {
+    // "User A is nearby window B": the user's presence in the window area
+    // is an interval event at (conceptually) the window's point location.
+    let user = WaypointPath::new(
+        vec![
+            (TimePoint::new(0), Point::new(0.0, 0.0)),
+            (TimePoint::new(100), Point::new(100.0, 0.0)),
+        ],
+        false,
+    )
+    .unwrap();
+    // Radius 10.5 keeps the entry/exit samples clear of the boundary
+    // (the user moves 1 m per tick).
+    let area = Field::circle(Circle::new(Point::new(50.0, 0.0), 10.5));
+    let intervals = presence_intervals(
+        &user,
+        &area,
+        TimePoint::new(0),
+        TimePoint::new(100),
+        Duration::new(1),
+    );
+    assert_eq!(intervals.len(), 1);
+    let class = classify(
+        TemporalExtent::interval(intervals[0]),
+        SpatialExtent::point(Point::new(50.0, 0.0)),
+    );
+    assert_eq!(class.temporal, TemporalClass::Interval);
+    assert_eq!(class.spatial, SpatialClass::Point);
+    // The interval matches the chord geometry: inside for |x-50| <= 10.5.
+    assert_eq!(intervals[0].start(), TimePoint::new(40));
+    assert_eq!(intervals[0].end(), TimePoint::new(60));
+}
+
+#[test]
+fn punctual_field_ignition() {
+    // Ignition: at one instant, a region begins burning — a punctual
+    // event whose location is a field.
+    let fire = SpreadingFire {
+        ignition: Point::new(10.0, 10.0),
+        ignition_time: TimePoint::new(1_000),
+        spread_speed: 0.01,
+        burn_value: 400.0,
+        ambient: 20.0,
+        edge_width: 1.0,
+    };
+    let region = fire
+        .burning_region(TimePoint::new(1_500))
+        .expect("burning after ignition");
+    let class = classify(
+        TemporalExtent::punctual(TimePoint::new(1_000)),
+        SpatialExtent::field(region),
+    );
+    assert_eq!(class.temporal, TemporalClass::Punctual);
+    assert_eq!(class.spatial, SpatialClass::Field);
+}
+
+#[test]
+fn interval_field_burn_episode() {
+    // The full fire: an interval event over a field.
+    let fire = SpreadingFire {
+        ignition: Point::new(0.0, 0.0),
+        ignition_time: TimePoint::new(100),
+        spread_speed: 0.05,
+        burn_value: 400.0,
+        ambient: 20.0,
+        edge_width: 1.0,
+    };
+    let end = TimePoint::new(2_000);
+    let region = fire.burning_region(end).unwrap();
+    let class = classify(
+        TemporalExtent::interval(stem::temporal::TimeInterval::new(TimePoint::new(100), end).unwrap()),
+        SpatialExtent::field(region.clone()),
+    );
+    assert_eq!(class.temporal, TemporalClass::Interval);
+    assert_eq!(class.spatial, SpatialClass::Field);
+    // "Essentially, a field occurrence location is made of at least 2 or
+    // more point events" — the region indeed covers many points.
+    assert!(region.contains(Point::new(0.0, 0.0)));
+    assert!(region.contains(Point::new(50.0, 0.0)));
+    assert!(region.area() > 1000.0);
+}
+
+#[test]
+fn end_user_definition_decides_punctual_vs_interval() {
+    // Sec. 4.2: "the difference between the punctual event and the
+    // interval event depends on the end-user definition". The same
+    // physical episode — user inside the area from t=40 to t=60 — can be
+    // consumed as entry (punctual) or presence (interval).
+    let user = WaypointPath::new(
+        vec![
+            (TimePoint::new(0), Point::new(0.0, 0.0)),
+            (TimePoint::new(100), Point::new(100.0, 0.0)),
+        ],
+        false,
+    )
+    .unwrap();
+    let area = Field::circle(Circle::new(Point::new(50.0, 0.0), 10.5));
+
+    // Interval view via the sustained detector.
+    let mut sustained = SustainedDetector::new(SustainedConfig::boolean(Duration::new(5)));
+    let mut episode = None;
+    for t in 0..=100u64 {
+        let inside = area.contains(user.position_at(TimePoint::new(t)));
+        if let Some(SustainedEvent::Ended { interval }) =
+            sustained.update(TimePoint::new(t), inside)
+        {
+            episode = Some(interval);
+        }
+    }
+    let episode = episode.expect("episode detected");
+    assert_eq!(
+        (episode.start(), episode.end()),
+        (TimePoint::new(40), TimePoint::new(60))
+    );
+
+    // Punctual view: the entry instant is the episode's start.
+    let entry = TemporalExtent::punctual(episode.start());
+    assert!(entry.is_punctual());
+    assert_eq!(entry.start(), TimePoint::new(40));
+}
+
+#[test]
+fn stationary_object_never_enters() {
+    let outside = StaticPosition(Point::new(500.0, 500.0));
+    let area = Field::circle(Circle::new(Point::new(0.0, 0.0), 10.0));
+    let intervals = presence_intervals(
+        &outside,
+        &area,
+        TimePoint::new(0),
+        TimePoint::new(1_000),
+        Duration::new(10),
+    );
+    assert!(intervals.is_empty());
+}
+
+#[test]
+fn fire_value_grid_matches_region_classification() {
+    // Consistency between the scalar field and its ground-truth region:
+    // points the region claims are burning must be hot.
+    let fire = SpreadingFire {
+        ignition: Point::new(0.0, 0.0),
+        ignition_time: TimePoint::new(0),
+        spread_speed: 0.1,
+        burn_value: 400.0,
+        ambient: 20.0,
+        edge_width: 0.0, // sharp front for exact agreement
+    };
+    let t = TimePoint::new(500); // radius 50
+    let region = fire.burning_region(t).unwrap();
+    for d in [0.0, 10.0, 25.0, 49.0] {
+        let p = Point::new(d, 0.0);
+        assert!(region.contains(p));
+        assert_eq!(fire.value_at(p, t), 400.0);
+    }
+    for d in [51.0, 100.0] {
+        let p = Point::new(d, 0.0);
+        assert!(!region.contains(p));
+        assert_eq!(fire.value_at(p, t), 20.0);
+    }
+}

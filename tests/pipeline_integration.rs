@@ -1,0 +1,234 @@
+//! Cross-crate integration tests: the full Fig. 1 pipeline — physical
+//! world → motes → WSN → sink → CCU → actions — with invariants that span
+//! layers.
+
+use stem::cep::Pattern;
+use stem::core::{
+    dsl, AttrAggregate, AttrProjection, EventDefinition, EventId, Layer, ObserverId,
+};
+use stem::cps::{
+    metrics, ActorSelector, CpsApplication, CpsSystem, DetectorSpec, EcaRule, ScenarioConfig,
+    TopologySpec,
+};
+use stem::physical::{HotSpot, WorldField};
+use stem::spatial::Point;
+use stem::temporal::{Duration, TimePoint};
+
+fn hotspot_scenario(seed: u64) -> (ScenarioConfig, CpsApplication) {
+    let config = ScenarioConfig {
+        seed,
+        topology: TopologySpec::Grid {
+            nx: 5,
+            ny: 5,
+            spacing: 15.0,
+            jitter: 0.0,
+        },
+        sink_near: Point::new(0.0, 0.0),
+        actors: vec![Point::new(30.0, 30.0), Point::new(60.0, 60.0)],
+        world: WorldField::HotSpot(HotSpot {
+            center: Point::new(30.0, 30.0),
+            peak: 60.0,
+            sigma: 12.0,
+            ambient: 20.0,
+            onset: TimePoint::new(5_000),
+        }),
+        sampling_period: Duration::new(500),
+        duration: Duration::new(30_000),
+        ..ScenarioConfig::default()
+    };
+    let app = CpsApplication::new()
+        .with_sensor_definition(
+            EventDefinition::new("hot-reading", Layer::Sensor, dsl::parse("x.temp > 45").unwrap())
+                .with_projection(AttrProjection::new("temp", AttrAggregate::Average, "temp"))
+                .with_confidence_policy(stem::core::ConfidencePolicy::Fixed(0.9)),
+        )
+        .with_sink_detector(DetectorSpec::new(
+            EventDefinition::new(
+                "hot-area",
+                Layer::CyberPhysical,
+                dsl::parse("dist(loc(a), loc(b)) < 40").unwrap(),
+            )
+            .with_projection(AttrProjection::new("temp", AttrAggregate::Average, "temp"))
+            .with_confidence_policy(stem::core::ConfidencePolicy::MinOfInputs),
+            // Sequence (not conjunction): with a self-paired conjunction
+            // every reading matches both atoms and CP counts double.
+            Pattern::atom("a", "hot-reading").then(Pattern::atom("b", "hot-reading")),
+            Duration::new(2_000),
+        ))
+        .with_ccu_detector(DetectorSpec::new(
+            EventDefinition::new("heat-alarm", Layer::Cyber, dsl::parse("x.temp > 40").unwrap())
+                .with_confidence_policy(stem::core::ConfidencePolicy::MinOfInputs),
+            Pattern::atom("x", "hot-area"),
+            Duration::new(5_000),
+        ))
+        .with_rule(EcaRule::new(
+            "heat-alarm",
+            "fan-on",
+            ActorSelector::NearestToEvent,
+        ));
+    (config, app)
+}
+
+#[test]
+fn all_five_layers_are_populated_in_order() {
+    let (config, app) = hotspot_scenario(1);
+    let report = CpsSystem::run(config, app);
+
+    let sensor = report.instances_at(Layer::Sensor).count();
+    let cp = report.instances_at(Layer::CyberPhysical).count();
+    let cyber = report.instances_at(Layer::Cyber).count();
+    assert!(sensor > 0 && cp > 0 && cyber > 0);
+
+    // The hierarchy thins as it rises: each level consumes multiple
+    // lower-level entities.
+    assert!(
+        sensor >= cp,
+        "sensor events ({sensor}) should outnumber CP events ({cp})"
+    );
+
+    // Every layer's first detection happens after the layer below it.
+    let first = |layer: Layer| {
+        report
+            .instances_at(layer)
+            .map(|i| i.generation_time())
+            .min()
+            .expect("layer populated")
+    };
+    assert!(first(Layer::Sensor) <= first(Layer::CyberPhysical));
+    assert!(first(Layer::CyberPhysical) <= first(Layer::Cyber));
+}
+
+#[test]
+fn observer_kinds_match_layers() {
+    let (config, app) = hotspot_scenario(2);
+    let report = CpsSystem::run(config, app);
+    for inst in &report.instances {
+        match inst.layer() {
+            Layer::Sensor => assert!(matches!(inst.observer(), ObserverId::Mote(_))),
+            Layer::CyberPhysical => assert!(matches!(inst.observer(), ObserverId::Sink(_))),
+            Layer::Cyber => assert!(matches!(inst.observer(), ObserverId::Ccu(_))),
+            other => panic!("unexpected layer {other} in instance log"),
+        }
+    }
+}
+
+#[test]
+fn confidence_never_increases_up_the_hierarchy_with_min_fusion() {
+    let (config, app) = hotspot_scenario(3);
+    let report = CpsSystem::run(config, app);
+    // Sensor events are emitted with fixed ρ=0.9; min-fusion at the sink
+    // and CCU cannot exceed it.
+    for inst in report.instances_at(Layer::CyberPhysical) {
+        assert!(
+            inst.confidence().value() <= 0.9 + 1e-9,
+            "CP instance confidence {} exceeds its inputs",
+            inst.confidence()
+        );
+    }
+    for inst in report.instances_at(Layer::Cyber) {
+        assert!(inst.confidence().value() <= 0.9 + 1e-9);
+    }
+}
+
+#[test]
+fn estimated_occurrence_precedes_generation_everywhere() {
+    let (config, app) = hotspot_scenario(4);
+    let report = CpsSystem::run(config, app);
+    for inst in &report.instances {
+        assert!(
+            inst.estimated_time().start() <= inst.generation_time(),
+            "{inst}: estimate starts after generation"
+        );
+    }
+}
+
+#[test]
+fn detection_latency_grows_up_the_hierarchy() {
+    let (config, app) = hotspot_scenario(5);
+    let report = CpsSystem::run(config, app);
+    let mean_latency = |layer: Layer| {
+        let lats: Vec<f64> = report
+            .instances_at(layer)
+            .filter_map(|i| i.detection_latency())
+            .map(|d| d.as_f64())
+            .collect();
+        assert!(!lats.is_empty());
+        lats.iter().sum::<f64>() / lats.len() as f64
+    };
+    // Sensor events are detected at the mote within the tick; CP events
+    // add WSN transfer + sink processing; cyber events add backhaul.
+    let s = mean_latency(Layer::Sensor);
+    let cp = mean_latency(Layer::CyberPhysical);
+    let cy = mean_latency(Layer::Cyber);
+    assert!(s <= cp, "sensor {s} vs cp {cp}");
+    assert!(cp < cy, "cp {cp} vs cyber {cy}");
+}
+
+#[test]
+fn database_retains_and_serves_all_layers() {
+    let (config, app) = hotspot_scenario(6);
+    let report = CpsSystem::run(config, app);
+    assert!(report.db.stored_total() > 0);
+    assert!(report.db.query_by_layer(Layer::Sensor).count() > 0);
+    assert!(report.db.query_by_layer(Layer::CyberPhysical).count() > 0);
+    assert!(report.db.query_by_layer(Layer::Cyber).count() > 0);
+    let hot = EventId::new("hot-reading");
+    assert!(report.db.query_by_event(&hot).count() > 0);
+}
+
+#[test]
+fn actions_trace_back_to_cyber_events_near_the_hotspot() {
+    let (config, app) = hotspot_scenario(7);
+    let report = CpsSystem::run(config, app);
+    assert!(!report.executed.is_empty());
+    for act in &report.executed {
+        assert_eq!(act.command.trigger.event().as_str(), "heat-alarm");
+        // The nearest-actor selector must pick the actor at (30, 30) —
+        // the hotspot centre — not the one at (60, 60).
+        assert_eq!(act.command.actor.raw(), 10_000);
+        // End-to-end latency is positive and bounded by the run length.
+        let e2e = act.end_to_end_latency().expect("causal");
+        assert!(e2e.ticks() > 0 && e2e.ticks() < 30_000);
+    }
+}
+
+#[test]
+fn event_counts_are_consistent_between_metrics_and_logs() {
+    let (config, app) = hotspot_scenario(8);
+    let report = CpsSystem::run(config, app);
+    assert_eq!(
+        report.metrics.counter(metrics::SENSOR_EVENTS),
+        report.instances_at(Layer::Sensor).count() as u64
+    );
+    assert_eq!(
+        report.metrics.counter(metrics::CP_EVENTS),
+        report.instances_at(Layer::CyberPhysical).count() as u64
+    );
+    assert_eq!(
+        report.metrics.counter(metrics::CYBER_EVENTS),
+        report.instances_at(Layer::Cyber).count() as u64
+    );
+    assert_eq!(
+        report.metrics.counter(metrics::ACTIONS),
+        report.executed.len() as u64
+    );
+    // Frames either arrive or are lost.
+    let sent = report.metrics.counter(metrics::SENSOR_EVENTS);
+    let received = report.metrics.counter(metrics::SINK_RECEIVED);
+    let lost = report.metrics.counter(metrics::FRAMES_LOST);
+    assert_eq!(sent, received + lost);
+}
+
+#[test]
+fn full_runs_reproduce_exactly_from_the_seed() {
+    let run = |seed: u64| {
+        let (config, app) = hotspot_scenario(seed);
+        let report = CpsSystem::run(config, app);
+        report
+            .instances
+            .iter()
+            .map(|i| format!("{i}"))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(99), run(99), "identical seeds → identical instance logs");
+}
