@@ -144,11 +144,7 @@ impl EdlModel {
     /// tables): `(name, stage mean, share of total)`.
     #[must_use]
     pub fn mean_breakdown(&self) -> Vec<(String, f64, f64)> {
-        let total: f64 = self
-            .stages
-            .iter()
-            .filter_map(|(_, s)| s.mean())
-            .sum();
+        let total: f64 = self.stages.iter().filter_map(|(_, s)| s.mean()).sum();
         self.stages
             .iter()
             .map(|(n, s)| {

@@ -50,9 +50,7 @@ mod localization;
 mod pmf;
 mod stats;
 
-pub use confidence::{
-    brier_score, confusion_at, precision_recall, FusionRule, ALL_FUSION_RULES,
-};
+pub use confidence::{brier_score, confusion_at, precision_recall, FusionRule, ALL_FUSION_RULES};
 pub use edl::{mac_hop_stage, pipeline_edl, processing_stage, sampling_stage, EdlModel};
 pub use localization::{localize, LocalizationMethod, LocalizationResult, RangeMeasurement};
 pub use pmf::Pmf;

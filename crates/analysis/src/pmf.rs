@@ -117,7 +117,10 @@ impl Pmf {
     /// Panics if `target` is negative or non-finite.
     #[must_use]
     pub fn with_mass(&self, target: f64) -> Pmf {
-        assert!(target.is_finite() && target >= 0.0, "mass must be non-negative");
+        assert!(
+            target.is_finite() && target >= 0.0,
+            "mass must be non-negative"
+        );
         let current = self.total_mass();
         let factor = if current > 0.0 { target / current } else { 0.0 };
         Pmf {
@@ -258,16 +261,8 @@ impl Pmf {
     /// The support as `(first_tick, last_tick)` with non-negligible mass.
     #[must_use]
     pub fn support(&self) -> (u64, u64) {
-        let first = self
-            .mass
-            .iter()
-            .position(|m| *m > TRIM_EPS)
-            .unwrap_or(0);
-        let last = self
-            .mass
-            .iter()
-            .rposition(|m| *m > TRIM_EPS)
-            .unwrap_or(0);
+        let first = self.mass.iter().position(|m| *m > TRIM_EPS).unwrap_or(0);
+        let last = self.mass.iter().rposition(|m| *m > TRIM_EPS).unwrap_or(0);
         (self.offset + first as u64, self.offset + last as u64)
     }
 }

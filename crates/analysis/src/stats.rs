@@ -89,10 +89,7 @@ pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
     let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
     let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
     let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
-    let sxy: f64 = points
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     let syy: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
     if sxx <= f64::EPSILON {
         return None;
@@ -194,7 +191,10 @@ mod tests {
     #[test]
     fn fit_line_degenerate_inputs() {
         assert!(fit_line(&[(1.0, 2.0)]).is_none());
-        assert!(fit_line(&[(1.0, 2.0), (1.0, 3.0)]).is_none(), "zero x-variance");
+        assert!(
+            fit_line(&[(1.0, 2.0), (1.0, 3.0)]).is_none(),
+            "zero x-variance"
+        );
         let flat = fit_line(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
         assert_eq!(flat.slope, 0.0);
         assert_eq!(flat.r_squared, 1.0);

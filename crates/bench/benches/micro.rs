@@ -4,7 +4,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
 use stem_cep::{ConsumptionMode, Pattern, PatternDetector};
-use stem_core::{dsl, Attributes, Bindings, Confidence, EntityData, EventId, EventInstance, Layer, MoteId, ObserverId};
+use stem_core::{
+    dsl, Attributes, Bindings, Confidence, EntityData, EventId, EventInstance, Layer, MoteId,
+    ObserverId,
+};
 use stem_des::{stream, Simulation};
 use stem_spatial::{
     relate_fields, Circle, Field, GridIndex, Point, Polygon, QuadTree, Rect, SpatialExtent,
@@ -50,10 +53,16 @@ fn bench_allen_relations(c: &mut Criterion) {
             let a = rng.gen_range(0u64..1000);
             let b = rng.gen_range(0u64..1000);
             (
-                TimeInterval::new(TimePoint::new(a), TimePoint::new(a + rng.gen_range(1..50)))
-                    .unwrap(),
-                TimeInterval::new(TimePoint::new(b), TimePoint::new(b + rng.gen_range(1..50)))
-                    .unwrap(),
+                TimeInterval::new(
+                    TimePoint::new(a),
+                    TimePoint::new(a + rng.gen_range(1u64..50)),
+                )
+                .unwrap(),
+                TimeInterval::new(
+                    TimePoint::new(b),
+                    TimePoint::new(b + rng.gen_range(1u64..50)),
+                )
+                .unwrap(),
             )
         })
         .collect();
@@ -102,8 +111,12 @@ fn bench_spatial_indexes(c: &mut Criterion) {
     }
     let query = Point::new(500.0, 500.0);
     let mut g = c.benchmark_group("index_query_radius_30_of_2000");
-    g.bench_function("grid", |b| b.iter(|| grid.query_radius(black_box(query), 30.0)));
-    g.bench_function("quadtree", |b| b.iter(|| qt.query_radius(black_box(query), 30.0)));
+    g.bench_function("grid", |b| {
+        b.iter(|| grid.query_radius(black_box(query), 30.0))
+    });
+    g.bench_function("quadtree", |b| {
+        b.iter(|| qt.query_radius(black_box(query), 30.0))
+    });
     g.bench_function("brute_force", |b| {
         b.iter(|| {
             points

@@ -7,13 +7,17 @@
 //! truth onset — the layered abstraction the paper's event model is
 //! built around.
 
-use stem_bench::{banner, hotspot_scenario, hotspot_onset, Table};
+use stem_bench::{banner, hotspot_onset, hotspot_scenario, Table};
 use stem_core::{Layer, ObserverId, ALL_LAYERS};
 use stem_cps::{metrics, CpsSystem};
 
 fn main() {
     let seed = 2010;
-    banner("EXP-F2", "Figure 2 — event model hierarchy population", seed);
+    banner(
+        "EXP-F2",
+        "Figure 2 — event model hierarchy population",
+        seed,
+    );
     let (config, app) = hotspot_scenario(seed);
     let report = CpsSystem::run(config, app);
     let onset = hotspot_onset();
@@ -109,9 +113,7 @@ fn main() {
         first_at(Layer::CyberPhysical),
         first_at(Layer::Cyber),
     ) {
-        println!(
-            "first detections          : sensor {s}, cyber-physical {cp}, cyber {cy}"
-        );
+        println!("first detections          : sensor {s}, cyber-physical {cp}, cyber {cy}");
         assert!(s <= cp && cp <= cy, "layering must be bottom-up");
     }
     assert_eq!(violations, 0);

@@ -38,7 +38,10 @@ fn main() {
         confs[0] = Confidence::saturating(rng.gen::<f64>());
     }
 
-    for (name, data) in [("all observers reliable", &episodes), ("one observer broken", &broken)] {
+    for (name, data) in [
+        ("all observers reliable", &episodes),
+        ("one observer broken", &broken),
+    ] {
         println!("-- {name} --\n");
         let mut table = Table::new(vec!["rule", "brier ↓", "precision", "recall", "accuracy"]);
         for rule in ALL_FUSION_RULES {

@@ -51,9 +51,7 @@ fn main() {
         .collect();
     arrivals.sort_unstable();
 
-    println!(
-        "\nworkload: {pairs} true A;B pairs, arrival jitter uniform 0..{max_jitter} ms\n"
-    );
+    println!("\nworkload: {pairs} true A;B pairs, arrival jitter uniform 0..{max_jitter} ms\n");
     let mut table = Table::new(vec![
         "slack (ms)",
         "late dropped",
@@ -77,9 +75,7 @@ fn main() {
                 // Added latency: how long the instance sat in the buffer
                 // beyond its arrival (watermark wait).
                 let release_time = arrival; // released during this push
-                added_latency += release_time.saturating_sub(
-                    inst.generation_time().ticks(),
-                ) as f64;
+                added_latency += release_time.saturating_sub(inst.generation_time().ticks()) as f64;
                 released_count += 1;
                 detected += det.process(&inst).len() as u64;
             }

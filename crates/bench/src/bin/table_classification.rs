@@ -8,8 +8,7 @@ use stem_bench::{banner, Table};
 use stem_cep::{SustainedConfig, SustainedDetector, SustainedEvent};
 use stem_core::{dsl, Bindings, ConditionObserver, EventDefinition, Layer, MoteId, ObserverId};
 use stem_physical::{
-    first_crossing, presence_intervals, HotSpot, SpreadingFire, Trajectory,
-    WaypointPath,
+    first_crossing, presence_intervals, HotSpot, SpreadingFire, Trajectory, WaypointPath,
 };
 use stem_spatial::{convex_hull, Circle, Field, Point, Polygon, SpatialExtent};
 use stem_temporal::{Duration, TemporalExtent, TimePoint};
@@ -60,7 +59,8 @@ fn main() {
             dsl::parse("x.temp > 60").expect("valid"),
         )
         .with_time_estimator(stem_core::TimeEstimator::EarliestInput);
-        let mut observer = ConditionObserver::new(ObserverId::Mote(MoteId::new(1)), sensor_pos, 1.0);
+        let mut observer =
+            ConditionObserver::new(ObserverId::Mote(MoteId::new(1)), sensor_pos, 1.0);
         let mut detected: Option<stem_core::EventInstance> = None;
         let period = 100u64;
         let mut t = 0u64;
@@ -73,8 +73,7 @@ fn main() {
             t += period;
         }
         let inst = detected.expect("crossing detected");
-        let time_err =
-            inst.estimated_time().start().ticks() as i64 - truth.ticks() as i64;
+        let time_err = inst.estimated_time().start().ticks() as i64 - truth.ticks() as i64;
         let loc_err = inst
             .estimated_location()
             .representative()
@@ -112,8 +111,7 @@ fn main() {
         let mut t = 0u64;
         while t <= 10_000 {
             let inside = area.contains(user.position_at(TimePoint::new(t)));
-            if let Some(SustainedEvent::Ended { interval }) =
-                det.update(TimePoint::new(t), inside)
+            if let Some(SustainedEvent::Ended { interval }) = det.update(TimePoint::new(t), inside)
             {
                 detected = Some(interval);
             }

@@ -15,8 +15,8 @@ use stem_temporal::{Clock, DriftingClock, TemporalExtent, TimePoint};
 fn main() {
     let seed = 2012;
     banner("EXP-S1", "composite condition S1 vs noise (Sec. 4.1)", seed);
-    let s1 = dsl::parse("(time(x) before time(y)) and (dist(loc(x), loc(y)) < 5)")
-        .expect("S1 parses");
+    let s1 =
+        dsl::parse("(time(x) before time(y)) and (dist(loc(x), loc(y)) < 5)").expect("S1 parses");
     println!("condition: {s1}\n");
 
     let trials = 4000;

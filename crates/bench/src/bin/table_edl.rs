@@ -14,7 +14,11 @@ use stem_wsn::{transmit_frame, MacConfig, Radio, RadioConfig};
 
 fn main() {
     let seed = 2014;
-    banner("EXP-E1", "event detection latency: model vs simulation", seed);
+    banner(
+        "EXP-E1",
+        "event detection latency: model vs simulation",
+        seed,
+    );
     let radio = Radio::new(RadioConfig::default(), seed);
     let mac = MacConfig::default();
     let payload = 32u32;
@@ -61,8 +65,8 @@ fn main() {
         let mut delays = Vec::new();
         let mut delivered = 0u32;
         for _ in 0..runs {
-            let mut total = f64::from(rng.gen_range(0..sampling.ticks() as u32))
-                + mote_proc.as_f64();
+            let mut total =
+                f64::from(rng.gen_range(0..sampling.ticks() as u32)) + mote_proc.as_f64();
             let mut ok = true;
             for _ in 0..hops {
                 let out = transmit_frame(&mac, airtime, p_link, &mut rng);
@@ -111,5 +115,8 @@ fn main() {
     let sim_obs: Vec<f64> = sim_means.iter().map(|p| p.1).collect();
     let mape = stem_analysis::mape(&model_pred, &sim_obs).expect("computable");
     println!("model-vs-simulation mean error: {mape:.2}% (MAPE across hop counts)");
-    assert!(mape < 3.0, "the analytic model must track simulation closely");
+    assert!(
+        mape < 3.0,
+        "the analytic model must track simulation closely"
+    );
 }

@@ -3,7 +3,7 @@
 //! pipeline simulation.
 
 use stem_analysis::{mac_hop_stage, processing_stage, sampling_stage, EdlModel};
-use stem_bench::{banner, hotspot_scenario, hotspot_onset, Table};
+use stem_bench::{banner, hotspot_onset, hotspot_scenario, Table};
 use stem_cps::{metrics, CpsSystem};
 use stem_wsn::{MacConfig, Radio};
 

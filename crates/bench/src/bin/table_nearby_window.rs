@@ -13,7 +13,9 @@ use stem_cps::{
     metrics, ActorSelector, CpsApplication, CpsSystem, EcaRule, ScenarioConfig, SustainedSource,
     SustainedSpec, ThresholdMode, TopologySpec, TrackingSpec,
 };
-use stem_physical::{presence_intervals, MotionModel, Trajectory, UniformField, WaypointPath, WorldField};
+use stem_physical::{
+    presence_intervals, MotionModel, Trajectory, UniformField, WaypointPath, WorldField,
+};
 use stem_spatial::{Circle, Field, Point};
 use stem_temporal::{Duration, TimePoint};
 use stem_wsn::SensorNoise;
@@ -108,9 +110,9 @@ fn main() {
     let reading_id = EventId::new("range-reading");
     let mote_errors: Vec<f64> = report
         .instances_of(&reading_id)
-        .filter_map(|i| {
+        .map(|i| {
             let truth = user_path.position_at(i.estimated_time().start());
-            Some(i.generation_location().distance(truth))
+            i.generation_location().distance(truth)
         })
         .collect();
     if let Some(s) = stem_analysis::Summary::of(&mote_errors) {

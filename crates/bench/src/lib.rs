@@ -131,7 +131,11 @@ pub fn hotspot_scenario(seed: u64) -> (ScenarioConfig, CpsApplication) {
                 Layer::Sensor,
                 dsl::parse("x.temp > 45").expect("valid"),
             )
-            .with_projection(AttrProjection::new("temp", AttrAggregate::Average, "temp")),
+            .with_projection(AttrProjection::new(
+                "temp",
+                AttrAggregate::Average,
+                "temp",
+            )),
         )
         .with_sink_detector(DetectorSpec::new(
             EventDefinition::new(
@@ -139,7 +143,11 @@ pub fn hotspot_scenario(seed: u64) -> (ScenarioConfig, CpsApplication) {
                 Layer::CyberPhysical,
                 dsl::parse("dist(loc(a), loc(b)) < 40").expect("valid"),
             )
-            .with_projection(AttrProjection::new("temp", AttrAggregate::Average, "temp")),
+            .with_projection(AttrProjection::new(
+                "temp",
+                AttrAggregate::Average,
+                "temp",
+            )),
             Pattern::atom("a", "hot-reading").then(Pattern::atom("b", "hot-reading")),
             Duration::new(2_000),
         ))

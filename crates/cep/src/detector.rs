@@ -4,9 +4,7 @@
 //! Cyber-Event Instance?").
 
 use crate::{ConsumptionMode, Pattern, PatternDetector, PatternMatch};
-use stem_core::{
-    Bindings, ConditionObserver, EvalError, EventDefinition, EventInstance,
-};
+use stem_core::{Bindings, ConditionObserver, EvalError, EventDefinition, EventInstance};
 use stem_temporal::Duration;
 
 /// A full event detector for one [`EventDefinition`]:
@@ -110,10 +108,7 @@ impl CompositeDetector {
     /// Propagates [`EvalError`] if the condition references entities or
     /// attributes the pattern does not bind — a configuration error worth
     /// surfacing rather than swallowing.
-    pub fn process(
-        &mut self,
-        instance: &EventInstance,
-    ) -> Result<Vec<EventInstance>, EvalError> {
+    pub fn process(&mut self, instance: &EventInstance) -> Result<Vec<EventInstance>, EvalError> {
         self.process_at(instance, instance.generation_time())
     }
 

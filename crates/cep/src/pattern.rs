@@ -117,9 +117,7 @@ impl Pattern {
     fn collect_events(&self, out: &mut Vec<EventId>) {
         match self {
             Pattern::Atom { event, .. } => out.push(event.clone()),
-            Pattern::Sequence(l, r)
-            | Pattern::Conjunction(l, r)
-            | Pattern::Disjunction(l, r) => {
+            Pattern::Sequence(l, r) | Pattern::Conjunction(l, r) | Pattern::Disjunction(l, r) => {
                 l.collect_events(out);
                 r.collect_events(out);
             }
@@ -141,9 +139,7 @@ impl Pattern {
     fn collect_names(&self, out: &mut Vec<String>) {
         match self {
             Pattern::Atom { name, .. } => out.push(name.clone()),
-            Pattern::Sequence(l, r)
-            | Pattern::Conjunction(l, r)
-            | Pattern::Disjunction(l, r) => {
+            Pattern::Sequence(l, r) | Pattern::Conjunction(l, r) | Pattern::Disjunction(l, r) => {
                 l.collect_names(out);
                 r.collect_names(out);
             }
@@ -381,7 +377,11 @@ fn prune_node(node: &mut Node, cutoff: TimePoint) {
     }
 }
 
-fn process_node(node: &mut Node, instance: &EventInstance, mode: ConsumptionMode) -> Vec<PatternMatch> {
+fn process_node(
+    node: &mut Node,
+    instance: &EventInstance,
+    mode: ConsumptionMode,
+) -> Vec<PatternMatch> {
     match node {
         Node::Atom { name, event } => {
             if instance.event() == event {
@@ -453,8 +453,7 @@ fn pair_sequence(
     mode: ConsumptionMode,
     out: &mut Vec<PatternMatch>,
 ) {
-    let qualifies =
-        |l: &PatternMatch| l.extent.end() < right.extent.start();
+    let qualifies = |l: &PatternMatch| l.extent.end() < right.extent.start();
     match mode {
         ConsumptionMode::Recent => {
             // Most recent qualifying left; reused, not consumed.
@@ -632,9 +631,17 @@ mod tests {
             let second = det.process(&mk("B", 6, 6)).len();
             (first, second)
         };
-        assert_eq!(feed(ConsumptionMode::Chronicle), (1, 0), "A consumed by first B");
+        assert_eq!(
+            feed(ConsumptionMode::Chronicle),
+            (1, 0),
+            "A consumed by first B"
+        );
         assert_eq!(feed(ConsumptionMode::Continuous), (1, 1), "A reused");
-        assert_eq!(feed(ConsumptionMode::Recent), (1, 1), "most recent A persists");
+        assert_eq!(
+            feed(ConsumptionMode::Recent),
+            (1, 1),
+            "most recent A persists"
+        );
     }
 
     #[test]
@@ -669,7 +676,11 @@ mod tests {
         let mut det2 = PatternDetector::new(p, ConsumptionMode::Chronicle, None);
         det2.process(&mk("A", 10, 10));
         det2.process(&mk("N", 5, 5)); // before the hull
-        assert_eq!(det2.process(&mk("B", 20, 20)).len(), 1, "outside N is harmless");
+        assert_eq!(
+            det2.process(&mk("B", 20, 20)).len(),
+            1,
+            "outside N is harmless"
+        );
     }
 
     #[test]

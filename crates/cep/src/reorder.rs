@@ -109,6 +109,19 @@ impl ReorderBuffer {
         self.drain()
     }
 
+    /// Advances the watermark from an out-of-band time observation and
+    /// returns any instances that become releasable, in order.
+    ///
+    /// A sharded ingest path needs this: each shard's buffer only sees
+    /// the instances routed to it, so its locally-observed maximum
+    /// generation time lags the stream's. The router broadcasts its
+    /// global maximum as a heartbeat and every shard applies it here,
+    /// keeping late-drop decisions aligned with a single-shard run.
+    pub fn observe(&mut self, t: TimePoint) -> Vec<EventInstance> {
+        self.max_seen = Some(self.max_seen.map_or(t, |m| m.max(t)));
+        self.drain()
+    }
+
     /// Releases everything still buffered (stream end), in order.
     pub fn flush(&mut self) -> Vec<EventInstance> {
         let out: Vec<EventInstance> = std::mem::take(&mut self.buffer).into_values().collect();
@@ -154,7 +167,10 @@ mod tests {
     fn reorders_within_slack() {
         let mut buf = ReorderBuffer::new(Duration::new(10));
         assert!(buf.push(mk(105)).is_empty());
-        assert!(buf.push(mk(100)).is_empty(), "older arrival buffered, not dropped");
+        assert!(
+            buf.push(mk(100)).is_empty(),
+            "older arrival buffered, not dropped"
+        );
         let out = buf.push(mk(120));
         let times: Vec<u64> = out.iter().map(|i| i.generation_time().ticks()).collect();
         assert_eq!(times, vec![100, 105], "released in generation order");
@@ -175,10 +191,33 @@ mod tests {
     fn zero_slack_releases_immediately_in_order() {
         let mut buf = ReorderBuffer::new(Duration::ZERO);
         let out = buf.push(mk(10));
-        assert_eq!(out.len(), 1, "watermark equals max seen, so t=10 releases at once");
+        assert_eq!(
+            out.len(),
+            1,
+            "watermark equals max seen, so t=10 releases at once"
+        );
         // An out-of-order arrival is dropped immediately.
         assert!(buf.push(mk(5)).is_empty());
         assert_eq!(buf.late_dropped(), 1);
+    }
+
+    #[test]
+    fn observe_advances_watermark_without_enqueueing() {
+        let mut buf = ReorderBuffer::new(Duration::new(10));
+        assert!(buf.push(mk(100)).is_empty());
+        // A heartbeat for t=120 releases the t=100 instance exactly as a
+        // t=120 arrival would, but holds nothing new.
+        let out = buf.observe(TimePoint::new(120));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].generation_time(), TimePoint::new(100));
+        assert_eq!(buf.pending(), 0);
+        assert_eq!(buf.watermark(), Some(TimePoint::new(110)));
+        // Late arrivals behind the observed watermark are dropped.
+        assert!(buf.push(mk(50)).is_empty());
+        assert_eq!(buf.late_dropped(), 1);
+        // Heartbeats never move the watermark backwards.
+        buf.observe(TimePoint::new(60));
+        assert_eq!(buf.watermark(), Some(TimePoint::new(110)));
     }
 
     #[test]

@@ -167,7 +167,9 @@ impl SustainedDetector {
                     // Episode ends at the last time it was observed true.
                     let end = self.last_true.unwrap_or(t);
                     let qualified = self.began_emitted
-                        || end.duration_since(since).is_some_and(|d| d >= self.config.min_duration);
+                        || end
+                            .duration_since(since)
+                            .is_some_and(|d| d >= self.config.min_duration);
                     self.holding_since = None;
                     self.last_true = None;
                     let was_emitted = self.began_emitted;
@@ -181,7 +183,8 @@ impl SustainedDetector {
                 } else {
                     self.last_true = Some(t);
                     if !self.began_emitted
-                        && t.duration_since(since).is_some_and(|d| d >= self.config.min_duration)
+                        && t.duration_since(since)
+                            .is_some_and(|d| d >= self.config.min_duration)
                     {
                         self.began_emitted = true;
                         return Some(SustainedEvent::Began {
@@ -201,7 +204,9 @@ impl SustainedDetector {
         let since = self.holding_since.take()?;
         let end = self.last_true.unwrap_or(t).min(t);
         let qualified = self.began_emitted
-            || end.duration_since(since).is_some_and(|d| d >= self.config.min_duration);
+            || end
+                .duration_since(since)
+                .is_some_and(|d| d >= self.config.min_duration);
         self.began_emitted = false;
         self.last_true = None;
         if qualified {

@@ -1,0 +1,170 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the API subset the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`], [`BenchmarkId`] — backed by a simple wall-clock
+//! timer instead of criterion's statistical machinery. Median-of-batches
+//! timings are printed to stdout.
+//!
+//! Like the real criterion, the harness understands the `--test` flag
+//! `cargo test` passes to `harness = false` bench targets and runs each
+//! benchmark exactly once in that mode.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies a parameterized benchmark, e.g. `mode/Recent`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    /// `true` when invoked under `cargo test` (`--test`): run once, skip
+    /// timing.
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times the closure, printing a per-iteration estimate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and estimate a batch size targeting ~200 ms total.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let timed = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = timed.elapsed();
+        let per_iter = elapsed / u32::try_from(iters).unwrap_or(u32::MAX);
+        println!("    time: {per_iter:>12.2?} /iter ({iters} iters)");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Finishes the group (no-op in the stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes harness = false bench binaries with
+        // `--test`; mimic criterion by running each bench once there.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{id}");
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// Declares a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

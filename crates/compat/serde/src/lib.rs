@@ -1,0 +1,31 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment has no network access, so the real `serde`
+//! cannot be fetched. The workspace only *annotates* types with
+//! `#[derive(Serialize, Deserialize)]` (no code path serializes at build
+//! or test time), so this stand-in provides the two traits as markers and
+//! a derive that emits empty impls. It is wired in via
+//! `[patch.crates-io]` in the workspace root; removing that entry
+//! restores the real crate and full serialization support on a networked
+//! machine.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Sub-module mirroring `serde::de` so `serde::de::DeserializeOwned`
+/// paths resolve.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,172 @@
+//! No-op `Serialize`/`Deserialize` derives backing the offline `serde`
+//! stand-in.
+//!
+//! The derives parse just enough of the item — its name and generic
+//! parameter list — to emit an empty marker-trait impl. `#[serde(...)]`
+//! helper attributes are accepted and ignored. Written against
+//! `proc_macro` directly (no `syn`/`quote`) because the build environment
+//! cannot fetch crates.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The name and generics of the item a derive was applied to.
+struct Item {
+    name: String,
+    /// Generic parameter list verbatim, e.g. `F: Clone, const N: usize`
+    /// (empty when the item is not generic).
+    params: String,
+    /// Generic argument names only, e.g. `F, N`.
+    args: String,
+}
+
+/// Extracts the item name and generics from a `struct`/`enum` definition.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`# [...]`) and visibility/qualifiers until the
+    // `struct` or `enum` keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if *id.to_string() == *"struct" || *id.to_string() == *"enum" => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive expects a struct or enum name, found {other:?}"),
+    };
+    i += 1;
+    // Collect the generic parameter tokens between the outermost `<` `>`.
+    let mut params = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut parts: Vec<String> = Vec::new();
+            while i < tokens.len() && depth > 0 {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => {
+                        depth += 1;
+                        parts.push("<".into());
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth > 0 {
+                            parts.push(">".into());
+                        }
+                    }
+                    tt => parts.push(tt.to_string()),
+                }
+                i += 1;
+            }
+            params = parts.join(" ");
+        }
+    }
+    let args = generic_arg_names(&params);
+    Item { name, params, args }
+}
+
+/// Reduces a generic parameter list to its argument names:
+/// `'a, F: Clone, const N: usize` -> `'a, F, N`.
+fn generic_arg_names(params: &str) -> String {
+    if params.is_empty() {
+        return String::new();
+    }
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    for raw in split_top_level_commas(params) {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        // Drop any bound after `:`; respect nested angle brackets.
+        let mut head = String::new();
+        for ch in raw.chars() {
+            match ch {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ':' if depth == 0 => break,
+                _ => {}
+            }
+            head.push(ch);
+        }
+        let head = head.trim();
+        // `const N : usize` -> `N`.
+        let name = head.strip_prefix("const ").map_or(head, str::trim);
+        names.push(name.split_whitespace().last().unwrap_or(name).to_string());
+    }
+    names.join(", ")
+}
+
+fn split_top_level_commas(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0i32;
+    for ch in s.chars() {
+        match ch {
+            '<' | '(' | '[' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            '>' | ')' | ']' => {
+                depth -= 1;
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn ty(item: &Item) -> String {
+    if item.args.is_empty() {
+        item.name.clone()
+    } else {
+        format!("{}<{}>", item.name, item.args)
+    }
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let impl_generics = if item.params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.params)
+    };
+    format!(
+        "#[automatically_derived] impl{} serde::Serialize for {} {{}}",
+        impl_generics,
+        ty(&item)
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let impl_generics = if item.params.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {}>", item.params)
+    };
+    format!(
+        "#[automatically_derived] impl{} serde::Deserialize<'de> for {} {{}}",
+        impl_generics,
+        ty(&item)
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -107,7 +107,10 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::UnboundEntity(name) => write!(f, "entity '{name}' is not bound"),
             EvalError::MissingAttribute { entity, attribute } => {
-                write!(f, "entity '{entity}' has no numeric attribute '{attribute}'")
+                write!(
+                    f,
+                    "entity '{entity}' has no numeric attribute '{attribute}'"
+                )
             }
             EvalError::EmptyAggregation => write!(f, "aggregation over zero entities"),
         }
@@ -579,7 +582,11 @@ impl DistanceCondition {
 
 impl fmt::Display for DistanceCondition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dist({}, {}) {} {}", self.a, self.b, self.op, self.constant)
+        write!(
+            f,
+            "dist({}, {}) {} {}",
+            self.a, self.b, self.op, self.constant
+        )
     }
 }
 
@@ -701,8 +708,10 @@ impl ConditionExpr {
         ConditionExpr::Or(subs)
     }
 
-    /// Negation constructor.
+    /// Negation constructor (named after the DSL keyword; this is a
+    /// static constructor, not `std::ops::Not`).
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(sub: ConditionExpr) -> Self {
         ConditionExpr::Not(Box::new(sub))
     }
@@ -899,7 +908,10 @@ mod tests {
             15.0,
         );
         assert_eq!(c.eval(&bindings()), Ok(true));
-        let c2 = AttributeCondition { constant: 25.0, ..c };
+        let c2 = AttributeCondition {
+            constant: 25.0,
+            ..c
+        };
         assert_eq!(c2.eval(&bindings()), Ok(false));
     }
 
@@ -1008,20 +1020,26 @@ mod tests {
 
     #[test]
     fn logical_composition_and_or_not() {
-        let t = ConditionExpr::confidence(ConfidenceCondition::new(
-            "x",
-            RelationalOp::Greater,
-            0.0,
-        ));
-        let f = ConditionExpr::confidence(ConfidenceCondition::new(
-            "x",
-            RelationalOp::Greater,
-            1.0,
-        ));
-        assert_eq!(ConditionExpr::and(vec![t.clone(), t.clone()]).eval(&bindings()), Ok(true));
-        assert_eq!(ConditionExpr::and(vec![t.clone(), f.clone()]).eval(&bindings()), Ok(false));
-        assert_eq!(ConditionExpr::or(vec![f.clone(), t.clone()]).eval(&bindings()), Ok(true));
-        assert_eq!(ConditionExpr::or(vec![f.clone(), f.clone()]).eval(&bindings()), Ok(false));
+        let t =
+            ConditionExpr::confidence(ConfidenceCondition::new("x", RelationalOp::Greater, 0.0));
+        let f =
+            ConditionExpr::confidence(ConfidenceCondition::new("x", RelationalOp::Greater, 1.0));
+        assert_eq!(
+            ConditionExpr::and(vec![t.clone(), t.clone()]).eval(&bindings()),
+            Ok(true)
+        );
+        assert_eq!(
+            ConditionExpr::and(vec![t.clone(), f.clone()]).eval(&bindings()),
+            Ok(false)
+        );
+        assert_eq!(
+            ConditionExpr::or(vec![f.clone(), t.clone()]).eval(&bindings()),
+            Ok(true)
+        );
+        assert_eq!(
+            ConditionExpr::or(vec![f.clone(), f.clone()]).eval(&bindings()),
+            Ok(false)
+        );
         assert_eq!(ConditionExpr::not(f).eval(&bindings()), Ok(true));
         // Empty And is vacuously true; empty Or is false.
         assert_eq!(ConditionExpr::and(vec![]).eval(&bindings()), Ok(true));
@@ -1030,11 +1048,8 @@ mod tests {
 
     #[test]
     fn and_short_circuits_before_errors() {
-        let f = ConditionExpr::confidence(ConfidenceCondition::new(
-            "x",
-            RelationalOp::Greater,
-            1.0,
-        ));
+        let f =
+            ConditionExpr::confidence(ConfidenceCondition::new("x", RelationalOp::Greater, 1.0));
         let err = ConditionExpr::confidence(ConfidenceCondition::new(
             "unbound",
             RelationalOp::Greater,
@@ -1076,9 +1091,6 @@ mod tests {
             ConditionExpr::confidence(ConfidenceCondition::new("x", RelationalOp::Less, 0.5)),
             ConditionExpr::confidence(ConfidenceCondition::new("y", RelationalOp::Less, 0.5)),
         ]));
-        assert_eq!(
-            expr.to_string(),
-            "not ((conf(x) < 0.5) or (conf(y) < 0.5))"
-        );
+        assert_eq!(expr.to_string(), "not ((conf(x) < 0.5) or (conf(y) < 0.5))");
     }
 }

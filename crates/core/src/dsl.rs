@@ -52,12 +52,14 @@
 //! ```
 
 use crate::condition::{
-    AttrRef, AttributeCondition, ConditionExpr, ConfidenceCondition, DistanceCondition,
-    SpaceExpr, SpaceOperand, SpatialCondition, TemporalCondition, TimeExpr, TimeOperand,
+    AttrRef, AttributeCondition, ConditionExpr, ConfidenceCondition, DistanceCondition, SpaceExpr,
+    SpaceOperand, SpatialCondition, TemporalCondition, TimeExpr, TimeOperand,
 };
 use crate::{AttrAggregate, RelationalOp};
 use std::fmt;
-use stem_spatial::{Circle, Field, Point, Polygon, Rect, SpatialAgg, SpatialExtent, SpatialOperator};
+use stem_spatial::{
+    Circle, Field, Point, Polygon, Rect, SpatialAgg, SpatialExtent, SpatialOperator,
+};
 use stem_temporal::{TemporalExtent, TemporalOperator, TimeAgg, TimeInterval, TimePoint};
 
 /// A DSL parse error with position information.
@@ -122,27 +124,45 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, pos: i });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, pos: i });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, pos: i });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             '.' if i + 1 < bytes.len() && !(bytes[i + 1] as char).is_ascii_digit() => {
-                out.push(Spanned { tok: Tok::Dot, pos: i });
+                out.push(Spanned {
+                    tok: Tok::Dot,
+                    pos: i,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Spanned { tok: Tok::Plus, pos: i });
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    pos: i,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Spanned { tok: Tok::Minus, pos: i });
+                out.push(Spanned {
+                    tok: Tok::Minus,
+                    pos: i,
+                });
                 i += 1;
             }
             '<' | '>' | '=' | '!' => {
@@ -165,7 +185,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     position: i,
                     message: format!("unknown operator '{op}'"),
                 })?;
-                out.push(Spanned { tok: Tok::RelOp(rel), pos: i });
+                out.push(Spanned {
+                    tok: Tok::RelOp(rel),
+                    pos: i,
+                });
                 i += len;
             }
             c if c.is_ascii_digit() || c == '.' => {
@@ -190,7 +213,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     position: start,
                     message: format!("invalid number '{text}'"),
                 })?;
-                out.push(Spanned { tok: Tok::Number(value), pos: start });
+                out.push(Spanned {
+                    tok: Tok::Number(value),
+                    pos: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -475,7 +501,9 @@ impl Parser {
             Some(n) if TIME_AGGS.contains(&n) => TimeOperand::Expr(self.parse_time_expr()?),
             _ => return Err(self.error("expected time expression, at(..), or span(..)")),
         };
-        Ok(ConditionExpr::temporal(TemporalCondition::new(lhs, op, rhs)))
+        Ok(ConditionExpr::temporal(TemporalCondition::new(
+            lhs, op, rhs,
+        )))
     }
 
     fn parse_space_expr(&mut self) -> Result<SpaceExpr, ParseError> {
@@ -530,10 +558,7 @@ impl Parser {
                 Point::new(nums[2], nums[3]),
             )))),
             ("poly", n) if n >= 6 && n % 2 == 0 => {
-                let pts: Vec<Point> = nums
-                    .chunks(2)
-                    .map(|c| Point::new(c[0], c[1]))
-                    .collect();
+                let pts: Vec<Point> = nums.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
                 let poly = Polygon::new(pts).map_err(|e| self.error(e.to_string()))?;
                 Ok(SpatialExtent::field(Field::polygon(poly)))
             }
@@ -685,7 +710,10 @@ mod tests {
             let printed = parsed.to_string();
             let reparsed = parse(&printed)
                 .unwrap_or_else(|e| panic!("round-trip of '{src}' -> '{printed}': {e}"));
-            assert_eq!(reparsed, parsed, "round trip changed '{src}' -> '{printed}'");
+            assert_eq!(
+                reparsed, parsed,
+                "round trip changed '{src}' -> '{printed}'"
+            );
         }
     }
 
@@ -694,7 +722,11 @@ mod tests {
         let leaf = prop_oneof![
             // attribute
             (0usize..3, -50i32..50).prop_map(|(n, c)| {
-                let aggs = [AttrAggregate::Average, AttrAggregate::Max, AttrAggregate::Sum];
+                let aggs = [
+                    AttrAggregate::Average,
+                    AttrAggregate::Max,
+                    AttrAggregate::Sum,
+                ];
                 ConditionExpr::attr(AttributeCondition::new(
                     aggs[n % 3],
                     vec![AttrRef::new("x", "val"), AttrRef::new("y", "val")],

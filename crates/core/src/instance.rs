@@ -393,6 +393,9 @@ mod tests {
             .generated(TimePoint::new(5), Point::new(0.0, 0.0))
             .build();
         let s = inst.to_string();
-        assert!(s.contains("mote:MT1") && s.contains("#0") && s.contains("t^g=t5"), "{s}");
+        assert!(
+            s.contains("mote:MT1") && s.contains("#0") && s.contains("t^g=t5"),
+            "{s}"
+        );
     }
 }

@@ -404,8 +404,12 @@ mod tests {
     }
 
     fn hot_def() -> EventDefinition {
-        EventDefinition::new("hot", Layer::Sensor, dsl::parse("avg(a.temp, b.temp) > 30").unwrap())
-            .with_projection(AttrProjection::new("temp", AttrAggregate::Average, "temp"))
+        EventDefinition::new(
+            "hot",
+            Layer::Sensor,
+            dsl::parse("avg(a.temp, b.temp) > 30").unwrap(),
+        )
+        .with_projection(AttrProjection::new("temp", AttrAggregate::Average, "temp"))
     }
 
     #[test]
@@ -416,7 +420,11 @@ mod tests {
             .with("b", entity(2, 1.0, 0.0, 20.0, 1.0));
         let out = obs.evaluate(&hot_def(), &b, TimePoint::new(5)).unwrap();
         assert!(out.is_none());
-        assert_eq!(obs.next_seq(&EventId::new("hot")), SeqNo::FIRST, "no seq consumed");
+        assert_eq!(
+            obs.next_seq(&EventId::new("hot")),
+            SeqNo::FIRST,
+            "no seq consumed"
+        );
     }
 
     #[test]
@@ -453,10 +461,9 @@ mod tests {
     #[test]
     fn sequence_numbers_advance_per_event() {
         let mut obs = observer();
-        let b = Bindings::new().with("a", entity(1, 0.0, 0.0, 40.0, 1.0)).with(
-            "b",
-            entity(2, 0.0, 0.0, 40.0, 1.0),
-        );
+        let b = Bindings::new()
+            .with("a", entity(1, 0.0, 0.0, 40.0, 1.0))
+            .with("b", entity(2, 0.0, 0.0, 40.0, 1.0));
         let def = hot_def();
         let i0 = obs.evaluate(&def, &b, TimePoint::new(3)).unwrap().unwrap();
         let i1 = obs.evaluate(&def, &b, TimePoint::new(4)).unwrap().unwrap();
@@ -464,7 +471,10 @@ mod tests {
         assert_eq!(i1.seq().raw(), 1);
         // A different event id has its own counter.
         let other = EventDefinition::new("cold", Layer::Sensor, dsl::parse("a.temp > 0").unwrap());
-        let j0 = obs.evaluate(&other, &b, TimePoint::new(5)).unwrap().unwrap();
+        let j0 = obs
+            .evaluate(&other, &b, TimePoint::new(5))
+            .unwrap()
+            .unwrap();
         assert_eq!(j0.seq().raw(), 0);
     }
 

@@ -28,11 +28,7 @@ impl ActorSelector {
     /// Resolves the selector against the actor deployment for an event
     /// whose estimated location is `event_location`.
     #[must_use]
-    pub fn select(
-        &self,
-        actors: &[(MoteId, Point)],
-        event_location: Point,
-    ) -> Vec<MoteId> {
+    pub fn select(&self, actors: &[(MoteId, Point)], event_location: Point) -> Vec<MoteId> {
         match self {
             ActorSelector::All => actors.iter().map(|(id, _)| *id).collect(),
             ActorSelector::NearestToEvent => actors
@@ -126,10 +122,7 @@ impl fmt::Display for ExecutedAction {
         write!(
             f,
             "{}@{} executed {} (issued {})",
-            self.command.command,
-            self.command.actor,
-            self.executed_at,
-            self.command.issued_at
+            self.command.command, self.command.actor, self.executed_at, self.command.issued_at
         )
     }
 }

@@ -127,13 +127,9 @@ mod tests {
     use stem_spatial::Point;
 
     fn inst(event: &str, t: u64, layer: Layer) -> EventInstance {
-        EventInstance::builder(
-            ObserverId::Mote(MoteId::new(1)),
-            EventId::new(event),
-            layer,
-        )
-        .generated(TimePoint::new(t), Point::new(0.0, 0.0))
-        .build()
+        EventInstance::builder(ObserverId::Mote(MoteId::new(1)), EventId::new(event), layer)
+            .generated(TimePoint::new(t), Point::new(0.0, 0.0))
+            .build()
     }
 
     #[test]
@@ -164,11 +160,13 @@ mod tests {
         assert_eq!(db.query_by_event(&EventId::new("hot")).count(), 2);
         assert_eq!(db.query_by_layer(Layer::Sensor).count(), 2);
         assert_eq!(
-            db.query_by_time(TimePoint::new(15), TimePoint::new(30)).count(),
+            db.query_by_time(TimePoint::new(15), TimePoint::new(30))
+                .count(),
             2
         );
         assert_eq!(
-            db.query_by_time(TimePoint::new(31), TimePoint::new(99)).count(),
+            db.query_by_time(TimePoint::new(31), TimePoint::new(99))
+                .count(),
             0
         );
     }

@@ -147,7 +147,10 @@ mod tests {
         let mut rng = stream(9, 0);
         assert_eq!(sample_geometric(&mut rng, 1.0), 0);
         let n = 10_000;
-        let mean = (0..n).map(|_| sample_geometric(&mut rng, 0.5) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| sample_geometric(&mut rng, 0.5) as f64)
+            .sum::<f64>()
+            / n as f64;
         // E[failures before success] = (1-p)/p = 1.
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
     }

@@ -289,10 +289,13 @@ mod tests {
     fn events_run_in_time_order() {
         let mut sim = Simulation::new(Vec::<u64>::new());
         for &t in &[30u64, 10, 20] {
-            sim.scheduler_mut()
-                .schedule_at(TimePoint::new(t), Priority::NORMAL, move |log: &mut Vec<u64>, _| {
+            sim.scheduler_mut().schedule_at(
+                TimePoint::new(t),
+                Priority::NORMAL,
+                move |log: &mut Vec<u64>, _| {
                     log.push(t);
-                });
+                },
+            );
         }
         sim.run_until(TimePoint::MAX);
         assert_eq!(sim.state(), &vec![10, 20, 30]);
@@ -303,10 +306,22 @@ mod tests {
     fn same_tick_orders_by_priority_then_insertion() {
         let mut sim = Simulation::new(Vec::<&'static str>::new());
         let s = sim.scheduler_mut();
-        s.schedule_at(TimePoint::new(5), Priority::LATE, |log: &mut Vec<_>, _| log.push("late"));
-        s.schedule_at(TimePoint::new(5), Priority::NORMAL, |log: &mut Vec<_>, _| log.push("n1"));
-        s.schedule_at(TimePoint::new(5), Priority::EARLY, |log: &mut Vec<_>, _| log.push("early"));
-        s.schedule_at(TimePoint::new(5), Priority::NORMAL, |log: &mut Vec<_>, _| log.push("n2"));
+        s.schedule_at(TimePoint::new(5), Priority::LATE, |log: &mut Vec<_>, _| {
+            log.push("late")
+        });
+        s.schedule_at(
+            TimePoint::new(5),
+            Priority::NORMAL,
+            |log: &mut Vec<_>, _| log.push("n1"),
+        );
+        s.schedule_at(TimePoint::new(5), Priority::EARLY, |log: &mut Vec<_>, _| {
+            log.push("early")
+        });
+        s.schedule_at(
+            TimePoint::new(5),
+            Priority::NORMAL,
+            |log: &mut Vec<_>, _| log.push("n2"),
+        );
         sim.run_until(TimePoint::MAX);
         assert_eq!(sim.state(), &vec!["early", "n1", "n2", "late"]);
     }
@@ -328,8 +343,11 @@ mod tests {
     fn run_until_respects_deadline() {
         let mut sim = Simulation::new(0u32);
         for t in [5u64, 10, 15] {
-            sim.scheduler_mut()
-                .schedule_at(TimePoint::new(t), Priority::NORMAL, |n: &mut u32, _| *n += 1);
+            sim.scheduler_mut().schedule_at(
+                TimePoint::new(t),
+                Priority::NORMAL,
+                |n: &mut u32, _| *n += 1,
+            );
         }
         sim.run_until(TimePoint::new(10));
         assert_eq!(*sim.state(), 2);
@@ -349,7 +367,10 @@ mod tests {
             .schedule(Duration::new(6), |n: &mut u32, _| *n += 10);
         assert_eq!(sim.scheduler_mut().pending(), 2);
         assert!(sim.scheduler_mut().cancel(drop_));
-        assert!(!sim.scheduler_mut().cancel(drop_), "double cancel is a no-op");
+        assert!(
+            !sim.scheduler_mut().cancel(drop_),
+            "double cancel is a no-op"
+        );
         assert_eq!(sim.scheduler_mut().pending(), 1);
         let _ = keep;
         sim.run_until(TimePoint::MAX);
@@ -379,14 +400,21 @@ mod tests {
     #[test]
     fn scheduling_in_the_past_clamps_to_now() {
         let mut sim = Simulation::new(Vec::<u64>::new());
-        sim.scheduler_mut()
-            .schedule_at(TimePoint::new(10), Priority::NORMAL, |log: &mut Vec<u64>, sched| {
+        sim.scheduler_mut().schedule_at(
+            TimePoint::new(10),
+            Priority::NORMAL,
+            |log: &mut Vec<u64>, sched| {
                 log.push(sched.now().ticks());
                 // "Yesterday" clamps to now=10.
-                sched.schedule_at(TimePoint::new(3), Priority::NORMAL, |log: &mut Vec<u64>, sched| {
-                    log.push(sched.now().ticks());
-                });
-            });
+                sched.schedule_at(
+                    TimePoint::new(3),
+                    Priority::NORMAL,
+                    |log: &mut Vec<u64>, sched| {
+                        log.push(sched.now().ticks());
+                    },
+                );
+            },
+        );
         sim.run_until(TimePoint::MAX);
         assert_eq!(sim.state(), &vec![10, 10]);
     }

@@ -110,11 +110,7 @@ impl Histogram {
     #[must_use]
     pub fn std_dev(&self) -> Option<f64> {
         let mean = self.mean()?;
-        let var = self
-            .samples
-            .iter()
-            .map(|x| (x - mean).powi(2))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
             / self.samples.len() as f64;
         Some(var.sqrt())
     }

@@ -1,0 +1,54 @@
+//! The unit of handoff between router and shard workers.
+
+use stem_core::EventInstance;
+use stem_temporal::TimePoint;
+
+/// One routed instance plus the router's high-water mark over the
+/// strict prefix of the stream before it.
+///
+/// Applying `prefix_high_water` to the shard's reorder buffer *before*
+/// pushing the instance reproduces the exact accept/late-drop decision
+/// a single-shard run would make, whatever the disorder: the shard's
+/// watermark at the push is the global stream's watermark at the same
+/// point, not just the local sub-stream's.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// The routed instance.
+    pub instance: EventInstance,
+    /// Maximum generation time over all instances routed strictly
+    /// before this one (`None` for the stream's first instance).
+    pub prefix_high_water: Option<TimePoint>,
+}
+
+/// A batch of instances bound for one shard, stamped with the router's
+/// global high-water mark.
+///
+/// The trailing high-water mark is the watermark heartbeat: the
+/// maximum generation time the *router* has seen across all shards at
+/// flush time. Workers apply it after the batch's instances so release
+/// progress tracks the global stream even on shards whose own
+/// territory is quiet.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    /// Instances in router arrival order, each with its prefix
+    /// high-water stamp.
+    pub instances: Vec<BatchItem>,
+    /// Maximum generation time seen by the router when this batch was
+    /// flushed (`None` only before the first instance).
+    pub high_water: Option<TimePoint>,
+}
+
+impl Batch {
+    /// Number of instances in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the batch carries no instances (it may still carry a
+    /// heartbeat).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}

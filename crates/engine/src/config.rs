@@ -1,0 +1,179 @@
+//! Engine configuration.
+
+use stem_spatial::Rect;
+use stem_temporal::Duration;
+
+/// Identifies one shard of the engine (dense, `0..shard_count`).
+pub type ShardId = usize;
+
+/// What the router does when a shard's bounded input queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the ingesting thread until the shard drains (lossless; the
+    /// default). Throughput degrades, correctness does not.
+    Block,
+    /// Drop the batch being handed off and count it in
+    /// [`crate::RouterMetrics::dropped_backpressure`] (lossy; for
+    /// best-effort telemetry feeds where freshness beats completeness).
+    DropNewest,
+}
+
+/// How shard workers execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// One OS thread per shard, batches handed off over bounded mpsc
+    /// channels (the production mode).
+    Threaded,
+    /// All shards run inline on the calling thread, processed in shard
+    /// order at every handoff. Same code path as [`Self::Threaded`]
+    /// minus the threads: output is bit-for-bit reproducible, which is
+    /// what tests and the sharding-equivalence suite rely on.
+    Deterministic,
+}
+
+/// Configuration for [`crate::Engine`].
+///
+/// Built with [`EngineConfig::new`] plus chained setters:
+///
+/// ```
+/// use stem_engine::EngineConfig;
+/// use stem_spatial::{Point, Rect};
+/// use stem_temporal::Duration;
+///
+/// let config = EngineConfig::new(Rect::new(Point::new(0.0, 0.0), Point::new(1e3, 1e3)))
+///     .with_shards(4)
+///     .with_batch_size(256)
+///     .with_watermark_slack(Duration::new(50));
+/// assert!(config.validate().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The world region the shard map partitions. Instances outside are
+    /// clamped to the nearest shard cell.
+    pub world_bounds: Rect,
+    /// Number of shards (>= 1).
+    pub shard_count: usize,
+    /// Instances per handoff batch (>= 1). Larger batches amortize
+    /// channel traffic; smaller ones tighten the watermark heartbeat.
+    pub batch_size: usize,
+    /// Reorder slack: how far behind the maximum seen generation time
+    /// the per-shard watermark trails (see [`stem_cep::ReorderBuffer`]).
+    pub watermark_slack: Duration,
+    /// Bounded channel depth per shard, in batches.
+    pub queue_capacity: usize,
+    /// Full-queue behaviour.
+    pub backpressure: BackpressurePolicy,
+    /// Threaded or inline-deterministic execution.
+    pub mode: ExecutionMode,
+}
+
+impl EngineConfig {
+    /// A single-shard, lossless, threaded configuration over the given
+    /// world bounds.
+    #[must_use]
+    pub fn new(world_bounds: Rect) -> Self {
+        EngineConfig {
+            world_bounds,
+            shard_count: 1,
+            batch_size: 128,
+            watermark_slack: Duration::ZERO,
+            queue_capacity: 64,
+            backpressure: BackpressurePolicy::Block,
+            mode: ExecutionMode::Threaded,
+        }
+    }
+
+    /// Sets the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shard_count = shards;
+        self
+    }
+
+    /// Sets the handoff batch size.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the reorder watermark slack.
+    #[must_use]
+    pub fn with_watermark_slack(mut self, slack: Duration) -> Self {
+        self.watermark_slack = slack;
+        self
+    }
+
+    /// Sets the bounded queue depth (in batches).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, batches: usize) -> Self {
+        self.queue_capacity = batches;
+        self
+    }
+
+    /// Sets the backpressure policy.
+    #[must_use]
+    pub fn with_backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Switches to inline-deterministic execution.
+    #[must_use]
+    pub fn deterministic(mut self) -> Self {
+        self.mode = ExecutionMode::Deterministic;
+        self
+    }
+
+    /// Returns every configuration problem found (empty = valid).
+    #[must_use]
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.shard_count == 0 {
+            problems.push("shard_count must be >= 1".to_string());
+        }
+        if self.shard_count > 64 {
+            problems.push("shard_count must be <= 64 (router interest masks are u64)".to_string());
+        }
+        if self.batch_size == 0 {
+            problems.push("batch_size must be >= 1".to_string());
+        }
+        if self.queue_capacity == 0 {
+            problems.push("queue_capacity must be >= 1".to_string());
+        }
+        if self.world_bounds.width() <= 0.0 || self.world_bounds.height() <= 0.0 {
+            problems.push("world_bounds must have positive area".to_string());
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_spatial::Point;
+
+    fn bounds() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0))
+    }
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(EngineConfig::new(bounds()).validate().is_empty());
+    }
+
+    #[test]
+    fn zero_values_are_rejected() {
+        let cfg = EngineConfig::new(bounds())
+            .with_shards(0)
+            .with_batch_size(0)
+            .with_queue_capacity(0);
+        assert_eq!(cfg.validate().len(), 3);
+    }
+
+    #[test]
+    fn degenerate_bounds_are_rejected() {
+        let cfg = EngineConfig::new(Rect::new(Point::new(5.0, 0.0), Point::new(5.0, 10.0)));
+        assert_eq!(cfg.validate().len(), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! The engine facade: lifecycle, ingestion, subscription management.
+
+use crate::config::{BackpressurePolicy, EngineConfig, ExecutionMode, ShardId};
+use crate::metrics::EngineReport;
+use crate::router::ShardRouter;
+use crate::shard_map::ShardMap;
+use crate::subscription::{Subscription, SubscriptionId};
+use crate::worker::{ShardMessage, ShardWorker, SubscriptionState};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use stem_core::EventInstance;
+
+/// How shard workers are driven.
+enum Backend {
+    /// Workers run inline on the caller's thread, in shard order.
+    Inline(Vec<ShardWorker>),
+    /// One thread per shard behind a bounded channel.
+    Threaded {
+        senders: Vec<SyncSender<ShardMessage>>,
+        handles: Vec<JoinHandle<crate::metrics::ShardMetrics>>,
+    },
+}
+
+/// The streaming runtime. See the crate docs for the architecture.
+///
+/// Lifecycle: [`Engine::start`] → [`Engine::subscribe`] /
+/// [`Engine::ingest`] (interleaved freely) → [`Engine::finish`].
+pub struct Engine {
+    config: EngineConfig,
+    router: ShardRouter,
+    backend: Backend,
+    next_subscription: u64,
+    started: Instant,
+}
+
+impl Engine {
+    /// Builds the shard map, spawns the workers (or arranges them
+    /// inline in deterministic mode), and starts the clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`EngineConfig::validate`]).
+    #[must_use]
+    pub fn start(config: EngineConfig) -> Self {
+        let problems = config.validate();
+        assert!(problems.is_empty(), "invalid EngineConfig: {problems:?}");
+        let map = ShardMap::build(config.world_bounds, config.shard_count);
+        let router = ShardRouter::new(map, config.batch_size);
+        let backend = match config.mode {
+            ExecutionMode::Deterministic => Backend::Inline(
+                (0..config.shard_count)
+                    .map(|s| ShardWorker::new(s, config.watermark_slack))
+                    .collect(),
+            ),
+            ExecutionMode::Threaded => {
+                let mut senders = Vec::with_capacity(config.shard_count);
+                let mut handles = Vec::with_capacity(config.shard_count);
+                for shard in 0..config.shard_count {
+                    let (tx, rx) = sync_channel::<ShardMessage>(config.queue_capacity);
+                    let worker = ShardWorker::new(shard, config.watermark_slack);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("stem-engine-shard-{shard}"))
+                        .spawn(move || worker.run(rx))
+                        .expect("spawn shard worker");
+                    senders.push(tx);
+                    handles.push(handle);
+                }
+                Backend::Threaded { senders, handles }
+            }
+        };
+        Engine {
+            config,
+            router,
+            backend,
+            next_subscription: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// The configuration the engine runs with.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Registers a subscription on its home shard (the owner of its
+    /// region's center) and returns its id.
+    ///
+    /// Ordering: the subscription observes every instance its home
+    /// shard's reorder buffer releases after this call — all later
+    /// ingests, plus any earlier ones still held behind the watermark
+    /// at registration time.
+    pub fn subscribe(&mut self, subscription: Subscription) -> SubscriptionId {
+        let id = SubscriptionId(self.next_subscription);
+        self.next_subscription += 1;
+        let bbox = subscription.region.bounding_box();
+        let home = self.router.subscribe(id, bbox);
+        let state = SubscriptionState::compile(id, subscription);
+        // Flush anything already routed so registration order is
+        // preserved relative to the instance stream.
+        self.flush_shard(home);
+        self.send(home, ShardMessage::Subscribe(Box::new(state)));
+        id
+    }
+
+    /// Retires a subscription. Returns `false` if the id is unknown.
+    ///
+    /// Instances still held behind the watermark at this point are
+    /// forfeited: they release after the retirement takes effect and
+    /// the subscription no longer observes them.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        let Some(home) = self.router.unsubscribe(id) else {
+            return false;
+        };
+        self.flush_shard(home);
+        self.send(home, ShardMessage::Unsubscribe(id));
+        true
+    }
+
+    /// Ingests one instance: routes it (owner shard + broadcast to
+    /// interested shards) and hands off any batch that filled up.
+    pub fn ingest(&mut self, instance: EventInstance) {
+        let full = self.router.route(instance);
+        for shard in full {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Ingests an entire stream.
+    pub fn ingest_all(&mut self, instances: impl IntoIterator<Item = EventInstance>) {
+        for instance in instances {
+            self.ingest(instance);
+        }
+    }
+
+    /// Flushes every partially-filled batch without shutting down,
+    /// and sends the current watermark heartbeat to *every* shard — a
+    /// shard whose territory has gone quiet otherwise holds reordered
+    /// instances until [`Engine::finish`]. Live-stream drivers should
+    /// call this periodically.
+    pub fn flush(&mut self) {
+        for shard in 0..self.config.shard_count {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Flushes remaining batches, drains every shard's reorder buffer,
+    /// joins the workers, and returns the run's report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked.
+    #[must_use]
+    pub fn finish(mut self) -> EngineReport {
+        self.flush();
+        let shards = match self.backend {
+            Backend::Inline(workers) => workers.into_iter().map(ShardWorker::finish).collect(),
+            Backend::Threaded { senders, handles } => {
+                // Closing the channels ends the worker loops; each
+                // worker flushes and returns its counters.
+                drop(senders);
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            }
+        };
+        EngineReport {
+            shards,
+            router: self.router.take_metrics(),
+            elapsed: self.started.elapsed(),
+        }
+    }
+
+    /// Hands the pending batch for `shard` to its worker, honouring the
+    /// backpressure policy.
+    fn flush_shard(&mut self, shard: ShardId) {
+        let batch = self.router.take_batch(shard);
+        if batch.is_empty() && batch.high_water.is_none() {
+            return;
+        }
+        self.send(shard, ShardMessage::Batch(batch));
+    }
+
+    fn send(&mut self, shard: ShardId, message: ShardMessage) {
+        match &mut self.backend {
+            Backend::Inline(workers) => workers[shard].handle(message),
+            Backend::Threaded { senders, .. } => match self.config.backpressure {
+                BackpressurePolicy::Block => senders[shard]
+                    .send(message)
+                    .unwrap_or_else(|_| panic!("shard {shard} worker terminated")),
+                BackpressurePolicy::DropNewest => match senders[shard].try_send(message) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(dropped)) => {
+                        // Control messages are never dropped: losing a
+                        // Subscribe/Unsubscribe would silently change
+                        // semantics, so block for those.
+                        if matches!(dropped, ShardMessage::Batch(_)) {
+                            self.router.note_dropped_batch();
+                        } else {
+                            senders[shard]
+                                .send(dropped)
+                                .unwrap_or_else(|_| panic!("shard {shard} worker terminated"));
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        panic!("shard {shard} worker terminated")
+                    }
+                },
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("subscriptions", &self.next_subscription)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-shard and engine-wide counters.
+
+use crate::config::ShardId;
+use stem_temporal::TimePoint;
+
+/// Counters one shard worker maintains.
+#[derive(Debug, Clone, Default)]
+pub struct ShardMetrics {
+    /// Which shard these counters belong to.
+    pub shard: ShardId,
+    /// Batches received.
+    pub batches: u64,
+    /// Instances received (before reordering).
+    pub ingested: u64,
+    /// Instances released by the reorder buffer in generation order.
+    pub released: u64,
+    /// Instances dropped as late (behind the watermark).
+    pub late_dropped: u64,
+    /// Condition / pattern evaluations performed.
+    pub evaluated: u64,
+    /// Evaluation errors (mis-configured subscriptions referencing
+    /// unbound entities); the offending instance is skipped.
+    pub eval_errors: u64,
+    /// Notifications delivered to sinks.
+    pub notifications: u64,
+    /// Derived instances generated from pattern matches.
+    pub derived: u64,
+    /// Largest observed gap between the router's high-water mark and
+    /// this shard's watermark at batch receipt, in ticks: how far the
+    /// shard's view of final time trailed the stream's.
+    pub watermark_lag_max: u64,
+    /// The shard's final watermark.
+    pub watermark: Option<TimePoint>,
+    /// Subscriptions resident when the shard finished.
+    pub subscriptions: usize,
+}
+
+/// Counters the router maintains.
+#[derive(Debug, Clone, Default)]
+pub struct RouterMetrics {
+    /// Instances ingested.
+    pub routed: u64,
+    /// Total shard deliveries (>= `routed`: the broadcast path may copy
+    /// an instance to several shards).
+    pub fanout: u64,
+    /// Instances whose quadtree leaf carried no subscription interest
+    /// and went to the territorial owner only.
+    pub owner_only: u64,
+    /// Batches handed off.
+    pub batches_sent: u64,
+    /// Batches dropped by [`crate::BackpressurePolicy::DropNewest`].
+    pub dropped_backpressure: u64,
+}
+
+/// What [`crate::Engine::finish`] returns: everything the run measured.
+#[derive(Debug, Clone, Default)]
+pub struct EngineReport {
+    /// Per-shard counters, indexed by shard id.
+    pub shards: Vec<ShardMetrics>,
+    /// Router counters.
+    pub router: RouterMetrics,
+    /// Wall-clock time from engine start to finish.
+    pub elapsed: std::time::Duration,
+}
+
+impl EngineReport {
+    /// Total instances released across shards.
+    #[must_use]
+    pub fn total_released(&self) -> u64 {
+        self.shards.iter().map(|s| s.released).sum()
+    }
+
+    /// Total notifications delivered across shards.
+    #[must_use]
+    pub fn total_notifications(&self) -> u64 {
+        self.shards.iter().map(|s| s.notifications).sum()
+    }
+
+    /// Total late-dropped instances across shards.
+    #[must_use]
+    pub fn total_late_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.late_dropped).sum()
+    }
+
+    /// Ingested instances per wall-clock second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.router.routed as f64 / secs
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The shard router: spatial partitioning, interest tracking, batching.
+
+use crate::batch::{Batch, BatchItem};
+use crate::config::ShardId;
+use crate::metrics::RouterMetrics;
+use crate::shard_map::{Grid, ShardMap};
+use crate::subscription::SubscriptionId;
+use stem_core::EventInstance;
+use stem_spatial::Rect;
+use stem_temporal::TimePoint;
+
+/// Routes instances to shards and accumulates per-shard batches.
+///
+/// Every instance goes to the shard that *owns* its location under the
+/// [`ShardMap`], plus — the broadcast path — every other shard that is
+/// home to a subscription whose region covers the location. A
+/// subscription lives on exactly one home shard (the owner of its
+/// region's center), so detector state is never split and the match
+/// multiset is independent of the shard count.
+#[derive(Debug)]
+pub struct ShardRouter {
+    map: ShardMap,
+    batch_size: usize,
+    /// Per home shard: bounding boxes of resident subscriptions.
+    interests: Vec<Vec<(SubscriptionId, Rect)>>,
+    /// The interest index resolution: a fixed fine quadtree grid,
+    /// independent of the (coarser) shard-territory grid so broadcast
+    /// stays confined to actual region boundaries.
+    interest_grid: Grid,
+    /// Per interest-grid leaf: bitmask of shards homing a subscription
+    /// whose bounding box touches the leaf. Routing is then O(1) per
+    /// instance regardless of the subscription count; workers re-check
+    /// exact region coverage, so the leaf granularity only costs an
+    /// occasional extra delivery, never a missed one.
+    leaf_masks: Vec<u64>,
+    /// Per shard: the accumulating batch.
+    pending: Vec<Vec<BatchItem>>,
+    /// Maximum generation time seen across the whole stream.
+    high_water: Option<TimePoint>,
+    metrics: RouterMetrics,
+}
+
+impl ShardRouter {
+    /// Interest-index depth: `4^6 = 4096` leaves (32 KiB of masks),
+    /// fine enough that a subscription's interest footprint hugs its
+    /// actual bounding box instead of whole shard territories.
+    const INTEREST_DEPTH: u32 = 6;
+
+    /// Creates a router over `map`, flushing batches at `batch_size`.
+    #[must_use]
+    pub fn new(map: ShardMap, batch_size: usize) -> Self {
+        let shards = map.shard_count();
+        let interest_grid = Grid::new(map.bounds(), Self::INTEREST_DEPTH);
+        let leaves = interest_grid.leaf_count();
+        ShardRouter {
+            map,
+            batch_size: batch_size.max(1),
+            interests: vec![Vec::new(); shards],
+            interest_grid,
+            leaf_masks: vec![0; leaves],
+            pending: vec![Vec::new(); shards],
+            high_water: None,
+            metrics: RouterMetrics::default(),
+        }
+    }
+
+    /// The shard map in use.
+    #[must_use]
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The router's global high-water mark.
+    #[must_use]
+    pub fn high_water(&self) -> Option<TimePoint> {
+        self.high_water
+    }
+
+    /// Registers a subscription region and returns its home shard: the
+    /// owner of the region's center.
+    pub fn subscribe(&mut self, id: SubscriptionId, region_bbox: Rect) -> ShardId {
+        let home = self.map.shard_for_point(region_bbox.center());
+        self.interests[home].push((id, region_bbox));
+        for leaf in self.interest_grid.leaves_for_rect(&region_bbox) {
+            self.leaf_masks[leaf] |= 1 << home;
+        }
+        home
+    }
+
+    /// Forgets a subscription; returns its home shard if it was known.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> Option<ShardId> {
+        for (shard, list) in self.interests.iter_mut().enumerate() {
+            if let Some(pos) = list.iter().position(|(sid, _)| *sid == id) {
+                list.remove(pos);
+                let shard_id = shard;
+                self.rebuild_leaf_masks();
+                return Some(shard_id);
+            }
+        }
+        None
+    }
+
+    /// Recomputes the leaf interest masks from scratch (unsubscribe is
+    /// rare; ingestion never pays for this).
+    fn rebuild_leaf_masks(&mut self) {
+        for mask in &mut self.leaf_masks {
+            *mask = 0;
+        }
+        for (shard, list) in self.interests.iter().enumerate() {
+            for (_, bbox) in list {
+                for leaf in self.interest_grid.leaves_for_rect(bbox) {
+                    self.leaf_masks[leaf] |= 1 << shard;
+                }
+            }
+        }
+    }
+
+    /// Routes one instance into the per-shard pending batches and
+    /// returns the shards whose batch just reached the flush threshold.
+    pub fn route(&mut self, instance: EventInstance) -> Vec<ShardId> {
+        let t = instance.generation_time();
+        // The high-water mark over the strict prefix: stamped onto the
+        // routed item so shard drop decisions replay the global run.
+        let prefix_high_water = self.high_water;
+        self.high_water = Some(self.high_water.map_or(t, |h| h.max(t)));
+        self.metrics.routed += 1;
+
+        let location = instance.estimated_location().representative();
+        let owner = self.map.shard_for_point(location);
+        let leaf = self.interest_grid.leaf_for_point(location);
+        // Fan out to every shard with leaf-level interest; the
+        // territorial owner always receives the instance so watermark
+        // and occupancy metrics stay complete even with no subscribers.
+        let mask = self.leaf_masks[leaf] | (1 << owner);
+        if self.leaf_masks[leaf] == 0 {
+            self.metrics.owner_only += 1;
+        }
+        let mut targets = Vec::with_capacity(mask.count_ones() as usize);
+        let mut bits = mask;
+        while bits != 0 {
+            let shard = bits.trailing_zeros() as ShardId;
+            targets.push(shard);
+            bits &= bits - 1;
+        }
+        self.metrics.fanout += targets.len() as u64;
+
+        let last = targets.len() - 1;
+        for &shard in &targets[..last] {
+            self.pending[shard].push(BatchItem {
+                instance: instance.clone(),
+                prefix_high_water,
+            });
+        }
+        self.pending[targets[last]].push(BatchItem {
+            instance,
+            prefix_high_water,
+        });
+        targets
+            .into_iter()
+            .filter(|&shard| self.pending[shard].len() >= self.batch_size)
+            .collect()
+    }
+
+    /// Takes the pending batch for `shard`, stamped with the current
+    /// high-water mark.
+    pub fn take_batch(&mut self, shard: ShardId) -> Batch {
+        self.metrics.batches_sent += 1;
+        Batch {
+            instances: std::mem::take(&mut self.pending[shard]),
+            high_water: self.high_water,
+        }
+    }
+
+    /// Shards that still hold pending instances.
+    #[must_use]
+    pub fn pending_shards(&self) -> Vec<ShardId> {
+        (0..self.pending.len())
+            .filter(|&s| !self.pending[s].is_empty())
+            .collect()
+    }
+
+    /// Records a batch lost to backpressure.
+    pub(crate) fn note_dropped_batch(&mut self) {
+        self.metrics.dropped_backpressure += 1;
+    }
+
+    /// Surrenders the counters.
+    pub(crate) fn take_metrics(&mut self) -> RouterMetrics {
+        std::mem::take(&mut self.metrics)
+    }
+}

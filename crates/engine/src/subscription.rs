@@ -1,0 +1,253 @@
+//! Subscriptions: what clients register, and how results reach them.
+
+use crate::config::ShardId;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use stem_cep::{ConsumptionMode, Pattern, SustainedConfig, SustainedEvent};
+use stem_core::{ConditionExpr, EventId, EventInstance};
+use stem_spatial::SpatialExtent;
+use stem_temporal::Duration;
+
+/// Identifies a registered subscription (assigned by the engine,
+/// ascending in registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriptionId(pub(crate) u64);
+
+impl SubscriptionId {
+    /// The raw id.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub{}", self.0)
+    }
+}
+
+/// A composite pattern to match over the subscription's instance stream
+/// (evaluated with the full SnoopIB machinery of [`stem_cep`]).
+#[derive(Debug, Clone)]
+pub struct PatternSpec {
+    /// The pattern (sequence / conjunction / disjunction / negation).
+    pub pattern: Pattern,
+    /// Consumption mode for partial matches.
+    pub mode: ConsumptionMode,
+    /// Optional horizon: constituents further apart than this never
+    /// join a match.
+    pub horizon: Option<Duration>,
+}
+
+/// A sustained ("interval event") detection to run over the
+/// subscription's instance stream.
+#[derive(Debug, Clone)]
+pub struct SustainedSpec {
+    /// Minimum duration / hysteresis configuration.
+    pub config: SustainedConfig,
+    /// Attribute sampled as the detector's value; `None` samples the
+    /// condition outcome as 1.0 / 0.0.
+    pub attribute: Option<String>,
+}
+
+/// What a subscription delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NotificationKind {
+    /// A raw instance inside the region that passed the condition.
+    Match(EventInstance),
+    /// A derived instance generated from a completed pattern match whose
+    /// composite condition held.
+    Derived(EventInstance),
+    /// A sustained-condition episode began or ended.
+    Sustained(SustainedEvent),
+}
+
+/// One delivery to a subscription's sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// The subscription this delivery belongs to.
+    pub subscription: SubscriptionId,
+    /// The shard that evaluated it.
+    pub shard: ShardId,
+    /// What happened.
+    pub kind: NotificationKind,
+}
+
+/// Where a subscription's notifications go. Sinks are called from shard
+/// worker threads, hence `Send + Sync` and `&self`.
+pub trait EventSink: Send + Sync {
+    /// Delivers one notification.
+    fn deliver(&self, notification: Notification);
+}
+
+/// Unbounded channel senders are lossless sinks: subscribe with the
+/// sending half and consume matches from the receiving half. A dropped
+/// receiver just discards deliveries.
+impl EventSink for std::sync::mpsc::Sender<Notification> {
+    fn deliver(&self, notification: Notification) {
+        let _ = self.send(notification);
+    }
+}
+
+/// Bounded channel senders are **lossy** sinks: a full channel drops
+/// the notification rather than blocking the shard worker (blocking
+/// here could deadlock a consumer that drains only after `finish()`).
+/// Use an unbounded [`std::sync::mpsc::Sender`] or a [`Collector`]
+/// when every notification matters.
+impl EventSink for std::sync::mpsc::SyncSender<Notification> {
+    fn deliver(&self, notification: Notification) {
+        let _ = self.try_send(notification);
+    }
+}
+
+/// An in-memory sink collecting every notification, for tests, benches,
+/// and batch-style consumers.
+///
+/// Cloning shares the underlying buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    inner: Arc<Mutex<Vec<Notification>>>,
+}
+
+impl Collector {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// A sink handle delivering into this collector.
+    #[must_use]
+    pub fn sink(&self) -> Box<dyn EventSink> {
+        Box::new(Collector {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Number of notifications collected so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("collector poisoned").len()
+    }
+
+    /// Whether nothing has been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns everything collected, in delivery order.
+    #[must_use]
+    pub fn take(&self) -> Vec<Notification> {
+        std::mem::take(&mut *self.inner.lock().expect("collector poisoned"))
+    }
+}
+
+impl EventSink for Collector {
+    fn deliver(&self, notification: Notification) {
+        self.inner
+            .lock()
+            .expect("collector poisoned")
+            .push(notification);
+    }
+}
+
+/// A client's standing request: "over this region, watch for this".
+///
+/// Exactly one evaluation style applies, chosen by what is configured:
+///
+/// * only a condition (or nothing): every in-region instance passing the
+///   condition is delivered as [`NotificationKind::Match`];
+/// * a [`PatternSpec`]: in-region, condition-passing instances feed a
+///   pattern detector and completed matches generate
+///   [`NotificationKind::Derived`] instances (the composite condition is
+///   evaluated over the match's bindings, paper Eq. 4.5);
+/// * a [`SustainedSpec`]: in-region instances are samples of a sustained
+///   condition and episodes are delivered as
+///   [`NotificationKind::Sustained`].
+pub struct Subscription {
+    /// Name for instances this subscription derives (the `E_id` of its
+    /// outputs, and its diagnostic label).
+    pub name: EventId,
+    /// The spatial region of interest.
+    pub region: SpatialExtent,
+    /// Only instances of this event type are considered (`None` = all).
+    pub event_filter: Option<EventId>,
+    /// Condition over each candidate instance (entities in the
+    /// condition all bind to the instance) or, with a pattern, over the
+    /// match's bindings.
+    pub condition: Option<ConditionExpr>,
+    /// Composite pattern to match, if any.
+    pub pattern: Option<PatternSpec>,
+    /// Sustained detection, if any (ignored when a pattern is set).
+    pub sustained: Option<SustainedSpec>,
+    /// Where notifications go.
+    pub sink: Box<dyn EventSink>,
+}
+
+impl fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Subscription")
+            .field("name", &self.name)
+            .field("region", &self.region)
+            .field("event_filter", &self.event_filter)
+            .field("condition", &self.condition)
+            .field("pattern", &self.pattern)
+            .field("sustained", &self.sustained)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Subscription {
+    /// Creates a subscription over `region` delivering to `sink`.
+    #[must_use]
+    pub fn new(name: impl Into<EventId>, region: SpatialExtent, sink: Box<dyn EventSink>) -> Self {
+        Subscription {
+            name: name.into(),
+            region,
+            event_filter: None,
+            condition: None,
+            pattern: None,
+            sustained: None,
+            sink,
+        }
+    }
+
+    /// Restricts the subscription to one constituent event type.
+    #[must_use]
+    pub fn for_event(mut self, event: impl Into<EventId>) -> Self {
+        self.event_filter = Some(event.into());
+        self
+    }
+
+    /// Adds a condition.
+    #[must_use]
+    pub fn when(mut self, condition: ConditionExpr) -> Self {
+        self.condition = Some(condition);
+        self
+    }
+
+    /// Adds a composite pattern.
+    #[must_use]
+    pub fn matching(
+        mut self,
+        pattern: Pattern,
+        mode: ConsumptionMode,
+        horizon: Option<Duration>,
+    ) -> Self {
+        self.pattern = Some(PatternSpec {
+            pattern,
+            mode,
+            horizon,
+        });
+        self
+    }
+
+    /// Adds sustained (interval-event) detection.
+    #[must_use]
+    pub fn sustained(mut self, config: SustainedConfig, attribute: Option<String>) -> Self {
+        self.sustained = Some(SustainedSpec { config, attribute });
+        self
+    }
+}

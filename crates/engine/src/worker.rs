@@ -1,0 +1,281 @@
+//! Shard workers: reorder, evaluate, notify.
+
+use crate::batch::Batch;
+use crate::config::ShardId;
+use crate::metrics::ShardMetrics;
+use crate::subscription::{
+    EventSink, Notification, NotificationKind, Subscription, SubscriptionId,
+};
+use stem_cep::{CompositeDetector, ReorderBuffer, SustainedDetector};
+use stem_core::{
+    Bindings, CcuId, ConditionExpr, ConditionObserver, EntityName, EventDefinition, EventId,
+    EventInstance, Layer, ObserverId,
+};
+use stem_spatial::{Rect, SpatialExtent};
+use stem_temporal::Duration;
+
+/// What travels over a shard's input channel.
+pub(crate) enum ShardMessage {
+    /// Instances plus the router's watermark heartbeat.
+    Batch(Batch),
+    /// A subscription homed on this shard (boxed: it is much larger
+    /// than the other variants).
+    Subscribe(Box<SubscriptionState>),
+    /// Retire a subscription.
+    Unsubscribe(SubscriptionId),
+}
+
+/// How a subscription's stream is evaluated on its home shard.
+enum EvalKind {
+    /// Deliver condition-passing instances directly.
+    Plain,
+    /// Feed a pattern detector; deliver derived instances (boxed:
+    /// far larger than the other variants).
+    Pattern(Box<CompositeDetector>),
+    /// Feed a sustained detector (sampling `attribute`, or the condition
+    /// outcome when `None`); deliver episode notifications.
+    Sustained(SustainedDetector, Option<String>),
+}
+
+/// A [`Subscription`] compiled for residence on one shard.
+pub(crate) struct SubscriptionState {
+    id: SubscriptionId,
+    region: SpatialExtent,
+    bbox: Rect,
+    event_filter: Option<EventId>,
+    /// The per-instance condition (for `Plain` / `Sustained`; a pattern
+    /// subscription's condition lives inside its detector where it is
+    /// evaluated over the match's bindings).
+    condition: Option<ConditionExpr>,
+    /// Entity names the condition binds (all bound to the candidate
+    /// instance).
+    entities: Vec<EntityName>,
+    kind: EvalKind,
+    sink: Box<dyn EventSink>,
+}
+
+impl SubscriptionState {
+    /// Compiles `sub` for residence on its home shard.
+    pub(crate) fn compile(id: SubscriptionId, sub: Subscription) -> Self {
+        let bbox = sub.region.bounding_box();
+        let (kind, condition) = if let Some(spec) = sub.pattern {
+            // The composite condition (empty conjunction = always true)
+            // is evaluated over pattern-match bindings by the detector.
+            let condition = sub
+                .condition
+                .unwrap_or_else(|| ConditionExpr::And(Vec::new()));
+            let definition = EventDefinition::new(sub.name.clone(), Layer::Cyber, condition);
+            // The observer identity is keyed by subscription (not by
+            // shard) so derived instances are identical whatever the
+            // shard count — the sharding-equivalence tests rely on it.
+            let observer = ConditionObserver::new(
+                ObserverId::Ccu(CcuId::new(u32::try_from(id.raw()).unwrap_or(u32::MAX))),
+                bbox.center(),
+                1.0,
+            );
+            let detector =
+                CompositeDetector::new(definition, spec.pattern, spec.mode, spec.horizon, observer);
+            (EvalKind::Pattern(Box::new(detector)), None)
+        } else if let Some(spec) = sub.sustained {
+            (
+                EvalKind::Sustained(SustainedDetector::new(spec.config), spec.attribute),
+                sub.condition,
+            )
+        } else {
+            (EvalKind::Plain, sub.condition)
+        };
+        let entities = condition
+            .as_ref()
+            .map(ConditionExpr::entity_names)
+            .unwrap_or_default();
+        SubscriptionState {
+            id,
+            region: sub.region,
+            bbox,
+            event_filter: sub.event_filter,
+            condition,
+            entities,
+            kind,
+            sink: sub.sink,
+        }
+    }
+}
+
+/// Evaluates a per-instance condition with every entity bound to the
+/// instance. `None` when evaluation errored.
+fn eval_condition(
+    condition: &Option<ConditionExpr>,
+    entities: &[EntityName],
+    instance: &EventInstance,
+) -> Option<bool> {
+    let Some(cond) = condition else {
+        return Some(true);
+    };
+    let mut bindings = Bindings::new();
+    for name in entities {
+        bindings.bind(name.clone(), instance.entity_data());
+    }
+    cond.eval(&bindings).ok()
+}
+
+/// One shard: a reorder buffer, the resident subscriptions, and counters.
+pub(crate) struct ShardWorker {
+    shard: ShardId,
+    slack: Duration,
+    reorder: ReorderBuffer,
+    subs: Vec<SubscriptionState>,
+    metrics: ShardMetrics,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(shard: ShardId, slack: Duration) -> Self {
+        ShardWorker {
+            shard,
+            slack,
+            reorder: ReorderBuffer::new(slack),
+            subs: Vec::new(),
+            metrics: ShardMetrics {
+                shard,
+                ..ShardMetrics::default()
+            },
+        }
+    }
+
+    pub(crate) fn handle(&mut self, message: ShardMessage) {
+        match message {
+            ShardMessage::Batch(batch) => self.process_batch(batch),
+            ShardMessage::Subscribe(state) => self.subs.push(*state),
+            ShardMessage::Unsubscribe(id) => self.subs.retain(|s| s.id != id),
+        }
+    }
+
+    pub(crate) fn process_batch(&mut self, batch: Batch) {
+        self.metrics.batches += 1;
+        self.metrics.ingested += batch.instances.len() as u64;
+        if let Some(hw) = batch.high_water {
+            // How far this shard's view of finalized time trailed the
+            // router's when the batch arrived.
+            let local_max = self
+                .reorder
+                .watermark()
+                .map_or(0, |w| w.ticks().saturating_add(self.slack.ticks()));
+            self.metrics.watermark_lag_max = self
+                .metrics
+                .watermark_lag_max
+                .max(hw.ticks().saturating_sub(local_max));
+        }
+        for item in batch.instances {
+            // Replaying the global watermark before each push keeps
+            // accept/late-drop decisions identical to a 1-shard run
+            // even when disorder exceeds the slack.
+            if let Some(hw) = item.prefix_high_water {
+                let released = self.reorder.observe(hw);
+                self.dispatch_all(released);
+            }
+            let released = self.reorder.push(item.instance);
+            self.dispatch_all(released);
+        }
+        if let Some(hw) = batch.high_water {
+            let released = self.reorder.observe(hw);
+            self.dispatch_all(released);
+        }
+    }
+
+    fn dispatch_all(&mut self, released: Vec<EventInstance>) {
+        for instance in released {
+            self.dispatch(&instance);
+        }
+    }
+
+    /// Offers one in-order instance to every resident subscription.
+    fn dispatch(&mut self, instance: &EventInstance) {
+        let location = instance.estimated_location().representative();
+        let shard = self.shard;
+        for sub in &mut self.subs {
+            if let Some(filter) = &sub.event_filter {
+                if filter != instance.event() {
+                    continue;
+                }
+            }
+            if !sub.bbox.contains(location) || !sub.region.covers(location) {
+                continue;
+            }
+            self.metrics.evaluated += 1;
+            match &mut sub.kind {
+                EvalKind::Plain => match eval_condition(&sub.condition, &sub.entities, instance) {
+                    Some(true) => {
+                        sub.sink.deliver(Notification {
+                            subscription: sub.id,
+                            shard,
+                            kind: NotificationKind::Match(instance.clone()),
+                        });
+                        self.metrics.notifications += 1;
+                    }
+                    Some(false) => {}
+                    None => self.metrics.eval_errors += 1,
+                },
+                EvalKind::Pattern(detector) => match detector.process(instance) {
+                    Ok(derived) => {
+                        for d in derived {
+                            self.metrics.derived += 1;
+                            self.metrics.notifications += 1;
+                            sub.sink.deliver(Notification {
+                                subscription: sub.id,
+                                shard,
+                                kind: NotificationKind::Derived(d),
+                            });
+                        }
+                    }
+                    Err(_) => self.metrics.eval_errors += 1,
+                },
+                EvalKind::Sustained(detector, attribute) => {
+                    let t = instance.generation_time();
+                    let episode = if let Some(attr) = attribute {
+                        match instance.attributes().get_f64(attr) {
+                            Some(value) => detector.update_value(t, value),
+                            None => {
+                                self.metrics.eval_errors += 1;
+                                continue;
+                            }
+                        }
+                    } else {
+                        match eval_condition(&sub.condition, &sub.entities, instance) {
+                            Some(holds) => detector.update(t, holds),
+                            None => {
+                                self.metrics.eval_errors += 1;
+                                continue;
+                            }
+                        }
+                    };
+                    if let Some(event) = episode {
+                        self.metrics.notifications += 1;
+                        sub.sink.deliver(Notification {
+                            subscription: sub.id,
+                            shard,
+                            kind: NotificationKind::Sustained(event),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the reorder buffer and returns the final counters.
+    pub(crate) fn finish(mut self) -> ShardMetrics {
+        let remaining = self.reorder.flush();
+        self.dispatch_all(remaining);
+        self.metrics.released = self.reorder.released();
+        self.metrics.late_dropped = self.reorder.late_dropped();
+        self.metrics.watermark = self.reorder.watermark();
+        self.metrics.subscriptions = self.subs.len();
+        self.metrics
+    }
+
+    /// The thread body: drain the channel, then finish.
+    pub(crate) fn run(mut self, rx: std::sync::mpsc::Receiver<ShardMessage>) -> ShardMetrics {
+        while let Ok(message) = rx.recv() {
+            self.handle(message);
+        }
+        self.finish()
+    }
+}

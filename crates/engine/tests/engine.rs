@@ -1,0 +1,313 @@
+//! Behavioural tests for the streaming engine: plain, pattern, and
+//! sustained subscriptions, both execution modes, reordering, and
+//! lifecycle edges.
+
+use stem_cep::{ConsumptionMode, Pattern, SustainedConfig, SustainedEvent};
+use stem_core::{dsl, Attributes, EventId, EventInstance, Layer, MoteId, ObserverId, SeqNo};
+use stem_engine::{
+    BackpressurePolicy, Collector, Engine, EngineConfig, NotificationKind, Subscription,
+};
+use stem_spatial::{Circle, Field, Point, Rect, SpatialExtent};
+use stem_temporal::{Duration, TimePoint};
+
+fn bounds() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+}
+
+fn circle_region(x: f64, y: f64, r: f64) -> SpatialExtent {
+    SpatialExtent::field(Field::circle(Circle::new(Point::new(x, y), r)))
+}
+
+fn mk(event: &str, seq: u64, t: u64, x: f64, y: f64, temp: f64) -> EventInstance {
+    EventInstance::builder(
+        ObserverId::Mote(MoteId::new(1)),
+        EventId::new(event),
+        Layer::Sensor,
+    )
+    .seq(SeqNo::new(seq))
+    .generated(TimePoint::new(t), Point::new(x, y))
+    .attributes(Attributes::new().with("temp", temp))
+    .build()
+}
+
+#[test]
+fn plain_subscription_filters_by_region_event_and_condition() {
+    for threaded in [false, true] {
+        let mut config = EngineConfig::new(bounds())
+            .with_shards(2)
+            .with_batch_size(3);
+        if !threaded {
+            config = config.deterministic();
+        }
+        let mut engine = Engine::start(config);
+        let collector = Collector::new();
+        engine.subscribe(
+            Subscription::new("hot", circle_region(25.0, 25.0, 15.0), collector.sink())
+                .for_event("reading")
+                .when(dsl::parse("x.temp > 40").unwrap()),
+        );
+        engine.ingest(mk("reading", 0, 10, 25.0, 25.0, 50.0)); // match
+        engine.ingest(mk("reading", 1, 20, 25.0, 25.0, 30.0)); // too cool
+        engine.ingest(mk("reading", 2, 30, 80.0, 80.0, 99.0)); // out of region
+        engine.ingest(mk("pressure", 3, 40, 25.0, 25.0, 99.0)); // wrong event
+        engine.ingest(mk("reading", 4, 50, 30.0, 25.0, 41.0)); // match
+        let report = engine.finish();
+        let matches = collector.take();
+        assert_eq!(matches.len(), 2, "threaded={threaded}");
+        assert!(matches.iter().all(|n| matches!(
+            &n.kind,
+            NotificationKind::Match(i) if i.event().as_str() == "reading"
+        )));
+        assert_eq!(report.router.routed, 5);
+        assert_eq!(report.total_notifications(), 2);
+    }
+}
+
+#[test]
+fn pattern_subscription_generates_derived_instances() {
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_shards(4)
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    engine.subscribe(
+        Subscription::new(
+            "hot-pair",
+            circle_region(30.0, 30.0, 25.0),
+            collector.sink(),
+        )
+        .when(dsl::parse("dist(loc(a), loc(b)) < 10").unwrap())
+        .matching(
+            Pattern::atom("a", "hot").then(Pattern::atom("b", "hot")),
+            ConsumptionMode::Chronicle,
+            Some(Duration::new(100)),
+        ),
+    );
+    engine.ingest(mk("hot", 0, 10, 28.0, 30.0, 50.0));
+    engine.ingest(mk("hot", 1, 20, 33.0, 30.0, 55.0)); // pairs with the first, 5 m apart
+    engine.ingest(mk("hot", 2, 30, 50.0, 48.0, 60.0)); // in region but ~24 m away: pattern pairs it, condition rejects
+    let report = engine.finish();
+    let out = collector.take();
+    assert_eq!(out.len(), 1, "one derived instance");
+    match &out[0].kind {
+        NotificationKind::Derived(inst) => {
+            assert_eq!(inst.event().as_str(), "hot-pair");
+            assert_eq!(inst.layer(), Layer::Cyber);
+        }
+        other => panic!("expected Derived, got {other:?}"),
+    }
+    assert_eq!(report.shards.iter().map(|s| s.derived).sum::<u64>(), 1);
+}
+
+#[test]
+fn sustained_subscription_reports_episodes() {
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    engine.subscribe(
+        Subscription::new(
+            "occupied",
+            circle_region(50.0, 50.0, 40.0),
+            collector.sink(),
+        )
+        .sustained(
+            SustainedConfig {
+                min_duration: Duration::new(15),
+                enter_threshold: 45.0,
+                exit_threshold: 40.0,
+            },
+            Some("temp".to_string()),
+        ),
+    );
+    // Rises above 45 at t=10, stays hot past the 15-tick minimum (last
+    // observed true at t=30), falls below 40 at t=50.
+    for (t, temp) in [(0, 20.0), (10, 50.0), (20, 48.0), (30, 47.0), (50, 30.0)] {
+        engine.ingest(mk("reading", t, t, 50.0, 50.0, temp));
+    }
+    let _ = engine.finish();
+    let out = collector.take();
+    assert_eq!(out.len(), 2, "began + ended");
+    assert!(matches!(
+        out[0].kind,
+        NotificationKind::Sustained(SustainedEvent::Began { since, .. })
+            if since == TimePoint::new(10)
+    ));
+    assert!(matches!(
+        out[1].kind,
+        NotificationKind::Sustained(SustainedEvent::Ended { interval })
+            if interval.start() == TimePoint::new(10) && interval.end() == TimePoint::new(30)
+    ));
+}
+
+#[test]
+fn out_of_order_instances_are_reordered_within_slack() {
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_batch_size(1)
+            .with_watermark_slack(Duration::new(20))
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    engine.subscribe(Subscription::new(
+        "all",
+        circle_region(50.0, 50.0, 60.0),
+        collector.sink(),
+    ));
+    // Arrivals disordered by < slack.
+    for t in [10u64, 30, 20, 40, 35, 60, 50] {
+        engine.ingest(mk("reading", t, t, 50.0, 50.0, 25.0));
+    }
+    let report = engine.finish();
+    let times: Vec<u64> = collector
+        .take()
+        .iter()
+        .map(|n| match &n.kind {
+            NotificationKind::Match(i) => i.generation_time().ticks(),
+            other => panic!("unexpected {other:?}"),
+        })
+        .collect();
+    assert_eq!(times, vec![10, 20, 30, 35, 40, 50, 60]);
+    assert_eq!(report.total_late_dropped(), 0);
+}
+
+#[test]
+fn late_instances_are_dropped_and_counted() {
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    engine.subscribe(Subscription::new(
+        "all",
+        circle_region(50.0, 50.0, 60.0),
+        collector.sink(),
+    ));
+    engine.ingest(mk("reading", 0, 100, 50.0, 50.0, 25.0));
+    engine.ingest(mk("reading", 1, 10, 50.0, 50.0, 25.0)); // 90 ticks late, slack 0
+    let report = engine.finish();
+    assert_eq!(collector.take().len(), 1);
+    assert_eq!(report.total_late_dropped(), 1);
+}
+
+#[test]
+fn unsubscribe_stops_deliveries() {
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    let id = engine.subscribe(Subscription::new(
+        "all",
+        circle_region(50.0, 50.0, 60.0),
+        collector.sink(),
+    ));
+    engine.ingest(mk("reading", 0, 10, 50.0, 50.0, 25.0));
+    assert!(engine.unsubscribe(id));
+    assert!(!engine.unsubscribe(id), "second unsubscribe is a no-op");
+    engine.ingest(mk("reading", 1, 20, 50.0, 50.0, 25.0));
+    let _ = engine.finish();
+    assert_eq!(
+        collector.take().len(),
+        1,
+        "only the pre-unsubscribe instance"
+    );
+}
+
+#[test]
+fn broadcast_reaches_subscription_homed_on_another_shard() {
+    // A subscription whose region center lives on one shard must still
+    // see instances whose locations other shards own.
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_shards(4)
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    // Region spanning the whole world: homed on one shard, overlapping
+    // all four.
+    engine.subscribe(Subscription::new(
+        "world",
+        SpatialExtent::field(Field::rect(bounds())),
+        collector.sink(),
+    ));
+    // One instance in each quadrant.
+    for (i, (x, y)) in [(20.0, 20.0), (80.0, 20.0), (20.0, 80.0), (80.0, 80.0)]
+        .into_iter()
+        .enumerate()
+    {
+        engine.ingest(mk("reading", i as u64, 10 * (i as u64 + 1), x, y, 25.0));
+    }
+    let report = engine.finish();
+    assert_eq!(collector.take().len(), 4, "every quadrant's instance seen");
+    assert!(
+        report.router.fanout >= report.router.routed,
+        "broadcast fans out"
+    );
+}
+
+#[test]
+fn threaded_backpressure_block_is_lossless() {
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_shards(2)
+            .with_batch_size(4)
+            .with_queue_capacity(1)
+            .with_backpressure(BackpressurePolicy::Block),
+    );
+    let collector = Collector::new();
+    engine.subscribe(Subscription::new(
+        "all",
+        SpatialExtent::field(Field::rect(bounds())),
+        collector.sink(),
+    ));
+    let n = 10_000u64;
+    for i in 0..n {
+        let x = (i % 100) as f64;
+        let y = ((i / 100) % 100) as f64;
+        engine.ingest(mk("reading", i, i, x, y, 25.0));
+    }
+    let report = engine.finish();
+    assert_eq!(collector.take().len() as u64, n, "no instance lost");
+    assert_eq!(report.router.dropped_backpressure, 0);
+    assert_eq!(report.total_late_dropped(), 0);
+}
+
+#[test]
+fn metrics_account_for_the_stream() {
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_shards(2)
+            .with_batch_size(5)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    engine.subscribe(
+        Subscription::new("hot", circle_region(25.0, 25.0, 20.0), collector.sink())
+            .when(dsl::parse("x.temp > 40").unwrap()),
+    );
+    for i in 0..20u64 {
+        engine.ingest(mk(
+            "reading",
+            i,
+            i,
+            25.0,
+            25.0,
+            if i % 2 == 0 { 50.0 } else { 30.0 },
+        ));
+    }
+    let report = engine.finish();
+    assert_eq!(report.router.routed, 20);
+    assert_eq!(report.total_released(), 20);
+    assert_eq!(report.total_notifications(), 10);
+    assert_eq!(report.shards.len(), 2);
+    let evaluated: u64 = report.shards.iter().map(|s| s.evaluated).sum();
+    assert_eq!(evaluated, 20, "every in-region instance evaluated once");
+}

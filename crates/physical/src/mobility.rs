@@ -121,9 +121,7 @@ impl Trajectory for WaypointPath {
             return last.1;
         }
         // Find the bracketing segment.
-        let idx = self
-            .waypoints
-            .partition_point(|&(wt, _)| wt <= query);
+        let idx = self.waypoints.partition_point(|&(wt, _)| wt <= query);
         let (t0, p0) = self.waypoints[idx - 1];
         let (t1, p1) = self.waypoints[idx];
         let frac = (query.ticks() - t0.ticks()) as f64 / (t1.ticks() - t0.ticks()) as f64;
@@ -247,7 +245,10 @@ mod tests {
 
     #[test]
     fn waypoint_validation() {
-        assert_eq!(WaypointPath::new(vec![], false).unwrap_err(), InvalidPath::Empty);
+        assert_eq!(
+            WaypointPath::new(vec![], false).unwrap_err(),
+            InvalidPath::Empty
+        );
         let err = WaypointPath::new(
             vec![
                 (TimePoint::new(10), Point::new(0.0, 0.0)),
@@ -270,10 +271,18 @@ mod tests {
             false,
         )
         .unwrap();
-        assert!(path.position_at(TimePoint::new(0)).approx_eq(Point::new(0.0, 0.0)));
-        assert!(path.position_at(TimePoint::new(15)).approx_eq(Point::new(5.0, 0.0)));
-        assert!(path.position_at(TimePoint::new(25)).approx_eq(Point::new(10.0, 5.0)));
-        assert!(path.position_at(TimePoint::new(95)).approx_eq(Point::new(10.0, 10.0)));
+        assert!(path
+            .position_at(TimePoint::new(0))
+            .approx_eq(Point::new(0.0, 0.0)));
+        assert!(path
+            .position_at(TimePoint::new(15))
+            .approx_eq(Point::new(5.0, 0.0)));
+        assert!(path
+            .position_at(TimePoint::new(25))
+            .approx_eq(Point::new(10.0, 5.0)));
+        assert!(path
+            .position_at(TimePoint::new(95))
+            .approx_eq(Point::new(10.0, 10.0)));
     }
 
     #[test]
@@ -287,9 +296,13 @@ mod tests {
         )
         .unwrap();
         // t=15 wraps to t=5.
-        assert!(path.position_at(TimePoint::new(15)).approx_eq(Point::new(5.0, 0.0)));
+        assert!(path
+            .position_at(TimePoint::new(15))
+            .approx_eq(Point::new(5.0, 0.0)));
         // t=25 wraps to t=5 as well (period 10).
-        assert!(path.position_at(TimePoint::new(25)).approx_eq(Point::new(5.0, 0.0)));
+        assert!(path
+            .position_at(TimePoint::new(25))
+            .approx_eq(Point::new(5.0, 0.0)));
     }
 
     #[test]

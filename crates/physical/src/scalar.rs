@@ -130,7 +130,11 @@ impl ScalarField for SpreadingFire {
         let r = self.front_radius(t);
         let d = self.ignition.distance(p);
         if self.edge_width <= 0.0 {
-            return if d <= r { self.burn_value } else { self.ambient };
+            return if d <= r {
+                self.burn_value
+            } else {
+                self.ambient
+            };
         }
         // Smooth step from burn_value (d << r) to ambient (d >> r).
         let x = (d - r) / self.edge_width;
@@ -192,7 +196,11 @@ mod tests {
     fn uniform_and_gradient() {
         let u = UniformField { value: 20.0 };
         assert_eq!(u.value_at(Point::new(5.0, 5.0), TimePoint::new(9)), 20.0);
-        let g = GradientField { base: 10.0, gx: 1.0, gy: -2.0 };
+        let g = GradientField {
+            base: 10.0,
+            gx: 1.0,
+            gy: -2.0,
+        };
         assert_eq!(g.value_at(Point::new(2.0, 1.0), TimePoint::EPOCH), 10.0);
     }
 
@@ -245,7 +253,10 @@ mod tests {
         let at_front = f.value_at(Point::new(20.0, 0.0), t);
         let outside = f.value_at(Point::new(50.0, 0.0), t);
         assert!(inside > 395.0, "deep inside ≈ burn value, got {inside}");
-        assert!((at_front - 210.0).abs() < 1.0, "front is the midpoint, got {at_front}");
+        assert!(
+            (at_front - 210.0).abs() < 1.0,
+            "front is the midpoint, got {at_front}"
+        );
         assert!(outside < 21.0, "far outside ≈ ambient, got {outside}");
     }
 
@@ -280,7 +291,10 @@ mod tests {
             floor: 0.0,
         };
         assert!(field.value_at(Point::new(10.0, 0.0), TimePoint::new(1)) > 49.0);
-        assert_eq!(field.value_at(Point::new(-50.0, 0.0), TimePoint::new(1)), 20.0);
+        assert_eq!(
+            field.value_at(Point::new(-50.0, 0.0), TimePoint::new(1)),
+            20.0
+        );
     }
 
     proptest! {
@@ -313,7 +327,7 @@ mod tests {
                 onset: TimePoint::new(50),
             };
             let v = h.value_at(Point::new(x, y), TimePoint::new(t));
-            prop_assert!(v >= 20.0 - 1e-9 && v <= 50.0 + 1e-9);
+            prop_assert!((20.0 - 1e-9..=50.0 + 1e-9).contains(&v));
         }
     }
 }

@@ -114,11 +114,7 @@ pub fn first_crossing<F: ScalarField + ?Sized>(
 /// Builds the ground-truth physical event for a presence interval: an
 /// interval/point event "object was inside `region` during `interval`".
 #[must_use]
-pub fn presence_event(
-    id: &str,
-    interval: TimeInterval,
-    region: &Field,
-) -> PhysicalEvent {
+pub fn presence_event(id: &str, interval: TimeInterval, region: &Field) -> PhysicalEvent {
     physical_event(
         id,
         TemporalExtent::interval(interval),
@@ -169,7 +165,10 @@ mod tests {
         );
         assert_eq!(intervals.len(), 2, "two visits: {intervals:?}");
         assert!(intervals[0].contains(TimePoint::new(20)));
-        assert!(intervals[1].end() == TimePoint::new(60), "still inside at horizon");
+        assert!(
+            intervals[1].end() == TimePoint::new(60),
+            "still inside at horizon"
+        );
     }
 
     #[test]
@@ -183,7 +182,13 @@ mod tests {
             TimePoint::new(50),
             Duration::new(5),
         );
-        assert_eq!(ivs, vec![TimeInterval::spanning(TimePoint::new(10), TimePoint::new(50))]);
+        assert_eq!(
+            ivs,
+            vec![TimeInterval::spanning(
+                TimePoint::new(10),
+                TimePoint::new(50)
+            )]
+        );
         let outside = StaticPosition(Point::new(100.0, 0.0));
         assert!(presence_intervals(
             &outside,
@@ -253,7 +258,10 @@ mod tests {
             Duration::new(1),
         )
         .unwrap();
-        assert!(near < far, "fire reaches nearer point first ({near} vs {far})");
+        assert!(
+            near < far,
+            "fire reaches nearer point first ({near} vs {far})"
+        );
     }
 
     #[test]

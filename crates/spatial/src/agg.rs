@@ -174,7 +174,9 @@ mod tests {
     #[test]
     fn bounding_box_covers_all() {
         let f = SpatialExtent::field(Field::circle(Circle::new(Point::new(5.0, 5.0), 1.0)));
-        let bb = SpatialAgg::BoundingBox.apply(&[pt(0.0, 0.0), f.clone()]).unwrap();
+        let bb = SpatialAgg::BoundingBox
+            .apply(&[pt(0.0, 0.0), f.clone()])
+            .unwrap();
         assert!(bb.contains_extent(&pt(0.0, 0.0)));
         assert!(bb.contains_extent(&f));
     }
@@ -210,7 +212,10 @@ mod tests {
     #[test]
     fn identity_single_and_multi() {
         let f = SpatialExtent::field(Field::circle(Circle::new(Point::new(0.0, 0.0), 1.0)));
-        assert_eq!(SpatialAgg::Identity.apply(&[f.clone()]), Some(f.clone()));
+        assert_eq!(
+            SpatialAgg::Identity.apply(std::slice::from_ref(&f)),
+            Some(f.clone())
+        );
         let multi = SpatialAgg::Identity.apply(&[f, pt(9.0, 9.0)]).unwrap();
         assert!(multi.contains_extent(&pt(9.0, 9.0)));
     }

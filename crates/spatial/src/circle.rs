@@ -184,7 +184,7 @@ mod tests {
         /// Points produced on the boundary are contained; scaled-out points
         /// are not.
         #[test]
-        fn boundary_classification(cx in -10.0f64..10.0, cy in -10.0f64..10.0, r in 0.1f64..5.0, theta in 0.0f64..6.28) {
+        fn boundary_classification(cx in -10.0f64..10.0, cy in -10.0f64..10.0, r in 0.1f64..5.0, theta in 0.0f64..std::f64::consts::TAU) {
             let c = Circle::new(Point::new(cx, cy), r);
             let on = Point::new(cx + r * theta.cos() * 0.999, cy + r * theta.sin() * 0.999);
             let out = Point::new(cx + r * theta.cos() * 1.01, cy + r * theta.sin() * 1.01);

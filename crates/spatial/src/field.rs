@@ -177,9 +177,7 @@ impl Field {
         match (self, other) {
             (Field::Rect(a), Field::Rect(b)) => a.contains_rect(b),
             (Field::Circle(a), Field::Circle(b)) => a.contains_circle(b),
-            (Field::Rect(r), Field::Circle(c)) => {
-                r.contains_rect(&c.bounding_box())
-            }
+            (Field::Rect(r), Field::Circle(c)) => r.contains_rect(&c.bounding_box()),
             (Field::Circle(c), Field::Rect(r)) => r.corners().iter().all(|&p| c.contains(p)),
             (Field::Circle(c), Field::Polygon(p)) => {
                 // The polygon lies within its vertices' convex hull, and a
@@ -193,12 +191,8 @@ impl Field {
                 }
             }
             (Field::Polygon(a), Field::Polygon(b)) => a.contains_polygon(b),
-            (Field::Rect(r), Field::Polygon(p)) => {
-                p.vertices().iter().all(|&v| r.contains(v))
-            }
-            (Field::Polygon(p), Field::Rect(r)) => {
-                p.contains_polygon(&Polygon::from_rect(r))
-            }
+            (Field::Rect(r), Field::Polygon(p)) => p.vertices().iter().all(|&v| r.contains(v)),
+            (Field::Polygon(p), Field::Rect(r)) => p.contains_polygon(&Polygon::from_rect(r)),
         }
     }
 
@@ -448,7 +442,10 @@ mod tests {
         assert!(r.contains_field(&c));
         assert!(!c.contains_field(&r));
         let big_c = Field::circle(Circle::new(Point::new(2.0, 2.0), 3.0));
-        assert!(big_c.contains_field(&r), "circle of radius 3 contains the 4x4 rect (corner distance 2√2 ≈ 2.83)");
+        assert!(
+            big_c.contains_field(&r),
+            "circle of radius 3 contains the 4x4 rect (corner distance 2√2 ≈ 2.83)"
+        );
     }
 
     #[test]
@@ -482,7 +479,10 @@ mod tests {
         let b = SpatialExtent::point(Point::new(3.0, 4.0));
         assert_eq!(a.distance(&b), 5.0);
         let f = SpatialExtent::field(Field::circle(Circle::new(Point::new(10.0, 0.0), 2.0)));
-        assert_eq!(b.distance(&f), Point::new(3.0, 4.0).distance(Point::new(10.0, 0.0)) - 2.0);
+        assert_eq!(
+            b.distance(&f),
+            Point::new(3.0, 4.0).distance(Point::new(10.0, 0.0)) - 2.0
+        );
         assert_eq!(f.distance(&f), 0.0);
     }
 
@@ -508,7 +508,10 @@ mod tests {
             Point::new(2.0, 2.0),
         )));
         assert!(field.contains_extent(&pt));
-        assert!(!pt.contains_extent(&field), "a point never contains a field");
+        assert!(
+            !pt.contains_extent(&field),
+            "a point never contains a field"
+        );
         assert!(pt.contains_extent(&pt));
     }
 

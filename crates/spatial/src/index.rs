@@ -160,7 +160,7 @@ impl<T: Clone> GridIndex<T> {
                     if let Some(bucket) = self.cells.get(&(cx, cy)) {
                         for (item, loc) in bucket {
                             let d = p.distance(*loc);
-                            if best.as_ref().map_or(true, |(_, bd)| d < *bd) {
+                            if best.as_ref().is_none_or(|(_, bd)| d < *bd) {
                                 best = Some((item.clone(), d));
                             }
                         }

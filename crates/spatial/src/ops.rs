@@ -121,7 +121,10 @@ mod tests {
     }
 
     fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> SpatialExtent {
-        SpatialExtent::field(Field::rect(Rect::new(Point::new(x0, y0), Point::new(x1, y1))))
+        SpatialExtent::field(Field::rect(Rect::new(
+            Point::new(x0, y0),
+            Point::new(x1, y1),
+        )))
     }
 
     #[test]
@@ -142,7 +145,10 @@ mod tests {
         let b = pt(1.0, 1.0);
         let c = pt(2.0, 2.0);
         assert!(SpatialOperator::Equal.eval(&a, &b));
-        assert!(SpatialOperator::Inside.eval(&a, &b), "coincident points are inside each other");
+        assert!(
+            SpatialOperator::Inside.eval(&a, &b),
+            "coincident points are inside each other"
+        );
         assert!(SpatialOperator::Outside.eval(&a, &c));
         assert!(!SpatialOperator::Meet.eval(&a, &b), "points cannot meet");
     }
@@ -152,7 +158,10 @@ mod tests {
         let a = rect(0.0, 0.0, 1.0, 1.0);
         let b = rect(1.0, 0.0, 2.0, 1.0);
         assert!(SpatialOperator::Meet.eval(&a, &b));
-        assert!(SpatialOperator::Joint.eval(&a, &b), "meeting fields are joint");
+        assert!(
+            SpatialOperator::Joint.eval(&a, &b),
+            "meeting fields are joint"
+        );
         assert!(SpatialOperator::Equal.eval(&a, &a.clone()));
         assert!(!SpatialOperator::Equal.eval(&a, &b));
     }

@@ -287,7 +287,8 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
 
     let mut lower: Vec<Point> = Vec::new();
     for &p in &pts {
-        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= EPSILON
+        while lower.len() >= 2
+            && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= EPSILON
         {
             lower.pop();
         }
@@ -295,7 +296,8 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     }
     let mut upper: Vec<Point> = Vec::new();
     for &p in pts.iter().rev() {
-        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= EPSILON
+        while upper.len() >= 2
+            && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= EPSILON
         {
             upper.pop();
         }

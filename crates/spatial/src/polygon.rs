@@ -265,7 +265,12 @@ impl Polygon {
 
 impl fmt::Display for Polygon {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "polygon[{} vertices, area={:.3}]", self.len(), self.area())
+        write!(
+            f,
+            "polygon[{} vertices, area={:.3}]",
+            self.len(),
+            self.area()
+        )
     }
 }
 
@@ -433,7 +438,10 @@ mod tests {
     fn containment_concave() {
         let l = l_shape();
         assert!(l.contains(Point::new(1.0, 3.0)), "inside the L's upright");
-        assert!(!l.contains(Point::new(3.0, 3.0)), "inside the bite, outside the L");
+        assert!(
+            !l.contains(Point::new(3.0, 3.0)),
+            "inside the bite, outside the L"
+        );
         assert!(l.contains(Point::new(3.0, 1.0)), "inside the L's base");
     }
 

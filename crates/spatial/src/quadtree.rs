@@ -125,15 +125,24 @@ fn clamp_into(bounds: Rect, p: Point) -> Point {
 /// an item whose true location is in the query lies — by routing point —
 /// inside the clamped query, so pruning against it is exact.
 fn clamp_rect(bounds: Rect, query: &Rect) -> Rect {
-    Rect::new(clamp_into(bounds, query.min()), clamp_into(bounds, query.max()))
+    Rect::new(
+        clamp_into(bounds, query.min()),
+        clamp_into(bounds, query.max()),
+    )
 }
 
 fn quadrants(bounds: Rect) -> [Rect; 4] {
     let c = bounds.center();
     [
         Rect::new(bounds.min(), c),
-        Rect::new(Point::new(c.x, bounds.min().y), Point::new(bounds.max().x, c.y)),
-        Rect::new(Point::new(bounds.min().x, c.y), Point::new(c.x, bounds.max().y)),
+        Rect::new(
+            Point::new(c.x, bounds.min().y),
+            Point::new(bounds.max().x, c.y),
+        ),
+        Rect::new(
+            Point::new(bounds.min().x, c.y),
+            Point::new(c.x, bounds.max().y),
+        ),
         Rect::new(c, bounds.max()),
     ]
 }
@@ -164,10 +173,22 @@ fn insert_rec<T: Clone>(
                 let drained = std::mem::take(items);
                 let qs = quadrants(bounds);
                 let mut children = Box::new([
-                    QuadNode { bounds: qs[0], node: Node::Leaf(Vec::new()) },
-                    QuadNode { bounds: qs[1], node: Node::Leaf(Vec::new()) },
-                    QuadNode { bounds: qs[2], node: Node::Leaf(Vec::new()) },
-                    QuadNode { bounds: qs[3], node: Node::Leaf(Vec::new()) },
+                    QuadNode {
+                        bounds: qs[0],
+                        node: Node::Leaf(Vec::new()),
+                    },
+                    QuadNode {
+                        bounds: qs[1],
+                        node: Node::Leaf(Vec::new()),
+                    },
+                    QuadNode {
+                        bounds: qs[2],
+                        node: Node::Leaf(Vec::new()),
+                    },
+                    QuadNode {
+                        bounds: qs[3],
+                        node: Node::Leaf(Vec::new()),
+                    },
                 ]);
                 for (it, loc) in drained {
                     let r = clamp_into(bounds, loc);
@@ -181,7 +202,14 @@ fn insert_rec<T: Clone>(
         Node::Branch(children) => {
             let q = quadrant_of(bounds, routing);
             let child_bounds = children[q].bounds;
-            insert_rec(&mut children[q].node, child_bounds, item, location, routing, depth + 1);
+            insert_rec(
+                &mut children[q].node,
+                child_bounds,
+                item,
+                location,
+                routing,
+                depth + 1,
+            );
         }
     }
 }

@@ -248,7 +248,10 @@ mod tests {
     #[test]
     fn disjoint_rects() {
         assert_eq!(
-            relate_fields(&rect_field(0.0, 0.0, 1.0, 1.0), &rect_field(5.0, 5.0, 6.0, 6.0)),
+            relate_fields(
+                &rect_field(0.0, 0.0, 1.0, 1.0),
+                &rect_field(5.0, 5.0, 6.0, 6.0)
+            ),
             TopoRelation::Disjoint
         );
     }
@@ -256,12 +259,18 @@ mod tests {
     #[test]
     fn meeting_rects_share_only_boundary() {
         assert_eq!(
-            relate_fields(&rect_field(0.0, 0.0, 1.0, 1.0), &rect_field(1.0, 0.0, 2.0, 1.0)),
+            relate_fields(
+                &rect_field(0.0, 0.0, 1.0, 1.0),
+                &rect_field(1.0, 0.0, 2.0, 1.0)
+            ),
             TopoRelation::Meet
         );
         // Corner touch is also Meet.
         assert_eq!(
-            relate_fields(&rect_field(0.0, 0.0, 1.0, 1.0), &rect_field(1.0, 1.0, 2.0, 2.0)),
+            relate_fields(
+                &rect_field(0.0, 0.0, 1.0, 1.0),
+                &rect_field(1.0, 1.0, 2.0, 2.0)
+            ),
             TopoRelation::Meet
         );
     }
@@ -269,7 +278,10 @@ mod tests {
     #[test]
     fn overlapping_rects() {
         assert_eq!(
-            relate_fields(&rect_field(0.0, 0.0, 2.0, 2.0), &rect_field(1.0, 1.0, 3.0, 3.0)),
+            relate_fields(
+                &rect_field(0.0, 0.0, 2.0, 2.0),
+                &rect_field(1.0, 1.0, 3.0, 3.0)
+            ),
             TopoRelation::Overlap
         );
     }
@@ -277,7 +289,10 @@ mod tests {
     #[test]
     fn equal_rects() {
         assert_eq!(
-            relate_fields(&rect_field(0.0, 0.0, 2.0, 2.0), &rect_field(0.0, 0.0, 2.0, 2.0)),
+            relate_fields(
+                &rect_field(0.0, 0.0, 2.0, 2.0),
+                &rect_field(0.0, 0.0, 2.0, 2.0)
+            ),
             TopoRelation::Equal
         );
     }
@@ -286,16 +301,25 @@ mod tests {
     fn contains_vs_covers() {
         // Strict containment: no boundary contact.
         assert_eq!(
-            relate_fields(&rect_field(0.0, 0.0, 4.0, 4.0), &rect_field(1.0, 1.0, 2.0, 2.0)),
+            relate_fields(
+                &rect_field(0.0, 0.0, 4.0, 4.0),
+                &rect_field(1.0, 1.0, 2.0, 2.0)
+            ),
             TopoRelation::Contains
         );
         // Containment with shared boundary edge.
         assert_eq!(
-            relate_fields(&rect_field(0.0, 0.0, 4.0, 4.0), &rect_field(0.0, 1.0, 2.0, 2.0)),
+            relate_fields(
+                &rect_field(0.0, 0.0, 4.0, 4.0),
+                &rect_field(0.0, 1.0, 2.0, 2.0)
+            ),
             TopoRelation::Covers
         );
         assert_eq!(
-            relate_fields(&rect_field(0.0, 1.0, 2.0, 2.0), &rect_field(0.0, 0.0, 4.0, 4.0)),
+            relate_fields(
+                &rect_field(0.0, 1.0, 2.0, 2.0),
+                &rect_field(0.0, 0.0, 4.0, 4.0)
+            ),
             TopoRelation::CoveredBy
         );
     }
@@ -320,9 +344,18 @@ mod tests {
     #[test]
     fn point_field_classification_rect() {
         let f = rect_field(0.0, 0.0, 2.0, 2.0);
-        assert_eq!(relate_point_field(Point::new(1.0, 1.0), &f), PointFieldRelation::Inside);
-        assert_eq!(relate_point_field(Point::new(0.0, 1.0), &f), PointFieldRelation::OnBoundary);
-        assert_eq!(relate_point_field(Point::new(3.0, 1.0), &f), PointFieldRelation::Outside);
+        assert_eq!(
+            relate_point_field(Point::new(1.0, 1.0), &f),
+            PointFieldRelation::Inside
+        );
+        assert_eq!(
+            relate_point_field(Point::new(0.0, 1.0), &f),
+            PointFieldRelation::OnBoundary
+        );
+        assert_eq!(
+            relate_point_field(Point::new(3.0, 1.0), &f),
+            PointFieldRelation::Outside
+        );
     }
 
     #[test]

@@ -16,11 +16,7 @@ pub struct InvalidInterval {
 
 impl fmt::Display for InvalidInterval {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "interval end {} precedes start {}",
-            self.end, self.start
-        )
+        write!(f, "interval end {} precedes start {}", self.end, self.start)
     }
 }
 
@@ -68,9 +64,7 @@ impl TimeInterval {
     pub fn with_length(start: TimePoint, length: Duration) -> Self {
         TimeInterval {
             start,
-            end: start
-                .checked_add(length)
-                .unwrap_or(TimePoint::MAX),
+            end: start.checked_add(length).unwrap_or(TimePoint::MAX),
         }
     }
 
@@ -410,6 +404,9 @@ mod tests {
     #[test]
     fn display_shows_interval_brackets() {
         assert_eq!(iv(1, 2).to_string(), "[t1, t2]");
-        assert_eq!(TemporalExtent::punctual(TimePoint::new(1)).to_string(), "t1");
+        assert_eq!(
+            TemporalExtent::punctual(TimePoint::new(1)).to_string(),
+            "t1"
+        );
     }
 }

@@ -162,7 +162,10 @@ mod tests {
     #[test]
     fn during_is_strict_within_is_not() {
         assert!(TemporalOperator::During.eval(&p(5), &i(0, 9)));
-        assert!(!TemporalOperator::During.eval(&p(0), &i(0, 9)), "boundary is not strict during");
+        assert!(
+            !TemporalOperator::During.eval(&p(0), &i(0, 9)),
+            "boundary is not strict during"
+        );
         assert!(TemporalOperator::Within.eval(&p(0), &i(0, 9)));
         assert!(TemporalOperator::Within.eval(&i(0, 9), &i(0, 9)));
         assert!(!TemporalOperator::During.eval(&i(0, 9), &i(0, 9)));
@@ -187,8 +190,14 @@ mod tests {
     fn overlap_requires_proper_overlap() {
         assert!(TemporalOperator::Overlap.eval(&i(0, 6), &i(5, 9)));
         assert!(TemporalOperator::Overlap.eval(&i(5, 9), &i(0, 6)));
-        assert!(!TemporalOperator::Overlap.eval(&i(0, 5), &i(5, 9)), "meeting is not overlapping");
-        assert!(!TemporalOperator::Overlap.eval(&i(2, 3), &i(0, 9)), "containment is not overlapping");
+        assert!(
+            !TemporalOperator::Overlap.eval(&i(0, 5), &i(5, 9)),
+            "meeting is not overlapping"
+        );
+        assert!(
+            !TemporalOperator::Overlap.eval(&i(2, 3), &i(0, 9)),
+            "containment is not overlapping"
+        );
     }
 
     #[test]

@@ -536,7 +536,10 @@ mod tests {
     fn degenerate_interval_relations_are_consistent() {
         // [5,5] starts [5,9]; [9,9] finishes [5,9]; [7,7] during [5,9].
         assert_eq!(relate_intervals(iv(5, 5), iv(5, 9)), AllenRelation::Starts);
-        assert_eq!(relate_intervals(iv(9, 9), iv(5, 9)), AllenRelation::Finishes);
+        assert_eq!(
+            relate_intervals(iv(9, 9), iv(5, 9)),
+            AllenRelation::Finishes
+        );
         assert_eq!(relate_intervals(iv(7, 7), iv(5, 9)), AllenRelation::During);
         // Two equal degenerate intervals are Equals.
         assert_eq!(relate_intervals(iv(4, 4), iv(4, 4)), AllenRelation::Equals);
@@ -558,9 +561,13 @@ mod tests {
 
     #[test]
     fn relation_set_from_iterator() {
-        let s: RelationSet = [AllenRelation::Before, AllenRelation::Before, AllenRelation::After]
-            .into_iter()
-            .collect();
+        let s: RelationSet = [
+            AllenRelation::Before,
+            AllenRelation::Before,
+            AllenRelation::After,
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(s.len(), 2);
     }
 
@@ -607,7 +614,11 @@ mod tests {
     fn mnemonics_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for r in ALL_ALLEN_RELATIONS {
-            assert!(seen.insert(r.mnemonic()), "duplicate mnemonic {}", r.mnemonic());
+            assert!(
+                seen.insert(r.mnemonic()),
+                "duplicate mnemonic {}",
+                r.mnemonic()
+            );
         }
     }
 

@@ -5,8 +5,8 @@
 //! the DES kernel.
 
 use crate::{
-    EnergyConfig, EnergyLedger, MacConfig, MacOutcome, Radio, RadioConfig, RouteMetric,
-    RoutingTree, Topology, transmit_frame,
+    transmit_frame, EnergyConfig, EnergyLedger, MacConfig, MacOutcome, Radio, RadioConfig,
+    RouteMetric, RoutingTree, Topology,
 };
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
@@ -177,7 +177,8 @@ impl WsnSim {
                 .positions()
                 .filter(|(id, _)| self.energy.is_alive(*id) || *id == self.sink),
         );
-        self.tree = RoutingTree::build(&alive, &self.radio, self.sink, self.link_range, self.metric);
+        self.tree =
+            RoutingTree::build(&alive, &self.radio, self.sink, self.link_range, self.metric);
     }
 
     /// Transmits one frame over a single hop, charging energy on both
@@ -200,7 +201,12 @@ impl WsnSim {
         }
         let quality = self.radio.link_quality(from, pf, to, pt);
         let airtime = self.radio.transmission_delay(payload_bytes);
-        let out = transmit_frame(&self.mac, airtime, quality.success_probability, &mut self.rng);
+        let out = transmit_frame(
+            &self.mac,
+            airtime,
+            quality.success_probability,
+            &mut self.rng,
+        );
         // Energy: the sender pays for every attempt; the receiver pays
         // only for the frame it actually receives.
         let frame = payload_bytes + self.radio.config().frame_overhead_bytes;
@@ -316,16 +322,34 @@ mod tests {
     #[test]
     fn energy_depletes_with_traffic() {
         let mut sim = grid_sim(3);
-        let before = sim.energy().battery(MoteId::new(12)).unwrap().remaining_uj();
+        let before = sim
+            .energy()
+            .battery(MoteId::new(12))
+            .unwrap()
+            .remaining_uj();
         for _ in 0..50 {
             let _ = sim.send_to_sink(MoteId::new(24), 32);
         }
         // Mote 12 sits mid-grid; it relays some traffic or at least idles.
-        let after = sim.energy().battery(MoteId::new(12)).unwrap().remaining_uj();
+        let after = sim
+            .energy()
+            .battery(MoteId::new(12))
+            .unwrap()
+            .remaining_uj();
         assert!(after <= before);
         // The source definitely spent energy.
-        let src = sim.energy().battery(MoteId::new(24)).unwrap().remaining_uj();
-        assert!(src < sim.energy().battery(MoteId::new(7)).map_or(f64::MAX, |b| b.remaining_uj()) + 1.0);
+        let src = sim
+            .energy()
+            .battery(MoteId::new(24))
+            .unwrap()
+            .remaining_uj();
+        assert!(
+            src < sim
+                .energy()
+                .battery(MoteId::new(7))
+                .map_or(f64::MAX, |b| b.remaining_uj())
+                + 1.0
+        );
     }
 
     #[test]

@@ -197,7 +197,11 @@ mod tests {
         let q_ba = r.link_quality(b, pb, a, pa);
         assert_eq!(q_ab, q_ba, "link is reciprocal");
         let r2 = radio();
-        assert_eq!(r2.link_quality(a, pa, b, pb), q_ab, "same seed, same channel");
+        assert_eq!(
+            r2.link_quality(a, pa, b, pb),
+            q_ab,
+            "same seed, same channel"
+        );
         // Different links see different shadowing.
         let q_ac = r.link_quality(a, pa, MoteId::new(10), pb);
         assert_ne!(q_ab.rssi_dbm, q_ac.rssi_dbm);
@@ -227,7 +231,11 @@ mod tests {
             MoteId::new(1),
             Point::new(d, 0.0),
         );
-        assert!((q.success_probability - 0.5).abs() < 0.01, "at nominal range p≈0.5, got {}", q.success_probability);
+        assert!(
+            (q.success_probability - 0.5).abs() < 0.01,
+            "at nominal range p≈0.5, got {}",
+            q.success_probability
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl RoutingTree {
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
         cost.insert(sink, 0.0);
         hops.insert(sink, 0);
-        heap.push(HeapEntry { cost: 0.0, node: sink });
+        heap.push(HeapEntry {
+            cost: 0.0,
+            node: sink,
+        });
 
         while let Some(HeapEntry { cost: c, node }) = heap.pop() {
             if c > cost[&node] {
@@ -79,11 +82,14 @@ impl RoutingTree {
                     }
                 };
                 let next = c + link_cost;
-                if cost.get(&nbr).map_or(true, |&old| next < old) {
+                if cost.get(&nbr).is_none_or(|&old| next < old) {
                     cost.insert(nbr, next);
                     parent.insert(nbr, node);
                     hops.insert(nbr, hops[&node] + 1);
-                    heap.push(HeapEntry { cost: next, node: nbr });
+                    heap.push(HeapEntry {
+                        cost: next,
+                        node: nbr,
+                    });
                 }
             }
         }

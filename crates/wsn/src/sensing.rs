@@ -164,7 +164,13 @@ impl RangeSensor {
     ///
     /// Panics if `max_range` is not positive.
     #[must_use]
-    pub fn new(mote: MoteId, sensor: SensorId, noise: SensorNoise, max_range: f64, seed: u64) -> Self {
+    pub fn new(
+        mote: MoteId,
+        sensor: SensorId,
+        noise: SensorNoise,
+        max_range: f64,
+        seed: u64,
+    ) -> Self {
         assert!(max_range > 0.0, "max_range must be positive");
         let key = (u64::from(mote.raw()) << 16) | u64::from(sensor.raw()) | (1 << 63);
         RangeSensor {
@@ -245,7 +251,11 @@ mod tests {
             SensorNoise::perfect(),
             7,
         );
-        let world = GradientField { base: 0.0, gx: 0.0, gy: 0.0 };
+        let world = GradientField {
+            base: 0.0,
+            gx: 0.0,
+            gy: 0.0,
+        };
         let o0 = s.sample(&world, Point::new(0.0, 0.0), TimePoint::new(1));
         let o1 = s.sample(&world, Point::new(0.0, 0.0), TimePoint::new(2));
         assert_eq!(o0.seq().raw(), 0);
@@ -265,7 +275,11 @@ mod tests {
             },
             11,
         );
-        let world = GradientField { base: 100.0, gx: 0.0, gy: 0.0 };
+        let world = GradientField {
+            base: 100.0,
+            gx: 0.0,
+            gy: 0.0,
+        };
         let n = 5000;
         let samples: Vec<f64> = (0..n)
             .map(|i| {
@@ -275,7 +289,10 @@ mod tests {
             })
             .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        assert!((mean - 105.0).abs() < 0.2, "bias shifts the mean, got {mean}");
+        assert!(
+            (mean - 105.0).abs() < 0.2,
+            "bias shifts the mean, got {mean}"
+        );
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((var - 4.0).abs() < 0.4, "σ²=4, got {var}");
     }
@@ -293,14 +310,22 @@ mod tests {
             },
             1,
         );
-        let world = GradientField { base: 10.3, gx: 0.0, gy: 0.0 };
+        let world = GradientField {
+            base: 10.3,
+            gx: 0.0,
+            gy: 0.0,
+        };
         let obs = s.sample(&world, Point::new(0.0, 0.0), TimePoint::new(0));
         assert_eq!(obs.value("temp"), Some(10.5));
     }
 
     #[test]
     fn sensors_with_same_seed_reproduce() {
-        let world = GradientField { base: 50.0, gx: 0.0, gy: 0.0 };
+        let world = GradientField {
+            base: 50.0,
+            gx: 0.0,
+            gy: 0.0,
+        };
         let run = || {
             let mut s = FieldSensor::new(
                 MoteId::new(4),
@@ -335,7 +360,9 @@ mod tests {
             .expect("boundary is in range");
         assert_eq!(obs.value("range"), Some(10.0));
         let far = StaticPosition(Point::new(60.0, 80.0));
-        assert!(s.measure(&far, Point::new(0.0, 0.0), TimePoint::new(2)).is_none());
+        assert!(s
+            .measure(&far, Point::new(0.0, 0.0), TimePoint::new(2))
+            .is_none());
     }
 
     #[test]

@@ -51,8 +51,16 @@ impl Topology {
         let mut id = 0;
         for gy in 0..ny {
             for gx in 0..nx {
-                let jx = if jitter > 0.0 { rng.gen_range(-jitter..=jitter) } else { 0.0 };
-                let jy = if jitter > 0.0 { rng.gen_range(-jitter..=jitter) } else { 0.0 };
+                let jx = if jitter > 0.0 {
+                    rng.gen_range(-jitter..=jitter)
+                } else {
+                    0.0
+                };
+                let jy = if jitter > 0.0 {
+                    rng.gen_range(-jitter..=jitter)
+                } else {
+                    0.0
+                };
                 positions.insert(
                     MoteId::new(id),
                     Point::new(f64::from(gx) * spacing + jx, f64::from(gy) * spacing + jy),
@@ -79,8 +87,8 @@ impl Topology {
     pub fn from_positions(positions: impl IntoIterator<Item = (MoteId, Point)>) -> Self {
         let positions: BTreeMap<MoteId, Point> = positions.into_iter().collect();
         assert!(!positions.is_empty(), "topology needs at least one mote");
-        let area = Rect::bounding(&positions.values().copied().collect::<Vec<_>>())
-            .expect("non-empty");
+        let area =
+            Rect::bounding(&positions.values().copied().collect::<Vec<_>>()).expect("non-empty");
         Topology { positions, area }
     }
 

@@ -37,7 +37,10 @@ fn main() {
     println!("=== analytic EDL model ({hops} hops, p_link={p_link}) ===");
     println!("{:<20} {:>10} {:>8}", "stage", "mean (ms)", "share");
     for (name, mean, share) in model.mean_breakdown() {
-        println!("{name:<20} {mean:>10.2} {share:>7.1}%", share = share * 100.0);
+        println!(
+            "{name:<20} {mean:>10.2} {share:>7.1}%",
+            share = share * 100.0
+        );
     }
     let e2e = model.end_to_end();
     println!();
@@ -85,10 +88,7 @@ fn main() {
 
     println!();
     println!("=== transport stages: model vs Monte-Carlo ({runs} frames) ===");
-    println!(
-        "{:<12} {:>12} {:>12}",
-        "metric", "analytic", "simulated"
-    );
+    println!("{:<12} {:>12} {:>12}", "metric", "analytic", "simulated");
     println!(
         "{:<12} {:>12.4} {:>12.4}",
         "delivery",
@@ -106,15 +106,17 @@ fn main() {
         "p50 (ms)",
         transport.quantile(0.5).unwrap(),
         Pmf::from_samples(
-            &delivered_delays.iter().map(|d| *d as u64).collect::<Vec<_>>()
+            &delivered_delays
+                .iter()
+                .map(|d| *d as u64)
+                .collect::<Vec<_>>()
         )
         .unwrap()
         .quantile(0.5)
         .unwrap()
     );
 
-    let mean_err =
-        (transport.mean().unwrap() - sim.mean).abs() / sim.mean * 100.0;
+    let mean_err = (transport.mean().unwrap() - sim.mean).abs() / sim.mean * 100.0;
     println!("mean error: {mean_err:.2}%");
     assert!(
         mean_err < 5.0,

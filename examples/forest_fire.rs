@@ -56,7 +56,11 @@ fn main() {
                 Layer::Sensor,
                 dsl::parse("x.temp > 60").expect("valid"),
             )
-            .with_projection(AttrProjection::new("temp", AttrAggregate::Average, "temp")),
+            .with_projection(AttrProjection::new(
+                "temp",
+                AttrAggregate::Average,
+                "temp",
+            )),
         )
         // Layer 2: the sink fuses two nearby hot readings into a field
         // estimate of the burning area (hull of the reporting motes).
@@ -129,10 +133,7 @@ fn main() {
         ambient: 20.0,
         edge_width: 3.0,
     };
-    for inst in report
-        .instances_of(&EventId::new("fire-area"))
-        .take(5)
-    {
+    for inst in report.instances_of(&EventId::new("fire-area")).take(5) {
         let est = inst.estimated_location();
         let t = inst.estimated_time().midpoint();
         let center_temp = fire_truth.value_at(est.representative(), t);

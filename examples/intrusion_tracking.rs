@@ -9,6 +9,7 @@
 //!
 //! Run with: `cargo run --example intrusion_tracking`
 
+use rand::Rng;
 use stem::cep::{CompositeDetector, ConsumptionMode, Pattern, ReorderBuffer};
 use stem::core::{
     dsl, Attributes, ConditionObserver, EventDefinition, EventId, EventInstance, Layer, MoteId,
@@ -17,7 +18,6 @@ use stem::core::{
 use stem::des::stream;
 use stem::spatial::{Point, SpatialExtent};
 use stem::temporal::{Duration, TemporalExtent, TimePoint};
-use rand::Rng;
 
 /// Builds a zone-entry sensor event.
 fn zone_entry(zone: &str, mote: u32, t: u64, at: Point, seq: u64) -> EventInstance {

@@ -40,7 +40,10 @@ fn main() {
     let bindings = Bindings::new()
         .with("x", observation(100, 0.0, 31.0))
         .with("y", observation(140, 3.0, 33.0));
-    println!("S1 over x@(0,0,t100), y@(3,0,t140): {:?}", s1.eval(&bindings));
+    println!(
+        "S1 over x@(0,0,t100), y@(3,0,t140): {:?}",
+        s1.eval(&bindings)
+    );
 
     // ------------------------------------------------------------------
     // 3. Spatial conditions over fields: "user inside the nearby-window
@@ -56,7 +59,10 @@ fn main() {
             Confidence::CERTAIN,
         ),
     );
-    println!("user inside window area            : {:?}", nearby.eval(&user_near));
+    println!(
+        "user inside window area            : {:?}",
+        nearby.eval(&user_near)
+    );
     let window_area = Field::circle(Circle::new(Point::new(10.0, 10.0), 3.0));
     println!("window area                        : {window_area}");
 
@@ -129,6 +135,10 @@ fn main() {
     bad.constrain(2, 0, AllenRelation::Before.into());
     println!(
         "with alarm-before-door added       : {}",
-        if bad.propagate() { "consistent" } else { "inconsistent (cycle detected)" }
+        if bad.propagate() {
+            "consistent"
+        } else {
+            "inconsistent (cycle detected)"
+        }
     );
 }

@@ -95,12 +95,8 @@ fn main() {
     println!("seed {}, {} sim events", report.seed, report.sim_events);
     println!(
         "range readings: {}, position fixes: {}",
-        report
-            .instances_of(&EventId::new("range-reading"))
-            .count(),
-        report
-            .instances_of(&EventId::new("user-position"))
-            .count(),
+        report.instances_of(&EventId::new("range-reading")).count(),
+        report.instances_of(&EventId::new("user-position")).count(),
     );
     if let Some(h) = report.metrics.histogram(metrics::LOC_ERROR) {
         let mut h = h.clone();

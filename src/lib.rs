@@ -17,6 +17,8 @@
 //! * [`cep`] — complex event processing engine with interval semantics
 //! * [`cps`] — the hierarchical CPS architecture and scenario runner
 //! * [`analysis`] — localization, EDL model, statistics, confidence fusion
+//! * [`engine`] — the sharded, batched streaming runtime serving live
+//!   spatio-temporal subscriptions at scale
 //!
 //! # Quick start
 //!
@@ -38,6 +40,7 @@ pub use stem_cep as cep;
 pub use stem_core as core;
 pub use stem_cps as cps;
 pub use stem_des as des;
+pub use stem_engine as engine;
 pub use stem_physical as physical;
 pub use stem_spatial as spatial;
 pub use stem_temporal as temporal;

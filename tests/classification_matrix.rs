@@ -3,9 +3,7 @@
 //! and carried faithfully through the model types.
 
 use stem::cep::{SustainedConfig, SustainedDetector, SustainedEvent};
-use stem::core::{
-    physical_event, Attributes, EventClass, SpatialClass, TemporalClass,
-};
+use stem::core::{physical_event, Attributes, EventClass, SpatialClass, TemporalClass};
 use stem::physical::{
     first_crossing, presence_intervals, HotSpot, ScalarField, SpreadingFire, StaticPosition,
     Trajectory, WaypointPath,
@@ -39,10 +37,7 @@ fn punctual_point_threshold_crossing() {
     )
     .expect("crossing occurs");
     assert_eq!(t, TimePoint::new(500));
-    let class = classify(
-        TemporalExtent::punctual(t),
-        SpatialExtent::point(sensor_at),
-    );
+    let class = classify(TemporalExtent::punctual(t), SpatialExtent::point(sensor_at));
     assert_eq!(class.temporal, TemporalClass::Punctual);
     assert_eq!(class.spatial, SpatialClass::Point);
 }
@@ -118,7 +113,9 @@ fn interval_field_burn_episode() {
     let end = TimePoint::new(2_000);
     let region = fire.burning_region(end).unwrap();
     let class = classify(
-        TemporalExtent::interval(stem::temporal::TimeInterval::new(TimePoint::new(100), end).unwrap()),
+        TemporalExtent::interval(
+            stem::temporal::TimeInterval::new(TimePoint::new(100), end).unwrap(),
+        ),
         SpatialExtent::field(region.clone()),
     );
     assert_eq!(class.temporal, TemporalClass::Interval);

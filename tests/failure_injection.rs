@@ -55,7 +55,7 @@ fn killing_relays_cuts_off_downstream_motes() {
         ..WsnConfig::default()
     };
     let mut sim = WsnSim::new(topo, MoteId::new(0), cfg, 9);
-    assert!(sim.send_to_sink(MoteId::new(5), 24).delivered || true); // may retry-fail; connectivity is what matters
+    let _ = sim.send_to_sink(MoteId::new(5), 24); // may retry-fail; connectivity is what matters
     assert!(sim.tree().is_connected(MoteId::new(5)));
 
     sim.kill_mote(MoteId::new(3));

@@ -3,9 +3,7 @@
 //! layers.
 
 use stem::cep::Pattern;
-use stem::core::{
-    dsl, AttrAggregate, AttrProjection, EventDefinition, EventId, Layer, ObserverId,
-};
+use stem::core::{dsl, AttrAggregate, AttrProjection, EventDefinition, EventId, Layer, ObserverId};
 use stem::cps::{
     metrics, ActorSelector, CpsApplication, CpsSystem, DetectorSpec, EcaRule, ScenarioConfig,
     TopologySpec,
@@ -38,9 +36,13 @@ fn hotspot_scenario(seed: u64) -> (ScenarioConfig, CpsApplication) {
     };
     let app = CpsApplication::new()
         .with_sensor_definition(
-            EventDefinition::new("hot-reading", Layer::Sensor, dsl::parse("x.temp > 45").unwrap())
-                .with_projection(AttrProjection::new("temp", AttrAggregate::Average, "temp"))
-                .with_confidence_policy(stem::core::ConfidencePolicy::Fixed(0.9)),
+            EventDefinition::new(
+                "hot-reading",
+                Layer::Sensor,
+                dsl::parse("x.temp > 45").unwrap(),
+            )
+            .with_projection(AttrProjection::new("temp", AttrAggregate::Average, "temp"))
+            .with_confidence_policy(stem::core::ConfidencePolicy::Fixed(0.9)),
         )
         .with_sink_detector(DetectorSpec::new(
             EventDefinition::new(
@@ -56,8 +58,12 @@ fn hotspot_scenario(seed: u64) -> (ScenarioConfig, CpsApplication) {
             Duration::new(2_000),
         ))
         .with_ccu_detector(DetectorSpec::new(
-            EventDefinition::new("heat-alarm", Layer::Cyber, dsl::parse("x.temp > 40").unwrap())
-                .with_confidence_policy(stem::core::ConfidencePolicy::MinOfInputs),
+            EventDefinition::new(
+                "heat-alarm",
+                Layer::Cyber,
+                dsl::parse("x.temp > 40").unwrap(),
+            )
+            .with_confidence_policy(stem::core::ConfidencePolicy::MinOfInputs),
             Pattern::atom("x", "hot-area"),
             Duration::new(5_000),
         ))
@@ -230,5 +236,9 @@ fn full_runs_reproduce_exactly_from_the_seed() {
             .map(|i| format!("{i}"))
             .collect::<Vec<_>>()
     };
-    assert_eq!(run(99), run(99), "identical seeds → identical instance logs");
+    assert_eq!(
+        run(99),
+        run(99),
+        "identical seeds → identical instance logs"
+    );
 }
