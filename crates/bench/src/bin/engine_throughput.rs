@@ -1,9 +1,19 @@
 //! BENCH-ENGINE: streaming-engine ingest throughput vs. shard count.
 //!
-//! Drives synthetic per-mote generators through `stem-engine` with a
-//! dense layer of spatial subscriptions and measures end-to-end ingest
-//! throughput (instances/sec from first `ingest` to drained shutdown)
-//! at shard counts 1 / 2 / 4 / 8. Results go to `BENCH_engine.json`.
+//! Two workloads:
+//!
+//! * **micro** — synthetic per-mote generators through `stem-engine`
+//!   with a dense layer of spatial subscriptions; end-to-end ingest
+//!   throughput (instances/sec from first `ingest` to drained shutdown)
+//!   at shard counts 1 / 2 / 4 / 8.
+//! * **scenario** — the production path: the reference hotspot scenario
+//!   run with `EvalBackend::Engine`, its notification multiset checked
+//!   bit-for-bit against the DES backend, then its recorded sensor
+//!   stream replayed through engine-compiled app subscriptions at
+//!   several shard counts (`cargo run ... -- scenario` runs only this
+//!   part, as the CI smoke test).
+//!
+//! Results go to `BENCH_engine.json` (full runs only).
 //!
 //! Why sharding pays even on a single core: each shard only scans the
 //! subscriptions homed on it, so the per-instance evaluation scan
@@ -12,8 +22,12 @@
 //! run in parallel.
 
 use rand::Rng;
-use stem_bench::{banner, Table};
-use stem_core::{dsl, Attributes, EventId, EventInstance, Layer, MoteId, ObserverId, SeqNo};
+use stem_bench::{banner, hotspot_scenario, Table};
+use stem_core::{
+    dsl, Attributes, ConditionObserver, EventId, EventInstance, Layer, MoteId, ObserverId, SeqNo,
+    TimedInstance,
+};
+use stem_cps::{engine_subscriptions, scenario_world_bounds, CpsSystem, EvalBackend};
 use stem_des::stream;
 use stem_engine::{Collector, Engine, EngineConfig, Subscription};
 use stem_spatial::{Circle, Field, Point, Rect, SpatialExtent};
@@ -124,12 +138,148 @@ fn run_shard_count(shards: usize, instances: &[EventInstance]) -> RunResult {
     best.expect("at least one run")
 }
 
+/// One scenario-replay measurement.
+struct ScenarioRun {
+    shards: usize,
+    instances: u64,
+    elapsed_ms: f64,
+    instances_per_sec: f64,
+    notifications: u64,
+}
+
+/// The production-path workload: engine-fed scenario equivalence plus a
+/// recorded-stream replay through the compiled app subscriptions.
+fn scenario_mode() -> (u64, Vec<ScenarioRun>) {
+    const SCENARIO_SEED: u64 = 2026;
+    const REPLAY_ROUNDS: u64 = 60;
+    let (config, app) = hotspot_scenario(SCENARIO_SEED);
+    println!("\n-- scenario mode: hotspot through the engine backend --\n");
+
+    // 1. The engine backend must reproduce the DES backend bit-for-bit.
+    let des = CpsSystem::run(config.clone(), app.clone());
+    let des_log: Vec<String> = des.instances.iter().map(|i| format!("{i:?}")).collect();
+    for shards in [1usize, 4] {
+        let engine_config = stem_cps::ScenarioConfig {
+            backend: EvalBackend::Engine {
+                shards,
+                deterministic: true,
+            },
+            ..config.clone()
+        };
+        let run = CpsSystem::run(engine_config, app.clone());
+        let log: Vec<String> = run.instances.iter().map(|i| format!("{i:?}")).collect();
+        assert_eq!(
+            des_log, log,
+            "{shards}-shard engine backend diverged from DES"
+        );
+        let engine = run.engine.expect("engine report");
+        println!(
+            "engine backend, {shards} shard(s): {} instances bit-identical to DES, \
+             {} notifications, {} late-dropped",
+            log.len(),
+            engine.total_notifications(),
+            engine.total_late_dropped(),
+        );
+    }
+
+    // 2. Replay the recorded sensor stream through the engine-compiled
+    //    app subscriptions (the pure ingest path, no DES in the loop).
+    let horizon = config.duration.ticks() + 1;
+    let sensor_stream: Vec<EventInstance> = des.instances_at(Layer::Sensor).cloned().collect();
+    let world = scenario_world_bounds(&config, &app);
+    let sink_observer =
+        ConditionObserver::new(ObserverId::Sink(MoteId::new(0)), config.sink_near, 1.0);
+    let ccu_observer = ConditionObserver::new(
+        ObserverId::Ccu(stem_core::CcuId::new(0)),
+        config.sink_near,
+        1.0,
+    );
+    let replayed = REPLAY_ROUNDS * sensor_stream.len() as u64;
+    println!(
+        "\nreplaying {} recorded sensor instances x{REPLAY_ROUNDS} rounds \
+         through the compiled subscriptions\n",
+        sensor_stream.len()
+    );
+    let mut runs = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut best: Option<ScenarioRun> = None;
+        for _ in 0..RUNS_PER_COUNT {
+            let mut engine = Engine::start(
+                EngineConfig::new(world)
+                    .with_shards(shards)
+                    .with_batch_size(256)
+                    .with_queue_capacity(32),
+            );
+            let collector = Collector::new();
+            for sub in engine_subscriptions(&app, &sink_observer, &ccu_observer, world, || {
+                collector.sink()
+            }) {
+                engine.subscribe(sub);
+            }
+            let mut source = (0..REPLAY_ROUNDS).flat_map(|round| {
+                let offset = round * horizon;
+                sensor_stream.iter().map(move |inst| TimedInstance {
+                    at: TimePoint::new(inst.generation_time().ticks() + offset),
+                    instance: inst.clone(),
+                })
+            });
+            engine.pump(&mut source);
+            let report = engine.finish();
+            assert_eq!(report.router.routed, replayed);
+            let run = ScenarioRun {
+                shards,
+                instances: replayed,
+                elapsed_ms: report.elapsed.as_secs_f64() * 1e3,
+                instances_per_sec: report.throughput(),
+                notifications: report.total_notifications(),
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| run.instances_per_sec > b.instances_per_sec)
+            {
+                best = Some(run);
+            }
+        }
+        runs.push(best.expect("at least one run"));
+    }
+
+    let mut table = Table::new(vec![
+        "shards",
+        "instances",
+        "elapsed_ms",
+        "instances/sec",
+        "notifications",
+    ]);
+    for r in &runs {
+        table.row(vec![
+            r.shards.to_string(),
+            r.instances.to_string(),
+            format!("{:.1}", r.elapsed_ms),
+            format!("{:.0}", r.instances_per_sec),
+            r.notifications.to_string(),
+        ]);
+    }
+    table.print();
+    assert!(
+        runs.iter()
+            .all(|r| r.notifications == runs[0].notifications),
+        "scenario replay match counts diverged across shard counts"
+    );
+    (SCENARIO_SEED, runs)
+}
+
 fn main() {
+    let scenario_only = std::env::args().any(|a| a == "scenario");
     banner(
         "BENCH-ENGINE",
         "streaming engine ingest throughput vs. shard count",
         SEED,
     );
+    if scenario_only {
+        let _ = scenario_mode();
+        println!("\nscenario smoke mode: BENCH_engine.json left untouched");
+        return;
+    }
     let instances = synthetic_stream();
     println!(
         "{} instances, {} generators, {} subscriptions, batch 256\n",
@@ -178,6 +328,8 @@ fn main() {
         "match counts diverged across shard counts"
     );
 
+    let (scenario_seed, scenario_runs) = scenario_mode();
+
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"engine_throughput\",\n");
     json.push_str(&format!("  \"seed\": {SEED},\n"));
@@ -199,7 +351,24 @@ fn main() {
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"scenario\": {\n");
+    json.push_str("    \"workload\": \"hotspot sensor stream replayed through engine-compiled app subscriptions\",\n");
+    json.push_str(&format!("    \"seed\": {scenario_seed},\n"));
+    json.push_str("    \"des_equivalent\": true,\n");
+    json.push_str("    \"results\": [\n");
+    for (i, r) in scenario_runs.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"shards\": {}, \"instances\": {}, \"elapsed_ms\": {:.1}, \"instances_per_sec\": {:.0}, \"notifications\": {}}}{}\n",
+            r.shards,
+            r.instances,
+            r.elapsed_ms,
+            r.instances_per_sec,
+            r.notifications,
+            if i + 1 == scenario_runs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nwrote BENCH_engine.json");
 }

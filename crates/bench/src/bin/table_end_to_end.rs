@@ -4,7 +4,7 @@
 
 use stem_analysis::{mac_hop_stage, processing_stage, sampling_stage, EdlModel};
 use stem_bench::{banner, hotspot_onset, hotspot_scenario, Table};
-use stem_cps::{metrics, CpsSystem};
+use stem_cps::{metrics, CpsSystem, EvalBackend, ScenarioConfig};
 use stem_wsn::{MacConfig, Radio};
 
 fn main() {
@@ -15,6 +15,13 @@ fn main() {
         seed,
     );
     let (config, app) = hotspot_scenario(seed);
+    // `-- engine [shards]` measures the pipeline with the sink/CCU
+    // layers served by the streaming engine instead of inline detectors.
+    let backend = EvalBackend::from_args(std::env::args());
+    if backend != EvalBackend::Des {
+        println!("\nbackend: {backend:?}");
+    }
+    let config = ScenarioConfig { backend, ..config };
     let sampling = config.sampling_period;
     let mote_proc = config.mote_processing;
     let sink_proc = config.sink_processing;
@@ -120,5 +127,37 @@ fn main() {
          the sampling wait — the model bounds the *first* reaction, which\n\
          measured {measured_first} ms against its mean {:.0} ms.",
         pmf.mean().expect("mass")
+    );
+
+    // Backend parity: whichever backend served this run, the engine-fed
+    // pipeline must reproduce the DES reference bit-for-bit.
+    let (reference_config, reference_app) = hotspot_scenario(seed);
+    let reference = CpsSystem::run(reference_config.clone(), reference_app.clone());
+    let engine_run = CpsSystem::run(
+        ScenarioConfig {
+            backend: EvalBackend::Engine {
+                shards: 2,
+                deterministic: true,
+            },
+            ..reference_config
+        },
+        reference_app,
+    );
+    let fingerprint = |r: &stem_cps::CpsReport| -> Vec<String> {
+        r.instances.iter().map(|i| format!("{i:?}")).collect()
+    };
+    assert_eq!(
+        fingerprint(&reference),
+        fingerprint(&engine_run),
+        "engine backend diverged from the DES reference"
+    );
+    let engine = engine_run.engine.expect("engine report");
+    println!(
+        "\nbackend parity: engine-fed run (2 shards, deterministic) is\n\
+         bit-identical to the DES reference — {} instances, {} engine\n\
+         notifications, {} late-dropped",
+        engine_run.instances.len(),
+        engine.total_notifications(),
+        engine.total_late_dropped()
     );
 }

@@ -13,11 +13,16 @@ use stem_temporal::{Duration, TimePoint};
 
 /// A watermark-based reorder buffer.
 ///
-/// Instances are buffered keyed by generation time; whenever the
-/// watermark (latest seen generation time minus the slack) advances, all
-/// buffered instances at or below it are released in order. Instances
-/// arriving with a generation time already behind the watermark are
-/// *late*: they are dropped and counted.
+/// Items are buffered under an explicit ordering key (for
+/// [`EventInstance`]s, their generation time via
+/// [`ReorderBuffer::push`]); whenever the watermark (latest seen key
+/// minus the slack) advances, all buffered items at or below it are
+/// released in order. Items arriving with a key already behind the
+/// watermark are *late*: they are dropped and counted.
+///
+/// The payload type is generic so stream stages can carry metadata
+/// through the reordering (the engine's shard workers buffer
+/// `(evaluation time, instance)` pairs keyed by evaluation time).
 ///
 /// # Example
 ///
@@ -38,17 +43,23 @@ use stem_temporal::{Duration, TimePoint};
 /// assert_eq!(released.len(), 1);
 /// assert_eq!(released[0].generation_time(), TimePoint::new(100));
 /// ```
-#[derive(Debug, Clone, Default)]
-pub struct ReorderBuffer {
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer<T = EventInstance> {
     slack: Duration,
-    buffer: BTreeMap<(TimePoint, u64), EventInstance>,
+    buffer: BTreeMap<(TimePoint, u64), T>,
     max_seen: Option<TimePoint>,
     tie: u64,
     late_dropped: u64,
     released: u64,
 }
 
-impl ReorderBuffer {
+impl<T> Default for ReorderBuffer<T> {
+    fn default() -> Self {
+        ReorderBuffer::new(Duration::ZERO)
+    }
+}
+
+impl<T> ReorderBuffer<T> {
     /// Creates a buffer with the given watermark slack.
     #[must_use]
     pub fn new(slack: Duration) -> Self {
@@ -93,43 +104,42 @@ impl ReorderBuffer {
         self.buffer.len()
     }
 
-    /// Accepts an arrival and returns any instances now releasable, in
-    /// generation-time order (FIFO among equal times).
-    pub fn push(&mut self, instance: EventInstance) -> Vec<EventInstance> {
-        let t = instance.generation_time();
+    /// Accepts an arrival under an explicit ordering key and returns any
+    /// items now releasable, in key order (FIFO among equal keys).
+    pub fn push_at(&mut self, key: TimePoint, item: T) -> Vec<T> {
         if let Some(w) = self.watermark() {
-            if t < w {
+            if key < w {
                 self.late_dropped += 1;
                 return Vec::new();
             }
         }
         self.tie += 1;
-        self.buffer.insert((t, self.tie), instance);
-        self.max_seen = Some(self.max_seen.map_or(t, |m| m.max(t)));
+        self.buffer.insert((key, self.tie), item);
+        self.max_seen = Some(self.max_seen.map_or(key, |m| m.max(key)));
         self.drain()
     }
 
     /// Advances the watermark from an out-of-band time observation and
-    /// returns any instances that become releasable, in order.
+    /// returns any items that become releasable, in order.
     ///
     /// A sharded ingest path needs this: each shard's buffer only sees
     /// the instances routed to it, so its locally-observed maximum
     /// generation time lags the stream's. The router broadcasts its
     /// global maximum as a heartbeat and every shard applies it here,
     /// keeping late-drop decisions aligned with a single-shard run.
-    pub fn observe(&mut self, t: TimePoint) -> Vec<EventInstance> {
+    pub fn observe(&mut self, t: TimePoint) -> Vec<T> {
         self.max_seen = Some(self.max_seen.map_or(t, |m| m.max(t)));
         self.drain()
     }
 
     /// Releases everything still buffered (stream end), in order.
-    pub fn flush(&mut self) -> Vec<EventInstance> {
-        let out: Vec<EventInstance> = std::mem::take(&mut self.buffer).into_values().collect();
+    pub fn flush(&mut self) -> Vec<T> {
+        let out: Vec<T> = std::mem::take(&mut self.buffer).into_values().collect();
         self.released += out.len() as u64;
         out
     }
 
-    fn drain(&mut self) -> Vec<EventInstance> {
+    fn drain(&mut self) -> Vec<T> {
         let Some(w) = self.watermark() else {
             return Vec::new();
         };
@@ -143,6 +153,16 @@ impl ReorderBuffer {
         }
         self.released += out.len() as u64;
         out
+    }
+}
+
+impl ReorderBuffer<EventInstance> {
+    /// Accepts an instance keyed by its generation time and returns any
+    /// instances now releasable, in generation-time order (FIFO among
+    /// equal times).
+    pub fn push(&mut self, instance: EventInstance) -> Vec<EventInstance> {
+        let t = instance.generation_time();
+        self.push_at(t, instance)
     }
 }
 
@@ -231,6 +251,19 @@ mod tests {
         assert_eq!(out[0].generation_time(), TimePoint::new(10));
         assert_eq!(buf.pending(), 0);
         assert_eq!(buf.released(), 2);
+    }
+
+    #[test]
+    fn keyed_payloads_reorder_by_explicit_key() {
+        // The generic path: payloads carry metadata (here an evaluation
+        // time) and order by an explicit key, not by generation time.
+        let mut buf: ReorderBuffer<(u64, &str)> = ReorderBuffer::new(Duration::new(10));
+        assert!(buf.push_at(TimePoint::new(105), (105, "b")).is_empty());
+        assert!(buf.push_at(TimePoint::new(100), (100, "a")).is_empty());
+        let out = buf.push_at(TimePoint::new(120), (120, "c"));
+        assert_eq!(out, vec![(100, "a"), (105, "b")]);
+        assert_eq!(buf.flush(), vec![(120, "c")]);
+        assert_eq!(buf.released(), 3);
     }
 
     #[test]

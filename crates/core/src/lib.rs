@@ -53,6 +53,7 @@ mod ids;
 mod instance;
 mod layers;
 mod observer;
+mod pump;
 
 pub use attr::{AttrAggregate, AttrValue, Attributes, RelationalOp};
 pub use condition::{
@@ -72,3 +73,4 @@ pub use observer::{
     AttrProjection, ConditionObserver, ConfidencePolicy, EventDefinition, LocationEstimator,
     TimeEstimator,
 };
+pub use pump::{InstancePump, InstanceSource, PumpEvent, PumpOutput, TimedInstance};

@@ -90,6 +90,50 @@ pub struct SustainedSpec {
     pub silence_timeout: Duration,
 }
 
+impl SustainedSpec {
+    /// The detector configuration on the *transformed* axis: `Below`
+    /// specs run on the negated axis so one rising-threshold detector
+    /// serves both modes.
+    #[must_use]
+    pub fn transformed_config(&self) -> SustainedConfig {
+        match self.threshold_mode {
+            ThresholdMode::Above => self.config,
+            ThresholdMode::Below => SustainedConfig {
+                min_duration: self.config.min_duration,
+                enter_threshold: -self.config.enter_threshold,
+                exit_threshold: -self.config.exit_threshold,
+            },
+        }
+    }
+
+    /// Whether extracted samples are negated before feeding the
+    /// detector (true for `Below` specs).
+    #[must_use]
+    pub fn negates(&self) -> bool {
+        self.threshold_mode == ThresholdMode::Below
+    }
+
+    /// Maps an extracted sample onto the transformed axis.
+    #[must_use]
+    pub fn transform(&self, value: f64) -> f64 {
+        if self.negates() {
+            -value
+        } else {
+            value
+        }
+    }
+
+    /// A sample on the transformed axis guaranteed to end any open
+    /// episode (fed on silence timeouts).
+    #[must_use]
+    pub fn inactive_value(&self) -> f64 {
+        match self.threshold_mode {
+            ThresholdMode::Above => self.config.exit_threshold - 1.0,
+            ThresholdMode::Below => -(self.config.exit_threshold + 1.0),
+        }
+    }
+}
+
 /// Target tracking (the Sec. 1 localization example): motes range a
 /// moving target; the sink trilaterates and publishes position events.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -1,0 +1,309 @@
+//! The engine side of the ingest/evaluation seam: scenario app
+//! conditions compiled into [`stem_engine`] subscriptions.
+//!
+//! [`crate::CpsSystem`] still runs the physical world, sensing, WSN,
+//! and dispatch on the DES kernel; with
+//! [`crate::EvalBackend::Engine`] the sink- and CCU-layer evaluation is
+//! served by a sharded streaming [`Engine`] instead of inline
+//! detectors:
+//!
+//! * every sink detector, CCU detector, and sustained spec of the
+//!   [`CpsApplication`] becomes one engine [`Subscription`] (patterns
+//!   carry the definition's estimation policies and the station's
+//!   observer identity, so derived instances are bit-identical to the
+//!   DES path's);
+//! * station routing follows the paper's layering (Fig. 2): sensor-layer
+//!   instances feed the sink subscriptions, cyber-physical and cyber
+//!   instances feed the CCU subscriptions;
+//! * each simulation delivery is pumped via [`Engine::ingest_at`] with
+//!   the station's observer-local clock and synchronously folded back
+//!   ([`Engine::sync`]), so ECA rules, feedback composition, and
+//!   database stores keep their DES-time semantics;
+//! * at the scenario horizon [`Engine::finish_at`] drains the reorder
+//!   buffers and closes open sustained episodes.
+
+use crate::app::{CpsApplication, SustainedSource};
+use crate::scenario::ScenarioConfig;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use stem_core::{
+    ConditionObserver, EventId, EventInstance, InstancePump, Layer, PumpEvent, PumpOutput,
+};
+use stem_engine::{
+    Collector, Engine, EngineConfig, EngineReport, EventSink, NotificationKind, SilenceSpec,
+    Subscription, SubscriptionId, SustainedValue,
+};
+use stem_physical::Trajectory;
+use stem_spatial::{Field, Point, Rect, SpatialExtent};
+use stem_temporal::TimePoint;
+
+/// The world rectangle handed to the engine's shard map: the bounding
+/// box of the deployment, the actors, and (when the application tracks
+/// a target) the target's sampled trajectory, inflated enough to keep
+/// localization fixes in comfortably partitionable territory
+/// (out-of-bounds points still route — they clamp to the nearest shard
+/// cell).
+#[must_use]
+pub fn scenario_world_bounds(config: &ScenarioConfig, app: &CpsApplication) -> Rect {
+    let topology = config.build_topology();
+    let mut min = Point::new(f64::MAX, f64::MAX);
+    let mut max = Point::new(f64::MIN, f64::MIN);
+    let mut extend = |p: Point| {
+        min = Point::new(min.x.min(p.x), min.y.min(p.y));
+        max = Point::new(max.x.max(p.x), max.y.max(p.y));
+    };
+    for (_, p) in topology.positions() {
+        extend(p);
+    }
+    for &p in &config.actors {
+        extend(p);
+    }
+    extend(config.sink_near);
+    if let Some(tracking) = &app.tracking {
+        let horizon = config.duration.ticks();
+        let step = (horizon / 64).max(1);
+        let mut t = 0u64;
+        while t <= horizon {
+            extend(
+                tracking
+                    .target
+                    .position_at(stem_temporal::TimePoint::new(t)),
+            );
+            t = t.saturating_add(step);
+        }
+    }
+    let width = (max.x - min.x).max(1.0);
+    let height = (max.y - min.y).max(1.0);
+    let margin_x = (width * 0.25).max(10.0);
+    let margin_y = (height * 0.25).max(10.0);
+    Rect::new(
+        Point::new(min.x - margin_x, min.y - margin_y),
+        Point::new(max.x + margin_x, max.y + margin_y),
+    )
+}
+
+/// A region covering every location an instance can carry: station
+/// subscriptions replicate the DES stations, which see their entire
+/// arrival stream with no spatial pre-filter.
+fn everywhere() -> SpatialExtent {
+    SpatialExtent::field(Field::rect(Rect::new(
+        Point::new(-1e15, -1e15),
+        Point::new(1e15, 1e15),
+    )))
+}
+
+/// Compiles a [`CpsApplication`]'s sink/CCU stack into engine
+/// subscriptions, in canonical registration order: sink detectors, CCU
+/// detectors, then sustained specs. `world` spreads the subscriptions'
+/// home shards across the deployment; `sink_factory` supplies each
+/// subscription's notification sink.
+pub fn engine_subscriptions(
+    app: &CpsApplication,
+    sink_observer: &ConditionObserver,
+    ccu_observer: &ConditionObserver,
+    world: Rect,
+    mut sink_factory: impl FnMut() -> Box<dyn EventSink>,
+) -> Vec<Subscription> {
+    let total =
+        (app.sink_detectors.len() + app.ccu_detectors.len() + app.sustained.len()).max(1) as f64;
+    // Spread home shards along the world diagonal: station subscriptions
+    // watch everywhere, so without a hint they would all home on the
+    // owner of the same region center.
+    let hint = |index: usize| {
+        let f = (index as f64 + 0.5) / total;
+        Point::new(
+            world.min().x + world.width() * f,
+            world.min().y + world.height() * f,
+        )
+    };
+    let mut subs = Vec::new();
+    for spec in &app.sink_detectors {
+        subs.push(
+            Subscription::new(spec.definition.id.clone(), everywhere(), sink_factory())
+                .at_layers(vec![Layer::Sensor])
+                .matching(spec.pattern.clone(), spec.mode, spec.horizon)
+                .with_definition(spec.definition.clone())
+                .observed_by(sink_observer.clone())
+                .homed_near(hint(subs.len())),
+        );
+    }
+    for spec in &app.ccu_detectors {
+        subs.push(
+            Subscription::new(spec.definition.id.clone(), everywhere(), sink_factory())
+                .at_layers(vec![Layer::CyberPhysical, Layer::Cyber])
+                .matching(spec.pattern.clone(), spec.mode, spec.horizon)
+                .with_definition(spec.definition.clone())
+                .observed_by(ccu_observer.clone())
+                .homed_near(hint(subs.len())),
+        );
+    }
+    for spec in &app.sustained {
+        let value = match &spec.source {
+            SustainedSource::Attribute(key) => SustainedValue::Attribute(key.clone()),
+            SustainedSource::DistanceTo { x, y } => SustainedValue::DistanceTo(Point::new(*x, *y)),
+        };
+        subs.push(
+            Subscription::new(spec.output.clone(), everywhere(), sink_factory())
+                .for_event(spec.input.clone())
+                .at_layers(vec![Layer::CyberPhysical, Layer::Cyber])
+                .sustained_spec(stem_engine::SustainedSpec {
+                    config: spec.transformed_config(),
+                    value,
+                    negate: spec.negates(),
+                    silence: Some(SilenceSpec {
+                        timeout: spec.silence_timeout,
+                        inactive_value: spec.inactive_value(),
+                    }),
+                })
+                .homed_near(hint(subs.len())),
+        );
+    }
+    subs
+}
+
+/// Shared engine state behind the station pumps.
+struct EngineShared {
+    engine: Option<Engine>,
+    collector: Collector,
+    /// Sustained registration index → engine subscription id (silence
+    /// probes address detectors by index across the seam).
+    sustained_ids: Vec<SubscriptionId>,
+    /// Subscription id → the episode output event id (for folding
+    /// sustained notifications back into instances).
+    sustained_outputs: BTreeMap<u64, EventId>,
+    report: Option<EngineReport>,
+}
+
+impl EngineShared {
+    /// Drains everything the engine delivered since the last drain and
+    /// folds it into seam events, ordered by subscription registration —
+    /// for a single fed instance this reproduces the DES path's
+    /// detector-list evaluation order whatever shard the work ran on.
+    fn drain(&mut self) -> PumpOutput {
+        let mut notes = self.collector.take();
+        notes.sort_by_key(|n| n.subscription.raw());
+        let mut out = PumpOutput::default();
+        for note in notes {
+            match note.kind {
+                NotificationKind::Derived(instance) => {
+                    out.events.push(PumpEvent::Derived(instance));
+                }
+                NotificationKind::Sustained(event) => {
+                    let output = self
+                        .sustained_outputs
+                        .get(&note.subscription.raw())
+                        .expect("sustained notification from unknown subscription");
+                    out.events.push(crate::seam::episode_event(output, event));
+                }
+                // Station subscriptions are all pattern or sustained.
+                NotificationKind::Match(_) => {}
+            }
+        }
+        out
+    }
+}
+
+/// A station handle over the shared engine. Both Fig. 1 stations (sink,
+/// CCU) feed the same engine; layer filters on the subscriptions keep
+/// their streams apart.
+pub(crate) struct EnginePump {
+    inner: Rc<RefCell<EngineShared>>,
+}
+
+impl EnginePump {
+    /// Builds the engine, registers the application's subscriptions, and
+    /// returns the station pump plus a handle for retrieving the
+    /// engine's report after the run.
+    pub(crate) fn start(
+        config: &ScenarioConfig,
+        app: &CpsApplication,
+        sink_observer: &ConditionObserver,
+        ccu_observer: &ConditionObserver,
+        shards: usize,
+        deterministic: bool,
+    ) -> Self {
+        let world = scenario_world_bounds(config, app);
+        let mut engine_config = EngineConfig::new(world)
+            .with_shards(shards)
+            .with_batch_size(1);
+        if deterministic {
+            engine_config = engine_config.deterministic();
+        }
+        let mut engine = Engine::start(engine_config);
+        let collector = Collector::new();
+        let subs =
+            engine_subscriptions(app, sink_observer, ccu_observer, world, || collector.sink());
+        let n_composite = app.sink_detectors.len() + app.ccu_detectors.len();
+        let mut sustained_ids = Vec::new();
+        let mut sustained_outputs = BTreeMap::new();
+        for (index, sub) in subs.into_iter().enumerate() {
+            let output = sub.name.clone();
+            let id = engine.subscribe(sub);
+            if index >= n_composite {
+                sustained_ids.push(id);
+                sustained_outputs.insert(id.raw(), output);
+            }
+        }
+        EnginePump {
+            inner: Rc::new(RefCell::new(EngineShared {
+                engine: Some(engine),
+                collector,
+                sustained_ids,
+                sustained_outputs,
+                report: None,
+            })),
+        }
+    }
+
+    /// A second station handle over the same engine.
+    pub(crate) fn station(&self) -> EnginePump {
+        EnginePump {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+
+    /// The engine's report, available after [`InstancePump::finish`].
+    pub(crate) fn take_report(&self) -> Option<EngineReport> {
+        self.inner.borrow_mut().report.take()
+    }
+}
+
+impl InstancePump for EnginePump {
+    fn feed(&mut self, at: TimePoint, instance: &EventInstance) -> PumpOutput {
+        let mut inner = self.inner.borrow_mut();
+        let Some(engine) = inner.engine.as_mut() else {
+            return PumpOutput::default();
+        };
+        engine.ingest_at(instance.clone(), at);
+        engine.sync();
+        inner.drain()
+    }
+
+    fn tick(&mut self, at: TimePoint, detector: usize) -> PumpOutput {
+        let mut inner = self.inner.borrow_mut();
+        let Some(id) = inner.sustained_ids.get(detector).copied() else {
+            return PumpOutput::default();
+        };
+        let Some(engine) = inner.engine.as_mut() else {
+            return PumpOutput::default();
+        };
+        engine.probe_silence(id, at);
+        engine.sync();
+        inner.drain()
+    }
+
+    fn finish(&mut self, horizon: TimePoint) -> PumpOutput {
+        let mut inner = self.inner.borrow_mut();
+        let Some(engine) = inner.engine.take() else {
+            return PumpOutput::default();
+        };
+        let report = engine.finish_at(horizon);
+        let mut out = inner.drain();
+        // Engine-side evaluation errors surface once, at the horizon;
+        // the totals match the DES path's per-feed accounting.
+        out.errors += report.shards.iter().map(|s| s.eval_errors).sum::<u64>();
+        inner.report = Some(report);
+        out
+    }
+}

@@ -28,7 +28,9 @@
 mod actions;
 mod app;
 mod database;
+mod engine_backend;
 mod scenario;
+mod seam;
 mod system;
 
 pub use actions::{ActorSelector, ActuatorCommand, EcaRule, ExecutedAction};
@@ -36,5 +38,6 @@ pub use app::{
     CpsApplication, DetectorSpec, SustainedSource, SustainedSpec, ThresholdMode, TrackingSpec,
 };
 pub use database::DatabaseServer;
-pub use scenario::{ScenarioConfig, TopologySpec};
+pub use engine_backend::{engine_subscriptions, scenario_world_bounds};
+pub use scenario::{EvalBackend, ScenarioConfig, TopologySpec};
 pub use system::{metrics, CpsReport, CpsState, CpsSystem};

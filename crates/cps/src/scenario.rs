@@ -29,6 +29,49 @@ pub enum TopologySpec {
     },
 }
 
+/// Which evaluation path serves the scenario's sink and CCU layers.
+///
+/// The physical world, sensing, WSN, and dispatch always run on the
+/// DES kernel; this knob selects what evaluates the *event conditions*
+/// at the observer stations (Fig. 1's "Cyber-Physical / Cyber Event
+/// Conditions Evaluation" boxes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalBackend {
+    /// Inline detectors called directly from the simulation callbacks
+    /// (the reference path).
+    #[default]
+    Des,
+    /// Detectors compiled into `stem-engine` subscriptions; instances
+    /// are pumped through the sharded streaming runtime and its
+    /// notifications are folded back into the report.
+    Engine {
+        /// Shard count handed to the engine (`1..=64`).
+        shards: usize,
+        /// `true` runs the engine inline-deterministically (bit-for-bit
+        /// reproducible, equal to the DES path); `false` uses one
+        /// thread per shard with a sync barrier per delivery.
+        deterministic: bool,
+    },
+}
+
+impl EvalBackend {
+    /// Parses an `engine [shards]` tail from command-line style
+    /// arguments (examples and experiment binaries share this knob):
+    /// no `engine` token selects [`EvalBackend::Des`]; `engine` selects
+    /// a deterministic 2-shard engine; `engine N` sets the shard count.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> EvalBackend {
+        let mut args = args.into_iter().skip_while(|a| a != "engine");
+        if args.next().is_none() {
+            return EvalBackend::Des;
+        }
+        let shards = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+        EvalBackend::Engine {
+            shards,
+            deterministic: true,
+        }
+    }
+}
+
 /// The complete scenario configuration for a [`crate::CpsSystem`] run.
 ///
 /// Defaults model a moderate indoor deployment with 1 ms ticks: 1 s
@@ -73,6 +116,8 @@ pub struct ScenarioConfig {
     pub db_retention: Duration,
     /// Simulated duration of the run.
     pub duration: Duration,
+    /// Which evaluation path serves the sink/CCU layers.
+    pub backend: EvalBackend,
 }
 
 impl Default for ScenarioConfig {
@@ -102,6 +147,7 @@ impl Default for ScenarioConfig {
             actuation_delay: Duration::new(50),
             db_retention: Duration::new(3_600_000),
             duration: Duration::new(60_000),
+            backend: EvalBackend::Des,
         }
     }
 }
@@ -146,6 +192,14 @@ impl ScenarioConfig {
         }
         if self.payload_bytes == 0 {
             problems.push("payload_bytes must be positive".to_owned());
+        }
+        if let EvalBackend::Engine { shards, .. } = self.backend {
+            if shards == 0 {
+                problems.push("engine backend needs at least one shard".to_owned());
+            }
+            if shards > 64 {
+                problems.push("engine backend supports at most 64 shards".to_owned());
+            }
         }
         problems
     }
@@ -192,6 +246,28 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("payload_bytes")));
         assert!(problems.iter().any(|p| p.contains("grid dimensions")));
         assert!(problems.iter().any(|p| p.contains("spacing")));
+    }
+
+    #[test]
+    fn engine_backend_shards_are_validated() {
+        let mut cfg = ScenarioConfig {
+            backend: EvalBackend::Engine {
+                shards: 0,
+                deterministic: true,
+            },
+            ..ScenarioConfig::default()
+        };
+        assert!(cfg.validate().iter().any(|p| p.contains("shard")));
+        cfg.backend = EvalBackend::Engine {
+            shards: 65,
+            deterministic: false,
+        };
+        assert!(cfg.validate().iter().any(|p| p.contains("64")));
+        cfg.backend = EvalBackend::Engine {
+            shards: 4,
+            deterministic: false,
+        };
+        assert!(cfg.validate().is_empty());
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! The DES side of the ingest/evaluation seam: inline detectors wrapped
+//! behind [`stem_core::InstancePump`], so [`crate::CpsSystem`] drives
+//! the reference path and the engine-backed path through one interface.
+
+use crate::app::{SustainedSource, SustainedSpec};
+use stem_cep::{CompositeDetector, SustainedDetector, SustainedEvent};
+use stem_core::{EventId, EventInstance, InstancePump, PumpEvent, PumpOutput};
+use stem_spatial::Point;
+use stem_temporal::TimePoint;
+
+/// Converts a detector-level episode into a seam event.
+pub(crate) fn episode_event(output: &EventId, event: SustainedEvent) -> PumpEvent {
+    match event {
+        SustainedEvent::Began { since, .. } => PumpEvent::EpisodeBegan {
+            output: output.clone(),
+            since,
+        },
+        SustainedEvent::Ended { interval } => PumpEvent::EpisodeEnded {
+            output: output.clone(),
+            interval,
+        },
+    }
+}
+
+/// One sustained detector with its spec-level sampling rules.
+pub(crate) struct SustainedRuntime {
+    pub(crate) spec: SustainedSpec,
+    detector: SustainedDetector,
+    last_input: Option<TimePoint>,
+}
+
+impl SustainedRuntime {
+    pub(crate) fn new(spec: SustainedSpec) -> Self {
+        SustainedRuntime {
+            detector: SustainedDetector::new(spec.transformed_config()),
+            spec,
+            last_input: None,
+        }
+    }
+}
+
+/// The inline evaluation station: composite detectors plus sustained
+/// runtimes, fed directly from the simulation callbacks.
+pub(crate) struct DesPump {
+    detectors: Vec<CompositeDetector>,
+    sustained: Vec<SustainedRuntime>,
+}
+
+impl DesPump {
+    pub(crate) fn new(detectors: Vec<CompositeDetector>, sustained: Vec<SustainedRuntime>) -> Self {
+        DesPump {
+            detectors,
+            sustained,
+        }
+    }
+}
+
+impl InstancePump for DesPump {
+    fn feed(&mut self, at: TimePoint, instance: &EventInstance) -> PumpOutput {
+        let mut out = PumpOutput::default();
+        for detector in &mut self.detectors {
+            match detector.process_at(instance, at) {
+                Ok(derived) => out
+                    .events
+                    .extend(derived.into_iter().map(PumpEvent::Derived)),
+                Err(_) => out.errors += 1,
+            }
+        }
+        for runtime in &mut self.sustained {
+            if runtime.spec.input != *instance.event() {
+                continue;
+            }
+            let value = match &runtime.spec.source {
+                SustainedSource::Attribute(key) => instance.attributes().get_f64(key),
+                SustainedSource::DistanceTo { x, y } => Some(
+                    instance
+                        .estimated_location()
+                        .representative()
+                        .distance(Point::new(*x, *y)),
+                ),
+            };
+            let Some(v) = value else {
+                out.errors += 1;
+                continue;
+            };
+            runtime.last_input = Some(at);
+            let transformed = runtime.spec.transform(v);
+            if let Some(event) = runtime.detector.update_value(at, transformed) {
+                out.events.push(episode_event(&runtime.spec.output, event));
+            }
+        }
+        out
+    }
+
+    fn tick(&mut self, at: TimePoint, detector: usize) -> PumpOutput {
+        let mut out = PumpOutput::default();
+        let Some(runtime) = self.sustained.get_mut(detector) else {
+            return out;
+        };
+        let timeout = runtime.spec.silence_timeout;
+        let stale = runtime
+            .last_input
+            .is_none_or(|t| at.duration_since(t).is_some_and(|d| d >= timeout));
+        if stale {
+            if let Some(event) = runtime
+                .detector
+                .update_value(at, runtime.spec.inactive_value())
+            {
+                out.events.push(episode_event(&runtime.spec.output, event));
+            }
+        }
+        out
+    }
+
+    fn finish(&mut self, horizon: TimePoint) -> PumpOutput {
+        let mut out = PumpOutput::default();
+        for runtime in &mut self.sustained {
+            if let Some(event) = runtime.detector.finish(horizon) {
+                out.events.push(episode_event(&runtime.spec.output, event));
+            }
+        }
+        out
+    }
+}

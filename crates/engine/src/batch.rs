@@ -15,7 +15,12 @@ use stem_temporal::TimePoint;
 pub struct BatchItem {
     /// The routed instance.
     pub instance: EventInstance,
-    /// Maximum generation time over all instances routed strictly
+    /// Observer-local evaluation time provided at ingest
+    /// ([`crate::Engine::ingest_at`]): the reorder key and the clock
+    /// pattern/sustained evaluation runs on. `None` falls back to the
+    /// instance's generation time (the classic streaming path).
+    pub eval_at: Option<TimePoint>,
+    /// Maximum stream-clock value over all instances routed strictly
     /// before this one (`None` for the stream's first instance).
     pub prefix_high_water: Option<TimePoint>,
 }

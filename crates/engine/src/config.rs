@@ -51,7 +51,15 @@ pub struct EngineConfig {
     /// The world region the shard map partitions. Instances outside are
     /// clamped to the nearest shard cell.
     pub world_bounds: Rect,
-    /// Number of shards (>= 1).
+    /// Number of shards (`1..=64`). The engine uses this count *exactly*
+    /// as given — it is never silently rounded. What *is* power-of-two
+    /// sized is the quadtree leaf grid behind the shard map: its side is
+    /// the smallest power of two giving at least four leaves per shard,
+    /// and contiguous Z-order runs of those leaves are split across the
+    /// shards. A non-power-of-two count therefore gets territory runs
+    /// whose leaf counts differ by at most one — a balance wrinkle, not
+    /// a changed shard count. `0` is rejected by
+    /// [`EngineConfig::validate`].
     pub shard_count: usize,
     /// Instances per handoff batch (>= 1). Larger batches amortize
     /// channel traffic; smaller ones tighten the watermark heartbeat.
@@ -83,7 +91,9 @@ impl EngineConfig {
         }
     }
 
-    /// Sets the shard count.
+    /// Sets the shard count (used exactly as given; see
+    /// [`EngineConfig::shard_count`] for how the power-of-two leaf grid
+    /// behind it is sized).
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shard_count = shards;
@@ -169,6 +179,20 @@ mod tests {
             .with_batch_size(0)
             .with_queue_capacity(0);
         assert_eq!(cfg.validate().len(), 3);
+        assert!(cfg.validate().iter().any(|p| p.contains("shard_count")));
+    }
+
+    #[test]
+    fn shard_count_is_never_rounded() {
+        // The leaf grid is power-of-two sized; the shard count is not.
+        for shards in [1, 3, 5, 6, 7, 12, 63] {
+            let cfg = EngineConfig::new(bounds()).with_shards(shards);
+            assert!(cfg.validate().is_empty());
+            let map = crate::ShardMap::build(cfg.world_bounds, cfg.shard_count);
+            assert_eq!(map.shard_count(), shards, "count silently adjusted");
+            assert!(map.leaf_count().is_power_of_two());
+            assert!(map.leaf_count() >= 4 * shards);
+        }
     }
 
     #[test]

@@ -9,7 +9,8 @@ use crate::worker::{ShardMessage, ShardWorker, SubscriptionState};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 use std::time::Instant;
-use stem_core::EventInstance;
+use stem_core::{EventInstance, InstanceSource};
+use stem_temporal::TimePoint;
 
 /// How shard workers are driven.
 enum Backend {
@@ -94,8 +95,9 @@ impl Engine {
     pub fn subscribe(&mut self, subscription: Subscription) -> SubscriptionId {
         let id = SubscriptionId(self.next_subscription);
         self.next_subscription += 1;
-        let bbox = subscription.region.bounding_box();
-        let home = self.router.subscribe(id, bbox);
+        let home = self
+            .router
+            .subscribe(id, subscription.region.clone(), subscription.home_hint);
         let state = SubscriptionState::compile(id, subscription);
         // Flush anything already routed so registration order is
         // preserved relative to the instance stream.
@@ -127,10 +129,71 @@ impl Engine {
         }
     }
 
+    /// Ingests one instance with an explicit observer-local evaluation
+    /// time: `at` becomes the stream-clock sample, the reorder key, and
+    /// the clock pattern/sustained evaluation runs on — the station
+    /// ingest path, where instances arrive (and are evaluated) later
+    /// than they were generated upstream.
+    pub fn ingest_at(&mut self, instance: EventInstance, at: TimePoint) {
+        let full = self.router.route_at(instance, Some(at));
+        for shard in full {
+            self.flush_shard(shard);
+        }
+    }
+
     /// Ingests an entire stream.
     pub fn ingest_all(&mut self, instances: impl IntoIterator<Item = EventInstance>) {
         for instance in instances {
             self.ingest(instance);
+        }
+    }
+
+    /// Drains an [`InstanceSource`] through [`Engine::ingest_at`]: the
+    /// replay path for recorded station streams.
+    pub fn pump<S: InstanceSource>(&mut self, source: &mut S) {
+        while let Some(timed) = source.next_timed() {
+            self.ingest_at(timed.instance, timed.at);
+        }
+    }
+
+    /// Sends a silence heartbeat to one sustained subscription (see
+    /// [`crate::SilenceSpec`]): if its input has been quiet for the
+    /// configured timeout, the inactive sample is fed at `at` so open
+    /// episodes can close. Returns `false` for unknown ids.
+    ///
+    /// The probe rides the home shard's reorder buffer like any other
+    /// stream entry: it reaches the detector in stream order (earlier
+    /// samples still held behind the watermark slack evaluate first),
+    /// advances that shard's stream clock to `at`, and is discarded as
+    /// stale if the watermark has already passed `at`.
+    pub fn probe_silence(&mut self, id: SubscriptionId, at: TimePoint) -> bool {
+        let Some(home) = self.router.home_of(id) else {
+            return false;
+        };
+        // Flush first so the probe lands after everything routed so far.
+        self.flush_shard(home);
+        self.send(home, ShardMessage::SilenceProbe { id, at });
+        true
+    }
+
+    /// Flushes every pending batch and, in threaded mode, blocks until
+    /// every shard worker has processed everything sent so far. After
+    /// `sync` returns, every prior ingest has been evaluated and its
+    /// notifications delivered — except instances a nonzero watermark
+    /// slack still holds for reordering, which notify once the
+    /// watermark passes them. The station ingest path (zero slack)
+    /// relies on this for synchronous fold-back of derived instances.
+    pub fn sync(&mut self) {
+        self.flush();
+        if let Backend::Threaded { senders, .. } = &self.backend {
+            let (ack, done) = std::sync::mpsc::channel();
+            for (shard, sender) in senders.iter().enumerate() {
+                sender
+                    .send(ShardMessage::Sync(ack.clone()))
+                    .unwrap_or_else(|_| panic!("shard {shard} worker terminated"));
+            }
+            drop(ack);
+            while done.recv().is_ok() {}
         }
     }
 
@@ -154,6 +217,29 @@ impl Engine {
     #[must_use]
     pub fn finish(mut self) -> EngineReport {
         self.flush();
+        self.shutdown()
+    }
+
+    /// Like [`Engine::finish`], but first finalizes the stream at the
+    /// given horizon: every shard drains its reorder buffer and closes
+    /// open sustained episodes at `horizon` (scenario end — the paper's
+    /// simulation horizon), delivering their `Ended` notifications
+    /// before shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked.
+    #[must_use]
+    pub fn finish_at(mut self, horizon: TimePoint) -> EngineReport {
+        self.flush();
+        for shard in 0..self.config.shard_count {
+            self.send(shard, ShardMessage::Finalize(horizon));
+        }
+        self.shutdown()
+    }
+
+    /// Joins the workers and assembles the report.
+    fn shutdown(mut self) -> EngineReport {
         let shards = match self.backend {
             Backend::Inline(workers) => workers.into_iter().map(ShardWorker::finish).collect(),
             Backend::Threaded { senders, handles } => {

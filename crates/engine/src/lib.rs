@@ -98,6 +98,6 @@ pub use metrics::{EngineReport, RouterMetrics, ShardMetrics};
 pub use router::ShardRouter;
 pub use shard_map::ShardMap;
 pub use subscription::{
-    Collector, EventSink, Notification, NotificationKind, PatternSpec, Subscription,
-    SubscriptionId, SustainedSpec,
+    Collector, EventSink, Notification, NotificationKind, PatternSpec, SilenceSpec, Subscription,
+    SubscriptionId, SustainedSpec, SustainedValue,
 };

@@ -46,6 +46,11 @@ pub struct RouterMetrics {
     /// Instances whose quadtree leaf carried no subscription interest
     /// and went to the territorial owner only.
     pub owner_only: u64,
+    /// Broadcast deliveries skipped by the precision pass: the leaf
+    /// mask (bounding-box granular) named a shard, but no subscription
+    /// homed there *exactly* covered the instance's location. Each skip
+    /// is a delivery the coarse index would have wasted.
+    pub precision_skipped: u64,
     /// Batches handed off.
     pub batches_sent: u64,
     /// Batches dropped by [`crate::BackpressurePolicy::DropNewest`].

@@ -6,8 +6,17 @@ use crate::metrics::RouterMetrics;
 use crate::shard_map::{Grid, ShardMap};
 use crate::subscription::SubscriptionId;
 use stem_core::EventInstance;
-use stem_spatial::Rect;
+use stem_spatial::{Point, Rect, SpatialExtent};
 use stem_temporal::TimePoint;
+
+/// One registered subscription region as the router sees it: the exact
+/// region for precision checks plus its (cheaper) bounding box.
+#[derive(Debug, Clone)]
+struct Interest {
+    id: SubscriptionId,
+    bbox: Rect,
+    region: SpatialExtent,
+}
 
 /// Routes instances to shards and accumulates per-shard batches.
 ///
@@ -21,8 +30,8 @@ use stem_temporal::TimePoint;
 pub struct ShardRouter {
     map: ShardMap,
     batch_size: usize,
-    /// Per home shard: bounding boxes of resident subscriptions.
-    interests: Vec<Vec<(SubscriptionId, Rect)>>,
+    /// Per home shard: regions of resident subscriptions.
+    interests: Vec<Vec<Interest>>,
     /// The interest index resolution: a fixed fine quadtree grid,
     /// independent of the (coarser) shard-territory grid so broadcast
     /// stays confined to actual region boundaries.
@@ -77,20 +86,36 @@ impl ShardRouter {
     }
 
     /// Registers a subscription region and returns its home shard: the
-    /// owner of the region's center.
-    pub fn subscribe(&mut self, id: SubscriptionId, region_bbox: Rect) -> ShardId {
-        let home = self.map.shard_for_point(region_bbox.center());
-        self.interests[home].push((id, region_bbox));
-        for leaf in self.interest_grid.leaves_for_rect(&region_bbox) {
+    /// owner of `home_hint` when given, else of the region's center.
+    pub fn subscribe(
+        &mut self,
+        id: SubscriptionId,
+        region: SpatialExtent,
+        home_hint: Option<Point>,
+    ) -> ShardId {
+        let bbox = region.bounding_box();
+        let home = self
+            .map
+            .shard_for_point(home_hint.unwrap_or_else(|| bbox.center()));
+        self.interests[home].push(Interest { id, bbox, region });
+        for leaf in self.interest_grid.leaves_for_rect(&bbox) {
             self.leaf_masks[leaf] |= 1 << home;
         }
         home
     }
 
+    /// The home shard of a registered subscription, if known.
+    #[must_use]
+    pub fn home_of(&self, id: SubscriptionId) -> Option<ShardId> {
+        self.interests
+            .iter()
+            .position(|list| list.iter().any(|i| i.id == id))
+    }
+
     /// Forgets a subscription; returns its home shard if it was known.
     pub fn unsubscribe(&mut self, id: SubscriptionId) -> Option<ShardId> {
         for (shard, list) in self.interests.iter_mut().enumerate() {
-            if let Some(pos) = list.iter().position(|(sid, _)| *sid == id) {
+            if let Some(pos) = list.iter().position(|i| i.id == id) {
                 list.remove(pos);
                 let shard_id = shard;
                 self.rebuild_leaf_masks();
@@ -107,18 +132,38 @@ impl ShardRouter {
             *mask = 0;
         }
         for (shard, list) in self.interests.iter().enumerate() {
-            for (_, bbox) in list {
-                for leaf in self.interest_grid.leaves_for_rect(bbox) {
+            for interest in list {
+                for leaf in self.interest_grid.leaves_for_rect(&interest.bbox) {
                     self.leaf_masks[leaf] |= 1 << shard;
                 }
             }
         }
     }
 
+    /// Whether some subscription homed on `shard` *exactly* covers the
+    /// point (leaf masks are bounding-box granular; this is the
+    /// precision pass that trims the broadcast fan-out).
+    fn covered_by_interest(&self, shard: ShardId, p: Point) -> bool {
+        self.interests[shard]
+            .iter()
+            .any(|i| i.bbox.contains(p) && i.region.covers(p))
+    }
+
     /// Routes one instance into the per-shard pending batches and
     /// returns the shards whose batch just reached the flush threshold.
     pub fn route(&mut self, instance: EventInstance) -> Vec<ShardId> {
-        let t = instance.generation_time();
+        self.route_at(instance, None)
+    }
+
+    /// Like [`ShardRouter::route`], with an explicit observer-local
+    /// evaluation time used as the stream-clock sample and the shard
+    /// reorder key (`None` = the instance's generation time).
+    pub fn route_at(
+        &mut self,
+        instance: EventInstance,
+        eval_at: Option<TimePoint>,
+    ) -> Vec<ShardId> {
+        let t = eval_at.unwrap_or_else(|| instance.generation_time());
         // The high-water mark over the strict prefix: stamped onto the
         // routed item so shard drop decisions replay the global run.
         let prefix_high_water = self.high_water;
@@ -139,8 +184,16 @@ impl ShardRouter {
         let mut bits = mask;
         while bits != 0 {
             let shard = bits.trailing_zeros() as ShardId;
-            targets.push(shard);
             bits &= bits - 1;
+            // Precision pass: beyond the owner (which always receives),
+            // only deliver where a resident subscription's exact region
+            // covers the point. Workers re-check coverage anyway, so a
+            // skip can never lose a match — it only saves the delivery.
+            if shard != owner && !self.covered_by_interest(shard, location) {
+                self.metrics.precision_skipped += 1;
+                continue;
+            }
+            targets.push(shard);
         }
         self.metrics.fanout += targets.len() as u64;
 
@@ -148,11 +201,13 @@ impl ShardRouter {
         for &shard in &targets[..last] {
             self.pending[shard].push(BatchItem {
                 instance: instance.clone(),
+                eval_at,
                 prefix_high_water,
             });
         }
         self.pending[targets[last]].push(BatchItem {
             instance,
+            eval_at,
             prefix_high_water,
         });
         targets

@@ -4,8 +4,8 @@ use crate::config::ShardId;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use stem_cep::{ConsumptionMode, Pattern, SustainedConfig, SustainedEvent};
-use stem_core::{ConditionExpr, EventId, EventInstance};
-use stem_spatial::SpatialExtent;
+use stem_core::{ConditionExpr, ConditionObserver, EventDefinition, EventId, EventInstance, Layer};
+use stem_spatial::{Point, SpatialExtent};
 use stem_temporal::Duration;
 
 /// Identifies a registered subscription (assigned by the engine,
@@ -40,15 +40,50 @@ pub struct PatternSpec {
     pub horizon: Option<Duration>,
 }
 
+/// Where a sustained detection's sample value comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SustainedValue {
+    /// The subscription's condition outcome, sampled as 1.0 / 0.0.
+    Condition,
+    /// A numeric attribute of each instance.
+    Attribute(String),
+    /// The distance from the instance's estimated location to a fixed
+    /// reference point (proximity episodes: "user nearby window B").
+    DistanceTo(Point),
+}
+
+/// Closes sustained episodes when a subscription's input goes quiet.
+///
+/// A sustained detector only advances on samples; if the target leaves
+/// every producer's range, the final episode would stay open forever.
+/// Drivers send [`crate::Engine::probe_silence`] heartbeats; a probe
+/// finding no input for `timeout` feeds `inactive_value` so the episode
+/// can end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SilenceSpec {
+    /// The probe feeds the inactive value only when no input arrived for
+    /// at least this long.
+    pub timeout: Duration,
+    /// The sample fed on a stale probe, on the *transformed* axis (after
+    /// any [`SustainedSpec::negate`]): it must sit below the detector's
+    /// exit threshold so open episodes close.
+    pub inactive_value: f64,
+}
+
 /// A sustained ("interval event") detection to run over the
 /// subscription's instance stream.
 #[derive(Debug, Clone)]
 pub struct SustainedSpec {
-    /// Minimum duration / hysteresis configuration.
+    /// Minimum duration / hysteresis configuration, on the transformed
+    /// axis (pre-negated thresholds for below-style episodes).
     pub config: SustainedConfig,
-    /// Attribute sampled as the detector's value; `None` samples the
-    /// condition outcome as 1.0 / 0.0.
-    pub attribute: Option<String>,
+    /// Where sample values come from.
+    pub value: SustainedValue,
+    /// Negate extracted samples before feeding the detector ("value
+    /// stays *below* a threshold" episodes run on the negated axis).
+    pub negate: bool,
+    /// Optional silence handling (see [`SilenceSpec`]).
+    pub silence: Option<SilenceSpec>,
 }
 
 /// What a subscription delivered.
@@ -174,6 +209,11 @@ pub struct Subscription {
     pub region: SpatialExtent,
     /// Only instances of this event type are considered (`None` = all).
     pub event_filter: Option<EventId>,
+    /// Only instances at these model layers are considered (`None` =
+    /// all). A station-style subscription (a sink watching the sensor
+    /// layer, a CCU watching cyber-physical and cyber) uses this so one
+    /// engine can host several Fig. 1 stations without cross-talk.
+    pub layers: Option<Vec<Layer>>,
     /// Condition over each candidate instance (entities in the
     /// condition all bind to the instance) or, with a pattern, over the
     /// match's bindings.
@@ -182,6 +222,19 @@ pub struct Subscription {
     pub pattern: Option<PatternSpec>,
     /// Sustained detection, if any (ignored when a pattern is set).
     pub sustained: Option<SustainedSpec>,
+    /// For pattern subscriptions: the full event definition (estimation
+    /// policies, projections, layer) used to generate derived instances.
+    /// `None` derives a default cyber-layer definition from `name` and
+    /// `condition`.
+    pub definition: Option<EventDefinition>,
+    /// For pattern subscriptions: the observer identity generating
+    /// derived instances. `None` synthesizes one from the subscription
+    /// id (shard-count-invariant but engine-assigned).
+    pub observer: Option<ConditionObserver>,
+    /// Pins the home shard to the owner of this point instead of the
+    /// region's center — lets registrants spread full-stream (`region` =
+    /// everywhere) subscriptions across shards.
+    pub home_hint: Option<Point>,
     /// Where notifications go.
     pub sink: Box<dyn EventSink>,
 }
@@ -207,9 +260,13 @@ impl Subscription {
             name: name.into(),
             region,
             event_filter: None,
+            layers: None,
             condition: None,
             pattern: None,
             sustained: None,
+            definition: None,
+            observer: None,
+            home_hint: None,
             sink,
         }
     }
@@ -218,6 +275,13 @@ impl Subscription {
     #[must_use]
     pub fn for_event(mut self, event: impl Into<EventId>) -> Self {
         self.event_filter = Some(event.into());
+        self
+    }
+
+    /// Restricts the subscription to instances at the given layers.
+    #[must_use]
+    pub fn at_layers(mut self, layers: impl Into<Vec<Layer>>) -> Self {
+        self.layers = Some(layers.into());
         self
     }
 
@@ -244,10 +308,46 @@ impl Subscription {
         self
     }
 
-    /// Adds sustained (interval-event) detection.
+    /// Adds sustained (interval-event) detection sampling `attribute`
+    /// (or the condition outcome when `None`).
     #[must_use]
     pub fn sustained(mut self, config: SustainedConfig, attribute: Option<String>) -> Self {
-        self.sustained = Some(SustainedSpec { config, attribute });
+        self.sustained = Some(SustainedSpec {
+            config,
+            value: attribute.map_or(SustainedValue::Condition, SustainedValue::Attribute),
+            negate: false,
+            silence: None,
+        });
+        self
+    }
+
+    /// Adds sustained detection from a full spec (value source, axis
+    /// negation, silence handling).
+    #[must_use]
+    pub fn sustained_spec(mut self, spec: SustainedSpec) -> Self {
+        self.sustained = Some(spec);
+        self
+    }
+
+    /// Overrides the event definition used to generate derived
+    /// instances from pattern matches.
+    #[must_use]
+    pub fn with_definition(mut self, definition: EventDefinition) -> Self {
+        self.definition = Some(definition);
+        self
+    }
+
+    /// Overrides the observer identity generating derived instances.
+    #[must_use]
+    pub fn observed_by(mut self, observer: ConditionObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Pins the home shard to the owner of `point`.
+    #[must_use]
+    pub fn homed_near(mut self, point: Point) -> Self {
+        self.home_hint = Some(point);
         self
     }
 }

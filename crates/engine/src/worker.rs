@@ -4,7 +4,8 @@ use crate::batch::Batch;
 use crate::config::ShardId;
 use crate::metrics::ShardMetrics;
 use crate::subscription::{
-    EventSink, Notification, NotificationKind, Subscription, SubscriptionId,
+    EventSink, Notification, NotificationKind, SilenceSpec, Subscription, SubscriptionId,
+    SustainedValue,
 };
 use stem_cep::{CompositeDetector, ReorderBuffer, SustainedDetector};
 use stem_core::{
@@ -12,7 +13,7 @@ use stem_core::{
     EventInstance, Layer, ObserverId,
 };
 use stem_spatial::{Rect, SpatialExtent};
-use stem_temporal::Duration;
+use stem_temporal::{Duration, TimePoint};
 
 /// What travels over a shard's input channel.
 pub(crate) enum ShardMessage {
@@ -23,6 +24,30 @@ pub(crate) enum ShardMessage {
     Subscribe(Box<SubscriptionState>),
     /// Retire a subscription.
     Unsubscribe(SubscriptionId),
+    /// Silence heartbeat for one sustained subscription: feed its
+    /// inactive sample if no input arrived for its configured timeout.
+    SilenceProbe {
+        /// The sustained subscription to probe.
+        id: SubscriptionId,
+        /// The probe's observer-local time.
+        at: TimePoint,
+    },
+    /// Stream horizon: drain the reorder buffer and close any open
+    /// sustained episodes at the given time.
+    Finalize(TimePoint),
+    /// Barrier: acknowledge once everything queued before this message
+    /// has been processed.
+    Sync(std::sync::mpsc::Sender<()>),
+}
+
+/// A sustained detector resident on a shard, with its sampling rules.
+struct SustainedState {
+    detector: SustainedDetector,
+    value: SustainedValue,
+    negate: bool,
+    silence: Option<SilenceSpec>,
+    /// When the last input sample arrived (silence-staleness clock).
+    last_input: Option<TimePoint>,
 }
 
 /// How a subscription's stream is evaluated on its home shard.
@@ -32,9 +57,8 @@ enum EvalKind {
     /// Feed a pattern detector; deliver derived instances (boxed:
     /// far larger than the other variants).
     Pattern(Box<CompositeDetector>),
-    /// Feed a sustained detector (sampling `attribute`, or the condition
-    /// outcome when `None`); deliver episode notifications.
-    Sustained(SustainedDetector, Option<String>),
+    /// Feed a sustained detector; deliver episode notifications.
+    Sustained(SustainedState),
 }
 
 /// A [`Subscription`] compiled for residence on one shard.
@@ -43,6 +67,7 @@ pub(crate) struct SubscriptionState {
     region: SpatialExtent,
     bbox: Rect,
     event_filter: Option<EventId>,
+    layers: Option<Vec<Layer>>,
     /// The per-instance condition (for `Plain` / `Sustained`; a pattern
     /// subscription's condition lives inside its detector where it is
     /// evaluated over the match's bindings).
@@ -59,26 +84,39 @@ impl SubscriptionState {
     pub(crate) fn compile(id: SubscriptionId, sub: Subscription) -> Self {
         let bbox = sub.region.bounding_box();
         let (kind, condition) = if let Some(spec) = sub.pattern {
-            // The composite condition (empty conjunction = always true)
-            // is evaluated over pattern-match bindings by the detector.
-            let condition = sub
-                .condition
-                .unwrap_or_else(|| ConditionExpr::And(Vec::new()));
-            let definition = EventDefinition::new(sub.name.clone(), Layer::Cyber, condition);
-            // The observer identity is keyed by subscription (not by
-            // shard) so derived instances are identical whatever the
-            // shard count — the sharding-equivalence tests rely on it.
-            let observer = ConditionObserver::new(
-                ObserverId::Ccu(CcuId::new(u32::try_from(id.raw()).unwrap_or(u32::MAX))),
-                bbox.center(),
-                1.0,
-            );
+            // The definition override carries the registrant's estimation
+            // policies and projections; without one, the composite
+            // condition (empty conjunction = always true) is evaluated
+            // over pattern-match bindings by a default cyber definition.
+            let definition = sub.definition.unwrap_or_else(|| {
+                let condition = sub
+                    .condition
+                    .unwrap_or_else(|| ConditionExpr::And(Vec::new()));
+                EventDefinition::new(sub.name.clone(), Layer::Cyber, condition)
+            });
+            // Without an observer override, the identity is keyed by
+            // subscription (not by shard) so derived instances are
+            // identical whatever the shard count — the
+            // sharding-equivalence tests rely on it.
+            let observer = sub.observer.unwrap_or_else(|| {
+                ConditionObserver::new(
+                    ObserverId::Ccu(CcuId::new(u32::try_from(id.raw()).unwrap_or(u32::MAX))),
+                    bbox.center(),
+                    1.0,
+                )
+            });
             let detector =
                 CompositeDetector::new(definition, spec.pattern, spec.mode, spec.horizon, observer);
             (EvalKind::Pattern(Box::new(detector)), None)
         } else if let Some(spec) = sub.sustained {
             (
-                EvalKind::Sustained(SustainedDetector::new(spec.config), spec.attribute),
+                EvalKind::Sustained(SustainedState {
+                    detector: SustainedDetector::new(spec.config),
+                    value: spec.value,
+                    negate: spec.negate,
+                    silence: spec.silence,
+                    last_input: None,
+                }),
                 sub.condition,
             )
         } else {
@@ -93,6 +131,7 @@ impl SubscriptionState {
             region: sub.region,
             bbox,
             event_filter: sub.event_filter,
+            layers: sub.layers,
             condition,
             entities,
             kind,
@@ -118,11 +157,27 @@ fn eval_condition(
     cond.eval(&bindings).ok()
 }
 
+/// One entry in a shard's reorder buffer, keyed by its observer-local
+/// time so the evaluation stream replays in station-clock order.
+enum StreamItem {
+    /// An instance to evaluate at its time (ingest-provided, defaulting
+    /// to the generation time).
+    Instance(TimePoint, EventInstance),
+    /// A queued silence probe: probes travel through the same reorder
+    /// buffer as instances — feeding the sustained detector directly on
+    /// message arrival would run it out of time order whenever earlier
+    /// samples are still held behind the watermark slack.
+    Probe { id: SubscriptionId, at: TimePoint },
+}
+
 /// One shard: a reorder buffer, the resident subscriptions, and counters.
 pub(crate) struct ShardWorker {
     shard: ShardId,
     slack: Duration,
-    reorder: ReorderBuffer,
+    reorder: ReorderBuffer<StreamItem>,
+    /// Probes pushed through the reorder buffer (excluded from the
+    /// instance-release counter).
+    probes: u64,
     subs: Vec<SubscriptionState>,
     metrics: ShardMetrics,
 }
@@ -133,6 +188,7 @@ impl ShardWorker {
             shard,
             slack,
             reorder: ReorderBuffer::new(slack),
+            probes: 0,
             subs: Vec::new(),
             metrics: ShardMetrics {
                 shard,
@@ -146,6 +202,11 @@ impl ShardWorker {
             ShardMessage::Batch(batch) => self.process_batch(batch),
             ShardMessage::Subscribe(state) => self.subs.push(*state),
             ShardMessage::Unsubscribe(id) => self.subs.retain(|s| s.id != id),
+            ShardMessage::SilenceProbe { id, at } => self.queue_silence_probe(id, at),
+            ShardMessage::Finalize(at) => self.finalize(at),
+            ShardMessage::Sync(ack) => {
+                let _ = ack.send(());
+            }
         }
     }
 
@@ -172,7 +233,12 @@ impl ShardWorker {
                 let released = self.reorder.observe(hw);
                 self.dispatch_all(released);
             }
-            let released = self.reorder.push(item.instance);
+            let key = item
+                .eval_at
+                .unwrap_or_else(|| item.instance.generation_time());
+            let released = self
+                .reorder
+                .push_at(key, StreamItem::Instance(key, item.instance));
             self.dispatch_all(released);
         }
         if let Some(hw) = batch.high_water {
@@ -181,19 +247,28 @@ impl ShardWorker {
         }
     }
 
-    fn dispatch_all(&mut self, released: Vec<EventInstance>) {
-        for instance in released {
-            self.dispatch(&instance);
+    fn dispatch_all(&mut self, released: Vec<StreamItem>) {
+        for item in released {
+            match item {
+                StreamItem::Instance(at, instance) => self.dispatch(at, &instance),
+                StreamItem::Probe { id, at } => self.silence_probe(id, at),
+            }
         }
     }
 
-    /// Offers one in-order instance to every resident subscription.
-    fn dispatch(&mut self, instance: &EventInstance) {
+    /// Offers one in-order instance to every resident subscription,
+    /// evaluating at the instance's observer-local time `at`.
+    fn dispatch(&mut self, at: TimePoint, instance: &EventInstance) {
         let location = instance.estimated_location().representative();
         let shard = self.shard;
         for sub in &mut self.subs {
             if let Some(filter) = &sub.event_filter {
                 if filter != instance.event() {
+                    continue;
+                }
+            }
+            if let Some(layers) = &sub.layers {
+                if !layers.contains(&instance.layer()) {
                     continue;
                 }
             }
@@ -214,7 +289,7 @@ impl ShardWorker {
                     Some(false) => {}
                     None => self.metrics.eval_errors += 1,
                 },
-                EvalKind::Pattern(detector) => match detector.process(instance) {
+                EvalKind::Pattern(detector) => match detector.process_at(instance, at) {
                     Ok(derived) => {
                         for d in derived {
                             self.metrics.derived += 1;
@@ -228,22 +303,37 @@ impl ShardWorker {
                     }
                     Err(_) => self.metrics.eval_errors += 1,
                 },
-                EvalKind::Sustained(detector, attribute) => {
-                    let t = instance.generation_time();
-                    let episode = if let Some(attr) = attribute {
-                        match instance.attributes().get_f64(attr) {
-                            Some(value) => detector.update_value(t, value),
-                            None => {
-                                self.metrics.eval_errors += 1;
-                                continue;
+                EvalKind::Sustained(state) => {
+                    let episode = match &state.value {
+                        SustainedValue::Attribute(attr) => {
+                            match instance.attributes().get_f64(attr) {
+                                Some(value) => {
+                                    state.last_input = Some(at);
+                                    let v = if state.negate { -value } else { value };
+                                    state.detector.update_value(at, v)
+                                }
+                                None => {
+                                    self.metrics.eval_errors += 1;
+                                    continue;
+                                }
                             }
                         }
-                    } else {
-                        match eval_condition(&sub.condition, &sub.entities, instance) {
-                            Some(holds) => detector.update(t, holds),
-                            None => {
-                                self.metrics.eval_errors += 1;
-                                continue;
+                        SustainedValue::DistanceTo(reference) => {
+                            state.last_input = Some(at);
+                            let d = location.distance(*reference);
+                            let v = if state.negate { -d } else { d };
+                            state.detector.update_value(at, v)
+                        }
+                        SustainedValue::Condition => {
+                            match eval_condition(&sub.condition, &sub.entities, instance) {
+                                Some(holds) => {
+                                    state.last_input = Some(at);
+                                    state.detector.update(at, holds)
+                                }
+                                None => {
+                                    self.metrics.eval_errors += 1;
+                                    continue;
+                                }
                             }
                         }
                     };
@@ -260,11 +350,74 @@ impl ShardWorker {
         }
     }
 
+    /// Enqueues a silence probe into the reorder buffer so it reaches
+    /// the sustained detector in stream order. Probes already behind
+    /// the watermark are stale — the stream has moved past them — and
+    /// are discarded.
+    fn queue_silence_probe(&mut self, id: SubscriptionId, at: TimePoint) {
+        if self.reorder.watermark().is_some_and(|w| at < w) {
+            return;
+        }
+        self.probes += 1;
+        let released = self.reorder.push_at(at, StreamItem::Probe { id, at });
+        self.dispatch_all(released);
+    }
+
+    /// Feeds a sustained subscription its inactive sample if its input
+    /// has been silent for the configured timeout.
+    fn silence_probe(&mut self, id: SubscriptionId, at: TimePoint) {
+        let shard = self.shard;
+        let Some(sub) = self.subs.iter_mut().find(|s| s.id == id) else {
+            return;
+        };
+        let EvalKind::Sustained(state) = &mut sub.kind else {
+            return;
+        };
+        let Some(silence) = &state.silence else {
+            return;
+        };
+        let stale = state
+            .last_input
+            .is_none_or(|t| at.duration_since(t).is_some_and(|d| d >= silence.timeout));
+        if !stale {
+            return;
+        }
+        if let Some(event) = state.detector.update_value(at, silence.inactive_value) {
+            self.metrics.notifications += 1;
+            sub.sink.deliver(Notification {
+                subscription: sub.id,
+                shard,
+                kind: NotificationKind::Sustained(event),
+            });
+        }
+    }
+
+    /// Stream horizon: releases everything still reordering, then closes
+    /// open sustained episodes at `at`.
+    fn finalize(&mut self, at: TimePoint) {
+        let remaining = self.reorder.flush();
+        self.dispatch_all(remaining);
+        let shard = self.shard;
+        for sub in &mut self.subs {
+            if let EvalKind::Sustained(state) = &mut sub.kind {
+                if let Some(event) = state.detector.finish(at) {
+                    self.metrics.notifications += 1;
+                    sub.sink.deliver(Notification {
+                        subscription: sub.id,
+                        shard,
+                        kind: NotificationKind::Sustained(event),
+                    });
+                }
+            }
+        }
+    }
+
     /// Drains the reorder buffer and returns the final counters.
     pub(crate) fn finish(mut self) -> ShardMetrics {
         let remaining = self.reorder.flush();
         self.dispatch_all(remaining);
-        self.metrics.released = self.reorder.released();
+        // Probes ride the reorder buffer but are not instances.
+        self.metrics.released = self.reorder.released() - self.probes;
         self.metrics.late_dropped = self.reorder.late_dropped();
         self.metrics.watermark = self.reorder.watermark();
         self.metrics.subscriptions = self.subs.len();

@@ -311,3 +311,312 @@ fn metrics_account_for_the_stream() {
     let evaluated: u64 = report.shards.iter().map(|s| s.evaluated).sum();
     assert_eq!(evaluated, 20, "every in-region instance evaluated once");
 }
+
+#[test]
+fn ingest_at_runs_the_evaluation_clock() {
+    // A pattern subscription fed via ingest_at stamps derived instances
+    // with the station clock (arrival + processing), not the completing
+    // constituent's generation time.
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    engine.subscribe(
+        Subscription::new("pair", circle_region(30.0, 30.0, 25.0), collector.sink()).matching(
+            Pattern::atom("a", "hot").then(Pattern::atom("b", "hot")),
+            ConsumptionMode::Chronicle,
+            None,
+        ),
+    );
+    engine.ingest_at(mk("hot", 0, 10, 30.0, 30.0, 50.0), TimePoint::new(40));
+    engine.ingest_at(mk("hot", 1, 20, 31.0, 30.0, 55.0), TimePoint::new(70));
+    let _ = engine.finish();
+    let out = collector.take();
+    assert_eq!(out.len(), 1);
+    match &out[0].kind {
+        NotificationKind::Derived(inst) => {
+            assert_eq!(
+                inst.generation_time(),
+                TimePoint::new(70),
+                "derived instance stamped with the evaluation clock"
+            );
+        }
+        other => panic!("expected Derived, got {other:?}"),
+    }
+}
+
+#[test]
+fn ingest_at_orders_by_evaluation_time_not_generation_time() {
+    // Arrival order at a station is the evaluation order, even when the
+    // upstream generation times are out of order.
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    engine.subscribe(
+        Subscription::new("all", circle_region(30.0, 30.0, 40.0), collector.sink())
+            .for_event("hot"),
+    );
+    engine.ingest_at(mk("hot", 0, 90, 30.0, 30.0, 50.0), TimePoint::new(100));
+    engine.ingest_at(mk("hot", 1, 10, 30.0, 30.0, 55.0), TimePoint::new(110));
+    let report = engine.finish();
+    assert_eq!(report.total_late_dropped(), 0, "keyed by eval time");
+    let out = collector.take();
+    let gen_times: Vec<u64> = out
+        .iter()
+        .map(|n| match &n.kind {
+            NotificationKind::Match(i) => i.generation_time().ticks(),
+            other => panic!("expected Match, got {other:?}"),
+        })
+        .collect();
+    assert_eq!(gen_times, vec![90, 10], "delivered in arrival order");
+}
+
+#[test]
+fn layer_filter_keeps_station_streams_apart() {
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let sensor_station = Collector::new();
+    let cyber_station = Collector::new();
+    engine.subscribe(
+        Subscription::new(
+            "sensor-side",
+            circle_region(30.0, 30.0, 40.0),
+            sensor_station.sink(),
+        )
+        .at_layers(vec![Layer::Sensor]),
+    );
+    engine.subscribe(
+        Subscription::new(
+            "cyber-side",
+            circle_region(30.0, 30.0, 40.0),
+            cyber_station.sink(),
+        )
+        .at_layers(vec![Layer::CyberPhysical, Layer::Cyber]),
+    );
+    engine.ingest(mk("reading", 0, 10, 30.0, 30.0, 50.0)); // Layer::Sensor
+    let cp = EventInstance::builder(
+        ObserverId::Mote(MoteId::new(2)),
+        EventId::new("area"),
+        Layer::CyberPhysical,
+    )
+    .generated(TimePoint::new(20), Point::new(30.0, 30.0))
+    .build();
+    engine.ingest(cp);
+    let _ = engine.finish();
+    assert_eq!(sensor_station.take().len(), 1);
+    assert_eq!(cyber_station.take().len(), 1);
+}
+
+#[test]
+fn silence_probe_closes_quiet_episodes() {
+    use stem_engine::{SilenceSpec, SustainedSpec, SustainedValue};
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    let id = engine.subscribe(
+        Subscription::new(
+            "occupied",
+            circle_region(30.0, 30.0, 25.0),
+            collector.sink(),
+        )
+        .for_event("presence")
+        .sustained_spec(SustainedSpec {
+            config: SustainedConfig {
+                min_duration: Duration::new(10),
+                enter_threshold: 1.0,
+                exit_threshold: 1.0,
+            },
+            value: SustainedValue::Attribute("present".into()),
+            negate: false,
+            silence: Some(SilenceSpec {
+                timeout: Duration::new(50),
+                inactive_value: 0.0,
+            }),
+        }),
+    );
+    let present = |seq: u64, t: u64| {
+        EventInstance::builder(
+            ObserverId::Mote(MoteId::new(1)),
+            EventId::new("presence"),
+            Layer::Sensor,
+        )
+        .seq(SeqNo::new(seq))
+        .generated(TimePoint::new(t), Point::new(30.0, 30.0))
+        .attributes(Attributes::new().with("present", 1.0))
+        .build()
+    };
+    engine.ingest_at(present(0, 10), TimePoint::new(10));
+    engine.ingest_at(present(1, 40), TimePoint::new(40));
+    // Input recent at t=60: the probe must NOT close the episode.
+    assert!(engine.probe_silence(id, TimePoint::new(60)));
+    // Input stale at t=100: the probe feeds the inactive sample.
+    assert!(engine.probe_silence(id, TimePoint::new(100)));
+    let _ = engine.finish();
+    let out = collector.take();
+    let kinds: Vec<&NotificationKind> = out.iter().map(|n| &n.kind).collect();
+    assert!(
+        matches!(
+            kinds[0],
+            NotificationKind::Sustained(SustainedEvent::Began { .. })
+        ),
+        "episode began"
+    );
+    assert!(
+        matches!(
+            kinds[1],
+            NotificationKind::Sustained(SustainedEvent::Ended { interval })
+                if interval.end() == TimePoint::new(40)
+        ),
+        "silence probe ended the episode at the last true sample"
+    );
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn finish_at_closes_open_episodes_at_the_horizon() {
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    engine.subscribe(
+        Subscription::new(
+            "hot-spell",
+            circle_region(30.0, 30.0, 25.0),
+            collector.sink(),
+        )
+        .for_event("reading")
+        .sustained(
+            SustainedConfig {
+                min_duration: Duration::new(10),
+                enter_threshold: 45.0,
+                exit_threshold: 40.0,
+            },
+            Some("temp".into()),
+        ),
+    );
+    engine.ingest(mk("reading", 0, 10, 30.0, 30.0, 50.0));
+    engine.ingest(mk("reading", 1, 30, 30.0, 30.0, 55.0));
+    let report = engine.finish_at(TimePoint::new(90));
+    let out = collector.take();
+    assert!(
+        matches!(
+            out.last().map(|n| &n.kind),
+            Some(NotificationKind::Sustained(SustainedEvent::Ended { interval }))
+                if interval.start() == TimePoint::new(10) && interval.end() == TimePoint::new(30)
+        ),
+        "open episode closed at the horizon: {out:?}"
+    );
+    assert_eq!(report.total_notifications(), out.len() as u64);
+}
+
+#[test]
+fn precision_pass_skips_bounding_box_only_broadcast() {
+    // A thin diagonal-ish circle's bounding box spans leaves its exact
+    // region never covers; instances in those corners must not be
+    // shipped to the subscription's home shard.
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_shards(4)
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    engine.subscribe(
+        Subscription::new("ring", circle_region(50.0, 50.0, 40.0), collector.sink())
+            .for_event("reading"),
+    );
+    // Bounding box corner (12, 12): inside the bbox, ~54 m from the
+    // center, far outside the circle.
+    engine.ingest(mk("reading", 0, 10, 12.0, 12.0, 50.0));
+    // Center: covered, delivered.
+    engine.ingest(mk("reading", 1, 20, 50.0, 50.0, 50.0));
+    let report = engine.finish();
+    assert_eq!(collector.take().len(), 1);
+    assert!(
+        report.router.precision_skipped >= 1,
+        "corner instance skipped by the precision pass: {:?}",
+        report.router
+    );
+}
+
+#[test]
+fn silence_probe_respects_the_reorder_buffer() {
+    // With nonzero slack, a probe must not reach the sustained detector
+    // ahead of earlier-keyed samples still held behind the watermark —
+    // it rides the reorder buffer like any other stream entry.
+    use stem_engine::{SilenceSpec, SustainedSpec, SustainedValue};
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_batch_size(1)
+            .with_watermark_slack(Duration::new(100))
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    let id = engine.subscribe(
+        Subscription::new(
+            "occupied",
+            circle_region(30.0, 30.0, 25.0),
+            collector.sink(),
+        )
+        .for_event("presence")
+        .sustained_spec(SustainedSpec {
+            config: SustainedConfig {
+                min_duration: Duration::new(10),
+                enter_threshold: 1.0,
+                exit_threshold: 1.0,
+            },
+            value: SustainedValue::Attribute("present".into()),
+            negate: false,
+            silence: Some(SilenceSpec {
+                timeout: Duration::new(50),
+                inactive_value: 0.0,
+            }),
+        }),
+    );
+    let present = |seq: u64, t: u64| {
+        EventInstance::builder(
+            ObserverId::Mote(MoteId::new(1)),
+            EventId::new("presence"),
+            Layer::Sensor,
+        )
+        .seq(SeqNo::new(seq))
+        .generated(TimePoint::new(t), Point::new(30.0, 30.0))
+        .attributes(Attributes::new().with("present", 1.0))
+        .build()
+    };
+    // Both samples sit behind the 100-tick watermark slack when the
+    // probe arrives; the probe (at t=200) must evaluate after them, and
+    // must find the input fresh enough (200 - 160 < timeout) to skip
+    // the inactive feed.
+    engine.ingest_at(present(0, 60), TimePoint::new(60));
+    engine.ingest_at(present(1, 160), TimePoint::new(160));
+    assert!(engine.probe_silence(id, TimePoint::new(200)));
+    // A second probe far past the silence timeout closes the episode.
+    assert!(engine.probe_silence(id, TimePoint::new(400)));
+    let _ = engine.finish();
+    let out = collector.take();
+    assert_eq!(out.len(), 2, "began + ended, no panic: {out:?}");
+    assert!(matches!(
+        out[0].kind,
+        NotificationKind::Sustained(SustainedEvent::Began { since, .. })
+            if since == TimePoint::new(60)
+    ));
+    assert!(matches!(
+        out[1].kind,
+        NotificationKind::Sustained(SustainedEvent::Ended { interval })
+            if interval.end() == TimePoint::new(160)
+    ));
+}

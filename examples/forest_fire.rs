@@ -7,12 +7,14 @@
 //! sprinklers within the affected radius.
 //!
 //! Run with: `cargo run --example forest_fire`
+//! (add `-- engine [shards]` to serve the sink/CCU layers from the
+//! streaming engine instead of the inline DES detectors)
 
 use stem::cep::Pattern;
 use stem::core::{dsl, AttrAggregate, AttrProjection, EventDefinition, EventId, Layer};
 use stem::cps::{
-    metrics, ActorSelector, CpsApplication, CpsSystem, DetectorSpec, EcaRule, ScenarioConfig,
-    TopologySpec,
+    metrics, ActorSelector, CpsApplication, CpsSystem, DetectorSpec, EcaRule, EvalBackend,
+    ScenarioConfig, TopologySpec,
 };
 use stem::physical::{ScalarField, SpreadingFire, WorldField};
 use stem::spatial::Point;
@@ -45,8 +47,10 @@ fn main() {
         world: WorldField::Fire(fire),
         sampling_period: Duration::new(1_000),
         duration: Duration::new(60_000),
+        backend: EvalBackend::from_args(std::env::args()),
         ..ScenarioConfig::default()
     };
+    println!("evaluation backend: {:?}", config.backend);
 
     let app = CpsApplication::new()
         // Layer 1: motes report readings above 60 °C.

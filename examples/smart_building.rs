@@ -10,12 +10,14 @@
 //! example runs instantly; the mechanism is identical.)
 //!
 //! Run with: `cargo run --example smart_building`
+//! (add `-- engine [shards]` to serve the sink/CCU layers from the
+//! streaming engine instead of the inline DES detectors)
 
 use stem::cep::SustainedConfig;
 use stem::core::EventId;
 use stem::cps::{
-    metrics, ActorSelector, CpsApplication, CpsSystem, EcaRule, ScenarioConfig, SustainedSource,
-    SustainedSpec, ThresholdMode, TopologySpec, TrackingSpec,
+    metrics, ActorSelector, CpsApplication, CpsSystem, EcaRule, EvalBackend, ScenarioConfig,
+    SustainedSource, SustainedSpec, ThresholdMode, TopologySpec, TrackingSpec,
 };
 use stem::physical::{MotionModel, UniformField, WaypointPath, WorldField};
 use stem::spatial::Point;
@@ -51,8 +53,10 @@ fn main() {
         actors: vec![window], // the blind actuator sits at the window
         world: WorldField::Uniform(UniformField { value: 21.0 }),
         duration: Duration::new(40_000),
+        backend: EvalBackend::from_args(std::env::args()),
         ..ScenarioConfig::default()
     };
+    println!("evaluation backend: {:?}", config.backend);
 
     let app = CpsApplication::new()
         .with_tracking(TrackingSpec {

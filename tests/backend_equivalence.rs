@@ -1,0 +1,279 @@
+//! Backend equivalence: a scenario evaluated through the engine-backed
+//! ingest path must detect exactly what the inline DES path detects.
+//!
+//! A seeded property sweeps seeds × three scenario shapes (composite
+//! hotspot, cyber-from-cyber escalation with a cyclic rule, tracking
+//! with a below-threshold sustained episode) × shard counts, and checks
+//! the engine backend in both execution modes:
+//!
+//! * deterministic mode must be *bit-for-bit* identical to the DES path
+//!   (every instance, in order, plus actions and key metrics);
+//! * threaded mode must agree on the same records (the per-delivery
+//!   sync barrier makes even its fold order deterministic).
+
+use proptest::prelude::*;
+use stem::cep::{Pattern, SustainedConfig};
+use stem::core::{dsl, EventDefinition, EventId, Layer};
+use stem::cps::{
+    metrics, ActorSelector, CpsApplication, CpsSystem, DetectorSpec, EcaRule, EvalBackend,
+    ScenarioConfig, SustainedSource, SustainedSpec, ThresholdMode, TopologySpec, TrackingSpec,
+};
+use stem::physical::{HotSpot, MotionModel, UniformField, WaypointPath, WorldField};
+use stem::spatial::Point;
+use stem::temporal::{Duration, TimePoint};
+use stem::wsn::SensorNoise;
+
+/// Shortened hotspot pipeline: sensor threshold → sink pairing → CCU
+/// alarm → fan rule.
+fn hotspot(seed: u64) -> (ScenarioConfig, CpsApplication) {
+    let config = ScenarioConfig {
+        seed,
+        topology: TopologySpec::Grid {
+            nx: 4,
+            ny: 4,
+            spacing: 15.0,
+            jitter: 0.0,
+        },
+        actors: vec![Point::new(30.0, 30.0), Point::new(55.0, 55.0)],
+        world: WorldField::HotSpot(HotSpot {
+            center: Point::new(30.0, 30.0),
+            peak: 60.0,
+            sigma: 12.0,
+            ambient: 20.0,
+            onset: TimePoint::new(2_000),
+        }),
+        sampling_period: Duration::new(500),
+        duration: Duration::new(12_000),
+        ..ScenarioConfig::default()
+    };
+    let app = CpsApplication::new()
+        .with_sensor_definition(
+            EventDefinition::new(
+                "hot-reading",
+                Layer::Sensor,
+                dsl::parse("x.temp > 45").unwrap(),
+            )
+            .with_projection(stem::core::AttrProjection::new(
+                "temp",
+                stem::core::AttrAggregate::Average,
+                "temp",
+            )),
+        )
+        .with_sink_detector(DetectorSpec::new(
+            EventDefinition::new(
+                "hot-area",
+                Layer::CyberPhysical,
+                dsl::parse("dist(loc(a), loc(b)) < 40").unwrap(),
+            )
+            .with_projection(stem::core::AttrProjection::new(
+                "temp",
+                stem::core::AttrAggregate::Average,
+                "temp",
+            )),
+            Pattern::atom("a", "hot-reading").then(Pattern::atom("b", "hot-reading")),
+            Duration::new(2_000),
+        ))
+        .with_ccu_detector(DetectorSpec::new(
+            EventDefinition::new(
+                "heat-alarm",
+                Layer::Cyber,
+                dsl::parse("x.temp > 40").unwrap(),
+            ),
+            Pattern::atom("x", "hot-area"),
+            Duration::new(5_000),
+        ))
+        .with_rule(EcaRule::new(
+            "heat-alarm",
+            "fan-on",
+            ActorSelector::NearestToEvent,
+        ));
+    (config, app)
+}
+
+/// Hotspot plus cyber-from-cyber composition: escalation over alarm
+/// pairs and a cyclic echo detector exercising the feedback bound.
+fn escalation(seed: u64) -> (ScenarioConfig, CpsApplication) {
+    let (config, app) = hotspot(seed);
+    let app = app
+        .with_ccu_detector(DetectorSpec::new(
+            EventDefinition::new(
+                "heat-escalation",
+                Layer::Cyber,
+                dsl::parse("time(a) before time(b)").unwrap(),
+            ),
+            Pattern::atom("a", "heat-alarm").then(Pattern::atom("b", "heat-alarm")),
+            Duration::new(6_000),
+        ))
+        .with_ccu_detector(DetectorSpec::new(
+            EventDefinition::new("echo", Layer::Cyber, dsl::parse("conf(x) >= 0").unwrap()),
+            Pattern::atom("x", "heat-alarm").or(Pattern::atom("x", "echo")),
+            Duration::new(6_000),
+        ));
+    (config, app)
+}
+
+/// Tracking: motes range a moving user, the sink trilaterates, a
+/// below-threshold sustained spec detects "user nearby the window"
+/// (with silence timeouts closing the episode after departure).
+fn nearby_window(seed: u64) -> (ScenarioConfig, CpsApplication) {
+    let window = Point::new(30.0, 30.0);
+    let user_path = WaypointPath::new(
+        vec![
+            (TimePoint::new(0), Point::new(0.0, 0.0)),
+            (TimePoint::new(3_000), Point::new(29.0, 29.0)),
+            (TimePoint::new(10_000), Point::new(31.0, 31.0)),
+            (TimePoint::new(13_000), Point::new(70.0, 70.0)),
+            (TimePoint::new(16_000), Point::new(70.0, 70.0)),
+        ],
+        false,
+    )
+    .expect("valid path");
+    let config = ScenarioConfig {
+        seed,
+        topology: TopologySpec::Grid {
+            nx: 5,
+            ny: 5,
+            spacing: 15.0,
+            jitter: 0.0,
+        },
+        sink_near: window,
+        actors: vec![window],
+        world: WorldField::Uniform(UniformField { value: 21.0 }),
+        duration: Duration::new(16_000),
+        ..ScenarioConfig::default()
+    };
+    let app = CpsApplication::new()
+        .with_tracking(TrackingSpec {
+            target: MotionModel::Waypoints(user_path),
+            max_range: 25.0,
+            noise: SensorNoise {
+                sigma: 0.4,
+                bias: 0.0,
+                quantization: 0.0,
+            },
+            period: Duration::new(500),
+            reading_event: EventId::new("range-reading"),
+            position_event: EventId::new("user-position"),
+            min_anchors: 3,
+        })
+        .with_sustained(SustainedSpec {
+            input: EventId::new("user-position"),
+            output: EventId::new("user-nearby-window"),
+            source: SustainedSource::DistanceTo {
+                x: window.x,
+                y: window.y,
+            },
+            threshold_mode: ThresholdMode::Below,
+            config: SustainedConfig {
+                min_duration: Duration::new(4_000),
+                enter_threshold: 5.0,
+                exit_threshold: 7.0,
+            },
+            silence_timeout: Duration::new(2_000),
+        })
+        .with_rule(EcaRule::new(
+            "user-nearby-window",
+            "blind-down",
+            ActorSelector::NearestToEvent,
+        ));
+    (config, app)
+}
+
+fn scenario(index: usize, seed: u64) -> (ScenarioConfig, CpsApplication) {
+    match index {
+        0 => hotspot(seed),
+        1 => escalation(seed),
+        _ => nearby_window(seed),
+    }
+}
+
+/// Everything the equivalence claim covers, rendered comparably: the
+/// full instance log in generation order, the executed actions, and the
+/// per-layer counters.
+fn fingerprint(
+    config: &ScenarioConfig,
+    app: &CpsApplication,
+    backend: EvalBackend,
+) -> (Vec<String>, Vec<String>, Vec<u64>) {
+    let config = ScenarioConfig {
+        backend,
+        ..config.clone()
+    };
+    let report = CpsSystem::run(config, app.clone());
+    if let EvalBackend::Engine { .. } = backend {
+        let engine = report.engine.as_ref().expect("engine report present");
+        assert_eq!(
+            engine.total_late_dropped(),
+            0,
+            "station streams are in order"
+        );
+    } else {
+        assert!(report.engine.is_none());
+    }
+    (
+        report.instances.iter().map(|i| format!("{i:?}")).collect(),
+        report.executed.iter().map(|a| format!("{a:?}")).collect(),
+        vec![
+            report.metrics.counter(metrics::CP_EVENTS),
+            report.metrics.counter(metrics::CYBER_EVENTS),
+            report.metrics.counter(metrics::ACTIONS),
+            report.metrics.counter(metrics::EVAL_ERRORS),
+            report.metrics.counter(metrics::SINK_RECEIVED),
+            report.metrics.counter(metrics::CCU_RECEIVED),
+        ],
+    )
+}
+
+proptest! {
+    /// DES vs engine backend, both engine modes, across scenario shapes,
+    /// seeds, and shard counts.
+    #[test]
+    fn engine_backend_matches_des(
+        seed in 1u64..1_000,
+        shape in 0usize..3,
+        shards in 1usize..5,
+    ) {
+        let (config, app) = scenario(shape, seed);
+        let des = fingerprint(&config, &app, EvalBackend::Des);
+        prop_assert!(!des.0.is_empty(), "scenario must generate instances");
+        let deterministic = fingerprint(
+            &config,
+            &app,
+            EvalBackend::Engine { shards, deterministic: true },
+        );
+        prop_assert_eq!(
+            &des, &deterministic,
+            "deterministic engine backend diverged from DES (shape {}, seed {}, {} shards)",
+            shape, seed, shards
+        );
+        let threaded = fingerprint(
+            &config,
+            &app,
+            EvalBackend::Engine { shards, deterministic: false },
+        );
+        prop_assert_eq!(
+            &des, &threaded,
+            "threaded engine backend diverged from DES (shape {}, seed {}, {} shards)",
+            shape, seed, shards
+        );
+    }
+}
+
+/// A pinned non-property case so a plain `cargo test backend` run hits
+/// the equivalence path even with `PROPTEST_CASES=0`.
+#[test]
+fn pinned_hotspot_engine_equivalence() {
+    let (config, app) = hotspot(42);
+    let des = fingerprint(&config, &app, EvalBackend::Des);
+    for shards in [1, 4] {
+        let engine = fingerprint(
+            &config,
+            &app,
+            EvalBackend::Engine {
+                shards,
+                deterministic: true,
+            },
+        );
+        assert_eq!(des, engine, "{shards}-shard engine backend diverged");
+    }
+}
