@@ -12,8 +12,14 @@
 //!   stream replayed through engine-compiled app subscriptions at
 //!   several shard counts (`cargo run ... -- scenario` runs only this
 //!   part, as the CI smoke test).
+//! * **wal** — durability: the synthetic workload with the write-ahead
+//!   log on (per fsync policy) vs off for append overhead, the recorded
+//!   log replayed into a fresh engine for replay throughput, and a
+//!   record→replay→diff of the hotspot scenario (`cargo run ... -- wal`
+//!   runs only this part and merges a `wal` block into
+//!   `BENCH_engine.json`).
 //!
-//! Results go to `BENCH_engine.json` (full runs only).
+//! Results go to `BENCH_engine.json` (full and `wal` runs).
 //!
 //! Why sharding pays even on a single core: each shard only scans the
 //! subscriptions homed on it, so the per-instance evaluation scan
@@ -27,9 +33,14 @@ use stem_core::{
     dsl, Attributes, ConditionObserver, EventId, EventInstance, Layer, MoteId, ObserverId, SeqNo,
     TimedInstance,
 };
-use stem_cps::{engine_subscriptions, scenario_world_bounds, CpsSystem, EvalBackend};
+use stem_cps::{
+    engine_subscriptions, replay_recorded, scenario_world_bounds, CpsSystem, EvalBackend,
+    ScenarioConfig,
+};
 use stem_des::stream;
-use stem_engine::{Collector, Engine, EngineConfig, Subscription};
+use stem_engine::{
+    Collector, Durability, Engine, EngineConfig, FsyncPolicy, NotificationKind, Subscription,
+};
 use stem_spatial::{Circle, Field, Point, Rect, SpatialExtent};
 use stem_temporal::{Duration, TimePoint};
 
@@ -268,8 +279,209 @@ fn scenario_mode() -> (u64, Vec<ScenarioRun>) {
     (SCENARIO_SEED, runs)
 }
 
+/// One measured durability configuration.
+struct WalRun {
+    policy: &'static str,
+    instances_per_sec: f64,
+    records: u64,
+    bytes: u64,
+    segments: u64,
+}
+
+/// The durability workload: append overhead per fsync policy, replay
+/// throughput from the recorded log, and a scenario record→replay diff.
+/// Returns the `wal` JSON block for `BENCH_engine.json`.
+fn wal_mode() -> String {
+    const WAL_INSTANCES: usize = 40_000;
+    const SHARDS: usize = 4;
+    println!("\n-- wal mode: write-ahead durability --\n");
+    let instances: Vec<EventInstance> =
+        synthetic_stream().into_iter().take(WAL_INSTANCES).collect();
+    let wal_root = std::env::temp_dir().join(format!("stem-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+
+    let run = |durability: Durability| -> (f64, stem_engine::WalMetrics) {
+        let mut engine = Engine::start(
+            EngineConfig::new(bounds())
+                .with_shards(SHARDS)
+                .with_batch_size(256)
+                .with_queue_capacity(32)
+                .with_watermark_slack(Duration::new(16))
+                .with_durability(durability),
+        );
+        let collector = Collector::new();
+        register_subscriptions(&mut engine, &collector);
+        engine.ingest_all(instances.iter().cloned());
+        let report = engine.finish();
+        (report.throughput(), report.total_wal())
+    };
+    let mut runs = Vec::new();
+    let (base_tput, _) = run(Durability::None);
+    runs.push(WalRun {
+        policy: "off",
+        instances_per_sec: base_tput,
+        records: 0,
+        bytes: 0,
+        segments: 0,
+    });
+    for (policy, fsync) in [
+        ("never", FsyncPolicy::Never),
+        ("every-256", FsyncPolicy::EveryN(256)),
+    ] {
+        let dir = wal_root.join(policy);
+        let (tput, wal) = run(Durability::Wal {
+            dir: dir.clone(),
+            fsync,
+        });
+        runs.push(WalRun {
+            policy,
+            instances_per_sec: tput,
+            records: wal.records_appended,
+            bytes: wal.bytes_appended,
+            segments: wal.segments_created,
+        });
+    }
+
+    // Replay the `never` log into a fresh engine: historical-replay
+    // throughput over the same subscriptions.
+    let replay = stem_wal::Replay::open(&wal_root.join("never")).expect("open recorded wal");
+    assert_eq!(replay.len(), WAL_INSTANCES, "every ingest is in the log");
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_shards(SHARDS)
+            .with_batch_size(256)
+            .with_queue_capacity(32)
+            .with_watermark_slack(Duration::new(16)),
+    );
+    let collector = Collector::new();
+    register_subscriptions(&mut engine, &collector);
+    let mut source = replay.into_instances();
+    engine.pump(&mut source);
+    let replay_report = engine.finish();
+    let replay_tput = replay_report.throughput();
+
+    let mut table = Table::new(vec!["wal", "instances/sec", "records", "bytes", "segments"]);
+    for r in &runs {
+        table.row(vec![
+            r.policy.to_string(),
+            format!("{:.0}", r.instances_per_sec),
+            r.records.to_string(),
+            r.bytes.to_string(),
+            r.segments.to_string(),
+        ]);
+    }
+    table.row(vec![
+        "replay".to_string(),
+        format!("{replay_tput:.0}"),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    table.print();
+    for r in &runs[1..] {
+        println!(
+            "append overhead ({}): {:.1}% of in-memory throughput",
+            r.policy,
+            100.0 * (1.0 - r.instances_per_sec / base_tput)
+        );
+    }
+
+    // Scenario smoke: record the hotspot through the engine backend,
+    // replay the log through freshly compiled subscriptions, diff.
+    const WAL_SCENARIO_SEED: u64 = 4242;
+    let record_dir = wal_root.join("scenario");
+    let (config, app) = hotspot_scenario(WAL_SCENARIO_SEED);
+    let config = ScenarioConfig {
+        backend: EvalBackend::Engine {
+            shards: 2,
+            deterministic: true,
+        },
+        record_dir: Some(record_dir.to_string_lossy().into_owned()),
+        ..config
+    };
+    let report = CpsSystem::run(config.clone(), app.clone());
+    let engine_report = report.engine.as_ref().expect("engine report");
+    println!("\nrecord run:  {}", engine_report.summary_line());
+    let mut recorded: Vec<String> = report
+        .instances
+        .iter()
+        .filter(|i| matches!(i.layer(), Layer::CyberPhysical | Layer::Cyber))
+        .map(|i| format!("{i:?}"))
+        .collect();
+    recorded.sort();
+    let (notes, replay_scenario_report) = replay_recorded(&config, &app, &record_dir, 2);
+    println!("replay run:  {}", replay_scenario_report.summary_line());
+    let mut replayed: Vec<String> = notes
+        .into_iter()
+        .filter_map(|n| match n.kind {
+            NotificationKind::Derived(inst) => Some(format!("{inst:?}")),
+            _ => None,
+        })
+        .collect();
+    replayed.sort();
+    assert_eq!(
+        recorded, replayed,
+        "record→replay diff: the replayed detections must be bit-identical"
+    );
+    println!(
+        "record→replay diff: {} derived detections, bit-identical",
+        replayed.len()
+    );
+    let _ = std::fs::remove_dir_all(&wal_root);
+
+    let mut block = String::from("{\n");
+    block.push_str(&format!(
+        "    \"workload\": \"{WAL_INSTANCES} synthetic instances, {SHARDS} shards, append vs replay\",\n"
+    ));
+    block.push_str("    \"append\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        block.push_str(&format!(
+            "      {{\"policy\": \"{}\", \"instances_per_sec\": {:.0}, \"records\": {}, \"bytes\": {}, \"segments\": {}}}{}\n",
+            r.policy,
+            r.instances_per_sec,
+            r.records,
+            r.bytes,
+            r.segments,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    block.push_str("    ],\n");
+    block.push_str(&format!(
+        "    \"replay\": {{\"instances\": {WAL_INSTANCES}, \"instances_per_sec\": {replay_tput:.0}}},\n"
+    ));
+    block.push_str(&format!(
+        "    \"scenario_diff\": {{\"seed\": {WAL_SCENARIO_SEED}, \"detections\": {}, \"bit_identical\": true}}\n",
+        replayed.len()
+    ));
+    block.push_str("  }");
+    block
+}
+
+/// Merges the `wal` block into `BENCH_engine.json`, replacing an
+/// existing one (so `-- wal` refreshes durability numbers without
+/// discarding the full run's results).
+fn merge_wal_block(block: &str) {
+    let path = "BENCH_engine.json";
+    let json = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let head = match text.find(",\n  \"wal\":") {
+                Some(i) => text[..i].to_string(),
+                None => {
+                    let last = text.rfind('}').expect("json object");
+                    text[..last].trim_end().to_string()
+                }
+            };
+            format!("{head},\n  \"wal\": {block}\n}}\n")
+        }
+        Err(_) => format!("{{\n  \"bench\": \"engine_throughput\",\n  \"wal\": {block}\n}}\n"),
+    };
+    std::fs::write(path, json).expect("write BENCH_engine.json");
+    println!("\nmerged wal block into BENCH_engine.json");
+}
+
 fn main() {
     let scenario_only = std::env::args().any(|a| a == "scenario");
+    let wal_only = std::env::args().any(|a| a == "wal");
     banner(
         "BENCH-ENGINE",
         "streaming engine ingest throughput vs. shard count",
@@ -278,6 +490,11 @@ fn main() {
     if scenario_only {
         let _ = scenario_mode();
         println!("\nscenario smoke mode: BENCH_engine.json left untouched");
+        return;
+    }
+    if wal_only {
+        let block = wal_mode();
+        merge_wal_block(&block);
         return;
     }
     let instances = synthetic_stream();
@@ -371,4 +588,7 @@ fn main() {
     json.push_str("    ]\n  }\n}\n");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nwrote BENCH_engine.json");
+
+    let block = wal_mode();
+    merge_wal_block(&block);
 }

@@ -51,6 +51,7 @@ pub struct ReorderBuffer<T = EventInstance> {
     tie: u64,
     late_dropped: u64,
     released: u64,
+    recovering: bool,
 }
 
 impl<T> Default for ReorderBuffer<T> {
@@ -70,7 +71,35 @@ impl<T> ReorderBuffer<T> {
             tie: 0,
             late_dropped: 0,
             released: 0,
+            recovering: false,
         }
+    }
+
+    /// Marks the buffer as replaying a durable log (crash recovery).
+    ///
+    /// The buffer itself behaves identically while the flag is set —
+    /// replayed pushes and heartbeat observations must rebuild state
+    /// bit-for-bit, so nothing may be suppressed *here*. The flag exists
+    /// for the embedding stream stage: out-of-band, side-effecting work
+    /// keyed off heartbeat observation — silence probes above all — must
+    /// check [`ReorderBuffer::is_recovering`] and stand down, because
+    /// the log already carries every probe that fired before the crash
+    /// and replaying it will fire them again. A live probe accepted
+    /// mid-recovery would therefore double-fire.
+    pub fn begin_recovery(&mut self) {
+        self.recovering = true;
+    }
+
+    /// Clears the recovery flag: the log has been replayed and live
+    /// stream input (including live silence probes) may resume.
+    pub fn end_recovery(&mut self) {
+        self.recovering = false;
+    }
+
+    /// Whether the buffer is currently replaying a durable log.
+    #[must_use]
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
     }
 
     /// The configured slack.
@@ -238,6 +267,40 @@ mod tests {
         // Heartbeats never move the watermark backwards.
         buf.observe(TimePoint::new(60));
         assert_eq!(buf.watermark(), Some(TimePoint::new(110)));
+    }
+
+    #[test]
+    fn recovery_flag_flips_without_changing_stream_behaviour() {
+        // Re-ingesting a log during recovery must rebuild state exactly,
+        // so the buffer's accept/release/late-drop behaviour is
+        // identical with the flag set; the flag only tells the embedding
+        // stage to hold side-effecting heartbeat work (silence probes)
+        // until the replay is done.
+        let mut live = ReorderBuffer::new(Duration::new(10));
+        let mut recovering = ReorderBuffer::new(Duration::new(10));
+        recovering.begin_recovery();
+        assert!(recovering.is_recovering());
+        assert!(!live.is_recovering());
+        for t in [105, 100, 120, 90, 130] {
+            let a: Vec<u64> = live
+                .push(mk(t))
+                .iter()
+                .map(|i| i.generation_time().ticks())
+                .collect();
+            let b: Vec<u64> = recovering
+                .push(mk(t))
+                .iter()
+                .map(|i| i.generation_time().ticks())
+                .collect();
+            assert_eq!(a, b, "push at {t} diverged under recovery");
+        }
+        let a = live.observe(TimePoint::new(160)).len();
+        let b = recovering.observe(TimePoint::new(160)).len();
+        assert_eq!(a, b, "heartbeat observation diverged under recovery");
+        assert_eq!(live.late_dropped(), recovering.late_dropped());
+        assert_eq!(live.watermark(), recovering.watermark());
+        recovering.end_recovery();
+        assert!(!recovering.is_recovering());
     }
 
     #[test]

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod attr;
+pub mod codec;
 mod condition;
 mod confidence;
 pub mod dsl;

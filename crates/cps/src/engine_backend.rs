@@ -162,6 +162,92 @@ pub fn engine_subscriptions(
     subs
 }
 
+/// The station observers a scenario's engine subscriptions evaluate
+/// with, reconstructed from the configuration (identical to what
+/// [`crate::CpsSystem::run`] derives, so a replay generates
+/// bit-identical derived instances).
+#[must_use]
+pub fn scenario_observers(config: &ScenarioConfig) -> (ConditionObserver, ConditionObserver) {
+    let topology = config.build_topology();
+    let sink_id = topology
+        .nearest(config.sink_near)
+        .expect("topology is non-empty");
+    let sink_position = topology.position(sink_id).expect("sink in topology");
+    station_observers(sink_id, sink_position)
+}
+
+/// The station observers for an elected sink: the single source of
+/// truth [`crate::CpsSystem::run`] and [`scenario_observers`] share, so
+/// the live run and a later replay can never drift apart.
+#[must_use]
+pub fn station_observers(
+    sink_id: stem_core::MoteId,
+    sink_position: Point,
+) -> (ConditionObserver, ConditionObserver) {
+    (
+        ConditionObserver::new(stem_core::ObserverId::Sink(sink_id), sink_position, 1.0),
+        ConditionObserver::new(
+            stem_core::ObserverId::Ccu(stem_core::CcuId::new(0)),
+            Point::new(sink_position.x, sink_position.y),
+            1.0,
+        ),
+    )
+}
+
+/// Re-runs a recorded scenario WAL (see [`ScenarioConfig::record_dir`])
+/// through freshly compiled subscriptions for `app` — the *same*
+/// application for a full-fidelity audit replay, or a *new* one to
+/// re-analyse history under different app conditions — without
+/// re-simulating the physical world or the WSN.
+///
+/// The full operation stream (instances *and* silence probes) re-feeds
+/// a deterministic engine in recorded order and the stream is closed at
+/// the scenario horizon, so sustained episodes resolve exactly as live.
+/// Returns every notification the subscriptions delivered plus the
+/// replay engine's report.
+///
+/// # Panics
+///
+/// Panics if the WAL cannot be read, or — when replaying probes into a
+/// *new* app — if the new subscription set has fewer sustained
+/// detectors than the probes reference (record/replay app shapes must
+/// agree on the sustained list; composite detectors may change freely).
+#[must_use]
+pub fn replay_recorded(
+    config: &ScenarioConfig,
+    app: &CpsApplication,
+    dir: &std::path::Path,
+    shards: usize,
+) -> (Vec<stem_engine::Notification>, EngineReport) {
+    let replay = stem_wal::Replay::open(dir)
+        .unwrap_or_else(|e| panic!("open recorded wal at {}: {e}", dir.display()));
+    assert_eq!(
+        replay.missing_ops(),
+        0,
+        "recorded wal at {} has mid-stream gaps (torn by a crash?) — \
+         a scenario re-analysis needs complete history",
+        dir.display(),
+    );
+    let world = scenario_world_bounds(config, app);
+    let (sink_observer, ccu_observer) = scenario_observers(config);
+    let mut engine = Engine::start(
+        EngineConfig::new(world)
+            .with_shards(shards)
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    for sub in engine_subscriptions(app, &sink_observer, &ccu_observer, world, || {
+        collector.sink()
+    }) {
+        engine.subscribe(sub);
+    }
+    engine.replay_records(replay.records());
+    let horizon = stem_temporal::TimePoint::EPOCH + config.duration;
+    let report = engine.finish_at(horizon);
+    (collector.take(), report)
+}
+
 /// Shared engine state behind the station pumps.
 struct EngineShared {
     engine: Option<Engine>,
@@ -229,6 +315,12 @@ impl EnginePump {
             .with_batch_size(1);
         if deterministic {
             engine_config = engine_config.deterministic();
+        }
+        if let Some(dir) = &config.record_dir {
+            // Journal the station evaluation stream: instances and
+            // silence probes become durable before evaluation, so the
+            // recorded scenario replays without re-simulating.
+            engine_config = engine_config.with_wal(dir);
         }
         let mut engine = Engine::start(engine_config);
         let collector = Collector::new();
@@ -305,5 +397,146 @@ impl InstancePump for EnginePump {
         out.errors += report.shards.iter().map(|s| s.eval_errors).sum::<u64>();
         inner.report = Some(report);
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::DetectorSpec;
+    use crate::scenario::EvalBackend;
+    use crate::system::CpsSystem;
+    use stem_cep::Pattern;
+    use stem_core::{dsl, EventDefinition};
+    use stem_engine::NotificationKind;
+    use stem_physical::{HotSpot, WorldField};
+    use stem_temporal::Duration;
+
+    fn hotspot(seed: u64) -> (ScenarioConfig, CpsApplication) {
+        let config = ScenarioConfig {
+            seed,
+            world: WorldField::HotSpot(HotSpot {
+                center: Point::new(30.0, 30.0),
+                peak: 60.0,
+                sigma: 12.0,
+                ambient: 20.0,
+                onset: stem_temporal::TimePoint::new(2_000),
+            }),
+            sampling_period: Duration::new(500),
+            duration: Duration::new(10_000),
+            backend: EvalBackend::Engine {
+                shards: 2,
+                deterministic: true,
+            },
+            ..ScenarioConfig::default()
+        };
+        let app = CpsApplication::new()
+            .with_sensor_definition(EventDefinition::new(
+                "hot-reading",
+                Layer::Sensor,
+                dsl::parse("x.temp > 45").unwrap(),
+            ))
+            .with_sink_detector(DetectorSpec::new(
+                EventDefinition::new(
+                    "hot-area",
+                    Layer::CyberPhysical,
+                    dsl::parse("dist(loc(a), loc(b)) < 40").unwrap(),
+                ),
+                Pattern::atom("a", "hot-reading").then(Pattern::atom("b", "hot-reading")),
+                Duration::new(2_000),
+            ))
+            .with_ccu_detector(DetectorSpec::new(
+                EventDefinition::new(
+                    "heat-alarm",
+                    Layer::Cyber,
+                    dsl::parse("x.temp > 0").unwrap(),
+                ),
+                Pattern::atom("x", "hot-area"),
+                Duration::new(5_000),
+            ));
+        (config, app)
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stem-cps-record-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn recorded_scenario_replays_bit_for_bit_without_resimulating() {
+        let dir = temp_dir("fidelity");
+        let (config, app) = hotspot(33);
+        let config = ScenarioConfig {
+            record_dir: Some(dir.to_string_lossy().into_owned()),
+            ..config
+        };
+        let report = CpsSystem::run(config.clone(), app.clone());
+        // The record run's derived instances, in fold order: for a
+        // pattern-only app these are exactly the engine's Derived
+        // notifications.
+        let mut recorded: Vec<String> = report
+            .instances
+            .iter()
+            .filter(|i| matches!(i.layer(), Layer::CyberPhysical | Layer::Cyber))
+            .map(|i| format!("{i:?}"))
+            .collect();
+        assert!(!recorded.is_empty(), "scenario must detect something");
+
+        let (notes, replay_report) = replay_recorded(&config, &app, &dir, 2);
+        let mut replayed: Vec<String> = notes
+            .into_iter()
+            .filter_map(|n| match n.kind {
+                NotificationKind::Derived(inst) => Some(format!("{inst:?}")),
+                _ => None,
+            })
+            .collect();
+        recorded.sort();
+        replayed.sort();
+        assert_eq!(replayed, recorded, "replay must be bit-identical");
+        assert_eq!(replay_report.total_late_dropped(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recorded_scenario_reanalyses_under_new_app_conditions() {
+        let dir = temp_dir("reanalysis");
+        let (config, app) = hotspot(34);
+        let config = ScenarioConfig {
+            record_dir: Some(dir.to_string_lossy().into_owned()),
+            ..config
+        };
+        let _ = CpsSystem::run(config.clone(), app.clone());
+        let (original_notes, _) = replay_recorded(&config, &app, &dir, 2);
+
+        // Tighten the pairing condition: a stricter app over the same
+        // recorded history detects at most as much, with zero
+        // re-simulation.
+        let (stricter_config, stricter_app) = {
+            let (c, _) = hotspot(34);
+            let app = CpsApplication::new()
+                .with_sensor_definition(EventDefinition::new(
+                    "hot-reading",
+                    Layer::Sensor,
+                    dsl::parse("x.temp > 45").unwrap(),
+                ))
+                .with_sink_detector(DetectorSpec::new(
+                    EventDefinition::new(
+                        "hot-area",
+                        Layer::CyberPhysical,
+                        dsl::parse("dist(loc(a), loc(b)) < 5").unwrap(),
+                    ),
+                    Pattern::atom("a", "hot-reading").then(Pattern::atom("b", "hot-reading")),
+                    Duration::new(2_000),
+                ));
+            (c, app)
+        };
+        let (stricter_notes, _) = replay_recorded(&stricter_config, &stricter_app, &dir, 2);
+        assert!(
+            stricter_notes.len() <= original_notes.len(),
+            "a stricter condition cannot detect more over the same history"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -38,6 +38,9 @@ pub use app::{
     CpsApplication, DetectorSpec, SustainedSource, SustainedSpec, ThresholdMode, TrackingSpec,
 };
 pub use database::DatabaseServer;
-pub use engine_backend::{engine_subscriptions, scenario_world_bounds};
+pub use engine_backend::{
+    engine_subscriptions, replay_recorded, scenario_observers, scenario_world_bounds,
+    station_observers,
+};
 pub use scenario::{EvalBackend, ScenarioConfig, TopologySpec};
 pub use system::{metrics, CpsReport, CpsState, CpsSystem};

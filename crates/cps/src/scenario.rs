@@ -118,6 +118,13 @@ pub struct ScenarioConfig {
     pub duration: Duration,
     /// Which evaluation path serves the sink/CCU layers.
     pub backend: EvalBackend,
+    /// Record the station evaluation stream to per-shard write-ahead
+    /// logs under this directory (engine backend only): every instance
+    /// and silence probe the stations evaluate becomes durable, so the
+    /// scenario can be re-analysed later — under the same or *new* app
+    /// conditions — without re-simulating (see
+    /// [`crate::replay_recorded`]).
+    pub record_dir: Option<String>,
 }
 
 impl Default for ScenarioConfig {
@@ -148,6 +155,7 @@ impl Default for ScenarioConfig {
             db_retention: Duration::new(3_600_000),
             duration: Duration::new(60_000),
             backend: EvalBackend::Des,
+            record_dir: None,
         }
     }
 }
@@ -201,6 +209,19 @@ impl ScenarioConfig {
                 problems.push("engine backend supports at most 64 shards".to_owned());
             }
         }
+        match &self.record_dir {
+            Some(dir) if dir.is_empty() => {
+                problems.push("record_dir must be a non-empty path".to_owned());
+            }
+            Some(_) if self.backend == EvalBackend::Des => {
+                problems.push(
+                    "record_dir requires the engine backend (the WAL journals the \
+                     engine's ingest stream)"
+                        .to_owned(),
+                );
+            }
+            _ => {}
+        }
         problems
     }
 
@@ -246,6 +267,23 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("payload_bytes")));
         assert!(problems.iter().any(|p| p.contains("grid dimensions")));
         assert!(problems.iter().any(|p| p.contains("spacing")));
+    }
+
+    #[test]
+    fn record_dir_is_validated() {
+        let mut cfg = ScenarioConfig {
+            record_dir: Some(String::new()),
+            backend: EvalBackend::Engine {
+                shards: 2,
+                deterministic: true,
+            },
+            ..ScenarioConfig::default()
+        };
+        assert!(cfg.validate().iter().any(|p| p.contains("non-empty")));
+        cfg.record_dir = Some("/tmp/run".to_owned());
+        assert!(cfg.validate().is_empty());
+        cfg.backend = EvalBackend::Des;
+        assert!(cfg.validate().iter().any(|p| p.contains("engine backend")));
     }
 
     #[test]

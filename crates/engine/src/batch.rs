@@ -13,6 +13,12 @@ use stem_temporal::TimePoint;
 /// point, not just the local sub-stream's.
 #[derive(Debug, Clone)]
 pub struct BatchItem {
+    /// The global ingest sequence number: every ingested instance and
+    /// every silence probe consumes one, in arrival order. Broadcast
+    /// copies of the same instance share it — it identifies the
+    /// *operation*, which is what write-ahead logging and post-recovery
+    /// deduplication key on.
+    pub seq: u64,
     /// The routed instance.
     pub instance: EventInstance,
     /// Observer-local evaluation time provided at ingest
@@ -41,6 +47,11 @@ pub struct Batch {
     /// Maximum generation time seen by the router when this batch was
     /// flushed (`None` only before the first instance).
     pub high_water: Option<TimePoint>,
+    /// The last global ingest sequence consumed when the batch was
+    /// flushed (stamps the shard's durable heartbeat records: every
+    /// operation at or before it that was routed here precedes the
+    /// heartbeat in the shard's log).
+    pub seq: u64,
 }
 
 impl Batch {

@@ -1,10 +1,32 @@
 //! Engine configuration.
 
+use std::path::PathBuf;
 use stem_spatial::Rect;
 use stem_temporal::Duration;
+use stem_wal::FsyncPolicy;
 
 /// Identifies one shard of the engine (dense, `0..shard_count`).
 pub type ShardId = usize;
+
+/// Whether (and where) the engine journals its ingest stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Durability {
+    /// Purely in-memory: a crash loses every in-flight detector state
+    /// and there is no historical replay (the pre-WAL behaviour).
+    None,
+    /// Per-shard write-ahead instance logs under `dir` (see
+    /// [`stem_wal`]): every routed instance and silence probe is
+    /// appended — checksummed, segment-rotated — *before* evaluation,
+    /// so [`crate::Engine::recover`] can rebuild shard state after a
+    /// crash and [`stem_wal::Replay`] can re-run history under any
+    /// subscription set.
+    Wal {
+        /// Directory holding the `wal-<shard>-<segment>.log` chains.
+        dir: PathBuf,
+        /// When appended records are forced to stable storage.
+        fsync: FsyncPolicy,
+    },
+}
 
 /// What the router does when a shard's bounded input queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +95,13 @@ pub struct EngineConfig {
     pub backpressure: BackpressurePolicy,
     /// Threaded or inline-deterministic execution.
     pub mode: ExecutionMode,
+    /// Whether the ingest stream is journaled to a write-ahead log.
+    pub durability: Durability,
+    /// WAL segment rotation threshold, bytes (ignored without a WAL).
+    pub wal_segment_bytes: u64,
+    /// Records between durability checkpoints ([`stem_wal::WalRecord::Watermark`])
+    /// in each shard's log (ignored without a WAL).
+    pub wal_checkpoint_every: u64,
 }
 
 impl EngineConfig {
@@ -88,7 +117,42 @@ impl EngineConfig {
             queue_capacity: 64,
             backpressure: BackpressurePolicy::Block,
             mode: ExecutionMode::Threaded,
+            durability: Durability::None,
+            wal_segment_bytes: 8 << 20,
+            wal_checkpoint_every: 1024,
         }
+    }
+
+    /// Journals the ingest stream to per-shard write-ahead logs under
+    /// `dir`, syncing every 256 records (see [`EngineConfig::with_durability`]
+    /// for explicit fsync control).
+    #[must_use]
+    pub fn with_wal(self, dir: impl Into<PathBuf>) -> Self {
+        self.with_durability(Durability::Wal {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryN(256),
+        })
+    }
+
+    /// Sets the durability mode.
+    #[must_use]
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Sets the WAL segment rotation threshold.
+    #[must_use]
+    pub fn with_wal_segment_bytes(mut self, bytes: u64) -> Self {
+        self.wal_segment_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-shard checkpoint cadence, in records.
+    #[must_use]
+    pub fn with_wal_checkpoint_every(mut self, records: u64) -> Self {
+        self.wal_checkpoint_every = records;
+        self
     }
 
     /// Sets the shard count (used exactly as given; see
@@ -154,6 +218,17 @@ impl EngineConfig {
         if self.world_bounds.width() <= 0.0 || self.world_bounds.height() <= 0.0 {
             problems.push("world_bounds must have positive area".to_string());
         }
+        if let Durability::Wal { dir, .. } = &self.durability {
+            if dir.as_os_str().is_empty() {
+                problems.push("wal directory must be non-empty".to_string());
+            }
+            if self.wal_segment_bytes == 0 {
+                problems.push("wal_segment_bytes must be >= 1".to_string());
+            }
+            if self.wal_checkpoint_every == 0 {
+                problems.push("wal_checkpoint_every must be >= 1".to_string());
+            }
+        }
         problems
     }
 }
@@ -199,5 +274,26 @@ mod tests {
     fn degenerate_bounds_are_rejected() {
         let cfg = EngineConfig::new(Rect::new(Point::new(5.0, 0.0), Point::new(5.0, 10.0)));
         assert_eq!(cfg.validate().len(), 1);
+    }
+
+    #[test]
+    fn wal_durability_is_validated() {
+        let cfg = EngineConfig::new(bounds())
+            .with_wal("")
+            .with_wal_segment_bytes(0)
+            .with_wal_checkpoint_every(0);
+        assert_eq!(cfg.validate().len(), 3);
+        let cfg = EngineConfig::new(bounds()).with_wal("/tmp/some-wal");
+        assert!(cfg.validate().is_empty());
+        assert!(matches!(
+            cfg.durability,
+            Durability::Wal {
+                fsync: stem_wal::FsyncPolicy::EveryN(256),
+                ..
+            }
+        ));
+        // WAL knobs are ignored (not validated) without a WAL.
+        let cfg = EngineConfig::new(bounds()).with_wal_checkpoint_every(0);
+        assert!(cfg.validate().is_empty());
     }
 }

@@ -1,6 +1,7 @@
-//! The engine facade: lifecycle, ingestion, subscription management.
+//! The engine facade: lifecycle, ingestion, subscription management,
+//! crash recovery.
 
-use crate::config::{BackpressurePolicy, EngineConfig, ExecutionMode, ShardId};
+use crate::config::{BackpressurePolicy, Durability, EngineConfig, ExecutionMode, ShardId};
 use crate::metrics::EngineReport;
 use crate::router::ShardRouter;
 use crate::shard_map::ShardMap;
@@ -11,6 +12,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 use stem_core::{EventInstance, InstanceSource};
 use stem_temporal::TimePoint;
+use stem_wal::{read_shard, wal_shards, RecoveredShard, ShardWal, WalRecord};
 
 /// How shard workers are driven.
 enum Backend {
@@ -32,6 +34,15 @@ pub struct Engine {
     router: ShardRouter,
     backend: Backend,
     next_subscription: u64,
+    /// Per shard: messages sent since its last sync barrier. A clean
+    /// shard has nothing in flight, so [`Engine::sync`] skips its
+    /// round trip — the amortization that makes a barrier per delivery
+    /// affordable on the station ingest path.
+    dirty: Vec<bool>,
+    /// First ingest sequence *not* guaranteed durable across every
+    /// shard log (0 without recovery): where an upstream re-feed must
+    /// resume after [`Engine::recover`].
+    resume_seq: u64,
     started: Instant,
 }
 
@@ -48,18 +59,31 @@ impl Engine {
         assert!(problems.is_empty(), "invalid EngineConfig: {problems:?}");
         let map = ShardMap::build(config.world_bounds, config.shard_count);
         let router = ShardRouter::new(map, config.batch_size);
+        let make_worker = |shard: ShardId| {
+            let wal = match &config.durability {
+                Durability::None => None,
+                Durability::Wal { dir, fsync } => Some(
+                    ShardWal::open(dir, shard, config.wal_segment_bytes, *fsync)
+                        .unwrap_or_else(|e| panic!("open wal for shard {shard}: {e}")),
+                ),
+            };
+            ShardWorker::new(
+                shard,
+                config.watermark_slack,
+                wal,
+                config.wal_checkpoint_every,
+            )
+        };
         let backend = match config.mode {
-            ExecutionMode::Deterministic => Backend::Inline(
-                (0..config.shard_count)
-                    .map(|s| ShardWorker::new(s, config.watermark_slack))
-                    .collect(),
-            ),
+            ExecutionMode::Deterministic => {
+                Backend::Inline((0..config.shard_count).map(make_worker).collect())
+            }
             ExecutionMode::Threaded => {
                 let mut senders = Vec::with_capacity(config.shard_count);
                 let mut handles = Vec::with_capacity(config.shard_count);
                 for shard in 0..config.shard_count {
                     let (tx, rx) = sync_channel::<ShardMessage>(config.queue_capacity);
-                    let worker = ShardWorker::new(shard, config.watermark_slack);
+                    let worker = make_worker(shard);
                     let handle = std::thread::Builder::new()
                         .name(format!("stem-engine-shard-{shard}"))
                         .spawn(move || worker.run(rx))
@@ -70,11 +94,14 @@ impl Engine {
                 Backend::Threaded { senders, handles }
             }
         };
+        let dirty = vec![false; config.shard_count];
         Engine {
             config,
             router,
             backend,
             next_subscription: 0,
+            dirty,
+            resume_seq: 0,
             started: Instant::now(),
         }
     }
@@ -156,6 +183,164 @@ impl Engine {
         }
     }
 
+    /// Re-feeds a recorded operation stream ([`stem_wal::Replay::records`])
+    /// through the live ingest path: instances via
+    /// [`Engine::ingest_at`] / [`Engine::ingest`], silence probes via
+    /// [`Engine::probe_silence`]. Against subscriptions registered in
+    /// the original order, a full-stream replay reproduces the original
+    /// detection multiset bit-for-bit in deterministic mode; after
+    /// [`Engine::recover`], the tail from [`Engine::resume_from`]
+    /// resumes the run (overlap with shard logs deduplicates per
+    /// shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has a sequence gap (an operation lost to a
+    /// torn shard log — resume from a complete upstream copy instead)
+    /// or if a probe references a subscription that was not
+    /// re-registered.
+    pub fn replay_records<'a>(&mut self, records: impl IntoIterator<Item = &'a WalRecord>) {
+        for record in records {
+            assert_eq!(
+                record.seq(),
+                self.router.seq(),
+                "replay stream has a gap at sequence {} — the log is missing \
+                 operations (torn shard?); resume from a complete upstream copy",
+                self.router.seq(),
+            );
+            match record {
+                WalRecord::Instance {
+                    eval_at, instance, ..
+                } => match eval_at {
+                    Some(at) => self.ingest_at(instance.clone(), *at),
+                    None => self.ingest(instance.clone()),
+                },
+                WalRecord::Probe {
+                    subscription, at, ..
+                } => {
+                    assert!(
+                        self.probe_silence(SubscriptionId(*subscription), *at),
+                        "replayed probe for unknown subscription {subscription} — \
+                         re-register the original subscriptions in order before replaying",
+                    );
+                }
+                // Heartbeats and checkpoints are derived by the live
+                // path; Replay::records never yields them.
+                WalRecord::Heartbeat { .. } | WalRecord::Watermark { .. } => {}
+            }
+        }
+    }
+
+    /// The first ingest sequence *not* guaranteed durable across every
+    /// shard log: where an upstream re-feed should resume after
+    /// [`Engine::recover`] (0 for an engine that did not recover).
+    #[must_use]
+    pub fn resume_from(&self) -> u64 {
+        self.resume_seq
+    }
+
+    /// Begins crash recovery from the write-ahead logs named by
+    /// `config.durability` (which must be [`Durability::Wal`]; the
+    /// directory holds a previous run's logs — possibly torn by the
+    /// crash).
+    ///
+    /// Recovery is a three-step handshake, because replay can only
+    /// deliver into registered subscriptions:
+    ///
+    /// 1. `Engine::recover(config)` reads every shard chain, repairs
+    ///    torn tails (truncating them on disk), and computes the resume
+    ///    point;
+    /// 2. the caller re-registers its subscriptions on the returned
+    ///    [`Recovery`] **in the original registration order** (ids are
+    ///    reassigned deterministically, so logged probe records resolve);
+    /// 3. [`Recovery::resume`] replays each shard's durable records
+    ///    through the normal evaluation path — rebuilding reorder and
+    ///    detector state and re-delivering the durable prefix's
+    ///    notifications into the fresh sinks — and returns the live
+    ///    engine. In deterministic mode the resumed engine is
+    ///    bit-identical to an uninterrupted run fed the same stream.
+    ///
+    /// The upstream should then re-feed everything from
+    /// [`Engine::resume_from`] on; operations some shard logs already
+    /// hold are deduplicated per shard by sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no WAL, is invalid, or names a
+    /// directory written with a larger shard count, and on unreadable
+    /// logs (I/O errors — torn tails are repaired, not errors).
+    #[must_use]
+    pub fn recover(config: EngineConfig) -> Recovery {
+        let Durability::Wal { dir, .. } = &config.durability else {
+            panic!("Engine::recover requires Durability::Wal");
+        };
+        let dir = dir.clone();
+        let found = wal_shards(&dir).unwrap_or_else(|e| panic!("scan wal dir: {e}"));
+        assert!(
+            found.iter().all(|&s| s < config.shard_count),
+            "wal at {} was written with more shards than the config's {}",
+            dir.display(),
+            config.shard_count,
+        );
+        // Read and repair *before* Engine::start opens fresh segments,
+        // so repair never mistakes them for post-torn history.
+        let plan: Vec<RecoveredShard> = (0..config.shard_count)
+            .map(|shard| {
+                read_shard(&dir, shard, true)
+                    .unwrap_or_else(|e| panic!("recover shard {shard} wal: {e}"))
+            })
+            .collect();
+        // Resume where the *least* durable shard ends: everything below
+        // is provably in every log that needs it (appends are ordered,
+        // so a shard's log holds every operation routed to it up to its
+        // own durable maximum).
+        let resume_seq = plan
+            .iter()
+            .map(|r| r.durable_seq.map_or(0, |d| d + 1))
+            .min()
+            .unwrap_or(0);
+        // Seed the router's stream clock with what it had seen by the
+        // resume point, so re-fed operations get their original prefix
+        // high-water stamps (bit-identical late-drop decisions).
+        let mut high_water: Option<TimePoint> = None;
+        let mut note = |t: TimePoint| {
+            high_water = Some(high_water.map_or(t, |h| h.max(t)));
+        };
+        for record in plan.iter().flat_map(|r| &r.records) {
+            match record {
+                WalRecord::Instance {
+                    seq,
+                    eval_at,
+                    instance,
+                    ..
+                } if *seq < resume_seq => {
+                    note(eval_at.unwrap_or_else(|| instance.generation_time()));
+                }
+                // A heartbeat cut after operation `seq` summarizes keys
+                // up to and including it, so only strictly-pre-resume
+                // heartbeats may seed the clock.
+                WalRecord::Heartbeat {
+                    seq,
+                    high_water: hw,
+                } if *seq < resume_seq => note(*hw),
+                _ => {}
+            }
+        }
+        let stats = RecoveryStats {
+            resume_seq,
+            records: plan.iter().map(|r| r.records.len() as u64).sum(),
+            torn_truncations: plan.iter().map(|r| r.torn_truncations).sum(),
+        };
+        let mut engine = Engine::start(config);
+        engine.router.seed_recovery(resume_seq, high_water);
+        engine.resume_seq = resume_seq;
+        Recovery {
+            engine,
+            plan,
+            stats,
+        }
+    }
+
     /// Sends a silence heartbeat to one sustained subscription (see
     /// [`crate::SilenceSpec`]): if its input has been quiet for the
     /// configured timeout, the inactive sample is fed at `at` so open
@@ -172,7 +357,11 @@ impl Engine {
         };
         // Flush first so the probe lands after everything routed so far.
         self.flush_shard(home);
-        self.send(home, ShardMessage::SilenceProbe { id, at });
+        // Probes consume ingest sequence numbers from the same counter
+        // as instances, so the write-ahead logs carry a total order over
+        // all operations.
+        let seq = self.router.take_seq();
+        self.send(home, ShardMessage::SilenceProbe { id, at, seq });
         true
     }
 
@@ -183,11 +372,23 @@ impl Engine {
     /// slack still holds for reordering, which notify once the
     /// watermark passes them. The station ingest path (zero slack)
     /// relies on this for synchronous fold-back of derived instances.
+    ///
+    /// The barrier is amortized: only *dirty* shards — those sent a
+    /// message since their last barrier — are waited on, and the flush
+    /// underneath cuts heartbeat-only batches only when the stream
+    /// clock advanced (see [`ShardRouter::needs_heartbeat`]). A driver
+    /// syncing once per delivery therefore pays one all-shard round per
+    /// simulation tick, not per delivery: within a tick the clock is
+    /// unchanged and only the shards the delivery actually touched are
+    /// flushed and barriered.
     pub fn sync(&mut self) {
         self.flush();
         if let Backend::Threaded { senders, .. } = &self.backend {
             let (ack, done) = std::sync::mpsc::channel();
             for (shard, sender) in senders.iter().enumerate() {
+                if !self.dirty[shard] {
+                    continue;
+                }
                 sender
                     .send(ShardMessage::Sync(ack.clone()))
                     .unwrap_or_else(|_| panic!("shard {shard} worker terminated"));
@@ -195,6 +396,7 @@ impl Engine {
             drop(ack);
             while done.recv().is_ok() {}
         }
+        self.dirty.fill(false);
     }
 
     /// Flushes every partially-filled batch without shutting down,
@@ -260,16 +462,18 @@ impl Engine {
     }
 
     /// Hands the pending batch for `shard` to its worker, honouring the
-    /// backpressure policy.
+    /// backpressure policy. A batch that would carry neither instances
+    /// nor a heartbeat the shard hasn't already seen is not cut at all.
     fn flush_shard(&mut self, shard: ShardId) {
-        let batch = self.router.take_batch(shard);
-        if batch.is_empty() && batch.high_water.is_none() {
+        if self.router.pending_len(shard) == 0 && !self.router.needs_heartbeat(shard) {
             return;
         }
+        let batch = self.router.take_batch(shard);
         self.send(shard, ShardMessage::Batch(batch));
     }
 
     fn send(&mut self, shard: ShardId, message: ShardMessage) {
+        self.dirty[shard] = true;
         match &mut self.backend {
             Backend::Inline(workers) => workers[shard].handle(message),
             Backend::Threaded { senders, .. } => match self.config.backpressure {
@@ -296,6 +500,68 @@ impl Engine {
                 },
             },
         }
+    }
+}
+
+/// What [`Engine::recover`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// First ingest sequence not guaranteed durable on every shard —
+    /// where the upstream re-feed resumes.
+    pub resume_seq: u64,
+    /// Intact records recovered across all shard logs.
+    pub records: u64,
+    /// Torn-tail truncations repaired across all shard logs.
+    pub torn_truncations: u64,
+}
+
+/// The subscription-registration window of a crash recovery: the engine
+/// exists but has not replayed its logs yet (see [`Engine::recover`]).
+pub struct Recovery {
+    engine: Engine,
+    plan: Vec<RecoveredShard>,
+    stats: RecoveryStats,
+}
+
+impl Recovery {
+    /// Re-registers a subscription. Call in the original registration
+    /// order so ids — which logged probe records reference — line up.
+    pub fn subscribe(&mut self, subscription: Subscription) -> SubscriptionId {
+        self.engine.subscribe(subscription)
+    }
+
+    /// What recovery found on disk.
+    #[must_use]
+    pub fn stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// Replays every shard's durable records and returns the live
+    /// engine, ready for the upstream re-feed from
+    /// [`Engine::resume_from`].
+    #[must_use]
+    pub fn resume(mut self) -> Engine {
+        for recovered in self.plan {
+            let shard = recovered.shard;
+            self.engine.send(
+                shard,
+                ShardMessage::Recover {
+                    records: recovered.records,
+                    durable_seq: recovered.durable_seq,
+                    torn: recovered.torn_truncations,
+                },
+            );
+            self.engine.send(shard, ShardMessage::EndRecovery);
+        }
+        self.engine
+    }
+}
+
+impl std::fmt::Debug for Recovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recovery")
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
     }
 }
 

@@ -92,11 +92,12 @@ mod subscription;
 mod worker;
 
 pub use batch::Batch;
-pub use config::{BackpressurePolicy, EngineConfig, ExecutionMode, ShardId};
-pub use engine::Engine;
-pub use metrics::{EngineReport, RouterMetrics, ShardMetrics};
+pub use config::{BackpressurePolicy, Durability, EngineConfig, ExecutionMode, ShardId};
+pub use engine::{Engine, Recovery, RecoveryStats};
+pub use metrics::{EngineReport, RouterMetrics, ShardMetrics, WalMetrics};
 pub use router::ShardRouter;
 pub use shard_map::ShardMap;
+pub use stem_wal::FsyncPolicy;
 pub use subscription::{
     Collector, EventSink, Notification, NotificationKind, PatternSpec, SilenceSpec, Subscription,
     SubscriptionId, SustainedSpec, SustainedValue,

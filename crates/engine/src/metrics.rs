@@ -33,6 +33,39 @@ pub struct ShardMetrics {
     pub watermark: Option<TimePoint>,
     /// Subscriptions resident when the shard finished.
     pub subscriptions: usize,
+    /// Write-ahead log counters (all zero without a WAL).
+    pub wal: WalMetrics,
+}
+
+/// Per-shard write-ahead log counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalMetrics {
+    /// Records appended to the shard's log this run.
+    pub records_appended: u64,
+    /// Bytes appended (frames included).
+    pub bytes_appended: u64,
+    /// Segment files created.
+    pub segments_created: u64,
+    /// Records replayed from the log during crash recovery.
+    pub records_recovered: u64,
+    /// Torn-tail truncations repaired during recovery.
+    pub torn_truncations: u64,
+    /// Re-fed operations skipped because the shard's log already held
+    /// them (post-recovery resume overlap), plus live silence probes
+    /// suppressed while the shard was still replaying its log.
+    pub deduped: u64,
+}
+
+impl WalMetrics {
+    /// Folds another shard's counters into this one.
+    pub fn absorb(&mut self, other: &WalMetrics) {
+        self.records_appended += other.records_appended;
+        self.bytes_appended += other.bytes_appended;
+        self.segments_created += other.segments_created;
+        self.records_recovered += other.records_recovered;
+        self.torn_truncations += other.torn_truncations;
+        self.deduped += other.deduped;
+    }
 }
 
 /// Counters the router maintains.
@@ -96,5 +129,38 @@ impl EngineReport {
         } else {
             self.router.routed as f64 / secs
         }
+    }
+
+    /// Write-ahead log counters summed across shards.
+    #[must_use]
+    pub fn total_wal(&self) -> WalMetrics {
+        let mut total = WalMetrics::default();
+        for shard in &self.shards {
+            total.absorb(&shard.wal);
+        }
+        total
+    }
+
+    /// A one-line run summary for bench / smoke output: routing volume,
+    /// the precision pass's savings, and the WAL's durability counters.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        let wal = self.total_wal();
+        format!(
+            "routed={} fanout={} owner_only={} precision_skipped={} notifications={} \
+             late_dropped={} wal[appended={} bytes={} segments={} recovered={} torn={} deduped={}]",
+            self.router.routed,
+            self.router.fanout,
+            self.router.owner_only,
+            self.router.precision_skipped,
+            self.total_notifications(),
+            self.total_late_dropped(),
+            wal.records_appended,
+            wal.bytes_appended,
+            wal.segments_created,
+            wal.records_recovered,
+            wal.torn_truncations,
+            wal.deduped,
+        )
     }
 }

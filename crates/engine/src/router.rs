@@ -46,6 +46,13 @@ pub struct ShardRouter {
     pending: Vec<Vec<BatchItem>>,
     /// Maximum generation time seen across the whole stream.
     high_water: Option<TimePoint>,
+    /// The next global ingest sequence number (instances and silence
+    /// probes each consume one, in arrival order).
+    next_seq: u64,
+    /// Per shard: the high-water mark last handed off in a batch, so
+    /// heartbeat-only batches are cut only when the stream clock
+    /// actually advanced for that shard (see [`ShardRouter::needs_heartbeat`]).
+    heartbeat_sent: Vec<Option<TimePoint>>,
     metrics: RouterMetrics,
 }
 
@@ -69,6 +76,8 @@ impl ShardRouter {
             leaf_masks: vec![0; leaves],
             pending: vec![Vec::new(); shards],
             high_water: None,
+            next_seq: 0,
+            heartbeat_sent: vec![None; shards],
             metrics: RouterMetrics::default(),
         }
     }
@@ -83,6 +92,36 @@ impl ShardRouter {
     #[must_use]
     pub fn high_water(&self) -> Option<TimePoint> {
         self.high_water
+    }
+
+    /// The next global ingest sequence number.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Consumes and returns one global ingest sequence number (the
+    /// engine stamps silence probes from the same counter as instances,
+    /// so the union of the per-shard logs is totally ordered).
+    pub(crate) fn take_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Seeds the sequence counter and high-water mark after a crash
+    /// recovery, so the resumed stream continues exactly where the
+    /// durable prefix ended.
+    ///
+    /// The per-shard heartbeat memory is seeded too: every shard is
+    /// treated as already knowing the recovered mark. Each shard
+    /// relearns its *own* watermark from its own log during replay —
+    /// pushing the global mark at it beforehand would race the replay
+    /// and late-drop the entire durable prefix.
+    pub(crate) fn seed_recovery(&mut self, next_seq: u64, high_water: Option<TimePoint>) {
+        self.next_seq = next_seq;
+        self.high_water = high_water;
+        self.heartbeat_sent.fill(high_water);
     }
 
     /// Registers a subscription region and returns its home shard: the
@@ -168,6 +207,7 @@ impl ShardRouter {
         // routed item so shard drop decisions replay the global run.
         let prefix_high_water = self.high_water;
         self.high_water = Some(self.high_water.map_or(t, |h| h.max(t)));
+        let seq = self.take_seq();
         self.metrics.routed += 1;
 
         let location = instance.estimated_location().representative();
@@ -200,12 +240,14 @@ impl ShardRouter {
         let last = targets.len() - 1;
         for &shard in &targets[..last] {
             self.pending[shard].push(BatchItem {
+                seq,
                 instance: instance.clone(),
                 eval_at,
                 prefix_high_water,
             });
         }
         self.pending[targets[last]].push(BatchItem {
+            seq,
             instance,
             eval_at,
             prefix_high_water,
@@ -217,13 +259,32 @@ impl ShardRouter {
     }
 
     /// Takes the pending batch for `shard`, stamped with the current
-    /// high-water mark.
+    /// high-water mark and the last consumed sequence number.
     pub fn take_batch(&mut self, shard: ShardId) -> Batch {
         self.metrics.batches_sent += 1;
+        self.heartbeat_sent[shard] = self.high_water;
         Batch {
             instances: std::mem::take(&mut self.pending[shard]),
             high_water: self.high_water,
+            seq: self.next_seq.saturating_sub(1),
         }
+    }
+
+    /// Whether `shard` would learn anything from a heartbeat-only batch:
+    /// `true` when the global high-water mark advanced past the last one
+    /// handed to it. Cutting heartbeats only on stream-clock advance is
+    /// what amortizes the all-shard flush round to once per simulation
+    /// tick instead of once per delivery — a repeated heartbeat is a
+    /// semantic no-op for the shard's reorder buffer.
+    #[must_use]
+    pub fn needs_heartbeat(&self, shard: ShardId) -> bool {
+        self.high_water.is_some() && self.heartbeat_sent[shard] != self.high_water
+    }
+
+    /// Number of instances pending for `shard`.
+    #[must_use]
+    pub fn pending_len(&self, shard: ShardId) -> usize {
+        self.pending[shard].len()
     }
 
     /// Shards that still hold pending instances.

@@ -14,6 +14,7 @@ use stem_core::{
 };
 use stem_spatial::{Rect, SpatialExtent};
 use stem_temporal::{Duration, TimePoint};
+use stem_wal::{ShardWal, WalRecord};
 
 /// What travels over a shard's input channel.
 pub(crate) enum ShardMessage {
@@ -31,7 +32,24 @@ pub(crate) enum ShardMessage {
         id: SubscriptionId,
         /// The probe's observer-local time.
         at: TimePoint,
+        /// The probe's global ingest sequence number.
+        seq: u64,
     },
+    /// Crash recovery: replay this shard's durable log to rebuild
+    /// reorder/detector state (and re-deliver the durable prefix's
+    /// notifications to the freshly registered sinks).
+    Recover {
+        /// The shard's recovered records, in append order.
+        records: Vec<WalRecord>,
+        /// The largest ingest sequence the log held: later re-fed
+        /// operations at or below it are duplicates and are skipped.
+        durable_seq: Option<u64>,
+        /// Torn-tail truncations the recovery reader repaired.
+        torn: u64,
+    },
+    /// Recovery replay is complete: resume live input (silence probes
+    /// are accepted again).
+    EndRecovery,
     /// Stream horizon: drain the reorder buffer and close any open
     /// sustained episodes at the given time.
     Finalize(TimePoint),
@@ -170,7 +188,8 @@ enum StreamItem {
     Probe { id: SubscriptionId, at: TimePoint },
 }
 
-/// One shard: a reorder buffer, the resident subscriptions, and counters.
+/// One shard: a reorder buffer, the resident subscriptions, an optional
+/// write-ahead log, and counters.
 pub(crate) struct ShardWorker {
     shard: ShardId,
     slack: Duration,
@@ -179,17 +198,40 @@ pub(crate) struct ShardWorker {
     /// instance-release counter).
     probes: u64,
     subs: Vec<SubscriptionState>,
+    /// The shard's write-ahead log (None without durability).
+    wal: Option<ShardWal>,
+    /// Records between durability checkpoints.
+    checkpoint_every: u64,
+    /// Records appended since the last checkpoint.
+    since_checkpoint: u64,
+    /// The largest ingest sequence known durable in this shard's log:
+    /// re-fed operations at or below it (the post-recovery resume
+    /// overlap) were already replayed from the log and are skipped.
+    durable_seq: Option<u64>,
+    /// The last high-water mark appended as a heartbeat record (repeats
+    /// carry no information, so they are not logged).
+    logged_high_water: Option<TimePoint>,
     metrics: ShardMetrics,
 }
 
 impl ShardWorker {
-    pub(crate) fn new(shard: ShardId, slack: Duration) -> Self {
+    pub(crate) fn new(
+        shard: ShardId,
+        slack: Duration,
+        wal: Option<ShardWal>,
+        checkpoint_every: u64,
+    ) -> Self {
         ShardWorker {
             shard,
             slack,
             reorder: ReorderBuffer::new(slack),
             probes: 0,
             subs: Vec::new(),
+            wal,
+            checkpoint_every: checkpoint_every.max(1),
+            since_checkpoint: 0,
+            durable_seq: None,
+            logged_high_water: None,
             metrics: ShardMetrics {
                 shard,
                 ..ShardMetrics::default()
@@ -202,11 +244,52 @@ impl ShardWorker {
             ShardMessage::Batch(batch) => self.process_batch(batch),
             ShardMessage::Subscribe(state) => self.subs.push(*state),
             ShardMessage::Unsubscribe(id) => self.subs.retain(|s| s.id != id),
-            ShardMessage::SilenceProbe { id, at } => self.queue_silence_probe(id, at),
+            ShardMessage::SilenceProbe { id, at, seq } => self.queue_silence_probe(id, at, seq),
+            ShardMessage::Recover {
+                records,
+                durable_seq,
+                torn,
+            } => self.recover(records, durable_seq, torn),
+            ShardMessage::EndRecovery => self.reorder.end_recovery(),
             ShardMessage::Finalize(at) => self.finalize(at),
             ShardMessage::Sync(ack) => {
                 let _ = ack.send(());
             }
+        }
+    }
+
+    /// Appends one record to the shard's log (no-op without a WAL),
+    /// cutting a durability checkpoint every `checkpoint_every` records.
+    ///
+    /// Appends happen *before* the evaluation they cover — that is what
+    /// makes the log write-ahead: a crash between append and evaluation
+    /// re-evaluates on recovery, never loses the record.
+    fn wal_append(&mut self, record: &WalRecord) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        wal.append(record)
+            .unwrap_or_else(|e| panic!("shard {} wal append failed: {e}", self.shard));
+        self.since_checkpoint += 1;
+        if self.since_checkpoint >= self.checkpoint_every {
+            self.since_checkpoint = 0;
+            let checkpoint = WalRecord::Watermark {
+                seq: record.seq(),
+                watermark: self.reorder.watermark(),
+                emitted: self.metrics.notifications,
+            };
+            let wal = self.wal.as_mut().expect("checked above");
+            wal.append(&checkpoint)
+                .unwrap_or_else(|e| panic!("shard {} wal checkpoint failed: {e}", self.shard));
+        }
+    }
+
+    /// Logs the batch heartbeat if the global high-water mark advanced
+    /// past the last logged one (repeats are semantic no-ops).
+    fn wal_note_heartbeat(&mut self, seq: u64, high_water: TimePoint) {
+        if self.wal.is_some() && self.logged_high_water.is_none_or(|h| high_water > h) {
+            self.logged_high_water = Some(high_water);
+            self.wal_append(&WalRecord::Heartbeat { seq, high_water });
         }
     }
 
@@ -226,6 +309,24 @@ impl ShardWorker {
                 .max(hw.ticks().saturating_sub(local_max));
         }
         for item in batch.instances {
+            if self.durable_seq.is_some_and(|d| item.seq <= d) {
+                // Post-recovery resume overlap: the log already held
+                // (and recovery already replayed) this operation.
+                self.metrics.wal.deduped += 1;
+                continue;
+            }
+            // Write-ahead: the routed instance becomes durable before
+            // any evaluation it triggers.
+            let record = WalRecord::Instance {
+                seq: item.seq,
+                eval_at: item.eval_at,
+                prefix_high_water: item.prefix_high_water,
+                instance: item.instance,
+            };
+            self.wal_append(&record);
+            let WalRecord::Instance { instance, .. } = record else {
+                unreachable!("constructed above")
+            };
             // Replaying the global watermark before each push keeps
             // accept/late-drop decisions identical to a 1-shard run
             // even when disorder exceeds the slack.
@@ -233,17 +334,62 @@ impl ShardWorker {
                 let released = self.reorder.observe(hw);
                 self.dispatch_all(released);
             }
-            let key = item
-                .eval_at
-                .unwrap_or_else(|| item.instance.generation_time());
+            let key = item.eval_at.unwrap_or_else(|| instance.generation_time());
             let released = self
                 .reorder
-                .push_at(key, StreamItem::Instance(key, item.instance));
+                .push_at(key, StreamItem::Instance(key, instance));
             self.dispatch_all(released);
         }
         if let Some(hw) = batch.high_water {
+            self.wal_note_heartbeat(batch.seq, hw);
             let released = self.reorder.observe(hw);
             self.dispatch_all(released);
+        }
+    }
+
+    /// Crash recovery: replays the shard's durable log through the
+    /// normal evaluation path, rebuilding reorder-buffer and detector
+    /// state and re-delivering the durable prefix's notifications to the
+    /// (freshly registered) sinks. Nothing is re-appended — the records
+    /// are already on disk.
+    fn recover(&mut self, records: Vec<WalRecord>, durable_seq: Option<u64>, torn: u64) {
+        self.reorder.begin_recovery();
+        self.durable_seq = durable_seq;
+        self.metrics.wal.torn_truncations += torn;
+        self.metrics.wal.records_recovered += records.len() as u64;
+        for record in records {
+            match record {
+                WalRecord::Instance {
+                    eval_at,
+                    prefix_high_water,
+                    instance,
+                    ..
+                } => {
+                    if let Some(hw) = prefix_high_water {
+                        let released = self.reorder.observe(hw);
+                        self.dispatch_all(released);
+                    }
+                    let key = eval_at.unwrap_or_else(|| instance.generation_time());
+                    let released = self
+                        .reorder
+                        .push_at(key, StreamItem::Instance(key, instance));
+                    self.dispatch_all(released);
+                }
+                WalRecord::Probe {
+                    subscription, at, ..
+                } => self.enqueue_probe(SubscriptionId(subscription), at),
+                WalRecord::Heartbeat { high_water, .. } => {
+                    self.logged_high_water = Some(
+                        self.logged_high_water
+                            .map_or(high_water, |h| h.max(high_water)),
+                    );
+                    let released = self.reorder.observe(high_water);
+                    self.dispatch_all(released);
+                }
+                // Checkpoints are markers for the recovery *reader*;
+                // they carry no stream state to rebuild.
+                WalRecord::Watermark { .. } => {}
+            }
         }
     }
 
@@ -350,11 +496,33 @@ impl ShardWorker {
         }
     }
 
+    /// Accepts a live silence probe: logs it write-ahead, then enqueues
+    /// it.
+    ///
+    /// Two guards protect recovery correctness: a probe arriving while
+    /// the log is still being replayed is dropped (the log carries every
+    /// probe that fired before the crash — accepting a live one
+    /// mid-replay would double-fire its inactive sample, see
+    /// [`ReorderBuffer::is_recovering`]), and a re-fed probe the log
+    /// already holds is a duplicate like any other resumed operation.
+    fn queue_silence_probe(&mut self, id: SubscriptionId, at: TimePoint, seq: u64) {
+        if self.reorder.is_recovering() || self.durable_seq.is_some_and(|d| seq <= d) {
+            self.metrics.wal.deduped += 1;
+            return;
+        }
+        self.wal_append(&WalRecord::Probe {
+            seq,
+            subscription: id.raw(),
+            at,
+        });
+        self.enqueue_probe(id, at);
+    }
+
     /// Enqueues a silence probe into the reorder buffer so it reaches
     /// the sustained detector in stream order. Probes already behind
     /// the watermark are stale — the stream has moved past them — and
     /// are discarded.
-    fn queue_silence_probe(&mut self, id: SubscriptionId, at: TimePoint) {
+    fn enqueue_probe(&mut self, id: SubscriptionId, at: TimePoint) {
         if self.reorder.watermark().is_some_and(|w| at < w) {
             return;
         }
@@ -412,10 +580,19 @@ impl ShardWorker {
         }
     }
 
-    /// Drains the reorder buffer and returns the final counters.
+    /// Drains the reorder buffer, closes the log durably, and returns
+    /// the final counters.
     pub(crate) fn finish(mut self) -> ShardMetrics {
         let remaining = self.reorder.flush();
         self.dispatch_all(remaining);
+        if let Some(wal) = self.wal.as_mut() {
+            wal.sync()
+                .unwrap_or_else(|e| panic!("shard {} wal close failed: {e}", self.shard));
+            let m = wal.metrics();
+            self.metrics.wal.records_appended = m.records;
+            self.metrics.wal.bytes_appended = m.bytes;
+            self.metrics.wal.segments_created = m.segments;
+        }
         // Probes ride the reorder buffer but are not instances.
         self.metrics.released = self.reorder.released() - self.probes;
         self.metrics.late_dropped = self.reorder.late_dropped();
@@ -430,5 +607,183 @@ impl ShardWorker {
             self.handle(message);
         }
         self.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchItem;
+    use crate::subscription::{
+        Collector, SilenceSpec, Subscription, SustainedSpec, SustainedValue,
+    };
+    use stem_cep::SustainedConfig;
+    use stem_spatial::{Field, Point, Rect};
+
+    fn reading(t: u64, v: f64) -> EventInstance {
+        EventInstance::builder(
+            ObserverId::Mote(stem_core::MoteId::new(1)),
+            EventId::new("reading"),
+            Layer::Sensor,
+        )
+        .generated(TimePoint::new(t), Point::new(5.0, 5.0))
+        .attributes(stem_core::Attributes::new().with("v", v))
+        .build()
+    }
+
+    fn sustained_worker(collector: &Collector) -> ShardWorker {
+        let region = SpatialExtent::field(Field::rect(Rect::new(
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 100.0),
+        )));
+        let sub =
+            Subscription::new("episode", region, collector.sink()).sustained_spec(SustainedSpec {
+                config: SustainedConfig {
+                    min_duration: Duration::new(10),
+                    enter_threshold: 1.0,
+                    exit_threshold: 0.5,
+                },
+                value: SustainedValue::Attribute("v".to_owned()),
+                negate: false,
+                silence: Some(SilenceSpec {
+                    timeout: Duration::new(5),
+                    inactive_value: 0.0,
+                }),
+            });
+        let mut worker = ShardWorker::new(0, Duration::ZERO, None, 1024);
+        worker.handle(ShardMessage::Subscribe(Box::new(
+            SubscriptionState::compile(SubscriptionId(0), sub),
+        )));
+        worker
+    }
+
+    /// The recovery guard (see `ReorderBuffer::is_recovering`): a live
+    /// silence probe racing the log replay is dropped — the log already
+    /// carries every probe that fired before the crash, so accepting it
+    /// would double-fire the inactive sample and close the episode
+    /// twice.
+    #[test]
+    fn live_silence_probes_are_suppressed_while_recovering() {
+        let collector = Collector::new();
+        let mut worker = sustained_worker(&collector);
+        // Active samples at t=10 and t=30 open a qualifying episode
+        // (episodes end at their last active sample, so a single sample
+        // would make a zero-length, unreported episode).
+        worker.handle(ShardMessage::Batch(Batch {
+            instances: vec![
+                BatchItem {
+                    seq: 0,
+                    instance: reading(10, 2.0),
+                    eval_at: None,
+                    prefix_high_water: None,
+                },
+                BatchItem {
+                    seq: 1,
+                    instance: reading(30, 2.0),
+                    eval_at: None,
+                    prefix_high_water: Some(TimePoint::new(10)),
+                },
+            ],
+            high_water: Some(TimePoint::new(30)),
+            seq: 2,
+        }));
+        worker.handle(ShardMessage::Recover {
+            records: Vec::new(),
+            durable_seq: None,
+            torn: 0,
+        });
+        // Dropped: the shard is still replaying its log.
+        worker.handle(ShardMessage::SilenceProbe {
+            id: SubscriptionId(0),
+            at: TimePoint::new(100),
+            seq: 2,
+        });
+        worker.handle(ShardMessage::EndRecovery);
+        // Accepted: recovery is over, the stale probe closes the episode.
+        worker.handle(ShardMessage::SilenceProbe {
+            id: SubscriptionId(0),
+            at: TimePoint::new(100),
+            seq: 3,
+        });
+        let metrics = worker.finish();
+        assert_eq!(metrics.wal.deduped, 1, "the mid-recovery probe was dropped");
+        let ended: Vec<_> = collector
+            .take()
+            .into_iter()
+            .filter(|n| {
+                matches!(
+                    n.kind,
+                    NotificationKind::Sustained(stem_cep::SustainedEvent::Ended { .. })
+                )
+            })
+            .collect();
+        assert_eq!(ended.len(), 1, "the episode must close exactly once");
+    }
+
+    /// Re-fed operations the log already holds (the resume overlap) are
+    /// deduplicated by sequence number, instances and probes alike.
+    #[test]
+    fn resume_overlap_is_deduplicated_by_sequence() {
+        let collector = Collector::new();
+        let mut worker = sustained_worker(&collector);
+        worker.handle(ShardMessage::Recover {
+            records: vec![
+                WalRecord::Instance {
+                    seq: 0,
+                    eval_at: None,
+                    prefix_high_water: None,
+                    instance: reading(10, 2.0),
+                },
+                WalRecord::Instance {
+                    seq: 1,
+                    eval_at: None,
+                    prefix_high_water: Some(TimePoint::new(10)),
+                    instance: reading(30, 2.0),
+                },
+            ],
+            durable_seq: Some(1),
+            torn: 0,
+        });
+        worker.handle(ShardMessage::EndRecovery);
+        // The upstream re-feeds from sequence 0: the shard already has
+        // both samples.
+        worker.handle(ShardMessage::Batch(Batch {
+            instances: vec![
+                BatchItem {
+                    seq: 0,
+                    instance: reading(10, 2.0),
+                    eval_at: None,
+                    prefix_high_water: None,
+                },
+                BatchItem {
+                    seq: 1,
+                    instance: reading(30, 2.0),
+                    eval_at: None,
+                    prefix_high_water: Some(TimePoint::new(10)),
+                },
+            ],
+            high_water: Some(TimePoint::new(30)),
+            seq: 2,
+        }));
+        // Fresh work (seq 2) processes normally and closes the episode.
+        worker.handle(ShardMessage::SilenceProbe {
+            id: SubscriptionId(0),
+            at: TimePoint::new(100),
+            seq: 2,
+        });
+        let metrics = worker.finish();
+        assert_eq!(metrics.wal.deduped, 2);
+        assert_eq!(metrics.wal.records_recovered, 2);
+        let ended = collector
+            .take()
+            .into_iter()
+            .filter(|n| {
+                matches!(
+                    n.kind,
+                    NotificationKind::Sustained(stem_cep::SustainedEvent::Ended { .. })
+                )
+            })
+            .count();
+        assert_eq!(ended, 1, "replay + dedup must evaluate the sample once");
     }
 }

@@ -620,3 +620,221 @@ fn silence_probe_respects_the_reorder_buffer() {
             if interval.end() == TimePoint::new(160)
     ));
 }
+
+// ---------------------------------------------------------------------
+// Write-ahead log: record, crash, recover, resume, replay.
+// ---------------------------------------------------------------------
+
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("stem-engine-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn wal_config(dir: &std::path::Path) -> EngineConfig {
+    EngineConfig::new(bounds())
+        .with_shards(2)
+        .with_batch_size(2)
+        .with_wal(dir)
+        .deterministic()
+}
+
+fn hot_subscription(collector: &Collector) -> Subscription {
+    Subscription::new("hot", circle_region(25.0, 25.0, 20.0), collector.sink())
+        .for_event("reading")
+        .when(dsl::parse("x.temp > 40").unwrap())
+}
+
+/// The synthetic op stream both runs feed: readings alternating between
+/// two shards' territories, all hot inside the region.
+fn wal_stream() -> Vec<EventInstance> {
+    (0..40u64)
+        .map(|i| {
+            let (x, y) = if i % 2 == 0 {
+                (20.0, 20.0)
+            } else {
+                (80.0, 80.0)
+            };
+            mk("reading", i, 10 * i, x, y, 50.0)
+        })
+        .collect()
+}
+
+fn notification_multiset(notes: Vec<stem_engine::Notification>) -> Vec<String> {
+    let mut out: Vec<String> = notes.into_iter().map(|n| format!("{:?}", n.kind)).collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn crash_recovery_resumes_bit_identically() {
+    let stream = wal_stream();
+
+    // Uninterrupted reference run with a WAL.
+    let full_dir = wal_dir("full");
+    let reference = Collector::new();
+    let mut engine = Engine::start(wal_config(&full_dir));
+    engine.subscribe(hot_subscription(&reference));
+    engine.ingest_all(stream.iter().cloned());
+    let report = engine.finish();
+    let wal = report.total_wal();
+    // Every appended record is a routed instance, a heartbeat, or a
+    // checkpoint — counted independently from the logs themselves.
+    let mut heartbeats = 0u64;
+    let mut checkpoints = 0u64;
+    let mut instances = 0u64;
+    for shard in 0..2 {
+        for record in stem_wal::read_shard(&full_dir, shard, false)
+            .unwrap()
+            .records
+        {
+            match record {
+                stem_wal::WalRecord::Instance { .. } => instances += 1,
+                stem_wal::WalRecord::Heartbeat { .. } => heartbeats += 1,
+                stem_wal::WalRecord::Watermark { .. } => checkpoints += 1,
+                stem_wal::WalRecord::Probe { .. } => panic!("no probes in this stream"),
+            }
+        }
+    }
+    assert_eq!(instances, report.router.fanout, "one record per delivery");
+    assert!(heartbeats > 0, "advancing high-water marks are journaled");
+    assert_eq!(
+        wal.records_appended,
+        instances + heartbeats + checkpoints,
+        "append counter accounts for every record on disk"
+    );
+    assert!(wal.bytes_appended > 0);
+    assert!(wal.segments_created >= 2, "one segment chain per shard");
+
+    // Crashed run: same stream, dropped mid-flight without finish().
+    let crash_dir = wal_dir("crash");
+    let lost = Collector::new();
+    let mut engine = Engine::start(wal_config(&crash_dir));
+    engine.subscribe(hot_subscription(&lost));
+    engine.ingest_all(stream.iter().take(25).cloned());
+    engine.flush();
+    drop(engine); // the crash: notifications in `lost` are gone with it
+
+    // Recover + re-register + resume, then re-feed from the resume point.
+    let survivor = Collector::new();
+    let mut recovery = Engine::recover(wal_config(&crash_dir));
+    recovery.subscribe(hot_subscription(&survivor));
+    let stats = recovery.stats();
+    assert_eq!(stats.torn_truncations, 0, "clean shutdown had no torn tail");
+    let mut engine = recovery.resume();
+    let resume = engine.resume_from();
+    assert!(
+        resume > 0 && resume <= 25,
+        "resume point within the durable prefix"
+    );
+    for inst in stream.iter().skip(usize::try_from(resume).unwrap()) {
+        engine.ingest(inst.clone());
+    }
+    let recovered_report = engine.finish();
+    assert!(recovered_report.total_wal().records_recovered > 0);
+
+    // Bit-identical detection multisets: recovered prefix re-delivers
+    // into the fresh sink, resumed suffix continues live.
+    assert_eq!(
+        notification_multiset(survivor.take()),
+        notification_multiset(reference.take()),
+    );
+    let _ = std::fs::remove_dir_all(&full_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+#[test]
+fn recorded_wal_replays_into_any_subscription_set() {
+    let dir = wal_dir("replay");
+    let stream = wal_stream();
+    let original = Collector::new();
+    let mut engine = Engine::start(wal_config(&dir));
+    engine.subscribe(hot_subscription(&original));
+    engine.ingest_all(stream.iter().cloned());
+    let _ = engine.finish();
+    let original_notes = notification_multiset(original.take());
+
+    // Full-fidelity re-run: same subscriptions, replay_records.
+    let rerun = Collector::new();
+    let replay = stem_wal::Replay::open(&dir).unwrap();
+    assert_eq!(replay.len(), stream.len());
+    let mut engine = Engine::start(EngineConfig::new(bounds()).with_shards(2).deterministic());
+    engine.subscribe(hot_subscription(&rerun));
+    engine.replay_records(replay.records());
+    let _ = engine.finish();
+    assert_eq!(notification_multiset(rerun.take()), original_notes);
+
+    // Historical re-analysis: a *different* subscription set over the
+    // recorded instances through the InstanceSource seam.
+    let reanalysis = Collector::new();
+    let mut engine = Engine::start(EngineConfig::new(bounds()).deterministic());
+    engine.subscribe(
+        Subscription::new(
+            "anywhere-warm",
+            circle_region(50.0, 50.0, 80.0),
+            reanalysis.sink(),
+        )
+        .for_event("reading")
+        .when(dsl::parse("x.temp > 45").unwrap()),
+    );
+    let mut source = stem_wal::Replay::open(&dir).unwrap().into_instances();
+    engine.pump(&mut source);
+    let _ = engine.finish();
+    assert_eq!(
+        reanalysis.take().len(),
+        stream.len(),
+        "the new condition matches every recorded reading"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_is_repaired_and_counted_in_the_report() {
+    let dir = wal_dir("torn");
+    let stream = wal_stream();
+    let mut engine = Engine::start(wal_config(&dir));
+    engine.subscribe(hot_subscription(&Collector::new()));
+    engine.ingest_all(stream.iter().cloned());
+    let _ = engine.finish();
+
+    // Tear the tail of shard 0's last segment mid-record.
+    let mut segments: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-000-"))
+        })
+        .collect();
+    segments.sort();
+    let last = segments.last().unwrap();
+    let len = std::fs::metadata(last).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(last)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+
+    let survivor = Collector::new();
+    let mut recovery = Engine::recover(wal_config(&dir));
+    recovery.subscribe(hot_subscription(&survivor));
+    assert_eq!(recovery.stats().torn_truncations, 1);
+    let mut engine = recovery.resume();
+    let resume = engine.resume_from();
+    assert!(
+        resume < stream.len() as u64,
+        "the torn record pulls the resume point back"
+    );
+    for inst in stream.iter().skip(usize::try_from(resume).unwrap()) {
+        engine.ingest(inst.clone());
+    }
+    let report = engine.finish();
+    assert_eq!(report.total_wal().torn_truncations, 1);
+    assert!(
+        report.total_wal().deduped > 0,
+        "the intact shard dedups the overlap"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

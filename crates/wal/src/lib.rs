@@ -1,0 +1,71 @@
+//! # stem-wal — per-shard write-ahead instance log
+//!
+//! The streaming engine's reorder buffers and detector state are
+//! in-memory: without a durable log, a crash loses every in-flight
+//! sustained episode and there is no way to re-run a subscription over
+//! history. This crate provides that log — an append-only,
+//! length-prefixed, CRC-32-checksummed binary record stream written per
+//! shard, hand-rolled over `std::io` (no external dependencies, works
+//! offline).
+//!
+//! ## On disk
+//!
+//! A WAL directory holds one segment chain per shard:
+//!
+//! ```text
+//! <dir>/wal-<shard>-<segment>.log
+//! ```
+//!
+//! Each segment starts with an 8-byte header (`b"STEMWAL1"`) followed by
+//! framed records:
+//!
+//! ```text
+//! ┌──────────┬───────────┬─────────────────┐
+//! │ len: u32 │ crc32: u32│ payload (len B) │   little-endian
+//! └──────────┴───────────┴─────────────────┘
+//! ```
+//!
+//! The CRC covers the payload. A torn tail (partial frame or checksum
+//! mismatch from a crash mid-write) ends recovery for that shard: the
+//! reader keeps everything before it and reports the truncation. Record
+//! payloads are a `u8` kind tag plus fields encoded with the stable
+//! [`stem_core::codec`].
+//!
+//! ## Record kinds
+//!
+//! * [`WalRecord::Instance`] — one routed instance, appended by the
+//!   shard worker *before* evaluation, with its global ingest sequence
+//!   number, optional observer-local evaluation time, and the router's
+//!   prefix high-water stamp (what makes replayed late-drop decisions
+//!   bit-identical).
+//! * [`WalRecord::Probe`] — a silence probe queued for a sustained
+//!   subscription (replayed so episode closure is reproducible).
+//! * [`WalRecord::Heartbeat`] — the router's global high-water mark as
+//!   seen by this shard (appended only when it advances).
+//! * [`WalRecord::Watermark`] — a periodic checkpoint: the ingest
+//!   sequence the shard is durable through and what it had emitted, so
+//!   recovery knows where a crashed shard stood.
+//!
+//! ## Replay
+//!
+//! [`Replay`] merges the per-shard logs back into the global ingest
+//! order (records are deduplicated by sequence number — the broadcast
+//! path copies an instance into several shard logs) and serves the
+//! instances through the [`stem_core::InstanceSource`] seam, so a
+//! recorded CPS scenario can be re-analysed under *any* subscription set
+//! without re-simulating.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frame;
+mod reader;
+mod record;
+mod replay;
+mod writer;
+
+pub use frame::{crc32, WalError, SEGMENT_MAGIC};
+pub use reader::{read_shard, wal_shards, RecoveredShard};
+pub use record::WalRecord;
+pub use replay::Replay;
+pub use writer::{FsyncPolicy, ShardWal, WalWriterMetrics};

@@ -1,0 +1,300 @@
+//! The recovery side: scan segment chains, stop at torn tails, repair.
+
+use crate::frame::{unframe, WalError, SEGMENT_MAGIC};
+use crate::record::WalRecord;
+use crate::writer::parse_segment_file_name;
+use std::path::{Path, PathBuf};
+
+/// What recovery found in one shard's segment chain.
+#[derive(Debug, Clone)]
+pub struct RecoveredShard {
+    /// The shard whose chain was read.
+    pub shard: usize,
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Segment files visited.
+    pub segments: u64,
+    /// Torn-tail events: a truncated/corrupt frame ends the chain; any
+    /// segment after it counts as a further truncation.
+    pub torn_truncations: u64,
+    /// The largest global ingest sequence among the recovered records —
+    /// everything at or before it that was routed here is durable.
+    pub durable_seq: Option<u64>,
+}
+
+/// Lists the shards that have at least one segment under `dir`, in
+/// ascending order. An absent or empty directory is an empty log, not an
+/// error.
+///
+/// # Errors
+///
+/// Returns [`WalError::Io`] if the directory exists but cannot be read.
+pub fn wal_shards(dir: &Path) -> Result<Vec<usize>, WalError> {
+    let mut shards = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(shards),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if let Some((shard, _)) = entry.file_name().to_str().and_then(parse_segment_file_name) {
+            if !shards.contains(&shard) {
+                shards.push(shard);
+            }
+        }
+    }
+    shards.sort_unstable();
+    Ok(shards)
+}
+
+/// The ordered segment chain for one shard.
+fn segment_chain(dir: &Path, shard: usize) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut chain = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(chain),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if let Some((s, seg)) = entry.file_name().to_str().and_then(parse_segment_file_name) {
+            if s == shard {
+                chain.push((seg, entry.path()));
+            }
+        }
+    }
+    chain.sort_unstable_by_key(|(seg, _)| *seg);
+    Ok(chain)
+}
+
+/// Reads one shard's segment chain in order, stopping at the first torn
+/// or corrupt frame.
+///
+/// With `repair` set, the torn segment is truncated to its last intact
+/// frame and every later segment file is removed, so a writer reopened
+/// on this chain appends after a clean tail. Without it the files are
+/// left untouched (read-only inspection).
+///
+/// # Errors
+///
+/// Returns [`WalError::Io`] on filesystem failures, [`WalError::BadMagic`]
+/// for a file that is not a stem-wal segment, and [`WalError::BadRecord`]
+/// if an intact (checksummed) frame fails to decode — that is format
+/// corruption, not a torn tail, and is never silently dropped.
+pub fn read_shard(dir: &Path, shard: usize, repair: bool) -> Result<RecoveredShard, WalError> {
+    let chain = segment_chain(dir, shard)?;
+    let mut out = RecoveredShard {
+        shard,
+        records: Vec::new(),
+        segments: 0,
+        torn_truncations: 0,
+        durable_seq: None,
+    };
+    let mut torn_at: Option<usize> = None;
+    for (index, (_, path)) in chain.iter().enumerate() {
+        out.segments += 1;
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+            // A header torn mid-write is a torn tail like any other.
+            out.torn_truncations += 1;
+            torn_at = Some(index);
+            if repair {
+                std::fs::remove_file(path)?;
+            }
+            break;
+        }
+        let mut offset = SEGMENT_MAGIC.len();
+        loop {
+            if offset == bytes.len() {
+                break; // clean segment end
+            }
+            match unframe(&bytes[offset..]) {
+                Some((payload, consumed)) => {
+                    let mut slice = payload;
+                    let record = WalRecord::decode(&mut slice)?;
+                    out.durable_seq = Some(
+                        out.durable_seq
+                            .map_or(record.seq(), |d| d.max(record.seq())),
+                    );
+                    out.records.push(record);
+                    offset += consumed;
+                }
+                None => {
+                    // Torn tail: keep the intact prefix, stop the chain.
+                    out.torn_truncations += 1;
+                    torn_at = Some(index);
+                    if repair {
+                        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+                        file.set_len(offset as u64)?;
+                        file.sync_data()?;
+                    }
+                    break;
+                }
+            }
+        }
+        if torn_at.is_some() {
+            break;
+        }
+    }
+    if let Some(index) = torn_at {
+        // Segments past a torn one are unreachable history: the torn
+        // write was the last thing the crashed process did to this
+        // chain, so later files can only exist after an operator copied
+        // logs around. Count (and with `repair`, remove) them.
+        for (_, path) in &chain[index + 1..] {
+            out.torn_truncations += 1;
+            if repair {
+                std::fs::remove_file(path)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{FsyncPolicy, ShardWal};
+    use std::io::Write;
+    use stem_core::{EventId, EventInstance, Layer, MoteId, ObserverId};
+    use stem_spatial::Point;
+    use stem_temporal::TimePoint;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stem-wal-reader-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn mk(seq: u64) -> WalRecord {
+        WalRecord::Instance {
+            seq,
+            eval_at: Some(TimePoint::new(seq + 1)),
+            prefix_high_water: seq.checked_sub(1).map(TimePoint::new),
+            instance: EventInstance::builder(
+                ObserverId::Mote(MoteId::new(1)),
+                EventId::new("e"),
+                Layer::Sensor,
+            )
+            .generated(TimePoint::new(seq), Point::new(0.0, 0.0))
+            .build(),
+        }
+    }
+
+    fn write_records(dir: &Path, shard: usize, n: u64) {
+        let mut wal = ShardWal::open(dir, shard, 1 << 20, FsyncPolicy::Never).unwrap();
+        for seq in 0..n {
+            wal.append(&mk(seq)).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_log() {
+        let dir = temp_dir("missing");
+        assert!(wal_shards(&dir).unwrap().is_empty());
+        let recovered = read_shard(&dir, 0, false).unwrap();
+        assert!(recovered.records.is_empty());
+        assert_eq!(recovered.durable_seq, None);
+    }
+
+    #[test]
+    fn shards_are_discovered() {
+        let dir = temp_dir("discover");
+        write_records(&dir, 0, 1);
+        write_records(&dir, 3, 1);
+        assert_eq!(wal_shards(&dir).unwrap(), vec![0, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_counted() {
+        let dir = temp_dir("torn");
+        write_records(&dir, 0, 10);
+        // Chop bytes off the tail of the single segment, landing inside
+        // the last record's frame.
+        let chain = segment_chain(&dir, 0).unwrap();
+        let path = &chain[0].1;
+        let len = std::fs::metadata(path).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+
+        let recovered = read_shard(&dir, 0, true).unwrap();
+        assert_eq!(recovered.records.len(), 9, "last record was torn");
+        assert_eq!(recovered.torn_truncations, 1);
+        assert_eq!(recovered.durable_seq, Some(8));
+        // Repair truncated the file: a second read is clean.
+        let again = read_shard(&dir, 0, false).unwrap();
+        assert_eq!(again.records.len(), 9);
+        assert_eq!(again.torn_truncations, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checksum_ends_the_chain() {
+        let dir = temp_dir("corrupt");
+        write_records(&dir, 0, 5);
+        let chain = segment_chain(&dir, 0).unwrap();
+        let path = &chain[0].1;
+        let mut bytes = std::fs::read(path).unwrap();
+        // Flip a byte in the middle of the file (inside some record).
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(path, &bytes).unwrap();
+        let recovered = read_shard(&dir, 0, false).unwrap();
+        assert!(recovered.records.len() < 5);
+        assert_eq!(recovered.torn_truncations, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_after_a_torn_one_are_dropped_by_repair() {
+        let dir = temp_dir("later-segments");
+        // Two segments via a tiny rotation threshold.
+        let mut wal = ShardWal::open(&dir, 0, 64, FsyncPolicy::Never).unwrap();
+        for seq in 0..6 {
+            wal.append(&mk(seq)).unwrap();
+        }
+        drop(wal);
+        let chain = segment_chain(&dir, 0).unwrap();
+        assert!(chain.len() > 1);
+        // Tear the FIRST segment.
+        let path = &chain[0].1;
+        let len = std::fs::metadata(path).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let recovered = read_shard(&dir, 0, true).unwrap();
+        assert!(recovered.torn_truncations >= chain.len() as u64 - 1);
+        // Everything recovered decodes and is a prefix of the original.
+        for (i, rec) in recovered.records.iter().enumerate() {
+            assert_eq!(rec.seq(), i as u64);
+        }
+        // After repair the chain reads clean.
+        let again = read_shard(&dir, 0, false).unwrap();
+        assert_eq!(again.torn_truncations, 0);
+        assert_eq!(again.records.len(), recovered.records.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_wal_file_is_reported_not_swallowed() {
+        let dir = temp_dir("badmagic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal-000-000000.log");
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(b"NOTAWAL!rest").unwrap();
+        drop(f);
+        // A full 8-byte header that mismatches is a torn header.
+        let recovered = read_shard(&dir, 0, false).unwrap();
+        assert_eq!(recovered.torn_truncations, 1);
+        assert!(recovered.records.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

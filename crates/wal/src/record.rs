@@ -1,0 +1,231 @@
+//! The record kinds that travel through a shard's log.
+
+use stem_core::codec::{
+    decode_instance, decode_opt_time_point, decode_time_point, encode_instance,
+    encode_opt_time_point, encode_time_point, get_u64, get_u8, put_u64, put_u8, CodecError,
+    CodecResult,
+};
+use stem_core::EventInstance;
+use stem_temporal::TimePoint;
+
+/// One durable entry in a shard's write-ahead log.
+///
+/// Sequence numbers are the engine's *global* ingest counter: every
+/// ingested instance and every silence probe consumes one, in arrival
+/// order, so the union of the per-shard logs — deduplicated by `seq` —
+/// reconstructs the exact global operation stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A routed instance, logged by its shard *before* evaluation.
+    Instance {
+        /// Global ingest sequence number.
+        seq: u64,
+        /// Observer-local evaluation time provided at ingest (`None` =
+        /// the instance's generation time; see `Engine::ingest_at`).
+        eval_at: Option<TimePoint>,
+        /// The router's high-water mark over the strict prefix of the
+        /// stream before this instance (replayed so accept/late-drop
+        /// decisions are bit-identical).
+        prefix_high_water: Option<TimePoint>,
+        /// The instance itself.
+        instance: EventInstance,
+    },
+    /// A silence probe queued for a sustained subscription.
+    Probe {
+        /// Global ingest sequence number.
+        seq: u64,
+        /// The raw id of the probed subscription (ids are reassigned
+        /// deterministically when subscriptions are re-registered in the
+        /// original order at recovery).
+        subscription: u64,
+        /// The probe's observer-local time.
+        at: TimePoint,
+    },
+    /// The router's global high-water mark as delivered to this shard
+    /// (appended only when it advanced past the previously logged one).
+    Heartbeat {
+        /// The global ingest sequence count when the heartbeat was cut.
+        seq: u64,
+        /// The stream-clock high-water mark.
+        high_water: TimePoint,
+    },
+    /// A periodic durability checkpoint.
+    Watermark {
+        /// The last global ingest sequence this shard is durable through.
+        seq: u64,
+        /// The shard's reorder watermark at checkpoint time.
+        watermark: Option<TimePoint>,
+        /// Notifications the shard had emitted when the checkpoint was
+        /// cut — what recovery reports as durably emitted.
+        emitted: u64,
+    },
+}
+
+const TAG_INSTANCE: u8 = 1;
+const TAG_PROBE: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_WATERMARK: u8 = 4;
+
+impl WalRecord {
+    /// The global ingest sequence this record carries.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        match self {
+            WalRecord::Instance { seq, .. }
+            | WalRecord::Probe { seq, .. }
+            | WalRecord::Heartbeat { seq, .. }
+            | WalRecord::Watermark { seq, .. } => *seq,
+        }
+    }
+
+    /// Whether this record consumes an ingest sequence slot (instances
+    /// and probes do; heartbeats and watermarks only reference one).
+    #[must_use]
+    pub fn consumes_seq(&self) -> bool {
+        matches!(self, WalRecord::Instance { .. } | WalRecord::Probe { .. })
+    }
+
+    /// Encodes the record payload (frame-less; the segment writer adds
+    /// the length/CRC envelope).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WalRecord::Instance {
+                seq,
+                eval_at,
+                prefix_high_water,
+                instance,
+            } => {
+                put_u8(buf, TAG_INSTANCE);
+                put_u64(buf, *seq);
+                encode_opt_time_point(*eval_at, buf);
+                encode_opt_time_point(*prefix_high_water, buf);
+                encode_instance(instance, buf);
+            }
+            WalRecord::Probe {
+                seq,
+                subscription,
+                at,
+            } => {
+                put_u8(buf, TAG_PROBE);
+                put_u64(buf, *seq);
+                put_u64(buf, *subscription);
+                encode_time_point(*at, buf);
+            }
+            WalRecord::Heartbeat { seq, high_water } => {
+                put_u8(buf, TAG_HEARTBEAT);
+                put_u64(buf, *seq);
+                encode_time_point(*high_water, buf);
+            }
+            WalRecord::Watermark {
+                seq,
+                watermark,
+                emitted,
+            } => {
+                put_u8(buf, TAG_WATERMARK);
+                put_u64(buf, *seq);
+                encode_opt_time_point(*watermark, buf);
+                put_u64(buf, *emitted);
+            }
+        }
+    }
+
+    /// Decodes one record from the front of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncation or unknown tags.
+    pub fn decode(bytes: &mut &[u8]) -> CodecResult<WalRecord> {
+        match get_u8(bytes)? {
+            TAG_INSTANCE => Ok(WalRecord::Instance {
+                seq: get_u64(bytes)?,
+                eval_at: decode_opt_time_point(bytes)?,
+                prefix_high_water: decode_opt_time_point(bytes)?,
+                instance: decode_instance(bytes)?,
+            }),
+            TAG_PROBE => Ok(WalRecord::Probe {
+                seq: get_u64(bytes)?,
+                subscription: get_u64(bytes)?,
+                at: decode_time_point(bytes)?,
+            }),
+            TAG_HEARTBEAT => Ok(WalRecord::Heartbeat {
+                seq: get_u64(bytes)?,
+                high_water: decode_time_point(bytes)?,
+            }),
+            TAG_WATERMARK => Ok(WalRecord::Watermark {
+                seq: get_u64(bytes)?,
+                watermark: decode_opt_time_point(bytes)?,
+                emitted: get_u64(bytes)?,
+            }),
+            tag => Err(CodecError::BadTag {
+                what: "WalRecord",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_core::{EventId, Layer, MoteId, ObserverId};
+    use stem_spatial::Point;
+
+    fn mk(t: u64) -> EventInstance {
+        EventInstance::builder(
+            ObserverId::Mote(MoteId::new(1)),
+            EventId::new("e"),
+            Layer::Sensor,
+        )
+        .generated(TimePoint::new(t), Point::new(1.0, 2.0))
+        .build()
+    }
+
+    #[test]
+    fn every_record_kind_round_trips() {
+        let records = vec![
+            WalRecord::Instance {
+                seq: 7,
+                eval_at: Some(TimePoint::new(50)),
+                prefix_high_water: None,
+                instance: mk(40),
+            },
+            WalRecord::Probe {
+                seq: 8,
+                subscription: 3,
+                at: TimePoint::new(60),
+            },
+            WalRecord::Heartbeat {
+                seq: 8,
+                high_water: TimePoint::new(55),
+            },
+            WalRecord::Watermark {
+                seq: 8,
+                watermark: Some(TimePoint::new(55)),
+                emitted: 12,
+            },
+        ];
+        for rec in records {
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            let mut bytes = buf.as_slice();
+            assert_eq!(WalRecord::decode(&mut bytes).unwrap(), rec);
+            assert!(bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn seq_accessors_agree() {
+        let rec = WalRecord::Probe {
+            seq: 5,
+            subscription: 0,
+            at: TimePoint::new(1),
+        };
+        assert_eq!(rec.seq(), 5);
+        assert!(rec.consumes_seq());
+        let hb = WalRecord::Heartbeat {
+            seq: 5,
+            high_water: TimePoint::new(1),
+        };
+        assert!(!hb.consumes_seq());
+    }
+}

@@ -1,0 +1,260 @@
+//! Historical replay: merge the per-shard logs back into the global
+//! operation stream and serve it through the ingest seam.
+
+use crate::frame::WalError;
+use crate::reader::{read_shard, wal_shards};
+use crate::record::WalRecord;
+use std::path::Path;
+use stem_core::{InstanceSource, TimedInstance};
+
+/// A recorded run, merged across shards and ready to re-feed.
+///
+/// The broadcast path copies one ingested instance into several shard
+/// logs; the merge deduplicates by global ingest sequence and sorts, so
+/// [`Replay::records`] is exactly the original operation stream
+/// (instances and silence probes, in arrival order).
+///
+/// Two consumption styles:
+///
+/// * [`Replay::into_instances`] — an [`InstanceSource`] over the
+///   instances alone, for re-analysing history under *any* new
+///   subscription set (`Engine::pump`, or any other pump).
+/// * [`Replay::records`] — the full op stream including probes, for
+///   full-fidelity re-runs against the originally registered
+///   subscriptions (`Engine::replay_records`).
+#[derive(Debug, Clone)]
+pub struct Replay {
+    records: Vec<WalRecord>,
+    torn_truncations: u64,
+    shards: usize,
+}
+
+impl Replay {
+    /// Reads every shard chain under `dir` (read-only, no repair) and
+    /// merges the op stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WalError`] on filesystem failures or format
+    /// corruption; torn tails are tolerated and counted instead.
+    pub fn open(dir: &Path) -> Result<Self, WalError> {
+        let mut records: Vec<WalRecord> = Vec::new();
+        let mut torn = 0;
+        let shard_ids = wal_shards(dir)?;
+        let shards = shard_ids.len();
+        for shard in shard_ids {
+            let recovered = read_shard(dir, shard, false)?;
+            torn += recovered.torn_truncations;
+            records.extend(
+                recovered
+                    .records
+                    .into_iter()
+                    .filter(WalRecord::consumes_seq),
+            );
+        }
+        records.sort_by_key(WalRecord::seq);
+        records.dedup_by_key(|r| r.seq());
+        Ok(Replay {
+            records,
+            torn_truncations: torn,
+            shards,
+        })
+    }
+
+    /// Keeps only operations with sequence at or after `seq` — the
+    /// resume tail for a recovered engine.
+    #[must_use]
+    pub fn from_seq(mut self, seq: u64) -> Self {
+        self.records.retain(|r| r.seq() >= seq);
+        self
+    }
+
+    /// The merged operation stream, in global ingest order.
+    #[must_use]
+    pub fn records(&self) -> &[WalRecord] {
+        &self.records
+    }
+
+    /// Number of merged operations (instances + probes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log held no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Torn-tail truncations observed while reading (0 for a cleanly
+    /// closed log).
+    #[must_use]
+    pub fn torn_truncations(&self) -> u64 {
+        self.torn_truncations
+    }
+
+    /// Operations missing from the *middle* of the merged stream:
+    /// sequence numbers between the first and last recovered operation
+    /// that no shard log holds (a mid-stream torn tail on the only
+    /// shard an operation was routed to).
+    ///
+    /// A log from a crashed run can be gapped; re-analyses that must
+    /// cover complete history should require `missing_ops() == 0` (and
+    /// note that operations lost *after* the last durable one are
+    /// inherently undetectable — `torn_truncations() == 0` is the
+    /// stronger clean-shutdown check). [`crate::Replay::into_instances`]
+    /// serves whatever is present either way; `Engine::replay_records`
+    /// refuses gapped streams itself.
+    #[must_use]
+    pub fn missing_ops(&self) -> u64 {
+        match (self.records.first(), self.records.last()) {
+            (Some(first), Some(last)) => (last.seq() - first.seq() + 1) - self.records.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Shards that contributed segments.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Consumes the replay into an [`InstanceSource`] over its
+    /// instances, timed by their recorded evaluation times.
+    ///
+    /// Serves exactly what the logs hold: for a log torn by a crash
+    /// that can be *incomplete* history — check
+    /// [`Replay::torn_truncations`] / [`Replay::missing_ops`] first if
+    /// the analysis requires completeness.
+    #[must_use]
+    pub fn into_instances(self) -> ReplayInstances {
+        ReplayInstances {
+            records: self.records.into_iter(),
+        }
+    }
+}
+
+/// The [`InstanceSource`] view of a recorded run: instances only, in
+/// ingest order, each timed with its recorded observer-local evaluation
+/// time (falling back to its generation time, mirroring live ingest).
+#[derive(Debug)]
+pub struct ReplayInstances {
+    records: std::vec::IntoIter<WalRecord>,
+}
+
+impl InstanceSource for ReplayInstances {
+    fn next_timed(&mut self) -> Option<TimedInstance> {
+        loop {
+            match self.records.next()? {
+                WalRecord::Instance {
+                    eval_at, instance, ..
+                } => {
+                    let at = eval_at.unwrap_or_else(|| instance.generation_time());
+                    return Some(TimedInstance { at, instance });
+                }
+                _ => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{FsyncPolicy, ShardWal};
+    use std::path::PathBuf;
+    use stem_core::{EventId, EventInstance, Layer, MoteId, ObserverId};
+    use stem_spatial::Point;
+    use stem_temporal::TimePoint;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stem-wal-replay-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn inst(seq: u64) -> WalRecord {
+        WalRecord::Instance {
+            seq,
+            eval_at: Some(TimePoint::new(100 + seq)),
+            prefix_high_water: None,
+            instance: EventInstance::builder(
+                ObserverId::Mote(MoteId::new(1)),
+                EventId::new("e"),
+                Layer::Sensor,
+            )
+            .generated(TimePoint::new(seq), Point::new(0.0, 0.0))
+            .build(),
+        }
+    }
+
+    #[test]
+    fn merge_dedups_broadcast_copies_and_sorts() {
+        let dir = temp_dir("merge");
+        // Shard 0 holds seqs {0, 1, 3}; shard 1 holds {1, 2} — seq 1 was
+        // broadcast to both. Heartbeats must not enter the op stream.
+        let mut wal0 = ShardWal::open(&dir, 0, 1 << 20, FsyncPolicy::Never).unwrap();
+        for seq in [0, 1, 3] {
+            wal0.append(&inst(seq)).unwrap();
+        }
+        wal0.append(&WalRecord::Heartbeat {
+            seq: 3,
+            high_water: TimePoint::new(103),
+        })
+        .unwrap();
+        let mut wal1 = ShardWal::open(&dir, 1, 1 << 20, FsyncPolicy::Never).unwrap();
+        for seq in [1, 2] {
+            wal1.append(&inst(seq)).unwrap();
+        }
+        wal1.append(&WalRecord::Probe {
+            seq: 4,
+            subscription: 9,
+            at: TimePoint::new(110),
+        })
+        .unwrap();
+        drop((wal0, wal1));
+
+        let replay = Replay::open(&dir).unwrap();
+        assert_eq!(replay.shards(), 2);
+        assert_eq!(replay.torn_truncations(), 0);
+        let seqs: Vec<u64> = replay.records().iter().map(WalRecord::seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4], "deduped, sorted, probe kept");
+
+        let tail = replay.clone().from_seq(3);
+        assert_eq!(tail.len(), 2);
+
+        let mut source = replay.into_instances();
+        let mut times = Vec::new();
+        while let Some(timed) = source.next_timed() {
+            times.push(timed.at.ticks());
+        }
+        assert_eq!(times, vec![100, 101, 102, 103], "probe skipped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_directory_replays_nothing() {
+        let dir = temp_dir("empty");
+        let replay = Replay::open(&dir).unwrap();
+        assert!(replay.is_empty());
+        assert_eq!(replay.missing_ops(), 0);
+        assert!(replay.into_instances().next_timed().is_none());
+    }
+
+    #[test]
+    fn mid_stream_gaps_are_detectable() {
+        let dir = temp_dir("gaps");
+        // Seq 1 was routed only to a shard whose log is gone: the
+        // merged stream holds {0, 2} and must report the hole.
+        let mut wal = ShardWal::open(&dir, 0, 1 << 20, FsyncPolicy::Never).unwrap();
+        wal.append(&inst(0)).unwrap();
+        wal.append(&inst(2)).unwrap();
+        drop(wal);
+        let replay = Replay::open(&dir).unwrap();
+        assert_eq!(replay.len(), 2);
+        assert_eq!(replay.missing_ops(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

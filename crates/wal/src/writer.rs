@@ -1,0 +1,268 @@
+//! The per-shard append side: segment files, rotation, fsync policy.
+
+use crate::frame::{frame, WalError, SEGMENT_MAGIC};
+use crate::record::WalRecord;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// When appended records are forced to stable storage.
+///
+/// The policy trades durability for throughput: `Always` survives power
+/// loss at the cost of one `fdatasync` per record, `EveryN` bounds the
+/// loss window to N records, `Never` leaves flushing to the OS page
+/// cache (still survives process crashes, not power loss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every record.
+    Always,
+    /// `fdatasync` after every `n` records (and at rotation/shutdown).
+    EveryN(u32),
+    /// Never fsync explicitly; the OS flushes when it pleases.
+    Never,
+}
+
+/// Append-side counters, surfaced through the engine report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalWriterMetrics {
+    /// Records appended.
+    pub records: u64,
+    /// Payload + framing bytes written (excluding segment headers).
+    pub bytes: u64,
+    /// Segment files created.
+    pub segments: u64,
+}
+
+/// The append half of one shard's write-ahead log.
+///
+/// A writer always opens a *new* segment (`wal-<shard>-<n>.log`, `n` one
+/// past the largest existing index) rather than appending into an old
+/// one, so a previous run's torn tail can never be buried under fresh
+/// records.
+#[derive(Debug)]
+pub struct ShardWal {
+    dir: PathBuf,
+    shard: usize,
+    segment_bytes: u64,
+    fsync: FsyncPolicy,
+    next_segment: u64,
+    file: Option<File>,
+    segment_fill: u64,
+    unsynced: u32,
+    metrics: WalWriterMetrics,
+    scratch: Vec<u8>,
+}
+
+/// Formats the segment file name for `(shard, segment)`.
+#[must_use]
+pub(crate) fn segment_file_name(shard: usize, segment: u64) -> String {
+    format!("wal-{shard:03}-{segment:06}.log")
+}
+
+/// Parses `(shard, segment)` back out of a segment file name.
+#[must_use]
+pub(crate) fn parse_segment_file_name(name: &str) -> Option<(usize, u64)> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    let (shard, segment) = rest.split_once('-')?;
+    Some((shard.parse().ok()?, segment.parse().ok()?))
+}
+
+impl ShardWal {
+    /// Opens the log for `shard` under `dir` (creating the directory),
+    /// starting a fresh segment after any existing ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] if the directory cannot be created or
+    /// scanned.
+    pub fn open(
+        dir: &Path,
+        shard: usize,
+        segment_bytes: u64,
+        fsync: FsyncPolicy,
+    ) -> Result<Self, WalError> {
+        std::fs::create_dir_all(dir)?;
+        let mut next_segment = 0;
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some((s, seg)) = entry.file_name().to_str().and_then(parse_segment_file_name) {
+                if s == shard {
+                    next_segment = next_segment.max(seg + 1);
+                }
+            }
+        }
+        Ok(ShardWal {
+            dir: dir.to_path_buf(),
+            shard,
+            segment_bytes: segment_bytes.max(1),
+            fsync,
+            next_segment,
+            file: None,
+            segment_fill: 0,
+            unsynced: 0,
+            metrics: WalWriterMetrics::default(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The shard this writer logs for.
+    #[must_use]
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Append-side counters so far.
+    #[must_use]
+    pub fn metrics(&self) -> WalWriterMetrics {
+        self.metrics
+    }
+
+    fn roll_segment(&mut self) -> Result<&mut File, WalError> {
+        if let Some(file) = self.file.take() {
+            // Close the full segment durably before opening the next.
+            file.sync_data()?;
+        }
+        let path = self
+            .dir
+            .join(segment_file_name(self.shard, self.next_segment));
+        let mut file = OpenOptions::new().create_new(true).write(true).open(path)?;
+        file.write_all(SEGMENT_MAGIC)?;
+        self.next_segment += 1;
+        self.segment_fill = 0;
+        self.metrics.segments += 1;
+        self.file = Some(file);
+        Ok(self.file.as_mut().expect("just set"))
+    }
+
+    /// Appends one record (framed, checksummed), rotating the segment
+    /// first if the current one is full, and fsyncs per policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] on any filesystem failure; the engine
+    /// treats that as fatal for the shard (durability was requested and
+    /// cannot be provided).
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        self.scratch.clear();
+        record.encode(&mut self.scratch);
+        let framed = frame(&self.scratch);
+        let needs_roll = self.file.is_none()
+            || (self.segment_fill > 0
+                && self.segment_fill + framed.len() as u64 > self.segment_bytes);
+        let fill = self.segment_fill;
+        let file = if needs_roll {
+            self.roll_segment()?
+        } else {
+            self.file.as_mut().expect("checked above")
+        };
+        file.write_all(&framed)?;
+        self.segment_fill = if needs_roll { 0 } else { fill } + framed.len() as u64;
+        self.metrics.records += 1;
+        self.metrics.bytes += framed.len() as u64;
+        self.unsynced += 1;
+        match self.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] if the `fdatasync` fails.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if let Some(file) = &self.file {
+            file.sync_data()?;
+        }
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+impl Drop for ShardWal {
+    fn drop(&mut self) {
+        // Best-effort final flush; an engine that wants a guarantee
+        // calls `sync` explicitly before dropping.
+        let _ = self.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_shard;
+    use stem_core::{EventId, EventInstance, Layer, MoteId, ObserverId};
+    use stem_spatial::Point;
+    use stem_temporal::TimePoint;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stem-wal-writer-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn mk(seq: u64) -> WalRecord {
+        WalRecord::Instance {
+            seq,
+            eval_at: None,
+            prefix_high_water: None,
+            instance: EventInstance::builder(
+                ObserverId::Mote(MoteId::new(1)),
+                EventId::new("e"),
+                Layer::Sensor,
+            )
+            .generated(TimePoint::new(seq), Point::new(0.0, 0.0))
+            .build(),
+        }
+    }
+
+    #[test]
+    fn file_names_round_trip() {
+        let name = segment_file_name(7, 42);
+        assert_eq!(parse_segment_file_name(&name), Some((7, 42)));
+        assert_eq!(parse_segment_file_name("notes.txt"), None);
+        assert_eq!(parse_segment_file_name("wal-x-1.log"), None);
+    }
+
+    #[test]
+    fn appends_rotate_segments_and_read_back() {
+        let dir = temp_dir("rotate");
+        let mut wal = ShardWal::open(&dir, 0, 256, FsyncPolicy::EveryN(8)).unwrap();
+        for seq in 0..40 {
+            wal.append(&mk(seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        let metrics = wal.metrics();
+        assert_eq!(metrics.records, 40);
+        assert!(metrics.segments > 1, "256-byte segments must rotate");
+        drop(wal);
+        let recovered = read_shard(&dir, 0, false).unwrap();
+        assert_eq!(recovered.records.len(), 40);
+        assert_eq!(recovered.torn_truncations, 0);
+        assert_eq!(recovered.durable_seq, Some(39));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_starts_a_fresh_segment() {
+        let dir = temp_dir("reopen");
+        let mut wal = ShardWal::open(&dir, 2, 1 << 20, FsyncPolicy::Never).unwrap();
+        wal.append(&mk(0)).unwrap();
+        drop(wal);
+        let mut wal = ShardWal::open(&dir, 2, 1 << 20, FsyncPolicy::Never).unwrap();
+        wal.append(&mk(1)).unwrap();
+        drop(wal);
+        let recovered = read_shard(&dir, 2, false).unwrap();
+        assert_eq!(recovered.records.len(), 2);
+        assert_eq!(recovered.segments, 2, "second run opened a new segment");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`analysis`] — localization, EDL model, statistics, confidence fusion
 //! * [`engine`] — the sharded, batched streaming runtime serving live
 //!   spatio-temporal subscriptions at scale
+//! * [`wal`] — per-shard write-ahead instance logs: crash recovery and
+//!   deterministic historical replay for the engine
 //!
 //! # Quick start
 //!
@@ -44,4 +46,5 @@ pub use stem_engine as engine;
 pub use stem_physical as physical;
 pub use stem_spatial as spatial;
 pub use stem_temporal as temporal;
+pub use stem_wal as wal;
 pub use stem_wsn as wsn;

@@ -259,6 +259,123 @@ proptest! {
     }
 }
 
+/// Replay determinism across every scenario shape: a live deterministic
+/// engine run (recording its station stream), a record-then-replay run,
+/// and a crash-then-recover run all produce identical detection
+/// multisets — and recording does not perturb the live run itself.
+#[test]
+fn record_replay_and_crash_recovery_agree_across_shapes() {
+    use stem::engine::{Collector, Durability, Engine, EngineConfig, FsyncPolicy, Subscription};
+
+    const SHARDS: usize = 2;
+    let note_multiset = |notes: Vec<stem::engine::Notification>| {
+        let mut out: Vec<String> = notes
+            .into_iter()
+            .map(|n| format!("{}:{:?}", n.subscription.raw(), n.kind))
+            .collect();
+        out.sort();
+        out
+    };
+    for shape in 0..3 {
+        let (config, app) = scenario(shape, 77);
+        let record_dir = std::env::temp_dir().join(format!(
+            "stem-equivalence-record-{shape}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&record_dir);
+
+        // Live engine-backed run with recording: bit-identical to DES,
+        // so journaling is free of observable side effects.
+        let des = fingerprint(&config, &app, EvalBackend::Des);
+        let recording = ScenarioConfig {
+            record_dir: Some(record_dir.to_string_lossy().into_owned()),
+            backend: EvalBackend::Engine {
+                shards: SHARDS,
+                deterministic: true,
+            },
+            ..config.clone()
+        };
+        let live = CpsSystem::run(recording.clone(), app.clone());
+        let live_print: Vec<String> = live.instances.iter().map(|i| format!("{i:?}")).collect();
+        assert_eq!(
+            des.0, live_print,
+            "shape {shape}: recording perturbed the live run"
+        );
+        let wal = live.engine.as_ref().expect("engine report").total_wal();
+        assert!(wal.records_appended > 0, "shape {shape}: nothing journaled");
+
+        // Record-then-replay: the full op stream (instances + probes)
+        // into freshly compiled subscriptions.
+        let (replay_notes, _) = stem::cps::replay_recorded(&recording, &app, &record_dir, SHARDS);
+        let replayed = note_multiset(replay_notes);
+        assert!(
+            !replayed.is_empty(),
+            "shape {shape}: replay detected nothing"
+        );
+
+        // Crash-then-recover: tear a copy of the log, recover into the
+        // same subscription set, resume from the durable watermark with
+        // the intact log standing in for the upstream.
+        let crash_dir = std::env::temp_dir().join(format!(
+            "stem-equivalence-crash-{shape}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&crash_dir);
+        std::fs::create_dir_all(&crash_dir).unwrap();
+        let mut files: Vec<_> = std::fs::read_dir(&record_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        for file in &files {
+            std::fs::copy(file, crash_dir.join(file.file_name().unwrap())).unwrap();
+        }
+        let victim = crash_dir.join(files[shape % files.len()].file_name().unwrap());
+        let len = std::fs::metadata(&victim).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&victim)
+            .unwrap()
+            .set_len(len - len / 3 - 1)
+            .unwrap();
+
+        let world = stem::cps::scenario_world_bounds(&recording, &app);
+        let (sink_observer, ccu_observer) = stem::cps::scenario_observers(&recording);
+        let engine_config = EngineConfig::new(world)
+            .with_shards(SHARDS)
+            .with_batch_size(1)
+            .with_durability(Durability::Wal {
+                dir: crash_dir.clone(),
+                fsync: FsyncPolicy::Never,
+            })
+            .deterministic();
+        let survivor = Collector::new();
+        let mut recovery = Engine::recover(engine_config);
+        let subs: Vec<Subscription> =
+            stem::cps::engine_subscriptions(&app, &sink_observer, &ccu_observer, world, || {
+                survivor.sink()
+            });
+        for sub in subs {
+            recovery.subscribe(sub);
+        }
+        let mut engine = recovery.resume();
+        let resume = engine.resume_from();
+        let tail = stem::wal::Replay::open(&record_dir)
+            .unwrap()
+            .from_seq(resume);
+        engine.replay_records(tail.records());
+        let _ = engine.finish_at(stem::temporal::TimePoint::EPOCH + recording.duration);
+        assert_eq!(
+            note_multiset(survivor.take()),
+            replayed,
+            "shape {shape}: crash-then-recover diverged from record-then-replay"
+        );
+
+        let _ = std::fs::remove_dir_all(&record_dir);
+        let _ = std::fs::remove_dir_all(&crash_dir);
+    }
+}
+
 /// A pinned non-property case so a plain `cargo test backend` run hits
 /// the equivalence path even with `PROPTEST_CASES=0`.
 #[test]

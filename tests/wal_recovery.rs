@@ -1,0 +1,349 @@
+//! Crash recovery property: kill the write-ahead log at a random byte
+//! offset mid-stream, recover, resume from the durable watermark, and
+//! the detection multiset is bit-for-bit what an uninterrupted
+//! deterministic run produced.
+//!
+//! The op stream mixes out-of-order instances (disorder frequently
+//! exceeding the watermark slack, so late-drop decisions are exercised)
+//! with silence probes for a sustained subscription — both record kinds
+//! travel through the log. The same recorded log is also replayed into
+//! a fresh engine ([`Engine::replay_records`]) to pin the
+//! record-then-replay leg of the equivalence triangle.
+
+use proptest::prelude::*;
+use rand::Rng;
+use stem::cep::SustainedConfig;
+use stem::core::{dsl, Attributes, EventId, EventInstance, Layer, MoteId, ObserverId, SeqNo};
+use stem::des::stream;
+use stem::engine::{
+    Collector, Engine, EngineConfig, Notification, SilenceSpec, Subscription, SubscriptionId,
+    SustainedSpec, SustainedValue,
+};
+use stem::spatial::{Circle, Field, Point, Rect, SpatialExtent};
+use stem::temporal::{Duration, TimePoint};
+
+const WORLD: f64 = 100.0;
+const OPS: u64 = 120;
+
+fn bounds() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(WORLD, WORLD))
+}
+
+/// One recorded driver operation: the op index is the global ingest
+/// sequence (instances and probes each consume exactly one), which is
+/// what lets the resumed run re-feed `ops[resume..]` verbatim.
+#[derive(Debug, Clone)]
+enum Op {
+    Ingest(EventInstance),
+    /// Probe the sustained subscription (registered last) at this time.
+    Probe(TimePoint),
+}
+
+fn op_stream(seed: u64) -> Vec<Op> {
+    let mut rng = stream(seed, 7);
+    let mut ops = Vec::with_capacity(OPS as usize);
+    for i in 0..OPS {
+        let t = 5 * i + rng.gen_range(0u64..20); // disorder up to ~20 ticks
+        if i % 10 == 9 {
+            ops.push(Op::Probe(TimePoint::new(5 * i + 30)));
+            continue;
+        }
+        let inst = EventInstance::builder(
+            ObserverId::Mote(MoteId::new((i % 8) as u32)),
+            EventId::new("reading"),
+            Layer::Sensor,
+        )
+        .seq(SeqNo::new(i))
+        .generated(
+            TimePoint::new(t),
+            Point::new(rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD)),
+        )
+        .attributes(Attributes::new().with("temp", rng.gen_range(10.0f64..90.0)))
+        .build();
+        ops.push(Op::Ingest(inst));
+    }
+    ops
+}
+
+/// The fixed subscription set, registered in this order everywhere
+/// (live, recovered, replayed) so ids — which probe records reference —
+/// line up. Returns the sustained subscription's id.
+fn register(subscribe: &mut dyn FnMut(Subscription) -> SubscriptionId) -> SubscriptionId {
+    let circle = |x: f64, y: f64, r: f64| {
+        SpatialExtent::field(Field::circle(Circle::new(Point::new(x, y), r)))
+    };
+    subscribe(
+        Subscription::new(
+            "hot-sw",
+            circle(25.0, 25.0, 20.0),
+            Box::new(std::sync::mpsc::channel().0),
+        )
+        .for_event("reading")
+        .when(dsl::parse("x.temp > 50").unwrap()),
+    );
+    subscribe(
+        Subscription::new(
+            "hot-ne",
+            circle(75.0, 75.0, 20.0),
+            Box::new(std::sync::mpsc::channel().0),
+        )
+        .for_event("reading")
+        .when(dsl::parse("x.temp > 30").unwrap()),
+    );
+    subscribe(
+        Subscription::new(
+            "warm-episode",
+            SpatialExtent::field(Field::rect(bounds())),
+            Box::new(std::sync::mpsc::channel().0),
+        )
+        .for_event("reading")
+        .sustained_spec(SustainedSpec {
+            config: SustainedConfig {
+                min_duration: Duration::new(40),
+                enter_threshold: 30.0,
+                exit_threshold: 25.0,
+            },
+            value: SustainedValue::Attribute("temp".to_owned()),
+            negate: false,
+            silence: Some(SilenceSpec {
+                timeout: Duration::new(30),
+                inactive_value: 0.0,
+            }),
+        }),
+    )
+}
+
+fn config(dir: &std::path::Path, shards: usize, slack: u64) -> EngineConfig {
+    EngineConfig::new(bounds())
+        .with_shards(shards)
+        .with_batch_size(3)
+        .with_watermark_slack(Duration::new(slack))
+        // Tiny segments so rotation happens even in a 120-op run.
+        .with_wal_segment_bytes(2048)
+        .with_wal_checkpoint_every(16)
+        .with_wal(dir)
+        .deterministic()
+}
+
+/// Registers the fixed subscription set on a live engine, delivering
+/// into `collector`.
+fn register_live(engine: &mut Engine, collector: &Collector) -> SubscriptionId {
+    let mut subscribe = |sub: Subscription| {
+        engine.subscribe(Subscription {
+            sink: collector.sink(),
+            ..sub
+        })
+    };
+    register(&mut subscribe)
+}
+
+fn feed(engine: &mut Engine, sustained: SubscriptionId, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Ingest(inst) => engine.ingest(inst.clone()),
+            Op::Probe(at) => {
+                assert!(engine.probe_silence(sustained, *at));
+            }
+        }
+    }
+}
+
+fn multiset(notes: Vec<Notification>) -> Vec<String> {
+    let mut out: Vec<String> = notes
+        .into_iter()
+        .map(|n| format!("{}:{:?}", n.subscription.raw(), n.kind))
+        .collect();
+    out.sort();
+    out
+}
+
+fn temp_dir(tag: &str, case: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "stem-wal-recovery-{tag}-{case}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn horizon() -> TimePoint {
+    TimePoint::new(5 * OPS + 200)
+}
+
+proptest! {
+    /// Crash → torn log → recover → resume ≡ uninterrupted, and the
+    /// uninterrupted log replays into a fresh engine identically.
+    #[test]
+    fn killed_log_recovers_and_resumes_bit_for_bit(
+        seed in 0u64..500,
+        shards in 1usize..5,
+        slack in 0u64..30,
+        crash_at in 20usize..100,
+        tear in 1u64..400,
+    ) {
+        let case = seed
+            .wrapping_mul(31)
+            .wrapping_add(shards as u64)
+            .wrapping_mul(31)
+            .wrapping_add(slack)
+            .wrapping_mul(31)
+            .wrapping_add(crash_at as u64);
+        let ops = op_stream(seed);
+
+        // Uninterrupted reference run (records the full log).
+        let full_dir = temp_dir("full", case);
+        let reference = Collector::new();
+        let mut engine = Engine::start(config(&full_dir, shards, slack));
+        let sustained = register_live(&mut engine, &reference);
+        feed(&mut engine, sustained, &ops);
+        let _ = engine.finish_at(horizon());
+        let expected = multiset(reference.take());
+        prop_assert!(!expected.is_empty(), "stream must detect something");
+
+        // Record-then-replay leg: the full log into a fresh engine.
+        let replay = stem::wal::Replay::open(&full_dir).unwrap();
+        prop_assert_eq!(replay.len() as u64, OPS, "every op is in the merged log");
+        let replayed = Collector::new();
+        let mut engine = Engine::start(
+            EngineConfig::new(bounds())
+                .with_shards(shards)
+                .with_batch_size(3)
+                .with_watermark_slack(Duration::new(slack))
+                .deterministic(),
+        );
+        let _ = register_live(&mut engine, &replayed);
+        engine.replay_records(replay.records());
+        let _ = engine.finish_at(horizon());
+        prop_assert_eq!(multiset(replayed.take()), expected.clone(), "replay diverged");
+
+        // Crash leg: stop mid-stream, then kill the log at a random
+        // byte offset (a torn tail in one shard's chain).
+        let crash_dir = temp_dir("crash", case);
+        let lost = Collector::new();
+        let mut engine = Engine::start(config(&crash_dir, shards, slack));
+        let sustained = register_live(&mut engine, &lost);
+        feed(&mut engine, sustained, &ops[..crash_at]);
+        engine.flush();
+        drop(engine); // the crash
+
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&crash_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        let victim = &files[(seed as usize) % files.len()];
+        let len = std::fs::metadata(victim).unwrap().len();
+        let keep = len.saturating_sub(tear);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(victim)
+            .unwrap()
+            .set_len(keep)
+            .unwrap();
+
+        // Recover, re-register in order, resume, re-feed the tail.
+        let survivor = Collector::new();
+        let mut recovery = Engine::recover(config(&crash_dir, shards, slack));
+        let mut subscribe = |sub: Subscription| {
+            recovery.subscribe(Subscription {
+                sink: survivor.sink(),
+                ..sub
+            })
+        };
+        let sustained = register(&mut subscribe);
+        let mut engine = recovery.resume();
+        let resume = usize::try_from(engine.resume_from()).unwrap();
+        prop_assert!(resume <= crash_at, "resume point lies in the fed prefix");
+        feed(&mut engine, sustained, &ops[resume..]);
+        let _ = engine.finish_at(horizon());
+        prop_assert_eq!(
+            multiset(survivor.take()),
+            expected,
+            "crash-then-recover diverged (seed {}, {} shards, slack {}, crash at {}, tear {})",
+            seed, shards, slack, crash_at, tear
+        );
+
+        let _ = std::fs::remove_dir_all(&full_dir);
+        let _ = std::fs::remove_dir_all(&crash_dir);
+    }
+}
+
+/// A pinned case so `cargo test wal_recovery` exercises the path even
+/// with `PROPTEST_CASES=0`.
+#[test]
+fn pinned_crash_recovery_round_trip() {
+    let ops = op_stream(42);
+    let full_dir = temp_dir("pinned-full", 0);
+    let reference = Collector::new();
+    let mut engine = Engine::start(config(&full_dir, 3, 10));
+    let sustained = register_live(&mut engine, &reference);
+    feed(&mut engine, sustained, &ops);
+    let report = engine.finish_at(horizon());
+    let wal = report.total_wal();
+    assert!(wal.records_appended > 0 && wal.bytes_appended > 0);
+    assert!(
+        wal.segments_created > 3,
+        "2 KiB segments must rotate: {wal:?}"
+    );
+    let expected = multiset(reference.take());
+
+    let crash_dir = temp_dir("pinned-crash", 0);
+    let lost = Collector::new();
+    let mut engine = Engine::start(config(&crash_dir, 3, 10));
+    let sustained = register_live(&mut engine, &lost);
+    feed(&mut engine, sustained, &ops[..70]);
+    engine.flush();
+    drop(engine);
+    // Tear the tail of the last segment of *every* shard's chain —
+    // simultaneous multi-shard torn tails, which the proptest (one torn
+    // file per case) does not pin.
+    let mut last_per_shard: std::collections::BTreeMap<u64, (u64, std::path::PathBuf)> =
+        std::collections::BTreeMap::new();
+    for entry in std::fs::read_dir(&crash_dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        // wal-<shard>-<segment>.log
+        let mut parts = name
+            .strip_prefix("wal-")
+            .and_then(|r| r.strip_suffix(".log"))
+            .expect("wal segment file name")
+            .split('-');
+        let shard: u64 = parts.next().unwrap().parse().unwrap();
+        let segment: u64 = parts.next().unwrap().parse().unwrap();
+        let entry = last_per_shard
+            .entry(shard)
+            .or_insert((segment, path.clone()));
+        if segment >= entry.0 {
+            *entry = (segment, path);
+        }
+    }
+    assert_eq!(last_per_shard.len(), 3, "every shard wrote a chain");
+    for (_, path) in last_per_shard.values() {
+        let len = std::fs::metadata(path).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .unwrap()
+            .set_len(len.saturating_sub(11))
+            .unwrap();
+    }
+
+    let survivor = Collector::new();
+    let mut recovery = Engine::recover(config(&crash_dir, 3, 10));
+    let mut subscribe = |sub: Subscription| {
+        recovery.subscribe(Subscription {
+            sink: survivor.sink(),
+            ..sub
+        })
+    };
+    let sustained = register(&mut subscribe);
+    assert!(recovery.stats().records > 0);
+    let mut engine = recovery.resume();
+    let resume = usize::try_from(engine.resume_from()).unwrap();
+    assert!(resume <= 70);
+    feed(&mut engine, sustained, &ops[resume..]);
+    let _ = engine.finish_at(horizon());
+    assert_eq!(multiset(survivor.take()), expected);
+    let _ = std::fs::remove_dir_all(&full_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
