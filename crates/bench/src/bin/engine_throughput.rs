@@ -457,31 +457,259 @@ fn wal_mode() -> String {
     block
 }
 
-/// Merges the `wal` block into `BENCH_engine.json`, replacing an
-/// existing one (so `-- wal` refreshes durability numbers without
-/// discarding the full run's results).
-fn merge_wal_block(block: &str) {
+/// Merges a named top-level block into `BENCH_engine.json`, replacing
+/// an existing one (so `-- wal` / `-- snap` refresh their numbers
+/// without discarding the full run's results).
+fn merge_block(key: &str, block: &str) {
     let path = "BENCH_engine.json";
+    let marker = format!(",\n  \"{key}\":");
     let json = match std::fs::read_to_string(path) {
         Ok(text) => {
-            let head = match text.find(",\n  \"wal\":") {
+            let head = match text.find(&marker) {
                 Some(i) => text[..i].to_string(),
                 None => {
                     let last = text.rfind('}').expect("json object");
                     text[..last].trim_end().to_string()
                 }
             };
-            format!("{head},\n  \"wal\": {block}\n}}\n")
+            format!("{head},\n  \"{key}\": {block}\n}}\n")
         }
-        Err(_) => format!("{{\n  \"bench\": \"engine_throughput\",\n  \"wal\": {block}\n}}\n"),
+        Err(_) => format!("{{\n  \"bench\": \"engine_throughput\",\n  \"{key}\": {block}\n}}\n"),
     };
     std::fs::write(path, json).expect("write BENCH_engine.json");
-    println!("\nmerged wal block into BENCH_engine.json");
+    println!("\nmerged {key} block into BENCH_engine.json");
+}
+
+/// Bytes on disk under `dir` (WAL segments + snapshots).
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// The checkpoint workload: crash recovery by full-log replay vs
+/// newest-snapshot + WAL tail, and the disk footprint compaction
+/// leaves behind. Also the CI smoke: record → checkpoint → kill →
+/// recover → diff the resumed delivery stream against an uninterrupted
+/// run. Returns the `snap` JSON block for `BENCH_engine.json`.
+fn snap_mode() -> String {
+    const SNAP_INSTANCES: usize = 40_000;
+    const SHARDS: usize = 4;
+    println!("\n-- snap mode: checkpoint snapshots + bounded-time recovery --\n");
+    let instances: Vec<EventInstance> = synthetic_stream()
+        .into_iter()
+        .take(SNAP_INSTANCES)
+        .collect();
+    let snap_root = std::env::temp_dir().join(format!("stem-bench-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_root);
+
+    // Record the same stream twice: once WAL-only (recovery = full
+    // replay), once checkpointed (recovery = snapshot + tail). Both in
+    // deterministic mode so the crash (drop) is synchronous.
+    let base_config = |dir: &std::path::Path| {
+        EngineConfig::new(bounds())
+            .with_shards(SHARDS)
+            .with_batch_size(256)
+            .with_watermark_slack(Duration::new(16))
+            .with_wal_segment_bytes(256 << 10)
+            .with_wal(dir)
+            .deterministic()
+    };
+    let record = |config: EngineConfig| {
+        let mut engine = Engine::start(config);
+        let collector = Collector::new();
+        register_subscriptions(&mut engine, &collector);
+        engine.ingest_all(instances.iter().cloned());
+        engine.flush();
+        drop(engine); // the simulated crash
+        collector.take().len() as u64
+    };
+    let full_dir = snap_root.join("full-replay");
+    let delivered_full = record(base_config(&full_dir));
+    let snap_dir = snap_root.join("checkpointed");
+    let delivered_snap = record(
+        base_config(&snap_dir).with_checkpoint(stem_engine::CheckpointPolicy::EveryNBatches(64)),
+    );
+    assert_eq!(
+        delivered_full, delivered_snap,
+        "checkpointing must not change detection"
+    );
+    let full_bytes = dir_bytes(&full_dir);
+    let snap_bytes = dir_bytes(&snap_dir);
+    // Both runs recorded the identical stream with identical segment
+    // rotation, so the segment-count delta is exactly what compaction
+    // retired in the checkpointed run.
+    let wal_segments = |dir: &std::path::Path| {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+            })
+            .count() as u64
+    };
+    let retired = wal_segments(&full_dir) - wal_segments(&snap_dir);
+
+    // Measure recovery wall time + replay volume for both.
+    let recover = |config: EngineConfig| {
+        let collector = Collector::new();
+        let start = std::time::Instant::now();
+        let mut recovery = Engine::recover(config);
+        register_subscriptions_recovery(&mut recovery, &collector);
+        let stats = recovery.stats();
+        let engine = recovery.resume();
+        let report = engine.finish();
+        (start.elapsed().as_secs_f64() * 1e3, stats, report)
+    };
+    let (full_ms, full_stats, _) = recover(base_config(&full_dir));
+    let (snap_ms, snap_stats, _) = recover(
+        base_config(&snap_dir).with_checkpoint(stem_engine::CheckpointPolicy::EveryNBatches(64)),
+    );
+    assert!(
+        snap_stats.snapshot_epoch.is_some(),
+        "a checkpoint floor exists"
+    );
+    assert_eq!(snap_stats.snapshots_loaded, SHARDS as u64);
+    assert!(
+        snap_stats.records < full_stats.records,
+        "snapshot recovery must replay fewer records ({} vs {})",
+        snap_stats.records,
+        full_stats.records,
+    );
+
+    let mut table = Table::new(vec![
+        "recovery",
+        "records_replayed",
+        "elapsed_ms",
+        "disk_bytes",
+        "snapshots",
+    ]);
+    table.row(vec![
+        "full-replay".to_string(),
+        full_stats.records.to_string(),
+        format!("{full_ms:.1}"),
+        full_bytes.to_string(),
+        "0".to_string(),
+    ]);
+    table.row(vec![
+        "snapshot+tail".to_string(),
+        snap_stats.records.to_string(),
+        format!("{snap_ms:.1}"),
+        snap_bytes.to_string(),
+        snap_stats.snapshots_loaded.to_string(),
+    ]);
+    table.print();
+    println!(
+        "tail replay is {:.1}% of the full log; compacted dir is {:.1}% of the \
+         uncompacted one",
+        100.0 * snap_stats.records as f64 / full_stats.records.max(1) as f64,
+        100.0 * snap_bytes as f64 / full_bytes.max(1) as f64,
+    );
+
+    // CI smoke: record → checkpoint → kill → recover → diff. A short
+    // crash-resume leg whose continuation must line up exactly with an
+    // uninterrupted reference.
+    let smoke = instances.len() / 4;
+    let smoke_config = |dir: &std::path::Path| {
+        base_config(dir)
+            .with_batch_size(64)
+            .with_checkpoint(stem_engine::CheckpointPolicy::EveryNBatches(16))
+    };
+    let smoke_full = snap_root.join("smoke-full");
+    let reference = Collector::new();
+    let mut engine = Engine::start(smoke_config(&smoke_full));
+    register_subscriptions(&mut engine, &reference);
+    engine.ingest_all(instances.iter().take(smoke).cloned());
+    let _ = engine.finish();
+    let expected = reference.take().len();
+
+    let smoke_dir = snap_root.join("smoke-crash");
+    let lost = Collector::new();
+    let mut engine = Engine::start(smoke_config(&smoke_dir));
+    register_subscriptions(&mut engine, &lost);
+    engine.ingest_all(instances.iter().take(smoke / 2).cloned());
+    engine.flush();
+    drop(engine); // kill
+    let survivor = Collector::new();
+    let mut recovery = Engine::recover(smoke_config(&smoke_dir));
+    register_subscriptions_recovery(&mut recovery, &survivor);
+    let covered: u64 = recovery.snapshot_delivered().values().sum();
+    let mut engine = recovery.resume();
+    let resume = usize::try_from(engine.resume_from()).unwrap();
+    for inst in instances.iter().take(smoke).skip(resume) {
+        engine.ingest(inst.clone());
+    }
+    let _ = engine.finish();
+    let resumed = survivor.take().len();
+    assert_eq!(
+        resumed as u64 + covered,
+        expected as u64,
+        "resumed deliveries + snapshot-covered prefix must equal the \
+         uninterrupted run"
+    );
+    println!(
+        "\nrecord→checkpoint→kill→recover→diff: {expected} notifications \
+         ({covered} covered by the snapshot, {resumed} resumed), bit-identical"
+    );
+    let _ = std::fs::remove_dir_all(&snap_root);
+
+    let mut block = String::from("{\n");
+    block.push_str(&format!(
+        "    \"workload\": \"{SNAP_INSTANCES} synthetic instances, {SHARDS} shards, \
+         crash recovery full-replay vs snapshot+tail\",\n"
+    ));
+    block.push_str(&format!(
+        "    \"full_replay\": {{\"records\": {}, \"elapsed_ms\": {full_ms:.1}, \
+         \"disk_bytes\": {full_bytes}}},\n",
+        full_stats.records,
+    ));
+    block.push_str(&format!(
+        "    \"snapshot_tail\": {{\"records\": {}, \"elapsed_ms\": {snap_ms:.1}, \
+         \"disk_bytes\": {snap_bytes}, \"snapshots_loaded\": {}, \
+         \"segments_retired\": {retired}}},\n",
+        snap_stats.records, snap_stats.snapshots_loaded,
+    ));
+    block.push_str(&format!(
+        "    \"smoke_diff\": {{\"notifications\": {expected}, \"snapshot_covered\": \
+         {covered}, \"resumed\": {resumed}, \"bit_identical\": true}}\n"
+    ));
+    block.push_str("  }");
+    block
+}
+
+/// Registers the bench subscription grid on a recovery (original
+/// registration order, same as [`register_subscriptions`]).
+fn register_subscriptions_recovery(recovery: &mut stem_engine::Recovery, collector: &Collector) {
+    let step = WORLD / SUBSCRIPTIONS_PER_SIDE as f64;
+    for gy in 0..SUBSCRIPTIONS_PER_SIDE {
+        for gx in 0..SUBSCRIPTIONS_PER_SIDE {
+            let center = Point::new((gx as f64 + 0.5) * step, (gy as f64 + 0.5) * step);
+            recovery.subscribe(
+                Subscription::new(
+                    format!("hot-{gx}-{gy}"),
+                    SpatialExtent::field(Field::circle(Circle::new(center, step * 0.3))),
+                    collector.sink(),
+                )
+                .for_event("reading")
+                .when(dsl::parse("x.temp > 45").unwrap()),
+            );
+        }
+    }
 }
 
 fn main() {
     let scenario_only = std::env::args().any(|a| a == "scenario");
     let wal_only = std::env::args().any(|a| a == "wal");
+    let snap_only = std::env::args().any(|a| a == "snap");
     banner(
         "BENCH-ENGINE",
         "streaming engine ingest throughput vs. shard count",
@@ -494,7 +722,12 @@ fn main() {
     }
     if wal_only {
         let block = wal_mode();
-        merge_wal_block(&block);
+        merge_block("wal", &block);
+        return;
+    }
+    if snap_only {
+        let block = snap_mode();
+        merge_block("snap", &block);
         return;
     }
     let instances = synthetic_stream();
@@ -590,5 +823,7 @@ fn main() {
     println!("\nwrote BENCH_engine.json");
 
     let block = wal_mode();
-    merge_wal_block(&block);
+    merge_block("wal", &block);
+    let block = snap_mode();
+    merge_block("snap", &block);
 }

@@ -4,6 +4,7 @@
 //! Cyber-Event Instance?").
 
 use crate::{ConsumptionMode, Pattern, PatternDetector, PatternMatch};
+use stem_core::codec::{self, StateCodec};
 use stem_core::{Bindings, ConditionObserver, EvalError, EventDefinition, EventInstance};
 use stem_temporal::Duration;
 
@@ -142,6 +143,26 @@ impl CompositeDetector {
     }
 }
 
+/// Everything that accumulates across the stream: the pattern
+/// detector's partial matches, the generating observer's sequence
+/// counters, and the selectivity diagnostics.
+impl StateCodec for CompositeDetector {
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        self.pattern.save_state(buf);
+        self.observer.save_state(buf);
+        codec::put_u64(buf, self.matches_seen);
+        codec::put_u64(buf, self.matches_accepted);
+    }
+
+    fn load_state(&mut self, bytes: &mut &[u8]) -> codec::CodecResult<()> {
+        self.pattern.load_state(bytes)?;
+        self.observer.load_state(bytes)?;
+        self.matches_seen = codec::get_u64(bytes)?;
+        self.matches_accepted = codec::get_u64(bytes)?;
+        Ok(())
+    }
+}
+
 /// Converts a pattern match into condition bindings.
 #[must_use]
 fn bindings_of(m: &PatternMatch) -> Bindings {
@@ -230,6 +251,31 @@ mod tests {
         let second = det.process(&mk("B", 4, 0.0, 20.0)).unwrap();
         assert_eq!(first[0].seq().raw(), 0);
         assert_eq!(second[0].seq().raw(), 1);
+    }
+
+    /// Snapshot round-trip mid-stream: the restored composite detector
+    /// (pattern partials + observer sequence counters + selectivity)
+    /// generates the same derived instances — including their sequence
+    /// numbers — as the uninterrupted one.
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let mut live = detector("avg(x.temp) > 0");
+        live.process(&mk("A", 1, 0.0, 20.0)).unwrap();
+        let _ = live.process(&mk("B", 2, 0.0, 20.0)).unwrap(); // consumes seq 0
+        live.process(&mk("A", 3, 0.0, 20.0)).unwrap(); // pending left
+
+        let mut buf = Vec::new();
+        live.save_state(&mut buf);
+        let mut resumed = detector("avg(x.temp) > 0");
+        let mut bytes = buf.as_slice();
+        resumed.load_state(&mut bytes).unwrap();
+        assert!(bytes.is_empty());
+        assert_eq!(resumed.selectivity(), live.selectivity());
+
+        let a = live.process(&mk("B", 4, 0.0, 20.0)).unwrap();
+        let b = resumed.process(&mk("B", 4, 0.0, 20.0)).unwrap();
+        assert_eq!(a, b, "derived instances diverged after restore");
+        assert_eq!(b[0].seq().raw(), 1, "sequence numbering continues");
     }
 
     #[test]

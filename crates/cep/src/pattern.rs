@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use stem_core::codec::{self, StateCodec};
 use stem_core::{EventId, EventInstance};
 use stem_temporal::{Duration, TemporalExtent, TimePoint};
 
@@ -330,6 +331,144 @@ impl PatternDetector {
     #[must_use]
     pub fn stored_partials(&self) -> usize {
         count_stored(&self.node)
+    }
+}
+
+/// The detector's mutable state is its stream clock plus the partial
+/// matches (and negation blockers) stored at every operator node. The
+/// tree *shape* is configuration — rebuilt from the [`Pattern`] at
+/// restore time — so the walk writes a tag per node and load fails with
+/// [`CodecError::Invalid`](stem_core::codec::CodecError) when the
+/// stored shape does not match the pattern it is loaded into.
+impl StateCodec for PatternDetector {
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        codec::encode_time_point(self.latest, buf);
+        save_node(&self.node, buf);
+    }
+
+    fn load_state(&mut self, bytes: &mut &[u8]) -> codec::CodecResult<()> {
+        self.latest = codec::decode_time_point(bytes)?;
+        load_node(&mut self.node, bytes)
+    }
+}
+
+fn encode_match(m: &PatternMatch, buf: &mut Vec<u8>) {
+    codec::put_u32(buf, u32::try_from(m.bindings.len()).unwrap_or(u32::MAX));
+    for (name, inst) in &m.bindings {
+        codec::put_str(buf, name);
+        codec::encode_instance(inst, buf);
+    }
+    codec::encode_temporal_extent(&m.extent, buf);
+    codec::encode_time_point(m.detected_at, buf);
+}
+
+fn decode_match(bytes: &mut &[u8]) -> codec::CodecResult<PatternMatch> {
+    let n = codec::get_u32(bytes)? as usize;
+    let mut bindings = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let name = codec::get_str(bytes)?;
+        let inst = codec::decode_instance(bytes)?;
+        bindings.push((name, inst));
+    }
+    let extent = codec::decode_temporal_extent(bytes)?;
+    let detected_at = codec::decode_time_point(bytes)?;
+    Ok(PatternMatch {
+        bindings,
+        extent,
+        detected_at,
+    })
+}
+
+fn encode_match_store(store: &[PatternMatch], buf: &mut Vec<u8>) {
+    codec::put_u32(buf, u32::try_from(store.len()).unwrap_or(u32::MAX));
+    for m in store {
+        encode_match(m, buf);
+    }
+}
+
+fn decode_match_store(bytes: &mut &[u8]) -> codec::CodecResult<Vec<PatternMatch>> {
+    let n = codec::get_u32(bytes)? as usize;
+    let mut store = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        store.push(decode_match(bytes)?);
+    }
+    Ok(store)
+}
+
+const NODE_TAG_ATOM: u8 = 0;
+const NODE_TAG_BINARY: u8 = 1;
+const NODE_TAG_NEGATION: u8 = 2;
+
+fn save_node(node: &Node, buf: &mut Vec<u8>) {
+    match node {
+        Node::Atom { .. } => codec::put_u8(buf, NODE_TAG_ATOM),
+        Node::Binary {
+            left,
+            right,
+            left_store,
+            right_store,
+            ..
+        } => {
+            codec::put_u8(buf, NODE_TAG_BINARY);
+            encode_match_store(left_store, buf);
+            encode_match_store(right_store, buf);
+            save_node(left, buf);
+            save_node(right, buf);
+        }
+        Node::Negation {
+            inner,
+            absent_extents,
+            ..
+        } => {
+            codec::put_u8(buf, NODE_TAG_NEGATION);
+            codec::put_u32(buf, u32::try_from(absent_extents.len()).unwrap_or(u32::MAX));
+            for e in absent_extents {
+                codec::encode_temporal_extent(e, buf);
+            }
+            save_node(inner, buf);
+        }
+    }
+}
+
+fn load_node(node: &mut Node, bytes: &mut &[u8]) -> codec::CodecResult<()> {
+    let tag = codec::get_u8(bytes)?;
+    match node {
+        Node::Atom { .. } => {
+            if tag != NODE_TAG_ATOM {
+                return Err(codec::CodecError::Invalid("PatternDetector state shape"));
+            }
+            Ok(())
+        }
+        Node::Binary {
+            left,
+            right,
+            left_store,
+            right_store,
+            ..
+        } => {
+            if tag != NODE_TAG_BINARY {
+                return Err(codec::CodecError::Invalid("PatternDetector state shape"));
+            }
+            *left_store = decode_match_store(bytes)?;
+            *right_store = decode_match_store(bytes)?;
+            load_node(left, bytes)?;
+            load_node(right, bytes)
+        }
+        Node::Negation {
+            inner,
+            absent_extents,
+            ..
+        } => {
+            if tag != NODE_TAG_NEGATION {
+                return Err(codec::CodecError::Invalid("PatternDetector state shape"));
+            }
+            let n = codec::get_u32(bytes)? as usize;
+            absent_extents.clear();
+            for _ in 0..n {
+                absent_extents.push(codec::decode_temporal_extent(bytes)?);
+            }
+            load_node(inner, bytes)
+        }
     }
 }
 
@@ -722,6 +861,62 @@ mod tests {
             vec![EventId::new("A"), EventId::new("B"), EventId::new("N")]
         );
         assert_eq!(p.binding_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    /// Snapshot round-trip over every operator shape and consumption
+    /// mode: a restored detector (fresh compile of the same pattern +
+    /// loaded state) completes matches exactly as the original would.
+    #[test]
+    fn state_round_trips_across_operator_shapes_and_modes() {
+        let patterns = vec![
+            seq_ab(),
+            Pattern::atom("a", "A").and(Pattern::atom("b", "B")),
+            Pattern::atom("a", "A").or(Pattern::atom("b", "B")),
+            seq_ab().unless("N"),
+            seq_ab().then(Pattern::atom("c", "C")),
+        ];
+        for pattern in patterns {
+            for mode in [
+                ConsumptionMode::Recent,
+                ConsumptionMode::Chronicle,
+                ConsumptionMode::Continuous,
+            ] {
+                let mut live = PatternDetector::new(pattern.clone(), mode, Some(Duration::new(50)));
+                // Accumulate partial state: lefts, a blocker, no completion yet.
+                live.process(&mk("A", 1, 2));
+                live.process(&mk("N", 3, 3));
+                live.process(&mk("A", 4, 5));
+
+                let mut buf = Vec::new();
+                live.save_state(&mut buf);
+                let mut resumed =
+                    PatternDetector::new(pattern.clone(), mode, Some(Duration::new(50)));
+                let mut bytes = buf.as_slice();
+                resumed.load_state(&mut bytes).unwrap();
+                assert!(bytes.is_empty());
+                assert_eq!(resumed.stored_partials(), live.stored_partials());
+
+                for inst in [mk("B", 7, 7), mk("C", 9, 9), mk("B", 60, 60)] {
+                    let a = live.process(&inst);
+                    let b = resumed.process(&inst);
+                    assert_eq!(a, b, "pattern {pattern:?} mode {mode} diverged");
+                }
+            }
+        }
+    }
+
+    /// Loading state saved from a different pattern shape is a
+    /// configuration error, reported — never silently restored.
+    #[test]
+    fn state_shape_mismatch_is_rejected() {
+        let mut seq = PatternDetector::new(seq_ab(), ConsumptionMode::Chronicle, None);
+        seq.process(&mk("A", 1, 1));
+        let mut buf = Vec::new();
+        seq.save_state(&mut buf);
+        let mut atom =
+            PatternDetector::new(Pattern::atom("a", "A"), ConsumptionMode::Chronicle, None);
+        let mut bytes = buf.as_slice();
+        assert!(atom.load_state(&mut bytes).is_err());
     }
 
     proptest! {

@@ -8,6 +8,7 @@
 //! completed intervals with a minimum-duration filter.
 
 use serde::{Deserialize, Serialize};
+use stem_core::codec::{self, StateCodec};
 use stem_temporal::{Duration, TimeInterval, TimePoint};
 
 /// A notification from the sustained detector.
@@ -219,6 +220,26 @@ impl SustainedDetector {
     }
 }
 
+/// The episode-tracking state (the configuration — thresholds and
+/// minimum duration — is re-supplied at construction and validated by
+/// the caller, not stored).
+impl StateCodec for SustainedDetector {
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        codec::encode_opt_time_point(self.holding_since, buf);
+        codec::put_u8(buf, u8::from(self.began_emitted));
+        codec::encode_opt_time_point(self.last_sample, buf);
+        codec::encode_opt_time_point(self.last_true, buf);
+    }
+
+    fn load_state(&mut self, bytes: &mut &[u8]) -> codec::CodecResult<()> {
+        self.holding_since = codec::decode_opt_time_point(bytes)?;
+        self.began_emitted = codec::get_u8(bytes)? != 0;
+        self.last_sample = codec::decode_opt_time_point(bytes)?;
+        self.last_true = codec::decode_opt_time_point(bytes)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +352,43 @@ mod tests {
             enter_threshold: 10.0,
             exit_threshold: 20.0,
         });
+    }
+
+    /// Snapshot round-trip across every episode phase: idle, holding
+    /// but unconfirmed, and confirmed-open. The restored detector must
+    /// continue the episode exactly where the original left it.
+    #[test]
+    fn state_round_trips_across_episode_phases() {
+        let phases: [&[(u64, bool)]; 3] = [
+            &[(0, false)],                       // idle
+            &[(0, true), (5, true)],             // holding, not yet confirmed
+            &[(0, true), (5, true), (12, true)], // Began emitted, episode open
+        ];
+        for (i, samples) in phases.iter().enumerate() {
+            let mut live = boolean(10);
+            let mut resumed = boolean(10);
+            for &(t, b) in *samples {
+                let _ = live.update(TimePoint::new(t), b);
+            }
+            let mut buf = Vec::new();
+            live.save_state(&mut buf);
+            let mut bytes = buf.as_slice();
+            resumed.load_state(&mut bytes).unwrap();
+            assert!(bytes.is_empty(), "phase {i}: trailing bytes");
+            assert_eq!(resumed.holding_since(), live.holding_since(), "phase {i}");
+            // Both close identically from here on.
+            for t in [20u64, 30, 40] {
+                assert_eq!(
+                    live.update(TimePoint::new(t), t < 30),
+                    resumed.update(TimePoint::new(t), t < 30),
+                    "phase {i} diverged at t={t}"
+                );
+            }
+            assert_eq!(
+                live.finish(TimePoint::new(50)),
+                resumed.finish(TimePoint::new(50))
+            );
+        }
     }
 
     proptest! {

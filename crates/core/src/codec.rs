@@ -83,9 +83,57 @@ impl std::error::Error for CodecError {}
 /// Decode result shorthand.
 pub type CodecResult<T> = Result<T, CodecError>;
 
+/// Mutable-state persistence over the stable binary codec: the seam the
+/// snapshot subsystem (`stem-snap`) uses to checkpoint live evaluation
+/// state.
+///
+/// Unlike a value codec, `load_state` restores *into* an existing
+/// instance: detectors are first recompiled from their configuration
+/// (pattern shape, thresholds, observers) exactly as at original
+/// registration, then their accumulated runtime state — partial
+/// matches, open episodes, sequence counters — is overlaid. A decode
+/// must therefore validate that the stored state matches the shape of
+/// the instance it is loaded into and return
+/// [`CodecError::Invalid`] on mismatch (a snapshot from a different
+/// configuration), never restore silently wrong state.
+pub trait StateCodec {
+    /// Serializes the mutable runtime state into `buf` (configuration
+    /// is *not* included; it is re-supplied at restore time).
+    fn save_state(&self, buf: &mut Vec<u8>);
+
+    /// Restores state saved by [`StateCodec::save_state`] into `self`,
+    /// consuming its bytes from the front of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncation, unknown tags, or a state
+    /// shape that does not match this instance's configuration.
+    fn load_state(&mut self, bytes: &mut &[u8]) -> CodecResult<()>;
+}
+
 // ---------------------------------------------------------------------
 // Primitives.
 // ---------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes` — the shared
+/// integrity check for every durable container in the workspace (WAL
+/// frames, checkpoint snapshots). One definition, so the two on-disk
+/// formats can never drift apart on what "intact" means.
+///
+/// Table-free bitwise form: checksums run far from any hot path
+/// (appends are I/O bound), so clarity wins over a lookup table.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Appends a `u8`.
 pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
@@ -206,7 +254,8 @@ pub fn decode_opt_time_point(bytes: &mut &[u8]) -> CodecResult<Option<TimePoint>
     }
 }
 
-fn encode_temporal_extent(t: &TemporalExtent, buf: &mut Vec<u8>) {
+/// Encodes a [`TemporalExtent`] (punctual or interval).
+pub fn encode_temporal_extent(t: &TemporalExtent, buf: &mut Vec<u8>) {
     match t {
         TemporalExtent::Punctual(p) => {
             put_u8(buf, 0);
@@ -220,7 +269,13 @@ fn encode_temporal_extent(t: &TemporalExtent, buf: &mut Vec<u8>) {
     }
 }
 
-fn decode_temporal_extent(bytes: &mut &[u8]) -> CodecResult<TemporalExtent> {
+/// Decodes a [`TemporalExtent`] encoded by [`encode_temporal_extent`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on truncation, unknown tags, or an
+/// inverted interval.
+pub fn decode_temporal_extent(bytes: &mut &[u8]) -> CodecResult<TemporalExtent> {
     match get_u8(bytes)? {
         0 => Ok(TemporalExtent::Punctual(decode_time_point(bytes)?)),
         1 => {

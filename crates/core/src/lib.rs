@@ -57,6 +57,7 @@ mod observer;
 mod pump;
 
 pub use attr::{AttrAggregate, AttrValue, Attributes, RelationalOp};
+pub use codec::StateCodec;
 pub use condition::{
     AttrRef, AttributeCondition, Bindings, ConditionExpr, ConfidenceCondition, DistanceCondition,
     EntityName, EvalError, SpaceExpr, SpaceOperand, SpatialCondition, TemporalCondition, TimeExpr,

@@ -5,6 +5,7 @@
 //! evaluate these data based on event conditions, and output the according
 //! event instance if the event conditions are met."
 
+use crate::codec;
 use crate::{
     AttrAggregate, Attributes, Bindings, ConditionExpr, Confidence, EvalError, EventId,
     EventInstance, Layer, ObserverId, SeqNo,
@@ -384,6 +385,36 @@ impl ConditionObserver {
     }
 }
 
+/// The observer's mutable state is its position (mobile observers) and
+/// its per-event sequence counters — Eq. 4.6's monotone numbering must
+/// survive a checkpoint, or derived instances generated after recovery
+/// would reuse sequence numbers the durable prefix already assigned.
+impl crate::codec::StateCodec for ConditionObserver {
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        codec::put_f64(buf, self.location.x);
+        codec::put_f64(buf, self.location.y);
+        codec::put_u32(buf, u32::try_from(self.seq.len()).unwrap_or(u32::MAX));
+        for (event, seq) in &self.seq {
+            codec::put_str(buf, event.as_str());
+            codec::put_u64(buf, seq.raw());
+        }
+    }
+
+    fn load_state(&mut self, bytes: &mut &[u8]) -> codec::CodecResult<()> {
+        let x = codec::get_f64(bytes)?;
+        let y = codec::get_f64(bytes)?;
+        self.location = Point::new(x, y);
+        let n = codec::get_u32(bytes)? as usize;
+        self.seq.clear();
+        for _ in 0..n {
+            let event = EventId::new(codec::get_str(bytes)?);
+            let seq = SeqNo::new(codec::get_u64(bytes)?);
+            self.seq.insert(event, seq);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,5 +570,33 @@ mod tests {
     #[should_panic(expected = "reliability must be in [0, 1]")]
     fn rejects_invalid_reliability() {
         let _ = ConditionObserver::new(ObserverId::Human(1), Point::new(0.0, 0.0), 1.5);
+    }
+
+    #[test]
+    fn observer_state_round_trips_sequence_counters() {
+        use crate::codec::StateCodec;
+        let mut obs = observer();
+        let b = Bindings::new()
+            .with("a", entity(1, 0.0, 0.0, 40.0, 1.0))
+            .with("b", entity(2, 0.0, 0.0, 40.0, 1.0));
+        let def = hot_def();
+        let _ = obs.evaluate(&def, &b, TimePoint::new(3)).unwrap().unwrap();
+        let _ = obs.evaluate(&def, &b, TimePoint::new(4)).unwrap().unwrap();
+        obs.set_location(Point::new(9.0, 4.0));
+
+        let mut buf = Vec::new();
+        obs.save_state(&mut buf);
+        let mut restored = observer();
+        let mut bytes = buf.as_slice();
+        restored.load_state(&mut bytes).unwrap();
+        assert!(bytes.is_empty());
+        assert_eq!(restored.location(), Point::new(9.0, 4.0));
+        assert_eq!(restored.next_seq(&EventId::new("hot")), SeqNo::new(2));
+        // The restored observer continues the numbering, never reuses.
+        let next = restored
+            .evaluate(&def, &b, TimePoint::new(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(next.seq().raw(), 2);
     }
 }

@@ -228,6 +228,19 @@ pub fn replay_recorded(
          a scenario re-analysis needs complete history",
         dir.display(),
     );
+    // `missing_ops` only sees gaps *between* surviving records: a
+    // prefix uniformly retired by checkpoint compaction leaves no gap,
+    // just a stream that starts late. A recording always begins at
+    // sequence 0, so anything else means history was discarded.
+    let first_seq = replay.records().first().map_or(0, stem_wal::WalRecord::seq);
+    assert_eq!(
+        first_seq,
+        0,
+        "recorded wal at {} begins at sequence {first_seq} — its prefix was \
+         retired by checkpoint compaction; a scenario re-analysis needs \
+         complete history (record without `checkpoint_every_ticks`)",
+        dir.display(),
+    );
     let world = scenario_world_bounds(config, app);
     let (sink_observer, ccu_observer) = scenario_observers(config);
     let mut engine = Engine::start(
@@ -321,6 +334,13 @@ impl EnginePump {
             // silence probes become durable before evaluation, so the
             // recorded scenario replays without re-simulating.
             engine_config = engine_config.with_wal(dir);
+            if let Some(ticks) = config.checkpoint_every_ticks {
+                // Snapshots every `ticks` of simulated stream-clock
+                // progress: the recorded run recovers in bounded time
+                // and retains bounded disk instead of unbounded log.
+                engine_config =
+                    engine_config.with_checkpoint(stem_engine::CheckpointPolicy::EveryTicks(ticks));
+            }
         }
         let mut engine = Engine::start(engine_config);
         let collector = Collector::new();
@@ -497,6 +517,85 @@ mod tests {
         assert_eq!(replayed, recorded, "replay must be bit-identical");
         assert_eq!(replay_report.total_late_dropped(), 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The scenario checkpoint knob: snapshots are cut during the run
+    /// at the simulated-tick cadence, without perturbing detection —
+    /// the checkpointed run's instance log is bit-identical to the
+    /// uncheckpointed engine run — and the recorded directory then
+    /// recovers from the snapshots instead of full-log replay.
+    #[test]
+    fn scenario_checkpoints_cut_snapshots_without_perturbing_detection() {
+        let dir = temp_dir("checkpointed");
+        let (config, app) = hotspot(35);
+        let baseline = CpsSystem::run(config.clone(), app.clone());
+        let checkpointed_config = ScenarioConfig {
+            record_dir: Some(dir.to_string_lossy().into_owned()),
+            checkpoint_every_ticks: Some(2_000),
+            ..config
+        };
+        let report = CpsSystem::run(checkpointed_config.clone(), app.clone());
+        let engine = report.engine.as_ref().expect("engine report");
+        let snap = engine.total_snap();
+        assert!(
+            snap.snapshots_written >= 2 * 4,
+            "a 10k-tick run at 2k-tick cadence cuts several epochs across \
+             2 shards: {snap:?}"
+        );
+        let baseline_log: Vec<String> = baseline
+            .instances
+            .iter()
+            .map(|i| format!("{i:?}"))
+            .collect();
+        let log: Vec<String> = report.instances.iter().map(|i| format!("{i:?}")).collect();
+        assert_eq!(baseline_log, log, "checkpointing must not change detection");
+
+        // The recorded directory recovers through the snapshot path:
+        // both shards restore from a common checkpoint floor.
+        let world = scenario_world_bounds(&checkpointed_config, &app);
+        let recovery = stem_engine::Engine::recover(
+            stem_engine::EngineConfig::new(world)
+                .with_shards(2)
+                .with_batch_size(1)
+                .with_wal(&dir)
+                .deterministic(),
+        );
+        let stats = recovery.stats();
+        assert!(stats.snapshot_epoch.is_some(), "a checkpoint floor exists");
+        assert_eq!(stats.snapshots_loaded, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `missing_ops` only sees gaps between surviving records; a prefix
+    /// uniformly retired by checkpoint compaction leaves no gap. The
+    /// re-analysis entry point must still refuse it loudly.
+    #[test]
+    #[should_panic(expected = "prefix was retired")]
+    fn replay_recorded_refuses_a_compaction_truncated_prefix() {
+        let dir = temp_dir("truncated-prefix");
+        // A hand-built "recording" whose stream starts at sequence 5 —
+        // exactly what per-shard compaction leaves after retiring every
+        // segment below the oldest retained snapshot.
+        let mut wal =
+            stem_wal::ShardWal::open(&dir, 0, 1 << 20, stem_wal::FsyncPolicy::Never).unwrap();
+        for seq in 5..8u64 {
+            wal.append(&stem_wal::WalRecord::Instance {
+                seq,
+                eval_at: Some(stem_temporal::TimePoint::new(100 + seq)),
+                prefix_high_water: None,
+                instance: stem_core::EventInstance::builder(
+                    stem_core::ObserverId::Mote(stem_core::MoteId::new(1)),
+                    stem_core::EventId::new("hot-reading"),
+                    Layer::Sensor,
+                )
+                .generated(stem_temporal::TimePoint::new(seq), Point::new(1.0, 1.0))
+                .build(),
+            })
+            .unwrap();
+        }
+        drop(wal);
+        let (config, app) = hotspot(36);
+        let _ = replay_recorded(&config, &app, &dir, 2);
     }
 
     #[test]

@@ -125,6 +125,15 @@ pub struct ScenarioConfig {
     /// conditions — without re-simulating (see
     /// [`crate::replay_recorded`]).
     pub record_dir: Option<String>,
+    /// Cut a consistent checkpoint snapshot every this many simulated
+    /// ticks of stream-clock progress (requires `record_dir`): the
+    /// recorded run then recovers in bounded time — newest snapshot +
+    /// WAL tail — instead of full-log replay, and log segments behind
+    /// the retained snapshots are retired. Note the trade: compaction
+    /// bounds disk by *discarding* history, so a heavily checkpointed
+    /// long run may no longer support full-history re-analysis via
+    /// [`crate::replay_recorded`] (which requires a gap-free stream).
+    pub checkpoint_every_ticks: Option<u64>,
 }
 
 impl Default for ScenarioConfig {
@@ -156,6 +165,7 @@ impl Default for ScenarioConfig {
             duration: Duration::new(60_000),
             backend: EvalBackend::Des,
             record_dir: None,
+            checkpoint_every_ticks: None,
         }
     }
 }
@@ -222,6 +232,15 @@ impl ScenarioConfig {
             }
             _ => {}
         }
+        match self.checkpoint_every_ticks {
+            Some(0) => problems.push("checkpoint_every_ticks must be >= 1".to_owned()),
+            Some(_) if self.record_dir.is_none() => problems.push(
+                "checkpoint_every_ticks requires record_dir (a snapshot compresses \
+                 a recorded log prefix)"
+                    .to_owned(),
+            ),
+            _ => {}
+        }
         problems
     }
 
@@ -267,6 +286,24 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("payload_bytes")));
         assert!(problems.iter().any(|p| p.contains("grid dimensions")));
         assert!(problems.iter().any(|p| p.contains("spacing")));
+    }
+
+    #[test]
+    fn checkpoint_knob_is_validated() {
+        let engine = EvalBackend::Engine {
+            shards: 2,
+            deterministic: true,
+        };
+        let mut cfg = ScenarioConfig {
+            checkpoint_every_ticks: Some(2_000),
+            backend: engine,
+            ..ScenarioConfig::default()
+        };
+        assert!(cfg.validate().iter().any(|p| p.contains("record_dir")));
+        cfg.record_dir = Some("/tmp/run".to_owned());
+        assert!(cfg.validate().is_empty());
+        cfg.checkpoint_every_ticks = Some(0);
+        assert!(cfg.validate().iter().any(|p| p.contains(">= 1")));
     }
 
     #[test]

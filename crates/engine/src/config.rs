@@ -28,6 +28,22 @@ pub enum Durability {
     },
 }
 
+/// When the engine cuts barrier-coordinated checkpoint snapshots (see
+/// `stem-snap`). Checkpointing requires [`Durability::Wal`]: a snapshot
+/// is a compressed prefix of the write-ahead log, meaningless without
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// Never checkpoint: recovery replays the full log (the PR 3
+    /// behaviour) and the log is never compacted.
+    Never,
+    /// Checkpoint after every `n` batches handed off to shard workers.
+    EveryNBatches(u64),
+    /// Checkpoint whenever the stream-clock high-water mark advances
+    /// `n` ticks past the previous checkpoint's.
+    EveryTicks(u64),
+}
+
 /// What the router does when a shard's bounded input queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackpressurePolicy {
@@ -102,6 +118,16 @@ pub struct EngineConfig {
     /// Records between durability checkpoints ([`stem_wal::WalRecord::Watermark`])
     /// in each shard's log (ignored without a WAL).
     pub wal_checkpoint_every: u64,
+    /// When consistent state snapshots are cut (requires a WAL; see
+    /// [`CheckpointPolicy`]). With checkpoints on, recovery loads the
+    /// newest valid snapshot per shard and replays only the WAL tail
+    /// past it, and log segments behind the retained snapshots are
+    /// retired — bounded-time recovery and bounded disk.
+    pub checkpoint: CheckpointPolicy,
+    /// Snapshot epochs kept per shard (>= 2). The compaction bound is
+    /// the *oldest retained* snapshot, so a torn newest snapshot can
+    /// still fall back to the previous one plus its log tail.
+    pub snapshot_retain: usize,
 }
 
 impl EngineConfig {
@@ -120,6 +146,8 @@ impl EngineConfig {
             durability: Durability::None,
             wal_segment_bytes: 8 << 20,
             wal_checkpoint_every: 1024,
+            checkpoint: CheckpointPolicy::Never,
+            snapshot_retain: 2,
         }
     }
 
@@ -152,6 +180,20 @@ impl EngineConfig {
     #[must_use]
     pub fn with_wal_checkpoint_every(mut self, records: u64) -> Self {
         self.wal_checkpoint_every = records;
+        self
+    }
+
+    /// Sets the consistent-snapshot checkpoint policy.
+    #[must_use]
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
+        self
+    }
+
+    /// Sets how many snapshot epochs are retained per shard (>= 2).
+    #[must_use]
+    pub fn with_snapshot_retain(mut self, epochs: usize) -> Self {
+        self.snapshot_retain = epochs;
         self
     }
 
@@ -229,6 +271,23 @@ impl EngineConfig {
                 problems.push("wal_checkpoint_every must be >= 1".to_string());
             }
         }
+        match self.checkpoint {
+            CheckpointPolicy::Never => {}
+            CheckpointPolicy::EveryNBatches(0) | CheckpointPolicy::EveryTicks(0) => {
+                problems.push("checkpoint cadence must be >= 1".to_string());
+            }
+            _ if !matches!(self.durability, Durability::Wal { .. }) => {
+                problems.push(
+                    "checkpointing requires Durability::Wal (a snapshot compresses a \
+                     log prefix; without a log there is no tail to recover from)"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+        if self.checkpoint != CheckpointPolicy::Never && self.snapshot_retain < 2 {
+            problems.push("snapshot_retain must be >= 2 (compaction fallback safety)".to_string());
+        }
         problems
     }
 }
@@ -274,6 +333,36 @@ mod tests {
     fn degenerate_bounds_are_rejected() {
         let cfg = EngineConfig::new(Rect::new(Point::new(5.0, 0.0), Point::new(5.0, 10.0)));
         assert_eq!(cfg.validate().len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_policy_is_validated() {
+        // Checkpointing without a WAL is rejected.
+        let cfg = EngineConfig::new(bounds()).with_checkpoint(CheckpointPolicy::EveryNBatches(8));
+        assert!(cfg.validate().iter().any(|p| p.contains("Durability::Wal")));
+        // Zero cadences are rejected whatever the durability.
+        for policy in [
+            CheckpointPolicy::EveryNBatches(0),
+            CheckpointPolicy::EveryTicks(0),
+        ] {
+            let cfg = EngineConfig::new(bounds())
+                .with_wal("/tmp/some-wal")
+                .with_checkpoint(policy);
+            assert!(cfg.validate().iter().any(|p| p.contains("cadence")));
+        }
+        // Unsafe retention is rejected when checkpointing.
+        let cfg = EngineConfig::new(bounds())
+            .with_wal("/tmp/some-wal")
+            .with_checkpoint(CheckpointPolicy::EveryTicks(100))
+            .with_snapshot_retain(1);
+        assert!(cfg.validate().iter().any(|p| p.contains("snapshot_retain")));
+        // A well-formed checkpoint configuration passes.
+        let cfg = EngineConfig::new(bounds())
+            .with_wal("/tmp/some-wal")
+            .with_checkpoint(CheckpointPolicy::EveryTicks(100));
+        assert!(cfg.validate().is_empty());
+        // Never + no WAL stays valid (the default).
+        assert!(EngineConfig::new(bounds()).validate().is_empty());
     }
 
     #[test]

@@ -1,18 +1,21 @@
 //! The engine facade: lifecycle, ingestion, subscription management,
 //! crash recovery.
 
-use crate::config::{BackpressurePolicy, Durability, EngineConfig, ExecutionMode, ShardId};
+use crate::config::{
+    BackpressurePolicy, CheckpointPolicy, Durability, EngineConfig, ExecutionMode, ShardId,
+};
 use crate::metrics::EngineReport;
 use crate::router::ShardRouter;
 use crate::shard_map::ShardMap;
 use crate::subscription::{Subscription, SubscriptionId};
-use crate::worker::{ShardMessage, ShardWorker, SubscriptionState};
+use crate::worker::{ShardMessage, ShardWorker, SnapContext, SubscriptionState};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use stem_core::{EventInstance, InstanceSource};
+use stem_snap::ShardSnapshot;
 use stem_temporal::TimePoint;
-use stem_wal::{read_shard, wal_shards, RecoveredShard, ShardWal, WalRecord};
+use stem_wal::{read_shard_tail, wal_shards, RecoveredShard, ShardWal, WalRecord};
 
 /// How shard workers are driven.
 enum Backend {
@@ -43,6 +46,16 @@ pub struct Engine {
     /// shard log (0 without recovery): where an upstream re-feed must
     /// resume after [`Engine::recover`].
     resume_seq: u64,
+    /// The next checkpoint epoch (continues past a recovered
+    /// directory's largest epoch, torn files included, so a snapshot
+    /// file name is never reused).
+    epoch: u64,
+    /// Batches handed to shard workers since the last checkpoint
+    /// ([`CheckpointPolicy::EveryNBatches`]).
+    batches_since_checkpoint: u64,
+    /// The stream-clock high-water mark at the last checkpoint
+    /// ([`CheckpointPolicy::EveryTicks`]).
+    checkpoint_high_water: Option<TimePoint>,
     started: Instant,
 }
 
@@ -60,17 +73,24 @@ impl Engine {
         let map = ShardMap::build(config.world_bounds, config.shard_count);
         let router = ShardRouter::new(map, config.batch_size);
         let make_worker = |shard: ShardId| {
-            let wal = match &config.durability {
-                Durability::None => None,
-                Durability::Wal { dir, fsync } => Some(
-                    ShardWal::open(dir, shard, config.wal_segment_bytes, *fsync)
-                        .unwrap_or_else(|e| panic!("open wal for shard {shard}: {e}")),
+            let (wal, snap) = match &config.durability {
+                Durability::None => (None, None),
+                Durability::Wal { dir, fsync } => (
+                    Some(
+                        ShardWal::open(dir, shard, config.wal_segment_bytes, *fsync)
+                            .unwrap_or_else(|e| panic!("open wal for shard {shard}: {e}")),
+                    ),
+                    Some(SnapContext {
+                        dir: dir.clone(),
+                        retain: config.snapshot_retain.max(2),
+                    }),
                 ),
             };
             ShardWorker::new(
                 shard,
                 config.watermark_slack,
                 wal,
+                snap,
                 config.wal_checkpoint_every,
             )
         };
@@ -102,6 +122,9 @@ impl Engine {
             next_subscription: 0,
             dirty,
             resume_seq: 0,
+            epoch: 0,
+            batches_since_checkpoint: 0,
+            checkpoint_high_water: None,
             started: Instant::now(),
         }
     }
@@ -154,6 +177,7 @@ impl Engine {
         for shard in full {
             self.flush_shard(shard);
         }
+        self.maybe_checkpoint();
     }
 
     /// Ingests one instance with an explicit observer-local evaluation
@@ -166,6 +190,7 @@ impl Engine {
         for shard in full {
             self.flush_shard(shard);
         }
+        self.maybe_checkpoint();
     }
 
     /// Ingests an entire stream.
@@ -239,36 +264,50 @@ impl Engine {
         self.resume_seq
     }
 
-    /// Begins crash recovery from the write-ahead logs named by
-    /// `config.durability` (which must be [`Durability::Wal`]; the
-    /// directory holds a previous run's logs — possibly torn by the
-    /// crash).
+    /// Begins crash recovery from the write-ahead logs (and checkpoint
+    /// snapshots) named by `config.durability` (which must be
+    /// [`Durability::Wal`]; the directory holds a previous run's logs
+    /// and snapshots — possibly torn by the crash).
     ///
     /// Recovery is a three-step handshake, because replay can only
     /// deliver into registered subscriptions:
     ///
-    /// 1. `Engine::recover(config)` reads every shard chain, repairs
-    ///    torn tails (truncating them on disk), and computes the resume
-    ///    point;
+    /// 1. `Engine::recover(config)` picks the **checkpoint floor** —
+    ///    the newest snapshot epoch valid on *every* shard (a file torn
+    ///    by a crash mid-checkpoint fails its checksum and degrades the
+    ///    floor to the previous epoch; no snapshots at all degrades to
+    ///    full-log replay) — then reads only each shard's WAL *tail*
+    ///    from the floor snapshot's segment on, repairs torn tails
+    ///    (truncating them on disk), and computes the resume point;
     /// 2. the caller re-registers its subscriptions on the returned
     ///    [`Recovery`] **in the original registration order** (ids are
-    ///    reassigned deterministically, so logged probe records resolve);
-    /// 3. [`Recovery::resume`] replays each shard's durable records
-    ///    through the normal evaluation path — rebuilding reorder and
-    ///    detector state and re-delivering the durable prefix's
-    ///    notifications into the fresh sinks — and returns the live
-    ///    engine. In deterministic mode the resumed engine is
-    ///    bit-identical to an uninterrupted run fed the same stream.
+    ///    reassigned deterministically, so logged probe records and
+    ///    snapshot detector state resolve);
+    /// 3. [`Recovery::resume`] restores each shard's snapshot state and
+    ///    replays its tail records through the normal evaluation path —
+    ///    rebuilding reorder and detector state and re-delivering the
+    ///    *tail's* notifications into the fresh sinks (notifications
+    ///    the snapshot covers are compressed into state, not
+    ///    re-delivered; see [`Recovery::snapshot_delivered`]) — and
+    ///    returns the live engine. In deterministic mode the resumed
+    ///    engine continues bit-identically to an uninterrupted run fed
+    ///    the same stream, with or without a usable snapshot.
     ///
     /// The upstream should then re-feed everything from
-    /// [`Engine::resume_from`] on; operations some shard logs already
-    /// hold are deduplicated per shard by sequence number.
+    /// [`Engine::resume_from`] on; operations the snapshots or shard
+    /// logs already hold are deduplicated per shard by sequence number.
+    ///
+    /// Every shard restores from the *same* epoch so the snapshot set
+    /// is a consistent cut of the global operation stream: mixing
+    /// epochs would seed the recovered stream clock with keys from
+    /// operations past the resume point and skew late-drop decisions.
     ///
     /// # Panics
     ///
     /// Panics if the configuration has no WAL, is invalid, or names a
     /// directory written with a larger shard count, and on unreadable
-    /// logs (I/O errors — torn tails are repaired, not errors).
+    /// logs (I/O errors — torn tails and torn snapshots are fallbacks,
+    /// not errors).
     #[must_use]
     pub fn recover(config: EngineConfig) -> Recovery {
         let Durability::Wal { dir, .. } = &config.durability else {
@@ -282,31 +321,112 @@ impl Engine {
             dir.display(),
             config.shard_count,
         );
-        // Read and repair *before* Engine::start opens fresh segments,
-        // so repair never mistakes them for post-torn history.
-        let plan: Vec<RecoveredShard> = (0..config.shard_count)
+        // Validate every retained snapshot per shard (a handful of
+        // small files), rejecting torn/corrupt/mismatched ones.
+        let mut snapshots_rejected = 0;
+        let per_shard: Vec<Vec<ShardSnapshot>> = (0..config.shard_count)
             .map(|shard| {
-                read_shard(&dir, shard, true)
-                    .unwrap_or_else(|e| panic!("recover shard {shard} wal: {e}"))
+                let chain = stem_snap::list_snapshots(&dir, shard)
+                    .unwrap_or_else(|e| panic!("scan snapshots for shard {shard}: {e}"));
+                let mut valid = Vec::new();
+                for (epoch, path) in chain {
+                    match stem_snap::read_snapshot(&path) {
+                        Ok(s) if s.shard == shard && s.epoch == epoch => valid.push(s),
+                        _ => snapshots_rejected += 1,
+                    }
+                }
+                valid
+            })
+            .collect();
+        // The checkpoint floor: the newest epoch every shard holds a
+        // valid snapshot for. A crash tears at most the epoch being
+        // written, and retention keeps >= 2 epochs, so within the
+        // single-crash fault model the floor is the newest or the
+        // previous epoch; with no common epoch every shard replays its
+        // full log (which compaction has provably not touched yet).
+        let floor: Option<u64> = per_shard
+            .first()
+            .into_iter()
+            .flat_map(|v| v.iter().rev())
+            .map(|s| s.epoch)
+            .find(|epoch| {
+                per_shard[1..]
+                    .iter()
+                    .all(|v| v.iter().any(|s| s.epoch == *epoch))
+            });
+        // Read and repair *before* Engine::start opens fresh segments,
+        // so repair never mistakes them for post-torn history. With a
+        // floor snapshot, only the tail from its active segment on is
+        // read at all — the bounded-time part of bounded-time recovery.
+        let plan: Vec<ShardPlan> = per_shard
+            .into_iter()
+            .enumerate()
+            .map(|(shard, mut valid)| {
+                let snapshot = floor.and_then(|epoch| {
+                    valid
+                        .iter()
+                        .position(|s| s.epoch == epoch)
+                        .map(|i| valid.swap_remove(i))
+                });
+                let from_segment = snapshot.as_ref().map_or(0, |s| s.active_segment);
+                let recovered = read_shard_tail(&dir, shard, true, from_segment)
+                    .unwrap_or_else(|e| panic!("recover shard {shard} wal: {e}"));
+                // A segment chain starting above the requested bound
+                // means compaction retired segments this recovery needs
+                // (damage beyond a single crash — e.g. an older
+                // snapshot corrupted independently of the crash that
+                // tore the newest). Refuse loudly: resuming would
+                // silently drop part of the durable history.
+                if let Some(first) = recovered.first_segment {
+                    assert!(
+                        first <= from_segment,
+                        "shard {shard}: recovery needs wal segments from {from_segment} \
+                         but the chain starts at {first} — compaction already retired \
+                         them and no valid snapshot covers them; the snapshot fallback \
+                         chain at {} is broken beyond single-crash repair",
+                        dir.display(),
+                    );
+                }
+                let durable_seq = snapshot
+                    .as_ref()
+                    .and_then(|s| s.next_seq.checked_sub(1))
+                    .into_iter()
+                    .chain(recovered.durable_seq)
+                    .max();
+                ShardPlan {
+                    snapshot,
+                    recovered,
+                    durable_seq,
+                }
             })
             .collect();
         // Resume where the *least* durable shard ends: everything below
-        // is provably in every log that needs it (appends are ordered,
+        // is provably covered — by the shard's snapshot (a compressed
+        // prefix of its log) or by the log itself (appends are ordered,
         // so a shard's log holds every operation routed to it up to its
         // own durable maximum).
         let resume_seq = plan
             .iter()
-            .map(|r| r.durable_seq.map_or(0, |d| d + 1))
+            .map(|p| p.durable_seq.map_or(0, |d| d + 1))
             .min()
             .unwrap_or(0);
         // Seed the router's stream clock with what it had seen by the
         // resume point, so re-fed operations get their original prefix
-        // high-water stamps (bit-identical late-drop decisions).
+        // high-water stamps (bit-identical late-drop decisions). The
+        // floor snapshot's high-water mark summarizes everything below
+        // its cut (`next_seq <= resume_seq` because every shard is
+        // durable at least through the shared floor); tail records
+        // strictly below the resume point supply the rest.
         let mut high_water: Option<TimePoint> = None;
         let mut note = |t: TimePoint| {
             high_water = Some(high_water.map_or(t, |h| h.max(t)));
         };
-        for record in plan.iter().flat_map(|r| &r.records) {
+        for p in &plan {
+            if let Some(hw) = p.snapshot.as_ref().and_then(|s| s.high_water) {
+                note(hw);
+            }
+        }
+        for record in plan.iter().flat_map(|p| &p.recovered.records) {
             match record {
                 WalRecord::Instance {
                     seq,
@@ -328,12 +448,21 @@ impl Engine {
         }
         let stats = RecoveryStats {
             resume_seq,
-            records: plan.iter().map(|r| r.records.len() as u64).sum(),
-            torn_truncations: plan.iter().map(|r| r.torn_truncations).sum(),
+            records: plan.iter().map(|p| p.recovered.records.len() as u64).sum(),
+            torn_truncations: plan.iter().map(|p| p.recovered.torn_truncations).sum(),
+            snapshot_epoch: floor,
+            snapshots_loaded: plan.iter().filter(|p| p.snapshot.is_some()).count() as u64,
+            snapshots_rejected,
         };
         let mut engine = Engine::start(config);
         engine.router.seed_recovery(resume_seq, high_water);
         engine.resume_seq = resume_seq;
+        engine.checkpoint_high_water = high_water;
+        // Continue epoch numbering past everything on disk (torn files
+        // included) so a snapshot file name is never reused.
+        engine.epoch = stem_snap::max_epoch(&dir)
+            .unwrap_or_else(|e| panic!("scan snapshot epochs: {e}"))
+            .map_or(0, |e| e + 1);
         Recovery {
             engine,
             plan,
@@ -362,7 +491,79 @@ impl Engine {
         // all operations.
         let seq = self.router.take_seq();
         self.send(home, ShardMessage::SilenceProbe { id, at, seq });
+        self.maybe_checkpoint();
         true
+    }
+
+    /// Fires a checkpoint if the configured policy says one is due.
+    fn maybe_checkpoint(&mut self) {
+        let due = match self.config.checkpoint {
+            CheckpointPolicy::Never => false,
+            CheckpointPolicy::EveryNBatches(n) => self.batches_since_checkpoint >= n.max(1),
+            CheckpointPolicy::EveryTicks(t) => match self.router.high_water() {
+                None => false,
+                Some(hw) => {
+                    let last = self.checkpoint_high_water.map_or(0, TimePoint::ticks);
+                    hw.ticks().saturating_sub(last) >= t.max(1)
+                }
+            },
+        };
+        if due {
+            self.checkpoint();
+        }
+    }
+
+    /// Cuts a consistent checkpoint across every shard, synchronously:
+    /// flushes pending batches, then has each shard worker — behind the
+    /// same barrier semantics as [`Engine::sync`] — make its log
+    /// durable, serialize its full evaluation state (reorder buffer,
+    /// watermark clock, per-subscription detector/sustained state) into
+    /// an atomically-written, checksummed snapshot file, prune old
+    /// epochs, and retire WAL segments wholly behind the oldest
+    /// retained snapshot. All shards snapshot the same stream-clock
+    /// epoch: the barrier guarantees each shard's state is exactly the
+    /// evaluation of the global operation prefix routed to it.
+    ///
+    /// Checkpoints fire automatically per [`CheckpointPolicy`]; calling
+    /// this directly cuts one on demand (e.g. before a planned
+    /// shutdown, so the next start recovers in bounded time).
+    ///
+    /// # Panics
+    ///
+    /// Panics without [`Durability::Wal`] (a snapshot is a compressed
+    /// log prefix; there is nothing to compress), and on filesystem
+    /// failures while writing.
+    pub fn checkpoint(&mut self) {
+        assert!(
+            matches!(self.config.durability, Durability::Wal { .. }),
+            "Engine::checkpoint requires Durability::Wal"
+        );
+        self.flush();
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let next_seq = self.router.seq();
+        let high_water = self.router.high_water();
+        let (ack, done) = std::sync::mpsc::channel();
+        for shard in 0..self.config.shard_count {
+            self.send(
+                shard,
+                ShardMessage::Checkpoint {
+                    epoch,
+                    next_seq,
+                    high_water,
+                    ack: ack.clone(),
+                },
+            );
+        }
+        drop(ack);
+        // In threaded mode this blocks until every worker has written
+        // its snapshot; inline workers already ran synchronously and
+        // their acks are queued. Either way the barrier is total, so
+        // every shard is clean afterwards.
+        while done.recv().is_ok() {}
+        self.dirty.fill(false);
+        self.batches_since_checkpoint = 0;
+        self.checkpoint_high_water = high_water;
     }
 
     /// Flushes every pending batch and, in threaded mode, blocks until
@@ -469,6 +670,7 @@ impl Engine {
             return;
         }
         let batch = self.router.take_batch(shard);
+        self.batches_since_checkpoint += 1;
         self.send(shard, ShardMessage::Batch(batch));
     }
 
@@ -503,29 +705,49 @@ impl Engine {
     }
 }
 
+/// One shard's recovery inputs: the floor snapshot (if any) plus the
+/// WAL tail past it.
+struct ShardPlan {
+    snapshot: Option<ShardSnapshot>,
+    recovered: RecoveredShard,
+    /// The largest ingest sequence the shard is durable through,
+    /// snapshot coverage included.
+    durable_seq: Option<u64>,
+}
+
 /// What [`Engine::recover`] found on disk.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
     /// First ingest sequence not guaranteed durable on every shard —
     /// where the upstream re-feed resumes.
     pub resume_seq: u64,
-    /// Intact records recovered across all shard logs.
+    /// Intact records read across all shard log *tails* (with a
+    /// checkpoint floor, segments behind it are never opened; without
+    /// one this is the whole log).
     pub records: u64,
     /// Torn-tail truncations repaired across all shard logs.
     pub torn_truncations: u64,
+    /// The checkpoint floor: the snapshot epoch every shard restores
+    /// from (`None` = full-log replay).
+    pub snapshot_epoch: Option<u64>,
+    /// Shards restoring from a snapshot.
+    pub snapshots_loaded: u64,
+    /// Snapshot files rejected as torn, corrupt, or mismatched.
+    pub snapshots_rejected: u64,
 }
 
 /// The subscription-registration window of a crash recovery: the engine
 /// exists but has not replayed its logs yet (see [`Engine::recover`]).
 pub struct Recovery {
     engine: Engine,
-    plan: Vec<RecoveredShard>,
+    plan: Vec<ShardPlan>,
     stats: RecoveryStats,
 }
 
 impl Recovery {
     /// Re-registers a subscription. Call in the original registration
-    /// order so ids — which logged probe records reference — line up.
+    /// order so ids — which logged probe records and snapshot detector
+    /// state reference — line up.
     pub fn subscribe(&mut self, subscription: Subscription) -> SubscriptionId {
         self.engine.subscribe(subscription)
     }
@@ -536,19 +758,41 @@ impl Recovery {
         self.stats
     }
 
-    /// Replays every shard's durable records and returns the live
-    /// engine, ready for the upstream re-feed from
-    /// [`Engine::resume_from`].
+    /// Per-subscription notification counts the floor snapshots cover
+    /// (`raw subscription id → delivered`): what the resumed engine
+    /// will *not* re-deliver, because those notifications are
+    /// compressed into restored detector state rather than replayed.
+    /// A driver lining the resumed delivery stream up against an
+    /// uninterrupted run drops exactly this many leading notifications
+    /// per subscription. Empty without a checkpoint floor (full replay
+    /// re-delivers everything).
+    #[must_use]
+    pub fn snapshot_delivered(&self) -> std::collections::BTreeMap<u64, u64> {
+        let mut out = std::collections::BTreeMap::new();
+        for plan in &self.plan {
+            if let Some(snapshot) = &plan.snapshot {
+                // A subscription lives on exactly one home shard, so
+                // the union across shards has no collisions.
+                out.extend(snapshot.subs_delivered.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Restores every shard's snapshot state, replays its durable tail
+    /// records, and returns the live engine, ready for the upstream
+    /// re-feed from [`Engine::resume_from`].
     #[must_use]
     pub fn resume(mut self) -> Engine {
-        for recovered in self.plan {
-            let shard = recovered.shard;
+        for plan in self.plan {
+            let shard = plan.recovered.shard;
             self.engine.send(
                 shard,
                 ShardMessage::Recover {
-                    records: recovered.records,
-                    durable_seq: recovered.durable_seq,
-                    torn: recovered.torn_truncations,
+                    snapshot: plan.snapshot.map(Box::new),
+                    records: plan.recovered.records,
+                    durable_seq: plan.durable_seq,
+                    torn: plan.recovered.torn_truncations,
                 },
             );
             self.engine.send(shard, ShardMessage::EndRecovery);

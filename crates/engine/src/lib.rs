@@ -92,9 +92,11 @@ mod subscription;
 mod worker;
 
 pub use batch::Batch;
-pub use config::{BackpressurePolicy, Durability, EngineConfig, ExecutionMode, ShardId};
+pub use config::{
+    BackpressurePolicy, CheckpointPolicy, Durability, EngineConfig, ExecutionMode, ShardId,
+};
 pub use engine::{Engine, Recovery, RecoveryStats};
-pub use metrics::{EngineReport, RouterMetrics, ShardMetrics, WalMetrics};
+pub use metrics::{EngineReport, RouterMetrics, ShardMetrics, SnapMetrics, WalMetrics};
 pub use router::ShardRouter;
 pub use shard_map::ShardMap;
 pub use stem_wal::FsyncPolicy;

@@ -35,6 +35,8 @@ pub struct ShardMetrics {
     pub subscriptions: usize,
     /// Write-ahead log counters (all zero without a WAL).
     pub wal: WalMetrics,
+    /// Checkpoint snapshot counters (all zero without checkpointing).
+    pub snap: SnapMetrics,
 }
 
 /// Per-shard write-ahead log counters.
@@ -46,7 +48,12 @@ pub struct WalMetrics {
     pub bytes_appended: u64,
     /// Segment files created.
     pub segments_created: u64,
-    /// Records replayed from the log during crash recovery.
+    /// `fdatasync` calls issued. Group commit is visible here: under
+    /// [`stem_wal::FsyncPolicy::Always`] this tracks batches, not
+    /// records.
+    pub fsyncs: u64,
+    /// Records replayed from the log during crash recovery (with a
+    /// snapshot, only the tail past its sequence watermark).
     pub records_recovered: u64,
     /// Torn-tail truncations repaired during recovery.
     pub torn_truncations: u64,
@@ -62,9 +69,41 @@ impl WalMetrics {
         self.records_appended += other.records_appended;
         self.bytes_appended += other.bytes_appended;
         self.segments_created += other.segments_created;
+        self.fsyncs += other.fsyncs;
         self.records_recovered += other.records_recovered;
         self.torn_truncations += other.torn_truncations;
         self.deduped += other.deduped;
+    }
+}
+
+/// Per-shard checkpoint snapshot counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapMetrics {
+    /// Snapshots written this run.
+    pub snapshots_written: u64,
+    /// Bytes written into snapshot files.
+    pub snapshot_bytes: u64,
+    /// Whether this shard's recovery loaded a snapshot (1) or replayed
+    /// its full log (0).
+    pub snapshots_loaded: u64,
+    /// WAL tail records skipped at recovery because the loaded snapshot
+    /// already covered them (the boundary segment holds both sides of
+    /// the cut) — together with [`WalMetrics::records_recovered`] this
+    /// is the "replays only the tail" assertion made measurable.
+    pub tail_skipped: u64,
+    /// WAL segments retired by compaction behind the retained
+    /// snapshots.
+    pub segments_retired: u64,
+}
+
+impl SnapMetrics {
+    /// Folds another shard's counters into this one.
+    pub fn absorb(&mut self, other: &SnapMetrics) {
+        self.snapshots_written += other.snapshots_written;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.snapshots_loaded += other.snapshots_loaded;
+        self.tail_skipped += other.tail_skipped;
+        self.segments_retired += other.segments_retired;
     }
 }
 
@@ -141,14 +180,27 @@ impl EngineReport {
         total
     }
 
+    /// Checkpoint snapshot counters summed across shards.
+    #[must_use]
+    pub fn total_snap(&self) -> SnapMetrics {
+        let mut total = SnapMetrics::default();
+        for shard in &self.shards {
+            total.absorb(&shard.snap);
+        }
+        total
+    }
+
     /// A one-line run summary for bench / smoke output: routing volume,
-    /// the precision pass's savings, and the WAL's durability counters.
+    /// the precision pass's savings, the WAL's durability counters, and
+    /// the checkpoint subsystem's.
     #[must_use]
     pub fn summary_line(&self) -> String {
         let wal = self.total_wal();
+        let snap = self.total_snap();
         format!(
             "routed={} fanout={} owner_only={} precision_skipped={} notifications={} \
-             late_dropped={} wal[appended={} bytes={} segments={} recovered={} torn={} deduped={}]",
+             late_dropped={} wal[appended={} bytes={} segments={} recovered={} torn={} deduped={}] \
+             snap[written={} bytes={} loaded={} tail_skipped={} retired={}]",
             self.router.routed,
             self.router.fanout,
             self.router.owner_only,
@@ -161,6 +213,11 @@ impl EngineReport {
             wal.records_recovered,
             wal.torn_truncations,
             wal.deduped,
+            snap.snapshots_written,
+            snap.snapshot_bytes,
+            snap.snapshots_loaded,
+            snap.tail_skipped,
+            snap.segments_retired,
         )
     }
 }

@@ -838,3 +838,412 @@ fn torn_tail_is_repaired_and_counted_in_the_report() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------
+// Checkpoint snapshots (stem-snap): bounded-time recovery + compaction.
+// ---------------------------------------------------------------------
+
+fn snap_config(dir: &std::path::Path) -> EngineConfig {
+    wal_config(dir)
+        .with_wal_segment_bytes(512)
+        .with_checkpoint(stem_engine::CheckpointPolicy::EveryNBatches(4))
+}
+
+/// Per-subscription delivery *sequences* (order matters: the snapshot
+/// cut is a prefix in delivery order, not an arbitrary sub-multiset).
+fn per_sub_sequences(
+    notes: Vec<stem_engine::Notification>,
+) -> std::collections::BTreeMap<u64, Vec<String>> {
+    let mut out: std::collections::BTreeMap<u64, Vec<String>> = std::collections::BTreeMap::new();
+    for n in notes {
+        out.entry(n.subscription.raw())
+            .or_default()
+            .push(format!("{:?}", n.kind));
+    }
+    out
+}
+
+/// The headline acceptance path: recovery with checkpoints loads the
+/// newest snapshot set, replays only the WAL tail past its watermark
+/// (asserted via the snap/WAL counters), and the resumed delivery
+/// stream continues the uninterrupted run exactly — the snapshot covers
+/// the prefix, the resumed engine delivers the rest.
+#[test]
+fn checkpointed_recovery_replays_only_the_tail_bit_identically() {
+    let stream = wal_stream();
+
+    // Uninterrupted reference run with the same checkpoint config.
+    let full_dir = wal_dir("snap-full");
+    let reference = Collector::new();
+    let mut engine = Engine::start(snap_config(&full_dir));
+    engine.subscribe(hot_subscription(&reference));
+    engine.ingest_all(stream.iter().cloned());
+    let full_report = engine.finish();
+    assert!(
+        full_report.total_snap().snapshots_written >= 4,
+        "the batch cadence must have cut several checkpoints: {:?}",
+        full_report.total_snap(),
+    );
+    let expected = per_sub_sequences(reference.take());
+
+    // Crash run: same config, killed mid-stream.
+    let crash_dir = wal_dir("snap-crash");
+    let lost = Collector::new();
+    let mut engine = Engine::start(snap_config(&crash_dir));
+    engine.subscribe(hot_subscription(&lost));
+    engine.ingest_all(stream.iter().take(30).cloned());
+    engine.flush();
+    drop(engine); // the crash
+
+    // What a full replay of the surviving chains would read (the
+    // pre-snapshot baseline recovery cost).
+    let live_log_records: u64 = (0..2)
+        .map(|s| {
+            stem_wal::read_shard(&crash_dir, s, false)
+                .unwrap()
+                .records
+                .len() as u64
+        })
+        .sum();
+
+    let survivor = Collector::new();
+    let mut recovery = Engine::recover(snap_config(&crash_dir));
+    recovery.subscribe(hot_subscription(&survivor));
+    let stats = recovery.stats();
+    assert!(
+        stats.snapshot_epoch.is_some(),
+        "a checkpoint floor was found"
+    );
+    assert_eq!(stats.snapshots_loaded, 2, "both shards restore from it");
+    assert!(
+        stats.records < live_log_records,
+        "recovery read only the tail ({} records), not the whole surviving log \
+         ({live_log_records})",
+        stats.records,
+    );
+    let skipped = recovery.snapshot_delivered();
+    assert!(
+        skipped.values().sum::<u64>() > 0,
+        "the snapshot covers some already-delivered notifications"
+    );
+    let mut engine = recovery.resume();
+    let resume = usize::try_from(engine.resume_from()).unwrap();
+    assert!(resume > 0 && resume <= 30);
+    for inst in stream.iter().skip(resume) {
+        engine.ingest(inst.clone());
+    }
+    let report = engine.finish();
+    let snap = report.total_snap();
+    assert_eq!(snap.snapshots_loaded, 2);
+    assert!(
+        report.total_wal().records_recovered < live_log_records,
+        "only tail records were replayed"
+    );
+
+    // The resumed stream is exactly the uninterrupted stream minus the
+    // per-subscription prefix the snapshot compressed into state.
+    let resumed = per_sub_sequences(survivor.take());
+    for (sub, full_sequence) in &expected {
+        let cut = usize::try_from(*skipped.get(sub).unwrap_or(&0)).unwrap();
+        let got = resumed.get(sub).cloned().unwrap_or_default();
+        assert_eq!(
+            got,
+            full_sequence[cut..],
+            "sub {sub}: resumed deliveries must continue the reference run after \
+             its first {cut} notifications"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&full_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+/// Compaction retires WAL segments wholly behind the oldest retained
+/// snapshot, so live segment count stays bounded on a long stream.
+#[test]
+fn compaction_keeps_live_segment_count_bounded() {
+    let dir = wal_dir("snap-compact");
+    let mut engine = Engine::start(snap_config(&dir));
+    engine.subscribe(hot_subscription(&Collector::new()));
+    // A long stream: many segments at 512 bytes, many checkpoints.
+    for round in 0..6u64 {
+        for inst in wal_stream() {
+            let shifted = mk(
+                "reading",
+                round * 40 + inst.seq().raw(),
+                round * 400 + inst.generation_time().ticks(),
+                inst.generation_location().x,
+                inst.generation_location().y,
+                50.0,
+            );
+            engine.ingest(shifted);
+        }
+    }
+    let report = engine.finish();
+    let snap = report.total_snap();
+    let wal = report.total_wal();
+    assert!(snap.snapshots_written >= 10);
+    assert!(
+        snap.segments_retired > 0,
+        "compaction must have retired segments"
+    );
+    // What's live on disk is a bounded suffix, not the whole history.
+    let live_segments = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .count() as u64;
+    assert_eq!(
+        live_segments + snap.segments_retired,
+        wal.segments_created,
+        "every created segment is either live or retired"
+    );
+    assert!(
+        live_segments < wal.segments_created / 2,
+        "live segments ({live_segments}) must be a small suffix of \
+         {} created",
+        wal.segments_created,
+    );
+    // Snapshot retention: at most 2 epochs per shard remain.
+    for shard in 0..2 {
+        assert!(stem_snap::list_snapshots(&dir, shard).unwrap().len() <= 2);
+    }
+    // The compacted directory still recovers (from the snapshots).
+    let survivor = Collector::new();
+    let mut recovery = Engine::recover(snap_config(&dir));
+    recovery.subscribe(hot_subscription(&survivor));
+    assert_eq!(recovery.stats().snapshots_loaded, 2);
+    let engine = recovery.resume();
+    let _ = engine.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A snapshot torn mid-write (the crash hits the checkpoint itself)
+/// fails its checksum and recovery degrades to the previous epoch on
+/// every shard — same consistent floor, same resumed deliveries.
+#[test]
+fn torn_newest_snapshot_falls_back_to_the_previous_epoch() {
+    let stream = wal_stream();
+    let dir = wal_dir("snap-torn");
+    let lost = Collector::new();
+    let mut engine = Engine::start(snap_config(&dir));
+    engine.subscribe(hot_subscription(&lost));
+    engine.ingest_all(stream.iter().take(30).cloned());
+    engine.flush();
+    drop(engine);
+
+    // Find the newest epoch and tear shard 0's file for it mid-write.
+    let newest = stem_snap::list_snapshots(&dir, 0).unwrap();
+    let (newest_epoch, newest_path) = newest.last().unwrap().clone();
+    let len = std::fs::metadata(&newest_path).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&newest_path)
+        .unwrap()
+        .set_len(len / 2)
+        .unwrap();
+
+    let survivor = Collector::new();
+    let mut recovery = Engine::recover(snap_config(&dir));
+    recovery.subscribe(hot_subscription(&survivor));
+    let stats = recovery.stats();
+    assert_eq!(stats.snapshots_rejected, 1, "the torn file was rejected");
+    assert_eq!(
+        stats.snapshot_epoch,
+        Some(newest_epoch - 1),
+        "the floor degraded to the previous epoch on every shard"
+    );
+    assert_eq!(stats.snapshots_loaded, 2);
+    let skipped = recovery.snapshot_delivered();
+    let mut engine = recovery.resume();
+    let resume = usize::try_from(engine.resume_from()).unwrap();
+    for inst in stream.iter().skip(resume) {
+        engine.ingest(inst.clone());
+    }
+    let _ = engine.finish();
+
+    // Reference: the same uninterrupted run.
+    let full_dir = wal_dir("snap-torn-full");
+    let reference = Collector::new();
+    let mut engine = Engine::start(snap_config(&full_dir));
+    engine.subscribe(hot_subscription(&reference));
+    engine.ingest_all(stream.iter().cloned());
+    let _ = engine.finish();
+    let expected = per_sub_sequences(reference.take());
+    let resumed = per_sub_sequences(survivor.take());
+    for (sub, full_sequence) in &expected {
+        let cut = usize::try_from(*skipped.get(sub).unwrap_or(&0)).unwrap();
+        let got = resumed.get(sub).cloned().unwrap_or_default();
+        assert_eq!(
+            got,
+            full_sequence[cut..],
+            "sub {sub} diverged after fallback"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&full_dir);
+}
+
+/// A manual checkpoint before a planned shutdown makes the next start
+/// recover with an empty tail: nothing to replay, nothing re-delivered.
+#[test]
+fn manual_checkpoint_makes_recovery_instant() {
+    let dir = wal_dir("snap-manual");
+    let stream = wal_stream();
+    // Policy Never: only the explicit calls checkpoint.
+    let config = wal_config(&dir).with_wal_segment_bytes(512);
+    let collector = Collector::new();
+    let mut engine = Engine::start(config.clone());
+    engine.subscribe(hot_subscription(&collector));
+    engine.ingest_all(stream.iter().cloned());
+    engine.checkpoint();
+    engine.checkpoint(); // two epochs: the floor needs no fallback
+    drop(engine);
+    let delivered_live = collector.take().len() as u64;
+
+    let survivor = Collector::new();
+    let mut recovery = Engine::recover(config);
+    recovery.subscribe(hot_subscription(&survivor));
+    let stats = recovery.stats();
+    assert_eq!(stats.snapshots_loaded, 2);
+    assert_eq!(
+        recovery.snapshot_delivered().values().sum::<u64>(),
+        delivered_live,
+        "the snapshot covers every live delivery"
+    );
+    let engine = recovery.resume();
+    assert_eq!(engine.resume_from(), stream.len() as u64);
+    let report = engine.finish();
+    assert_eq!(
+        report.total_wal().records_recovered,
+        0,
+        "an up-to-date snapshot leaves no tail to replay"
+    );
+    assert!(survivor.take().is_empty(), "nothing is re-delivered");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Damage beyond the single-crash fault model — history segments gone
+/// with no snapshot covering them — must refuse recovery loudly, never
+/// resume with silently-missing durable history.
+#[test]
+#[should_panic(expected = "the chain starts at")]
+fn recovery_refuses_a_compacted_log_without_a_covering_snapshot() {
+    let dir = wal_dir("snap-broken-chain");
+    let mut engine = Engine::start(wal_config(&dir).with_wal_segment_bytes(512));
+    engine.subscribe(hot_subscription(&Collector::new()));
+    engine.ingest_all(wal_stream());
+    let _ = engine.finish();
+    // Delete shard 0's first segment by hand (no snapshot covers it).
+    std::fs::remove_file(dir.join("wal-000-000000.log")).unwrap();
+    let _ = Engine::recover(wal_config(&dir).with_wal_segment_bytes(512));
+}
+
+/// A checkpoint cut during the post-recovery re-feed overlap window
+/// must not understate a shard's coverage: a shard whose own tail
+/// replay reached past the barrier (its durable max exceeds the least
+/// durable shard's) folds those operations into the snapshot state, so
+/// a *second* recovery from that epoch must still dedup them instead
+/// of evaluating them twice.
+#[test]
+fn checkpoint_during_resume_overlap_claims_full_coverage() {
+    let stream = wal_stream();
+    // Reference: deliveries of an uninterrupted run (checkpoints do
+    // not change detection, so the config needs no policy).
+    let dir_ref = wal_dir("overlap-ref");
+    let reference = Collector::new();
+    let mut engine = Engine::start(wal_config(&dir_ref));
+    engine.subscribe(hot_subscription(&reference));
+    engine.ingest_all(stream.iter().cloned());
+    let _ = engine.finish();
+    let expected = per_sub_sequences(reference.take());
+
+    // Crash 1 at op 30; tear shard 0's log tail so the shards'
+    // durability diverges and recovery leaves a wide re-feed overlap
+    // on shard 1.
+    let dir = wal_dir("overlap");
+    let lost = Collector::new();
+    let mut engine = Engine::start(wal_config(&dir));
+    engine.subscribe(hot_subscription(&lost));
+    engine.ingest_all(stream.iter().take(30).cloned());
+    engine.flush();
+    drop(engine);
+    let mut shard0: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-000-"))
+        })
+        .collect();
+    shard0.sort();
+    let victim = shard0.last().unwrap();
+    let len = std::fs::metadata(victim).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(victim)
+        .unwrap()
+        .set_len(len / 2)
+        .unwrap();
+
+    // Recovery 1: resume, re-feed only part of the overlap, then cut
+    // manual checkpoints mid-overlap (the second gives the floor its
+    // fallback epoch) and crash again.
+    let survivor1 = Collector::new();
+    let mut recovery = Engine::recover(wal_config(&dir));
+    recovery.subscribe(hot_subscription(&survivor1));
+    let mut engine = recovery.resume();
+    let resume1 = usize::try_from(engine.resume_from()).unwrap();
+    assert!(resume1 < 30, "the torn shard pulls the resume point back");
+    let partial = resume1 + (30 - resume1) / 2;
+    for inst in stream.iter().take(partial).skip(resume1) {
+        engine.ingest(inst.clone());
+    }
+    engine.checkpoint();
+    engine.checkpoint();
+    drop(engine); // crash 2
+
+    // Recovery 2 restores from the mid-overlap epoch; the continuation
+    // must line up exactly — a coverage-understating snapshot would
+    // re-evaluate shard 1's overlap and deliver duplicates here.
+    let survivor2 = Collector::new();
+    let mut recovery = Engine::recover(wal_config(&dir));
+    recovery.subscribe(hot_subscription(&survivor2));
+    assert!(recovery.stats().snapshot_epoch.is_some());
+    let skipped = recovery.snapshot_delivered();
+    let mut engine = recovery.resume();
+    let resume2 = usize::try_from(engine.resume_from()).unwrap();
+    for inst in stream.iter().skip(resume2) {
+        engine.ingest(inst.clone());
+    }
+    let report = engine.finish();
+    // The sharp edge: an understated snapshot would re-push shard 1's
+    // already-folded overlap into the restored reorder buffer, where
+    // the watermark silently late-drops it (or worse, re-delivers ties
+    // at the watermark). Proper coverage dedups the overlap instead —
+    // an in-order stream must see zero late drops.
+    assert_eq!(
+        report.total_late_dropped(),
+        0,
+        "re-fed overlap must be deduplicated, not re-pushed behind the watermark"
+    );
+    let resumed = per_sub_sequences(survivor2.take());
+    for (sub, full_sequence) in &expected {
+        let cut = usize::try_from(*skipped.get(sub).unwrap_or(&0)).unwrap();
+        let got = resumed.get(sub).cloned().unwrap_or_default();
+        assert_eq!(
+            got,
+            full_sequence[cut..],
+            "sub {sub}: a second recovery through a mid-overlap checkpoint \
+             must not duplicate or drop deliveries"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,584 @@
+//! # stem-snap — consistent checkpoints for bounded-time recovery
+//!
+//! The write-ahead log (`stem-wal`) makes every ingested operation
+//! durable, but recovery by full-log replay grows without bound on a
+//! long-running stream: rebuilding detector state takes time (and
+//! disk) proportional to the whole history. This crate is the other
+//! half of the durability story — periodic *snapshots* of each shard's
+//! full evaluation state, cut at a consistent stream-clock epoch, so
+//! recovery loads the newest valid snapshot and replays only the WAL
+//! tail past its watermark, and compaction can retire log segments the
+//! snapshots already cover. Together they turn the WAL from
+//! "replayable history" into "bounded-time crash recovery + bounded
+//! disk".
+//!
+//! ## On disk
+//!
+//! A snapshot directory (shared with the WAL) holds one file per shard
+//! per checkpoint epoch:
+//!
+//! ```text
+//! <dir>/snap-<shard>-<epoch>.snap
+//! ```
+//!
+//! ```text
+//! ┌───────────────┬───────────┬─────────────┬───────────────┐
+//! │ magic 8 bytes │ crc32 u32 │ len u32     │ body (len B)  │
+//! └───────────────┴───────────┴─────────────┴───────────────┘
+//! ```
+//!
+//! The CRC covers the body. Files are written to a `.tmp` sibling,
+//! fsynced, and renamed into place (then the directory is fsynced), so
+//! a snapshot either exists completely or not at all under a crash;
+//! a file torn by power loss fails its checksum and is skipped at
+//! load, falling back to the previous epoch (or full-log replay).
+//!
+//! The body is versioned (`SNAPSHOT_VERSION`) and encoded with the
+//! stable [`stem_core::codec`]: a header the engine interprets — the
+//! epoch, the covered ingest-sequence prefix, the stream-clock
+//! high-water mark, the active WAL segment (the compaction bound), and
+//! per-subscription delivered counts — plus an opaque state section
+//! the shard worker serializes through the
+//! [`StateCodec`](stem_core::codec::StateCodec) seam.
+//!
+//! ## Retention and compaction
+//!
+//! [`prune_snapshots`] keeps the newest `retain` epochs per shard
+//! (at least two) and returns the compaction bound: the *oldest
+//! retained* snapshot's active segment. Retiring WAL segments below
+//! that bound preserves the fallback chain — if the newest snapshot is
+//! torn, the previous one plus the log tail behind it still
+//! reconstructs the shard bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use stem_core::codec::{
+    decode_opt_time_point, encode_opt_time_point, get_u16, get_u32, get_u64, put_u16, put_u32,
+    put_u64, CodecError,
+};
+use stem_temporal::TimePoint;
+
+/// Magic bytes opening every snapshot file (name + container version).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"STEMSNP1";
+
+/// Version of the snapshot body layout. Growing the format means a new
+/// version (readers reject unknown ones), never reinterpreting bytes.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Everything that can go wrong writing or reading a snapshot.
+#[derive(Debug)]
+pub enum SnapError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file is too short or does not start with [`SNAPSHOT_MAGIC`]
+    /// — a torn write or not a snapshot at all.
+    BadMagic {
+        /// The offending file.
+        path: PathBuf,
+    },
+    /// The body failed its checksum (torn or corrupt).
+    BadChecksum {
+        /// The offending file.
+        path: PathBuf,
+    },
+    /// The body was written by an unknown format version.
+    BadVersion(u16),
+    /// An intact (checksummed) body failed to decode.
+    BadBody(CodecError),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapError::BadMagic { path } => {
+                write!(f, "not a stem-snap snapshot: {}", path.display())
+            }
+            SnapError::BadChecksum { path } => {
+                write!(f, "snapshot failed its checksum: {}", path.display())
+            }
+            SnapError::BadVersion(v) => write!(f, "unknown snapshot version {v}"),
+            SnapError::BadBody(e) => write!(f, "snapshot body failed to decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl From<io::Error> for SnapError {
+    fn from(e: io::Error) -> Self {
+        SnapError::Io(e)
+    }
+}
+
+impl From<CodecError> for SnapError {
+    fn from(e: CodecError) -> Self {
+        SnapError::BadBody(e)
+    }
+}
+
+/// One shard's full evaluation state at a consistent checkpoint epoch.
+///
+/// The header fields are what the engine's recovery planner interprets;
+/// `state` is opaque here — the shard worker serializes its reorder
+/// buffer and per-subscription detector state into it over the
+/// [`StateCodec`](stem_core::codec::StateCodec) seam and restores from
+/// it after re-registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// The shard this snapshot belongs to.
+    pub shard: usize,
+    /// The checkpoint epoch (monotone per engine run sequence; higher
+    /// epochs are newer).
+    pub epoch: u64,
+    /// The engine's next global ingest sequence at the barrier: every
+    /// operation with `seq < next_seq` that was routed to this shard is
+    /// folded into `state`. Recovery replays only WAL records at or
+    /// past it.
+    pub next_seq: u64,
+    /// The router's global stream-clock high-water mark at the barrier
+    /// (seeds the recovered router so re-fed operations get their
+    /// original prefix stamps).
+    pub high_water: Option<TimePoint>,
+    /// The WAL segment open on this shard when the snapshot was cut:
+    /// segments strictly below are wholly covered by `state` — the
+    /// compaction bound.
+    pub active_segment: u64,
+    /// Per-subscription notification counts folded into the snapshot
+    /// (`(raw subscription id, delivered)`): what a resumed run will
+    /// *not* re-deliver, surfaced so drivers and tests can line the
+    /// resumed delivery stream up against an uninterrupted run.
+    pub subs_delivered: Vec<(u64, u64)>,
+    /// The opaque shard evaluation state section.
+    pub state: Vec<u8>,
+}
+
+impl ShardSnapshot {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.state.len() + 64);
+        put_u16(&mut buf, SNAPSHOT_VERSION);
+        put_u64(&mut buf, self.shard as u64);
+        put_u64(&mut buf, self.epoch);
+        put_u64(&mut buf, self.next_seq);
+        encode_opt_time_point(self.high_water, &mut buf);
+        put_u64(&mut buf, self.active_segment);
+        put_u32(
+            &mut buf,
+            u32::try_from(self.subs_delivered.len()).unwrap_or(u32::MAX),
+        );
+        for (id, delivered) in &self.subs_delivered {
+            put_u64(&mut buf, *id);
+            put_u64(&mut buf, *delivered);
+        }
+        put_u32(
+            &mut buf,
+            u32::try_from(self.state.len()).unwrap_or(u32::MAX),
+        );
+        buf.extend_from_slice(&self.state);
+        buf
+    }
+
+    fn decode_body(mut bytes: &[u8]) -> Result<ShardSnapshot, SnapError> {
+        let bytes = &mut bytes;
+        let version = get_u16(bytes)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapError::BadVersion(version));
+        }
+        let shard = get_u64(bytes)? as usize;
+        let epoch = get_u64(bytes)?;
+        let next_seq = get_u64(bytes)?;
+        let high_water = decode_opt_time_point(bytes)?;
+        let active_segment = get_u64(bytes)?;
+        let n_subs = get_u32(bytes)? as usize;
+        let mut subs_delivered = Vec::with_capacity(n_subs.min(4096));
+        for _ in 0..n_subs {
+            let id = get_u64(bytes)?;
+            let delivered = get_u64(bytes)?;
+            subs_delivered.push((id, delivered));
+        }
+        let state_len = get_u32(bytes)? as usize;
+        if bytes.len() != state_len {
+            return Err(SnapError::BadBody(CodecError::Truncated));
+        }
+        Ok(ShardSnapshot {
+            shard,
+            epoch,
+            next_seq,
+            high_water,
+            active_segment,
+            subs_delivered,
+            state: bytes.to_vec(),
+        })
+    }
+}
+
+/// Formats the snapshot file name for `(shard, epoch)`.
+#[must_use]
+pub fn snapshot_file_name(shard: usize, epoch: u64) -> String {
+    format!("snap-{shard:03}-{epoch:06}.snap")
+}
+
+/// Parses `(shard, epoch)` back out of a snapshot file name.
+#[must_use]
+pub fn parse_snapshot_file_name(name: &str) -> Option<(usize, u64)> {
+    let rest = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    let (shard, epoch) = rest.split_once('-')?;
+    Some((shard.parse().ok()?, epoch.parse().ok()?))
+}
+
+use stem_core::codec::crc32;
+
+/// Writes `snapshot` atomically under `dir` (creating the directory):
+/// encode, write to a `.tmp` sibling, fsync, rename into place, fsync
+/// the directory. Returns the file size in bytes.
+///
+/// # Errors
+///
+/// Returns [`SnapError::Io`] on any filesystem failure; the engine
+/// treats that as fatal for the shard (a checkpoint was requested and
+/// cannot be provided).
+pub fn write_snapshot(dir: &Path, snapshot: &ShardSnapshot) -> Result<u64, SnapError> {
+    std::fs::create_dir_all(dir)?;
+    let body = snapshot.encode_body();
+    let mut file_bytes = Vec::with_capacity(body.len() + 16);
+    file_bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    file_bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+    file_bytes.extend_from_slice(
+        &u32::try_from(body.len())
+            .expect("snapshot < 4 GiB")
+            .to_le_bytes(),
+    );
+    file_bytes.extend_from_slice(&body);
+
+    let final_path = dir.join(snapshot_file_name(snapshot.shard, snapshot.epoch));
+    let tmp_path = final_path.with_extension("snap.tmp");
+    {
+        let mut tmp = std::fs::File::create(&tmp_path)?;
+        tmp.write_all(&file_bytes)?;
+        tmp.sync_data()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    // Make the rename itself durable: fsync the directory.
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(file_bytes.len() as u64)
+}
+
+/// Reads and validates one snapshot file.
+///
+/// # Errors
+///
+/// Returns [`SnapError::BadMagic`] / [`SnapError::BadChecksum`] for
+/// torn or corrupt files (recovery falls back on those),
+/// [`SnapError::BadVersion`] / [`SnapError::BadBody`] for format
+/// mismatches, and [`SnapError::Io`] on filesystem failures.
+pub fn read_snapshot(path: &Path) -> Result<ShardSnapshot, SnapError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 16 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapError::BadMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4"));
+    let len = u32::from_le_bytes(bytes[12..16].try_into().expect("4")) as usize;
+    let body = &bytes[16..];
+    if body.len() != len || crc32(body) != crc {
+        return Err(SnapError::BadChecksum {
+            path: path.to_path_buf(),
+        });
+    }
+    ShardSnapshot::decode_body(body)
+}
+
+/// Lists `(epoch, path)` for every snapshot file of `shard` under
+/// `dir`, ascending by epoch. An absent directory is an empty list.
+///
+/// # Errors
+///
+/// Returns [`SnapError::Io`] if the directory exists but cannot be
+/// read.
+pub fn list_snapshots(dir: &Path, shard: usize) -> Result<Vec<(u64, PathBuf)>, SnapError> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if let Some((s, epoch)) = entry
+            .file_name()
+            .to_str()
+            .and_then(parse_snapshot_file_name)
+        {
+            if s == shard {
+                out.push((epoch, entry.path()));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|(epoch, _)| *epoch);
+    Ok(out)
+}
+
+/// The largest epoch any shard has a snapshot file for under `dir`
+/// (valid or not — a recovered engine continues numbering past torn
+/// files rather than reusing their names). `None` for no snapshots.
+///
+/// # Errors
+///
+/// Returns [`SnapError::Io`] if the directory exists but cannot be
+/// read.
+pub fn max_epoch(dir: &Path) -> Result<Option<u64>, SnapError> {
+    let mut max = None;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if let Some((_, epoch)) = entry
+            .file_name()
+            .to_str()
+            .and_then(parse_snapshot_file_name)
+        {
+            max = Some(max.map_or(epoch, |m: u64| m.max(epoch)));
+        }
+    }
+    Ok(max)
+}
+
+/// What [`load_latest`] found for one shard.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// The newest snapshot that validated, if any.
+    pub snapshot: Option<ShardSnapshot>,
+    /// Snapshot files skipped because they were torn, corrupt, or
+    /// unreadable (newest-first fallback: each rejection degrades to
+    /// the previous epoch, ultimately to full-log replay).
+    pub rejected: u64,
+}
+
+/// Loads the newest valid snapshot for `shard`, trying epochs from
+/// newest to oldest and skipping torn/corrupt files. A shard with no
+/// valid snapshot recovers by full-log replay.
+///
+/// # Errors
+///
+/// Returns [`SnapError::Io`] only for directory-level failures;
+/// per-file problems are counted as rejections, not errors.
+pub fn load_latest(dir: &Path, shard: usize) -> Result<LoadedSnapshot, SnapError> {
+    let mut rejected = 0;
+    for (_, path) in list_snapshots(dir, shard)?.into_iter().rev() {
+        match read_snapshot(&path) {
+            Ok(snapshot) => {
+                return Ok(LoadedSnapshot {
+                    snapshot: Some(snapshot),
+                    rejected,
+                })
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+    Ok(LoadedSnapshot {
+        snapshot: None,
+        rejected,
+    })
+}
+
+/// Deletes all but the newest `retain` snapshot files for `shard`
+/// (minimum two — see below) plus any orphaned `.tmp` files, and
+/// returns the WAL compaction bound: the *oldest retained* snapshot's
+/// `active_segment`, provided every retained file validates. `None`
+/// means "do not compact this round" (fewer than `retain` snapshots on
+/// disk, or a retained file failed validation — compaction waits
+/// rather than risking the fallback chain).
+///
+/// `retain >= 2` is the compaction invariant: a segment is retired
+/// only once *two* durable snapshots cover it, so a newest snapshot
+/// torn by the next crash still leaves the previous snapshot plus an
+/// intact log tail behind it.
+///
+/// # Errors
+///
+/// Returns [`SnapError::Io`] if the directory cannot be scanned or a
+/// file cannot be removed.
+///
+/// # Panics
+///
+/// Panics if `retain < 2`.
+pub fn prune_snapshots(dir: &Path, shard: usize, retain: usize) -> Result<Option<u64>, SnapError> {
+    assert!(
+        retain >= 2,
+        "compaction safety requires retaining >= 2 snapshots"
+    );
+    // Clean orphaned tmp files (a crash mid-write leaves one behind).
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with(&format!("snap-{shard:03}-")) && name.ends_with(".snap.tmp") {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+    }
+    let chain = list_snapshots(dir, shard)?;
+    if chain.len() < retain {
+        return Ok(None);
+    }
+    let (old, retained) = chain.split_at(chain.len() - retain);
+    for (_, path) in old {
+        std::fs::remove_file(path)?;
+    }
+    let mut bound = u64::MAX;
+    for (_, path) in retained {
+        match read_snapshot(path) {
+            Ok(snapshot) => bound = bound.min(snapshot.active_segment),
+            // A retained file that does not validate poisons the
+            // bound: compaction waits until the chain is healthy.
+            Err(_) => return Ok(None),
+        }
+    }
+    Ok(Some(bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stem-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn mk(shard: usize, epoch: u64) -> ShardSnapshot {
+        ShardSnapshot {
+            shard,
+            epoch,
+            next_seq: 40 + epoch,
+            high_water: Some(TimePoint::new(1000 + epoch)),
+            active_segment: epoch * 2,
+            subs_delivered: vec![(0, 7 + epoch), (1, 2)],
+            state: (0..50u8).map(|b| b.wrapping_mul(epoch as u8 + 1)).collect(),
+        }
+    }
+
+    #[test]
+    fn file_names_round_trip() {
+        let name = snapshot_file_name(4, 17);
+        assert_eq!(parse_snapshot_file_name(&name), Some((4, 17)));
+        assert_eq!(parse_snapshot_file_name("wal-000-000001.log"), None);
+        assert_eq!(parse_snapshot_file_name("snap-x-1.snap"), None);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let snap = mk(2, 5);
+        let bytes = write_snapshot(&dir, &snap).unwrap();
+        assert!(bytes > 0);
+        let path = dir.join(snapshot_file_name(2, 5));
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back, snap);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_corrupt_files_are_rejected_not_decoded() {
+        let dir = temp_dir("torn");
+        let snap = mk(0, 1);
+        write_snapshot(&dir, &snap).unwrap();
+        let path = dir.join(snapshot_file_name(0, 1));
+        let full = std::fs::read(&path).unwrap();
+        // Every strict prefix fails (torn write).
+        for cut in [0, 4, 15, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(read_snapshot(&path).is_err(), "cut at {cut} must fail");
+        }
+        // A flipped body byte fails the checksum.
+        let mut corrupt = full.clone();
+        *corrupt.last_mut().unwrap() ^= 0x01;
+        std::fs::write(&path, &corrupt).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(SnapError::BadChecksum { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_latest_falls_back_past_torn_epochs() {
+        let dir = temp_dir("fallback");
+        write_snapshot(&dir, &mk(0, 1)).unwrap();
+        write_snapshot(&dir, &mk(0, 2)).unwrap();
+        write_snapshot(&dir, &mk(0, 3)).unwrap();
+        // Tear the newest.
+        let newest = dir.join(snapshot_file_name(0, 3));
+        let len = std::fs::metadata(&newest).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&newest)
+            .unwrap()
+            .set_len(len - 9)
+            .unwrap();
+        let loaded = load_latest(&dir, 0).unwrap();
+        assert_eq!(loaded.rejected, 1);
+        assert_eq!(loaded.snapshot.unwrap().epoch, 2, "fell back one epoch");
+        // All torn: full-replay fallback.
+        for epoch in [1, 2] {
+            let path = dir.join(snapshot_file_name(0, epoch));
+            std::fs::write(&path, b"garbage").unwrap();
+        }
+        let loaded = load_latest(&dir, 0).unwrap();
+        assert!(loaded.snapshot.is_none());
+        assert_eq!(loaded.rejected, 3);
+        // A missing directory is an empty (not failed) load.
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_latest(&dir, 0).unwrap().snapshot.is_none());
+    }
+
+    #[test]
+    fn prune_retains_newest_and_returns_oldest_retained_bound() {
+        let dir = temp_dir("prune");
+        for epoch in 1..=4 {
+            write_snapshot(&dir, &mk(0, epoch)).unwrap();
+        }
+        // A different shard's files must be untouched.
+        write_snapshot(&dir, &mk(1, 1)).unwrap();
+        // An orphaned tmp file from a crashed write is cleaned up.
+        std::fs::write(dir.join("snap-000-000099.snap.tmp"), b"partial").unwrap();
+
+        let bound = prune_snapshots(&dir, 0, 2).unwrap();
+        // Epochs 3 and 4 retained; oldest retained (3) has segment 6.
+        assert_eq!(bound, Some(6));
+        let left = list_snapshots(&dir, 0).unwrap();
+        assert_eq!(left.iter().map(|(e, _)| *e).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(list_snapshots(&dir, 1).unwrap().len(), 1);
+        assert!(!dir.join("snap-000-000099.snap.tmp").exists());
+        assert_eq!(max_epoch(&dir).unwrap(), Some(4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_withholds_the_bound_until_the_chain_is_healthy() {
+        let dir = temp_dir("withhold");
+        // Only one snapshot: under the 2-snapshot invariant, no bound.
+        write_snapshot(&dir, &mk(0, 1)).unwrap();
+        assert_eq!(prune_snapshots(&dir, 0, 2).unwrap(), None);
+        // Two snapshots but the older is corrupt: no bound either.
+        write_snapshot(&dir, &mk(0, 2)).unwrap();
+        std::fs::write(dir.join(snapshot_file_name(0, 1)), b"garbage").unwrap();
+        assert_eq!(prune_snapshots(&dir, 0, 2).unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "retaining >= 2")]
+    fn prune_rejects_unsafe_retention() {
+        let _ = prune_snapshots(Path::new("/tmp/nowhere"), 0, 1);
+    }
+}

@@ -47,22 +47,7 @@ impl From<stem_core::codec::CodecError> for WalError {
     }
 }
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`.
-///
-/// Table-free bitwise form: the WAL checksums records far from any hot
-/// path (appends are I/O bound), so clarity wins over a lookup table.
-#[must_use]
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = u32::MAX;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+pub use stem_core::codec::crc32;
 
 /// Wraps a payload in the on-disk frame: `[len u32][crc u32][payload]`.
 #[must_use]

@@ -65,7 +65,7 @@ mod replay;
 mod writer;
 
 pub use frame::{crc32, WalError, SEGMENT_MAGIC};
-pub use reader::{read_shard, wal_shards, RecoveredShard};
+pub use reader::{read_shard, read_shard_tail, wal_shards, RecoveredShard};
 pub use record::WalRecord;
 pub use replay::Replay;
-pub use writer::{FsyncPolicy, ShardWal, WalWriterMetrics};
+pub use writer::{retire_segments_below, FsyncPolicy, ShardWal, WalWriterMetrics};

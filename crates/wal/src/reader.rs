@@ -20,6 +20,11 @@ pub struct RecoveredShard {
     /// The largest global ingest sequence among the recovered records —
     /// everything at or before it that was routed here is durable.
     pub durable_seq: Option<u64>,
+    /// The smallest segment index visited (`None` for an empty window).
+    /// Recovery planners use it to detect a broken fallback chain: a
+    /// window whose first segment sits *above* the requested bound
+    /// means segments compaction retired are being asked for again.
+    pub first_segment: Option<u64>,
 }
 
 /// Lists the shards that have at least one segment under `dir`, in
@@ -83,13 +88,32 @@ fn segment_chain(dir: &Path, shard: usize) -> Result<Vec<(u64, PathBuf)>, WalErr
 /// if an intact (checksummed) frame fails to decode — that is format
 /// corruption, not a torn tail, and is never silently dropped.
 pub fn read_shard(dir: &Path, shard: usize, repair: bool) -> Result<RecoveredShard, WalError> {
-    let chain = segment_chain(dir, shard)?;
+    read_shard_tail(dir, shard, repair, 0)
+}
+
+/// Like [`read_shard`], but skips segments below `from_segment` without
+/// opening them — the bounded-time recovery path: a checkpoint snapshot
+/// already covers everything in those segments (whether or not
+/// compaction has retired them yet), so recovery reads only the tail.
+///
+/// # Errors
+///
+/// See [`read_shard`].
+pub fn read_shard_tail(
+    dir: &Path,
+    shard: usize,
+    repair: bool,
+    from_segment: u64,
+) -> Result<RecoveredShard, WalError> {
+    let mut chain = segment_chain(dir, shard)?;
+    chain.retain(|(seg, _)| *seg >= from_segment);
     let mut out = RecoveredShard {
         shard,
         records: Vec::new(),
         segments: 0,
         torn_truncations: 0,
         durable_seq: None,
+        first_segment: chain.first().map(|(seg, _)| *seg),
     };
     let mut torn_at: Option<usize> = None;
     for (index, (_, path)) in chain.iter().enumerate() {
@@ -280,6 +304,31 @@ mod tests {
         let again = read_shard(&dir, 0, false).unwrap();
         assert_eq!(again.torn_truncations, 0);
         assert_eq!(again.records.len(), recovered.records.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tail_reads_skip_segments_below_the_bound() {
+        let dir = temp_dir("tail");
+        let mut wal = ShardWal::open(&dir, 0, 256, FsyncPolicy::Never).unwrap();
+        for seq in 0..30 {
+            wal.append(&mk(seq)).unwrap();
+        }
+        let active = wal.active_segment();
+        drop(wal);
+        assert!(active >= 2);
+        let full = read_shard(&dir, 0, false).unwrap();
+        let tail = read_shard_tail(&dir, 0, false, active).unwrap();
+        assert_eq!(tail.segments, 1, "only the active segment is opened");
+        assert!(tail.records.len() < full.records.len());
+        assert_eq!(tail.durable_seq, full.durable_seq);
+        // The tail is a suffix of the full chain.
+        let suffix = &full.records[full.records.len() - tail.records.len()..];
+        assert_eq!(tail.records, suffix);
+        // A bound past every segment is an empty (not torn) read.
+        let none = read_shard_tail(&dir, 0, false, active + 10).unwrap();
+        assert_eq!(none.segments, 0);
+        assert_eq!(none.torn_truncations, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

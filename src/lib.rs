@@ -44,6 +44,7 @@ pub use stem_cps as cps;
 pub use stem_des as des;
 pub use stem_engine as engine;
 pub use stem_physical as physical;
+pub use stem_snap as snap;
 pub use stem_spatial as spatial;
 pub use stem_temporal as temporal;
 pub use stem_wal as wal;

@@ -347,3 +347,288 @@ fn pinned_crash_recovery_round_trip() {
     let _ = std::fs::remove_dir_all(&full_dir);
     let _ = std::fs::remove_dir_all(&crash_dir);
 }
+
+// ---------------------------------------------------------------------
+// Checkpoint snapshots (stem-snap): the same kill-at-a-random-byte
+// discipline, now aimed at the checkpoint machinery — torn snapshot
+// writes, crashes mid-compaction — proving recovery degrades to the
+// previous snapshot (or full replay) bit-identically.
+// ---------------------------------------------------------------------
+
+fn snap_config(dir: &std::path::Path, shards: usize, slack: u64, every: u64) -> EngineConfig {
+    config(dir, shards, slack).with_checkpoint(stem::engine::CheckpointPolicy::EveryNBatches(every))
+}
+
+/// Per-subscription delivery sequences, in delivery order: the snapshot
+/// cut is a per-subscription *prefix*, so resumed runs are compared as
+/// continuations, not as whole multisets.
+fn per_sub(notes: Vec<Notification>) -> std::collections::BTreeMap<u64, Vec<String>> {
+    let mut out: std::collections::BTreeMap<u64, Vec<String>> = std::collections::BTreeMap::new();
+    for n in notes {
+        out.entry(n.subscription.raw())
+            .or_default()
+            .push(format!("{:?}", n.kind));
+    }
+    out
+}
+
+/// Checks that the resumed run's deliveries continue the reference
+/// run's exactly, after the per-subscription prefix the snapshot floor
+/// already covered.
+fn assert_continues(
+    expected: &std::collections::BTreeMap<u64, Vec<String>>,
+    resumed: std::collections::BTreeMap<u64, Vec<String>>,
+    skipped: &std::collections::BTreeMap<u64, u64>,
+    context: &str,
+) {
+    for (sub, full_sequence) in expected {
+        let cut = usize::try_from(*skipped.get(sub).unwrap_or(&0)).unwrap();
+        assert!(
+            cut <= full_sequence.len(),
+            "{context}: sub {sub} snapshot covers {cut} > {} deliveries",
+            full_sequence.len()
+        );
+        let got = resumed.get(sub).cloned().unwrap_or_default();
+        assert_eq!(
+            got,
+            full_sequence[cut..],
+            "{context}: sub {sub} diverged after its {cut}-delivery snapshot prefix"
+        );
+    }
+}
+
+/// Per-shard compaction bounds exactly as the crashed worker's own
+/// `prune_snapshots` computed them: the oldest retained snapshot's
+/// active segment, and only once the shard retains at least two
+/// snapshots (the compaction invariant). Must be computed on the
+/// pre-damage directory — the worker compacted while its files were
+/// intact; the crash tears files *afterwards*.
+fn compaction_bounds(dir: &std::path::Path, shards: usize) -> Vec<Option<u64>> {
+    (0..shards)
+        .map(|shard| {
+            let chain = stem::snap::list_snapshots(dir, shard).unwrap();
+            if chain.len() < 2 {
+                return None;
+            }
+            Some(
+                stem::snap::read_snapshot(&chain[0].1)
+                    .expect("pre-damage snapshots are intact")
+                    .active_segment,
+            )
+        })
+        .collect()
+}
+
+/// Simulates a crash mid-compaction: deletes a pseudo-random subset of
+/// the WAL segments each shard's own compaction would retire (those
+/// wholly behind its oldest retained snapshot). Recovery never opens
+/// segments behind the checkpoint floor, so any subset of them may be
+/// gone.
+fn delete_retireable_segments(dir: &std::path::Path, bounds: &[Option<u64>], selector: u64) {
+    for (shard, bound) in bounds.iter().enumerate() {
+        let Some(bound) = *bound else { continue };
+        let mut victims = Vec::new();
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(rest) = name
+                .strip_prefix("wal-")
+                .and_then(|r| r.strip_suffix(".log"))
+            else {
+                continue;
+            };
+            let Some((s, seg)) = rest.split_once('-') else {
+                continue;
+            };
+            let (s, seg): (usize, u64) = (s.parse().unwrap(), seg.parse().unwrap());
+            if s == shard && seg < bound {
+                victims.push((seg, path));
+            }
+        }
+        for (seg, path) in victims {
+            if (selector >> (seg % 17)) & 1 == 1 {
+                std::fs::remove_file(path).unwrap();
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Crash a checkpointed run, tear a random file at a random byte
+    /// offset — WAL segments *and* snapshot files are both in the
+    /// victim pool, so the "killed during snapshot write" case falls
+    /// out of the randomness — and additionally delete a random subset
+    /// of compaction-retireable segments (a crash mid-compaction).
+    /// Recovery picks a consistent snapshot floor (degrading past torn
+    /// epochs, ultimately to full replay) and the resumed deliveries
+    /// continue the uninterrupted run bit-for-bit.
+    #[test]
+    fn killed_checkpointed_run_recovers_and_continues_bit_for_bit(
+        seed in 0u64..500,
+        shards in 1usize..4,
+        slack in 0u64..25,
+        crash_at in 30usize..110,
+        tear in 1u64..400,
+        every in 3u64..12,
+    ) {
+        let case = seed
+            .wrapping_mul(31)
+            .wrapping_add(shards as u64)
+            .wrapping_mul(31)
+            .wrapping_add(slack)
+            .wrapping_mul(31)
+            .wrapping_add(crash_at as u64)
+            .wrapping_mul(31)
+            .wrapping_add(every);
+        let ops = op_stream(seed);
+
+        // Uninterrupted reference run (same checkpoint cadence).
+        let full_dir = temp_dir("snap-full", case);
+        let reference = Collector::new();
+        let mut engine = Engine::start(snap_config(&full_dir, shards, slack, every));
+        let sustained = register_live(&mut engine, &reference);
+        feed(&mut engine, sustained, &ops);
+        let full_report = engine.finish_at(horizon());
+        prop_assert!(
+            full_report.total_snap().snapshots_written > 0,
+            "the cadence must cut checkpoints"
+        );
+        let expected = per_sub(reference.take());
+
+        // Crash leg.
+        let crash_dir = temp_dir("snap-crash", case);
+        let lost = Collector::new();
+        let mut engine = Engine::start(snap_config(&crash_dir, shards, slack, every));
+        let sustained = register_live(&mut engine, &lost);
+        feed(&mut engine, sustained, &ops[..crash_at]);
+        engine.flush();
+        drop(engine); // the crash
+
+        // The worker's own compaction bounds, while everything is intact.
+        let bounds = compaction_bounds(&crash_dir, shards);
+        // Tear a random file: a WAL segment's torn tail, or a snapshot
+        // killed at a random byte offset mid-write.
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&crash_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        let victim = &files[(seed as usize) % files.len()];
+        let len = std::fs::metadata(victim).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(victim)
+            .unwrap()
+            .set_len(len.saturating_sub(tear))
+            .unwrap();
+        // And lose a random subset of retireable segments (mid-compaction).
+        delete_retireable_segments(&crash_dir, &bounds, case);
+
+        // Recover, re-register in order, resume, re-feed the tail.
+        let survivor = Collector::new();
+        let mut recovery = Engine::recover(snap_config(&crash_dir, shards, slack, every));
+        let mut subscribe = |sub: Subscription| {
+            recovery.subscribe(Subscription {
+                sink: survivor.sink(),
+                ..sub
+            })
+        };
+        let sustained = register(&mut subscribe);
+        let skipped = recovery.snapshot_delivered();
+        let mut engine = recovery.resume();
+        let resume = usize::try_from(engine.resume_from()).unwrap();
+        prop_assert!(resume <= crash_at, "resume point lies in the fed prefix");
+        feed(&mut engine, sustained, &ops[resume..]);
+        let _ = engine.finish_at(horizon());
+        assert_continues(
+            &expected,
+            per_sub(survivor.take()),
+            &skipped,
+            &format!(
+                "seed {seed}, {shards} shards, slack {slack}, crash at {crash_at}, \
+                 tear {tear}, every {every}"
+            ),
+        );
+
+        let _ = std::fs::remove_dir_all(&full_dir);
+        let _ = std::fs::remove_dir_all(&crash_dir);
+    }
+}
+
+/// A pinned worst case the proptest's one-torn-file-per-case never
+/// draws: the crash lands mid-checkpoint and tears the *newest*
+/// snapshot of every shard at once, plus a mid-compaction loss of
+/// retireable segments. The floor degrades to the previous epoch on
+/// every shard and the continuation is still exact.
+#[test]
+fn pinned_all_shards_torn_snapshot_falls_back_one_epoch() {
+    let ops = op_stream(77);
+    let full_dir = temp_dir("snap-pinned-full", 0);
+    let reference = Collector::new();
+    let mut engine = Engine::start(snap_config(&full_dir, 3, 10, 4));
+    let sustained = register_live(&mut engine, &reference);
+    feed(&mut engine, sustained, &ops);
+    let _ = engine.finish_at(horizon());
+    let expected = per_sub(reference.take());
+
+    let crash_dir = temp_dir("snap-pinned-crash", 0);
+    let lost = Collector::new();
+    let mut engine = Engine::start(snap_config(&crash_dir, 3, 10, 4));
+    let sustained = register_live(&mut engine, &lost);
+    feed(&mut engine, sustained, &ops[..90]);
+    engine.flush();
+    drop(engine);
+
+    let bounds = compaction_bounds(&crash_dir, 3);
+    // Tear every shard's newest snapshot mid-write.
+    let mut newest_epoch = 0;
+    for shard in 0..3 {
+        let chain = stem::snap::list_snapshots(&crash_dir, shard).unwrap();
+        assert!(chain.len() >= 2, "shard {shard} must have >= 2 epochs");
+        let (epoch, path) = chain.last().unwrap();
+        newest_epoch = newest_epoch.max(*epoch);
+        let len = std::fs::metadata(path).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .unwrap()
+            .set_len(len / 3)
+            .unwrap();
+    }
+    delete_retireable_segments(&crash_dir, &bounds, 0b1010_1010_1010_1010);
+
+    let survivor = Collector::new();
+    let mut recovery = Engine::recover(snap_config(&crash_dir, 3, 10, 4));
+    let mut subscribe = |sub: Subscription| {
+        recovery.subscribe(Subscription {
+            sink: survivor.sink(),
+            ..sub
+        })
+    };
+    let sustained = register(&mut subscribe);
+    let stats = recovery.stats();
+    assert_eq!(stats.snapshots_rejected, 3, "every newest snapshot is torn");
+    assert_eq!(
+        stats.snapshot_epoch,
+        Some(newest_epoch - 1),
+        "the floor fell back exactly one epoch"
+    );
+    assert_eq!(stats.snapshots_loaded, 3);
+    let skipped = recovery.snapshot_delivered();
+    let mut engine = recovery.resume();
+    let resume = usize::try_from(engine.resume_from()).unwrap();
+    assert!(resume <= 90);
+    feed(&mut engine, sustained, &ops[resume..]);
+    let report = engine.finish_at(horizon());
+    assert_eq!(report.total_snap().snapshots_loaded, 3);
+    assert_continues(
+        &expected,
+        per_sub(survivor.take()),
+        &skipped,
+        "pinned fallback",
+    );
+    let _ = std::fs::remove_dir_all(&full_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
