@@ -18,8 +18,18 @@
 //!   record→replay→diff of the hotspot scenario (`cargo run ... -- wal`
 //!   runs only this part and merges a `wal` block into
 //!   `BENCH_engine.json`).
+//! * **scoped** — the wide-area workload: 144 district stations over
+//!   one shared engine, compiled unscoped (every station's home shard
+//!   receives the whole stream) vs scoped to their districts (the
+//!   router's BVH-backed interest index prunes out-of-scope routing at
+//!   enqueue time). Asserts `scoped_subscriptions > 0`, fanout strictly
+//!   below the unscoped baseline, and delivery equality with the
+//!   regional reference; merges a `scoped` block into
+//!   `BENCH_engine.json` (`cargo run ... -- scoped` runs only this
+//!   part, as the CI pruning check).
 //!
-//! Results go to `BENCH_engine.json` (full and `wal` runs).
+//! Results go to `BENCH_engine.json` (full, `wal`, `snap`, and
+//! `scoped` runs).
 //!
 //! Why sharding pays even on a single core: each shard only scans the
 //! subscriptions homed on it, so the per-instance evaluation scan
@@ -34,8 +44,8 @@ use stem_core::{
     TimedInstance,
 };
 use stem_cps::{
-    engine_subscriptions, replay_recorded, scenario_world_bounds, CpsSystem, EvalBackend,
-    ScenarioConfig,
+    engine_subscriptions, replay_recorded, scenario_world_bounds, station_scopes, CpsSystem,
+    EvalBackend, ScenarioConfig,
 };
 use stem_des::stream;
 use stem_engine::{
@@ -184,13 +194,21 @@ fn scenario_mode() -> (u64, Vec<ScenarioRun>) {
             "{shards}-shard engine backend diverged from DES"
         );
         let engine = run.engine.expect("engine report");
+        assert!(
+            engine.router.scoped_subscriptions > 0,
+            "station subscriptions must compile with their actual region of \
+             interest, not the whole world: {}",
+            engine.summary_line()
+        );
         println!(
             "engine backend, {shards} shard(s): {} instances bit-identical to DES, \
-             {} notifications, {} late-dropped",
+             {} notifications, {} late-dropped, {} scoped subscriptions",
             log.len(),
             engine.total_notifications(),
             engine.total_late_dropped(),
+            engine.router.scoped_subscriptions,
         );
+        println!("  {}", engine.summary_line());
     }
 
     // 2. Replay the recorded sensor stream through the engine-compiled
@@ -198,6 +216,7 @@ fn scenario_mode() -> (u64, Vec<ScenarioRun>) {
     let horizon = config.duration.ticks() + 1;
     let sensor_stream: Vec<EventInstance> = des.instances_at(Layer::Sensor).cloned().collect();
     let world = scenario_world_bounds(&config, &app);
+    let scopes = station_scopes(&config, &app);
     let sink_observer =
         ConditionObserver::new(ObserverId::Sink(MoteId::new(0)), config.sink_near, 1.0);
     let ccu_observer = ConditionObserver::new(
@@ -222,9 +241,11 @@ fn scenario_mode() -> (u64, Vec<ScenarioRun>) {
                     .with_queue_capacity(32),
             );
             let collector = Collector::new();
-            for sub in engine_subscriptions(&app, &sink_observer, &ccu_observer, world, || {
-                collector.sink()
-            }) {
+            for sub in
+                engine_subscriptions(&app, &sink_observer, &ccu_observer, world, &scopes, || {
+                    collector.sink()
+                })
+            {
                 engine.subscribe(sub);
             }
             let mut source = (0..REPLAY_ROUNDS).flat_map(|round| {
@@ -457,6 +478,217 @@ fn wal_mode() -> String {
     block
 }
 
+/// How a wide-area station subscription is compiled.
+#[derive(Clone, Copy, PartialEq)]
+enum StationCompile {
+    /// Unbounded semantic region, no scope — the pre-scoping station
+    /// compile: every station's home shard receives the whole stream.
+    Unscoped,
+    /// Unbounded semantic region scoped to the station's district —
+    /// the production compile this PR introduces.
+    Scoped,
+    /// Semantic region = the district itself (a classic regional
+    /// subscription): the reference for the delivery multiset.
+    Regional,
+}
+
+/// One wide-area measurement.
+struct ScopedRun {
+    label: &'static str,
+    shards: usize,
+    instances_per_sec: f64,
+    notifications: u64,
+    fanout: u64,
+    scoped_subscriptions: u64,
+    bvh_nodes_visited: u64,
+    precision_skipped: u64,
+    scope_skipped: u64,
+}
+
+/// The wide-area workload: many district stations over one shared
+/// engine. Each station wants its own district's readings; unscoped
+/// compilation broadcasts every instance to every station's home
+/// shard, scoped compilation prunes routing to the one district that
+/// cares. Returns the `scoped` JSON block for `BENCH_engine.json` and
+/// asserts the pruning contract (scoped subscriptions registered,
+/// fanout strictly below the unscoped baseline, deliveries identical
+/// to the regional reference).
+fn scoped_mode() -> String {
+    const STATIONS_PER_SIDE: usize = 12; // 144 wide-area stations
+    const SCOPED_INSTANCES: usize = 60_000;
+    const SHARDS: usize = 8;
+    println!("\n-- scoped mode: wide-area station scopes + BVH interest index --\n");
+    let instances: Vec<EventInstance> = synthetic_stream()
+        .into_iter()
+        .take(SCOPED_INSTANCES)
+        .collect();
+
+    let everywhere = SpatialExtent::field(Field::rect(Rect::new(
+        Point::new(-1e15, -1e15),
+        Point::new(1e15, 1e15),
+    )));
+    let step = WORLD / STATIONS_PER_SIDE as f64;
+    let district = |gx: usize, gy: usize| {
+        Rect::new(
+            Point::new(gx as f64 * step, gy as f64 * step),
+            Point::new((gx as f64 + 1.0) * step, (gy as f64 + 1.0) * step),
+        )
+    };
+    let run = |label: &'static str, shards: usize, compile: StationCompile| -> ScopedRun {
+        let mut best: Option<ScopedRun> = None;
+        for _ in 0..RUNS_PER_COUNT {
+            let mut engine = Engine::start(
+                EngineConfig::new(bounds())
+                    .with_shards(shards)
+                    .with_batch_size(256)
+                    .with_queue_capacity(32)
+                    .with_watermark_slack(Duration::new(16)),
+            );
+            let collector = Collector::new();
+            for gy in 0..STATIONS_PER_SIDE {
+                for gx in 0..STATIONS_PER_SIDE {
+                    let rect = district(gx, gy);
+                    let region = match compile {
+                        StationCompile::Regional => SpatialExtent::field(Field::rect(rect)),
+                        _ => everywhere.clone(),
+                    };
+                    let mut sub =
+                        Subscription::new(format!("station-{gx}-{gy}"), region, collector.sink())
+                            .for_event("reading")
+                            .when(dsl::parse("x.temp > 45").unwrap())
+                            .homed_near(rect.center());
+                    if compile == StationCompile::Scoped {
+                        sub = sub.scoped_to(SpatialExtent::field(Field::rect(rect)));
+                    }
+                    engine.subscribe(sub);
+                }
+            }
+            engine.ingest_all(instances.iter().cloned());
+            let report = engine.finish();
+            let r = ScopedRun {
+                label,
+                shards,
+                instances_per_sec: report.throughput(),
+                notifications: report.total_notifications(),
+                fanout: report.router.fanout,
+                scoped_subscriptions: report.router.scoped_subscriptions,
+                bvh_nodes_visited: report.router.bvh_nodes_visited,
+                precision_skipped: report.router.precision_skipped,
+                scope_skipped: report.total_scope_skipped(),
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| r.instances_per_sec > b.instances_per_sec)
+            {
+                best = Some(r);
+            }
+        }
+        best.expect("at least one run")
+    };
+
+    let runs = [
+        run("unscoped", SHARDS, StationCompile::Unscoped),
+        run("scoped-1", 1, StationCompile::Scoped),
+        run("scoped", SHARDS, StationCompile::Scoped),
+        run("regional", SHARDS, StationCompile::Regional),
+    ];
+    let unscoped = &runs[0];
+    let scoped = &runs[2];
+    let regional = &runs[3];
+
+    let mut table = Table::new(vec![
+        "compile",
+        "shards",
+        "instances/sec",
+        "notifications",
+        "fanout",
+        "bvh_nodes",
+        "prec_skip",
+        "scope_skip",
+    ]);
+    for r in &runs {
+        table.row(vec![
+            r.label.to_string(),
+            r.shards.to_string(),
+            format!("{:.0}", r.instances_per_sec),
+            r.notifications.to_string(),
+            r.fanout.to_string(),
+            r.bvh_nodes_visited.to_string(),
+            r.precision_skipped.to_string(),
+            r.scope_skipped.to_string(),
+        ]);
+    }
+    table.print();
+
+    // The pruning contract, asserted where CI can see it fail.
+    assert!(
+        scoped.scoped_subscriptions > 0,
+        "scoped compile must register scoped subscriptions"
+    );
+    assert!(
+        scoped.fanout < unscoped.fanout,
+        "scoped fanout ({}) must be strictly below the unscoped baseline ({})",
+        scoped.fanout,
+        unscoped.fanout,
+    );
+    assert!(
+        unscoped.fanout - scoped.fanout + scoped.precision_skipped + scoped.scope_skipped > 0,
+        "out-of-scope drops must be visible"
+    );
+    assert!(
+        scoped.bvh_nodes_visited > 0,
+        "144 stations across {SHARDS} shards crosses the BVH threshold"
+    );
+    assert_eq!(
+        scoped.notifications, regional.notifications,
+        "scoped stations must deliver exactly the regional reference multiset"
+    );
+    println!(
+        "\nfanout: scoped {} vs unscoped {} ({:.1}% of baseline); \
+         speedup vs unscoped at {SHARDS} shards: {:.2}x",
+        scoped.fanout,
+        unscoped.fanout,
+        100.0 * scoped.fanout as f64 / unscoped.fanout.max(1) as f64,
+        scoped.instances_per_sec / unscoped.instances_per_sec,
+    );
+
+    let mut block = String::from("{\n");
+    block.push_str(&format!(
+        "    \"workload\": \"{SCOPED_INSTANCES} synthetic instances, {} wide-area \
+         district stations, unscoped vs scoped vs regional compile\",\n",
+        STATIONS_PER_SIDE * STATIONS_PER_SIDE,
+    ));
+    block.push_str("    \"results\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        block.push_str(&format!(
+            "      {{\"compile\": \"{}\", \"shards\": {}, \"instances_per_sec\": {:.0}, \
+             \"notifications\": {}, \"fanout\": {}, \"scoped_subscriptions\": {}, \
+             \"bvh_nodes_visited\": {}, \"precision_skipped\": {}, \"scope_skipped\": {}}}{}\n",
+            r.label,
+            r.shards,
+            r.instances_per_sec,
+            r.notifications,
+            r.fanout,
+            r.scoped_subscriptions,
+            r.bvh_nodes_visited,
+            r.precision_skipped,
+            r.scope_skipped,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    block.push_str("    ],\n");
+    block.push_str(&format!(
+        "    \"fanout_vs_unscoped\": {:.4},\n",
+        scoped.fanout as f64 / unscoped.fanout.max(1) as f64
+    ));
+    block.push_str(&format!(
+        "    \"speedup_vs_unscoped\": {:.4}\n",
+        scoped.instances_per_sec / unscoped.instances_per_sec
+    ));
+    block.push_str("  }");
+    block
+}
+
 /// Merges a named top-level block into `BENCH_engine.json`, replacing
 /// an existing one (so `-- wal` / `-- snap` refresh their numbers
 /// without discarding the full run's results).
@@ -563,7 +795,7 @@ fn snap_mode() -> String {
     let recover = |config: EngineConfig| {
         let collector = Collector::new();
         let start = std::time::Instant::now();
-        let mut recovery = Engine::recover(config);
+        let mut recovery = Engine::recover(config).expect("recover from durable state");
         register_subscriptions_recovery(&mut recovery, &collector);
         let stats = recovery.stats();
         let engine = recovery.resume();
@@ -640,7 +872,8 @@ fn snap_mode() -> String {
     engine.flush();
     drop(engine); // kill
     let survivor = Collector::new();
-    let mut recovery = Engine::recover(smoke_config(&smoke_dir));
+    let mut recovery =
+        Engine::recover(smoke_config(&smoke_dir)).expect("recover from durable state");
     register_subscriptions_recovery(&mut recovery, &survivor);
     let covered: u64 = recovery.snapshot_delivered().values().sum();
     let mut engine = recovery.resume();
@@ -710,6 +943,7 @@ fn main() {
     let scenario_only = std::env::args().any(|a| a == "scenario");
     let wal_only = std::env::args().any(|a| a == "wal");
     let snap_only = std::env::args().any(|a| a == "snap");
+    let scoped_only = std::env::args().any(|a| a == "scoped");
     banner(
         "BENCH-ENGINE",
         "streaming engine ingest throughput vs. shard count",
@@ -717,7 +951,12 @@ fn main() {
     );
     if scenario_only {
         let _ = scenario_mode();
-        println!("\nscenario smoke mode: BENCH_engine.json left untouched");
+        // The production-path smoke covers the wide-area pruning
+        // contract too: scoped subscriptions registered, fanout
+        // strictly below the unscoped baseline.
+        let block = scoped_mode();
+        merge_block("scoped", &block);
+        println!("\nscenario smoke mode: only the scoped block was refreshed");
         return;
     }
     if wal_only {
@@ -728,6 +967,11 @@ fn main() {
     if snap_only {
         let block = snap_mode();
         merge_block("snap", &block);
+        return;
+    }
+    if scoped_only {
+        let block = scoped_mode();
+        merge_block("scoped", &block);
         return;
     }
     let instances = synthetic_stream();
@@ -826,4 +1070,6 @@ fn main() {
     merge_block("wal", &block);
     let block = snap_mode();
     merge_block("snap", &block);
+    let block = scoped_mode();
+    merge_block("scoped", &block);
 }

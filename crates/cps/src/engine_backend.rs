@@ -34,13 +34,31 @@ use stem_engine::{
     Collector, Engine, EngineConfig, EngineReport, EventSink, NotificationKind, SilenceSpec,
     Subscription, SubscriptionId, SustainedValue,
 };
-use stem_physical::Trajectory;
 use stem_spatial::{Field, Point, Rect, SpatialExtent};
 use stem_temporal::TimePoint;
 
+/// The exact bounding rectangle of a motion model's trajectory: every
+/// built-in model interpolates linearly between stored vertices
+/// (waypoints, pre-generated walk steps, or a single static point), so
+/// the vertex bounding box covers every position the model can ever
+/// return — no time sampling, no excursions missed between samples.
+fn trajectory_bounds(model: &stem_physical::MotionModel) -> Rect {
+    use stem_physical::MotionModel;
+    match model {
+        MotionModel::Static(s) => Rect::new(s.0, s.0),
+        MotionModel::Waypoints(path) => {
+            let points: Vec<Point> = path.waypoints().iter().map(|&(_, p)| p).collect();
+            Rect::bounding(&points).expect("a waypoint path has at least one waypoint")
+        }
+        MotionModel::Walk(walk) => {
+            Rect::bounding(walk.positions()).expect("a random walk has at least one step")
+        }
+    }
+}
+
 /// The world rectangle handed to the engine's shard map: the bounding
 /// box of the deployment, the actors, and (when the application tracks
-/// a target) the target's sampled trajectory, inflated enough to keep
+/// a target) the target's trajectory, inflated enough to keep
 /// localization fixes in comfortably partitionable territory
 /// (out-of-bounds points still route — they clamp to the nearest shard
 /// cell).
@@ -61,17 +79,9 @@ pub fn scenario_world_bounds(config: &ScenarioConfig, app: &CpsApplication) -> R
     }
     extend(config.sink_near);
     if let Some(tracking) = &app.tracking {
-        let horizon = config.duration.ticks();
-        let step = (horizon / 64).max(1);
-        let mut t = 0u64;
-        while t <= horizon {
-            extend(
-                tracking
-                    .target
-                    .position_at(stem_temporal::TimePoint::new(t)),
-            );
-            t = t.saturating_add(step);
-        }
+        let path = trajectory_bounds(&tracking.target);
+        extend(path.min());
+        extend(path.max());
     }
     let width = (max.x - min.x).max(1.0);
     let height = (max.y - min.y).max(1.0);
@@ -85,7 +95,9 @@ pub fn scenario_world_bounds(config: &ScenarioConfig, app: &CpsApplication) -> R
 
 /// A region covering every location an instance can carry: station
 /// subscriptions replicate the DES stations, which see their entire
-/// arrival stream with no spatial pre-filter.
+/// arrival stream with no spatial pre-filter — the *semantic* region
+/// stays unbounded, and the [`StationScopes`] carry the physical
+/// arrival footprint that routing actually needs.
 fn everywhere() -> SpatialExtent {
     SpatialExtent::field(Field::rect(Rect::new(
         Point::new(-1e15, -1e15),
@@ -93,18 +105,87 @@ fn everywhere() -> SpatialExtent {
     )))
 }
 
+/// Fixed safety slack added around every compiled station scope,
+/// metres: covers estimation jitter (trilateration residuals, aggregate
+/// centroids on region boundaries) without ever being load-bearing for
+/// correctness — the scopes below are built from conservative unions
+/// first.
+const SCOPE_MARGIN: f64 = 5.0;
+
+/// The per-station routing scopes a scenario's subscriptions compile
+/// with: conservative over-approximations of where each station's
+/// arrival stream can physically occur, so pruning against them never
+/// drops a delivery the DES path would have evaluated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StationScopes {
+    /// Sensor-layer arrivals at the sink: the deployment's sensing
+    /// extent (every mote's position — field samples and range
+    /// readings are generated there), padded by [`SCOPE_MARGIN`].
+    pub sink: Rect,
+    /// Cyber-physical / cyber arrivals at the CCU: derived composite
+    /// extents (aggregates of in-deployment constituents), station
+    /// positions (episode and feedback instances), and — when the
+    /// application tracks a mobile target — the exact bound of the
+    /// target's trajectory, all padded by the mobility slack (the
+    /// ranging radius, within which localization fixes land) plus
+    /// [`SCOPE_MARGIN`].
+    pub ccu: Rect,
+}
+
+/// Computes the [`StationScopes`] for a scenario: the actual regions of
+/// interest (sensing extent ∪ pattern/derived extents ∪ mobile-target
+/// trajectory, padded by mobility slack) that replace the implicit
+/// whole-world scope, so sharding buys pruning instead of just
+/// parallelism.
+#[must_use]
+pub fn station_scopes(config: &ScenarioConfig, app: &CpsApplication) -> StationScopes {
+    let topology = config.build_topology();
+    let positions: Vec<Point> = topology.positions().map(|(_, p)| p).collect();
+    let mote_bbox = Rect::bounding(&positions).expect("topology is non-empty");
+    let sink = mote_bbox.inflated(SCOPE_MARGIN);
+
+    let sink_id = topology
+        .nearest(config.sink_near)
+        .expect("topology is non-empty");
+    let sink_position = topology.position(sink_id).expect("sink in topology");
+    // The CCU shares the sink's position (see `station_observers`), and
+    // episode/feedback instances are generated there.
+    let mut ccu = mote_bbox.union(&Rect::new(sink_position, sink_position));
+    let mut mobility = 0.0f64;
+    if let Some(tracking) = &app.tracking {
+        // Localization fixes trail the target; every anchor that ranged
+        // it sits within `max_range`, so fixes land inside the
+        // trajectory's exact vertex bound padded by the ranging radius
+        // — the mobility slack. The bound is exact (not time-sampled),
+        // so no excursion between samples can escape the scope.
+        mobility = tracking.max_range;
+        ccu = ccu.union(&trajectory_bounds(&tracking.target));
+    }
+    StationScopes {
+        sink,
+        ccu: ccu.inflated(mobility + SCOPE_MARGIN),
+    }
+}
+
 /// Compiles a [`CpsApplication`]'s sink/CCU stack into engine
 /// subscriptions, in canonical registration order: sink detectors, CCU
-/// detectors, then sustained specs. `world` spreads the subscriptions'
-/// home shards across the deployment; `sink_factory` supplies each
-/// subscription's notification sink.
+/// detectors, then sustained specs. Each subscription keeps the
+/// station's unbounded semantic region (a station evaluates its whole
+/// logical stream, like the DES path) but is *scoped* to its station's
+/// physical arrival footprint from `scopes`, so the router and the
+/// per-shard scans prune out-of-scope work. `world` spreads the
+/// subscriptions' home shards across the deployment; `sink_factory`
+/// supplies each subscription's notification sink.
 pub fn engine_subscriptions(
     app: &CpsApplication,
     sink_observer: &ConditionObserver,
     ccu_observer: &ConditionObserver,
     world: Rect,
+    scopes: &StationScopes,
     mut sink_factory: impl FnMut() -> Box<dyn EventSink>,
 ) -> Vec<Subscription> {
+    let sink_scope = SpatialExtent::field(Field::rect(scopes.sink));
+    let ccu_scope = SpatialExtent::field(Field::rect(scopes.ccu));
     let total =
         (app.sink_detectors.len() + app.ccu_detectors.len() + app.sustained.len()).max(1) as f64;
     // Spread home shards along the world diagonal: station subscriptions
@@ -121,6 +202,7 @@ pub fn engine_subscriptions(
     for spec in &app.sink_detectors {
         subs.push(
             Subscription::new(spec.definition.id.clone(), everywhere(), sink_factory())
+                .scoped_to(sink_scope.clone())
                 .at_layers(vec![Layer::Sensor])
                 .matching(spec.pattern.clone(), spec.mode, spec.horizon)
                 .with_definition(spec.definition.clone())
@@ -131,6 +213,7 @@ pub fn engine_subscriptions(
     for spec in &app.ccu_detectors {
         subs.push(
             Subscription::new(spec.definition.id.clone(), everywhere(), sink_factory())
+                .scoped_to(ccu_scope.clone())
                 .at_layers(vec![Layer::CyberPhysical, Layer::Cyber])
                 .matching(spec.pattern.clone(), spec.mode, spec.horizon)
                 .with_definition(spec.definition.clone())
@@ -145,6 +228,7 @@ pub fn engine_subscriptions(
         };
         subs.push(
             Subscription::new(spec.output.clone(), everywhere(), sink_factory())
+                .scoped_to(ccu_scope.clone())
                 .for_event(spec.input.clone())
                 .at_layers(vec![Layer::CyberPhysical, Layer::Cyber])
                 .sustained_spec(stem_engine::SustainedSpec {
@@ -242,6 +326,7 @@ pub fn replay_recorded(
         dir.display(),
     );
     let world = scenario_world_bounds(config, app);
+    let scopes = station_scopes(config, app);
     let (sink_observer, ccu_observer) = scenario_observers(config);
     let mut engine = Engine::start(
         EngineConfig::new(world)
@@ -250,7 +335,7 @@ pub fn replay_recorded(
             .deterministic(),
     );
     let collector = Collector::new();
-    for sub in engine_subscriptions(app, &sink_observer, &ccu_observer, world, || {
+    for sub in engine_subscriptions(app, &sink_observer, &ccu_observer, world, &scopes, || {
         collector.sink()
     }) {
         engine.subscribe(sub);
@@ -344,8 +429,10 @@ impl EnginePump {
         }
         let mut engine = Engine::start(engine_config);
         let collector = Collector::new();
-        let subs =
-            engine_subscriptions(app, sink_observer, ccu_observer, world, || collector.sink());
+        let scopes = station_scopes(config, app);
+        let subs = engine_subscriptions(app, sink_observer, ccu_observer, world, &scopes, || {
+            collector.sink()
+        });
         let n_composite = app.sink_detectors.len() + app.ccu_detectors.len();
         let mut sustained_ids = Vec::new();
         let mut sustained_outputs = BTreeMap::new();
@@ -559,7 +646,8 @@ mod tests {
                 .with_batch_size(1)
                 .with_wal(&dir)
                 .deterministic(),
-        );
+        )
+        .expect("recover from durable state");
         let stats = recovery.stats();
         assert!(stats.snapshot_epoch.is_some(), "a checkpoint floor exists");
         assert_eq!(stats.snapshots_loaded, 2);

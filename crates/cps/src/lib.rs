@@ -40,7 +40,7 @@ pub use app::{
 pub use database::DatabaseServer;
 pub use engine_backend::{
     engine_subscriptions, replay_recorded, scenario_observers, scenario_world_bounds,
-    station_observers,
+    station_observers, station_scopes, StationScopes,
 };
 pub use scenario::{EvalBackend, ScenarioConfig, TopologySpec};
 pub use system::{metrics, CpsReport, CpsState, CpsSystem};

@@ -47,10 +47,12 @@ pub struct Batch {
     /// Maximum generation time seen by the router when this batch was
     /// flushed (`None` only before the first instance).
     pub high_water: Option<TimePoint>,
-    /// The last global ingest sequence consumed when the batch was
-    /// flushed (stamps the shard's durable heartbeat records: every
-    /// operation at or before it that was routed here precedes the
-    /// heartbeat in the shard's log).
+    /// The global ingest sequence count when the batch was flushed —
+    /// an *exclusive* bound: every operation with a sequence strictly
+    /// below it precedes this batch's heartbeat. `0` unambiguously
+    /// means "cut before any ingest" (it stamps the shard's durable
+    /// heartbeat records, where the distinction matters for replay
+    /// ordering and recovery clock seeding).
     pub seq: u64,
 }
 

@@ -128,6 +128,14 @@ pub struct EngineConfig {
     /// the *oldest retained* snapshot, so a torn newest snapshot can
     /// still fall back to the previous one plus its log tail.
     pub snapshot_retain: usize,
+    /// Number of subscription scopes resident on one home shard before
+    /// the router's precision pass switches from the linear exact-scope
+    /// scan to a per-shard BVH over the scope rectangles (see
+    /// [`crate::RouterMetrics::bvh_nodes_visited`]). `0` always uses
+    /// the BVH; a huge value effectively disables it. Both sides answer
+    /// identically — the threshold only trades build cost against scan
+    /// cost.
+    pub interest_bvh_threshold: usize,
 }
 
 impl EngineConfig {
@@ -148,6 +156,7 @@ impl EngineConfig {
             wal_checkpoint_every: 1024,
             checkpoint: CheckpointPolicy::Never,
             snapshot_retain: 2,
+            interest_bvh_threshold: 16,
         }
     }
 
@@ -194,6 +203,14 @@ impl EngineConfig {
     #[must_use]
     pub fn with_snapshot_retain(mut self, epochs: usize) -> Self {
         self.snapshot_retain = epochs;
+        self
+    }
+
+    /// Sets the per-shard interest count at which the router's
+    /// precision pass switches to the BVH index.
+    #[must_use]
+    pub fn with_interest_bvh_threshold(mut self, interests: usize) -> Self {
+        self.interest_bvh_threshold = interests;
         self
     }
 

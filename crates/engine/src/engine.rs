@@ -71,7 +71,7 @@ impl Engine {
         let problems = config.validate();
         assert!(problems.is_empty(), "invalid EngineConfig: {problems:?}");
         let map = ShardMap::build(config.world_bounds, config.shard_count);
-        let router = ShardRouter::new(map, config.batch_size);
+        let router = ShardRouter::new(map, config.batch_size, config.interest_bvh_threshold);
         let make_worker = |shard: ShardId| {
             let (wal, snap) = match &config.durability {
                 Durability::None => (None, None),
@@ -136,7 +136,8 @@ impl Engine {
     }
 
     /// Registers a subscription on its home shard (the owner of its
-    /// region's center) and returns its id.
+    /// routing scope's center, or of the home hint clamped into the
+    /// scope) and returns its id.
     ///
     /// Ordering: the subscription observes every instance its home
     /// shard's reorder buffer releases after this call — all later
@@ -145,9 +146,11 @@ impl Engine {
     pub fn subscribe(&mut self, subscription: Subscription) -> SubscriptionId {
         let id = SubscriptionId(self.next_subscription);
         self.next_subscription += 1;
-        let home = self
-            .router
-            .subscribe(id, subscription.region.clone(), subscription.home_hint);
+        let home = self.router.subscribe(
+            id,
+            subscription.routing_scope().clone(),
+            subscription.home_hint,
+        );
         let state = SubscriptionState::compile(id, subscription);
         // Flush anything already routed so registration order is
         // preserved relative to the instance stream.
@@ -302,19 +305,28 @@ impl Engine {
     /// epochs would seed the recovered stream clock with keys from
     /// operations past the resume point and skew late-drop decisions.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoverError`] when scanning or reading the WAL
+    /// directory or the snapshot epochs fails — a transient I/O
+    /// failure or format corruption, distinguishable from "no durable
+    /// state" (an absent or empty directory recovers cleanly with
+    /// `resume_from() == 0`). Torn tails and torn snapshots are
+    /// *fallbacks*, not errors.
+    ///
     /// # Panics
     ///
-    /// Panics if the configuration has no WAL, is invalid, or names a
-    /// directory written with a larger shard count, and on unreadable
-    /// logs (I/O errors — torn tails and torn snapshots are fallbacks,
-    /// not errors).
-    #[must_use]
-    pub fn recover(config: EngineConfig) -> Recovery {
+    /// Panics only on invariant violations: a configuration without a
+    /// WAL or failing [`EngineConfig::validate`], a directory written
+    /// with more shards than configured, or a compacted segment chain
+    /// no retained snapshot covers (damage beyond the single-crash
+    /// fault model).
+    pub fn recover(config: EngineConfig) -> Result<Recovery, RecoverError> {
         let Durability::Wal { dir, .. } = &config.durability else {
             panic!("Engine::recover requires Durability::Wal");
         };
         let dir = dir.clone();
-        let found = wal_shards(&dir).unwrap_or_else(|e| panic!("scan wal dir: {e}"));
+        let found = wal_shards(&dir).map_err(RecoverError::Wal)?;
         assert!(
             found.iter().all(|&s| s < config.shard_count),
             "wal at {} was written with more shards than the config's {}",
@@ -322,22 +334,22 @@ impl Engine {
             config.shard_count,
         );
         // Validate every retained snapshot per shard (a handful of
-        // small files), rejecting torn/corrupt/mismatched ones.
+        // small files), rejecting torn/corrupt/mismatched ones. Only
+        // the *scan* can fail hard; an unreadable snapshot file is a
+        // torn-write fallback.
         let mut snapshots_rejected = 0;
-        let per_shard: Vec<Vec<ShardSnapshot>> = (0..config.shard_count)
-            .map(|shard| {
-                let chain = stem_snap::list_snapshots(&dir, shard)
-                    .unwrap_or_else(|e| panic!("scan snapshots for shard {shard}: {e}"));
-                let mut valid = Vec::new();
-                for (epoch, path) in chain {
-                    match stem_snap::read_snapshot(&path) {
-                        Ok(s) if s.shard == shard && s.epoch == epoch => valid.push(s),
-                        _ => snapshots_rejected += 1,
-                    }
+        let mut per_shard: Vec<Vec<ShardSnapshot>> = Vec::with_capacity(config.shard_count);
+        for shard in 0..config.shard_count {
+            let chain = stem_snap::list_snapshots(&dir, shard).map_err(RecoverError::Snap)?;
+            let mut valid = Vec::new();
+            for (epoch, path) in chain {
+                match stem_snap::read_snapshot(&path) {
+                    Ok(s) if s.shard == shard && s.epoch == epoch => valid.push(s),
+                    _ => snapshots_rejected += 1,
                 }
-                valid
-            })
-            .collect();
+            }
+            per_shard.push(valid);
+        }
         // The checkpoint floor: the newest epoch every shard holds a
         // valid snapshot for. A crash tears at most the epoch being
         // written, and retention keeps >= 2 epochs, so within the
@@ -358,48 +370,45 @@ impl Engine {
         // so repair never mistakes them for post-torn history. With a
         // floor snapshot, only the tail from its active segment on is
         // read at all — the bounded-time part of bounded-time recovery.
-        let plan: Vec<ShardPlan> = per_shard
-            .into_iter()
-            .enumerate()
-            .map(|(shard, mut valid)| {
-                let snapshot = floor.and_then(|epoch| {
-                    valid
-                        .iter()
-                        .position(|s| s.epoch == epoch)
-                        .map(|i| valid.swap_remove(i))
-                });
-                let from_segment = snapshot.as_ref().map_or(0, |s| s.active_segment);
-                let recovered = read_shard_tail(&dir, shard, true, from_segment)
-                    .unwrap_or_else(|e| panic!("recover shard {shard} wal: {e}"));
-                // A segment chain starting above the requested bound
-                // means compaction retired segments this recovery needs
-                // (damage beyond a single crash — e.g. an older
-                // snapshot corrupted independently of the crash that
-                // tore the newest). Refuse loudly: resuming would
-                // silently drop part of the durable history.
-                if let Some(first) = recovered.first_segment {
-                    assert!(
-                        first <= from_segment,
-                        "shard {shard}: recovery needs wal segments from {from_segment} \
-                         but the chain starts at {first} — compaction already retired \
-                         them and no valid snapshot covers them; the snapshot fallback \
-                         chain at {} is broken beyond single-crash repair",
-                        dir.display(),
-                    );
-                }
-                let durable_seq = snapshot
-                    .as_ref()
-                    .and_then(|s| s.next_seq.checked_sub(1))
-                    .into_iter()
-                    .chain(recovered.durable_seq)
-                    .max();
-                ShardPlan {
-                    snapshot,
-                    recovered,
-                    durable_seq,
-                }
-            })
-            .collect();
+        let mut plan: Vec<ShardPlan> = Vec::with_capacity(per_shard.len());
+        for (shard, mut valid) in per_shard.into_iter().enumerate() {
+            let snapshot = floor.and_then(|epoch| {
+                valid
+                    .iter()
+                    .position(|s| s.epoch == epoch)
+                    .map(|i| valid.swap_remove(i))
+            });
+            let from_segment = snapshot.as_ref().map_or(0, |s| s.active_segment);
+            let recovered =
+                read_shard_tail(&dir, shard, true, from_segment).map_err(RecoverError::Wal)?;
+            // A segment chain starting above the requested bound
+            // means compaction retired segments this recovery needs
+            // (damage beyond a single crash — e.g. an older
+            // snapshot corrupted independently of the crash that
+            // tore the newest). Refuse loudly: resuming would
+            // silently drop part of the durable history.
+            if let Some(first) = recovered.first_segment {
+                assert!(
+                    first <= from_segment,
+                    "shard {shard}: recovery needs wal segments from {from_segment} \
+                     but the chain starts at {first} — compaction already retired \
+                     them and no valid snapshot covers them; the snapshot fallback \
+                     chain at {} is broken beyond single-crash repair",
+                    dir.display(),
+                );
+            }
+            let durable_seq = snapshot
+                .as_ref()
+                .and_then(|s| s.next_seq.checked_sub(1))
+                .into_iter()
+                .chain(recovered.durable_seq)
+                .max();
+            plan.push(ShardPlan {
+                snapshot,
+                recovered,
+                durable_seq,
+            });
+        }
         // Resume where the *least* durable shard ends: everything below
         // is provably covered — by the shard's snapshot (a compressed
         // prefix of its log) or by the log itself (appends are ordered,
@@ -436,13 +445,14 @@ impl Engine {
                 } if *seq < resume_seq => {
                     note(eval_at.unwrap_or_else(|| instance.generation_time()));
                 }
-                // A heartbeat cut after operation `seq` summarizes keys
-                // up to and including it, so only strictly-pre-resume
-                // heartbeats may seed the clock.
+                // A heartbeat's seq is the exclusive bound of the
+                // prefix it summarizes (ops with seq strictly below
+                // it), so it may seed the clock exactly when that whole
+                // prefix is below the resume point.
                 WalRecord::Heartbeat {
                     seq,
                     high_water: hw,
-                } if *seq < resume_seq => note(*hw),
+                } if *seq <= resume_seq => note(*hw),
                 _ => {}
             }
         }
@@ -461,13 +471,13 @@ impl Engine {
         // Continue epoch numbering past everything on disk (torn files
         // included) so a snapshot file name is never reused.
         engine.epoch = stem_snap::max_epoch(&dir)
-            .unwrap_or_else(|e| panic!("scan snapshot epochs: {e}"))
+            .map_err(RecoverError::Snap)?
             .map_or(0, |e| e + 1);
-        Recovery {
+        Ok(Recovery {
             engine,
             plan,
             stats,
-        }
+        })
     }
 
     /// Sends a silence heartbeat to one sustained subscription (see
@@ -713,6 +723,44 @@ struct ShardPlan {
     /// The largest ingest sequence the shard is durable through,
     /// snapshot coverage included.
     durable_seq: Option<u64>,
+}
+
+/// Why [`Engine::recover`] could not scan the durable state on disk.
+///
+/// These are *environmental* failures — a transient I/O error or
+/// on-disk corruption while scanning the WAL directory or snapshot
+/// epochs — and are returned so callers can retry, alert, or fall back,
+/// instead of conflating them with "no durable state" (which recovers
+/// cleanly) or with invariant violations (which still panic).
+#[derive(Debug)]
+pub enum RecoverError {
+    /// Scanning the WAL directory or reading a shard's segment chain
+    /// failed (torn tails are repaired, not errors; this is an
+    /// unreadable directory, an I/O failure mid-read, or mid-file
+    /// format corruption).
+    Wal(stem_wal::WalError),
+    /// Scanning the snapshot epochs failed (an individual torn or
+    /// corrupt snapshot file is a fallback, not an error; this is an
+    /// unreadable directory listing).
+    Snap(stem_snap::SnapError),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Wal(e) => write!(f, "recovery could not scan the wal: {e}"),
+            RecoverError::Snap(e) => write!(f, "recovery could not scan the snapshots: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoverError::Wal(e) => Some(e),
+            RecoverError::Snap(e) => Some(e),
+        }
+    }
 }
 
 /// What [`Engine::recover`] found on disk.

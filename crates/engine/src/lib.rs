@@ -95,7 +95,7 @@ pub use batch::Batch;
 pub use config::{
     BackpressurePolicy, CheckpointPolicy, Durability, EngineConfig, ExecutionMode, ShardId,
 };
-pub use engine::{Engine, Recovery, RecoveryStats};
+pub use engine::{Engine, RecoverError, Recovery, RecoveryStats};
 pub use metrics::{EngineReport, RouterMetrics, ShardMetrics, SnapMetrics, WalMetrics};
 pub use router::ShardRouter;
 pub use shard_map::ShardMap;

@@ -21,6 +21,11 @@ pub struct ShardMetrics {
     /// Evaluation errors (mis-configured subscriptions referencing
     /// unbound entities); the offending instance is skipped.
     pub eval_errors: u64,
+    /// Instance offers skipped because a resident subscription's
+    /// routing scope excluded the location before any evaluation —
+    /// the worker-side half of scope pruning (the router-side half is
+    /// [`RouterMetrics::precision_skipped`]).
+    pub scope_skipped: u64,
     /// Notifications delivered to sinks.
     pub notifications: u64,
     /// Derived instances generated from pattern matches.
@@ -120,9 +125,19 @@ pub struct RouterMetrics {
     pub owner_only: u64,
     /// Broadcast deliveries skipped by the precision pass: the leaf
     /// mask (bounding-box granular) named a shard, but no subscription
-    /// homed there *exactly* covered the instance's location. Each skip
-    /// is a delivery the coarse index would have wasted.
+    /// homed there had a routing scope *exactly* covering the
+    /// instance's location. Each skip is a delivery the coarse index
+    /// would have wasted — out-of-scope shards are dropped here, at
+    /// enqueue time.
     pub precision_skipped: u64,
+    /// Subscriptions registered with a routing scope narrower than the
+    /// world bounds — the ones sharding can actually prune for.
+    pub scoped_subscriptions: u64,
+    /// BVH nodes visited by precision-pass point queries (zero while
+    /// every home shard's interest count is below the
+    /// [`crate::EngineConfig::interest_bvh_threshold`] and the linear
+    /// scan serves instead).
+    pub bvh_nodes_visited: u64,
     /// Batches handed off.
     pub batches_sent: u64,
     /// Batches dropped by [`crate::BackpressurePolicy::DropNewest`].
@@ -157,6 +172,13 @@ impl EngineReport {
     #[must_use]
     pub fn total_late_dropped(&self) -> u64 {
         self.shards.iter().map(|s| s.late_dropped).sum()
+    }
+
+    /// Total scope-pruned instance offers across shards (the
+    /// worker-side half of pruning; see [`ShardMetrics::scope_skipped`]).
+    #[must_use]
+    pub fn total_scope_skipped(&self) -> u64 {
+        self.shards.iter().map(|s| s.scope_skipped).sum()
     }
 
     /// Ingested instances per wall-clock second.
@@ -198,13 +220,17 @@ impl EngineReport {
         let wal = self.total_wal();
         let snap = self.total_snap();
         format!(
-            "routed={} fanout={} owner_only={} precision_skipped={} notifications={} \
+            "routed={} fanout={} owner_only={} precision_skipped={} scoped_subs={} \
+             bvh_nodes={} scope_skipped={} notifications={} \
              late_dropped={} wal[appended={} bytes={} segments={} recovered={} torn={} deduped={}] \
              snap[written={} bytes={} loaded={} tail_skipped={} retired={}]",
             self.router.routed,
             self.router.fanout,
             self.router.owner_only,
             self.router.precision_skipped,
+            self.router.scoped_subscriptions,
+            self.router.bvh_nodes_visited,
+            self.total_scope_skipped(),
             self.total_notifications(),
             self.total_late_dropped(),
             wal.records_appended,

@@ -6,32 +6,42 @@ use crate::metrics::RouterMetrics;
 use crate::shard_map::{Grid, ShardMap};
 use crate::subscription::SubscriptionId;
 use stem_core::EventInstance;
-use stem_spatial::{Point, Rect, SpatialExtent};
+use stem_spatial::{Bvh, Point, Rect, SpatialExtent};
 use stem_temporal::TimePoint;
 
-/// One registered subscription region as the router sees it: the exact
-/// region for precision checks plus its (cheaper) bounding box.
+/// One registered subscription scope as the router sees it: the exact
+/// extent for precision checks plus its (cheaper) bounding box.
 #[derive(Debug, Clone)]
 struct Interest {
     id: SubscriptionId,
     bbox: Rect,
-    region: SpatialExtent,
+    scope: SpatialExtent,
 }
 
 /// Routes instances to shards and accumulates per-shard batches.
 ///
 /// Every instance goes to the shard that *owns* its location under the
 /// [`ShardMap`], plus — the broadcast path — every other shard that is
-/// home to a subscription whose region covers the location. A
+/// home to a subscription whose routing scope covers the location. A
 /// subscription lives on exactly one home shard (the owner of its
-/// region's center), so detector state is never split and the match
-/// multiset is independent of the shard count.
+/// scope's center, or of the home hint clamped into the scope), so
+/// detector state is never split and the match multiset is independent
+/// of the shard count.
 #[derive(Debug)]
 pub struct ShardRouter {
     map: ShardMap,
     batch_size: usize,
-    /// Per home shard: regions of resident subscriptions.
+    /// Per home shard: scopes of resident subscriptions.
     interests: Vec<Vec<Interest>>,
+    /// Per home shard: the BVH over the resident scope bounding boxes,
+    /// built once the interest count crosses `bvh_threshold` (item
+    /// index = position in `interests[shard]`). `None` = linear scan.
+    bvhs: Vec<Option<Bvh>>,
+    /// Interest count per home shard at which the precision pass
+    /// switches to the BVH.
+    bvh_threshold: usize,
+    /// Candidate buffer reused across BVH point queries.
+    scratch: Vec<u32>,
     /// The interest index resolution: a fixed fine quadtree grid,
     /// independent of the (coarser) shard-territory grid so broadcast
     /// stays confined to actual region boundaries.
@@ -63,8 +73,12 @@ impl ShardRouter {
     const INTEREST_DEPTH: u32 = 6;
 
     /// Creates a router over `map`, flushing batches at `batch_size`.
+    /// `bvh_threshold` is the per-home-shard interest count at which
+    /// the precision pass switches from the linear exact-scope scan to
+    /// the BVH index (see
+    /// [`crate::EngineConfig::interest_bvh_threshold`]).
     #[must_use]
-    pub fn new(map: ShardMap, batch_size: usize) -> Self {
+    pub fn new(map: ShardMap, batch_size: usize, bvh_threshold: usize) -> Self {
         let shards = map.shard_count();
         let interest_grid = Grid::new(map.bounds(), Self::INTEREST_DEPTH);
         let leaves = interest_grid.leaf_count();
@@ -72,6 +86,9 @@ impl ShardRouter {
             map,
             batch_size: batch_size.max(1),
             interests: vec![Vec::new(); shards],
+            bvhs: vec![None; shards],
+            bvh_threshold,
+            scratch: Vec::new(),
             interest_grid,
             leaf_masks: vec![0; leaves],
             pending: vec![Vec::new(); shards],
@@ -124,23 +141,52 @@ impl ShardRouter {
         self.heartbeat_sent.fill(high_water);
     }
 
-    /// Registers a subscription region and returns its home shard: the
-    /// owner of `home_hint` when given, else of the region's center.
+    /// Registers a subscription's routing scope and returns its home
+    /// shard: the owner of `home_hint` — clamped into the scope's
+    /// bounding box, so a scoped subscription always homes inside its
+    /// own scope — or of the scope's center without a hint.
     pub fn subscribe(
         &mut self,
         id: SubscriptionId,
-        region: SpatialExtent,
+        scope: SpatialExtent,
         home_hint: Option<Point>,
     ) -> ShardId {
-        let bbox = region.bounding_box();
-        let home = self
-            .map
-            .shard_for_point(home_hint.unwrap_or_else(|| bbox.center()));
-        self.interests[home].push(Interest { id, bbox, region });
+        let bbox = scope.bounding_box();
+        let anchor = home_hint.map_or_else(
+            || bbox.center(),
+            |hint| {
+                Point::new(
+                    hint.x.clamp(bbox.min().x, bbox.max().x),
+                    hint.y.clamp(bbox.min().y, bbox.max().y),
+                )
+            },
+        );
+        let home = self.map.shard_for_point(anchor);
+        if !bbox.contains_rect(&self.map.bounds()) {
+            self.metrics.scoped_subscriptions += 1;
+        }
+        self.interests[home].push(Interest { id, bbox, scope });
+        if let Some(bvh) = &mut self.bvhs[home] {
+            bvh.insert(bbox);
+        } else if self.interests[home].len() >= self.bvh_threshold.max(1) {
+            self.rebuild_bvh(home);
+        }
         for leaf in self.interest_grid.leaves_for_rect(&bbox) {
             self.leaf_masks[leaf] |= 1 << home;
         }
         home
+    }
+
+    /// (Re)builds a home shard's BVH over its resident scope boxes, or
+    /// drops it when the count fell back below the threshold.
+    fn rebuild_bvh(&mut self, shard: ShardId) {
+        let list = &self.interests[shard];
+        self.bvhs[shard] = if list.len() >= self.bvh_threshold.max(1) {
+            let rects: Vec<Rect> = list.iter().map(|i| i.bbox).collect();
+            Some(Bvh::build(&rects))
+        } else {
+            None
+        };
     }
 
     /// The home shard of a registered subscription, if known.
@@ -158,6 +204,7 @@ impl ShardRouter {
                 list.remove(pos);
                 let shard_id = shard;
                 self.rebuild_leaf_masks();
+                self.rebuild_bvh(shard_id);
                 return Some(shard_id);
             }
         }
@@ -179,13 +226,25 @@ impl ShardRouter {
         }
     }
 
-    /// Whether some subscription homed on `shard` *exactly* covers the
-    /// point (leaf masks are bounding-box granular; this is the
-    /// precision pass that trims the broadcast fan-out).
-    fn covered_by_interest(&self, shard: ShardId, p: Point) -> bool {
-        self.interests[shard]
-            .iter()
-            .any(|i| i.bbox.contains(p) && i.region.covers(p))
+    /// Whether some subscription homed on `shard` has a routing scope
+    /// *exactly* covering the point (leaf masks are bounding-box
+    /// granular; this is the precision pass that trims the broadcast
+    /// fan-out). Served by the per-shard BVH once the shard's interest
+    /// count crossed the threshold, by the linear scan below it — both
+    /// answer identically.
+    fn covered_by_interest(&mut self, shard: ShardId, p: Point) -> bool {
+        if let Some(bvh) = &self.bvhs[shard] {
+            self.scratch.clear();
+            self.metrics.bvh_nodes_visited += bvh.query_point(p, &mut self.scratch);
+            let list = &self.interests[shard];
+            self.scratch
+                .iter()
+                .any(|&i| list[i as usize].scope.covers(p))
+        } else {
+            self.interests[shard]
+                .iter()
+                .any(|i| i.bbox.contains(p) && i.scope.covers(p))
+        }
     }
 
     /// Routes one instance into the per-shard pending batches and
@@ -226,8 +285,9 @@ impl ShardRouter {
             let shard = bits.trailing_zeros() as ShardId;
             bits &= bits - 1;
             // Precision pass: beyond the owner (which always receives),
-            // only deliver where a resident subscription's exact region
-            // covers the point. Workers re-check coverage anyway, so a
+            // only deliver where a resident subscription's exact scope
+            // covers the point — out-of-scope shards are dropped here,
+            // at enqueue time. Workers re-check coverage anyway, so a
             // skip can never lose a match — it only saves the delivery.
             if shard != owner && !self.covered_by_interest(shard, location) {
                 self.metrics.precision_skipped += 1;
@@ -259,14 +319,24 @@ impl ShardRouter {
     }
 
     /// Takes the pending batch for `shard`, stamped with the current
-    /// high-water mark and the last consumed sequence number.
+    /// high-water mark and the number of operations in the stream's
+    /// strict prefix.
+    ///
+    /// The stamp is `next_seq` — an *exclusive* bound ("this heartbeat
+    /// summarizes every operation with `seq < stamp`") — not the last
+    /// consumed sequence. The previous `next_seq - 1` (saturating)
+    /// labelled a heartbeat cut before any ingest with seq 0, colliding
+    /// with the first real operation's sequence in WAL replay ordering:
+    /// a reader could not tell "covers operation 0" from "covers
+    /// nothing". With the exclusive bound, 0 unambiguously means an
+    /// empty prefix.
     pub fn take_batch(&mut self, shard: ShardId) -> Batch {
         self.metrics.batches_sent += 1;
         self.heartbeat_sent[shard] = self.high_water;
         Batch {
             instances: std::mem::take(&mut self.pending[shard]),
             high_water: self.high_water,
-            seq: self.next_seq.saturating_sub(1),
+            seq: self.next_seq,
         }
     }
 
@@ -303,5 +373,110 @@ impl ShardRouter {
     /// Surrenders the counters.
     pub(crate) fn take_metrics(&mut self) -> RouterMetrics {
         std::mem::take(&mut self.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_core::{EventId, EventInstance, Layer, MoteId, ObserverId};
+    use stem_spatial::Field;
+
+    fn router(shards: usize, bvh_threshold: usize) -> ShardRouter {
+        let map = ShardMap::build(
+            Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+            shards,
+        );
+        ShardRouter::new(map, 1, bvh_threshold)
+    }
+
+    fn inst(t: u64, x: f64, y: f64) -> EventInstance {
+        EventInstance::builder(
+            ObserverId::Mote(MoteId::new(1)),
+            EventId::new("e"),
+            Layer::Sensor,
+        )
+        .generated(TimePoint::new(t), Point::new(x, y))
+        .build()
+    }
+
+    fn rect_scope(x0: f64, y0: f64, x1: f64, y1: f64) -> SpatialExtent {
+        SpatialExtent::field(Field::rect(Rect::new(
+            Point::new(x0, y0),
+            Point::new(x1, y1),
+        )))
+    }
+
+    /// The empty-prefix case: a heartbeat cut before any ingest must
+    /// not share a stamp with the first real operation. The batch stamp
+    /// is the exclusive prefix bound — 0 means "covers nothing", and
+    /// after the first operation (seq 0) the stamp is 1.
+    #[test]
+    fn watermark_stamp_is_unambiguous_on_an_empty_prefix() {
+        let mut r = router(1, usize::MAX);
+        let pre_ingest = r.take_batch(0);
+        assert_eq!(pre_ingest.seq, 0, "empty prefix stamps 0");
+        assert!(pre_ingest.high_water.is_none());
+
+        let targets = r.route(inst(10, 5.0, 5.0));
+        assert_eq!(targets, vec![0]);
+        let first = r.take_batch(0);
+        assert_eq!(first.instances[0].seq, 0, "the first operation is seq 0");
+        assert_eq!(
+            first.seq, 1,
+            "a heartbeat covering operation 0 stamps the exclusive bound 1, \
+             never colliding with the operation's own sequence"
+        );
+        assert_eq!(r.seq(), 1);
+    }
+
+    /// A scoped subscription's home hint is clamped into its scope, so
+    /// the home shard always lies inside the scope's bounding box.
+    #[test]
+    fn scoped_home_hint_is_clamped_into_the_scope() {
+        let mut r = router(4, usize::MAX);
+        // Scope is the lower-left quadrant; the hint points at the
+        // opposite corner of the world.
+        let scope = rect_scope(0.0, 0.0, 40.0, 40.0);
+        let home = r.subscribe(SubscriptionId(0), scope, Some(Point::new(99.0, 99.0)));
+        assert_eq!(
+            home,
+            r.map().shard_for_point(Point::new(40.0, 40.0)),
+            "the hint clamps to the scope's nearest corner"
+        );
+        assert_eq!(r.take_metrics().scoped_subscriptions, 1);
+    }
+
+    /// BVH-backed and linear precision passes answer identically and
+    /// the BVH path reports its traversal cost.
+    #[test]
+    fn bvh_precision_pass_matches_linear_scan() {
+        let subscribe_all = |r: &mut ShardRouter| {
+            for i in 0..12u64 {
+                let f = i as f64;
+                r.subscribe(
+                    SubscriptionId(i),
+                    rect_scope(f * 8.0, f * 8.0, f * 8.0 + 6.0, f * 8.0 + 6.0),
+                    // One shared home so the precision scan sees all 12.
+                    Some(Point::new(1.0, 1.0)),
+                );
+            }
+        };
+        let mut linear = router(4, usize::MAX);
+        let mut bvh = router(4, 1);
+        subscribe_all(&mut linear);
+        subscribe_all(&mut bvh);
+        for i in 0..200u64 {
+            let p = Point::new((i as f64 * 7.3) % 100.0, (i as f64 * 3.1) % 100.0);
+            let a = linear.route(inst(i, p.x, p.y));
+            let b = bvh.route(inst(i, p.x, p.y));
+            assert_eq!(a, b, "targets diverged at {p:?}");
+        }
+        let lm = linear.take_metrics();
+        let bm = bvh.take_metrics();
+        assert_eq!(lm.fanout, bm.fanout);
+        assert_eq!(lm.precision_skipped, bm.precision_skipped);
+        assert_eq!(lm.bvh_nodes_visited, 0, "linear side never descends");
+        assert!(bm.bvh_nodes_visited > 0, "the BVH side reports its cost");
     }
 }

@@ -89,11 +89,24 @@ pub struct ShardMap {
 }
 
 impl ShardMap {
-    /// Builds a map over `bounds` for `shards` shards.
+    /// Minimum side length the world rectangle is clamped to before the
+    /// quadtree subdivision. A degenerate input — a single-point
+    /// scenario, or all sensors collinear so one axis has zero extent —
+    /// would otherwise collapse the grid's cell arithmetic onto one
+    /// row/column of leaves (or divide by zero), piling every instance
+    /// onto one shard no matter the shard count.
+    pub const MIN_EXTENT: f64 = 1.0;
+
+    /// Builds a map over `bounds` for `shards` shards. Bounds narrower
+    /// than [`ShardMap::MIN_EXTENT`] on either axis are widened
+    /// symmetrically around their center to that minimum first, so
+    /// degenerate worlds still shard (points cluster near the clamped
+    /// rectangle's midline and spread over the leaf grid like any other
+    /// distribution).
     ///
     /// # Panics
     ///
-    /// Panics if `shards` is zero or `bounds` has non-positive area.
+    /// Panics if `shards` is zero or exceeds 64.
     #[must_use]
     pub fn build(bounds: Rect, shards: usize) -> Self {
         assert!(shards > 0, "shard map needs at least one shard");
@@ -101,6 +114,7 @@ impl ShardMap {
             shards <= 64,
             "shard map supports at most 64 shards (router interest masks are u64)"
         );
+        let bounds = Self::clamp_bounds(bounds);
         // Subdivide until there are at least 4 leaves per shard (so the
         // contiguous-run assignment can balance), capping the depth to
         // keep leaf coordinates well inside f64 precision.
@@ -112,6 +126,18 @@ impl ShardMap {
             grid: Grid::new(bounds, depth),
             shards,
         }
+    }
+
+    /// Widens either degenerate axis of `bounds` to
+    /// [`ShardMap::MIN_EXTENT`], symmetrically around its center.
+    fn clamp_bounds(bounds: Rect) -> Rect {
+        if bounds.width() >= Self::MIN_EXTENT && bounds.height() >= Self::MIN_EXTENT {
+            return bounds;
+        }
+        let c = bounds.center();
+        let half_w = (bounds.width().max(Self::MIN_EXTENT)) / 2.0;
+        let half_h = (bounds.height().max(Self::MIN_EXTENT)) / 2.0;
+        Rect::centered(c, half_w, half_h)
     }
 
     /// The world bounds the map partitions.
@@ -229,6 +255,46 @@ mod tests {
                 max - min <= 1,
                 "{shards} shards: unbalanced leaf counts {counts:?}"
             );
+        }
+    }
+
+    /// Regression: a world where every sensor is collinear used to
+    /// collapse the map onto a single row of leaves (zero height ⇒ the
+    /// grid assert fired, or every point hit one leaf), defeating
+    /// sharding entirely. The clamped map must still spread distinct
+    /// positions over distinct shards.
+    #[test]
+    fn collinear_world_bounds_still_shard() {
+        let m = ShardMap::build(Rect::new(Point::new(0.0, 50.0), Point::new(100.0, 50.0)), 4);
+        assert!(m.bounds().height() >= ShardMap::MIN_EXTENT);
+        assert!((m.bounds().width() - 100.0).abs() < 1e-9);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..100 {
+            seen.insert(m.shard_for_point(Point::new(f64::from(i), 50.0)));
+        }
+        assert!(
+            seen.len() > 1,
+            "collinear deployments must spread across shards, not collapse \
+             onto one: {seen:?}"
+        );
+        for s in 0..4 {
+            assert!(!m.cells_of_shard(s).is_empty());
+        }
+    }
+
+    /// Regression: a single-point world (zero area) must build instead
+    /// of panicking, with the rectangle clamped to the minimum extent
+    /// around the point.
+    #[test]
+    fn single_point_world_bounds_are_clamped() {
+        let p = Point::new(7.0, 3.0);
+        let m = ShardMap::build(Rect::new(p, p), 2);
+        assert!(m.bounds().width() >= ShardMap::MIN_EXTENT);
+        assert!(m.bounds().height() >= ShardMap::MIN_EXTENT);
+        assert!(m.bounds().contains(p), "clamp stays centered on the point");
+        assert!(m.shard_for_point(p) < 2);
+        for s in 0..2 {
+            assert!(!m.cells_of_shard(s).is_empty());
         }
     }
 

@@ -207,6 +207,22 @@ pub struct Subscription {
     pub name: EventId,
     /// The spatial region of interest.
     pub region: SpatialExtent,
+    /// Routing scope: the region of the plane where instances this
+    /// subscription must observe can occur, used by the router's
+    /// interest index, home-shard assignment, and the per-shard scan
+    /// (instances outside it are pruned *before* evaluation). `None`
+    /// defaults to `region` — the right answer for plain regional
+    /// subscriptions.
+    ///
+    /// Set it explicitly when the semantic `region` and the physical
+    /// arrival footprint differ: a station watching its whole logical
+    /// stream (`region` = everywhere) scopes down to the deployment's
+    /// sensing extent so sharding buys pruning, and a detector tracking
+    /// a mobile target pads its region by the mobility slack. The scope
+    /// must *cover* every location of an instance the subscription
+    /// should observe — in-scope deliveries are never dropped, but an
+    /// instance outside the scope never reaches the detector.
+    pub scope: Option<SpatialExtent>,
     /// Only instances of this event type are considered (`None` = all).
     pub event_filter: Option<EventId>,
     /// Only instances at these model layers are considered (`None` =
@@ -244,6 +260,7 @@ impl fmt::Debug for Subscription {
         f.debug_struct("Subscription")
             .field("name", &self.name)
             .field("region", &self.region)
+            .field("scope", &self.scope)
             .field("event_filter", &self.event_filter)
             .field("condition", &self.condition)
             .field("pattern", &self.pattern)
@@ -259,6 +276,7 @@ impl Subscription {
         Subscription {
             name: name.into(),
             region,
+            scope: None,
             event_filter: None,
             layers: None,
             condition: None,
@@ -276,6 +294,20 @@ impl Subscription {
     pub fn for_event(mut self, event: impl Into<EventId>) -> Self {
         self.event_filter = Some(event.into());
         self
+    }
+
+    /// Sets the routing scope (see [`Subscription::scope`]).
+    #[must_use]
+    pub fn scoped_to(mut self, scope: SpatialExtent) -> Self {
+        self.scope = Some(scope);
+        self
+    }
+
+    /// The extent routing and per-shard pruning use: the explicit scope
+    /// when one was set, the semantic region otherwise.
+    #[must_use]
+    pub fn routing_scope(&self) -> &SpatialExtent {
+        self.scope.as_ref().unwrap_or(&self.region)
     }
 
     /// Restricts the subscription to instances at the given layers.

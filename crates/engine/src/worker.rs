@@ -119,6 +119,10 @@ pub(crate) struct SubscriptionState {
     id: SubscriptionId,
     region: SpatialExtent,
     bbox: Rect,
+    /// The explicit routing scope with its bounding box, when one was
+    /// set: instances outside it are pruned before any other filter
+    /// (out-of-scope work the router's leaf granularity let through).
+    scope: Option<(Rect, SpatialExtent)>,
     event_filter: Option<EventId>,
     layers: Option<Vec<Layer>>,
     /// The per-instance condition (for `Plain` / `Sustained`; a pattern
@@ -140,6 +144,7 @@ impl SubscriptionState {
     /// Compiles `sub` for residence on its home shard.
     pub(crate) fn compile(id: SubscriptionId, sub: Subscription) -> Self {
         let bbox = sub.region.bounding_box();
+        let scope = sub.scope.clone().map(|scope| (scope.bounding_box(), scope));
         let (kind, condition) = if let Some(spec) = sub.pattern {
             // The definition override carries the registrant's estimation
             // policies and projections; without one, the composite
@@ -187,6 +192,7 @@ impl SubscriptionState {
             id,
             region: sub.region,
             bbox,
+            scope,
             event_filter: sub.event_filter,
             layers: sub.layers,
             condition,
@@ -372,16 +378,22 @@ impl ShardWorker {
         wal.append_deferred(record)
             .unwrap_or_else(|e| panic!("shard {} wal append failed: {e}", self.shard));
         self.since_checkpoint += 1;
+        // A checkpoint's seq is an *inclusive* durable claim, so it is
+        // derived via `durable_seq` (a heartbeat's stamp is the
+        // exclusive prefix bound); a record proving nothing durable
+        // defers the checkpoint to the next append.
         if self.since_checkpoint >= self.checkpoint_every {
-            self.since_checkpoint = 0;
-            let checkpoint = WalRecord::Watermark {
-                seq: record.seq(),
-                watermark: self.reorder.watermark(),
-                emitted: self.metrics.notifications,
-            };
-            let wal = self.wal.as_mut().expect("checked above");
-            wal.append_deferred(&checkpoint)
-                .unwrap_or_else(|e| panic!("shard {} wal checkpoint failed: {e}", self.shard));
+            if let Some(durable) = record.durable_seq() {
+                self.since_checkpoint = 0;
+                let checkpoint = WalRecord::Watermark {
+                    seq: durable,
+                    watermark: self.reorder.watermark(),
+                    emitted: self.metrics.notifications,
+                };
+                let wal = self.wal.as_mut().expect("checked above");
+                wal.append_deferred(&checkpoint)
+                    .unwrap_or_else(|e| panic!("shard {} wal checkpoint failed: {e}", self.shard));
+            }
         }
     }
 
@@ -513,8 +525,15 @@ impl ShardWorker {
         for record in records {
             // The boundary segment holds records on both sides of the
             // cut: everything below the snapshot's sequence watermark is
-            // already folded into the restored state.
-            if record.seq() < snap_next {
+            // already folded into the restored state. A heartbeat's
+            // stamp is the *exclusive* bound of the prefix it
+            // summarizes, so one stamped exactly at the cut is covered
+            // too.
+            let covered = match &record {
+                WalRecord::Heartbeat { seq, .. } => *seq <= snap_next,
+                other => other.seq() < snap_next,
+            };
+            if covered {
                 self.metrics.snap.tail_skipped += 1;
                 continue;
             }
@@ -688,6 +707,16 @@ impl ShardWorker {
         let location = instance.estimated_location().representative();
         let shard = self.shard;
         for sub in &mut self.subs {
+            // Scope pruning first: a scoped subscription never sees (or
+            // pays any filter for) an instance outside its routing
+            // scope — the worker-side half of what the router's
+            // precision pass prunes at enqueue time.
+            if let Some((scope_bbox, scope)) = &sub.scope {
+                if !scope_bbox.contains(location) || !scope.covers(location) {
+                    self.metrics.scope_skipped += 1;
+                    continue;
+                }
+            }
             if let Some(filter) = &sub.event_filter {
                 if filter != instance.event() {
                     continue;

@@ -717,7 +717,7 @@ fn crash_recovery_resumes_bit_identically() {
 
     // Recover + re-register + resume, then re-feed from the resume point.
     let survivor = Collector::new();
-    let mut recovery = Engine::recover(wal_config(&crash_dir));
+    let mut recovery = Engine::recover(wal_config(&crash_dir)).expect("recover from durable state");
     recovery.subscribe(hot_subscription(&survivor));
     let stats = recovery.stats();
     assert_eq!(stats.torn_truncations, 0, "clean shutdown had no torn tail");
@@ -818,7 +818,7 @@ fn torn_tail_is_repaired_and_counted_in_the_report() {
         .unwrap();
 
     let survivor = Collector::new();
-    let mut recovery = Engine::recover(wal_config(&dir));
+    let mut recovery = Engine::recover(wal_config(&dir)).expect("recover from durable state");
     recovery.subscribe(hot_subscription(&survivor));
     assert_eq!(recovery.stats().torn_truncations, 1);
     let mut engine = recovery.resume();
@@ -907,7 +907,8 @@ fn checkpointed_recovery_replays_only_the_tail_bit_identically() {
         .sum();
 
     let survivor = Collector::new();
-    let mut recovery = Engine::recover(snap_config(&crash_dir));
+    let mut recovery =
+        Engine::recover(snap_config(&crash_dir)).expect("recover from durable state");
     recovery.subscribe(hot_subscription(&survivor));
     let stats = recovery.stats();
     assert!(
@@ -1015,7 +1016,7 @@ fn compaction_keeps_live_segment_count_bounded() {
     }
     // The compacted directory still recovers (from the snapshots).
     let survivor = Collector::new();
-    let mut recovery = Engine::recover(snap_config(&dir));
+    let mut recovery = Engine::recover(snap_config(&dir)).expect("recover from durable state");
     recovery.subscribe(hot_subscription(&survivor));
     assert_eq!(recovery.stats().snapshots_loaded, 2);
     let engine = recovery.resume();
@@ -1049,7 +1050,7 @@ fn torn_newest_snapshot_falls_back_to_the_previous_epoch() {
         .unwrap();
 
     let survivor = Collector::new();
-    let mut recovery = Engine::recover(snap_config(&dir));
+    let mut recovery = Engine::recover(snap_config(&dir)).expect("recover from durable state");
     recovery.subscribe(hot_subscription(&survivor));
     let stats = recovery.stats();
     assert_eq!(stats.snapshots_rejected, 1, "the torn file was rejected");
@@ -1107,7 +1108,7 @@ fn manual_checkpoint_makes_recovery_instant() {
     let delivered_live = collector.take().len() as u64;
 
     let survivor = Collector::new();
-    let mut recovery = Engine::recover(config);
+    let mut recovery = Engine::recover(config).expect("recover from durable state");
     recovery.subscribe(hot_subscription(&survivor));
     let stats = recovery.stats();
     assert_eq!(stats.snapshots_loaded, 2);
@@ -1196,7 +1197,7 @@ fn checkpoint_during_resume_overlap_claims_full_coverage() {
     // manual checkpoints mid-overlap (the second gives the floor its
     // fallback epoch) and crash again.
     let survivor1 = Collector::new();
-    let mut recovery = Engine::recover(wal_config(&dir));
+    let mut recovery = Engine::recover(wal_config(&dir)).expect("recover from durable state");
     recovery.subscribe(hot_subscription(&survivor1));
     let mut engine = recovery.resume();
     let resume1 = usize::try_from(engine.resume_from()).unwrap();
@@ -1213,7 +1214,7 @@ fn checkpoint_during_resume_overlap_claims_full_coverage() {
     // must line up exactly — a coverage-understating snapshot would
     // re-evaluate shard 1's overlap and deliver duplicates here.
     let survivor2 = Collector::new();
-    let mut recovery = Engine::recover(wal_config(&dir));
+    let mut recovery = Engine::recover(wal_config(&dir)).expect("recover from durable state");
     recovery.subscribe(hot_subscription(&survivor2));
     assert!(recovery.stats().snapshot_epoch.is_some());
     let skipped = recovery.snapshot_delivered();
@@ -1246,4 +1247,209 @@ fn checkpoint_during_resume_overlap_claims_full_coverage() {
     }
     let _ = std::fs::remove_dir_all(&dir_ref);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Spatial scope + BVH interest index
+// ---------------------------------------------------------------------
+
+fn everywhere() -> SpatialExtent {
+    SpatialExtent::field(Field::rect(Rect::new(
+        Point::new(-1e15, -1e15),
+        Point::new(1e15, 1e15),
+    )))
+}
+
+fn rect_extent(x0: f64, y0: f64, x1: f64, y1: f64) -> SpatialExtent {
+    SpatialExtent::field(Field::rect(Rect::new(
+        Point::new(x0, y0),
+        Point::new(x1, y1),
+    )))
+}
+
+/// A station-style subscription (unbounded semantic region) scoped to
+/// one district observes exactly the in-district stream, the worker
+/// counts its out-of-scope skips, and the router prunes broadcast
+/// deliveries to its home shard at enqueue time.
+#[test]
+fn scope_prunes_out_of_district_work_before_evaluation() {
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_shards(4)
+            .with_batch_size(1)
+            .deterministic(),
+    );
+    let scoped = Collector::new();
+    engine.subscribe(
+        Subscription::new("district", everywhere(), scoped.sink())
+            .scoped_to(rect_extent(0.0, 0.0, 30.0, 30.0))
+            .for_event("reading")
+            .homed_near(Point::new(5.0, 5.0)),
+    );
+    let unscoped = Collector::new();
+    engine.subscribe(
+        Subscription::new("global", everywhere(), unscoped.sink())
+            .for_event("reading")
+            .homed_near(Point::new(95.0, 95.0)),
+    );
+    for i in 0..42u64 {
+        // A third inside the district, a third outside it but on the
+        // scoped home's own territory (reaches the shard as owner, so
+        // the worker-side scan must prune it), a third far away (the
+        // router prunes the delivery at enqueue time).
+        let (x, y) = match i % 3 {
+            0 => (10.0, 10.0),
+            1 => (40.0, 40.0),
+            _ => (80.0, 80.0),
+        };
+        engine.ingest(mk("reading", i, 10 * i, x, y, 50.0));
+    }
+    let report = engine.finish();
+    assert_eq!(scoped.take().len(), 14, "only the in-district third");
+    assert_eq!(unscoped.take().len(), 42, "the unscoped control sees all");
+    assert_eq!(report.router.scoped_subscriptions, 1);
+    assert!(
+        report.total_scope_skipped() > 0,
+        "worker-side pruning must be visible: {}",
+        report.summary_line()
+    );
+    // The out-of-district half is never copied to the scoped home shard
+    // (unless it owns the territory): strictly less fanout than the
+    // 2-deliveries-per-instance an unscoped pair would cost.
+    assert!(
+        report.router.fanout < 2 * report.router.routed,
+        "scope must prune broadcast fanout: {}",
+        report.summary_line()
+    );
+}
+
+/// `Engine::recover` distinguishes "no durable state" (clean empty
+/// recovery) from an unreadable directory (typed error), instead of
+/// panicking on either.
+#[test]
+fn recover_separates_no_durable_state_from_io_failure() {
+    // Absent directory: a clean, empty recovery.
+    let absent = wal_dir("recover-absent");
+    let _ = std::fs::remove_dir_all(&absent);
+    let recovery = Engine::recover(wal_config(&absent)).expect("absent dir is no durable state");
+    assert_eq!(recovery.stats(), stem_engine::RecoveryStats::default());
+    let engine = recovery.resume();
+    assert_eq!(engine.resume_from(), 0);
+    let _ = engine.finish();
+    let _ = std::fs::remove_dir_all(&absent);
+
+    // A regular file where the directory should be: a typed scan error,
+    // not a panic and not a silent empty recovery.
+    let clobbered = wal_dir("recover-clobbered");
+    let _ = std::fs::remove_dir_all(&clobbered);
+    std::fs::write(&clobbered, b"not a directory").unwrap();
+    let err = Engine::recover(wal_config(&clobbered)).expect_err("unreadable dir must error");
+    assert!(
+        matches!(err, stem_engine::RecoverError::Wal(_)),
+        "scan failures surface as RecoverError::Wal: {err}"
+    );
+    assert!(err.to_string().contains("could not scan the wal"));
+    let _ = std::fs::remove_file(&clobbered);
+}
+
+use proptest::prelude::*;
+
+proptest! {
+    /// BVH-backed routing is indistinguishable from the linear
+    /// exact-scope scan: same notification multiset, same fanout, same
+    /// `precision_skipped` semantics, across random region sets and
+    /// random streams — only the traversal-cost counter differs.
+    #[test]
+    fn bvh_routing_matches_linear_scan(
+        regions in proptest::collection::vec(
+            (0.0f64..90.0, 0.0f64..90.0, 2.0f64..25.0), 1..24),
+        points in proptest::collection::vec(
+            (0.0f64..100.0, 0.0f64..100.0), 1..120),
+        shards in 1usize..5,
+    ) {
+        let run = |bvh_threshold: usize| {
+            let mut engine = Engine::start(
+                EngineConfig::new(bounds())
+                    .with_shards(shards)
+                    .with_batch_size(4)
+                    .with_interest_bvh_threshold(bvh_threshold)
+                    .deterministic(),
+            );
+            let collector = Collector::new();
+            for (i, &(x, y, r)) in regions.iter().enumerate() {
+                engine.subscribe(
+                    Subscription::new(format!("r{i}"), circle_region(x, y, r), collector.sink())
+                        .for_event("reading"),
+                );
+            }
+            for (i, &(x, y)) in points.iter().enumerate() {
+                engine.ingest(mk("reading", i as u64, 10 * i as u64, x, y, 50.0));
+            }
+            let report = engine.finish();
+            (notification_multiset(collector.take()), report)
+        };
+        let (linear_notes, linear) = run(usize::MAX);
+        let (bvh_notes, bvh) = run(0);
+        prop_assert_eq!(linear_notes, bvh_notes, "delivery multisets diverged");
+        prop_assert_eq!(linear.router.fanout, bvh.router.fanout);
+        prop_assert_eq!(linear.router.precision_skipped, bvh.router.precision_skipped);
+        prop_assert_eq!(linear.router.bvh_nodes_visited, 0);
+        prop_assert_eq!(
+            linear.router.scoped_subscriptions,
+            bvh.router.scoped_subscriptions
+        );
+    }
+
+    /// Scoped-vs-unscoped equivalence: wrapping a subscription's region
+    /// in an explicit covering scope changes nothing observable —
+    /// pruning never drops an in-scope delivery.
+    #[test]
+    fn scope_pruning_never_drops_an_in_scope_delivery(
+        regions in proptest::collection::vec(
+            (0.0f64..90.0, 0.0f64..90.0, 2.0f64..25.0), 1..16),
+        points in proptest::collection::vec(
+            (0.0f64..100.0, 0.0f64..100.0), 1..100),
+        shards in 1usize..5,
+        pad in 0.0f64..10.0,
+    ) {
+        let run = |scoped: bool| {
+            let mut engine = Engine::start(
+                EngineConfig::new(bounds())
+                    .with_shards(shards)
+                    .with_batch_size(4)
+                    .deterministic(),
+            );
+            let collector = Collector::new();
+            for (i, &(x, y, r)) in regions.iter().enumerate() {
+                let region = circle_region(x, y, r);
+                let mut sub =
+                    Subscription::new(format!("r{i}"), region.clone(), collector.sink())
+                        .for_event("reading");
+                if scoped {
+                    // Any scope covering the region is equivalent; the
+                    // pad varies how much looser it is than the region.
+                    sub = sub.scoped_to(SpatialExtent::field(Field::rect(
+                        region.bounding_box().inflated(pad),
+                    )));
+                }
+                engine.subscribe(sub);
+            }
+            for (i, &(x, y)) in points.iter().enumerate() {
+                engine.ingest(mk("reading", i as u64, 10 * i as u64, x, y, 50.0));
+            }
+            let report = engine.finish();
+            (notification_multiset(collector.take()), report)
+        };
+        let (unscoped_notes, _) = run(false);
+        let (scoped_notes, scoped_report) = run(true);
+        prop_assert_eq!(
+            unscoped_notes,
+            scoped_notes,
+            "an in-scope delivery was dropped"
+        );
+        prop_assert_eq!(
+            scoped_report.router.scoped_subscriptions,
+            regions.len() as u64
+        );
+    }
 }

@@ -1,0 +1,471 @@
+//! A small flat bounding-volume hierarchy over axis-aligned rectangles.
+//!
+//! The engine router's per-leaf interest index stores every resident
+//! subscription's scope rectangle and answers "which scopes cover this
+//! point?" on the ingest hot path. A linear scan is fine for a handful
+//! of scopes; past a few dozen the scan dominates routing. This BVH
+//! packs the rectangles into a flat node array (no pointer chasing, no
+//! allocation per query beyond the caller's candidate buffer) and turns
+//! the scan into an `O(log n)`-ish descent.
+//!
+//! Design constraints, in order:
+//!
+//! * **conservative** — a query must return every rectangle containing
+//!   the point (callers run an exact-geometry check on the candidates,
+//!   so false positives only cost time, never correctness);
+//! * **cheap to build** — top-down median split on the longest axis of
+//!   the centroid bounds, a few microseconds for hundreds of rects;
+//! * **incrementally insertable** — subscriptions register one at a
+//!   time; inserts descend by least bbox enlargement and split
+//!   overfull leaves in place, so registration never re-builds.
+
+use crate::{Point, Rect};
+
+/// Rectangles per leaf before an insert splits it.
+const LEAF_CAPACITY: usize = 4;
+
+/// One node of the flat hierarchy.
+#[derive(Debug, Clone)]
+enum Node {
+    /// An internal node: bbox of both children.
+    Internal {
+        bbox: Rect,
+        left: usize,
+        right: usize,
+    },
+    /// A leaf holding item indices into the item table.
+    Leaf { bbox: Rect, items: Vec<u32> },
+}
+
+impl Node {
+    fn bbox(&self) -> Rect {
+        match self {
+            Node::Internal { bbox, .. } | Node::Leaf { bbox, .. } => *bbox,
+        }
+    }
+}
+
+/// A flat BVH over rectangles, queried by point or rectangle.
+///
+/// Items are addressed by the dense index assigned at [`Bvh::build`] /
+/// [`Bvh::insert`] order; callers keep the payloads in a parallel
+/// vector.
+///
+/// # Example
+///
+/// ```
+/// use stem_spatial::{Bvh, Point, Rect};
+///
+/// let rects = vec![
+///     Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+///     Rect::new(Point::new(20.0, 20.0), Point::new(30.0, 30.0)),
+/// ];
+/// let bvh = Bvh::build(&rects);
+/// let mut hits = Vec::new();
+/// bvh.query_point(Point::new(5.0, 5.0), &mut hits);
+/// assert_eq!(hits, vec![0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Bvh {
+    nodes: Vec<Node>,
+    /// The indexed rectangles, by item index.
+    rects: Vec<Rect>,
+    root: Option<usize>,
+}
+
+impl Bvh {
+    /// An empty hierarchy.
+    #[must_use]
+    pub fn new() -> Self {
+        Bvh::default()
+    }
+
+    /// Builds a hierarchy over `rects` (item `i` is `rects[i]`).
+    #[must_use]
+    pub fn build(rects: &[Rect]) -> Self {
+        let mut bvh = Bvh {
+            nodes: Vec::new(),
+            rects: rects.to_vec(),
+            root: None,
+        };
+        if rects.is_empty() {
+            return bvh;
+        }
+        let mut items: Vec<u32> = (0..rects.len() as u32).collect();
+        let root = bvh.build_node(&mut items);
+        bvh.root = Some(root);
+        bvh
+    }
+
+    /// Number of indexed rectangles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Whether the hierarchy indexes nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The rectangle stored for item `index`.
+    #[must_use]
+    pub fn rect(&self, index: u32) -> Rect {
+        self.rects[index as usize]
+    }
+
+    /// Recursively packs `items` (indices into `self.rects`) into nodes
+    /// by median-splitting along the longest axis of the centroid
+    /// bounds, and returns the subtree root's node index.
+    fn build_node(&mut self, items: &mut [u32]) -> usize {
+        let bbox = self.bbox_of(items);
+        if items.len() <= LEAF_CAPACITY {
+            self.nodes.push(Node::Leaf {
+                bbox,
+                items: items.to_vec(),
+            });
+            return self.nodes.len() - 1;
+        }
+        // Median split on the longest axis of the centroid spread; a
+        // degenerate spread (all centroids coincident) still splits by
+        // index, so recursion always terminates.
+        let centroid = |r: &Rect| r.center();
+        let wide = {
+            let xs: Vec<f64> = items
+                .iter()
+                .map(|&i| centroid(&self.rects[i as usize]).x)
+                .collect();
+            let ys: Vec<f64> = items
+                .iter()
+                .map(|&i| centroid(&self.rects[i as usize]).y)
+                .collect();
+            let spread = |v: &[f64]| {
+                v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                    - v.iter().cloned().fold(f64::INFINITY, f64::min)
+            };
+            spread(&xs) >= spread(&ys)
+        };
+        items.sort_by(|&a, &b| {
+            let (ca, cb) = (
+                centroid(&self.rects[a as usize]),
+                centroid(&self.rects[b as usize]),
+            );
+            let (ka, kb) = if wide { (ca.x, cb.x) } else { (ca.y, cb.y) };
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mid = items.len() / 2;
+        let (lo, hi) = items.split_at_mut(mid);
+        let left = self.build_node(lo);
+        let right = self.build_node(hi);
+        self.nodes.push(Node::Internal { bbox, left, right });
+        self.nodes.len() - 1
+    }
+
+    fn bbox_of(&self, items: &[u32]) -> Rect {
+        let mut it = items.iter();
+        let first = it
+            .next()
+            .map(|&i| self.rects[i as usize])
+            .expect("bbox of non-empty item set");
+        it.fold(first, |acc, &i| acc.union(&self.rects[i as usize]))
+    }
+
+    /// Indexes one more rectangle and returns its item index.
+    ///
+    /// Descends by least bbox enlargement, splits an overfull leaf in
+    /// place, and widens ancestor boxes on the way down — registration
+    /// stays incremental, no rebuild.
+    pub fn insert(&mut self, rect: Rect) -> u32 {
+        let index = self.rects.len() as u32;
+        self.rects.push(rect);
+        let Some(root) = self.root else {
+            self.nodes.push(Node::Leaf {
+                bbox: rect,
+                items: vec![index],
+            });
+            self.root = Some(self.nodes.len() - 1);
+            return index;
+        };
+        let mut node = root;
+        loop {
+            match &mut self.nodes[node] {
+                Node::Internal { bbox, left, right } => {
+                    *bbox = bbox.union(&rect);
+                    let (left, right) = (*left, *right);
+                    node = self.cheaper_child(left, right, &rect);
+                }
+                Node::Leaf { bbox, items } => {
+                    *bbox = bbox.union(&rect);
+                    items.push(index);
+                    if items.len() > LEAF_CAPACITY {
+                        self.split_leaf(node);
+                    }
+                    return index;
+                }
+            }
+        }
+    }
+
+    /// The child whose bbox grows least when widened to include `rect`
+    /// (ties to the smaller resulting area).
+    fn cheaper_child(&self, left: usize, right: usize, rect: &Rect) -> usize {
+        let cost = |node: usize| {
+            let b = self.nodes[node].bbox();
+            let grown = b.union(rect);
+            (grown.area() - b.area(), grown.area())
+        };
+        let (lc, rc) = (cost(left), cost(right));
+        if lc <= rc {
+            left
+        } else {
+            right
+        }
+    }
+
+    /// Splits an overfull leaf into two by median on the longest axis,
+    /// turning the node internal in place (indices into `nodes` stay
+    /// stable, so ancestors need no fixing).
+    fn split_leaf(&mut self, node: usize) {
+        let Node::Leaf { bbox, items } = self.nodes[node].clone() else {
+            unreachable!("split_leaf on an internal node");
+        };
+        let mut items = items;
+        let wide = bbox.width() >= bbox.height();
+        items.sort_by(|&a, &b| {
+            let (ca, cb) = (
+                self.rects[a as usize].center(),
+                self.rects[b as usize].center(),
+            );
+            let (ka, kb) = if wide { (ca.x, cb.x) } else { (ca.y, cb.y) };
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let hi = items.split_off(items.len() / 2);
+        let lo_bbox = self.bbox_of(&items);
+        let hi_bbox = self.bbox_of(&hi);
+        self.nodes.push(Node::Leaf {
+            bbox: lo_bbox,
+            items,
+        });
+        let left = self.nodes.len() - 1;
+        self.nodes.push(Node::Leaf {
+            bbox: hi_bbox,
+            items: hi,
+        });
+        let right = self.nodes.len() - 1;
+        self.nodes[node] = Node::Internal { bbox, left, right };
+    }
+
+    /// Appends to `out` the item indices of every rectangle containing
+    /// `p`, and returns the number of nodes visited (the traversal-cost
+    /// figure surfaced by the router's metrics).
+    pub fn query_point(&self, p: Point, out: &mut Vec<u32>) -> u64 {
+        let Some(root) = self.root else {
+            return 0;
+        };
+        let mut visited = 0u64;
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            visited += 1;
+            match &self.nodes[node] {
+                Node::Internal { bbox, left, right } => {
+                    if bbox.contains(p) {
+                        stack.push(*left);
+                        stack.push(*right);
+                    }
+                }
+                Node::Leaf { bbox, items } => {
+                    if bbox.contains(p) {
+                        out.extend(
+                            items
+                                .iter()
+                                .filter(|&&i| self.rects[i as usize].contains(p)),
+                        );
+                    }
+                }
+            }
+        }
+        visited
+    }
+
+    /// Appends to `out` the item indices of every rectangle
+    /// intersecting `query`, and returns the number of nodes visited.
+    pub fn query_rect(&self, query: &Rect, out: &mut Vec<u32>) -> u64 {
+        let Some(root) = self.root else {
+            return 0;
+        };
+        let mut visited = 0u64;
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            visited += 1;
+            match &self.nodes[node] {
+                Node::Internal { bbox, left, right } => {
+                    if bbox.intersects(query) {
+                        stack.push(*left);
+                        stack.push(*right);
+                    }
+                }
+                Node::Leaf { bbox, items } => {
+                    if bbox.intersects(query) {
+                        out.extend(
+                            items
+                                .iter()
+                                .filter(|&&i| self.rects[i as usize].intersects(query)),
+                        );
+                    }
+                }
+            }
+        }
+        visited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rect(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        Rect::new(Point::new(x, y), Point::new(x + w, y + h))
+    }
+
+    #[test]
+    fn empty_hierarchy_answers_nothing() {
+        let bvh = Bvh::new();
+        let mut out = Vec::new();
+        assert_eq!(bvh.query_point(Point::new(0.0, 0.0), &mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(bvh.query_rect(&rect(0.0, 0.0, 1.0, 1.0), &mut out), 0);
+        assert!(out.is_empty());
+        assert!(bvh.is_empty());
+    }
+
+    #[test]
+    fn point_query_returns_exactly_the_containing_rects() {
+        let rects = vec![
+            rect(0.0, 0.0, 10.0, 10.0),
+            rect(5.0, 5.0, 10.0, 10.0),
+            rect(20.0, 20.0, 5.0, 5.0),
+        ];
+        let bvh = Bvh::build(&rects);
+        let mut out = Vec::new();
+        bvh.query_point(Point::new(7.0, 7.0), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
+        out.clear();
+        bvh.query_point(Point::new(21.0, 21.0), &mut out);
+        assert_eq!(out, vec![2]);
+        out.clear();
+        bvh.query_point(Point::new(100.0, 100.0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rect_query_includes_touching_boundaries() {
+        let bvh = Bvh::build(&[rect(0.0, 0.0, 10.0, 10.0)]);
+        let mut out = Vec::new();
+        bvh.query_rect(&rect(10.0, 0.0, 5.0, 5.0), &mut out);
+        assert_eq!(out, vec![0], "touching boundaries intersect");
+    }
+
+    #[test]
+    fn incremental_insert_matches_bulk_build() {
+        let rects: Vec<Rect> = (0..40)
+            .map(|i| {
+                let f = f64::from(i);
+                rect(f * 3.0, (f * 7.0) % 50.0, 5.0 + f % 4.0, 5.0)
+            })
+            .collect();
+        let bulk = Bvh::build(&rects);
+        let mut inc = Bvh::new();
+        for (i, r) in rects.iter().enumerate() {
+            assert_eq!(inc.insert(*r), i as u32);
+        }
+        for i in 0..60 {
+            let p = Point::new(f64::from(i) * 2.0, f64::from(i) * 1.5);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            bulk.query_point(p, &mut a);
+            inc.query_point(p, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "bulk and incremental disagree at {p:?}");
+        }
+    }
+
+    #[test]
+    fn deep_tree_visits_fewer_nodes_than_items() {
+        // A spread-out set: point queries should prune most of the tree.
+        let rects: Vec<Rect> = (0..256)
+            .map(|i| {
+                let (gx, gy) = (i % 16, i / 16);
+                rect(f64::from(gx) * 100.0, f64::from(gy) * 100.0, 10.0, 10.0)
+            })
+            .collect();
+        let bvh = Bvh::build(&rects);
+        let mut out = Vec::new();
+        let visited = bvh.query_point(Point::new(5.0, 5.0), &mut out);
+        assert_eq!(out, vec![0]);
+        assert!(
+            visited < 64,
+            "a point query over 256 disjoint rects should prune hard, visited {visited}"
+        );
+    }
+
+    proptest! {
+        /// Point queries equal brute force over random rect sets, built
+        /// bulk or incrementally.
+        #[test]
+        fn point_query_matches_brute_force(
+            raw in proptest::collection::vec(
+                (-50.0f64..50.0, -50.0f64..50.0, 0.1f64..30.0, 0.1f64..30.0), 0..60),
+            qx in -60.0f64..60.0, qy in -60.0f64..60.0,
+        ) {
+            let rects: Vec<Rect> = raw.iter().map(|&(x, y, w, h)| rect(x, y, w, h)).collect();
+            let q = Point::new(qx, qy);
+            let mut expected: Vec<u32> = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(q))
+                .map(|(i, _)| i as u32)
+                .collect();
+            expected.sort_unstable();
+            let bulk = Bvh::build(&rects);
+            let mut got = Vec::new();
+            bulk.query_point(q, &mut got);
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected);
+            let mut inc = Bvh::new();
+            for r in &rects {
+                inc.insert(*r);
+            }
+            let mut got_inc = Vec::new();
+            inc.query_point(q, &mut got_inc);
+            got_inc.sort_unstable();
+            prop_assert_eq!(&got_inc, &expected);
+        }
+
+        /// Rect queries equal brute force.
+        #[test]
+        fn rect_query_matches_brute_force(
+            raw in proptest::collection::vec(
+                (-50.0f64..50.0, -50.0f64..50.0, 0.1f64..30.0, 0.1f64..30.0), 0..60),
+            qx in -60.0f64..60.0, qy in -60.0f64..60.0,
+            qw in 0.1f64..40.0, qh in 0.1f64..40.0,
+        ) {
+            let rects: Vec<Rect> = raw.iter().map(|&(x, y, w, h)| rect(x, y, w, h)).collect();
+            let q = rect(qx, qy, qw, qh);
+            let mut expected: Vec<u32> = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.intersects(&q))
+                .map(|(i, _)| i as u32)
+                .collect();
+            expected.sort_unstable();
+            let bvh = Bvh::build(&rects);
+            let mut got = Vec::new();
+            bvh.query_rect(&q, &mut got);
+            got.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

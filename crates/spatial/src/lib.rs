@@ -17,7 +17,8 @@
 //!   classification the paper cites (its ref. 17),
 //! * [`SpatialAgg`] — the aggregation functions `g_s` of Eq. 4.4,
 //! * neighbour-query indexes ([`GridIndex`], [`QuadTree`]) used by the WSN
-//!   simulator for radio-range queries.
+//!   simulator for radio-range queries, and a flat [`Bvh`] over
+//!   rectangles backing the engine router's subscription-scope index.
 //!
 //! # Example
 //!
@@ -33,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod agg;
+mod bvh;
 mod circle;
 mod field;
 mod index;
@@ -44,6 +46,7 @@ mod rect;
 mod topo;
 
 pub use agg::SpatialAgg;
+pub use bvh::Bvh;
 pub use circle::Circle;
 pub use field::{Field, SpatialExtent};
 pub use index::GridIndex;

@@ -137,10 +137,9 @@ pub fn read_shard_tail(
                 Some((payload, consumed)) => {
                     let mut slice = payload;
                     let record = WalRecord::decode(&mut slice)?;
-                    out.durable_seq = Some(
-                        out.durable_seq
-                            .map_or(record.seq(), |d| d.max(record.seq())),
-                    );
+                    if let Some(durable) = record.durable_seq() {
+                        out.durable_seq = Some(out.durable_seq.map_or(durable, |d| d.max(durable)));
+                    }
                     out.records.push(record);
                     offset += consumed;
                 }

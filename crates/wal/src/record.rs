@@ -44,7 +44,11 @@ pub enum WalRecord {
     /// The router's global high-water mark as delivered to this shard
     /// (appended only when it advanced past the previously logged one).
     Heartbeat {
-        /// The global ingest sequence count when the heartbeat was cut.
+        /// The global ingest sequence count when the heartbeat was cut
+        /// — an *exclusive* bound: the heartbeat summarizes every
+        /// operation with a sequence strictly below it, and `0` means
+        /// it was cut before any ingest (no collision with operation
+        /// 0's sequence).
         seq: u64,
         /// The stream-clock high-water mark.
         high_water: TimePoint,
@@ -83,6 +87,22 @@ impl WalRecord {
     #[must_use]
     pub fn consumes_seq(&self) -> bool {
         matches!(self, WalRecord::Instance { .. } | WalRecord::Probe { .. })
+    }
+
+    /// The largest ingest sequence this record proves the shard's log
+    /// durable through: its own sequence for operations and durability
+    /// checkpoints, `seq - 1` for heartbeats (whose stamp is the
+    /// exclusive prefix bound), and `None` for a heartbeat cut over an
+    /// empty prefix — which proves nothing durable at all. Claiming
+    /// the raw heartbeat stamp here would over-claim by one: the
+    /// operation *at* the stamp may arrive (and be lost) after the
+    /// heartbeat was appended.
+    #[must_use]
+    pub fn durable_seq(&self) -> Option<u64> {
+        match self {
+            WalRecord::Heartbeat { seq, .. } => seq.checked_sub(1),
+            other => Some(other.seq()),
+        }
     }
 
     /// Encodes the record payload (frame-less; the segment writer adds
@@ -227,5 +247,41 @@ mod tests {
             high_water: TimePoint::new(1),
         };
         assert!(!hb.consumes_seq());
+    }
+
+    /// The empty-prefix case: a heartbeat's stamp is the exclusive
+    /// prefix bound, so stamp 0 ("cut before any ingest") proves
+    /// nothing durable — treating it as operation 0's sequence would
+    /// claim durability for an operation that may be appended (and
+    /// lost) after the heartbeat.
+    #[test]
+    fn heartbeat_durable_claim_is_exclusive() {
+        let pre_ingest = WalRecord::Heartbeat {
+            seq: 0,
+            high_water: TimePoint::new(1),
+        };
+        assert_eq!(pre_ingest.durable_seq(), None);
+        let after_five = WalRecord::Heartbeat {
+            seq: 5,
+            high_water: TimePoint::new(9),
+        };
+        assert_eq!(after_five.durable_seq(), Some(4));
+        // Operations and durability checkpoints claim their own seq.
+        assert_eq!(mk_record(7).durable_seq(), Some(7));
+        let checkpoint = WalRecord::Watermark {
+            seq: 7,
+            watermark: None,
+            emitted: 0,
+        };
+        assert_eq!(checkpoint.durable_seq(), Some(7));
+    }
+
+    fn mk_record(seq: u64) -> WalRecord {
+        WalRecord::Instance {
+            seq,
+            eval_at: None,
+            prefix_high_water: None,
+            instance: mk(seq),
+        }
     }
 }

@@ -340,6 +340,7 @@ fn record_replay_and_crash_recovery_agree_across_shapes() {
             .unwrap();
 
         let world = stem::cps::scenario_world_bounds(&recording, &app);
+        let scopes = stem::cps::station_scopes(&recording, &app);
         let (sink_observer, ccu_observer) = stem::cps::scenario_observers(&recording);
         let engine_config = EngineConfig::new(world)
             .with_shards(SHARDS)
@@ -350,11 +351,15 @@ fn record_replay_and_crash_recovery_agree_across_shapes() {
             })
             .deterministic();
         let survivor = Collector::new();
-        let mut recovery = Engine::recover(engine_config);
-        let subs: Vec<Subscription> =
-            stem::cps::engine_subscriptions(&app, &sink_observer, &ccu_observer, world, || {
-                survivor.sink()
-            });
+        let mut recovery = Engine::recover(engine_config).expect("recover from durable state");
+        let subs: Vec<Subscription> = stem::cps::engine_subscriptions(
+            &app,
+            &sink_observer,
+            &ccu_observer,
+            world,
+            &scopes,
+            || survivor.sink(),
+        );
         for sub in subs {
             recovery.subscribe(sub);
         }
@@ -373,6 +378,103 @@ fn record_replay_and_crash_recovery_agree_across_shapes() {
 
         let _ = std::fs::remove_dir_all(&record_dir);
         let _ = std::fs::remove_dir_all(&crash_dir);
+    }
+}
+
+/// Scoped-vs-unscoped equivalence on the production compile path: the
+/// scoped compilation (the default — station subscriptions carry their
+/// actual arrival footprint) must deliver exactly what a scope-stripped
+/// compilation of the same subscriptions delivers over the same
+/// recorded history. Pruning never drops an in-scope delivery; it only
+/// reduces routing work.
+#[test]
+fn scoped_compilation_prunes_without_dropping_deliveries() {
+    use stem::engine::{Collector, Engine, EngineConfig};
+
+    const SHARDS: usize = 4;
+    let note_multiset = |notes: Vec<stem::engine::Notification>| {
+        let mut out: Vec<String> = notes
+            .into_iter()
+            .map(|n| format!("{}:{:?}", n.subscription.raw(), n.kind))
+            .collect();
+        out.sort();
+        out
+    };
+    // The composite hotspot and the mobile-target tracking shape (the
+    // one whose scope is genuinely padded by mobility slack).
+    for shape in [0usize, 2] {
+        let (config, app) = scenario(shape, 99);
+        let record_dir = std::env::temp_dir().join(format!(
+            "stem-equivalence-scoped-{shape}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&record_dir);
+        let recording = ScenarioConfig {
+            record_dir: Some(record_dir.to_string_lossy().into_owned()),
+            backend: EvalBackend::Engine {
+                shards: SHARDS,
+                deterministic: true,
+            },
+            ..config
+        };
+        let _ = CpsSystem::run(recording.clone(), app.clone());
+
+        // Scoped replay: the default compile path.
+        let (scoped_notes, scoped_report) =
+            stem::cps::replay_recorded(&recording, &app, &record_dir, SHARDS);
+        if shape == 0 {
+            // The hotspot's stations are prunable-scoped. The tracking
+            // shape's scope is padded by the target's mobility slack
+            // until it covers the world — honest: a detector following
+            // a roaming target genuinely needs the whole field, and the
+            // metric only counts scopes sharding can prune for.
+            assert!(
+                scoped_report.router.scoped_subscriptions > 0,
+                "shape {shape}: station subscriptions must compile scoped"
+            );
+        }
+
+        // Unscoped replay: identical subscriptions, scopes stripped —
+        // the pre-scoping whole-world routing.
+        let world = stem::cps::scenario_world_bounds(&recording, &app);
+        let scopes = stem::cps::station_scopes(&recording, &app);
+        let (sink_observer, ccu_observer) = stem::cps::scenario_observers(&recording);
+        let mut engine = Engine::start(
+            EngineConfig::new(world)
+                .with_shards(SHARDS)
+                .with_batch_size(1)
+                .deterministic(),
+        );
+        let collector = Collector::new();
+        for mut sub in stem::cps::engine_subscriptions(
+            &app,
+            &sink_observer,
+            &ccu_observer,
+            world,
+            &scopes,
+            || collector.sink(),
+        ) {
+            sub.scope = None;
+            engine.subscribe(sub);
+        }
+        let replay = stem::wal::Replay::open(&record_dir).unwrap();
+        engine.replay_records(replay.records());
+        let unscoped_report =
+            engine.finish_at(stem::temporal::TimePoint::EPOCH + recording.duration);
+        assert_eq!(
+            note_multiset(collector.take()),
+            note_multiset(scoped_notes),
+            "shape {shape}: scope pruning dropped an in-scope delivery"
+        );
+        assert_eq!(unscoped_report.router.scoped_subscriptions, 0);
+        assert!(
+            scoped_report.router.fanout <= unscoped_report.router.fanout,
+            "shape {shape}: scoping must never increase fanout \
+             (scoped {} vs unscoped {})",
+            scoped_report.router.fanout,
+            unscoped_report.router.fanout,
+        );
+        let _ = std::fs::remove_dir_all(&record_dir);
     }
 }
 

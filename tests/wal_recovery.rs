@@ -243,7 +243,7 @@ proptest! {
 
         // Recover, re-register in order, resume, re-feed the tail.
         let survivor = Collector::new();
-        let mut recovery = Engine::recover(config(&crash_dir, shards, slack));
+        let mut recovery = Engine::recover(config(&crash_dir, shards, slack)).expect("recover from durable state");
         let mut subscribe = |sub: Subscription| {
             recovery.subscribe(Subscription {
                 sink: survivor.sink(),
@@ -329,7 +329,8 @@ fn pinned_crash_recovery_round_trip() {
     }
 
     let survivor = Collector::new();
-    let mut recovery = Engine::recover(config(&crash_dir, 3, 10));
+    let mut recovery =
+        Engine::recover(config(&crash_dir, 3, 10)).expect("recover from durable state");
     let mut subscribe = |sub: Subscription| {
         recovery.subscribe(Subscription {
             sink: survivor.sink(),
@@ -528,7 +529,7 @@ proptest! {
 
         // Recover, re-register in order, resume, re-feed the tail.
         let survivor = Collector::new();
-        let mut recovery = Engine::recover(snap_config(&crash_dir, shards, slack, every));
+        let mut recovery = Engine::recover(snap_config(&crash_dir, shards, slack, every)).expect("recover from durable state");
         let mut subscribe = |sub: Subscription| {
             recovery.subscribe(Subscription {
                 sink: survivor.sink(),
@@ -600,7 +601,8 @@ fn pinned_all_shards_torn_snapshot_falls_back_one_epoch() {
     delete_retireable_segments(&crash_dir, &bounds, 0b1010_1010_1010_1010);
 
     let survivor = Collector::new();
-    let mut recovery = Engine::recover(snap_config(&crash_dir, 3, 10, 4));
+    let mut recovery =
+        Engine::recover(snap_config(&crash_dir, 3, 10, 4)).expect("recover from durable state");
     let mut subscribe = |sub: Subscription| {
         recovery.subscribe(Subscription {
             sink: survivor.sink(),
