@@ -50,7 +50,9 @@ use stem_cps::{
 use stem_des::stream;
 use stem_engine::{
     Collector, Durability, Engine, EngineConfig, FsyncPolicy, NotificationKind, Subscription,
+    TelemetryPolicy,
 };
+use stem_obs::Stage;
 use stem_spatial::{Circle, Field, Point, Rect, SpatialExtent};
 use stem_temporal::{Duration, TimePoint};
 
@@ -919,6 +921,238 @@ fn snap_mode() -> String {
     block
 }
 
+/// Validates a telemetry export file: every line parses as JSON with
+/// the versioned schema, sequence numbers are strictly monotone.
+/// Returns the line count.
+fn validate_export(path: &std::path::Path) -> usize {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read telemetry export {}: {e}", path.display()));
+    let mut last_seq = None;
+    let mut lines = 0;
+    for line in text.lines() {
+        let v = stem_obs::json::parse(line)
+            .unwrap_or_else(|e| panic!("telemetry line {lines} is not valid JSON: {e}"));
+        assert_eq!(
+            v.get("v").and_then(stem_obs::json::Value::as_u64),
+            Some(stem_obs::SCHEMA_VERSION),
+            "telemetry schema version"
+        );
+        let seq = v
+            .get("seq")
+            .and_then(stem_obs::json::Value::as_u64)
+            .expect("telemetry line carries a seq");
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "telemetry seqs must be strictly monotone");
+        }
+        last_seq = Some(seq);
+        assert!(v.get("stages").is_some(), "telemetry line carries stages");
+        lines += 1;
+    }
+    assert!(lines > 0, "telemetry export must contain samples");
+    lines
+}
+
+/// Renders one stage histogram as a JSON fragment (`null` if the stage
+/// never ran).
+fn stage_json(merged: &stem_obs::Recorder, stage: Stage) -> String {
+    let h = merged.stage(stage);
+    if h.is_empty() {
+        "null".to_owned()
+    } else {
+        format!(
+            "{{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+            h.count(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max()
+        )
+    }
+}
+
+/// The stages the `obs` block reports, in pipeline order.
+const OBS_STAGES: [Stage; 10] = [
+    Stage::Ingest,
+    Stage::Route,
+    Stage::Enqueue,
+    Stage::ReorderRelease,
+    Stage::ScopePrune,
+    Stage::Evaluate,
+    Stage::WalAppend,
+    Stage::WalFsync,
+    Stage::BarrierWait,
+    Stage::NotifyFoldback,
+];
+
+/// The telemetry workload: the synthetic stream with the full pipeline
+/// instrumented (WAL on, periodic syncs so the barrier is exercised)
+/// at 1 vs 4 shards, then the hotspot scenario through the engine
+/// backend with `telemetry_dir` — where the barrier + notify fold-back
+/// share of the engine's wall time makes ROADMAP item 5's anti-scaling
+/// measurable. Returns the `obs` JSON block for `BENCH_engine.json`.
+fn obs_mode() -> String {
+    const OBS_INSTANCES: usize = 60_000;
+    const SYNC_EVERY: usize = 4_096;
+    println!("\n-- obs mode: live telemetry + stage latency breakdown --\n");
+    let obs_root = std::env::temp_dir().join(format!("stem-bench-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&obs_root);
+    let instances: Vec<EventInstance> =
+        synthetic_stream().into_iter().take(OBS_INSTANCES).collect();
+
+    let mut micro_blocks = Vec::new();
+    for shards in [1usize, 4] {
+        let export = obs_root.join(format!("micro-{shards}.jsonl"));
+        let mut engine = Engine::start(
+            EngineConfig::new(bounds())
+                .with_shards(shards)
+                .with_batch_size(256)
+                .with_queue_capacity(32)
+                .with_watermark_slack(Duration::new(16))
+                .with_durability(Durability::Wal {
+                    dir: obs_root.join(format!("wal-{shards}")),
+                    fsync: FsyncPolicy::EveryN(256),
+                })
+                .with_telemetry(
+                    TelemetryPolicy::every_batches(32)
+                        .with_ring(256)
+                        .with_export(&export),
+                ),
+        );
+        let collector = Collector::new();
+        register_subscriptions(&mut engine, &collector);
+        for (i, inst) in instances.iter().enumerate() {
+            engine.ingest(inst.clone());
+            // A live driver syncs periodically: exercise the barrier so
+            // `barrier_wait` has samples.
+            if (i + 1) % SYNC_EVERY == 0 {
+                engine.sync();
+            }
+        }
+        let report = engine.finish();
+        let obs = report.obs.as_ref().expect("telemetry was on");
+        let export_lines = validate_export(&export);
+        assert!(!obs.snapshots.is_empty(), "the snapshot ring is populated");
+        for stage in [
+            Stage::Ingest,
+            Stage::Route,
+            Stage::Enqueue,
+            Stage::ReorderRelease,
+            Stage::ScopePrune,
+            Stage::Evaluate,
+            Stage::WalAppend,
+            Stage::WalFsync,
+            Stage::BarrierWait,
+        ] {
+            assert!(
+                !obs.merged.stage(stage).is_empty(),
+                "stage {} must have samples",
+                stage.name()
+            );
+        }
+        let lag = obs
+            .merged
+            .hist("watermark_lag")
+            .expect("watermark lag histogram");
+        let mut table = Table::new(vec![
+            "stage", "count", "p50_ns", "p90_ns", "p99_ns", "max_ns",
+        ]);
+        for stage in OBS_STAGES {
+            let h = obs.merged.stage(stage);
+            if h.is_empty() {
+                continue;
+            }
+            table.row(vec![
+                stage.name().to_string(),
+                h.count().to_string(),
+                h.p50().to_string(),
+                h.p90().to_string(),
+                h.p99().to_string(),
+                h.max().to_string(),
+            ]);
+        }
+        println!(
+            "micro, {shards} shard(s): {:.0} instances/sec, {export_lines} export \
+             lines, watermark lag p99 {} max {}",
+            report.throughput(),
+            lag.p99(),
+            lag.max(),
+        );
+        table.print();
+        let stages = OBS_STAGES
+            .iter()
+            .map(|&s| format!("\"{}\": {}", s.name(), stage_json(&obs.merged, s)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        micro_blocks.push(format!(
+            "      {{\"shards\": {shards}, \"instances_per_sec\": {:.0}, \
+             \"export_lines\": {export_lines}, \"watermark_lag_p99\": {}, \
+             \"stages\": {{{stages}}}}}",
+            report.throughput(),
+            lag.p99(),
+        ));
+    }
+
+    // The scenario leg: the production path where every delivery syncs,
+    // so the barrier + fold-back cost dominates as shards go up (the
+    // anti-scaling ROADMAP item 5 records).
+    const OBS_SCENARIO_SEED: u64 = 7171;
+    let (config, app) = hotspot_scenario(OBS_SCENARIO_SEED);
+    let mut scenario_blocks = Vec::new();
+    for shards in [1usize, 4] {
+        let dir = obs_root.join(format!("scenario-{shards}"));
+        let run_config = ScenarioConfig {
+            backend: EvalBackend::Engine {
+                shards,
+                deterministic: false,
+            },
+            telemetry_dir: Some(dir.to_string_lossy().into_owned()),
+            ..config.clone()
+        };
+        let run = CpsSystem::run(run_config, app.clone());
+        let engine = run.engine.expect("engine report");
+        let obs = engine.obs.as_ref().expect("telemetry was on");
+        validate_export(&dir.join("telemetry.jsonl"));
+        let elapsed_ns = engine.elapsed.as_nanos() as f64;
+        let barrier_ns = obs.merged.stage(Stage::BarrierWait).sum() as f64;
+        let foldback_ns = obs.merged.stage(Stage::NotifyFoldback).sum() as f64;
+        let share = (barrier_ns + foldback_ns) / elapsed_ns.max(1.0);
+        println!(
+            "scenario, {shards} shard(s): engine wall {:.1} ms, barrier wait \
+             {:.1} ms, notify fold-back {:.1} ms — {:.1}% of engine time at the \
+             barrier or folding back",
+            elapsed_ns / 1e6,
+            barrier_ns / 1e6,
+            foldback_ns / 1e6,
+            100.0 * share,
+        );
+        scenario_blocks.push(format!(
+            "      {{\"shards\": {shards}, \"engine_elapsed_ms\": {:.1}, \
+             \"barrier_wait_ms\": {:.1}, \"notify_foldback_ms\": {:.1}, \
+             \"barrier_foldback_share\": {share:.4}}}",
+            elapsed_ns / 1e6,
+            barrier_ns / 1e6,
+            foldback_ns / 1e6,
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&obs_root);
+
+    let mut block = String::from("{\n");
+    block.push_str(&format!(
+        "    \"workload\": \"{OBS_INSTANCES} synthetic instances (wal + periodic \
+         sync) and the hotspot scenario, stage latency via stem-obs\",\n"
+    ));
+    block.push_str(&format!("    \"schema\": {},\n", stem_obs::SCHEMA_VERSION));
+    block.push_str("    \"exporter_valid\": true,\n");
+    block.push_str("    \"micro\": [\n");
+    block.push_str(&micro_blocks.join(",\n"));
+    block.push_str("\n    ],\n");
+    block.push_str("    \"scenario\": [\n");
+    block.push_str(&scenario_blocks.join(",\n"));
+    block.push_str("\n    ]\n");
+    block.push_str("  }");
+    block
+}
+
 /// Registers the bench subscription grid on a recovery (original
 /// registration order, same as [`register_subscriptions`]).
 fn register_subscriptions_recovery(recovery: &mut stem_engine::Recovery, collector: &Collector) {
@@ -944,6 +1178,7 @@ fn main() {
     let wal_only = std::env::args().any(|a| a == "wal");
     let snap_only = std::env::args().any(|a| a == "snap");
     let scoped_only = std::env::args().any(|a| a == "scoped");
+    let obs_only = std::env::args().any(|a| a == "obs");
     banner(
         "BENCH-ENGINE",
         "streaming engine ingest throughput vs. shard count",
@@ -972,6 +1207,11 @@ fn main() {
     if scoped_only {
         let block = scoped_mode();
         merge_block("scoped", &block);
+        return;
+    }
+    if obs_only {
+        let block = obs_mode();
+        merge_block("obs", &block);
         return;
     }
     let instances = synthetic_stream();
@@ -1072,4 +1312,6 @@ fn main() {
     merge_block("snap", &block);
     let block = scoped_mode();
     merge_block("scoped", &block);
+    let block = obs_mode();
+    merge_block("obs", &block);
 }

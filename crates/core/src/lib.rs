@@ -55,6 +55,7 @@ mod instance;
 mod layers;
 mod observer;
 mod pump;
+pub mod timing;
 
 pub use attr::{AttrAggregate, AttrValue, Attributes, RelationalOp};
 pub use codec::StateCodec;

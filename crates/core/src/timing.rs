@@ -1,0 +1,148 @@
+//! The timing seam telemetry spans are measured through.
+//!
+//! The engine's observability layer (`stem-obs`) times pipeline stages
+//! with start/stop span pairs. In threaded production runs those spans
+//! should be wall-clock nanoseconds — but the engine's deterministic
+//! mode promises bit-for-bit reproducible output, and that promise
+//! extends to exported telemetry: two deterministic runs over the same
+//! stream must write identical snapshot files. Wall time can never do
+//! that, so deterministic runs measure spans in *virtual ticks*
+//! instead: a counter that advances by one at every clock event. A
+//! span's "duration" is then the number of clock events it enclosed —
+//! a deterministic function of the instruction stream, not of the
+//! machine's load.
+//!
+//! [`Clock`] is that seam. Callers hold whichever variant matches their
+//! execution mode and never branch on it again:
+//!
+//! ```
+//! use stem_core::timing::Clock;
+//!
+//! let clock = Clock::virtual_ticks();
+//! let token = clock.start();
+//! // ... the work being measured ...
+//! let nanos = clock.elapsed(&token);
+//! assert_eq!(nanos, 1, "a leaf span encloses exactly its own stop event");
+//! ```
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// A monotonic span clock: wall-clock nanoseconds in threaded runs,
+/// deterministic virtual ticks in deterministic runs.
+///
+/// The clock is intentionally *not* shared across threads — each worker
+/// owns one, so virtual tick streams are per-shard-deterministic and
+/// wall clocks never contend.
+#[derive(Debug)]
+pub enum Clock {
+    /// Real elapsed time ([`Instant`]); span durations in nanoseconds.
+    Wall,
+    /// A virtual event counter; span durations count the clock events
+    /// (starts and stops) the span enclosed. Reproducible.
+    Virtual(Cell<u64>),
+}
+
+/// An open span: the moment [`Clock::start`] was called.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanToken {
+    wall: Option<Instant>,
+    virt: u64,
+}
+
+impl Clock {
+    /// A wall-clock span clock.
+    #[must_use]
+    pub fn wall() -> Self {
+        Clock::Wall
+    }
+
+    /// A deterministic virtual-tick span clock.
+    #[must_use]
+    pub fn virtual_ticks() -> Self {
+        Clock::Virtual(Cell::new(0))
+    }
+
+    /// Whether this clock measures virtual ticks (deterministic mode).
+    #[must_use]
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Clock::Virtual(_))
+    }
+
+    /// Opens a span.
+    #[must_use]
+    pub fn start(&self) -> SpanToken {
+        match self {
+            Clock::Wall => SpanToken {
+                wall: Some(Instant::now()),
+                virt: 0,
+            },
+            Clock::Virtual(counter) => {
+                let now = counter.get().wrapping_add(1);
+                counter.set(now);
+                SpanToken {
+                    wall: None,
+                    virt: now,
+                }
+            }
+        }
+    }
+
+    /// Closes a span: elapsed nanoseconds (wall) or enclosed clock
+    /// events (virtual — at least 1, counting this stop itself).
+    #[must_use]
+    pub fn elapsed(&self, token: &SpanToken) -> u64 {
+        match self {
+            Clock::Wall => token.wall.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }),
+            Clock::Virtual(counter) => {
+                let now = counter.get().wrapping_add(1);
+                counter.set(now);
+                now.saturating_sub(token.virt)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_spans_count_enclosed_events() {
+        let clock = Clock::virtual_ticks();
+        let outer = clock.start();
+        let inner = clock.start();
+        assert_eq!(clock.elapsed(&inner), 1, "leaf span: its own stop only");
+        assert_eq!(
+            clock.elapsed(&outer),
+            3,
+            "outer span encloses the inner start, stop, and its own stop"
+        );
+    }
+
+    #[test]
+    fn virtual_streams_are_reproducible() {
+        let run = || {
+            let clock = Clock::virtual_ticks();
+            (0..10)
+                .map(|_| {
+                    let t = clock.start();
+                    clock.elapsed(&t)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wall_spans_are_monotone() {
+        let clock = Clock::wall();
+        assert!(!clock.is_virtual());
+        let t = clock.start();
+        let a = clock.elapsed(&t);
+        let b = clock.elapsed(&t);
+        assert!(b >= a, "elapsed never goes backwards");
+    }
+}

@@ -27,13 +27,16 @@ use crate::scenario::ScenarioConfig;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
+use stem_core::timing::Clock;
 use stem_core::{
     ConditionObserver, EventId, EventInstance, InstancePump, Layer, PumpEvent, PumpOutput,
 };
 use stem_engine::{
     Collector, Engine, EngineConfig, EngineReport, EventSink, NotificationKind, SilenceSpec,
-    Subscription, SubscriptionId, SustainedValue,
+    Subscription, SubscriptionId, SustainedValue, TelemetryPolicy,
 };
+use stem_obs::{ObsRegistry, Stage};
 use stem_spatial::{Field, Point, Rect, SpatialExtent};
 use stem_temporal::TimePoint;
 
@@ -357,6 +360,10 @@ struct EngineShared {
     /// sustained notifications back into instances).
     sustained_outputs: BTreeMap<u64, EventId>,
     report: Option<EngineReport>,
+    /// The engine's telemetry registry plus the driver's own span clock
+    /// (None with telemetry off): fold-back cost is recorded into the
+    /// registry's external slot as `notify_foldback`.
+    obs: Option<(Arc<ObsRegistry>, Clock)>,
 }
 
 impl EngineShared {
@@ -365,6 +372,7 @@ impl EngineShared {
     /// for a single fed instance this reproduces the DES path's
     /// detector-list evaluation order whatever shard the work ran on.
     fn drain(&mut self) -> PumpOutput {
+        let token = self.obs.as_ref().map(|(_, clock)| clock.start());
         let mut notes = self.collector.take();
         notes.sort_by_key(|n| n.subscription.raw());
         let mut out = PumpOutput::default();
@@ -383,6 +391,10 @@ impl EngineShared {
                 // Station subscriptions are all pattern or sustained.
                 NotificationKind::Match(_) => {}
             }
+        }
+        if let (Some((registry, clock)), Some(token)) = (self.obs.as_ref(), token) {
+            let elapsed = clock.elapsed(&token);
+            registry.with_external(|r| r.record_stage(Stage::NotifyFoldback, elapsed));
         }
         out
     }
@@ -427,7 +439,25 @@ impl EnginePump {
                     engine_config.with_checkpoint(stem_engine::CheckpointPolicy::EveryTicks(ticks));
             }
         }
+        if let Some(dir) = &config.telemetry_dir {
+            // Live telemetry: sample the registry as batches go out and
+            // export JSON lines next to whatever else the run writes.
+            let export = std::path::Path::new(dir).join("telemetry.jsonl");
+            engine_config = engine_config.with_telemetry(
+                TelemetryPolicy::every_batches(256)
+                    .with_ring(512)
+                    .with_export(export),
+            );
+        }
         let mut engine = Engine::start(engine_config);
+        let obs = engine.obs().map(|registry| {
+            let clock = if deterministic {
+                Clock::virtual_ticks()
+            } else {
+                Clock::wall()
+            };
+            (registry, clock)
+        });
         let collector = Collector::new();
         let scopes = station_scopes(config, app);
         let subs = engine_subscriptions(app, sink_observer, ccu_observer, world, &scopes, || {
@@ -451,6 +481,7 @@ impl EnginePump {
                 sustained_ids,
                 sustained_outputs,
                 report: None,
+                obs,
             })),
         }
     }

@@ -134,6 +134,13 @@ pub struct ScenarioConfig {
     /// long run may no longer support full-history re-analysis via
     /// [`crate::replay_recorded`] (which requires a gap-free stream).
     pub checkpoint_every_ticks: Option<u64>,
+    /// Sample live telemetry during the run and export it as JSON
+    /// lines to `<telemetry_dir>/telemetry.jsonl` (engine backend
+    /// only): per-stage latency histograms, watermark lag, queue
+    /// depths — the `stem-obs` registry wired through the scenario's
+    /// station pumps. Deterministic scenario runs are bit-identical
+    /// with this on or off.
+    pub telemetry_dir: Option<String>,
 }
 
 impl Default for ScenarioConfig {
@@ -166,6 +173,7 @@ impl Default for ScenarioConfig {
             backend: EvalBackend::Des,
             record_dir: None,
             checkpoint_every_ticks: None,
+            telemetry_dir: None,
         }
     }
 }
@@ -239,6 +247,19 @@ impl ScenarioConfig {
                  a recorded log prefix)"
                     .to_owned(),
             ),
+            _ => {}
+        }
+        match &self.telemetry_dir {
+            Some(dir) if dir.is_empty() => {
+                problems.push("telemetry_dir must be a non-empty path".to_owned());
+            }
+            Some(_) if self.backend == EvalBackend::Des => {
+                problems.push(
+                    "telemetry_dir requires the engine backend (the obs registry \
+                     instruments the engine's pipeline stages)"
+                        .to_owned(),
+                );
+            }
             _ => {}
         }
         problems
@@ -318,6 +339,23 @@ mod tests {
         };
         assert!(cfg.validate().iter().any(|p| p.contains("non-empty")));
         cfg.record_dir = Some("/tmp/run".to_owned());
+        assert!(cfg.validate().is_empty());
+        cfg.backend = EvalBackend::Des;
+        assert!(cfg.validate().iter().any(|p| p.contains("engine backend")));
+    }
+
+    #[test]
+    fn telemetry_dir_is_validated() {
+        let mut cfg = ScenarioConfig {
+            telemetry_dir: Some(String::new()),
+            backend: EvalBackend::Engine {
+                shards: 2,
+                deterministic: true,
+            },
+            ..ScenarioConfig::default()
+        };
+        assert!(cfg.validate().iter().any(|p| p.contains("non-empty")));
+        cfg.telemetry_dir = Some("/tmp/run-obs".to_owned());
         assert!(cfg.validate().is_empty());
         cfg.backend = EvalBackend::Des;
         assert!(cfg.validate().iter().any(|p| p.contains("engine backend")));

@@ -44,6 +44,75 @@ pub enum CheckpointPolicy {
     EveryTicks(u64),
 }
 
+/// Whether (and how often) the engine samples its telemetry registry
+/// (see `stem-obs`). Sampling is off by default: with
+/// [`TelemetryPolicy::Off`] no registry exists and the hot path pays
+/// nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryPolicy {
+    /// No telemetry: no registry, no recorders, zero overhead.
+    Off,
+    /// Record stage spans and counters, and cut a registry snapshot
+    /// every `every_batches` batches handed to shard workers (plus one
+    /// final snapshot at shutdown).
+    Sampled {
+        /// Batches between registry snapshots (>= 1).
+        every_batches: u64,
+        /// In-memory snapshot ring capacity (>= 1).
+        ring: usize,
+        /// Optional JSON-lines exporter file: one snapshot per line,
+        /// versioned schema (see `stem_obs::ObsSnapshot::to_json_line`).
+        export: Option<PathBuf>,
+    },
+}
+
+impl TelemetryPolicy {
+    /// A sampled policy with the default ring (256 snapshots) and no
+    /// exporter file.
+    #[must_use]
+    pub fn every_batches(n: u64) -> Self {
+        TelemetryPolicy::Sampled {
+            every_batches: n,
+            ring: 256,
+            export: None,
+        }
+    }
+
+    /// Attaches a JSON-lines exporter file (no-op on [`TelemetryPolicy::Off`]).
+    #[must_use]
+    pub fn with_export(self, path: impl Into<PathBuf>) -> Self {
+        match self {
+            TelemetryPolicy::Off => TelemetryPolicy::Off,
+            TelemetryPolicy::Sampled {
+                every_batches,
+                ring,
+                ..
+            } => TelemetryPolicy::Sampled {
+                every_batches,
+                ring,
+                export: Some(path.into()),
+            },
+        }
+    }
+
+    /// Sets the snapshot ring capacity (no-op on [`TelemetryPolicy::Off`]).
+    #[must_use]
+    pub fn with_ring(self, capacity: usize) -> Self {
+        match self {
+            TelemetryPolicy::Off => TelemetryPolicy::Off,
+            TelemetryPolicy::Sampled {
+                every_batches,
+                export,
+                ..
+            } => TelemetryPolicy::Sampled {
+                every_batches,
+                ring: capacity,
+                export,
+            },
+        }
+    }
+}
+
 /// What the router does when a shard's bounded input queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackpressurePolicy {
@@ -136,6 +205,9 @@ pub struct EngineConfig {
     /// identically — the threshold only trades build cost against scan
     /// cost.
     pub interest_bvh_threshold: usize,
+    /// Whether (and how often) the telemetry registry is sampled (see
+    /// [`TelemetryPolicy`]). Off by default.
+    pub telemetry: TelemetryPolicy,
 }
 
 impl EngineConfig {
@@ -157,7 +229,15 @@ impl EngineConfig {
             checkpoint: CheckpointPolicy::Never,
             snapshot_retain: 2,
             interest_bvh_threshold: 16,
+            telemetry: TelemetryPolicy::Off,
         }
+    }
+
+    /// Sets the telemetry sampling policy.
+    #[must_use]
+    pub fn with_telemetry(mut self, policy: TelemetryPolicy) -> Self {
+        self.telemetry = policy;
+        self
     }
 
     /// Journals the ingest stream to per-shard write-ahead logs under
@@ -305,6 +385,22 @@ impl EngineConfig {
         if self.checkpoint != CheckpointPolicy::Never && self.snapshot_retain < 2 {
             problems.push("snapshot_retain must be >= 2 (compaction fallback safety)".to_string());
         }
+        if let TelemetryPolicy::Sampled {
+            every_batches,
+            ring,
+            export,
+        } = &self.telemetry
+        {
+            if *every_batches == 0 {
+                problems.push("telemetry sampling cadence must be >= 1 batch".to_string());
+            }
+            if *ring == 0 {
+                problems.push("telemetry snapshot ring must hold >= 1 snapshot".to_string());
+            }
+            if export.as_ref().is_some_and(|p| p.as_os_str().is_empty()) {
+                problems.push("telemetry export path must be non-empty".to_string());
+            }
+        }
         problems
     }
 }
@@ -380,6 +476,41 @@ mod tests {
         assert!(cfg.validate().is_empty());
         // Never + no WAL stays valid (the default).
         assert!(EngineConfig::new(bounds()).validate().is_empty());
+    }
+
+    #[test]
+    fn telemetry_policy_is_validated() {
+        // Off is the default and always valid.
+        assert_eq!(EngineConfig::new(bounds()).telemetry, TelemetryPolicy::Off);
+        // Zero cadence, zero ring, and an empty export path are each
+        // rejected.
+        let cfg = EngineConfig::new(bounds()).with_telemetry(TelemetryPolicy::Sampled {
+            every_batches: 0,
+            ring: 0,
+            export: Some(PathBuf::new()),
+        });
+        assert_eq!(cfg.validate().len(), 3);
+        // A well-formed sampled policy passes; the builder helpers
+        // compose.
+        let cfg = EngineConfig::new(bounds()).with_telemetry(
+            TelemetryPolicy::every_batches(64)
+                .with_ring(8)
+                .with_export("/tmp/telemetry.jsonl"),
+        );
+        assert!(cfg.validate().is_empty());
+        assert!(matches!(
+            cfg.telemetry,
+            TelemetryPolicy::Sampled {
+                every_batches: 64,
+                ring: 8,
+                export: Some(_),
+            }
+        ));
+        // The helpers stay no-ops on Off.
+        assert_eq!(
+            TelemetryPolicy::Off.with_ring(9).with_export("/tmp/x"),
+            TelemetryPolicy::Off
+        );
     }
 
     #[test]

@@ -3,19 +3,37 @@
 
 use crate::config::{
     BackpressurePolicy, CheckpointPolicy, Durability, EngineConfig, ExecutionMode, ShardId,
+    TelemetryPolicy,
 };
 use crate::metrics::EngineReport;
 use crate::router::ShardRouter;
 use crate::shard_map::ShardMap;
 use crate::subscription::{Subscription, SubscriptionId};
-use crate::worker::{ShardMessage, ShardWorker, SnapContext, SubscriptionState};
+use crate::worker::{ShardMessage, ShardWorker, SnapContext, SubscriptionState, WorkerObs};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+use stem_core::timing::{Clock, SpanToken};
 use stem_core::{EventInstance, InstanceSource};
+use stem_obs::{ObsRegistry, Recorder, Stage};
 use stem_snap::ShardSnapshot;
 use stem_temporal::TimePoint;
 use stem_wal::{read_shard_tail, wal_shards, RecoveredShard, ShardWal, WalRecord};
+
+/// The engine thread's telemetry state: its own recorder (routing and
+/// barrier spans), the sampling cadence, and the per-shard sent-message
+/// counters the registry turns into queue-depth gauges.
+struct EngineObs {
+    registry: Arc<ObsRegistry>,
+    clock: Clock,
+    recorder: Recorder,
+    every_batches: u64,
+    batches_since_sample: u64,
+    /// Messages sent per shard (queue depth = sent − the shard's
+    /// published `msgs_processed`).
+    sent: Vec<u64>,
+}
 
 /// How shard workers are driven.
 enum Backend {
@@ -57,6 +75,8 @@ pub struct Engine {
     /// ([`CheckpointPolicy::EveryTicks`]).
     checkpoint_high_water: Option<TimePoint>,
     started: Instant,
+    /// Telemetry state (None with [`TelemetryPolicy::Off`]).
+    obs: Option<EngineObs>,
 }
 
 impl Engine {
@@ -72,6 +92,21 @@ impl Engine {
         assert!(problems.is_empty(), "invalid EngineConfig: {problems:?}");
         let map = ShardMap::build(config.world_bounds, config.shard_count);
         let router = ShardRouter::new(map, config.batch_size, config.interest_bvh_threshold);
+        // Deterministic runs time spans on per-producer virtual clocks
+        // (each span counts the clock events it encloses), so the
+        // telemetry output itself is bit-reproducible; threaded runs
+        // use wall nanos.
+        let make_clock = || match config.mode {
+            ExecutionMode::Deterministic => Clock::virtual_ticks(),
+            ExecutionMode::Threaded => Clock::wall(),
+        };
+        let registry = match &config.telemetry {
+            TelemetryPolicy::Off => None,
+            TelemetryPolicy::Sampled { ring, export, .. } => Some(Arc::new(
+                ObsRegistry::new(config.shard_count, *ring, export.as_deref())
+                    .unwrap_or_else(|e| panic!("open telemetry exporter: {e}")),
+            )),
+        };
         let make_worker = |shard: ShardId| {
             let (wal, snap) = match &config.durability {
                 Durability::None => (None, None),
@@ -86,12 +121,16 @@ impl Engine {
                     }),
                 ),
             };
+            let worker_obs = registry
+                .as_ref()
+                .map(|r| WorkerObs::new(Arc::clone(r), make_clock()));
             ShardWorker::new(
                 shard,
                 config.watermark_slack,
                 wal,
                 snap,
                 config.wal_checkpoint_every,
+                worker_obs,
             )
         };
         let backend = match config.mode {
@@ -115,6 +154,20 @@ impl Engine {
             }
         };
         let dirty = vec![false; config.shard_count];
+        let obs = registry.map(|registry| {
+            let every_batches = match &config.telemetry {
+                TelemetryPolicy::Sampled { every_batches, .. } => (*every_batches).max(1),
+                TelemetryPolicy::Off => unreachable!("registry implies Sampled"),
+            };
+            EngineObs {
+                registry,
+                clock: make_clock(),
+                recorder: Recorder::new(),
+                every_batches,
+                batches_since_sample: 0,
+                sent: vec![0; config.shard_count],
+            }
+        });
         Engine {
             config,
             router,
@@ -126,7 +179,65 @@ impl Engine {
             batches_since_checkpoint: 0,
             checkpoint_high_water: None,
             started: Instant::now(),
+            obs,
         }
+    }
+
+    /// The live telemetry registry, for out-of-band consumers (a
+    /// `stemtop`-style monitor polling [`ObsRegistry::latest`], or the
+    /// scenario driver recording its fold-back spans). `None` with
+    /// [`TelemetryPolicy::Off`].
+    #[must_use]
+    pub fn obs(&self) -> Option<Arc<ObsRegistry>> {
+        self.obs.as_ref().map(|o| Arc::clone(&o.registry))
+    }
+
+    /// Opens an engine-thread telemetry span.
+    fn obs_span(&self) -> Option<SpanToken> {
+        self.obs.as_ref().map(|o| o.clock.start())
+    }
+
+    /// Closes an engine-thread telemetry span: one histogram sample.
+    fn obs_record(&mut self, stage: Stage, token: Option<SpanToken>) {
+        if let (Some(o), Some(t)) = (self.obs.as_mut(), token) {
+            let elapsed = o.clock.elapsed(&t);
+            o.recorder.record_stage(stage, elapsed);
+        }
+    }
+
+    /// Cuts a telemetry snapshot if enough batches went out since the
+    /// last one: refreshes the engine gauges from the router's live
+    /// counters, publishes the engine recorder, and has the registry
+    /// merge every slot into the ring (and the exporter, if attached).
+    fn maybe_sample(&mut self) {
+        let due = self
+            .obs
+            .as_ref()
+            .is_some_and(|o| o.batches_since_sample >= o.every_batches);
+        if due {
+            self.sample();
+        }
+    }
+
+    /// Unconditionally cuts a telemetry snapshot (no-op with telemetry
+    /// off).
+    fn sample(&mut self) {
+        let high_water = self.router.high_water();
+        let router_metrics = self.router.metrics();
+        let routed = router_metrics.routed;
+        let fanout = router_metrics.fanout;
+        let bvh_nodes = router_metrics.bvh_nodes_visited;
+        let precision_skipped = router_metrics.precision_skipped;
+        let Some(o) = self.obs.as_mut() else {
+            return;
+        };
+        o.batches_since_sample = 0;
+        o.recorder.set_gauge("routed", routed);
+        o.recorder.set_gauge("fanout", fanout);
+        o.recorder.set_gauge("bvh_nodes", bvh_nodes);
+        o.recorder.set_gauge("precision_skipped", precision_skipped);
+        o.registry.publish_engine(&o.recorder);
+        let _ = o.registry.sample(high_water.map(TimePoint::ticks), &o.sent);
     }
 
     /// The configuration the engine runs with.
@@ -176,11 +287,16 @@ impl Engine {
     /// Ingests one instance: routes it (owner shard + broadcast to
     /// interested shards) and hands off any batch that filled up.
     pub fn ingest(&mut self, instance: EventInstance) {
+        let ingest_token = self.obs_span();
+        let route_token = self.obs_span();
         let full = self.router.route(instance);
+        self.obs_record(Stage::Route, route_token);
         for shard in full {
             self.flush_shard(shard);
         }
+        self.obs_record(Stage::Ingest, ingest_token);
         self.maybe_checkpoint();
+        self.maybe_sample();
     }
 
     /// Ingests one instance with an explicit observer-local evaluation
@@ -189,11 +305,16 @@ impl Engine {
     /// ingest path, where instances arrive (and are evaluated) later
     /// than they were generated upstream.
     pub fn ingest_at(&mut self, instance: EventInstance, at: TimePoint) {
+        let ingest_token = self.obs_span();
+        let route_token = self.obs_span();
         let full = self.router.route_at(instance, Some(at));
+        self.obs_record(Stage::Route, route_token);
         for shard in full {
             self.flush_shard(shard);
         }
+        self.obs_record(Stage::Ingest, ingest_token);
         self.maybe_checkpoint();
+        self.maybe_sample();
     }
 
     /// Ingests an entire stream.
@@ -502,6 +623,7 @@ impl Engine {
         let seq = self.router.take_seq();
         self.send(home, ShardMessage::SilenceProbe { id, at, seq });
         self.maybe_checkpoint();
+        self.maybe_sample();
         true
     }
 
@@ -569,8 +691,12 @@ impl Engine {
         // In threaded mode this blocks until every worker has written
         // its snapshot; inline workers already ran synchronously and
         // their acks are queued. Either way the barrier is total, so
-        // every shard is clean afterwards.
+        // every shard is clean afterwards. The wait is timed as
+        // `barrier_wait` (the workers time their snapshot writes as
+        // `snapshot_cut` on their own clocks).
+        let token = self.obs_span();
         while done.recv().is_ok() {}
+        self.obs_record(Stage::BarrierWait, token);
         self.dirty.fill(false);
         self.batches_since_checkpoint = 0;
         self.checkpoint_high_water = high_water;
@@ -596,6 +722,7 @@ impl Engine {
         self.flush();
         if let Backend::Threaded { senders, .. } = &self.backend {
             let (ack, done) = std::sync::mpsc::channel();
+            let mut synced = 0u64;
             for (shard, sender) in senders.iter().enumerate() {
                 if !self.dirty[shard] {
                     continue;
@@ -603,9 +730,23 @@ impl Engine {
                 sender
                     .send(ShardMessage::Sync(ack.clone()))
                     .unwrap_or_else(|_| panic!("shard {shard} worker terminated"));
+                synced += 1;
+            }
+            if let Some(o) = self.obs.as_mut() {
+                for (shard, dirty) in self.dirty.iter().enumerate() {
+                    if *dirty {
+                        o.sent[shard] += 1;
+                    }
+                }
             }
             drop(ack);
+            // The cost ROADMAP item 5's anti-scaling hides in: the
+            // engine thread stalled at the barrier while every dirty
+            // shard drains. One `barrier_wait` sample per sync that
+            // actually waited.
+            let token = if synced > 0 { self.obs_span() } else { None };
             while done.recv().is_ok() {}
+            self.obs_record(Stage::BarrierWait, token);
         }
         self.dirty.fill(false);
     }
@@ -653,7 +794,13 @@ impl Engine {
 
     /// Joins the workers and assembles the report.
     fn shutdown(mut self) -> EngineReport {
-        let shards = match self.backend {
+        let shards: Vec<crate::metrics::ShardMetrics> = match std::mem::replace(
+            &mut self.backend,
+            Backend::Threaded {
+                senders: Vec::new(),
+                handles: Vec::new(),
+            },
+        ) {
             Backend::Inline(workers) => workers.into_iter().map(ShardWorker::finish).collect(),
             Backend::Threaded { senders, handles } => {
                 // Closing the channels ends the worker loops; each
@@ -665,10 +812,15 @@ impl Engine {
                     .collect()
             }
         };
+        // Workers are joined (every slot holds its final publish):
+        // cut the closing snapshot, then fold the registry down.
+        self.sample();
+        let obs = self.obs.take().map(|o| o.registry.report());
         EngineReport {
             shards,
             router: self.router.take_metrics(),
             elapsed: self.started.elapsed(),
+            obs,
         }
     }
 
@@ -681,11 +833,23 @@ impl Engine {
         }
         let batch = self.router.take_batch(shard);
         self.batches_since_checkpoint += 1;
+        if let Some(o) = self.obs.as_mut() {
+            o.batches_since_sample += 1;
+        }
+        // `enqueue` is the handoff cost: the channel send (plus
+        // backpressure blocking) in threaded mode, the whole inline
+        // evaluation in deterministic mode (where spans count virtual
+        // clock events, not time).
+        let token = self.obs_span();
         self.send(shard, ShardMessage::Batch(batch));
+        self.obs_record(Stage::Enqueue, token);
     }
 
     fn send(&mut self, shard: ShardId, message: ShardMessage) {
         self.dirty[shard] = true;
+        if let Some(o) = self.obs.as_mut() {
+            o.sent[shard] += 1;
+        }
         match &mut self.backend {
             Backend::Inline(workers) => workers[shard].handle(message),
             Backend::Threaded { senders, .. } => match self.config.backpressure {
@@ -700,6 +864,11 @@ impl Engine {
                         // semantics, so block for those.
                         if matches!(dropped, ShardMessage::Batch(_)) {
                             self.router.note_dropped_batch();
+                            // Never delivered: keep the queue-depth
+                            // arithmetic honest.
+                            if let Some(o) = self.obs.as_mut() {
+                                o.sent[shard] -= 1;
+                            }
                         } else {
                             senders[shard]
                                 .send(dropped)

@@ -94,6 +94,7 @@ mod worker;
 pub use batch::Batch;
 pub use config::{
     BackpressurePolicy, CheckpointPolicy, Durability, EngineConfig, ExecutionMode, ShardId,
+    TelemetryPolicy,
 };
 pub use engine::{Engine, RecoverError, Recovery, RecoveryStats};
 pub use metrics::{EngineReport, RouterMetrics, ShardMetrics, SnapMetrics, WalMetrics};

@@ -153,6 +153,11 @@ pub struct EngineReport {
     pub router: RouterMetrics,
     /// Wall-clock time from engine start to finish.
     pub elapsed: std::time::Duration,
+    /// The telemetry registry folded down at shutdown: the merged
+    /// recorder (stage-span histograms, counters, gauges) plus the
+    /// snapshot ring. `None` when the run had
+    /// [`crate::TelemetryPolicy::Off`].
+    pub obs: Option<stem_obs::ObsReport>,
 }
 
 impl EngineReport {
@@ -212,38 +217,98 @@ impl EngineReport {
         total
     }
 
+    /// Folds every counter the run produced — router, per-shard, WAL,
+    /// checkpoint — into one `stem-obs` [`stem_obs::Recorder`]: the
+    /// single source of truth [`EngineReport::summary_line`] renders
+    /// from. When the run sampled telemetry, the live registry's merged
+    /// recorder is the base (so stage histograms and the watermark-lag
+    /// distribution come along); otherwise the counters are folded into
+    /// a fresh one.
+    #[must_use]
+    pub fn fold_counters(&self) -> stem_obs::Recorder {
+        let mut r = self
+            .obs
+            .as_ref()
+            .map(|o| o.merged.clone())
+            .unwrap_or_default();
+        // Counters are authoritative from the end-of-run metrics, not
+        // from whatever the last telemetry publish happened to carry:
+        // overwrite-by-name via a fresh fold.
+        let mut flat = stem_obs::Recorder::new();
+        flat.inc("routed", self.router.routed);
+        flat.inc("fanout", self.router.fanout);
+        flat.inc("owner_only", self.router.owner_only);
+        flat.inc("precision_skipped", self.router.precision_skipped);
+        flat.inc("scoped_subs", self.router.scoped_subscriptions);
+        flat.inc("bvh_nodes", self.router.bvh_nodes_visited);
+        flat.inc("scope_skipped", self.total_scope_skipped());
+        flat.inc("notifications", self.total_notifications());
+        flat.inc("late_dropped", self.total_late_dropped());
+        let wal = self.total_wal();
+        flat.inc("wal_appended", wal.records_appended);
+        flat.inc("wal_bytes", wal.bytes_appended);
+        flat.inc("wal_segments", wal.segments_created);
+        flat.inc("wal_recovered", wal.records_recovered);
+        flat.inc("wal_torn", wal.torn_truncations);
+        flat.inc("wal_deduped", wal.deduped);
+        let snap = self.total_snap();
+        flat.inc("snap_written", snap.snapshots_written);
+        flat.inc("snap_bytes", snap.snapshot_bytes);
+        flat.inc("snap_loaded", snap.snapshots_loaded);
+        flat.inc("snap_tail_skipped", snap.tail_skipped);
+        flat.inc("snap_retired", snap.segments_retired);
+        // `inc` on a fresh recorder then merge would double-count the
+        // registry's own mirrors of these names; none of the names
+        // above are registry counters, so the fold below only *adds*
+        // the authoritative values.
+        r.merge(&flat);
+        r
+    }
+
     /// A one-line run summary for bench / smoke output: routing volume,
-    /// the precision pass's savings, the WAL's durability counters, and
-    /// the checkpoint subsystem's.
+    /// the precision pass's savings (including the scoped-routing
+    /// counters `scoped_subs` / `bvh_nodes` / `scope_skipped`), the
+    /// WAL's durability counters, and the checkpoint subsystem's —
+    /// rendered from the [`EngineReport::fold_counters`] registry so
+    /// every number has exactly one source. With telemetry sampled, the
+    /// watermark-lag p99 from the obs histogram is appended.
     #[must_use]
     pub fn summary_line(&self) -> String {
-        let wal = self.total_wal();
-        let snap = self.total_snap();
-        format!(
+        let r = self.fold_counters();
+        let c = |name: &str| r.counter(name);
+        let mut line = format!(
             "routed={} fanout={} owner_only={} precision_skipped={} scoped_subs={} \
              bvh_nodes={} scope_skipped={} notifications={} \
              late_dropped={} wal[appended={} bytes={} segments={} recovered={} torn={} deduped={}] \
              snap[written={} bytes={} loaded={} tail_skipped={} retired={}]",
-            self.router.routed,
-            self.router.fanout,
-            self.router.owner_only,
-            self.router.precision_skipped,
-            self.router.scoped_subscriptions,
-            self.router.bvh_nodes_visited,
-            self.total_scope_skipped(),
-            self.total_notifications(),
-            self.total_late_dropped(),
-            wal.records_appended,
-            wal.bytes_appended,
-            wal.segments_created,
-            wal.records_recovered,
-            wal.torn_truncations,
-            wal.deduped,
-            snap.snapshots_written,
-            snap.snapshot_bytes,
-            snap.snapshots_loaded,
-            snap.tail_skipped,
-            snap.segments_retired,
-        )
+            c("routed"),
+            c("fanout"),
+            c("owner_only"),
+            c("precision_skipped"),
+            c("scoped_subs"),
+            c("bvh_nodes"),
+            c("scope_skipped"),
+            c("notifications"),
+            c("late_dropped"),
+            c("wal_appended"),
+            c("wal_bytes"),
+            c("wal_segments"),
+            c("wal_recovered"),
+            c("wal_torn"),
+            c("wal_deduped"),
+            c("snap_written"),
+            c("snap_bytes"),
+            c("snap_loaded"),
+            c("snap_tail_skipped"),
+            c("snap_retired"),
+        );
+        if let Some(lag) = r.hist("watermark_lag") {
+            line.push_str(&format!(
+                " obs[watermark_lag_p99={} max={}]",
+                lag.p99(),
+                lag.max()
+            ));
+        }
+        line
     }
 }

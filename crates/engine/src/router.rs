@@ -370,6 +370,13 @@ impl ShardRouter {
         self.metrics.dropped_backpressure += 1;
     }
 
+    /// A live view of the counters (telemetry sampling reads routed /
+    /// fanout / BVH traversal totals mid-run without disturbing them).
+    #[must_use]
+    pub fn metrics(&self) -> &RouterMetrics {
+        &self.metrics
+    }
+
     /// Surrenders the counters.
     pub(crate) fn take_metrics(&mut self) -> RouterMetrics {
         std::mem::take(&mut self.metrics)

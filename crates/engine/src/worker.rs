@@ -8,16 +8,51 @@ use crate::subscription::{
     SustainedValue,
 };
 use std::path::PathBuf;
+use std::sync::Arc;
 use stem_cep::{CompositeDetector, ReorderBuffer, SustainedDetector};
 use stem_core::codec::{self, CodecError, CodecResult, StateCodec};
+use stem_core::timing::{Clock, SpanToken};
 use stem_core::{
     Bindings, CcuId, ConditionExpr, ConditionObserver, EntityName, EventDefinition, EventId,
     EventInstance, Layer, ObserverId,
 };
+use stem_obs::{ObsRegistry, Recorder, Stage};
 use stem_snap::ShardSnapshot;
 use stem_spatial::{Rect, SpatialExtent};
 use stem_temporal::{Duration, TimePoint};
 use stem_wal::{ShardWal, WalRecord};
+
+/// A shard worker's telemetry state: a plain cumulative [`Recorder`]
+/// mutated lock-free on the hot path, a span clock (wall nanos in
+/// threaded runs, deterministic virtual ticks in deterministic runs),
+/// and per-batch stage accumulators flushed into the recorder once per
+/// batch — one histogram sample per stage per batch, not per instance.
+pub(crate) struct WorkerObs {
+    registry: Arc<ObsRegistry>,
+    clock: Clock,
+    recorder: Recorder,
+    /// Nanos (or virtual ticks) accumulated per stage within the
+    /// current batch.
+    acc: [u64; Stage::COUNT],
+    /// Batches since the last publish into the registry slot.
+    batches_since_publish: u64,
+}
+
+impl WorkerObs {
+    /// How many batches may elapse between slot publishes (syncs,
+    /// checkpoints, and shutdown always publish immediately).
+    const PUBLISH_EVERY: u64 = 8;
+
+    pub(crate) fn new(registry: Arc<ObsRegistry>, clock: Clock) -> Self {
+        WorkerObs {
+            registry,
+            clock,
+            recorder: Recorder::new(),
+            acc: [0; Stage::COUNT],
+            batches_since_publish: 0,
+        }
+    }
+}
 
 /// Where a shard writes its checkpoint snapshots and how many epochs it
 /// retains (present whenever the engine has a WAL — manual checkpoints
@@ -303,6 +338,12 @@ pub(crate) struct ShardWorker {
     /// carry no information, so they are not logged).
     logged_high_water: Option<TimePoint>,
     metrics: ShardMetrics,
+    /// Telemetry state (None with [`crate::TelemetryPolicy::Off`]: the
+    /// hot path pays one branch per site and nothing else).
+    obs: Option<WorkerObs>,
+    /// Indices of subscriptions passing the filter pass for the
+    /// instance being dispatched (reused across dispatches).
+    match_scratch: Vec<usize>,
 }
 
 impl ShardWorker {
@@ -312,6 +353,7 @@ impl ShardWorker {
         wal: Option<ShardWal>,
         snap: Option<SnapContext>,
         checkpoint_every: u64,
+        obs: Option<WorkerObs>,
     ) -> Self {
         ShardWorker {
             shard,
@@ -329,10 +371,64 @@ impl ShardWorker {
                 shard,
                 ..ShardMetrics::default()
             },
+            obs,
+            match_scratch: Vec::new(),
+        }
+    }
+
+    /// Opens a telemetry span (None with telemetry off).
+    fn obs_start(&self) -> Option<SpanToken> {
+        self.obs.as_ref().map(|o| o.clock.start())
+    }
+
+    /// Closes a telemetry span into the current batch's accumulator.
+    fn obs_acc(&mut self, stage: Stage, token: Option<SpanToken>) {
+        if let (Some(o), Some(t)) = (self.obs.as_mut(), token) {
+            o.acc[stage.index()] = o.acc[stage.index()].saturating_add(o.clock.elapsed(&t));
+        }
+    }
+
+    /// Flushes the batch's stage accumulators (one histogram sample per
+    /// stage that ran), refreshes the gauges, and publishes the
+    /// recorder into the registry slot when due (or on `force` —
+    /// barriers and shutdown want fresh data).
+    fn obs_flush(&mut self, force: bool) {
+        let pending = self.reorder.pending() as u64;
+        let released = self.reorder.released().saturating_sub(self.probes);
+        let late = self.reorder.late_dropped();
+        let wal_metrics = self.wal.as_ref().map(ShardWal::metrics);
+        let notifications = self.metrics.notifications;
+        let subs = self.subs.len() as u64;
+        let Some(o) = self.obs.as_mut() else {
+            return;
+        };
+        for stage in Stage::ALL {
+            let ns = std::mem::take(&mut o.acc[stage.index()]);
+            if ns > 0 {
+                o.recorder.record_stage(stage, ns);
+            }
+        }
+        o.recorder.set_gauge("reorder_depth", pending);
+        o.recorder.set_gauge("released", released);
+        o.recorder.set_gauge("late_dropped", late);
+        o.recorder.set_gauge("notifications", notifications);
+        o.recorder.set_gauge("subscriptions", subs);
+        if let Some(m) = wal_metrics {
+            o.recorder.set_gauge("wal_bytes", m.bytes);
+            o.recorder.set_gauge("wal_records", m.records);
+            o.recorder.set_gauge("wal_fsyncs", m.syncs);
+        }
+        o.batches_since_publish += 1;
+        if force || o.batches_since_publish >= WorkerObs::PUBLISH_EVERY {
+            o.batches_since_publish = 0;
+            o.registry.publish_shard(self.shard, &o.recorder);
         }
     }
 
     pub(crate) fn handle(&mut self, message: ShardMessage) {
+        if let Some(o) = self.obs.as_mut() {
+            o.recorder.inc("msgs_processed", 1);
+        }
         match message {
             ShardMessage::Batch(batch) => self.process_batch(batch),
             ShardMessage::Subscribe(state) => self.subs.push(*state),
@@ -350,12 +446,18 @@ impl ShardWorker {
                 high_water,
                 ack,
             } => {
+                let token = self.obs_start();
                 self.checkpoint(epoch, next_seq, high_water);
+                self.obs_acc(Stage::SnapshotCut, token);
+                self.obs_flush(true);
                 let _ = ack.send(());
             }
             ShardMessage::EndRecovery => self.reorder.end_recovery(),
             ShardMessage::Finalize(at) => self.finalize(at),
             ShardMessage::Sync(ack) => {
+                // Publish before acknowledging: the engine samples right
+                // after barriers, and stale slots would under-report.
+                self.obs_flush(true);
                 let _ = ack.send(());
             }
         }
@@ -424,10 +526,14 @@ impl ShardWorker {
                 .reorder
                 .watermark()
                 .map_or(0, |w| w.ticks().saturating_add(self.slack.ticks()));
-            self.metrics.watermark_lag_max = self
-                .metrics
-                .watermark_lag_max
-                .max(hw.ticks().saturating_sub(local_max));
+            let lag = hw.ticks().saturating_sub(local_max);
+            self.metrics.watermark_lag_max = self.metrics.watermark_lag_max.max(lag);
+            if let Some(o) = self.obs.as_mut() {
+                // The full distribution, not just the max: one sample
+                // per batch into the named histogram surfaced as
+                // `watermark_lag_p99` in the run summary.
+                o.recorder.record("watermark_lag", lag);
+            }
         }
         // Write-ahead, group-committed: every fresh operation the batch
         // carries (and the heartbeat) is journaled and the whole run is
@@ -435,6 +541,11 @@ impl ShardWorker {
         // `FsyncPolicy::Always` the batch, not the record, is the
         // durability unit, which is what removes the ~2× per-record
         // fsync overhead while keeping the log strictly write-ahead.
+        let append_token = if self.wal.is_some() {
+            self.obs_start()
+        } else {
+            None
+        };
         let mut fresh = Vec::with_capacity(batch.instances.len());
         for item in batch.instances {
             if self.durable_seq.is_some_and(|d| item.seq <= d) {
@@ -464,25 +575,39 @@ impl ShardWorker {
         if let Some(hw) = batch.high_water {
             self.wal_note_heartbeat(batch.seq, hw);
         }
+        self.obs_acc(Stage::WalAppend, append_token);
+        let fsync_token = if self.wal.is_some() {
+            self.obs_start()
+        } else {
+            None
+        };
         self.wal_commit();
+        self.obs_acc(Stage::WalFsync, fsync_token);
         for (eval_at, prefix_high_water, instance) in fresh {
             // Replaying the global watermark before each push keeps
             // accept/late-drop decisions identical to a 1-shard run
             // even when disorder exceeds the slack.
             if let Some(hw) = prefix_high_water {
+                let token = self.obs_start();
                 let released = self.reorder.observe(hw);
+                self.obs_acc(Stage::ReorderRelease, token);
                 self.dispatch_all(released);
             }
             let key = eval_at.unwrap_or_else(|| instance.generation_time());
+            let token = self.obs_start();
             let released = self
                 .reorder
                 .push_at(key, StreamItem::Instance(key, instance));
+            self.obs_acc(Stage::ReorderRelease, token);
             self.dispatch_all(released);
         }
         if let Some(hw) = batch.high_water {
+            let token = self.obs_start();
             let released = self.reorder.observe(hw);
+            self.obs_acc(Stage::ReorderRelease, token);
             self.dispatch_all(released);
         }
+        self.obs_flush(false);
     }
 
     /// Crash recovery: restores the newest valid snapshot (when one was
@@ -703,10 +828,22 @@ impl ShardWorker {
 
     /// Offers one in-order instance to every resident subscription,
     /// evaluating at the instance's observer-local time `at`.
+    ///
+    /// Two passes over the resident set: a *filter* pass (scope
+    /// pruning, event/layer filters, region cover — all reads of
+    /// immutable subscription fields) collecting the matching indices
+    /// into the reused scratch vector, then an *eval* pass running the
+    /// detectors over exactly those. The split is what lets the filter
+    /// cost (`scope_prune`) and the evaluation cost (`evaluate`) be
+    /// timed as separate stages; it is behavior-preserving because the
+    /// filters never read state the evaluators mutate.
     fn dispatch(&mut self, at: TimePoint, instance: &EventInstance) {
         let location = instance.estimated_location().representative();
         let shard = self.shard;
-        for sub in &mut self.subs {
+        let mut matched = std::mem::take(&mut self.match_scratch);
+        matched.clear();
+        let prune_token = self.obs_start();
+        for (idx, sub) in self.subs.iter().enumerate() {
             // Scope pruning first: a scoped subscription never sees (or
             // pays any filter for) an instance outside its routing
             // scope — the worker-side half of what the router's
@@ -730,6 +867,12 @@ impl ShardWorker {
             if !sub.bbox.contains(location) || !sub.region.covers(location) {
                 continue;
             }
+            matched.push(idx);
+        }
+        self.obs_acc(Stage::ScopePrune, prune_token);
+        let eval_token = self.obs_start();
+        for &idx in &matched {
+            let sub = &mut self.subs[idx];
             self.metrics.evaluated += 1;
             match &mut sub.kind {
                 EvalKind::Plain => match eval_condition(&sub.condition, &sub.entities, instance) {
@@ -806,6 +949,9 @@ impl ShardWorker {
                 }
             }
         }
+        self.obs_acc(Stage::Evaluate, eval_token);
+        matched.clear();
+        self.match_scratch = matched;
     }
 
     /// Accepts a live silence probe: logs it write-ahead, then enqueues
@@ -914,6 +1060,7 @@ impl ShardWorker {
         self.metrics.late_dropped = self.reorder.late_dropped();
         self.metrics.watermark = self.reorder.watermark();
         self.metrics.subscriptions = self.subs.len();
+        self.obs_flush(true);
         self.metrics
     }
 
@@ -966,7 +1113,7 @@ mod tests {
                     inactive_value: 0.0,
                 }),
             });
-        let mut worker = ShardWorker::new(0, Duration::ZERO, None, None, 1024);
+        let mut worker = ShardWorker::new(0, Duration::ZERO, None, None, 1024, None);
         worker.handle(ShardMessage::Subscribe(Box::new(
             SubscriptionState::compile(SubscriptionId(0), sub),
         )));
@@ -1156,7 +1303,7 @@ mod tests {
                 inactive_value: 0.0,
             }),
         };
-        let mut worker = ShardWorker::new(0, Duration::new(50), wal(0), ctx.clone(), 1024);
+        let mut worker = ShardWorker::new(0, Duration::new(50), wal(0), ctx.clone(), 1024, None);
         let sub = Subscription::new("episode", region.clone(), collector.sink())
             .sustained_spec(spec.clone());
         worker.handle(ShardMessage::Subscribe(Box::new(
@@ -1201,7 +1348,7 @@ mod tests {
         let survivor = Collector::new();
         let snapshot = stem_snap::load_latest(&dir, 0).unwrap().snapshot.unwrap();
         assert_eq!(snapshot.next_seq, 3);
-        let mut worker = ShardWorker::new(0, Duration::new(50), wal(0), ctx, 1024);
+        let mut worker = ShardWorker::new(0, Duration::new(50), wal(0), ctx, 1024, None);
         let sub = Subscription::new("episode", region, survivor.sink()).sustained_spec(spec);
         worker.handle(ShardMessage::Subscribe(Box::new(
             SubscriptionState::compile(SubscriptionId(0), sub),

@@ -1,0 +1,260 @@
+//! Log2-bucketed latency histograms.
+
+/// Number of buckets: one for zero plus one per bit position of a
+/// nonzero `u64`.
+pub const BUCKET_COUNT: usize = 65;
+
+/// A fixed-size log2-bucketed histogram of `u64` samples (latencies in
+/// nanoseconds, queue depths, lag ticks — anything non-negative).
+///
+/// Bucket 0 holds exactly the value `0`; bucket `i >= 1` holds the
+/// half-open power-of-two range `[2^(i-1), 2^i)`. Quantiles are
+/// answered from bucket *upper* bounds, so they overestimate by at most
+/// 2× — the right bias for latency reporting — while the exact maximum
+/// is tracked separately. All accumulation saturates instead of
+/// wrapping: a counter that has been alive for months clamps at
+/// `u64::MAX` rather than silently restarting from zero.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index holding `value`.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// The inclusive `[low, high]` range of values bucket `index` holds.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKET_COUNT`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKET_COUNT, "bucket index out of range");
+    if index == 0 {
+        (0, 0)
+    } else if index == BUCKET_COUNT - 1 {
+        (1 << (index - 1), u64::MAX)
+    } else {
+        (1 << (index - 1), (1 << index) - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] = self.buckets[bucket_index(value)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The exact largest sample seen (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The quantile `q` in `[0, 1]`, answered as the upper bound of the
+    /// bucket containing the `ceil(q * count)`-th smallest sample —
+    /// except the top bucket, where the exact tracked maximum is the
+    /// tighter (and correct) upper bound. 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil without going through floats for the rank itself.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= target {
+                return bucket_bounds(index).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds another histogram into this one (bucket-wise saturating
+    /// addition): merging per-shard histograms of the same quantity
+    /// yields exactly the histogram a single global recorder would have
+    /// produced from the union of samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The satellite-task boundary check: powers of two open new
+    /// buckets, `2^k - 1` stays in the previous one.
+    #[test]
+    fn bucket_boundaries_at_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        for k in 1..63 {
+            let p = 1u64 << k;
+            assert_eq!(bucket_index(p), k + 1, "2^{k} opens bucket {}", k + 1);
+            assert_eq!(bucket_index(p - 1), k, "2^{k}-1 stays in bucket {k}");
+            let (low, high) = bucket_bounds(k + 1);
+            assert_eq!(low, p, "bucket {} starts at 2^{k}", k + 1);
+            assert!(high >= p, "bucket upper bound covers its lower");
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+        assert_eq!(bucket_bounds(0), (0, 0));
+    }
+
+    #[test]
+    fn every_value_falls_inside_its_bucket_bounds() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 255, 256, 1 << 20, u64::MAX] {
+            let (low, high) = bucket_bounds(bucket_index(v));
+            assert!(low <= v && v <= high, "{v} outside [{low}, {high}]");
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        // Upper-bound semantics: each quantile is >= the true rank value
+        // and <= 2x it (one bucket's width), capped by the exact max.
+        let p50 = h.p50();
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.mean(), 500);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum clamps at u64::MAX");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        let mut other = Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+    }
+
+    /// Merge-of-shards equals single-recorder: the registry's merge-on-
+    /// read model depends on it.
+    #[test]
+    fn merge_of_shards_equals_single_recorder() {
+        let samples: Vec<u64> = (0..500u64).map(|i| (i * 7919) % 10_000).collect();
+        let mut single = Histogram::new();
+        for &v in &samples {
+            single.record(v);
+        }
+        let mut parts = vec![Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, &v) in samples.iter().enumerate() {
+            parts[i % 3].record(v);
+        }
+        let mut merged = Histogram::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.sum(), single.sum());
+        assert_eq!(merged.max(), single.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), single.quantile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+}

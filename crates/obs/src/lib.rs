@@ -1,0 +1,53 @@
+//! # stem-obs — telemetry for the STEM streaming engine
+//!
+//! A zero-dependency observability layer (the build environment is
+//! offline, so everything — histograms, registry, JSON export, even the
+//! JSON validator — is hand-rolled, like `stem-wal`'s framing):
+//!
+//! * [`Histogram`] — log2-bucketed `u64` histograms with p50/p90/p99
+//!   upper-bound quantiles and an exact max, saturating everywhere.
+//! * [`Recorder`] — one producer's plain counters / gauges / stage-span
+//!   histograms. No locks, no atomics: a shard worker mutates its own
+//!   recorder at plain-field cost and periodically *publishes* a clone
+//!   into the registry.
+//! * [`Stage`] — the engine's instrumented pipeline stages
+//!   (ingest→route→enqueue, reorder release, scope prune, evaluate,
+//!   WAL append/fsync, snapshot cut, barrier wait, notify fold-back).
+//! * [`ObsRegistry`] — per-producer slots merged on read;
+//!   [`ObsRegistry::sample`] cuts an [`ObsSnapshot`] into a bounded
+//!   in-memory ring and (optionally) a versioned JSON-lines exporter
+//!   file, one snapshot per line.
+//! * [`json`] — a strict little JSON reader for validating exporter
+//!   output in tests, benches, and CI.
+//!
+//! Span durations come from `stem_core::timing::Clock`: wall-clock
+//! nanoseconds in threaded runs, deterministic virtual ticks in
+//! deterministic runs — so telemetry-enabled deterministic runs stay
+//! bit-for-bit reproducible, exporter files included.
+//!
+//! ```
+//! use stem_obs::{ObsRegistry, Recorder, Stage};
+//!
+//! let registry = ObsRegistry::new(2, 16, None).unwrap();
+//! let mut worker = Recorder::new();            // lives on the worker
+//! worker.inc("ingested", 128);
+//! worker.record_stage(Stage::Evaluate, 950);   // nanos (or virtual ticks)
+//! registry.publish_shard(0, &worker);          // one lock per publish
+//! let snapshot = registry.sample(Some(42), &[128, 0]);
+//! assert_eq!(snapshot.counter("ingested"), 128);
+//! assert!(snapshot.stage(Stage::Evaluate).unwrap().p99 >= 950);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+pub mod json;
+mod recorder;
+mod registry;
+mod snapshot;
+
+pub use hist::{bucket_bounds, bucket_index, Histogram, BUCKET_COUNT};
+pub use recorder::{Recorder, Stage};
+pub use registry::{ObsRegistry, ObsReport};
+pub use snapshot::{HistSummary, ObsSnapshot, ShardRow, SCHEMA_VERSION};

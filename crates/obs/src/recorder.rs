@@ -1,0 +1,280 @@
+//! Per-worker recorders: plain structs, merged on read.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+
+/// The instrumented pipeline stages, in pipeline order.
+///
+/// Each stage is a span site in the engine: a worker or the engine
+/// thread times the real code path and records the span duration into
+/// its recorder's per-stage histogram. Durations are wall-clock
+/// nanoseconds in threaded runs and deterministic virtual ticks in
+/// deterministic runs (see `stem_core::timing::Clock`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// One whole `Engine::ingest` / `ingest_at` call: route + enqueue.
+    Ingest,
+    /// The router's shard-selection pass (leaf mask + precision pass).
+    Route,
+    /// Handing a full batch to a shard worker (channel send; includes
+    /// the backpressure wait, and in deterministic mode the inline
+    /// processing itself).
+    Enqueue,
+    /// Reorder-buffer pushes and watermark observations on a worker.
+    ReorderRelease,
+    /// The per-instance subscription filter pass (scope, event, layer,
+    /// region) before any evaluation.
+    ScopePrune,
+    /// Condition / pattern / sustained evaluation plus sink delivery.
+    Evaluate,
+    /// Appending a batch's records to the shard's write-ahead log.
+    WalAppend,
+    /// The group-commit fsync closing a batch's appends.
+    WalFsync,
+    /// Serializing and writing one checkpoint snapshot on a worker.
+    SnapshotCut,
+    /// The engine thread waiting on the all-shard sync / checkpoint
+    /// barrier — the cost ROADMAP item 5's anti-scaling hides in.
+    BarrierWait,
+    /// The driver folding delivered notifications back into its own
+    /// stream (the scenario runner's per-delivery drain).
+    NotifyFoldback,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 11] = [
+        Stage::Ingest,
+        Stage::Route,
+        Stage::Enqueue,
+        Stage::ReorderRelease,
+        Stage::ScopePrune,
+        Stage::Evaluate,
+        Stage::WalAppend,
+        Stage::WalFsync,
+        Stage::SnapshotCut,
+        Stage::BarrierWait,
+        Stage::NotifyFoldback,
+    ];
+
+    /// Number of stages.
+    pub const COUNT: usize = Stage::ALL.len();
+
+    /// The stage's stable snake_case name (the JSON-lines schema key).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Ingest => "ingest",
+            Stage::Route => "route",
+            Stage::Enqueue => "enqueue",
+            Stage::ReorderRelease => "reorder_release",
+            Stage::ScopePrune => "scope_prune",
+            Stage::Evaluate => "evaluate",
+            Stage::WalAppend => "wal_append",
+            Stage::WalFsync => "wal_fsync",
+            Stage::SnapshotCut => "snapshot_cut",
+            Stage::BarrierWait => "barrier_wait",
+            Stage::NotifyFoldback => "notify_foldback",
+        }
+    }
+
+    /// The stage's index in [`Stage::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One telemetry producer's local state: a plain struct with no
+/// interior locking or atomics. Each shard worker (and the engine
+/// thread, and the scenario driver) owns one, mutates it on the hot
+/// path at plain-field cost, and periodically *publishes* a clone into
+/// its [`crate::ObsRegistry`] slot. Readers merge published recorders;
+/// writers never contend with them.
+///
+/// All counter arithmetic saturates: telemetry must degrade (clamp) at
+/// the extremes, never wrap into nonsense or panic in debug builds.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    stages: Vec<Histogram>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            stages: vec![Histogram::new(); Stage::COUNT],
+            hists: BTreeMap::new(),
+        }
+    }
+
+    /// Adds `by` to the named monotone counter (saturating).
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        let slot = self.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(by);
+    }
+
+    /// Sets the named gauge to its current level.
+    pub fn set_gauge(&mut self, name: &'static str, value: u64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Records one span duration into a stage's histogram.
+    pub fn record_stage(&mut self, stage: Stage, duration: u64) {
+        self.stages[stage.index()].record(duration);
+    }
+
+    /// Records one sample into the named histogram (e.g. watermark
+    /// lag, queue depth).
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        self.hists.entry(name).or_default().record(value);
+    }
+
+    /// The named counter's value (0 if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's last set level (0 if never set).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A stage's span histogram.
+    #[must_use]
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage.index()]
+    }
+
+    /// The named histogram, if any samples were recorded.
+    #[must_use]
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Iterates the counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates the gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates the named histograms in name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.hists.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Folds another recorder into this one: counters add
+    /// (saturating), gauges add (a merged gauge is the total level
+    /// across producers — e.g. total reorder depth), histograms merge
+    /// bucket-wise. Merging per-shard recorders yields exactly what a
+    /// single global recorder fed the union of events would hold.
+    pub fn merge(&mut self, other: &Recorder) {
+        for (name, value) in other.counters() {
+            self.inc(name, value);
+        }
+        for (name, value) in other.gauges() {
+            let slot = self.gauges.entry(name).or_insert(0);
+            *slot = slot.saturating_add(value);
+        }
+        for (mine, theirs) in self.stages.iter_mut().zip(other.stages.iter()) {
+            mine.merge(theirs);
+        }
+        for (name, hist) in other.hists() {
+            self.hists.entry(name).or_default().merge(hist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::COUNT, "duplicate stage name");
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i, "ALL must be in discriminant order");
+        }
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut r = Recorder::new();
+        r.inc("n", u64::MAX - 1);
+        r.inc("n", 5);
+        assert_eq!(r.counter("n"), u64::MAX);
+        let mut other = Recorder::new();
+        other.inc("n", 7);
+        r.merge(&other);
+        assert_eq!(r.counter("n"), u64::MAX, "merge saturates too");
+    }
+
+    /// The registry's core invariant: merging per-shard recorders is
+    /// indistinguishable from one recorder having seen everything.
+    #[test]
+    fn merge_of_shards_equals_single_recorder() {
+        let events: Vec<(usize, u64)> = (0..300u64).map(|i| ((i % 4) as usize, i * 13)).collect();
+        let mut single = Recorder::new();
+        let mut shards = vec![
+            Recorder::new(),
+            Recorder::new(),
+            Recorder::new(),
+            Recorder::new(),
+        ];
+        for &(shard, v) in &events {
+            for r in [&mut single, &mut shards[shard]] {
+                r.inc("ingested", 1);
+                r.record_stage(Stage::Evaluate, v);
+                r.record("watermark_lag", v % 97);
+            }
+        }
+        let mut merged = Recorder::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.counter("ingested"), single.counter("ingested"));
+        let (m, s) = (merged.stage(Stage::Evaluate), single.stage(Stage::Evaluate));
+        assert_eq!(m.count(), s.count());
+        assert_eq!(m.sum(), s.sum());
+        assert_eq!(m.p99(), s.p99());
+        let (mh, sh) = (
+            merged.hist("watermark_lag").unwrap(),
+            single.hist("watermark_lag").unwrap(),
+        );
+        assert_eq!(mh.count(), sh.count());
+        assert_eq!(mh.p50(), sh.p50());
+    }
+
+    #[test]
+    fn gauges_sum_across_producers() {
+        let mut a = Recorder::new();
+        a.set_gauge("reorder_depth", 4);
+        a.set_gauge("reorder_depth", 6); // set replaces locally
+        let mut b = Recorder::new();
+        b.set_gauge("reorder_depth", 10);
+        a.merge(&b);
+        assert_eq!(a.gauge("reorder_depth"), 16, "merged gauge totals levels");
+        assert_eq!(a.gauge("never_set"), 0);
+    }
+}

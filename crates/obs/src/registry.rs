@@ -1,0 +1,304 @@
+//! The central registry: published recorder slots, merged on read.
+
+use crate::recorder::Recorder;
+use crate::snapshot::{ObsSnapshot, ShardRow};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// The engine-wide telemetry registry.
+///
+/// Producers — one per shard worker, one for the engine thread, one
+/// for an external driver such as the scenario runner — each own a
+/// plain [`Recorder`] they mutate without any synchronization. At
+/// publish points (batch boundaries, sync barriers, checkpoints) a
+/// producer *replaces* its registry slot with a clone of its cumulative
+/// recorder: one mutex acquisition per publish, zero atomics on the
+/// per-event hot path, and readers never block a producer mid-batch.
+///
+/// [`ObsRegistry::sample`] merges every published slot into one
+/// [`ObsSnapshot`], appends it to a bounded in-memory ring (for live
+/// consumers like `stemtop`), and — when an exporter file is attached —
+/// writes it as one JSON line (see
+/// [`crate::ObsSnapshot::to_json_line`]).
+pub struct ObsRegistry {
+    shards: Vec<Mutex<Recorder>>,
+    engine: Mutex<Recorder>,
+    /// The slot for a producer outside the engine (the scenario
+    /// driver's notify fold-back spans). Mutated in place rather than
+    /// replaced: external producers are not on the engine's hot path.
+    external: Mutex<Recorder>,
+    ring: Mutex<VecDeque<ObsSnapshot>>,
+    ring_capacity: usize,
+    next_seq: Mutex<u64>,
+    exporter: Mutex<Option<BufWriter<File>>>,
+}
+
+impl ObsRegistry {
+    /// A registry with one slot per shard, a snapshot ring of
+    /// `ring_capacity`, and an optional JSON-lines exporter file
+    /// (truncated if it exists).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the exporter file cannot be created.
+    pub fn new(
+        shard_count: usize,
+        ring_capacity: usize,
+        export: Option<&Path>,
+    ) -> io::Result<Self> {
+        let exporter = match export {
+            Some(path) => {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                Some(BufWriter::new(File::create(path)?))
+            }
+            None => None,
+        };
+        Ok(ObsRegistry {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Recorder::new()))
+                .collect(),
+            engine: Mutex::new(Recorder::new()),
+            external: Mutex::new(Recorder::new()),
+            ring: Mutex::new(VecDeque::new()),
+            ring_capacity: ring_capacity.max(1),
+            next_seq: Mutex::new(0),
+            exporter: Mutex::new(exporter),
+        })
+    }
+
+    /// Number of shard slots.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Publishes a shard worker's cumulative recorder (replacing the
+    /// slot's previous contents).
+    pub fn publish_shard(&self, shard: usize, recorder: &Recorder) {
+        *self.shards[shard].lock().expect("obs shard slot poisoned") = recorder.clone();
+    }
+
+    /// Publishes the engine thread's cumulative recorder.
+    pub fn publish_engine(&self, recorder: &Recorder) {
+        *self.engine.lock().expect("obs engine slot poisoned") = recorder.clone();
+    }
+
+    /// Mutates the external producer's slot in place (driver-side
+    /// spans: sparse enough that a lock per record is fine).
+    pub fn with_external(&self, f: impl FnOnce(&mut Recorder)) {
+        f(&mut self.external.lock().expect("obs external slot poisoned"));
+    }
+
+    /// Merges every published slot into one recorder: exactly what a
+    /// single global recorder would hold (see
+    /// [`Recorder::merge`]).
+    #[must_use]
+    pub fn merged(&self) -> Recorder {
+        let mut merged = self
+            .engine
+            .lock()
+            .expect("obs engine slot poisoned")
+            .clone();
+        merged.merge(&self.external.lock().expect("obs external slot poisoned"));
+        for slot in &self.shards {
+            merged.merge(&slot.lock().expect("obs shard slot poisoned"));
+        }
+        merged
+    }
+
+    /// Cuts a snapshot: merges the slots, derives per-shard rows
+    /// (queue depth = messages sent per `sent_per_shard` minus the
+    /// shard's published `msgs_processed` counter), stamps the next
+    /// sequence number, pushes onto the ring (evicting the oldest past
+    /// capacity), and appends a JSON line to the exporter if one is
+    /// attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exporter file cannot be written — telemetry was
+    /// explicitly configured, the same contract as WAL appends.
+    pub fn sample(&self, ticks: Option<u64>, sent_per_shard: &[u64]) -> ObsSnapshot {
+        let merged = self.merged();
+        let mut rows = Vec::with_capacity(self.shards.len());
+        for (shard, slot) in self.shards.iter().enumerate() {
+            let recorder = slot.lock().expect("obs shard slot poisoned");
+            let sent = sent_per_shard.get(shard).copied().unwrap_or(0);
+            rows.push(ShardRow {
+                shard,
+                queue_depth: sent.saturating_sub(recorder.counter("msgs_processed")),
+                gauges: recorder.gauges().collect(),
+            });
+        }
+        let seq = {
+            let mut next = self.next_seq.lock().expect("obs seq poisoned");
+            let seq = *next;
+            *next += 1;
+            seq
+        };
+        let snapshot = ObsSnapshot::build(seq, ticks, &merged, rows);
+        {
+            let mut ring = self.ring.lock().expect("obs ring poisoned");
+            if ring.len() == self.ring_capacity {
+                ring.pop_front();
+            }
+            ring.push_back(snapshot.clone());
+        }
+        if let Some(writer) = self
+            .exporter
+            .lock()
+            .expect("obs exporter poisoned")
+            .as_mut()
+        {
+            writeln!(writer, "{}", snapshot.to_json_line())
+                .and_then(|()| writer.flush())
+                .unwrap_or_else(|e| panic!("telemetry export write failed: {e}"));
+        }
+        snapshot
+    }
+
+    /// The newest ring snapshot, if any sample has been cut.
+    #[must_use]
+    pub fn latest(&self) -> Option<ObsSnapshot> {
+        self.ring.lock().expect("obs ring poisoned").back().cloned()
+    }
+
+    /// The ring's snapshots, oldest first.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<ObsSnapshot> {
+        self.ring
+            .lock()
+            .expect("obs ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ObsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsRegistry")
+            .field("shards", &self.shards.len())
+            .field("ring_capacity", &self.ring_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The end-of-run telemetry summary [`crate::ObsRegistry`] folds down
+/// to: the final merged recorder plus the snapshot ring as it stood at
+/// shutdown. Carried inside the engine's run report so benches can
+/// compute per-stage breakdowns without keeping the registry alive.
+#[derive(Debug, Clone, Default)]
+pub struct ObsReport {
+    /// Every producer's recorder merged at shutdown.
+    pub merged: Recorder,
+    /// The ring's snapshots at shutdown, oldest first.
+    pub snapshots: Vec<ObsSnapshot>,
+}
+
+impl ObsRegistry {
+    /// Folds the registry into its end-of-run report.
+    #[must_use]
+    pub fn report(&self) -> ObsReport {
+        ObsReport {
+            merged: self.merged(),
+            snapshots: self.snapshots(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Stage;
+
+    #[test]
+    fn sample_merges_slots_and_numbers_snapshots() {
+        let registry = ObsRegistry::new(2, 4, None).unwrap();
+        let mut shard0 = Recorder::new();
+        shard0.inc("msgs_processed", 3);
+        shard0.inc("ingested", 10);
+        shard0.record_stage(Stage::Evaluate, 100);
+        registry.publish_shard(0, &shard0);
+        let mut shard1 = Recorder::new();
+        shard1.inc("msgs_processed", 1);
+        shard1.inc("ingested", 5);
+        registry.publish_shard(1, &shard1);
+        let mut engine = Recorder::new();
+        engine.record_stage(Stage::Route, 40);
+        registry.publish_engine(&engine);
+        registry.with_external(|r| r.record_stage(Stage::NotifyFoldback, 9));
+
+        let snap = registry.sample(Some(77), &[5, 1]);
+        assert_eq!(snap.seq, 0);
+        assert_eq!(snap.ticks, Some(77));
+        assert_eq!(snap.counter("ingested"), 15);
+        assert_eq!(snap.shards[0].queue_depth, 2, "5 sent - 3 processed");
+        assert_eq!(snap.shards[1].queue_depth, 0);
+        assert!(snap.stage(Stage::Evaluate).is_some());
+        assert!(snap.stage(Stage::Route).is_some());
+        assert!(snap.stage(Stage::NotifyFoldback).is_some());
+        assert!(snap.stage(Stage::WalFsync).is_none(), "no samples, omitted");
+
+        let next = registry.sample(Some(78), &[5, 1]);
+        assert_eq!(next.seq, 1, "snapshot sequence is monotone");
+        assert_eq!(registry.snapshots().len(), 2);
+        assert_eq!(registry.latest().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_past_capacity() {
+        let registry = ObsRegistry::new(1, 2, None).unwrap();
+        for _ in 0..5 {
+            let _ = registry.sample(None, &[0]);
+        }
+        let snaps = registry.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].seq, 3);
+        assert_eq!(snaps[1].seq, 4);
+    }
+
+    #[test]
+    fn publish_replaces_rather_than_accumulates() {
+        let registry = ObsRegistry::new(1, 4, None).unwrap();
+        let mut r = Recorder::new();
+        r.inc("ingested", 5);
+        registry.publish_shard(0, &r);
+        // The producer's recorder is cumulative; re-publishing must not
+        // double-count.
+        r.inc("ingested", 5);
+        registry.publish_shard(0, &r);
+        assert_eq!(registry.merged().counter("ingested"), 10);
+    }
+
+    #[test]
+    fn exporter_writes_one_valid_line_per_sample() {
+        let path = std::env::temp_dir().join(format!(
+            "stem-obs-registry-export-{}.jsonl",
+            std::process::id()
+        ));
+        let registry = ObsRegistry::new(1, 4, Some(&path)).unwrap();
+        for i in 0..3u64 {
+            let _ = registry.sample(Some(i), &[0]);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mut last = None;
+        for line in lines {
+            let v = crate::json::parse(line).expect("valid JSON line");
+            let seq = v.get("seq").and_then(crate::json::Value::as_u64).unwrap();
+            if let Some(prev) = last {
+                assert!(seq > prev, "snapshot seqs must be monotone");
+            }
+            last = Some(seq);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

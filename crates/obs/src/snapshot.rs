@@ -1,0 +1,255 @@
+//! Point-in-time registry snapshots and their JSON-lines encoding.
+
+use crate::hist::Histogram;
+use crate::recorder::{Recorder, Stage};
+
+/// The exporter schema version written as the `v` field of every
+/// JSON line. Bump on any incompatible change to the line shape.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A five-number summary of one histogram at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Samples recorded so far.
+    pub count: u64,
+    /// Median (bucket-upper-bound semantics, see
+    /// [`Histogram::quantile`]).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+impl HistSummary {
+    /// Summarizes a histogram.
+    #[must_use]
+    pub fn of(hist: &Histogram) -> Self {
+        HistSummary {
+            count: hist.count(),
+            p50: hist.p50(),
+            p90: hist.p90(),
+            p99: hist.p99(),
+            max: hist.max(),
+        }
+    }
+}
+
+/// One shard's row in a snapshot: its published gauge levels.
+#[derive(Debug, Clone)]
+pub struct ShardRow {
+    /// The shard id.
+    pub shard: usize,
+    /// Messages the engine has sent to this shard minus messages the
+    /// shard has published as processed — the channel backlog (an
+    /// approximation in threaded mode: publication lags processing by
+    /// at most one publish interval).
+    pub queue_depth: u64,
+    /// The shard's gauges at its last publish, in name order.
+    pub gauges: Vec<(&'static str, u64)>,
+}
+
+/// One cut of the whole registry: every producer's published recorder
+/// merged, summarized, and stamped with a monotone sequence number.
+#[derive(Debug, Clone)]
+pub struct ObsSnapshot {
+    /// Monotone snapshot sequence (0, 1, 2, …) within one registry.
+    pub seq: u64,
+    /// The stream-clock high-water mark at the cut, in ticks.
+    pub ticks: Option<u64>,
+    /// Merged counters, in name order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Merged gauges (summed across producers), in name order.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// Stage-span summaries for every stage that recorded samples, in
+    /// pipeline order.
+    pub stages: Vec<(Stage, HistSummary)>,
+    /// Named-histogram summaries, in name order.
+    pub hists: Vec<(&'static str, HistSummary)>,
+    /// Per-shard rows, indexed by shard id.
+    pub shards: Vec<ShardRow>,
+}
+
+impl ObsSnapshot {
+    /// Builds a snapshot from the merged recorder plus per-shard rows.
+    #[must_use]
+    pub fn build(seq: u64, ticks: Option<u64>, merged: &Recorder, shards: Vec<ShardRow>) -> Self {
+        ObsSnapshot {
+            seq,
+            ticks,
+            counters: merged.counters().collect(),
+            gauges: merged.gauges().collect(),
+            stages: Stage::ALL
+                .iter()
+                .filter(|s| !merged.stage(**s).is_empty())
+                .map(|&s| (s, HistSummary::of(merged.stage(s))))
+                .collect(),
+            hists: merged
+                .hists()
+                .map(|(name, h)| (name, HistSummary::of(h)))
+                .collect(),
+            shards,
+        }
+    }
+
+    /// The snapshot's stage summary, if the stage recorded samples.
+    #[must_use]
+    pub fn stage(&self, stage: Stage) -> Option<HistSummary> {
+        self.stages
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|&(_, summary)| summary)
+    }
+
+    /// The merged counter value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// The merged gauge level (0 when absent).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Encodes the snapshot as one JSON object on one line (no trailing
+    /// newline): the versioned exporter schema.
+    ///
+    /// Shape (`v` = [`SCHEMA_VERSION`]):
+    ///
+    /// ```json
+    /// {"v":1,"seq":3,"ticks":1200,
+    ///  "counters":{"ingested":9000},
+    ///  "gauges":{"reorder_depth":12},
+    ///  "stages":{"evaluate":{"count":9000,"p50":511,"p90":1023,"p99":2047,"max":1890}},
+    ///  "hists":{"watermark_lag":{...}},
+    ///  "shards":[{"shard":0,"queue_depth":2,"gauges":{"reorder_depth":12}}]}
+    /// ```
+    ///
+    /// Every key is a static snake_case identifier, so no string
+    /// escaping is ever needed on the write path.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!("{{\"v\":{SCHEMA_VERSION},\"seq\":{}", self.seq));
+        match self.ticks {
+            Some(t) => out.push_str(&format!(",\"ticks\":{t}")),
+            None => out.push_str(",\"ticks\":null"),
+        }
+        push_map(&mut out, "counters", self.counters.iter().copied());
+        push_map(&mut out, "gauges", self.gauges.iter().copied());
+        out.push_str(",\"stages\":{");
+        for (i, (stage, summary)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":", stage.name()));
+            push_summary(&mut out, summary);
+        }
+        out.push('}');
+        out.push_str(",\"hists\":{");
+        for (i, (name, summary)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":"));
+            push_summary(&mut out, summary);
+        }
+        out.push('}');
+        out.push_str(",\"shards\":[");
+        for (i, row) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{},\"queue_depth\":{}",
+                row.shard, row.queue_depth
+            ));
+            push_map(&mut out, "gauges", row.gauges.iter().copied());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_map<'a>(out: &mut String, key: &str, entries: impl Iterator<Item = (&'a str, u64)>) {
+    out.push_str(&format!(",\"{key}\":{{"));
+    for (i, (name, value)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{value}"));
+    }
+    out.push('}');
+}
+
+fn push_summary(out: &mut String, s: &HistSummary) {
+    out.push_str(&format!(
+        "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        s.count, s.p50, s.p90, s.p99, s.max
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn json_lines_parse_and_round_trip_key_fields() {
+        let mut merged = Recorder::new();
+        merged.inc("ingested", 42);
+        merged.set_gauge("reorder_depth", 7);
+        merged.record_stage(Stage::Evaluate, 900);
+        merged.record("watermark_lag", 3);
+        let snapshot = ObsSnapshot::build(
+            5,
+            Some(1200),
+            &merged,
+            vec![ShardRow {
+                shard: 0,
+                queue_depth: 2,
+                gauges: vec![("reorder_depth", 7)],
+            }],
+        );
+        let line = snapshot.to_json_line();
+        let value = json::parse(&line).expect("exporter line is valid JSON");
+        assert_eq!(value.get("v").and_then(json::Value::as_u64), Some(1));
+        assert_eq!(value.get("seq").and_then(json::Value::as_u64), Some(5));
+        assert_eq!(value.get("ticks").and_then(json::Value::as_u64), Some(1200));
+        let counters = value.get("counters").expect("counters object");
+        assert_eq!(
+            counters.get("ingested").and_then(json::Value::as_u64),
+            Some(42)
+        );
+        let stages = value.get("stages").expect("stages object");
+        let eval = stages.get("evaluate").expect("evaluate stage present");
+        assert_eq!(eval.get("count").and_then(json::Value::as_u64), Some(1));
+        assert_eq!(eval.get("max").and_then(json::Value::as_u64), Some(900));
+        let shards = value.get("shards").and_then(json::Value::as_array).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(
+            shards[0].get("queue_depth").and_then(json::Value::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn null_ticks_encode_as_json_null() {
+        let snapshot = ObsSnapshot::build(0, None, &Recorder::new(), Vec::new());
+        let line = snapshot.to_json_line();
+        let value = json::parse(&line).unwrap();
+        assert!(matches!(value.get("ticks"), Some(json::Value::Null)));
+        assert!(snapshot.stages.is_empty(), "empty stages are omitted");
+    }
+}

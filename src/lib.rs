@@ -21,6 +21,8 @@
 //!   spatio-temporal subscriptions at scale
 //! * [`wal`] — per-shard write-ahead instance logs: crash recovery and
 //!   deterministic historical replay for the engine
+//! * [`obs`] — live telemetry: per-shard recorders, latency histograms,
+//!   stage spans, snapshot rings, and the JSON-lines exporter
 //!
 //! # Quick start
 //!
@@ -43,6 +45,7 @@ pub use stem_core as core;
 pub use stem_cps as cps;
 pub use stem_des as des;
 pub use stem_engine as engine;
+pub use stem_obs as obs;
 pub use stem_physical as physical;
 pub use stem_snap as snap;
 pub use stem_spatial as spatial;

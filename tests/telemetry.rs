@@ -1,0 +1,342 @@
+//! Telemetry observes, never perturbs.
+//!
+//! The stem-obs contract across the facade: turning telemetry on must
+//! not change a single delivery (property-tested over seeds × shard
+//! counts × both execution modes), deterministic-mode exports must be
+//! bit-reproducible, the scenario path's `telemetry_dir` knob must
+//! export valid versioned JSON lines without touching detection, and
+//! the engine report must carry the registry it rendered its summary
+//! from.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stem::cep::{ConsumptionMode, Pattern, SustainedConfig};
+use stem::core::{dsl, Attributes, EventId, EventInstance, Layer, MoteId, ObserverId};
+use stem::engine::{Collector, Engine, EngineConfig, Notification, Subscription, TelemetryPolicy};
+use stem::obs::{json, Stage, SCHEMA_VERSION};
+use stem::spatial::{Field, Point, Rect, SpatialExtent};
+use stem::temporal::{Duration, TimePoint};
+
+const WORLD: f64 = 200.0;
+const INSTANCES: usize = 4_000;
+
+fn bounds() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(WORLD, WORLD))
+}
+
+/// A seeded stream of readings with bounded timestamp jitter: enough
+/// disorder to exercise the reorder buffer and (at slack 16 with
+/// jitter up to 48) the late-drop path.
+fn workload(seed: u64) -> Vec<EventInstance> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..INSTANCES)
+        .map(|i| {
+            let jitter = rng.gen_range(0..48u64);
+            EventInstance::builder(
+                ObserverId::Mote(MoteId::new(rng.gen_range(0..64u32))),
+                EventId::new("reading"),
+                Layer::Sensor,
+            )
+            .generated(
+                TimePoint::new(i as u64 * 2 + jitter),
+                Point::new(rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD)),
+            )
+            .attributes(Attributes::new().with("temp", rng.gen_range(0.0..100.0)))
+            .build()
+        })
+        .collect()
+}
+
+/// The subscription set: a quadrant grid of plain condition matches, a
+/// pattern detector, and a sustained episode detector — every
+/// evaluation path the worker instruments.
+fn subscribe_all(engine: &mut Engine, collector: &Collector) {
+    let half = WORLD / 2.0;
+    for gx in 0..2 {
+        for gy in 0..2 {
+            let lo = Point::new(gx as f64 * half, gy as f64 * half);
+            let hi = Point::new(lo.x + half, lo.y + half);
+            engine.subscribe(
+                Subscription::new(
+                    format!("hot-{gx}-{gy}"),
+                    SpatialExtent::field(Field::rect(Rect::new(lo, hi))),
+                    collector.sink(),
+                )
+                .for_event("reading")
+                .when(dsl::parse("x.temp > 70").expect("valid")),
+            );
+        }
+    }
+    engine.subscribe(
+        Subscription::new(
+            "hot-pair",
+            SpatialExtent::field(Field::rect(bounds())),
+            collector.sink(),
+        )
+        .for_event("reading")
+        .matching(
+            Pattern::atom("a", "reading").then(Pattern::atom("b", "reading")),
+            ConsumptionMode::Chronicle,
+            Some(Duration::new(64)),
+        )
+        .when(dsl::parse("x.temp > 95").expect("valid")),
+    );
+    engine.subscribe(
+        Subscription::new(
+            "sustained-warm",
+            SpatialExtent::field(Field::rect(bounds())),
+            collector.sink(),
+        )
+        .for_event("reading")
+        .sustained(
+            SustainedConfig {
+                min_duration: Duration::new(200),
+                enter_threshold: 40.0,
+                exit_threshold: 35.0,
+            },
+            Some("temp".to_owned()),
+        ),
+    );
+}
+
+/// Runs the workload and returns every delivery, formatted so two runs
+/// compare bit-for-bit (subscription, kind, and full instance payload).
+fn run(
+    seed: u64,
+    shards: usize,
+    deterministic: bool,
+    telemetry: Option<TelemetryPolicy>,
+) -> Vec<String> {
+    let mut config = EngineConfig::new(bounds())
+        .with_shards(shards)
+        .with_batch_size(64)
+        .with_watermark_slack(Duration::new(16));
+    if deterministic {
+        config = config.deterministic();
+    }
+    let telemetry_on = telemetry.is_some();
+    if let Some(policy) = telemetry {
+        config = config.with_telemetry(policy);
+    }
+    let mut engine = Engine::start(config);
+    let collector = Collector::new();
+    subscribe_all(&mut engine, &collector);
+    for (i, inst) in workload(seed).into_iter().enumerate() {
+        engine.ingest(inst);
+        if (i + 1) % 1_000 == 0 {
+            engine.sync();
+        }
+    }
+    let report = engine.finish();
+    assert_eq!(report.obs.is_some(), telemetry_on);
+    render(collector.take())
+}
+
+fn render(notes: Vec<Notification>) -> Vec<String> {
+    notes
+        .into_iter()
+        .map(|n| format!("{}:{:?}", n.subscription.raw(), n.kind))
+        .collect()
+}
+
+fn multiset(mut deliveries: Vec<String>) -> Vec<String> {
+    deliveries.sort();
+    deliveries
+}
+
+/// Parses an export file, checking the versioned schema and strictly
+/// monotone sequence numbers. Returns the raw bytes for byte-level
+/// comparisons.
+fn check_export(path: &Path) -> String {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let mut last_seq = None;
+    for line in text.lines() {
+        let value = json::parse(line).expect("export line is valid JSON");
+        assert_eq!(
+            value.get("v").and_then(json::Value::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        let seq = value
+            .get("seq")
+            .and_then(json::Value::as_u64)
+            .expect("seq present");
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "seqs strictly monotone");
+        }
+        last_seq = Some(seq);
+    }
+    assert!(last_seq.is_some(), "export has at least one sample");
+    text
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("stem-telemetry-{tag}-{}", std::process::id()))
+}
+
+proptest! {
+    /// The tentpole invariant: the delivery stream with telemetry on is
+    /// identical to the stream with telemetry off — exactly equal (order
+    /// included) in deterministic mode, equal as a multiset in threaded
+    /// mode (cross-shard delivery interleaving is scheduling-dependent
+    /// there with or without telemetry).
+    #[test]
+    fn telemetry_perturbs_nothing(seed in 1u64..500, shards in 1usize..5) {
+        let policy = || TelemetryPolicy::every_batches(4).with_ring(32);
+        let plain = run(seed, shards, true, None);
+        prop_assert!(!plain.is_empty(), "workload must deliver something");
+        let observed = run(seed, shards, true, Some(policy()));
+        prop_assert_eq!(&plain, &observed, "deterministic deliveries diverged");
+        let plain_threaded = multiset(run(seed, shards, false, None));
+        let observed_threaded = multiset(run(seed, shards, false, Some(policy())));
+        prop_assert_eq!(
+            &plain_threaded, &observed_threaded,
+            "threaded delivery multiset diverged"
+        );
+        prop_assert_eq!(
+            &multiset(plain), &plain_threaded,
+            "threaded multiset diverged from deterministic"
+        );
+    }
+}
+
+/// Deterministic-mode telemetry runs on the virtual clock, so the
+/// export file itself — every histogram, every snapshot — is
+/// bit-reproducible run over run.
+#[test]
+fn deterministic_export_is_bit_reproducible() {
+    let dir = temp_path("repro");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let export = |name: &str| {
+        let path = dir.join(name);
+        let policy = TelemetryPolicy::every_batches(4)
+            .with_ring(32)
+            .with_export(&path);
+        run(7, 2, true, Some(policy));
+        check_export(&path)
+    };
+    let first = export("a.jsonl");
+    let second = export("b.jsonl");
+    assert_eq!(first, second, "deterministic exports must be bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The scenario knob: `telemetry_dir` on the engine backend exports a
+/// valid telemetry.jsonl and leaves the instance log bit-identical.
+#[test]
+fn scenario_telemetry_dir_exports_without_perturbing_detection() {
+    use stem::cps::{CpsSystem, EvalBackend, ScenarioConfig};
+    use stem::physical::{HotSpot, WorldField};
+
+    let config = ScenarioConfig {
+        seed: 11,
+        world: WorldField::HotSpot(HotSpot {
+            center: Point::new(30.0, 30.0),
+            peak: 60.0,
+            sigma: 12.0,
+            ambient: 20.0,
+            onset: TimePoint::new(2_000),
+        }),
+        sampling_period: Duration::new(500),
+        duration: Duration::new(10_000),
+        backend: EvalBackend::Engine {
+            shards: 2,
+            deterministic: true,
+        },
+        ..ScenarioConfig::default()
+    };
+    let app =
+        stem::cps::CpsApplication::new().with_sensor_definition(stem::core::EventDefinition::new(
+            "hot-reading",
+            Layer::Sensor,
+            dsl::parse("x.temp > 45").expect("valid"),
+        ));
+    let plain = CpsSystem::run(config.clone(), app.clone());
+    let dir = temp_path("scenario");
+    let _ = std::fs::remove_dir_all(&dir);
+    let observed = CpsSystem::run(
+        ScenarioConfig {
+            telemetry_dir: Some(dir.to_string_lossy().into_owned()),
+            ..config
+        },
+        app,
+    );
+    let print = |r: &stem::cps::CpsReport| -> Vec<String> {
+        r.instances.iter().map(|i| format!("{i:?}")).collect()
+    };
+    assert!(!plain.instances.is_empty());
+    assert_eq!(
+        print(&plain),
+        print(&observed),
+        "telemetry_dir perturbed the scenario run"
+    );
+    check_export(&dir.join("telemetry.jsonl"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The report carries the registry, its summary line renders the
+/// watermark-lag distribution from it, and the stage histograms cover
+/// the instrumented pipeline.
+#[test]
+fn report_carries_registry_and_summary_renders_from_it() {
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_shards(2)
+            .with_batch_size(64)
+            .with_watermark_slack(Duration::new(16))
+            .with_telemetry(TelemetryPolicy::every_batches(2).with_ring(16))
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    subscribe_all(&mut engine, &collector);
+    for inst in workload(3) {
+        engine.ingest(inst);
+    }
+    engine.sync();
+    let report = engine.finish();
+    let obs = report.obs.as_ref().expect("telemetry report present");
+    for stage in [
+        Stage::Ingest,
+        Stage::Route,
+        Stage::Enqueue,
+        Stage::ReorderRelease,
+        Stage::ScopePrune,
+        Stage::Evaluate,
+    ] {
+        assert!(
+            !obs.merged.stage(stage).is_empty(),
+            "stage {} recorded samples",
+            stage.name()
+        );
+    }
+    // Inline (deterministic) execution has no cross-thread barrier, so
+    // the barrier stage stays empty — it records only in threaded mode.
+    assert!(obs.merged.stage(Stage::BarrierWait).is_empty());
+    assert!(!obs.snapshots.is_empty(), "the ring holds snapshots");
+    let lag = obs.merged.hist("watermark_lag").expect("lag histogram");
+    let summary = report.summary_line();
+    assert!(
+        summary.contains(&format!(
+            "obs[watermark_lag_p99={} max={}]",
+            lag.p99(),
+            lag.max()
+        )),
+        "summary renders the registry's lag distribution: {summary}"
+    );
+
+    // Without telemetry the report has no registry and the summary
+    // omits the obs block.
+    let mut engine = Engine::start(EngineConfig::new(bounds()).deterministic());
+    let collector = Collector::new();
+    subscribe_all(&mut engine, &collector);
+    for inst in workload(3).into_iter().take(100) {
+        engine.ingest(inst);
+    }
+    let report = engine.finish();
+    assert!(report.obs.is_none());
+    assert!(!report.summary_line().contains("obs["));
+}
