@@ -128,7 +128,7 @@ fn run_once(shards: usize, instances: &[EventInstance]) -> RunResult {
     );
     let collector = Collector::new();
     register_subscriptions(&mut engine, &collector);
-    engine.ingest_all(instances.iter().cloned());
+    engine.ingest_all(instances);
     let report = engine.finish();
     assert_eq!(report.router.routed, INSTANCES);
     assert_eq!(
@@ -232,10 +232,15 @@ fn scenario_mode() -> (u64, Vec<ScenarioRun>) {
          through the compiled subscriptions\n",
         sensor_stream.len()
     );
-    let mut runs = Vec::new();
-    for shards in [1usize, 2, 4] {
-        let mut best: Option<ScenarioRun> = None;
-        for _ in 0..RUNS_PER_COUNT {
+    // Interleave the shard counts round-robin instead of finishing all
+    // repeats of one count first: clock-frequency drift over the
+    // process lifetime then lands on every count equally rather than
+    // systematically penalizing whichever count runs last.
+    const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+    const ROUNDS: usize = 5;
+    let mut bests: [Option<ScenarioRun>; SHARD_COUNTS.len()] = [None, None, None];
+    for _ in 0..ROUNDS {
+        for (slot, &shards) in SHARD_COUNTS.iter().enumerate() {
             let mut engine = Engine::start(
                 EngineConfig::new(world)
                     .with_shards(shards)
@@ -267,15 +272,18 @@ fn scenario_mode() -> (u64, Vec<ScenarioRun>) {
                 instances_per_sec: report.throughput(),
                 notifications: report.total_notifications(),
             };
-            if best
+            if bests[slot]
                 .as_ref()
                 .is_none_or(|b| run.instances_per_sec > b.instances_per_sec)
             {
-                best = Some(run);
+                bests[slot] = Some(run);
             }
         }
-        runs.push(best.expect("at least one run"));
     }
+    let runs: Vec<ScenarioRun> = bests
+        .into_iter()
+        .map(|b| b.expect("at least one run"))
+        .collect();
 
     let mut table = Table::new(vec![
         "shards",
@@ -298,6 +306,22 @@ fn scenario_mode() -> (u64, Vec<ScenarioRun>) {
         runs.iter()
             .all(|r| r.notifications == runs[0].notifications),
         "scenario replay match counts diverged across shard counts"
+    );
+    // Sharding the production replay path must never cost throughput:
+    // the wait-free barrier keeps per-shard overhead below what the
+    // smaller per-shard scans save. 10% slack absorbs timing noise on
+    // a single-core runner (best-of-N interleaved runs still jitter
+    // several percent); the regression this guards — the per-delivery
+    // sync round trip — cost 2x, not 10%.
+    let at1 = runs.first().expect("at least one shard count");
+    let at4 = runs.last().expect("at least one shard count");
+    assert!(
+        at4.instances_per_sec >= 0.90 * at1.instances_per_sec,
+        "scenario leg anti-scales: {:.0} inst/s at {} shards < {:.0} at {}",
+        at4.instances_per_sec,
+        at4.shards,
+        at1.instances_per_sec,
+        at1.shards,
     );
     (SCENARIO_SEED, runs)
 }
@@ -334,7 +358,7 @@ fn wal_mode() -> String {
         );
         let collector = Collector::new();
         register_subscriptions(&mut engine, &collector);
-        engine.ingest_all(instances.iter().cloned());
+        engine.ingest_all(instances.iter());
         let report = engine.finish();
         (report.throughput(), report.total_wal())
     };
@@ -565,7 +589,7 @@ fn scoped_mode() -> String {
                     engine.subscribe(sub);
                 }
             }
-            engine.ingest_all(instances.iter().cloned());
+            engine.ingest_all(instances.iter());
             let report = engine.finish();
             let r = ScopedRun {
                 label,
@@ -759,7 +783,7 @@ fn snap_mode() -> String {
         let mut engine = Engine::start(config);
         let collector = Collector::new();
         register_subscriptions(&mut engine, &collector);
-        engine.ingest_all(instances.iter().cloned());
+        engine.ingest_all(instances.iter());
         engine.flush();
         drop(engine); // the simulated crash
         collector.take().len() as u64
@@ -862,7 +886,7 @@ fn snap_mode() -> String {
     let reference = Collector::new();
     let mut engine = Engine::start(smoke_config(&smoke_full));
     register_subscriptions(&mut engine, &reference);
-    engine.ingest_all(instances.iter().take(smoke).cloned());
+    engine.ingest_all(instances.iter().take(smoke));
     let _ = engine.finish();
     let expected = reference.take().len();
 
@@ -870,7 +894,7 @@ fn snap_mode() -> String {
     let lost = Collector::new();
     let mut engine = Engine::start(smoke_config(&smoke_dir));
     register_subscriptions(&mut engine, &lost);
-    engine.ingest_all(instances.iter().take(smoke / 2).cloned());
+    engine.ingest_all(instances.iter().take(smoke / 2));
     engine.flush();
     drop(engine); // kill
     let survivor = Collector::new();
@@ -971,8 +995,10 @@ fn stage_json(merged: &stem_obs::Recorder, stage: Stage) -> String {
 }
 
 /// The stages the `obs` block reports, in pipeline order.
-const OBS_STAGES: [Stage; 10] = [
+const OBS_STAGES: [Stage; 12] = [
     Stage::Ingest,
+    Stage::BatchBuild,
+    Stage::BatchReset,
     Stage::Route,
     Stage::Enqueue,
     Stage::ReorderRelease,
@@ -1020,13 +1046,11 @@ fn obs_mode() -> String {
         );
         let collector = Collector::new();
         register_subscriptions(&mut engine, &collector);
-        for (i, inst) in instances.iter().enumerate() {
-            engine.ingest(inst.clone());
-            // A live driver syncs periodically: exercise the barrier so
-            // `barrier_wait` has samples.
-            if (i + 1) % SYNC_EVERY == 0 {
-                engine.sync();
-            }
+        // Columnar chunks with a periodic sync: exercises batch build /
+        // arena reset and the barrier so all three have samples.
+        for chunk in instances.chunks(SYNC_EVERY) {
+            engine.ingest_all(chunk);
+            engine.sync();
         }
         let report = engine.finish();
         let obs = report.obs.as_ref().expect("telemetry was on");
@@ -1034,6 +1058,8 @@ fn obs_mode() -> String {
         assert!(!obs.snapshots.is_empty(), "the snapshot ring is populated");
         for stage in [
             Stage::Ingest,
+            Stage::BatchBuild,
+            Stage::BatchReset,
             Stage::Route,
             Stage::Enqueue,
             Stage::ReorderRelease,
@@ -1041,7 +1067,6 @@ fn obs_mode() -> String {
             Stage::Evaluate,
             Stage::WalAppend,
             Stage::WalFsync,
-            Stage::BarrierWait,
         ] {
             assert!(
                 !obs.merged.stage(stage).is_empty(),
@@ -1133,6 +1158,14 @@ fn obs_mode() -> String {
             barrier_ns / 1e6,
             foldback_ns / 1e6,
         ));
+        // The wait-free barrier + fold-back fast path hold the combined
+        // share well under the pre-optimization ~37%: regressions fail
+        // the bench, not just drift in the JSON.
+        assert!(
+            share < 0.15,
+            "barrier + fold-back share at {shards} shard(s) regressed: \
+             {share:.4} >= 0.15"
+        );
     }
     let _ = std::fs::remove_dir_all(&obs_root);
 

@@ -46,6 +46,7 @@
 
 mod attr;
 pub mod codec;
+mod columnar;
 mod condition;
 mod confidence;
 pub mod dsl;
@@ -59,6 +60,7 @@ pub mod timing;
 
 pub use attr::{AttrAggregate, AttrValue, Attributes, RelationalOp};
 pub use codec::StateCodec;
+pub use columnar::{AttrArena, ColumnarBatch};
 pub use condition::{
     AttrRef, AttributeCondition, Bindings, ConditionExpr, ConfidenceCondition, DistanceCondition,
     EntityName, EvalError, SpaceExpr, SpaceOperand, SpatialCondition, TemporalCondition, TimeExpr,

@@ -293,6 +293,17 @@ pub fn station_observers(
 /// Returns every notification the subscriptions delivered plus the
 /// replay engine's report.
 ///
+/// A recording whose prefix was retired by checkpoint compaction (see
+/// [`stem_wal::Replay::first_seq`]) is *not* refused: re-analysis
+/// resumes from the checkpoint floor through [`Engine::recover`]'s
+/// floor selection, exactly like crash recovery would — the retired
+/// prefix is compressed into the floor snapshots' detector state, so
+/// only post-floor notifications are delivered. This path replays each
+/// shard's durable records in place, so it requires the *same* app
+/// shape and `shards` count the recording ran with (re-analysis under
+/// a **new** app still needs complete history: a new subscription set
+/// cannot restore another app's snapshot state).
+///
 /// # Panics
 ///
 /// Panics if the WAL cannot be read, or — when replaying probes into a
@@ -315,36 +326,44 @@ pub fn replay_recorded(
          a scenario re-analysis needs complete history",
         dir.display(),
     );
-    // `missing_ops` only sees gaps *between* surviving records: a
-    // prefix uniformly retired by checkpoint compaction leaves no gap,
-    // just a stream that starts late. A recording always begins at
-    // sequence 0, so anything else means history was discarded.
-    let first_seq = replay.records().first().map_or(0, stem_wal::WalRecord::seq);
-    assert_eq!(
-        first_seq,
-        0,
-        "recorded wal at {} begins at sequence {first_seq} — its prefix was \
-         retired by checkpoint compaction; a scenario re-analysis needs \
-         complete history (record without `checkpoint_every_ticks`)",
-        dir.display(),
-    );
     let world = scenario_world_bounds(config, app);
     let scopes = station_scopes(config, app);
     let (sink_observer, ccu_observer) = scenario_observers(config);
+    let collector = Collector::new();
+    let subs = engine_subscriptions(app, &sink_observer, &ccu_observer, world, &scopes, || {
+        collector.sink()
+    });
+    let horizon = stem_temporal::TimePoint::EPOCH + config.duration;
+    // `missing_ops` only sees gaps *between* surviving records: a
+    // prefix uniformly retired by checkpoint compaction leaves no gap,
+    // just a stream that starts late (a recording always begins at
+    // sequence 0). Such history re-analyses through the recovery path:
+    // restore the checkpoint floor, replay the durable tail.
+    if replay.first_seq().unwrap_or(0) > 0 {
+        let mut recovery = Engine::recover(
+            EngineConfig::new(world)
+                .with_shards(shards)
+                .with_batch_size(1)
+                .with_wal(dir)
+                .deterministic(),
+        )
+        .unwrap_or_else(|e| panic!("recover recorded wal at {}: {e}", dir.display()));
+        for sub in subs {
+            recovery.subscribe(sub);
+        }
+        let report = recovery.resume().finish_at(horizon);
+        return (collector.take(), report);
+    }
     let mut engine = Engine::start(
         EngineConfig::new(world)
             .with_shards(shards)
             .with_batch_size(1)
             .deterministic(),
     );
-    let collector = Collector::new();
-    for sub in engine_subscriptions(app, &sink_observer, &ccu_observer, world, &scopes, || {
-        collector.sink()
-    }) {
+    for sub in subs {
         engine.subscribe(sub);
     }
     engine.replay_records(replay.records());
-    let horizon = stem_temporal::TimePoint::EPOCH + config.duration;
     let report = engine.finish_at(horizon);
     (collector.take(), report)
 }
@@ -372,6 +391,15 @@ impl EngineShared {
     /// for a single fed instance this reproduces the DES path's
     /// detector-list evaluation order whatever shard the work ran on.
     fn drain(&mut self) -> PumpOutput {
+        // The overwhelmingly common case: the delivery matched nothing,
+        // the collector is empty, and the fold-back costs one lock —
+        // no span bookkeeping, no sort, no allocation. Cross-tick
+        // amortization lives here: per-delivery sync is already
+        // near-free (wait-free barrier, heartbeat suppression), so the
+        // fold-back loop only pays real work on ticks that delivered.
+        if self.collector.is_empty() {
+            return PumpOutput::default();
+        }
         let token = self.obs.as_ref().map(|(_, clock)| clock.start());
         let mut notes = self.collector.take();
         notes.sort_by_key(|n| n.subscription.raw());
@@ -687,10 +715,11 @@ mod tests {
 
     /// `missing_ops` only sees gaps between surviving records; a prefix
     /// uniformly retired by checkpoint compaction leaves no gap. The
-    /// re-analysis entry point must still refuse it loudly.
+    /// re-analysis entry point used to refuse such history — now it
+    /// resumes from the durable floor through the recovery path and
+    /// re-evaluates the surviving tail.
     #[test]
-    #[should_panic(expected = "prefix was retired")]
-    fn replay_recorded_refuses_a_compaction_truncated_prefix() {
+    fn replay_recorded_resumes_a_compaction_truncated_prefix() {
         let dir = temp_dir("truncated-prefix");
         // A hand-built "recording" whose stream starts at sequence 5 —
         // exactly what per-shard compaction leaves after retiring every
@@ -714,7 +743,20 @@ mod tests {
         }
         drop(wal);
         let (config, app) = hotspot(36);
-        let _ = replay_recorded(&config, &app, &dir, 2);
+        // The recovery replay runs each shard's records in place, so
+        // the shard count must match the recording's (one shard here).
+        let (notes, report) = replay_recorded(&config, &app, &dir, 1);
+        // Three surviving hot-readings at one point: the sink detector's
+        // a-then-b pairs all satisfy dist < 40 and derive "hot-area".
+        assert!(
+            !notes.is_empty(),
+            "the durable tail must re-evaluate: {report:?}"
+        );
+        assert!(notes.iter().all(
+            |n| matches!(&n.kind, NotificationKind::Derived(i) if i.event().as_str() == "hot-area")
+        ));
+        assert_eq!(report.total_late_dropped(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,7 +1,113 @@
 //! The unit of handoff between router and shard workers.
 
-use stem_core::EventInstance;
+use std::sync::Arc;
+use stem_core::{ColumnarBatch, EventId, EventInstance, Layer};
+use stem_spatial::{Point, SpatialExtent};
 use stem_temporal::TimePoint;
+
+/// How a routed instance travels to its shard.
+///
+/// The classic path moves the owned [`EventInstance`]; the columnar
+/// ingest path instead ships a shared reference into a
+/// [`ColumnarBatch`] row, so the router and the worker's filter pass
+/// iterate flat columns and the full instance is only re-materialized
+/// for rows that reach evaluation or durable logging.
+#[derive(Debug, Clone)]
+pub enum ItemPayload {
+    /// A standalone instance (per-instance ingest to a single target,
+    /// recovery replay, snapshot restore).
+    Owned(EventInstance),
+    /// A broadcast copy: the same instance delivered to several shards
+    /// shares one allocation, so fanout costs an `Arc` bump instead of
+    /// a deep clone of strings and attribute maps.
+    Shared(Arc<EventInstance>),
+    /// Row `.1` of a shared columnar ingest chunk.
+    Columnar(Arc<ColumnarBatch>, u32),
+}
+
+impl ItemPayload {
+    /// The instance's event id.
+    #[must_use]
+    pub fn event(&self) -> &EventId {
+        match self {
+            ItemPayload::Owned(instance) => instance.event(),
+            ItemPayload::Shared(instance) => instance.event(),
+            ItemPayload::Columnar(batch, row) => batch.event(*row as usize),
+        }
+    }
+
+    /// The instance's model layer.
+    #[must_use]
+    pub fn layer(&self) -> Layer {
+        match self {
+            ItemPayload::Owned(instance) => instance.layer(),
+            ItemPayload::Shared(instance) => instance.layer(),
+            ItemPayload::Columnar(batch, row) => batch.layer(*row as usize),
+        }
+    }
+
+    /// The instance's generation time `t^g`.
+    #[must_use]
+    pub fn generation_time(&self) -> TimePoint {
+        match self {
+            ItemPayload::Owned(instance) => instance.generation_time(),
+            ItemPayload::Shared(instance) => instance.generation_time(),
+            ItemPayload::Columnar(batch, row) => batch.generation_time(*row as usize),
+        }
+    }
+
+    /// The representative point of the estimated location — what the
+    /// router and the subscription filter pass key on.
+    #[must_use]
+    pub fn representative(&self) -> Point {
+        match self {
+            ItemPayload::Owned(instance) => instance.estimated_location().representative(),
+            ItemPayload::Shared(instance) => instance.estimated_location().representative(),
+            ItemPayload::Columnar(batch, row) => batch.representative(*row as usize),
+        }
+    }
+
+    /// The estimated occurrence location `l^eo`.
+    #[must_use]
+    pub fn estimated_location(&self) -> &SpatialExtent {
+        match self {
+            ItemPayload::Owned(instance) => instance.estimated_location(),
+            ItemPayload::Shared(instance) => instance.estimated_location(),
+            ItemPayload::Columnar(batch, row) => batch.estimated_location(*row as usize),
+        }
+    }
+
+    /// A standalone copy of the instance (clone for owned payloads,
+    /// materialization for columnar rows — bit-identical either way).
+    #[must_use]
+    pub fn to_instance(&self) -> EventInstance {
+        match self {
+            ItemPayload::Owned(instance) => instance.clone(),
+            ItemPayload::Shared(instance) => EventInstance::clone(instance),
+            ItemPayload::Columnar(batch, row) => batch.materialize(*row as usize),
+        }
+    }
+
+    /// Consumes the payload into a standalone instance (move for owned
+    /// payloads — and for the last live handle of a shared one —
+    /// materialization for columnar rows).
+    #[must_use]
+    pub fn into_instance(self) -> EventInstance {
+        match self {
+            ItemPayload::Owned(instance) => instance,
+            ItemPayload::Shared(instance) => {
+                Arc::try_unwrap(instance).unwrap_or_else(|arc| EventInstance::clone(&arc))
+            }
+            ItemPayload::Columnar(batch, row) => batch.materialize(row as usize),
+        }
+    }
+}
+
+impl From<EventInstance> for ItemPayload {
+    fn from(instance: EventInstance) -> Self {
+        ItemPayload::Owned(instance)
+    }
+}
 
 /// One routed instance plus the router's high-water mark over the
 /// strict prefix of the stream before it.
@@ -19,8 +125,8 @@ pub struct BatchItem {
     /// *operation*, which is what write-ahead logging and post-recovery
     /// deduplication key on.
     pub seq: u64,
-    /// The routed instance.
-    pub instance: EventInstance,
+    /// The routed instance (owned, or a shared columnar row).
+    pub payload: ItemPayload,
     /// Observer-local evaluation time provided at ingest
     /// ([`crate::Engine::ingest_at`]): the reorder key and the clock
     /// pattern/sustained evaluation runs on. `None` falls back to the

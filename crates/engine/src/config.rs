@@ -128,8 +128,10 @@ pub enum BackpressurePolicy {
 /// How shard workers execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutionMode {
-    /// One OS thread per shard, batches handed off over bounded mpsc
-    /// channels (the production mode).
+    /// One OS thread per shard, batches handed off over bounded
+    /// steal-queue slots (see `slot.rs`) whose published progress
+    /// counters make barriers wait-free for clean shards (the
+    /// production mode).
     Threaded,
     /// All shards run inline on the calling thread, processed in shard
     /// order at every handoff. Same code path as [`Self::Threaded`]
@@ -168,13 +170,14 @@ pub struct EngineConfig {
     /// a changed shard count. `0` is rejected by
     /// [`EngineConfig::validate`].
     pub shard_count: usize,
-    /// Instances per handoff batch (>= 1). Larger batches amortize
-    /// channel traffic; smaller ones tighten the watermark heartbeat.
+    /// Instances per handoff batch and per columnar ingest chunk
+    /// (>= 1). Larger batches amortize handoff traffic and arena
+    /// reuse; smaller ones tighten the watermark heartbeat.
     pub batch_size: usize,
     /// Reorder slack: how far behind the maximum seen generation time
     /// the per-shard watermark trails (see [`stem_cep::ReorderBuffer`]).
     pub watermark_slack: Duration,
-    /// Bounded channel depth per shard, in batches.
+    /// Bounded steal-queue depth per shard, in batches.
     pub queue_capacity: usize,
     /// Full-queue behaviour.
     pub backpressure: BackpressurePolicy,

@@ -8,40 +8,40 @@ use crate::config::{
 use crate::metrics::EngineReport;
 use crate::router::ShardRouter;
 use crate::shard_map::ShardMap;
+use crate::slot::ShardSlot;
 use crate::subscription::{Subscription, SubscriptionId};
 use crate::worker::{ShardMessage, ShardWorker, SnapContext, SubscriptionState, WorkerObs};
-use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use stem_core::timing::{Clock, SpanToken};
-use stem_core::{EventInstance, InstanceSource};
+use stem_core::{ColumnarBatch, EventInstance, InstanceSource};
 use stem_obs::{ObsRegistry, Recorder, Stage};
 use stem_snap::ShardSnapshot;
 use stem_temporal::TimePoint;
 use stem_wal::{read_shard_tail, wal_shards, RecoveredShard, ShardWal, WalRecord};
 
 /// The engine thread's telemetry state: its own recorder (routing and
-/// barrier spans), the sampling cadence, and the per-shard sent-message
-/// counters the registry turns into queue-depth gauges.
+/// barrier spans) plus the sampling cadence. (Queue-depth gauges come
+/// from the engine's per-shard sent counters, which live on the engine
+/// itself — the barrier needs them with telemetry off too.)
 struct EngineObs {
     registry: Arc<ObsRegistry>,
     clock: Clock,
     recorder: Recorder,
     every_batches: u64,
     batches_since_sample: u64,
-    /// Messages sent per shard (queue depth = sent − the shard's
-    /// published `msgs_processed`).
-    sent: Vec<u64>,
 }
 
 /// How shard workers are driven.
 enum Backend {
     /// Workers run inline on the caller's thread, in shard order.
     Inline(Vec<ShardWorker>),
-    /// One thread per shard behind a bounded channel.
+    /// One thread per shard behind a steal-queue slot (see
+    /// [`ShardSlot`]): barriers skip clean shards entirely and drain
+    /// dirty ones inline instead of waiting for a wakeup.
     Threaded {
-        senders: Vec<SyncSender<ShardMessage>>,
+        slots: Vec<Arc<ShardSlot>>,
         handles: Vec<JoinHandle<crate::metrics::ShardMetrics>>,
     },
 }
@@ -55,11 +55,13 @@ pub struct Engine {
     router: ShardRouter,
     backend: Backend,
     next_subscription: u64,
-    /// Per shard: messages sent since its last sync barrier. A clean
-    /// shard has nothing in flight, so [`Engine::sync`] skips its
-    /// round trip — the amortization that makes a barrier per delivery
-    /// affordable on the station ingest path.
-    dirty: Vec<bool>,
+    /// Messages sent per shard over the engine's lifetime. Compared
+    /// against each slot's processed counter: equality proves the shard
+    /// clean, and [`Engine::sync`] skips it without any cross-thread
+    /// traffic — the amortization that makes a barrier per delivery
+    /// affordable on the station ingest path. (Also the queue-depth
+    /// numerator for telemetry sampling.)
+    sent_msgs: Vec<u64>,
     /// First ingest sequence *not* guaranteed durable across every
     /// shard log (0 without recovery): where an upstream re-feed must
     /// resume after [`Engine::recover`].
@@ -91,7 +93,16 @@ impl Engine {
         let problems = config.validate();
         assert!(problems.is_empty(), "invalid EngineConfig: {problems:?}");
         let map = ShardMap::build(config.world_bounds, config.shard_count);
-        let router = ShardRouter::new(map, config.batch_size, config.interest_bvh_threshold);
+        // Under durable logging every operation must reach its owner
+        // shard's write-ahead log; without it the router may drop
+        // deliveries nothing subscribes to at enqueue time.
+        let retain_owner = matches!(config.durability, Durability::Wal { .. });
+        let router = ShardRouter::new(
+            map,
+            config.batch_size,
+            config.interest_bvh_threshold,
+            retain_owner,
+        );
         // Deterministic runs time spans on per-producer virtual clocks
         // (each span counts the clock events it encloses), so the
         // telemetry output itself is bit-reproducible; threaded runs
@@ -138,22 +149,22 @@ impl Engine {
                 Backend::Inline((0..config.shard_count).map(make_worker).collect())
             }
             ExecutionMode::Threaded => {
-                let mut senders = Vec::with_capacity(config.shard_count);
+                let mut slots = Vec::with_capacity(config.shard_count);
                 let mut handles = Vec::with_capacity(config.shard_count);
                 for shard in 0..config.shard_count {
-                    let (tx, rx) = sync_channel::<ShardMessage>(config.queue_capacity);
-                    let worker = make_worker(shard);
+                    let slot = Arc::new(ShardSlot::new(make_worker(shard), config.queue_capacity));
+                    let runner = Arc::clone(&slot);
                     let handle = std::thread::Builder::new()
                         .name(format!("stem-engine-shard-{shard}"))
-                        .spawn(move || worker.run(rx))
+                        .spawn(move || runner.run())
                         .expect("spawn shard worker");
-                    senders.push(tx);
+                    slots.push(slot);
                     handles.push(handle);
                 }
-                Backend::Threaded { senders, handles }
+                Backend::Threaded { slots, handles }
             }
         };
-        let dirty = vec![false; config.shard_count];
+        let sent_msgs = vec![0; config.shard_count];
         let obs = registry.map(|registry| {
             let every_batches = match &config.telemetry {
                 TelemetryPolicy::Sampled { every_batches, .. } => (*every_batches).max(1),
@@ -165,7 +176,6 @@ impl Engine {
                 recorder: Recorder::new(),
                 every_batches,
                 batches_since_sample: 0,
-                sent: vec![0; config.shard_count],
             }
         });
         Engine {
@@ -173,7 +183,7 @@ impl Engine {
             router,
             backend,
             next_subscription: 0,
-            dirty,
+            sent_msgs,
             resume_seq: 0,
             epoch: 0,
             batches_since_checkpoint: 0,
@@ -199,8 +209,16 @@ impl Engine {
 
     /// Closes an engine-thread telemetry span: one histogram sample.
     fn obs_record(&mut self, stage: Stage, token: Option<SpanToken>) {
+        self.obs_record_minus(stage, token, 0);
+    }
+
+    /// Closes a span but discounts `minus` nanoseconds — the barrier
+    /// path uses it to subtract stolen shard work (already recorded
+    /// under its real stages on the worker recorders) so `barrier_wait`
+    /// measures coordination, not relocated evaluation.
+    fn obs_record_minus(&mut self, stage: Stage, token: Option<SpanToken>, minus: u64) {
         if let (Some(o), Some(t)) = (self.obs.as_mut(), token) {
-            let elapsed = o.clock.elapsed(&t);
+            let elapsed = o.clock.elapsed(&t).saturating_sub(minus);
             o.recorder.record_stage(stage, elapsed);
         }
     }
@@ -228,6 +246,7 @@ impl Engine {
         let fanout = router_metrics.fanout;
         let bvh_nodes = router_metrics.bvh_nodes_visited;
         let precision_skipped = router_metrics.precision_skipped;
+        let sent = self.sent_msgs.clone();
         let Some(o) = self.obs.as_mut() else {
             return;
         };
@@ -237,7 +256,7 @@ impl Engine {
         o.recorder.set_gauge("bvh_nodes", bvh_nodes);
         o.recorder.set_gauge("precision_skipped", precision_skipped);
         o.registry.publish_engine(&o.recorder);
-        let _ = o.registry.sample(high_water.map(TimePoint::ticks), &o.sent);
+        let _ = o.registry.sample(high_water.map(TimePoint::ticks), &sent);
     }
 
     /// The configuration the engine runs with.
@@ -252,14 +271,19 @@ impl Engine {
     ///
     /// Ordering: the subscription observes every instance its home
     /// shard's reorder buffer releases after this call — all later
-    /// ingests, plus any earlier ones still held behind the watermark
-    /// at registration time.
+    /// ingests, plus any earlier ones that actually reached the shard
+    /// and are still held behind the watermark at registration time.
+    /// (Without durable logging the router drops deliveries no
+    /// then-registered subscription covers, so a late subscriber only
+    /// sees held instances that some earlier interest — or the owner
+    /// copy kept by [`Durability::Wal`] — brought to its home shard.)
     pub fn subscribe(&mut self, subscription: Subscription) -> SubscriptionId {
         let id = SubscriptionId(self.next_subscription);
         self.next_subscription += 1;
         let home = self.router.subscribe(
             id,
             subscription.routing_scope().clone(),
+            subscription.layers.as_deref(),
             subscription.home_hint,
         );
         let state = SubscriptionState::compile(id, subscription);
@@ -317,10 +341,85 @@ impl Engine {
         self.maybe_sample();
     }
 
-    /// Ingests an entire stream.
-    pub fn ingest_all(&mut self, instances: impl IntoIterator<Item = EventInstance>) {
-        for instance in instances {
-            self.ingest(instance);
+    /// Ingests an entire stream through the columnar batch path:
+    /// instances are gathered into arena-backed [`ColumnarBatch`]
+    /// chunks (one `batch_size` chunk at a time) and the router, the
+    /// interest masks, and the precision pass iterate the chunk's flat
+    /// columns instead of touching each instance's heap allocations.
+    /// Shard workers receive shared references into the chunk and only
+    /// re-materialize the rows that actually reach evaluation or the
+    /// write-ahead log. Chunks are recycled through a small pool once
+    /// every shard has dropped its reference, so steady-state ingest
+    /// reuses the same arenas instead of reallocating per chunk.
+    ///
+    /// Semantically identical to calling [`Engine::ingest`] per
+    /// instance — same routing, same sequence stamps, same
+    /// notifications (the columnar-equivalence tests pin this down).
+    ///
+    /// Accepts owned instances or references: the columnar build only
+    /// *reads* each instance (columns and arena rows are copies), so a
+    /// caller that keeps its stream can pass `stream.iter()` and skip
+    /// a full deep-clone pass.
+    pub fn ingest_all<I>(&mut self, instances: I)
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<EventInstance>,
+    {
+        use std::borrow::Borrow;
+        // Chunks the pool keeps alive waiting for shard references to
+        // drop; beyond this the oldest is released to the allocator.
+        const POOL_DEPTH: usize = 8;
+        let chunk = self.config.batch_size.max(1);
+        let mut iter = instances.into_iter();
+        let mut pool: Vec<Arc<ColumnarBatch>> = Vec::new();
+        let mut batch = ColumnarBatch::with_capacity(chunk);
+        loop {
+            let build_token = self.obs_span();
+            while batch.len() < chunk {
+                let Some(instance) = iter.next() else { break };
+                batch.push(instance.borrow());
+            }
+            self.obs_record(Stage::BatchBuild, build_token);
+            if batch.is_empty() {
+                break;
+            }
+            let shared = Arc::new(std::mem::replace(&mut batch, ColumnarBatch::new()));
+            let ingest_token = self.obs_span();
+            let route_token = self.obs_span();
+            let full = self.router.route_batch(&shared);
+            self.obs_record(Stage::Route, route_token);
+            for shard in full {
+                self.flush_shard(shard);
+            }
+            self.obs_record(Stage::Ingest, ingest_token);
+            pool.push(shared);
+            self.maybe_checkpoint();
+            self.maybe_sample();
+            // Recycle the first chunk every shard has let go of:
+            // try_unwrap cannot race because this thread holds the only
+            // other clone. Reset keeps the arena's capacity and key
+            // interner.
+            let reset_token = self.obs_span();
+            if let Some(idx) = pool.iter().position(|b| Arc::strong_count(b) == 1) {
+                if let Ok(mut reclaimed) = Arc::try_unwrap(pool.swap_remove(idx)) {
+                    reclaimed.reset();
+                    batch = reclaimed;
+                }
+            } else {
+                if pool.len() > POOL_DEPTH {
+                    // Nothing reclaimable: stop pinning the oldest
+                    // chunk ourselves (it frees once its shards drop
+                    // it).
+                    pool.remove(0);
+                }
+                // The replacement starts at full row capacity: one
+                // reserve per column instead of geometric growth
+                // re-paid on every chunk (with lazily-woken workers,
+                // whole ingest runs can pass before anything is
+                // reclaimable).
+                batch = ColumnarBatch::with_capacity(chunk);
+            }
+            self.obs_record(Stage::BatchReset, reset_token);
         }
     }
 
@@ -619,9 +718,20 @@ impl Engine {
         self.flush_shard(home);
         // Probes consume ingest sequence numbers from the same counter
         // as instances, so the write-ahead logs carry a total order over
-        // all operations.
+        // all operations. The prefix stamp rides along so the worker's
+        // staleness check does not depend on heartbeat delivery (which
+        // clean-shard suppression may elide).
         let seq = self.router.take_seq();
-        self.send(home, ShardMessage::SilenceProbe { id, at, seq });
+        let prefix_high_water = self.router.high_water();
+        self.send(
+            home,
+            ShardMessage::SilenceProbe {
+                id,
+                at,
+                seq,
+                prefix_high_water,
+            },
+        );
         self.maybe_checkpoint();
         self.maybe_sample();
         true
@@ -688,16 +798,22 @@ impl Engine {
             );
         }
         drop(ack);
-        // In threaded mode this blocks until every worker has written
-        // its snapshot; inline workers already ran synchronously and
-        // their acks are queued. Either way the barrier is total, so
-        // every shard is clean afterwards. The wait is timed as
-        // `barrier_wait` (the workers time their snapshot writes as
-        // `snapshot_cut` on their own clocks).
+        // Steal-drain every shard inline (snapshot writes included), so
+        // the ack loop below returns without parking; inline workers
+        // already ran synchronously and their acks are queued. Either
+        // way the barrier is total, so every shard is clean afterwards.
+        // `barrier_wait` records the coordination remainder: the stolen
+        // work times itself on the worker clocks (snapshot writes as
+        // `snapshot_cut`, evaluation as its usual stages).
         let token = self.obs_span();
+        let mut stolen_ns = 0u64;
+        if let Backend::Threaded { slots, .. } = &self.backend {
+            for slot in slots {
+                stolen_ns = stolen_ns.saturating_add(slot.steal());
+            }
+        }
         while done.recv().is_ok() {}
-        self.obs_record(Stage::BarrierWait, token);
-        self.dirty.fill(false);
+        self.obs_record_minus(Stage::BarrierWait, token, stolen_ns);
         self.batches_since_checkpoint = 0;
         self.checkpoint_high_water = high_water;
     }
@@ -710,45 +826,45 @@ impl Engine {
     /// watermark passes them. The station ingest path (zero slack)
     /// relies on this for synchronous fold-back of derived instances.
     ///
-    /// The barrier is amortized: only *dirty* shards — those sent a
-    /// message since their last barrier — are waited on, and the flush
-    /// underneath cuts heartbeat-only batches only when the stream
-    /// clock advanced (see [`ShardRouter::needs_heartbeat`]). A driver
-    /// syncing once per delivery therefore pays one all-shard round per
-    /// simulation tick, not per delivery: within a tick the clock is
-    /// unchanged and only the shards the delivery actually touched are
-    /// flushed and barriered.
+    /// The barrier is wait-free: a *clean* shard — one whose processed
+    /// counter already matches everything the engine sent it — costs
+    /// two atomic loads and no cross-thread traffic at all, and a dirty
+    /// shard's remaining queue is *stolen* and drained inline on the
+    /// calling thread (see [`ShardSlot`]) instead of parking on an ack
+    /// round trip. No sync messages, no wakeups, no context switches —
+    /// the cost ROADMAP item 5's anti-scaling used to hide in. The
+    /// flush underneath still cuts heartbeat-only batches only when the
+    /// stream clock advanced and the shard might act on it (see
+    /// [`Engine::flush_shard`]), so a driver syncing once per delivery
+    /// pays for exactly the shards that delivery touched.
     pub fn sync(&mut self) {
         self.flush();
-        if let Backend::Threaded { senders, .. } = &self.backend {
-            let (ack, done) = std::sync::mpsc::channel();
-            let mut synced = 0u64;
-            for (shard, sender) in senders.iter().enumerate() {
-                if !self.dirty[shard] {
-                    continue;
-                }
-                sender
-                    .send(ShardMessage::Sync(ack.clone()))
-                    .unwrap_or_else(|_| panic!("shard {shard} worker terminated"));
-                synced += 1;
-            }
-            if let Some(o) = self.obs.as_mut() {
-                for (shard, dirty) in self.dirty.iter().enumerate() {
-                    if *dirty {
-                        o.sent[shard] += 1;
-                    }
-                }
-            }
-            drop(ack);
-            // The cost ROADMAP item 5's anti-scaling hides in: the
-            // engine thread stalled at the barrier while every dirty
-            // shard drains. One `barrier_wait` sample per sync that
-            // actually waited.
-            let token = if synced > 0 { self.obs_span() } else { None };
-            while done.recv().is_ok() {}
-            self.obs_record(Stage::BarrierWait, token);
+        let dirty: Vec<usize> = match &self.backend {
+            Backend::Inline(_) => return,
+            Backend::Threaded { slots, .. } => slots
+                .iter()
+                .enumerate()
+                .filter(|(shard, slot)| slot.processed() < self.sent_msgs[*shard])
+                .map(|(shard, _)| shard)
+                .collect(),
+        };
+        if dirty.is_empty() {
+            return;
         }
-        self.dirty.fill(false);
+        // One `barrier_wait` sample per sync that had anything to steal.
+        // The stolen work's own stages land on the worker recorders as
+        // usual, and its time is subtracted here: what remains is the
+        // true synchronization cost (locks, queue ops, waiting) — a
+        // sync that merely relocates evaluation onto this thread is not
+        // a barrier tax.
+        let token = self.obs_span();
+        let mut stolen_ns = 0u64;
+        if let Backend::Threaded { slots, .. } = &self.backend {
+            for shard in dirty {
+                stolen_ns = stolen_ns.saturating_add(slots[shard].steal());
+            }
+        }
+        self.obs_record_minus(Stage::BarrierWait, token, stolen_ns);
     }
 
     /// Flushes every partially-filled batch without shutting down,
@@ -797,15 +913,18 @@ impl Engine {
         let shards: Vec<crate::metrics::ShardMetrics> = match std::mem::replace(
             &mut self.backend,
             Backend::Threaded {
-                senders: Vec::new(),
+                slots: Vec::new(),
                 handles: Vec::new(),
             },
         ) {
             Backend::Inline(workers) => workers.into_iter().map(ShardWorker::finish).collect(),
-            Backend::Threaded { senders, handles } => {
-                // Closing the channels ends the worker loops; each
-                // worker flushes and returns its counters.
-                drop(senders);
+            Backend::Threaded { slots, handles } => {
+                // Closing the slots ends the worker loops; each worker
+                // drains its remaining queue, flushes, and returns its
+                // counters.
+                for slot in &slots {
+                    slot.close();
+                }
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("shard worker panicked"))
@@ -824,12 +943,38 @@ impl Engine {
         }
     }
 
+    /// Whether `shard` has processed everything sent to it *and* holds
+    /// nothing in its reorder buffer — a shard a watermark heartbeat
+    /// could not cause to release anything.
+    fn shard_idle_and_empty(&self, shard: ShardId) -> bool {
+        match &self.backend {
+            Backend::Inline(workers) => workers[shard].reorder_pending() == 0,
+            Backend::Threaded { slots, .. } => {
+                let slot = &slots[shard];
+                slot.processed() == self.sent_msgs[shard] && slot.held() == 0
+            }
+        }
+    }
+
     /// Hands the pending batch for `shard` to its worker, honouring the
     /// backpressure policy. A batch that would carry neither instances
-    /// nor a heartbeat the shard hasn't already seen is not cut at all.
+    /// nor a heartbeat the shard hasn't already seen is not cut at all
+    /// — and a heartbeat-*only* batch is suppressed entirely when the
+    /// shard is idle and holds nothing reordering: advancing an empty
+    /// shard's clock releases nothing, late-drop decisions ride each
+    /// item's own prefix stamp, and silence probes carry their own
+    /// stamp too, so the heartbeat's only effect would be the
+    /// cross-thread traffic itself. This is what keeps a quiet shard's
+    /// cost at zero across fold-back syncs.
     fn flush_shard(&mut self, shard: ShardId) {
-        if self.router.pending_len(shard) == 0 && !self.router.needs_heartbeat(shard) {
-            return;
+        if self.router.pending_len(shard) == 0 {
+            if !self.router.needs_heartbeat(shard) {
+                return;
+            }
+            if self.shard_idle_and_empty(shard) {
+                self.router.note_suppressed_heartbeat();
+                return;
+            }
         }
         let batch = self.router.take_batch(shard);
         self.batches_since_checkpoint += 1;
@@ -846,39 +991,26 @@ impl Engine {
     }
 
     fn send(&mut self, shard: ShardId, message: ShardMessage) {
-        self.dirty[shard] = true;
-        if let Some(o) = self.obs.as_mut() {
-            o.sent[shard] += 1;
-        }
+        self.sent_msgs[shard] += 1;
         match &mut self.backend {
             Backend::Inline(workers) => workers[shard].handle(message),
-            Backend::Threaded { senders, .. } => match self.config.backpressure {
-                BackpressurePolicy::Block => senders[shard]
-                    .send(message)
-                    .unwrap_or_else(|_| panic!("shard {shard} worker terminated")),
-                BackpressurePolicy::DropNewest => match senders[shard].try_send(message) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(dropped)) => {
+            Backend::Threaded { slots, .. } => match self.config.backpressure {
+                BackpressurePolicy::Block => slots[shard].send(message),
+                BackpressurePolicy::DropNewest => {
+                    if let Err(dropped) = slots[shard].try_send(message) {
                         // Control messages are never dropped: losing a
                         // Subscribe/Unsubscribe would silently change
                         // semantics, so block for those.
                         if matches!(dropped, ShardMessage::Batch(_)) {
                             self.router.note_dropped_batch();
-                            // Never delivered: keep the queue-depth
-                            // arithmetic honest.
-                            if let Some(o) = self.obs.as_mut() {
-                                o.sent[shard] -= 1;
-                            }
+                            // Never delivered: keep the barrier and
+                            // queue-depth arithmetic honest.
+                            self.sent_msgs[shard] -= 1;
                         } else {
-                            senders[shard]
-                                .send(dropped)
-                                .unwrap_or_else(|_| panic!("shard {shard} worker terminated"));
+                            slots[shard].send(dropped);
                         }
                     }
-                    Err(TrySendError::Disconnected(_)) => {
-                        panic!("shard {shard} worker terminated")
-                    }
-                },
+                }
             },
         }
     }

@@ -10,24 +10,26 @@
 //! ## Architecture
 //!
 //! ```text
-//!                 ingest()                 mpsc (bounded, batched)
-//!  instances ──▶ ShardRouter ──▶ Batch ──▶ shard worker 0 ──▶ sinks
-//!                    │                 └─▶ shard worker 1 ──▶ sinks
-//!                    │  quadtree-derived            ⋮
-//!                    └─ ShardMap            per shard:
-//!                                           ReorderBuffer (watermark)
-//!                                           subscription registry
-//!                                           condition / pattern /
-//!                                           sustained evaluation
+//!                 ingest_all()                steal-queue slots (bounded)
+//!  instances ──▶ ColumnarBatch ──▶ ShardRouter ──▶ shard worker 0 ──▶ sinks
+//!                (arena-backed,        │       └─▶ shard worker 1 ──▶ sinks
+//!                 pooled chunks)       │  quadtree-derived     ⋮
+//!                                      └─ ShardMap    per shard:
+//!                                                     ReorderBuffer (watermark)
+//!                                                     subscription registry
+//!                                                     condition / pattern /
+//!                                                     sustained evaluation
 //! ```
 //!
 //! * The [`ShardMap`] partitions the world plane into quadtree leaves
 //!   (depth chosen from the shard count) and assigns contiguous Z-order
 //!   runs of leaves to shards, so each shard owns a compact region.
-//! * The router forwards each instance to the shard owning its location
-//!   plus every shard that is home to a subscription covering it (the
-//!   broadcast path for region-overlapping subscriptions), in batches
-//!   over bounded `std::sync::mpsc` channels.
+//! * The router forwards each instance to every shard that is home to a
+//!   subscription whose scope covers it — plus the shard owning its
+//!   location when a write-ahead log needs a durable copy — in columnar
+//!   batches over bounded per-shard steal-queue slots. A barrier (`sync`
+//!   / `finish`) skips shards whose published processed counter already
+//!   matches what was sent: clean shards cost zero cross-thread traffic.
 //! * Each batch carries the router's global maximum generation time as a
 //!   watermark heartbeat; shard workers apply it to their
 //!   [`stem_cep::ReorderBuffer`] so late-drop decisions match a
@@ -88,6 +90,7 @@ mod engine;
 mod metrics;
 mod router;
 mod shard_map;
+mod slot;
 mod subscription;
 mod worker;
 

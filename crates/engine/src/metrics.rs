@@ -142,6 +142,10 @@ pub struct RouterMetrics {
     pub batches_sent: u64,
     /// Batches dropped by [`crate::BackpressurePolicy::DropNewest`].
     pub dropped_backpressure: u64,
+    /// Heartbeat-only flushes elided because the target shard was idle
+    /// and held nothing reordering — cross-thread traffic the wait-free
+    /// barrier never generated.
+    pub heartbeats_suppressed: u64,
 }
 
 /// What [`crate::Engine::finish`] returns: everything the run measured.
@@ -241,6 +245,7 @@ impl EngineReport {
         flat.inc("precision_skipped", self.router.precision_skipped);
         flat.inc("scoped_subs", self.router.scoped_subscriptions);
         flat.inc("bvh_nodes", self.router.bvh_nodes_visited);
+        flat.inc("hb_suppressed", self.router.heartbeats_suppressed);
         flat.inc("scope_skipped", self.total_scope_skipped());
         flat.inc("notifications", self.total_notifications());
         flat.inc("late_dropped", self.total_late_dropped());

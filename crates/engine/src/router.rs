@@ -1,32 +1,49 @@
 //! The shard router: spatial partitioning, interest tracking, batching.
 
-use crate::batch::{Batch, BatchItem};
+use crate::batch::{Batch, BatchItem, ItemPayload};
 use crate::config::ShardId;
 use crate::metrics::RouterMetrics;
 use crate::shard_map::{Grid, ShardMap};
 use crate::subscription::SubscriptionId;
-use stem_core::EventInstance;
-use stem_spatial::{Bvh, Point, Rect, SpatialExtent};
+use std::sync::Arc;
+use stem_core::{ColumnarBatch, EventInstance, Layer};
+use stem_spatial::{Bvh, Field, Point, Rect, SpatialExtent};
 use stem_temporal::TimePoint;
 
+/// The bit for a model layer in an [`Interest`]'s layer mask.
+fn layer_bit(layer: Layer) -> u8 {
+    1 << (layer as u8)
+}
+
+/// The mask for a subscription's layer filter (`None` = every layer).
+fn layer_mask(layers: Option<&[Layer]>) -> u8 {
+    layers.map_or(u8::MAX, |list| {
+        list.iter().fold(0, |mask, &l| mask | layer_bit(l))
+    })
+}
+
 /// One registered subscription scope as the router sees it: the exact
-/// extent for precision checks plus its (cheaper) bounding box.
+/// extent for precision checks, its (cheaper) bounding box, and the
+/// subscription's layer filter as a bitmask — everything the worker's
+/// own candidate filter would reject is already rejected here, at
+/// enqueue time.
 #[derive(Debug, Clone)]
 struct Interest {
     id: SubscriptionId,
     bbox: Rect,
     scope: SpatialExtent,
+    layers: u8,
 }
 
 /// Routes instances to shards and accumulates per-shard batches.
 ///
-/// Every instance goes to the shard that *owns* its location under the
-/// [`ShardMap`], plus — the broadcast path — every other shard that is
-/// home to a subscription whose routing scope covers the location. A
-/// subscription lives on exactly one home shard (the owner of its
-/// scope's center, or of the home hint clamped into the scope), so
-/// detector state is never split and the match multiset is independent
-/// of the shard count.
+/// Every instance goes to each shard that is home to a subscription
+/// whose layer filter and routing scope cover it — and, under durable
+/// logging, unconditionally to the shard that *owns* its location
+/// under the [`ShardMap`]. A subscription lives on exactly one home
+/// shard (the owner of its scope's center, or of the home hint clamped
+/// into the scope), so detector state is never split and the match
+/// multiset is independent of the shard count.
 #[derive(Debug)]
 pub struct ShardRouter {
     map: ShardMap,
@@ -63,6 +80,12 @@ pub struct ShardRouter {
     /// heartbeat-only batches are cut only when the stream clock
     /// actually advanced for that shard (see [`ShardRouter::needs_heartbeat`]).
     heartbeat_sent: Vec<Option<TimePoint>>,
+    /// Whether the territorial owner receives every instance even with
+    /// no covering subscription. Required under durable logging (each
+    /// operation must reach some shard's write-ahead log); without it,
+    /// an instance nothing subscribes to is dropped at enqueue time
+    /// instead of riding a shard's reorder buffer to a no-op dispatch.
+    retain_owner: bool,
     metrics: RouterMetrics,
 }
 
@@ -76,9 +99,12 @@ impl ShardRouter {
     /// `bvh_threshold` is the per-home-shard interest count at which
     /// the precision pass switches from the linear exact-scope scan to
     /// the BVH index (see
-    /// [`crate::EngineConfig::interest_bvh_threshold`]).
+    /// [`crate::EngineConfig::interest_bvh_threshold`]). `retain_owner`
+    /// keeps the territorial-owner delivery even for instances no
+    /// subscription covers (durable-logging mode; see
+    /// [`ShardRouter::target_mask`]).
     #[must_use]
-    pub fn new(map: ShardMap, batch_size: usize, bvh_threshold: usize) -> Self {
+    pub fn new(map: ShardMap, batch_size: usize, bvh_threshold: usize, retain_owner: bool) -> Self {
         let shards = map.shard_count();
         let interest_grid = Grid::new(map.bounds(), Self::INTEREST_DEPTH);
         let leaves = interest_grid.leaf_count();
@@ -95,6 +121,7 @@ impl ShardRouter {
             high_water: None,
             next_seq: 0,
             heartbeat_sent: vec![None; shards],
+            retain_owner,
             metrics: RouterMetrics::default(),
         }
     }
@@ -149,6 +176,7 @@ impl ShardRouter {
         &mut self,
         id: SubscriptionId,
         scope: SpatialExtent,
+        layers: Option<&[Layer]>,
         home_hint: Option<Point>,
     ) -> ShardId {
         let bbox = scope.bounding_box();
@@ -165,14 +193,29 @@ impl ShardRouter {
         if !bbox.contains_rect(&self.map.bounds()) {
             self.metrics.scoped_subscriptions += 1;
         }
-        self.interests[home].push(Interest { id, bbox, scope });
+        self.interests[home].push(Interest {
+            id,
+            bbox,
+            scope,
+            layers: layer_mask(layers),
+        });
         if let Some(bvh) = &mut self.bvhs[home] {
             bvh.insert(bbox);
         } else if self.interests[home].len() >= self.bvh_threshold.max(1) {
             self.rebuild_bvh(home);
         }
-        for leaf in self.interest_grid.leaves_for_rect(&bbox) {
-            self.leaf_masks[leaf] |= 1 << home;
+        let scope = &self.interests[home].last().expect("just pushed").scope;
+        for (leaf, cell) in self.interest_grid.leaf_rects_for_rect(&bbox) {
+            // Exact-coverage refinement: a bounding box overstates a
+            // circular or polygonal scope by up to its whole corner
+            // area, and at leaf granularity that marks interest on
+            // cells the scope can never match. Testing the scope
+            // against each cell keeps the mask tight, so points in the
+            // uncovered residue route on the leaf lookup alone —
+            // no precision query at all.
+            if scope.intersects(&SpatialExtent::field(Field::rect(cell))) {
+                self.leaf_masks[leaf] |= 1 << home;
+            }
         }
         home
     }
@@ -219,31 +262,38 @@ impl ShardRouter {
         }
         for (shard, list) in self.interests.iter().enumerate() {
             for interest in list {
-                for leaf in self.interest_grid.leaves_for_rect(&interest.bbox) {
-                    self.leaf_masks[leaf] |= 1 << shard;
+                for (leaf, cell) in self.interest_grid.leaf_rects_for_rect(&interest.bbox) {
+                    // Same exact-coverage refinement as `subscribe`.
+                    if interest
+                        .scope
+                        .intersects(&SpatialExtent::field(Field::rect(cell)))
+                    {
+                        self.leaf_masks[leaf] |= 1 << shard;
+                    }
                 }
             }
         }
     }
 
-    /// Whether some subscription homed on `shard` has a routing scope
-    /// *exactly* covering the point (leaf masks are bounding-box
-    /// granular; this is the precision pass that trims the broadcast
-    /// fan-out). Served by the per-shard BVH once the shard's interest
-    /// count crossed the threshold, by the linear scan below it — both
-    /// answer identically.
-    fn covered_by_interest(&mut self, shard: ShardId, p: Point) -> bool {
+    /// Whether some subscription homed on `shard` accepts the layer and
+    /// has a routing scope *exactly* covering the point (leaf masks are
+    /// bounding-box granular; this is the precision pass that trims the
+    /// broadcast fan-out). Served by the per-shard BVH once the shard's
+    /// interest count crossed the threshold, by the linear scan below
+    /// it — both answer identically.
+    fn covered_by_interest(&mut self, shard: ShardId, p: Point, layer: u8) -> bool {
         if let Some(bvh) = &self.bvhs[shard] {
             self.scratch.clear();
             self.metrics.bvh_nodes_visited += bvh.query_point(p, &mut self.scratch);
             let list = &self.interests[shard];
             self.scratch
                 .iter()
-                .any(|&i| list[i as usize].scope.covers(p))
+                .map(|&i| &list[i as usize])
+                .any(|i| i.layers & layer != 0 && i.scope.covers(p))
         } else {
             self.interests[shard]
                 .iter()
-                .any(|i| i.bbox.contains(p) && i.scope.covers(p))
+                .any(|i| i.layers & layer != 0 && i.bbox.contains(p) && i.scope.covers(p))
         }
     }
 
@@ -261,61 +311,150 @@ impl ShardRouter {
         instance: EventInstance,
         eval_at: Option<TimePoint>,
     ) -> Vec<ShardId> {
+        let location = instance.estimated_location().representative();
         let t = eval_at.unwrap_or_else(|| instance.generation_time());
+        let targets = self.target_mask(location, layer_bit(instance.layer()));
+        let mut full = Vec::new();
+        let (seq, prefix_high_water) = self.stamp(t);
+        if targets == 0 {
+            // Nothing subscribed and no durable log to feed: the clock
+            // advanced, the instance goes nowhere.
+            return full;
+        }
+        if targets.count_ones() == 1 {
+            // Single target: the instance moves — no clone, no Arc.
+            let shard = targets.trailing_zeros() as ShardId;
+            let item = ItemPayload::Owned(instance);
+            if self.push_item(shard, seq, item, eval_at, prefix_high_water) {
+                full.push(shard);
+            }
+            return full;
+        }
+        // Broadcast: one allocation shared by every target copy.
+        let shared = Arc::new(instance);
+        let mut bits = targets;
+        while bits != 0 {
+            let shard = bits.trailing_zeros() as ShardId;
+            bits &= bits - 1;
+            let item = ItemPayload::Shared(Arc::clone(&shared));
+            if self.push_item(shard, seq, item, eval_at, prefix_high_water) {
+                full.push(shard);
+            }
+        }
+        full
+    }
+
+    /// Routes every row of a shared columnar chunk, iterating the
+    /// batch's dense representative-point and generation-time columns
+    /// instead of walking per-instance heap structures. Shards receive
+    /// [`ItemPayload::Columnar`] references into the chunk; the full
+    /// instance is only re-materialized downstream for rows that reach
+    /// evaluation or durable logging.
+    ///
+    /// Sequence numbers, prefix high-water stamps, and the target
+    /// selection (leaf mask + precision pass) are identical to routing
+    /// the same instances one at a time through [`ShardRouter::route`].
+    /// Returns the shards whose pending batch reached the flush
+    /// threshold, deduplicated, in shard order.
+    pub fn route_batch(&mut self, batch: &Arc<ColumnarBatch>) -> Vec<ShardId> {
+        let mut full_mask: u64 = 0;
+        for row in 0..batch.len() {
+            let location = batch.representatives()[row];
+            let t = batch.generation_times()[row];
+            let targets = self.target_mask(location, layer_bit(batch.layer(row)));
+            let (seq, prefix_high_water) = self.stamp(t);
+            let mut bits = targets;
+            while bits != 0 {
+                let shard = bits.trailing_zeros() as ShardId;
+                bits &= bits - 1;
+                let item = ItemPayload::Columnar(Arc::clone(batch), row as u32);
+                if self.push_item(shard, seq, item, None, prefix_high_water) {
+                    full_mask |= 1 << shard;
+                }
+            }
+        }
+        let mut full = Vec::with_capacity(full_mask.count_ones() as usize);
+        while full_mask != 0 {
+            full.push(full_mask.trailing_zeros() as ShardId);
+            full_mask &= full_mask - 1;
+        }
+        full
+    }
+
+    /// Advances the stream clock past `t` and consumes one sequence
+    /// number, returning `(seq, prefix_high_water)` for the routed item.
+    fn stamp(&mut self, t: TimePoint) -> (u64, Option<TimePoint>) {
         // The high-water mark over the strict prefix: stamped onto the
         // routed item so shard drop decisions replay the global run.
         let prefix_high_water = self.high_water;
         self.high_water = Some(self.high_water.map_or(t, |h| h.max(t)));
-        let seq = self.take_seq();
         self.metrics.routed += 1;
+        (self.take_seq(), prefix_high_water)
+    }
 
-        let location = instance.estimated_location().representative();
+    /// The delivery bitmask for an instance at `location` on `layer`
+    /// (as a [`layer_bit`]): every interested shard that survives the
+    /// precision pass, plus — under durable logging — the territorial
+    /// owner unconditionally.
+    ///
+    /// The precision pass drops, at enqueue time, every shard whose
+    /// resident subscriptions either sit on other layers or do not
+    /// exactly cover the point. Workers re-check both anyway, so a skip
+    /// can never lose a match — it only saves the delivery. Without
+    /// `retain_owner` the owner is pruned like any other shard: an
+    /// instance nobody subscribes to routes nowhere (the stream clock
+    /// and sequence still advance, so watermark/late-drop decisions on
+    /// the rest of the stream are untouched). With it, the owner always
+    /// receives a copy so the operation reaches its shard's
+    /// write-ahead log.
+    fn target_mask(&mut self, location: Point, layer: u8) -> u64 {
         let owner = self.map.shard_for_point(location);
         let leaf = self.interest_grid.leaf_for_point(location);
-        // Fan out to every shard with leaf-level interest; the
-        // territorial owner always receives the instance so watermark
-        // and occupancy metrics stay complete even with no subscribers.
-        let mask = self.leaf_masks[leaf] | (1 << owner);
-        if self.leaf_masks[leaf] == 0 {
+        let mask = self.leaf_masks[leaf];
+        if mask == 0 {
             self.metrics.owner_only += 1;
         }
-        let mut targets = Vec::with_capacity(mask.count_ones() as usize);
-        let mut bits = mask;
+        let mut targets = mask;
+        let mut bits = if self.retain_owner {
+            // The owner receives regardless; don't bill a precision
+            // skip for a shard that stays in the mask.
+            mask & !(1 << owner)
+        } else {
+            mask
+        };
         while bits != 0 {
             let shard = bits.trailing_zeros() as ShardId;
             bits &= bits - 1;
-            // Precision pass: beyond the owner (which always receives),
-            // only deliver where a resident subscription's exact scope
-            // covers the point — out-of-scope shards are dropped here,
-            // at enqueue time. Workers re-check coverage anyway, so a
-            // skip can never lose a match — it only saves the delivery.
-            if shard != owner && !self.covered_by_interest(shard, location) {
+            if !self.covered_by_interest(shard, location, layer) {
                 self.metrics.precision_skipped += 1;
-                continue;
+                targets &= !(1 << shard);
             }
-            targets.push(shard);
         }
-        self.metrics.fanout += targets.len() as u64;
+        if self.retain_owner {
+            targets |= 1 << owner;
+        }
+        self.metrics.fanout += u64::from(targets.count_ones());
+        targets
+    }
 
-        let last = targets.len() - 1;
-        for &shard in &targets[..last] {
-            self.pending[shard].push(BatchItem {
-                seq,
-                instance: instance.clone(),
-                eval_at,
-                prefix_high_water,
-            });
-        }
-        self.pending[targets[last]].push(BatchItem {
+    /// Appends one routed item to a shard's pending batch; returns
+    /// whether the batch just reached the flush threshold.
+    fn push_item(
+        &mut self,
+        shard: ShardId,
+        seq: u64,
+        payload: ItemPayload,
+        eval_at: Option<TimePoint>,
+        prefix_high_water: Option<TimePoint>,
+    ) -> bool {
+        let pending = &mut self.pending[shard];
+        pending.push(BatchItem {
             seq,
-            instance,
+            payload,
             eval_at,
             prefix_high_water,
         });
-        targets
-            .into_iter()
-            .filter(|&shard| self.pending[shard].len() >= self.batch_size)
-            .collect()
+        pending.len() >= self.batch_size
     }
 
     /// Takes the pending batch for `shard`, stamped with the current
@@ -370,6 +509,12 @@ impl ShardRouter {
         self.metrics.dropped_backpressure += 1;
     }
 
+    /// Records a heartbeat-only flush elided because its target shard
+    /// was idle and held nothing reordering.
+    pub(crate) fn note_suppressed_heartbeat(&mut self) {
+        self.metrics.heartbeats_suppressed += 1;
+    }
+
     /// A live view of the counters (telemetry sampling reads routed /
     /// fanout / BVH traversal totals mid-run without disturbing them).
     #[must_use]
@@ -394,7 +539,7 @@ mod tests {
             Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
             shards,
         );
-        ShardRouter::new(map, 1, bvh_threshold)
+        ShardRouter::new(map, 1, bvh_threshold, true)
     }
 
     fn inst(t: u64, x: f64, y: f64) -> EventInstance {
@@ -445,7 +590,7 @@ mod tests {
         // Scope is the lower-left quadrant; the hint points at the
         // opposite corner of the world.
         let scope = rect_scope(0.0, 0.0, 40.0, 40.0);
-        let home = r.subscribe(SubscriptionId(0), scope, Some(Point::new(99.0, 99.0)));
+        let home = r.subscribe(SubscriptionId(0), scope, None, Some(Point::new(99.0, 99.0)));
         assert_eq!(
             home,
             r.map().shard_for_point(Point::new(40.0, 40.0)),
@@ -464,6 +609,7 @@ mod tests {
                 r.subscribe(
                     SubscriptionId(i),
                     rect_scope(f * 8.0, f * 8.0, f * 8.0 + 6.0, f * 8.0 + 6.0),
+                    None,
                     // One shared home so the precision scan sees all 12.
                     Some(Point::new(1.0, 1.0)),
                 );

@@ -79,6 +79,29 @@ impl Grid {
         }
         leaves
     }
+
+    /// Like [`Grid::leaves_for_rect`], each leaf paired with its cell
+    /// rectangle (closed bounds, so points sitting exactly on a cell
+    /// edge test as inside the cell they floor into).
+    pub(crate) fn leaf_rects_for_rect(&self, rect: &Rect) -> Vec<(usize, Rect)> {
+        let side = 1u32 << self.depth;
+        let w = self.bounds.width() / f64::from(side);
+        let h = self.bounds.height() / f64::from(side);
+        let (lo_x, lo_y) = self.cell_of(rect.min());
+        let (hi_x, hi_y) = self.cell_of(rect.max());
+        let mut leaves = Vec::new();
+        for iy in lo_y..=hi_y {
+            for ix in lo_x..=hi_x {
+                let min = Point::new(
+                    self.bounds.min().x + f64::from(ix) * w,
+                    self.bounds.min().y + f64::from(iy) * h,
+                );
+                let cell = Rect::new(min, Point::new(min.x + w, min.y + h));
+                leaves.push((self.z_index(ix, iy), cell));
+            }
+        }
+        leaves
+    }
 }
 
 /// Maps locations and regions to shards. See the module docs.

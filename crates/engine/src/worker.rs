@@ -1,12 +1,13 @@
 //! Shard workers: reorder, evaluate, notify.
 
-use crate::batch::Batch;
+use crate::batch::{Batch, ItemPayload};
 use crate::config::ShardId;
 use crate::metrics::ShardMetrics;
 use crate::subscription::{
     EventSink, Notification, NotificationKind, SilenceSpec, Subscription, SubscriptionId,
     SustainedValue,
 };
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 use stem_cep::{CompositeDetector, ReorderBuffer, SustainedDetector};
@@ -18,7 +19,7 @@ use stem_core::{
 };
 use stem_obs::{ObsRegistry, Recorder, Stage};
 use stem_snap::ShardSnapshot;
-use stem_spatial::{Rect, SpatialExtent};
+use stem_spatial::{Bvh, Rect, SpatialExtent};
 use stem_temporal::{Duration, TimePoint};
 use stem_wal::{ShardWal, WalRecord};
 
@@ -83,6 +84,11 @@ pub(crate) enum ShardMessage {
         at: TimePoint,
         /// The probe's global ingest sequence number.
         seq: u64,
+        /// The router's high-water mark over the stream's strict prefix
+        /// at probe time, observed before the staleness check so the
+        /// accept/drop decision never depends on heartbeat delivery
+        /// (heartbeats to clean shards are suppressed entirely).
+        prefix_high_water: Option<TimePoint>,
     },
     /// Crash recovery: restore the newest valid checkpoint snapshot (if
     /// any), then replay this shard's durable log *tail* to rebuild
@@ -123,9 +129,6 @@ pub(crate) enum ShardMessage {
     /// Stream horizon: drain the reorder buffer and close any open
     /// sustained episodes at the given time.
     Finalize(TimePoint),
-    /// Barrier: acknowledge once everything queued before this message
-    /// has been processed.
-    Sync(std::sync::mpsc::Sender<()>),
 }
 
 /// A sustained detector resident on a shard, with its sampling rules.
@@ -260,8 +263,11 @@ fn eval_condition(
 /// time so the evaluation stream replays in station-clock order.
 enum StreamItem {
     /// An instance to evaluate at its time (ingest-provided, defaulting
-    /// to the generation time).
-    Instance(TimePoint, EventInstance),
+    /// to the generation time). The payload stays columnar end to end
+    /// when it arrived columnar: the filter pass reads the batch's
+    /// columns and a standalone instance is only materialized for items
+    /// that actually match a subscription.
+    Instance(TimePoint, ItemPayload),
     /// A queued silence probe: probes travel through the same reorder
     /// buffer as instances — feeding the sustained detector directly on
     /// message arrival would run it out of time order whenever earlier
@@ -279,10 +285,15 @@ const ITEM_TAG_PROBE: u8 = 1;
 /// Encodes one reorder-buffer payload for a checkpoint snapshot.
 fn encode_stream_item(item: &StreamItem, buf: &mut Vec<u8>) {
     match item {
-        StreamItem::Instance(at, instance) => {
+        StreamItem::Instance(at, payload) => {
             codec::put_u8(buf, ITEM_TAG_INSTANCE);
             codec::encode_time_point(*at, buf);
-            codec::encode_instance(instance, buf);
+            // Snapshots always hold standalone instances (columnar rows
+            // materialize bit-identically), keeping the format stable.
+            match payload {
+                ItemPayload::Owned(instance) => codec::encode_instance(instance, buf),
+                columnar => codec::encode_instance(&columnar.to_instance(), buf),
+            }
         }
         StreamItem::Probe { id, at } => {
             codec::put_u8(buf, ITEM_TAG_PROBE);
@@ -298,7 +309,7 @@ fn decode_stream_item(bytes: &mut &[u8]) -> CodecResult<StreamItem> {
         ITEM_TAG_INSTANCE => {
             let at = codec::decode_time_point(bytes)?;
             let instance = codec::decode_instance(bytes)?;
-            Ok(StreamItem::Instance(at, instance))
+            Ok(StreamItem::Instance(at, ItemPayload::Owned(instance)))
         }
         ITEM_TAG_PROBE => {
             let id = SubscriptionId(codec::get_u64(bytes)?);
@@ -344,6 +355,28 @@ pub(crate) struct ShardWorker {
     /// Indices of subscriptions passing the filter pass for the
     /// instance being dispatched (reused across dispatches).
     match_scratch: Vec<usize>,
+    /// Dense bounding-box column parallel to `subs`: the filter pass
+    /// probes this flat array instead of chasing each subscription
+    /// record for its bbox.
+    sub_bboxes: Vec<Rect>,
+    /// Filter-pass candidate index: subscription indices bucketed by
+    /// event filter, so dispatch walks only subscriptions whose filter
+    /// can match the instance's event.
+    by_event: BTreeMap<EventId, Vec<usize>>,
+    /// Subscriptions with no event filter (always candidates).
+    wildcard: Vec<usize>,
+    /// The BVH over `sub_bboxes` (item index = subscription index),
+    /// built once the resident count crosses
+    /// [`ShardWorker::DISPATCH_BVH_THRESHOLD`]: dispatch then probes
+    /// the tree with the instance's point instead of walking every
+    /// event-matching candidate — on dense shards almost all residents
+    /// are spatially disjoint from any one instance, and the linear
+    /// scan was the dominant per-delivery cost. `None` = linear merge
+    /// of the event buckets (small resident sets; also what a BVH
+    /// degenerates to).
+    sub_bvh: Option<Bvh>,
+    /// Candidate buffer reused across BVH dispatch queries.
+    cand_scratch: Vec<u32>,
 }
 
 impl ShardWorker {
@@ -373,12 +406,60 @@ impl ShardWorker {
             },
             obs,
             match_scratch: Vec::new(),
+            sub_bboxes: Vec::new(),
+            by_event: BTreeMap::new(),
+            wildcard: Vec::new(),
+            sub_bvh: None,
+            cand_scratch: Vec::new(),
         }
+    }
+
+    /// Resident-subscription count at which dispatch switches from the
+    /// linear candidate merge to the point-query BVH over region
+    /// bounding boxes. Below it a cache-resident linear scan wins.
+    const DISPATCH_BVH_THRESHOLD: usize = 16;
+
+    /// Rebuilds the filter-pass candidate index (bbox column + event
+    /// buckets + the dispatch BVH on dense shards). Runs on every
+    /// subscribe/unsubscribe — registration is cold, dispatch is hot.
+    fn rebuild_filter_index(&mut self) {
+        self.sub_bboxes.clear();
+        self.sub_bboxes.extend(self.subs.iter().map(|s| s.bbox));
+        self.by_event.clear();
+        self.wildcard.clear();
+        for (idx, sub) in self.subs.iter().enumerate() {
+            match &sub.event_filter {
+                Some(event) => self.by_event.entry(event.clone()).or_default().push(idx),
+                None => self.wildcard.push(idx),
+            }
+        }
+        self.sub_bvh = if self.subs.len() >= Self::DISPATCH_BVH_THRESHOLD {
+            Some(Bvh::build(&self.sub_bboxes))
+        } else {
+            None
+        };
     }
 
     /// Opens a telemetry span (None with telemetry off).
     fn obs_start(&self) -> Option<SpanToken> {
         self.obs.as_ref().map(|o| o.clock.start())
+    }
+
+    /// Opens a span on the worker's clock for a caller that wants to
+    /// measure time spent *inside* this worker — the slot's steal path
+    /// uses it to report how much of a barrier was relocated work
+    /// rather than coordination.
+    pub(crate) fn busy_span(&self) -> Option<SpanToken> {
+        self.obs_start()
+    }
+
+    /// Closes a [`ShardWorker::busy_span`] token, in nanoseconds (0
+    /// with telemetry off).
+    pub(crate) fn busy_elapsed(&self, token: &Option<SpanToken>) -> u64 {
+        match (self.obs.as_ref(), token) {
+            (Some(o), Some(t)) => o.clock.elapsed(t),
+            _ => 0,
+        }
     }
 
     /// Closes a telemetry span into the current batch's accumulator.
@@ -431,9 +512,20 @@ impl ShardWorker {
         }
         match message {
             ShardMessage::Batch(batch) => self.process_batch(batch),
-            ShardMessage::Subscribe(state) => self.subs.push(*state),
-            ShardMessage::Unsubscribe(id) => self.subs.retain(|s| s.id != id),
-            ShardMessage::SilenceProbe { id, at, seq } => self.queue_silence_probe(id, at, seq),
+            ShardMessage::Subscribe(state) => {
+                self.subs.push(*state);
+                self.rebuild_filter_index();
+            }
+            ShardMessage::Unsubscribe(id) => {
+                self.subs.retain(|s| s.id != id);
+                self.rebuild_filter_index();
+            }
+            ShardMessage::SilenceProbe {
+                id,
+                at,
+                seq,
+                prefix_high_water,
+            } => self.queue_silence_probe(id, at, seq, prefix_high_water),
             ShardMessage::Recover {
                 snapshot,
                 records,
@@ -454,12 +546,6 @@ impl ShardWorker {
             }
             ShardMessage::EndRecovery => self.reorder.end_recovery(),
             ShardMessage::Finalize(at) => self.finalize(at),
-            ShardMessage::Sync(ack) => {
-                // Publish before acknowledging: the engine samples right
-                // after barriers, and stale slots would under-report.
-                self.obs_flush(true);
-                let _ = ack.send(());
-            }
         }
     }
 
@@ -546,7 +632,8 @@ impl ShardWorker {
         } else {
             None
         };
-        let mut fresh = Vec::with_capacity(batch.instances.len());
+        let mut fresh: Vec<(Option<TimePoint>, Option<TimePoint>, ItemPayload)> =
+            Vec::with_capacity(batch.instances.len());
         for item in batch.instances {
             if self.durable_seq.is_some_and(|d| item.seq <= d) {
                 // Post-recovery resume overlap: the log already held
@@ -554,23 +641,43 @@ impl ShardWorker {
                 self.metrics.wal.deduped += 1;
                 continue;
             }
-            let record = WalRecord::Instance {
-                seq: item.seq,
-                eval_at: item.eval_at,
-                prefix_high_water: item.prefix_high_water,
-                instance: item.instance,
-            };
-            self.wal_append(&record);
-            let WalRecord::Instance {
-                eval_at,
-                prefix_high_water,
-                instance,
-                ..
-            } = record
-            else {
-                unreachable!("constructed above")
-            };
-            fresh.push((eval_at, prefix_high_water, instance));
+            if self.wal.is_none() {
+                fresh.push((item.eval_at, item.prefix_high_water, item.payload));
+                continue;
+            }
+            match item.payload {
+                ItemPayload::Owned(instance) => {
+                    // Move the instance into the record and back out: the
+                    // durable path never clones it.
+                    let record = WalRecord::Instance {
+                        seq: item.seq,
+                        eval_at: item.eval_at,
+                        prefix_high_water: item.prefix_high_water,
+                        instance,
+                    };
+                    self.wal_append(&record);
+                    let WalRecord::Instance { instance, .. } = record else {
+                        unreachable!("constructed above")
+                    };
+                    fresh.push((
+                        item.eval_at,
+                        item.prefix_high_water,
+                        ItemPayload::Owned(instance),
+                    ));
+                }
+                payload => {
+                    // A shared copy or columnar row materializes a
+                    // standalone instance for the log; the payload
+                    // itself continues to evaluation.
+                    self.wal_append(&WalRecord::Instance {
+                        seq: item.seq,
+                        eval_at: item.eval_at,
+                        prefix_high_water: item.prefix_high_water,
+                        instance: payload.to_instance(),
+                    });
+                    fresh.push((item.eval_at, item.prefix_high_water, payload));
+                }
+            }
         }
         if let Some(hw) = batch.high_water {
             self.wal_note_heartbeat(batch.seq, hw);
@@ -583,7 +690,7 @@ impl ShardWorker {
         };
         self.wal_commit();
         self.obs_acc(Stage::WalFsync, fsync_token);
-        for (eval_at, prefix_high_water, instance) in fresh {
+        for (eval_at, prefix_high_water, payload) in fresh {
             // Replaying the global watermark before each push keeps
             // accept/late-drop decisions identical to a 1-shard run
             // even when disorder exceeds the slack.
@@ -593,11 +700,11 @@ impl ShardWorker {
                 self.obs_acc(Stage::ReorderRelease, token);
                 self.dispatch_all(released);
             }
-            let key = eval_at.unwrap_or_else(|| instance.generation_time());
+            let key = eval_at.unwrap_or_else(|| payload.generation_time());
             let token = self.obs_start();
             let released = self
                 .reorder
-                .push_at(key, StreamItem::Instance(key, instance));
+                .push_at(key, StreamItem::Instance(key, payload));
             self.obs_acc(Stage::ReorderRelease, token);
             self.dispatch_all(released);
         }
@@ -677,12 +784,25 @@ impl ShardWorker {
                     let key = eval_at.unwrap_or_else(|| instance.generation_time());
                     let released = self
                         .reorder
-                        .push_at(key, StreamItem::Instance(key, instance));
+                        .push_at(key, StreamItem::Instance(key, ItemPayload::Owned(instance)));
                     self.dispatch_all(released);
                 }
                 WalRecord::Probe {
-                    subscription, at, ..
-                } => self.enqueue_probe(SubscriptionId(subscription), at),
+                    subscription,
+                    at,
+                    prefix_high_water,
+                    ..
+                } => {
+                    // Replay the probe's prefix stamp exactly the way the
+                    // live path observes it: the staleness decision must
+                    // not depend on heartbeat records (which are only
+                    // appended when the mark advances).
+                    if let Some(hw) = prefix_high_water {
+                        let released = self.reorder.observe(hw);
+                        self.dispatch_all(released);
+                    }
+                    self.enqueue_probe(SubscriptionId(subscription), at);
+                }
                 WalRecord::Heartbeat { high_water, .. } => {
                     self.logged_high_water = Some(
                         self.logged_high_water
@@ -820,7 +940,7 @@ impl ShardWorker {
     fn dispatch_all(&mut self, released: Vec<StreamItem>) {
         for item in released {
             match item {
-                StreamItem::Instance(at, instance) => self.dispatch(at, &instance),
+                StreamItem::Instance(at, payload) => self.dispatch(at, &payload),
                 StreamItem::Probe { id, at } => self.silence_probe(id, at),
             }
         }
@@ -829,48 +949,130 @@ impl ShardWorker {
     /// Offers one in-order instance to every resident subscription,
     /// evaluating at the instance's observer-local time `at`.
     ///
-    /// Two passes over the resident set: a *filter* pass (scope
-    /// pruning, event/layer filters, region cover — all reads of
-    /// immutable subscription fields) collecting the matching indices
-    /// into the reused scratch vector, then an *eval* pass running the
-    /// detectors over exactly those. The split is what lets the filter
-    /// cost (`scope_prune`) and the evaluation cost (`evaluate`) be
-    /// timed as separate stages; it is behavior-preserving because the
-    /// filters never read state the evaluators mutate.
-    fn dispatch(&mut self, at: TimePoint, instance: &EventInstance) {
-        let location = instance.estimated_location().representative();
+    /// Two passes over the resident set: a *filter* pass over the
+    /// candidate index (a point query against the dispatch BVH on
+    /// dense shards, or the event buckets merged with the filter-less
+    /// residue below the threshold — then scope pruning, layer
+    /// filters, and exact region coverage, all reads of immutable
+    /// subscription fields and flat payload columns) collecting the
+    /// matching indices into the reused scratch vector, then an *eval*
+    /// pass running the detectors over exactly those. A columnar
+    /// payload is only materialized into a standalone instance when the
+    /// filter pass matched something, so non-matching rows never touch
+    /// the attribute arena. The split is what lets the filter cost
+    /// (`scope_prune`) and the evaluation cost (`evaluate`) be timed as
+    /// separate stages; it is behavior-preserving because the filters
+    /// never read state the evaluators mutate. (`scope_skipped` counts
+    /// scoped-out instances among *event-matching candidates* — and on
+    /// BVH shards a candidate must additionally be a spatial hit, so
+    /// the counter's absolute value depends on which index served the
+    /// dispatch; only its being nonzero is portable.)
+    fn dispatch(&mut self, at: TimePoint, payload: &ItemPayload) {
+        let location = payload.representative();
+        let layer = payload.layer();
         let shard = self.shard;
         let mut matched = std::mem::take(&mut self.match_scratch);
         matched.clear();
         let prune_token = self.obs_start();
-        for (idx, sub) in self.subs.iter().enumerate() {
-            // Scope pruning first: a scoped subscription never sees (or
-            // pays any filter for) an instance outside its routing
-            // scope — the worker-side half of what the router's
-            // precision pass prunes at enqueue time.
+        // Candidate enumeration: on dense shards, a point query against
+        // the BVH over region bounding boxes (sorted back into
+        // registration order — delivery order must stay exactly what
+        // the full scan produced); below the threshold, the event
+        // buckets merged with the filter-less residue. The BVH path
+        // applies the event filter per candidate instead of up front —
+        // with a handful of spatial hits that is cheaper than it reads.
+        let via_bvh = self.sub_bvh.is_some();
+        let mut cands = std::mem::take(&mut self.cand_scratch);
+        cands.clear();
+        if let Some(bvh) = &self.sub_bvh {
+            bvh.query_point(location, &mut cands);
+            cands.sort_unstable();
+        } else {
+            let bucket = self
+                .by_event
+                .get(payload.event())
+                .map_or(&[][..], Vec::as_slice);
+            let (mut i, mut j) = (0, 0);
+            loop {
+                match (bucket.get(i), self.wildcard.get(j)) {
+                    (Some(&a), Some(&b)) => {
+                        if a < b {
+                            i += 1;
+                            cands.push(a as u32);
+                        } else {
+                            j += 1;
+                            cands.push(b as u32);
+                        }
+                    }
+                    (Some(&a), None) => {
+                        i += 1;
+                        cands.push(a as u32);
+                    }
+                    (None, Some(&b)) => {
+                        j += 1;
+                        cands.push(b as u32);
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+        for &cand in &cands {
+            let idx = cand as usize;
+            let sub = &self.subs[idx];
+            if via_bvh {
+                // The buckets pre-filtered by event on the linear path;
+                // spatial hits check it here instead.
+                if let Some(event) = &sub.event_filter {
+                    if event != payload.event() {
+                        continue;
+                    }
+                }
+            }
+            // Scope pruning before the remaining filters: a scoped
+            // subscription never sees (or pays any filter for) an
+            // instance outside its routing scope — the worker-side half
+            // of what the router's precision pass prunes at enqueue
+            // time.
             if let Some((scope_bbox, scope)) = &sub.scope {
                 if !scope_bbox.contains(location) || !scope.covers(location) {
                     self.metrics.scope_skipped += 1;
                     continue;
                 }
             }
-            if let Some(filter) = &sub.event_filter {
-                if filter != instance.event() {
-                    continue;
-                }
-            }
             if let Some(layers) = &sub.layers {
-                if !layers.contains(&instance.layer()) {
+                if !layers.contains(&layer) {
                     continue;
                 }
             }
-            if !sub.bbox.contains(location) || !sub.region.covers(location) {
+            // A BVH hit already proved bbox containment.
+            if !via_bvh && !self.sub_bboxes[idx].contains(location) {
+                continue;
+            }
+            if !sub.region.covers(location) {
                 continue;
             }
             matched.push(idx);
         }
+        self.cand_scratch = cands;
         self.obs_acc(Stage::ScopePrune, prune_token);
         let eval_token = self.obs_start();
+        // One materialization per matched item, shared by every matched
+        // subscription; owned payloads evaluate in place.
+        let materialized;
+        let instance: &EventInstance = match payload {
+            ItemPayload::Owned(instance) => instance,
+            ItemPayload::Shared(instance) => instance,
+            columnar if !matched.is_empty() => {
+                materialized = columnar.to_instance();
+                &materialized
+            }
+            _ => {
+                self.obs_acc(Stage::Evaluate, eval_token);
+                matched.clear();
+                self.match_scratch = matched;
+                return;
+            }
+        };
         for &idx in &matched {
             let sub = &mut self.subs[idx];
             self.metrics.evaluated += 1;
@@ -963,7 +1165,13 @@ impl ShardWorker {
     /// mid-replay would double-fire its inactive sample, see
     /// [`ReorderBuffer::is_recovering`]), and a re-fed probe the log
     /// already holds is a duplicate like any other resumed operation.
-    fn queue_silence_probe(&mut self, id: SubscriptionId, at: TimePoint, seq: u64) {
+    fn queue_silence_probe(
+        &mut self,
+        id: SubscriptionId,
+        at: TimePoint,
+        seq: u64,
+        prefix_high_water: Option<TimePoint>,
+    ) {
         if self.reorder.is_recovering() || self.durable_seq.is_some_and(|d| seq <= d) {
             self.metrics.wal.deduped += 1;
             return;
@@ -972,8 +1180,17 @@ impl ShardWorker {
             seq,
             subscription: id.raw(),
             at,
+            prefix_high_water,
         });
         self.wal_commit();
+        // Observe the probe's prefix stamp before the staleness check:
+        // the accept/drop decision then never depends on whether a
+        // separate heartbeat was delivered first — which is what lets
+        // the engine suppress heartbeats to clean shards entirely.
+        if let Some(hw) = prefix_high_water {
+            let released = self.reorder.observe(hw);
+            self.dispatch_all(released);
+        }
         self.enqueue_probe(id, at);
     }
 
@@ -1064,12 +1281,17 @@ impl ShardWorker {
         self.metrics
     }
 
-    /// The thread body: drain the channel, then finish.
-    pub(crate) fn run(mut self, rx: std::sync::mpsc::Receiver<ShardMessage>) -> ShardMetrics {
-        while let Ok(message) = rx.recv() {
-            self.handle(message);
-        }
-        self.finish()
+    /// Instances and probes still held in the reorder buffer — the
+    /// engine's heartbeat-suppression gate for deterministic runs.
+    pub(crate) fn reorder_pending(&self) -> usize {
+        self.reorder.pending()
+    }
+
+    /// Forces a telemetry publish. The engine calls this after draining
+    /// a shard inline at a barrier — it samples right after, and a
+    /// stale slot would under-report.
+    pub(crate) fn publish_obs(&mut self) {
+        self.obs_flush(true);
     }
 }
 
@@ -1136,13 +1358,13 @@ mod tests {
             instances: vec![
                 BatchItem {
                     seq: 0,
-                    instance: reading(10, 2.0),
+                    payload: reading(10, 2.0).into(),
                     eval_at: None,
                     prefix_high_water: None,
                 },
                 BatchItem {
                     seq: 1,
-                    instance: reading(30, 2.0),
+                    payload: reading(30, 2.0).into(),
                     eval_at: None,
                     prefix_high_water: Some(TimePoint::new(10)),
                 },
@@ -1161,6 +1383,7 @@ mod tests {
             id: SubscriptionId(0),
             at: TimePoint::new(100),
             seq: 2,
+            prefix_high_water: None,
         });
         worker.handle(ShardMessage::EndRecovery);
         // Accepted: recovery is over, the stale probe closes the episode.
@@ -1168,6 +1391,7 @@ mod tests {
             id: SubscriptionId(0),
             at: TimePoint::new(100),
             seq: 3,
+            prefix_high_water: None,
         });
         let metrics = worker.finish();
         assert_eq!(metrics.wal.deduped, 1, "the mid-recovery probe was dropped");
@@ -1216,13 +1440,13 @@ mod tests {
             instances: vec![
                 BatchItem {
                     seq: 0,
-                    instance: reading(10, 2.0),
+                    payload: reading(10, 2.0).into(),
                     eval_at: None,
                     prefix_high_water: None,
                 },
                 BatchItem {
                     seq: 1,
-                    instance: reading(30, 2.0),
+                    payload: reading(30, 2.0).into(),
                     eval_at: None,
                     prefix_high_water: Some(TimePoint::new(10)),
                 },
@@ -1235,6 +1459,7 @@ mod tests {
             id: SubscriptionId(0),
             at: TimePoint::new(100),
             seq: 2,
+            prefix_high_water: None,
         });
         let metrics = worker.finish();
         assert_eq!(metrics.wal.deduped, 2);
@@ -1313,13 +1538,13 @@ mod tests {
             instances: vec![
                 BatchItem {
                     seq: 0,
-                    instance: reading(10, 2.0),
+                    payload: reading(10, 2.0).into(),
                     eval_at: None,
                     prefix_high_water: None,
                 },
                 BatchItem {
                     seq: 1,
-                    instance: reading(30, 2.0),
+                    payload: reading(30, 2.0).into(),
                     eval_at: None,
                     prefix_high_water: Some(TimePoint::new(10)),
                 },
@@ -1331,6 +1556,7 @@ mod tests {
             id: SubscriptionId(0),
             at: TimePoint::new(100),
             seq: 2,
+            prefix_high_water: None,
         });
         // Cut the checkpoint: samples and the probe are all behind the
         // 50-tick slack, so the snapshot carries them as pending items.
@@ -1365,6 +1591,7 @@ mod tests {
             id: SubscriptionId(0),
             at: TimePoint::new(120),
             seq: 3,
+            prefix_high_water: None,
         });
         worker.handle(ShardMessage::EndRecovery);
         // ...and the horizon releases the *restored* pending probe,

@@ -539,15 +539,25 @@ fn precision_pass_skips_bounding_box_only_broadcast() {
             .for_event("reading"),
     );
     // Bounding box corner (12, 12): inside the bbox, ~54 m from the
-    // center, far outside the circle.
+    // center. The leaf mask is scope-exact, so this one is pruned by
+    // the leaf lookup alone and never reaches the precision pass.
     engine.ingest(mk("reading", 0, 10, 12.0, 12.0, 50.0));
+    // Just past the rim (90.5, 50): 40.5 m out, but its interest leaf
+    // grazes the circle, so the mask is set and only the precision
+    // pass can reject it.
+    engine.ingest(mk("reading", 1, 15, 90.5, 50.0, 50.0));
     // Center: covered, delivered.
-    engine.ingest(mk("reading", 1, 20, 50.0, 50.0, 50.0));
+    engine.ingest(mk("reading", 2, 20, 50.0, 50.0, 50.0));
     let report = engine.finish();
     assert_eq!(collector.take().len(), 1);
     assert!(
         report.router.precision_skipped >= 1,
-        "corner instance skipped by the precision pass: {:?}",
+        "rim instance skipped by the precision pass: {:?}",
+        report.router
+    );
+    assert!(
+        report.router.owner_only >= 1,
+        "corner instance pruned by the exact leaf mask: {:?}",
         report.router
     );
 }
@@ -1270,13 +1280,19 @@ fn rect_extent(x0: f64, y0: f64, x1: f64, y1: f64) -> SpatialExtent {
 /// A station-style subscription (unbounded semantic region) scoped to
 /// one district observes exactly the in-district stream, the worker
 /// counts its out-of-scope skips, and the router prunes broadcast
-/// deliveries to its home shard at enqueue time.
+/// deliveries to its home shard at enqueue time. Runs under durable
+/// logging: that is the mode that retains the territorial owner's copy
+/// of every instance, which is exactly what the worker-side scan must
+/// prune (without a log, the router drops uncovered owner deliveries
+/// at enqueue time and the worker never sees them).
 #[test]
 fn scope_prunes_out_of_district_work_before_evaluation() {
+    let dir = wal_dir("scope-prune");
     let mut engine = Engine::start(
         EngineConfig::new(bounds())
             .with_shards(4)
             .with_batch_size(1)
+            .with_wal(&dir)
             .deterministic(),
     );
     let scoped = Collector::new();
@@ -1397,6 +1413,63 @@ proptest! {
         prop_assert_eq!(
             linear.router.scoped_subscriptions,
             bvh.router.scoped_subscriptions
+        );
+    }
+
+    /// Columnar ingest ([`Engine::ingest_all`]) is semantically
+    /// identical to the per-instance path: same notification multiset
+    /// and same routing counters, across random streams × region sets ×
+    /// shard counts × chunk sizes × both execution modes — the columnar
+    /// chunking, arena-backed rows, and shared-batch routing are pure
+    /// layout changes.
+    #[test]
+    fn columnar_ingest_matches_per_instance_path(
+        regions in proptest::collection::vec(
+            (0.0f64..90.0, 0.0f64..90.0, 2.0f64..25.0), 1..16),
+        points in proptest::collection::vec(
+            (0.0f64..100.0, 0.0f64..100.0), 1..100),
+        shards in 1usize..5,
+        batch in 1usize..40,
+        threaded in proptest::bool::ANY,
+    ) {
+        let run = |columnar: bool| {
+            let mut config = EngineConfig::new(bounds())
+                .with_shards(shards)
+                .with_batch_size(batch);
+            if !threaded {
+                config = config.deterministic();
+            }
+            let mut engine = Engine::start(config);
+            let collector = Collector::new();
+            for (i, &(x, y, r)) in regions.iter().enumerate() {
+                engine.subscribe(
+                    Subscription::new(format!("r{i}"), circle_region(x, y, r), collector.sink())
+                        .for_event("reading"),
+                );
+            }
+            let stream: Vec<EventInstance> = points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| mk("reading", i as u64, 10 * i as u64, x, y, 50.0))
+                .collect();
+            if columnar {
+                engine.ingest_all(stream);
+            } else {
+                for instance in stream {
+                    engine.ingest(instance);
+                }
+            }
+            let report = engine.finish();
+            (notification_multiset(collector.take()), report)
+        };
+        let (per_instance_notes, per_instance) = run(false);
+        let (columnar_notes, columnar) = run(true);
+        prop_assert_eq!(per_instance_notes, columnar_notes, "delivery multisets diverged");
+        prop_assert_eq!(per_instance.router.routed, columnar.router.routed);
+        prop_assert_eq!(per_instance.router.fanout, columnar.router.fanout);
+        prop_assert_eq!(
+            per_instance.router.precision_skipped,
+            columnar.router.precision_skipped
         );
     }
 

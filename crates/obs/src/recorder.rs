@@ -13,7 +13,14 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Stage {
     /// One whole `Engine::ingest` / `ingest_at` call: route + enqueue.
+    /// On the columnar ingest path, one span per chunk instead.
     Ingest,
+    /// Building one columnar ingest chunk: copying instances into the
+    /// batch's parallel arrays and arena-backed attribute storage.
+    BatchBuild,
+    /// Recycling a drained columnar chunk: resetting its arrays and
+    /// attribute arena in place so the next chunk reuses the capacity.
+    BatchReset,
     /// The router's shard-selection pass (leaf mask + precision pass).
     Route,
     /// Handing a full batch to a shard worker (channel send; includes
@@ -43,8 +50,10 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Ingest,
+        Stage::BatchBuild,
+        Stage::BatchReset,
         Stage::Route,
         Stage::Enqueue,
         Stage::ReorderRelease,
@@ -65,6 +74,8 @@ impl Stage {
     pub fn name(self) -> &'static str {
         match self {
             Stage::Ingest => "ingest",
+            Stage::BatchBuild => "batch_build",
+            Stage::BatchReset => "batch_reset",
             Stage::Route => "route",
             Stage::Enqueue => "enqueue",
             Stage::ReorderRelease => "reorder_release",

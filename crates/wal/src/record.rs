@@ -40,6 +40,13 @@ pub enum WalRecord {
         subscription: u64,
         /// The probe's observer-local time.
         at: TimePoint,
+        /// The router's high-water mark over the strict prefix of the
+        /// stream before this probe. Replayed (and observed live)
+        /// before the probe's staleness check so the accept/drop
+        /// decision no longer depends on whether a separate heartbeat
+        /// happened to be delivered first — which lets the engine
+        /// suppress heartbeats to clean shards entirely.
+        prefix_high_water: Option<TimePoint>,
     },
     /// The router's global high-water mark as delivered to this shard
     /// (appended only when it advanced past the previously logged one).
@@ -125,11 +132,13 @@ impl WalRecord {
                 seq,
                 subscription,
                 at,
+                prefix_high_water,
             } => {
                 put_u8(buf, TAG_PROBE);
                 put_u64(buf, *seq);
                 put_u64(buf, *subscription);
                 encode_time_point(*at, buf);
+                encode_opt_time_point(*prefix_high_water, buf);
             }
             WalRecord::Heartbeat { seq, high_water } => {
                 put_u8(buf, TAG_HEARTBEAT);
@@ -166,6 +175,7 @@ impl WalRecord {
                 seq: get_u64(bytes)?,
                 subscription: get_u64(bytes)?,
                 at: decode_time_point(bytes)?,
+                prefix_high_water: decode_opt_time_point(bytes)?,
             }),
             TAG_HEARTBEAT => Ok(WalRecord::Heartbeat {
                 seq: get_u64(bytes)?,
@@ -213,6 +223,7 @@ mod tests {
                 seq: 8,
                 subscription: 3,
                 at: TimePoint::new(60),
+                prefix_high_water: Some(TimePoint::new(58)),
             },
             WalRecord::Heartbeat {
                 seq: 8,
@@ -239,6 +250,7 @@ mod tests {
             seq: 5,
             subscription: 0,
             at: TimePoint::new(1),
+            prefix_high_water: None,
         };
         assert_eq!(rec.seq(), 5);
         assert!(rec.consumes_seq());

@@ -75,6 +75,17 @@ impl Replay {
         &self.records
     }
 
+    /// The first operation sequence the merged log still holds, if any.
+    ///
+    /// A value above 0 means checkpoint compaction retired the stream's
+    /// prefix: the retired operations are summarized by the newest
+    /// snapshot floor, and re-analysis should resume from that floor
+    /// (`Engine::recover`) instead of refusing the log.
+    #[must_use]
+    pub fn first_seq(&self) -> Option<u64> {
+        self.records.first().map(WalRecord::seq)
+    }
+
     /// Number of merged operations (instances + probes).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -212,6 +223,7 @@ mod tests {
             seq: 4,
             subscription: 9,
             at: TimePoint::new(110),
+            prefix_high_water: Some(TimePoint::new(103)),
         })
         .unwrap();
         drop((wal0, wal1));

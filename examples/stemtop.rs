@@ -5,8 +5,10 @@
 //! ([`stem::obs::ObsRegistry`]) four times a second and renders what a
 //! `top`-style operator view would show: the stream clock, delivery
 //! counters, per-shard queue and reorder-buffer depth, and the
-//! per-stage latency distributions (ingest → route → enqueue →
-//! reorder release → scope prune → evaluate).
+//! per-stage latency distributions (batch build → ingest → route →
+//! enqueue → reorder release → scope prune → evaluate → batch
+//! reset), including the columnar batch-build and arena-reset rows
+//! the ingest path pays per chunk.
 //!
 //! The run is bounded (a few seconds) so it doubles as a smoke test.
 //!
@@ -155,9 +157,10 @@ fn main() {
     let producer = thread::spawn(move || {
         let mut rng = SmallRng::seed_from_u64(SEED);
         for c in 0..CHUNKS {
-            for inst in chunk(&mut rng, (c * CHUNK) as u64) {
-                engine.ingest(inst);
-            }
+            // Columnar ingest: the whole chunk goes through pooled
+            // arena batches, so the batch_build/batch_reset stage rows
+            // below carry real samples.
+            engine.ingest_all(chunk(&mut rng, (c * CHUNK) as u64));
             if c % 16 == 15 {
                 engine.sync();
             }
@@ -190,5 +193,10 @@ fn main() {
     assert!(
         !obs.merged.stage(Stage::Evaluate).is_empty(),
         "evaluate stage recorded samples"
+    );
+    assert!(
+        !obs.merged.stage(Stage::BatchBuild).is_empty()
+            && !obs.merged.stage(Stage::BatchReset).is_empty(),
+        "columnar batch build/reset stages recorded samples"
     );
 }
