@@ -27,9 +27,15 @@
 //!   regional reference; merges a `scoped` block into
 //!   `BENCH_engine.json` (`cargo run ... -- scoped` runs only this
 //!   part, as the CI pruning check).
+//! * **trace** — provenance: the synthetic workload at each
+//!   flight-recorder sampling policy (`off` / `notifications_only` /
+//!   `one_in_16` / `always`), asserting the lineage contract on every
+//!   traced delivery and recording the throughput cost of causal
+//!   tracing relative to hard-off (`cargo run ... -- trace` runs only
+//!   this part and merges a `trace` block into `BENCH_engine.json`).
 //!
-//! Results go to `BENCH_engine.json` (full, `wal`, `snap`, and
-//! `scoped` runs).
+//! Results go to `BENCH_engine.json` (full, `wal`, `snap`, `scoped`,
+//! and `trace` runs).
 //!
 //! Why sharding pays even on a single core: each shard only scans the
 //! subscriptions homed on it, so the per-instance evaluation scan
@@ -50,7 +56,7 @@ use stem_cps::{
 use stem_des::stream;
 use stem_engine::{
     Collector, Durability, Engine, EngineConfig, FsyncPolicy, NotificationKind, Subscription,
-    TelemetryPolicy,
+    TelemetryPolicy, TracePolicy,
 };
 use stem_obs::Stage;
 use stem_spatial::{Circle, Field, Point, Rect, SpatialExtent};
@@ -986,9 +992,9 @@ fn stage_json(merged: &stem_obs::Recorder, stage: Stage) -> String {
         format!(
             "{{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
             h.count(),
-            h.p50(),
-            h.p90(),
-            h.p99(),
+            h.p50().unwrap_or(0),
+            h.p90().unwrap_or(0),
+            h.p99().unwrap_or(0),
             h.max()
         )
     }
@@ -1089,9 +1095,9 @@ fn obs_mode() -> String {
             table.row(vec![
                 stage.name().to_string(),
                 h.count().to_string(),
-                h.p50().to_string(),
-                h.p90().to_string(),
-                h.p99().to_string(),
+                h.p50().unwrap_or(0).to_string(),
+                h.p90().unwrap_or(0).to_string(),
+                h.p99().unwrap_or(0).to_string(),
                 h.max().to_string(),
             ]);
         }
@@ -1099,7 +1105,7 @@ fn obs_mode() -> String {
             "micro, {shards} shard(s): {:.0} instances/sec, {export_lines} export \
              lines, watermark lag p99 {} max {}",
             report.throughput(),
-            lag.p99(),
+            lag.p99().unwrap_or(0),
             lag.max(),
         );
         table.print();
@@ -1113,7 +1119,7 @@ fn obs_mode() -> String {
              \"export_lines\": {export_lines}, \"watermark_lag_p99\": {}, \
              \"stages\": {{{stages}}}}}",
             report.throughput(),
-            lag.p99(),
+            lag.p99().unwrap_or(0),
         ));
     }
 
@@ -1186,6 +1192,140 @@ fn obs_mode() -> String {
     block
 }
 
+/// The provenance workload: the synthetic leg at each flight-recorder
+/// sampling policy, measured against the hard-off baseline so the
+/// cost of causal tracing is a number, not a feeling. Every traced
+/// run also proves the lineage contract — each delivered notification
+/// carries a provenance with at least one constituent and monotone
+/// stage stamps. Returns the `trace` JSON block for
+/// `BENCH_engine.json`.
+fn trace_mode() -> String {
+    const TRACE_SHARDS: usize = 4;
+    // Overhead ratios need tighter noise damping than the shard-count
+    // sweep: a few percent is the whole signal.
+    const TRACE_RUNS: usize = 5;
+    println!("\n-- trace mode: flight-recorder overhead per sampling policy --\n");
+    let instances = synthetic_stream();
+    let policies: [(&str, TracePolicy); 4] = [
+        ("off", TracePolicy::Off),
+        ("notifications_only", TracePolicy::NotificationsOnly),
+        ("one_in_16", TracePolicy::OneInN(16)),
+        ("always", TracePolicy::Always),
+    ];
+
+    struct TraceRun {
+        name: &'static str,
+        instances_per_sec: f64,
+        notifications: usize,
+        ring_records: usize,
+        ring_evicted: u64,
+    }
+
+    let mut runs: Vec<TraceRun> = Vec::new();
+    for (name, policy) in policies {
+        let mut best: Option<TraceRun> = None;
+        for _ in 0..TRACE_RUNS {
+            let mut engine = Engine::start(
+                EngineConfig::new(bounds())
+                    .with_shards(TRACE_SHARDS)
+                    .with_batch_size(256)
+                    .with_queue_capacity(32)
+                    .with_watermark_slack(Duration::new(16))
+                    .with_trace(policy)
+                    .with_trace_ring(4_096),
+            );
+            let collector = Collector::new();
+            register_subscriptions(&mut engine, &collector);
+            engine.ingest_all(&instances);
+            let report = engine.finish();
+            assert_eq!(report.router.routed, INSTANCES);
+            let notes = collector.take();
+            let traced = !matches!(policy, TracePolicy::Off);
+            assert_eq!(report.trace.is_some(), traced);
+            // The lineage contract, checked on every traced delivery.
+            for note in &notes {
+                match (&note.provenance, traced) {
+                    (Some(p), true) => {
+                        assert!(!p.constituents.is_empty(), "constituents present");
+                        assert!(p.stamps.is_monotone(), "stage stamps monotone");
+                    }
+                    (None, false) => {}
+                    (p, _) => panic!(
+                        "policy {name}: provenance presence {} diverged from policy",
+                        p.is_some()
+                    ),
+                }
+            }
+            let (ring_records, ring_evicted) = report
+                .trace
+                .as_ref()
+                .map_or((0, 0), |t| (t.records.len(), t.evicted));
+            let r = TraceRun {
+                name,
+                instances_per_sec: report.throughput(),
+                notifications: notes.len(),
+                ring_records,
+                ring_evicted,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| r.instances_per_sec > b.instances_per_sec)
+            {
+                best = Some(r);
+            }
+        }
+        runs.push(best.expect("at least one run"));
+    }
+
+    let baseline = runs[0].instances_per_sec;
+    assert!(
+        runs.iter()
+            .all(|r| r.notifications == runs[0].notifications),
+        "sampling policy must not change detection"
+    );
+    let mut table = Table::new(vec![
+        "policy",
+        "instances/sec",
+        "vs_off",
+        "ring_records",
+        "ring_evicted",
+    ]);
+    for r in &runs {
+        table.row(vec![
+            r.name.to_string(),
+            format!("{:.0}", r.instances_per_sec),
+            format!("{:.3}", r.instances_per_sec / baseline),
+            r.ring_records.to_string(),
+            r.ring_evicted.to_string(),
+        ]);
+    }
+    table.print();
+
+    let mut block = String::from("{\n");
+    block.push_str(&format!(
+        "    \"workload\": \"{INSTANCES} synthetic instances, {TRACE_SHARDS} \
+         shards, flight-recorder ring 4096, best of {TRACE_RUNS}\",\n"
+    ));
+    block.push_str("    \"results\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        block.push_str(&format!(
+            "      {{\"policy\": \"{}\", \"instances_per_sec\": {:.0}, \
+             \"throughput_vs_off\": {:.4}, \"notifications\": {}, \
+             \"ring_records\": {}, \"ring_evicted\": {}}}{}\n",
+            r.name,
+            r.instances_per_sec,
+            r.instances_per_sec / baseline,
+            r.notifications,
+            r.ring_records,
+            r.ring_evicted,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    block.push_str("    ]\n");
+    block.push_str("  }");
+    block
+}
+
 /// Registers the bench subscription grid on a recovery (original
 /// registration order, same as [`register_subscriptions`]).
 fn register_subscriptions_recovery(recovery: &mut stem_engine::Recovery, collector: &Collector) {
@@ -1212,6 +1352,7 @@ fn main() {
     let snap_only = std::env::args().any(|a| a == "snap");
     let scoped_only = std::env::args().any(|a| a == "scoped");
     let obs_only = std::env::args().any(|a| a == "obs");
+    let trace_only = std::env::args().any(|a| a == "trace");
     banner(
         "BENCH-ENGINE",
         "streaming engine ingest throughput vs. shard count",
@@ -1245,6 +1386,11 @@ fn main() {
     if obs_only {
         let block = obs_mode();
         merge_block("obs", &block);
+        return;
+    }
+    if trace_only {
+        let block = trace_mode();
+        merge_block("trace", &block);
         return;
     }
     let instances = synthetic_stream();
@@ -1347,4 +1493,6 @@ fn main() {
     merge_block("scoped", &block);
     let block = obs_mode();
     merge_block("obs", &block);
+    let block = trace_mode();
+    merge_block("trace", &block);
 }

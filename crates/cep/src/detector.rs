@@ -125,7 +125,31 @@ impl CompositeDetector {
         instance: &EventInstance,
         now: stem_temporal::TimePoint,
     ) -> Result<Vec<EventInstance>, EvalError> {
-        let candidates = self.pattern.process(instance);
+        Ok(self
+            .process_traced_at(instance, now, crate::NO_TAG)?
+            .into_iter()
+            .map(|(inst, _)| inst)
+            .collect())
+    }
+
+    /// Like [`CompositeDetector::process_at`], but threads the arriving
+    /// instance's trace tag (its global ingest sequence) through the
+    /// pattern store: each generated instance comes back with its
+    /// constituents as `(trace tag, constituent seq)` pairs in binding
+    /// order, where the seq is the constituent's observer-assigned
+    /// sequence number.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompositeDetector::process`].
+    #[allow(clippy::type_complexity)]
+    pub fn process_traced_at(
+        &mut self,
+        instance: &EventInstance,
+        now: stem_temporal::TimePoint,
+        tag: u64,
+    ) -> Result<Vec<(EventInstance, Vec<(u64, u64)>)>, EvalError> {
+        let candidates = self.pattern.process_tagged(instance, tag);
         let mut out = Vec::new();
         for m in candidates {
             self.matches_seen += 1;
@@ -136,7 +160,18 @@ impl CompositeDetector {
                 let inst = self
                     .observer
                     .generate(&self.definition, &bindings, generated_at);
-                out.push(inst);
+                let constituents = m
+                    .bindings
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (_, bound))| {
+                        (
+                            m.tags.get(i).copied().unwrap_or(crate::NO_TAG),
+                            bound.seq().raw(),
+                        )
+                    })
+                    .collect();
+                out.push((inst, constituents));
             }
         }
         Ok(out)
@@ -276,6 +311,23 @@ mod tests {
         let b = resumed.process(&mk("B", 4, 0.0, 20.0)).unwrap();
         assert_eq!(a, b, "derived instances diverged after restore");
         assert_eq!(b[0].seq().raw(), 1, "sequence numbering continues");
+    }
+
+    #[test]
+    fn traced_process_reports_constituent_tags_and_seqs() {
+        let mut det = detector("avg(x.temp) > 0");
+        assert!(det
+            .process_traced_at(&mk("A", 1, 0.0, 20.0), TimePoint::new(1), 11)
+            .unwrap()
+            .is_empty());
+        let out = det
+            .process_traced_at(&mk("B", 2, 0.0, 20.0), TimePoint::new(2), 22)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        let (inst, constituents) = &out[0];
+        assert_eq!(inst.event().as_str(), "out");
+        let tags: Vec<u64> = constituents.iter().map(|&(tag, _)| tag).collect();
+        assert_eq!(tags, vec![11, 22], "trace tags in binding order");
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod sustained;
 mod window;
 
 pub use detector::CompositeDetector;
-pub use pattern::{ConsumptionMode, Pattern, PatternDetector, PatternMatch};
+pub use pattern::{ConsumptionMode, Pattern, PatternDetector, PatternMatch, NO_TAG};
 pub use reorder::ReorderBuffer;
 pub use sustained::{SustainedConfig, SustainedDetector, SustainedEvent};
 pub use window::{CountWindow, TimeWindow};

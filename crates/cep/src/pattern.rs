@@ -11,8 +11,12 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use stem_core::codec::{self, StateCodec};
-use stem_core::{EventId, EventInstance};
+use stem_core::{EventId, EventInstance, TraceId};
 use stem_temporal::{Duration, TemporalExtent, TimePoint};
+
+/// Tag for instances processed through the untraced entry points —
+/// [`TraceId::NONE`] as a raw value.
+pub const NO_TAG: u64 = TraceId::NONE.0;
 
 /// Event consumption mode (Snoop's "parameter contexts"): how stored
 /// partial matches are reused or consumed when a composite completes.
@@ -154,6 +158,10 @@ impl Pattern {
 pub struct PatternMatch {
     /// `(binding name, matched instance)` pairs in atom order.
     pub bindings: Vec<(String, EventInstance)>,
+    /// Per-binding trace tags, parallel to `bindings`: the global
+    /// ingest sequence of each constituent, or [`NO_TAG`] for instances
+    /// fed through the untraced entry points.
+    pub tags: Vec<u64>,
     /// SnoopIB occurrence extent: hull of constituent extents.
     pub extent: TemporalExtent,
     /// When the completing constituent was generated (detection time).
@@ -161,9 +169,10 @@ pub struct PatternMatch {
 }
 
 impl PatternMatch {
-    fn single(name: &str, inst: &EventInstance) -> PatternMatch {
+    fn single(name: &str, inst: &EventInstance, tag: u64) -> PatternMatch {
         PatternMatch {
             bindings: vec![(name.to_owned(), inst.clone())],
+            tags: vec![tag],
             extent: *inst.estimated_time(),
             detected_at: inst.generation_time(),
         }
@@ -172,8 +181,11 @@ impl PatternMatch {
     fn merge(left: &PatternMatch, right: &PatternMatch) -> PatternMatch {
         let mut bindings = left.bindings.clone();
         bindings.extend(right.bindings.iter().cloned());
+        let mut tags = left.tags.clone();
+        tags.extend(right.tags.iter().copied());
         PatternMatch {
             bindings,
+            tags,
             extent: left.extent.hull(&right.extent),
             detected_at: left.detected_at.max(right.detected_at),
         }
@@ -309,6 +321,14 @@ impl PatternDetector {
     /// arriving instance's generation time are pruned *before* pairing,
     /// so stale constituents can never participate in a match.
     pub fn process(&mut self, instance: &EventInstance) -> Vec<PatternMatch> {
+        self.process_tagged(instance, NO_TAG)
+    }
+
+    /// [`PatternDetector::process`], with the instance's trace tag (its
+    /// global ingest sequence) recorded into every match it joins —
+    /// completed matches report their constituents via
+    /// [`PatternMatch::tags`].
+    pub fn process_tagged(&mut self, instance: &EventInstance, tag: u64) -> Vec<PatternMatch> {
         self.latest = self.latest.max(instance.generation_time());
         let mut node = std::mem::replace(
             &mut self.node,
@@ -321,7 +341,7 @@ impl PatternDetector {
             let cutoff = self.latest.checked_sub(h).unwrap_or(TimePoint::EPOCH);
             prune_node(&mut node, cutoff);
         }
-        let out = process_node(&mut node, instance, self.mode);
+        let out = process_node(&mut node, instance, tag, self.mode);
         self.node = node;
         out
     }
@@ -354,9 +374,10 @@ impl StateCodec for PatternDetector {
 
 fn encode_match(m: &PatternMatch, buf: &mut Vec<u8>) {
     codec::put_u32(buf, u32::try_from(m.bindings.len()).unwrap_or(u32::MAX));
-    for (name, inst) in &m.bindings {
+    for (i, (name, inst)) in m.bindings.iter().enumerate() {
         codec::put_str(buf, name);
         codec::encode_instance(inst, buf);
+        codec::put_u64(buf, m.tags.get(i).copied().unwrap_or(NO_TAG));
     }
     codec::encode_temporal_extent(&m.extent, buf);
     codec::encode_time_point(m.detected_at, buf);
@@ -365,15 +386,18 @@ fn encode_match(m: &PatternMatch, buf: &mut Vec<u8>) {
 fn decode_match(bytes: &mut &[u8]) -> codec::CodecResult<PatternMatch> {
     let n = codec::get_u32(bytes)? as usize;
     let mut bindings = Vec::with_capacity(n.min(4096));
+    let mut tags = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
         let name = codec::get_str(bytes)?;
         let inst = codec::decode_instance(bytes)?;
         bindings.push((name, inst));
+        tags.push(codec::get_u64(bytes)?);
     }
     let extent = codec::decode_temporal_extent(bytes)?;
     let detected_at = codec::decode_time_point(bytes)?;
     Ok(PatternMatch {
         bindings,
+        tags,
         extent,
         detected_at,
     })
@@ -519,12 +543,13 @@ fn prune_node(node: &mut Node, cutoff: TimePoint) {
 fn process_node(
     node: &mut Node,
     instance: &EventInstance,
+    tag: u64,
     mode: ConsumptionMode,
 ) -> Vec<PatternMatch> {
     match node {
         Node::Atom { name, event } => {
             if instance.event() == event {
-                vec![PatternMatch::single(name, instance)]
+                vec![PatternMatch::single(name, instance, tag)]
             } else {
                 Vec::new()
             }
@@ -536,8 +561,8 @@ fn process_node(
             left_store,
             right_store,
         } => {
-            let new_left = process_node(left, instance, mode);
-            let new_right = process_node(right, instance, mode);
+            let new_left = process_node(left, instance, tag, mode);
+            let new_right = process_node(right, instance, tag, mode);
             let mut out = Vec::new();
             match kind {
                 BinaryKind::Disjunction => {
@@ -573,7 +598,7 @@ fn process_node(
             if instance.event() == absent {
                 absent_extents.push(*instance.estimated_time());
             }
-            process_node(inner, instance, mode)
+            process_node(inner, instance, tag, mode)
                 .into_iter()
                 .filter(|m| {
                     !absent_extents
@@ -851,6 +876,33 @@ mod tests {
         let out = det.process(&mk("B", 50, 50));
         assert!(out.is_empty(), "stale lefts must be pruned before pairing");
         assert_eq!(det.stored_partials(), 0);
+    }
+
+    #[test]
+    fn tags_follow_constituents_through_merge() {
+        let mut det = PatternDetector::new(seq_ab(), ConsumptionMode::Chronicle, None);
+        assert!(det.process_tagged(&mk("A", 1, 1), 101).is_empty());
+        let out = det.process_tagged(&mk("B", 5, 5), 202);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tags, vec![101, 202], "tags parallel the bindings");
+
+        let mut untraced = PatternDetector::new(seq_ab(), ConsumptionMode::Chronicle, None);
+        untraced.process(&mk("A", 1, 1));
+        let out = untraced.process(&mk("B", 5, 5));
+        assert_eq!(out[0].tags, vec![NO_TAG, NO_TAG]);
+    }
+
+    #[test]
+    fn tags_survive_state_round_trip() {
+        let mut live = PatternDetector::new(seq_ab(), ConsumptionMode::Chronicle, None);
+        live.process_tagged(&mk("A", 1, 1), 7);
+        let mut buf = Vec::new();
+        live.save_state(&mut buf);
+        let mut resumed = PatternDetector::new(seq_ab(), ConsumptionMode::Chronicle, None);
+        let mut bytes = buf.as_slice();
+        resumed.load_state(&mut bytes).unwrap();
+        let out = resumed.process_tagged(&mk("B", 5, 5), 9);
+        assert_eq!(out[0].tags, vec![7, 9], "stored partial keeps its tag");
     }
 
     #[test]

@@ -119,6 +119,7 @@ pub struct ColumnarBatch {
     est_locations: Vec<SpatialExtent>,
     reps: Vec<Point>,
     confidences: Vec<Confidence>,
+    ingest_stamps: Vec<u64>,
     attrs: AttrArena,
 }
 
@@ -143,11 +144,20 @@ impl ColumnarBatch {
         batch.est_locations.reserve(rows);
         batch.reps.reserve(rows);
         batch.confidences.reserve(rows);
+        batch.ingest_stamps.reserve(rows);
         batch
     }
 
     /// Appends one instance as a new row and returns its row index.
+    /// The row's ingest stamp is 0 (untraced); traced ingest paths use
+    /// [`ColumnarBatch::push_stamped`].
     pub fn push(&mut self, instance: &EventInstance) -> usize {
+        self.push_stamped(instance, 0)
+    }
+
+    /// Appends one instance carrying the trace-clock stamp taken when
+    /// it entered the engine, and returns its row index.
+    pub fn push_stamped(&mut self, instance: &EventInstance, ingest_stamp: u64) -> usize {
         // Streams are overwhelmingly single-event: one equality check
         // against the previous row's interned id usually replaces the
         // map descent.
@@ -176,8 +186,16 @@ impl ColumnarBatch {
         self.reps
             .push(instance.estimated_location().representative());
         self.confidences.push(instance.confidence());
+        self.ingest_stamps.push(ingest_stamp);
         self.attrs.push_row(instance.attributes());
         self.len() - 1
+    }
+
+    /// The trace-clock stamp taken when the row entered the engine
+    /// (0 for untraced rows).
+    #[must_use]
+    pub fn ingest_stamp(&self, row: usize) -> u64 {
+        self.ingest_stamps[row]
     }
 
     /// Number of rows.
@@ -272,6 +290,7 @@ impl ColumnarBatch {
         self.est_locations.clear();
         self.reps.clear();
         self.confidences.clear();
+        self.ingest_stamps.clear();
         self.attrs.reset();
     }
 }
@@ -353,6 +372,18 @@ mod tests {
         let row = batch.push(&again);
         assert_eq!(batch.attr_arena().interned_keys(), keys_before);
         assert_eq!(batch.materialize(row), again);
+    }
+
+    #[test]
+    fn ingest_stamps_ride_the_row_and_reset() {
+        let mut batch = ColumnarBatch::new();
+        let plain = batch.push(&inst(1, 0.0, "hot"));
+        let stamped = batch.push_stamped(&inst(2, 1.0, "hot"), 42);
+        assert_eq!(batch.ingest_stamp(plain), 0, "push is the untraced path");
+        assert_eq!(batch.ingest_stamp(stamped), 42);
+        batch.reset();
+        let again = batch.push_stamped(&inst(3, 2.0, "hot"), 7);
+        assert_eq!(batch.ingest_stamp(again), 7, "stamps cleared by reset");
     }
 
     #[test]

@@ -57,6 +57,7 @@ mod layers;
 mod observer;
 mod pump;
 pub mod timing;
+pub mod trace;
 
 pub use attr::{AttrAggregate, AttrValue, Attributes, RelationalOp};
 pub use codec::StateCodec;
@@ -79,3 +80,4 @@ pub use observer::{
     TimeEstimator,
 };
 pub use pump::{InstancePump, InstanceSource, PumpEvent, PumpOutput, TimedInstance};
+pub use trace::{Constituent, DropVerdict, Provenance, StageStamps, TraceClock, TraceId};

@@ -1,0 +1,243 @@
+//! Causal provenance primitives: trace identities, constituent records,
+//! stage stamps, and the engine-wide trace clock.
+//!
+//! A [`TraceId`] is the global ingest sequence number an operation
+//! consumed when it entered the engine — the same number its WAL record
+//! carries, so the identity is *free* in durable mode and stable across
+//! crash/recovery: an exported trace can always be joined back against
+//! the log offline. Detectors accumulate the trace ids of the instances
+//! that contributed to a match as [`Constituent`]s, and every delivered
+//! notification carries a [`Provenance`]: its constituents, the
+//! six-stage latency stamps of the triggering operation
+//! (ingest → route → enqueue → release → evaluate → notify, taken on
+//! one monotone [`TraceClock`]), the evaluating shard, and drop/prune
+//! verdicts for near-miss constituents observed since the previous
+//! notification on that shard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Compact causal identity of one ingested operation: its global ingest
+/// sequence number (identical to the `seq` of its WAL record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Sentinel for an untraced operation (tracing disabled, or an
+    /// instance that predates the trace layer in a detector store).
+    pub const NONE: TraceId = TraceId(u64::MAX);
+
+    /// Whether this is the untraced sentinel.
+    #[must_use]
+    pub fn is_none(self) -> bool {
+        self == TraceId::NONE
+    }
+
+    /// The raw sequence number.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One instance (or silence probe) that contributed to a notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Constituent {
+    /// Global ingest sequence of the contributing operation — the join
+    /// key against the WAL.
+    pub trace: TraceId,
+    /// Shard that evaluated the contribution (the subscription's home).
+    pub shard: u32,
+    /// The instance's observer-assigned sequence number (the probe's
+    /// ingest seq for silence probes).
+    pub seq: u64,
+}
+
+/// Names of the six traced stages, in stamp order.
+pub const STAGE_NAMES: [&str; 6] = [
+    "ingest", "route", "enqueue", "release", "evaluate", "notify",
+];
+
+/// Per-stage timestamps of the operation that triggered a notification,
+/// taken on one monotone [`TraceClock`] so `ingest <= route <= enqueue
+/// <= release <= evaluate <= notify` always holds (bit-identical across
+/// runs in deterministic mode).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStamps {
+    /// When the operation entered the engine (columnar push / ingest
+    /// call).
+    pub ingest: u64,
+    /// When the router stamped it with its global sequence.
+    pub route: u64,
+    /// When its batch was handed to the shard queue.
+    pub enqueue: u64,
+    /// When the shard's reorder buffer released it for evaluation.
+    pub release: u64,
+    /// When subscription evaluation over it began.
+    pub evaluate: u64,
+    /// When the notification was created.
+    pub notify: u64,
+}
+
+impl StageStamps {
+    /// The stamps as a dense array, indexed like [`STAGE_NAMES`].
+    #[must_use]
+    pub fn as_array(&self) -> [u64; 6] {
+        [
+            self.ingest,
+            self.route,
+            self.enqueue,
+            self.release,
+            self.evaluate,
+            self.notify,
+        ]
+    }
+
+    /// Rebuilds stamps from the dense array form.
+    #[must_use]
+    pub fn from_array(stamps: [u64; 6]) -> Self {
+        StageStamps {
+            ingest: stamps[0],
+            route: stamps[1],
+            enqueue: stamps[2],
+            release: stamps[3],
+            evaluate: stamps[4],
+            notify: stamps[5],
+        }
+    }
+
+    /// Whether the stamps are non-decreasing in stage order — the
+    /// invariant every live-produced provenance satisfies.
+    #[must_use]
+    pub fn is_monotone(&self) -> bool {
+        self.as_array().windows(2).all(|w| w[0] <= w[1])
+    }
+}
+
+/// Why a near-miss operation never reached evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropVerdict {
+    /// Arrived behind the shard's watermark and was dropped late.
+    Late,
+    /// Delivered by the interest index but pruned by the exact
+    /// subscription-scope pass before any filter matched.
+    ScopePruned,
+}
+
+impl DropVerdict {
+    /// Stable name used by the JSON trace export.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DropVerdict::Late => "late",
+            DropVerdict::ScopePruned => "scope",
+        }
+    }
+}
+
+/// The full causal record attached to one notification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// Every operation that contributed to the detection, sorted and
+    /// deduplicated by trace id.
+    pub constituents: Vec<Constituent>,
+    /// Stage stamps of the operation whose arrival completed the
+    /// detection.
+    pub stamps: StageStamps,
+    /// Shard that evaluated the subscription.
+    pub shard: u32,
+    /// Drop/prune verdicts for near-miss operations observed on this
+    /// shard since its previous notification (bounded).
+    pub verdicts: Vec<(TraceId, DropVerdict)>,
+}
+
+impl Provenance {
+    /// The constituent trace ids alone — the set compared across shard
+    /// counts and against offline reconstruction.
+    #[must_use]
+    pub fn trace_ids(&self) -> Vec<u64> {
+        self.constituents.iter().map(|c| c.trace.raw()).collect()
+    }
+}
+
+/// Engine-wide monotone stamp source for stage timestamps.
+///
+/// Distinct from [`crate::timing::Clock`] on purpose: that seam hands
+/// each producer its own `Cell`-based delta counter for span *lengths*,
+/// while provenance needs absolute, totally ordered stamps shared by
+/// the router, every worker, and the engine thread. Wall mode stamps
+/// nanoseconds since the engine epoch; virtual mode is a shared atomic
+/// counter, deterministic because the deterministic backend evaluates
+/// inline on one thread.
+#[derive(Debug)]
+pub enum TraceClock {
+    /// Nanoseconds elapsed since the engine started.
+    Wall(Instant),
+    /// A strictly increasing virtual tick per stamp.
+    Virtual(AtomicU64),
+}
+
+impl TraceClock {
+    /// A wall clock anchored at "now".
+    #[must_use]
+    pub fn wall() -> Self {
+        TraceClock::Wall(Instant::now())
+    }
+
+    /// A deterministic virtual clock starting at tick 0.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        TraceClock::Virtual(AtomicU64::new(0))
+    }
+
+    /// Takes one monotone stamp.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        match self {
+            TraceClock::Wall(epoch) => {
+                u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }
+            TraceClock::Virtual(ticks) => ticks.fetch_add(1, Ordering::Relaxed) + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_round_trip_and_check_monotonicity() {
+        let stamps = StageStamps::from_array([1, 2, 2, 5, 7, 9]);
+        assert_eq!(stamps.as_array(), [1, 2, 2, 5, 7, 9]);
+        assert!(stamps.is_monotone());
+        let broken = StageStamps::from_array([1, 2, 2, 5, 4, 9]);
+        assert!(!broken.is_monotone());
+        assert!(StageStamps::default().is_monotone());
+    }
+
+    #[test]
+    fn virtual_clock_is_strictly_increasing() {
+        let clock = TraceClock::deterministic();
+        let a = clock.now();
+        let b = clock.now();
+        let c = clock.now();
+        assert!(a < b && b < c);
+        assert_eq!((a, b, c), (1, 2, 3), "deterministic tick sequence");
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = TraceClock::wall();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(a <= b);
+    }
+
+    #[test]
+    fn sentinel_is_not_a_real_trace() {
+        assert!(TraceId::NONE.is_none());
+        assert!(!TraceId(0).is_none());
+        assert_eq!(TraceId(7).raw(), 7);
+    }
+}

@@ -383,6 +383,11 @@ struct EngineShared {
     /// (None with telemetry off): fold-back cost is recorded into the
     /// registry's external slot as `notify_foldback`.
     obs: Option<(Arc<ObsRegistry>, Clock)>,
+    /// Provenance taken off each drained notification before fold-back
+    /// (the seam's `EventInstance` has no provenance slot, so lineage
+    /// would be lost at the station boundary otherwise). Surfaces in the
+    /// scenario report for offline joins against the recorded WAL.
+    provenance: Vec<stem_core::Provenance>,
 }
 
 impl EngineShared {
@@ -404,7 +409,10 @@ impl EngineShared {
         let mut notes = self.collector.take();
         notes.sort_by_key(|n| n.subscription.raw());
         let mut out = PumpOutput::default();
-        for note in notes {
+        for mut note in notes {
+            if let Some(p) = note.provenance.take() {
+                self.provenance.push(*p);
+            }
             match note.kind {
                 NotificationKind::Derived(instance) => {
                     out.events.push(PumpEvent::Derived(instance));
@@ -477,6 +485,15 @@ impl EnginePump {
                     .with_export(export),
             );
         }
+        if let Some(dir) = &config.trace_dir {
+            // Flight-recorder export: the shard rings drain to JSON
+            // lines at shutdown, joinable offline against the recorded
+            // WAL via stem-trace. The policy stays the engine default
+            // (notifications only), so every station notification's
+            // provenance is exported with near-zero hot-path cost.
+            let export = std::path::Path::new(dir).join("trace.jsonl");
+            engine_config = engine_config.with_trace_export(export);
+        }
         let mut engine = Engine::start(engine_config);
         let obs = engine.obs().map(|registry| {
             let clock = if deterministic {
@@ -510,6 +527,7 @@ impl EnginePump {
                 sustained_outputs,
                 report: None,
                 obs,
+                provenance: Vec::new(),
             })),
         }
     }
@@ -524,6 +542,12 @@ impl EnginePump {
     /// The engine's report, available after [`InstancePump::finish`].
     pub(crate) fn take_report(&self) -> Option<EngineReport> {
         self.inner.borrow_mut().report.take()
+    }
+
+    /// The provenance of every notification the engine delivered during
+    /// the run, in drain order.
+    pub(crate) fn take_provenance(&self) -> Vec<stem_core::Provenance> {
+        std::mem::take(&mut self.inner.borrow_mut().provenance)
     }
 }
 
@@ -710,6 +734,54 @@ mod tests {
         let stats = recovery.stats();
         assert!(stats.snapshot_epoch.is_some(), "a checkpoint floor exists");
         assert_eq!(stats.snapshots_loaded, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The scenario trace knob: `trace_dir` on the engine backend
+    /// surfaces every notification's provenance in the report, exports
+    /// a joinable trace.jsonl, and — run alongside `record_dir` — the
+    /// offline reconstruction over the recorded WAL resolves exactly
+    /// the constituent set the live run reported.
+    #[test]
+    fn scenario_trace_dir_exports_provenance_joinable_against_the_recording() {
+        let dir = temp_dir("traced");
+        let (config, app) = hotspot(37);
+        let baseline = CpsSystem::run(config.clone(), app.clone());
+        // The flight recorder defaults to notifications-only, so even
+        // without `trace_dir` the report carries lineage — the knob
+        // only adds the export file.
+        assert!(!baseline.provenance.is_empty(), "lineage on by default");
+        let traced_config = ScenarioConfig {
+            record_dir: Some(dir.to_string_lossy().into_owned()),
+            trace_dir: Some(dir.to_string_lossy().into_owned()),
+            ..config
+        };
+        let report = CpsSystem::run(traced_config, app);
+        // Tracing must not perturb detection...
+        let print = |r: &crate::CpsReport| -> Vec<String> {
+            r.instances.iter().map(|i| format!("{i:?}")).collect()
+        };
+        assert_eq!(print(&baseline), print(&report));
+        // ...and every delivered notification carries usable lineage.
+        assert!(!report.provenance.is_empty(), "provenance folded back");
+        let mut live = std::collections::BTreeSet::new();
+        for p in &report.provenance {
+            assert!(!p.constituents.is_empty(), "at least one constituent");
+            assert!(p.stamps.is_monotone(), "stage stamps monotone: {p:?}");
+            for c in &p.constituents {
+                live.insert((c.trace.raw(), u64::from(c.shard), c.seq));
+            }
+        }
+        // The export joins against the recorded WAL: same constituent
+        // set, and every reference resolves to a durable instance op.
+        let rec = stem_trace::reconstruct_files(&dir.join("trace.jsonl"), &dir)
+            .expect("reconstruct the traced run");
+        assert_eq!(rec.constituent_set(), live, "offline join == live ring");
+        assert_eq!(
+            rec.unresolved(),
+            0,
+            "every constituent resolves against the recording"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

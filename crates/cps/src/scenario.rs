@@ -141,6 +141,14 @@ pub struct ScenarioConfig {
     /// station pumps. Deterministic scenario runs are bit-identical
     /// with this on or off.
     pub telemetry_dir: Option<String>,
+    /// Export the engine's flight-recorder trace as JSON lines to
+    /// `<trace_dir>/trace.jsonl` at the end of the run (engine backend
+    /// only): schema-v2 `trace` records — every station notification's
+    /// provenance — ready for `stem_trace::reconstruct` against a
+    /// recorded WAL. The ring policy stays the engine default
+    /// (notifications only); deterministic runs are bit-identical with
+    /// this on or off.
+    pub trace_dir: Option<String>,
 }
 
 impl Default for ScenarioConfig {
@@ -174,6 +182,7 @@ impl Default for ScenarioConfig {
             record_dir: None,
             checkpoint_every_ticks: None,
             telemetry_dir: None,
+            trace_dir: None,
         }
     }
 }
@@ -257,6 +266,19 @@ impl ScenarioConfig {
                 problems.push(
                     "telemetry_dir requires the engine backend (the obs registry \
                      instruments the engine's pipeline stages)"
+                        .to_owned(),
+                );
+            }
+            _ => {}
+        }
+        match &self.trace_dir {
+            Some(dir) if dir.is_empty() => {
+                problems.push("trace_dir must be a non-empty path".to_owned());
+            }
+            Some(_) if self.backend == EvalBackend::Des => {
+                problems.push(
+                    "trace_dir requires the engine backend (the flight recorder \
+                     rides the engine's shard workers)"
                         .to_owned(),
                 );
             }
@@ -356,6 +378,23 @@ mod tests {
         };
         assert!(cfg.validate().iter().any(|p| p.contains("non-empty")));
         cfg.telemetry_dir = Some("/tmp/run-obs".to_owned());
+        assert!(cfg.validate().is_empty());
+        cfg.backend = EvalBackend::Des;
+        assert!(cfg.validate().iter().any(|p| p.contains("engine backend")));
+    }
+
+    #[test]
+    fn trace_dir_is_validated() {
+        let mut cfg = ScenarioConfig {
+            trace_dir: Some(String::new()),
+            backend: EvalBackend::Engine {
+                shards: 2,
+                deterministic: true,
+            },
+            ..ScenarioConfig::default()
+        };
+        assert!(cfg.validate().iter().any(|p| p.contains("non-empty")));
+        cfg.trace_dir = Some("/tmp/run-trace".to_owned());
         assert!(cfg.validate().is_empty());
         cfg.backend = EvalBackend::Des;
         assert!(cfg.validate().iter().any(|p| p.contains("engine backend")));

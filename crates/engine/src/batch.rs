@@ -109,6 +109,20 @@ impl From<EventInstance> for ItemPayload {
     }
 }
 
+/// Trace-clock stamps a routed item accumulated before handoff (absent
+/// with [`crate::TracePolicy::Off`]). The remaining stages (release,
+/// evaluate, notify) are stamped by the shard worker; the enqueue stamp
+/// is per-batch ([`Batch::enqueue`]) because every item in a batch is
+/// handed off together.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ItemTrace {
+    /// When the operation entered the engine (ingest call or columnar
+    /// push).
+    pub ingest: u64,
+    /// When the router stamped it with its global sequence.
+    pub route: u64,
+}
+
 /// One routed instance plus the router's high-water mark over the
 /// strict prefix of the stream before it.
 ///
@@ -135,6 +149,8 @@ pub struct BatchItem {
     /// Maximum stream-clock value over all instances routed strictly
     /// before this one (`None` for the stream's first instance).
     pub prefix_high_water: Option<TimePoint>,
+    /// Ingest/route trace-clock stamps (`None` with tracing off).
+    pub trace: Option<ItemTrace>,
 }
 
 /// A batch of instances bound for one shard, stamped with the router's
@@ -160,6 +176,10 @@ pub struct Batch {
     /// heartbeat records, where the distinction matters for replay
     /// ordering and recovery clock seeding).
     pub seq: u64,
+    /// Trace-clock stamp taken when the batch was handed to the shard
+    /// queue (0 with tracing off): the `enqueue` stage stamp shared by
+    /// every item in the batch.
+    pub enqueue: u64,
 }
 
 impl Batch {

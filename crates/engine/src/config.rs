@@ -113,6 +113,31 @@ impl TelemetryPolicy {
     }
 }
 
+/// Which operations the per-shard flight-recorder ring records (see
+/// `stem-trace`). Provenance is *attached to notifications* under every
+/// policy except [`TracePolicy::Off`]; the policy only controls how
+/// much of the instance stream the ring additionally samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePolicy {
+    /// No tracing at all: no trace clock, no rings, no provenance on
+    /// notifications — the zero-overhead baseline benchmarks compare
+    /// against.
+    Off,
+    /// Ring-record every released instance, every drop verdict, and
+    /// every notification. The full causal record; the costliest mode.
+    Always,
+    /// Ring-record instances whose trace id is `0 (mod n)`, plus every
+    /// drop verdict and every notification. `OneInN(1)` behaves like
+    /// [`TracePolicy::Always`]; `OneInN(0)` is rejected by
+    /// [`EngineConfig::validate`].
+    OneInN(u32),
+    /// Ring-record only notifications (drops still surface as verdicts
+    /// *inside* each notification's provenance). The default: full
+    /// lineage on every delivery at near-zero cost on the instance hot
+    /// path.
+    NotificationsOnly,
+}
+
 /// What the router does when a shard's bounded input queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackpressurePolicy {
@@ -211,6 +236,19 @@ pub struct EngineConfig {
     /// Whether (and how often) the telemetry registry is sampled (see
     /// [`TelemetryPolicy`]). Off by default.
     pub telemetry: TelemetryPolicy,
+    /// What the per-shard flight-recorder rings sample (see
+    /// [`TracePolicy`]). Defaults to
+    /// [`TracePolicy::NotificationsOnly`]: every notification carries
+    /// its provenance and lands in the ring, the instance hot path pays
+    /// one branch.
+    pub trace: TracePolicy,
+    /// Flight-recorder ring capacity per shard, in records (>= 1 unless
+    /// tracing is off; oldest records are evicted first).
+    pub trace_ring: usize,
+    /// Optional JSON-lines trace export file: at shutdown every ring is
+    /// drained to it as schema-v2 `trace` records (see
+    /// [`stem_obs::TraceRecord`]), ready for `stem_trace::reconstruct`.
+    pub trace_export: Option<PathBuf>,
 }
 
 impl EngineConfig {
@@ -233,6 +271,9 @@ impl EngineConfig {
             snapshot_retain: 2,
             interest_bvh_threshold: 16,
             telemetry: TelemetryPolicy::Off,
+            trace: TracePolicy::NotificationsOnly,
+            trace_ring: 1024,
+            trace_export: None,
         }
     }
 
@@ -240,6 +281,28 @@ impl EngineConfig {
     #[must_use]
     pub fn with_telemetry(mut self, policy: TelemetryPolicy) -> Self {
         self.telemetry = policy;
+        self
+    }
+
+    /// Sets the flight-recorder trace policy.
+    #[must_use]
+    pub fn with_trace(mut self, policy: TracePolicy) -> Self {
+        self.trace = policy;
+        self
+    }
+
+    /// Sets the per-shard flight-recorder ring capacity, in records.
+    #[must_use]
+    pub fn with_trace_ring(mut self, records: usize) -> Self {
+        self.trace_ring = records;
+        self
+    }
+
+    /// Attaches a JSON-lines trace export file, drained from the rings
+    /// at shutdown.
+    #[must_use]
+    pub fn with_trace_export(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_export = Some(path.into());
         self
     }
 
@@ -404,6 +467,25 @@ impl EngineConfig {
                 problems.push("telemetry export path must be non-empty".to_string());
             }
         }
+        if self.trace == TracePolicy::OneInN(0) {
+            problems.push(
+                "trace sampling rate must be >= 1 (OneInN(0) samples nothing and \
+                 divides by zero; use TracePolicy::Off to disable tracing)"
+                    .to_string(),
+            );
+        }
+        if self.trace != TracePolicy::Off {
+            if self.trace_ring == 0 {
+                problems.push("trace ring must hold >= 1 record".to_string());
+            }
+            if self
+                .trace_export
+                .as_ref()
+                .is_some_and(|p| p.as_os_str().is_empty())
+            {
+                problems.push("trace export path must be non-empty".to_string());
+            }
+        }
         problems
     }
 }
@@ -514,6 +596,32 @@ mod tests {
             TelemetryPolicy::Off.with_ring(9).with_export("/tmp/x"),
             TelemetryPolicy::Off
         );
+    }
+
+    #[test]
+    fn trace_policy_is_validated() {
+        // Notifications-only is the default and valid as configured.
+        let cfg = EngineConfig::new(bounds());
+        assert_eq!(cfg.trace, TracePolicy::NotificationsOnly);
+        assert!(cfg.validate().is_empty());
+        // A zero sampling rate, a zero ring, and an empty export path
+        // are each rejected.
+        let cfg = EngineConfig::new(bounds())
+            .with_trace(TracePolicy::OneInN(0))
+            .with_trace_ring(0)
+            .with_trace_export("");
+        assert_eq!(cfg.validate().len(), 3);
+        // With tracing off the ring and export knobs are ignored.
+        let cfg = EngineConfig::new(bounds())
+            .with_trace(TracePolicy::Off)
+            .with_trace_ring(0);
+        assert!(cfg.validate().is_empty());
+        // A well-formed sampled configuration passes.
+        let cfg = EngineConfig::new(bounds())
+            .with_trace(TracePolicy::OneInN(16))
+            .with_trace_ring(64)
+            .with_trace_export("/tmp/trace.jsonl");
+        assert!(cfg.validate().is_empty());
     }
 
     #[test]

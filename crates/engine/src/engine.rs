@@ -3,18 +3,20 @@
 
 use crate::config::{
     BackpressurePolicy, CheckpointPolicy, Durability, EngineConfig, ExecutionMode, ShardId,
-    TelemetryPolicy,
+    TelemetryPolicy, TracePolicy,
 };
 use crate::metrics::EngineReport;
 use crate::router::ShardRouter;
 use crate::shard_map::ShardMap;
 use crate::slot::ShardSlot;
 use crate::subscription::{Subscription, SubscriptionId};
+use crate::trace::{FlightRing, TraceHandle, TraceReport, WorkerTrace};
 use crate::worker::{ShardMessage, ShardWorker, SnapContext, SubscriptionState, WorkerObs};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use stem_core::timing::{Clock, SpanToken};
+use stem_core::TraceClock;
 use stem_core::{ColumnarBatch, EventInstance, InstanceSource};
 use stem_obs::{ObsRegistry, Recorder, Stage};
 use stem_snap::ShardSnapshot;
@@ -79,6 +81,13 @@ pub struct Engine {
     started: Instant,
     /// Telemetry state (None with [`TelemetryPolicy::Off`]).
     obs: Option<EngineObs>,
+    /// The provenance trace clock every stage stamps against — wall
+    /// nanos in threaded mode, a shared virtual counter in
+    /// deterministic mode (`None` with [`TracePolicy::Off`]).
+    trace_clock: Option<Arc<TraceClock>>,
+    /// Per-shard flight-recorder rings (empty with [`TracePolicy::Off`]);
+    /// the workers write, [`Engine::trace`] and shutdown read.
+    trace_rings: Vec<Arc<Mutex<FlightRing>>>,
 }
 
 impl Engine {
@@ -97,12 +106,30 @@ impl Engine {
         // shard's write-ahead log; without it the router may drop
         // deliveries nothing subscribes to at enqueue time.
         let retain_owner = matches!(config.durability, Durability::Wal { .. });
-        let router = ShardRouter::new(
+        let mut router = ShardRouter::new(
             map,
             config.batch_size,
             config.interest_bvh_threshold,
             retain_owner,
         );
+        // The trace clock mirrors the telemetry clock split: wall nanos
+        // in threaded mode, one shared virtual counter in deterministic
+        // mode so stage stamps are bit-reproducible.
+        let trace_clock = match (config.trace, config.mode) {
+            (TracePolicy::Off, _) => None,
+            (_, ExecutionMode::Deterministic) => Some(Arc::new(TraceClock::deterministic())),
+            (_, ExecutionMode::Threaded) => Some(Arc::new(TraceClock::wall())),
+        };
+        let trace_rings: Vec<Arc<Mutex<FlightRing>>> = if trace_clock.is_some() {
+            (0..config.shard_count)
+                .map(|_| Arc::new(Mutex::new(FlightRing::new(config.trace_ring))))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if let Some(clock) = &trace_clock {
+            router.set_trace_clock(Arc::clone(clock));
+        }
         // Deterministic runs time spans on per-producer virtual clocks
         // (each span counts the clock events it encloses), so the
         // telemetry output itself is bit-reproducible; threaded runs
@@ -135,6 +162,13 @@ impl Engine {
             let worker_obs = registry
                 .as_ref()
                 .map(|r| WorkerObs::new(Arc::clone(r), make_clock()));
+            let worker_trace = trace_clock.as_ref().map(|clock| {
+                WorkerTrace::new(
+                    Arc::clone(clock),
+                    config.trace,
+                    Arc::clone(&trace_rings[shard]),
+                )
+            });
             ShardWorker::new(
                 shard,
                 config.watermark_slack,
@@ -142,6 +176,7 @@ impl Engine {
                 snap,
                 config.wal_checkpoint_every,
                 worker_obs,
+                worker_trace,
             )
         };
         let backend = match config.mode {
@@ -190,7 +225,17 @@ impl Engine {
             checkpoint_high_water: None,
             started: Instant::now(),
             obs,
+            trace_clock,
+            trace_rings,
         }
+    }
+
+    /// The live flight-recorder view, for out-of-band consumers (a
+    /// `stemtop`-style lineage pane polling the rings). `None` with
+    /// [`TracePolicy::Off`].
+    #[must_use]
+    pub fn trace(&self) -> Option<TraceHandle> {
+        (!self.trace_rings.is_empty()).then(|| TraceHandle::new(self.trace_rings.clone()))
     }
 
     /// The live telemetry registry, for out-of-band consumers (a
@@ -311,9 +356,12 @@ impl Engine {
     /// Ingests one instance: routes it (owner shard + broadcast to
     /// interested shards) and hands off any batch that filled up.
     pub fn ingest(&mut self, instance: EventInstance) {
+        // The provenance ingest stamp is taken at engine entry, before
+        // any routing work, so per-stage deltas measure the stages.
+        let ingest_stamp = self.router.trace_stamp();
         let ingest_token = self.obs_span();
         let route_token = self.obs_span();
-        let full = self.router.route(instance);
+        let full = self.router.route_at_traced(instance, None, ingest_stamp);
         self.obs_record(Stage::Route, route_token);
         for shard in full {
             self.flush_shard(shard);
@@ -329,9 +377,12 @@ impl Engine {
     /// ingest path, where instances arrive (and are evaluated) later
     /// than they were generated upstream.
     pub fn ingest_at(&mut self, instance: EventInstance, at: TimePoint) {
+        let ingest_stamp = self.router.trace_stamp();
         let ingest_token = self.obs_span();
         let route_token = self.obs_span();
-        let full = self.router.route_at(instance, Some(at));
+        let full = self
+            .router
+            .route_at_traced(instance, Some(at), ingest_stamp);
         self.obs_record(Stage::Route, route_token);
         for shard in full {
             self.flush_shard(shard);
@@ -375,9 +426,19 @@ impl Engine {
         let mut batch = ColumnarBatch::with_capacity(chunk);
         loop {
             let build_token = self.obs_span();
+            // Columnar rows carry their ingest stamp in a parallel
+            // column, so batch routing keeps per-instance provenance
+            // without touching the instances again. One stamp per
+            // chunk fill: all rows of a chunk entered the engine in
+            // the same call, and a clock read per row is the dominant
+            // tracing cost on this path.
+            let ingest_stamp = self.trace_clock.as_ref().map(|clock| clock.now());
             while batch.len() < chunk {
                 let Some(instance) = iter.next() else { break };
-                batch.push(instance.borrow());
+                match ingest_stamp {
+                    Some(stamp) => batch.push_stamped(instance.borrow(), stamp),
+                    None => batch.push(instance.borrow()),
+                };
             }
             self.obs_record(Stage::BatchBuild, build_token);
             if batch.is_empty() {
@@ -935,11 +996,33 @@ impl Engine {
         // cut the closing snapshot, then fold the registry down.
         self.sample();
         let obs = self.obs.take().map(|o| o.registry.report());
+        // Workers are quiesced, so the rings hold their final contents:
+        // fold them into the report (shard order) and drain them to the
+        // export file if one is configured.
+        let trace = (!self.trace_rings.is_empty()).then(|| {
+            let mut report = TraceReport::default();
+            for ring in &self.trace_rings {
+                let ring = ring.lock().expect("trace ring poisoned");
+                report.records.extend(ring.snapshot());
+                report.evicted += ring.evicted();
+            }
+            report
+        });
+        if let (Some(report), Some(path)) = (&trace, &self.config.trace_export) {
+            let mut out = String::new();
+            for record in &report.records {
+                out.push_str(&record.to_json_line());
+                out.push('\n');
+            }
+            std::fs::write(path, out)
+                .unwrap_or_else(|e| panic!("write trace export {}: {e}", path.display()));
+        }
         EngineReport {
             shards,
             router: self.router.take_metrics(),
             elapsed: self.started.elapsed(),
             obs,
+            trace,
         }
     }
 

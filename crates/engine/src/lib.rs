@@ -92,19 +92,22 @@ mod router;
 mod shard_map;
 mod slot;
 mod subscription;
+mod trace;
 mod worker;
 
-pub use batch::Batch;
+pub use batch::{Batch, ItemTrace};
 pub use config::{
     BackpressurePolicy, CheckpointPolicy, Durability, EngineConfig, ExecutionMode, ShardId,
-    TelemetryPolicy,
+    TelemetryPolicy, TracePolicy,
 };
 pub use engine::{Engine, RecoverError, Recovery, RecoveryStats};
 pub use metrics::{EngineReport, RouterMetrics, ShardMetrics, SnapMetrics, WalMetrics};
 pub use router::ShardRouter;
 pub use shard_map::ShardMap;
+pub use stem_core::{Constituent, DropVerdict, Provenance, StageStamps, TraceClock, TraceId};
 pub use stem_wal::FsyncPolicy;
 pub use subscription::{
     Collector, EventSink, Notification, NotificationKind, PatternSpec, SilenceSpec, Subscription,
     SubscriptionId, SustainedSpec, SustainedValue,
 };
+pub use trace::{FlightRing, TraceHandle, TraceReport, WorkerTrace};

@@ -162,6 +162,10 @@ pub struct EngineReport {
     /// snapshot ring. `None` when the run had
     /// [`crate::TelemetryPolicy::Off`].
     pub obs: Option<stem_obs::ObsReport>,
+    /// The flight-recorder rings folded down at shutdown (every
+    /// retained trace record, in shard order, plus the eviction count).
+    /// `None` when the run had [`crate::TracePolicy::Off`].
+    pub trace: Option<crate::trace::TraceReport>,
 }
 
 impl EngineReport {
@@ -310,7 +314,7 @@ impl EngineReport {
         if let Some(lag) = r.hist("watermark_lag") {
             line.push_str(&format!(
                 " obs[watermark_lag_p99={} max={}]",
-                lag.p99(),
+                lag.p99().unwrap_or(0),
                 lag.max()
             ));
         }

@@ -1,12 +1,12 @@
 //! The shard router: spatial partitioning, interest tracking, batching.
 
-use crate::batch::{Batch, BatchItem, ItemPayload};
+use crate::batch::{Batch, BatchItem, ItemPayload, ItemTrace};
 use crate::config::ShardId;
 use crate::metrics::RouterMetrics;
 use crate::shard_map::{Grid, ShardMap};
 use crate::subscription::SubscriptionId;
 use std::sync::Arc;
-use stem_core::{ColumnarBatch, EventInstance, Layer};
+use stem_core::{ColumnarBatch, EventInstance, Layer, TraceClock};
 use stem_spatial::{Bvh, Field, Point, Rect, SpatialExtent};
 use stem_temporal::TimePoint;
 
@@ -86,6 +86,10 @@ pub struct ShardRouter {
     /// an instance nothing subscribes to is dropped at enqueue time
     /// instead of riding a shard's reorder buffer to a no-op dispatch.
     retain_owner: bool,
+    /// The engine-wide trace clock (None with tracing off): the router
+    /// takes each item's `route` stamp when it consumes the item's
+    /// sequence number, and each batch's `enqueue` stamp at handoff.
+    trace_clock: Option<Arc<TraceClock>>,
     metrics: RouterMetrics,
 }
 
@@ -122,8 +126,15 @@ impl ShardRouter {
             next_seq: 0,
             heartbeat_sent: vec![None; shards],
             retain_owner,
+            trace_clock: None,
             metrics: RouterMetrics::default(),
         }
+    }
+
+    /// Attaches the engine-wide trace clock: routed items gain
+    /// ingest/route stamps and batches gain enqueue stamps.
+    pub(crate) fn set_trace_clock(&mut self, clock: Arc<TraceClock>) {
+        self.trace_clock = Some(clock);
     }
 
     /// The shard map in use.
@@ -311,11 +322,32 @@ impl ShardRouter {
         instance: EventInstance,
         eval_at: Option<TimePoint>,
     ) -> Vec<ShardId> {
+        // Direct router callers did not stamp an engine-entry time:
+        // the ingest stage collapses onto the route stamp.
+        let ingest = self.trace_stamp();
+        self.route_at_traced(instance, eval_at, ingest)
+    }
+
+    /// A trace-clock stamp, or 0 with tracing off.
+    pub(crate) fn trace_stamp(&self) -> u64 {
+        self.trace_clock.as_ref().map_or(0, |c| c.now())
+    }
+
+    /// [`ShardRouter::route_at`] with an explicit engine-entry ingest
+    /// stamp (the engine samples it before routing so `ingest <= route`
+    /// reflects real queueing between the two).
+    pub(crate) fn route_at_traced(
+        &mut self,
+        instance: EventInstance,
+        eval_at: Option<TimePoint>,
+        ingest: u64,
+    ) -> Vec<ShardId> {
         let location = instance.estimated_location().representative();
         let t = eval_at.unwrap_or_else(|| instance.generation_time());
         let targets = self.target_mask(location, layer_bit(instance.layer()));
         let mut full = Vec::new();
-        let (seq, prefix_high_water) = self.stamp(t);
+        let route = self.trace_stamp();
+        let (seq, prefix_high_water, trace) = self.stamp(t, ingest, route);
         if targets == 0 {
             // Nothing subscribed and no durable log to feed: the clock
             // advanced, the instance goes nowhere.
@@ -325,7 +357,7 @@ impl ShardRouter {
             // Single target: the instance moves — no clone, no Arc.
             let shard = targets.trailing_zeros() as ShardId;
             let item = ItemPayload::Owned(instance);
-            if self.push_item(shard, seq, item, eval_at, prefix_high_water) {
+            if self.push_item(shard, seq, item, eval_at, prefix_high_water, trace) {
                 full.push(shard);
             }
             return full;
@@ -337,7 +369,7 @@ impl ShardRouter {
             let shard = bits.trailing_zeros() as ShardId;
             bits &= bits - 1;
             let item = ItemPayload::Shared(Arc::clone(&shared));
-            if self.push_item(shard, seq, item, eval_at, prefix_high_water) {
+            if self.push_item(shard, seq, item, eval_at, prefix_high_water, trace) {
                 full.push(shard);
             }
         }
@@ -358,17 +390,22 @@ impl ShardRouter {
     /// threshold, deduplicated, in shard order.
     pub fn route_batch(&mut self, batch: &Arc<ColumnarBatch>) -> Vec<ShardId> {
         let mut full_mask: u64 = 0;
+        // One route stamp per chunk, shared by every row: a per-row
+        // clock read costs more than the routing itself on the columnar
+        // path, and the rows' ingest stamps (taken at batch fill, all
+        // before this call) stay `<=` the shared stamp.
+        let route = self.trace_stamp();
         for row in 0..batch.len() {
             let location = batch.representatives()[row];
             let t = batch.generation_times()[row];
             let targets = self.target_mask(location, layer_bit(batch.layer(row)));
-            let (seq, prefix_high_water) = self.stamp(t);
+            let (seq, prefix_high_water, trace) = self.stamp(t, batch.ingest_stamp(row), route);
             let mut bits = targets;
             while bits != 0 {
                 let shard = bits.trailing_zeros() as ShardId;
                 bits &= bits - 1;
                 let item = ItemPayload::Columnar(Arc::clone(batch), row as u32);
-                if self.push_item(shard, seq, item, None, prefix_high_water) {
+                if self.push_item(shard, seq, item, None, prefix_high_water, trace) {
                     full_mask |= 1 << shard;
                 }
             }
@@ -382,14 +419,27 @@ impl ShardRouter {
     }
 
     /// Advances the stream clock past `t` and consumes one sequence
-    /// number, returning `(seq, prefix_high_water)` for the routed item.
-    fn stamp(&mut self, t: TimePoint) -> (u64, Option<TimePoint>) {
+    /// number, returning `(seq, prefix_high_water, trace)` for the
+    /// routed item. The caller supplies the `route` stamp (taken once
+    /// per instance on the scalar path, once per chunk on the columnar
+    /// path) so `ingest..route` measures the real gap between engine
+    /// entry and routing without a clock read per routed copy.
+    fn stamp(
+        &mut self,
+        t: TimePoint,
+        ingest: u64,
+        route: u64,
+    ) -> (u64, Option<TimePoint>, Option<ItemTrace>) {
         // The high-water mark over the strict prefix: stamped onto the
         // routed item so shard drop decisions replay the global run.
         let prefix_high_water = self.high_water;
         self.high_water = Some(self.high_water.map_or(t, |h| h.max(t)));
         self.metrics.routed += 1;
-        (self.take_seq(), prefix_high_water)
+        let trace = self
+            .trace_clock
+            .as_ref()
+            .map(|_| ItemTrace { ingest, route });
+        (self.take_seq(), prefix_high_water, trace)
     }
 
     /// The delivery bitmask for an instance at `location` on `layer`
@@ -446,6 +496,7 @@ impl ShardRouter {
         payload: ItemPayload,
         eval_at: Option<TimePoint>,
         prefix_high_water: Option<TimePoint>,
+        trace: Option<ItemTrace>,
     ) -> bool {
         let pending = &mut self.pending[shard];
         pending.push(BatchItem {
@@ -453,6 +504,7 @@ impl ShardRouter {
             payload,
             eval_at,
             prefix_high_water,
+            trace,
         });
         pending.len() >= self.batch_size
     }
@@ -476,6 +528,7 @@ impl ShardRouter {
             instances: std::mem::take(&mut self.pending[shard]),
             high_water: self.high_water,
             seq: self.next_seq,
+            enqueue: self.trace_stamp(),
         }
     }
 

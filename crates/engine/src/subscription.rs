@@ -4,7 +4,9 @@ use crate::config::ShardId;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use stem_cep::{ConsumptionMode, Pattern, SustainedConfig, SustainedEvent};
-use stem_core::{ConditionExpr, ConditionObserver, EventDefinition, EventId, EventInstance, Layer};
+use stem_core::{
+    ConditionExpr, ConditionObserver, EventDefinition, EventId, EventInstance, Layer, Provenance,
+};
 use stem_spatial::{Point, SpatialExtent};
 use stem_temporal::Duration;
 
@@ -99,7 +101,7 @@ pub enum NotificationKind {
 }
 
 /// One delivery to a subscription's sink.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Notification {
     /// The subscription this delivery belongs to.
     pub subscription: SubscriptionId,
@@ -107,6 +109,24 @@ pub struct Notification {
     pub shard: ShardId,
     /// What happened.
     pub kind: NotificationKind,
+    /// Causal provenance: which ingested instances contributed, stamped
+    /// per pipeline stage. `None` with [`crate::TracePolicy::Off`];
+    /// boxed so the untraced notification stays one pointer wider, not
+    /// a struct wider.
+    pub provenance: Option<Box<Provenance>>,
+}
+
+/// Equality deliberately ignores provenance: two runs of the same
+/// stream produce equal notifications even when one traced and the
+/// other did not (and stamp values are timing-dependent in threaded
+/// mode). Tests comparing DES output against engine output, and engine
+/// runs across shard counts, rely on this.
+impl PartialEq for Notification {
+    fn eq(&self, other: &Self) -> bool {
+        self.subscription == other.subscription
+            && self.shard == other.shard
+            && self.kind == other.kind
+    }
 }
 
 /// Where a subscription's notifications go. Sinks are called from shard

@@ -7,17 +7,18 @@ use crate::subscription::{
     EventSink, Notification, NotificationKind, SilenceSpec, Subscription, SubscriptionId,
     SustainedValue,
 };
-use std::collections::BTreeMap;
+use crate::trace::WorkerTrace;
+use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::Arc;
 use stem_cep::{CompositeDetector, ReorderBuffer, SustainedDetector};
 use stem_core::codec::{self, CodecError, CodecResult, StateCodec};
 use stem_core::timing::{Clock, SpanToken};
 use stem_core::{
-    Bindings, CcuId, ConditionExpr, ConditionObserver, EntityName, EventDefinition, EventId,
-    EventInstance, Layer, ObserverId,
+    Bindings, CcuId, ConditionExpr, ConditionObserver, Constituent, DropVerdict, EntityName,
+    EventDefinition, EventId, EventInstance, Layer, ObserverId, Provenance, StageStamps, TraceId,
 };
-use stem_obs::{ObsRegistry, Recorder, Stage};
+use stem_obs::{ObsRegistry, Recorder, Stage, TraceConstituent, TraceRecord};
 use stem_snap::ShardSnapshot;
 use stem_spatial::{Bvh, Rect, SpatialExtent};
 use stem_temporal::{Duration, TimePoint};
@@ -131,6 +132,11 @@ pub(crate) enum ShardMessage {
     Finalize(TimePoint),
 }
 
+/// Bound on a sustained detector's remembered constituents: the most
+/// recent accepted samples are what a lineage reader wants for an
+/// episode notification; the full episode can span millions.
+const SUSTAINED_CONSTITUENTS: usize = 8;
+
 /// A sustained detector resident on a shard, with its sampling rules.
 struct SustainedState {
     detector: SustainedDetector,
@@ -139,6 +145,19 @@ struct SustainedState {
     silence: Option<SilenceSpec>,
     /// When the last input sample arrived (silence-staleness clock).
     last_input: Option<TimePoint>,
+    /// The most recent accepted samples' trace identities (bounded at
+    /// [`SUSTAINED_CONSTITUENTS`]; empty with tracing off).
+    constituents: VecDeque<Constituent>,
+}
+
+impl SustainedState {
+    /// Remembers an accepted sample's identity for episode provenance.
+    fn push_constituent(&mut self, c: Constituent) {
+        if self.constituents.len() == SUSTAINED_CONSTITUENTS {
+            self.constituents.pop_front();
+        }
+        self.constituents.push_back(c);
+    }
 }
 
 /// How a subscription's stream is evaluated on its home shard.
@@ -216,6 +235,7 @@ impl SubscriptionState {
                     negate: spec.negate,
                     silence: spec.silence,
                     last_input: None,
+                    constituents: VecDeque::new(),
                 }),
                 sub.condition,
             )
@@ -259,20 +279,45 @@ fn eval_condition(
     cond.eval(&bindings).ok()
 }
 
+/// Trace bookkeeping riding one reorder-buffer item: the operation's
+/// global ingest sequence plus the stage stamps accumulated before the
+/// worker. All stamps are 0 with tracing off, for recovery-replayed
+/// records, and for items restored from a snapshot — a recovered run's
+/// fresh trace clock restarts near zero, so zeroed early stamps are
+/// what keep the notify-stage stamps monotone.
+#[derive(Debug, Clone, Copy, Default)]
+struct ItemMeta {
+    /// Global ingest sequence (the trace identity).
+    seq: u64,
+    /// Engine-entry stamp.
+    ingest: u64,
+    /// Router stamp.
+    route: u64,
+    /// Batch-handoff stamp.
+    enqueue: u64,
+    /// Stamped by the worker when the reorder buffer releases the item.
+    release: u64,
+}
+
 /// One entry in a shard's reorder buffer, keyed by its observer-local
 /// time so the evaluation stream replays in station-clock order.
 enum StreamItem {
     /// An instance to evaluate at its time (ingest-provided, defaulting
     /// to the generation time). The payload stays columnar end to end
     /// when it arrived columnar: the filter pass reads the batch's
-    /// columns and a standalone instance is only materialized for items
+    /// columns and a standalone instance is only materialized for rows
     /// that actually match a subscription.
-    Instance(TimePoint, ItemPayload),
+    Instance(TimePoint, ItemPayload, ItemMeta),
     /// A queued silence probe: probes travel through the same reorder
     /// buffer as instances — feeding the sustained detector directly on
     /// message arrival would run it out of time order whenever earlier
     /// samples are still held behind the watermark slack.
-    Probe { id: SubscriptionId, at: TimePoint },
+    Probe {
+        id: SubscriptionId,
+        at: TimePoint,
+        /// The probe's global ingest sequence (its trace identity).
+        seq: u64,
+    },
 }
 
 const SUB_TAG_PLAIN: u8 = 0;
@@ -283,11 +328,17 @@ const ITEM_TAG_INSTANCE: u8 = 0;
 const ITEM_TAG_PROBE: u8 = 1;
 
 /// Encodes one reorder-buffer payload for a checkpoint snapshot.
+///
+/// Only the trace *identity* (the ingest seq) persists: stage stamps
+/// are clock-relative and a restored run's fresh clock restarts near
+/// zero, so they decode as zeros — minimal, and monotone under the new
+/// clock.
 fn encode_stream_item(item: &StreamItem, buf: &mut Vec<u8>) {
     match item {
-        StreamItem::Instance(at, payload) => {
+        StreamItem::Instance(at, payload, meta) => {
             codec::put_u8(buf, ITEM_TAG_INSTANCE);
             codec::encode_time_point(*at, buf);
+            codec::put_u64(buf, meta.seq);
             // Snapshots always hold standalone instances (columnar rows
             // materialize bit-identically), keeping the format stable.
             match payload {
@@ -295,10 +346,11 @@ fn encode_stream_item(item: &StreamItem, buf: &mut Vec<u8>) {
                 columnar => codec::encode_instance(&columnar.to_instance(), buf),
             }
         }
-        StreamItem::Probe { id, at } => {
+        StreamItem::Probe { id, at, seq } => {
             codec::put_u8(buf, ITEM_TAG_PROBE);
             codec::put_u64(buf, id.raw());
             codec::encode_time_point(*at, buf);
+            codec::put_u64(buf, *seq);
         }
     }
 }
@@ -308,18 +360,88 @@ fn decode_stream_item(bytes: &mut &[u8]) -> CodecResult<StreamItem> {
     match codec::get_u8(bytes)? {
         ITEM_TAG_INSTANCE => {
             let at = codec::decode_time_point(bytes)?;
+            let seq = codec::get_u64(bytes)?;
             let instance = codec::decode_instance(bytes)?;
-            Ok(StreamItem::Instance(at, ItemPayload::Owned(instance)))
+            Ok(StreamItem::Instance(
+                at,
+                ItemPayload::Owned(instance),
+                ItemMeta {
+                    seq,
+                    ..ItemMeta::default()
+                },
+            ))
         }
         ITEM_TAG_PROBE => {
             let id = SubscriptionId(codec::get_u64(bytes)?);
             let at = codec::decode_time_point(bytes)?;
-            Ok(StreamItem::Probe { id, at })
+            let seq = codec::get_u64(bytes)?;
+            Ok(StreamItem::Probe { id, at, seq })
         }
         tag => Err(CodecError::BadTag {
             what: "StreamItem",
             tag,
         }),
+    }
+}
+
+/// Builds one notification's provenance and pushes its `Notify` ring
+/// record (notifications enter the ring under every policy except
+/// `Off`, which never constructs a [`WorkerTrace`] at all).
+fn notify_provenance(
+    wt: &mut WorkerTrace,
+    shard: ShardId,
+    sub: SubscriptionId,
+    mut constituents: Vec<Constituent>,
+    meta: ItemMeta,
+    evaluate: u64,
+) -> Box<Provenance> {
+    constituents.sort_unstable();
+    constituents.dedup_by_key(|c| c.trace);
+    let stamps = StageStamps {
+        ingest: meta.ingest,
+        route: meta.route,
+        enqueue: meta.enqueue,
+        release: meta.release,
+        evaluate,
+        notify: wt.clock.now(),
+    };
+    let record = TraceRecord::Notify {
+        shard: shard as u64,
+        id: wt.take_notify_id(),
+        sub: sub.raw(),
+        stamps: stamps.as_array(),
+        constituents: constituents
+            .iter()
+            .map(|c| TraceConstituent {
+                trace: c.trace.raw(),
+                shard: u64::from(c.shard),
+                seq: c.seq,
+            })
+            .collect(),
+    };
+    wt.record(record);
+    Box::new(Provenance {
+        constituents,
+        stamps,
+        shard: u32::try_from(shard).unwrap_or(u32::MAX),
+        verdicts: wt.take_drops(),
+    })
+}
+
+/// Records a near-miss drop verdict: remembered for the next
+/// notification's provenance, and ring-recorded when the policy samples
+/// drops.
+fn note_drop(wt: &mut WorkerTrace, shard: ShardId, trace: TraceId, verdict: DropVerdict) {
+    wt.note_drop(trace, verdict);
+    if wt.samples_drops() {
+        wt.record(TraceRecord::Drop {
+            shard: shard as u64,
+            trace: trace.raw(),
+            verdict: match verdict {
+                DropVerdict::Late => stem_obs::TraceDropKind::Late,
+                DropVerdict::ScopePruned => stem_obs::TraceDropKind::Scope,
+            },
+        });
     }
 }
 
@@ -352,6 +474,9 @@ pub(crate) struct ShardWorker {
     /// Telemetry state (None with [`crate::TelemetryPolicy::Off`]: the
     /// hot path pays one branch per site and nothing else).
     obs: Option<WorkerObs>,
+    /// Causal tracing state (None with [`crate::TracePolicy::Off`]:
+    /// same single-branch discipline as `obs`).
+    trace: Option<WorkerTrace>,
     /// Indices of subscriptions passing the filter pass for the
     /// instance being dispatched (reused across dispatches).
     match_scratch: Vec<usize>,
@@ -387,6 +512,7 @@ impl ShardWorker {
         snap: Option<SnapContext>,
         checkpoint_every: u64,
         obs: Option<WorkerObs>,
+        trace: Option<WorkerTrace>,
     ) -> Self {
         ShardWorker {
             shard,
@@ -405,6 +531,7 @@ impl ShardWorker {
                 ..ShardMetrics::default()
             },
             obs,
+            trace,
             match_scratch: Vec::new(),
             sub_bboxes: Vec::new(),
             by_event: BTreeMap::new(),
@@ -632,7 +759,7 @@ impl ShardWorker {
         } else {
             None
         };
-        let mut fresh: Vec<(Option<TimePoint>, Option<TimePoint>, ItemPayload)> =
+        let mut fresh: Vec<(Option<TimePoint>, Option<TimePoint>, ItemPayload, ItemMeta)> =
             Vec::with_capacity(batch.instances.len());
         for item in batch.instances {
             if self.durable_seq.is_some_and(|d| item.seq <= d) {
@@ -641,8 +768,16 @@ impl ShardWorker {
                 self.metrics.wal.deduped += 1;
                 continue;
             }
+            let stamps = item.trace.unwrap_or_default();
+            let meta = ItemMeta {
+                seq: item.seq,
+                ingest: stamps.ingest,
+                route: stamps.route,
+                enqueue: batch.enqueue,
+                release: 0,
+            };
             if self.wal.is_none() {
-                fresh.push((item.eval_at, item.prefix_high_water, item.payload));
+                fresh.push((item.eval_at, item.prefix_high_water, item.payload, meta));
                 continue;
             }
             match item.payload {
@@ -663,6 +798,7 @@ impl ShardWorker {
                         item.eval_at,
                         item.prefix_high_water,
                         ItemPayload::Owned(instance),
+                        meta,
                     ));
                 }
                 payload => {
@@ -675,7 +811,7 @@ impl ShardWorker {
                         prefix_high_water: item.prefix_high_water,
                         instance: payload.to_instance(),
                     });
-                    fresh.push((item.eval_at, item.prefix_high_water, payload));
+                    fresh.push((item.eval_at, item.prefix_high_water, payload, meta));
                 }
             }
         }
@@ -690,7 +826,7 @@ impl ShardWorker {
         };
         self.wal_commit();
         self.obs_acc(Stage::WalFsync, fsync_token);
-        for (eval_at, prefix_high_water, payload) in fresh {
+        for (eval_at, prefix_high_water, payload, meta) in fresh {
             // Replaying the global watermark before each push keeps
             // accept/late-drop decisions identical to a 1-shard run
             // even when disorder exceeds the slack.
@@ -702,9 +838,7 @@ impl ShardWorker {
             }
             let key = eval_at.unwrap_or_else(|| payload.generation_time());
             let token = self.obs_start();
-            let released = self
-                .reorder
-                .push_at(key, StreamItem::Instance(key, payload));
+            let released = self.push_instance(key, payload, meta);
             self.obs_acc(Stage::ReorderRelease, token);
             self.dispatch_all(released);
         }
@@ -772,26 +906,34 @@ impl ShardWorker {
             self.metrics.wal.records_recovered += 1;
             match record {
                 WalRecord::Instance {
+                    seq,
                     eval_at,
                     prefix_high_water,
                     instance,
-                    ..
                 } => {
                     if let Some(hw) = prefix_high_water {
                         let released = self.reorder.observe(hw);
                         self.dispatch_all(released);
                     }
                     let key = eval_at.unwrap_or_else(|| instance.generation_time());
-                    let released = self
-                        .reorder
-                        .push_at(key, StreamItem::Instance(key, ItemPayload::Owned(instance)));
+                    // Replayed records keep their trace identity but
+                    // zero pre-release stamps: the recovered run's fresh
+                    // clock restarts near zero.
+                    let released = self.push_instance(
+                        key,
+                        ItemPayload::Owned(instance),
+                        ItemMeta {
+                            seq,
+                            ..ItemMeta::default()
+                        },
+                    );
                     self.dispatch_all(released);
                 }
                 WalRecord::Probe {
+                    seq,
                     subscription,
                     at,
                     prefix_high_water,
-                    ..
                 } => {
                     // Replay the probe's prefix stamp exactly the way the
                     // live path observes it: the staleness decision must
@@ -801,7 +943,7 @@ impl ShardWorker {
                         let released = self.reorder.observe(hw);
                         self.dispatch_all(released);
                     }
-                    self.enqueue_probe(SubscriptionId(subscription), at);
+                    self.enqueue_probe(SubscriptionId(subscription), at, seq);
                 }
                 WalRecord::Heartbeat { high_water, .. } => {
                     self.logged_high_water = Some(
@@ -898,6 +1040,18 @@ impl ShardWorker {
                     codec::put_u8(&mut buf, SUB_TAG_SUSTAINED);
                     state.detector.save_state(&mut buf);
                     codec::encode_opt_time_point(state.last_input, &mut buf);
+                    // The episode's bounded constituent memory restores
+                    // with the detector, so an episode closed after
+                    // recovery still names its pre-crash samples.
+                    codec::put_u32(
+                        &mut buf,
+                        u32::try_from(state.constituents.len()).unwrap_or(u32::MAX),
+                    );
+                    for c in &state.constituents {
+                        codec::put_u64(&mut buf, c.trace.raw());
+                        codec::put_u32(&mut buf, c.shard);
+                        codec::put_u64(&mut buf, c.seq);
+                    }
                 }
             }
         }
@@ -927,6 +1081,14 @@ impl ShardWorker {
                 (SUB_TAG_SUSTAINED, EvalKind::Sustained(state)) => {
                     state.detector.load_state(bytes)?;
                     state.last_input = codec::decode_opt_time_point(bytes)?;
+                    state.constituents.clear();
+                    let n = codec::get_u32(bytes)? as usize;
+                    for _ in 0..n {
+                        let trace = TraceId(codec::get_u64(bytes)?);
+                        let shard = codec::get_u32(bytes)?;
+                        let seq = codec::get_u64(bytes)?;
+                        state.push_constituent(Constituent { trace, shard, seq });
+                    }
                 }
                 _ => return Err(CodecError::Invalid("snapshot subscription shape")),
             }
@@ -937,11 +1099,59 @@ impl ShardWorker {
         Ok(())
     }
 
+    /// Pushes one instance into the reorder buffer, mirroring the
+    /// buffer's late-drop rule (`key < watermark`) beforehand so a drop
+    /// is recorded with a `Late` verdict — the buffer itself only
+    /// counts.
+    fn push_instance(
+        &mut self,
+        key: TimePoint,
+        payload: ItemPayload,
+        meta: ItemMeta,
+    ) -> Vec<StreamItem> {
+        if let Some(wt) = self.trace.as_mut() {
+            if self.reorder.watermark().is_some_and(|w| key < w) {
+                note_drop(wt, self.shard, TraceId(meta.seq), DropVerdict::Late);
+            }
+        }
+        self.reorder
+            .push_at(key, StreamItem::Instance(key, payload, meta))
+    }
+
     fn dispatch_all(&mut self, released: Vec<StreamItem>) {
+        // One release stamp per release wave: every item the watermark
+        // freed together left the reorder buffer at the same moment,
+        // and a clock read per item is measurable on the hot path.
+        let release = self.trace.as_ref().map_or(0, |wt| wt.clock.now());
         for item in released {
             match item {
-                StreamItem::Instance(at, payload) => self.dispatch(at, &payload),
-                StreamItem::Probe { id, at } => self.silence_probe(id, at),
+                StreamItem::Instance(at, payload, mut meta) => {
+                    if let Some(wt) = self.trace.as_mut() {
+                        meta.release = release;
+                        if wt.samples_instance(TraceId(meta.seq)) {
+                            // The ring's `seq` field mirrors the trace id
+                            // rather than materializing a columnar row
+                            // just to read the observer-assigned number.
+                            wt.record(TraceRecord::Instance {
+                                shard: self.shard as u64,
+                                trace: meta.seq,
+                                seq: meta.seq,
+                                stamps: [meta.ingest, meta.route, meta.enqueue, meta.release],
+                            });
+                        }
+                    }
+                    self.dispatch(at, &payload, meta);
+                }
+                StreamItem::Probe { id, at, seq } => {
+                    let mut meta = ItemMeta {
+                        seq,
+                        ..ItemMeta::default()
+                    };
+                    if self.trace.is_some() {
+                        meta.release = release;
+                    }
+                    self.silence_probe(id, at, meta);
+                }
             }
         }
     }
@@ -967,7 +1177,7 @@ impl ShardWorker {
     /// BVH shards a candidate must additionally be a spatial hit, so
     /// the counter's absolute value depends on which index served the
     /// dispatch; only its being nonzero is portable.)
-    fn dispatch(&mut self, at: TimePoint, payload: &ItemPayload) {
+    fn dispatch(&mut self, at: TimePoint, payload: &ItemPayload, meta: ItemMeta) {
         let location = payload.representative();
         let layer = payload.layer();
         let shard = self.shard;
@@ -1016,6 +1226,7 @@ impl ShardWorker {
                 }
             }
         }
+        let mut scope_pruned = false;
         for &cand in &cands {
             let idx = cand as usize;
             let sub = &self.subs[idx];
@@ -1036,6 +1247,7 @@ impl ShardWorker {
             if let Some((scope_bbox, scope)) = &sub.scope {
                 if !scope_bbox.contains(location) || !scope.covers(location) {
                     self.metrics.scope_skipped += 1;
+                    scope_pruned = true;
                     continue;
                 }
             }
@@ -1055,7 +1267,27 @@ impl ShardWorker {
         }
         self.cand_scratch = cands;
         self.obs_acc(Stage::ScopePrune, prune_token);
+        // A scope-prune verdict is only a *near miss* when nothing else
+        // matched the instance — an instance one subscription pruned
+        // but another evaluated did contribute, and is no drop.
+        if scope_pruned && matched.is_empty() {
+            if let Some(wt) = self.trace.as_mut() {
+                note_drop(wt, self.shard, TraceId(meta.seq), DropVerdict::ScopePruned);
+            }
+        }
         let eval_token = self.obs_start();
+        // One evaluate stamp per *matched* released operation, taken
+        // before the detectors run (every notification this dispatch
+        // produces shares it; their notify stamps then order them).
+        // Unmatched operations produce nothing that could carry the
+        // stamp, so they skip the clock read — on dense streams most
+        // operations match no subscription, and this read would
+        // otherwise be the last per-instance tracing cost.
+        let evaluate = if matched.is_empty() {
+            0
+        } else {
+            self.trace.as_ref().map_or(0, |wt| wt.clock.now())
+        };
         // One materialization per matched item, shared by every matched
         // subscription; owned payloads evaluate in place.
         let materialized;
@@ -1079,10 +1311,19 @@ impl ShardWorker {
             match &mut sub.kind {
                 EvalKind::Plain => match eval_condition(&sub.condition, &sub.entities, instance) {
                     Some(true) => {
+                        let provenance = self.trace.as_mut().map(|wt| {
+                            let c = Constituent {
+                                trace: TraceId(meta.seq),
+                                shard: u32::try_from(shard).unwrap_or(u32::MAX),
+                                seq: instance.seq().raw(),
+                            };
+                            notify_provenance(wt, shard, sub.id, vec![c], meta, evaluate)
+                        });
                         sub.sink.deliver(Notification {
                             subscription: sub.id,
                             shard,
                             kind: NotificationKind::Match(instance.clone()),
+                            provenance,
                         });
                         self.metrics.notifications += 1;
                         sub.delivered += 1;
@@ -1090,21 +1331,46 @@ impl ShardWorker {
                     Some(false) => {}
                     None => self.metrics.eval_errors += 1,
                 },
-                EvalKind::Pattern(detector) => match detector.process_at(instance, at) {
-                    Ok(derived) => {
-                        for d in derived {
-                            self.metrics.derived += 1;
-                            self.metrics.notifications += 1;
-                            sub.delivered += 1;
-                            sub.sink.deliver(Notification {
-                                subscription: sub.id,
-                                shard,
-                                kind: NotificationKind::Derived(d),
-                            });
+                EvalKind::Pattern(detector) => {
+                    // The trace tag threads through the pattern store so
+                    // each completed match comes back with the ingest
+                    // sequences of every constituent it bound.
+                    match detector.process_traced_at(instance, at, meta.seq) {
+                        Ok(derived) => {
+                            for (d, tags) in derived {
+                                self.metrics.derived += 1;
+                                self.metrics.notifications += 1;
+                                sub.delivered += 1;
+                                let provenance = self.trace.as_mut().map(|wt| {
+                                    let shard32 = u32::try_from(shard).unwrap_or(u32::MAX);
+                                    let constituents = tags
+                                        .iter()
+                                        .map(|&(tag, seq)| Constituent {
+                                            trace: TraceId(tag),
+                                            shard: shard32,
+                                            seq,
+                                        })
+                                        .collect();
+                                    notify_provenance(
+                                        wt,
+                                        shard,
+                                        sub.id,
+                                        constituents,
+                                        meta,
+                                        evaluate,
+                                    )
+                                });
+                                sub.sink.deliver(Notification {
+                                    subscription: sub.id,
+                                    shard,
+                                    kind: NotificationKind::Derived(d),
+                                    provenance,
+                                });
+                            }
                         }
+                        Err(_) => self.metrics.eval_errors += 1,
                     }
-                    Err(_) => self.metrics.eval_errors += 1,
-                },
+                }
                 EvalKind::Sustained(state) => {
                     let episode = match &state.value {
                         SustainedValue::Attribute(attr) => {
@@ -1139,13 +1405,29 @@ impl ShardWorker {
                             }
                         }
                     };
+                    if self.trace.is_some() {
+                        // Every accepted sample (the arms above all set
+                        // `last_input`) joins the episode's bounded
+                        // constituent memory.
+                        state.push_constituent(Constituent {
+                            trace: TraceId(meta.seq),
+                            shard: u32::try_from(shard).unwrap_or(u32::MAX),
+                            seq: instance.seq().raw(),
+                        });
+                    }
                     if let Some(event) = episode {
+                        let constituents: Vec<Constituent> =
+                            state.constituents.iter().copied().collect();
                         self.metrics.notifications += 1;
                         sub.delivered += 1;
+                        let provenance = self.trace.as_mut().map(|wt| {
+                            notify_provenance(wt, shard, sub.id, constituents, meta, evaluate)
+                        });
                         sub.sink.deliver(Notification {
                             subscription: sub.id,
                             shard,
                             kind: NotificationKind::Sustained(event),
+                            provenance,
                         });
                     }
                 }
@@ -1191,25 +1473,28 @@ impl ShardWorker {
             let released = self.reorder.observe(hw);
             self.dispatch_all(released);
         }
-        self.enqueue_probe(id, at);
+        self.enqueue_probe(id, at, seq);
     }
 
     /// Enqueues a silence probe into the reorder buffer so it reaches
     /// the sustained detector in stream order. Probes already behind
     /// the watermark are stale — the stream has moved past them — and
-    /// are discarded.
-    fn enqueue_probe(&mut self, id: SubscriptionId, at: TimePoint) {
+    /// are discarded (with a `Late` verdict when tracing).
+    fn enqueue_probe(&mut self, id: SubscriptionId, at: TimePoint, seq: u64) {
         if self.reorder.watermark().is_some_and(|w| at < w) {
+            if let Some(wt) = self.trace.as_mut() {
+                note_drop(wt, self.shard, TraceId(seq), DropVerdict::Late);
+            }
             return;
         }
         self.probes += 1;
-        let released = self.reorder.push_at(at, StreamItem::Probe { id, at });
+        let released = self.reorder.push_at(at, StreamItem::Probe { id, at, seq });
         self.dispatch_all(released);
     }
 
     /// Feeds a sustained subscription its inactive sample if its input
     /// has been silent for the configured timeout.
-    fn silence_probe(&mut self, id: SubscriptionId, at: TimePoint) {
+    fn silence_probe(&mut self, id: SubscriptionId, at: TimePoint, meta: ItemMeta) {
         let shard = self.shard;
         let Some(sub) = self.subs.iter_mut().find(|s| s.id == id) else {
             return;
@@ -1226,13 +1511,28 @@ impl ShardWorker {
         if !stale {
             return;
         }
+        let evaluate = self.trace.as_ref().map_or(0, |wt| wt.clock.now());
         if let Some(event) = state.detector.update_value(at, silence.inactive_value) {
+            // The probe itself is a constituent (it is the operation
+            // that closed the episode), alongside the episode's
+            // remembered samples.
+            let mut constituents: Vec<Constituent> = state.constituents.iter().copied().collect();
+            constituents.push(Constituent {
+                trace: TraceId(meta.seq),
+                shard: u32::try_from(shard).unwrap_or(u32::MAX),
+                seq: meta.seq,
+            });
             self.metrics.notifications += 1;
             sub.delivered += 1;
+            let provenance = self
+                .trace
+                .as_mut()
+                .map(|wt| notify_provenance(wt, shard, sub.id, constituents, meta, evaluate));
             sub.sink.deliver(Notification {
                 subscription: sub.id,
                 shard,
                 kind: NotificationKind::Sustained(event),
+                provenance,
             });
         }
     }
@@ -1245,13 +1545,29 @@ impl ShardWorker {
         let shard = self.shard;
         for sub in &mut self.subs {
             if let EvalKind::Sustained(state) = &mut sub.kind {
+                let evaluate = self.trace.as_ref().map_or(0, |wt| wt.clock.now());
                 if let Some(event) = state.detector.finish(at) {
+                    let constituents: Vec<Constituent> =
+                        state.constituents.iter().copied().collect();
                     self.metrics.notifications += 1;
                     sub.delivered += 1;
+                    let provenance = self.trace.as_mut().map(|wt| {
+                        // The horizon is an engine-driven close, not an
+                        // operation: its pre-evaluate stamps are zero.
+                        notify_provenance(
+                            wt,
+                            shard,
+                            sub.id,
+                            constituents,
+                            ItemMeta::default(),
+                            evaluate,
+                        )
+                    });
                     sub.sink.deliver(Notification {
                         subscription: sub.id,
                         shard,
                         kind: NotificationKind::Sustained(event),
+                        provenance,
                     });
                 }
             }
@@ -1335,7 +1651,7 @@ mod tests {
                     inactive_value: 0.0,
                 }),
             });
-        let mut worker = ShardWorker::new(0, Duration::ZERO, None, None, 1024, None);
+        let mut worker = ShardWorker::new(0, Duration::ZERO, None, None, 1024, None, None);
         worker.handle(ShardMessage::Subscribe(Box::new(
             SubscriptionState::compile(SubscriptionId(0), sub),
         )));
@@ -1361,16 +1677,19 @@ mod tests {
                     payload: reading(10, 2.0).into(),
                     eval_at: None,
                     prefix_high_water: None,
+                    trace: None,
                 },
                 BatchItem {
                     seq: 1,
                     payload: reading(30, 2.0).into(),
                     eval_at: None,
                     prefix_high_water: Some(TimePoint::new(10)),
+                    trace: None,
                 },
             ],
             high_water: Some(TimePoint::new(30)),
             seq: 2,
+            enqueue: 0,
         }));
         worker.handle(ShardMessage::Recover {
             snapshot: None,
@@ -1443,16 +1762,19 @@ mod tests {
                     payload: reading(10, 2.0).into(),
                     eval_at: None,
                     prefix_high_water: None,
+                    trace: None,
                 },
                 BatchItem {
                     seq: 1,
                     payload: reading(30, 2.0).into(),
                     eval_at: None,
                     prefix_high_water: Some(TimePoint::new(10)),
+                    trace: None,
                 },
             ],
             high_water: Some(TimePoint::new(30)),
             seq: 2,
+            enqueue: 0,
         }));
         // Fresh work (seq 2) processes normally and closes the episode.
         worker.handle(ShardMessage::SilenceProbe {
@@ -1528,7 +1850,8 @@ mod tests {
                 inactive_value: 0.0,
             }),
         };
-        let mut worker = ShardWorker::new(0, Duration::new(50), wal(0), ctx.clone(), 1024, None);
+        let mut worker =
+            ShardWorker::new(0, Duration::new(50), wal(0), ctx.clone(), 1024, None, None);
         let sub = Subscription::new("episode", region.clone(), collector.sink())
             .sustained_spec(spec.clone());
         worker.handle(ShardMessage::Subscribe(Box::new(
@@ -1541,16 +1864,19 @@ mod tests {
                     payload: reading(10, 2.0).into(),
                     eval_at: None,
                     prefix_high_water: None,
+                    trace: None,
                 },
                 BatchItem {
                     seq: 1,
                     payload: reading(30, 2.0).into(),
                     eval_at: None,
                     prefix_high_water: Some(TimePoint::new(10)),
+                    trace: None,
                 },
             ],
             high_water: Some(TimePoint::new(30)),
             seq: 2,
+            enqueue: 0,
         }));
         worker.handle(ShardMessage::SilenceProbe {
             id: SubscriptionId(0),
@@ -1574,7 +1900,7 @@ mod tests {
         let survivor = Collector::new();
         let snapshot = stem_snap::load_latest(&dir, 0).unwrap().snapshot.unwrap();
         assert_eq!(snapshot.next_seq, 3);
-        let mut worker = ShardWorker::new(0, Duration::new(50), wal(0), ctx, 1024, None);
+        let mut worker = ShardWorker::new(0, Duration::new(50), wal(0), ctx, 1024, None, None);
         let sub = Subscription::new("episode", region, survivor.sink()).sustained_spec(spec);
         worker.handle(ShardMessage::Subscribe(Box::new(
             SubscriptionState::compile(SubscriptionId(0), sub),

@@ -102,11 +102,17 @@ impl Histogram {
     /// The quantile `q` in `[0, 1]`, answered as the upper bound of the
     /// bucket containing the `ceil(q * count)`-th smallest sample —
     /// except the top bucket, where the exact tracked maximum is the
-    /// tighter (and correct) upper bound. 0 when empty.
+    /// tighter (and correct) upper bound.
+    ///
+    /// Returns `None` when no samples have been recorded: an empty
+    /// histogram has no quantiles, and the old silent-zero answer was
+    /// indistinguishable from a real all-zero latency distribution.
+    /// Callers that render a summary where existence of the histogram
+    /// already implies samples use `unwrap_or(0)` explicitly.
     #[must_use]
-    pub fn quantile(&self, q: f64) -> u64 {
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         // ceil without going through floats for the rank itself.
@@ -115,27 +121,27 @@ impl Histogram {
         for (index, &n) in self.buckets.iter().enumerate() {
             seen = seen.saturating_add(n);
             if seen >= target {
-                return bucket_bounds(index).1.min(self.max);
+                return Some(bucket_bounds(index).1.min(self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
-    /// Median (see [`Histogram::quantile`]).
+    /// Median (see [`Histogram::quantile`]; `None` when empty).
     #[must_use]
-    pub fn p50(&self) -> u64 {
+    pub fn p50(&self) -> Option<u64> {
         self.quantile(0.50)
     }
 
-    /// 90th percentile.
+    /// 90th percentile (`None` when empty).
     #[must_use]
-    pub fn p90(&self) -> u64 {
+    pub fn p90(&self) -> Option<u64> {
         self.quantile(0.90)
     }
 
-    /// 99th percentile.
+    /// 99th percentile (`None` when empty).
     #[must_use]
-    pub fn p99(&self) -> u64 {
+    pub fn p99(&self) -> Option<u64> {
         self.quantile(0.99)
     }
 
@@ -200,11 +206,11 @@ mod tests {
         assert_eq!(h.max(), 1000);
         // Upper-bound semantics: each quantile is >= the true rank value
         // and <= 2x it (one bucket's width), capped by the exact max.
-        let p50 = h.p50();
+        let p50 = h.p50().unwrap();
         assert!((500..=1000).contains(&p50), "p50 = {p50}");
-        let p99 = h.p99();
+        let p99 = h.p99().unwrap();
         assert!((990..=1000).contains(&p99), "p99 = {p99}");
-        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile(1.0), Some(1000));
         assert_eq!(h.mean(), 500);
     }
 
@@ -221,7 +227,7 @@ mod tests {
         h.merge(&other);
         assert_eq!(h.sum(), u64::MAX);
         assert_eq!(h.count(), 3);
-        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(0.5), Some(u64::MAX));
     }
 
     /// Merge-of-shards equals single-recorder: the registry's merge-on-
@@ -249,12 +255,22 @@ mod tests {
         }
     }
 
+    /// The satellite fix: an empty histogram has no quantiles — `None`,
+    /// not a silent 0 a reader could mistake for a measured latency.
     #[test]
-    fn empty_histogram_answers_zero() {
+    fn empty_histogram_has_no_quantiles() {
         let h = Histogram::new();
         assert!(h.is_empty());
-        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p90(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0);
+        // One sample and quantiles exist again, even for the value 0.
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.p99(), Some(0));
     }
 }

@@ -46,8 +46,13 @@ pub mod json;
 mod recorder;
 mod registry;
 mod snapshot;
+pub mod trace;
 
 pub use hist::{bucket_bounds, bucket_index, Histogram, BUCKET_COUNT};
 pub use recorder::{Recorder, Stage};
 pub use registry::{ObsRegistry, ObsReport};
 pub use snapshot::{HistSummary, ObsSnapshot, ShardRow, SCHEMA_VERSION};
+pub use trace::{
+    parse_trace_line, parse_trace_stream, TraceConstituent, TraceDropKind, TraceRecord,
+    TRACE_SCHEMA_VERSION,
+};

@@ -130,9 +130,19 @@ impl ObsRegistry {
         for (shard, slot) in self.shards.iter().enumerate() {
             let recorder = slot.lock().expect("obs shard slot poisoned");
             let sent = sent_per_shard.get(shard).copied().unwrap_or(0);
+            // Since the PR 7 steal-queues, the worker's published
+            // `msgs_processed` can momentarily exceed the engine's sent
+            // snapshot: the caller reads its sent counts, then a steal
+            // drain handles messages *and publishes* before this row is
+            // derived. The true depth is transiently "negative"; clamp
+            // to 0 at this read site rather than wrapping a u64 gauge
+            // into an absurd backlog.
             rows.push(ShardRow {
                 shard,
-                queue_depth: sent.saturating_sub(recorder.counter("msgs_processed")),
+                queue_depth: {
+                    let processed = recorder.counter("msgs_processed");
+                    sent.saturating_sub(processed)
+                },
                 gauges: recorder.gauges().collect(),
             });
         }
@@ -250,6 +260,30 @@ mod tests {
         assert_eq!(next.seq, 1, "snapshot sequence is monotone");
         assert_eq!(registry.snapshots().len(), 2);
         assert_eq!(registry.latest().unwrap().seq, 1);
+    }
+
+    /// Regression for the steal-queue race: a worker whose stolen
+    /// backlog was drained *and published* after the engine read its
+    /// sent counts reports more processed messages than the stale sent
+    /// snapshot. The depth must clamp to 0, not wrap a u64.
+    #[test]
+    fn queue_depth_clamps_when_published_overtakes_sent_snapshot() {
+        let registry = ObsRegistry::new(1, 4, None).unwrap();
+        let mut shard = Recorder::new();
+        shard.inc("msgs_processed", 7);
+        registry.publish_shard(0, &shard);
+        let snap = registry.sample(None, &[5]);
+        assert_eq!(
+            snap.shards[0].queue_depth, 0,
+            "processed (7) > sent snapshot (5) must clamp, not wrap"
+        );
+        // And the clamp is per-shard, not global: a genuinely backed-up
+        // shard still reports its depth.
+        let registry = ObsRegistry::new(2, 4, None).unwrap();
+        registry.publish_shard(0, &shard);
+        let snap = registry.sample(None, &[5, 3]);
+        assert_eq!(snap.shards[0].queue_depth, 0);
+        assert_eq!(snap.shards[1].queue_depth, 3, "nothing published yet");
     }
 
     #[test]

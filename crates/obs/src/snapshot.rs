@@ -24,14 +24,16 @@ pub struct HistSummary {
 }
 
 impl HistSummary {
-    /// Summarizes a histogram.
+    /// Summarizes a histogram. Only summarized where samples exist
+    /// (snapshots omit empty stages), so absent quantiles render as 0
+    /// alongside the telltale `count: 0`.
     #[must_use]
     pub fn of(hist: &Histogram) -> Self {
         HistSummary {
             count: hist.count(),
-            p50: hist.p50(),
-            p90: hist.p90(),
-            p99: hist.p99(),
+            p50: hist.p50().unwrap_or(0),
+            p90: hist.p90().unwrap_or(0),
+            p99: hist.p99().unwrap_or(0),
             max: hist.max(),
         }
     }

@@ -1,0 +1,455 @@
+//! Schema v2 `trace` records: the JSON-lines encoding of the engine's
+//! flight-recorder ring.
+//!
+//! Where schema v1 ([`crate::ObsSnapshot`]) aggregates, v2 records
+//! *causality*: one line per sampled operation, drop verdict, or
+//! delivered notification, carrying raw trace identities (global ingest
+//! sequences) that join against the WAL offline. The writer side is
+//! [`TraceRecord::to_json_line`]; the read side is the strict
+//! [`parse_trace_line`], which rejects unknown fields, truncated
+//! records, wrong-arity stamp arrays, and non-monotone constituent
+//! sequences — an exported trace either round-trips exactly or fails
+//! loudly, because a silently mangled lineage is worse than none.
+
+use crate::json::{self, Value};
+
+/// The `v` field of every trace line. Schema v1 is the snapshot
+/// exporter ([`crate::SCHEMA_VERSION`]); trace streams are v2.
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
+
+/// Number of stages an instance record stamps (ingest → route →
+/// enqueue → release).
+pub const INSTANCE_STAGES: usize = 4;
+
+/// Number of stages a notification record stamps (ingest → route →
+/// enqueue → release → evaluate → notify).
+pub const NOTIFY_STAGES: usize = 6;
+
+/// One constituent of a notification: `(trace, shard, seq)` — the
+/// operation's global ingest sequence, the shard that evaluated it, and
+/// its observer-assigned sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraceConstituent {
+    /// Global ingest sequence (the WAL join key).
+    pub trace: u64,
+    /// Evaluating shard.
+    pub shard: u64,
+    /// Observer-assigned instance sequence number.
+    pub seq: u64,
+}
+
+/// Why a traced operation was discarded before evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceDropKind {
+    /// Arrived behind the shard watermark.
+    Late,
+    /// Pruned by the exact subscription-scope pass.
+    Scope,
+}
+
+impl TraceDropKind {
+    /// The stable name written to the export.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceDropKind::Late => "late",
+            TraceDropKind::Scope => "scope",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "late" => Some(TraceDropKind::Late),
+            "scope" => Some(TraceDropKind::Scope),
+            _ => None,
+        }
+    }
+}
+
+/// One flight-recorder entry, as exported.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A sampled operation passing through a shard (policies `always` /
+    /// `1-in-N`), with its first four stage stamps.
+    Instance {
+        /// Shard the operation was evaluated on.
+        shard: u64,
+        /// Global ingest sequence.
+        trace: u64,
+        /// Observer-assigned instance sequence number.
+        seq: u64,
+        /// `[ingest, route, enqueue, release]` trace-clock stamps.
+        stamps: [u64; INSTANCE_STAGES],
+    },
+    /// A drop/prune verdict for a near-miss operation.
+    Drop {
+        /// Shard that dropped it.
+        shard: u64,
+        /// Global ingest sequence.
+        trace: u64,
+        /// Why it never reached evaluation.
+        verdict: TraceDropKind,
+    },
+    /// A delivered notification with its full causal record.
+    Notify {
+        /// Shard that evaluated the subscription.
+        shard: u64,
+        /// Per-shard notification id (dense, 0-based) — `(shard, id)`
+        /// names a notification for offline reconstruction.
+        id: u64,
+        /// Subscription id.
+        sub: u64,
+        /// `[ingest, route, enqueue, release, evaluate, notify]`
+        /// trace-clock stamps of the triggering operation.
+        stamps: [u64; NOTIFY_STAGES],
+        /// Contributing operations, sorted by strictly increasing
+        /// `trace`.
+        constituents: Vec<TraceConstituent>,
+    },
+}
+
+impl TraceRecord {
+    /// Encodes the record as one JSON object on one line (no trailing
+    /// newline). Constituents are written as compact `[trace, shard,
+    /// seq]` triples.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(128);
+        match self {
+            TraceRecord::Instance {
+                shard,
+                trace,
+                seq,
+                stamps,
+            } => {
+                out.push_str(&format!(
+                    "{{\"v\":{TRACE_SCHEMA_VERSION},\"kind\":\"instance\",\"shard\":{shard},\"trace\":{trace},\"seq\":{seq},\"stamps\":["
+                ));
+                push_u64s(&mut out, stamps);
+                out.push_str("]}");
+            }
+            TraceRecord::Drop {
+                shard,
+                trace,
+                verdict,
+            } => {
+                out.push_str(&format!(
+                    "{{\"v\":{TRACE_SCHEMA_VERSION},\"kind\":\"drop\",\"shard\":{shard},\"trace\":{trace},\"verdict\":\"{}\"}}",
+                    verdict.name()
+                ));
+            }
+            TraceRecord::Notify {
+                shard,
+                id,
+                sub,
+                stamps,
+                constituents,
+            } => {
+                out.push_str(&format!(
+                    "{{\"v\":{TRACE_SCHEMA_VERSION},\"kind\":\"notify\",\"shard\":{shard},\"id\":{id},\"sub\":{sub},\"stamps\":["
+                ));
+                push_u64s(&mut out, stamps);
+                out.push_str("],\"constituents\":[");
+                for (i, c) in constituents.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[{},{},{}]", c.trace, c.shard, c.seq));
+                }
+                out.push_str("]}");
+            }
+        }
+        out
+    }
+}
+
+fn push_u64s(out: &mut String, values: &[u64]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+}
+
+/// Parses and validates one v2 trace line.
+///
+/// Strictness contract:
+///
+/// * the line must be one complete JSON object (truncated lines fail in
+///   the underlying [`json::parse`]),
+/// * `v` must be exactly [`TRACE_SCHEMA_VERSION`],
+/// * `kind` must be `instance` / `drop` / `notify`, and the object must
+///   carry *exactly* that kind's fields — unknown fields are rejected,
+/// * stamp arrays must have the kind's exact arity, be plain `u64`s,
+///   and be non-decreasing in stage order,
+/// * notify constituents must be non-empty `[trace, shard, seq]`
+///   triples with strictly increasing `trace`.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated rule.
+pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
+    let value = json::parse(line)?;
+    let Value::Object(map) = &value else {
+        return Err("trace record must be a JSON object".to_string());
+    };
+    let v = field_u64(&value, "v")?;
+    if v != TRACE_SCHEMA_VERSION {
+        return Err(format!("unsupported trace schema v{v}"));
+    }
+    let kind = value
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("missing or non-string \"kind\"")?;
+    let allowed: &[&str] = match kind {
+        "instance" => &["v", "kind", "shard", "trace", "seq", "stamps"],
+        "drop" => &["v", "kind", "shard", "trace", "verdict"],
+        "notify" => &["v", "kind", "shard", "id", "sub", "stamps", "constituents"],
+        other => return Err(format!("unknown trace kind {other:?}")),
+    };
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unknown field {key:?} in {kind} record"));
+        }
+    }
+    match kind {
+        "instance" => Ok(TraceRecord::Instance {
+            shard: field_u64(&value, "shard")?,
+            trace: field_u64(&value, "trace")?,
+            seq: field_u64(&value, "seq")?,
+            stamps: stamps_of::<INSTANCE_STAGES>(&value)?,
+        }),
+        "drop" => {
+            let verdict = value
+                .get("verdict")
+                .and_then(Value::as_str)
+                .ok_or("missing or non-string \"verdict\"")?;
+            Ok(TraceRecord::Drop {
+                shard: field_u64(&value, "shard")?,
+                trace: field_u64(&value, "trace")?,
+                verdict: TraceDropKind::from_name(verdict)
+                    .ok_or_else(|| format!("unknown drop verdict {verdict:?}"))?,
+            })
+        }
+        _ => {
+            let constituents = constituents_of(&value)?;
+            Ok(TraceRecord::Notify {
+                shard: field_u64(&value, "shard")?,
+                id: field_u64(&value, "id")?,
+                sub: field_u64(&value, "sub")?,
+                stamps: stamps_of::<NOTIFY_STAGES>(&value)?,
+                constituents,
+            })
+        }
+    }
+}
+
+fn field_u64(value: &Value, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-u64 {key:?}"))
+}
+
+fn stamps_of<const N: usize>(value: &Value) -> Result<[u64; N], String> {
+    let items = value
+        .get("stamps")
+        .and_then(Value::as_array)
+        .ok_or("missing or non-array \"stamps\"")?;
+    if items.len() != N {
+        return Err(format!("stamps must have {N} entries, got {}", items.len()));
+    }
+    let mut stamps = [0u64; N];
+    for (i, item) in items.iter().enumerate() {
+        stamps[i] = item
+            .as_u64()
+            .ok_or_else(|| format!("stamp {i} is not a u64"))?;
+    }
+    if stamps.windows(2).any(|w| w[0] > w[1]) {
+        return Err("stamps must be non-decreasing in stage order".to_string());
+    }
+    Ok(stamps)
+}
+
+fn constituents_of(value: &Value) -> Result<Vec<TraceConstituent>, String> {
+    let items = value
+        .get("constituents")
+        .and_then(Value::as_array)
+        .ok_or("missing or non-array \"constituents\"")?;
+    if items.is_empty() {
+        return Err("notify record must carry at least one constituent".to_string());
+    }
+    let mut out = Vec::with_capacity(items.len());
+    let mut last_trace: Option<u64> = None;
+    for (i, item) in items.iter().enumerate() {
+        let triple = item
+            .as_array()
+            .ok_or_else(|| format!("constituent {i} is not an array"))?;
+        if triple.len() != 3 {
+            return Err(format!(
+                "constituent {i} must be a [trace, shard, seq] triple"
+            ));
+        }
+        let mut parts = [0u64; 3];
+        for (j, part) in triple.iter().enumerate() {
+            parts[j] = part
+                .as_u64()
+                .ok_or_else(|| format!("constituent {i} element {j} is not a u64"))?;
+        }
+        if let Some(prev) = last_trace {
+            if parts[0] <= prev {
+                return Err(format!(
+                    "constituent traces must be strictly increasing ({} after {prev})",
+                    parts[0]
+                ));
+            }
+        }
+        last_trace = Some(parts[0]);
+        out.push(TraceConstituent {
+            trace: parts[0],
+            shard: parts[1],
+            seq: parts[2],
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a whole exported trace stream (one record per line, blank
+/// lines ignored).
+///
+/// # Errors
+///
+/// Fails on the first invalid line, naming its 1-based line number.
+pub fn parse_trace_stream(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_trace_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn notify() -> TraceRecord {
+        TraceRecord::Notify {
+            shard: 2,
+            id: 7,
+            sub: 3,
+            stamps: [10, 11, 11, 14, 20, 21],
+            constituents: vec![
+                TraceConstituent {
+                    trace: 4,
+                    shard: 2,
+                    seq: 0,
+                },
+                TraceConstituent {
+                    trace: 9,
+                    shard: 2,
+                    seq: 5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let records = vec![
+            TraceRecord::Instance {
+                shard: 1,
+                trace: 42,
+                seq: 6,
+                stamps: [1, 2, 3, 4],
+            },
+            TraceRecord::Drop {
+                shard: 0,
+                trace: 8,
+                verdict: TraceDropKind::Late,
+            },
+            TraceRecord::Drop {
+                shard: 3,
+                trace: 9,
+                verdict: TraceDropKind::Scope,
+            },
+            notify(),
+        ];
+        for record in &records {
+            let line = record.to_json_line();
+            let back = parse_trace_line(&line).expect("own output parses");
+            assert_eq!(&back, record, "round trip of {line}");
+        }
+        let stream: String = records.iter().map(|r| r.to_json_line() + "\n").collect();
+        assert_eq!(parse_trace_stream(&stream).unwrap(), records);
+    }
+
+    #[test]
+    fn truncated_records_are_rejected() {
+        let line = notify().to_json_line();
+        // Every strict prefix of a valid record fails: a torn export
+        // can never be mistaken for a shorter valid one.
+        for cut in 1..line.len() {
+            assert!(
+                parse_trace_line(&line[..cut]).is_err(),
+                "accepted truncation at byte {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let cases = [
+            r#"{"v":2,"kind":"drop","shard":0,"trace":8,"verdict":"late","extra":1}"#,
+            r#"{"v":2,"kind":"instance","shard":0,"trace":8,"seq":1,"stamps":[1,2,3,4],"id":9}"#,
+            r#"{"v":2,"kind":"notify","shard":0,"id":0,"sub":0,"stamps":[1,1,1,1,1,1],"constituents":[[1,0,0]],"note":"x"}"#,
+        ];
+        for bad in cases {
+            let err = parse_trace_line(bad).unwrap_err();
+            assert!(err.contains("unknown field"), "{bad} -> {err}");
+        }
+    }
+
+    #[test]
+    fn non_monotone_constituent_seqs_are_rejected() {
+        let bad = r#"{"v":2,"kind":"notify","shard":0,"id":0,"sub":0,"stamps":[1,1,1,1,1,1],"constituents":[[9,0,0],[4,0,1]]}"#;
+        let err = parse_trace_line(bad).unwrap_err();
+        assert!(err.contains("strictly increasing"), "{err}");
+        // Duplicates are non-monotone too (the emitter dedups).
+        let dup = r#"{"v":2,"kind":"notify","shard":0,"id":0,"sub":0,"stamps":[1,1,1,1,1,1],"constituents":[[4,0,0],[4,0,0]]}"#;
+        assert!(parse_trace_line(dup).is_err());
+    }
+
+    #[test]
+    fn stamp_arity_version_and_kind_are_enforced() {
+        let cases = [
+            // Wrong schema version.
+            r#"{"v":1,"kind":"drop","shard":0,"trace":8,"verdict":"late"}"#,
+            // Unknown kind.
+            r#"{"v":2,"kind":"mystery","shard":0}"#,
+            // Instance stamps with notify arity.
+            r#"{"v":2,"kind":"instance","shard":0,"trace":8,"seq":1,"stamps":[1,2,3,4,5,6]}"#,
+            // Non-monotone stamps.
+            r#"{"v":2,"kind":"instance","shard":0,"trace":8,"seq":1,"stamps":[4,3,2,1]}"#,
+            // Empty constituents.
+            r#"{"v":2,"kind":"notify","shard":0,"id":0,"sub":0,"stamps":[1,1,1,1,1,1],"constituents":[]}"#,
+            // Unknown verdict.
+            r#"{"v":2,"kind":"drop","shard":0,"trace":8,"verdict":"meh"}"#,
+            // Not an object.
+            r#"[1,2,3]"#,
+        ];
+        for bad in cases {
+            assert!(parse_trace_line(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn stream_errors_name_the_line() {
+        let text = format!("{}\nnot json\n", notify().to_json_line());
+        let err = parse_trace_stream(&text).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

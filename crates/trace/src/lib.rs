@@ -1,0 +1,407 @@
+//! # stem-trace — offline causal-provenance reconstruction
+//!
+//! The engine's flight-recorder rings (see `stem-engine`'s
+//! `TracePolicy`) capture *references*: each notification record names
+//! its constituents as `(trace, shard, seq)` triples, where `trace` is
+//! the operation's global ingest sequence — the same number the
+//! write-ahead log frames it under. That makes the exported trace and
+//! the WAL two views of one stream, joinable offline: this crate takes
+//! a stream of [`stem_obs::TraceRecord`]s (live ring contents, an
+//! `EngineReport`'s trace section, or a parsed export file) plus a
+//! [`stem_wal::Replay`] and rebuilds each notification's full causal
+//! chain — which logged operations contributed, what was dropped on the
+//! way, and the per-stage timing of the triggering operation.
+//!
+//! ```no_run
+//! use stem_trace::reconstruct_files;
+//!
+//! let rec = reconstruct_files("trace.jsonl".as_ref(), "wal-dir".as_ref()).unwrap();
+//! for lineage in &rec.lineages {
+//!     println!(
+//!         "sub {} notified on shard {}: {} constituents ({} resolved in the log)",
+//!         lineage.sub,
+//!         lineage.shard,
+//!         lineage.constituents.len(),
+//!         lineage.resolved(),
+//!     );
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use stem_obs::{parse_trace_stream, TraceDropKind, TraceRecord};
+use stem_wal::{Replay, WalError, WalRecord};
+
+/// One contributing operation of a notification, joined against the
+/// log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedConstituent {
+    /// The constituent's trace id — the operation's global ingest
+    /// sequence.
+    pub trace: u64,
+    /// The home shard the notification was evaluated on.
+    pub shard: u64,
+    /// The observer-assigned evaluation sequence of the constituent as
+    /// the detector saw it.
+    pub seq: u64,
+    /// The logged operation with ingest sequence `trace`: `None` when
+    /// the log no longer holds it (compacted behind a snapshot, or the
+    /// run was not durable at all).
+    pub op: Option<WalRecord>,
+}
+
+/// One notification's reconstructed causal chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lineage {
+    /// Home shard of the subscription.
+    pub shard: u64,
+    /// The shard-local notification id (monotone per shard; `(shard,
+    /// id)` is globally unique).
+    pub id: u64,
+    /// Raw subscription id.
+    pub sub: u64,
+    /// `[ingest, route, enqueue, release, evaluate, notify]` trace-clock
+    /// stamps of the triggering operation.
+    pub stamps: [u64; 6],
+    /// The contributing operations, in increasing trace order.
+    pub constituents: Vec<ResolvedConstituent>,
+}
+
+impl Lineage {
+    /// How many constituents the log resolved.
+    #[must_use]
+    pub fn resolved(&self) -> usize {
+        self.constituents.iter().filter(|c| c.op.is_some()).count()
+    }
+
+    /// The constituent references as `(trace, shard, seq)` triples.
+    #[must_use]
+    pub fn constituent_keys(&self) -> Vec<(u64, u64, u64)> {
+        self.constituents
+            .iter()
+            .map(|c| (c.trace, c.shard, c.seq))
+            .collect()
+    }
+}
+
+/// A sampled instance flight record joined against the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedInstance {
+    /// The shard that released the instance.
+    pub shard: u64,
+    /// Trace id (global ingest sequence).
+    pub trace: u64,
+    /// Evaluation sequence on the releasing shard.
+    pub seq: u64,
+    /// `[ingest, route, enqueue, release]` trace-clock stamps.
+    pub stamps: [u64; 4],
+    /// The logged operation, when the log still holds it.
+    pub op: Option<WalRecord>,
+}
+
+/// A sampled drop verdict joined against the log: an operation that
+/// reached a shard but never evaluated there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedDrop {
+    /// The dropping shard.
+    pub shard: u64,
+    /// Trace id (global ingest sequence).
+    pub trace: u64,
+    /// Why it was dropped.
+    pub verdict: TraceDropKind,
+    /// The logged operation, when the log still holds it.
+    pub op: Option<WalRecord>,
+}
+
+/// The offline join of a trace stream against a recovered log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Reconstruction {
+    /// One entry per `notify` trace record, in input order.
+    pub lineages: Vec<Lineage>,
+    /// One entry per sampled `instance` trace record, in input order.
+    pub instances: Vec<ResolvedInstance>,
+    /// One entry per sampled `drop` trace record, in input order.
+    pub drops: Vec<ResolvedDrop>,
+}
+
+impl Reconstruction {
+    /// The union of every lineage's constituent references, as a set of
+    /// `(trace, shard, seq)` triples — the comparison key for "a
+    /// recovered run reproduces the live run's provenance".
+    #[must_use]
+    pub fn constituent_set(&self) -> BTreeSet<(u64, u64, u64)> {
+        self.lineages
+            .iter()
+            .flat_map(|l| l.constituent_keys())
+            .collect()
+    }
+
+    /// Constituent references across all lineages that the log could
+    /// *not* resolve (0 for a fully durable run whose log has not been
+    /// compacted past the traced window).
+    #[must_use]
+    pub fn unresolved(&self) -> usize {
+        self.lineages
+            .iter()
+            .map(|l| l.constituents.len() - l.resolved())
+            .sum()
+    }
+}
+
+/// Joins a trace-record stream against a recovered log: every
+/// constituent, sampled instance, and drop verdict is looked up by its
+/// trace id (== global ingest sequence) via [`Replay::find`].
+///
+/// References the log cannot resolve stay in the output with `op ==
+/// None` — a trace is still a complete *reference* record without its
+/// log, it just cannot be dereferenced.
+#[must_use]
+pub fn reconstruct(records: &[TraceRecord], replay: &Replay) -> Reconstruction {
+    let mut out = Reconstruction::default();
+    for record in records {
+        match record {
+            TraceRecord::Instance {
+                shard,
+                trace,
+                seq,
+                stamps,
+            } => out.instances.push(ResolvedInstance {
+                shard: *shard,
+                trace: *trace,
+                seq: *seq,
+                stamps: *stamps,
+                op: replay.find(*trace).cloned(),
+            }),
+            TraceRecord::Drop {
+                shard,
+                trace,
+                verdict,
+            } => out.drops.push(ResolvedDrop {
+                shard: *shard,
+                trace: *trace,
+                verdict: *verdict,
+                op: replay.find(*trace).cloned(),
+            }),
+            TraceRecord::Notify {
+                shard,
+                id,
+                sub,
+                stamps,
+                constituents,
+            } => out.lineages.push(Lineage {
+                shard: *shard,
+                id: *id,
+                sub: *sub,
+                stamps: *stamps,
+                constituents: constituents
+                    .iter()
+                    .map(|c| ResolvedConstituent {
+                        trace: c.trace,
+                        shard: c.shard,
+                        seq: c.seq,
+                        op: replay.find(c.trace).cloned(),
+                    })
+                    .collect(),
+            }),
+        }
+    }
+    out
+}
+
+/// Why [`reconstruct_files`] failed.
+#[derive(Debug)]
+pub enum ReconstructError {
+    /// Reading the trace export file failed.
+    Io(std::io::Error),
+    /// The trace export file held a malformed or wrong-schema line
+    /// (the message names the line and the violated rule).
+    Parse(String),
+    /// Scanning the write-ahead log directory failed.
+    Wal(WalError),
+}
+
+impl std::fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconstructError::Io(e) => write!(f, "could not read the trace export: {e}"),
+            ReconstructError::Parse(e) => write!(f, "malformed trace export: {e}"),
+            ReconstructError::Wal(e) => write!(f, "could not scan the wal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconstructError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReconstructError::Io(e) => Some(e),
+            ReconstructError::Wal(e) => Some(e),
+            ReconstructError::Parse(_) => None,
+        }
+    }
+}
+
+/// The file-based entry point: parses a JSON-lines trace export (the
+/// engine's `trace_export` file, schema v2) and joins it against the
+/// write-ahead logs under `wal_dir` (read with
+/// [`Replay::from_recovery`], so torn tails are tolerated and an absent
+/// directory yields an empty — all-unresolved — join).
+///
+/// # Errors
+///
+/// Returns a [`ReconstructError`] when the export file cannot be read
+/// or parsed, or the WAL directory cannot be scanned.
+pub fn reconstruct_files(
+    trace_path: &Path,
+    wal_dir: &Path,
+) -> Result<Reconstruction, ReconstructError> {
+    let text = std::fs::read_to_string(trace_path).map_err(ReconstructError::Io)?;
+    let records = parse_trace_stream(&text).map_err(ReconstructError::Parse)?;
+    let replay = Replay::from_recovery(wal_dir).map_err(ReconstructError::Wal)?;
+    Ok(reconstruct(&records, &replay))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use stem_core::{EventId, EventInstance, Layer, MoteId, ObserverId};
+    use stem_obs::TraceConstituent;
+    use stem_spatial::Point;
+    use stem_temporal::TimePoint;
+    use stem_wal::{FsyncPolicy, ShardWal};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stem-trace-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn inst(seq: u64) -> WalRecord {
+        WalRecord::Instance {
+            seq,
+            eval_at: None,
+            prefix_high_water: None,
+            instance: EventInstance::builder(
+                ObserverId::Mote(MoteId::new(1)),
+                EventId::new("e"),
+                Layer::Sensor,
+            )
+            .generated(TimePoint::new(seq), Point::new(0.0, 0.0))
+            .build(),
+        }
+    }
+
+    fn notify(constituent_traces: &[u64]) -> TraceRecord {
+        TraceRecord::Notify {
+            shard: 0,
+            id: 0,
+            sub: 7,
+            stamps: [1, 2, 3, 4, 5, 6],
+            constituents: constituent_traces
+                .iter()
+                .map(|&trace| TraceConstituent {
+                    trace,
+                    shard: 0,
+                    seq: trace,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn join_resolves_constituents_against_the_log() {
+        let dir = temp_dir("join");
+        let mut wal = ShardWal::open(&dir, 0, 1 << 20, FsyncPolicy::Never).unwrap();
+        for seq in 0..4 {
+            wal.append(&inst(seq)).unwrap();
+        }
+        drop(wal);
+        let replay = Replay::from_recovery(&dir).unwrap();
+        // Constituent 9 was never logged (e.g. compacted away).
+        let rec = reconstruct(&[notify(&[1, 3, 9])], &replay);
+        assert_eq!(rec.lineages.len(), 1);
+        let lineage = &rec.lineages[0];
+        assert_eq!(lineage.resolved(), 2);
+        assert_eq!(rec.unresolved(), 1);
+        assert!(matches!(
+            lineage.constituents[0].op,
+            Some(WalRecord::Instance { seq: 1, .. })
+        ));
+        assert!(matches!(
+            lineage.constituents[1].op,
+            Some(WalRecord::Instance { seq: 3, .. })
+        ));
+        assert_eq!(lineage.constituents[2].op, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_log_yields_reference_only_lineages() {
+        let replay = Replay::from_recovery(Path::new("/nonexistent/stem-trace-none")).unwrap();
+        let rec = reconstruct(&[notify(&[0, 2])], &replay);
+        assert_eq!(rec.lineages[0].resolved(), 0);
+        assert_eq!(rec.unresolved(), 2);
+        assert_eq!(
+            rec.constituent_set().into_iter().collect::<Vec<_>>(),
+            vec![(0, 0, 0), (2, 0, 2)],
+        );
+    }
+
+    #[test]
+    fn instance_and_drop_records_join_too() {
+        let dir = temp_dir("kinds");
+        let mut wal = ShardWal::open(&dir, 0, 1 << 20, FsyncPolicy::Never).unwrap();
+        wal.append(&inst(5)).unwrap();
+        drop(wal);
+        let replay = Replay::from_recovery(&dir).unwrap();
+        let records = [
+            TraceRecord::Instance {
+                shard: 0,
+                trace: 5,
+                seq: 5,
+                stamps: [1, 1, 2, 3],
+            },
+            TraceRecord::Drop {
+                shard: 0,
+                trace: 5,
+                verdict: TraceDropKind::Late,
+            },
+        ];
+        let rec = reconstruct(&records, &replay);
+        assert!(rec.instances[0].op.is_some());
+        assert!(rec.drops[0].op.is_some());
+        assert_eq!(rec.drops[0].verdict, TraceDropKind::Late);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_loader_round_trips_the_export_format() {
+        let dir = temp_dir("files");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut wal = ShardWal::open(&dir, 0, 1 << 20, FsyncPolicy::Never).unwrap();
+        for seq in 0..2 {
+            wal.append(&inst(seq)).unwrap();
+        }
+        drop(wal);
+        let export = dir.join("trace.jsonl");
+        let lines = format!(
+            "{}\n{}\n",
+            notify(&[0]).to_json_line(),
+            notify(&[1]).to_json_line()
+        );
+        std::fs::write(&export, lines).unwrap();
+        let rec = reconstruct_files(&export, &dir).unwrap();
+        assert_eq!(rec.lineages.len(), 2);
+        assert_eq!(rec.unresolved(), 0);
+        // A malformed line is a Parse error, not a silent skip.
+        std::fs::write(&export, "{\"v\":2,\"kind\":\"notify\"").unwrap();
+        assert!(matches!(
+            reconstruct_files(&export, &dir),
+            Err(ReconstructError::Parse(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

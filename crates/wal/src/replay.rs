@@ -61,6 +61,43 @@ impl Replay {
         })
     }
 
+    /// Opens the log exactly as crash recovery would see it: torn
+    /// tails tolerated and counted, a compacted prefix served from its
+    /// floor, and a directory that never existed (a run that recorded
+    /// nothing durable) treated as an empty log rather than an error.
+    ///
+    /// This is the entry point for *offline* consumers joining trace
+    /// identities back against history — `stem_trace::reconstruct`
+    /// resolves each constituent's global ingest sequence through
+    /// [`Replay::find`] over this view, including logs from runs that
+    /// were killed mid-write.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WalError`] on filesystem failures or non-tail format
+    /// corruption, as [`Replay::open`] does.
+    pub fn from_recovery(dir: &Path) -> Result<Self, WalError> {
+        if !dir.exists() {
+            return Ok(Replay {
+                records: Vec::new(),
+                torn_truncations: 0,
+                shards: 0,
+            });
+        }
+        Self::open(dir)
+    }
+
+    /// Looks up the operation that consumed global ingest sequence
+    /// `seq`, if the log still holds it (binary search over the merged
+    /// stream).
+    #[must_use]
+    pub fn find(&self, seq: u64) -> Option<&WalRecord> {
+        self.records
+            .binary_search_by_key(&seq, WalRecord::seq)
+            .ok()
+            .map(|i| &self.records[i])
+    }
+
     /// Keeps only operations with sequence at or after `seq` — the
     /// resume tail for a recovered engine.
     #[must_use]
@@ -253,6 +290,28 @@ mod tests {
         assert!(replay.is_empty());
         assert_eq!(replay.missing_ops(), 0);
         assert!(replay.into_instances().next_timed().is_none());
+    }
+
+    #[test]
+    fn recovery_view_tolerates_absent_dirs_and_finds_by_seq() {
+        // A directory that never existed is an empty log, not an error.
+        let gone = temp_dir("recovery-absent");
+        let replay = Replay::from_recovery(&gone).unwrap();
+        assert!(replay.is_empty());
+        assert_eq!(replay.find(0), None);
+
+        // A real log resolves seqs, including broadcast-deduped ones.
+        let dir = temp_dir("recovery-find");
+        let mut wal = ShardWal::open(&dir, 0, 1 << 20, FsyncPolicy::Never).unwrap();
+        for seq in [0, 2, 5] {
+            wal.append(&inst(seq)).unwrap();
+        }
+        drop(wal);
+        let replay = Replay::from_recovery(&dir).unwrap();
+        assert_eq!(replay.find(2).map(WalRecord::seq), Some(2));
+        assert_eq!(replay.find(1), None, "gap stays a gap");
+        assert_eq!(replay.find(5).map(WalRecord::seq), Some(5));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

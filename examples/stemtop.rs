@@ -10,6 +10,13 @@
 //! reset), including the columnar batch-build and arena-reset rows
 //! the ingest path pays per chunk.
 //!
+//! Below the stage table sits the lineage pane: the newest entries of
+//! the engine's flight-recorder ring ([`stem::engine::TraceHandle`]),
+//! one row per delivered notification — which shard evaluated it,
+//! which subscription fired, the constituent trace ids (global ingest
+//! sequences, joinable offline against a WAL via `stem::trace`), and
+//! the ingest→notify latency read off the per-stage trace stamps.
+//!
 //! The run is bounded (a few seconds) so it doubles as a smoke test.
 //!
 //! Run with: `cargo run --release --example stemtop`
@@ -22,8 +29,10 @@ use std::time::Duration as StdDuration;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use stem::core::{dsl, Attributes, EventId, EventInstance, Layer, MoteId, ObserverId};
-use stem::engine::{Collector, Engine, EngineConfig, Subscription, TelemetryPolicy};
-use stem::obs::{ObsRegistry, ObsSnapshot, Stage};
+use stem::engine::{
+    Collector, Engine, EngineConfig, Subscription, TelemetryPolicy, TraceHandle, TracePolicy,
+};
+use stem::obs::{ObsRegistry, ObsSnapshot, Stage, TraceRecord};
 use stem::spatial::{Field, Point, Rect, SpatialExtent};
 use stem::temporal::{Duration, TimePoint};
 
@@ -122,15 +131,63 @@ fn render(snapshot: &ObsSnapshot, clear: bool) {
     }
 }
 
+/// How many of the newest lineage rows the pane shows.
+const LINEAGE_ROWS: usize = 5;
+
+/// Renders the lineage pane: the newest flight-recorder notifications,
+/// one causal row each.
+fn render_lineage(trace: &TraceHandle) {
+    let records = trace.records();
+    let notifies: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| matches!(r, TraceRecord::Notify { .. }))
+        .collect();
+    println!(
+        "  lineage — flight recorder: {} record(s) retained, {} evicted",
+        records.len(),
+        trace.evicted()
+    );
+    println!(
+        "  {:<5} {:>4} {:>7} {:>16}  constituents (trace ids)",
+        "shard", "sub", "notify#", "ingest→notify ns"
+    );
+    for record in notifies.iter().rev().take(LINEAGE_ROWS).rev() {
+        let TraceRecord::Notify {
+            shard,
+            id,
+            sub,
+            stamps,
+            constituents,
+        } = record
+        else {
+            continue;
+        };
+        let ids: Vec<String> = constituents.iter().map(|c| c.trace.to_string()).collect();
+        println!(
+            "  {:<5} {:>4} {:>7} {:>16}  [{}]",
+            shard,
+            sub,
+            id,
+            stamps[NOTIFY_LAST].saturating_sub(stamps[0]),
+            ids.join(", "),
+        );
+    }
+}
+
+/// Index of the `notify` stamp in a notify record's stage array.
+const NOTIFY_LAST: usize = 5;
+
 fn main() {
     let mut engine = Engine::start(
         EngineConfig::new(bounds())
             .with_shards(SHARDS)
             .with_batch_size(256)
             .with_watermark_slack(Duration::new(16))
-            .with_telemetry(TelemetryPolicy::every_batches(4).with_ring(64)),
+            .with_telemetry(TelemetryPolicy::every_batches(4).with_ring(64))
+            .with_trace(TracePolicy::NotificationsOnly),
     );
     let registry: Arc<ObsRegistry> = engine.obs().expect("telemetry is on");
+    let trace: TraceHandle = engine.trace().expect("tracing is on");
 
     // A grid of hot-reading subscriptions so evaluate/scope-prune have
     // real work on every shard.
@@ -178,6 +235,7 @@ fn main() {
             if last_seq != Some(snapshot.seq) {
                 last_seq = Some(snapshot.seq);
                 render(&snapshot, interactive);
+                render_lineage(&trace);
             }
         }
     }
@@ -199,4 +257,12 @@ fn main() {
             && !obs.merged.stage(Stage::BatchReset).is_empty(),
         "columnar batch build/reset stages recorded samples"
     );
+    let trace = report.trace.expect("flight recorder report");
+    let notifies = trace
+        .records
+        .iter()
+        .filter(|r| matches!(r, TraceRecord::Notify { .. }))
+        .count();
+    assert!(notifies > 0, "the ring retained notification lineage");
+    println!("lineage records: {} ({} evicted)", notifies, trace.evicted);
 }

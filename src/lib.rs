@@ -50,5 +50,6 @@ pub use stem_physical as physical;
 pub use stem_snap as snap;
 pub use stem_spatial as spatial;
 pub use stem_temporal as temporal;
+pub use stem_trace as trace;
 pub use stem_wal as wal;
 pub use stem_wsn as wsn;

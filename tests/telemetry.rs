@@ -15,7 +15,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use stem::cep::{ConsumptionMode, Pattern, SustainedConfig};
 use stem::core::{dsl, Attributes, EventId, EventInstance, Layer, MoteId, ObserverId};
-use stem::engine::{Collector, Engine, EngineConfig, Notification, Subscription, TelemetryPolicy};
+use stem::engine::{
+    Collector, Engine, EngineConfig, Notification, Subscription, TelemetryPolicy, TracePolicy,
+};
 use stem::obs::{json, Stage, SCHEMA_VERSION};
 use stem::spatial::{Field, Point, Rect, SpatialExtent};
 use stem::temporal::{Duration, TimePoint};
@@ -142,6 +144,62 @@ fn render(notes: Vec<Notification>) -> Vec<String> {
         .collect()
 }
 
+/// Runs the workload deterministically under an explicit flight-recorder
+/// policy, checking the lineage contract on every delivery, and returns
+/// the raw notifications.
+fn run_traced(seed: u64, shards: usize, trace: TracePolicy) -> Vec<Notification> {
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_shards(shards)
+            .with_batch_size(64)
+            .with_watermark_slack(Duration::new(16))
+            .with_trace(trace)
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    subscribe_all(&mut engine, &collector);
+    for (i, inst) in workload(seed).into_iter().enumerate() {
+        engine.ingest(inst);
+        if (i + 1) % 1_000 == 0 {
+            engine.sync();
+        }
+    }
+    let report = engine.finish();
+    let traced = trace != TracePolicy::Off;
+    assert_eq!(report.trace.is_some(), traced);
+    let notes = collector.take();
+    for note in &notes {
+        assert_eq!(note.provenance.is_some(), traced);
+        if let Some(p) = &note.provenance {
+            assert!(!p.constituents.is_empty(), "a constituent per delivery");
+            assert!(p.stamps.is_monotone(), "monotone stage stamps: {p:?}");
+        }
+    }
+    notes
+}
+
+/// One notification's shard-count-invariant lineage key: subscription,
+/// kind, and the sorted `(trace, seq)` constituent pairs. The shard a
+/// constituent evaluated on legitimately varies with the shard count,
+/// so it stays out of the key.
+fn lineage_keys(notes: &[Notification]) -> Vec<String> {
+    let mut keys: Vec<String> = notes
+        .iter()
+        .map(|n| {
+            let p = n.provenance.as_ref().expect("traced run");
+            let mut cs: Vec<(u64, u64)> = p
+                .constituents
+                .iter()
+                .map(|c| (c.trace.raw(), c.seq))
+                .collect();
+            cs.sort_unstable();
+            format!("{}:{:?}:{cs:?}", n.subscription.raw(), n.kind)
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
 fn multiset(mut deliveries: Vec<String>) -> Vec<String> {
     deliveries.sort();
     deliveries
@@ -201,6 +259,55 @@ proptest! {
             "threaded multiset diverged from deterministic"
         );
     }
+
+    /// The flight recorder observes, never perturbs: deterministic-mode
+    /// runs with tracing hard-off, notifications-only, and always-on
+    /// deliver bit-identical notification streams.
+    #[test]
+    fn tracing_perturbs_nothing(seed in 1u64..300, shards in 1usize..5) {
+        let off = render(run_traced(seed, shards, TracePolicy::Off));
+        prop_assert!(!off.is_empty(), "workload must deliver something");
+        let notif = render(run_traced(seed, shards, TracePolicy::NotificationsOnly));
+        prop_assert_eq!(&off, &notif, "notifications-only tracing diverged");
+        let always = render(run_traced(seed, shards, TracePolicy::Always));
+        prop_assert_eq!(&off, &always, "always-on tracing diverged");
+    }
+
+    /// Causality is a property of the stream, not the partitioning:
+    /// every notification's constituent set (by trace id, which is the
+    /// global ingest sequence) is identical at every shard count.
+    #[test]
+    fn provenance_constituents_are_shard_invariant(seed in 1u64..200) {
+        let reference = lineage_keys(&run_traced(seed, 1, TracePolicy::NotificationsOnly));
+        prop_assert!(!reference.is_empty());
+        for shards in 2usize..5 {
+            let keys = lineage_keys(&run_traced(seed, shards, TracePolicy::NotificationsOnly));
+            prop_assert_eq!(
+                &keys, &reference,
+                "constituent sets diverged at {} shards", shards
+            );
+        }
+    }
+}
+
+/// Deterministic-mode stage stamps run on the virtual trace clock, so
+/// the full provenance of every delivery — constituents, stamps,
+/// verdicts — is bit-reproducible run over run.
+#[test]
+fn deterministic_provenance_is_bit_reproducible() {
+    let run = || -> Vec<String> {
+        run_traced(9, 3, TracePolicy::NotificationsOnly)
+            .iter()
+            .map(|n| {
+                format!(
+                    "{}:{:?}",
+                    n.subscription.raw(),
+                    n.provenance.as_ref().expect("traced")
+                )
+            })
+            .collect()
+    };
+    assert_eq!(run(), run(), "provenance must be bit-identical");
 }
 
 /// Deterministic-mode telemetry runs on the virtual clock, so the
@@ -322,7 +429,7 @@ fn report_carries_registry_and_summary_renders_from_it() {
     assert!(
         summary.contains(&format!(
             "obs[watermark_lag_p99={} max={}]",
-            lag.p99(),
+            lag.p99().unwrap_or(0),
             lag.max()
         )),
         "summary renders the registry's lag distribution: {summary}"

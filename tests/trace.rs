@@ -1,0 +1,262 @@
+//! Causal provenance end-to-end: the flight-recorder ring, the JSON
+//! export, and `stem_trace::reconstruct` against the recorded WAL.
+//!
+//! The acceptance property: kill an engine mid-stream, recover from
+//! the durable log, resume, and the offline reconstruction of the
+//! final flight-recorder ring over that same WAL resolves *exactly*
+//! the constituent set the live run delivered — trace ids are global
+//! ingest sequences, so lineage survives the crash with the log.
+
+use stem::cep::{ConsumptionMode, Pattern};
+use stem::core::{dsl, Attributes, EventId, EventInstance, Layer, MoteId, ObserverId, SeqNo};
+use stem::engine::{Collector, Engine, EngineConfig, Notification, Subscription, TracePolicy};
+use stem::obs::TraceRecord;
+use stem::spatial::{Circle, Field, Point, Rect, SpatialExtent};
+use stem::temporal::{Duration, TimePoint};
+use stem::wal::Replay;
+
+use std::collections::BTreeSet;
+
+const WORLD: f64 = 100.0;
+const OPS: u64 = 400;
+const SHARDS: usize = 2;
+const CRASH_AT: usize = 230;
+
+fn bounds() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(WORLD, WORLD))
+}
+
+/// A deterministic stream with mild disorder: op index == global
+/// ingest sequence == trace id.
+fn op_stream() -> Vec<EventInstance> {
+    use rand::Rng;
+    let mut rng = stem::des::stream(41, 3);
+    (0..OPS)
+        .map(|i| {
+            let t = 5 * i + rng.gen_range(0u64..12);
+            EventInstance::builder(
+                ObserverId::Mote(MoteId::new((i % 8) as u32)),
+                EventId::new("reading"),
+                Layer::Sensor,
+            )
+            .seq(SeqNo::new(i))
+            .generated(
+                TimePoint::new(t),
+                Point::new(rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD)),
+            )
+            .attributes(Attributes::new().with("temp", rng.gen_range(10.0f64..90.0)))
+            .build()
+        })
+        .collect()
+}
+
+/// A plain condition match plus a two-step pattern, so notifications
+/// carry both single- and multi-constituent provenance.
+fn register(engine_subscribe: &mut dyn FnMut(Subscription)) {
+    engine_subscribe(
+        Subscription::new(
+            "hot-west",
+            SpatialExtent::field(Field::circle(Circle::new(Point::new(30.0, 50.0), 35.0))),
+            Box::new(std::sync::mpsc::channel().0),
+        )
+        .for_event("reading")
+        .when(dsl::parse("x.temp > 55").unwrap()),
+    );
+    engine_subscribe(
+        Subscription::new(
+            "hot-pair",
+            SpatialExtent::field(Field::rect(bounds())),
+            Box::new(std::sync::mpsc::channel().0),
+        )
+        .for_event("reading")
+        .matching(
+            Pattern::atom("a", "reading").then(Pattern::atom("b", "reading")),
+            ConsumptionMode::Chronicle,
+            Some(Duration::new(120)),
+        )
+        .when(dsl::parse("x.temp > 80").unwrap()),
+    );
+}
+
+fn config(dir: &std::path::Path) -> EngineConfig {
+    EngineConfig::new(bounds())
+        .with_shards(SHARDS)
+        .with_batch_size(4)
+        .with_watermark_slack(Duration::new(24))
+        .with_wal(dir)
+        .with_trace(TracePolicy::NotificationsOnly)
+        .with_trace_ring(4_096)
+        .deterministic()
+}
+
+fn horizon() -> TimePoint {
+    TimePoint::new(5 * OPS + 200)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("stem-trace-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The `(trace, shard, seq)` union over delivered notifications.
+fn delivered_constituents(notes: &[Notification]) -> BTreeSet<(u64, u64, u64)> {
+    let mut set = BTreeSet::new();
+    for note in notes {
+        let p = note.provenance.as_ref().expect("traced engine run");
+        assert!(!p.constituents.is_empty(), "a constituent per delivery");
+        assert!(p.stamps.is_monotone(), "monotone stage stamps: {p:?}");
+        for c in &p.constituents {
+            set.insert((c.trace.raw(), u64::from(c.shard), c.seq));
+        }
+    }
+    set
+}
+
+/// The same union read off the flight-recorder ring.
+fn ring_constituents(records: &[TraceRecord]) -> BTreeSet<(u64, u64, u64)> {
+    let mut set = BTreeSet::new();
+    for record in records {
+        if let TraceRecord::Notify { constituents, .. } = record {
+            for c in constituents {
+                set.insert((c.trace, c.shard, c.seq));
+            }
+        }
+    }
+    set
+}
+
+#[test]
+fn killed_and_recovered_ring_reconstructs_exactly_over_the_wal() {
+    let ops = op_stream();
+
+    // Uninterrupted reference: the constituent universe of the stream.
+    let full_dir = temp_dir("full");
+    let reference = Collector::new();
+    let mut engine = Engine::start(config(&full_dir));
+    let mut subscribe = |sub: Subscription| {
+        engine.subscribe(Subscription {
+            sink: reference.sink(),
+            ..sub
+        });
+    };
+    register(&mut subscribe);
+    for inst in &ops {
+        engine.ingest(inst.clone());
+    }
+    let report = engine.finish_at(horizon());
+    let full_trace = report.trace.expect("tracing was on");
+    assert_eq!(full_trace.evicted, 0, "the ring was sized for the run");
+    let reference_notes = reference.take();
+    assert!(!reference_notes.is_empty(), "stream must detect something");
+    let expected = delivered_constituents(&reference_notes);
+    assert_eq!(
+        ring_constituents(&full_trace.records),
+        expected,
+        "under notifications-only every delivery is ring-recorded"
+    );
+
+    // Crash leg: stop mid-stream, flush what the router holds, kill.
+    let crash_dir = temp_dir("crash");
+    let lost = Collector::new();
+    let mut engine = Engine::start(config(&crash_dir));
+    let mut subscribe = |sub: Subscription| {
+        engine.subscribe(Subscription {
+            sink: lost.sink(),
+            ..sub
+        });
+    };
+    register(&mut subscribe);
+    for inst in &ops[..CRASH_AT] {
+        engine.ingest(inst.clone());
+    }
+    engine.flush();
+    drop(engine); // the crash: the ring dies with the process, the WAL survives
+
+    // Recover, resume, re-feed the tail from the durable watermark.
+    let survivor = Collector::new();
+    let mut recovery = Engine::recover(config(&crash_dir)).expect("recover from durable state");
+    let mut subscribe = |sub: Subscription| {
+        recovery.subscribe(Subscription {
+            sink: survivor.sink(),
+            ..sub
+        });
+    };
+    register(&mut subscribe);
+    let mut engine = recovery.resume();
+    let resume = usize::try_from(engine.resume_from()).unwrap();
+    assert!(resume <= CRASH_AT, "resume point lies in the fed prefix");
+    for inst in &ops[resume..] {
+        engine.ingest(inst.clone());
+    }
+    let report = engine.finish_at(horizon());
+    let trace = report.trace.expect("tracing survived recovery");
+    assert_eq!(trace.evicted, 0);
+
+    // The recovered run's deliveries carry the same causal universe:
+    // trace ids are ingest sequences, stable across the crash.
+    let survivor_notes = survivor.take();
+    let live = delivered_constituents(&survivor_notes);
+    assert_eq!(live, expected, "crash-then-recover changed the lineage");
+    assert_eq!(ring_constituents(&trace.records), live);
+
+    // The acceptance join: reconstruct the final ring over the recorded
+    // WAL — the exact live constituent set, every reference resolved to
+    // a durable instance op.
+    let replay = Replay::from_recovery(&crash_dir).expect("open recorded wal");
+    let rec = stem::trace::reconstruct(&trace.records, &replay);
+    assert_eq!(
+        rec.constituent_set(),
+        live,
+        "offline reconstruction diverged from the live ring"
+    );
+    assert_eq!(rec.unresolved(), 0, "every constituent resolves in the log");
+    for lineage in &rec.lineages {
+        for c in &lineage.constituents {
+            let op = c.op.as_ref().expect("resolved");
+            assert!(
+                matches!(op, stem::wal::WalRecord::Instance { seq, .. } if *seq == c.trace),
+                "a constituent joins to its own instance op"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&full_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+/// The export file round-trips through the strict v2 parser and feeds
+/// `reconstruct_files` — the offline entry point an operator would use.
+#[test]
+fn export_file_reconstructs_like_the_live_ring() {
+    let dir = temp_dir("export");
+    let export = dir.join("trace.jsonl");
+    let collector = Collector::new();
+    let mut engine = Engine::start(config(&dir).with_trace_export(&export));
+    let mut subscribe = |sub: Subscription| {
+        engine.subscribe(Subscription {
+            sink: collector.sink(),
+            ..sub
+        });
+    };
+    register(&mut subscribe);
+    let ops = op_stream();
+    for inst in &ops {
+        engine.ingest(inst.clone());
+    }
+    let report = engine.finish_at(horizon());
+    let trace = report.trace.expect("tracing was on");
+    let live = delivered_constituents(&collector.take());
+
+    let rec = stem::trace::reconstruct_files(&export, &dir).expect("reconstruct the export");
+    assert_eq!(rec.lineages.len(), {
+        trace
+            .records
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Notify { .. }))
+            .count()
+    });
+    assert_eq!(rec.constituent_set(), live);
+    assert_eq!(rec.unresolved(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
