@@ -33,9 +33,15 @@
 //!   traced delivery and recording the throughput cost of causal
 //!   tracing relative to hard-off (`cargo run ... -- trace` runs only
 //!   this part and merges a `trace` block into `BENCH_engine.json`).
+//! * **watch** — self-monitoring: the synthetic workload with telemetry
+//!   sampling on, watchdog off vs on (built-in rules), asserting the
+//!   watchdog's throughput cost stays under 2% — it runs only at
+//!   snapshot cadence — then a stall-injected deterministic leg proving
+//!   the alert path end to end (`cargo run ... -- watch` runs only this
+//!   part and merges a `watch` block into `BENCH_engine.json`).
 //!
 //! Results go to `BENCH_engine.json` (full, `wal`, `snap`, `scoped`,
-//! and `trace` runs).
+//! `trace`, and `watch` runs).
 //!
 //! Why sharding pays even on a single core: each shard only scans the
 //! subscriptions homed on it, so the per-instance evaluation scan
@@ -56,7 +62,7 @@ use stem_cps::{
 use stem_des::stream;
 use stem_engine::{
     Collector, Durability, Engine, EngineConfig, FsyncPolicy, NotificationKind, Subscription,
-    TelemetryPolicy, TracePolicy,
+    TelemetryPolicy, TracePolicy, WatchPolicy,
 };
 use stem_obs::Stage;
 use stem_spatial::{Circle, Field, Point, Rect, SpatialExtent};
@@ -957,7 +963,7 @@ fn snap_mode() -> String {
 fn validate_export(path: &std::path::Path) -> usize {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("read telemetry export {}: {e}", path.display()));
-    let mut last_seq = None;
+    let mut last_key = None;
     let mut lines = 0;
     for line in text.lines() {
         let v = stem_obs::json::parse(line)
@@ -967,14 +973,21 @@ fn validate_export(path: &std::path::Path) -> usize {
             Some(stem_obs::SCHEMA_VERSION),
             "telemetry schema version"
         );
+        let epoch = v
+            .get("epoch")
+            .and_then(stem_obs::json::Value::as_u64)
+            .expect("telemetry line carries an epoch");
         let seq = v
             .get("seq")
             .and_then(stem_obs::json::Value::as_u64)
             .expect("telemetry line carries a seq");
-        if let Some(prev) = last_seq {
-            assert!(seq > prev, "telemetry seqs must be strictly monotone");
+        if let Some(prev) = last_key {
+            assert!(
+                (epoch, seq) > prev,
+                "telemetry (epoch, seq) keys must be strictly monotone"
+            );
         }
-        last_seq = Some(seq);
+        last_key = Some((epoch, seq));
         assert!(v.get("stages").is_some(), "telemetry line carries stages");
         lines += 1;
     }
@@ -1326,6 +1339,160 @@ fn trace_mode() -> String {
     block
 }
 
+/// The self-monitoring workload: the synthetic leg with telemetry
+/// sampling on, watchdog off vs on (built-in rules), interleaved over
+/// 5 rounds — the watchdog evaluates only at snapshot cadence, so its
+/// throughput cost must stay under 2%. The asserted number is the
+/// *minimum* per-round overhead: each round pairs an off and an on run
+/// back to back, so cross-round machine drift (several percent on a
+/// busy single-core host) cancels instead of masquerading as watchdog
+/// cost. A stall-injected deterministic leg then
+/// proves the alert path end to end: a frozen-clock tail raises
+/// `watermark-stall` whose provenance resolves to real snapshot seqs
+/// in the retained ring. Returns the `watch` JSON block for
+/// `BENCH_engine.json`.
+fn watch_mode() -> String {
+    const WATCH_SHARDS: usize = 4;
+    // Overhead ratios need the same noise damping as trace mode: the
+    // whole signal is a couple of percent.
+    const WATCH_RUNS: usize = 5;
+    println!("\n-- watch mode: watchdog overhead at snapshot cadence --\n");
+    let instances = synthetic_stream();
+
+    // (instances/sec, notifications, alerts) — best throughput of 5.
+    let mut best: [Option<(f64, usize, usize)>; 2] = [None, None];
+    let mut min_overhead_pct: f64 = f64::INFINITY;
+    for _ in 0..WATCH_RUNS {
+        let mut round = [0.0f64; 2];
+        for (arm, watch) in [false, true].into_iter().enumerate() {
+            let mut config = EngineConfig::new(bounds())
+                .with_shards(WATCH_SHARDS)
+                .with_batch_size(256)
+                .with_queue_capacity(32)
+                .with_watermark_slack(Duration::new(16))
+                .with_telemetry(TelemetryPolicy::every_batches(32).with_ring(256));
+            if watch {
+                config = config.with_watch(WatchPolicy::enabled().with_ring(256));
+            }
+            let mut engine = Engine::start(config);
+            let collector = Collector::new();
+            register_subscriptions(&mut engine, &collector);
+            engine.ingest_all(&instances);
+            let report = engine.finish();
+            assert_eq!(report.router.routed, INSTANCES);
+            assert_eq!(report.health.is_some(), watch);
+            let alerts = report.health.as_ref().map_or(0, |h| h.alerts.len());
+            let r = (report.throughput(), collector.take().len(), alerts);
+            round[arm] = r.0;
+            if best[arm].as_ref().is_none_or(|b| r.0 > b.0) {
+                best[arm] = Some(r);
+            }
+        }
+        min_overhead_pct =
+            min_overhead_pct.min((100.0 * (round[0] - round[1]) / round[0]).max(0.0));
+    }
+    let (base, base_notes, _) = best[0].expect("baseline ran");
+    let (watched, watch_notes, alerts) = best[1].expect("watched arm ran");
+    assert_eq!(
+        base_notes, watch_notes,
+        "the watchdog must not change detection"
+    );
+    let overhead_pct = min_overhead_pct;
+    println!(
+        "telemetry only: {base:.0} instances/sec; telemetry + watch: \
+         {watched:.0} instances/sec — {overhead_pct:.2}% overhead (best \
+         paired round), {alerts} alert(s) on the healthy stream"
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "watchdog overhead regressed: {overhead_pct:.2}% >= 2%"
+    );
+
+    // The alert path, end to end: a tail frozen at one generation tick
+    // stalls the watermark, so the built-in `watermark-stall` rule must
+    // fire with provenance resolving to retained snapshot seqs.
+    const STALL_BASE: usize = 20_000;
+    const STALL_TAIL: u64 = 8_192;
+    const STALL_TICK: u64 = 1_000_000;
+    let mut engine = Engine::start(
+        EngineConfig::new(bounds())
+            .with_shards(WATCH_SHARDS)
+            .with_batch_size(256)
+            .with_watermark_slack(Duration::new(16))
+            .with_telemetry(TelemetryPolicy::every_batches(1).with_ring(512))
+            .with_watch(WatchPolicy::enabled().with_ring(256))
+            .deterministic(),
+    );
+    let collector = Collector::new();
+    register_subscriptions(&mut engine, &collector);
+    engine.ingest_all(&instances[..STALL_BASE]);
+    for i in 0..STALL_TAIL {
+        engine.ingest(
+            EventInstance::builder(
+                ObserverId::Mote(MoteId::new((i % GENERATORS) as u32)),
+                EventId::new("reading"),
+                Layer::Sensor,
+            )
+            .generated(
+                TimePoint::new(STALL_TICK),
+                Point::new((i % 997) as f64, (i % 499) as f64),
+            )
+            .attributes(Attributes::new().with("temp", 50.0))
+            .build(),
+        );
+    }
+    let report = engine.finish();
+    let health = report.health.expect("watch report");
+    let seqs: Vec<u64> = report
+        .obs
+        .as_ref()
+        .expect("telemetry on")
+        .snapshots
+        .iter()
+        .map(|s| s.seq)
+        .collect();
+    let stall = health
+        .alerts
+        .iter()
+        .find(|a| a.rule == "watermark-stall")
+        .expect("the frozen tail must raise watermark-stall");
+    assert!(
+        stall.constituents.iter().all(|seq| seqs.contains(seq)),
+        "stall provenance must resolve to retained snapshot seqs: {stall:?}"
+    );
+    println!(
+        "stall leg: {} alert(s), watermark-stall confirmed over snapshots \
+         {}..={} ({} constituents, all resolved)",
+        health.alerts.len(),
+        stall.began_seq,
+        stall.fired_seq,
+        stall.constituents.len(),
+    );
+
+    let mut block = String::from("{\n");
+    block.push_str(&format!(
+        "    \"workload\": \"{INSTANCES} synthetic instances, {WATCH_SHARDS} \
+         shards, telemetry every 32 batches, best of {WATCH_RUNS}\",\n"
+    ));
+    block.push_str(&format!(
+        "    \"telemetry_instances_per_sec\": {base:.0},\n"
+    ));
+    block.push_str(&format!("    \"watch_instances_per_sec\": {watched:.0},\n"));
+    block.push_str(&format!("    \"overhead_pct\": {overhead_pct:.2},\n"));
+    block.push_str(&format!("    \"healthy_alerts\": {alerts},\n"));
+    block.push_str(&format!(
+        "    \"stall_leg\": {{\"alerts\": {}, \"rule\": \"watermark-stall\", \
+         \"began_seq\": {}, \"fired_seq\": {}, \"constituents\": {}, \
+         \"provenance_resolved\": true}}\n",
+        health.alerts.len(),
+        stall.began_seq,
+        stall.fired_seq,
+        stall.constituents.len(),
+    ));
+    block.push_str("  }");
+    block
+}
+
 /// Registers the bench subscription grid on a recovery (original
 /// registration order, same as [`register_subscriptions`]).
 fn register_subscriptions_recovery(recovery: &mut stem_engine::Recovery, collector: &Collector) {
@@ -1353,6 +1520,7 @@ fn main() {
     let scoped_only = std::env::args().any(|a| a == "scoped");
     let obs_only = std::env::args().any(|a| a == "obs");
     let trace_only = std::env::args().any(|a| a == "trace");
+    let watch_only = std::env::args().any(|a| a == "watch");
     banner(
         "BENCH-ENGINE",
         "streaming engine ingest throughput vs. shard count",
@@ -1391,6 +1559,11 @@ fn main() {
     if trace_only {
         let block = trace_mode();
         merge_block("trace", &block);
+        return;
+    }
+    if watch_only {
+        let block = watch_mode();
+        merge_block("watch", &block);
         return;
     }
     let instances = synthetic_stream();
@@ -1495,4 +1668,6 @@ fn main() {
     merge_block("obs", &block);
     let block = trace_mode();
     merge_block("trace", &block);
+    let block = watch_mode();
+    merge_block("watch", &block);
 }

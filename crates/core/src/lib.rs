@@ -72,8 +72,8 @@ pub use event::{Event, EventClass, SpatialClass, TemporalClass};
 pub use ids::{ActuatorId, CcuId, EventId, MoteId, ObserverId, SensorId, SeqNo};
 pub use instance::{EntityData, EventInstance, EventInstanceBuilder};
 pub use layers::{
-    physical_event, CyberEvent, CyberPhysicalEvent, Layer, PhysicalEvent, PhysicalObservation,
-    SensorEvent, ALL_LAYERS,
+    is_meta_event, physical_event, CyberEvent, CyberPhysicalEvent, Layer, PhysicalEvent,
+    PhysicalObservation, SensorEvent, ALL_LAYERS, META_EVENT_PREFIX, META_OBSERVER,
 };
 pub use observer::{
     AttrProjection, ConditionObserver, ConfidencePolicy, EventDefinition, LocationEstimator,

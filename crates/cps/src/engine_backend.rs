@@ -494,6 +494,19 @@ impl EnginePump {
             let export = std::path::Path::new(dir).join("trace.jsonl");
             engine_config = engine_config.with_trace_export(export);
         }
+        if let Some(dir) = &config.watch_dir {
+            // Self-monitoring: the built-in watchdog set evaluates every
+            // telemetry snapshot and exports its alerts. The watcher
+            // *consumes* snapshots, so a run without telemetry_dir gets
+            // sampling enabled (ring only, no telemetry export).
+            if config.telemetry_dir.is_none() {
+                engine_config = engine_config
+                    .with_telemetry(TelemetryPolicy::every_batches(256).with_ring(512));
+            }
+            let export = std::path::Path::new(dir).join("alerts.jsonl");
+            engine_config =
+                engine_config.with_watch(stem_engine::WatchPolicy::enabled().with_export(export));
+        }
         let mut engine = Engine::start(engine_config);
         let obs = engine.obs().map(|registry| {
             let clock = if deterministic {

@@ -149,6 +149,17 @@ pub struct ScenarioConfig {
     /// (notifications only); deterministic runs are bit-identical with
     /// this on or off.
     pub trace_dir: Option<String>,
+    /// Run the engine's self-monitoring watchdog (`stem-watch`) and
+    /// export its health alerts as JSON lines to
+    /// `<watch_dir>/alerts.jsonl` (engine backend only): the built-in
+    /// watcher set — sustained shard backlog, watermark stall,
+    /// stage-latency SLO, fsync debt, checkpoint age — evaluated on
+    /// every telemetry snapshot. Enables telemetry sampling implicitly
+    /// when `telemetry_dir` is unset (the watcher evaluates snapshots;
+    /// nothing sampled means nothing watched). Alerts also land in
+    /// [`crate::CpsReport::alerts`]. Deterministic scenario runs are
+    /// bit-identical with this on or off.
+    pub watch_dir: Option<String>,
 }
 
 impl Default for ScenarioConfig {
@@ -183,6 +194,7 @@ impl Default for ScenarioConfig {
             checkpoint_every_ticks: None,
             telemetry_dir: None,
             trace_dir: None,
+            watch_dir: None,
         }
     }
 }
@@ -279,6 +291,19 @@ impl ScenarioConfig {
                 problems.push(
                     "trace_dir requires the engine backend (the flight recorder \
                      rides the engine's shard workers)"
+                        .to_owned(),
+                );
+            }
+            _ => {}
+        }
+        match &self.watch_dir {
+            Some(dir) if dir.is_empty() => {
+                problems.push("watch_dir must be a non-empty path".to_owned());
+            }
+            Some(_) if self.backend == EvalBackend::Des => {
+                problems.push(
+                    "watch_dir requires the engine backend (the watchdog evaluates \
+                     the engine's telemetry snapshots)"
                         .to_owned(),
                 );
             }
@@ -395,6 +420,23 @@ mod tests {
         };
         assert!(cfg.validate().iter().any(|p| p.contains("non-empty")));
         cfg.trace_dir = Some("/tmp/run-trace".to_owned());
+        assert!(cfg.validate().is_empty());
+        cfg.backend = EvalBackend::Des;
+        assert!(cfg.validate().iter().any(|p| p.contains("engine backend")));
+    }
+
+    #[test]
+    fn watch_dir_is_validated() {
+        let mut cfg = ScenarioConfig {
+            watch_dir: Some(String::new()),
+            backend: EvalBackend::Engine {
+                shards: 2,
+                deterministic: true,
+            },
+            ..ScenarioConfig::default()
+        };
+        assert!(cfg.validate().iter().any(|p| p.contains("non-empty")));
+        cfg.watch_dir = Some("/tmp/run-watch".to_owned());
         assert!(cfg.validate().is_empty());
         cfg.backend = EvalBackend::Des;
         assert!(cfg.validate().iter().any(|p| p.contains("engine backend")));

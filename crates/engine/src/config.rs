@@ -113,6 +113,63 @@ impl TelemetryPolicy {
     }
 }
 
+/// Whether the engine watches its own health (see `stem-watch`). With
+/// watch on, every telemetry snapshot the registry cuts is also fed
+/// through the configured watchdog rules — so watch requires
+/// [`TelemetryPolicy::Sampled`] and adds nothing to the per-event hot
+/// path: it runs strictly at sampling cadence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchPolicy {
+    /// No watcher: no rules evaluated, no alert ring, zero overhead.
+    Off,
+    /// Evaluate watchdog rules on every telemetry snapshot.
+    Enabled {
+        /// In-memory alert ring capacity (>= 1; oldest alerts are
+        /// evicted first, counted in the health report).
+        ring: usize,
+        /// Optional JSON-lines alert export file: one schema-v3
+        /// `alert` record per line (see `stem_watch::HealthAlert`).
+        export: Option<PathBuf>,
+    },
+}
+
+impl WatchPolicy {
+    /// An enabled policy with the default alert ring (256 alerts) and
+    /// no export file.
+    #[must_use]
+    pub fn enabled() -> Self {
+        WatchPolicy::Enabled {
+            ring: 256,
+            export: None,
+        }
+    }
+
+    /// Sets the alert ring capacity (no-op on [`WatchPolicy::Off`]).
+    #[must_use]
+    pub fn with_ring(self, capacity: usize) -> Self {
+        match self {
+            WatchPolicy::Off => WatchPolicy::Off,
+            WatchPolicy::Enabled { export, .. } => WatchPolicy::Enabled {
+                ring: capacity,
+                export,
+            },
+        }
+    }
+
+    /// Attaches a JSON-lines alert export file (no-op on
+    /// [`WatchPolicy::Off`]).
+    #[must_use]
+    pub fn with_export(self, path: impl Into<PathBuf>) -> Self {
+        match self {
+            WatchPolicy::Off => WatchPolicy::Off,
+            WatchPolicy::Enabled { ring, .. } => WatchPolicy::Enabled {
+                ring,
+                export: Some(path.into()),
+            },
+        }
+    }
+}
+
 /// Which operations the per-shard flight-recorder ring records (see
 /// `stem-trace`). Provenance is *attached to notifications* under every
 /// policy except [`TracePolicy::Off`]; the policy only controls how
@@ -249,6 +306,13 @@ pub struct EngineConfig {
     /// drained to it as schema-v2 `trace` records (see
     /// [`stem_obs::TraceRecord`]), ready for `stem_trace::reconstruct`.
     pub trace_export: Option<PathBuf>,
+    /// Whether the engine evaluates watchdog rules over its own
+    /// telemetry (see [`WatchPolicy`]). Off by default; requires
+    /// [`TelemetryPolicy::Sampled`] when enabled.
+    pub watch: WatchPolicy,
+    /// Extra watchdog rules evaluated alongside the built-in set
+    /// ([`stem_watch::builtin_watchers`]) when watch is enabled.
+    pub watch_specs: Vec<stem_watch::WatchSpec>,
 }
 
 impl EngineConfig {
@@ -274,7 +338,24 @@ impl EngineConfig {
             trace: TracePolicy::NotificationsOnly,
             trace_ring: 1024,
             trace_export: None,
+            watch: WatchPolicy::Off,
+            watch_specs: Vec::new(),
         }
+    }
+
+    /// Sets the self-monitoring watch policy (requires sampled
+    /// telemetry when enabled).
+    #[must_use]
+    pub fn with_watch(mut self, policy: WatchPolicy) -> Self {
+        self.watch = policy;
+        self
+    }
+
+    /// Adds a custom watchdog rule to the built-in set.
+    #[must_use]
+    pub fn with_watch_spec(mut self, spec: stem_watch::WatchSpec) -> Self {
+        self.watch_specs.push(spec);
+        self
     }
 
     /// Sets the telemetry sampling policy.
@@ -486,6 +567,21 @@ impl EngineConfig {
                 problems.push("trace export path must be non-empty".to_string());
             }
         }
+        if let WatchPolicy::Enabled { ring, export } = &self.watch {
+            if !matches!(self.telemetry, TelemetryPolicy::Sampled { .. }) {
+                problems.push(
+                    "watch requires TelemetryPolicy::Sampled (the watcher evaluates \
+                     telemetry snapshots; without sampling there is nothing to watch)"
+                        .to_string(),
+                );
+            }
+            if *ring == 0 {
+                problems.push("watch alert ring must hold >= 1 alert".to_string());
+            }
+            if export.as_ref().is_some_and(|p| p.as_os_str().is_empty()) {
+                problems.push("watch export path must be non-empty".to_string());
+            }
+        }
         problems
     }
 }
@@ -622,6 +718,48 @@ mod tests {
             .with_trace_ring(64)
             .with_trace_export("/tmp/trace.jsonl");
         assert!(cfg.validate().is_empty());
+    }
+
+    #[test]
+    fn watch_policy_is_validated() {
+        // Off is the default and always valid.
+        assert_eq!(EngineConfig::new(bounds()).watch, WatchPolicy::Off);
+        // Watch without sampled telemetry is rejected.
+        let cfg = EngineConfig::new(bounds()).with_watch(WatchPolicy::enabled());
+        assert!(cfg
+            .validate()
+            .iter()
+            .any(|p| p.contains("TelemetryPolicy::Sampled")));
+        // A zero ring and an empty export path are each rejected too.
+        let cfg = EngineConfig::new(bounds())
+            .with_watch(WatchPolicy::enabled().with_ring(0).with_export(""));
+        assert_eq!(cfg.validate().len(), 3);
+        // Telemetry plus watch passes; the builder helpers compose.
+        let cfg = EngineConfig::new(bounds())
+            .with_telemetry(TelemetryPolicy::every_batches(64))
+            .with_watch(
+                WatchPolicy::enabled()
+                    .with_ring(32)
+                    .with_export("/tmp/alerts.jsonl"),
+            )
+            .with_watch_spec(
+                stem_watch::WatchSpec::new("custom", stem_watch::Metric::ShardQueueDepth)
+                    .at_least(10),
+            );
+        assert!(cfg.validate().is_empty());
+        assert_eq!(cfg.watch_specs.len(), 1);
+        assert!(matches!(
+            cfg.watch,
+            WatchPolicy::Enabled {
+                ring: 32,
+                export: Some(_),
+            }
+        ));
+        // The helpers stay no-ops on Off.
+        assert_eq!(
+            WatchPolicy::Off.with_ring(9).with_export("/tmp/x"),
+            WatchPolicy::Off
+        );
     }
 
     #[test]

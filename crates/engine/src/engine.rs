@@ -3,7 +3,7 @@
 
 use crate::config::{
     BackpressurePolicy, CheckpointPolicy, Durability, EngineConfig, ExecutionMode, ShardId,
-    TelemetryPolicy, TracePolicy,
+    TelemetryPolicy, TracePolicy, WatchPolicy,
 };
 use crate::metrics::EngineReport;
 use crate::router::ShardRouter;
@@ -22,6 +22,7 @@ use stem_obs::{ObsRegistry, Recorder, Stage};
 use stem_snap::ShardSnapshot;
 use stem_temporal::TimePoint;
 use stem_wal::{read_shard_tail, wal_shards, RecoveredShard, ShardWal, WalRecord};
+use stem_watch::{HealthHandle, Watcher};
 
 /// The engine thread's telemetry state: its own recorder (routing and
 /// barrier spans) plus the sampling cadence. (Queue-depth gauges come
@@ -88,6 +89,16 @@ pub struct Engine {
     /// Per-shard flight-recorder rings (empty with [`TracePolicy::Off`]);
     /// the workers write, [`Engine::trace`] and shutdown read.
     trace_rings: Vec<Arc<Mutex<FlightRing>>>,
+    /// The self-monitoring watchdog (`None` with [`WatchPolicy::Off`]):
+    /// fed every telemetry snapshot [`Engine::sample`] cuts, shared
+    /// with [`Engine::health`] handles.
+    watch: Option<Arc<Mutex<Watcher>>>,
+    /// Which run over this durable state this is: 0 for a fresh start,
+    /// bumped by every [`Engine::recover`] (persisted in the WAL
+    /// directory's `run-epoch` file). Stamped into exported telemetry,
+    /// trace, and alert records so consumers can key on `(epoch, seq)`
+    /// across restarts instead of trusting raw seq continuity.
+    run_epoch: u64,
 }
 
 impl Engine {
@@ -102,6 +113,20 @@ impl Engine {
         let problems = config.validate();
         assert!(problems.is_empty(), "invalid EngineConfig: {problems:?}");
         let map = ShardMap::build(config.world_bounds, config.shard_count);
+        // Each shard's owned region — the union of its Z-order cells —
+        // is where the watcher locates that shard's meta events. Read
+        // off the map before the router takes ownership of it.
+        let shard_regions: Vec<stem_spatial::Rect> = match config.watch {
+            WatchPolicy::Off => Vec::new(),
+            WatchPolicy::Enabled { .. } => (0..config.shard_count)
+                .map(|shard| {
+                    map.cells_of_shard(shard)
+                        .into_iter()
+                        .reduce(|a, b| a.union(&b))
+                        .unwrap_or(config.world_bounds)
+                })
+                .collect(),
+        };
         // Under durable logging every operation must reach its owner
         // shard's write-ahead log; without it the router may drop
         // deliveries nothing subscribes to at enqueue time.
@@ -199,6 +224,24 @@ impl Engine {
                 Backend::Threaded { slots, handles }
             }
         };
+        let watch = match &config.watch {
+            WatchPolicy::Off => None,
+            WatchPolicy::Enabled { ring, export } => {
+                let mut specs =
+                    stem_watch::builtin_watchers(config.checkpoint != CheckpointPolicy::Never);
+                specs.extend(config.watch_specs.iter().cloned());
+                Some(Arc::new(Mutex::new(
+                    Watcher::new(
+                        specs,
+                        *ring,
+                        export.as_deref(),
+                        shard_regions,
+                        config.world_bounds,
+                    )
+                    .unwrap_or_else(|e| panic!("open alert exporter: {e}")),
+                )))
+            }
+        };
         let sent_msgs = vec![0; config.shard_count];
         let obs = registry.map(|registry| {
             let every_batches = match &config.telemetry {
@@ -227,6 +270,39 @@ impl Engine {
             obs,
             trace_clock,
             trace_rings,
+            watch,
+            run_epoch: 0,
+        }
+    }
+
+    /// The live health view — the watchdog's alert ring and eviction
+    /// count — for out-of-band consumers (a `stemtop`-style alert pane)
+    /// and end-of-run inspection. `None` with [`WatchPolicy::Off`].
+    #[must_use]
+    pub fn health(&self) -> Option<HealthHandle> {
+        self.watch
+            .as_ref()
+            .map(|w| HealthHandle::new(Arc::clone(w)))
+    }
+
+    /// Which run over this durable state this is (0 for a fresh start;
+    /// [`Engine::recover`] bumps it). Exported telemetry, trace, and
+    /// alert records carry it so downstream consumers key on
+    /// `(epoch, seq)`.
+    #[must_use]
+    pub fn run_epoch(&self) -> u64 {
+        self.run_epoch
+    }
+
+    /// Propagates a recovered run epoch into every exporter that stamps
+    /// records with it.
+    fn set_run_epoch(&mut self, epoch: u64) {
+        self.run_epoch = epoch;
+        if let Some(o) = &self.obs {
+            o.registry.set_epoch(epoch);
+        }
+        if let Some(watch) = &self.watch {
+            watch.lock().expect("watcher poisoned").set_epoch(epoch);
         }
     }
 
@@ -292,6 +368,15 @@ impl Engine {
         let bvh_nodes = router_metrics.bvh_nodes_visited;
         let precision_skipped = router_metrics.precision_skipped;
         let sent = self.sent_msgs.clone();
+        // How far the stream clock has run past the last completed
+        // checkpoint — what the snapshot-age watcher reads.
+        let checkpoint_age = match self.config.checkpoint {
+            CheckpointPolicy::Never => None,
+            _ => Some(high_water.map_or(0, |hw| {
+                let last = self.checkpoint_high_water.map_or(0, TimePoint::ticks);
+                hw.ticks().saturating_sub(last)
+            })),
+        };
         let Some(o) = self.obs.as_mut() else {
             return;
         };
@@ -300,8 +385,17 @@ impl Engine {
         o.recorder.set_gauge("fanout", fanout);
         o.recorder.set_gauge("bvh_nodes", bvh_nodes);
         o.recorder.set_gauge("precision_skipped", precision_skipped);
+        if let Some(age) = checkpoint_age {
+            o.recorder.set_gauge("checkpoint_age_ticks", age);
+        }
         o.registry.publish_engine(&o.recorder);
-        let _ = o.registry.sample(high_water.map(TimePoint::ticks), &sent);
+        let snapshot = o.registry.sample(high_water.map(TimePoint::ticks), &sent);
+        // The watchdog runs here, at sampling cadence, on the snapshot
+        // just cut: zero cost on the per-event hot path, and the seq
+        // time axis keeps deterministic runs bit-identical.
+        if let Some(watch) = &self.watch {
+            let _ = watch.lock().expect("watcher poisoned").observe(&snapshot);
+        }
     }
 
     /// The configuration the engine runs with.
@@ -749,6 +843,19 @@ impl Engine {
         engine.router.seed_recovery(resume_seq, high_water);
         engine.resume_seq = resume_seq;
         engine.checkpoint_high_water = high_water;
+        // Telemetry/trace/alert seqs restart at 0 in the recovered run,
+        // so bare seq continuity across a recovery is a lie. Stamp which
+        // run this is — read the previous run's epoch from the WAL
+        // directory (fresh runs are epoch 0 and write no file), bump
+        // it, and thread it into every exporter so consumers key on
+        // `(epoch, seq)`.
+        let run_epoch = std::fs::read_to_string(dir.join("run-epoch"))
+            .ok()
+            .and_then(|text| text.trim().parse::<u64>().ok())
+            .map_or(1, |prev| prev + 1);
+        std::fs::write(dir.join("run-epoch"), format!("{run_epoch}\n"))
+            .unwrap_or_else(|e| panic!("write run-epoch in {}: {e}", dir.display()));
+        engine.set_run_epoch(run_epoch);
         // Continue epoch numbering past everything on disk (torn files
         // included) so a snapshot file name is never reused.
         engine.epoch = stem_snap::max_epoch(&dir)
@@ -1011,18 +1118,25 @@ impl Engine {
         if let (Some(report), Some(path)) = (&trace, &self.config.trace_export) {
             let mut out = String::new();
             for record in &report.records {
-                out.push_str(&record.to_json_line());
+                out.push_str(&record.to_json_line_at(self.run_epoch));
                 out.push('\n');
             }
             std::fs::write(path, out)
                 .unwrap_or_else(|e| panic!("write trace export {}: {e}", path.display()));
         }
+        // The closing sample above already ran through the watcher, so
+        // its report carries any alert the final snapshot confirmed.
+        let health = self
+            .watch
+            .take()
+            .map(|w| w.lock().expect("watcher poisoned").report());
         EngineReport {
             shards,
             router: self.router.take_metrics(),
             elapsed: self.started.elapsed(),
             obs,
             trace,
+            health,
         }
     }
 

@@ -98,7 +98,7 @@ mod worker;
 pub use batch::{Batch, ItemTrace};
 pub use config::{
     BackpressurePolicy, CheckpointPolicy, Durability, EngineConfig, ExecutionMode, ShardId,
-    TelemetryPolicy, TracePolicy,
+    TelemetryPolicy, TracePolicy, WatchPolicy,
 };
 pub use engine::{Engine, RecoverError, Recovery, RecoveryStats};
 pub use metrics::{EngineReport, RouterMetrics, ShardMetrics, SnapMetrics, WalMetrics};
@@ -106,6 +106,9 @@ pub use router::ShardRouter;
 pub use shard_map::ShardMap;
 pub use stem_core::{Constituent, DropVerdict, Provenance, StageStamps, TraceClock, TraceId};
 pub use stem_wal::FsyncPolicy;
+pub use stem_watch::{
+    builtin_watchers, HealthAlert, HealthHandle, HealthReport, Metric, Severity, WatchSpec,
+};
 pub use subscription::{
     Collector, EventSink, Notification, NotificationKind, PatternSpec, SilenceSpec, Subscription,
     SubscriptionId, SustainedSpec, SustainedValue,

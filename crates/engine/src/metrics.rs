@@ -166,6 +166,10 @@ pub struct EngineReport {
     /// retained trace record, in shard order, plus the eviction count).
     /// `None` when the run had [`crate::TracePolicy::Off`].
     pub trace: Option<crate::trace::TraceReport>,
+    /// The watchdog folded down at shutdown: every alert still in the
+    /// ring (oldest first) plus the eviction count. `None` when the run
+    /// had [`crate::WatchPolicy::Off`].
+    pub health: Option<stem_watch::HealthReport>,
 }
 
 impl EngineReport {

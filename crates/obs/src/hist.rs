@@ -115,6 +115,14 @@ impl Histogram {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
+        // q = 1.0 is the exact tracked maximum by definition. Answering
+        // it from the bucket walk is wrong under saturated counts: once
+        // `count` clamps at u64::MAX the running `seen` can reach the
+        // target inside an earlier bucket and report an upper bound
+        // below the true max.
+        if q >= 1.0 {
+            return Some(self.max);
+        }
         // ceil without going through floats for the rank itself.
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -253,6 +261,62 @@ mod tests {
         for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
             assert_eq!(merged.quantile(q), single.quantile(q), "q = {q}");
         }
+    }
+
+    /// Watch thresholds read quantiles off histograms in every state the
+    /// engine can leave them in; pin the edges. A single-bucket
+    /// histogram (every sample the same value) must answer every
+    /// quantile with that value exactly.
+    #[test]
+    fn single_bucket_quantiles_are_exact() {
+        for v in [0u64, 1, 7, 1 << 20, u64::MAX] {
+            let mut h = Histogram::new();
+            for _ in 0..10 {
+                h.record(v);
+            }
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), Some(v), "value {v} quantile {q}");
+            }
+        }
+    }
+
+    /// `quantile(1.0)` is the exact max even when the sample count has
+    /// saturated — the rank arithmetic degrades there, the tracked max
+    /// does not.
+    #[test]
+    fn saturated_count_still_pins_quantile_one_to_max() {
+        let mut h = Histogram::new();
+        // Saturate the count in one cheap step: merge a histogram whose
+        // count is already u64::MAX worth of small samples.
+        let mut flood = Histogram::new();
+        flood.record(1);
+        flood.count = u64::MAX;
+        flood.buckets[bucket_index(1)] = u64::MAX;
+        h.merge(&flood);
+        h.record(1 << 30);
+        assert_eq!(h.count(), u64::MAX, "count saturates");
+        assert_eq!(h.quantile(1.0), Some(1 << 30), "q=1.0 is the exact max");
+        assert_eq!(h.max(), 1 << 30);
+    }
+
+    /// After `merge`, `quantile(1.0)` equals the exact max of the union.
+    #[test]
+    fn post_merge_quantile_one_equals_exact_max() {
+        let mut a = Histogram::new();
+        for v in [3u64, 9, 100] {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        for v in [5u64, 777] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.quantile(1.0), Some(777));
+        assert_eq!(a.max(), 777);
+        // And the empty-merge identity holds too.
+        let mut c = Histogram::new();
+        c.merge(&a);
+        assert_eq!(c.quantile(1.0), Some(777));
     }
 
     /// The satellite fix: an empty histogram has no quantiles — `None`,

@@ -156,11 +156,18 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
+            let key_at = self.pos;
             let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
             let value = self.value()?;
+            // A duplicate key is a malformed exporter line, not a
+            // tie-break: silently keeping the last value would let a
+            // corrupted record validate with half its fields replaced.
+            if map.contains_key(&key) {
+                return Err(format!("duplicate key {key:?} at byte {key_at}"));
+            }
             map.insert(key, value);
             self.skip_ws();
             match self.peek() {
@@ -304,6 +311,20 @@ mod tests {
         for bad in ["{", "{\"a\":}", "[1,]", "{\"a\":1} extra", "nul", "\"open"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    /// The satellite fix: duplicate object keys are malformed input, at
+    /// every nesting depth, with the byte offset of the repeated key.
+    #[test]
+    fn rejects_duplicate_object_keys() {
+        let err = parse(r#"{"seq":1,"seq":2}"#).unwrap_err();
+        assert!(err.contains("duplicate key \"seq\""), "got: {err}");
+        assert!(err.contains("byte 9"), "offset names the repeat: {err}");
+        // Nested objects are checked too.
+        assert!(parse(r#"{"a":{"b":1,"b":2}}"#).is_err());
+        assert!(parse(r#"{"a":[{"x":0,"x":0}]}"#).is_err());
+        // Same key at different depths is fine.
+        assert!(parse(r#"{"a":{"a":1},"b":{"a":2}}"#).is_ok());
     }
 
     #[test]

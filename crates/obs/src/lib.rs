@@ -53,6 +53,6 @@ pub use recorder::{Recorder, Stage};
 pub use registry::{ObsRegistry, ObsReport};
 pub use snapshot::{HistSummary, ObsSnapshot, ShardRow, SCHEMA_VERSION};
 pub use trace::{
-    parse_trace_line, parse_trace_stream, TraceConstituent, TraceDropKind, TraceRecord,
-    TRACE_SCHEMA_VERSION,
+    parse_trace_line, parse_trace_line_epoch, parse_trace_stream, parse_trace_stream_epoch,
+    TraceConstituent, TraceDropKind, TraceRecord, TRACE_SCHEMA_VERSION,
 };

@@ -33,6 +33,10 @@ pub struct ObsRegistry {
     ring: Mutex<VecDeque<ObsSnapshot>>,
     ring_capacity: usize,
     next_seq: Mutex<u64>,
+    /// The run epoch stamped into every snapshot (0 on a fresh start;
+    /// recovery bumps it so `(epoch, seq)` stays monotone across the
+    /// seq restart).
+    epoch: Mutex<u64>,
     exporter: Mutex<Option<BufWriter<File>>>,
 }
 
@@ -69,8 +73,21 @@ impl ObsRegistry {
             ring: Mutex::new(VecDeque::new()),
             ring_capacity: ring_capacity.max(1),
             next_seq: Mutex::new(0),
+            epoch: Mutex::new(0),
             exporter: Mutex::new(exporter),
         })
+    }
+
+    /// Sets the run epoch stamped into subsequent snapshots. Called by
+    /// `Engine::recover` before any sample is cut.
+    pub fn set_epoch(&self, epoch: u64) {
+        *self.epoch.lock().expect("obs epoch poisoned") = epoch;
+    }
+
+    /// The current run epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.lock().expect("obs epoch poisoned")
     }
 
     /// Number of shard slots.
@@ -152,7 +169,7 @@ impl ObsRegistry {
             *next += 1;
             seq
         };
-        let snapshot = ObsSnapshot::build(seq, ticks, &merged, rows);
+        let snapshot = ObsSnapshot::build(self.epoch(), seq, ticks, &merged, rows);
         {
             let mut ring = self.ring.lock().expect("obs ring poisoned");
             if ring.len() == self.ring_capacity {
@@ -284,6 +301,21 @@ mod tests {
         let snap = registry.sample(None, &[5, 3]);
         assert_eq!(snap.shards[0].queue_depth, 0);
         assert_eq!(snap.shards[1].queue_depth, 3, "nothing published yet");
+    }
+
+    /// The recovery seam: a bumped epoch stamps every later snapshot,
+    /// so `(epoch, seq)` stays monotone even though seq restarts.
+    #[test]
+    fn epoch_stamps_snapshots() {
+        let registry = ObsRegistry::new(1, 4, None).unwrap();
+        assert_eq!(
+            registry.sample(None, &[0]).epoch,
+            0,
+            "fresh runs are epoch 0"
+        );
+        registry.set_epoch(3);
+        assert_eq!(registry.epoch(), 3);
+        assert_eq!(registry.sample(None, &[0]).epoch, 3);
     }
 
     #[test]

@@ -5,7 +5,12 @@ use crate::recorder::{Recorder, Stage};
 
 /// The exporter schema version written as the `v` field of every
 /// JSON line. Bump on any incompatible change to the line shape.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v3 adds the `epoch` field: the run epoch stamped by recovery.
+/// Sequence numbers restart at 0 after `Engine::recover`, so consumers
+/// validating continuity must key on `(epoch, seq)` — lexicographically
+/// monotone across a crash/recover boundary — instead of bare `seq`.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A five-number summary of one histogram at snapshot time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +62,10 @@ pub struct ShardRow {
 /// merged, summarized, and stamped with a monotone sequence number.
 #[derive(Debug, Clone)]
 pub struct ObsSnapshot {
+    /// The run epoch: 0 on a fresh start, bumped by every
+    /// `Engine::recover`. `(epoch, seq)` is monotone across recoveries
+    /// even though `seq` restarts at 0.
+    pub epoch: u64,
     /// Monotone snapshot sequence (0, 1, 2, …) within one registry.
     pub seq: u64,
     /// The stream-clock high-water mark at the cut, in ticks.
@@ -77,8 +86,15 @@ pub struct ObsSnapshot {
 impl ObsSnapshot {
     /// Builds a snapshot from the merged recorder plus per-shard rows.
     #[must_use]
-    pub fn build(seq: u64, ticks: Option<u64>, merged: &Recorder, shards: Vec<ShardRow>) -> Self {
+    pub fn build(
+        epoch: u64,
+        seq: u64,
+        ticks: Option<u64>,
+        merged: &Recorder,
+        shards: Vec<ShardRow>,
+    ) -> Self {
         ObsSnapshot {
+            epoch,
             seq,
             ticks,
             counters: merged.counters().collect(),
@@ -129,7 +145,7 @@ impl ObsSnapshot {
     /// Shape (`v` = [`SCHEMA_VERSION`]):
     ///
     /// ```json
-    /// {"v":1,"seq":3,"ticks":1200,
+    /// {"v":3,"epoch":0,"seq":3,"ticks":1200,
     ///  "counters":{"ingested":9000},
     ///  "gauges":{"reorder_depth":12},
     ///  "stages":{"evaluate":{"count":9000,"p50":511,"p90":1023,"p99":2047,"max":1890}},
@@ -142,7 +158,10 @@ impl ObsSnapshot {
     #[must_use]
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(512);
-        out.push_str(&format!("{{\"v\":{SCHEMA_VERSION},\"seq\":{}", self.seq));
+        out.push_str(&format!(
+            "{{\"v\":{SCHEMA_VERSION},\"epoch\":{},\"seq\":{}",
+            self.epoch, self.seq
+        ));
         match self.ticks {
             Some(t) => out.push_str(&format!(",\"ticks\":{t}")),
             None => out.push_str(",\"ticks\":null"),
@@ -215,6 +234,7 @@ mod tests {
         merged.record_stage(Stage::Evaluate, 900);
         merged.record("watermark_lag", 3);
         let snapshot = ObsSnapshot::build(
+            2,
             5,
             Some(1200),
             &merged,
@@ -226,7 +246,11 @@ mod tests {
         );
         let line = snapshot.to_json_line();
         let value = json::parse(&line).expect("exporter line is valid JSON");
-        assert_eq!(value.get("v").and_then(json::Value::as_u64), Some(1));
+        assert_eq!(
+            value.get("v").and_then(json::Value::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(value.get("epoch").and_then(json::Value::as_u64), Some(2));
         assert_eq!(value.get("seq").and_then(json::Value::as_u64), Some(5));
         assert_eq!(value.get("ticks").and_then(json::Value::as_u64), Some(1200));
         let counters = value.get("counters").expect("counters object");
@@ -248,7 +272,7 @@ mod tests {
 
     #[test]
     fn null_ticks_encode_as_json_null() {
-        let snapshot = ObsSnapshot::build(0, None, &Recorder::new(), Vec::new());
+        let snapshot = ObsSnapshot::build(0, 0, None, &Recorder::new(), Vec::new());
         let line = snapshot.to_json_line();
         let value = json::parse(&line).unwrap();
         assert!(matches!(value.get("ticks"), Some(json::Value::Null)));

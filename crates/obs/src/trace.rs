@@ -1,21 +1,27 @@
-//! Schema v2 `trace` records: the JSON-lines encoding of the engine's
+//! Schema v3 `trace` records: the JSON-lines encoding of the engine's
 //! flight-recorder ring.
 //!
-//! Where schema v1 ([`crate::ObsSnapshot`]) aggregates, v2 records
-//! *causality*: one line per sampled operation, drop verdict, or
-//! delivered notification, carrying raw trace identities (global ingest
-//! sequences) that join against the WAL offline. The writer side is
-//! [`TraceRecord::to_json_line`]; the read side is the strict
-//! [`parse_trace_line`], which rejects unknown fields, truncated
-//! records, wrong-arity stamp arrays, and non-monotone constituent
-//! sequences — an exported trace either round-trips exactly or fails
-//! loudly, because a silently mangled lineage is worse than none.
+//! Where the snapshot exporter ([`crate::ObsSnapshot`]) aggregates,
+//! trace records capture *causality*: one line per sampled operation,
+//! drop verdict, or delivered notification, carrying raw trace
+//! identities (global ingest sequences) that join against the WAL
+//! offline. The writer side is [`TraceRecord::to_json_line_at`]; the
+//! read side is the strict [`parse_trace_line`], which rejects unknown
+//! fields, truncated records, wrong-arity stamp arrays, and
+//! non-monotone constituent sequences — an exported trace either
+//! round-trips exactly or fails loudly, because a silently mangled
+//! lineage is worse than none.
+//!
+//! v3 (over the original v2) adds a required `epoch` field: the run
+//! epoch stamped by `Engine::recover`. Per-shard notification ids and
+//! trace sequences restart after recovery, so consumers key on
+//! `(epoch, seq)` via [`parse_trace_line_epoch`].
 
 use crate::json::{self, Value};
 
-/// The `v` field of every trace line. Schema v1 is the snapshot
-/// exporter ([`crate::SCHEMA_VERSION`]); trace streams are v2.
-pub const TRACE_SCHEMA_VERSION: u64 = 2;
+/// The `v` field of every trace line (kept in lockstep with the
+/// snapshot exporter's [`crate::SCHEMA_VERSION`] since v3).
+pub const TRACE_SCHEMA_VERSION: u64 = 3;
 
 /// Number of stages an instance record stamps (ingest → route →
 /// enqueue → release).
@@ -109,11 +115,17 @@ pub enum TraceRecord {
 }
 
 impl TraceRecord {
-    /// Encodes the record as one JSON object on one line (no trailing
-    /// newline). Constituents are written as compact `[trace, shard,
-    /// seq]` triples.
+    /// Encodes the record at epoch 0 (fresh, never-recovered runs).
     #[must_use]
     pub fn to_json_line(&self) -> String {
+        self.to_json_line_at(0)
+    }
+
+    /// Encodes the record as one JSON object on one line (no trailing
+    /// newline), stamped with the given run epoch. Constituents are
+    /// written as compact `[trace, shard, seq]` triples.
+    #[must_use]
+    pub fn to_json_line_at(&self, epoch: u64) -> String {
         let mut out = String::with_capacity(128);
         match self {
             TraceRecord::Instance {
@@ -123,7 +135,7 @@ impl TraceRecord {
                 stamps,
             } => {
                 out.push_str(&format!(
-                    "{{\"v\":{TRACE_SCHEMA_VERSION},\"kind\":\"instance\",\"shard\":{shard},\"trace\":{trace},\"seq\":{seq},\"stamps\":["
+                    "{{\"v\":{TRACE_SCHEMA_VERSION},\"epoch\":{epoch},\"kind\":\"instance\",\"shard\":{shard},\"trace\":{trace},\"seq\":{seq},\"stamps\":["
                 ));
                 push_u64s(&mut out, stamps);
                 out.push_str("]}");
@@ -134,7 +146,7 @@ impl TraceRecord {
                 verdict,
             } => {
                 out.push_str(&format!(
-                    "{{\"v\":{TRACE_SCHEMA_VERSION},\"kind\":\"drop\",\"shard\":{shard},\"trace\":{trace},\"verdict\":\"{}\"}}",
+                    "{{\"v\":{TRACE_SCHEMA_VERSION},\"epoch\":{epoch},\"kind\":\"drop\",\"shard\":{shard},\"trace\":{trace},\"verdict\":\"{}\"}}",
                     verdict.name()
                 ));
             }
@@ -146,7 +158,7 @@ impl TraceRecord {
                 constituents,
             } => {
                 out.push_str(&format!(
-                    "{{\"v\":{TRACE_SCHEMA_VERSION},\"kind\":\"notify\",\"shard\":{shard},\"id\":{id},\"sub\":{sub},\"stamps\":["
+                    "{{\"v\":{TRACE_SCHEMA_VERSION},\"epoch\":{epoch},\"kind\":\"notify\",\"shard\":{shard},\"id\":{id},\"sub\":{sub},\"stamps\":["
                 ));
                 push_u64s(&mut out, stamps);
                 out.push_str("],\"constituents\":[");
@@ -172,13 +184,27 @@ fn push_u64s(out: &mut String, values: &[u64]) {
     }
 }
 
-/// Parses and validates one v2 trace line.
+/// Parses and validates one v3 trace line, discarding the epoch.
+///
+/// See [`parse_trace_line_epoch`] for the strictness contract and for
+/// consumers that need the `(epoch, seq)` key.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated rule.
+pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
+    parse_trace_line_epoch(line).map(|(_, record)| record)
+}
+
+/// Parses and validates one v3 trace line, returning the run epoch
+/// alongside the record.
 ///
 /// Strictness contract:
 ///
 /// * the line must be one complete JSON object (truncated lines fail in
 ///   the underlying [`json::parse`]),
-/// * `v` must be exactly [`TRACE_SCHEMA_VERSION`],
+/// * `v` must be exactly [`TRACE_SCHEMA_VERSION`] and `epoch` must be a
+///   plain `u64`,
 /// * `kind` must be `instance` / `drop` / `notify`, and the object must
 ///   carry *exactly* that kind's fields — unknown fields are rejected,
 /// * stamp arrays must have the kind's exact arity, be plain `u64`s,
@@ -189,7 +215,7 @@ fn push_u64s(out: &mut String, values: &[u64]) {
 /// # Errors
 ///
 /// Returns a message naming the first violated rule.
-pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
+pub fn parse_trace_line_epoch(line: &str) -> Result<(u64, TraceRecord), String> {
     let value = json::parse(line)?;
     let Value::Object(map) = &value else {
         return Err("trace record must be a JSON object".to_string());
@@ -198,14 +224,24 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
     if v != TRACE_SCHEMA_VERSION {
         return Err(format!("unsupported trace schema v{v}"));
     }
+    let epoch = field_u64(&value, "epoch")?;
     let kind = value
         .get("kind")
         .and_then(Value::as_str)
         .ok_or("missing or non-string \"kind\"")?;
     let allowed: &[&str] = match kind {
-        "instance" => &["v", "kind", "shard", "trace", "seq", "stamps"],
-        "drop" => &["v", "kind", "shard", "trace", "verdict"],
-        "notify" => &["v", "kind", "shard", "id", "sub", "stamps", "constituents"],
+        "instance" => &["v", "epoch", "kind", "shard", "trace", "seq", "stamps"],
+        "drop" => &["v", "epoch", "kind", "shard", "trace", "verdict"],
+        "notify" => &[
+            "v",
+            "epoch",
+            "kind",
+            "shard",
+            "id",
+            "sub",
+            "stamps",
+            "constituents",
+        ],
         other => return Err(format!("unknown trace kind {other:?}")),
     };
     for key in map.keys() {
@@ -213,36 +249,37 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
             return Err(format!("unknown field {key:?} in {kind} record"));
         }
     }
-    match kind {
-        "instance" => Ok(TraceRecord::Instance {
+    let record = match kind {
+        "instance" => TraceRecord::Instance {
             shard: field_u64(&value, "shard")?,
             trace: field_u64(&value, "trace")?,
             seq: field_u64(&value, "seq")?,
             stamps: stamps_of::<INSTANCE_STAGES>(&value)?,
-        }),
+        },
         "drop" => {
             let verdict = value
                 .get("verdict")
                 .and_then(Value::as_str)
                 .ok_or("missing or non-string \"verdict\"")?;
-            Ok(TraceRecord::Drop {
+            TraceRecord::Drop {
                 shard: field_u64(&value, "shard")?,
                 trace: field_u64(&value, "trace")?,
                 verdict: TraceDropKind::from_name(verdict)
                     .ok_or_else(|| format!("unknown drop verdict {verdict:?}"))?,
-            })
+            }
         }
         _ => {
             let constituents = constituents_of(&value)?;
-            Ok(TraceRecord::Notify {
+            TraceRecord::Notify {
                 shard: field_u64(&value, "shard")?,
                 id: field_u64(&value, "id")?,
                 sub: field_u64(&value, "sub")?,
                 stamps: stamps_of::<NOTIFY_STAGES>(&value)?,
                 constituents,
-            })
+            }
         }
-    }
+    };
+    Ok((epoch, record))
 }
 
 fn field_u64(value: &Value, key: &str) -> Result<u64, String> {
@@ -322,12 +359,26 @@ fn constituents_of(value: &Value) -> Result<Vec<TraceConstituent>, String> {
 ///
 /// Fails on the first invalid line, naming its 1-based line number.
 pub fn parse_trace_stream(text: &str) -> Result<Vec<TraceRecord>, String> {
+    Ok(parse_trace_stream_epoch(text)?
+        .into_iter()
+        .map(|(_, record)| record)
+        .collect())
+}
+
+/// Parses a whole exported trace stream, keeping each record's run
+/// epoch — the key consumers sort on when a stream spans a recovery
+/// (seqs restart at 0 but the epoch bumps).
+///
+/// # Errors
+///
+/// Fails on the first invalid line, naming its 1-based line number.
+pub fn parse_trace_stream_epoch(text: &str) -> Result<Vec<(u64, TraceRecord)>, String> {
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        out.push(parse_trace_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+        out.push(parse_trace_line_epoch(line).map_err(|e| format!("line {}: {e}", i + 1))?);
     }
     Ok(out)
 }
@@ -382,9 +433,17 @@ mod tests {
             let line = record.to_json_line();
             let back = parse_trace_line(&line).expect("own output parses");
             assert_eq!(&back, record, "round trip of {line}");
+            // The epoch-aware writer/reader pair round-trips the stamp.
+            let line = record.to_json_line_at(5);
+            let (epoch, back) = parse_trace_line_epoch(&line).expect("own output parses");
+            assert_eq!(epoch, 5);
+            assert_eq!(&back, record);
         }
         let stream: String = records.iter().map(|r| r.to_json_line() + "\n").collect();
         assert_eq!(parse_trace_stream(&stream).unwrap(), records);
+        for (epoch, _) in parse_trace_stream_epoch(&stream).unwrap() {
+            assert_eq!(epoch, 0, "to_json_line writes epoch 0");
+        }
     }
 
     #[test]
@@ -403,9 +462,9 @@ mod tests {
     #[test]
     fn unknown_fields_are_rejected() {
         let cases = [
-            r#"{"v":2,"kind":"drop","shard":0,"trace":8,"verdict":"late","extra":1}"#,
-            r#"{"v":2,"kind":"instance","shard":0,"trace":8,"seq":1,"stamps":[1,2,3,4],"id":9}"#,
-            r#"{"v":2,"kind":"notify","shard":0,"id":0,"sub":0,"stamps":[1,1,1,1,1,1],"constituents":[[1,0,0]],"note":"x"}"#,
+            r#"{"v":3,"epoch":0,"kind":"drop","shard":0,"trace":8,"verdict":"late","extra":1}"#,
+            r#"{"v":3,"epoch":0,"kind":"instance","shard":0,"trace":8,"seq":1,"stamps":[1,2,3,4],"id":9}"#,
+            r#"{"v":3,"epoch":0,"kind":"notify","shard":0,"id":0,"sub":0,"stamps":[1,1,1,1,1,1],"constituents":[[1,0,0]],"note":"x"}"#,
         ];
         for bad in cases {
             let err = parse_trace_line(bad).unwrap_err();
@@ -415,29 +474,31 @@ mod tests {
 
     #[test]
     fn non_monotone_constituent_seqs_are_rejected() {
-        let bad = r#"{"v":2,"kind":"notify","shard":0,"id":0,"sub":0,"stamps":[1,1,1,1,1,1],"constituents":[[9,0,0],[4,0,1]]}"#;
+        let bad = r#"{"v":3,"epoch":0,"kind":"notify","shard":0,"id":0,"sub":0,"stamps":[1,1,1,1,1,1],"constituents":[[9,0,0],[4,0,1]]}"#;
         let err = parse_trace_line(bad).unwrap_err();
         assert!(err.contains("strictly increasing"), "{err}");
         // Duplicates are non-monotone too (the emitter dedups).
-        let dup = r#"{"v":2,"kind":"notify","shard":0,"id":0,"sub":0,"stamps":[1,1,1,1,1,1],"constituents":[[4,0,0],[4,0,0]]}"#;
+        let dup = r#"{"v":3,"epoch":0,"kind":"notify","shard":0,"id":0,"sub":0,"stamps":[1,1,1,1,1,1],"constituents":[[4,0,0],[4,0,0]]}"#;
         assert!(parse_trace_line(dup).is_err());
     }
 
     #[test]
     fn stamp_arity_version_and_kind_are_enforced() {
         let cases = [
-            // Wrong schema version.
-            r#"{"v":1,"kind":"drop","shard":0,"trace":8,"verdict":"late"}"#,
+            // Pre-epoch schema version.
+            r#"{"v":2,"kind":"drop","shard":0,"trace":8,"verdict":"late"}"#,
+            // Right version but the epoch stamp is missing.
+            r#"{"v":3,"kind":"drop","shard":0,"trace":8,"verdict":"late"}"#,
             // Unknown kind.
-            r#"{"v":2,"kind":"mystery","shard":0}"#,
+            r#"{"v":3,"epoch":0,"kind":"mystery","shard":0}"#,
             // Instance stamps with notify arity.
-            r#"{"v":2,"kind":"instance","shard":0,"trace":8,"seq":1,"stamps":[1,2,3,4,5,6]}"#,
+            r#"{"v":3,"epoch":0,"kind":"instance","shard":0,"trace":8,"seq":1,"stamps":[1,2,3,4,5,6]}"#,
             // Non-monotone stamps.
-            r#"{"v":2,"kind":"instance","shard":0,"trace":8,"seq":1,"stamps":[4,3,2,1]}"#,
+            r#"{"v":3,"epoch":0,"kind":"instance","shard":0,"trace":8,"seq":1,"stamps":[4,3,2,1]}"#,
             // Empty constituents.
-            r#"{"v":2,"kind":"notify","shard":0,"id":0,"sub":0,"stamps":[1,1,1,1,1,1],"constituents":[]}"#,
+            r#"{"v":3,"epoch":0,"kind":"notify","shard":0,"id":0,"sub":0,"stamps":[1,1,1,1,1,1],"constituents":[]}"#,
             // Unknown verdict.
-            r#"{"v":2,"kind":"drop","shard":0,"trace":8,"verdict":"meh"}"#,
+            r#"{"v":3,"epoch":0,"kind":"drop","shard":0,"trace":8,"verdict":"meh"}"#,
             // Not an object.
             r#"[1,2,3]"#,
         ];

@@ -1,0 +1,58 @@
+//! # stem-watch — the engine watching itself
+//!
+//! The paper's thesis applied reflexively: engine health metrics *are*
+//! spatio-temporal events. A shard owns a spatial region (its
+//! `ShardMap` cells), every telemetry snapshot carries a stream-clock
+//! tick, so "shard 2 has been backlogged for 5 samples" is exactly the
+//! kind of sustained spatio-temporal condition the engine already
+//! detects for its users — and this crate detects it *about* the
+//! engine, with the same `stem-cep` machinery, no second engine.
+//!
+//! The pipeline, one [`Watcher::observe`] call per telemetry sample
+//! (so zero cost on the per-event hot path):
+//!
+//! 1. [`meta::derive`] re-materializes an [`stem_obs::ObsSnapshot`] as
+//!    meta [`stem_core::EventInstance`]s on the reserved `meta.` id
+//!    prefix ([`stem_core::META_EVENT_PREFIX`]): per-shard gauges
+//!    located at the owning shard's region, engine-wide metrics at the
+//!    world extent, timestamped on the stream clock.
+//! 2. Each [`WatchSpec`] rule reads its [`Metric`] off that stream and
+//!    feeds a [`stem_cep::SustainedDetector`] on the snapshot-sequence
+//!    time axis — identical under wall and virtual clocks, so
+//!    deterministic runs stay bit-identical with watch enabled.
+//! 3. A rule that holds for its sustain window emits a [`HealthAlert`]
+//!    carrying provenance — the constituent snapshot seqs and the rule
+//!    that fired — into a bounded [`AlertRing`] and (optionally) a
+//!    schema-v3 JSON-lines export.
+//!
+//! [`builtin_watchers`] covers the operational basics (sustained shard
+//! backlog, watermark stall, stage-latency SLO breach, fsync debt,
+//! checkpoint age); [`WatchSpec`] is the builder for custom rules.
+//!
+//! ```
+//! use stem_watch::{Metric, Severity, WatchSpec, Watcher};
+//! use stem_spatial::{Point, Rect};
+//!
+//! let world = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+//! let spec = WatchSpec::new("ingest-backlog", Metric::ShardQueueDepth)
+//!     .at_least(500)
+//!     .sustained_for(3)
+//!     .severity(Severity::Warning);
+//! let watcher = Watcher::new(vec![spec], 64, None, vec![world], world).unwrap();
+//! assert_eq!(watcher.alerts().len(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alert;
+pub mod meta;
+mod spec;
+mod watcher;
+
+pub use alert::{
+    parse_alert_line, parse_alert_stream, AlertRing, HealthAlert, HealthReport,
+    ALERT_SCHEMA_VERSION,
+};
+pub use spec::{builtin_watchers, Metric, Scope, Severity, WatchSpec};
+pub use watcher::{HealthHandle, Watcher};

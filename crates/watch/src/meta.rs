@@ -1,0 +1,226 @@
+//! Deriving the meta event stream: one telemetry snapshot in, a batch
+//! of spatio-temporal [`EventInstance`]s out.
+//!
+//! Every metric in an [`ObsSnapshot`] becomes an instance on the
+//! reserved `meta.` event-id prefix, observed by
+//! [`stem_core::META_OBSERVER`] at [`Layer::Cyber`] (the engine is its
+//! own highest-level observer):
+//!
+//! | id                        | scope     | value                  |
+//! |---------------------------|-----------|------------------------|
+//! | `meta.shard.queue_depth`  | per shard | channel backlog        |
+//! | `meta.shard.<gauge>`      | per shard | that shard's gauge     |
+//! | `meta.gauge.<name>`       | engine    | merged gauge level     |
+//! | `meta.counter.<name>`     | engine    | merged counter         |
+//! | `meta.stage.<stage>`      | engine    | stage latency p99      |
+//! | `meta.hist.<name>`        | engine    | named histogram p99    |
+//! | `meta.ticks`              | engine    | stream-clock high water|
+//!
+//! Per-shard instances are located at the owning shard's region (the
+//! union of its `ShardMap` cells); engine-wide instances at the world
+//! extent. Timestamps ride the stream clock (the snapshot's high-water
+//! tick, falling back to the snapshot seq before any ingest), so the
+//! stream is identical under wall and virtual clocks.
+
+use stem_core::{Attributes, EventId, EventInstance, Layer, META_OBSERVER};
+use stem_obs::ObsSnapshot;
+use stem_spatial::{Field, Rect, SpatialExtent};
+use stem_temporal::{TemporalExtent, TimePoint};
+
+/// The timestamp a snapshot's meta events carry: the stream-clock
+/// high-water tick, or the snapshot sequence before any ingest (both
+/// are identical across wall/virtual clock modes).
+#[must_use]
+pub fn meta_time(snapshot: &ObsSnapshot) -> TimePoint {
+    TimePoint::new(snapshot.ticks.unwrap_or(snapshot.seq))
+}
+
+/// Builds one meta event instance.
+fn instance(
+    id: String,
+    time: TimePoint,
+    region: Rect,
+    seq: u64,
+    shard: Option<usize>,
+    value: u64,
+) -> EventInstance {
+    let mut attributes = Attributes::new()
+        .with("value", value as f64)
+        .with("seq", seq as f64);
+    if let Some(shard) = shard {
+        attributes = attributes.with("shard", shard as f64);
+    }
+    EventInstance::builder(META_OBSERVER, EventId::new(id), Layer::Cyber)
+        .generated(time, region.center())
+        .estimated(
+            TemporalExtent::punctual(time),
+            SpatialExtent::field(Field::rect(region)),
+        )
+        .attributes(attributes)
+        .build()
+}
+
+/// Re-materializes a telemetry snapshot as meta event instances.
+///
+/// `regions[s]` is shard `s`'s owned region; shards beyond the slice
+/// (or an empty slice) fall back to the world extent. The ordering is
+/// deterministic: per-shard rows in shard order, then engine-wide
+/// gauges, counters, stages, hists, and the stream clock, each in the
+/// snapshot's own (name-sorted) order.
+#[must_use]
+pub fn derive(snapshot: &ObsSnapshot, regions: &[Rect], world: Rect) -> Vec<EventInstance> {
+    let time = meta_time(snapshot);
+    let seq = snapshot.seq;
+    let mut out = Vec::new();
+    for row in &snapshot.shards {
+        let region = regions.get(row.shard).copied().unwrap_or(world);
+        out.push(instance(
+            "meta.shard.queue_depth".to_owned(),
+            time,
+            region,
+            seq,
+            Some(row.shard),
+            row.queue_depth,
+        ));
+        for &(name, value) in &row.gauges {
+            out.push(instance(
+                format!("meta.shard.{name}"),
+                time,
+                region,
+                seq,
+                Some(row.shard),
+                value,
+            ));
+        }
+    }
+    for &(name, value) in &snapshot.gauges {
+        out.push(instance(
+            format!("meta.gauge.{name}"),
+            time,
+            world,
+            seq,
+            None,
+            value,
+        ));
+    }
+    for &(name, value) in &snapshot.counters {
+        out.push(instance(
+            format!("meta.counter.{name}"),
+            time,
+            world,
+            seq,
+            None,
+            value,
+        ));
+    }
+    for &(stage, summary) in &snapshot.stages {
+        out.push(instance(
+            format!("meta.stage.{}", stage.name()),
+            time,
+            world,
+            seq,
+            None,
+            summary.p99,
+        ));
+    }
+    for &(name, summary) in &snapshot.hists {
+        out.push(instance(
+            format!("meta.hist.{name}"),
+            time,
+            world,
+            seq,
+            None,
+            summary.p99,
+        ));
+    }
+    if let Some(ticks) = snapshot.ticks {
+        out.push(instance(
+            "meta.ticks".to_owned(),
+            time,
+            world,
+            seq,
+            None,
+            ticks,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stem_core::is_meta_event;
+    use stem_obs::{Recorder, ShardRow, Stage};
+    use stem_spatial::Point;
+
+    fn world() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    fn snapshot() -> ObsSnapshot {
+        let mut merged = Recorder::new();
+        merged.inc("ingested", 10);
+        merged.set_gauge("routed", 4);
+        merged.record_stage(Stage::Evaluate, 900);
+        merged.record("watermark_lag", 3);
+        ObsSnapshot::build(
+            0,
+            7,
+            Some(1200),
+            &merged,
+            vec![ShardRow {
+                shard: 0,
+                queue_depth: 5,
+                gauges: vec![("reorder_depth", 2)],
+            }],
+        )
+    }
+
+    #[test]
+    fn every_derived_instance_is_a_valid_meta_event() {
+        let events = derive(&snapshot(), &[world()], world());
+        assert!(!events.is_empty());
+        for e in &events {
+            assert!(is_meta_event(e.event()), "{} is meta-prefixed", e.event());
+            assert_eq!(e.observer(), META_OBSERVER);
+            assert_eq!(e.layer(), Layer::Cyber);
+            assert_eq!(e.generation_time(), TimePoint::new(1200));
+            assert_eq!(e.attributes().get_f64("seq"), Some(7.0));
+        }
+    }
+
+    #[test]
+    fn shard_metrics_sit_on_the_shard_region_engine_metrics_on_the_world() {
+        let region = Rect::new(Point::new(0.0, 0.0), Point::new(50.0, 100.0));
+        let events = derive(&snapshot(), &[region], world());
+        let depth = events
+            .iter()
+            .find(|e| e.event().as_str() == "meta.shard.queue_depth")
+            .expect("queue depth instance");
+        assert_eq!(depth.attributes().get_f64("value"), Some(5.0));
+        assert_eq!(depth.attributes().get_f64("shard"), Some(0.0));
+        assert!(depth.estimated_location().covers(Point::new(25.0, 50.0)));
+        assert!(!depth.estimated_location().covers(Point::new(75.0, 50.0)));
+        let routed = events
+            .iter()
+            .find(|e| e.event().as_str() == "meta.gauge.routed")
+            .expect("engine gauge instance");
+        assert_eq!(routed.attributes().get_f64("value"), Some(4.0));
+        assert!(routed.estimated_location().covers(Point::new(75.0, 50.0)));
+        assert!(events
+            .iter()
+            .any(|e| e.event().as_str() == "meta.stage.evaluate"));
+        assert!(events
+            .iter()
+            .any(|e| e.event().as_str() == "meta.hist.watermark_lag"));
+        assert!(events.iter().any(|e| e.event().as_str() == "meta.ticks"));
+    }
+
+    #[test]
+    fn missing_ticks_fall_back_to_seq_and_omit_the_clock_event() {
+        let snap = ObsSnapshot::build(0, 3, None, &Recorder::new(), Vec::new());
+        assert_eq!(meta_time(&snap), TimePoint::new(3));
+        let events = derive(&snap, &[], world());
+        assert!(!events.iter().any(|e| e.event().as_str() == "meta.ticks"));
+    }
+}

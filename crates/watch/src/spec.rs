@@ -1,0 +1,269 @@
+//! Watch rules: what to measure, the threshold, and how long it must
+//! hold.
+
+use stem_obs::Stage;
+
+/// How serious a firing rule is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth a line in a log.
+    Info,
+    /// Degraded but functioning.
+    Warning,
+    /// Operator attention required.
+    Critical,
+}
+
+impl Severity {
+    /// The stable name written to the export.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Parses an exported severity name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "critical" => Some(Severity::Critical),
+            _ => None,
+        }
+    }
+}
+
+/// Whether a rule evaluates one detector per shard or one for the
+/// whole engine (derived from the metric, surfaced for display).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// One detector per shard; alerts name the shard.
+    PerShard,
+    /// One engine-wide detector.
+    Engine,
+}
+
+/// What a watch rule measures, read off the meta event stream each
+/// telemetry sample (names follow the `meta.` ids of
+/// [`crate::meta::derive`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// `meta.shard.queue_depth` — a shard's channel backlog.
+    ShardQueueDepth,
+    /// `meta.shard.<name>` — a per-shard gauge (e.g. `reorder_depth`).
+    ShardGauge(String),
+    /// `meta.gauge.<name>` — an engine-wide merged gauge.
+    Gauge(String),
+    /// `meta.counter.<name>` — an engine-wide merged counter.
+    Counter(String),
+    /// `meta.stage.<stage>` — a pipeline stage's latency p99
+    /// (nanoseconds in threaded runs, virtual ticks in deterministic).
+    StageP99(Stage),
+    /// `meta.hist.<name>` — a named histogram's p99.
+    HistP99(String),
+    /// `meta.gauge.<a> − meta.gauge.<b>` (saturating): lag between two
+    /// cumulative gauges, e.g. WAL records appended minus fsyncs.
+    GaugeDelta(String, String),
+    /// True while `meta.ticks` (the stream-clock high water) fails to
+    /// advance between samples: a stalled watermark. The threshold is
+    /// ignored; only the sustain window matters.
+    WatermarkStalled,
+}
+
+impl Metric {
+    /// The rule scope this metric implies.
+    #[must_use]
+    pub fn scope(&self) -> Scope {
+        match self {
+            Metric::ShardQueueDepth | Metric::ShardGauge(_) => Scope::PerShard,
+            _ => Scope::Engine,
+        }
+    }
+
+    /// The meta event id (or id pair) this metric reads.
+    #[must_use]
+    pub fn meta_id(&self) -> String {
+        match self {
+            Metric::ShardQueueDepth => "meta.shard.queue_depth".to_owned(),
+            Metric::ShardGauge(name) => format!("meta.shard.{name}"),
+            Metric::Gauge(name) => format!("meta.gauge.{name}"),
+            Metric::Counter(name) => format!("meta.counter.{name}"),
+            Metric::StageP99(stage) => format!("meta.stage.{}", stage.name()),
+            Metric::HistP99(name) => format!("meta.hist.{name}"),
+            Metric::GaugeDelta(a, b) => format!("meta.gauge.{a}-meta.gauge.{b}"),
+            Metric::WatermarkStalled => "meta.ticks".to_owned(),
+        }
+    }
+}
+
+/// One watchdog rule: a named metric, a threshold, and a sustain
+/// window in telemetry samples.
+///
+/// ```
+/// use stem_watch::{Metric, Severity, WatchSpec};
+///
+/// let spec = WatchSpec::new("reorder-pressure", Metric::ShardGauge("reorder_depth".into()))
+///     .at_least(10_000)
+///     .sustained_for(4)
+///     .severity(Severity::Warning);
+/// assert_eq!(spec.name, "reorder-pressure");
+/// assert_eq!(spec.for_snapshots, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchSpec {
+    /// Rule name, echoed in every alert it raises.
+    pub name: String,
+    /// What it measures.
+    pub metric: Metric,
+    /// Fires when the metric is `>= threshold` (ignored by
+    /// [`Metric::WatermarkStalled`]).
+    pub threshold: u64,
+    /// How many consecutive telemetry samples the condition must hold
+    /// (min 1: fire on first breach).
+    pub for_snapshots: u64,
+    /// Alert severity.
+    pub severity: Severity,
+}
+
+impl WatchSpec {
+    /// A rule firing on the first sample at or over `threshold`
+    /// (adjust with [`WatchSpec::at_least`] /
+    /// [`WatchSpec::sustained_for`]).
+    #[must_use]
+    pub fn new(name: impl Into<String>, metric: Metric) -> Self {
+        WatchSpec {
+            name: name.into(),
+            metric,
+            threshold: 1,
+            for_snapshots: 1,
+            severity: Severity::Warning,
+        }
+    }
+
+    /// Sets the firing threshold.
+    #[must_use]
+    pub fn at_least(mut self, threshold: u64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the sustain window in telemetry samples (clamped to ≥ 1).
+    #[must_use]
+    pub fn sustained_for(mut self, snapshots: u64) -> Self {
+        self.for_snapshots = snapshots.max(1);
+        self
+    }
+
+    /// Sets the alert severity.
+    #[must_use]
+    pub fn severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// The rule's scope (from its metric).
+    #[must_use]
+    pub fn scope(&self) -> Scope {
+        self.metric.scope()
+    }
+}
+
+/// Default shard-backlog threshold (messages queued).
+pub const BACKLOG_THRESHOLD: u64 = 4_096;
+/// Default evaluate-stage p99 SLO (100 ms in wall nanoseconds).
+pub const EVALUATE_P99_SLO_NS: u64 = 100_000_000;
+/// Default WAL fsync-debt threshold (records appended but not yet
+/// covered by an fsync).
+pub const FSYNC_DEBT_THRESHOLD: u64 = 8_192;
+/// Default checkpoint-age threshold (stream-clock ticks since the last
+/// completed snapshot).
+pub const CHECKPOINT_AGE_TICKS: u64 = 1_000_000;
+
+/// The built-in watcher set, mirroring what an operator greps for
+/// first. `checkpointing` gates the snapshot-age rule (meaningless —
+/// and forever firing — when checkpoints are off).
+#[must_use]
+pub fn builtin_watchers(checkpointing: bool) -> Vec<WatchSpec> {
+    let mut specs = vec![
+        WatchSpec::new("shard-backlog", Metric::ShardQueueDepth)
+            .at_least(BACKLOG_THRESHOLD)
+            .sustained_for(3)
+            .severity(Severity::Warning),
+        WatchSpec::new("watermark-stall", Metric::WatermarkStalled)
+            .sustained_for(3)
+            .severity(Severity::Critical),
+        WatchSpec::new("evaluate-slo", Metric::StageP99(Stage::Evaluate))
+            .at_least(EVALUATE_P99_SLO_NS)
+            .sustained_for(2)
+            .severity(Severity::Warning),
+        WatchSpec::new(
+            "fsync-debt",
+            Metric::GaugeDelta("wal_records".into(), "wal_fsyncs".into()),
+        )
+        .at_least(FSYNC_DEBT_THRESHOLD)
+        .sustained_for(2)
+        .severity(Severity::Warning),
+    ];
+    if checkpointing {
+        specs.push(
+            WatchSpec::new("snapshot-age", Metric::Gauge("checkpoint_age_ticks".into()))
+                .at_least(CHECKPOINT_AGE_TICKS)
+                .sustained_for(2)
+                .severity(Severity::Warning),
+        );
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_follows_the_metric() {
+        assert_eq!(Metric::ShardQueueDepth.scope(), Scope::PerShard);
+        assert_eq!(Metric::ShardGauge("x".into()).scope(), Scope::PerShard);
+        assert_eq!(Metric::Gauge("x".into()).scope(), Scope::Engine);
+        assert_eq!(Metric::WatermarkStalled.scope(), Scope::Engine);
+        assert_eq!(Metric::StageP99(Stage::Evaluate).scope(), Scope::Engine);
+    }
+
+    #[test]
+    fn builder_clamps_and_defaults() {
+        let spec = WatchSpec::new("x", Metric::ShardQueueDepth).sustained_for(0);
+        assert_eq!(spec.for_snapshots, 1, "zero-sample sustain clamps to 1");
+        assert_eq!(spec.severity, Severity::Warning);
+        assert_eq!(spec.threshold, 1);
+    }
+
+    #[test]
+    fn builtins_cover_the_issue_list_and_gate_snapshot_age() {
+        let with = builtin_watchers(true);
+        let names: Vec<&str> = with.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "shard-backlog",
+                "watermark-stall",
+                "evaluate-slo",
+                "fsync-debt",
+                "snapshot-age"
+            ]
+        );
+        let without = builtin_watchers(false);
+        assert!(!without.iter().any(|s| s.name == "snapshot-age"));
+    }
+
+    #[test]
+    fn severity_names_round_trip() {
+        for s in [Severity::Info, Severity::Warning, Severity::Critical] {
+            assert_eq!(Severity::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Severity::from_name("panic"), None);
+        assert!(Severity::Info < Severity::Critical);
+    }
+}

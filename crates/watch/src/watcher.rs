@@ -1,0 +1,494 @@
+//! The embedded watchdog evaluator: sustained detectors over the meta
+//! event stream, one `observe` call per telemetry sample.
+
+use crate::alert::{AlertRing, HealthAlert, HealthReport, MAX_CONSTITUENTS};
+use crate::meta;
+use crate::spec::{Metric, WatchSpec};
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use stem_cep::{SustainedConfig, SustainedDetector, SustainedEvent};
+use stem_obs::ObsSnapshot;
+use stem_spatial::Rect;
+use stem_temporal::{Duration, TimePoint};
+
+/// The watchdog evaluator. Owns one [`SustainedDetector`] per
+/// `(rule, shard)` pair, fed on the snapshot-sequence time axis — a
+/// strictly monotone clock that is identical in wall and virtual runs,
+/// which is what keeps deterministic executions bit-identical with
+/// watch enabled.
+///
+/// There is intentionally no second engine here: the detectors are the
+/// same `stem-cep` machinery the engine evaluates user subscriptions
+/// with, applied to the meta stream [`meta::derive`] materializes from
+/// each snapshot.
+pub struct Watcher {
+    specs: Vec<WatchSpec>,
+    regions: Vec<Rect>,
+    world: Rect,
+    epoch: u64,
+    detectors: BTreeMap<(usize, Option<usize>), SustainedDetector>,
+    /// Recently observed snapshot seqs, newest last — the pool alert
+    /// constituents are resolved from, so provenance always names
+    /// snapshots that actually passed through `observe`.
+    observed: VecDeque<u64>,
+    last_seq: Option<u64>,
+    prev_ticks: Option<u64>,
+    ring: AlertRing,
+    exporter: Option<BufWriter<File>>,
+}
+
+impl Watcher {
+    /// A watcher over the given rules. `regions[s]` is shard `s`'s
+    /// owned region (engine-wide meta events sit on `world`); the ring
+    /// holds the newest `ring_capacity` alerts; `export`, when given,
+    /// receives one schema-v3 JSON line per alert (truncated if it
+    /// exists).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the export file cannot be created.
+    pub fn new(
+        specs: Vec<WatchSpec>,
+        ring_capacity: usize,
+        export: Option<&Path>,
+        regions: Vec<Rect>,
+        world: Rect,
+    ) -> io::Result<Self> {
+        let exporter = match export {
+            Some(path) => {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                Some(BufWriter::new(File::create(path)?))
+            }
+            None => None,
+        };
+        Ok(Watcher {
+            specs,
+            regions,
+            world,
+            epoch: 0,
+            detectors: BTreeMap::new(),
+            observed: VecDeque::new(),
+            last_seq: None,
+            prev_ticks: None,
+            ring: AlertRing::new(ring_capacity),
+            exporter,
+        })
+    }
+
+    /// Sets the run epoch stamped into subsequent alerts (recovery
+    /// bumps it in lockstep with the telemetry registry's).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The configured rules.
+    #[must_use]
+    pub fn specs(&self) -> &[WatchSpec] {
+        &self.specs
+    }
+
+    /// Feeds one telemetry snapshot through every rule, returning the
+    /// alerts that fired on it (also retained in the ring and written
+    /// to the export). Out-of-order or repeated snapshots are ignored:
+    /// the detectors run on a strictly monotone seq axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alert export cannot be written — watch export was
+    /// explicitly configured, the same contract as telemetry export.
+    pub fn observe(&mut self, snapshot: &ObsSnapshot) -> Vec<HealthAlert> {
+        if self.last_seq.is_some_and(|last| snapshot.seq <= last) {
+            return Vec::new();
+        }
+        self.last_seq = Some(snapshot.seq);
+        if self.observed.len() == MAX_CONSTITUENTS {
+            self.observed.pop_front();
+        }
+        self.observed.push_back(snapshot.seq);
+
+        let events = meta::derive(snapshot, &self.regions, self.world);
+        let mut by_id: BTreeMap<&str, Vec<(Option<usize>, u64)>> = BTreeMap::new();
+        for e in &events {
+            let shard = e.attributes().get_f64("shard").map(|s| s as usize);
+            let value = e.attributes().get_f64("value").unwrap_or(0.0) as u64;
+            by_id
+                .entry(e.event().as_str())
+                .or_default()
+                .push((shard, value));
+        }
+
+        let t = TimePoint::new(snapshot.seq);
+        let mut fired = Vec::new();
+        for idx in 0..self.specs.len() {
+            let spec = self.specs[idx].clone();
+            match &spec.metric {
+                Metric::WatermarkStalled => {
+                    let Some(ticks) = snapshot.ticks else {
+                        continue; // no stream clock yet: nothing to stall
+                    };
+                    let active = self.prev_ticks == Some(ticks);
+                    let event = self.detector(idx, None, &spec).update(t, active);
+                    self.raise(&mut fired, &spec, None, ticks, event, snapshot);
+                }
+                Metric::GaugeDelta(a, b) => {
+                    let read = |name: &String| {
+                        by_id
+                            .get(format!("meta.gauge.{name}").as_str())
+                            .and_then(|v| v.first())
+                            .map(|&(_, value)| value)
+                    };
+                    let Some(lead) = read(a) else { continue };
+                    let debt = lead.saturating_sub(read(b).unwrap_or(0));
+                    let event = self.detector(idx, None, &spec).update_value(t, debt as f64);
+                    self.raise(&mut fired, &spec, None, debt, event, snapshot);
+                }
+                metric => {
+                    let Some(samples) = by_id.get(metric.meta_id().as_str()) else {
+                        continue; // metric absent this sample
+                    };
+                    for &(shard, value) in samples.clone().iter() {
+                        let event = self
+                            .detector(idx, shard, &spec)
+                            .update_value(t, value as f64);
+                        self.raise(&mut fired, &spec, shard, value, event, snapshot);
+                    }
+                }
+            }
+        }
+        self.prev_ticks = snapshot.ticks;
+        fired
+    }
+
+    /// The detector for one `(rule, shard)` key, created on first use.
+    fn detector(
+        &mut self,
+        idx: usize,
+        shard: Option<usize>,
+        spec: &WatchSpec,
+    ) -> &mut SustainedDetector {
+        self.detectors.entry((idx, shard)).or_insert_with(|| {
+            // The condition holding at seqs s..s+d-1 spans d samples but
+            // an elapsed duration of d-1 on the seq axis.
+            let sustain = Duration::new(spec.for_snapshots.saturating_sub(1));
+            let config = match spec.metric {
+                Metric::WatermarkStalled => SustainedConfig::boolean(sustain),
+                _ => SustainedConfig {
+                    min_duration: sustain,
+                    enter_threshold: spec.threshold as f64,
+                    exit_threshold: spec.threshold as f64,
+                },
+            };
+            SustainedDetector::new(config)
+        })
+    }
+
+    /// Turns a detector `Began` into a [`HealthAlert`], pushes it into
+    /// the ring and export, and collects it for the caller. `Ended`
+    /// events close the episode silently (the detector re-arms).
+    fn raise(
+        &mut self,
+        fired: &mut Vec<HealthAlert>,
+        spec: &WatchSpec,
+        shard: Option<usize>,
+        value: u64,
+        event: Option<SustainedEvent>,
+        snapshot: &ObsSnapshot,
+    ) {
+        let Some(SustainedEvent::Began { since, .. }) = event else {
+            return;
+        };
+        let began_seq = since.ticks();
+        let alert = HealthAlert {
+            rule: spec.name.clone(),
+            severity: spec.severity,
+            shard: shard.map(|s| s as u64),
+            epoch: self.epoch,
+            began_seq,
+            fired_seq: snapshot.seq,
+            ticks: snapshot.ticks,
+            value,
+            threshold: spec.threshold,
+            constituents: self
+                .observed
+                .iter()
+                .copied()
+                .filter(|&s| s >= began_seq && s <= snapshot.seq)
+                .collect(),
+        };
+        if let Some(writer) = self.exporter.as_mut() {
+            writeln!(writer, "{}", alert.to_json_line())
+                .and_then(|()| writer.flush())
+                .unwrap_or_else(|e| panic!("alert export write failed: {e}"));
+        }
+        self.ring.push(alert.clone());
+        fired.push(alert);
+    }
+
+    /// The ring's alerts, oldest first.
+    #[must_use]
+    pub fn alerts(&self) -> Vec<HealthAlert> {
+        self.ring.snapshot()
+    }
+
+    /// Alerts evicted from the ring so far.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.ring.evicted()
+    }
+
+    /// Folds the watcher into its end-of-run report.
+    #[must_use]
+    pub fn report(&self) -> HealthReport {
+        HealthReport {
+            alerts: self.ring.snapshot(),
+            evicted: self.ring.evicted(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Watcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watcher")
+            .field("specs", &self.specs.len())
+            .field("alerts", &self.ring.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A live, cloneable view over a shared [`Watcher`], handed out by
+/// `Engine::health` (mirroring `Engine::obs` / `Engine::trace`).
+#[derive(Debug, Clone)]
+pub struct HealthHandle {
+    watcher: Arc<Mutex<Watcher>>,
+}
+
+impl HealthHandle {
+    /// Wraps a shared watcher.
+    #[must_use]
+    pub fn new(watcher: Arc<Mutex<Watcher>>) -> Self {
+        HealthHandle { watcher }
+    }
+
+    /// A point-in-time copy of the alert ring, oldest first.
+    #[must_use]
+    pub fn alerts(&self) -> Vec<HealthAlert> {
+        self.watcher.lock().expect("watcher poisoned").alerts()
+    }
+
+    /// Alerts evicted from the ring so far.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.watcher.lock().expect("watcher poisoned").evicted()
+    }
+
+    /// The end-of-run health report as it stands now.
+    #[must_use]
+    pub fn report(&self) -> HealthReport {
+        self.watcher.lock().expect("watcher poisoned").report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{builtin_watchers, Severity};
+    use stem_obs::{Recorder, ShardRow};
+    use stem_spatial::Point;
+
+    fn world() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    /// A snapshot with one shard at the given queue depth.
+    fn snap(seq: u64, ticks: u64, depth: u64) -> ObsSnapshot {
+        ObsSnapshot::build(
+            0,
+            seq,
+            Some(ticks),
+            &Recorder::new(),
+            vec![ShardRow {
+                shard: 0,
+                queue_depth: depth,
+                gauges: Vec::new(),
+            }],
+        )
+    }
+
+    fn backlog_watcher(sustain: u64) -> Watcher {
+        let spec = WatchSpec::new("backlog", Metric::ShardQueueDepth)
+            .at_least(100)
+            .sustained_for(sustain)
+            .severity(Severity::Warning);
+        Watcher::new(vec![spec], 8, None, vec![world()], world()).unwrap()
+    }
+
+    #[test]
+    fn sustained_backlog_fires_once_with_full_provenance() {
+        let mut w = backlog_watcher(3);
+        assert!(w.observe(&snap(0, 10, 500)).is_empty(), "1 of 3");
+        assert!(w.observe(&snap(1, 20, 500)).is_empty(), "2 of 3");
+        let fired = w.observe(&snap(2, 30, 600));
+        assert_eq!(fired.len(), 1, "3 of 3 confirms");
+        let alert = &fired[0];
+        assert_eq!(alert.rule, "backlog");
+        assert_eq!(alert.shard, Some(0));
+        assert_eq!(alert.began_seq, 0);
+        assert_eq!(alert.fired_seq, 2);
+        assert_eq!(alert.value, 600);
+        assert_eq!(alert.ticks, Some(30));
+        assert_eq!(
+            alert.constituents,
+            vec![0, 1, 2],
+            "provenance spans the episode"
+        );
+        // Still holding: no re-fire within the same episode.
+        assert!(w.observe(&snap(3, 40, 700)).is_empty());
+        // Drop below, then sustain again: a fresh episode fires anew.
+        assert!(w.observe(&snap(4, 50, 5)).is_empty());
+        for (i, seq) in (5..7u64).enumerate() {
+            assert!(w.observe(&snap(seq, 60 + i as u64, 900)).is_empty());
+        }
+        let again = w.observe(&snap(7, 70, 900));
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].began_seq, 5);
+        assert_eq!(w.alerts().len(), 2, "the ring retains both");
+    }
+
+    #[test]
+    fn below_threshold_or_short_episodes_never_fire() {
+        let mut w = backlog_watcher(3);
+        for seq in 0..10 {
+            assert!(w.observe(&snap(seq, seq * 10, 99)).is_empty());
+        }
+        // Two-sample spikes under a three-sample sustain stay silent.
+        let mut w = backlog_watcher(3);
+        for base in (0..30u64).step_by(3) {
+            assert!(w.observe(&snap(base, base, 500)).is_empty());
+            assert!(w.observe(&snap(base + 1, base + 1, 500)).is_empty());
+            assert!(w.observe(&snap(base + 2, base + 2, 0)).is_empty());
+        }
+    }
+
+    #[test]
+    fn watermark_stall_fires_when_ticks_freeze() {
+        let spec = WatchSpec::new("stall", Metric::WatermarkStalled)
+            .sustained_for(3)
+            .severity(Severity::Critical);
+        let mut w = Watcher::new(vec![spec], 8, None, vec![world()], world()).unwrap();
+        // Advancing clock: healthy.
+        for seq in 0..4u64 {
+            assert!(w.observe(&snap(seq, 100 * (seq + 1), 0)).is_empty());
+        }
+        // Clock freezes at 400. The first frozen *comparison* is seq 4.
+        assert!(w.observe(&snap(4, 400, 0)).is_empty(), "1 of 3");
+        assert!(w.observe(&snap(5, 400, 0)).is_empty(), "2 of 3");
+        let fired = w.observe(&snap(6, 400, 0));
+        assert_eq!(fired.len(), 1, "3 of 3 confirms the stall");
+        assert_eq!(fired[0].rule, "stall");
+        assert_eq!(fired[0].shard, None, "engine-wide rule");
+        assert_eq!(fired[0].began_seq, 4);
+        assert_eq!(fired[0].constituents, vec![4, 5, 6]);
+        // The clock moves again: the episode closes, no extra alert.
+        assert!(w.observe(&snap(7, 500, 0)).is_empty());
+    }
+
+    #[test]
+    fn gauge_delta_measures_fsync_debt() {
+        let spec = WatchSpec::new(
+            "fsync-debt",
+            Metric::GaugeDelta("wal_records".into(), "wal_fsyncs".into()),
+        )
+        .at_least(50)
+        .sustained_for(2);
+        let mut w = Watcher::new(vec![spec], 8, None, vec![world()], world()).unwrap();
+        let snap_with = |seq: u64, records: u64, fsyncs: u64| {
+            let mut r = Recorder::new();
+            r.set_gauge("wal_records", records);
+            r.set_gauge("wal_fsyncs", fsyncs);
+            ObsSnapshot::build(0, seq, Some(seq), &r, Vec::new())
+        };
+        assert!(
+            w.observe(&snap_with(0, 100, 90)).is_empty(),
+            "debt 10: fine"
+        );
+        assert!(
+            w.observe(&snap_with(1, 200, 140)).is_empty(),
+            "debt 60: 1 of 2"
+        );
+        let fired = w.observe(&snap_with(2, 300, 160));
+        assert_eq!(fired.len(), 1, "debt 140 sustained");
+        assert_eq!(fired[0].value, 140);
+    }
+
+    #[test]
+    fn out_of_order_and_repeated_snapshots_are_ignored() {
+        let mut w = backlog_watcher(1);
+        let fired = w.observe(&snap(5, 10, 500));
+        assert_eq!(fired.len(), 1, "sustain 1 fires immediately");
+        assert!(w.observe(&snap(5, 10, 500)).is_empty(), "repeat ignored");
+        assert!(
+            w.observe(&snap(3, 10, 500)).is_empty(),
+            "regression ignored"
+        );
+    }
+
+    #[test]
+    fn export_writes_parseable_alert_lines() {
+        let path =
+            std::env::temp_dir().join(format!("stem-watch-export-{}.jsonl", std::process::id()));
+        let spec = WatchSpec::new("backlog", Metric::ShardQueueDepth).at_least(100);
+        let mut w = Watcher::new(vec![spec], 8, Some(&path), vec![world()], world()).unwrap();
+        w.set_epoch(2);
+        let fired = w.observe(&snap(0, 10, 500));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].epoch, 2, "epoch stamps alerts");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = crate::alert::parse_alert_stream(&text).expect("valid export");
+        assert_eq!(parsed, fired);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn builtins_run_clean_over_a_healthy_stream() {
+        let mut w = Watcher::new(builtin_watchers(true), 8, None, vec![world()], world()).unwrap();
+        for seq in 0..20u64 {
+            let mut r = Recorder::new();
+            r.set_gauge("wal_records", seq * 10);
+            r.set_gauge("wal_fsyncs", seq * 10);
+            r.set_gauge("checkpoint_age_ticks", 5);
+            let s = ObsSnapshot::build(
+                0,
+                seq,
+                Some(seq * 100),
+                &r,
+                vec![ShardRow {
+                    shard: 0,
+                    queue_depth: 3,
+                    gauges: Vec::new(),
+                }],
+            );
+            assert!(w.observe(&s).is_empty(), "healthy stream stays silent");
+        }
+        assert!(w.alerts().is_empty());
+        assert_eq!(w.report().evicted, 0);
+    }
+
+    #[test]
+    fn handle_views_the_shared_watcher() {
+        let w = backlog_watcher(1);
+        let shared = Arc::new(Mutex::new(w));
+        let handle = HealthHandle::new(Arc::clone(&shared));
+        assert!(handle.alerts().is_empty());
+        shared.lock().unwrap().observe(&snap(0, 10, 500));
+        assert_eq!(handle.alerts().len(), 1);
+        assert_eq!(handle.report().alerts.len(), 1);
+        assert_eq!(handle.evicted(), 0);
+    }
+}

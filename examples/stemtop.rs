@@ -17,9 +17,17 @@
 //! sequences, joinable offline against a WAL via `stem::trace`), and
 //! the ingest→notify latency read off the per-stage trace stamps.
 //!
+//! Below that sits the alert pane: the engine's self-monitoring
+//! watchdog ([`stem::engine::HealthHandle`], see `stem::watch`) — the
+//! built-in watcher set plus a deliberately twitchy queue-pressure
+//! rule so a live run usually has something to show — with each
+//! alert's rule, severity, shard, firing value, and the snapshot seqs
+//! it was confirmed over.
+//!
 //! The run is bounded (a few seconds) so it doubles as a smoke test.
 //!
 //! Run with: `cargo run --release --example stemtop`
+//! Options: `--poll <ms>` sets the viewer poll interval (default 250).
 
 use std::io::IsTerminal;
 use std::sync::Arc;
@@ -30,7 +38,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use stem::core::{dsl, Attributes, EventId, EventInstance, Layer, MoteId, ObserverId};
 use stem::engine::{
-    Collector, Engine, EngineConfig, Subscription, TelemetryPolicy, TraceHandle, TracePolicy,
+    Collector, Engine, EngineConfig, HealthHandle, Metric, Severity, Subscription, TelemetryPolicy,
+    TraceHandle, TracePolicy, WatchPolicy, WatchSpec,
 };
 use stem::obs::{ObsRegistry, ObsSnapshot, Stage, TraceRecord};
 use stem::spatial::{Field, Point, Rect, SpatialExtent};
@@ -177,6 +186,57 @@ fn render_lineage(trace: &TraceHandle) {
 /// Index of the `notify` stamp in a notify record's stage array.
 const NOTIFY_LAST: usize = 5;
 
+/// How many of the newest alerts the pane shows.
+const ALERT_ROWS: usize = 5;
+
+/// Renders the alert pane: the watchdog's newest health alerts.
+fn render_alerts(health: &HealthHandle) {
+    let alerts = health.alerts();
+    println!(
+        "  health — watchdog: {} alert(s) retained, {} evicted",
+        alerts.len(),
+        health.evicted()
+    );
+    println!(
+        "  {:<16} {:<8} {:>5} {:>8} {:>9}  confirmed over seqs",
+        "rule", "severity", "shard", "value", "threshold"
+    );
+    for alert in alerts.iter().rev().take(ALERT_ROWS).rev() {
+        println!(
+            "  {:<16} {:<8} {:>5} {:>8} {:>9}  [{}..={}]",
+            alert.rule,
+            alert.severity.name(),
+            alert
+                .shard
+                .map_or_else(|| "-".to_owned(), |s| s.to_string()),
+            alert.value,
+            alert.threshold,
+            alert.began_seq,
+            alert.fired_seq,
+        );
+    }
+}
+
+/// Parses `--poll <ms>` / `--poll=<ms>` from the command line (viewer
+/// poll interval; default 250 ms).
+fn poll_interval() -> StdDuration {
+    let mut args = std::env::args().skip(1);
+    let mut ms = 250u64;
+    while let Some(arg) = args.next() {
+        let value = if arg == "--poll" {
+            args.next()
+        } else {
+            arg.strip_prefix("--poll=").map(str::to_owned)
+        };
+        if let Some(value) = value {
+            ms = value
+                .parse()
+                .unwrap_or_else(|_| panic!("--poll wants milliseconds, got {value:?}"));
+        }
+    }
+    StdDuration::from_millis(ms.max(1))
+}
+
 fn main() {
     let mut engine = Engine::start(
         EngineConfig::new(bounds())
@@ -184,10 +244,21 @@ fn main() {
             .with_batch_size(256)
             .with_watermark_slack(Duration::new(16))
             .with_telemetry(TelemetryPolicy::every_batches(4).with_ring(64))
-            .with_trace(TracePolicy::NotificationsOnly),
+            .with_trace(TracePolicy::NotificationsOnly)
+            // The built-in watchers plus a queue-pressure rule twitchy
+            // enough that a live producer usually trips it.
+            .with_watch(WatchPolicy::enabled().with_ring(64))
+            .with_watch_spec(
+                WatchSpec::new("queue-pressure", Metric::ShardQueueDepth)
+                    .at_least(1)
+                    .sustained_for(2)
+                    .severity(Severity::Info),
+            ),
     );
     let registry: Arc<ObsRegistry> = engine.obs().expect("telemetry is on");
     let trace: TraceHandle = engine.trace().expect("tracing is on");
+    let health: HealthHandle = engine.health().expect("watch is on");
+    let poll = poll_interval();
 
     // A grid of hot-reading subscriptions so evaluate/scope-prune have
     // real work on every shard.
@@ -229,13 +300,14 @@ fn main() {
     let interactive = std::io::stdout().is_terminal();
     let mut last_seq = None;
     while !producer.is_finished() {
-        thread::sleep(StdDuration::from_millis(250));
+        thread::sleep(poll);
         if let Some(snapshot) = registry.latest() {
             // Redraw only when a new sample landed.
             if last_seq != Some(snapshot.seq) {
                 last_seq = Some(snapshot.seq);
                 render(&snapshot, interactive);
                 render_lineage(&trace);
+                render_alerts(&health);
             }
         }
     }
@@ -265,4 +337,15 @@ fn main() {
         .count();
     assert!(notifies > 0, "the ring retained notification lineage");
     println!("lineage records: {} ({} evicted)", notifies, trace.evicted);
+    let health = report.health.expect("watch report");
+    println!(
+        "health alerts: {} ({} evicted)",
+        health.alerts.len(),
+        health.evicted
+    );
+    for alert in &health.alerts {
+        // Every alert's provenance names real telemetry snapshots.
+        assert!(alert.began_seq <= alert.fired_seq);
+        assert!(!alert.constituents.is_empty(), "alerts carry provenance");
+    }
 }

@@ -52,4 +52,5 @@ pub use stem_spatial as spatial;
 pub use stem_temporal as temporal;
 pub use stem_trace as trace;
 pub use stem_wal as wal;
+pub use stem_watch as watch;
 pub use stem_wsn as wsn;

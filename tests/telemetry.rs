@@ -205,29 +205,35 @@ fn multiset(mut deliveries: Vec<String>) -> Vec<String> {
     deliveries
 }
 
-/// Parses an export file, checking the versioned schema and strictly
-/// monotone sequence numbers. Returns the raw bytes for byte-level
+/// Parses an export file, checking the versioned schema and that the
+/// `(epoch, seq)` keys are strictly monotone — seqs restart at 0 after
+/// a recovery, so since schema v3 consumers key on the pair, never on
+/// bare seq continuity. Returns the raw bytes for byte-level
 /// comparisons.
 fn check_export(path: &Path) -> String {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    let mut last_seq = None;
+    let mut last_key = None;
     for line in text.lines() {
         let value = json::parse(line).expect("export line is valid JSON");
         assert_eq!(
             value.get("v").and_then(json::Value::as_u64),
             Some(SCHEMA_VERSION)
         );
+        let epoch = value
+            .get("epoch")
+            .and_then(json::Value::as_u64)
+            .expect("epoch present");
         let seq = value
             .get("seq")
             .and_then(json::Value::as_u64)
             .expect("seq present");
-        if let Some(prev) = last_seq {
-            assert!(seq > prev, "seqs strictly monotone");
+        if let Some(prev) = last_key {
+            assert!((epoch, seq) > prev, "(epoch, seq) keys strictly monotone");
         }
-        last_seq = Some(seq);
+        last_key = Some((epoch, seq));
     }
-    assert!(last_seq.is_some(), "export has at least one sample");
+    assert!(last_key.is_some(), "export has at least one sample");
     text
 }
 

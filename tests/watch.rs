@@ -1,0 +1,459 @@
+//! The watchdog observes, never perturbs — and actually catches faults.
+//!
+//! The stem-watch contract across the facade: enabling self-monitoring
+//! must not change a single delivery (property-tested over seeds ×
+//! shard counts × both execution modes) even while an injected fault —
+//! a stalled watermark — raises the expected `HealthAlert` whose
+//! provenance resolves to real telemetry snapshot seqs. Plus the
+//! schema-v3 export family: alert exports round-trip, malformed
+//! snapshot/trace/alert lines error cleanly instead of panicking, and
+//! recovered runs stamp a bumped `(epoch, seq)` key into every export.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stem::core::{dsl, Attributes, EventId, EventInstance, Layer, MoteId, ObserverId};
+use stem::engine::{
+    Collector, Engine, EngineConfig, Metric, Notification, Severity, Subscription, TelemetryPolicy,
+    WatchPolicy, WatchSpec,
+};
+use stem::obs::json;
+use stem::spatial::{Field, Point, Rect, SpatialExtent};
+use stem::temporal::{Duration, TimePoint};
+use stem::watch::{parse_alert_line, parse_alert_stream, HealthAlert, HealthReport};
+
+const WORLD: f64 = 200.0;
+const INSTANCES: usize = 1_500;
+/// Instances in the injected stall tail: all generated at one frozen
+/// tick, so the stream clock stops advancing and the built-in
+/// watermark-stall watcher (sustain 3 snapshots) must fire.
+const STALL_TAIL: usize = 600;
+const STALL_TICK: u64 = 50_000;
+
+fn bounds() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(WORLD, WORLD))
+}
+
+/// A seeded stream of readings with bounded timestamp jitter, followed
+/// by the injected fault: a tail whose generation time never advances.
+fn workload(seed: u64) -> Vec<EventInstance> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let make = |tick: u64, rng: &mut SmallRng| {
+        EventInstance::builder(
+            ObserverId::Mote(MoteId::new(rng.gen_range(0..64u32))),
+            EventId::new("reading"),
+            Layer::Sensor,
+        )
+        .generated(
+            TimePoint::new(tick),
+            Point::new(rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD)),
+        )
+        .attributes(Attributes::new().with("temp", rng.gen_range(0.0..100.0)))
+        .build()
+    };
+    let mut out: Vec<EventInstance> = Vec::with_capacity(INSTANCES + STALL_TAIL);
+    for i in 0..INSTANCES {
+        let jitter = rng.gen_range(0..48u64);
+        out.push(make(i as u64 * 2 + jitter, &mut rng));
+    }
+    for _ in 0..STALL_TAIL {
+        out.push(make(STALL_TICK, &mut rng));
+    }
+    out
+}
+
+fn subscribe_all(engine: &mut Engine, collector: &Collector) {
+    let half = WORLD / 2.0;
+    for gx in 0..2 {
+        for gy in 0..2 {
+            let lo = Point::new(gx as f64 * half, gy as f64 * half);
+            let hi = Point::new(lo.x + half, lo.y + half);
+            engine.subscribe(
+                Subscription::new(
+                    format!("hot-{gx}-{gy}"),
+                    SpatialExtent::field(Field::rect(Rect::new(lo, hi))),
+                    collector.sink(),
+                )
+                .for_event("reading")
+                .when(dsl::parse("x.temp > 70").expect("valid")),
+            );
+        }
+    }
+}
+
+/// Runs the workload (fault tail included) and returns the rendered
+/// deliveries, the health report (watch runs only), and every snapshot
+/// seq the telemetry ring retained.
+fn run(
+    seed: u64,
+    shards: usize,
+    deterministic: bool,
+    watch: bool,
+) -> (Vec<String>, Option<HealthReport>, Vec<u64>) {
+    let mut config = EngineConfig::new(bounds())
+        .with_shards(shards)
+        .with_batch_size(64)
+        .with_watermark_slack(Duration::new(16))
+        // Telemetry stays on in *both* arms: the toggle under test is
+        // the watcher alone. The ring outlives the run (4096 >> the
+        // sample count), so alert provenance can resolve against it.
+        .with_telemetry(TelemetryPolicy::every_batches(1).with_ring(4096));
+    if deterministic {
+        config = config.deterministic();
+    }
+    if watch {
+        config = config.with_watch(WatchPolicy::enabled().with_ring(4096));
+    }
+    let mut engine = Engine::start(config);
+    let collector = Collector::new();
+    subscribe_all(&mut engine, &collector);
+    for (i, inst) in workload(seed).into_iter().enumerate() {
+        engine.ingest(inst);
+        if (i + 1) % 500 == 0 {
+            engine.sync();
+        }
+    }
+    let report = engine.finish();
+    assert_eq!(report.health.is_some(), watch);
+    let seqs = report
+        .obs
+        .as_ref()
+        .expect("telemetry on")
+        .snapshots
+        .iter()
+        .map(|s| s.seq)
+        .collect();
+    let deliveries = collector
+        .take()
+        .into_iter()
+        .map(|n: Notification| format!("{}:{:?}", n.subscription.raw(), n.kind))
+        .collect();
+    (deliveries, report.health, seqs)
+}
+
+/// Every alert invariant the schema promises, checked against the run's
+/// actual snapshot ring: provenance must resolve to real seqs.
+fn check_alerts(health: &HealthReport, snapshot_seqs: &[u64]) {
+    for alert in &health.alerts {
+        assert!(alert.began_seq <= alert.fired_seq, "{alert:?}");
+        assert!(!alert.constituents.is_empty(), "{alert:?}");
+        assert!(
+            alert.constituents.windows(2).all(|w| w[0] < w[1]),
+            "constituents strictly increasing: {alert:?}"
+        );
+        for seq in &alert.constituents {
+            assert!(
+                snapshot_seqs.contains(seq),
+                "constituent seq {seq} of {:?} is not a real snapshot seq",
+                alert.rule
+            );
+        }
+    }
+}
+
+fn multiset(mut deliveries: Vec<String>) -> Vec<String> {
+    deliveries.sort();
+    deliveries
+}
+
+proptest! {
+    /// The tentpole invariant: watch on vs off delivers bit-identical
+    /// streams (deterministic mode; multiset-equal threaded) across
+    /// seeds × 1–4 shards — while the injected stall tail raises the
+    /// expected watermark-stall alert whose provenance resolves to
+    /// real snapshot seqs.
+    #[test]
+    fn watch_perturbs_nothing_and_catches_the_injected_stall(
+        seed in 1u64..100,
+        shards in 1usize..5,
+    ) {
+        let (plain, _, _) = run(seed, shards, true, false);
+        prop_assert!(!plain.is_empty(), "workload must deliver something");
+        let (watched, health, seqs) = run(seed, shards, true, true);
+        prop_assert_eq!(&plain, &watched, "deterministic deliveries diverged");
+        let health = health.expect("watch report");
+        let stall = health
+            .alerts
+            .iter()
+            .find(|a| a.rule == "watermark-stall")
+            .expect("the stalled tail must raise watermark-stall");
+        prop_assert_eq!(stall.severity, Severity::Critical);
+        // The watermark froze somewhere past the jittered workload's
+        // tick range — i.e. the alert fired during the injected tail
+        // (the exact value lags STALL_TICK by the watermark slack).
+        prop_assert!(
+            stall.ticks.is_some_and(|t| t > INSTANCES as u64 * 2 + 48),
+            "stall fired on the frozen tail clock: {:?}", stall
+        );
+        check_alerts(&health, &seqs);
+
+        let (plain_threaded, _, _) = run(seed, shards, false, false);
+        let (watched_threaded, health, seqs) = run(seed, shards, false, true);
+        prop_assert_eq!(
+            multiset(plain_threaded),
+            multiset(watched_threaded),
+            "threaded delivery multiset diverged"
+        );
+        // Threaded sampling rides the same batch cadence and the stall
+        // is data-driven, so the alert fires there too.
+        let health = health.expect("watch report");
+        prop_assert!(health.alerts.iter().any(|a| a.rule == "watermark-stall"));
+        check_alerts(&health, &seqs);
+    }
+}
+
+/// Deterministic runs produce a bit-identical alert stream run over
+/// run, and the JSON-lines export round-trips it exactly.
+#[test]
+fn deterministic_alerts_are_reproducible_and_export_round_trips() {
+    let dir = temp_path("alerts");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let run_exported = |name: &str| -> (Vec<HealthAlert>, String) {
+        let path = dir.join(name);
+        let mut engine = Engine::start(
+            EngineConfig::new(bounds())
+                .with_shards(3)
+                .with_batch_size(64)
+                .with_watermark_slack(Duration::new(16))
+                .with_telemetry(TelemetryPolicy::every_batches(1).with_ring(4096))
+                .with_watch(WatchPolicy::enabled().with_ring(4096).with_export(&path))
+                // A twitchy engine-wide rule so the run fires more than
+                // just the stall: routed >= 1 sustained over 2 samples.
+                .with_watch_spec(
+                    WatchSpec::new("routed-at-all", Metric::Gauge("routed".into()))
+                        .at_least(1)
+                        .sustained_for(2)
+                        .severity(Severity::Info),
+                )
+                .deterministic(),
+        );
+        let collector = Collector::new();
+        subscribe_all(&mut engine, &collector);
+        for inst in workload(5) {
+            engine.ingest(inst);
+        }
+        let report = engine.finish();
+        let health = report.health.expect("watch report");
+        assert!(
+            health.alerts.iter().any(|a| a.rule == "routed-at-all"),
+            "the custom spec fires"
+        );
+        assert!(
+            health.alerts.iter().any(|a| a.rule == "watermark-stall"),
+            "the stall tail fires"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse_alert_stream(&text).expect("export parses");
+        assert_eq!(parsed, health.alerts, "export mirrors the ring");
+        assert!(health.evicted == 0);
+        (health.alerts, text)
+    };
+    let (alerts_a, text_a) = run_exported("a.jsonl");
+    let (alerts_b, text_b) = run_exported("b.jsonl");
+    assert_eq!(alerts_a, alerts_b, "alert streams must be bit-identical");
+    assert_eq!(text_a, text_b, "alert exports must be bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A valid line of each schema-v3 export kind, for mutation fuzzing.
+fn sample_lines() -> Vec<String> {
+    let mut recorder = stem::obs::Recorder::new();
+    recorder.inc("ingested", 7);
+    recorder.set_gauge("routed", 3);
+    recorder.record("watermark_lag", 12);
+    let snapshot = stem::obs::ObsSnapshot::build(
+        1,
+        9,
+        Some(512),
+        &recorder,
+        vec![stem::obs::ShardRow {
+            shard: 0,
+            queue_depth: 2,
+            gauges: vec![("released", 40)],
+        }],
+    );
+    let trace = stem::obs::TraceRecord::Instance {
+        shard: 1,
+        trace: 77,
+        seq: 76,
+        stamps: [1, 2, 3, 4],
+    };
+    let alert = HealthAlert {
+        rule: "shard-backlog".to_owned(),
+        severity: stem::watch::Severity::Warning,
+        shard: Some(2),
+        epoch: 1,
+        began_seq: 4,
+        fired_seq: 6,
+        ticks: Some(512),
+        value: 9_000,
+        threshold: 4_096,
+        constituents: vec![4, 5, 6],
+    };
+    vec![
+        snapshot.to_json_line(),
+        trace.to_json_line_at(1),
+        alert.to_json_line(),
+    ]
+}
+
+proptest! {
+    /// Satellite 2's fuzz half: truncations and byte mutations of valid
+    /// schema-v3 lines never panic any parser in the export family —
+    /// they parse to something or error cleanly.
+    #[test]
+    fn malformed_export_lines_error_cleanly(
+        choice in 0usize..3,
+        cut in 0usize..400,
+        pos in 0usize..400,
+        byte in 0u8..=255,
+    ) {
+        let line = sample_lines().swap_remove(choice);
+        // Export lines are pure ASCII, so any byte index is a char
+        // boundary.
+        prop_assert!(line.is_ascii());
+        let feed = |text: &str| {
+            let _ = json::parse(text);
+            let _ = stem::obs::parse_trace_line_epoch(text);
+            let _ = parse_alert_line(text);
+        };
+        feed(&line[..cut.min(line.len())]);
+        let mut mutated = line.into_bytes();
+        let pos = pos.min(mutated.len().saturating_sub(1));
+        mutated[pos] = byte;
+        if let Ok(text) = String::from_utf8(mutated) {
+            feed(&text);
+        }
+    }
+}
+
+/// Satellite 1 end to end: a recovered run stamps a bumped epoch into
+/// every exporter, seqs restart at 0, and consumers keying on
+/// `(epoch, seq)` see a strictly monotone stream across the restart.
+#[test]
+fn recovered_runs_stamp_a_new_epoch_into_exports() {
+    let dir = temp_path("epoch");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("wal");
+    let config = |telemetry: &str, alerts: &str| {
+        EngineConfig::new(bounds())
+            .with_shards(2)
+            .with_batch_size(32)
+            .with_wal(&wal)
+            .with_telemetry(
+                TelemetryPolicy::every_batches(1)
+                    .with_ring(64)
+                    .with_export(dir.join(telemetry)),
+            )
+            .with_watch(WatchPolicy::enabled().with_export(dir.join(alerts)))
+            .with_watch_spec(
+                WatchSpec::new("routed-at-all", Metric::Gauge("routed".into()))
+                    .at_least(1)
+                    .severity(Severity::Info),
+            )
+            .deterministic()
+    };
+    // Epoch keys of every line in an export file, in order.
+    let epoch_keys = |name: &str| -> Vec<(u64, u64)> {
+        std::fs::read_to_string(dir.join(name))
+            .unwrap()
+            .lines()
+            .map(|line| {
+                let v = json::parse(line).expect("valid export line");
+                (
+                    v.get("epoch").and_then(json::Value::as_u64).expect("epoch"),
+                    v.get("seq").and_then(json::Value::as_u64).expect("seq"),
+                )
+            })
+            .collect()
+    };
+
+    // Run 0: a fresh start is epoch 0.
+    let mut engine = Engine::start(config("t0.jsonl", "a0.jsonl"));
+    assert_eq!(engine.run_epoch(), 0);
+    let collector = Collector::new();
+    subscribe_all(&mut engine, &collector);
+    let stream = workload(3);
+    for inst in &stream[..600] {
+        engine.ingest(inst.clone());
+    }
+    let report = engine.finish();
+    assert!(report.health.is_some());
+    let keys0 = epoch_keys("t0.jsonl");
+    assert!(!keys0.is_empty());
+    assert!(keys0.iter().all(|&(e, _)| e == 0), "fresh run is epoch 0");
+    assert!(
+        epoch_keys("a0.jsonl").iter().all(|&(e, _)| e == 0),
+        "fresh-run alerts are epoch 0"
+    );
+
+    // Run 1: recovery bumps the epoch; telemetry seqs restart at 0.
+    let mut recovery = Engine::recover(config("t1.jsonl", "a1.jsonl")).expect("recover");
+    let collector = Collector::new();
+    let half = WORLD / 2.0;
+    for gx in 0..2 {
+        for gy in 0..2 {
+            let lo = Point::new(gx as f64 * half, gy as f64 * half);
+            let hi = Point::new(lo.x + half, lo.y + half);
+            recovery.subscribe(
+                Subscription::new(
+                    format!("hot-{gx}-{gy}"),
+                    SpatialExtent::field(Field::rect(Rect::new(lo, hi))),
+                    collector.sink(),
+                )
+                .for_event("reading")
+                .when(dsl::parse("x.temp > 70").expect("valid")),
+            );
+        }
+    }
+    let mut engine = recovery.resume();
+    assert_eq!(engine.run_epoch(), 1, "recovery bumps the run epoch");
+    assert_eq!(
+        std::fs::read_to_string(wal.join("run-epoch"))
+            .unwrap()
+            .trim(),
+        "1"
+    );
+    let resume = engine.resume_from() as usize;
+    for inst in &stream[resume.min(stream.len())..] {
+        engine.ingest(inst.clone());
+    }
+    let report = engine.finish();
+    let health = report.health.expect("watch report");
+    assert!(
+        health.alerts.iter().all(|a| a.epoch == 1),
+        "recovered-run alerts carry the bumped epoch: {:?}",
+        health.alerts
+    );
+    let keys1 = epoch_keys("t1.jsonl");
+    assert!(!keys1.is_empty());
+    assert!(
+        keys1.iter().all(|&(e, _)| e == 1),
+        "recovered run is epoch 1"
+    );
+    assert_eq!(keys1[0].1, 0, "seqs restart at 0 after recovery");
+    // The consumer contract: bare seqs are NOT continuous across the
+    // restart, but (epoch, seq) keys over the concatenated exports are
+    // strictly monotone.
+    let all: Vec<(u64, u64)> = keys0.iter().chain(keys1.iter()).copied().collect();
+    assert!(
+        all.windows(2).all(|w| w[0] < w[1]),
+        "(epoch, seq) strictly monotone across the restart"
+    );
+
+    // Run 2: a second recovery keeps counting.
+    let engine = Engine::recover(config("t2.jsonl", "a2.jsonl"))
+        .expect("recover")
+        .resume();
+    assert_eq!(engine.run_epoch(), 2);
+    let _ = engine.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("stem-watch-{tag}-{}", std::process::id()))
+}
