@@ -39,9 +39,16 @@
 //!   snapshot cadence — then a stall-injected deterministic leg proving
 //!   the alert path end to end (`cargo run ... -- watch` runs only this
 //!   part and merges a `watch` block into `BENCH_engine.json`).
+//! * **tenancy** — multi-tenancy: ≥100k structurally identical tenant
+//!   subscriptions over the 144-district grid, shared detector plans
+//!   vs per-subscription detectors. Asserts the dedupe contract (one
+//!   plan per district, ≤1% as many plans as subscriptions, dedupe
+//!   ratio > 10x) and records throughput, registration rate, and
+//!   RSS bytes per subscription (`cargo run ... -- tenancy` runs only
+//!   this part and merges a `tenancy` block into `BENCH_engine.json`).
 //!
 //! Results go to `BENCH_engine.json` (full, `wal`, `snap`, `scoped`,
-//! `trace`, and `watch` runs).
+//! `trace`, `watch`, and `tenancy` runs).
 //!
 //! Why sharding pays even on a single core: each shard only scans the
 //! subscriptions homed on it, so the per-instance evaluation scan
@@ -538,6 +545,7 @@ struct ScopedRun {
     notifications: u64,
     fanout: u64,
     scoped_subscriptions: u64,
+    plans_active: u64,
     bvh_nodes_visited: u64,
     precision_skipped: u64,
     scope_skipped: u64,
@@ -547,8 +555,12 @@ struct ScopedRun {
 /// engine. Each station wants its own district's readings; unscoped
 /// compilation broadcasts every instance to every station's home
 /// shard, scoped compilation prunes routing to the one district that
-/// cares. Returns the `scoped` JSON block for `BENCH_engine.json` and
-/// asserts the pruning contract (scoped subscriptions registered,
+/// cares. The scoped/unscoped stations are identical templates
+/// (everywhere-region, same condition) so plan sharing collapses them
+/// to one plan per home shard; the regional compile keeps 144 distinct
+/// plans (region is in the key) and is the leg that crosses the BVH
+/// threshold. Returns the `scoped` JSON block for `BENCH_engine.json`
+/// and asserts the pruning contract (scoped subscriptions registered,
 /// fanout strictly below the unscoped baseline, deliveries identical
 /// to the regional reference).
 fn scoped_mode() -> String {
@@ -610,6 +622,7 @@ fn scoped_mode() -> String {
                 notifications: report.total_notifications(),
                 fanout: report.router.fanout,
                 scoped_subscriptions: report.router.scoped_subscriptions,
+                plans_active: report.plans_active,
                 bvh_nodes_visited: report.router.bvh_nodes_visited,
                 precision_skipped: report.router.precision_skipped,
                 scope_skipped: report.total_scope_skipped(),
@@ -640,6 +653,7 @@ fn scoped_mode() -> String {
         "instances/sec",
         "notifications",
         "fanout",
+        "plans",
         "bvh_nodes",
         "prec_skip",
         "scope_skip",
@@ -651,6 +665,7 @@ fn scoped_mode() -> String {
             format!("{:.0}", r.instances_per_sec),
             r.notifications.to_string(),
             r.fanout.to_string(),
+            r.plans_active.to_string(),
             r.bvh_nodes_visited.to_string(),
             r.precision_skipped.to_string(),
             r.scope_skipped.to_string(),
@@ -674,8 +689,13 @@ fn scoped_mode() -> String {
         "out-of-scope drops must be visible"
     );
     assert!(
-        scoped.bvh_nodes_visited > 0,
-        "144 stations across {SHARDS} shards crosses the BVH threshold"
+        scoped.plans_active <= SHARDS as u64,
+        "identical-template stations must share one plan per home shard (got {})",
+        scoped.plans_active,
+    );
+    assert!(
+        regional.bvh_nodes_visited > 0,
+        "144 distinct-region stations across {SHARDS} shards cross the BVH threshold"
     );
     assert_eq!(
         scoped.notifications, regional.notifications,
@@ -701,13 +721,15 @@ fn scoped_mode() -> String {
         block.push_str(&format!(
             "      {{\"compile\": \"{}\", \"shards\": {}, \"instances_per_sec\": {:.0}, \
              \"notifications\": {}, \"fanout\": {}, \"scoped_subscriptions\": {}, \
-             \"bvh_nodes_visited\": {}, \"precision_skipped\": {}, \"scope_skipped\": {}}}{}\n",
+             \"plans_active\": {}, \"bvh_nodes_visited\": {}, \"precision_skipped\": {}, \
+             \"scope_skipped\": {}}}{}\n",
             r.label,
             r.shards,
             r.instances_per_sec,
             r.notifications,
             r.fanout,
             r.scoped_subscriptions,
+            r.plans_active,
             r.bvh_nodes_visited,
             r.precision_skipped,
             r.scope_skipped,
@@ -727,27 +749,272 @@ fn scoped_mode() -> String {
     block
 }
 
+/// Resident-set bytes from `/proc/self/statm` (0 where unavailable).
+fn rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| s.split_whitespace().nth(1).and_then(|f| f.parse().ok()))
+        .map_or(0, |pages: u64| pages * 4096)
+}
+
+/// The multi-tenancy workload: ≥100k structurally identical station
+/// subscriptions (the paper's 10⁵-observer regime — every tenant in a
+/// district asks the same question, only the sink differs) over the
+/// 144-district grid. Shared-plan canonicalization must collapse them
+/// to one detector instance per district; asserts the dedupe contract
+/// (≤1% as many plans as subscriptions, dedupe ratio > 10x) and
+/// returns the `tenancy` JSON block for `BENCH_engine.json`.
+fn tenancy_mode() -> String {
+    const STATIONS_PER_SIDE: usize = 12; // 144 districts
+    const TENANTS_PER_DISTRICT: usize = 700; // 100_800 subscriptions
+                                             // The per-subscription baseline pays O(n) registry rebuild and ~n
+                                             // detector evaluations per covered instance — the disease sharing
+                                             // cures — so its leg runs at 1/10 the tenant count and a shorter
+                                             // feed to stay affordable; rates are per-second normalized.
+    const UNSHARED_TENANTS_PER_DISTRICT: usize = 70;
+    const TENANCY_INSTANCES: usize = 60_000;
+    const UNSHARED_INSTANCES: usize = 4_000;
+    const SHARDS: usize = 8;
+    println!("\n-- tenancy mode: shared detector plans at 100k subscriptions --\n");
+    let instances: Vec<EventInstance> = synthetic_stream()
+        .into_iter()
+        .take(TENANCY_INSTANCES)
+        .collect();
+    let step = WORLD / STATIONS_PER_SIDE as f64;
+    let district = |gx: usize, gy: usize| {
+        Rect::new(
+            Point::new(gx as f64 * step, gy as f64 * step),
+            Point::new((gx as f64 + 1.0) * step, (gy as f64 + 1.0) * step),
+        )
+    };
+    struct TenancyRun {
+        mode: &'static str,
+        instances: usize,
+        instances_per_sec: f64,
+        register_per_sec: f64,
+        bytes_per_subscription: u64,
+        subscriptions: u64,
+        plans_active: u64,
+        dedupe_ratio: f64,
+        max_fanout: u64,
+        notifications: u64,
+    }
+    let run = |mode: &'static str,
+               sharing: bool,
+               tenants_per_district: usize,
+               feed: &[EventInstance]|
+     -> TenancyRun {
+        let mut engine = Engine::start(
+            EngineConfig::new(bounds())
+                .with_shards(SHARDS)
+                .with_batch_size(256)
+                .with_queue_capacity(32)
+                .with_watermark_slack(Duration::new(16))
+                .with_plan_sharing(sharing),
+        );
+        let collector = Collector::new();
+        let rss_before = rss_bytes();
+        let reg_started = std::time::Instant::now();
+        let mut subs = 0u64;
+        for gy in 0..STATIONS_PER_SIDE {
+            for gx in 0..STATIONS_PER_SIDE {
+                let rect = district(gx, gy);
+                for t in 0..tenants_per_district {
+                    // The template (region, filter, condition, home)
+                    // is identical across a district's tenants; only
+                    // the name and sink — subscriber identity — vary.
+                    // The threshold sits above the synthetic temp
+                    // range so dispatch cost, not delivery, is
+                    // measured.
+                    engine.subscribe(
+                        Subscription::new(
+                            format!("tenant-{gx}-{gy}-{t}"),
+                            SpatialExtent::field(Field::rect(rect)),
+                            collector.sink(),
+                        )
+                        .for_event("reading")
+                        .when(dsl::parse("x.temp > 99.5").unwrap())
+                        .homed_near(rect.center()),
+                    );
+                    subs += 1;
+                }
+            }
+        }
+        let register_per_sec = subs as f64 / reg_started.elapsed().as_secs_f64();
+        let rss_delta = rss_bytes().saturating_sub(rss_before);
+        engine.ingest_all(feed.iter());
+        let report = engine.finish();
+        TenancyRun {
+            mode,
+            instances: feed.len(),
+            instances_per_sec: report.throughput(),
+            register_per_sec,
+            bytes_per_subscription: rss_delta / subs.max(1),
+            subscriptions: subs,
+            plans_active: report.plans_active,
+            dedupe_ratio: report.dedupe_ratio(),
+            max_fanout: report.plan_subscribers_max,
+            notifications: report.total_notifications(),
+        }
+    };
+
+    let unshared = run(
+        "unshared",
+        false,
+        UNSHARED_TENANTS_PER_DISTRICT,
+        &instances[..UNSHARED_INSTANCES],
+    );
+    let shared = run("shared", true, TENANTS_PER_DISTRICT, &instances);
+
+    let mut table = Table::new(vec![
+        "mode",
+        "subs",
+        "instances",
+        "instances/sec",
+        "register/sec",
+        "plans",
+        "dedupe",
+        "bytes/sub",
+    ]);
+    for r in [&unshared, &shared] {
+        table.row(vec![
+            r.mode.to_string(),
+            r.subscriptions.to_string(),
+            r.instances.to_string(),
+            format!("{:.0}", r.instances_per_sec),
+            format!("{:.0}", r.register_per_sec),
+            r.plans_active.to_string(),
+            format!("{:.1}x", r.dedupe_ratio),
+            r.bytes_per_subscription.to_string(),
+        ]);
+    }
+    table.print();
+
+    // The dedupe contract, asserted where CI can see it fail.
+    assert!(
+        shared.subscriptions >= 100_000,
+        "the tenancy workload must register at least 100k subscriptions"
+    );
+    assert_eq!(
+        shared.plans_active,
+        (STATIONS_PER_SIDE * STATIONS_PER_SIDE) as u64,
+        "identical tenant templates must collapse to one plan per district"
+    );
+    assert!(
+        shared.plans_active * 100 <= shared.subscriptions,
+        "shared plans must number at most 1% of subscriptions ({} plans for {})",
+        shared.plans_active,
+        shared.subscriptions,
+    );
+    assert!(
+        shared.dedupe_ratio > 10.0,
+        "plan dedupe ratio must exceed 10x (got {:.1}x)",
+        shared.dedupe_ratio,
+    );
+    assert_eq!(
+        unshared.plans_active, unshared.subscriptions,
+        "sharing off must keep one plan per subscription"
+    );
+    assert_eq!(
+        shared.notifications, 0,
+        "the over-threshold condition must not deliver"
+    );
+    println!(
+        "\ndedupe: {} subscriptions -> {} plans ({:.0}x); \
+         {} bytes/sub shared vs {} unshared",
+        shared.subscriptions,
+        shared.plans_active,
+        shared.dedupe_ratio,
+        shared.bytes_per_subscription,
+        unshared.bytes_per_subscription,
+    );
+
+    let mut block = String::from("{\n");
+    block.push_str(&format!(
+        "    \"workload\": \"{} structurally identical tenant subscriptions over \
+         {} districts, shared plans vs per-subscription detectors\",\n",
+        shared.subscriptions,
+        STATIONS_PER_SIDE * STATIONS_PER_SIDE,
+    ));
+    block.push_str(&format!(
+        "    \"subscriptions\": {},\n    \"plans_active\": {},\n    \
+         \"dedupe_ratio\": {:.1},\n    \"max_fanout\": {},\n",
+        shared.subscriptions, shared.plans_active, shared.dedupe_ratio, shared.max_fanout,
+    ));
+    block.push_str("    \"results\": [\n");
+    let runs = [&unshared, &shared];
+    for (i, r) in runs.iter().enumerate() {
+        block.push_str(&format!(
+            "      {{\"mode\": \"{}\", \"subscriptions\": {}, \"instances\": {}, \
+             \"instances_per_sec\": {:.0}, \"register_per_sec\": {:.0}, \
+             \"plans_active\": {}, \"bytes_per_subscription\": {}}}{}\n",
+            r.mode,
+            r.subscriptions,
+            r.instances,
+            r.instances_per_sec,
+            r.register_per_sec,
+            r.plans_active,
+            r.bytes_per_subscription,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    block.push_str("    ]\n  }");
+    block
+}
+
 /// Merges a named top-level block into `BENCH_engine.json`, replacing
 /// an existing one (so `-- wal` / `-- snap` refresh their numbers
 /// without discarding the full run's results).
 fn merge_block(key: &str, block: &str) {
     let path = "BENCH_engine.json";
-    let marker = format!(",\n  \"{key}\":");
-    let json = match std::fs::read_to_string(path) {
-        Ok(text) => {
-            let head = match text.find(&marker) {
-                Some(i) => text[..i].to_string(),
-                None => {
-                    let last = text.rfind('}').expect("json object");
-                    text[..last].trim_end().to_string()
-                }
-            };
-            format!("{head},\n  \"{key}\": {block}\n}}\n")
-        }
-        Err(_) => format!("{{\n  \"bench\": \"engine_throughput\",\n  \"{key}\": {block}\n}}\n"),
-    };
+    let existing = std::fs::read_to_string(path).ok();
+    let json = merged_json(existing.as_deref(), key, block);
     std::fs::write(path, json).expect("write BENCH_engine.json");
     println!("\nmerged {key} block into BENCH_engine.json");
+}
+
+/// The pure merge behind [`merge_block`]: `existing` is the current
+/// file contents (None = no file yet), `block` the new value for
+/// `key`. Refreshing a key that already exists replaces its value *in
+/// place* — everything after the old value, including blocks merged by
+/// later modes, is preserved. (Brace matching ignores strings; bench
+/// block values never contain braces inside string literals.)
+fn merged_json(existing: Option<&str>, key: &str, block: &str) -> String {
+    let marker = format!(",\n  \"{key}\":");
+    match existing {
+        Some(text) => match text.find(&marker) {
+            Some(i) => {
+                let value_start = i + marker.len();
+                let open = text[value_start..]
+                    .find('{')
+                    .map(|o| value_start + o)
+                    .expect("block value is an object");
+                let mut depth = 0usize;
+                let mut end = None;
+                for (off, ch) in text[open..].char_indices() {
+                    match ch {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = Some(open + off + 1);
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                let end = end.expect("balanced block braces");
+                format!("{},\n  \"{key}\": {block}{}", &text[..i], &text[end..])
+            }
+            None => {
+                let last = text.rfind('}').expect("json object");
+                let head = text[..last].trim_end();
+                format!("{head},\n  \"{key}\": {block}\n}}\n")
+            }
+        },
+        None => format!("{{\n  \"bench\": \"engine_throughput\",\n  \"{key}\": {block}\n}}\n"),
+    }
 }
 
 /// Bytes on disk under `dir` (WAL segments + snapshots).
@@ -1521,6 +1788,7 @@ fn main() {
     let obs_only = std::env::args().any(|a| a == "obs");
     let trace_only = std::env::args().any(|a| a == "trace");
     let watch_only = std::env::args().any(|a| a == "watch");
+    let tenancy_only = std::env::args().any(|a| a == "tenancy");
     banner(
         "BENCH-ENGINE",
         "streaming engine ingest throughput vs. shard count",
@@ -1564,6 +1832,11 @@ fn main() {
     if watch_only {
         let block = watch_mode();
         merge_block("watch", &block);
+        return;
+    }
+    if tenancy_only {
+        let block = tenancy_mode();
+        merge_block("tenancy", &block);
         return;
     }
     let instances = synthetic_stream();
@@ -1670,4 +1943,57 @@ fn main() {
     merge_block("trace", &block);
     let block = watch_mode();
     merge_block("watch", &block);
+    let block = tenancy_mode();
+    merge_block("tenancy", &block);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::merged_json;
+
+    const SEEDED: &str = "{\n  \"bench\": \"engine_throughput\",\n  \"wal\": {\n    \"a\": 1\n  },\n  \"snap\": {\n    \"b\": {\"c\": 2}\n  },\n  \"scoped\": {\n    \"d\": 3\n  }\n}\n";
+
+    /// Refreshing a key in the *middle* of the file must keep every
+    /// block after it (this used to truncate the tail).
+    #[test]
+    fn refreshing_a_middle_key_keeps_trailing_blocks() {
+        let merged = merged_json(Some(SEEDED), "snap", "{\n    \"b\": 9\n  }");
+        assert!(
+            merged.contains("\"snap\": {\n    \"b\": 9\n  }"),
+            "{merged}"
+        );
+        assert!(
+            !merged.contains("\"c\": 2"),
+            "old snap value replaced: {merged}"
+        );
+        assert!(merged.contains("\"wal\""), "head block kept: {merged}");
+        assert!(
+            merged.contains("\"scoped\": {\n    \"d\": 3\n  }"),
+            "trailing block kept: {merged}"
+        );
+        assert!(
+            merged.trim_end().ends_with('}'),
+            "still one object: {merged}"
+        );
+    }
+
+    #[test]
+    fn new_key_appends_and_missing_file_seeds() {
+        let appended = merged_json(Some(SEEDED), "tenancy", "{\n    \"e\": 4\n  }");
+        for key in ["\"wal\"", "\"snap\"", "\"scoped\"", "\"tenancy\""] {
+            assert!(appended.contains(key), "{appended}");
+        }
+        let seeded = merged_json(None, "tenancy", "{}");
+        assert!(seeded.starts_with("{\n  \"bench\""), "{seeded}");
+        assert!(seeded.contains("\"tenancy\": {}"), "{seeded}");
+    }
+
+    /// Refreshing the same key twice is idempotent — the second merge
+    /// finds exactly one block to replace.
+    #[test]
+    fn refresh_is_idempotent() {
+        let once = merged_json(Some(SEEDED), "wal", "{\n    \"a\": 7\n  }");
+        let twice = merged_json(Some(&once), "wal", "{\n    \"a\": 7\n  }");
+        assert_eq!(once, twice);
+    }
 }

@@ -25,7 +25,7 @@
 use crate::app::{CpsApplication, SustainedSource};
 use crate::scenario::ScenarioConfig;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::sync::Arc;
 use stem_core::timing::Clock;
@@ -201,6 +201,14 @@ pub fn engine_subscriptions(
             world.min().y + world.height() * f,
         )
     };
+    // Structurally identical detector specs reuse the *first*
+    // occurrence's diagonal slot: a distinct hint per registration
+    // would scatter identical templates across home shards and defeat
+    // the engine's shared-plan dedupe (the home is a plan-key
+    // ingredient). Distinct templates keep distinct slots, so load
+    // still spreads.
+    let mut first_slot: HashMap<String, usize> = HashMap::new();
+    let mut slot_for = move |tag: String, index: usize| *first_slot.entry(tag).or_insert(index);
     let mut subs = Vec::new();
     for spec in &app.sink_detectors {
         subs.push(
@@ -210,7 +218,7 @@ pub fn engine_subscriptions(
                 .matching(spec.pattern.clone(), spec.mode, spec.horizon)
                 .with_definition(spec.definition.clone())
                 .observed_by(sink_observer.clone())
-                .homed_near(hint(subs.len())),
+                .homed_near(hint(slot_for(format!("sink|{spec:?}"), subs.len()))),
         );
     }
     for spec in &app.ccu_detectors {
@@ -221,7 +229,7 @@ pub fn engine_subscriptions(
                 .matching(spec.pattern.clone(), spec.mode, spec.horizon)
                 .with_definition(spec.definition.clone())
                 .observed_by(ccu_observer.clone())
-                .homed_near(hint(subs.len())),
+                .homed_near(hint(slot_for(format!("ccu|{spec:?}"), subs.len()))),
         );
     }
     for spec in &app.sustained {
@@ -243,7 +251,7 @@ pub fn engine_subscriptions(
                         inactive_value: spec.inactive_value(),
                     }),
                 })
-                .homed_near(hint(subs.len())),
+                .homed_near(hint(slot_for(format!("sus|{spec:?}"), subs.len()))),
         );
     }
     subs
@@ -458,7 +466,8 @@ impl EnginePump {
         let world = scenario_world_bounds(config, app);
         let mut engine_config = EngineConfig::new(world)
             .with_shards(shards)
-            .with_batch_size(1);
+            .with_batch_size(1)
+            .with_plan_sharing(config.plan_sharing);
         if deterministic {
             engine_config = engine_config.deterministic();
         }

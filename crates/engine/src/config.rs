@@ -313,6 +313,16 @@ pub struct EngineConfig {
     /// Extra watchdog rules evaluated alongside the built-in set
     /// ([`stem_watch::builtin_watchers`]) when watch is enabled.
     pub watch_specs: Vec<stem_watch::WatchSpec>,
+    /// Whether structurally identical subscriptions share one detector
+    /// plan (on by default). At registration each subscription is
+    /// canonicalized into a plan key — its evaluation-relevant shape
+    /// with subscriber identity abstracted out — and subscriptions with
+    /// equal keys collapse onto ONE detector instance whose output fans
+    /// out to every subscriber. Deliveries are bit-identical either
+    /// way; `false` forces the pre-sharing one-detector-per-subscription
+    /// layout (every plan gets exactly one subscriber), which the
+    /// equivalence suite uses as the reference.
+    pub plan_sharing: bool,
 }
 
 impl EngineConfig {
@@ -340,7 +350,16 @@ impl EngineConfig {
             trace_export: None,
             watch: WatchPolicy::Off,
             watch_specs: Vec::new(),
+            plan_sharing: true,
         }
+    }
+
+    /// Enables or disables shared detector plans (see
+    /// [`EngineConfig::plan_sharing`]).
+    #[must_use]
+    pub fn with_plan_sharing(mut self, sharing: bool) -> Self {
+        self.plan_sharing = sharing;
+        self
     }
 
     /// Sets the self-monitoring watch policy (requires sampled

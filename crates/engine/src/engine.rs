@@ -6,12 +6,14 @@ use crate::config::{
     TelemetryPolicy, TracePolicy, WatchPolicy,
 };
 use crate::metrics::EngineReport;
+use crate::plan::{plan_key, PlanId};
 use crate::router::ShardRouter;
 use crate::shard_map::ShardMap;
 use crate::slot::ShardSlot;
 use crate::subscription::{Subscription, SubscriptionId};
 use crate::trace::{FlightRing, TraceHandle, TraceReport, WorkerTrace};
 use crate::worker::{ShardMessage, ShardWorker, SnapContext, SubscriptionState, WorkerObs};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -49,6 +51,24 @@ enum Backend {
     },
 }
 
+/// One live shared detector plan in the engine's registry: the
+/// canonical template every structurally-identical subscription on the
+/// same home shard collapses into. The entry tracks how many
+/// subscribers ride the plan (last-out retires it) and which routing
+/// scopes the plan's router interest already unions.
+struct PlanEntry {
+    /// The canonical template key ([`plan_key`]) — removed from the
+    /// dedupe map when the last subscriber leaves.
+    key: String,
+    /// The plan's home shard (every subscriber of the plan lives here).
+    home: ShardId,
+    /// Live subscriber count.
+    subscribers: u64,
+    /// Debug-rendered scopes already added to the router interest, so
+    /// identical scopes don't rebuild the BVH or re-union the bbox.
+    scopes: BTreeSet<String>,
+}
+
 /// The streaming runtime. See the crate docs for the architecture.
 ///
 /// Lifecycle: [`Engine::start`] → [`Engine::subscribe`] /
@@ -58,6 +78,16 @@ pub struct Engine {
     router: ShardRouter,
     backend: Backend,
     next_subscription: u64,
+    /// Canonical template key → shared plan (the dedupe map).
+    plan_keys: HashMap<String, PlanId>,
+    /// Live plans by raw id.
+    plan_entries: BTreeMap<u64, PlanEntry>,
+    /// Subscription → its plan (unsubscribe / silence-probe lookup).
+    sub_plans: HashMap<u64, PlanId>,
+    /// Next plan id — dense, allocated in registration order so a
+    /// recovery replaying the same subscriptions re-derives the same
+    /// ids.
+    next_plan: u64,
     /// Messages sent per shard over the engine's lifetime. Compared
     /// against each slot's processed counter: equality proves the shard
     /// clean, and [`Engine::sync`] skips it without any cross-thread
@@ -261,6 +291,10 @@ impl Engine {
             router,
             backend,
             next_subscription: 0,
+            plan_keys: HashMap::new(),
+            plan_entries: BTreeMap::new(),
+            sub_plans: HashMap::new(),
+            next_plan: 0,
             sent_msgs,
             resume_seq: 0,
             epoch: 0,
@@ -358,6 +392,20 @@ impl Engine {
         }
     }
 
+    /// The live plan-registry stats: `(plans_active, plan_subscribers,
+    /// plan_subscribers_max)`. `subscribers / active` is the engine's
+    /// dedupe ratio.
+    fn plan_stats(&self) -> (u64, u64, u64) {
+        let active = self.plan_entries.len() as u64;
+        let mut subscribers = 0u64;
+        let mut max = 0u64;
+        for entry in self.plan_entries.values() {
+            subscribers += entry.subscribers;
+            max = max.max(entry.subscribers);
+        }
+        (active, subscribers, max)
+    }
+
     /// Unconditionally cuts a telemetry snapshot (no-op with telemetry
     /// off).
     fn sample(&mut self) {
@@ -367,6 +415,7 @@ impl Engine {
         let fanout = router_metrics.fanout;
         let bvh_nodes = router_metrics.bvh_nodes_visited;
         let precision_skipped = router_metrics.precision_skipped;
+        let (plans_active, plan_subscribers, plan_subscribers_max) = self.plan_stats();
         let sent = self.sent_msgs.clone();
         // How far the stream clock has run past the last completed
         // checkpoint — what the snapshot-age watcher reads.
@@ -385,6 +434,10 @@ impl Engine {
         o.recorder.set_gauge("fanout", fanout);
         o.recorder.set_gauge("bvh_nodes", bvh_nodes);
         o.recorder.set_gauge("precision_skipped", precision_skipped);
+        o.recorder.set_gauge("plans_active", plans_active);
+        o.recorder.set_gauge("plan_subscribers", plan_subscribers);
+        o.recorder
+            .set_gauge("plan_subscribers_max", plan_subscribers_max);
         if let Some(age) = checkpoint_age {
             o.recorder.set_gauge("checkpoint_age_ticks", age);
         }
@@ -419,13 +472,51 @@ impl Engine {
     pub fn subscribe(&mut self, subscription: Subscription) -> SubscriptionId {
         let id = SubscriptionId(self.next_subscription);
         self.next_subscription += 1;
-        let home = self.router.subscribe(
-            id,
-            subscription.routing_scope().clone(),
-            subscription.layers.as_deref(),
-            subscription.home_hint,
-        );
-        let state = SubscriptionState::compile(id, subscription);
+        let scope = subscription.routing_scope().clone();
+        let home = self.router.home_for(&scope, subscription.home_hint);
+        let key = plan_key(&subscription, home, self.config.plan_sharing, id);
+        let plan = match self.plan_keys.get(&key) {
+            Some(&plan) => {
+                // Join an existing plan: one more subscriber on the
+                // same detector instance. Widen the router interest
+                // only if this scope is genuinely new to the plan.
+                let entry = self
+                    .plan_entries
+                    .get_mut(&plan.raw())
+                    .expect("keyed plan has an entry");
+                entry.subscribers += 1;
+                if entry.scopes.insert(format!("{scope:?}")) {
+                    self.router
+                        .add_scope(plan, scope, subscription.layers.as_deref());
+                }
+                plan
+            }
+            None => {
+                let plan = PlanId(self.next_plan);
+                self.next_plan += 1;
+                let scope_tag = format!("{scope:?}");
+                let routed_home = self.router.subscribe(
+                    plan,
+                    scope,
+                    subscription.layers.as_deref(),
+                    subscription.home_hint,
+                );
+                debug_assert_eq!(routed_home, home, "home_for disagrees with subscribe");
+                self.plan_keys.insert(key.clone(), plan);
+                self.plan_entries.insert(
+                    plan.raw(),
+                    PlanEntry {
+                        key,
+                        home,
+                        subscribers: 1,
+                        scopes: BTreeSet::from([scope_tag]),
+                    },
+                );
+                plan
+            }
+        };
+        self.sub_plans.insert(id.raw(), plan);
+        let state = SubscriptionState::compile(id, plan, subscription);
         // Flush anything already routed so registration order is
         // preserved relative to the instance stream.
         self.flush_shard(home);
@@ -439,9 +530,26 @@ impl Engine {
     /// forfeited: they release after the retirement takes effect and
     /// the subscription no longer observes them.
     pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
-        let Some(home) = self.router.unsubscribe(id) else {
+        let Some(plan) = self.sub_plans.remove(&id.raw()) else {
             return false;
         };
+        let entry = self
+            .plan_entries
+            .get_mut(&plan.raw())
+            .expect("subscribed plan has an entry");
+        entry.subscribers -= 1;
+        let home = entry.home;
+        if entry.subscribers == 0 {
+            // Last subscriber out retires the shared plan: drop the
+            // dedupe key and the router interest with it.
+            let entry = self
+                .plan_entries
+                .remove(&plan.raw())
+                .expect("entry checked above");
+            self.plan_keys.remove(&entry.key);
+            let removed = self.router.unsubscribe(plan);
+            debug_assert_eq!(removed, Some(home), "router lost a live plan interest");
+        }
         self.flush_shard(home);
         self.send(home, ShardMessage::Unsubscribe(id));
         true
@@ -879,7 +987,12 @@ impl Engine {
     /// advances that shard's stream clock to `at`, and is discarded as
     /// stale if the watermark has already passed `at`.
     pub fn probe_silence(&mut self, id: SubscriptionId, at: TimePoint) -> bool {
-        let Some(home) = self.router.home_of(id) else {
+        let Some(home) = self
+            .sub_plans
+            .get(&id.raw())
+            .and_then(|plan| self.plan_entries.get(&plan.raw()))
+            .map(|entry| entry.home)
+        else {
             return false;
         };
         // Flush first so the probe lands after everything routed so far.
@@ -1130,6 +1243,7 @@ impl Engine {
             .watch
             .take()
             .map(|w| w.lock().expect("watcher poisoned").report());
+        let (plans_active, plan_subscribers, plan_subscribers_max) = self.plan_stats();
         EngineReport {
             shards,
             router: self.router.take_metrics(),
@@ -1137,6 +1251,9 @@ impl Engine {
             obs,
             trace,
             health,
+            plans_active,
+            plan_subscribers,
+            plan_subscribers_max,
         }
     }
 

@@ -88,6 +88,7 @@ mod batch;
 mod config;
 mod engine;
 mod metrics;
+mod plan;
 mod router;
 mod shard_map;
 mod slot;

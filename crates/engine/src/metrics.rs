@@ -36,8 +36,12 @@ pub struct ShardMetrics {
     pub watermark_lag_max: u64,
     /// The shard's final watermark.
     pub watermark: Option<TimePoint>,
-    /// Subscriptions resident when the shard finished.
+    /// Subscriptions resident when the shard finished (fan-out
+    /// subscribers across every plan).
     pub subscriptions: usize,
+    /// Shared detector plans resident when the shard finished —
+    /// `subscriptions / plans` is the shard's dedupe ratio.
+    pub plans: usize,
     /// Write-ahead log counters (all zero without a WAL).
     pub wal: WalMetrics,
     /// Checkpoint snapshot counters (all zero without checkpointing).
@@ -170,9 +174,26 @@ pub struct EngineReport {
     /// ring (oldest first) plus the eviction count. `None` when the run
     /// had [`crate::WatchPolicy::Off`].
     pub health: Option<stem_watch::HealthReport>,
+    /// Shared detector plans active at shutdown (across all shards).
+    pub plans_active: u64,
+    /// Subscribers registered across every plan at shutdown.
+    pub plan_subscribers: u64,
+    /// The most subscribers any single plan carried at shutdown.
+    pub plan_subscribers_max: u64,
 }
 
 impl EngineReport {
+    /// Subscribers per detector instance at shutdown — the sharing
+    /// economy (1.0 = no dedupe; the 144-district mega-tenancy bench
+    /// targets several hundred).
+    #[must_use]
+    pub fn dedupe_ratio(&self) -> f64 {
+        if self.plans_active == 0 {
+            0.0
+        } else {
+            self.plan_subscribers as f64 / self.plans_active as f64
+        }
+    }
     /// Total instances released across shards.
     #[must_use]
     pub fn total_released(&self) -> u64 {
@@ -270,6 +291,9 @@ impl EngineReport {
         flat.inc("snap_loaded", snap.snapshots_loaded);
         flat.inc("snap_tail_skipped", snap.tail_skipped);
         flat.inc("snap_retired", snap.segments_retired);
+        flat.inc("plans_active", self.plans_active);
+        flat.inc("plan_subscribers", self.plan_subscribers);
+        flat.inc("plan_subscribers_max", self.plan_subscribers_max);
         // `inc` on a fresh recorder then merge would double-count the
         // registry's own mirrors of these names; none of the names
         // above are registry counters, so the fold below only *adds*
@@ -315,6 +339,13 @@ impl EngineReport {
             c("snap_tail_skipped"),
             c("snap_retired"),
         );
+        line.push_str(&format!(
+            " plans[active={} subscribers={} max_fanout={} dedupe={:.1}x]",
+            c("plans_active"),
+            c("plan_subscribers"),
+            c("plan_subscribers_max"),
+            self.dedupe_ratio(),
+        ));
         if let Some(lag) = r.hist("watermark_lag") {
             line.push_str(&format!(
                 " obs[watermark_lag_p99={} max={}]",

@@ -3,8 +3,8 @@
 use crate::batch::{Batch, BatchItem, ItemPayload, ItemTrace};
 use crate::config::ShardId;
 use crate::metrics::RouterMetrics;
+use crate::plan::PlanId;
 use crate::shard_map::{Grid, ShardMap};
-use crate::subscription::SubscriptionId;
 use std::sync::Arc;
 use stem_core::{ColumnarBatch, EventInstance, Layer, TraceClock};
 use stem_spatial::{Bvh, Field, Point, Rect, SpatialExtent};
@@ -22,16 +22,23 @@ fn layer_mask(layers: Option<&[Layer]>) -> u8 {
     })
 }
 
-/// One registered subscription scope as the router sees it: the exact
-/// extent for precision checks, its (cheaper) bounding box, and the
-/// subscription's layer filter as a bitmask — everything the worker's
-/// own candidate filter would reject is already rejected here, at
-/// enqueue time.
+/// One registered detector plan as the router sees it: the union of
+/// its subscribers' routing scopes (exact extents for precision
+/// checks, plus their cheaper union bounding box) and the plan's layer
+/// filter as a bitmask — everything the worker's own candidate filter
+/// would reject is already rejected here, at enqueue time. A plan with
+/// many subscribers costs one interest entry, so mega-tenancy
+/// registration leaves the routing tables plan-sized; the worker
+/// re-applies each subscriber's own scope at fan-out, keeping the
+/// union's pruning exact.
 #[derive(Debug, Clone)]
 struct Interest {
-    id: SubscriptionId,
+    id: PlanId,
+    /// Union bounding box over `scopes`.
     bbox: Rect,
-    scope: SpatialExtent,
+    /// Every distinct subscriber scope attached to the plan (the engine
+    /// dedupes identical scopes before they reach the router).
+    scopes: Vec<SpatialExtent>,
     layers: u8,
 }
 
@@ -48,7 +55,8 @@ struct Interest {
 pub struct ShardRouter {
     map: ShardMap,
     batch_size: usize,
-    /// Per home shard: scopes of resident subscriptions.
+    /// Per home shard: interests of resident plans (one entry per
+    /// plan, however many subscribers share it).
     interests: Vec<Vec<Interest>>,
     /// Per home shard: the BVH over the resident scope bounding boxes,
     /// built once the interest count crosses `bvh_threshold` (item
@@ -179,17 +187,15 @@ impl ShardRouter {
         self.heartbeat_sent.fill(high_water);
     }
 
-    /// Registers a subscription's routing scope and returns its home
-    /// shard: the owner of `home_hint` — clamped into the scope's
-    /// bounding box, so a scoped subscription always homes inside its
-    /// own scope — or of the scope's center without a hint.
-    pub fn subscribe(
-        &mut self,
-        id: SubscriptionId,
-        scope: SpatialExtent,
-        layers: Option<&[Layer]>,
-        home_hint: Option<Point>,
-    ) -> ShardId {
+    /// The home shard a scope + hint pair resolves to: the owner of
+    /// `home_hint` — clamped into the scope's bounding box, so a scoped
+    /// plan always homes inside its own scope — or of the scope's
+    /// center without a hint. Pure: registration uses exactly this
+    /// computation, so the engine can derive a subscription's home (a
+    /// plan-key ingredient) before deciding whether the plan already
+    /// exists.
+    #[must_use]
+    pub fn home_for(&self, scope: &SpatialExtent, home_hint: Option<Point>) -> ShardId {
         let bbox = scope.bounding_box();
         let anchor = home_hint.map_or_else(
             || bbox.center(),
@@ -200,14 +206,27 @@ impl ShardRouter {
                 )
             },
         );
-        let home = self.map.shard_for_point(anchor);
+        self.map.shard_for_point(anchor)
+    }
+
+    /// Registers a plan's first routing scope and returns its home
+    /// shard (see [`ShardRouter::home_for`]).
+    pub(crate) fn subscribe(
+        &mut self,
+        id: PlanId,
+        scope: SpatialExtent,
+        layers: Option<&[Layer]>,
+        home_hint: Option<Point>,
+    ) -> ShardId {
+        let bbox = scope.bounding_box();
+        let home = self.home_for(&scope, home_hint);
         if !bbox.contains_rect(&self.map.bounds()) {
             self.metrics.scoped_subscriptions += 1;
         }
         self.interests[home].push(Interest {
             id,
             bbox,
-            scope,
+            scopes: vec![scope],
             layers: layer_mask(layers),
         });
         if let Some(bvh) = &mut self.bvhs[home] {
@@ -215,8 +234,48 @@ impl ShardRouter {
         } else if self.interests[home].len() >= self.bvh_threshold.max(1) {
             self.rebuild_bvh(home);
         }
-        let scope = &self.interests[home].last().expect("just pushed").scope;
-        for (leaf, cell) in self.interest_grid.leaf_rects_for_rect(&bbox) {
+        self.mark_leaves(home, self.interests[home].len() - 1);
+        home
+    }
+
+    /// Widens an existing plan's interest with a further subscriber's
+    /// scope: the scope joins the precision list, the union bounding
+    /// box grows, and the layer mask widens. The engine only calls this
+    /// for scopes the plan has not seen yet, so a million structurally
+    /// identical subscriptions over one region cost the router exactly
+    /// one interest entry with one scope.
+    pub(crate) fn add_scope(&mut self, id: PlanId, scope: SpatialExtent, layers: Option<&[Layer]>) {
+        let Some((home, pos)) = self.locate(id) else {
+            return;
+        };
+        let grew = {
+            let interest = &mut self.interests[home][pos];
+            let bbox = interest.bbox.union(&scope.bounding_box());
+            let grew = bbox != interest.bbox;
+            interest.bbox = bbox;
+            interest.layers |= layer_mask(layers);
+            interest.scopes.push(scope);
+            grew
+        };
+        if grew {
+            // BVH item boxes are immutable once inserted; a widened
+            // union bbox needs the home shard's index rebuilt.
+            self.rebuild_bvh(home);
+        }
+        self.mark_leaves(home, pos);
+    }
+
+    /// Sets the interest-grid leaf bits for the newest scope of
+    /// `interests[home][pos]`.
+    fn mark_leaves(&mut self, home: ShardId, pos: usize) {
+        let scope = self.interests[home][pos]
+            .scopes
+            .last()
+            .expect("interest holds at least one scope");
+        for (leaf, cell) in self
+            .interest_grid
+            .leaf_rects_for_rect(&scope.bounding_box())
+        {
             // Exact-coverage refinement: a bounding box overstates a
             // circular or polygonal scope by up to its whole corner
             // area, and at leaf granularity that marks interest on
@@ -228,7 +287,14 @@ impl ShardRouter {
                 self.leaf_masks[leaf] |= 1 << home;
             }
         }
-        home
+    }
+
+    /// The `(home shard, list position)` of a registered plan.
+    fn locate(&self, id: PlanId) -> Option<(ShardId, usize)> {
+        self.interests
+            .iter()
+            .enumerate()
+            .find_map(|(shard, list)| list.iter().position(|i| i.id == id).map(|pos| (shard, pos)))
     }
 
     /// (Re)builds a home shard's BVH over its resident scope boxes, or
@@ -243,26 +309,21 @@ impl ShardRouter {
         };
     }
 
-    /// The home shard of a registered subscription, if known.
+    /// The home shard of a registered plan, if known.
+    #[cfg(test)]
     #[must_use]
-    pub fn home_of(&self, id: SubscriptionId) -> Option<ShardId> {
-        self.interests
-            .iter()
-            .position(|list| list.iter().any(|i| i.id == id))
+    pub(crate) fn home_of(&self, id: PlanId) -> Option<ShardId> {
+        self.locate(id).map(|(shard, _)| shard)
     }
 
-    /// Forgets a subscription; returns its home shard if it was known.
-    pub fn unsubscribe(&mut self, id: SubscriptionId) -> Option<ShardId> {
-        for (shard, list) in self.interests.iter_mut().enumerate() {
-            if let Some(pos) = list.iter().position(|i| i.id == id) {
-                list.remove(pos);
-                let shard_id = shard;
-                self.rebuild_leaf_masks();
-                self.rebuild_bvh(shard_id);
-                return Some(shard_id);
-            }
-        }
-        None
+    /// Forgets a plan (its last subscriber left); returns its home
+    /// shard if it was known.
+    pub(crate) fn unsubscribe(&mut self, id: PlanId) -> Option<ShardId> {
+        let (shard, pos) = self.locate(id)?;
+        self.interests[shard].remove(pos);
+        self.rebuild_leaf_masks();
+        self.rebuild_bvh(shard);
+        Some(shard)
     }
 
     /// Recomputes the leaf interest masks from scratch (unsubscribe is
@@ -273,26 +334,29 @@ impl ShardRouter {
         }
         for (shard, list) in self.interests.iter().enumerate() {
             for interest in list {
-                for (leaf, cell) in self.interest_grid.leaf_rects_for_rect(&interest.bbox) {
-                    // Same exact-coverage refinement as `subscribe`.
-                    if interest
-                        .scope
-                        .intersects(&SpatialExtent::field(Field::rect(cell)))
+                for scope in &interest.scopes {
+                    for (leaf, cell) in self
+                        .interest_grid
+                        .leaf_rects_for_rect(&scope.bounding_box())
                     {
-                        self.leaf_masks[leaf] |= 1 << shard;
+                        // Same exact-coverage refinement as `mark_leaves`.
+                        if scope.intersects(&SpatialExtent::field(Field::rect(cell))) {
+                            self.leaf_masks[leaf] |= 1 << shard;
+                        }
                     }
                 }
             }
         }
     }
 
-    /// Whether some subscription homed on `shard` accepts the layer and
-    /// has a routing scope *exactly* covering the point (leaf masks are
-    /// bounding-box granular; this is the precision pass that trims the
-    /// broadcast fan-out). Served by the per-shard BVH once the shard's
-    /// interest count crossed the threshold, by the linear scan below
-    /// it — both answer identically.
+    /// Whether some plan homed on `shard` accepts the layer and has a
+    /// subscriber routing scope *exactly* covering the point (leaf
+    /// masks are bounding-box granular; this is the precision pass that
+    /// trims the broadcast fan-out). Served by the per-shard BVH once
+    /// the shard's interest count crossed the threshold, by the linear
+    /// scan below it — both answer identically.
     fn covered_by_interest(&mut self, shard: ShardId, p: Point, layer: u8) -> bool {
+        let covers = |i: &Interest| i.scopes.iter().any(|s| s.covers(p));
         if let Some(bvh) = &self.bvhs[shard] {
             self.scratch.clear();
             self.metrics.bvh_nodes_visited += bvh.query_point(p, &mut self.scratch);
@@ -300,11 +364,11 @@ impl ShardRouter {
             self.scratch
                 .iter()
                 .map(|&i| &list[i as usize])
-                .any(|i| i.layers & layer != 0 && i.scope.covers(p))
+                .any(|i| i.layers & layer != 0 && covers(i))
         } else {
             self.interests[shard]
                 .iter()
-                .any(|i| i.layers & layer != 0 && i.bbox.contains(p) && i.scope.covers(p))
+                .any(|i| i.layers & layer != 0 && i.bbox.contains(p) && covers(i))
         }
     }
 
@@ -643,7 +707,7 @@ mod tests {
         // Scope is the lower-left quadrant; the hint points at the
         // opposite corner of the world.
         let scope = rect_scope(0.0, 0.0, 40.0, 40.0);
-        let home = r.subscribe(SubscriptionId(0), scope, None, Some(Point::new(99.0, 99.0)));
+        let home = r.subscribe(PlanId(0), scope, None, Some(Point::new(99.0, 99.0)));
         assert_eq!(
             home,
             r.map().shard_for_point(Point::new(40.0, 40.0)),
@@ -660,7 +724,7 @@ mod tests {
             for i in 0..12u64 {
                 let f = i as f64;
                 r.subscribe(
-                    SubscriptionId(i),
+                    PlanId(i),
                     rect_scope(f * 8.0, f * 8.0, f * 8.0 + 6.0, f * 8.0 + 6.0),
                     None,
                     // One shared home so the precision scan sees all 12.
@@ -684,5 +748,39 @@ mod tests {
         assert_eq!(lm.precision_skipped, bm.precision_skipped);
         assert_eq!(lm.bvh_nodes_visited, 0, "linear side never descends");
         assert!(bm.bvh_nodes_visited > 0, "the BVH side reports its cost");
+    }
+
+    /// A plan whose interest unions two subscriber scopes routes every
+    /// point exactly as two separate single-scope plans on the same
+    /// home would: the union is a compaction of the routing tables, not
+    /// a loss of precision. (Both scopes here resolve to the same home
+    /// shard — sharing never *moves* a home, it only merges interests
+    /// that already landed together.)
+    #[test]
+    fn union_scope_interest_routes_like_separate_interests() {
+        let hint = Some(Point::new(1.0, 1.0));
+        let mut split = router(4, usize::MAX);
+        split.subscribe(PlanId(0), rect_scope(0.0, 0.0, 20.0, 20.0), None, hint);
+        split.subscribe(PlanId(1), rect_scope(25.0, 25.0, 45.0, 45.0), None, hint);
+
+        let mut shared = router(4, usize::MAX);
+        shared.subscribe(PlanId(0), rect_scope(0.0, 0.0, 20.0, 20.0), None, hint);
+        shared.add_scope(PlanId(0), rect_scope(25.0, 25.0, 45.0, 45.0), None);
+
+        for i in 0..200u64 {
+            let p = Point::new((i as f64 * 7.3) % 100.0, (i as f64 * 3.1) % 100.0);
+            let a = split.route(inst(i, p.x, p.y));
+            let b = shared.route(inst(i, p.x, p.y));
+            assert_eq!(a, b, "targets diverged at {p:?}");
+        }
+        // The gap between the two scopes stays pruned: the union
+        // *bounding box* covers (22.5, 22.5) but no exact scope does.
+        assert!(!shared.covered_by_interest(
+            shared.home_of(PlanId(0)).unwrap(),
+            Point::new(22.5, 22.5),
+            layer_bit(Layer::Sensor)
+        ));
+        assert_eq!(shared.unsubscribe(PlanId(0)), Some(0));
+        assert!(shared.home_of(PlanId(0)).is_none());
     }
 }

@@ -3,6 +3,7 @@
 use crate::batch::{Batch, ItemPayload};
 use crate::config::ShardId;
 use crate::metrics::ShardMetrics;
+use crate::plan::PlanId;
 use crate::subscription::{
     EventSink, Notification, NotificationKind, SilenceSpec, Subscription, SubscriptionId,
     SustainedValue,
@@ -11,7 +12,7 @@ use crate::trace::WorkerTrace;
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::Arc;
-use stem_cep::{CompositeDetector, ReorderBuffer, SustainedDetector};
+use stem_cep::{CompositeDetector, ReorderBuffer, SustainedDetector, SustainedEvent};
 use stem_core::codec::{self, CodecError, CodecResult, StateCodec};
 use stem_core::timing::{Clock, SpanToken};
 use stem_core::{
@@ -171,9 +172,17 @@ enum EvalKind {
     Sustained(SustainedState),
 }
 
-/// A [`Subscription`] compiled for residence on one shard.
+/// A [`Subscription`] compiled for residence on one shard, tagged with
+/// the plan it instantiates. The worker splits it on arrival: the first
+/// subscriber of a plan donates the template (filters + detector), and
+/// every subscriber contributes its identity row (id, scope, sink,
+/// delivered count).
 pub(crate) struct SubscriptionState {
     id: SubscriptionId,
+    /// The shared plan this subscription instantiates (assigned by the
+    /// engine's canonicalizer; unique per subscription with sharing
+    /// off).
+    plan: PlanId,
     region: SpatialExtent,
     bbox: Rect,
     /// The explicit routing scope with its bounding box, when one was
@@ -199,7 +208,7 @@ pub(crate) struct SubscriptionState {
 
 impl SubscriptionState {
     /// Compiles `sub` for residence on its home shard.
-    pub(crate) fn compile(id: SubscriptionId, sub: Subscription) -> Self {
+    pub(crate) fn compile(id: SubscriptionId, plan: PlanId, sub: Subscription) -> Self {
         let bbox = sub.region.bounding_box();
         let scope = sub.scope.clone().map(|scope| (scope.bounding_box(), scope));
         let (kind, condition) = if let Some(spec) = sub.pattern {
@@ -248,6 +257,7 @@ impl SubscriptionState {
             .unwrap_or_default();
         SubscriptionState {
             id,
+            plan,
             region: sub.region,
             bbox,
             scope,
@@ -260,6 +270,80 @@ impl SubscriptionState {
             delivered: 0,
         }
     }
+}
+
+/// One subscriber of a shared plan: everything that stays per-identity
+/// after the template is deduplicated — who to tell, where their scope
+/// gate sits, and how much they have already been told.
+struct Subscriber {
+    id: SubscriptionId,
+    /// The subscriber's routing scope (re-checked at fan-out so shared
+    /// evaluation prunes exactly what per-subscription evaluation did;
+    /// stateful plans carry the scope in their key, so their
+    /// subscribers' scopes agree and the detector's input is gated
+    /// identically).
+    scope: Option<(Rect, SpatialExtent)>,
+    sink: Box<dyn EventSink>,
+    /// Notifications delivered to this subscriber's sink so far
+    /// (persisted per subscriber in checkpoint snapshots).
+    delivered: u64,
+}
+
+/// One shared detector plan resident on a shard: the template filters
+/// and detector state, evaluated once per instance, plus the subscriber
+/// list its output fans out to.
+struct PlanState {
+    id: PlanId,
+    region: SpatialExtent,
+    bbox: Rect,
+    event_filter: Option<EventId>,
+    layers: Option<Vec<Layer>>,
+    condition: Option<ConditionExpr>,
+    entities: Vec<EntityName>,
+    kind: EvalKind,
+    subscribers: Vec<Subscriber>,
+}
+
+impl PlanState {
+    /// Creates a plan from its first subscriber's compiled state.
+    fn new(state: SubscriptionState) -> Self {
+        PlanState {
+            id: state.plan,
+            region: state.region,
+            bbox: state.bbox,
+            event_filter: state.event_filter,
+            layers: state.layers,
+            condition: state.condition,
+            entities: state.entities,
+            kind: state.kind,
+            subscribers: vec![Subscriber {
+                id: state.id,
+                scope: state.scope,
+                sink: state.sink,
+                delivered: state.delivered,
+            }],
+        }
+    }
+}
+
+/// The memoized result of evaluating one plan against one instance:
+/// computed at the first matched subscriber, fanned out to the rest.
+/// Owned data only — fan-out re-borrows the plan for its subscriber
+/// rows after evaluation releases the detector.
+enum PlanOutcome {
+    /// Evaluation errored (counted per subscriber, like the unshared
+    /// pipeline did).
+    Error,
+    /// A plain condition that held: deliver the instance.
+    PlainPass,
+    /// A plain condition that did not hold.
+    PlainFail,
+    /// Derived instances a pattern detector completed, each with its
+    /// resolved constituents.
+    Derived(Vec<(EventInstance, Vec<Constituent>)>),
+    /// A sustained detector's episode event (if the sample closed one),
+    /// with the episode's remembered constituents.
+    Sustained(Option<(SustainedEvent, Vec<Constituent>)>),
 }
 
 /// Evaluates a per-instance condition with every entity bound to the
@@ -454,7 +538,12 @@ pub(crate) struct ShardWorker {
     /// Probes pushed through the reorder buffer (excluded from the
     /// instance-release counter).
     probes: u64,
-    subs: Vec<SubscriptionState>,
+    /// The resident shared plans, in creation order. Every subscription
+    /// lives inside exactly one plan's subscriber list.
+    plans: Vec<PlanState>,
+    /// Plan id → index into `plans` (registration-path lookup; dispatch
+    /// never touches it).
+    plan_index: BTreeMap<u64, usize>,
     /// The shard's write-ahead log (None without durability).
     wal: Option<ShardWal>,
     /// Snapshot directory and retention (None without durability).
@@ -477,21 +566,24 @@ pub(crate) struct ShardWorker {
     /// Causal tracing state (None with [`crate::TracePolicy::Off`]:
     /// same single-branch discipline as `obs`).
     trace: Option<WorkerTrace>,
-    /// Indices of subscriptions passing the filter pass for the
-    /// instance being dispatched (reused across dispatches).
-    match_scratch: Vec<usize>,
-    /// Dense bounding-box column parallel to `subs`: the filter pass
-    /// probes this flat array instead of chasing each subscription
-    /// record for its bbox.
-    sub_bboxes: Vec<Rect>,
-    /// Filter-pass candidate index: subscription indices bucketed by
-    /// event filter, so dispatch walks only subscriptions whose filter
-    /// can match the instance's event.
+    /// Matched `(subscriber registration order, plan index, subscriber
+    /// index)` tuples for the instance being dispatched, sorted by the
+    /// first field before fan-out so the global delivery order is
+    /// exactly what per-subscription evaluation produced (reused across
+    /// dispatches).
+    match_scratch: Vec<(u64, u32, u32)>,
+    /// Dense bounding-box column parallel to `plans`: the filter pass
+    /// probes this flat array instead of chasing each plan record for
+    /// its bbox.
+    plan_bboxes: Vec<Rect>,
+    /// Filter-pass candidate index: plan indices bucketed by event
+    /// filter, so dispatch walks only plans whose filter can match the
+    /// instance's event.
     by_event: BTreeMap<EventId, Vec<usize>>,
-    /// Subscriptions with no event filter (always candidates).
+    /// Plans with no event filter (always candidates).
     wildcard: Vec<usize>,
-    /// The BVH over `sub_bboxes` (item index = subscription index),
-    /// built once the resident count crosses
+    /// The BVH over `plan_bboxes` (item index = plan index), built once
+    /// the resident count crosses
     /// [`ShardWorker::DISPATCH_BVH_THRESHOLD`]: dispatch then probes
     /// the tree with the instance's point instead of walking every
     /// event-matching candidate — on dense shards almost all residents
@@ -519,7 +611,8 @@ impl ShardWorker {
             slack,
             reorder: ReorderBuffer::new(slack),
             probes: 0,
-            subs: Vec::new(),
+            plans: Vec::new(),
+            plan_index: BTreeMap::new(),
             wal,
             snap,
             checkpoint_every: checkpoint_every.max(1),
@@ -533,7 +626,7 @@ impl ShardWorker {
             obs,
             trace,
             match_scratch: Vec::new(),
-            sub_bboxes: Vec::new(),
+            plan_bboxes: Vec::new(),
             by_event: BTreeMap::new(),
             wildcard: Vec::new(),
             sub_bvh: None,
@@ -541,30 +634,39 @@ impl ShardWorker {
         }
     }
 
-    /// Resident-subscription count at which dispatch switches from the
-    /// linear candidate merge to the point-query BVH over region
-    /// bounding boxes. Below it a cache-resident linear scan wins.
+    /// Resident-plan count at which dispatch switches from the linear
+    /// candidate merge to the point-query BVH over region bounding
+    /// boxes. Below it a cache-resident linear scan wins.
     const DISPATCH_BVH_THRESHOLD: usize = 16;
 
     /// Rebuilds the filter-pass candidate index (bbox column + event
-    /// buckets + the dispatch BVH on dense shards). Runs on every
-    /// subscribe/unsubscribe — registration is cold, dispatch is hot.
+    /// buckets + the dispatch BVH on dense shards) and the plan-id
+    /// lookup. Runs when a plan is created or retired — registration is
+    /// cold, dispatch is hot, and adding a subscriber to an existing
+    /// plan changes none of it.
     fn rebuild_filter_index(&mut self) {
-        self.sub_bboxes.clear();
-        self.sub_bboxes.extend(self.subs.iter().map(|s| s.bbox));
+        self.plan_bboxes.clear();
+        self.plan_bboxes.extend(self.plans.iter().map(|p| p.bbox));
         self.by_event.clear();
         self.wildcard.clear();
-        for (idx, sub) in self.subs.iter().enumerate() {
-            match &sub.event_filter {
+        self.plan_index.clear();
+        for (idx, plan) in self.plans.iter().enumerate() {
+            self.plan_index.insert(plan.id.raw(), idx);
+            match &plan.event_filter {
                 Some(event) => self.by_event.entry(event.clone()).or_default().push(idx),
                 None => self.wildcard.push(idx),
             }
         }
-        self.sub_bvh = if self.subs.len() >= Self::DISPATCH_BVH_THRESHOLD {
-            Some(Bvh::build(&self.sub_bboxes))
+        self.sub_bvh = if self.plans.len() >= Self::DISPATCH_BVH_THRESHOLD {
+            Some(Bvh::build(&self.plan_bboxes))
         } else {
             None
         };
+    }
+
+    /// Total resident subscribers across every plan.
+    fn subscriber_count(&self) -> usize {
+        self.plans.iter().map(|p| p.subscribers.len()).sum()
     }
 
     /// Opens a telemetry span (None with telemetry off).
@@ -606,7 +708,8 @@ impl ShardWorker {
         let late = self.reorder.late_dropped();
         let wal_metrics = self.wal.as_ref().map(ShardWal::metrics);
         let notifications = self.metrics.notifications;
-        let subs = self.subs.len() as u64;
+        let subs = self.subscriber_count() as u64;
+        let plans = self.plans.len() as u64;
         let Some(o) = self.obs.as_mut() else {
             return;
         };
@@ -621,6 +724,7 @@ impl ShardWorker {
         o.recorder.set_gauge("late_dropped", late);
         o.recorder.set_gauge("notifications", notifications);
         o.recorder.set_gauge("subscriptions", subs);
+        o.recorder.set_gauge("plans", plans);
         if let Some(m) = wal_metrics {
             o.recorder.set_gauge("wal_bytes", m.bytes);
             o.recorder.set_gauge("wal_records", m.records);
@@ -640,12 +744,38 @@ impl ShardWorker {
         match message {
             ShardMessage::Batch(batch) => self.process_batch(batch),
             ShardMessage::Subscribe(state) => {
-                self.subs.push(*state);
-                self.rebuild_filter_index();
+                // The first subscriber of a plan donates the template;
+                // later subscribers join its fan-out list (and change
+                // nothing the dispatch index reads).
+                match self.plan_index.get(&state.plan.raw()).copied() {
+                    Some(idx) => self.plans[idx].subscribers.push(Subscriber {
+                        id: state.id,
+                        scope: state.scope,
+                        sink: state.sink,
+                        delivered: state.delivered,
+                    }),
+                    None => {
+                        self.plans.push(PlanState::new(*state));
+                        self.rebuild_filter_index();
+                    }
+                }
             }
             ShardMessage::Unsubscribe(id) => {
-                self.subs.retain(|s| s.id != id);
-                self.rebuild_filter_index();
+                let mut retired_plan = false;
+                for i in 0..self.plans.len() {
+                    let plan = &mut self.plans[i];
+                    if let Some(pos) = plan.subscribers.iter().position(|s| s.id == id) {
+                        plan.subscribers.remove(pos);
+                        if plan.subscribers.is_empty() {
+                            self.plans.remove(i);
+                            retired_plan = true;
+                        }
+                        break;
+                    }
+                }
+                if retired_plan {
+                    self.rebuild_filter_index();
+                }
             }
             ShardMessage::SilenceProbe {
                 id,
@@ -994,9 +1124,9 @@ impl ShardWorker {
             high_water,
             active_segment,
             subs_delivered: self
-                .subs
+                .plans
                 .iter()
-                .map(|s| (s.id.raw(), s.delivered))
+                .flat_map(|p| p.subscribers.iter().map(|s| (s.id.raw(), s.delivered)))
                 .collect(),
             state: self.snapshot_state(),
         };
@@ -1019,18 +1149,25 @@ impl ShardWorker {
     /// Serializes the shard's full evaluation state over the
     /// [`StateCodec`] seam: the reorder buffer (with every in-flight
     /// instance and queued silence probe), the stream bookkeeping, and
-    /// every resident subscription's detector state.
+    /// the plan store — each plan's detector state written ONCE however
+    /// many subscribers share it, followed by the subscriber list's
+    /// identity rows (id + delivered count). This is the
+    /// [`stem_snap::SNAPSHOT_VERSION`] 2 layout; version-1 snapshots
+    /// (one detector copy per subscription) are rejected by the reader
+    /// and recovery falls back to full-log replay.
     fn snapshot_state(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         self.reorder.save_state(&mut buf, encode_stream_item);
         codec::put_u64(&mut buf, self.probes);
         codec::encode_opt_time_point(self.logged_high_water, &mut buf);
         codec::put_u64(&mut buf, self.since_checkpoint);
-        codec::put_u32(&mut buf, u32::try_from(self.subs.len()).unwrap_or(u32::MAX));
-        for sub in &self.subs {
-            codec::put_u64(&mut buf, sub.id.raw());
-            codec::put_u64(&mut buf, sub.delivered);
-            match &sub.kind {
+        codec::put_u32(
+            &mut buf,
+            u32::try_from(self.plans.len()).unwrap_or(u32::MAX),
+        );
+        for plan in &self.plans {
+            codec::put_u64(&mut buf, plan.id.raw());
+            match &plan.kind {
                 EvalKind::Plain => codec::put_u8(&mut buf, SUB_TAG_PLAIN),
                 EvalKind::Pattern(detector) => {
                     codec::put_u8(&mut buf, SUB_TAG_PATTERN);
@@ -1054,12 +1191,23 @@ impl ShardWorker {
                     }
                 }
             }
+            codec::put_u32(
+                &mut buf,
+                u32::try_from(plan.subscribers.len()).unwrap_or(u32::MAX),
+            );
+            for s in &plan.subscribers {
+                codec::put_u64(&mut buf, s.id.raw());
+                codec::put_u64(&mut buf, s.delivered);
+            }
         }
         buf
     }
 
     /// Restores state saved by [`ShardWorker::snapshot_state`] into
-    /// this worker's freshly re-registered subscription set.
+    /// this worker's freshly re-registered plan store (the recovery
+    /// contract — re-registering the original subscriptions in the
+    /// original order — re-derives the same plan ids and subscriber
+    /// lists, so plans and subscribers resolve by id).
     fn restore_state(&mut self, state: &[u8]) -> CodecResult<()> {
         let bytes = &mut &state[..];
         self.reorder.load_state(bytes, decode_stream_item)?;
@@ -1069,13 +1217,12 @@ impl ShardWorker {
         let n = codec::get_u32(bytes)? as usize;
         for _ in 0..n {
             let id = codec::get_u64(bytes)?;
-            let delivered = codec::get_u64(bytes)?;
             let tag = codec::get_u8(bytes)?;
-            let Some(sub) = self.subs.iter_mut().find(|s| s.id.raw() == id) else {
-                return Err(CodecError::Invalid("snapshot subscription missing"));
+            let Some(&idx) = self.plan_index.get(&id) else {
+                return Err(CodecError::Invalid("snapshot plan missing"));
             };
-            sub.delivered = delivered;
-            match (tag, &mut sub.kind) {
+            let plan = &mut self.plans[idx];
+            match (tag, &mut plan.kind) {
                 (SUB_TAG_PLAIN, EvalKind::Plain) => {}
                 (SUB_TAG_PATTERN, EvalKind::Pattern(detector)) => detector.load_state(bytes)?,
                 (SUB_TAG_SUSTAINED, EvalKind::Sustained(state)) => {
@@ -1090,7 +1237,16 @@ impl ShardWorker {
                         state.push_constituent(Constituent { trace, shard, seq });
                     }
                 }
-                _ => return Err(CodecError::Invalid("snapshot subscription shape")),
+                _ => return Err(CodecError::Invalid("snapshot plan shape")),
+            }
+            let m = codec::get_u32(bytes)? as usize;
+            for _ in 0..m {
+                let sub = codec::get_u64(bytes)?;
+                let delivered = codec::get_u64(bytes)?;
+                let Some(row) = plan.subscribers.iter_mut().find(|s| s.id.raw() == sub) else {
+                    return Err(CodecError::Invalid("snapshot subscriber missing"));
+                };
+                row.delivered = delivered;
             }
         }
         if !bytes.is_empty() {
@@ -1156,27 +1312,31 @@ impl ShardWorker {
         }
     }
 
-    /// Offers one in-order instance to every resident subscription,
-    /// evaluating at the instance's observer-local time `at`.
+    /// Offers one in-order instance to every resident plan, evaluating
+    /// at the instance's observer-local time `at`.
     ///
     /// Two passes over the resident set: a *filter* pass over the
     /// candidate index (a point query against the dispatch BVH on
     /// dense shards, or the event buckets merged with the filter-less
-    /// residue below the threshold — then scope pruning, layer
-    /// filters, and exact region coverage, all reads of immutable
-    /// subscription fields and flat payload columns) collecting the
-    /// matching indices into the reused scratch vector, then an *eval*
-    /// pass running the detectors over exactly those. A columnar
-    /// payload is only materialized into a standalone instance when the
-    /// filter pass matched something, so non-matching rows never touch
-    /// the attribute arena. The split is what lets the filter cost
-    /// (`scope_prune`) and the evaluation cost (`evaluate`) be timed as
-    /// separate stages; it is behavior-preserving because the filters
-    /// never read state the evaluators mutate. (`scope_skipped` counts
-    /// scoped-out instances among *event-matching candidates* — and on
-    /// BVH shards a candidate must additionally be a spatial hit, so
-    /// the counter's absolute value depends on which index served the
-    /// dispatch; only its being nonzero is portable.)
+    /// residue below the threshold — then per-subscriber scope gates,
+    /// layer filters, and exact region coverage, all reads of immutable
+    /// plan fields and flat payload columns) collecting the matching
+    /// `(subscriber order, plan, subscriber)` tuples into the reused
+    /// scratch vector, then an *eval* pass running each matched plan's
+    /// detector ONCE (memoized per dispatch) and fanning its output out
+    /// to the matched subscribers in global registration order — so the
+    /// delivery stream is bit-identical to evaluating one detector per
+    /// subscription. A columnar payload is only materialized into a
+    /// standalone instance when the filter pass matched something, so
+    /// non-matching rows never touch the attribute arena. The split is
+    /// what lets the filter cost (`scope_prune`) and the evaluation
+    /// cost (`evaluate`) be timed as separate stages; it is
+    /// behavior-preserving because the filters never read state the
+    /// evaluators mutate. (`scope_skipped` counts scoped-out instances
+    /// among *event-matching candidates* — and on BVH shards a
+    /// candidate must additionally be a spatial hit, so the counter's
+    /// absolute value depends on which index served the dispatch; only
+    /// its being nonzero is portable.)
     fn dispatch(&mut self, at: TimePoint, payload: &ItemPayload, meta: ItemMeta) {
         let location = payload.representative();
         let layer = payload.layer();
@@ -1185,12 +1345,11 @@ impl ShardWorker {
         matched.clear();
         let prune_token = self.obs_start();
         // Candidate enumeration: on dense shards, a point query against
-        // the BVH over region bounding boxes (sorted back into
-        // registration order — delivery order must stay exactly what
-        // the full scan produced); below the threshold, the event
-        // buckets merged with the filter-less residue. The BVH path
-        // applies the event filter per candidate instead of up front —
-        // with a handful of spatial hits that is cheaper than it reads.
+        // the BVH over region bounding boxes; below the threshold, the
+        // event buckets merged with the filter-less residue. The BVH
+        // path applies the event filter per candidate instead of up
+        // front — with a handful of spatial hits that is cheaper than
+        // it reads.
         let via_bvh = self.sub_bvh.is_some();
         let mut cands = std::mem::take(&mut self.cand_scratch);
         cands.clear();
@@ -1229,43 +1388,55 @@ impl ShardWorker {
         let mut scope_pruned = false;
         for &cand in &cands {
             let idx = cand as usize;
-            let sub = &self.subs[idx];
+            let plan = &self.plans[idx];
             if via_bvh {
                 // The buckets pre-filtered by event on the linear path;
                 // spatial hits check it here instead.
-                if let Some(event) = &sub.event_filter {
+                if let Some(event) = &plan.event_filter {
                     if event != payload.event() {
                         continue;
                     }
                 }
             }
-            // Scope pruning before the remaining filters: a scoped
-            // subscription never sees (or pays any filter for) an
-            // instance outside its routing scope — the worker-side half
-            // of what the router's precision pass prunes at enqueue
-            // time.
-            if let Some((scope_bbox, scope)) = &sub.scope {
-                if !scope_bbox.contains(location) || !scope.covers(location) {
-                    self.metrics.scope_skipped += 1;
-                    scope_pruned = true;
-                    continue;
+            // Per-subscriber scope gates before the plan-level filters:
+            // a scoped subscriber never sees (or pays any filter for)
+            // an instance outside its routing scope — the worker-side
+            // half of what the router's precision pass prunes at
+            // enqueue time, reproduced per subscriber so shared
+            // evaluation prunes exactly what per-subscription
+            // evaluation did.
+            let gate_from = matched.len();
+            for (member, sub) in plan.subscribers.iter().enumerate() {
+                if let Some((scope_bbox, scope)) = &sub.scope {
+                    if !scope_bbox.contains(location) || !scope.covers(location) {
+                        self.metrics.scope_skipped += 1;
+                        scope_pruned = true;
+                        continue;
+                    }
                 }
+                matched.push((sub.id.raw(), cand, member as u32));
             }
-            if let Some(layers) = &sub.layers {
-                if !layers.contains(&layer) {
-                    continue;
+            let plan_passes = 'plan: {
+                if let Some(layers) = &plan.layers {
+                    if !layers.contains(&layer) {
+                        break 'plan false;
+                    }
                 }
+                // A BVH hit already proved bbox containment.
+                if !via_bvh && !self.plan_bboxes[idx].contains(location) {
+                    break 'plan false;
+                }
+                plan.region.covers(location)
+            };
+            if !plan_passes {
+                matched.truncate(gate_from);
             }
-            // A BVH hit already proved bbox containment.
-            if !via_bvh && !self.sub_bboxes[idx].contains(location) {
-                continue;
-            }
-            if !sub.region.covers(location) {
-                continue;
-            }
-            matched.push(idx);
         }
         self.cand_scratch = cands;
+        // Global registration order: the fan-out below must deliver in
+        // exactly the order one-detector-per-subscription dispatch did,
+        // however subscribers interleave across plans.
+        matched.sort_unstable();
         self.obs_acc(Stage::ScopePrune, prune_token);
         // A scope-prune verdict is only a *near miss* when nothing else
         // matched the instance — an instance one subscription pruned
@@ -1289,7 +1460,7 @@ impl ShardWorker {
             self.trace.as_ref().map_or(0, |wt| wt.clock.now())
         };
         // One materialization per matched item, shared by every matched
-        // subscription; owned payloads evaluate in place.
+        // plan; owned payloads evaluate in place.
         let materialized;
         let instance: &EventInstance = match payload {
             ItemPayload::Owned(instance) => instance,
@@ -1305,131 +1476,173 @@ impl ShardWorker {
                 return;
             }
         };
-        for &idx in &matched {
-            let sub = &mut self.subs[idx];
-            self.metrics.evaluated += 1;
-            match &mut sub.kind {
-                EvalKind::Plain => match eval_condition(&sub.condition, &sub.entities, instance) {
-                    Some(true) => {
-                        let provenance = self.trace.as_mut().map(|wt| {
-                            let c = Constituent {
-                                trace: TraceId(meta.seq),
-                                shard: u32::try_from(shard).unwrap_or(u32::MAX),
-                                seq: instance.seq().raw(),
-                            };
-                            notify_provenance(wt, shard, sub.id, vec![c], meta, evaluate)
-                        });
-                        sub.sink.deliver(Notification {
-                            subscription: sub.id,
-                            shard,
-                            kind: NotificationKind::Match(instance.clone()),
-                            provenance,
-                        });
-                        self.metrics.notifications += 1;
-                        sub.delivered += 1;
-                    }
-                    Some(false) => {}
-                    None => self.metrics.eval_errors += 1,
-                },
-                EvalKind::Pattern(detector) => {
-                    // The trace tag threads through the pattern store so
-                    // each completed match comes back with the ingest
-                    // sequences of every constituent it bound.
-                    match detector.process_traced_at(instance, at, meta.seq) {
-                        Ok(derived) => {
-                            for (d, tags) in derived {
-                                self.metrics.derived += 1;
-                                self.metrics.notifications += 1;
-                                sub.delivered += 1;
-                                let provenance = self.trace.as_mut().map(|wt| {
-                                    let shard32 = u32::try_from(shard).unwrap_or(u32::MAX);
-                                    let constituents = tags
-                                        .iter()
-                                        .map(|&(tag, seq)| Constituent {
-                                            trace: TraceId(tag),
-                                            shard: shard32,
-                                            seq,
+        let shard32 = u32::try_from(shard).unwrap_or(u32::MAX);
+        // Each plan evaluates once per dispatch, at its first matched
+        // subscriber; the memo serves the rest. Matched plans per
+        // instance are few, so a linear-scanned pair list beats a map.
+        let mut memo: Vec<(u32, PlanOutcome)> = Vec::new();
+        for &(_, cand, member) in &matched {
+            let plan_idx = cand as usize;
+            let outcome = match memo.iter().position(|(c, _)| *c == cand) {
+                Some(i) => &memo[i].1,
+                None => {
+                    let plan = &mut self.plans[plan_idx];
+                    let outcome = match &mut plan.kind {
+                        EvalKind::Plain => {
+                            match eval_condition(&plan.condition, &plan.entities, instance) {
+                                Some(true) => PlanOutcome::PlainPass,
+                                Some(false) => PlanOutcome::PlainFail,
+                                None => PlanOutcome::Error,
+                            }
+                        }
+                        EvalKind::Pattern(detector) => {
+                            // The trace tag threads through the pattern
+                            // store so each completed match comes back
+                            // with the ingest sequences of every
+                            // constituent it bound.
+                            match detector.process_traced_at(instance, at, meta.seq) {
+                                Ok(derived) => PlanOutcome::Derived(
+                                    derived
+                                        .into_iter()
+                                        .map(|(d, tags)| {
+                                            let constituents = tags
+                                                .iter()
+                                                .map(|&(tag, seq)| Constituent {
+                                                    trace: TraceId(tag),
+                                                    shard: shard32,
+                                                    seq,
+                                                })
+                                                .collect();
+                                            (d, constituents)
                                         })
-                                        .collect();
-                                    notify_provenance(
-                                        wt,
-                                        shard,
-                                        sub.id,
-                                        constituents,
-                                        meta,
-                                        evaluate,
+                                        .collect(),
+                                ),
+                                Err(_) => PlanOutcome::Error,
+                            }
+                        }
+                        EvalKind::Sustained(state) => {
+                            let episode = match &state.value {
+                                SustainedValue::Attribute(attr) => {
+                                    match instance.attributes().get_f64(attr) {
+                                        Some(value) => {
+                                            state.last_input = Some(at);
+                                            let v = if state.negate { -value } else { value };
+                                            Some(state.detector.update_value(at, v))
+                                        }
+                                        None => None,
+                                    }
+                                }
+                                SustainedValue::DistanceTo(reference) => {
+                                    state.last_input = Some(at);
+                                    let d = location.distance(*reference);
+                                    let v = if state.negate { -d } else { d };
+                                    Some(state.detector.update_value(at, v))
+                                }
+                                SustainedValue::Condition => {
+                                    match eval_condition(&plan.condition, &plan.entities, instance)
+                                    {
+                                        Some(holds) => {
+                                            state.last_input = Some(at);
+                                            Some(state.detector.update(at, holds))
+                                        }
+                                        None => None,
+                                    }
+                                }
+                            };
+                            match episode {
+                                None => PlanOutcome::Error,
+                                Some(event) => {
+                                    if self.trace.is_some() {
+                                        // Every accepted sample (the
+                                        // arms above all set
+                                        // `last_input`) joins the
+                                        // episode's bounded constituent
+                                        // memory.
+                                        state.push_constituent(Constituent {
+                                            trace: TraceId(meta.seq),
+                                            shard: shard32,
+                                            seq: instance.seq().raw(),
+                                        });
+                                    }
+                                    PlanOutcome::Sustained(
+                                        event.map(|e| {
+                                            (e, state.constituents.iter().copied().collect())
+                                        }),
                                     )
-                                });
-                                sub.sink.deliver(Notification {
-                                    subscription: sub.id,
-                                    shard,
-                                    kind: NotificationKind::Derived(d),
-                                    provenance,
-                                });
-                            }
-                        }
-                        Err(_) => self.metrics.eval_errors += 1,
-                    }
-                }
-                EvalKind::Sustained(state) => {
-                    let episode = match &state.value {
-                        SustainedValue::Attribute(attr) => {
-                            match instance.attributes().get_f64(attr) {
-                                Some(value) => {
-                                    state.last_input = Some(at);
-                                    let v = if state.negate { -value } else { value };
-                                    state.detector.update_value(at, v)
-                                }
-                                None => {
-                                    self.metrics.eval_errors += 1;
-                                    continue;
-                                }
-                            }
-                        }
-                        SustainedValue::DistanceTo(reference) => {
-                            state.last_input = Some(at);
-                            let d = location.distance(*reference);
-                            let v = if state.negate { -d } else { d };
-                            state.detector.update_value(at, v)
-                        }
-                        SustainedValue::Condition => {
-                            match eval_condition(&sub.condition, &sub.entities, instance) {
-                                Some(holds) => {
-                                    state.last_input = Some(at);
-                                    state.detector.update(at, holds)
-                                }
-                                None => {
-                                    self.metrics.eval_errors += 1;
-                                    continue;
                                 }
                             }
                         }
                     };
-                    if self.trace.is_some() {
-                        // Every accepted sample (the arms above all set
-                        // `last_input`) joins the episode's bounded
-                        // constituent memory.
-                        state.push_constituent(Constituent {
+                    memo.push((cand, outcome));
+                    &memo.last().expect("just pushed").1
+                }
+            };
+            // Fan-out: re-attach this subscriber's identity (its own
+            // subscription id, delivered count, provenance records) to
+            // the memoized template output. Per-subscriber counters
+            // match the unshared pipeline, which evaluated (and
+            // errored) once per subscription.
+            self.metrics.evaluated += 1;
+            match outcome {
+                PlanOutcome::Error => self.metrics.eval_errors += 1,
+                PlanOutcome::PlainFail | PlanOutcome::Sustained(None) => {}
+                PlanOutcome::PlainPass => {
+                    let sub = &mut self.plans[plan_idx].subscribers[member as usize];
+                    let provenance = self.trace.as_mut().map(|wt| {
+                        let c = Constituent {
                             trace: TraceId(meta.seq),
-                            shard: u32::try_from(shard).unwrap_or(u32::MAX),
+                            shard: shard32,
                             seq: instance.seq().raw(),
-                        });
-                    }
-                    if let Some(event) = episode {
-                        let constituents: Vec<Constituent> =
-                            state.constituents.iter().copied().collect();
+                        };
+                        notify_provenance(wt, shard, sub.id, vec![c], meta, evaluate)
+                    });
+                    sub.sink.deliver(Notification {
+                        subscription: sub.id,
+                        shard,
+                        kind: NotificationKind::Match(instance.clone()),
+                        provenance,
+                    });
+                    self.metrics.notifications += 1;
+                    sub.delivered += 1;
+                }
+                PlanOutcome::Derived(items) => {
+                    for (d, constituents) in items {
+                        let sub = &mut self.plans[plan_idx].subscribers[member as usize];
+                        self.metrics.derived += 1;
                         self.metrics.notifications += 1;
                         sub.delivered += 1;
                         let provenance = self.trace.as_mut().map(|wt| {
-                            notify_provenance(wt, shard, sub.id, constituents, meta, evaluate)
+                            notify_provenance(
+                                wt,
+                                shard,
+                                sub.id,
+                                constituents.clone(),
+                                meta,
+                                evaluate,
+                            )
                         });
                         sub.sink.deliver(Notification {
                             subscription: sub.id,
                             shard,
-                            kind: NotificationKind::Sustained(event),
+                            kind: NotificationKind::Derived(d.clone()),
                             provenance,
                         });
                     }
+                }
+                PlanOutcome::Sustained(Some((event, constituents))) => {
+                    let sub = &mut self.plans[plan_idx].subscribers[member as usize];
+                    self.metrics.notifications += 1;
+                    sub.delivered += 1;
+                    let event = *event;
+                    let provenance = self.trace.as_mut().map(|wt| {
+                        notify_provenance(wt, shard, sub.id, constituents.clone(), meta, evaluate)
+                    });
+                    sub.sink.deliver(Notification {
+                        subscription: sub.id,
+                        shard,
+                        kind: NotificationKind::Sustained(event),
+                        provenance,
+                    });
                 }
             }
         }
@@ -1494,12 +1707,25 @@ impl ShardWorker {
 
     /// Feeds a sustained subscription its inactive sample if its input
     /// has been silent for the configured timeout.
+    ///
+    /// Probes are addressed per subscription id; silence-policied
+    /// sustained plans never share (the canonicalizer keys them by
+    /// subscription), so the addressed subscriber is the plan's only
+    /// one — but the fan-out still resolves the row by id rather than
+    /// assuming it.
     fn silence_probe(&mut self, id: SubscriptionId, at: TimePoint, meta: ItemMeta) {
         let shard = self.shard;
-        let Some(sub) = self.subs.iter_mut().find(|s| s.id == id) else {
+        let Some(plan) = self
+            .plans
+            .iter_mut()
+            .find(|p| p.subscribers.iter().any(|s| s.id == id))
+        else {
             return;
         };
-        let EvalKind::Sustained(state) = &mut sub.kind else {
+        let PlanState {
+            kind, subscribers, ..
+        } = plan;
+        let EvalKind::Sustained(state) = kind else {
             return;
         };
         let Some(silence) = &state.silence else {
@@ -1522,6 +1748,10 @@ impl ShardWorker {
                 shard: u32::try_from(shard).unwrap_or(u32::MAX),
                 seq: meta.seq,
             });
+            let sub = subscribers
+                .iter_mut()
+                .find(|s| s.id == id)
+                .expect("probe matched this plan by subscriber id");
             self.metrics.notifications += 1;
             sub.delivered += 1;
             let provenance = self
@@ -1539,38 +1769,54 @@ impl ShardWorker {
 
     /// Stream horizon: releases everything still reordering, then closes
     /// open sustained episodes at `at`.
+    ///
+    /// Each sustained plan's detector closes ONCE; the resulting event
+    /// fans out to its subscribers, interleaved across plans in global
+    /// registration order — the order one-detector-per-subscription
+    /// finalization delivered in.
     fn finalize(&mut self, at: TimePoint) {
         let remaining = self.reorder.flush();
         self.dispatch_all(remaining);
         let shard = self.shard;
-        for sub in &mut self.subs {
-            if let EvalKind::Sustained(state) = &mut sub.kind {
-                let evaluate = self.trace.as_ref().map_or(0, |wt| wt.clock.now());
+        let mut closed: Vec<(usize, SustainedEvent, Vec<Constituent>)> = Vec::new();
+        for (idx, plan) in self.plans.iter_mut().enumerate() {
+            if let EvalKind::Sustained(state) = &mut plan.kind {
                 if let Some(event) = state.detector.finish(at) {
-                    let constituents: Vec<Constituent> =
-                        state.constituents.iter().copied().collect();
-                    self.metrics.notifications += 1;
-                    sub.delivered += 1;
-                    let provenance = self.trace.as_mut().map(|wt| {
-                        // The horizon is an engine-driven close, not an
-                        // operation: its pre-evaluate stamps are zero.
-                        notify_provenance(
-                            wt,
-                            shard,
-                            sub.id,
-                            constituents,
-                            ItemMeta::default(),
-                            evaluate,
-                        )
-                    });
-                    sub.sink.deliver(Notification {
-                        subscription: sub.id,
-                        shard,
-                        kind: NotificationKind::Sustained(event),
-                        provenance,
-                    });
+                    closed.push((idx, event, state.constituents.iter().copied().collect()));
                 }
             }
+        }
+        let mut deliveries: Vec<(u64, usize, usize)> = Vec::new();
+        for (ci, (plan_idx, _, _)) in closed.iter().enumerate() {
+            for (member, sub) in self.plans[*plan_idx].subscribers.iter().enumerate() {
+                deliveries.push((sub.id.raw(), ci, member));
+            }
+        }
+        deliveries.sort_unstable();
+        for (_, ci, member) in deliveries {
+            let (plan_idx, event, constituents) = &closed[ci];
+            let evaluate = self.trace.as_ref().map_or(0, |wt| wt.clock.now());
+            let sub = &mut self.plans[*plan_idx].subscribers[member];
+            self.metrics.notifications += 1;
+            sub.delivered += 1;
+            let provenance = self.trace.as_mut().map(|wt| {
+                // The horizon is an engine-driven close, not an
+                // operation: its pre-evaluate stamps are zero.
+                notify_provenance(
+                    wt,
+                    shard,
+                    sub.id,
+                    constituents.clone(),
+                    ItemMeta::default(),
+                    evaluate,
+                )
+            });
+            sub.sink.deliver(Notification {
+                subscription: sub.id,
+                shard,
+                kind: NotificationKind::Sustained(*event),
+                provenance,
+            });
         }
     }
 
@@ -1592,7 +1838,8 @@ impl ShardWorker {
         self.metrics.released = self.reorder.released() - self.probes;
         self.metrics.late_dropped = self.reorder.late_dropped();
         self.metrics.watermark = self.reorder.watermark();
-        self.metrics.subscriptions = self.subs.len();
+        self.metrics.subscriptions = self.subscriber_count();
+        self.metrics.plans = self.plans.len();
         self.obs_flush(true);
         self.metrics
     }
@@ -1653,7 +1900,7 @@ mod tests {
             });
         let mut worker = ShardWorker::new(0, Duration::ZERO, None, None, 1024, None, None);
         worker.handle(ShardMessage::Subscribe(Box::new(
-            SubscriptionState::compile(SubscriptionId(0), sub),
+            SubscriptionState::compile(SubscriptionId(0), PlanId(0), sub),
         )));
         worker
     }
@@ -1855,7 +2102,7 @@ mod tests {
         let sub = Subscription::new("episode", region.clone(), collector.sink())
             .sustained_spec(spec.clone());
         worker.handle(ShardMessage::Subscribe(Box::new(
-            SubscriptionState::compile(SubscriptionId(0), sub),
+            SubscriptionState::compile(SubscriptionId(0), PlanId(0), sub),
         )));
         worker.handle(ShardMessage::Batch(Batch {
             instances: vec![
@@ -1903,7 +2150,7 @@ mod tests {
         let mut worker = ShardWorker::new(0, Duration::new(50), wal(0), ctx, 1024, None, None);
         let sub = Subscription::new("episode", region, survivor.sink()).sustained_spec(spec);
         worker.handle(ShardMessage::Subscribe(Box::new(
-            SubscriptionState::compile(SubscriptionId(0), sub),
+            SubscriptionState::compile(SubscriptionId(0), PlanId(0), sub),
         )));
         worker.handle(ShardMessage::Recover {
             snapshot: Some(Box::new(snapshot)),

@@ -67,7 +67,11 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"STEMSNP1";
 
 /// Version of the snapshot body layout. Growing the format means a new
 /// version (readers reject unknown ones), never reinterpreting bytes.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Version 2 stores shard state per shared detector plan — detector
+/// state once, then `(subscriber, delivered)` rows — instead of one
+/// record per subscription; version-1 snapshots are rejected and the
+/// engine falls back to full-WAL replay.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// Everything that can go wrong writing or reading a snapshot.
 #[derive(Debug)]

@@ -102,6 +102,17 @@ fn render(snapshot: &ObsSnapshot, clear: bool) {
         snapshot.gauge("routed"),
         snapshot.gauge("fanout"),
     );
+    let plans = snapshot.gauge("plans_active");
+    let plan_subs = snapshot.gauge("plan_subscribers");
+    println!(
+        "  plans {plans}  subscribers {plan_subs}  max fanout {}  dedupe {:.1}x",
+        snapshot.gauge("plan_subscribers_max"),
+        if plans == 0 {
+            0.0
+        } else {
+            plan_subs as f64 / plans as f64
+        },
+    );
     if let Some((_, lag)) = snapshot.hists.iter().find(|(n, _)| *n == "watermark_lag") {
         println!(
             "  watermark lag  p50 {}  p99 {}  max {} ticks",

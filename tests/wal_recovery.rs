@@ -558,6 +558,169 @@ proptest! {
     }
 }
 
+/// Pure-ingest variant of [`op_stream`]: every op is one WAL record,
+/// so `resume_from()` indexes the vector directly without a sustained
+/// subscription to aim probes at.
+fn ingest_stream(seed: u64) -> Vec<EventInstance> {
+    let mut rng = stream(seed, 7);
+    (0..OPS)
+        .map(|i| {
+            let t = 5 * i + rng.gen_range(0u64..20);
+            EventInstance::builder(
+                ObserverId::Mote(MoteId::new((i % 8) as u32)),
+                EventId::new("reading"),
+                Layer::Sensor,
+            )
+            .seq(SeqNo::new(i))
+            .generated(
+                TimePoint::new(t),
+                Point::new(rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD)),
+            )
+            .attributes(Attributes::new().with("temp", rng.gen_range(10.0f64..90.0)))
+            .build()
+        })
+        .collect()
+}
+
+/// Three tenants with byte-identical templates (one shared plan) plus
+/// one distinct subscription, registered in this order everywhere.
+fn register_tenants(
+    subscribe: &mut dyn FnMut(Subscription) -> SubscriptionId,
+) -> Vec<SubscriptionId> {
+    let twin = |name: &str| {
+        Subscription::new(
+            name,
+            SpatialExtent::field(Field::circle(Circle::new(Point::new(50.0, 50.0), 35.0))),
+            Box::new(std::sync::mpsc::channel().0),
+        )
+        .for_event("reading")
+        .when(dsl::parse("x.temp > 40").unwrap())
+    };
+    vec![
+        subscribe(twin("tenant-a")),
+        subscribe(twin("tenant-b")),
+        subscribe(twin("tenant-c")),
+        subscribe(
+            Subscription::new(
+                "lone",
+                SpatialExtent::field(Field::rect(bounds())),
+                Box::new(std::sync::mpsc::channel().0),
+            )
+            .for_event("reading")
+            .when(dsl::parse("x.temp > 80").unwrap()),
+        ),
+    ]
+}
+
+/// Shared-plan checkpoint round trip: three subscribers share ONE
+/// detector plan, so the version-2 snapshot stores the detector state
+/// once but a delivery floor per subscriber. Checkpoint, kill, recover:
+/// `snapshot_delivered()` reports every tenant individually (equal
+/// floors — they registered together and share scope), and the resumed
+/// stream continues each subscriber's reference sequence exactly — no
+/// duplicated, no lost deliveries.
+#[test]
+fn pinned_shared_plan_snapshot_round_trip() {
+    let ops = ingest_stream(9);
+    let feed = |engine: &mut Engine, ops: &[EventInstance]| {
+        for inst in ops {
+            engine.ingest(inst.clone());
+        }
+    };
+
+    // Uninterrupted reference run.
+    let full_dir = temp_dir("plan-full", 0);
+    let reference = Collector::new();
+    let mut engine = Engine::start(snap_config(&full_dir, 2, 10, 4));
+    let subs = {
+        let mut subscribe = |sub: Subscription| {
+            engine.subscribe(Subscription {
+                sink: reference.sink(),
+                ..sub
+            })
+        };
+        register_tenants(&mut subscribe)
+    };
+    feed(&mut engine, &ops);
+    let report = engine.finish_at(horizon());
+    assert_eq!(report.plans_active, 2, "three twins dedupe into one plan");
+    assert_eq!(report.plan_subscribers, 4);
+    assert_eq!(report.plan_subscribers_max, 3);
+    let expected = per_sub(reference.take());
+    let twin_ids: Vec<u64> = subs[..3].iter().map(|s| s.raw()).collect();
+    assert!(
+        !expected[&twin_ids[0]].is_empty(),
+        "the shared plan must deliver"
+    );
+    assert_eq!(
+        expected[&twin_ids[0]], expected[&twin_ids[1]],
+        "identical templates see identical streams"
+    );
+    assert_eq!(expected[&twin_ids[1]], expected[&twin_ids[2]]);
+
+    // Crash leg: checkpoint along the way, kill mid-stream.
+    let crash_dir = temp_dir("plan-crash", 0);
+    let lost = Collector::new();
+    let mut engine = Engine::start(snap_config(&crash_dir, 2, 10, 4));
+    {
+        let mut subscribe = |sub: Subscription| {
+            engine.subscribe(Subscription {
+                sink: lost.sink(),
+                ..sub
+            })
+        };
+        register_tenants(&mut subscribe);
+    }
+    feed(&mut engine, &ops[..70]);
+    engine.flush();
+    drop(engine); // the crash
+
+    // Recover, re-register in order: the snapshot floor must name each
+    // sharing subscriber separately, surviving the plan dedupe.
+    let survivor = Collector::new();
+    let mut recovery =
+        Engine::recover(snap_config(&crash_dir, 2, 10, 4)).expect("recover from durable state");
+    let subs = {
+        let mut subscribe = |sub: Subscription| {
+            recovery.subscribe(Subscription {
+                sink: survivor.sink(),
+                ..sub
+            })
+        };
+        register_tenants(&mut subscribe)
+    };
+    let stats = recovery.stats();
+    assert!(stats.snapshots_loaded > 0, "a checkpoint must be restored");
+    assert_eq!(stats.snapshots_rejected, 0);
+    let skipped = recovery.snapshot_delivered();
+    let floor = |i: usize| *skipped.get(&subs[i].raw()).unwrap_or(&0);
+    assert!(
+        floor(0) > 0,
+        "the restored floor covers shared-plan deliveries: {skipped:?}"
+    );
+    assert_eq!(
+        floor(0),
+        floor(1),
+        "tenants sharing a plan restored distinct but equal floors"
+    );
+    assert_eq!(floor(1), floor(2));
+
+    // Resume, re-feed the tail, and every subscriber continues exactly.
+    let mut engine = recovery.resume();
+    let resume = usize::try_from(engine.resume_from()).unwrap();
+    assert!(resume <= 70);
+    feed(&mut engine, &ops[resume..]);
+    let _ = engine.finish_at(horizon());
+    assert_continues(
+        &expected,
+        per_sub(survivor.take()),
+        &skipped,
+        "shared-plan round trip",
+    );
+    let _ = std::fs::remove_dir_all(&full_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
 /// A pinned worst case the proptest's one-torn-file-per-case never
 /// draws: the crash lands mid-checkpoint and tears the *newest*
 /// snapshot of every shard at once, plus a mid-compaction loss of
